@@ -1,0 +1,246 @@
+//! Sequential queue-based Brandes BC — the workspace's correctness oracle.
+//!
+//! Direct implementation of Brandes (2001/2008) with explicit predecessor
+//! lists and a stack of vertices in non-decreasing distance order. `O(nm)`
+//! time, `O(n + m)` space, no linear-algebra reformulation — maximally
+//! independent from the code under test.
+
+use turbobc_graph::{Graph, VertexId};
+use turbobc_sparse::Csr;
+
+/// Per-source scratch reused across sources.
+struct Scratch {
+    sigma: Vec<f64>,
+    dist: Vec<i64>,
+    delta: Vec<f64>,
+    preds: Vec<Vec<VertexId>>,
+    stack: Vec<VertexId>,
+    queue: std::collections::VecDeque<VertexId>,
+}
+
+impl Scratch {
+    fn new(n: usize) -> Self {
+        Scratch {
+            sigma: vec![0.0; n],
+            dist: vec![-1; n],
+            delta: vec![0.0; n],
+            preds: vec![Vec::new(); n],
+            stack: Vec::with_capacity(n),
+            queue: std::collections::VecDeque::new(),
+        }
+    }
+
+    fn reset(&mut self) {
+        self.sigma.fill(0.0);
+        self.dist.fill(-1);
+        self.delta.fill(0.0);
+        for p in &mut self.preds {
+            p.clear();
+        }
+        self.stack.clear();
+        self.queue.clear();
+    }
+}
+
+fn accumulate(csr: &Csr, source: VertexId, scratch: &mut Scratch, scale: f64, bc: &mut [f64]) {
+    scratch.reset();
+    let s = source as usize;
+    scratch.sigma[s] = 1.0;
+    scratch.dist[s] = 0;
+    scratch.queue.push_back(source);
+    while let Some(v) = scratch.queue.pop_front() {
+        scratch.stack.push(v);
+        let dv = scratch.dist[v as usize];
+        for &w in csr.row(v as usize) {
+            let wi = w as usize;
+            if scratch.dist[wi] < 0 {
+                scratch.dist[wi] = dv + 1;
+                scratch.queue.push_back(w);
+            }
+            if scratch.dist[wi] == dv + 1 {
+                scratch.sigma[wi] += scratch.sigma[v as usize];
+                scratch.preds[wi].push(v);
+            }
+        }
+    }
+    while let Some(w) = scratch.stack.pop() {
+        let wi = w as usize;
+        let coeff = (1.0 + scratch.delta[wi]) / scratch.sigma[wi];
+        for &v in &scratch.preds[wi] {
+            scratch.delta[v as usize] += scratch.sigma[v as usize] * coeff;
+        }
+        if w != source {
+            bc[wi] += scratch.delta[wi] * scale;
+        }
+    }
+}
+
+/// Brandes BC contribution of a single source vertex. For undirected
+/// graphs the standard ÷2 compensation is applied, as in the paper.
+pub fn brandes_single_source(graph: &Graph, source: VertexId) -> Vec<f64> {
+    let csr = graph.to_csr();
+    let mut bc = vec![0.0; graph.n()];
+    let mut scratch = Scratch::new(graph.n());
+    accumulate(&csr, source, &mut scratch, graph.bc_scale(), &mut bc);
+    bc
+}
+
+/// Exact Brandes BC over all sources.
+pub fn brandes_all_sources(graph: &Graph) -> Vec<f64> {
+    let csr = graph.to_csr();
+    let mut bc = vec![0.0; graph.n()];
+    let mut scratch = Scratch::new(graph.n());
+    for s in 0..graph.n() {
+        accumulate(&csr, s as VertexId, &mut scratch, graph.bc_scale(), &mut bc);
+    }
+    bc
+}
+
+/// Brandes BC over an explicit set of sources.
+pub fn brandes_sources(graph: &Graph, sources: &[VertexId]) -> Vec<f64> {
+    let csr = graph.to_csr();
+    let mut bc = vec![0.0; graph.n()];
+    let mut scratch = Scratch::new(graph.n());
+    for &s in sources {
+        accumulate(&csr, s, &mut scratch, graph.bc_scale(), &mut bc);
+    }
+    bc
+}
+
+/// **Edge** betweenness (Brandes 2008 §3.2 / Girvan–Newman): the oracle
+/// for `turbobc`'s edge-BC extension. Returns one value per stored arc,
+/// in the graph's arc order; for undirected graphs the classic
+/// edge-betweenness of `{u, v}` is the sum of its two arc values (each
+/// arc carries the ÷2-compensated half).
+pub fn brandes_edge_bc(graph: &Graph) -> Vec<f64> {
+    let csr = graph.to_csr();
+    let n = graph.n();
+    // Map each arc (u, v) to its index in the graph's COO order.
+    let arcs: Vec<(VertexId, VertexId)> = graph.edges().collect();
+    let mut arc_index = std::collections::HashMap::with_capacity(arcs.len());
+    for (k, &a) in arcs.iter().enumerate() {
+        arc_index.insert(a, k);
+    }
+    let mut ebc = vec![0.0; arcs.len()];
+    let scale = graph.bc_scale();
+    let mut scratch = Scratch::new(n);
+    for s in 0..n {
+        scratch.reset();
+        scratch.sigma[s] = 1.0;
+        scratch.dist[s] = 0;
+        scratch.queue.push_back(s as VertexId);
+        while let Some(v) = scratch.queue.pop_front() {
+            scratch.stack.push(v);
+            let dv = scratch.dist[v as usize];
+            for &w in csr.row(v as usize) {
+                let wi = w as usize;
+                if scratch.dist[wi] < 0 {
+                    scratch.dist[wi] = dv + 1;
+                    scratch.queue.push_back(w);
+                }
+                if scratch.dist[wi] == dv + 1 {
+                    scratch.sigma[wi] += scratch.sigma[v as usize];
+                    scratch.preds[wi].push(v);
+                }
+            }
+        }
+        while let Some(w) = scratch.stack.pop() {
+            let wi = w as usize;
+            let coeff = (1.0 + scratch.delta[wi]) / scratch.sigma[wi];
+            for &v in &scratch.preds[wi] {
+                let c = scratch.sigma[v as usize] * coeff;
+                scratch.delta[v as usize] += c;
+                let k = arc_index[&(v, w)];
+                ebc[k] += c * scale;
+            }
+        }
+    }
+    ebc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(got: &[f64], want: &[f64]) {
+        assert_eq!(got.len(), want.len());
+        for (i, (g, w)) in got.iter().zip(want).enumerate() {
+            assert!((g - w).abs() < 1e-9, "bc[{i}] = {g}, want {w}\ngot  {got:?}\nwant {want:?}");
+        }
+    }
+
+    #[test]
+    fn path_graph_bc_is_known() {
+        // Undirected path 0-1-2-3-4: BC = [0, 3, 4, 3, 0].
+        let g = Graph::from_edges(5, false, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        assert_close(&brandes_all_sources(&g), &[0.0, 3.0, 4.0, 3.0, 0.0]);
+    }
+
+    #[test]
+    fn star_center_carries_everything() {
+        // Undirected star K_{1,4} centred at 0: BC(center) = C(4,2) = 6.
+        let g = Graph::from_edges(5, false, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        assert_close(&brandes_all_sources(&g), &[6.0, 0.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn cycle_bc_is_uniform() {
+        // C5: every vertex lies on exactly one shortest path pair: BC = 1.
+        let g = Graph::from_edges(5, false, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        assert_close(&brandes_all_sources(&g), &[1.0; 5]);
+    }
+
+    #[test]
+    fn directed_path_counts_ordered_pairs() {
+        // Directed 0→1→2→3: BC(1) = |{(0,2),(0,3)}| = 2, BC(2) = 2.
+        let g = Graph::from_edges(4, true, &[(0, 1), (1, 2), (2, 3)]);
+        assert_close(&brandes_all_sources(&g), &[0.0, 2.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn multiple_shortest_paths_split_credit() {
+        // Diamond: 0→1→3, 0→2→3 (directed).
+        let g = Graph::from_edges(4, true, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        assert_close(&brandes_all_sources(&g), &[0.0, 0.5, 0.5, 0.0]);
+    }
+
+    #[test]
+    fn disconnected_components_are_independent() {
+        let g = Graph::from_edges(6, false, &[(0, 1), (1, 2), (3, 4), (4, 5)]);
+        let bc = brandes_all_sources(&g);
+        assert_close(&bc, &[0.0, 1.0, 0.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn single_source_sums_to_all_sources() {
+        let g = Graph::from_edges(5, true, &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 3), (1, 4)]);
+        let mut sum = vec![0.0; 5];
+        for s in 0..5 {
+            for (acc, x) in sum.iter_mut().zip(brandes_single_source(&g, s)) {
+                *acc += x;
+            }
+        }
+        assert_close(&sum, &brandes_all_sources(&g));
+    }
+
+    #[test]
+    fn sources_subset_matches_manual_sum() {
+        let g = Graph::from_edges(5, false, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        let got = brandes_sources(&g, &[1, 3]);
+        let mut want = vec![0.0; 5];
+        for s in [1, 3] {
+            for (acc, x) in want.iter_mut().zip(brandes_single_source(&g, s)) {
+                *acc += x;
+            }
+        }
+        assert_close(&got, &want);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let g = Graph::from_edges(0, true, &[]);
+        assert!(brandes_all_sources(&g).is_empty());
+        let g1 = Graph::from_edges(1, false, &[]);
+        assert_close(&brandes_all_sources(&g1), &[0.0]);
+    }
+}

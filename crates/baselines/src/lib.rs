@@ -1,0 +1,27 @@
+//! Baseline betweenness-centrality implementations for the TurboBC
+//! reproduction.
+//!
+//! * [`brandes`] — the textbook sequential Brandes algorithm with explicit
+//!   predecessor lists. This is the correctness **oracle**: every engine
+//!   and kernel in the workspace is property-tested against it. (The
+//!   paper's "(sequential)x" baseline is *not* this — it is the sequential
+//!   version of the linear-algebra Algorithm 1, provided by
+//!   `turbobc::Engine::Sequential`.)
+//! * [`gunrock_like`] — a shared-memory parallel Brandes in the style of
+//!   the gunrock library's BC operator: explicit frontier queues,
+//!   direction-optimising (push–pull) BFS, and the `9n + 2m`-word device
+//!   array inventory of the paper's Figure 4, which is what makes gunrock
+//!   run out of memory on the Table 4 graphs.
+
+#![forbid(unsafe_code)]
+#![allow(clippy::too_many_arguments)]
+#![allow(clippy::needless_range_loop)]
+#![warn(missing_docs)]
+
+pub mod brandes;
+pub mod gunrock_like;
+pub mod gunrock_simt;
+pub mod weighted_brandes;
+
+pub use brandes::{brandes_all_sources, brandes_single_source};
+pub use weighted_brandes::{weighted_brandes_all_sources, weighted_brandes_single_source, weighted_sssp};

@@ -1,0 +1,194 @@
+//! Weighted Brandes BC (Dijkstra-based) — the oracle for the weighted
+//! extension in `turbobc::weighted`.
+//!
+//! Brandes (2001) §4: replace the BFS with Dijkstra, keep predecessor
+//! lists for vertices reached over *tight* arcs
+//! (`dist(v) + w(v,w) = dist(w)`), and accumulate dependencies in
+//! non-increasing distance order.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use turbobc_graph::weighted::WeightedGraph;
+use turbobc_graph::VertexId;
+
+/// Max-heap entry ordered by *smallest* distance first.
+#[derive(PartialEq)]
+struct HeapItem {
+    dist: f64,
+    vertex: VertexId,
+}
+
+impl Eq for HeapItem {}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for a min-heap; ties broken by vertex id for
+        // determinism.
+        other
+            .dist
+            .total_cmp(&self.dist)
+            .then_with(|| other.vertex.cmp(&self.vertex))
+    }
+}
+
+/// Tolerance for tight-arc detection (floating-point path sums).
+const EPS: f64 = 1e-12;
+
+fn accumulate(
+    csr: &turbobc_sparse::Csr,
+    w: &[f64],
+    source: VertexId,
+    scale: f64,
+    bc: &mut [f64],
+) -> Vec<f64> {
+    let n = csr.n_rows();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut sigma = vec![0.0f64; n];
+    let mut preds: Vec<Vec<VertexId>> = vec![Vec::new(); n];
+    let mut settled_order: Vec<VertexId> = Vec::with_capacity(n);
+    let mut settled = vec![false; n];
+
+    dist[source as usize] = 0.0;
+    sigma[source as usize] = 1.0;
+    let mut heap = BinaryHeap::new();
+    heap.push(HeapItem { dist: 0.0, vertex: source });
+    while let Some(HeapItem { dist: dv, vertex: v }) = heap.pop() {
+        let vi = v as usize;
+        if settled[vi] || dv > dist[vi] {
+            continue;
+        }
+        settled[vi] = true;
+        settled_order.push(v);
+        let lo = csr.row_ptr()[vi];
+        for (k, &u) in csr.row(vi).iter().enumerate() {
+            let ui = u as usize;
+            let cand = dv + w[lo + k];
+            if cand + EPS < dist[ui] {
+                dist[ui] = cand;
+                sigma[ui] = sigma[vi];
+                preds[ui].clear();
+                preds[ui].push(v);
+                heap.push(HeapItem { dist: cand, vertex: u });
+            } else if (cand - dist[ui]).abs() <= EPS && !settled[ui] {
+                sigma[ui] += sigma[vi];
+                preds[ui].push(v);
+            }
+        }
+    }
+
+    let mut delta = vec![0.0f64; n];
+    for &v in settled_order.iter().rev() {
+        let vi = v as usize;
+        let coeff = (1.0 + delta[vi]) / sigma[vi];
+        for &p in &preds[vi] {
+            delta[p as usize] += sigma[p as usize] * coeff;
+        }
+        if v != source {
+            bc[vi] += delta[vi] * scale;
+        }
+    }
+    dist
+}
+
+/// Weighted BC contribution of one source. Also returns nothing extra —
+/// use [`weighted_sssp`] for distances.
+pub fn weighted_brandes_single_source(graph: &WeightedGraph, source: VertexId) -> Vec<f64> {
+    let (csr, w) = graph.to_weighted_csr();
+    let mut bc = vec![0.0; graph.n()];
+    accumulate(&csr, &w, source, graph.bc_scale(), &mut bc);
+    bc
+}
+
+/// Exact weighted BC over all sources.
+pub fn weighted_brandes_all_sources(graph: &WeightedGraph) -> Vec<f64> {
+    let (csr, w) = graph.to_weighted_csr();
+    let mut bc = vec![0.0; graph.n()];
+    for s in 0..graph.n() {
+        accumulate(&csr, &w, s as VertexId, graph.bc_scale(), &mut bc);
+    }
+    bc
+}
+
+/// Dijkstra single-source shortest distances (`f64::INFINITY` =
+/// unreachable) — the oracle for the delta-stepping SSSP.
+pub fn weighted_sssp(graph: &WeightedGraph, source: VertexId) -> Vec<f64> {
+    let (csr, w) = graph.to_weighted_csr();
+    let mut bc = vec![0.0; graph.n()];
+    accumulate(&csr, &w, source, 0.0, &mut bc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brandes::brandes_all_sources;
+    use turbobc_graph::{gen, Graph};
+
+    #[test]
+    fn unit_weights_reduce_to_unweighted_brandes() {
+        for (seed, directed) in [(1u64, true), (2, false), (3, false)] {
+            let g = gen::gnm(40, 140, directed, seed);
+            let want = brandes_all_sources(&g);
+            let wg = WeightedGraph::unit_weights(g);
+            let got = weighted_brandes_all_sources(&wg);
+            for (a, b) in got.iter().zip(&want) {
+                assert!((a - b).abs() < 1e-7, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn weights_change_the_shortest_paths() {
+        // Triangle 0-1-2 plus direct edge 0-2: with a heavy direct edge,
+        // paths route through 1.
+        let heavy = WeightedGraph::from_edges(
+            3,
+            false,
+            &[(0, 1, 1.0), (1, 2, 1.0), (0, 2, 5.0)],
+        );
+        let bc = weighted_brandes_all_sources(&heavy);
+        assert!(bc[1] > 0.9, "vertex 1 must lie on the 0-2 shortest path, bc = {}", bc[1]);
+        let light = WeightedGraph::from_edges(
+            3,
+            false,
+            &[(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.5)],
+        );
+        let bc = weighted_brandes_all_sources(&light);
+        assert!(bc[1] < 1e-9, "direct edge is shorter; bc(1) = {}", bc[1]);
+    }
+
+    #[test]
+    fn tied_paths_split_credit() {
+        // Two equal-weight routes 0→1→3 and 0→2→3.
+        let g = WeightedGraph::from_edges(
+            4,
+            true,
+            &[(0, 1, 2.0), (0, 2, 1.0), (1, 3, 1.0), (2, 3, 2.0)],
+        );
+        let bc = weighted_brandes_all_sources(&g);
+        assert!((bc[1] - 0.5).abs() < 1e-9, "bc(1) = {}", bc[1]);
+        assert!((bc[2] - 0.5).abs() < 1e-9, "bc(2) = {}", bc[2]);
+    }
+
+    #[test]
+    fn sssp_distances_on_a_line() {
+        let g = WeightedGraph::from_edges(4, true, &[(0, 1, 1.5), (1, 2, 2.5), (2, 3, 3.0)]);
+        let d = weighted_sssp(&g, 0);
+        assert_eq!(d, vec![0.0, 1.5, 4.0, 7.0]);
+        let d3 = weighted_sssp(&g, 3);
+        assert!(d3[0].is_infinite());
+    }
+
+    #[test]
+    fn disconnected_weighted_graph() {
+        let g = WeightedGraph::from_edges(4, false, &[(0, 1, 1.0), (2, 3, 1.0)]);
+        let bc = weighted_brandes_all_sources(&g);
+        assert!(bc.iter().all(|&x| x.abs() < 1e-12));
+        let _ = Graph::from_edges(1, true, &[]);
+    }
+}

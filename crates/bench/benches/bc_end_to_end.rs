@@ -1,0 +1,74 @@
+//! Criterion end-to-end BC benchmarks: one group per paper table, one
+//! benchmark per graph family (small stand-ins), comparing TurboBC
+//! against all baselines — the wall-clock companion to the `experiments`
+//! binary's table reports.
+//!
+//! Run: `cargo bench -p turbobc-bench --bench bc_end_to_end`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use turbobc::{BcOptions, BcSolver, Engine};
+use turbobc_baselines::gunrock_like::GunrockBc;
+use turbobc_bench::runner::kernel_from_name;
+use turbobc_graph::families::{self, Scale};
+
+/// One representative per table to keep bench time bounded.
+const REPRESENTATIVES: &[(&str, u8)] = &[
+    ("mark3jac060sc", 1),
+    ("delaunay_n15", 1),
+    ("smallworld", 2),
+    ("com-Youtube", 2),
+    ("mycielskian16", 3),
+    ("kron_g500-logn18", 3),
+    ("it-2004", 4),
+];
+
+fn bench_tables(c: &mut Criterion) {
+    for &(name, table) in REPRESENTATIVES {
+        let row = families::find(name).expect("catalogued");
+        let graph = families::generate(name, Scale::Tiny).expect("generator");
+        let source = graph.default_source();
+        let kernel = kernel_from_name(row.kernel);
+        let mut group = c.benchmark_group(format!("table{table}/{name}"));
+        group.throughput(Throughput::Elements(graph.m() as u64));
+
+        let turbo = BcSolver::new(&graph, BcOptions { kernel, engine: Engine::Parallel });
+        group.bench_with_input(BenchmarkId::new("turbobc", row.kernel), &(), |b, _| {
+            b.iter(|| turbo.bc_single_source(source))
+        });
+
+        let seq = BcSolver::new(&graph, BcOptions { kernel, engine: Engine::Sequential });
+        group.bench_with_input(BenchmarkId::new("sequential", row.kernel), &(), |b, _| {
+            b.iter(|| seq.bc_single_source(source))
+        });
+
+        let gunrock = GunrockBc::new(&graph);
+        group.bench_function("gunrock_like", |b| b.iter(|| gunrock.bc_single_source(source)));
+
+        group.bench_function("ligra_like", |b| {
+            b.iter(|| turbobc_ligra::bc::bc_single_source(&graph, source))
+        });
+        group.finish();
+    }
+}
+
+fn bench_exact(c: &mut Criterion) {
+    // Table 5's exact BC on a tiny instance, 16 sources.
+    let graph = families::generate("mycielskian15", Scale::Tiny).unwrap();
+    let row = families::find("mycielskian15").unwrap();
+    let solver = BcSolver::new(
+        &graph,
+        BcOptions { kernel: kernel_from_name(row.kernel), engine: Engine::Parallel },
+    );
+    let sources: Vec<u32> = (0..16.min(graph.n() as u32)).collect();
+    let mut group = c.benchmark_group("table5/exact");
+    group.throughput(Throughput::Elements(graph.m() as u64 * sources.len() as u64));
+    group.bench_function("turbobc-16-sources", |b| b.iter(|| solver.bc_sources(&sources)));
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_tables, bench_exact
+}
+criterion_main!(benches);

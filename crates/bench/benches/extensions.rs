@@ -1,0 +1,120 @@
+//! Criterion benchmarks for the extension APIs: TurboBFS, weighted BC
+//! (Δ-stepping vs Dijkstra oracle), approximate BC, edge BC and the
+//! semiring kernels.
+//!
+//! Run: `cargo bench -p turbobc-bench --bench extensions`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use turbobc::weighted::{sssp_delta_stepping, weighted_bc_sources, WeightedBcOptions};
+use turbobc::{bc_approx, ApproxOptions, BcOptions, TurboBfs};
+use turbobc_baselines::weighted_sssp;
+use turbobc_graph::weighted::WeightedGraph;
+use turbobc_graph::{gen, Graph};
+use turbobc_sparse::semiring::{self, CsrValues};
+
+fn workloads() -> Vec<(&'static str, Graph)> {
+    vec![
+        ("delaunay", gen::delaunay(4000, 1)),
+        ("mycielski", gen::mycielski(10)),
+        ("smallworld", gen::small_world(4000, 5, 0.05, 2)),
+    ]
+}
+
+fn bench_turbobfs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("turbobfs");
+    for (name, g) in workloads() {
+        let source = g.default_source();
+        let bfs = TurboBfs::new(&g, BcOptions::default());
+        group.throughput(Throughput::Elements(g.m() as u64));
+        group.bench_with_input(BenchmarkId::new("la_bfs", name), &(), |b, _| {
+            b.iter(|| bfs.run(source))
+        });
+        group.bench_with_input(BenchmarkId::new("queue_bfs", name), &(), |b, _| {
+            b.iter(|| turbobc_graph::bfs(&g, source))
+        });
+    }
+    group.finish();
+}
+
+fn bench_weighted(c: &mut Criterion) {
+    let mut group = c.benchmark_group("weighted");
+    for (name, g) in workloads() {
+        let wg = WeightedGraph::random_weights(g, 1.0, 16.0, 5);
+        let (csr, w) = wg.to_weighted_csr();
+        let source = wg.graph().default_source();
+        group.throughput(Throughput::Elements(wg.m() as u64));
+        group.bench_with_input(BenchmarkId::new("delta_stepping", name), &(), |b, _| {
+            b.iter(|| sssp_delta_stepping(&csr, &w, source, 8.0))
+        });
+        group.bench_with_input(BenchmarkId::new("dijkstra", name), &(), |b, _| {
+            b.iter(|| weighted_sssp(&wg, source))
+        });
+        group.bench_with_input(BenchmarkId::new("bc_16_sources", name), &(), |b, _| {
+            let sources: Vec<u32> = (0..16).collect();
+            b.iter(|| weighted_bc_sources(&wg, &sources, WeightedBcOptions::default()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_approx_and_edge(c: &mut Criterion) {
+    let g = gen::preferential_attachment(4000, 3, 7);
+    let mut group = c.benchmark_group("approx_and_edge");
+    group.throughput(Throughput::Elements(g.m() as u64));
+    group.bench_function("approx_eps_0.2", |b| {
+        b.iter(|| {
+            bc_approx(&g, ApproxOptions { epsilon: 0.2, delta: 0.2, ..Default::default() })
+        })
+    });
+    let small = gen::small_world(400, 3, 0.1, 3);
+    group.bench_function("edge_bc_exact_400", |b| b.iter(|| turbobc::edge_bc(&small)));
+    group.finish();
+}
+
+fn bench_msbfs(c: &mut Criterion) {
+    let g = gen::delaunay(4000, 11);
+    let sources: Vec<u32> = (0..64).collect();
+    let mut group = c.benchmark_group("msbfs");
+    group.throughput(Throughput::Elements(g.m() as u64 * 64));
+    group.bench_function("batched_64_sources", |b| {
+        b.iter(|| turbobc::msbfs::ms_bfs(&g, &sources, BcOptions::default()))
+    });
+    group.bench_function("individual_64_sources", |b| {
+        let bfs = TurboBfs::new(&g, BcOptions::default());
+        b.iter(|| {
+            for &s in &sources {
+                std::hint::black_box(bfs.run(s));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_semirings(c: &mut Criterion) {
+    let g = gen::delaunay(4000, 9);
+    let wg = WeightedGraph::random_weights(g, 1.0, 10.0, 1);
+    let (csr, w) = wg.to_weighted_csr();
+    let a = CsrValues::new(csr.clone(), w);
+    let n = wg.n();
+    let mut group = c.benchmark_group("semiring_spmv");
+    group.throughput(Throughput::Elements(wg.m() as u64));
+    let xf: Vec<f64> = (0..n).map(|i| (i % 5) as f64).collect();
+    group.bench_function("plus_times", |b| {
+        b.iter(|| semiring::spmv::<semiring::PlusTimes>(&a, &xf))
+    });
+    group.bench_function("min_plus", |b| {
+        b.iter(|| semiring::spmv::<semiring::MinPlus>(&a, &xf))
+    });
+    let xb: Vec<bool> = (0..n).map(|i| i % 7 == 0).collect();
+    group.bench_function("or_and_pattern", |b| {
+        b.iter(|| semiring::spmv_pattern::<semiring::OrAnd>(&csr, &xb))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_turbobfs, bench_weighted, bench_approx_and_edge, bench_msbfs, bench_semirings
+}
+criterion_main!(benches);

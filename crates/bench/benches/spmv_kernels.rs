@@ -1,0 +1,115 @@
+//! Criterion benchmarks for the three SpMV kernels (the paper's §3.3:
+//! "the SpMV operation can be up to 90% of the total runtime").
+//!
+//! Run: `cargo bench -p turbobc-bench --bench spmv_kernels`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use turbobc_graph::{gen, Graph};
+
+fn forward_inputs(g: &Graph) -> (Vec<i64>, Vec<i64>) {
+    // A quarter-full frontier with σ marking another quarter discovered —
+    // a mid-BFS state.
+    let n = g.n();
+    let f: Vec<i64> = (0..n).map(|i| if i % 4 == 0 { 1 + (i % 3) as i64 } else { 0 }).collect();
+    let sigma: Vec<i64> = (0..n).map(|i| if i % 4 == 1 { 1 } else { 0 }).collect();
+    (f, sigma)
+}
+
+fn bench_forward(c: &mut Criterion) {
+    let workloads: Vec<(&str, Graph)> = vec![
+        ("regular/delaunay", gen::delaunay(4000, 1)),
+        ("regular/road", gen::road_network(16, 16, 8, 2)),
+        ("skewed/mawi", gen::mawi_star(8000, 8, 3)),
+        ("irregular/mycielski", gen::mycielski(10)),
+        ("irregular/rmat", gen::rmat(11, 48, 4)),
+    ];
+    let mut group = c.benchmark_group("forward_spmv");
+    for (name, g) in &workloads {
+        let csc = g.to_csc();
+        let cooc = g.to_cooc();
+        let (f, sigma) = forward_inputs(g);
+        let mut y = vec![0i64; g.n()];
+        group.throughput(Throughput::Elements(g.m() as u64));
+        group.bench_with_input(BenchmarkId::new("scCOOC", name), &(), |b, _| {
+            b.iter(|| {
+                y.fill(0);
+                cooc.spmv_t(&f, &mut y);
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("scCSC", name), &(), |b, _| {
+            b.iter(|| {
+                y.fill(0);
+                csc.masked_spmv_t(&f, |j| sigma[j] == 0, &mut y);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_backward(c: &mut Criterion) {
+    let workloads: Vec<(&str, Graph)> = vec![
+        ("regular/delaunay", gen::delaunay(4000, 1)),
+        ("irregular/mycielski", gen::mycielski(10)),
+    ];
+    let mut group = c.benchmark_group("backward_spmv");
+    for (name, g) in &workloads {
+        let csc = g.to_csc();
+        let cooc = g.to_cooc();
+        let n = g.n();
+        let du: Vec<f64> = (0..n).map(|i| if i % 3 == 0 { 0.5 } else { 0.0 }).collect();
+        let mut y = vec![0.0f64; n];
+        group.throughput(Throughput::Elements(g.m() as u64));
+        group.bench_with_input(BenchmarkId::new("COOC", name), &(), |b, _| {
+            b.iter(|| {
+                y.fill(0.0);
+                cooc.spmv(&du, &mut y);
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("CSC-scatter", name), &(), |b, _| {
+            b.iter(|| {
+                y.fill(0.0);
+                csc.spmv(&du, &mut y);
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("CSC-gather-symmetric", name), &(), |b, _| {
+            b.iter(|| {
+                y.fill(0.0);
+                csc.spmv_t(&du, &mut y);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_int_vs_float(c: &mut Criterion) {
+    // The §3.4 ablation at the SpMV level.
+    let g = gen::mycielski(11);
+    let csc = g.to_csc();
+    let n = g.n();
+    let fi: Vec<i64> = (0..n).map(|i| (i % 3) as i64).collect();
+    let ff: Vec<f64> = fi.iter().map(|&x| x as f64).collect();
+    let mut yi = vec![0i64; n];
+    let mut yf = vec![0.0f64; n];
+    let mut group = c.benchmark_group("int_vs_float_spmv");
+    group.throughput(Throughput::Elements(g.m() as u64));
+    group.bench_function("i64", |b| {
+        b.iter(|| {
+            yi.fill(0);
+            csc.spmv_t(&fi, &mut yi);
+        })
+    });
+    group.bench_function("f64", |b| {
+        b.iter(|| {
+            yf.fill(0.0);
+            csc.spmv_t(&ff, &mut yf);
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_forward, bench_backward, bench_int_vs_float
+}
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! CLI entry point: regenerate any table or figure of the TurboBC paper.
+//!
+//! ```text
+//! experiments all
+//! experiments table1 table3 fig5 --scale medium --trials 5 --max-sources 512
+//! experiments list
+//! ```
+
+use turbobc_bench::experiments::{self, Config, ALL};
+use turbobc_graph::families::Scale;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: experiments <id>... [--scale tiny|small|medium|large] [--trials N] [--max-sources N]\n\
+         ids: {}  (or `all`, `list`)",
+        ALL.join(" ")
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let mut cfg = Config::default();
+    let mut ids: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                cfg.scale = match it.next().as_deref() {
+                    Some("tiny") => Scale::Tiny,
+                    Some("small") => Scale::Small,
+                    Some("medium") => Scale::Medium,
+                    Some("large") => Scale::Large,
+                    _ => usage(),
+                }
+            }
+            "--trials" => {
+                cfg.trials = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--max-sources" => {
+                cfg.max_sources =
+                    it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "list" => {
+                for id in ALL {
+                    println!("{id}");
+                }
+                return;
+            }
+            other if other.starts_with('-') => usage(),
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        usage();
+    }
+    if ids.iter().any(|i| i == "all") {
+        print!("{}", experiments::run_all(cfg));
+        return;
+    }
+    for id in &ids {
+        match experiments::run(id, cfg) {
+            Some(report) => println!("{report}"),
+            None => {
+                eprintln!("unknown experiment `{id}`");
+                usage();
+            }
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! One module per reproduced paper artifact. Each experiment returns its
+//! report as a `String` so the binary, the integration tests and the
+//! `EXPERIMENTS.md` generator share one code path.
+
+pub mod ablation;
+pub mod figures;
+pub mod tables;
+
+use turbobc_graph::families::Scale;
+
+/// Shared experiment settings.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Graph scale for the stand-ins.
+    pub scale: Scale,
+    /// Timing trials per measurement (best-of).
+    pub trials: usize,
+    /// Source cap for exact-BC runs (Table 5's sequential baseline is
+    /// `O(n·m)` per graph).
+    pub max_sources: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { scale: Scale::Small, trials: 3, max_sources: 256 }
+    }
+}
+
+/// All experiment ids, in paper order.
+pub const ALL: &[&str] = &[
+    "table1", "table2", "table3", "table4", "table5", "fig3", "fig5", "fig6", "fig7", "ablation",
+    "scaling", "multigpu",
+];
+
+/// Runs one experiment by id.
+pub fn run(id: &str, cfg: Config) -> Option<String> {
+    Some(match id {
+        "table1" => tables::table(1, cfg),
+        "table2" => tables::table(2, cfg),
+        "table3" => tables::table(3, cfg),
+        "table4" => tables::table4(cfg),
+        "table5" => tables::table5(cfg),
+        "fig3" => figures::fig3(cfg),
+        "fig5" => figures::fig5(cfg),
+        "fig6" => figures::fig6(cfg),
+        "fig7" => figures::fig7(cfg),
+        "ablation" => ablation::run(cfg),
+        "scaling" => figures::scaling(cfg),
+        "multigpu" => figures::multigpu(cfg),
+        _ => return None,
+    })
+}
+
+/// Runs every experiment, concatenated.
+pub fn run_all(cfg: Config) -> String {
+    let mut out = String::new();
+    for id in ALL {
+        out.push_str(&run(id, cfg).unwrap());
+        out.push('\n');
+    }
+    out
+}

@@ -1,0 +1,25 @@
+//! Benchmark harness regenerating every table and figure of the TurboBC
+//! paper (see `DESIGN.md` §6 for the experiment index).
+//!
+//! The `experiments` binary drives it:
+//!
+//! ```text
+//! cargo run -p turbobc-bench --release --bin experiments -- all
+//! cargo run -p turbobc-bench --release --bin experiments -- table1 [--scale small] [--trials 3]
+//! ```
+//!
+//! Every experiment prints the paper's published row next to the
+//! reproduction's measured row. Absolute numbers are expected to differ
+//! (synthetic scaled graphs, CPU instead of a Titan Xp); the *shape* —
+//! which kernel wins where, how speedups trend with depth and size, who
+//! runs out of memory first — is the reproduction target.
+
+#![forbid(unsafe_code)]
+#![allow(clippy::needless_range_loop)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod runner;
+pub mod table;
+
+pub use runner::{measure_row, time_best, Measured};

@@ -1,0 +1,404 @@
+//! Argument parsing and command execution (library-shaped so tests can
+//! drive it without spawning a process).
+
+use std::fmt::Write as _;
+use turbobc::{bc_approx, edge_bc, ApproxOptions, BcOptions, BcSolver, Engine, Kernel};
+use turbobc_graph::families::{self, Scale};
+use turbobc_graph::{bfs, io, Graph, GraphStats};
+
+/// Thin oracle wrapper (kept here so the CLI crate's only oracle
+/// dependency is explicit).
+fn turbobc_baselines_single(g: &Graph, s: u32) -> Vec<f64> {
+    turbobc_baselines::brandes_single_source(g, s)
+}
+
+/// Usage text shown on argument errors.
+pub const USAGE: &str = "\
+usage:
+  turbobc stats   <file> [--format mtx|edges] [--directed]
+  turbobc bc      <file> [--format mtx|edges] [--directed]
+                  [--kernel auto|sccooc|sccsc|vecsc] [--sequential]
+                  [--exact | --samples K | --approx EPSILON] [--top N]
+  turbobc edge-bc <file> [--format mtx|edges] [--directed] [--top N]
+  turbobc closeness <file> [--format mtx|edges] [--directed] [--top N]
+  turbobc gen     <family> [--scale tiny|small|medium|large] [-o FILE]
+  turbobc convert <file> [--format mtx|edges] [--directed] -o FILE
+  turbobc pagerank <file> [--format mtx|edges] [--directed] [--top N]
+  turbobc selftest  (quick oracle-equivalence acceptance run)
+  turbobc list    (catalogued graph families)
+
+input formats: MatrixMarket .mtx (directedness from the header) or a
+whitespace edge list (`--directed` for directed; default undirected).";
+
+struct Parsed {
+    command: String,
+    positional: Vec<String>,
+    flags: std::collections::HashMap<String, String>,
+}
+
+fn parse(args: &[String]) -> Result<Parsed, String> {
+    let mut it = args.iter().peekable();
+    let command = it.next().ok_or("missing command")?.clone();
+    let mut positional = Vec::new();
+    let mut flags = std::collections::HashMap::new();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            let value = match name {
+                // boolean flags
+                "directed" | "exact" | "sequential" => "true".to_string(),
+                _ => it
+                    .next()
+                    .ok_or_else(|| format!("--{name} needs a value"))?
+                    .clone(),
+            };
+            flags.insert(name.to_string(), value);
+        } else if a == "-o" {
+            let value = it.next().ok_or("-o needs a path")?.clone();
+            flags.insert("out".to_string(), value);
+        } else {
+            positional.push(a.clone());
+        }
+    }
+    Ok(Parsed { command, positional, flags })
+}
+
+fn load(p: &Parsed) -> Result<Graph, String> {
+    let path = p.positional.first().ok_or("missing input file")?;
+    let format = p.flags.get("format").map(String::as_str).unwrap_or_else(|| {
+        if path.ends_with(".mtx") {
+            "mtx"
+        } else {
+            "edges"
+        }
+    });
+    match format {
+        "mtx" => io::read_matrix_market_file(path).map_err(|e| e.to_string()),
+        "edges" => {
+            let directed = p.flags.contains_key("directed");
+            io::read_edge_list_file(path, directed, None).map_err(|e| e.to_string())
+        }
+        other => Err(format!("unknown format `{other}`")),
+    }
+}
+
+fn kernel_of(p: &Parsed) -> Result<Kernel, String> {
+    match p.flags.get("kernel").map(String::as_str).unwrap_or("auto") {
+        "auto" => Ok(Kernel::Auto),
+        "sccooc" => Ok(Kernel::ScCooc),
+        "sccsc" => Ok(Kernel::ScCsc),
+        "vecsc" => Ok(Kernel::VeCsc),
+        other => Err(format!("unknown kernel `{other}`")),
+    }
+}
+
+fn top_n(p: &Parsed) -> usize {
+    p.flags.get("top").and_then(|v| v.parse().ok()).unwrap_or(10)
+}
+
+fn stats_report(g: &Graph) -> String {
+    let s = GraphStats::compute(g);
+    let source = g.default_source();
+    let b = bfs(g, source);
+    let mut out = String::new();
+    let _ = writeln!(out, "n = {}, m = {} stored arcs, directed = {}", s.n, s.m, g.directed());
+    let _ = writeln!(
+        out,
+        "degree max/mean/std = {}/{:.2}/{:.2}, scf~ = {:.2}, class = {:?}",
+        s.degree.max, s.degree.mean, s.degree.std, s.scf, s.class()
+    );
+    let _ = writeln!(
+        out,
+        "BFS from hub {}: depth d = {}, reached {} ({:.1}%)",
+        source,
+        b.height,
+        b.reached,
+        100.0 * b.reached as f64 / s.n.max(1) as f64
+    );
+    out
+}
+
+fn rank_report(label: &str, scores: &[f64], top: usize) -> String {
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
+    let mut out = format!("top {} by {label}:\n", top.min(scores.len()));
+    for &v in order.iter().take(top) {
+        let _ = writeln!(out, "  {v:>8}  {:.4}", scores[v]);
+    }
+    out
+}
+
+/// Executes one CLI invocation, returning the report to print.
+pub fn run(args: &[String]) -> Result<String, String> {
+    let p = parse(args)?;
+    match p.command.as_str() {
+        "stats" => {
+            let g = load(&p)?;
+            Ok(stats_report(&g))
+        }
+        "bc" => {
+            let g = load(&p)?;
+            let engine =
+                if p.flags.contains_key("sequential") { Engine::Sequential } else { Engine::Parallel };
+            let options = BcOptions { kernel: kernel_of(&p)?, engine };
+            let top = top_n(&p);
+            let mut out = String::new();
+            if let Some(eps) = p.flags.get("approx") {
+                let epsilon: f64 =
+                    eps.parse().map_err(|_| format!("bad epsilon `{eps}`"))?;
+                let r = bc_approx(
+                    &g,
+                    ApproxOptions { epsilon, bc: options, ..Default::default() },
+                );
+                let _ = writeln!(
+                    out,
+                    "approximate BC: {} sampled sources (epsilon {}, delta {}) in {:.1} ms",
+                    r.samples,
+                    r.epsilon,
+                    r.delta,
+                    r.run.stats.elapsed.as_secs_f64() * 1e3
+                );
+                out.push_str(&rank_report("estimated BC", &r.bc, top));
+            } else {
+                let solver = BcSolver::new(&g, options);
+                let r = if p.flags.contains_key("exact") {
+                    solver.bc_exact()
+                } else if let Some(k) = p.flags.get("samples") {
+                    let k: usize = k.parse().map_err(|_| format!("bad sample count `{k}`"))?;
+                    solver.bc_sampled(k)
+                } else {
+                    solver.bc_single_source(g.default_source())
+                };
+                let _ = writeln!(
+                    out,
+                    "kernel {} over {} source(s), BFS depth <= {}, {:.1} ms",
+                    solver.kernel().name(),
+                    r.stats.sources,
+                    r.stats.max_depth,
+                    r.stats.elapsed.as_secs_f64() * 1e3
+                );
+                out.push_str(&rank_report("BC", &r.bc, top));
+            }
+            Ok(out)
+        }
+        "closeness" => {
+            let g = load(&p)?;
+            let r = turbobc::closeness::closeness_centrality(
+                &g,
+                BcOptions { kernel: kernel_of(&p)?, engine: Engine::Parallel },
+            );
+            let mut out = rank_report("harmonic centrality", &r.harmonic, top_n(&p));
+            out.push_str(&rank_report("closeness (Wasserman-Faust)", &r.closeness, top_n(&p)));
+            Ok(out)
+        }
+        "edge-bc" => {
+            let g = load(&p)?;
+            let r = edge_bc(&g);
+            let mut out = format!(
+                "edge BC over {} sources in {:.1} ms\n",
+                r.stats.sources,
+                r.stats.elapsed.as_secs_f64() * 1e3
+            );
+            for ((u, v), score) in r.top_arcs(top_n(&p)) {
+                let _ = writeln!(out, "  {u:>6} -> {v:<6}  {score:.4}");
+            }
+            Ok(out)
+        }
+        "gen" => {
+            let name = p.positional.first().ok_or("missing family name")?;
+            let scale = match p.flags.get("scale").map(String::as_str).unwrap_or("tiny") {
+                "tiny" => Scale::Tiny,
+                "small" => Scale::Small,
+                "medium" => Scale::Medium,
+                "large" => Scale::Large,
+                other => return Err(format!("unknown scale `{other}`")),
+            };
+            let g = families::generate(name, scale)
+                .ok_or_else(|| format!("unknown family `{name}` (see `turbobc list`)"))?;
+            match p.flags.get("out") {
+                Some(path) => {
+                    let mut f =
+                        std::fs::File::create(path).map_err(|e| e.to_string())?;
+                    io::write_matrix_market(&g, &mut f).map_err(|e| e.to_string())?;
+                    Ok(format!("wrote {} (n = {}, m = {})\n", path, g.n(), g.m()))
+                }
+                None => Ok(stats_report(&g)),
+            }
+        }
+        "convert" => {
+            let g = load(&p)?;
+            let path = p.flags.get("out").ok_or("convert needs -o FILE")?;
+            let mut f = std::fs::File::create(path).map_err(|e| e.to_string())?;
+            if path.ends_with(".mtx") {
+                io::write_matrix_market(&g, &mut f).map_err(|e| e.to_string())?;
+            } else {
+                io::write_edge_list(&g, &mut f).map_err(|e| e.to_string())?;
+            }
+            Ok(format!("wrote {} (n = {}, m = {})\n", path, g.n(), g.m()))
+        }
+        "pagerank" => {
+            let g = load(&p)?;
+            let r = turbobc_sparse::semiring::pagerank(&g.to_csr(), 0.85, 1e-10, 200);
+            Ok(rank_report("PageRank", &r, top_n(&p)))
+        }
+        "selftest" => {
+            use turbobc_graph::gen;
+            let mut out = String::from("selftest: every kernel/engine vs the Brandes oracle\n");
+            let mut failures = 0usize;
+            for (name, g) in [
+                ("undirected smallworld", gen::small_world(120, 3, 0.2, 1)),
+                ("directed gnm", gen::gnm(100, 320, true, 2)),
+                ("disconnected", gen::gnm(80, 60, false, 3)),
+                ("mycielski", gen::mycielski(7)),
+            ] {
+                let s = g.default_source();
+                let want = turbobc_baselines_single(&g, s);
+                for kernel in [Kernel::ScCooc, Kernel::ScCsc, Kernel::VeCsc] {
+                    for engine in [Engine::Sequential, Engine::Parallel] {
+                        let solver = BcSolver::new(&g, BcOptions { kernel, engine });
+                        let r = solver.bc_single_source(s);
+                        let ok = r
+                            .bc
+                            .iter()
+                            .zip(&want)
+                            .all(|(a, b)| (a - b).abs() < 1e-7);
+                        if !ok {
+                            failures += 1;
+                        }
+                        let _ = writeln!(
+                            out,
+                            "  {:<22} {:>7}/{:<10} {}",
+                            name,
+                            kernel.name(),
+                            format!("{engine:?}"),
+                            if ok { "ok" } else { "MISMATCH" }
+                        );
+                    }
+                }
+            }
+            if failures == 0 {
+                out.push_str("all checks passed\n");
+                Ok(out)
+            } else {
+                Err(format!("{failures} selftest checks FAILED\n{out}"))
+            }
+        }
+        "list" => {
+            let mut out = String::from("catalogued families (paper table in parens):\n");
+            for row in families::all_rows() {
+                let _ = writeln!(
+                    out,
+                    "  {:<20} (table {}, best kernel {})",
+                    row.name, row.table, row.kernel
+                );
+            }
+            Ok(out)
+        }
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn temp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("turbobc_cli_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn list_names_all_families() {
+        let out = run(&args(&["list"])).unwrap();
+        assert!(out.contains("mycielskian15"));
+        assert!(out.contains("kmer_V1r"));
+        assert_eq!(out.lines().count(), 34);
+    }
+
+    #[test]
+    fn gen_stats_and_file_output() {
+        let out = run(&args(&["gen", "smallworld"])).unwrap();
+        assert!(out.contains("class = Regular"), "{out}");
+        let path = temp("sw.mtx");
+        let out = run(&args(&["gen", "smallworld", "-o", path.to_str().unwrap()])).unwrap();
+        assert!(out.starts_with("wrote"));
+        let g = io::read_matrix_market_file(&path).unwrap();
+        assert!(!g.directed());
+    }
+
+    #[test]
+    fn bc_pipeline_from_generated_file() {
+        let path = temp("ba.mtx");
+        run(&args(&["gen", "com-Youtube", "-o", path.to_str().unwrap()])).unwrap();
+        let out = run(&args(&["bc", path.to_str().unwrap(), "--top", "3"])).unwrap();
+        assert!(out.contains("kernel scCOOC"), "{out}");
+        assert!(out.lines().count() >= 4);
+        let out = run(&args(&["bc", path.to_str().unwrap(), "--samples", "8"])).unwrap();
+        assert!(out.contains("over 8 source(s)"), "{out}");
+        let out = run(&args(&["bc", path.to_str().unwrap(), "--approx", "0.2"])).unwrap();
+        assert!(out.contains("approximate BC"), "{out}");
+    }
+
+    #[test]
+    fn edge_bc_and_convert_round_trip() {
+        let mtx = temp("roads.mtx");
+        run(&args(&["gen", "luxembourg_osm", "-o", mtx.to_str().unwrap()])).unwrap();
+        let txt = temp("roads.txt");
+        let out = run(&args(&[
+            "convert",
+            mtx.to_str().unwrap(),
+            "-o",
+            txt.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.starts_with("wrote"));
+        let stats =
+            run(&args(&["stats", txt.to_str().unwrap(), "--format", "edges"])).unwrap();
+        assert!(stats.contains("class = Regular"), "{stats}");
+
+        // Edge BC on a tiny star written by hand.
+        let star = temp("star.mtx");
+        let g = Graph::from_edges(5, false, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let mut f = std::fs::File::create(&star).unwrap();
+        io::write_matrix_market(&g, &mut f).unwrap();
+        let out = run(&args(&["edge-bc", star.to_str().unwrap(), "--top", "2"])).unwrap();
+        assert!(out.contains("->"), "{out}");
+    }
+
+    #[test]
+    fn closeness_command() {
+        let path = temp("cl.mtx");
+        run(&args(&["gen", "smallworld", "-o", path.to_str().unwrap()])).unwrap();
+        let out = run(&args(&["closeness", path.to_str().unwrap(), "--top", "3"])).unwrap();
+        assert!(out.contains("harmonic"), "{out}");
+        assert!(out.contains("Wasserman"), "{out}");
+    }
+
+    #[test]
+    fn selftest_passes() {
+        let out = run(&args(&["selftest"])).unwrap();
+        assert!(out.contains("all checks passed"), "{out}");
+        assert!(!out.contains("MISMATCH"));
+    }
+
+    #[test]
+    fn pagerank_command() {
+        let path = temp("pr.mtx");
+        run(&args(&["gen", "com-Youtube", "-o", path.to_str().unwrap()])).unwrap();
+        let out = run(&args(&["pagerank", path.to_str().unwrap(), "--top", "3"])).unwrap();
+        assert!(out.contains("PageRank"), "{out}");
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(run(&args(&["bogus"])).is_err());
+        assert!(run(&args(&["bc"])).is_err());
+        assert!(run(&args(&["gen", "not-a-family"])).is_err());
+        assert!(run(&args(&["bc", "/nonexistent.mtx"])).is_err());
+        assert!(run(&args(&["stats", "/nonexistent.mtx", "--format", "nope"])).is_err());
+    }
+}

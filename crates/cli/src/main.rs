@@ -1,0 +1,30 @@
+//! `turbobc` — command-line betweenness centrality.
+//!
+//! ```text
+//! turbobc stats   graph.mtx
+//! turbobc bc      graph.mtx --top 10 --samples 256
+//! turbobc bc      edges.txt --format edges --directed --exact
+//! turbobc edge-bc graph.mtx --top 10
+//! turbobc gen     mycielskian15 --scale tiny -o standin.mtx
+//! turbobc convert graph.mtx --format edges -o graph.txt
+//! turbobc list
+//! ```
+
+use std::process::ExitCode;
+
+mod cli;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match cli::run(&args) {
+        Ok(report) => {
+            print!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("turbobc: {msg}");
+            eprintln!("{}", cli::USAGE);
+            ExitCode::from(2)
+        }
+    }
+}

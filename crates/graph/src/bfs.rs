@@ -1,0 +1,191 @@
+//! Breadth-first search utilities (reference, queue-based).
+//!
+//! Used to compute the paper's per-graph parameter `d` (the height of the
+//! BFS tree rooted at the source) and as a structural oracle in tests.
+
+use crate::{Graph, VertexId};
+use std::collections::VecDeque;
+use turbobc_sparse::Csr;
+
+/// Result of a breadth-first search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BfsResult {
+    /// Discovery depth per vertex, using the paper's convention: the source
+    /// has depth 1, its neighbours depth 2, …; `0` means unreachable.
+    pub depths: Vec<u32>,
+    /// Height of the BFS tree — the paper's `d` column.
+    pub height: u32,
+    /// Number of vertices reachable from the source (including it).
+    pub reached: usize,
+}
+
+/// Runs a queue-based BFS over out-edges from `source`.
+pub fn bfs(graph: &Graph, source: VertexId) -> BfsResult {
+    bfs_csr(&graph.to_csr(), source)
+}
+
+/// BFS over an already-built CSR adjacency structure.
+pub fn bfs_csr(csr: &Csr, source: VertexId) -> BfsResult {
+    let n = csr.n_rows();
+    let mut depths = vec![0u32; n];
+    if n == 0 {
+        return BfsResult { depths, height: 0, reached: 0 };
+    }
+    let mut queue = VecDeque::new();
+    depths[source as usize] = 1;
+    queue.push_back(source);
+    let mut height = 1;
+    let mut reached = 1;
+    while let Some(u) = queue.pop_front() {
+        let du = depths[u as usize];
+        for &v in csr.row(u as usize) {
+            if depths[v as usize] == 0 {
+                depths[v as usize] = du + 1;
+                height = height.max(du + 1);
+                reached += 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    BfsResult { depths, height, reached }
+}
+
+impl BfsResult {
+    /// Whether vertex `v` was reached.
+    pub fn reached_vertex(&self, v: VertexId) -> bool {
+        self.depths[v as usize] != 0
+    }
+}
+
+/// Weakly-connected component label per vertex (labels are the smallest
+/// vertex id in the component), plus the component count. Treats arcs as
+/// undirected.
+pub fn connected_components(graph: &Graph) -> (Vec<VertexId>, usize) {
+    let n = graph.n();
+    let mut label: Vec<VertexId> = vec![VertexId::MAX; n];
+    if n == 0 {
+        return (label, 0);
+    }
+    // Union via BFS over the symmetrised adjacency.
+    let csr = graph.to_csr();
+    let csc = graph.to_csc();
+    let mut count = 0usize;
+    let mut queue = VecDeque::new();
+    for s in 0..n {
+        if label[s] != VertexId::MAX {
+            continue;
+        }
+        count += 1;
+        label[s] = s as VertexId;
+        queue.push_back(s as VertexId);
+        while let Some(u) = queue.pop_front() {
+            for &v in csr.row(u as usize).iter().chain(csc.column(u as usize)) {
+                if label[v as usize] == VertexId::MAX {
+                    label[v as usize] = s as VertexId;
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+    (label, count)
+}
+
+/// The vertices of the largest weakly-connected component.
+pub fn largest_component(graph: &Graph) -> Vec<VertexId> {
+    let (label, _) = connected_components(graph);
+    let mut sizes: std::collections::HashMap<VertexId, usize> = std::collections::HashMap::new();
+    for &l in &label {
+        if l != VertexId::MAX {
+            *sizes.entry(l).or_insert(0) += 1;
+        }
+    }
+    let Some((&best, _)) = sizes.iter().max_by_key(|(_, &c)| c) else {
+        return Vec::new();
+    };
+    (0..graph.n() as VertexId).filter(|&v| label[v as usize] == best).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_graph_depths() {
+        let g = Graph::from_edges(4, true, &[(0, 1), (1, 2), (2, 3)]);
+        let r = bfs(&g, 0);
+        assert_eq!(r.depths, vec![1, 2, 3, 4]);
+        assert_eq!(r.height, 4);
+        assert_eq!(r.reached, 4);
+    }
+
+    #[test]
+    fn directed_edges_are_one_way() {
+        let g = Graph::from_edges(3, true, &[(0, 1), (2, 1)]);
+        let r = bfs(&g, 0);
+        assert_eq!(r.depths, vec![1, 2, 0]);
+        assert_eq!(r.reached, 2);
+        assert!(!r.reached_vertex(2));
+    }
+
+    #[test]
+    fn undirected_bfs_goes_both_ways() {
+        let g = Graph::from_edges(3, false, &[(1, 0), (1, 2)]);
+        let r = bfs(&g, 0);
+        assert_eq!(r.depths, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn disconnected_component_unreached() {
+        let g = Graph::from_edges(5, false, &[(0, 1), (2, 3), (3, 4)]);
+        let r = bfs(&g, 0);
+        assert_eq!(r.reached, 2);
+        assert_eq!(r.depths[2], 0);
+        assert_eq!(r.height, 2);
+    }
+
+    #[test]
+    fn shortest_depth_wins_over_longer_route() {
+        // 0→1→2→3 and shortcut 0→3.
+        let g = Graph::from_edges(4, true, &[(0, 1), (1, 2), (2, 3), (0, 3)]);
+        let r = bfs(&g, 0);
+        assert_eq!(r.depths[3], 2);
+        assert_eq!(r.height, 3);
+    }
+
+    #[test]
+    fn components_are_labelled_and_counted() {
+        let g = Graph::from_edges(7, false, &[(0, 1), (1, 2), (3, 4), (5, 6)]);
+        let (label, count) = connected_components(&g);
+        assert_eq!(count, 3);
+        assert_eq!(label[0], label[2]);
+        assert_eq!(label[3], label[4]);
+        assert_ne!(label[0], label[3]);
+        let big = largest_component(&g);
+        assert_eq!(big, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn directed_arcs_count_as_weak_links() {
+        let g = Graph::from_edges(4, true, &[(1, 0), (2, 3)]);
+        let (_, count) = connected_components(&g);
+        assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn empty_graph_components() {
+        let g = Graph::from_edges(0, true, &[]);
+        let (label, count) = connected_components(&g);
+        assert!(label.is_empty());
+        assert_eq!(count, 0);
+        assert!(largest_component(&g).is_empty());
+    }
+
+    #[test]
+    fn singleton_source() {
+        let g = Graph::from_edges(1, true, &[]);
+        let r = bfs(&g, 0);
+        assert_eq!(r.depths, vec![1]);
+        assert_eq!(r.height, 1);
+        assert_eq!(r.reached, 1);
+    }
+}

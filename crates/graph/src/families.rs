@@ -1,0 +1,335 @@
+//! Catalog of the paper's 33 benchmark graphs: published parameters and
+//! results (Tables 1–4), and scaled synthetic stand-ins for each.
+//!
+//! Every row of the paper's tables is transcribed here so the benchmark
+//! harness can print *paper vs. measured* side by side, and each graph name
+//! maps to a generator from [`crate::gen`] with parameters chosen to match
+//! the family's structure at a host-appropriate scale.
+
+use crate::{gen, Graph};
+
+/// Instance size knob. The paper's originals range up to 214M vertices /
+/// 1.95B edges; the stand-ins scale linearly from `Small` (seconds per
+/// table on a laptop) in both directions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// ~1/8 of `Small` — used by integration tests.
+    Tiny,
+    /// Default benchmarking size (n ≈ 10⁴ per graph).
+    Small,
+    /// 4× `Small`.
+    Medium,
+    /// 16× `Small` — closest to the paper's originals that is still
+    /// laptop-friendly.
+    Large,
+}
+
+impl Scale {
+    /// Multiplier applied to each family's base vertex count.
+    pub fn factor(self) -> f64 {
+        match self {
+            Scale::Tiny => 0.125,
+            Scale::Small => 1.0,
+            Scale::Medium => 4.0,
+            Scale::Large => 16.0,
+        }
+    }
+
+    /// Additive adjustment for logarithmically-sized families
+    /// (Mycielski index, R-MAT scale).
+    pub fn log2_offset(self) -> i32 {
+        match self {
+            Scale::Tiny => -3,
+            Scale::Small => 0,
+            Scale::Medium => 2,
+            Scale::Large => 4,
+        }
+    }
+}
+
+/// One row of the paper's evaluation tables.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperRow {
+    /// Graph name as printed in the paper.
+    pub name: &'static str,
+    /// Directed (`(D)`) or undirected (`(U)`).
+    pub directed: bool,
+    /// Which table the row appears in (1–4).
+    pub table: u8,
+    /// The TurboBC kernel the paper found fastest for this graph.
+    pub kernel: &'static str,
+    /// Vertices, ×10³ as printed.
+    pub n_thousands: f64,
+    /// Stored non-zeros, ×10³ as printed.
+    pub m_thousands: f64,
+    /// Degree column: max / μ / σ (out-degree for directed graphs).
+    pub deg_max: f64,
+    /// Mean degree.
+    pub deg_mean: f64,
+    /// Degree standard deviation.
+    pub deg_std: f64,
+    /// BFS-tree depth `d`.
+    pub d: u32,
+    /// The paper's `scf` column (units unreproducible from Eq. 5 as
+    /// printed; kept for ordering comparisons).
+    pub scf: f64,
+    /// TurboBC runtime in milliseconds (BC of one vertex).
+    pub runtime_ms: f64,
+    /// Reported MTEPS.
+    pub mteps: f64,
+    /// Speedup over the sequential Algorithm 1.
+    pub speedup_seq: f64,
+    /// Speedup over gunrock (None where gunrock ran out of memory).
+    pub speedup_gunrock: Option<f64>,
+    /// Speedup over ligra.
+    pub speedup_ligra: Option<f64>,
+}
+
+#[allow(clippy::too_many_arguments)] // transcribes a full paper table row
+const fn row(
+    name: &'static str,
+    directed: bool,
+    table: u8,
+    kernel: &'static str,
+    n_thousands: f64,
+    m_thousands: f64,
+    deg: (f64, f64, f64),
+    d: u32,
+    scf: f64,
+    runtime_ms: f64,
+    mteps: f64,
+    sx: f64,
+    gx: Option<f64>,
+    lx: Option<f64>,
+) -> PaperRow {
+    PaperRow {
+        name,
+        directed,
+        table,
+        kernel,
+        n_thousands,
+        m_thousands,
+        deg_max: deg.0,
+        deg_mean: deg.1,
+        deg_std: deg.2,
+        d,
+        scf,
+        runtime_ms,
+        mteps,
+        speedup_seq: sx,
+        speedup_gunrock: gx,
+        speedup_ligra: lx,
+    }
+}
+
+/// Table 1: ten regular graphs where `TurboBC-scCSC` was fastest.
+pub const TABLE1: &[PaperRow] = &[
+    row("mark3jac060sc", true, 1, "scCSC", 28.0, 171.0, (44.0, 6.0, 4.0), 42, 10.0, 2.1, 82.0, 11.5, Some(2.7), Some(2.2)),
+    row("mark3jac080sc", true, 1, "scCSC", 37.0, 228.0, (44.0, 6.0, 4.0), 52, 10.0, 2.8, 82.0, 9.8, Some(2.5), Some(1.5)),
+    row("mark3jac100sc", true, 1, "scCSC", 46.0, 285.0, (44.0, 6.0, 4.0), 62, 10.0, 3.5, 82.0, 11.4, Some(2.4), Some(1.5)),
+    row("mark3jac120sc", true, 1, "scCSC", 55.0, 343.0, (44.0, 6.0, 4.0), 72, 10.0, 4.4, 78.0, 12.9, Some(2.2), Some(1.6)),
+    row("g7jac140sc", true, 1, "scCSC", 42.0, 566.0, (153.0, 14.0, 24.0), 15, 197.0, 1.2, 472.0, 12.5, Some(1.9), Some(2.3)),
+    row("g7jac160sc", true, 1, "scCSC", 47.0, 657.0, (153.0, 14.0, 24.0), 16, 208.0, 1.4, 469.0, 13.3, Some(1.8), Some(2.6)),
+    row("delaunay_n15", false, 1, "scCSC", 33.0, 197.0, (18.0, 6.0, 1.0), 84, 13.0, 4.7, 42.0, 14.4, Some(2.4), Some(1.2)),
+    row("delaunay_n16", false, 1, "scCSC", 66.0, 393.0, (17.0, 6.0, 1.0), 110, 14.0, 7.1, 55.0, 25.3, Some(2.2), Some(1.9)),
+    row("luxembourg_osm", false, 1, "scCSC", 115.0, 239.0, (6.0, 2.0, 0.0), 1035, 2.0, 50.0, 5.0, 24.7, Some(2.3), Some(1.0)),
+    row("internet", true, 1, "scCSC", 125.0, 207.0, (138.0, 2.0, 4.0), 21, 1.0, 1.5, 138.0, 37.8, Some(1.9), Some(2.0)),
+];
+
+/// Table 2: ten regular graphs where `TurboBC-scCOOC` was fastest.
+pub const TABLE2: &[PaperRow] = &[
+    row("g7jac180sc", true, 2, "scCOOC", 53.0, 747.0, (153.0, 14.0, 24.0), 17, 217.0, 1.6, 467.0, 13.9, Some(1.7), Some(1.7)),
+    row("g7jac200sc", true, 2, "scCOOC", 59.0, 838.0, (153.0, 14.0, 25.0), 18, 224.0, 1.7, 493.0, 14.6, Some(1.7), Some(1.8)),
+    row("mark3jac140sc", true, 2, "scCOOC", 64.0, 400.0, (44.0, 6.0, 4.0), 82, 10.0, 5.3, 76.0, 13.2, Some(2.1), Some(1.2)),
+    row("smallworld", false, 2, "scCOOC", 100.0, 1000.0, (17.0, 10.0, 1.0), 9, 61.0, 1.0, 1000.0, 27.6, Some(1.5), Some(1.5)),
+    row("ASIC_100ks", true, 2, "scCOOC", 99.0, 579.0, (206.0, 6.0, 6.0), 33, 3.0, 2.7, 215.0, 25.7, Some(1.6), Some(1.7)),
+    row("ASIC_680ks", true, 2, "scCOOC", 683.0, 2329.0, (210.0, 3.0, 4.0), 31, 2.0, 6.6, 353.0, 43.9, Some(1.0), Some(1.5)),
+    row("com-Youtube", false, 2, "scCOOC", 1135.0, 5975.0, (28754.0, 5.0, 51.0), 14, 8.0, 9.7, 616.0, 48.4, Some(1.0), Some(2.8)),
+    row("mawi_201512012345", false, 2, "scCOOC", 18571.0, 38040.0, (16e6, 2.0, 3806.0), 10, 2.0, 74.8, 509.0, 33.6, Some(1.0), Some(3.6)),
+    row("mawi_201512020000", false, 2, "scCOOC", 35991.0, 74485.0, (33e6, 2.0, 5414.0), 11, 2.0, 143.0, 521.0, 33.9, Some(1.0), Some(3.4)),
+    row("mawi_201512020030", false, 2, "scCOOC", 68863.0, 143415.0, (63e6, 2.0, 7597.0), 12, 2.0, 261.4, 549.0, 32.3, Some(1.0), Some(3.2)),
+];
+
+/// Table 3: nine irregular graphs where `TurboBC-veCSC` was fastest.
+pub const TABLE3: &[PaperRow] = &[
+    row("mycielskian15", false, 3, "veCSC", 25.0, 11111.0, (12287.0, 452.0, 664.0), 3, 41166.0, 1.7, 6536.0, 17.4, Some(1.2), Some(2.3)),
+    row("mycielskian16", false, 3, "veCSC", 49.0, 33383.0, (24575.0, 679.0, 1078.0), 3, 82833.0, 3.4, 9819.0, 26.6, Some(1.5), Some(3.4)),
+    row("mycielskian17", false, 3, "veCSC", 98.0, 100246.0, (49151.0, 1020.0, 1747.0), 3, 166407.0, 7.9, 12689.0, 34.6, Some(1.7), Some(4.4)),
+    row("mycielskian18", false, 3, "veCSC", 197.0, 300934.0, (98303.0, 1531.0, 2817.0), 3, 333199.0, 18.5, 16267.0, 45.8, Some(2.1), Some(5.1)),
+    row("mycielskian19", false, 3, "veCSC", 393.0, 903195.0, (196607.0, 2297.0, 4530.0), 3, 651837.0, 48.9, 18470.0, 53.1, Some(2.7), Some(5.2)),
+    row("kron_g500-logn18", false, 3, "veCSC", 262.0, 21166.0, (49164.0, 81.0, 454.0), 6, 5846.0, 8.7, 2433.0, 31.6, Some(0.9), Some(1.1)),
+    row("kron_g500-logn19", false, 3, "veCSC", 524.0, 43563.0, (80676.0, 83.0, 541.0), 6, 6609.0, 17.4, 2504.0, 44.7, Some(1.0), Some(0.9)),
+    row("kron_g500-logn20", false, 3, "veCSC", 1049.0, 89241.0, (131505.0, 85.0, 641.0), 6, 7410.0, 58.4, 1528.0, 34.0, Some(1.3), Some(1.0)),
+    row("kron_g500-logn21", false, 3, "veCSC", 2097.0, 182084.0, (213906.0, 87.0, 756.0), 6, 8161.0, 193.2, 943.0, 24.5, Some(1.1), Some(1.0)),
+];
+
+/// Table 4: four big graphs for which gunrock's BC ran out of memory
+/// (runtimes in the paper are in seconds; stored here in ms).
+pub const TABLE4: &[PaperRow] = &[
+    row("kmer_V1r", false, 4, "scCSC", 214e3, 465e3, (8.0, 2.0, 1.0), 324, 2.0, 14300.0, 33.0, 94.5, None, Some(0.9)),
+    row("it-2004", true, 4, "scCOOC", 42e3, 1151e3, (9964.0, 28.0, 67.0), 50, 543.0, 3100.0, 371.0, 39.5, None, Some(0.8)),
+    row("GAP-twitter", true, 4, "veCSC", 62e3, 1469e3, (3e6, 24.0, 1990.0), 15, 126.0, 7300.0, 201.0, 50.4, None, Some(0.8)),
+    row("sk-2005", true, 4, "veCSC", 51e3, 1950e3, (12870.0, 39.0, 78.0), 54, 1262.0, 6800.0, 287.0, 30.5, None, Some(0.7)),
+];
+
+/// Table 5: exact (all-sources) BC results. `(name, d, n·m ×10⁶,
+/// runtime s, MTEPS, speedup over sequential)`.
+pub const TABLE5: &[(&str, u32, f64, f64, f64, f64)] = &[
+    ("mark3jac060sc", 42, 4694.0, 49.3, 95.0, 8.2),
+    ("mark3jac080sc", 52, 8345.0, 90.8, 92.0, 9.2),
+    ("g7jac180sc", 17, 39906.0, 105.9, 377.0, 13.4),
+    ("g7jac200sc", 17, 49688.0, 129.7, 383.0, 14.3),
+    ("mycielskian16", 3, 1639081.0, 159.8, 10257.0, 27.5),
+    ("mycielskian17", 3, 9854152.0, 715.2, 13778.0, 38.0),
+];
+
+/// Every table-row in one list.
+pub fn all_rows() -> Vec<PaperRow> {
+    TABLE1.iter().chain(TABLE2).chain(TABLE3).chain(TABLE4).copied().collect()
+}
+
+/// Looks a row up by paper graph name.
+pub fn find(name: &str) -> Option<PaperRow> {
+    all_rows().into_iter().find(|r| r.name == name)
+}
+
+fn scaled(base: usize, scale: Scale) -> usize {
+    ((base as f64 * scale.factor()) as usize).max(64)
+}
+
+/// Generates the synthetic stand-in for a paper graph at the given scale.
+/// Returns `None` for unknown names. Deterministic: the seed is derived
+/// from the graph name.
+///
+/// ```
+/// use turbobc_graph::families::{generate, Scale};
+///
+/// let g = generate("mycielskian15", Scale::Tiny).unwrap();
+/// assert!(!g.directed());
+/// assert!(g.n() > 100);
+/// assert!(generate("no-such-graph", Scale::Tiny).is_none());
+/// ```
+pub fn generate(name: &str, scale: Scale) -> Option<Graph> {
+    let seed = name.bytes().fold(0xcbf29ce484222325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x100000001b3)
+    });
+    let s = scale;
+    let g = match name {
+        // mark3jac family: staged mesh, depth tracks the paper's d.
+        "mark3jac060sc" => gen::markov_mesh(40, scaled(175, s), seed),
+        "mark3jac080sc" => gen::markov_mesh(50, scaled(185, s), seed),
+        "mark3jac100sc" => gen::markov_mesh(60, scaled(190, s), seed),
+        "mark3jac120sc" => gen::markov_mesh(70, scaled(196, s), seed),
+        "mark3jac140sc" => gen::markov_mesh(80, scaled(200, s), seed),
+        // g7jac family: banded + hub columns, shallow.
+        "g7jac140sc" => {
+            let n = scaled(10_000, s);
+            gen::jacobian(n, 7, n / 400, 150, seed)
+        }
+        "g7jac160sc" => {
+            let n = scaled(11_500, s);
+            gen::jacobian(n, 7, n / 400, 150, seed)
+        }
+        "g7jac180sc" => {
+            let n = scaled(13_000, s);
+            gen::jacobian(n, 7, n / 400, 150, seed)
+        }
+        "g7jac200sc" => {
+            let n = scaled(14_500, s);
+            gen::jacobian(n, 7, n / 400, 150, seed)
+        }
+        "delaunay_n15" => gen::delaunay(scaled(8_000, s), seed),
+        "delaunay_n16" => gen::delaunay(scaled(16_000, s), seed),
+        "luxembourg_osm" => {
+            let b = (30.0 * scale.factor().sqrt()) as usize;
+            gen::road_network(b.max(4), b.max(4), 12, seed)
+        }
+        "internet" => gen::internet_topology(scaled(30_000, s), seed),
+        "smallworld" => gen::small_world(scaled(25_000, s), 5, 0.05, seed),
+        "ASIC_100ks" => {
+            let n = scaled(25_000, s);
+            gen::circuit(n, 3, 8, 200, seed)
+        }
+        "ASIC_680ks" => {
+            let n = scaled(80_000, s);
+            gen::circuit(n, 2, 12, 200, seed)
+        }
+        "com-Youtube" => gen::preferential_attachment(scaled(50_000, s), 3, seed),
+        "mawi_201512012345" => gen::mawi_star(scaled(100_000, s), 8, seed),
+        "mawi_201512020000" => gen::mawi_star(scaled(150_000, s), 9, seed),
+        "mawi_201512020030" => gen::mawi_star(scaled(200_000, s), 10, seed),
+        "mycielskian15" => gen::mycielski((11 + s.log2_offset()) as u32),
+        "mycielskian16" => gen::mycielski((12 + s.log2_offset()) as u32),
+        "mycielskian17" => gen::mycielski((13 + s.log2_offset()) as u32),
+        "mycielskian18" => gen::mycielski((14 + s.log2_offset()) as u32),
+        "mycielskian19" => gen::mycielski((15 + s.log2_offset()) as u32),
+        "kron_g500-logn18" => gen::rmat((13 + s.log2_offset()) as u32, 48, seed),
+        "kron_g500-logn19" => gen::rmat((14 + s.log2_offset()) as u32, 48, seed),
+        "kron_g500-logn20" => gen::rmat((15 + s.log2_offset()) as u32, 48, seed),
+        "kron_g500-logn21" => gen::rmat((16 + s.log2_offset()) as u32, 48, seed),
+        "kmer_V1r" => gen::kmer_paths(scaled(300_000, s), 300, seed),
+        "it-2004" => gen::webgraph(scaled(100_000, s), 28, 0.5, seed),
+        "GAP-twitter" => gen::chung_lu(scaled(150_000, s), 24.0, 1.75, seed),
+        "sk-2005" => gen::webgraph(scaled(120_000, s), 39, 0.55, seed),
+        _ => return None,
+    };
+    Some(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphStats;
+
+    #[test]
+    fn catalog_covers_thirty_three_graphs() {
+        assert_eq!(all_rows().len(), 33);
+        assert_eq!(TABLE1.len(), 10);
+        assert_eq!(TABLE2.len(), 10);
+        assert_eq!(TABLE3.len(), 9);
+        assert_eq!(TABLE4.len(), 4);
+        assert_eq!(TABLE5.len(), 6);
+    }
+
+    #[test]
+    fn every_catalog_graph_generates_at_tiny_scale() {
+        for row in all_rows() {
+            let g = generate(row.name, Scale::Tiny)
+                .unwrap_or_else(|| panic!("no generator for {}", row.name));
+            assert!(g.n() >= 32, "{}: n = {}", row.name, g.n());
+            assert!(g.m() > 0, "{}: empty graph", row.name);
+            assert_eq!(g.directed(), row.directed, "{}", row.name);
+        }
+    }
+
+    #[test]
+    fn unknown_name_returns_none() {
+        assert!(generate("definitely-not-a-graph", Scale::Small).is_none());
+        assert!(find("mark3jac060sc").is_some());
+        assert!(find("nope").is_none());
+    }
+
+    #[test]
+    fn scales_are_monotonic() {
+        for &name in &["smallworld", "delaunay_n15", "mycielskian16"] {
+            let tiny = generate(name, Scale::Tiny).unwrap();
+            let small = generate(name, Scale::Small).unwrap();
+            assert!(tiny.n() < small.n(), "{name}: {} !< {}", tiny.n(), small.n());
+        }
+    }
+
+    #[test]
+    fn table3_stand_ins_are_irregular_and_tables12_regular() {
+        use crate::GraphClass;
+        for row in TABLE3 {
+            let g = generate(row.name, Scale::Tiny).unwrap();
+            let s = GraphStats::compute(&g);
+            assert_eq!(s.class(), GraphClass::Irregular, "{}: scf {}", row.name, s.scf);
+        }
+        for name in ["mark3jac060sc", "delaunay_n15", "smallworld", "luxembourg_osm"] {
+            let g = generate(name, Scale::Tiny).unwrap();
+            let s = GraphStats::compute(&g);
+            assert_eq!(s.class(), GraphClass::Regular, "{name}: scf {}", s.scf);
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Circuit-netlist generator (`ASIC_100ks` / `ASIC_680ks` family).
+
+use super::rng;
+use crate::{Graph, VertexId};
+use rand::Rng;
+
+/// Generates an ASIC-style netlist graph: mostly local gate-to-gate wiring
+/// (bounded fan-out), a few global nets — clock/reset trees — whose driver
+/// touches hundreds of sinks (the family's max degree ≈ 206 vs mean ≈ 3–6),
+/// and a shallow-ish but non-trivial BFS depth (`d ≈ 30`).
+///
+/// * `n` — number of cells;
+/// * `fanout` — mean local out-degree;
+/// * `global_nets` — number of high-fanout nets;
+/// * `net_fanout` — sinks per global net.
+pub fn circuit(n: usize, fanout: usize, global_nets: usize, net_fanout: usize, seed: u64) -> Graph {
+    assert!(n >= 8 && fanout >= 1, "circuit needs n >= 8, fanout >= 1");
+    let mut r = rng(seed);
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::with_capacity(n * fanout);
+    for u in 0..n {
+        // Local wiring: mostly forward within a placement window, which
+        // yields moderate BFS depth instead of a random-graph depth of ~log n.
+        let k = 1 + r.gen_range(0..2 * fanout);
+        for _ in 0..k {
+            let window = (n / 24).max(8);
+            let v = if r.gen::<f64>() < 0.9 {
+                let off = 1 + r.gen_range(0..window);
+                (u + off) % n
+            } else {
+                r.gen_range(0..n)
+            };
+            edges.push((u as VertexId, v as VertexId));
+        }
+    }
+    for _ in 0..global_nets {
+        let driver = r.gen_range(0..n) as VertexId;
+        for _ in 0..net_fanout {
+            let sink = r.gen_range(0..n) as VertexId;
+            edges.push((driver, sink));
+        }
+    }
+    Graph::from_edges(n, true, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{bfs, GraphClass, GraphStats};
+
+    #[test]
+    fn degree_profile_matches_family() {
+        let g = circuit(6000, 3, 6, 180, 1);
+        let s = GraphStats::compute(&g);
+        assert!((2.0..8.0).contains(&s.degree.mean), "mean {}", s.degree.mean);
+        assert!(s.degree.max >= 150, "global nets expected, max {}", s.degree.max);
+        assert_eq!(s.class(), GraphClass::Regular, "scf = {}", s.scf);
+    }
+
+    #[test]
+    fn depth_is_moderate() {
+        let g = circuit(6000, 3, 6, 180, 2);
+        let r = bfs(&g, g.default_source());
+        assert!((4..120).contains(&r.height), "depth {}", r.height);
+        assert!(r.reached as f64 > 0.9 * g.n() as f64);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert!(circuit(300, 2, 2, 40, 3).edges().eq(circuit(300, 2, 2, 40, 3).edges()));
+    }
+}

@@ -1,0 +1,335 @@
+//! Delaunay triangulation generator (`delaunay_nXX` family of Table 1).
+//!
+//! The SuiteSparse `delaunay_n15`/`n16` graphs are Delaunay triangulations
+//! of random points in the unit square. This module implements the
+//! Bowyer–Watson incremental algorithm with walking point location and
+//! recursive edge legalisation (flips), inserting points in Morton (Z-curve)
+//! order so that each walk starts near its target — the standard
+//! near-linear-time construction.
+//!
+//! The output matches the family's signature: planar, mean degree ≈ 6
+//! (Euler's formula), max degree ≲ 20, large BFS depth (`O(√n)`).
+
+use super::rng;
+use crate::{Graph, VertexId};
+use rand::Rng;
+
+#[derive(Clone, Copy)]
+struct Point {
+    x: f64,
+    y: f64,
+}
+
+/// A triangle: vertex ids and, for each vertex position `i`, the index of
+/// the neighbouring triangle across the edge *opposite* vertex `i`.
+#[derive(Clone, Copy)]
+struct Tri {
+    v: [usize; 3],
+    nbr: [Option<usize>; 3],
+    alive: bool,
+}
+
+struct Triangulation {
+    pts: Vec<Point>,
+    tris: Vec<Tri>,
+    last: usize,
+}
+
+/// Signed doubled area of triangle `abc` (positive if counter-clockwise).
+fn orient2d(a: Point, b: Point, c: Point) -> f64 {
+    (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x)
+}
+
+/// Positive iff `p` lies strictly inside the circumcircle of ccw `abc`.
+fn in_circle(a: Point, b: Point, c: Point, p: Point) -> f64 {
+    let adx = a.x - p.x;
+    let ady = a.y - p.y;
+    let bdx = b.x - p.x;
+    let bdy = b.y - p.y;
+    let cdx = c.x - p.x;
+    let cdy = c.y - p.y;
+    let ad = adx * adx + ady * ady;
+    let bd = bdx * bdx + bdy * bdy;
+    let cd = cdx * cdx + cdy * cdy;
+    adx * (bdy * cd - bd * cdy) - ady * (bdx * cd - bd * cdx) + ad * (bdx * cdy - bdy * cdx)
+}
+
+impl Triangulation {
+    fn new(pts: Vec<Point>) -> Self {
+        // Super-triangle comfortably containing the unit square.
+        let mut all = pts;
+        let s0 = Point { x: -10.0, y: -10.0 };
+        let s1 = Point { x: 30.0, y: -10.0 };
+        let s2 = Point { x: -10.0, y: 30.0 };
+        let base = all.len();
+        all.extend_from_slice(&[s0, s1, s2]);
+        let tris =
+            vec![Tri { v: [base, base + 1, base + 2], nbr: [None, None, None], alive: true }];
+        Triangulation { pts: all, tris, last: 0 }
+    }
+
+    fn point(&self, v: usize) -> Point {
+        self.pts[v]
+    }
+
+    /// Walks from `self.last` to the triangle containing `p`.
+    fn locate(&self, p: Point) -> usize {
+        let mut t = self.last;
+        if !self.tris[t].alive {
+            t = self.tris.iter().rposition(|tr| tr.alive).expect("live triangle exists");
+        }
+        let mut steps = 0usize;
+        'walk: loop {
+            steps += 1;
+            if steps > self.tris.len() + 3 {
+                // Numerical stalemate: fall back to exhaustive scan.
+                for (i, tr) in self.tris.iter().enumerate() {
+                    if tr.alive && self.contains(i, p) {
+                        return i;
+                    }
+                }
+                return t;
+            }
+            let tr = &self.tris[t];
+            for e in 0..3 {
+                let a = self.point(tr.v[(e + 1) % 3]);
+                let b = self.point(tr.v[(e + 2) % 3]);
+                if orient2d(a, b, p) < 0.0 {
+                    if let Some(nt) = tr.nbr[e] {
+                        t = nt;
+                        continue 'walk;
+                    }
+                }
+            }
+            return t;
+        }
+    }
+
+    fn contains(&self, t: usize, p: Point) -> bool {
+        let tr = &self.tris[t];
+        (0..3).all(|e| {
+            let a = self.point(tr.v[(e + 1) % 3]);
+            let b = self.point(tr.v[(e + 2) % 3]);
+            orient2d(a, b, p) >= 0.0
+        })
+    }
+
+    /// Replaces the neighbour `old` of triangle `t` (if any) with `new`.
+    fn replace_nbr(&mut self, t: Option<usize>, old: usize, new: usize) {
+        if let Some(t) = t {
+            for e in 0..3 {
+                if self.tris[t].nbr[e] == Some(old) {
+                    self.tris[t].nbr[e] = Some(new);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Inserts point id `pi` (already in `self.pts`), splitting its
+    /// containing triangle into three and legalising outward.
+    fn insert(&mut self, pi: usize) {
+        let p = self.point(pi);
+        let t = self.locate(p);
+        let Tri { v, nbr, .. } = self.tris[t];
+        self.tris[t].alive = false;
+
+        let base = self.tris.len();
+        // Child k is (p, v[(k+1)%3], v[(k+2)%3]); opposite p is nbr[k].
+        for k in 0..3 {
+            self.tris.push(Tri {
+                v: [pi, v[(k + 1) % 3], v[(k + 2) % 3]],
+                nbr: [nbr[k], Some(base + (k + 1) % 3), Some(base + (k + 2) % 3)],
+                alive: true,
+            });
+            self.replace_nbr(nbr[k], t, base + k);
+        }
+        self.last = base;
+
+        // Legalise the three outward edges.
+        let mut stack: Vec<usize> = vec![base, base + 1, base + 2];
+        while let Some(t) = stack.pop() {
+            if !self.tris[t].alive {
+                continue;
+            }
+            // In each child/flip product, vertex 0 is the new point `pi`;
+            // the edge to legalise is opposite it.
+            debug_assert_eq!(self.tris[t].v[0], pi);
+            let Some(u) = self.tris[t].nbr[0] else { continue };
+            let tv = self.tris[t].v;
+            let uv = self.tris[u].v;
+            // Find the vertex of `u` not shared with edge (tv[1], tv[2]).
+            let Some(opp_pos) = (0..3).find(|&k| uv[k] != tv[1] && uv[k] != tv[2]) else {
+                continue;
+            };
+            let w = uv[opp_pos];
+            let (a, b, c) = (self.point(tv[0]), self.point(tv[1]), self.point(tv[2]));
+            if in_circle(a, b, c, self.point(w)) > 0.0 {
+                // Flip edge (tv[1], tv[2]) -> (pi, w), producing triangles
+                // (pi, tv[1], w) and (pi, w, tv[2]).
+                let t_nbr = self.tris[t].nbr;
+                let u_nbr = self.tris[u].nbr;
+                // Neighbours of u across its two non-shared edges: the edge
+                // (w, tv[2]) is opposite the uv-position holding tv[1], etc.
+                let u_pos_of = |x: usize| (0..3).find(|&k| uv[k] == x).expect("shared vertex");
+                let nb_u_b = u_nbr[u_pos_of(tv[2])]; // across (w, tv[1])
+                let nb_u_c = u_nbr[u_pos_of(tv[1])]; // across (w, tv[2])
+                self.tris[t].alive = false;
+                self.tris[u].alive = false;
+                let n0 = self.tris.len();
+                // (pi, tv[1], w): edge opposite pi is (tv[1], w) -> nb_u_b.
+                self.tris.push(Tri {
+                    v: [pi, tv[1], w],
+                    nbr: [nb_u_b, Some(n0 + 1), t_nbr[2]],
+                    alive: true,
+                });
+                // (pi, w, tv[2]): edge opposite pi is (w, tv[2]) -> nb_u_c.
+                self.tris.push(Tri {
+                    v: [pi, w, tv[2]],
+                    nbr: [nb_u_c, t_nbr[1], Some(n0)],
+                    alive: true,
+                });
+                self.replace_nbr(nb_u_b, u, n0);
+                self.replace_nbr(t_nbr[2], t, n0);
+                self.replace_nbr(nb_u_c, u, n0 + 1);
+                self.replace_nbr(t_nbr[1], t, n0 + 1);
+                self.last = n0;
+                stack.push(n0);
+                stack.push(n0 + 1);
+            }
+        }
+    }
+}
+
+/// Interleaves the low 16 bits of `x` and `y` (Morton code).
+fn morton(x: u32, y: u32) -> u64 {
+    fn spread(mut v: u64) -> u64 {
+        v &= 0xffff;
+        v = (v | (v << 16)) & 0x0000_ffff_0000_ffff;
+        v = (v | (v << 8)) & 0x00ff_00ff_00ff_00ff;
+        v = (v | (v << 4)) & 0x0f0f_0f0f_0f0f_0f0f;
+        v = (v | (v << 2)) & 0x3333_3333_3333_3333;
+        v = (v | (v << 1)) & 0x5555_5555_5555_5555;
+        v
+    }
+    spread(x as u64) | (spread(y as u64) << 1)
+}
+
+/// Generates the Delaunay triangulation of `n` seeded uniform-random points
+/// in the unit square, as an undirected graph.
+pub fn delaunay(n: usize, seed: u64) -> Graph {
+    if n < 2 {
+        return Graph::from_edges(n, false, &[]);
+    }
+    let mut r = rng(seed);
+    let pts: Vec<Point> =
+        (0..n).map(|_| Point { x: r.gen::<f64>(), y: r.gen::<f64>() }).collect();
+
+    // Insert in Morton order for near-linear walking location.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| {
+        morton((pts[i].x * 65535.0) as u32, (pts[i].y * 65535.0) as u32)
+    });
+
+    let mut tri = Triangulation::new(pts);
+    for &i in &order {
+        tri.insert(i);
+    }
+
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::with_capacity(3 * n);
+    for t in tri.tris.iter().filter(|t| t.alive) {
+        for e in 0..3 {
+            let a = t.v[e];
+            let b = t.v[(e + 1) % 3];
+            if a < n && b < n {
+                edges.push((a as VertexId, b as VertexId));
+            }
+        }
+    }
+    Graph::from_edges(n, false, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{bfs, GraphClass, GraphStats};
+
+    #[test]
+    fn triangle_of_three_points() {
+        let g = delaunay(3, 1);
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 6, "three points triangulate to one triangle");
+    }
+
+    #[test]
+    fn edge_count_matches_euler_bound() {
+        // Planar triangulation: m_undirected <= 3n - 6; for Delaunay of
+        // random points it is close to that bound.
+        for &n in &[50usize, 300, 1000] {
+            let g = delaunay(n, 9);
+            let undirected = g.m() / 2;
+            assert!(undirected <= 3 * n - 6, "n = {n}: {undirected} edges");
+            assert!(undirected >= 2 * n, "n = {n}: suspiciously sparse ({undirected})");
+        }
+    }
+
+    #[test]
+    fn connected_with_mesh_like_depth() {
+        let g = delaunay(2000, 4);
+        let r = bfs(&g, g.default_source());
+        assert_eq!(r.reached, g.n(), "Delaunay triangulations are connected");
+        // sqrt-diameter: for n = 2000 expect depth well above constant and
+        // well below n.
+        assert!(r.height >= 10 && r.height <= 300, "height = {}", r.height);
+    }
+
+    #[test]
+    fn regular_degree_profile() {
+        let g = delaunay(3000, 7);
+        let s = GraphStats::compute(&g);
+        assert!((5.0..7.0).contains(&s.degree.mean), "mean degree {}", s.degree.mean);
+        assert!(s.degree.max <= 25, "max degree {}", s.degree.max);
+        assert_eq!(s.class(), GraphClass::Regular, "scf = {}", s.scf);
+    }
+
+    #[test]
+    fn delaunay_empty_triangle_property_small() {
+        // For a small instance, verify no point lies strictly inside the
+        // circumcircle of any output triangle (the defining property).
+        let n = 40;
+        let mut r = rng(3);
+        let pts: Vec<Point> =
+            (0..n).map(|_| Point { x: r.gen::<f64>(), y: r.gen::<f64>() }).collect();
+        let mut tri = Triangulation::new(pts.clone());
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&i| morton((pts[i].x * 65535.0) as u32, (pts[i].y * 65535.0) as u32));
+        for &i in &order {
+            tri.insert(i);
+        }
+        for t in tri.tris.iter().filter(|t| t.alive) {
+            if t.v.iter().any(|&v| v >= n) {
+                continue; // super-triangle fringe
+            }
+            let (a, b, c) = (tri.point(t.v[0]), tri.point(t.v[1]), tri.point(t.v[2]));
+            // Normalise to ccw for the in_circle sign convention.
+            let (a, b, c) = if orient2d(a, b, c) > 0.0 { (a, b, c) } else { (a, c, b) };
+            for (i, p) in pts.iter().enumerate() {
+                if t.v.contains(&i) {
+                    continue;
+                }
+                assert!(
+                    in_circle(a, b, c, *p) <= 1e-9,
+                    "point {i} inside circumcircle of {:?}",
+                    t.v
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = delaunay(500, 11);
+        let b = delaunay(500, 11);
+        assert!(a.edges().eq(b.edges()));
+    }
+}

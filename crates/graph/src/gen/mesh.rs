@@ -1,0 +1,157 @@
+//! Directed Jacobian-style meshes (the `mark3jac*sc` and `g7jac*sc`
+//! families of Tables 1–2).
+//!
+//! Both SuiteSparse families are Jacobians of economic models: sparse,
+//! directed, near-banded matrices with bounded degree and a BFS depth that
+//! grows linearly with the problem size (mark3jac: `d = 42 … 82` as
+//! `n = 28k … 64k`) or stays shallow with a few denser coupling columns
+//! (g7jac: `d ≈ 15–18`, max degree 153).
+
+use super::rng;
+use crate::{Graph, VertexId};
+use rand::Rng;
+
+/// Generates a `stages × width` directed staged mesh mimicking the
+/// `mark3jacXXXsc` Jacobians: vertex `(s, i)` couples to a small
+/// neighbourhood in its own stage and in stage `s + 1`, plus a sparse
+/// back-edge, giving mean out-degree ≈ 6, max ≈ 40+ and BFS depth ≈
+/// `stages` from a stage-0 source.
+pub fn markov_mesh(stages: usize, width: usize, seed: u64) -> Graph {
+    assert!(stages >= 1 && width >= 2, "markov_mesh needs stages >= 1, width >= 2");
+    let n = stages * width;
+    let mut r = rng(seed);
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::with_capacity(6 * n);
+    let id = |s: usize, i: usize| (s * width + i) as VertexId;
+    for s in 0..stages {
+        for i in 0..width {
+            let u = id(s, i);
+            // Intra-stage band (tridiagonal couplings).
+            if i + 1 < width {
+                edges.push((u, id(s, i + 1)));
+                edges.push((id(s, i + 1), u));
+            }
+            // Intra-stage skip couplings: keep the within-stage diameter
+            // small so the BFS depth tracks the stage count, as in the
+            // real mark3jac family (d ≈ problem stages).
+            if r.gen::<f64>() < 0.2 {
+                let j = r.gen_range(0..width);
+                edges.push((u, id(s, j)));
+                edges.push((id(s, j), u));
+            }
+            // Forward couplings to the next stage: always the aligned
+            // vertex plus 1–3 random neighbours.
+            if s + 1 < stages {
+                edges.push((u, id(s + 1, i)));
+                let extra = 1 + (r.gen::<u32>() % 3) as usize;
+                for _ in 0..extra {
+                    let j = r.gen_range(0..width);
+                    edges.push((u, id(s + 1, j)));
+                }
+            }
+            // Backward coupling (Jacobians are not triangular): dense
+            // enough that the BFS walks one stage per level in both
+            // directions, keeping d ≈ stages as in the real family.
+            if s > 0 && r.gen::<f64>() < 0.6 {
+                let j = r.gen_range(0..width);
+                edges.push((u, id(s - 1, j)));
+            }
+        }
+        // A couple of wider rows per stage (the "sc" scaling leaves a few
+        // denser rows, giving the family's max degree ≈ 44).
+        if width >= 16 {
+            let hub = id(s, r.gen_range(0..width));
+            for _ in 0..(16 + (r.gen::<u32>() % 16) as usize) {
+                let j = r.gen_range(0..width);
+                edges.push((hub, id(s, j)));
+            }
+        }
+    }
+    Graph::from_edges(n, true, &edges)
+}
+
+/// Generates a directed banded matrix with dense coupling columns,
+/// mimicking the `g7jacXXXsc` Jacobians: band half-width `band` gives the
+/// bulk mean degree, and `hubs` vertices get an out-fan of ≈ `hub_fan`
+/// random targets (the family's max degree ≈ 153). BFS depth is
+/// `O(n / (band · hub reach))` — shallow, like the paper's `d = 15–18`.
+pub fn jacobian(n: usize, band: usize, hubs: usize, hub_fan: usize, seed: u64) -> Graph {
+    assert!(n >= 2 && band >= 1, "jacobian needs n >= 2, band >= 1");
+    let mut r = rng(seed);
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::with_capacity(n * (band + 2));
+    for u in 0..n {
+        // Band: couple to the next `band` indices, and sparsely backwards.
+        for k in 1..=band {
+            if u + k < n {
+                edges.push((u as VertexId, (u + k) as VertexId));
+            }
+            if u >= k && r.gen::<f64>() < 0.5 {
+                edges.push((u as VertexId, (u - k) as VertexId));
+            }
+        }
+        // Long-range couplings make the BFS tree shallow.
+        if r.gen::<f64>() < 0.3 {
+            let v = r.gen_range(0..n);
+            edges.push((u as VertexId, v as VertexId));
+        }
+    }
+    for _ in 0..hubs {
+        let h = r.gen_range(0..n) as VertexId;
+        for _ in 0..hub_fan {
+            let v = r.gen_range(0..n) as VertexId;
+            edges.push((h, v));
+        }
+    }
+    Graph::from_edges(n, true, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{bfs, GraphClass, GraphStats};
+
+    #[test]
+    fn markov_mesh_depth_tracks_stages() {
+        let g = markov_mesh(40, 64, 1);
+        assert_eq!(g.n(), 40 * 64);
+        let r = bfs(&g, 0);
+        // Depth should be close to the stage count (+1 for the paper's
+        // source-at-depth-1 convention, ± intra-stage hops).
+        assert!(
+            r.height >= 40 && r.height <= 40 + 66,
+            "height = {} for 40 stages",
+            r.height
+        );
+        assert!(r.reached as f64 >= 0.9 * g.n() as f64);
+    }
+
+    #[test]
+    fn markov_mesh_degree_profile() {
+        let g = markov_mesh(30, 64, 2);
+        let s = GraphStats::compute(&g);
+        assert!((3.0..9.0).contains(&s.degree.mean), "mean {}", s.degree.mean);
+        assert!(s.degree.max >= 16 && s.degree.max <= 64, "max {}", s.degree.max);
+        assert_eq!(s.class(), GraphClass::Regular, "scf = {}", s.scf);
+    }
+
+    #[test]
+    fn jacobian_is_shallow_with_hubs() {
+        let g = jacobian(4000, 7, 12, 120, 3);
+        let s = GraphStats::compute(&g);
+        assert!(s.degree.max >= 100, "hub fan missing: max {}", s.degree.max);
+        let r = bfs(&g, g.default_source());
+        assert!(r.height <= 40, "long-range couplings keep BFS shallow, got {}", r.height);
+        assert!(r.reached as f64 >= 0.9 * g.n() as f64);
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert!(markov_mesh(10, 16, 9).edges().eq(markov_mesh(10, 16, 9).edges()));
+        assert!(jacobian(200, 5, 2, 30, 9).edges().eq(jacobian(200, 5, 2, 30, 9).edges()));
+    }
+
+    #[test]
+    #[should_panic(expected = "stages >= 1")]
+    fn markov_mesh_rejects_degenerate_width() {
+        markov_mesh(3, 1, 0);
+    }
+}

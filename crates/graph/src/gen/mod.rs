@@ -1,0 +1,57 @@
+//! Deterministic synthetic generators for every graph family in the
+//! paper's benchmark (Tables 1–4).
+//!
+//! The paper's 33 graphs come from SuiteSparse/SNAP and are not bundled
+//! here; each *family* is instead generated synthetically with matching
+//! structure (degree shape, diameter class, scale-free class), at sizes
+//! scaled to the host. All generators are seeded and bit-reproducible.
+//!
+//! | family | paper graphs | generator |
+//! |---|---|---|
+//! | Markov-chain Jacobian mesh | mark3jac*sc | [`markov_mesh`] |
+//! | economic-model Jacobian | g7jac*sc | [`jacobian`] |
+//! | Delaunay triangulation | delaunay_n15/16 | [`delaunay`] |
+//! | road network | luxembourg_osm | [`road_network`] |
+//! | AS-level internet | internet topology | [`internet_topology`] |
+//! | Watts–Strogatz | smallworld | [`small_world`] |
+//! | circuit | ASIC_100ks/680ks | [`circuit`] |
+//! | social network | com-Youtube | [`preferential_attachment`] |
+//! | packet trace super-star | mawi_* | [`mawi_star`] |
+//! | Mycielskian | mycielski15–19 | [`mycielski`] |
+//! | Graph500 Kronecker | kron_g500-logn18–21 | [`rmat`] |
+//! | de Bruijn / k-mer | kmer_V1r | [`kmer_paths`] |
+//! | web crawl | it-2004, sk-2005, GAP-twitter | [`webgraph`], [`chung_lu`] |
+//!
+//! Utility generators for tests: [`gnm`], [`grid2d`], [`path`], [`star`],
+//! [`complete`].
+
+mod circuit;
+mod delaunay;
+mod mesh;
+mod mycielski;
+mod powerlaw;
+mod random;
+mod rmat;
+mod road;
+mod smallworld;
+mod trace;
+
+pub use circuit::circuit;
+pub use delaunay::delaunay;
+pub use mesh::{jacobian, markov_mesh};
+pub use mycielski::mycielski;
+pub use powerlaw::{chung_lu, internet_topology, preferential_attachment, webgraph};
+pub use random::{complete, gnm, grid2d, path, star};
+pub use rmat::rmat;
+pub use road::road_network;
+pub use smallworld::small_world;
+pub use trace::{kmer_paths, mawi_star};
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// The RNG used by every randomised generator (fast, seedable,
+/// reproducible across platforms).
+pub(crate) fn rng(seed: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed)
+}

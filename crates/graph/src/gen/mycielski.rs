@@ -1,0 +1,117 @@
+//! The Mycielskian construction (the paper's most irregular family).
+//!
+//! Table 3's `mycielski15 … mycielski19` are SuiteSparse graphs built by
+//! repeatedly applying the Mycielski transformation to `K₂`. Starting from
+//! `M₂ = K₂`, each step maps `Mₖ = (V, E)` with `|V| = n` to `Mₖ₊₁` on
+//! `2n + 1` vertices: a shadow vertex `uᵢ` per original `vᵢ` plus an apex
+//! `w`; edges are `E`, `{uᵢ, vⱼ}` for every `{vᵢ, vⱼ} ∈ E`, and `{uᵢ, w}`
+//! for all `i`. The result is triangle-rich-free growth: chromatic number
+//! increases while the clique number stays 2, degrees spread widely and the
+//! diameter collapses to ~2–4 — exactly the high-`scf`, depth-3 profile the
+//! paper reports.
+
+use crate::{Graph, VertexId};
+
+/// Generates the Mycielski graph `M_k` (so `mycielski(15)` matches the
+/// SuiteSparse `mycielskian15` graph: `n = 3·2^(k-2) − 1`).
+///
+/// # Panics
+/// Panics if `k < 2` or if the result would exceed `u32` vertex ids
+/// (`k > 32`).
+pub fn mycielski(k: u32) -> Graph {
+    assert!((2..=32).contains(&k), "mycielski(k) requires 2 <= k <= 32");
+    // M2 = K2.
+    let mut n: usize = 2;
+    let mut edges: Vec<(VertexId, VertexId)> = vec![(0, 1)];
+    for _ in 2..k {
+        let m = edges.len();
+        let mut next = Vec::with_capacity(3 * m + n);
+        // Original edges.
+        next.extend_from_slice(&edges);
+        // Shadow edges: u_i = n + i, apex w = 2n.
+        for &(a, b) in &edges {
+            next.push((n as VertexId + a, b));
+            next.push((a, n as VertexId + b));
+        }
+        let w = (2 * n) as VertexId;
+        for i in 0..n {
+            next.push((n as VertexId + i as VertexId, w));
+        }
+        n = 2 * n + 1;
+        edges = next;
+    }
+    Graph::from_edges(n, false, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{bfs, GraphClass, GraphStats};
+
+    #[test]
+    fn known_small_mycielskians() {
+        // M3 is the 5-cycle.
+        let m3 = mycielski(3);
+        assert_eq!(m3.n(), 5);
+        assert_eq!(m3.m(), 10);
+        assert!(m3.out_degrees().iter().all(|&d| d == 2));
+        // M4 is the Grötzsch graph: 11 vertices, 20 edges.
+        let m4 = mycielski(4);
+        assert_eq!(m4.n(), 11);
+        assert_eq!(m4.m(), 40);
+    }
+
+    #[test]
+    fn vertex_count_follows_recurrence() {
+        // n_k = 3 · 2^(k-2) − 1.
+        for k in 2..=10u32 {
+            let expected = 3 * (1usize << (k - 2)) - 1;
+            assert_eq!(mycielski(k).n(), expected, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn edge_count_follows_recurrence() {
+        // m_{k+1} = 3 m_k + n_k (undirected edge counts).
+        let mut m = 1usize;
+        let mut n = 2usize;
+        for k in 3..=10u32 {
+            m = 3 * m + n;
+            n = 2 * n + 1;
+            assert_eq!(mycielski(k).m(), 2 * m, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn diameter_is_small_and_graph_connected() {
+        let g = mycielski(8);
+        let r = bfs(&g, g.default_source());
+        assert_eq!(r.reached, g.n(), "Mycielskians are connected");
+        assert!(r.height <= 4, "paper reports BFS depth 3 from a hub");
+    }
+
+    #[test]
+    fn classified_irregular() {
+        let g = mycielski(10);
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.class(), GraphClass::Irregular, "scf = {}", s.scf);
+        assert!(s.degree.max as f64 > 4.0 * s.degree.mean);
+    }
+
+    #[test]
+    fn triangle_free() {
+        // The Mycielski construction preserves triangle-freeness.
+        let g = mycielski(6);
+        let csr = g.to_csr();
+        for u in 0..g.n() {
+            for &v in csr.row(u) {
+                for &w in csr.row(v as usize) {
+                    assert!(
+                        !csr.row(w as usize).contains(&(u as VertexId)) || w == u as VertexId,
+                        "triangle {u}-{v}-{w}"
+                    );
+                }
+            }
+        }
+    }
+}

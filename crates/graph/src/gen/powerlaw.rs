@@ -1,0 +1,244 @@
+//! Power-law generators: social networks, AS-level internet and web
+//! crawls (`com-Youtube`, `internet`, `GAP-twitter`, `it-2004`, `sk-2005`).
+
+use super::rng;
+use crate::{Graph, VertexId};
+use rand::Rng;
+
+/// Barabási–Albert preferential attachment: each new vertex attaches to
+/// `m0` existing vertices chosen proportionally to their current degree
+/// (implemented with the repeated-endpoint trick). Undirected; the family
+/// of `com-Youtube` (mean degree ~2·m0, heavy tail).
+pub fn preferential_attachment(n: usize, m0: usize, seed: u64) -> Graph {
+    assert!(n >= 2 && m0 >= 1, "preferential_attachment needs n >= 2, m0 >= 1");
+    let mut r = rng(seed);
+    // `targets` holds every edge endpoint ever created; sampling uniformly
+    // from it is sampling proportionally to degree.
+    let mut endpoints: Vec<VertexId> = vec![0, 1];
+    let mut edges: Vec<(VertexId, VertexId)> = vec![(0, 1)];
+    for u in 2..n {
+        for _ in 0..m0.min(u) {
+            let t = endpoints[r.gen_range(0..endpoints.len())];
+            edges.push((u as VertexId, t));
+            endpoints.push(u as VertexId);
+            endpoints.push(t);
+        }
+    }
+    Graph::from_edges(n, false, &edges)
+}
+
+/// Chung–Lu model with power-law weights `w_i ∝ (i + i0)^(-1/(γ-1))`
+/// scaled to the requested mean degree; edges are sampled by picking both
+/// endpoints proportionally to weight. Directed (the `GAP-twitter`
+/// profile: a handful of vertices with colossal in/out-degree).
+pub fn chung_lu(n: usize, mean_degree: f64, gamma: f64, seed: u64) -> Graph {
+    assert!(n >= 2 && mean_degree > 0.0 && gamma > 1.0);
+    let mut r = rng(seed);
+    let exp = -1.0 / (gamma - 1.0);
+    let weights: Vec<f64> = (0..n).map(|i| ((i + 1) as f64).powf(exp)).collect();
+    // Cumulative distribution for weighted sampling.
+    let mut cdf = Vec::with_capacity(n);
+    let mut acc = 0.0;
+    for &w in &weights {
+        acc += w;
+        cdf.push(acc);
+    }
+    let total = acc;
+    let m = (mean_degree * n as f64) as usize;
+    let sample = |r: &mut rand_chacha::ChaCha8Rng| -> VertexId {
+        let x = r.gen::<f64>() * total;
+        cdf.partition_point(|&c| c < x).min(n - 1) as VertexId
+    };
+    let mut edges = Vec::with_capacity(m);
+    // The lowest-weight 15% of vertices form peripheral follow-chains
+    // instead of core edges — real social graphs have long, thin
+    // tendrils that set their BFS depth (`d = 15` for GAP-twitter even
+    // though the dense core has diameter ~4).
+    let core = n - n * 15 / 100;
+    for _ in 0..m {
+        let u = sample(&mut r);
+        let v = sample(&mut r);
+        if (u as usize) < core && (v as usize) < core {
+            edges.push((u, v));
+        }
+    }
+    let chain_len = 11;
+    let mut prev: Option<VertexId> = None;
+    for (i, u) in (core..n).enumerate() {
+        let u = u as VertexId;
+        match prev {
+            Some(p) if i % chain_len != 0 => {
+                edges.push((u, p));
+                edges.push((p, u));
+            }
+            _ => {
+                // Chain head follows (and is followed back by) a core user.
+                let anchor = sample(&mut r).min(core as VertexId - 1);
+                edges.push((u, anchor));
+                edges.push((anchor, u));
+            }
+        }
+        prev = Some(u);
+    }
+    Graph::from_edges(n, true, &edges)
+}
+
+/// AS-level internet topology: a preferential-attachment *tree* (each new
+/// AS buys transit from one provider chosen by degree) plus a sparse set
+/// of peering links. Directed, mean degree ≈ 2, one huge transit hub, BFS
+/// depth ~20 — the Table 1 `internet` profile.
+pub fn internet_topology(n: usize, seed: u64) -> Graph {
+    assert!(n >= 2);
+    let mut r = rng(seed);
+    let mut endpoints: Vec<VertexId> = vec![0];
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::with_capacity(2 * n);
+    for u in 1..n {
+        // Provider link, attached preferentially but damped (degree^~0.7)
+        // by mixing uniform choice in: this deepens the tree to d ≈ 20
+        // instead of d ≈ 3.
+        let provider = if r.gen::<f64>() < 0.5 {
+            endpoints[r.gen_range(0..endpoints.len())]
+        } else {
+            r.gen_range(0..u) as VertexId
+        };
+        // Customer→provider and provider→customer route announcements.
+        edges.push((u as VertexId, provider));
+        edges.push((provider, u as VertexId));
+        endpoints.push(provider);
+        endpoints.push(u as VertexId);
+        // Occasional peering link (one-way announcement).
+        if r.gen::<f64>() < 0.1 && u > 2 {
+            let peer = r.gen_range(0..u) as VertexId;
+            edges.push((u as VertexId, peer));
+        }
+    }
+    Graph::from_edges(n, true, &edges)
+}
+
+/// Web-crawl copying model (`it-2004` / `sk-2005` profile). Pages are
+/// grouped into *hosts*; each page either copies the out-links of an
+/// earlier page on its host (probability `copy_p` — this is what makes
+/// in-degree power-law) or links within its host, with a minority of
+/// links crossing to pages in a nearby window of hosts. Cross-host
+/// locality is what gives real crawls their characteristic BFS depth
+/// (`d ≈ 50` for it-2004/sk-2005): the frontier must walk the host
+/// neighbourhood structure. Directed, mean out-degree ≈ `out_deg`.
+pub fn webgraph(n: usize, out_deg: usize, copy_p: f64, seed: u64) -> Graph {
+    assert!(n >= 2 && out_deg >= 1);
+    let mut r = rng(seed);
+    const HOST_SIZE: usize = 192;
+    let hosts = n.div_ceil(HOST_SIZE).max(1);
+    // Cross-links reach ± this many hosts; sized so the host graph's
+    // diameter (≈ hosts / window) lands near the family's d ≈ 50.
+    let window = (hosts / 50).max(2);
+    let host_of = |u: usize| u / HOST_SIZE;
+    let host_page = |r: &mut rand_chacha::ChaCha8Rng, h: usize| -> usize {
+        let lo = h * HOST_SIZE;
+        let hi = ((h + 1) * HOST_SIZE).min(n);
+        lo + r.gen_range(0..hi - lo)
+    };
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::with_capacity(n * out_deg);
+    let mut out_lists: Vec<Vec<VertexId>> = vec![vec![]; n];
+    for u in 1..n {
+        let h = host_of(u);
+        let mut links: Vec<VertexId> = Vec::with_capacity(out_deg);
+        // Template copying from an earlier page of the same host.
+        let host_lo = h * HOST_SIZE;
+        if u > host_lo && r.gen::<f64>() < copy_p {
+            let template = host_lo + r.gen_range(0..u - host_lo);
+            links.extend(out_lists[template].iter().copied());
+        }
+        // A few index/directory pages fan out to a large share of their
+        // neighbourhood (the family's max out-degree is ~350x the mean).
+        let fan = if r.gen::<f64>() < 0.003 { out_deg * 40 } else { out_deg };
+        while links.len() < fan {
+            let v = if r.gen::<f64>() < 0.8 {
+                // Intra-host link.
+                host_page(&mut r, h)
+            } else {
+                // Cross-host link within the locality window.
+                let lo = h.saturating_sub(window);
+                let hi = (h + window).min(hosts - 1);
+                let target_host = r.gen_range(lo..=hi);
+                host_page(&mut r, target_host)
+            };
+            if v != u {
+                links.push(v as VertexId);
+            }
+        }
+        links.truncate(fan + fan / 2);
+        for &v in &links {
+            edges.push((u as VertexId, v));
+        }
+        out_lists[u] = links;
+    }
+    Graph::from_edges(n, true, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{bfs, GraphStats};
+
+    #[test]
+    fn ba_has_heavy_tail() {
+        let g = preferential_attachment(4000, 3, 1);
+        let s = GraphStats::compute(&g);
+        assert!((5.0..7.0).contains(&s.degree.mean), "mean {}", s.degree.mean);
+        assert!(s.degree.max > 50, "hubs expected, max {}", s.degree.max);
+        let r = bfs(&g, g.default_source());
+        assert_eq!(r.reached, g.n(), "BA graphs are connected");
+        assert!(r.height <= 10);
+    }
+
+    #[test]
+    fn chung_lu_twitter_profile() {
+        let g = chung_lu(4000, 20.0, 1.8, 2);
+        let s = GraphStats::compute(&g);
+        assert!(
+            s.degree.max as f64 > 50.0 * s.degree.mean,
+            "extreme hubs expected: max {} mean {}",
+            s.degree.max,
+            s.degree.mean
+        );
+        assert!(s.scf > 5.0, "hub-to-hub wiring inflates scf, got {}", s.scf);
+    }
+
+    #[test]
+    fn internet_profile() {
+        let g = internet_topology(6000, 3);
+        let s = GraphStats::compute(&g);
+        assert!((1.5..3.0).contains(&s.degree.mean), "mean {}", s.degree.mean);
+        assert!(s.degree.max > 40, "transit hub expected, max {}", s.degree.max);
+        let r = bfs(&g, g.default_source());
+        assert_eq!(r.reached, g.n(), "provider tree connects everything");
+        assert!((5..40).contains(&r.height), "depth {}", r.height);
+    }
+
+    #[test]
+    fn webgraph_profile() {
+        let g = webgraph(12_000, 10, 0.5, 4);
+        let s = GraphStats::compute(&g);
+        assert!((6.0..16.0).contains(&s.degree.mean), "mean out-degree {}", s.degree.mean);
+        assert!(
+            s.degree.max as f64 > 10.0 * s.degree.mean,
+            "index pages give a fat out-degree tail: max {} mean {}",
+            s.degree.max,
+            s.degree.mean
+        );
+        // Host-window locality gives the family's deep BFS.
+        let r = bfs(&g, g.default_source());
+        assert!((8..80).contains(&r.height), "depth {}", r.height);
+        assert!(r.reached as f64 > 0.5 * g.n() as f64, "reached {}", r.reached);
+    }
+
+    #[test]
+    fn all_deterministic() {
+        assert!(preferential_attachment(500, 2, 9)
+            .edges()
+            .eq(preferential_attachment(500, 2, 9).edges()));
+        assert!(chung_lu(500, 5.0, 2.1, 9).edges().eq(chung_lu(500, 5.0, 2.1, 9).edges()));
+        assert!(internet_topology(500, 9).edges().eq(internet_topology(500, 9).edges()));
+        assert!(webgraph(500, 5, 0.4, 9).edges().eq(webgraph(500, 5, 0.4, 9).edges()));
+    }
+}

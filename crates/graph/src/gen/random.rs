@@ -1,0 +1,124 @@
+//! Elementary generators used across tests and as building blocks.
+
+use super::rng;
+use crate::{Graph, VertexId};
+use rand::Rng;
+
+/// Erdős–Rényi `G(n, m)`: `m` edges sampled uniformly (duplicates and
+/// loops discarded by graph normalisation, so the final arc count can be
+/// slightly below the request).
+pub fn gnm(n: usize, m: usize, directed: bool, seed: u64) -> Graph {
+    let mut r = rng(seed);
+    let mut edges = Vec::with_capacity(m);
+    if n >= 2 {
+        for _ in 0..m {
+            let u = r.gen_range(0..n) as VertexId;
+            let v = r.gen_range(0..n) as VertexId;
+            edges.push((u, v));
+        }
+    }
+    Graph::from_edges(n, directed, &edges)
+}
+
+/// A `nx × ny` 4-connected grid (undirected). Vertex `(i, j)` has index
+/// `i * ny + j`.
+pub fn grid2d(nx: usize, ny: usize) -> Graph {
+    let mut edges = Vec::with_capacity(2 * nx * ny);
+    for i in 0..nx {
+        for j in 0..ny {
+            let v = (i * ny + j) as VertexId;
+            if j + 1 < ny {
+                edges.push((v, v + 1));
+            }
+            if i + 1 < nx {
+                edges.push((v, v + ny as VertexId));
+            }
+        }
+    }
+    Graph::from_edges(nx * ny, false, &edges)
+}
+
+/// A simple path `0 – 1 – … – (n-1)`.
+pub fn path(n: usize, directed: bool) -> Graph {
+    let edges: Vec<_> = (1..n).map(|v| ((v - 1) as VertexId, v as VertexId)).collect();
+    Graph::from_edges(n, directed, &edges)
+}
+
+/// A star `K_{1, n-1}` centred on vertex 0 (undirected).
+pub fn star(n: usize) -> Graph {
+    let edges: Vec<_> = (1..n).map(|v| (0 as VertexId, v as VertexId)).collect();
+    Graph::from_edges(n, false, &edges)
+}
+
+/// The complete graph `K_n` (undirected).
+pub fn complete(n: usize) -> Graph {
+    let mut edges = Vec::with_capacity(n * (n - 1) / 2);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            edges.push((u as VertexId, v as VertexId));
+        }
+    }
+    Graph::from_edges(n, false, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs;
+
+    #[test]
+    fn gnm_is_deterministic() {
+        let a = gnm(50, 200, true, 7);
+        let b = gnm(50, 200, true, 7);
+        assert_eq!(a.m(), b.m());
+        let ea: Vec<_> = a.edges().collect();
+        let eb: Vec<_> = b.edges().collect();
+        assert_eq!(ea, eb);
+    }
+
+    #[test]
+    fn gnm_differs_across_seeds() {
+        let a = gnm(50, 200, true, 1);
+        let b = gnm(50, 200, true, 2);
+        let ea: Vec<_> = a.edges().collect();
+        let eb: Vec<_> = b.edges().collect();
+        assert_ne!(ea, eb);
+    }
+
+    #[test]
+    fn grid_structure() {
+        let g = grid2d(3, 4);
+        assert_eq!(g.n(), 12);
+        // 2·(3·3 + 2·4) arcs: 3 rows × 3 horizontal + 2×4 vertical edges.
+        assert_eq!(g.m(), 2 * (3 * 3 + 2 * 4));
+        let r = bfs(&g, 0);
+        assert_eq!(r.reached, 12);
+        assert_eq!(r.height, 1 + (3 - 1) + (4 - 1));
+    }
+
+    #[test]
+    fn path_has_full_diameter() {
+        let g = path(10, false);
+        assert_eq!(bfs(&g, 0).height, 10);
+        let d = path(10, true);
+        assert_eq!(bfs(&d, 9).reached, 1, "directed path only goes forward");
+    }
+
+    #[test]
+    fn star_and_complete_shapes() {
+        let s = star(9);
+        assert_eq!(s.out_degrees()[0], 8);
+        assert_eq!(bfs(&s, 3).height, 3);
+        let k = complete(6);
+        assert_eq!(k.m(), 6 * 5);
+        assert_eq!(bfs(&k, 0).height, 2);
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        assert_eq!(gnm(0, 10, true, 1).m(), 0);
+        assert_eq!(gnm(1, 10, false, 1).m(), 0);
+        assert_eq!(path(1, true).n(), 1);
+        assert_eq!(grid2d(1, 1).m(), 0);
+    }
+}

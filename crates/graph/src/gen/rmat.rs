@@ -1,0 +1,106 @@
+//! R-MAT / Kronecker generator (Graph500 style) for the `kron_g500-lognXX`
+//! family of Table 3.
+
+use super::rng;
+use crate::{Graph, VertexId};
+use rand::Rng;
+
+/// Generates an undirected R-MAT graph with `n = 2^scale` vertices and
+/// `edge_factor · n` sampled edges, using the Graph500 partition
+/// probabilities `(a, b, c, d) = (0.57, 0.19, 0.19, 0.05)`.
+///
+/// Duplicate edges and self-loops are discarded by graph normalisation, so
+/// (as with the real `kron_g500` matrices) the stored non-zero count is
+/// somewhat below `2 · edge_factor · n`. The resulting degree distribution
+/// is heavily skewed — the paper's prototypical *irregular* input along
+/// with the Mycielskians.
+pub fn rmat(scale: u32, edge_factor: usize, seed: u64) -> Graph {
+    rmat_with_probs(scale, edge_factor, 0.57, 0.19, 0.19, seed)
+}
+
+/// R-MAT with explicit partition probabilities `a`, `b`, `c`
+/// (`d = 1 − a − b − c`).
+pub fn rmat_with_probs(
+    scale: u32,
+    edge_factor: usize,
+    a: f64,
+    b: f64,
+    c: f64,
+    seed: u64,
+) -> Graph {
+    assert!(scale <= 30, "scale > 30 would overflow the workspace index type");
+    assert!(a + b + c <= 1.0 + 1e-9, "probabilities must sum to at most 1");
+    let n = 1usize << scale;
+    let m = edge_factor * n;
+    let mut r = rng(seed);
+    let mut edges = Vec::with_capacity(m);
+    for _ in 0..m {
+        let mut u = 0usize;
+        let mut v = 0usize;
+        for _ in 0..scale {
+            let x: f64 = r.gen();
+            let (du, dv) = if x < a {
+                (0, 0)
+            } else if x < a + b {
+                (0, 1)
+            } else if x < a + b + c {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            u = (u << 1) | du;
+            v = (v << 1) | dv;
+        }
+        edges.push((u as VertexId, v as VertexId));
+    }
+    Graph::from_edges(n, false, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GraphClass, GraphStats};
+
+    #[test]
+    fn size_is_power_of_two() {
+        let g = rmat(8, 8, 42);
+        assert_eq!(g.n(), 256);
+        assert!(g.m() > 0);
+        assert!(g.m() <= 2 * 8 * 256);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = rmat(8, 8, 5);
+        let b = rmat(8, 8, 5);
+        assert_eq!(a.m(), b.m());
+        assert!(a.edges().eq(b.edges()));
+    }
+
+    #[test]
+    fn skewed_degree_distribution() {
+        let g = rmat(12, 48, 1);
+        let s = GraphStats::compute(&g);
+        assert!(
+            s.degree.max as f64 > 8.0 * s.degree.mean,
+            "R-MAT must be hub-heavy: max {} mean {}",
+            s.degree.max,
+            s.degree.mean
+        );
+        assert_eq!(s.class(), GraphClass::Irregular, "scf = {}", s.scf);
+    }
+
+    #[test]
+    fn uniform_probs_degenerate_to_erdos_renyi_like() {
+        let g = rmat_with_probs(10, 8, 0.25, 0.25, 0.25, 3);
+        let s = GraphStats::compute(&g);
+        // With uniform quadrant probabilities the graph loses its hubs.
+        assert!(s.degree.max < 40, "max degree {}", s.degree.max);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale > 30")]
+    fn rejects_huge_scale() {
+        rmat(31, 1, 0);
+    }
+}

@@ -1,0 +1,96 @@
+//! Road-network generator (Table 1's `luxembourg_osm` family).
+//!
+//! OSM road graphs are planar, almost everywhere degree 2 (road segments
+//! are polylines of many intermediate vertices), with junction vertices of
+//! degree 3–6 and an enormous BFS depth (`d = 1035` for Luxembourg). The
+//! generator builds a sparsified planar junction grid and subdivides every
+//! road into a chain of segment vertices.
+
+use super::rng;
+use crate::{Graph, VertexId};
+use rand::Rng;
+
+/// Generates a road network: a `bx × by` grid of junctions whose edges are
+/// kept with probability 0.85 (dead ends and irregular blocks), each kept
+/// road subdivided into `subdiv` intermediate degree-2 vertices.
+///
+/// Mean degree lands just above 2 and BFS depth scales with
+/// `(bx + by) · subdiv`, matching the family profile.
+pub fn road_network(bx: usize, by: usize, subdiv: usize, seed: u64) -> Graph {
+    assert!(bx >= 2 && by >= 2, "road_network needs a grid of at least 2×2 junctions");
+    let mut r = rng(seed);
+    let junctions = bx * by;
+    // First junctions, then chain vertices appended on demand.
+    let mut next_vertex = junctions;
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    let id = |i: usize, j: usize| i * by + j;
+
+    let mut road = |edges: &mut Vec<(usize, usize)>, a: usize, b: usize, segs: usize| {
+        let mut prev = a;
+        for _ in 0..segs {
+            let mid = next_vertex;
+            next_vertex += 1;
+            edges.push((prev, mid));
+            prev = mid;
+        }
+        edges.push((prev, b));
+    };
+
+    for i in 0..bx {
+        for j in 0..by {
+            let keep_h = r.gen::<f64>() < 0.85;
+            let keep_v = r.gen::<f64>() < 0.85;
+            let segs = 1 + (r.gen::<u32>() as usize % (2 * subdiv.max(1)));
+            if j + 1 < by && keep_h {
+                road(&mut edges, id(i, j), id(i, j + 1), segs);
+            }
+            if i + 1 < bx && keep_v {
+                road(&mut edges, id(i, j), id(i + 1, j), segs);
+            }
+        }
+    }
+    let n = next_vertex;
+    let edges: Vec<(VertexId, VertexId)> =
+        edges.into_iter().map(|(a, b)| (a as VertexId, b as VertexId)).collect();
+    Graph::from_edges(n, false, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{bfs, GraphClass, GraphStats};
+
+    #[test]
+    fn mostly_degree_two() {
+        let g = road_network(12, 12, 8, 1);
+        let s = GraphStats::compute(&g);
+        assert!((2.0..2.6).contains(&s.degree.mean), "mean {}", s.degree.mean);
+        assert!(s.degree.max <= 8, "junctions cap at degree 4 + slack, got {}", s.degree.max);
+        assert_eq!(s.class(), GraphClass::Regular);
+    }
+
+    #[test]
+    fn deep_bfs_tree() {
+        let g = road_network(10, 10, 10, 2);
+        let r = bfs(&g, 0);
+        // Crossing the grid costs ~(bx+by)·subdiv hops.
+        assert!(r.height > 60, "road networks are deep, got {}", r.height);
+    }
+
+    #[test]
+    fn most_vertices_in_one_component() {
+        let g = road_network(14, 14, 6, 3);
+        let r = bfs(&g, g.default_source());
+        assert!(
+            r.reached as f64 > 0.6 * g.n() as f64,
+            "reached only {} of {}",
+            r.reached,
+            g.n()
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        assert!(road_network(6, 6, 4, 7).edges().eq(road_network(6, 6, 4, 7).edges()));
+    }
+}

@@ -1,0 +1,82 @@
+//! Watts–Strogatz small-world generator (Table 2's `smallworld` graph).
+
+use super::rng;
+use crate::{Graph, VertexId};
+use rand::Rng;
+
+/// Generates a Watts–Strogatz small-world graph: a ring lattice on `n`
+/// vertices where each vertex connects to its `k` nearest neighbours on
+/// each side, with every edge rewired to a random target with probability
+/// `p`.
+///
+/// The SuiteSparse `smallworld` graph (n = 100k, mean degree 10, BFS depth
+/// 9) corresponds to `k = 5` and a small `p`.
+pub fn small_world(n: usize, k: usize, p: f64, seed: u64) -> Graph {
+    assert!(n > 2 * k, "ring lattice needs n > 2k");
+    assert!((0.0..=1.0).contains(&p), "rewiring probability must be in [0, 1]");
+    let mut r = rng(seed);
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::with_capacity(n * k);
+    for u in 0..n {
+        for j in 1..=k {
+            let mut v = (u + j) % n;
+            if r.gen::<f64>() < p {
+                // Rewire to a uniform non-self target.
+                v = loop {
+                    let cand = r.gen_range(0..n);
+                    if cand != u {
+                        break cand;
+                    }
+                };
+            }
+            edges.push((u as VertexId, v as VertexId));
+        }
+    }
+    Graph::from_edges(n, false, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{bfs, GraphClass, GraphStats};
+
+    #[test]
+    fn unrewired_lattice_is_regular() {
+        let g = small_world(100, 3, 0.0, 1);
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.degree.max, 6);
+        assert_eq!(s.degree.mean, 6.0);
+        assert_eq!(s.degree.std, 0.0);
+    }
+
+    #[test]
+    fn rewiring_shrinks_diameter() {
+        let lattice = small_world(2000, 5, 0.0, 2);
+        let rewired = small_world(2000, 5, 0.1, 2);
+        let dl = bfs(&lattice, 0).height;
+        let dr = bfs(&rewired, 0).height;
+        assert!(dr < dl / 4, "lattice depth {dl}, rewired depth {dr}");
+    }
+
+    #[test]
+    fn smallworld_profile_matches_paper_family() {
+        let g = small_world(4000, 5, 0.05, 3);
+        let s = GraphStats::compute(&g);
+        assert!((9.0..11.0).contains(&s.degree.mean), "mean {}", s.degree.mean);
+        assert!(s.degree.max <= 22, "max {}", s.degree.max);
+        assert_eq!(s.class(), GraphClass::Regular);
+        let r = bfs(&g, g.default_source());
+        assert_eq!(r.reached, g.n());
+        assert!(r.height <= 16, "small worlds are shallow, got {}", r.height);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert!(small_world(300, 4, 0.2, 5).edges().eq(small_world(300, 4, 0.2, 5).edges()));
+    }
+
+    #[test]
+    #[should_panic(expected = "n > 2k")]
+    fn rejects_too_dense_lattice() {
+        small_world(6, 3, 0.0, 0);
+    }
+}

@@ -1,0 +1,112 @@
+//! Packet-trace and k-mer generators (`mawi_*` and `kmer_V1r` families).
+
+use super::rng;
+use crate::{Graph, VertexId};
+use rand::Rng;
+
+/// MAWI packet-trace profile: an *extreme* super-star. One monitored
+/// backbone endpoint talks to the overwhelming majority of hosts (degree
+/// ≈ 0.85 n), a handful of second-tier hubs chained below it pick up the
+/// rest, and leaves have degree 1–2. Mean degree ≈ 2, BFS depth ≈
+/// `tiers + 2` (the paper's `d = 10–12`).
+pub fn mawi_star(n: usize, tiers: usize, seed: u64) -> Graph {
+    assert!(n >= 16 && tiers >= 1, "mawi_star needs n >= 16, tiers >= 1");
+    let mut r = rng(seed);
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::with_capacity(n);
+    // Vertices 0..=tiers form the backbone chain; the rest are hosts.
+    for t in 0..tiers {
+        edges.push((t as VertexId, (t + 1) as VertexId));
+    }
+    let hosts = (tiers + 1)..n;
+    for h in hosts {
+        // 85% of hosts hang off the root; the rest spread over the chain,
+        // thinning geometrically.
+        let hub = if r.gen::<f64>() < 0.85 {
+            0
+        } else {
+            let mut t = 1;
+            while t < tiers && r.gen::<f64>() < 0.5 {
+                t += 1;
+            }
+            t
+        };
+        edges.push((hub as VertexId, h as VertexId));
+        // A little peer-to-peer chatter between adjacent host ids.
+        if r.gen::<f64>() < 0.05 && h + 1 < n {
+            edges.push((h as VertexId, (h + 1) as VertexId));
+        }
+    }
+    Graph::from_edges(n, false, &edges)
+}
+
+/// k-mer / de Bruijn profile (`kmer_V1r`): overlapping reads form long
+/// near-paths with rare branches. The generator lays out `n` vertices as
+/// `n / chain_len` chains, adds a branch with probability 0.02 per vertex
+/// (degree cap ~8) and stitches chains together sparsely so most of the
+/// graph is one deep component (the paper's `d = 324` at 214M vertices).
+pub fn kmer_paths(n: usize, chain_len: usize, seed: u64) -> Graph {
+    assert!(n >= 4 && chain_len >= 2, "kmer_paths needs n >= 4, chain_len >= 2");
+    let mut r = rng(seed);
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::with_capacity(n + n / 8);
+    for u in 0..n - 1 {
+        let end_of_chain = (u + 1) % chain_len == 0;
+        if !end_of_chain {
+            edges.push((u as VertexId, (u + 1) as VertexId));
+        } else {
+            // Stitch this chain's end to a random vertex of an earlier
+            // chain, so the component stays connected but deep.
+            let t = r.gen_range(0..=u) as VertexId;
+            edges.push((u as VertexId, t));
+        }
+        // Rare branching (repeat k-mers).
+        if r.gen::<f64>() < 0.02 {
+            let t = r.gen_range(0..n) as VertexId;
+            edges.push((u as VertexId, t));
+        }
+    }
+    Graph::from_edges(n, false, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{bfs, GraphStats};
+
+    #[test]
+    fn mawi_has_one_colossal_hub() {
+        let g = mawi_star(5000, 8, 1);
+        let s = GraphStats::compute(&g);
+        assert!(
+            s.degree.max as usize > g.n() / 2,
+            "root should touch most hosts, max {}",
+            s.degree.max
+        );
+        assert!((1.8..2.4).contains(&s.degree.mean), "mean {}", s.degree.mean);
+        let r = bfs(&g, g.default_source());
+        assert_eq!(r.reached, g.n());
+        assert!(r.height <= 8 + 4, "depth {}", r.height);
+    }
+
+    #[test]
+    fn kmer_is_deep_and_low_degree() {
+        let g = kmer_paths(4000, 80, 2);
+        let s = GraphStats::compute(&g);
+        assert!(s.degree.max <= 12, "max {}", s.degree.max);
+        assert!((1.8..2.6).contains(&s.degree.mean), "mean {}", s.degree.mean);
+        let r = bfs(&g, g.default_source());
+        assert!(r.height >= 40, "k-mer graphs are deep, got {}", r.height);
+        assert_eq!(r.reached, g.n(), "stitching keeps one component");
+    }
+
+    #[test]
+    fn deterministic() {
+        assert!(mawi_star(200, 4, 5).edges().eq(mawi_star(200, 4, 5).edges()));
+        assert!(kmer_paths(200, 20, 5).edges().eq(kmer_paths(200, 20, 5).edges()));
+    }
+
+    #[test]
+    #[should_panic(expected = "n >= 16")]
+    fn mawi_rejects_tiny_n() {
+        mawi_star(4, 1, 0);
+    }
+}

@@ -1,0 +1,266 @@
+//! The [`Graph`] type: an unweighted graph as an adjacency-matrix pattern.
+
+use turbobc_sparse::{Coo, Cooc, Csc, Csr, Index};
+
+/// Vertex identifier (alias of the sparse index type).
+pub type VertexId = Index;
+
+/// An unweighted graph stored as the pattern of its `n × n` adjacency
+/// matrix `A` (`A[u][v] = 1 ⇔` edge `u → v`).
+///
+/// * **Directed** graphs store each arc once.
+/// * **Undirected** graphs store both orientations of every edge (the
+///   symmetric closure), matching SuiteSparse symmetric-matrix expansion;
+///   `m()` therefore counts `2 ×` the number of undirected edges, which is
+///   exactly the paper's `m` (stored non-zeros) used in its MTEPS formulas.
+///
+/// Self-loops are removed and duplicate edges collapse on construction:
+/// neither affects shortest paths, and the paper preprocesses its datasets
+/// the same way ("the weighted graphs were considered unweighted graphs").
+#[derive(Debug, Clone)]
+pub struct Graph {
+    directed: bool,
+    coo: Coo,
+}
+
+impl Graph {
+    /// Builds a graph on `n` vertices from an edge list. For undirected
+    /// graphs each `(u, v)` pair is stored in both orientations.
+    ///
+    /// # Panics
+    /// Panics if any endpoint is `>= n`.
+    pub fn from_edges(n: usize, directed: bool, edges: &[(VertexId, VertexId)]) -> Self {
+        let mut coo = Coo::new(n, n).expect("vertex count exceeds u32::MAX");
+        coo.reserve(edges.len());
+        for &(u, v) in edges {
+            coo.push(u, v);
+        }
+        Self::from_coo(directed, coo)
+    }
+
+    /// Builds a graph from an adjacency pattern in COO form, normalising it
+    /// (loops removed, duplicates removed, symmetrised when undirected).
+    pub fn from_coo(directed: bool, mut coo: Coo) -> Self {
+        assert_eq!(coo.n_rows(), coo.n_cols(), "adjacency matrix must be square");
+        coo.remove_diagonal();
+        if directed {
+            coo.dedup();
+        } else {
+            coo.symmetrize();
+        }
+        Graph { directed, coo }
+    }
+
+    /// Number of vertices `n`.
+    pub fn n(&self) -> usize {
+        self.coo.n_rows()
+    }
+
+    /// Number of stored arcs `m` (non-zeros of `A`). For undirected graphs
+    /// this counts both orientations, as in the paper.
+    pub fn m(&self) -> usize {
+        self.coo.nnz()
+    }
+
+    /// Whether the graph is directed.
+    pub fn directed(&self) -> bool {
+        self.directed
+    }
+
+    /// The paper's BC double-counting compensation: contributions are
+    /// halved for undirected graphs.
+    pub fn bc_scale(&self) -> f64 {
+        if self.directed {
+            1.0
+        } else {
+            0.5
+        }
+    }
+
+    /// The underlying adjacency pattern in COO form.
+    pub fn coo(&self) -> &Coo {
+        &self.coo
+    }
+
+    /// Adjacency matrix in CSC form (column `v` = in-neighbours of `v`).
+    pub fn to_csc(&self) -> Csc {
+        self.coo.to_csc()
+    }
+
+    /// Adjacency matrix in CSR form (row `u` = out-neighbours of `u`).
+    pub fn to_csr(&self) -> Csr {
+        self.coo.to_csr()
+    }
+
+    /// Adjacency matrix in the paper's COOC form (edge list sorted by
+    /// head/column vertex).
+    pub fn to_cooc(&self) -> Cooc {
+        self.coo.to_cooc()
+    }
+
+    /// Out-degree of every vertex.
+    pub fn out_degrees(&self) -> Vec<u32> {
+        let mut deg = vec![0u32; self.n()];
+        for (u, _) in self.coo.iter() {
+            deg[u as usize] += 1;
+        }
+        deg
+    }
+
+    /// In-degree of every vertex.
+    pub fn in_degrees(&self) -> Vec<u32> {
+        let mut deg = vec![0u32; self.n()];
+        for (_, v) in self.coo.iter() {
+            deg[v as usize] += 1;
+        }
+        deg
+    }
+
+    /// Iterates over stored arcs `(u, v)`.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        self.coo.iter()
+    }
+
+    /// The transpose graph (every arc reversed). Undirected graphs are
+    /// their own transpose.
+    pub fn transpose(&self) -> Graph {
+        Graph { directed: self.directed, coo: self.coo.transpose() }
+    }
+
+    /// Relabels vertices by descending out-degree (GPU BC's standard
+    /// locality preprocessing: hub-adjacent index ranges coalesce
+    /// better). Returns the relabelled graph and the permutation
+    /// `perm[old] = new`; scores computed on the new graph map back via
+    /// `score_old[v] = score_new[perm[v]]`.
+    pub fn relabeled_by_degree(&self) -> (Graph, Vec<VertexId>) {
+        let deg = self.out_degrees();
+        let mut order: Vec<usize> = (0..self.n()).collect();
+        order.sort_by_key(|&v| (std::cmp::Reverse(deg[v]), v));
+        let mut perm = vec![0 as VertexId; self.n()];
+        for (new, &old) in order.iter().enumerate() {
+            perm[old] = new as VertexId;
+        }
+        let edges: Vec<(VertexId, VertexId)> = if self.directed {
+            self.edges().map(|(u, v)| (perm[u as usize], perm[v as usize])).collect()
+        } else {
+            self.edges()
+                .filter(|&(u, v)| u <= v)
+                .map(|(u, v)| (perm[u as usize], perm[v as usize]))
+                .collect()
+        };
+        (Graph::from_edges(self.n(), self.directed, &edges), perm)
+    }
+
+    /// The vertex with the largest out-degree — the paper computes
+    /// BC/vertex from a fixed, deterministic source; a hub source reaches
+    /// most of the graph, making runs comparable across implementations.
+    pub fn default_source(&self) -> VertexId {
+        let deg = self.out_degrees();
+        deg.iter()
+            .enumerate()
+            .max_by_key(|&(i, &d)| (d, std::cmp::Reverse(i)))
+            .map(|(i, _)| i as VertexId)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn directed_graph_keeps_arcs_one_way() {
+        let g = Graph::from_edges(3, true, &[(0, 1), (1, 2), (0, 1)]);
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 2, "duplicate arc collapses");
+        assert!(g.directed());
+        assert_eq!(g.bc_scale(), 1.0);
+    }
+
+    #[test]
+    fn undirected_graph_stores_both_orientations() {
+        let g = Graph::from_edges(3, false, &[(0, 1), (1, 2)]);
+        assert_eq!(g.m(), 4);
+        assert_eq!(g.bc_scale(), 0.5);
+        assert!(g.to_csc().is_symmetric());
+    }
+
+    #[test]
+    fn loops_are_removed() {
+        let g = Graph::from_edges(2, true, &[(0, 0), (0, 1), (1, 1)]);
+        assert_eq!(g.m(), 1);
+    }
+
+    #[test]
+    fn degrees_count_correctly() {
+        let g = Graph::from_edges(4, true, &[(0, 1), (0, 2), (0, 3), (2, 0)]);
+        assert_eq!(g.out_degrees(), vec![3, 0, 1, 0]);
+        assert_eq!(g.in_degrees(), vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn default_source_is_max_out_degree() {
+        let g = Graph::from_edges(4, true, &[(0, 1), (2, 0), (2, 1), (2, 3)]);
+        assert_eq!(g.default_source(), 2);
+    }
+
+    #[test]
+    fn default_source_prefers_smallest_index_on_tie() {
+        let g = Graph::from_edges(4, true, &[(1, 0), (3, 0)]);
+        assert_eq!(g.default_source(), 1);
+    }
+
+    #[test]
+    fn formats_agree_on_nnz() {
+        let g = Graph::from_edges(5, false, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        assert_eq!(g.to_csc().nnz(), g.m());
+        assert_eq!(g.to_csr().nnz(), g.m());
+        assert_eq!(g.to_cooc().nnz(), g.m());
+    }
+
+    #[test]
+    fn transpose_reverses_arcs() {
+        let g = Graph::from_edges(3, true, &[(0, 1), (1, 2)]);
+        let t = g.transpose();
+        let mut arcs: Vec<_> = t.edges().collect();
+        arcs.sort_unstable();
+        assert_eq!(arcs, vec![(1, 0), (2, 1)]);
+        let u = Graph::from_edges(3, false, &[(0, 1)]);
+        assert_eq!(u.transpose().m(), u.m());
+    }
+
+    #[test]
+    fn relabeling_preserves_structure() {
+        let g = Graph::from_edges(5, false, &[(0, 1), (1, 2), (1, 3), (1, 4), (3, 4)]);
+        let (r, perm) = g.relabeled_by_degree();
+        assert_eq!(r.n(), g.n());
+        assert_eq!(r.m(), g.m());
+        // The hub (old vertex 1, degree 4) becomes vertex 0.
+        assert_eq!(perm[1], 0);
+        assert_eq!(r.out_degrees()[0], 4);
+        // Degree multiset is preserved.
+        let mut a = g.out_degrees();
+        let mut b = r.out_degrees();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn relabeling_directed_keeps_arcs() {
+        let g = Graph::from_edges(4, true, &[(0, 1), (0, 2), (0, 3), (2, 1)]);
+        let (r, perm) = g.relabeled_by_degree();
+        assert_eq!(r.m(), 4);
+        // Arc (2, 1) must map to (perm[2], perm[1]).
+        assert!(r.edges().any(|(u, v)| (u, v) == (perm[2], perm[1])));
+    }
+
+    #[test]
+    fn empty_and_singleton_graphs() {
+        let g = Graph::from_edges(0, true, &[]);
+        assert_eq!(g.n(), 0);
+        assert_eq!(g.default_source(), 0);
+        let g1 = Graph::from_edges(1, false, &[]);
+        assert_eq!(g1.m(), 0);
+    }
+}

@@ -1,0 +1,339 @@
+//! Graph file I/O: MatrixMarket (SuiteSparse) and SNAP-style edge lists.
+//!
+//! The paper's benchmark graphs come from the SuiteSparse Matrix Collection
+//! (MatrixMarket `.mtx` files) and the Stanford SNAP collection (whitespace
+//! edge lists with `#` comments). These readers let the original files be
+//! used with the reproduction when available; the test-suite exercises them
+//! on embedded fixtures.
+
+use crate::{Graph, VertexId};
+use std::fmt;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Errors produced by the readers.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The file violates the expected format; the string names the problem
+    /// and the 1-based line number.
+    Parse(String),
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "i/o error: {e}"),
+            IoError::Parse(msg) => write!(f, "parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+fn parse_err(line_no: usize, msg: impl fmt::Display) -> IoError {
+    IoError::Parse(format!("line {line_no}: {msg}"))
+}
+
+/// Reads a MatrixMarket `coordinate` file as a graph.
+///
+/// * `%%MatrixMarket matrix coordinate <field> general` → directed graph;
+/// * `... symmetric` → undirected graph (the stored lower/upper triangle is
+///   expanded, as SuiteSparse specifies);
+/// * `<field>` may be `pattern`, `real` or `integer`; numeric values are
+///   ignored (the paper treats weighted graphs as unweighted).
+///
+/// Indices in the file are 1-based, per the standard.
+pub fn read_matrix_market<R: Read>(reader: R) -> Result<Graph, IoError> {
+    let mut lines = BufReader::new(reader).lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| parse_err(1, "empty file"))?
+        .map_err(IoError::Io)?;
+    let lower = header.to_ascii_lowercase();
+    let tokens: Vec<&str> = lower.split_whitespace().collect();
+    if tokens.len() < 5 || tokens[0] != "%%matrixmarket" || tokens[1] != "matrix" {
+        return Err(parse_err(1, "not a MatrixMarket matrix header"));
+    }
+    if tokens[2] != "coordinate" {
+        return Err(parse_err(1, "only coordinate (sparse) matrices are supported"));
+    }
+    let field = tokens[3];
+    if !matches!(field, "pattern" | "real" | "integer") {
+        return Err(parse_err(1, format!("unsupported field type `{field}`")));
+    }
+    let symmetry = tokens[4];
+    let directed = match symmetry {
+        "general" => true,
+        "symmetric" => false,
+        other => return Err(parse_err(1, format!("unsupported symmetry `{other}`"))),
+    };
+
+    let mut line_no = 1usize;
+    let mut dims: Option<(usize, usize, usize)> = None;
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+    for line in lines {
+        let line = line.map_err(IoError::Io)?;
+        line_no += 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        if dims.is_none() {
+            let nr: usize = it
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| parse_err(line_no, "bad row count"))?;
+            let nc: usize = it
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| parse_err(line_no, "bad column count"))?;
+            let nnz: usize = it
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| parse_err(line_no, "bad nnz count"))?;
+            if nr != nc {
+                return Err(parse_err(line_no, "adjacency matrix must be square"));
+            }
+            dims = Some((nr, nc, nnz));
+            edges.reserve(nnz);
+            continue;
+        }
+        let (n, _, _) = dims.unwrap();
+        let r: usize = it
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| parse_err(line_no, "bad row index"))?;
+        let c: usize = it
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| parse_err(line_no, "bad column index"))?;
+        if r == 0 || c == 0 || r > n || c > n {
+            return Err(parse_err(line_no, format!("index ({r}, {c}) out of range 1..={n}")));
+        }
+        // Values (if any) are ignored: unweighted interpretation.
+        edges.push(((r - 1) as VertexId, (c - 1) as VertexId));
+    }
+    let (n, _, declared_nnz) = dims.ok_or_else(|| parse_err(line_no, "missing size line"))?;
+    if edges.len() != declared_nnz {
+        return Err(parse_err(
+            line_no,
+            format!("declared {declared_nnz} entries but found {}", edges.len()),
+        ));
+    }
+    Ok(Graph::from_edges(n, directed, &edges))
+}
+
+/// Reads a MatrixMarket file from disk.
+pub fn read_matrix_market_file(path: impl AsRef<Path>) -> Result<Graph, IoError> {
+    read_matrix_market(std::fs::File::open(path)?)
+}
+
+/// Writes a graph as a MatrixMarket `pattern` file (1-based indices).
+/// Undirected graphs are written `symmetric` with each edge stored once
+/// (`row ≥ col` triangle).
+pub fn write_matrix_market<W: Write>(graph: &Graph, mut w: W) -> std::io::Result<()> {
+    let symmetry = if graph.directed() { "general" } else { "symmetric" };
+    writeln!(w, "%%MatrixMarket matrix coordinate pattern {symmetry}")?;
+    writeln!(w, "% written by turbobc-graph")?;
+    let entries: Vec<(VertexId, VertexId)> = if graph.directed() {
+        graph.edges().collect()
+    } else {
+        graph.edges().filter(|&(u, v)| u >= v).collect()
+    };
+    writeln!(w, "{} {} {}", graph.n(), graph.n(), entries.len())?;
+    for (u, v) in entries {
+        writeln!(w, "{} {}", u + 1, v + 1)?;
+    }
+    Ok(())
+}
+
+/// Reads a SNAP-style edge list: one `u v` pair per line (0-based vertex
+/// ids), `#` comment lines ignored, vertex count inferred as `max id + 1`
+/// unless `n` is given.
+pub fn read_edge_list<R: Read>(
+    reader: R,
+    directed: bool,
+    n: Option<usize>,
+) -> Result<Graph, IoError> {
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+    let mut max_id: u64 = 0;
+    for (idx, line) in BufReader::new(reader).lines().enumerate() {
+        let line = line.map_err(IoError::Io)?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let u: u64 = it
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| parse_err(idx + 1, "bad source vertex"))?;
+        let v: u64 = it
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| parse_err(idx + 1, "bad target vertex"))?;
+        if u > u32::MAX as u64 || v > u32::MAX as u64 {
+            return Err(parse_err(idx + 1, "vertex id exceeds u32"));
+        }
+        max_id = max_id.max(u).max(v);
+        edges.push((u as VertexId, v as VertexId));
+    }
+    let inferred = if edges.is_empty() { 0 } else { max_id as usize + 1 };
+    let n = n.unwrap_or(inferred);
+    if n < inferred {
+        return Err(IoError::Parse(format!(
+            "given n = {n} but the file references vertex {max_id}"
+        )));
+    }
+    Ok(Graph::from_edges(n, directed, &edges))
+}
+
+/// Reads an edge-list file from disk.
+pub fn read_edge_list_file(
+    path: impl AsRef<Path>,
+    directed: bool,
+    n: Option<usize>,
+) -> Result<Graph, IoError> {
+    read_edge_list(std::fs::File::open(path)?, directed, n)
+}
+
+/// Writes a graph as an edge list (0-based). Undirected graphs are written
+/// with each edge once.
+pub fn write_edge_list<W: Write>(graph: &Graph, mut w: W) -> std::io::Result<()> {
+    writeln!(w, "# turbobc edge list: n = {}, directed = {}", graph.n(), graph.directed())?;
+    for (u, v) in graph.edges() {
+        if graph.directed() || u <= v {
+            writeln!(w, "{u} {v}")?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MTX_GENERAL: &str = "\
+%%MatrixMarket matrix coordinate pattern general
+% a comment
+4 4 5
+1 2
+1 3
+2 3
+3 1
+3 4
+";
+
+    const MTX_SYMMETRIC_REAL: &str = "\
+%%MatrixMarket matrix coordinate real symmetric
+3 3 2
+2 1 0.5
+3 2 1.25
+";
+
+    #[test]
+    fn reads_general_pattern_as_directed() {
+        let g = read_matrix_market(MTX_GENERAL.as_bytes()).unwrap();
+        assert!(g.directed());
+        assert_eq!(g.n(), 4);
+        assert_eq!(g.m(), 5);
+        let edges: Vec<_> = g.edges().collect();
+        assert!(edges.contains(&(0, 1)));
+        assert!(edges.contains(&(2, 3)));
+    }
+
+    #[test]
+    fn reads_symmetric_real_as_undirected_ignoring_values() {
+        let g = read_matrix_market(MTX_SYMMETRIC_REAL.as_bytes()).unwrap();
+        assert!(!g.directed());
+        assert_eq!(g.m(), 4, "each stored edge expands to both orientations");
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(read_matrix_market("%%MatrixMarket matrix array real general\n1 1\n".as_bytes())
+            .is_err());
+        assert!(read_matrix_market("hello\n".as_bytes()).is_err());
+        assert!(read_matrix_market(
+            "%%MatrixMarket matrix coordinate complex general\n1 1 0\n".as_bytes()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_index() {
+        let bad = "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n3 1\n";
+        let err = read_matrix_market(bad.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn rejects_wrong_entry_count() {
+        let bad = "%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 2\n";
+        assert!(read_matrix_market(bad.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_rectangular_matrix() {
+        let bad = "%%MatrixMarket matrix coordinate pattern general\n2 3 1\n1 2\n";
+        assert!(read_matrix_market(bad.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn mtx_round_trip_directed() {
+        let g = Graph::from_edges(4, true, &[(0, 1), (1, 2), (3, 0)]);
+        let mut buf = Vec::new();
+        write_matrix_market(&g, &mut buf).unwrap();
+        let back = read_matrix_market(buf.as_slice()).unwrap();
+        assert_eq!(back.n(), g.n());
+        assert_eq!(back.m(), g.m());
+        let mut a: Vec<_> = g.edges().collect();
+        let mut b: Vec<_> = back.edges().collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mtx_round_trip_undirected() {
+        let g = Graph::from_edges(5, false, &[(0, 1), (2, 4), (1, 3)]);
+        let mut buf = Vec::new();
+        write_matrix_market(&g, &mut buf).unwrap();
+        let back = read_matrix_market(buf.as_slice()).unwrap();
+        assert!(!back.directed());
+        assert_eq!(back.m(), g.m());
+    }
+
+    #[test]
+    fn edge_list_round_trip() {
+        let g = Graph::from_edges(6, true, &[(0, 5), (5, 2), (2, 0)]);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let back = read_edge_list(buf.as_slice(), true, Some(6)).unwrap();
+        assert_eq!(back.m(), 3);
+        assert_eq!(back.n(), 6);
+    }
+
+    #[test]
+    fn edge_list_infers_vertex_count() {
+        let src = "# comment\n0 3\n3 7\n";
+        let g = read_edge_list(src.as_bytes(), false, None).unwrap();
+        assert_eq!(g.n(), 8);
+        assert_eq!(g.m(), 4);
+    }
+
+    #[test]
+    fn edge_list_rejects_too_small_n() {
+        let src = "0 9\n";
+        assert!(read_edge_list(src.as_bytes(), true, Some(4)).is_err());
+    }
+}

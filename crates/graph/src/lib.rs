@@ -1,0 +1,34 @@
+//! Graph representation, statistics, traversal utilities, synthetic graph
+//! generators and file I/O for the TurboBC reproduction.
+//!
+//! The paper evaluates on 33 graphs from the SuiteSparse Matrix Collection
+//! and SNAP, spanning 13 structural families (road networks, Jacobians,
+//! Delaunay meshes, social networks, Mycielski graphs, Kronecker graphs,
+//! packet traces, web crawls, …). Those exact files are not redistributable
+//! here, so [`gen`] provides a deterministic, seeded generator for **every
+//! family**, and [`io`] provides MatrixMarket / edge-list readers so the
+//! original files can be dropped in when available. [`families`] maps each
+//! paper graph name to its generator at a configurable scale.
+//!
+//! A [`Graph`] is an unweighted directed or undirected graph stored as the
+//! pattern of its adjacency matrix (`A[u][v] = 1 ⇔ u → v`); undirected
+//! graphs store both orientations, matching how SuiteSparse symmetric
+//! matrices expand and how the paper counts `m` (number of stored
+//! non-zeros).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bfs;
+pub mod families;
+#[cfg(test)]
+mod proptests;
+pub mod gen;
+mod graph;
+pub mod io;
+mod stats;
+pub mod weighted;
+
+pub use bfs::{bfs, connected_components, largest_component, BfsResult};
+pub use graph::{Graph, VertexId};
+pub use stats::{DegreeStats, GraphClass, GraphStats};

@@ -1,0 +1,82 @@
+//! Property tests: I/O round trips and structural invariants over
+//! arbitrary graphs.
+
+use crate::{bfs, io, Graph};
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (1usize..40, any::<bool>()).prop_flat_map(|(n, directed)| {
+        let edge = (0..n as u32, 0..n as u32);
+        proptest::collection::vec(edge, 0..150)
+            .prop_map(move |edges| Graph::from_edges(n, directed, &edges))
+    })
+}
+
+fn sorted_edges(g: &Graph) -> Vec<(u32, u32)> {
+    let mut e: Vec<_> = g.edges().collect();
+    e.sort_unstable();
+    e
+}
+
+proptest! {
+    /// MatrixMarket write → read reproduces the graph exactly.
+    #[test]
+    fn matrix_market_round_trip(g in arb_graph()) {
+        let mut buf = Vec::new();
+        io::write_matrix_market(&g, &mut buf).unwrap();
+        let back = io::read_matrix_market(buf.as_slice()).unwrap();
+        prop_assert_eq!(back.n(), g.n());
+        prop_assert_eq!(back.directed(), g.directed());
+        prop_assert_eq!(sorted_edges(&back), sorted_edges(&g));
+    }
+
+    /// Edge-list write → read reproduces the graph exactly.
+    #[test]
+    fn edge_list_round_trip(g in arb_graph()) {
+        let mut buf = Vec::new();
+        io::write_edge_list(&g, &mut buf).unwrap();
+        let back = io::read_edge_list(buf.as_slice(), g.directed(), Some(g.n())).unwrap();
+        prop_assert_eq!(sorted_edges(&back), sorted_edges(&g));
+    }
+
+    /// Graph normalisation invariants: no self-loops, no duplicate arcs,
+    /// undirected graphs are symmetric.
+    #[test]
+    fn normalisation_invariants(g in arb_graph()) {
+        let mut seen = std::collections::HashSet::new();
+        for (u, v) in g.edges() {
+            prop_assert_ne!(u, v, "self-loop survived");
+            prop_assert!(seen.insert((u, v)), "duplicate arc {:?}", (u, v));
+        }
+        if !g.directed() {
+            for (u, v) in g.edges() {
+                prop_assert!(seen.contains(&(v, u)), "missing reverse of {:?}", (u, v));
+            }
+        }
+        // Degree sums equal arc count.
+        prop_assert_eq!(g.out_degrees().iter().map(|&d| d as usize).sum::<usize>(), g.m());
+        prop_assert_eq!(g.in_degrees().iter().map(|&d| d as usize).sum::<usize>(), g.m());
+    }
+
+    /// BFS sanity: depths are 0 or ≥ 1, the source has depth 1, every
+    /// reached non-source vertex has an in-neighbour one level up.
+    #[test]
+    fn bfs_parent_property(g in arb_graph(), src in any::<prop::sample::Index>()) {
+        let s = src.index(g.n()) as u32;
+        let r = bfs(&g, s);
+        prop_assert_eq!(r.depths[s as usize], 1);
+        prop_assert_eq!(r.reached, r.depths.iter().filter(|&&d| d != 0).count());
+        let csc = g.to_csc();
+        for v in 0..g.n() {
+            let dv = r.depths[v];
+            if dv > 1 {
+                let has_parent = csc
+                    .column(v)
+                    .iter()
+                    .any(|&u| r.depths[u as usize] == dv - 1);
+                prop_assert!(has_parent, "vertex {} at depth {} has no parent", v, dv);
+            }
+        }
+    }
+
+}

@@ -1,0 +1,228 @@
+//! Weighted graphs — the substrate for the weighted-BC extension.
+//!
+//! The paper's TurboBC handles unweighted graphs only ("applicable to
+//! unweighted, directed and undirected graphs"); extending the same
+//! machinery to positively-weighted graphs is the natural follow-on
+//! (Brandes' original algorithm covers them via Dijkstra). This module
+//! provides the graph side: arc weights aligned with a CSR view, plus
+//! weighted generators.
+
+use crate::{Graph, VertexId};
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// A positively-weighted graph: a [`Graph`] plus one weight per stored
+/// arc. Undirected graphs carry the same weight on both orientations.
+#[derive(Debug, Clone)]
+pub struct WeightedGraph {
+    graph: Graph,
+    /// Weight per arc, aligned with `graph.edges()` order.
+    weights: Vec<f64>,
+}
+
+impl WeightedGraph {
+    /// Builds from a weighted edge list. Duplicate arcs keep the
+    /// *minimum* weight (shortest-path semantics); undirected graphs
+    /// mirror each weight. Weights must be strictly positive.
+    ///
+    /// # Panics
+    /// Panics on non-positive or non-finite weights or out-of-range
+    /// endpoints.
+    pub fn from_edges(n: usize, directed: bool, edges: &[(VertexId, VertexId, f64)]) -> Self {
+        for &(_, _, w) in edges {
+            assert!(w > 0.0 && w.is_finite(), "weights must be positive and finite, got {w}");
+        }
+        let plain: Vec<(VertexId, VertexId)> = edges.iter().map(|&(u, v, _)| (u, v)).collect();
+        let graph = Graph::from_edges(n, directed, &plain);
+        // Minimum weight per (u, v) over the input, in both orientations
+        // for undirected graphs.
+        let mut min_w: HashMap<(VertexId, VertexId), f64> = HashMap::with_capacity(edges.len());
+        for &(u, v, w) in edges {
+            if u == v {
+                continue;
+            }
+            let e = min_w.entry((u, v)).or_insert(f64::INFINITY);
+            *e = e.min(w);
+            if !directed {
+                let e = min_w.entry((v, u)).or_insert(f64::INFINITY);
+                *e = e.min(w);
+            }
+        }
+        let weights: Vec<f64> = graph
+            .edges()
+            .map(|arc| *min_w.get(&arc).expect("normalised arc came from the input"))
+            .collect();
+        WeightedGraph { graph, weights }
+    }
+
+    /// Wraps an unweighted graph with unit weights (weighted algorithms
+    /// then agree exactly with their unweighted counterparts).
+    pub fn unit_weights(graph: Graph) -> Self {
+        let weights = vec![1.0; graph.m()];
+        WeightedGraph { graph, weights }
+    }
+
+    /// Wraps a graph with deterministic pseudo-random weights in
+    /// `[lo, hi)`.
+    pub fn random_weights(graph: Graph, lo: f64, hi: f64, seed: u64) -> Self {
+        assert!(lo > 0.0 && hi > lo, "need 0 < lo < hi");
+        let mut r = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        // Undirected graphs need matching weights on mirror arcs: draw
+        // per unordered pair.
+        let mut pair_w: HashMap<(VertexId, VertexId), f64> = HashMap::new();
+        let weights = graph
+            .edges()
+            .map(|(u, v)| {
+                let key = if graph.directed() { (u, v) } else { (u.min(v), u.max(v)) };
+                *pair_w.entry(key).or_insert_with(|| r.gen_range(lo..hi))
+            })
+            .collect();
+        WeightedGraph { graph, weights }
+    }
+
+    /// The underlying unweighted structure.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Vertex count.
+    pub fn n(&self) -> usize {
+        self.graph.n()
+    }
+
+    /// Stored arc count.
+    pub fn m(&self) -> usize {
+        self.graph.m()
+    }
+
+    /// Arc weights in `graph().edges()` order.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// BC double-counting compensation (see [`Graph::bc_scale`]).
+    pub fn bc_scale(&self) -> f64 {
+        self.graph.bc_scale()
+    }
+
+    /// Out-adjacency with aligned weights: `(csr, w)` where `w[k]` is the
+    /// weight of the arc stored at CSR slot `k`.
+    pub fn to_weighted_csr(&self) -> (turbobc_sparse::Csr, Vec<f64>) {
+        // The graph's arcs are in (col, row)-sorted COO order; CSR wants
+        // row-major. Rebuild by counting sort over rows, carrying weights.
+        let n = self.n();
+        let mut row_ptr = vec![0usize; n + 1];
+        for (u, _) in self.graph.edges() {
+            row_ptr[u as usize + 1] += 1;
+        }
+        for i in 0..n {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        let mut cursor = row_ptr.clone();
+        let mut col_idx = vec![0 as VertexId; self.m()];
+        let mut w = vec![0.0f64; self.m()];
+        for ((u, v), &wt) in self.graph.edges().zip(&self.weights) {
+            let slot = cursor[u as usize];
+            col_idx[slot] = v;
+            w[slot] = wt;
+            cursor[u as usize] += 1;
+        }
+        let csr = turbobc_sparse::Csr::from_parts(n, n, row_ptr, col_idx)
+            .expect("normalised graph produces a valid CSR");
+        (csr, w)
+    }
+
+    /// Sum of all arc weights (diagnostics).
+    pub fn total_weight(&self) -> f64 {
+        self.weights.iter().sum()
+    }
+}
+
+/// A weighted road network: the planar structure of
+/// [`crate::gen::road_network`] with segment lengths as weights.
+pub fn weighted_road_network(bx: usize, by: usize, subdiv: usize, seed: u64) -> WeightedGraph {
+    let g = crate::gen::road_network(bx, by, subdiv, seed);
+    WeightedGraph::random_weights(g, 10.0, 100.0, seed ^ 0x5eed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicate_arcs_keep_minimum_weight() {
+        let g = WeightedGraph::from_edges(3, true, &[(0, 1, 5.0), (0, 1, 2.0), (1, 2, 1.0)]);
+        assert_eq!(g.m(), 2);
+        let w: HashMap<(u32, u32), f64> =
+            g.graph().edges().zip(g.weights().iter().copied()).collect();
+        assert_eq!(w[&(0, 1)], 2.0);
+        assert_eq!(w[&(1, 2)], 1.0);
+    }
+
+    #[test]
+    fn undirected_weights_mirror() {
+        let g = WeightedGraph::from_edges(3, false, &[(0, 1, 3.5), (1, 2, 1.25)]);
+        assert_eq!(g.m(), 4);
+        let w: HashMap<(u32, u32), f64> =
+            g.graph().edges().zip(g.weights().iter().copied()).collect();
+        assert_eq!(w[&(0, 1)], 3.5);
+        assert_eq!(w[&(1, 0)], 3.5);
+        assert_eq!(w[&(2, 1)], 1.25);
+    }
+
+    #[test]
+    fn random_weights_are_symmetric_on_undirected_graphs() {
+        let g = crate::gen::gnm(30, 120, false, 7);
+        let wg = WeightedGraph::random_weights(g, 1.0, 10.0, 3);
+        let w: HashMap<(u32, u32), f64> =
+            wg.graph().edges().zip(wg.weights().iter().copied()).collect();
+        for (&(u, v), &wt) in &w {
+            assert_eq!(w[&(v, u)], wt, "asymmetric weight on {u}-{v}");
+        }
+    }
+
+    #[test]
+    fn weighted_csr_aligns_weights() {
+        let g = WeightedGraph::from_edges(
+            4,
+            true,
+            &[(0, 1, 1.0), (0, 2, 2.0), (2, 3, 3.0), (1, 3, 4.0)],
+        );
+        let (csr, w) = g.to_weighted_csr();
+        for u in 0..4 {
+            let lo = csr.row_ptr()[u];
+            for (k, &v) in csr.row(u).iter().enumerate() {
+                let expect = match (u as u32, v) {
+                    (0, 1) => 1.0,
+                    (0, 2) => 2.0,
+                    (2, 3) => 3.0,
+                    (1, 3) => 4.0,
+                    other => panic!("unexpected arc {other:?}"),
+                };
+                assert_eq!(w[lo + k], expect);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_weights() {
+        WeightedGraph::from_edges(2, true, &[(0, 1, 0.0)]);
+    }
+
+    #[test]
+    fn unit_weights_match_structure() {
+        let g = crate::gen::grid2d(3, 3);
+        let m = g.m();
+        let wg = WeightedGraph::unit_weights(g);
+        assert_eq!(wg.weights().len(), m);
+        assert!(wg.weights().iter().all(|&w| w == 1.0));
+        assert_eq!(wg.total_weight(), m as f64);
+    }
+
+    #[test]
+    fn weighted_road_network_has_positive_lengths() {
+        let g = weighted_road_network(6, 6, 4, 9);
+        assert!(g.weights().iter().all(|&w| (10.0..100.0).contains(&w)));
+    }
+}

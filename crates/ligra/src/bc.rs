@@ -1,0 +1,215 @@
+//! Betweenness centrality on the mini-Ligra framework, following Shun &
+//! Blelloch §4.2.
+//!
+//! Forward phase: level-synchronous path counting with `edge_map`,
+//! recording each level's frontier. Backward phase: Ligra's
+//! *inverse-path-count* trick — define `ψ(v) = (1 + δ(v)) / σ(v)`; then
+//! `ψ(v) = 1/σ(v) + Σ_{children w} ψ(w)`, so dependencies accumulate by
+//! plain additions while edge-mapping the **transpose** of the graph from
+//! the deepest level up, and `δ(v) = (ψ(v) − 1/σ(v)) · σ(v)` at the end.
+
+use crate::edge_map::{edge_map, edge_map_rev, vertex_map, EdgeOp, LigraGraph};
+use crate::frontier::Frontier;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use turbobc_graph::{Graph, VertexId};
+
+#[inline]
+fn atomic_f64_add(cell: &AtomicU64, val: f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let new = (f64::from_bits(cur) + val).to_bits();
+        match cell.compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(now) => cur = now,
+        }
+    }
+}
+
+/// Forward functor: accumulate path counts; first touch activates.
+struct PathsOp<'a> {
+    num_paths: &'a [AtomicI64],
+    visited: &'a [AtomicBool],
+}
+
+impl EdgeOp for PathsOp<'_> {
+    fn update_atomic(&self, u: VertexId, v: VertexId) -> bool {
+        let add = self.num_paths[u as usize].load(Ordering::Relaxed);
+        let cell = &self.num_paths[v as usize];
+        let mut cur = cell.load(Ordering::Relaxed);
+        loop {
+            let new = cur.saturating_add(add);
+            match cell.compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(old) => return old == 0,
+                Err(now) => cur = now,
+            }
+        }
+    }
+    fn update(&self, u: VertexId, v: VertexId) -> bool {
+        self.update_atomic(u, v)
+    }
+    fn cond(&self, v: VertexId) -> bool {
+        !self.visited[v as usize].load(Ordering::Relaxed)
+    }
+}
+
+/// Backward functor: `ψ(parent) += ψ(child)` over transpose edges.
+struct BackOp<'a> {
+    dependencies: &'a [AtomicU64],
+    done: &'a [AtomicBool],
+}
+
+impl EdgeOp for BackOp<'_> {
+    fn update_atomic(&self, u: VertexId, v: VertexId) -> bool {
+        let add = f64::from_bits(self.dependencies[u as usize].load(Ordering::Relaxed));
+        atomic_f64_add(&self.dependencies[v as usize], add);
+        false // the output frontier is unused: levels are pre-recorded
+    }
+    fn update(&self, u: VertexId, v: VertexId) -> bool {
+        self.update_atomic(u, v)
+    }
+    fn cond(&self, v: VertexId) -> bool {
+        !self.done[v as usize].load(Ordering::Relaxed)
+    }
+}
+
+/// Accumulates one source's BC contribution into `bc`.
+fn accumulate(lg: &LigraGraph, source: VertexId, bc: &mut [f64]) {
+    let n = lg.n();
+    if n == 0 {
+        return;
+    }
+    let num_paths: Vec<AtomicI64> = (0..n).map(|_| AtomicI64::new(0)).collect();
+    let visited: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
+    num_paths[source as usize].store(1, Ordering::Relaxed);
+    visited[source as usize].store(true, Ordering::Relaxed);
+
+    let mut levels: Vec<Frontier> = vec![Frontier::single(source)];
+    loop {
+        let op = PathsOp { num_paths: &num_paths, visited: &visited };
+        let next = edge_map(lg, levels.last().unwrap(), &op);
+        if next.is_empty() {
+            break;
+        }
+        vertex_map(&next, |v| visited[v as usize].store(true, Ordering::Relaxed));
+        levels.push(next);
+    }
+
+    let sigma: Vec<i64> = num_paths.iter().map(|a| a.load(Ordering::Relaxed)).collect();
+    let dependencies: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+    let done: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
+
+    for r in (0..levels.len()).rev() {
+        // Ligra order: vertexMap marks the level done and seeds 1/σ,
+        // then the transpose edgeMap pushes ψ to the parents.
+        vertex_map(&levels[r], |v| {
+            done[v as usize].store(true, Ordering::Relaxed);
+            atomic_f64_add(&dependencies[v as usize], 1.0 / sigma[v as usize] as f64);
+        });
+        if r > 0 {
+            let op = BackOp { dependencies: &dependencies, done: &done };
+            let _ = edge_map_rev(lg, &levels[r], &op);
+        }
+    }
+
+    let scale = lg.bc_scale();
+    bc.par_iter_mut().enumerate().for_each(|(v, b)| {
+        if v != source as usize && sigma[v] > 0 && done[v].load(Ordering::Relaxed) {
+            let psi = f64::from_bits(dependencies[v].load(Ordering::Relaxed));
+            *b += (psi - 1.0 / sigma[v] as f64) * sigma[v] as f64 * scale;
+        }
+    });
+}
+
+/// BC contribution of one source (Ligra baseline).
+pub fn bc_single_source(graph: &Graph, source: VertexId) -> Vec<f64> {
+    let lg = LigraGraph::new(graph);
+    let mut bc = vec![0.0; graph.n()];
+    accumulate(&lg, source, &mut bc);
+    bc
+}
+
+/// Exact BC over all sources (Ligra baseline).
+pub fn bc_all_sources(graph: &Graph) -> Vec<f64> {
+    let lg = LigraGraph::new(graph);
+    let mut bc = vec![0.0; graph.n()];
+    for s in 0..graph.n() {
+        accumulate(&lg, s as VertexId, &mut bc);
+    }
+    bc
+}
+
+/// BC over an explicit source set (Ligra baseline).
+pub fn bc_sources(graph: &Graph, sources: &[VertexId]) -> Vec<f64> {
+    let lg = LigraGraph::new(graph);
+    let mut bc = vec![0.0; graph.n()];
+    for &s in sources {
+        accumulate(&lg, s, &mut bc);
+    }
+    bc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use turbobc_baselines::{brandes_all_sources, brandes_single_source};
+
+    fn assert_close(got: &[f64], want: &[f64]) {
+        for (i, (g, w)) in got.iter().zip(want).enumerate() {
+            assert!((g - w).abs() < 1e-6, "bc[{i}] = {g}, want {w}");
+        }
+    }
+
+    #[test]
+    fn matches_oracle_on_small_graphs() {
+        let path = Graph::from_edges(5, false, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        assert_close(&bc_all_sources(&path), &brandes_all_sources(&path));
+        let diamond = Graph::from_edges(4, true, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        assert_close(&bc_all_sources(&diamond), &brandes_all_sources(&diamond));
+    }
+
+    #[test]
+    fn matches_oracle_on_random_graphs() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(41);
+        for trial in 0..16 {
+            let n = 3 + rng.gen_range(0..40);
+            let m = rng.gen_range(0..5 * n);
+            let directed = trial % 2 == 0;
+            let edges: Vec<(u32, u32)> = (0..m)
+                .map(|_| (rng.gen_range(0..n) as u32, rng.gen_range(0..n) as u32))
+                .collect();
+            let g = Graph::from_edges(n, directed, &edges);
+            assert_close(&bc_all_sources(&g), &brandes_all_sources(&g));
+        }
+    }
+
+    #[test]
+    fn dense_frontier_path_matches_oracle() {
+        // Star forces the pull path on the first expansion.
+        let edges: Vec<(u32, u32)> = (1..300).map(|v| (0, v)).collect();
+        let g = Graph::from_edges(300, false, &edges);
+        assert_close(&bc_single_source(&g, 0), &brandes_single_source(&g, 0));
+    }
+
+    #[test]
+    fn same_level_directed_edges_are_ignored_in_backward() {
+        // 0→1, 0→2, 1→2 gives a same-level edge 1→2? No: level(2) = 1.
+        // Use 0→1, 0→2, 1→3, 2→3, 1→2: edge 1→2 links level 1 to level 1.
+        let g = Graph::from_edges(4, true, &[(0, 1), (0, 2), (1, 3), (2, 3), (1, 2)]);
+        assert_close(&bc_all_sources(&g), &brandes_all_sources(&g));
+    }
+
+    #[test]
+    fn sources_subset() {
+        let g = Graph::from_edges(6, false, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        let got = bc_sources(&g, &[0, 5]);
+        let mut want = vec![0.0; 6];
+        for s in [0u32, 5] {
+            for (acc, x) in want.iter_mut().zip(brandes_single_source(&g, s)) {
+                *acc += x;
+            }
+        }
+        assert_close(&got, &want);
+    }
+}

@@ -1,0 +1,86 @@
+//! BFS written against the mini-Ligra framework (the paper's §2 BFS
+//! stage, Ligra-style).
+
+use crate::edge_map::{edge_map, EdgeOp, LigraGraph};
+use crate::frontier::Frontier;
+use std::sync::atomic::{AtomicI64, Ordering};
+use turbobc_graph::{Graph, VertexId};
+
+struct BfsOp<'a> {
+    parent: &'a [AtomicI64],
+}
+
+impl EdgeOp for BfsOp<'_> {
+    fn update_atomic(&self, u: VertexId, v: VertexId) -> bool {
+        self.parent[v as usize]
+            .compare_exchange(-1, u as i64, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+    }
+    fn update(&self, u: VertexId, v: VertexId) -> bool {
+        // Pull mode: single owner of `v`, plain read-check-write.
+        if self.parent[v as usize].load(Ordering::Relaxed) == -1 {
+            self.parent[v as usize].store(u as i64, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+    fn cond(&self, v: VertexId) -> bool {
+        self.parent[v as usize].load(Ordering::Relaxed) == -1
+    }
+}
+
+/// Ligra-style BFS: returns the parent of each vertex (`-1` = unreached;
+/// the source is its own parent) and the number of levels.
+pub fn bfs(graph: &Graph, source: VertexId) -> (Vec<i64>, usize) {
+    let lg = LigraGraph::new(graph);
+    let parent: Vec<AtomicI64> = (0..graph.n()).map(|_| AtomicI64::new(-1)).collect();
+    if graph.n() == 0 {
+        return (Vec::new(), 0);
+    }
+    parent[source as usize].store(source as i64, Ordering::Relaxed);
+    let op = BfsOp { parent: &parent };
+    let mut frontier = Frontier::single(source);
+    let mut levels = 1;
+    loop {
+        frontier = edge_map(&lg, &frontier, &op);
+        if frontier.is_empty() {
+            break;
+        }
+        levels += 1;
+    }
+    (parent.into_iter().map(|a| a.into_inner()).collect(), levels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bfs_levels_match_reference() {
+        let g = turbobc_graph::gen::grid2d(7, 9);
+        let (parent, levels) = bfs(&g, 0);
+        let reference = turbobc_graph::bfs(&g, 0);
+        assert_eq!(levels as u32, reference.height);
+        // Every reached vertex has a parent one level shallower.
+        for v in 0..g.n() {
+            if v == 0 {
+                assert_eq!(parent[v], 0);
+            } else if reference.depths[v] != 0 {
+                let p = parent[v] as usize;
+                assert_eq!(reference.depths[p] + 1, reference.depths[v], "vertex {v}");
+            } else {
+                assert_eq!(parent[v], -1);
+            }
+        }
+    }
+
+    #[test]
+    fn unreachable_vertices_have_no_parent() {
+        let g = Graph::from_edges(4, true, &[(0, 1), (2, 3)]);
+        let (parent, _) = bfs(&g, 0);
+        assert_eq!(parent[2], -1);
+        assert_eq!(parent[3], -1);
+        assert_ne!(parent[1], -1);
+    }
+}

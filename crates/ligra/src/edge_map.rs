@@ -1,0 +1,286 @@
+//! `edgeMap` / `vertexMap` — Ligra's two primitives.
+
+use crate::frontier::Frontier;
+use rayon::prelude::*;
+use turbobc_graph::{Graph, VertexId};
+use turbobc_sparse::{Csc, Csr};
+
+/// A graph prepared for Ligra traversal: both adjacency directions, as in
+/// the original system (which stores `G` and `Gᵀ` for push and pull).
+pub struct LigraGraph {
+    /// Out-adjacency (push direction).
+    pub csr: Csr,
+    /// In-adjacency (pull direction).
+    pub csc: Csc,
+    n: usize,
+    m: usize,
+    scale: f64,
+}
+
+impl LigraGraph {
+    /// Builds both directions from a [`Graph`].
+    pub fn new(graph: &Graph) -> Self {
+        LigraGraph {
+            csr: graph.to_csr(),
+            csc: graph.to_csc(),
+            n: graph.n(),
+            m: graph.m(),
+            scale: graph.bc_scale(),
+        }
+    }
+
+    /// Vertex count.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Stored arc count.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// BC scaling (0.5 undirected / 1.0 directed), used by [`crate::bc`].
+    pub fn bc_scale(&self) -> f64 {
+        self.scale
+    }
+}
+
+/// An edge functor for [`edge_map`] — Ligra's `(F, C)` pair.
+///
+/// `update_atomic` is used on the push side where multiple sources may
+/// target one destination concurrently; `update` on the pull side where
+/// each destination is owned by one task. Both return `true` when the
+/// destination enters the output frontier (i.e. on first activation).
+pub trait EdgeOp: Sync {
+    /// Atomic update for `u → v` (push). Returns `true` if `v` was newly
+    /// activated.
+    fn update_atomic(&self, u: VertexId, v: VertexId) -> bool;
+    /// Non-atomic update for `u → v` (pull; single owner of `v`).
+    fn update(&self, u: VertexId, v: VertexId) -> bool;
+    /// Whether destination `v` should still be processed (Ligra's `C`).
+    fn cond(&self, v: VertexId) -> bool;
+}
+
+/// Ligra's threshold: pull (dense) when the frontier plus its out-edges
+/// exceed `m / DENSE_FRACTION`.
+const DENSE_FRACTION: usize = 20;
+
+/// Applies `op` to every edge leaving `frontier`, returning the newly
+/// activated vertex subset. Direction-optimising: chooses push or pull
+/// per Ligra's `|U| + outDegrees(U) > m/20` rule.
+pub fn edge_map(g: &LigraGraph, frontier: &Frontier, op: &impl EdgeOp) -> Frontier {
+    let members = frontier.vertices();
+    let out_edges: usize =
+        members.par_iter().map(|&v| g.csr.row_len(v as usize)).sum();
+    if members.len() + out_edges > g.m / DENSE_FRACTION {
+        edge_map_dense(g, frontier, op)
+    } else {
+        edge_map_sparse(g, &members, op)
+    }
+}
+
+/// Push traversal (sparse frontier).
+pub fn edge_map_sparse(g: &LigraGraph, members: &[VertexId], op: &impl EdgeOp) -> Frontier {
+    let next: Vec<VertexId> = members
+        .par_iter()
+        .fold(Vec::new, |mut acc, &u| {
+            for &v in g.csr.row(u as usize) {
+                if op.cond(v) && op.update_atomic(u, v) {
+                    acc.push(v);
+                }
+            }
+            acc
+        })
+        .reduce(Vec::new, |mut a, mut b| {
+            a.append(&mut b);
+            a
+        });
+    Frontier::Sparse(next)
+}
+
+/// Pull traversal (dense frontier): each still-active destination scans
+/// its in-neighbours.
+pub fn edge_map_dense(g: &LigraGraph, frontier: &Frontier, op: &impl EdgeOp) -> Frontier {
+    let dense = frontier.to_dense(g.n);
+    let bits = match &dense {
+        Frontier::Dense { bits, .. } => bits,
+        Frontier::Sparse(_) => unreachable!(),
+    };
+    let next_bits: Vec<bool> = (0..g.n)
+        .into_par_iter()
+        .map(|v| {
+            if !op.cond(v as VertexId) {
+                return false;
+            }
+            let mut added = false;
+            for &u in g.csc.column(v) {
+                if bits[u as usize] && op.update(u, v as VertexId) {
+                    added = true;
+                }
+            }
+            added
+        })
+        .collect();
+    let count = next_bits.par_iter().filter(|&&b| b).count();
+    Frontier::Dense { bits: next_bits, count }
+}
+
+/// [`edge_map`] over the **transposed** graph: traverses `v → u` for each
+/// stored edge `u → v`. Used by the backward phase of
+/// [`crate::bc`], matching how Ligra's BC edge-maps the transpose.
+pub fn edge_map_rev(g: &LigraGraph, frontier: &Frontier, op: &impl EdgeOp) -> Frontier {
+    let members = frontier.vertices();
+    let in_edges: usize =
+        members.par_iter().map(|&v| g.csc.column_len(v as usize)).sum();
+    if members.len() + in_edges > g.m / DENSE_FRACTION {
+        edge_map_dense_rev(g, frontier, op)
+    } else {
+        edge_map_sparse_rev(g, &members, op)
+    }
+}
+
+/// Push traversal of the transpose: sources expand their in-neighbours.
+pub fn edge_map_sparse_rev(g: &LigraGraph, members: &[VertexId], op: &impl EdgeOp) -> Frontier {
+    let next: Vec<VertexId> = members
+        .par_iter()
+        .fold(Vec::new, |mut acc, &u| {
+            for &v in g.csc.column(u as usize) {
+                if op.cond(v) && op.update_atomic(u, v) {
+                    acc.push(v);
+                }
+            }
+            acc
+        })
+        .reduce(Vec::new, |mut a, mut b| {
+            a.append(&mut b);
+            a
+        });
+    Frontier::Sparse(next)
+}
+
+/// Pull traversal of the transpose: destinations scan their
+/// out-neighbours.
+pub fn edge_map_dense_rev(g: &LigraGraph, frontier: &Frontier, op: &impl EdgeOp) -> Frontier {
+    let dense = frontier.to_dense(g.n);
+    let bits = match &dense {
+        Frontier::Dense { bits, .. } => bits,
+        Frontier::Sparse(_) => unreachable!(),
+    };
+    let next_bits: Vec<bool> = (0..g.n)
+        .into_par_iter()
+        .map(|v| {
+            if !op.cond(v as VertexId) {
+                return false;
+            }
+            let mut added = false;
+            for &u in g.csr.row(v) {
+                if bits[u as usize] && op.update(u, v as VertexId) {
+                    added = true;
+                }
+            }
+            added
+        })
+        .collect();
+    let count = next_bits.par_iter().filter(|&&b| b).count();
+    Frontier::Dense { bits: next_bits, count }
+}
+
+/// Applies `f` to every member of the frontier in parallel.
+pub fn vertex_map(frontier: &Frontier, f: impl Fn(VertexId) + Sync) {
+    match frontier {
+        Frontier::Sparse(list) => list.par_iter().for_each(|&v| f(v)),
+        Frontier::Dense { bits, .. } => {
+            bits.par_iter().enumerate().for_each(|(v, &b)| {
+                if b {
+                    f(v as VertexId)
+                }
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+    struct Reach {
+        visited: Vec<AtomicBool>,
+    }
+
+    impl EdgeOp for Reach {
+        fn update_atomic(&self, _u: VertexId, v: VertexId) -> bool {
+            !self.visited[v as usize].swap(true, Ordering::Relaxed)
+        }
+        fn update(&self, u: VertexId, v: VertexId) -> bool {
+            self.update_atomic(u, v)
+        }
+        fn cond(&self, v: VertexId) -> bool {
+            !self.visited[v as usize].load(Ordering::Relaxed)
+        }
+    }
+
+    fn reach_count(g: &Graph, source: VertexId) -> usize {
+        let lg = LigraGraph::new(g);
+        let op = Reach { visited: (0..g.n()).map(|_| AtomicBool::new(false)).collect() };
+        op.visited[source as usize].store(true, Ordering::Relaxed);
+        let mut frontier = Frontier::single(source);
+        let mut total = 1;
+        while !frontier.is_empty() {
+            frontier = edge_map(&lg, &frontier, &op);
+            total += frontier.len();
+        }
+        total
+    }
+
+    #[test]
+    fn edge_map_reaches_connected_component() {
+        let g = Graph::from_edges(6, false, &[(0, 1), (1, 2), (2, 3), (4, 5)]);
+        assert_eq!(reach_count(&g, 0), 4);
+        assert_eq!(reach_count(&g, 4), 2);
+    }
+
+    #[test]
+    fn sparse_and_dense_agree() {
+        let g = turbobc_graph::gen::gnm(80, 400, true, 3);
+        let lg = LigraGraph::new(&g);
+        let mk = || Reach { visited: (0..g.n()).map(|_| AtomicBool::new(false)).collect() };
+        let members = vec![0u32, 5, 9];
+        let a = mk();
+        let sparse = edge_map_sparse(&lg, &members, &a);
+        let b = mk();
+        let dense = edge_map_dense(&lg, &Frontier::Sparse(members), &b);
+        let mut sv = sparse.vertices();
+        let mut dv = dense.vertices();
+        sv.sort_unstable();
+        dv.sort_unstable();
+        assert_eq!(sv, dv);
+    }
+
+    #[test]
+    fn dense_path_taken_for_huge_frontier() {
+        // A star from 0: frontier {0} has out-degree n-1 > m/20.
+        let edges: Vec<(u32, u32)> = (1..100).map(|v| (0, v)).collect();
+        let g = Graph::from_edges(100, true, &edges);
+        let lg = LigraGraph::new(&g);
+        let op = Reach { visited: (0..100).map(|_| AtomicBool::new(false)).collect() };
+        op.visited[0].store(true, Ordering::Relaxed);
+        let next = edge_map(&lg, &Frontier::single(0), &op);
+        assert!(matches!(next, Frontier::Dense { .. }), "expected pull for dense frontier");
+        assert_eq!(next.len(), 99);
+    }
+
+    #[test]
+    fn vertex_map_visits_each_member_once() {
+        let hits = AtomicUsize::new(0);
+        vertex_map(&Frontier::Sparse(vec![1, 2, 3]), |_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 3);
+        let hits2 = AtomicUsize::new(0);
+        vertex_map(&Frontier::Sparse(vec![0, 4]).to_dense(6), |_| {
+            hits2.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits2.load(Ordering::Relaxed), 2);
+    }
+}

@@ -1,0 +1,134 @@
+//! The frontier (vertex subset) abstraction with sparse/dense duality.
+
+use turbobc_graph::VertexId;
+
+/// A subset of vertices, stored either as a vertex list (*sparse*) or a
+/// bitmap (*dense*). Ligra's `vertexSubset`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frontier {
+    /// Explicit vertex ids (unordered, duplicate-free).
+    Sparse(Vec<VertexId>),
+    /// Bitmap over all `n` vertices plus the member count.
+    Dense {
+        /// Membership bitmap, length `n`.
+        bits: Vec<bool>,
+        /// Number of set bits.
+        count: usize,
+    },
+}
+
+impl Frontier {
+    /// The empty frontier (sparse).
+    pub fn empty() -> Self {
+        Frontier::Sparse(Vec::new())
+    }
+
+    /// A single-vertex frontier.
+    pub fn single(v: VertexId) -> Self {
+        Frontier::Sparse(vec![v])
+    }
+
+    /// Number of member vertices.
+    pub fn len(&self) -> usize {
+        match self {
+            Frontier::Sparse(v) => v.len(),
+            Frontier::Dense { count, .. } => *count,
+        }
+    }
+
+    /// Whether the subset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Membership test. For sparse frontiers this is a scan — callers on
+    /// the hot pull path convert to dense first.
+    pub fn contains(&self, v: VertexId) -> bool {
+        match self {
+            Frontier::Sparse(list) => list.contains(&v),
+            Frontier::Dense { bits, .. } => bits[v as usize],
+        }
+    }
+
+    /// Converts to a dense bitmap over `n` vertices (no-op if already
+    /// dense).
+    pub fn to_dense(&self, n: usize) -> Frontier {
+        match self {
+            Frontier::Dense { .. } => self.clone(),
+            Frontier::Sparse(list) => {
+                let mut bits = vec![false; n];
+                for &v in list {
+                    bits[v as usize] = true;
+                }
+                Frontier::Dense { bits, count: list.len() }
+            }
+        }
+    }
+
+    /// Converts to a sparse vertex list (no-op if already sparse).
+    pub fn to_sparse(&self) -> Frontier {
+        match self {
+            Frontier::Sparse(_) => self.clone(),
+            Frontier::Dense { bits, .. } => Frontier::Sparse(
+                bits.iter()
+                    .enumerate()
+                    .filter_map(|(i, &b)| b.then_some(i as VertexId))
+                    .collect(),
+            ),
+        }
+    }
+
+    /// Iterates member vertices (materialises for dense frontiers).
+    pub fn vertices(&self) -> Vec<VertexId> {
+        match self.to_sparse() {
+            Frontier::Sparse(v) => v,
+            Frontier::Dense { .. } => unreachable!(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_single() {
+        assert!(Frontier::empty().is_empty());
+        let f = Frontier::single(3);
+        assert_eq!(f.len(), 1);
+        assert!(f.contains(3));
+        assert!(!f.contains(2));
+    }
+
+    #[test]
+    fn dense_round_trip() {
+        let f = Frontier::Sparse(vec![1, 4, 2]);
+        let d = f.to_dense(6);
+        assert_eq!(d.len(), 3);
+        assert!(d.contains(4));
+        assert!(!d.contains(0));
+        let mut back = d.to_sparse().vertices();
+        back.sort_unstable();
+        assert_eq!(back, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn dense_count_tracks_members() {
+        let d = Frontier::Sparse(vec![0, 5]).to_dense(8);
+        match &d {
+            Frontier::Dense { count, bits } => {
+                assert_eq!(*count, 2);
+                assert_eq!(bits.len(), 8);
+            }
+            _ => panic!("expected dense"),
+        }
+    }
+
+    #[test]
+    fn conversions_are_idempotent() {
+        let s = Frontier::Sparse(vec![1, 2]);
+        assert_eq!(s.to_sparse(), s);
+        let d = s.to_dense(4);
+        assert_eq!(d.to_dense(4), d);
+    }
+}

@@ -1,0 +1,30 @@
+//! A miniature **Ligra** — the CPU shared-memory graph-processing
+//! framework of Shun & Blelloch (PPoPP '13) — built as the paper's
+//! ligra baseline.
+//!
+//! The TurboBC paper benchmarks against the BC implementation in the
+//! ligra library. Ligra's defining features, all reproduced here:
+//!
+//! * a **frontier** abstraction ([`Frontier`]) that switches automatically
+//!   between a *sparse* vertex list and a *dense* bitmap;
+//! * [`edge_map`] — apply an update to every edge out of the frontier,
+//!   choosing **push** (sparse frontier, atomic updates, output built by
+//!   the sources) or **pull** (dense frontier, each destination scans its
+//!   in-neighbours, no atomics) by comparing the frontier's out-edge
+//!   count against `m / 20`, exactly Ligra's heuristic;
+//! * [`vertex_map`] — parallel map over frontier vertices;
+//! * algorithms written against the framework: [`bfs::bfs`] and
+//!   [`bc::bc_single_source`]/[`bc::bc_all_sources`] (Shun & Blelloch
+//!   §4.2).
+
+#![forbid(unsafe_code)]
+#![allow(clippy::needless_range_loop)]
+#![warn(missing_docs)]
+
+pub mod bc;
+pub mod bfs;
+mod edge_map;
+mod frontier;
+
+pub use edge_map::{edge_map, edge_map_rev, vertex_map, EdgeOp, LigraGraph};
+pub use frontier::Frontier;

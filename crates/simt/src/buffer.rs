@@ -1,0 +1,175 @@
+//! Device memory buffers and the slice views kernels operate on.
+
+use crate::device::Ledger;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// A typed allocation in simulated device memory.
+///
+/// Dropping the buffer returns its bytes to the device ledger — the
+/// paper's §3.4 optimisation (free the integer BFS vectors, then allocate
+/// the float backward vectors) is expressed by plain Rust scoping.
+pub struct DeviceBuffer<T> {
+    data: Vec<T>,
+    base: u64,
+    bytes: u64,
+    ledger: Arc<Mutex<Ledger>>,
+}
+
+impl<T: Copy> DeviceBuffer<T> {
+    pub(crate) fn new(data: Vec<T>, base: u64, bytes: u64, ledger: Arc<Mutex<Ledger>>) -> Self {
+        DeviceBuffer { data, base, bytes, ledger }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Simulated device base address (256-byte aligned).
+    pub fn base_addr(&self) -> u64 {
+        self.base
+    }
+
+    /// Host-side view (device→host transfer in the real system).
+    pub fn host(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable host-side view (host→device transfer in the real system).
+    pub fn host_mut(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Read-only device view for kernel arguments.
+    pub fn dslice(&self) -> DSlice<'_, T> {
+        DSlice { data: &self.data, base: self.base }
+    }
+
+    /// Mutable device view for kernel arguments.
+    pub fn dslice_mut(&mut self) -> DSliceMut<'_, T> {
+        DSliceMut { data: &mut self.data, base: self.base }
+    }
+
+    /// Overwrites every element (a `cudaMemset`-style clear).
+    pub fn fill(&mut self, value: T) {
+        self.data.fill(value);
+    }
+}
+
+impl<T> std::fmt::Debug for DeviceBuffer<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DeviceBuffer")
+            .field("len", &self.data.len())
+            .field("base", &self.base)
+            .field("bytes", &self.bytes)
+            .finish()
+    }
+}
+
+impl<T> Drop for DeviceBuffer<T> {
+    fn drop(&mut self) {
+        self.ledger.lock().free(self.bytes);
+    }
+}
+
+/// Read-only kernel-side view of a [`DeviceBuffer`]: a host slice plus the
+/// simulated base address used for coalescing analysis.
+#[derive(Clone, Copy)]
+pub struct DSlice<'a, T> {
+    pub(crate) data: &'a [T],
+    pub(crate) base: u64,
+}
+
+impl<'a, T: Copy> DSlice<'a, T> {
+    /// Element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Untracked scalar read — for host-side verification, not kernels.
+    pub fn get(&self, i: usize) -> T {
+        self.data[i]
+    }
+
+    pub(crate) fn addr_of(&self, index: usize) -> u64 {
+        self.base + (index * std::mem::size_of::<T>()) as u64
+    }
+}
+
+/// Mutable kernel-side view of a [`DeviceBuffer`].
+pub struct DSliceMut<'a, T> {
+    pub(crate) data: &'a mut [T],
+    pub(crate) base: u64,
+}
+
+impl<'a, T: Copy> DSliceMut<'a, T> {
+    /// Element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Untracked scalar read — for host-side verification, not kernels.
+    pub fn get(&self, i: usize) -> T {
+        self.data[i]
+    }
+
+    /// Re-borrows as a read-only view.
+    pub fn as_dslice(&self) -> DSlice<'_, T> {
+        DSlice { data: self.data, base: self.base }
+    }
+
+    pub(crate) fn addr_of(&self, index: usize) -> u64 {
+        self.base + (index * std::mem::size_of::<T>()) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Device, DeviceProps};
+
+    #[test]
+    fn views_share_base_address() {
+        let dev = Device::titan_xp();
+        let mut buf = dev.alloc::<u32>(8).unwrap();
+        let base = buf.base_addr();
+        assert_eq!(buf.dslice().addr_of(2), base + 8);
+        assert_eq!(buf.dslice_mut().addr_of(1), base + 4);
+    }
+
+    #[test]
+    fn distinct_buffers_have_disjoint_addresses() {
+        let dev = Device::titan_xp();
+        let a = dev.alloc::<u64>(100).unwrap();
+        let b = dev.alloc::<u64>(100).unwrap();
+        let a_end = a.base_addr() + 800;
+        assert!(b.base_addr() >= a_end, "buffers must not alias");
+    }
+
+    #[test]
+    fn fill_and_host_access() {
+        let dev = Device::with_capacity(DeviceProps::titan_xp(), 1 << 16);
+        let mut buf = dev.alloc::<i64>(4).unwrap();
+        buf.fill(7);
+        assert_eq!(buf.host(), &[7, 7, 7, 7]);
+        buf.host_mut()[0] = 1;
+        assert_eq!(buf.dslice().get(0), 1);
+        assert_eq!(buf.len(), 4);
+        assert!(!buf.is_empty());
+    }
+}

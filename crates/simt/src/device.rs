@@ -1,0 +1,353 @@
+//! The simulated device: properties, memory ledger, kernel launches.
+
+use crate::buffer::DeviceBuffer;
+use crate::cache::L2Cache;
+use crate::metrics::{KernelStats, MetricsRegistry};
+use crate::timing::TimingModel;
+use crate::warp::{Warp, WARP_SIZE};
+use parking_lot::Mutex;
+use std::fmt;
+use std::sync::Arc;
+
+/// Static properties of the simulated GPU.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceProps {
+    /// Global memory capacity in bytes.
+    pub global_mem_bytes: u64,
+    /// Number of streaming multiprocessors.
+    pub sms: u32,
+    /// CUDA cores per SM.
+    pub cores_per_sm: u32,
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// Peak DRAM bandwidth in GB/s.
+    pub mem_bandwidth_gbs: f64,
+    /// L2 cache size in bytes.
+    pub l2_bytes: u64,
+}
+
+impl DeviceProps {
+    /// The paper's evaluation GPU: NVIDIA Titan Xp — 30 SMs × 128 cores,
+    /// 1.58 GHz, 12 196 MB global memory, 547.6 GB/s DRAM bandwidth
+    /// (575 GB/s is the theoretical figure the paper draws in Fig. 5b).
+    pub fn titan_xp() -> Self {
+        DeviceProps {
+            global_mem_bytes: 12_196 * 1024 * 1024,
+            sms: 30,
+            cores_per_sm: 128,
+            clock_ghz: 1.58,
+            mem_bandwidth_gbs: 547.6,
+            l2_bytes: 3 * 1024 * 1024,
+        }
+    }
+}
+
+/// Errors from device operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeviceError {
+    /// An allocation did not fit in remaining global memory:
+    /// `(requested, free)` in bytes. The paper prints this condition as
+    /// *OOM* in its tables.
+    OutOfMemory {
+        /// Bytes requested by the failed allocation.
+        requested: u64,
+        /// Bytes still free on the device.
+        free: u64,
+    },
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::OutOfMemory { requested, free } => {
+                write!(f, "device out of memory: requested {requested} B, {free} B free")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
+/// Snapshot of the allocation ledger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryReport {
+    /// Bytes currently allocated.
+    pub used: u64,
+    /// High-water mark since construction (the paper's "GPU memory upper
+    /// bound" of Figures 3/5a).
+    pub peak: u64,
+    /// Device capacity.
+    pub capacity: u64,
+    /// Number of live allocations.
+    pub live_allocations: usize,
+}
+
+#[derive(Debug)]
+pub(crate) struct Ledger {
+    pub used: u64,
+    pub peak: u64,
+    pub capacity: u64,
+    pub live: usize,
+    pub next_base: u64,
+}
+
+impl Ledger {
+    /// cudaMalloc-style 256-byte allocation granularity.
+    pub(crate) const ALIGN: u64 = 256;
+
+    pub(crate) fn alloc(&mut self, bytes: u64) -> Result<u64, DeviceError> {
+        let rounded = bytes.div_ceil(Self::ALIGN) * Self::ALIGN;
+        if self.used + rounded > self.capacity {
+            return Err(DeviceError::OutOfMemory {
+                requested: rounded,
+                free: self.capacity - self.used,
+            });
+        }
+        self.used += rounded;
+        self.peak = self.peak.max(self.used);
+        self.live += 1;
+        let base = self.next_base;
+        self.next_base += rounded;
+        Ok(base)
+    }
+
+    pub(crate) fn free(&mut self, bytes: u64) {
+        let rounded = bytes.div_ceil(Self::ALIGN) * Self::ALIGN;
+        debug_assert!(self.used >= rounded, "double free in device ledger");
+        self.used -= rounded;
+        self.live -= 1;
+    }
+}
+
+/// Grid configuration for a kernel launch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaunchConfig {
+    /// Total number of threads (the simulator rounds up to whole warps).
+    pub threads: usize,
+    /// Threads per block (affects only the recorded block count).
+    pub threads_per_block: usize,
+}
+
+impl LaunchConfig {
+    /// One thread per element, 256-thread blocks (the common CUDA default).
+    pub fn per_element(elements: usize) -> Self {
+        LaunchConfig { threads: elements, threads_per_block: 256 }
+    }
+
+    /// One warp per element (`veCSC`-style mapping).
+    pub fn per_warp(elements: usize) -> Self {
+        LaunchConfig { threads: elements * WARP_SIZE, threads_per_block: 256 }
+    }
+}
+
+/// The simulated GPU.
+pub struct Device {
+    props: DeviceProps,
+    timing: TimingModel,
+    ledger: Arc<Mutex<Ledger>>,
+    metrics: Mutex<MetricsRegistry>,
+    l2: Mutex<L2Cache>,
+}
+
+impl Device {
+    /// Creates a device with the paper's Titan Xp properties.
+    pub fn titan_xp() -> Self {
+        Self::new(DeviceProps::titan_xp())
+    }
+
+    /// Creates a device with explicit properties.
+    pub fn new(props: DeviceProps) -> Self {
+        Device {
+            timing: TimingModel::from_props(&props),
+            ledger: Arc::new(Mutex::new(Ledger {
+                used: 0,
+                peak: 0,
+                capacity: props.global_mem_bytes,
+                live: 0,
+                next_base: 0,
+            })),
+            metrics: Mutex::new(MetricsRegistry::default()),
+            l2: Mutex::new(L2Cache::new(props.l2_bytes)),
+            props,
+        }
+    }
+
+    /// Same properties but a different memory capacity — used by the
+    /// Table 4 experiments to scale the Titan Xp's 12 GB down alongside
+    /// the scaled-down graphs.
+    pub fn with_capacity(mut props: DeviceProps, bytes: u64) -> Self {
+        props.global_mem_bytes = bytes;
+        Self::new(props)
+    }
+
+    /// Device properties.
+    pub fn props(&self) -> DeviceProps {
+        self.props
+    }
+
+    /// The analytic timing model attached to this device.
+    pub fn timing(&self) -> &TimingModel {
+        &self.timing
+    }
+
+    /// Allocates a zero-initialised buffer of `len` elements.
+    pub fn alloc<T: Copy + Default>(&self, len: usize) -> Result<DeviceBuffer<T>, DeviceError> {
+        let bytes = (len * std::mem::size_of::<T>()) as u64;
+        let base = self.ledger.lock().alloc(bytes)?;
+        Ok(DeviceBuffer::new(vec![T::default(); len], base, bytes, Arc::clone(&self.ledger)))
+    }
+
+    /// Allocates a buffer and copies `data` into it (host→device
+    /// transfer).
+    pub fn alloc_from<T: Copy + Default>(&self, data: &[T]) -> Result<DeviceBuffer<T>, DeviceError> {
+        let mut buf = self.alloc(data.len())?;
+        buf.host_mut().copy_from_slice(data);
+        Ok(buf)
+    }
+
+    /// Current memory-ledger snapshot.
+    pub fn memory(&self) -> MemoryReport {
+        let l = self.ledger.lock();
+        MemoryReport { used: l.used, peak: l.peak, capacity: l.capacity, live_allocations: l.live }
+    }
+
+    /// Resets the peak-usage high-water mark to the current usage.
+    pub fn reset_peak(&self) {
+        let mut l = self.ledger.lock();
+        l.peak = l.used;
+    }
+
+    /// Launches a kernel: `body` is executed once per warp, lanes in
+    /// lockstep, warps in increasing id order (deterministic). Statistics
+    /// are accumulated in the device metrics registry under `name`.
+    ///
+    /// Returns the stats of this single launch.
+    pub fn launch<F>(&self, name: &str, cfg: LaunchConfig, mut body: F) -> KernelStats
+    where
+        F: FnMut(&mut Warp),
+    {
+        let warps = cfg.threads.div_ceil(WARP_SIZE).max(1);
+        let tail_active = if cfg.threads.is_multiple_of(WARP_SIZE) || cfg.threads == 0 {
+            WARP_SIZE
+        } else {
+            cfg.threads % WARP_SIZE
+        };
+        let mut stats = KernelStats {
+            launches: 1,
+            warps: warps as u64,
+            blocks: cfg.threads.div_ceil(cfg.threads_per_block.max(1)) as u64,
+            l2_modelled: true,
+            ..Default::default()
+        };
+        let mut l2 = self.l2.lock();
+        for w in 0..warps {
+            let active = if w + 1 == warps { tail_active } else { WARP_SIZE };
+            let mut warp = Warp::new(w, active, &mut stats, &mut l2);
+            body(&mut warp);
+        }
+        drop(l2);
+        self.metrics.lock().record(name, &stats);
+        stats
+    }
+
+    /// A copy of the per-kernel metrics accumulated so far.
+    pub fn metrics(&self) -> MetricsRegistry {
+        self.metrics.lock().clone()
+    }
+
+    /// Clears the per-kernel metrics.
+    pub fn reset_metrics(&self) {
+        *self.metrics.lock() = MetricsRegistry::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_free_round_the_ledger() {
+        let dev = Device::with_capacity(DeviceProps::titan_xp(), 1 << 20);
+        assert_eq!(dev.memory().used, 0);
+        let a = dev.alloc::<u32>(1000).unwrap();
+        let used = dev.memory().used;
+        assert!((4000..=4096 + 256).contains(&used), "aligned allocation, got {used}");
+        assert_eq!(dev.memory().live_allocations, 1);
+        drop(a);
+        assert_eq!(dev.memory().used, 0);
+        assert_eq!(dev.memory().live_allocations, 0);
+        assert!(dev.memory().peak >= 4000, "peak survives the free");
+    }
+
+    #[test]
+    fn oom_when_capacity_exceeded() {
+        let dev = Device::with_capacity(DeviceProps::titan_xp(), 1024);
+        let _a = dev.alloc::<u8>(512).unwrap();
+        let err = dev.alloc::<u8>(1024).unwrap_err();
+        match err {
+            DeviceError::OutOfMemory { requested, free } => {
+                assert_eq!(requested, 1024);
+                assert_eq!(free, 512);
+            }
+        }
+    }
+
+    #[test]
+    fn freeing_makes_room_again() {
+        let dev = Device::with_capacity(DeviceProps::titan_xp(), 1024);
+        let a = dev.alloc::<u8>(1024).unwrap();
+        assert!(dev.alloc::<u8>(1).is_err());
+        drop(a);
+        assert!(dev.alloc::<u8>(1024).is_ok());
+    }
+
+    #[test]
+    fn peak_tracks_high_water_mark() {
+        let dev = Device::with_capacity(DeviceProps::titan_xp(), 1 << 20);
+        {
+            let _a = dev.alloc::<u64>(1000).unwrap();
+            let _b = dev.alloc::<u64>(2000).unwrap();
+        }
+        let peak = dev.memory().peak;
+        assert!(peak >= 24_000, "peak {peak}");
+        dev.reset_peak();
+        assert_eq!(dev.memory().peak, 0);
+    }
+
+    #[test]
+    fn alloc_from_copies_host_data() {
+        let dev = Device::titan_xp();
+        let buf = dev.alloc_from(&[1u32, 2, 3]).unwrap();
+        assert_eq!(buf.host(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn launch_runs_every_warp_once() {
+        let dev = Device::titan_xp();
+        let mut seen = Vec::new();
+        let stats = dev.launch("probe", LaunchConfig::per_element(100), |warp| {
+            seen.push((warp.id(), warp.active_lanes()));
+        });
+        assert_eq!(stats.warps, 4);
+        assert_eq!(seen.len(), 4);
+        assert_eq!(seen[3], (3, 4), "tail warp has 100 - 96 = 4 active lanes");
+        assert_eq!(dev.metrics().kernel("probe").unwrap().launches, 1);
+    }
+
+    #[test]
+    fn launch_config_helpers() {
+        assert_eq!(LaunchConfig::per_element(100).threads, 100);
+        assert_eq!(LaunchConfig::per_warp(10).threads, 320);
+    }
+
+    #[test]
+    fn metrics_accumulate_across_launches() {
+        let dev = Device::titan_xp();
+        for _ in 0..3 {
+            dev.launch("k", LaunchConfig::per_element(32), |_| {});
+        }
+        assert_eq!(dev.metrics().kernel("k").unwrap().launches, 3);
+        dev.reset_metrics();
+        assert!(dev.metrics().kernel("k").is_none());
+    }
+}

@@ -1,0 +1,73 @@
+//! Device-to-device interconnect model for multi-GPU simulations.
+
+/// Bandwidth/latency model of a GPU interconnect, with a transfer
+/// ledger. Used by the multi-GPU BC driver to charge the frontier
+/// allgather and dependency reduce-scatter each level.
+#[derive(Debug, Clone)]
+pub struct Interconnect {
+    /// Aggregate bandwidth per direction, bytes/second.
+    pub bandwidth: f64,
+    /// Per-transfer latency, seconds (driver + link setup).
+    pub latency: f64,
+    transfers: u64,
+    bytes: u64,
+}
+
+impl Interconnect {
+    /// PCIe 3.0 x16-class link (~12 GB/s, ~10 µs latency) — what the
+    /// paper's Titan Xp generation of cards shipped with.
+    pub fn pcie3() -> Self {
+        Interconnect { bandwidth: 12e9, latency: 10e-6, transfers: 0, bytes: 0 }
+    }
+
+    /// NVLink-class link (~50 GB/s, ~5 µs latency).
+    pub fn nvlink() -> Self {
+        Interconnect { bandwidth: 50e9, latency: 5e-6, transfers: 0, bytes: 0 }
+    }
+
+    /// Records one transfer of `bytes`.
+    pub fn transfer(&mut self, bytes: u64) {
+        self.transfers += 1;
+        self.bytes += bytes;
+    }
+
+    /// Number of transfers recorded.
+    pub fn transfers(&self) -> u64 {
+        self.transfers
+    }
+
+    /// Total bytes moved.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Modelled time spent on the recorded transfers.
+    pub fn modelled_time_s(&self) -> f64 {
+        self.transfers as f64 * self.latency + self.bytes as f64 / self.bandwidth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ledger_accumulates() {
+        let mut link = Interconnect::pcie3();
+        link.transfer(12_000_000);
+        link.transfer(12_000_000);
+        assert_eq!(link.transfers(), 2);
+        assert_eq!(link.bytes(), 24_000_000);
+        let t = link.modelled_time_s();
+        assert!((t - (2.0 * 10e-6 + 24e6 / 12e9)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nvlink_beats_pcie() {
+        let mut a = Interconnect::pcie3();
+        let mut b = Interconnect::nvlink();
+        a.transfer(1 << 30);
+        b.transfer(1 << 30);
+        assert!(b.modelled_time_s() < a.modelled_time_s() / 3.0);
+    }
+}

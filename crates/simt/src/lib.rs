@@ -1,0 +1,68 @@
+//! A software **SIMT execution simulator** — the reproduction's stand-in
+//! for the CUDA GPU of the TurboBC paper.
+//!
+//! The paper's claims are about *algorithm structure on a GPU*: how the
+//! three SpMV kernels map work to threads and warps, how their access
+//! patterns coalesce, how much device memory the array inventory needs
+//! (`7n + m` words for TurboBC vs `9n + 2m` for gunrock), and what global
+//! memory load throughput (GLT) the kernels sustain. No CUDA device is
+//! available here, so this crate executes kernels under the same model and
+//! measures exactly those observables:
+//!
+//! * [`Device`] — a simulated GPU with a global-memory capacity (default:
+//!   the paper's NVIDIA Titan Xp, 12 196 MB). Allocations go through an
+//!   accounting ledger and fail with [`DeviceError::OutOfMemory`] exactly
+//!   when a real `cudaMalloc` would — this is what reproduces Table 4's
+//!   gunrock OOMs and Figures 3/5a.
+//! * [`DeviceBuffer`] — typed device memory with a simulated address,
+//!   freed back to the ledger on drop (the paper's §3.4 free-the-int-
+//!   vectors-before-allocating-the-float-vectors trick is observable).
+//! * [`LaunchConfig`]/[`Device::launch`] — kernels execute one **warp** of
+//!   32 lanes at a time, in lockstep. The kernel body is a closure over a
+//!   [`Warp`] context whose vector operations ([`Warp::gather`],
+//!   [`Warp::scatter`], [`Warp::atomic_add`], [`Warp::shfl_down`],
+//!   [`Warp::alu`]) correspond to single SIMT instructions; the simulator
+//!   records, per instruction, the active-lane mask (warp divergence) and
+//!   the set of 32-byte memory sectors touched (coalescing).
+//! * [`KernelStats`]/[`MetricsRegistry`] — per-kernel counters:
+//!   instructions, active lanes, loads/stores, memory transactions,
+//!   bytes moved, atomic serialisation conflicts.
+//! * [`TimingModel`] — an analytic roofline: kernel time is the max of
+//!   compute time (warp instructions over SM throughput), **measured**
+//!   DRAM time (the device carries a deterministic 16-way
+//!   set-associative L2 model — 3 MB on the Titan Xp — and only sector
+//!   misses pay DRAM bandwidth) and the L2-bandwidth ceiling, plus a
+//!   fixed launch overhead. Modelled GLT = requested bytes / busy time,
+//!   which — as in the paper's Figure 5b — exceeds the DRAM ceiling when
+//!   the access stream hits in cache.
+//! * [`Interconnect`] — PCIe/NVLink transfer model for the multi-GPU
+//!   driver.
+//!
+//! Execution is sequential and fully deterministic; the simulator measures
+//! structure, it does not race. (Wall-clock performance comparisons in the
+//! reproduction come from the rayon engine in the `turbobc` crate.)
+
+#![forbid(unsafe_code)]
+#![allow(clippy::needless_range_loop)]
+#![warn(missing_docs)]
+
+mod buffer;
+mod cache;
+mod device;
+mod interconnect;
+mod metrics;
+#[cfg(test)]
+mod proptests;
+mod timing;
+mod warp;
+
+pub use buffer::{DeviceBuffer, DSlice, DSliceMut};
+pub use device::{Device, DeviceError, DeviceProps, LaunchConfig, MemoryReport};
+pub use interconnect::Interconnect;
+pub use metrics::{KernelStats, MetricsRegistry};
+pub use timing::TimingModel;
+pub use warp::{Warp, WARP_SIZE};
+
+/// Memory-transaction sector size in bytes (modern NVIDIA GPUs fetch
+/// global memory in 32-byte sectors).
+pub const SECTOR_BYTES: u64 = 32;

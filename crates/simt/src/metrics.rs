@@ -1,0 +1,209 @@
+//! Per-kernel execution counters (the simulator's `nvprof`).
+
+use std::collections::BTreeMap;
+
+/// Counters for one kernel (one launch, or the sum over launches under
+/// the same name in a [`MetricsRegistry`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Number of launches accumulated here.
+    pub launches: u64,
+    /// Warps executed.
+    pub warps: u64,
+    /// Thread blocks in the grid(s).
+    pub blocks: u64,
+    /// Warp-level instructions issued.
+    pub instructions: u64,
+    /// Sum over instructions of participating lanes (≤ 32 · instructions).
+    pub active_lane_ops: u64,
+    /// Per-lane load operations.
+    pub loads: u64,
+    /// Per-lane store operations.
+    pub stores: u64,
+    /// 32-byte load transactions after coalescing.
+    pub load_transactions: u64,
+    /// 32-byte store transactions after coalescing.
+    pub store_transactions: u64,
+    /// Bytes moved by load transactions.
+    pub bytes_loaded: u64,
+    /// Bytes moved by store transactions.
+    pub bytes_stored: u64,
+    /// Extra serialised lanes from atomics hitting one address.
+    pub atomic_conflicts: u64,
+    /// Same-address plain-store collisions within a warp instruction.
+    pub store_conflicts: u64,
+    /// Shared-memory (on-chip) lane accesses — no global traffic.
+    pub smem_ops: u64,
+    /// Shared-memory bank conflicts (serialised replays).
+    pub smem_bank_conflicts: u64,
+    /// Load bytes that *missed* the modelled L2 (DRAM traffic).
+    pub dram_bytes_loaded: u64,
+    /// Store bytes that missed the modelled L2.
+    pub dram_bytes_stored: u64,
+    /// Whether the L2 model instrumented this record (distinguishes a
+    /// true 100% hit rate from synthetic stats without cache data).
+    pub l2_modelled: bool,
+}
+
+impl KernelStats {
+    /// Warp execution efficiency in `[0, 1]`: mean fraction of lanes
+    /// active per issued instruction. Low values = heavy divergence.
+    pub fn warp_efficiency(&self) -> f64 {
+        if self.instructions == 0 {
+            return 1.0;
+        }
+        self.active_lane_ops as f64 / (self.instructions as f64 * 32.0)
+    }
+
+    /// Mean lanes served per memory transaction — 1.0 is fully scattered,
+    /// higher is better coalescing (up to 32 for 1-byte or broadcast
+    /// patterns, 8 for unit-stride `u32`).
+    pub fn coalescing_factor(&self) -> f64 {
+        let tx = self.load_transactions + self.store_transactions;
+        if tx == 0 {
+            return 1.0;
+        }
+        (self.loads + self.stores) as f64 / tx as f64
+    }
+
+    /// Total bytes moved.
+    pub fn bytes_total(&self) -> u64 {
+        self.bytes_loaded + self.bytes_stored
+    }
+
+    /// DRAM bytes (L2 misses).
+    pub fn dram_bytes_total(&self) -> u64 {
+        self.dram_bytes_loaded + self.dram_bytes_stored
+    }
+
+    /// Measured L2 hit rate over transaction bytes (1.0 when no traffic).
+    pub fn l2_hit_rate(&self) -> f64 {
+        let total = self.bytes_total();
+        if total == 0 {
+            return 1.0;
+        }
+        1.0 - self.dram_bytes_total() as f64 / total as f64
+    }
+
+    /// Adds another stats record into this one.
+    pub fn merge(&mut self, other: &KernelStats) {
+        self.launches += other.launches;
+        self.warps += other.warps;
+        self.blocks += other.blocks;
+        self.instructions += other.instructions;
+        self.active_lane_ops += other.active_lane_ops;
+        self.loads += other.loads;
+        self.stores += other.stores;
+        self.load_transactions += other.load_transactions;
+        self.store_transactions += other.store_transactions;
+        self.bytes_loaded += other.bytes_loaded;
+        self.bytes_stored += other.bytes_stored;
+        self.atomic_conflicts += other.atomic_conflicts;
+        self.store_conflicts += other.store_conflicts;
+        self.smem_ops += other.smem_ops;
+        self.smem_bank_conflicts += other.smem_bank_conflicts;
+        self.dram_bytes_loaded += other.dram_bytes_loaded;
+        self.dram_bytes_stored += other.dram_bytes_stored;
+        self.l2_modelled |= other.l2_modelled;
+    }
+}
+
+/// Named accumulation of [`KernelStats`] across launches (what
+/// `Device::metrics()` returns).
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    kernels: BTreeMap<String, KernelStats>,
+}
+
+impl MetricsRegistry {
+    /// Accumulates one launch under `name`.
+    pub fn record(&mut self, name: &str, stats: &KernelStats) {
+        self.kernels.entry(name.to_string()).or_default().merge(stats);
+    }
+
+    /// Stats for one kernel name, if it has launched.
+    pub fn kernel(&self, name: &str) -> Option<&KernelStats> {
+        self.kernels.get(name)
+    }
+
+    /// Iterates `(name, stats)` in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &KernelStats)> {
+        self.kernels.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Sum over all kernels.
+    pub fn total(&self) -> KernelStats {
+        let mut t = KernelStats::default();
+        for s in self.kernels.values() {
+            t.merge(s);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn efficiency_of_empty_stats_is_one() {
+        assert_eq!(KernelStats::default().warp_efficiency(), 1.0);
+        assert_eq!(KernelStats::default().coalescing_factor(), 1.0);
+    }
+
+    #[test]
+    fn efficiency_reflects_active_lanes() {
+        let s = KernelStats { instructions: 10, active_lane_ops: 160, ..Default::default() };
+        assert!((s.warp_efficiency() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coalescing_factor_counts_lanes_per_transaction() {
+        let s = KernelStats {
+            loads: 32,
+            load_transactions: 4,
+            ..Default::default()
+        };
+        assert_eq!(s.coalescing_factor(), 8.0);
+    }
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = KernelStats { loads: 1, bytes_loaded: 32, launches: 1, ..Default::default() };
+        let b = KernelStats { loads: 2, bytes_loaded: 64, launches: 1, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.loads, 3);
+        assert_eq!(a.bytes_total(), 96);
+        assert_eq!(a.launches, 2);
+    }
+
+    #[test]
+    fn l2_fields_merge_and_rate() {
+        let mut a = KernelStats {
+            bytes_loaded: 320,
+            dram_bytes_loaded: 160,
+            l2_modelled: true,
+            ..Default::default()
+        };
+        let b = KernelStats { bytes_stored: 320, dram_bytes_stored: 0, ..Default::default() };
+        a.merge(&b);
+        assert!(a.l2_modelled);
+        assert_eq!(a.dram_bytes_total(), 160);
+        assert!((a.l2_hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(KernelStats::default().l2_hit_rate(), 1.0);
+    }
+
+    #[test]
+    fn registry_accumulates_and_totals() {
+        let mut reg = MetricsRegistry::default();
+        reg.record("a", &KernelStats { loads: 5, ..Default::default() });
+        reg.record("a", &KernelStats { loads: 7, ..Default::default() });
+        reg.record("b", &KernelStats { stores: 3, ..Default::default() });
+        assert_eq!(reg.kernel("a").unwrap().loads, 12);
+        assert_eq!(reg.kernel("b").unwrap().stores, 3);
+        assert!(reg.kernel("c").is_none());
+        assert_eq!(reg.total().loads, 12);
+        assert_eq!(reg.total().stores, 3);
+        assert_eq!(reg.iter().count(), 2);
+    }
+}

@@ -1,0 +1,95 @@
+//! Property tests for the simulator's instruction semantics.
+
+use crate::{Device, DeviceProps, LaunchConfig, WARP_SIZE};
+use proptest::prelude::*;
+
+proptest! {
+    /// The shuffle reduction equals a plain sum for arbitrary lane values.
+    #[test]
+    fn reduce_sum_equals_sequential_sum(vals in proptest::array::uniform32(-1000i64..1000)) {
+        let dev = Device::titan_xp();
+        dev.launch("prop_reduce", LaunchConfig::per_element(32), |w| {
+            let got = w.reduce_sum(vals);
+            let want: i64 = vals.iter().sum();
+            assert_eq!(got, want);
+        });
+    }
+
+    /// Gather returns exactly the addressed elements, and the transaction
+    /// count is bounded by [1, active lanes].
+    #[test]
+    fn gather_reads_correct_values(
+        data in proptest::collection::vec(-100i64..100, 32..200),
+        picks in proptest::array::uniform32(any::<prop::sample::Index>()),
+        mask in any::<u32>(),
+    ) {
+        let dev = Device::titan_xp();
+        let buf = dev.alloc_from(&data).unwrap();
+        let stats = dev.launch("prop_gather", LaunchConfig::per_element(32), |w| {
+            let mut idx = [None; WARP_SIZE];
+            for l in 0..WARP_SIZE {
+                if mask & (1 << l) != 0 {
+                    idx[l] = Some(picks[l].index(data.len()));
+                }
+            }
+            let out = w.gather(&buf.dslice(), &idx);
+            for l in 0..WARP_SIZE {
+                if let Some(i) = idx[l] {
+                    assert_eq!(out[l], data[i]);
+                } else {
+                    assert_eq!(out[l], 0);
+                }
+            }
+        });
+        let active = mask.count_ones() as u64;
+        prop_assert_eq!(stats.loads, active);
+        if active > 0 {
+            prop_assert!(stats.load_transactions >= 1);
+            prop_assert!(stats.load_transactions <= active);
+            prop_assert_eq!(stats.bytes_loaded, stats.load_transactions * 32);
+        }
+    }
+
+    /// Atomic adds accumulate exactly, independent of lane/address
+    /// collision patterns, and saturate instead of wrapping.
+    #[test]
+    fn atomic_add_accumulates_exactly(
+        targets in proptest::array::uniform32(0usize..8),
+        addends in proptest::array::uniform32(0i64..1000),
+    ) {
+        let dev = Device::titan_xp();
+        let mut buf = dev.alloc::<i64>(8).unwrap();
+        dev.launch("prop_atomic", LaunchConfig::per_element(32), |w| {
+            let mut ops = [None; WARP_SIZE];
+            for l in 0..WARP_SIZE {
+                ops[l] = Some((targets[l], addends[l]));
+            }
+            w.atomic_add(&mut buf.dslice_mut(), &ops);
+        });
+        let mut want = [0i64; 8];
+        for l in 0..WARP_SIZE {
+            want[targets[l]] += addends[l];
+        }
+        prop_assert_eq!(buf.host(), &want[..]);
+    }
+
+    /// The allocation ledger is exact: used equals the sum of live
+    /// aligned allocations, and everything is returned on drop.
+    #[test]
+    fn ledger_accounts_for_every_allocation(sizes in proptest::collection::vec(1usize..10_000, 1..20)) {
+        let dev = Device::new(DeviceProps::titan_xp());
+        let mut expected = 0u64;
+        {
+            let mut held = Vec::new();
+            for &s in &sizes {
+                let bytes = (s * 8) as u64;
+                expected += bytes.div_ceil(256) * 256;
+                held.push(dev.alloc::<u64>(s).unwrap());
+            }
+            prop_assert_eq!(dev.memory().used, expected);
+            prop_assert_eq!(dev.memory().live_allocations, sizes.len());
+        }
+        prop_assert_eq!(dev.memory().used, 0);
+        prop_assert_eq!(dev.memory().peak, expected);
+    }
+}

@@ -1,0 +1,566 @@
+//! Warp-synchronous execution context: the instruction-level API kernels
+//! are written against.
+
+use crate::buffer::{DSlice, DSliceMut};
+use crate::metrics::KernelStats;
+use crate::SECTOR_BYTES;
+
+/// Lanes per warp (NVIDIA's fixed warp width).
+pub const WARP_SIZE: usize = 32;
+
+/// One warp's execution context.
+///
+/// Every method corresponds to a single SIMT instruction issued by the
+/// warp: the 32 lanes execute it in lockstep, inactive lanes (predicated
+/// off by the kernel's control flow) are `None`. The simulator records per
+/// instruction:
+///
+/// * the number of participating lanes — aggregate *warp execution
+///   efficiency* is the divergence metric;
+/// * for memory instructions, the set of distinct 32-byte sectors touched
+///   — the *coalescing* metric (unit-stride accesses by consecutive lanes
+///   fuse into few transactions; random gathers explode into up to 32).
+pub struct Warp<'a> {
+    id: usize,
+    launched: usize,
+    stats: &'a mut KernelStats,
+    l2: &'a mut crate::cache::L2Cache,
+}
+
+/// Counts distinct values among the first `len` entries of `addrs`.
+fn distinct_sectors(addrs: &mut [u64], len: usize) -> u64 {
+    let slice = &mut addrs[..len];
+    slice.sort_unstable();
+    let mut count = 0u64;
+    let mut prev = None;
+    for &a in slice.iter() {
+        if Some(a) != prev {
+            count += 1;
+            prev = Some(a);
+        }
+    }
+    count
+}
+
+impl<'a> Warp<'a> {
+    pub(crate) fn new(
+        id: usize,
+        launched: usize,
+        stats: &'a mut KernelStats,
+        l2: &'a mut crate::cache::L2Cache,
+    ) -> Self {
+        debug_assert!((1..=WARP_SIZE).contains(&launched));
+        Warp { id, launched, stats, l2 }
+    }
+
+    /// Runs the distinct sectors of one memory instruction through the
+    /// L2 model; returns the missed (DRAM) bytes.
+    fn charge_l2(&mut self, sectors: &[u64]) -> u64 {
+        let mut prev = None;
+        let mut dram = 0u64;
+        for &sct in sectors {
+            if Some(sct) == prev {
+                continue;
+            }
+            prev = Some(sct);
+            if !self.l2.access(sct) {
+                dram += crate::SECTOR_BYTES;
+            }
+        }
+        dram
+    }
+
+    /// Warp id within the launch (`threadId / 32` of its first lane).
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Number of lanes that were launched in this warp (32 except for the
+    /// grid's tail warp).
+    pub fn active_lanes(&self) -> usize {
+        self.launched
+    }
+
+    /// Global thread id of `lane`, or `None` if the lane is beyond the
+    /// launch bound.
+    pub fn global_id(&self, lane: usize) -> Option<usize> {
+        (lane < self.launched).then_some(self.id * WARP_SIZE + lane)
+    }
+
+    fn issue(&mut self, participating: u64) {
+        self.stats.instructions += 1;
+        self.stats.active_lane_ops += participating;
+    }
+
+    /// A generic ALU/control instruction executed by `participating`
+    /// lanes. Kernels call this for per-lane arithmetic (index math,
+    /// comparisons) so divergence shows up in the efficiency metric.
+    pub fn alu(&mut self, participating: usize) {
+        debug_assert!(participating <= WARP_SIZE);
+        self.issue(participating as u64);
+    }
+
+    /// Vector load: lane `l` reads `slice[idx[l]]` where `idx[l]` is
+    /// `Some`. Returns a per-lane value array (`T::default()` in inactive
+    /// lanes).
+    pub fn gather<T: Copy + Default>(
+        &mut self,
+        slice: &DSlice<'_, T>,
+        idx: &[Option<usize>; WARP_SIZE],
+    ) -> [T; WARP_SIZE] {
+        let mut out = [T::default(); WARP_SIZE];
+        let mut sectors = [0u64; WARP_SIZE];
+        let mut k = 0usize;
+        for lane in 0..WARP_SIZE {
+            if let Some(i) = idx[lane] {
+                out[lane] = slice.data[i];
+                sectors[k] = slice.addr_of(i) / SECTOR_BYTES;
+                k += 1;
+            }
+        }
+        self.issue(k as u64);
+        if k > 0 {
+            let tx = distinct_sectors(&mut sectors, k);
+            self.stats.loads += k as u64;
+            self.stats.load_transactions += tx;
+            self.stats.bytes_loaded += tx * SECTOR_BYTES;
+            let dram = self.charge_l2(&sectors[..k]);
+            self.stats.dram_bytes_loaded += dram;
+        }
+        out
+    }
+
+    /// Vector store: lane `l` writes `val` to `slice[i]` for each
+    /// `Some((i, val))`. Lanes writing the same index are a race on a real
+    /// GPU; the simulator resolves it deterministically (highest lane
+    /// wins, as if lanes retire in order) and counts it in
+    /// `store_conflicts`.
+    pub fn scatter<T: Copy>(
+        &mut self,
+        slice: &mut DSliceMut<'_, T>,
+        writes: &[Option<(usize, T)>; WARP_SIZE],
+    ) {
+        let mut sectors = [0u64; WARP_SIZE];
+        let mut seen = [usize::MAX; WARP_SIZE];
+        let mut k = 0usize;
+        for lane in 0..WARP_SIZE {
+            if let Some((i, v)) = writes[lane] {
+                slice.data[i] = v;
+                sectors[k] = slice.addr_of(i) / SECTOR_BYTES;
+                if seen[..k].contains(&i) {
+                    self.stats.store_conflicts += 1;
+                }
+                seen[k] = i;
+                k += 1;
+            }
+        }
+        self.issue(k as u64);
+        if k > 0 {
+            let tx = distinct_sectors(&mut sectors, k);
+            self.stats.stores += k as u64;
+            self.stats.store_transactions += tx;
+            self.stats.bytes_stored += tx * SECTOR_BYTES;
+            let dram = self.charge_l2(&sectors[..k]);
+            self.stats.dram_bytes_stored += dram;
+        }
+    }
+
+    /// Vector `atomicAdd`: lane `l` adds `val` into `slice[i]` for each
+    /// `Some((i, val))`. Lanes hitting the same address serialise on a
+    /// real GPU; the simulator counts each extra lane per address in
+    /// `atomic_conflicts`. Integer accumulation saturates
+    /// ([`turbobc_sparse::Scalar`]) so path-count overflow is well
+    /// defined.
+    pub fn atomic_add<T: turbobc_sparse::Scalar>(
+        &mut self,
+        slice: &mut DSliceMut<'_, T>,
+        ops: &[Option<(usize, T)>; WARP_SIZE],
+    ) {
+        let mut sectors = [0u64; WARP_SIZE];
+        let mut seen = [usize::MAX; WARP_SIZE];
+        let mut k = 0usize;
+        for lane in 0..WARP_SIZE {
+            if let Some((i, v)) = ops[lane] {
+                slice.data[i] = turbobc_sparse::Scalar::acc(slice.data[i], v);
+                sectors[k] = slice.addr_of(i) / SECTOR_BYTES;
+                if seen[..k].contains(&i) {
+                    self.stats.atomic_conflicts += 1;
+                }
+                seen[k] = i;
+                k += 1;
+            }
+        }
+        self.issue(k as u64);
+        if k > 0 {
+            let tx = distinct_sectors(&mut sectors, k);
+            // Atomics read-modify-write their sector (in L2 on modern
+            // GPUs: one DRAM fill on first touch).
+            self.stats.loads += k as u64;
+            self.stats.stores += k as u64;
+            self.stats.load_transactions += tx;
+            self.stats.store_transactions += tx;
+            self.stats.bytes_loaded += tx * SECTOR_BYTES;
+            self.stats.bytes_stored += tx * SECTOR_BYTES;
+            let dram = self.charge_l2(&sectors[..k]);
+            self.stats.dram_bytes_loaded += dram;
+        }
+    }
+
+    /// Shared-memory store: lane `l` writes into the block-local array
+    /// `smem` for each `Some((idx, val))`. On-chip: no global
+    /// transactions, but lanes hitting the same **bank** (word address
+    /// mod 32) at *different* addresses serialise — counted in
+    /// `smem_bank_conflicts` (same-address access broadcasts for free).
+    pub fn smem_store<T: Copy>(
+        &mut self,
+        smem: &mut [T],
+        writes: &[Option<(usize, T)>; WARP_SIZE],
+    ) {
+        let mut k = 0u64;
+        let mut banks: [Vec<usize>; 32] = std::array::from_fn(|_| Vec::new());
+        for lane in 0..WARP_SIZE {
+            if let Some((i, v)) = writes[lane] {
+                smem[i] = v;
+                // Element-granular banking (64-bit banks handle wide
+                // elements in one phase on modern hardware).
+                banks[i % 32].push(i);
+                k += 1;
+            }
+        }
+        self.issue(k);
+        self.stats.smem_ops += k;
+        for b in &mut banks {
+            if b.len() > 1 {
+                b.sort_unstable();
+                b.dedup();
+                self.stats.smem_bank_conflicts += (b.len() - 1) as u64;
+            }
+        }
+    }
+
+    /// Shared-memory load (see [`Warp::smem_store`] for the bank model).
+    pub fn smem_load<T: Copy + Default>(
+        &mut self,
+        smem: &[T],
+        idx: &[Option<usize>; WARP_SIZE],
+    ) -> [T; WARP_SIZE] {
+        let mut out = [T::default(); WARP_SIZE];
+        let mut k = 0u64;
+        let mut banks: [Vec<usize>; 32] = std::array::from_fn(|_| Vec::new());
+        for lane in 0..WARP_SIZE {
+            if let Some(i) = idx[lane] {
+                out[lane] = smem[i];
+                banks[i % 32].push(i);
+                k += 1;
+            }
+        }
+        self.issue(k);
+        self.stats.smem_ops += k;
+        for b in &mut banks {
+            if b.len() > 1 {
+                b.sort_unstable();
+                b.dedup();
+                self.stats.smem_bank_conflicts += (b.len() - 1) as u64;
+            }
+        }
+        out
+    }
+
+    /// Tree sum reduction through **shared memory** (the Bell & Garland
+    /// CSR-vector original, which the paper's Algorithm 4 replaces with
+    /// [`Warp::shfl_down`] "without using shared memory"): each lane
+    /// parks its value in a 32-slot scratch array, then halving strides
+    /// read-add-write until slot 0 holds the total. Costs ~2 instructions
+    /// plus shared-memory traffic per step, vs 1 register instruction for
+    /// the shuffle version — the ablation behind the paper's claim.
+    pub fn reduce_sum_shared<T: Copy + Default + std::ops::Add<Output = T>>(
+        &mut self,
+        vals: [T; WARP_SIZE],
+    ) -> T {
+        let mut smem = [T::default(); WARP_SIZE];
+        let mut park = [None; WARP_SIZE];
+        for (l, slot) in park.iter_mut().enumerate() {
+            *slot = Some((l, vals[l]));
+        }
+        self.smem_store(&mut smem, &park);
+        let mut offset = WARP_SIZE / 2;
+        while offset > 0 {
+            let mut rd = [None; WARP_SIZE];
+            for (l, slot) in rd.iter_mut().enumerate().take(offset) {
+                *slot = Some(l + offset);
+            }
+            let partner = self.smem_load(&smem, &rd);
+            let mut wr = [None; WARP_SIZE];
+            for l in 0..offset {
+                wr[l] = Some((l, smem[l] + partner[l]));
+            }
+            self.smem_store(&mut smem, &wr);
+            offset /= 2;
+        }
+        smem[0]
+    }
+
+    /// `__shfl_down_sync`: lane `l` receives the value of lane
+    /// `l + offset` (lanes past the top keep their own value). Register
+    /// traffic only — no memory transactions.
+    pub fn shfl_down<T: Copy>(&mut self, vals: [T; WARP_SIZE], offset: usize) -> [T; WARP_SIZE] {
+        self.issue(WARP_SIZE as u64);
+        let mut out = vals;
+        for lane in 0..WARP_SIZE {
+            if lane + offset < WARP_SIZE {
+                out[lane] = vals[lane + offset];
+            }
+        }
+        out
+    }
+
+    /// Butterfly sum reduction via [`Warp::shfl_down`] (the paper's
+    /// Algorithm 4 lines 17–21): after `log2(32)` steps lane 0 holds the
+    /// sum of all 32 lane values.
+    pub fn reduce_sum<T: Copy + std::ops::Add<Output = T>>(
+        &mut self,
+        mut vals: [T; WARP_SIZE],
+    ) -> T {
+        let mut offset = WARP_SIZE / 2;
+        while offset > 0 {
+            let shifted = self.shfl_down(vals, offset);
+            for lane in 0..WARP_SIZE {
+                vals[lane] = vals[lane] + shifted[lane];
+            }
+            offset /= 2;
+        }
+        vals[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Device, LaunchConfig};
+
+    #[test]
+    fn unit_stride_gather_coalesces() {
+        let dev = Device::titan_xp();
+        let buf = dev.alloc_from(&vec![1u32; 64]).unwrap();
+        let s = dev.launch("coalesced", LaunchConfig::per_element(32), |w| {
+            let mut idx = [None; WARP_SIZE];
+            for l in 0..WARP_SIZE {
+                idx[l] = w.global_id(l);
+            }
+            w.gather(&buf.dslice(), &idx);
+        });
+        // 32 consecutive u32 = 128 bytes = 4 sectors of 32 B.
+        assert_eq!(s.loads, 32);
+        assert_eq!(s.load_transactions, 4);
+        assert_eq!(s.bytes_loaded, 128);
+    }
+
+    #[test]
+    fn strided_gather_explodes_transactions() {
+        let dev = Device::titan_xp();
+        let buf = dev.alloc_from(&vec![0u32; 32 * 16]).unwrap();
+        let s = dev.launch("strided", LaunchConfig::per_element(32), |w| {
+            let mut idx = [None; WARP_SIZE];
+            for l in 0..WARP_SIZE {
+                idx[l] = w.global_id(l).map(|g| g * 16); // 64-byte stride
+            }
+            w.gather(&buf.dslice(), &idx);
+        });
+        assert_eq!(s.load_transactions, 32, "every lane in its own sector");
+        assert_eq!(s.bytes_loaded, 32 * 32);
+    }
+
+    #[test]
+    fn same_address_gather_is_one_transaction() {
+        let dev = Device::titan_xp();
+        let buf = dev.alloc_from(&[42u32]).unwrap();
+        let s = dev.launch("broadcast", LaunchConfig::per_element(32), |w| {
+            let idx = [Some(0usize); WARP_SIZE];
+            let vals = w.gather(&buf.dslice(), &idx);
+            assert!(vals.iter().all(|&v| v == 42));
+        });
+        assert_eq!(s.load_transactions, 1);
+    }
+
+    #[test]
+    fn inactive_lanes_do_not_count() {
+        let dev = Device::titan_xp();
+        let buf = dev.alloc_from(&vec![0u64; 32]).unwrap();
+        let s = dev.launch("masked", LaunchConfig::per_element(32), |w| {
+            let mut idx = [None; WARP_SIZE];
+            idx[3] = Some(3); // only one lane participates
+            w.gather(&buf.dslice(), &idx);
+        });
+        assert_eq!(s.loads, 1);
+        assert_eq!(s.active_lane_ops, 1);
+        assert_eq!(s.instructions, 1);
+        assert!(s.warp_efficiency() < 0.05);
+    }
+
+    #[test]
+    fn scatter_writes_and_counts() {
+        let dev = Device::titan_xp();
+        let mut buf = dev.alloc::<u32>(64).unwrap();
+        let s = dev.launch("scatter", LaunchConfig::per_element(32), |w| {
+            let mut writes = [None; WARP_SIZE];
+            for l in 0..WARP_SIZE {
+                writes[l] = w.global_id(l).map(|g| (g, g as u32 + 1));
+            }
+            w.scatter(&mut buf.dslice_mut(), &writes);
+        });
+        assert_eq!(s.stores, 32);
+        assert_eq!(s.store_transactions, 4);
+        assert_eq!(buf.host()[5], 6);
+    }
+
+    #[test]
+    fn conflicting_scatter_latest_lane_wins() {
+        let dev = Device::titan_xp();
+        let mut buf = dev.alloc::<u32>(4).unwrap();
+        let s = dev.launch("conflict", LaunchConfig::per_element(32), |w| {
+            let mut writes = [None; WARP_SIZE];
+            for l in 0..WARP_SIZE {
+                writes[l] = Some((0usize, l as u32));
+            }
+            w.scatter(&mut buf.dslice_mut(), &writes);
+        });
+        assert_eq!(buf.host()[0], 31);
+        assert_eq!(s.store_conflicts, 31);
+    }
+
+    #[test]
+    fn atomic_add_accumulates_and_counts_conflicts() {
+        let dev = Device::titan_xp();
+        let mut buf = dev.alloc::<i64>(2).unwrap();
+        let s = dev.launch("atomic", LaunchConfig::per_element(32), |w| {
+            let mut ops = [None; WARP_SIZE];
+            for l in 0..WARP_SIZE {
+                ops[l] = Some((l % 2, 1i64));
+            }
+            w.atomic_add(&mut buf.dslice_mut(), &ops);
+        });
+        assert_eq!(buf.host(), &[16, 16]);
+        assert_eq!(s.atomic_conflicts, 30, "16 lanes per address => 15 replays each");
+    }
+
+    #[test]
+    fn shfl_down_shifts_lanes() {
+        let dev = Device::titan_xp();
+        dev.launch("shfl", LaunchConfig::per_element(32), |w| {
+            let mut vals = [0i32; WARP_SIZE];
+            for (l, v) in vals.iter_mut().enumerate() {
+                *v = l as i32;
+            }
+            let out = w.shfl_down(vals, 4);
+            assert_eq!(out[0], 4);
+            assert_eq!(out[27], 31);
+            assert_eq!(out[28], 28, "top lanes keep their value");
+        });
+    }
+
+    #[test]
+    fn smem_roundtrip_and_broadcast_has_no_conflicts() {
+        let dev = Device::titan_xp();
+        let s = dev.launch("smem", LaunchConfig::per_element(32), |w| {
+            let mut smem = [0i64; 32];
+            let mut writes = [None; WARP_SIZE];
+            for l in 0..WARP_SIZE {
+                writes[l] = Some((l, l as i64 * 3)); // one lane per bank
+            }
+            w.smem_store(&mut smem, &writes);
+            let idx = [Some(5usize); WARP_SIZE]; // broadcast
+            let vals = w.smem_load(&smem, &idx);
+            assert!(vals.iter().all(|&v| v == 15));
+        });
+        assert_eq!(s.smem_bank_conflicts, 0, "stride-1 and broadcast are conflict-free");
+        assert_eq!(s.smem_ops, 64);
+        assert_eq!(s.bytes_loaded, 0, "shared memory makes no global traffic");
+    }
+
+    #[test]
+    fn strided_smem_access_conflicts() {
+        let dev = Device::titan_xp();
+        let s = dev.launch("smem_conflict", LaunchConfig::per_element(32), |w| {
+            let mut smem = [0i32; 64];
+            let mut writes = [None; WARP_SIZE];
+            for l in 0..WARP_SIZE {
+                writes[l] = Some((l * 2, 1i32)); // stride-2 i32: 2-way conflicts
+            }
+            w.smem_store(&mut smem, &writes);
+        });
+        assert_eq!(s.smem_bank_conflicts, 16, "stride-2 halves the banks");
+    }
+
+    #[test]
+    fn shared_reduction_matches_shuffle_but_costs_more() {
+        let dev = Device::titan_xp();
+        let mut vals = [0i64; WARP_SIZE];
+        for (l, v) in vals.iter_mut().enumerate() {
+            *v = (l * 7 + 1) as i64;
+        }
+        let want: i64 = vals.iter().sum();
+        let shfl = dev.launch("r_shfl", LaunchConfig::per_element(32), |w| {
+            assert_eq!(w.reduce_sum(vals), want);
+        });
+        let shared = dev.launch("r_smem", LaunchConfig::per_element(32), |w| {
+            assert_eq!(w.reduce_sum_shared(vals), want);
+        });
+        assert!(
+            shared.instructions > shfl.instructions,
+            "shared {} vs shuffle {}",
+            shared.instructions,
+            shfl.instructions
+        );
+        assert!(shared.smem_ops > 0);
+        assert_eq!(shfl.smem_ops, 0);
+    }
+
+    #[test]
+    fn reduce_sum_matches_sequential_sum() {
+        let dev = Device::titan_xp();
+        dev.launch("reduce", LaunchConfig::per_element(32), |w| {
+            let mut vals = [0i64; WARP_SIZE];
+            for (l, v) in vals.iter_mut().enumerate() {
+                *v = (l * l) as i64;
+            }
+            let expect: i64 = (0..32).map(|l| (l * l) as i64).sum();
+            assert_eq!(w.reduce_sum(vals), expect);
+        });
+    }
+
+    #[test]
+    fn l2_misses_then_hits_on_reuse() {
+        let dev = Device::titan_xp();
+        let buf = dev.alloc_from(&vec![1u32; 1024]).unwrap();
+        let sweep = |name: &str| {
+            dev.launch(name, LaunchConfig::per_element(1024), |w| {
+                let mut idx = [None; WARP_SIZE];
+                for l in 0..WARP_SIZE {
+                    idx[l] = w.global_id(l);
+                }
+                w.gather(&buf.dslice(), &idx);
+            })
+        };
+        let cold = sweep("cold");
+        let warm = sweep("warm");
+        assert!(cold.l2_modelled && warm.l2_modelled);
+        assert_eq!(cold.dram_bytes_loaded, cold.bytes_loaded, "cold sweep all misses");
+        assert_eq!(warm.dram_bytes_loaded, 0, "warm sweep fully resident");
+        assert!(warm.l2_hit_rate() > cold.l2_hit_rate());
+        // Warm sweep models faster.
+        let t = dev.timing();
+        assert!(t.kernel_busy_time_s(&warm) < t.kernel_busy_time_s(&cold));
+    }
+
+    #[test]
+    fn tail_warp_global_ids_are_bounded() {
+        let dev = Device::titan_xp();
+        dev.launch("tail", LaunchConfig::per_element(40), |w| {
+            if w.id() == 1 {
+                assert_eq!(w.active_lanes(), 8);
+                assert_eq!(w.global_id(7), Some(39));
+                assert_eq!(w.global_id(8), None);
+            }
+        });
+    }
+}

@@ -1,0 +1,284 @@
+//! Coordinate (triplet) pattern matrix — the builder format.
+
+use crate::{check_dim, Cooc, Csc, Csr, Index, SparseError};
+
+/// A pattern matrix in coordinate (COO) format: a bag of `(row, col)`
+/// entries in arbitrary order, possibly with duplicates until
+/// [`Coo::dedup`] is called.
+///
+/// `Coo` is the *builder* format: graph generators and file readers push
+/// edges into a `Coo`, then convert to [`Csc`]/[`Csr`]/[`Cooc`] for
+/// computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Coo {
+    n_rows: usize,
+    n_cols: usize,
+    rows: Vec<Index>,
+    cols: Vec<Index>,
+}
+
+impl Coo {
+    /// Creates an empty `n_rows × n_cols` COO matrix.
+    pub fn new(n_rows: usize, n_cols: usize) -> Result<Self, SparseError> {
+        check_dim(n_rows)?;
+        check_dim(n_cols)?;
+        Ok(Coo { n_rows, n_cols, rows: Vec::new(), cols: Vec::new() })
+    }
+
+    /// Creates a COO matrix from parallel index arrays.
+    pub fn from_entries(
+        n_rows: usize,
+        n_cols: usize,
+        rows: Vec<Index>,
+        cols: Vec<Index>,
+    ) -> Result<Self, SparseError> {
+        check_dim(n_rows)?;
+        check_dim(n_cols)?;
+        if rows.len() != cols.len() {
+            return Err(SparseError::LengthMismatch { rows: rows.len(), cols: cols.len() });
+        }
+        for &r in &rows {
+            if r as usize >= n_rows {
+                return Err(SparseError::RowOutOfBounds(r, n_rows));
+            }
+        }
+        for &c in &cols {
+            if c as usize >= n_cols {
+                return Err(SparseError::ColOutOfBounds(c, n_cols));
+            }
+        }
+        Ok(Coo { n_rows, n_cols, rows, cols })
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Number of stored entries (including any duplicates).
+    pub fn nnz(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the matrix stores no entries.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Row-index array.
+    pub fn rows(&self) -> &[Index] {
+        &self.rows
+    }
+
+    /// Column-index array.
+    pub fn cols(&self) -> &[Index] {
+        &self.cols
+    }
+
+    /// Reserves capacity for `additional` more entries.
+    pub fn reserve(&mut self, additional: usize) {
+        self.rows.reserve(additional);
+        self.cols.reserve(additional);
+    }
+
+    /// Pushes one entry. Panics if out of bounds (builder-time invariant).
+    pub fn push(&mut self, row: Index, col: Index) {
+        assert!((row as usize) < self.n_rows, "row {row} out of bounds");
+        assert!((col as usize) < self.n_cols, "col {col} out of bounds");
+        self.rows.push(row);
+        self.cols.push(col);
+    }
+
+    /// Iterates over `(row, col)` entries in storage order.
+    pub fn iter(&self) -> impl Iterator<Item = (Index, Index)> + '_ {
+        self.rows.iter().copied().zip(self.cols.iter().copied())
+    }
+
+    /// Sorts entries by `(col, row)` and removes exact duplicates.
+    ///
+    /// Unweighted graphs cannot have parallel edges, so duplicate `(u, v)`
+    /// pairs produced by generators or file readers collapse to one.
+    pub fn dedup(&mut self) {
+        let mut perm: Vec<usize> = (0..self.rows.len()).collect();
+        perm.sort_unstable_by_key(|&k| (self.cols[k], self.rows[k]));
+        let mut rows = Vec::with_capacity(self.rows.len());
+        let mut cols = Vec::with_capacity(self.cols.len());
+        for k in perm {
+            let entry = (self.rows[k], self.cols[k]);
+            if rows.last().map(|&r| (r, *cols.last().unwrap())) != Some(entry) {
+                rows.push(entry.0);
+                cols.push(entry.1);
+            }
+        }
+        self.rows = rows;
+        self.cols = cols;
+    }
+
+    /// Removes diagonal entries (self-loops contribute nothing to BC and the
+    /// paper's datasets are loop-free after preprocessing).
+    pub fn remove_diagonal(&mut self) {
+        let mut w = 0;
+        for k in 0..self.rows.len() {
+            if self.rows[k] != self.cols[k] {
+                self.rows[w] = self.rows[k];
+                self.cols[w] = self.cols[k];
+                w += 1;
+            }
+        }
+        self.rows.truncate(w);
+        self.cols.truncate(w);
+    }
+
+    /// Adds the transpose of every entry (symmetrises the pattern), then
+    /// dedups. Used to turn a directed edge list into an undirected graph.
+    pub fn symmetrize(&mut self) {
+        assert_eq!(self.n_rows, self.n_cols, "symmetrize requires a square matrix");
+        let m = self.rows.len();
+        self.rows.reserve(m);
+        self.cols.reserve(m);
+        for k in 0..m {
+            let (r, c) = (self.rows[k], self.cols[k]);
+            if r != c {
+                self.rows.push(c);
+                self.cols.push(r);
+            }
+        }
+        self.dedup();
+    }
+
+    /// Returns the transpose as a new COO matrix.
+    pub fn transpose(&self) -> Coo {
+        Coo {
+            n_rows: self.n_cols,
+            n_cols: self.n_rows,
+            rows: self.cols.clone(),
+            cols: self.rows.clone(),
+        }
+    }
+
+    /// Converts to CSC (sorts and dedups first).
+    pub fn to_csc(&self) -> Csc {
+        let mut sorted = self.clone();
+        sorted.dedup();
+        // Counting sort of entries into columns.
+        let mut col_ptr = vec![0usize; self.n_cols + 1];
+        for &c in &sorted.cols {
+            col_ptr[c as usize + 1] += 1;
+        }
+        for j in 0..self.n_cols {
+            col_ptr[j + 1] += col_ptr[j];
+        }
+        // Entries are already sorted by (col, row); row_idx is just the rows.
+        Csc::from_parts_unchecked(self.n_rows, self.n_cols, col_ptr, sorted.rows)
+    }
+
+    /// Converts to CSR (sorts and dedups first).
+    pub fn to_csr(&self) -> Csr {
+        self.transpose().to_csc().into_transposed_csr()
+    }
+
+    /// Converts to the paper's COOC format (entries sorted by column).
+    pub fn to_cooc(&self) -> Cooc {
+        let mut sorted = self.clone();
+        sorted.dedup();
+        Cooc::from_sorted_unchecked(self.n_rows, self.n_cols, sorted.rows, sorted.cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Coo {
+        // 4x4:  edges (0,1) (0,2) (1,2) (2,0) (3,3)-loop (1,2)-dup
+        Coo::from_entries(4, 4, vec![0, 0, 1, 2, 3, 1], vec![1, 2, 2, 0, 3, 2]).unwrap()
+    }
+
+    #[test]
+    fn construction_and_counts() {
+        let c = sample();
+        assert_eq!(c.n_rows(), 4);
+        assert_eq!(c.n_cols(), 4);
+        assert_eq!(c.nnz(), 6);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn rejects_out_of_bounds() {
+        let err = Coo::from_entries(2, 2, vec![2], vec![0]).unwrap_err();
+        assert_eq!(err, SparseError::RowOutOfBounds(2, 2));
+        let err = Coo::from_entries(2, 2, vec![0], vec![5]).unwrap_err();
+        assert_eq!(err, SparseError::ColOutOfBounds(5, 2));
+    }
+
+    #[test]
+    fn rejects_length_mismatch() {
+        let err = Coo::from_entries(2, 2, vec![0, 1], vec![0]).unwrap_err();
+        assert_eq!(err, SparseError::LengthMismatch { rows: 2, cols: 1 });
+    }
+
+    #[test]
+    fn dedup_sorts_and_removes_duplicates() {
+        let mut c = sample();
+        c.dedup();
+        assert_eq!(c.nnz(), 5);
+        // Sorted by (col, row).
+        let entries: Vec<_> = c.iter().collect();
+        assert_eq!(entries, vec![(2, 0), (0, 1), (0, 2), (1, 2), (3, 3)]);
+    }
+
+    #[test]
+    fn remove_diagonal_drops_loops() {
+        let mut c = sample();
+        c.remove_diagonal();
+        assert_eq!(c.nnz(), 5);
+        assert!(c.iter().all(|(r, col)| r != col));
+    }
+
+    #[test]
+    fn symmetrize_adds_reverse_edges() {
+        let mut c = Coo::from_entries(3, 3, vec![0, 1], vec![1, 2]).unwrap();
+        c.symmetrize();
+        let entries: Vec<_> = c.iter().collect();
+        assert_eq!(entries.len(), 4);
+        assert!(entries.contains(&(1, 0)));
+        assert!(entries.contains(&(2, 1)));
+    }
+
+    #[test]
+    fn transpose_swaps_indices() {
+        let c = sample().transpose();
+        assert!(c.iter().any(|e| e == (1, 0)));
+        assert_eq!(c.nnz(), 6);
+    }
+
+    #[test]
+    fn push_and_reserve() {
+        let mut c = Coo::new(3, 3).unwrap();
+        c.reserve(2);
+        c.push(0, 1);
+        c.push(2, 2);
+        assert_eq!(c.nnz(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn push_out_of_bounds_panics() {
+        let mut c = Coo::new(2, 2).unwrap();
+        c.push(3, 0);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let c = Coo::new(0, 0).unwrap();
+        assert!(c.is_empty());
+        let csc = c.to_csc();
+        assert_eq!(csc.n_cols(), 0);
+        assert_eq!(csc.nnz(), 0);
+    }
+}

@@ -1,0 +1,345 @@
+//! Compressed sparse column pattern matrix.
+
+use crate::{check_dim, Coo, Csr, Index, Scalar, SparseError};
+
+/// A pattern matrix in **CSC** (compressed sparse column) format:
+/// `col_ptr` (length `n_cols + 1`) gives, for each column `j`, the slice
+/// `row_idx[col_ptr[j] .. col_ptr[j+1]]` of row indices with a stored entry
+/// in that column.
+///
+/// This is the storage used by the `scCSC` (one thread per vertex/column,
+/// Algorithm 3) and `veCSC` (one warp per column, Algorithm 4) kernels. In
+/// graph terms, when `A[u][v] = 1` encodes the edge `u → v`, column `v`
+/// lists the **in-neighbours** of `v`, so a gather over a column computes
+/// one component of `Aᵀ x` — the BFS "pull" direction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Csc {
+    n_rows: usize,
+    n_cols: usize,
+    col_ptr: Vec<usize>,
+    row_idx: Vec<Index>,
+}
+
+impl Csc {
+    /// Builds a CSC matrix from raw parts, validating every invariant.
+    pub fn from_parts(
+        n_rows: usize,
+        n_cols: usize,
+        col_ptr: Vec<usize>,
+        row_idx: Vec<Index>,
+    ) -> Result<Self, SparseError> {
+        check_dim(n_rows)?;
+        check_dim(n_cols)?;
+        if col_ptr.len() != n_cols + 1 {
+            return Err(SparseError::PointerLength {
+                expected: n_cols + 1,
+                actual: col_ptr.len(),
+            });
+        }
+        if col_ptr[0] != 0 {
+            return Err(SparseError::NonMonotonicPointer { position: 0 });
+        }
+        for j in 0..n_cols {
+            if col_ptr[j] > col_ptr[j + 1] {
+                return Err(SparseError::NonMonotonicPointer { position: j + 1 });
+            }
+        }
+        if *col_ptr.last().unwrap() != row_idx.len() {
+            return Err(SparseError::PointerTotal {
+                last: *col_ptr.last().unwrap(),
+                nnz: row_idx.len(),
+            });
+        }
+        for &r in &row_idx {
+            if r as usize >= n_rows {
+                return Err(SparseError::RowOutOfBounds(r, n_rows));
+            }
+        }
+        Ok(Csc { n_rows, n_cols, col_ptr, row_idx })
+    }
+
+    pub(crate) fn from_parts_unchecked(
+        n_rows: usize,
+        n_cols: usize,
+        col_ptr: Vec<usize>,
+        row_idx: Vec<Index>,
+    ) -> Self {
+        debug_assert_eq!(col_ptr.len(), n_cols + 1);
+        debug_assert_eq!(*col_ptr.last().unwrap_or(&0), row_idx.len());
+        Csc { n_rows, n_cols, col_ptr, row_idx }
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.row_idx.len()
+    }
+
+    /// The column-pointer array (`CP_A` in the paper, zero-based here).
+    pub fn col_ptr(&self) -> &[usize] {
+        &self.col_ptr
+    }
+
+    /// The row-index array (`row_A` in the paper).
+    pub fn row_idx(&self) -> &[Index] {
+        &self.row_idx
+    }
+
+    /// The row indices stored in column `j`.
+    pub fn column(&self, j: usize) -> &[Index] {
+        &self.row_idx[self.col_ptr[j]..self.col_ptr[j + 1]]
+    }
+
+    /// Number of stored entries in column `j` (the in-degree of vertex `j`
+    /// for an adjacency matrix).
+    pub fn column_len(&self, j: usize) -> usize {
+        self.col_ptr[j + 1] - self.col_ptr[j]
+    }
+
+    /// Device words needed to store this matrix (the paper transfers
+    /// `CP_A` and `row_A` for a CSC run): `n + 1 + m`.
+    pub fn storage_words(&self) -> usize {
+        self.n_cols + 1 + self.nnz()
+    }
+
+    /// Sequential `y[j] ← Σ_{i ∈ column j} x[i]` for all columns, i.e.
+    /// `y ← Aᵀ x` (unmasked gather).
+    pub fn spmv_t<T>(&self, x: &[T], y: &mut [T])
+    where
+        T: Scalar,
+    {
+        assert_eq!(x.len(), self.n_rows, "x must have one entry per row");
+        assert_eq!(y.len(), self.n_cols, "y must have one entry per column");
+        for j in 0..self.n_cols {
+            let mut sum = T::default();
+            for &r in self.column(j) {
+                sum = sum.acc(x[r as usize]);
+            }
+            y[j] = y[j].acc(sum);
+        }
+    }
+
+    /// Sequential **Algorithm 3** (`scCSC-SpMV`): the masked gather used in
+    /// the BFS stage. For every column `j` with `mask[j] == true` (the paper
+    /// tests `σ(j) == 0`, i.e. *undiscovered*), gathers `sum = Σ x[row]` and
+    /// writes `y[j] = sum` only when `sum > 0` (exploiting frontier
+    /// sparsity). Unmasked columns are left untouched.
+    pub fn masked_spmv_t<T>(&self, x: &[T], mask: impl Fn(usize) -> bool, y: &mut [T])
+    where
+        T: Scalar,
+    {
+        assert_eq!(x.len(), self.n_rows, "x must have one entry per row");
+        assert_eq!(y.len(), self.n_cols, "y must have one entry per column");
+        let zero = T::default();
+        for j in 0..self.n_cols {
+            if mask(j) {
+                let mut sum = T::default();
+                for &r in self.column(j) {
+                    sum = sum.acc(x[r as usize]);
+                }
+                if sum > zero {
+                    y[j] = sum;
+                }
+            }
+        }
+    }
+
+    /// Sequential `y ← y + A x` (scatter): for every column `j` with
+    /// `x[j] > 0`, adds `x[j]` to `y[i]` for each stored row `i` of column
+    /// `j`. This is the backward-stage direction computed from the *same*
+    /// CSC structure (no transpose copy is materialised), preserving the
+    /// paper's one-format-per-run memory rule.
+    pub fn spmv<T>(&self, x: &[T], y: &mut [T])
+    where
+        T: Scalar,
+    {
+        assert_eq!(x.len(), self.n_cols, "x must have one entry per column");
+        assert_eq!(y.len(), self.n_rows, "y must have one entry per row");
+        let zero = T::default();
+        for j in 0..self.n_cols {
+            let xv = x[j];
+            if xv > zero {
+                for &r in self.column(j) {
+                    let ri = r as usize;
+                    y[ri] = y[ri].acc(xv);
+                }
+            }
+        }
+    }
+
+    /// Returns the transpose as a new CSC matrix.
+    pub fn transpose(&self) -> Csc {
+        let mut col_ptr = vec![0usize; self.n_rows + 1];
+        for &r in &self.row_idx {
+            col_ptr[r as usize + 1] += 1;
+        }
+        for i in 0..self.n_rows {
+            col_ptr[i + 1] += col_ptr[i];
+        }
+        let mut cursor = col_ptr.clone();
+        let mut row_idx = vec![0 as Index; self.nnz()];
+        for j in 0..self.n_cols {
+            for &r in self.column(j) {
+                row_idx[cursor[r as usize]] = j as Index;
+                cursor[r as usize] += 1;
+            }
+        }
+        Csc::from_parts_unchecked(self.n_cols, self.n_rows, col_ptr, row_idx)
+    }
+
+    /// Reinterprets this CSC structure as the CSR of the transposed matrix
+    /// (`CSC(A)` and `CSR(Aᵀ)` are the same arrays).
+    pub fn into_transposed_csr(self) -> Csr {
+        Csr::from_parts_unchecked(self.n_cols, self.n_rows, self.col_ptr, self.row_idx)
+    }
+
+    /// Converts to COO (entries in column-sorted order).
+    pub fn to_coo(&self) -> Coo {
+        let mut cols = Vec::with_capacity(self.nnz());
+        for j in 0..self.n_cols {
+            cols.extend(std::iter::repeat_n(j as Index, self.column_len(j)));
+        }
+        Coo::from_entries(self.n_rows, self.n_cols, self.row_idx.clone(), cols)
+            .expect("CSC invariants guarantee valid COO")
+    }
+
+    /// Whether the pattern is symmetric (`A = Aᵀ`). Requires square.
+    pub fn is_symmetric(&self) -> bool {
+        if self.n_rows != self.n_cols {
+            return false;
+        }
+        let t = self.transpose();
+        self.col_ptr == t.col_ptr && self.row_idx == t.row_idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Directed: 0→1, 0→2, 1→2, 2→0, 2→3.
+    fn sample() -> Csc {
+        Coo::from_entries(4, 4, vec![0, 0, 1, 2, 2], vec![1, 2, 2, 0, 3]).unwrap().to_csc()
+    }
+
+    #[test]
+    fn structure_matches_graph() {
+        let m = sample();
+        assert_eq!(m.n_rows(), 4);
+        assert_eq!(m.nnz(), 5);
+        assert_eq!(m.column(2), &[0, 1]); // in-neighbours of 2
+        assert_eq!(m.column(0), &[2]);
+        assert_eq!(m.column_len(3), 1);
+        assert_eq!(m.storage_words(), 4 + 1 + 5);
+    }
+
+    #[test]
+    fn from_parts_validates() {
+        assert!(Csc::from_parts(2, 2, vec![0, 1, 2], vec![0, 1]).is_ok());
+        assert_eq!(
+            Csc::from_parts(2, 2, vec![0, 1], vec![0]).unwrap_err(),
+            SparseError::PointerLength { expected: 3, actual: 2 }
+        );
+        assert_eq!(
+            Csc::from_parts(2, 2, vec![0, 1, 1], vec![0, 0]).unwrap_err(),
+            SparseError::PointerTotal { last: 1, nnz: 2 }
+        );
+        assert!(matches!(
+            Csc::from_parts(2, 2, vec![0, 2, 1], vec![0, 0]).unwrap_err(),
+            SparseError::NonMonotonicPointer { position: 2 }
+        ));
+        assert_eq!(
+            Csc::from_parts(2, 2, vec![0, 1, 2], vec![0, 7]).unwrap_err(),
+            SparseError::RowOutOfBounds(7, 2)
+        );
+    }
+
+    #[test]
+    fn spmv_t_gathers_in_neighbours() {
+        let m = sample();
+        let x = vec![1i32, 2, 0, 0];
+        let mut y = vec![0i32; 4];
+        m.spmv_t(&x, &mut y);
+        assert_eq!(y, vec![0, 1, 3, 0]);
+    }
+
+    #[test]
+    fn masked_spmv_t_skips_discovered_columns() {
+        let m = sample();
+        let sigma = [1i32, 0, 5, 0]; // vertices 0 and 2 already discovered
+        let x = vec![1i32, 1, 1, 0];
+        let mut y = vec![0i32; 4];
+        m.masked_spmv_t(&x, |j| sigma[j] == 0, &mut y);
+        // Column 1 (in-nb {0}): sum 1 → written. Column 3 (in-nb {2}): 1.
+        // Columns 0 and 2 masked out.
+        assert_eq!(y, vec![0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn masked_spmv_t_skips_zero_sums() {
+        let m = sample();
+        let x = vec![0i32; 4];
+        let mut y = vec![9i32; 4];
+        m.masked_spmv_t(&x, |_| true, &mut y);
+        assert_eq!(y, vec![9; 4], "zero sums must not overwrite y");
+    }
+
+    #[test]
+    fn spmv_scatters_along_columns() {
+        let m = sample();
+        let x = vec![0.0f32, 0.0, 1.5, 0.0];
+        let mut y = vec![0.0f32; 4];
+        m.spmv(&x, &mut y);
+        // Column 2 holds rows {0, 1}.
+        assert_eq!(y, vec![1.5, 1.5, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let m = sample();
+        assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn transpose_agrees_with_coo_transpose() {
+        let m = sample();
+        let via_coo = m.to_coo().transpose().to_csc();
+        assert_eq!(m.transpose(), via_coo);
+    }
+
+    #[test]
+    fn spmv_equals_transposed_spmv_t() {
+        let m = sample();
+        let t = m.transpose();
+        let x = vec![1i32, 2, 3, 4];
+        let mut y1 = vec![0i32; 4];
+        let mut y2 = vec![0i32; 4];
+        m.spmv(&x, &mut y1);
+        t.spmv_t(&x, &mut y2);
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn symmetry_detection() {
+        let asym = sample();
+        assert!(!asym.is_symmetric());
+        let mut coo = Coo::from_entries(3, 3, vec![0, 1], vec![1, 2]).unwrap();
+        coo.symmetrize();
+        assert!(coo.to_csc().is_symmetric());
+    }
+
+    #[test]
+    fn to_coo_round_trip() {
+        let m = sample();
+        assert_eq!(m.to_coo().to_csc(), m);
+    }
+}

@@ -1,0 +1,233 @@
+//! Compressed sparse row pattern matrix.
+
+use crate::{check_dim, Coo, Csc, Index, Scalar, SparseError};
+
+/// A pattern matrix in **CSR** (compressed sparse row) format: `row_ptr`
+/// (length `n_rows + 1`) gives, for each row `i`, the slice
+/// `col_idx[row_ptr[i] .. row_ptr[i+1]]` of column indices stored in that
+/// row.
+///
+/// For an adjacency matrix with `A[u][v] = 1` encoding `u → v`, row `u`
+/// lists the **out-neighbours** of `u`. The ligra-like and gunrock-like
+/// baselines traverse out-neighbour lists, so they consume this format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Csr {
+    n_rows: usize,
+    n_cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<Index>,
+}
+
+impl Csr {
+    /// Builds a CSR matrix from raw parts, validating every invariant.
+    pub fn from_parts(
+        n_rows: usize,
+        n_cols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<Index>,
+    ) -> Result<Self, SparseError> {
+        check_dim(n_rows)?;
+        check_dim(n_cols)?;
+        if row_ptr.len() != n_rows + 1 {
+            return Err(SparseError::PointerLength {
+                expected: n_rows + 1,
+                actual: row_ptr.len(),
+            });
+        }
+        if row_ptr[0] != 0 {
+            return Err(SparseError::NonMonotonicPointer { position: 0 });
+        }
+        for i in 0..n_rows {
+            if row_ptr[i] > row_ptr[i + 1] {
+                return Err(SparseError::NonMonotonicPointer { position: i + 1 });
+            }
+        }
+        if *row_ptr.last().unwrap() != col_idx.len() {
+            return Err(SparseError::PointerTotal {
+                last: *row_ptr.last().unwrap(),
+                nnz: col_idx.len(),
+            });
+        }
+        for &c in &col_idx {
+            if c as usize >= n_cols {
+                return Err(SparseError::ColOutOfBounds(c, n_cols));
+            }
+        }
+        Ok(Csr { n_rows, n_cols, row_ptr, col_idx })
+    }
+
+    pub(crate) fn from_parts_unchecked(
+        n_rows: usize,
+        n_cols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<Index>,
+    ) -> Self {
+        debug_assert_eq!(row_ptr.len(), n_rows + 1);
+        debug_assert_eq!(*row_ptr.last().unwrap_or(&0), col_idx.len());
+        Csr { n_rows, n_cols, row_ptr, col_idx }
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// The row-pointer array.
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// The column-index array.
+    pub fn col_idx(&self) -> &[Index] {
+        &self.col_idx
+    }
+
+    /// The column indices stored in row `i` (out-neighbours of vertex `i`).
+    pub fn row(&self, i: usize) -> &[Index] {
+        &self.col_idx[self.row_ptr[i]..self.row_ptr[i + 1]]
+    }
+
+    /// Number of stored entries in row `i` (the out-degree of vertex `i`).
+    pub fn row_len(&self, i: usize) -> usize {
+        self.row_ptr[i + 1] - self.row_ptr[i]
+    }
+
+    /// Sequential `y ← y + A x` (gather over rows).
+    pub fn spmv<T>(&self, x: &[T], y: &mut [T])
+    where
+        T: Scalar,
+    {
+        assert_eq!(x.len(), self.n_cols, "x must have one entry per column");
+        assert_eq!(y.len(), self.n_rows, "y must have one entry per row");
+        for i in 0..self.n_rows {
+            let mut sum = T::default();
+            for &c in self.row(i) {
+                sum = sum.acc(x[c as usize]);
+            }
+            y[i] = y[i].acc(sum);
+        }
+    }
+
+    /// Sequential `y ← y + Aᵀ x` (scatter along rows).
+    pub fn spmv_t<T>(&self, x: &[T], y: &mut [T])
+    where
+        T: Scalar,
+    {
+        assert_eq!(x.len(), self.n_rows, "x must have one entry per row");
+        assert_eq!(y.len(), self.n_cols, "y must have one entry per column");
+        let zero = T::default();
+        for i in 0..self.n_rows {
+            let xv = x[i];
+            if xv > zero {
+                for &c in self.row(i) {
+                    let ci = c as usize;
+                    y[ci] = y[ci].acc(xv);
+                }
+            }
+        }
+    }
+
+    /// Reinterprets this CSR structure as the CSC of the transposed matrix
+    /// (`CSR(A)` and `CSC(Aᵀ)` are the same arrays).
+    pub fn into_transposed_csc(self) -> Csc {
+        Csc::from_parts_unchecked(self.n_cols, self.n_rows, self.row_ptr, self.col_idx)
+    }
+
+    /// Converts to CSC (of the same matrix).
+    pub fn to_csc(&self) -> Csc {
+        self.to_coo().to_csc()
+    }
+
+    /// Converts to COO (entries in row-sorted order).
+    pub fn to_coo(&self) -> Coo {
+        let mut rows = Vec::with_capacity(self.nnz());
+        for i in 0..self.n_rows {
+            rows.extend(std::iter::repeat_n(i as Index, self.row_len(i)));
+        }
+        Coo::from_entries(self.n_rows, self.n_cols, rows, self.col_idx.clone())
+            .expect("CSR invariants guarantee valid COO")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Directed: 0→1, 0→2, 1→2, 2→0, 2→3.
+    fn sample() -> Csr {
+        Coo::from_entries(4, 4, vec![0, 0, 1, 2, 2], vec![1, 2, 2, 0, 3]).unwrap().to_csr()
+    }
+
+    #[test]
+    fn rows_list_out_neighbours() {
+        let m = sample();
+        assert_eq!(m.row(0), &[1, 2]);
+        assert_eq!(m.row(1), &[2]);
+        assert_eq!(m.row(2), &[0, 3]);
+        assert_eq!(m.row(3), &[] as &[Index]);
+        assert_eq!(m.row_len(2), 2);
+    }
+
+    #[test]
+    fn from_parts_validates() {
+        assert!(Csr::from_parts(2, 3, vec![0, 1, 2], vec![0, 2]).is_ok());
+        assert_eq!(
+            Csr::from_parts(2, 2, vec![0, 1, 2], vec![0, 9]).unwrap_err(),
+            SparseError::ColOutOfBounds(9, 2)
+        );
+        assert_eq!(
+            Csr::from_parts(1, 1, vec![0], vec![]).unwrap_err(),
+            SparseError::PointerLength { expected: 2, actual: 1 }
+        );
+    }
+
+    #[test]
+    fn spmv_matches_csc_spmv() {
+        let csr = sample();
+        let csc = csr.to_csc();
+        let x = vec![1i32, 2, 3, 4];
+        let mut y1 = vec![0i32; 4];
+        let mut y2 = vec![0i32; 4];
+        csr.spmv(&x, &mut y1);
+        csc.spmv(&x, &mut y2);
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn spmv_t_matches_csc_spmv_t() {
+        let csr = sample();
+        let csc = csr.to_csc();
+        let x = vec![1i32, 0, 2, 0];
+        let mut y1 = vec![0i32; 4];
+        let mut y2 = vec![0i32; 4];
+        csr.spmv_t(&x, &mut y1);
+        csc.spmv_t(&x, &mut y2);
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn csr_csc_round_trip() {
+        let csr = sample();
+        assert_eq!(csr.to_csc().to_coo().to_csr(), csr);
+    }
+
+    #[test]
+    fn csc_into_transposed_csr_shares_arrays() {
+        // CSC(A) reinterpreted as CSR gives CSR(Aᵀ): row i of the result
+        // lists the in-neighbours of i in A.
+        let csc = sample().to_csc();
+        let csr_t = csc.clone().into_transposed_csr();
+        assert_eq!(csr_t.row(2), csc.column(2));
+        assert_eq!(csr_t.row(0), csc.column(0));
+    }
+}

@@ -1,0 +1,137 @@
+//! Dense boolean matrix — the test oracle for the sparse formats.
+
+use crate::{Coo, Index, Scalar};
+
+/// A dense boolean matrix, used only as a reference implementation in tests
+/// and property checks. Not intended for large inputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DenseMatrix {
+    n_rows: usize,
+    n_cols: usize,
+    data: Vec<bool>,
+}
+
+impl DenseMatrix {
+    /// Creates an all-zero dense matrix.
+    pub fn zeros(n_rows: usize, n_cols: usize) -> Self {
+        DenseMatrix { n_rows, n_cols, data: vec![false; n_rows * n_cols] }
+    }
+
+    /// Builds a dense matrix from any COO pattern.
+    pub fn from_coo(coo: &Coo) -> Self {
+        let mut m = DenseMatrix::zeros(coo.n_rows(), coo.n_cols());
+        for (r, c) in coo.iter() {
+            m.set(r as usize, c as usize);
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Sets entry `(i, j)` to one.
+    pub fn set(&mut self, i: usize, j: usize) {
+        self.data[i * self.n_cols + j] = true;
+    }
+
+    /// Reads entry `(i, j)`.
+    pub fn get(&self, i: usize, j: usize) -> bool {
+        self.data[i * self.n_cols + j]
+    }
+
+    /// Number of non-zero entries.
+    pub fn nnz(&self) -> usize {
+        self.data.iter().filter(|&&b| b).count()
+    }
+
+    /// Reference `y ← y + A x` over the pattern, skipping non-positive `x`
+    /// entries exactly like the sparse kernels do.
+    pub fn spmv<T>(&self, x: &[T], y: &mut [T])
+    where
+        T: Scalar,
+    {
+        assert_eq!(x.len(), self.n_cols);
+        assert_eq!(y.len(), self.n_rows);
+        let zero = T::default();
+        for i in 0..self.n_rows {
+            for j in 0..self.n_cols {
+                if self.get(i, j) && x[j] > zero {
+                    y[i] = y[i].acc(x[j]);
+                }
+            }
+        }
+    }
+
+    /// Reference `y ← y + Aᵀ x` over the pattern, skipping non-positive `x`.
+    pub fn spmv_t<T>(&self, x: &[T], y: &mut [T])
+    where
+        T: Scalar,
+    {
+        assert_eq!(x.len(), self.n_rows);
+        assert_eq!(y.len(), self.n_cols);
+        let zero = T::default();
+        for i in 0..self.n_rows {
+            if x[i] > zero {
+                for j in 0..self.n_cols {
+                    if self.get(i, j) {
+                        y[j] = y[j].acc(x[i]);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Converts the dense pattern back to COO (row-major entry order).
+    pub fn to_coo(&self) -> Coo {
+        let mut coo = Coo::new(self.n_rows, self.n_cols).expect("dims checked at build");
+        for i in 0..self.n_rows {
+            for j in 0..self.n_cols {
+                if self.get(i, j) {
+                    coo.push(i as Index, j as Index);
+                }
+            }
+        }
+        coo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_through_coo() {
+        let coo = Coo::from_entries(3, 4, vec![0, 2, 2], vec![3, 0, 1]).unwrap();
+        let dense = DenseMatrix::from_coo(&coo);
+        assert_eq!(dense.nnz(), 3);
+        assert!(dense.get(0, 3));
+        assert!(dense.get(2, 0));
+        assert!(!dense.get(1, 1));
+        let mut back = dense.to_coo();
+        back.dedup();
+        let mut orig = coo.clone();
+        orig.dedup();
+        assert_eq!(back.to_csc(), orig.to_csc());
+    }
+
+    #[test]
+    fn dense_spmv_matches_hand_computation() {
+        // A = [1 1; 0 1]
+        let coo = Coo::from_entries(2, 2, vec![0, 0, 1], vec![0, 1, 1]).unwrap();
+        let dense = DenseMatrix::from_coo(&coo);
+        let x = vec![2i32, 3];
+        let mut y = vec![0i32; 2];
+        dense.spmv(&x, &mut y);
+        assert_eq!(y, vec![5, 3]);
+        let mut yt = vec![0i32; 2];
+        dense.spmv_t(&x, &mut yt);
+        assert_eq!(yt, vec![2, 5]);
+    }
+}

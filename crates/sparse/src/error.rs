@@ -1,0 +1,81 @@
+//! Error type shared by the sparse formats.
+
+use std::fmt;
+
+/// Errors produced by sparse-matrix constructors and conversions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SparseError {
+    /// A row or column dimension exceeds `u32::MAX`.
+    DimensionTooLarge(usize),
+    /// An entry's row index is out of bounds: `(row, n_rows)`.
+    RowOutOfBounds(u32, usize),
+    /// An entry's column index is out of bounds: `(col, n_cols)`.
+    ColOutOfBounds(u32, usize),
+    /// The index arrays of a coordinate format have different lengths.
+    LengthMismatch {
+        /// Length of the row-index array.
+        rows: usize,
+        /// Length of the column-index array.
+        cols: usize,
+    },
+    /// A pointer array is not monotonically non-decreasing at `position`.
+    NonMonotonicPointer {
+        /// Index in the pointer array at which the violation occurs.
+        position: usize,
+    },
+    /// A pointer array has the wrong length: `(expected, actual)`.
+    PointerLength {
+        /// Expected pointer-array length (`dim + 1`).
+        expected: usize,
+        /// Actual pointer-array length.
+        actual: usize,
+    },
+    /// The last pointer entry does not equal the number of stored entries.
+    PointerTotal {
+        /// Value of the final pointer entry.
+        last: usize,
+        /// Number of stored index entries.
+        nnz: usize,
+    },
+    /// A vector passed to an SpMV routine has the wrong length:
+    /// `(expected, actual)`.
+    VectorLength {
+        /// Expected vector length.
+        expected: usize,
+        /// Actual vector length.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::DimensionTooLarge(d) => {
+                write!(f, "dimension {d} exceeds u32::MAX")
+            }
+            SparseError::RowOutOfBounds(r, n) => {
+                write!(f, "row index {r} out of bounds for {n} rows")
+            }
+            SparseError::ColOutOfBounds(c, n) => {
+                write!(f, "column index {c} out of bounds for {n} columns")
+            }
+            SparseError::LengthMismatch { rows, cols } => {
+                write!(f, "row array has {rows} entries but column array has {cols}")
+            }
+            SparseError::NonMonotonicPointer { position } => {
+                write!(f, "pointer array decreases at position {position}")
+            }
+            SparseError::PointerLength { expected, actual } => {
+                write!(f, "pointer array has length {actual}, expected {expected}")
+            }
+            SparseError::PointerTotal { last, nnz } => {
+                write!(f, "final pointer entry {last} does not match nnz {nnz}")
+            }
+            SparseError::VectorLength { expected, actual } => {
+                write!(f, "vector has length {actual}, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SparseError {}

@@ -1,0 +1,78 @@
+//! Sparse matrix storage formats and sparse matrix–vector products for the
+//! TurboBC reproduction.
+//!
+//! The TurboBC paper (Artiles & Saeed, ICPP Workshops '21) represents an
+//! unweighted graph by the *pattern* of its sparse adjacency matrix `A`
+//! (`A[i][j] = 1` iff there is an edge `i → j`) and formulates betweenness
+//! centrality as a sequence of masked sparse matrix–vector products. To
+//! minimise the device memory footprint, the non-zero *values* are never
+//! stored — only the index structure is. This crate therefore implements
+//! **pattern matrices**: index structure without a value array.
+//!
+//! Four storage formats are provided:
+//!
+//! * [`Coo`] — coordinate triplets in arbitrary order; the builder format.
+//! * [`Cooc`] — the paper's "COOC" format: the COO entries of `A` sorted by
+//!   column, stored as the pair of arrays `row_a` / `col_a` (Figure 1 of the
+//!   paper). One-thread-per-*edge* kernels (`scCOOC`) iterate it directly.
+//! * [`Csc`] — compressed sparse column: `col_ptr` (length `n_cols + 1`) and
+//!   `row_idx` (length `m`). One-thread-per-*vertex* kernels (`scCSC`) and
+//!   one-warp-per-vertex kernels (`veCSC`) iterate its columns.
+//! * [`Csr`] — compressed sparse row; provided for completeness, for the
+//!   baselines (gunrock-like / ligra-like traverse out-neighbour lists), and
+//!   for transposition tests.
+//!
+//! All formats support the two multiplication directions needed by Brandes'
+//! algorithm in linear-algebraic form:
+//!
+//! * `y ← Aᵀ x` ([`Csc::spmv_t`], [`Cooc::spmv_t`]) — the *forward* (BFS)
+//!   direction: path counts flow along edges `u → v`.
+//! * `y ← A x` ([`Csc::spmv`], [`Cooc::spmv`]) — the *backward* (dependency
+//!   accumulation) direction: dependencies flow from children back to
+//!   parents. (The paper's pseudocode writes `Aᵀ` in both stages, which is
+//!   only correct for symmetric matrices; see `DESIGN.md` §2.)
+//!
+//! Indices are stored as `u32` (the paper uses 32-bit `int` arrays on the
+//! device); matrices are limited to `u32::MAX` rows/columns and entries.
+
+#![forbid(unsafe_code)]
+#![allow(clippy::needless_range_loop)]
+#![warn(missing_docs)]
+
+mod coo;
+mod cooc;
+mod csc;
+mod csr;
+mod dense;
+mod error;
+pub mod ops;
+mod scalar;
+pub mod semiring;
+
+pub use scalar::Scalar;
+
+pub use coo::Coo;
+pub use cooc::Cooc;
+pub use csc::Csc;
+pub use csr::Csr;
+pub use dense::DenseMatrix;
+pub use error::SparseError;
+
+/// Vertex / row / column index type used throughout the workspace.
+///
+/// The paper stores all index arrays as 32-bit integers on the device; we do
+/// the same, which also halves memory traffic relative to `usize` on 64-bit
+/// hosts.
+pub type Index = u32;
+
+/// Checks that a dimension fits in [`Index`].
+pub(crate) fn check_dim(dim: usize) -> Result<(), SparseError> {
+    if dim > Index::MAX as usize {
+        Err(SparseError::DimensionTooLarge(dim))
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,165 @@
+//! Elementwise vector operations used by the linear-algebraic BC algorithm.
+//!
+//! Algorithm 1 of the paper interleaves SpMV products with masked
+//! elementwise updates (lines 20–27 and 32–40). These helpers implement the
+//! masked updates as named operations so that the sequential, rayon and
+//! SIMT engines share one specification (and one set of tests).
+
+/// Line 20–22 of Algorithm 1: copy `f_t[i]` into `f[i]` for every vertex
+/// that is still undiscovered (`sigma[i] == 0`); all other `f[i]` become 0.
+/// Returns the number of vertices now in the frontier.
+pub fn mask_new_frontier(f_t: &[i64], sigma: &[i64], f: &mut [i64]) -> usize {
+    debug_assert_eq!(f_t.len(), sigma.len());
+    debug_assert_eq!(f_t.len(), f.len());
+    let mut count = 0;
+    for i in 0..f_t.len() {
+        if sigma[i] == 0 && f_t[i] != 0 {
+            f[i] = f_t[i];
+            count += 1;
+        } else {
+            f[i] = 0;
+        }
+    }
+    count
+}
+
+/// Lines 23–27 of Algorithm 1: for every vertex with a non-zero frontier
+/// value, record its discovery depth in `depths` and add its new shortest
+/// paths into `sigma`. Returns `true` if any vertex was updated (the `c`
+/// flag of the algorithm).
+pub fn update_sigma_depth(f: &[i64], d: u32, depths: &mut [u32], sigma: &mut [i64]) -> bool {
+    debug_assert_eq!(f.len(), depths.len());
+    debug_assert_eq!(f.len(), sigma.len());
+    let mut any = false;
+    for i in 0..f.len() {
+        if f[i] != 0 {
+            depths[i] = d;
+            sigma[i] = sigma[i].saturating_add(f[i]);
+            any = true;
+        }
+    }
+    any
+}
+
+/// Lines 32–36 of Algorithm 1: seed the backward auxiliary vector
+/// `delta_u[i] = (1 + delta[i]) / sigma[i]` for every vertex discovered at
+/// depth `d` (with positive path count); all other entries become 0.
+pub fn seed_delta_u(depths: &[u32], sigma: &[i64], delta: &[f64], d: u32, delta_u: &mut [f64]) {
+    debug_assert_eq!(depths.len(), sigma.len());
+    debug_assert_eq!(depths.len(), delta.len());
+    debug_assert_eq!(depths.len(), delta_u.len());
+    for i in 0..depths.len() {
+        delta_u[i] = if depths[i] == d && sigma[i] > 0 {
+            (1.0 + delta[i]) / sigma[i] as f64
+        } else {
+            0.0
+        };
+    }
+}
+
+/// Lines 38–40 of Algorithm 1: fold the weighted dependency sums back into
+/// `delta` for every vertex at depth `d - 1`.
+pub fn accumulate_delta(
+    depths: &[u32],
+    sigma: &[i64],
+    delta_ut: &[f64],
+    d: u32,
+    delta: &mut [f64],
+) {
+    debug_assert_eq!(depths.len(), delta_ut.len());
+    debug_assert_eq!(depths.len(), delta.len());
+    for i in 0..depths.len() {
+        if depths[i] == d - 1 {
+            delta[i] += delta_ut[i] * sigma[i] as f64;
+        }
+    }
+}
+
+/// Lines 43–47 of Algorithm 1: add the per-source dependencies into the
+/// global BC vector, skipping the source itself. `scale` is 1.0 for
+/// directed graphs and 0.5 for undirected graphs (the paper's compensation
+/// for double counting of each unordered pair).
+pub fn accumulate_bc(delta: &[f64], source: usize, scale: f64, bc: &mut [f64]) {
+    debug_assert_eq!(delta.len(), bc.len());
+    for (v, &dv) in delta.iter().enumerate() {
+        if v != source {
+            bc[v] += dv * scale;
+        }
+    }
+}
+
+/// The sentinel depth for "never discovered". Depth 1 is the source (the
+/// paper's `d` starts at 1), so 0 is free to mean unreached.
+pub const UNDISCOVERED: u32 = 0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mask_new_frontier_filters_discovered() {
+        let f_t = vec![3, 2, 0, 5];
+        let sigma = vec![0, 7, 0, 0];
+        let mut f = vec![9i64; 4];
+        let count = mask_new_frontier(&f_t, &sigma, &mut f);
+        assert_eq!(f, vec![3, 0, 0, 5]);
+        assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn update_sigma_depth_records_discoveries() {
+        let f = vec![0i64, 2, 1, 0];
+        let mut depths = vec![UNDISCOVERED; 4];
+        let mut sigma = vec![0i64, 0, 3, 0];
+        let any = update_sigma_depth(&f, 4, &mut depths, &mut sigma);
+        assert!(any);
+        assert_eq!(depths, vec![0, 4, 4, 0]);
+        assert_eq!(sigma, vec![0, 2, 4, 0]);
+    }
+
+    #[test]
+    fn update_sigma_depth_reports_empty_frontier() {
+        let f = vec![0i64; 3];
+        let mut depths = vec![0u32; 3];
+        let mut sigma = vec![0i64; 3];
+        assert!(!update_sigma_depth(&f, 2, &mut depths, &mut sigma));
+    }
+
+    #[test]
+    fn seed_delta_u_selects_depth() {
+        let depths = vec![1, 2, 2, 0];
+        let sigma = vec![1i64, 2, 4, 0];
+        let delta = vec![0.0, 1.0, 3.0, 0.0];
+        let mut delta_u = vec![-1.0; 4];
+        seed_delta_u(&depths, &sigma, &delta, 2, &mut delta_u);
+        assert_eq!(delta_u, vec![0.0, 1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn seed_delta_u_ignores_zero_sigma() {
+        let depths = vec![2];
+        let sigma = vec![0i64];
+        let delta = vec![5.0];
+        let mut delta_u = vec![9.0];
+        seed_delta_u(&depths, &sigma, &delta, 2, &mut delta_u);
+        assert_eq!(delta_u, vec![0.0]);
+    }
+
+    #[test]
+    fn accumulate_delta_targets_parents() {
+        let depths = vec![1, 2, 2];
+        let sigma = vec![1i64, 2, 1];
+        let delta_ut = vec![0.5, 9.0, 9.0];
+        let mut delta = vec![0.0; 3];
+        accumulate_delta(&depths, &sigma, &delta_ut, 2, &mut delta);
+        assert_eq!(delta, vec![0.5, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn accumulate_bc_skips_source_and_scales() {
+        let delta = vec![1.0, 2.0, 4.0];
+        let mut bc = vec![0.0; 3];
+        accumulate_bc(&delta, 1, 0.5, &mut bc);
+        assert_eq!(bc, vec![0.5, 0.0, 2.0]);
+    }
+}

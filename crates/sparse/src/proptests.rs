@@ -1,0 +1,148 @@
+//! Property-based tests across the sparse formats.
+
+use crate::{Coo, DenseMatrix, Index};
+use proptest::prelude::*;
+
+/// Strategy: a random pattern matrix as (n_rows, n_cols, entries).
+fn arb_coo() -> impl Strategy<Value = Coo> {
+    (1usize..24, 1usize..24).prop_flat_map(|(nr, nc)| {
+        let entry = (0..nr as Index, 0..nc as Index);
+        proptest::collection::vec(entry, 0..120).prop_map(move |entries| {
+            let (rows, cols): (Vec<_>, Vec<_>) = entries.into_iter().unzip();
+            Coo::from_entries(nr, nc, rows, cols).expect("generated in bounds")
+        })
+    })
+}
+
+fn arb_square_coo() -> impl Strategy<Value = Coo> {
+    (1usize..24).prop_flat_map(|n| {
+        let entry = (0..n as Index, 0..n as Index);
+        proptest::collection::vec(entry, 0..120).prop_map(move |entries| {
+            let (rows, cols): (Vec<_>, Vec<_>) = entries.into_iter().unzip();
+            Coo::from_entries(n, n, rows, cols).expect("generated in bounds")
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn csc_round_trips_through_every_format(coo in arb_coo()) {
+        let csc = coo.to_csc();
+        prop_assert_eq!(csc.to_coo().to_csc(), csc.clone());
+        prop_assert_eq!(coo.to_csr().to_csc(), csc.clone());
+        prop_assert_eq!(coo.to_cooc().iter().count(), csc.nnz());
+    }
+
+    #[test]
+    fn nnz_matches_dense(coo in arb_coo()) {
+        let dense = DenseMatrix::from_coo(&coo);
+        prop_assert_eq!(coo.to_csc().nnz(), dense.nnz());
+        prop_assert_eq!(coo.to_csr().nnz(), dense.nnz());
+        prop_assert_eq!(coo.to_cooc().nnz(), dense.nnz());
+    }
+
+    #[test]
+    fn spmv_t_agrees_across_formats(coo in arb_coo(), seed in any::<u64>()) {
+        let dense = DenseMatrix::from_coo(&coo);
+        let n_rows = coo.n_rows();
+        let n_cols = coo.n_cols();
+        // Deterministic pseudo-random non-negative input with zeros.
+        let x: Vec<i64> = (0..n_rows)
+            .map(|i| {
+                let h = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(i as u64);
+                ((h >> 33) % 4) as i64
+            })
+            .collect();
+        let mut expected = vec![0i64; n_cols];
+        dense.spmv_t(&x, &mut expected);
+
+        let mut via_csc = vec![0i64; n_cols];
+        coo.to_csc().spmv_t(&x, &mut via_csc);
+        prop_assert_eq!(&via_csc, &expected);
+
+        let mut via_cooc = vec![0i64; n_cols];
+        coo.to_cooc().spmv_t(&x, &mut via_cooc);
+        prop_assert_eq!(&via_cooc, &expected);
+
+        let mut via_csr = vec![0i64; n_cols];
+        coo.to_csr().spmv_t(&x, &mut via_csr);
+        prop_assert_eq!(&via_csr, &expected);
+    }
+
+    #[test]
+    fn spmv_agrees_across_formats(coo in arb_coo(), seed in any::<u64>()) {
+        let dense = DenseMatrix::from_coo(&coo);
+        let n_rows = coo.n_rows();
+        let n_cols = coo.n_cols();
+        let x: Vec<i64> = (0..n_cols)
+            .map(|j| {
+                let h = seed.wrapping_mul(0xd1b54a32d192ed03).wrapping_add(j as u64);
+                ((h >> 33) % 4) as i64
+            })
+            .collect();
+        let mut expected = vec![0i64; n_rows];
+        dense.spmv(&x, &mut expected);
+
+        let mut via_csc = vec![0i64; n_rows];
+        coo.to_csc().spmv(&x, &mut via_csc);
+        prop_assert_eq!(&via_csc, &expected);
+
+        let mut via_cooc = vec![0i64; n_rows];
+        coo.to_cooc().spmv(&x, &mut via_cooc);
+        prop_assert_eq!(&via_cooc, &expected);
+
+        let mut via_csr = vec![0i64; n_rows];
+        coo.to_csr().spmv(&x, &mut via_csr);
+        prop_assert_eq!(&via_csr, &expected);
+    }
+
+    #[test]
+    fn transpose_is_involutive(coo in arb_coo()) {
+        let csc = coo.to_csc();
+        prop_assert_eq!(csc.transpose().transpose(), csc);
+    }
+
+    #[test]
+    fn spmv_t_equals_spmv_of_transpose(coo in arb_square_coo()) {
+        let csc = coo.to_csc();
+        let n = csc.n_cols();
+        let x: Vec<i64> = (0..n as i64).map(|i| i % 3).collect();
+        let mut a = vec![0i64; n];
+        let mut b = vec![0i64; n];
+        csc.spmv_t(&x, &mut a);
+        csc.transpose().spmv(&x, &mut b);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn symmetrized_matrix_is_symmetric(coo in arb_square_coo()) {
+        let mut s = coo;
+        s.remove_diagonal();
+        s.symmetrize();
+        prop_assert!(s.to_csc().is_symmetric());
+    }
+
+    #[test]
+    fn masked_spmv_matches_manual_mask(coo in arb_square_coo(), seed in any::<u64>()) {
+        let csc = coo.to_csc();
+        let n = csc.n_cols();
+        let x: Vec<i64> = (0..n)
+            .map(|i| {
+                let h = seed.wrapping_mul(0x2545f4914f6cdd1d).wrapping_add(i as u64);
+                ((h >> 40) % 3) as i64
+            })
+            .collect();
+        let mask: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
+
+        let mut got = vec![0i64; n];
+        csc.masked_spmv_t(&x, |j| mask[j], &mut got);
+
+        // Manual reference: full gather, then apply mask and positivity.
+        let mut full = vec![0i64; n];
+        csc.spmv_t(&x, &mut full);
+        let expected: Vec<i64> = (0..n)
+            .map(|j| if mask[j] && full[j] > 0 { full[j] } else { 0 })
+            .collect();
+        prop_assert_eq!(got, expected);
+    }
+}

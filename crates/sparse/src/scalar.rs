@@ -1,0 +1,59 @@
+//! The accumulation scalar used by the SpMV kernels.
+
+/// A numeric type SpMV kernels can accumulate.
+///
+/// Shortest-path counts grow multiplicatively with BFS depth and can
+/// exceed any fixed-width integer on dense, shallow graphs (the paper's
+/// own 32-bit `int` vectors overflow silently on its web-crawl inputs).
+/// This crate gives integers **saturating** accumulation instead: counts
+/// cap at `MAX`, which keeps the algorithms panic-free and monotone —
+/// dependency ratios `σ_v/σ_w` of saturated counts degrade gracefully to
+/// 1 instead of wrapping to garbage. Floats accumulate normally.
+pub trait Scalar: Copy + Default + PartialOrd {
+    /// Saturating addition for integers; plain addition for floats.
+    fn acc(self, other: Self) -> Self;
+}
+
+macro_rules! int_scalar {
+    ($($t:ty),*) => {$(
+        impl Scalar for $t {
+            #[inline]
+            fn acc(self, other: Self) -> Self {
+                self.saturating_add(other)
+            }
+        }
+    )*};
+}
+
+macro_rules! float_scalar {
+    ($($t:ty),*) => {$(
+        impl Scalar for $t {
+            #[inline]
+            fn acc(self, other: Self) -> Self {
+                self + other
+            }
+        }
+    )*};
+}
+
+int_scalar!(i8, i16, i32, i64, i128, u8, u16, u32, u64, u128, isize, usize);
+float_scalar!(f32, f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integers_saturate() {
+        assert_eq!(i64::MAX.acc(1), i64::MAX);
+        assert_eq!(100i32.acc(23), 123);
+        assert_eq!(u8::MAX.acc(200), u8::MAX);
+        assert_eq!((-5i64).acc(2), -3);
+    }
+
+    #[test]
+    fn floats_add() {
+        assert_eq!(1.5f64.acc(2.25), 3.75);
+        assert_eq!(f32::MAX.acc(f32::MAX), f32::INFINITY);
+    }
+}

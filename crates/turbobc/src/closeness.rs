@@ -1,0 +1,152 @@
+//! Closeness and harmonic centrality, batched over the multi-source BFS
+//! — companion shortest-path centralities that reuse the TurboBFS
+//! machinery (the paper's §1 motivates BC as one of a family of
+//! shortest-path centralities).
+//!
+//! * **Harmonic** centrality: `H(s) = Σ_{v ≠ s} 1 / d(s, v)` (unreached
+//!   vertices contribute 0) — well-defined on disconnected graphs.
+//! * **Closeness** (Wasserman–Faust variant): `C(s) = (r − 1)² /
+//!   ((n − 1) · Σ_{v ∈ R} d(s, v))` where `R` is `s`'s reachable set of
+//!   size `r` — the standard normalisation for disconnected graphs.
+//!
+//! Both need one full BFS per vertex; [`crate::msbfs::ms_bfs`] serves 64
+//! of them per edge sweep.
+
+use crate::msbfs::ms_bfs;
+use crate::options::BcOptions;
+use turbobc_graph::{Graph, VertexId};
+
+/// Closeness-family scores.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClosenessResult {
+    /// Harmonic centrality per vertex.
+    pub harmonic: Vec<f64>,
+    /// Wasserman–Faust closeness per vertex.
+    pub closeness: Vec<f64>,
+}
+
+/// Computes harmonic and closeness centrality for every vertex.
+pub fn closeness_centrality(graph: &Graph, options: BcOptions) -> ClosenessResult {
+    let n = graph.n();
+    let sources: Vec<VertexId> = (0..n as VertexId).collect();
+    closeness_for_sources(graph, &sources, options)
+}
+
+/// Computes the scores for a subset of vertices (each still needs its
+/// own BFS; the batching amortises the sweeps).
+pub fn closeness_for_sources(
+    graph: &Graph,
+    sources: &[VertexId],
+    options: BcOptions,
+) -> ClosenessResult {
+    let n = graph.n();
+    let mut harmonic = vec![0.0f64; n];
+    let mut closeness = vec![0.0f64; n];
+    if n <= 1 {
+        return ClosenessResult { harmonic, closeness };
+    }
+    let bfs = ms_bfs(graph, sources, options);
+    for (k, &s) in sources.iter().enumerate() {
+        let depths = &bfs.depths[k];
+        let mut inv_sum = 0.0f64;
+        let mut dist_sum = 0u64;
+        let mut reached = 0u64;
+        for (v, &dep) in depths.iter().enumerate() {
+            if dep == 0 || v == s as usize {
+                continue;
+            }
+            let hops = (dep - 1) as f64;
+            inv_sum += 1.0 / hops;
+            dist_sum += (dep - 1) as u64;
+            reached += 1;
+        }
+        harmonic[s as usize] = inv_sum;
+        closeness[s as usize] = if dist_sum > 0 {
+            (reached as f64) * (reached as f64) / ((n as f64 - 1.0) * dist_sum as f64)
+        } else {
+            0.0
+        };
+    }
+    ClosenessResult { harmonic, closeness }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use turbobc_graph::gen;
+
+    fn reference(graph: &Graph) -> ClosenessResult {
+        let n = graph.n();
+        let mut harmonic = vec![0.0; n];
+        let mut closeness = vec![0.0; n];
+        for s in 0..n {
+            let r = turbobc_graph::bfs(graph, s as VertexId);
+            let mut inv = 0.0;
+            let mut sum = 0u64;
+            let mut reach = 0u64;
+            for (v, &dep) in r.depths.iter().enumerate() {
+                if dep > 1 && v != s {
+                    inv += 1.0 / (dep - 1) as f64;
+                    sum += (dep - 1) as u64;
+                    reach += 1;
+                }
+            }
+            harmonic[s] = inv;
+            closeness[s] = if sum > 0 {
+                reach as f64 * reach as f64 / ((n as f64 - 1.0) * sum as f64)
+            } else {
+                0.0
+            };
+        }
+        ClosenessResult { harmonic, closeness }
+    }
+
+    #[test]
+    fn star_center_is_closest() {
+        let g = gen::star(9);
+        let r = closeness_centrality(&g, BcOptions::default());
+        // Hub: 8 neighbours at distance 1 → H = 8, C = 1.
+        assert!((r.harmonic[0] - 8.0).abs() < 1e-12);
+        assert!((r.closeness[0] - 1.0).abs() < 1e-12);
+        // Leaf: 1 + 7·(1/2) = 4.5.
+        assert!((r.harmonic[1] - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matches_reference_on_random_graphs() {
+        for (seed, directed) in [(5u64, false), (6, true)] {
+            let g = gen::gnm(90, 260, directed, seed);
+            let got = closeness_centrality(&g, BcOptions::default());
+            let want = reference(&g);
+            for v in 0..g.n() {
+                assert!((got.harmonic[v] - want.harmonic[v]).abs() < 1e-9, "H[{v}]");
+                assert!((got.closeness[v] - want.closeness[v]).abs() < 1e-9, "C[{v}]");
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_vertices_score_zero() {
+        let g = Graph::from_edges(4, false, &[(0, 1)]);
+        let r = closeness_centrality(&g, BcOptions::default());
+        assert_eq!(r.harmonic[2], 0.0);
+        assert_eq!(r.closeness[3], 0.0);
+        assert!(r.harmonic[0] > 0.0);
+    }
+
+    #[test]
+    fn subset_computes_only_requested_sources() {
+        let g = gen::path(6, false);
+        let r = closeness_for_sources(&g, &[2], BcOptions::default());
+        assert!(r.harmonic[2] > 0.0);
+        assert_eq!(r.harmonic[0], 0.0, "unrequested sources stay zero");
+    }
+
+    #[test]
+    fn path_centre_beats_ends() {
+        let g = gen::path(7, false);
+        let r = closeness_centrality(&g, BcOptions::default());
+        assert!(r.closeness[3] > r.closeness[0]);
+        assert!(r.harmonic[3] > r.harmonic[6]);
+    }
+}

@@ -1,0 +1,227 @@
+//! Edge betweenness centrality — an extension beyond the paper's vertex
+//! BC, in the same linear-algebraic frame.
+//!
+//! Brandes' backward recurrence already computes, for every
+//! shortest-path-DAG edge `u → w` (with `depth(w) = depth(u) + 1`), the
+//! per-edge dependency `σ_u · (1 + δ_w) / σ_w` — Algorithm 1's SpMV sums
+//! these into `δ_ut(u)`. Keeping the addends *per edge* instead of
+//! summing them yields Girvan–Newman edge betweenness for free: the COOC
+//! format is ideal because every stored arc has a slot `k` to accumulate
+//! into. Cost and memory match the vertex algorithm plus one `m`-length
+//! output vector.
+
+use crate::result::RunStats;
+use std::time::Instant;
+use turbobc_graph::{Graph, VertexId};
+use turbobc_sparse::ops;
+
+/// Edge-betweenness output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EdgeBcResult {
+    /// The stored arcs, in the graph's arc order (same order as
+    /// `Graph::edges()`).
+    pub arcs: Vec<(VertexId, VertexId)>,
+    /// Betweenness per stored arc. For undirected graphs the classic
+    /// edge betweenness of `{u, v}` is the sum of its two arc entries.
+    pub ebc: Vec<f64>,
+    /// Run statistics.
+    pub stats: RunStats,
+}
+
+impl EdgeBcResult {
+    /// The `k` arcs with the highest betweenness, descending — the
+    /// Girvan–Newman community-detection cut candidates.
+    pub fn top_arcs(&self, k: usize) -> Vec<((VertexId, VertexId), f64)> {
+        let mut order: Vec<usize> = (0..self.ebc.len()).collect();
+        order.sort_by(|&a, &b| self.ebc[b].total_cmp(&self.ebc[a]));
+        order.into_iter().take(k).map(|i| (self.arcs[i], self.ebc[i])).collect()
+    }
+}
+
+/// Computes exact edge betweenness over all sources (sequential
+/// COOC-format engine).
+///
+/// ```
+/// use turbobc_graph::Graph;
+///
+/// // Undirected path 0 - 1 - 2: the middle edges carry two pairs each.
+/// let g = Graph::from_edges(3, false, &[(0, 1), (1, 2)]);
+/// let r = turbobc::edge_bc(&g);
+/// let total: f64 = r.ebc.iter().sum();
+/// assert!((total - 4.0).abs() < 1e-12);
+/// ```
+pub fn edge_bc(graph: &Graph) -> EdgeBcResult {
+    let sources: Vec<VertexId> = (0..graph.n() as VertexId).collect();
+    edge_bc_sources(graph, &sources)
+}
+
+/// Edge betweenness accumulated over an explicit source set.
+pub fn edge_bc_sources(graph: &Graph, sources: &[VertexId]) -> EdgeBcResult {
+    let start = Instant::now();
+    let cooc = graph.to_cooc();
+    let arcs: Vec<(VertexId, VertexId)> = cooc.iter().collect();
+    let n = graph.n();
+    let scale = graph.bc_scale();
+    let mut ebc = vec![0.0f64; arcs.len()];
+    let mut stats = RunStats { sources: sources.len(), ..Default::default() };
+
+    let mut sigma = vec![0i64; n];
+    let mut depths = vec![0u32; n];
+    let mut f = vec![0i64; n];
+    let mut f_t = vec![0i64; n];
+    let mut delta = vec![0.0f64; n];
+    let mut delta_u = vec![0.0f64; n];
+
+    for &source in sources {
+        if n == 0 {
+            break;
+        }
+        sigma.fill(0);
+        depths.fill(0);
+        f.fill(0);
+        // Forward stage (Algorithm 1 lines 11–28, COOC storage).
+        f[source as usize] = 1;
+        sigma[source as usize] = 1;
+        depths[source as usize] = 1;
+        let mut d = 1u32;
+        let mut reached = 1usize;
+        loop {
+            f_t.fill(0);
+            cooc.spmv_t(&f, &mut f_t);
+            let count = ops::mask_new_frontier(&f_t, &sigma, &mut f);
+            if count == 0 {
+                break;
+            }
+            d += 1;
+            ops::update_sigma_depth(&f, d, &mut depths, &mut sigma);
+            reached += count;
+        }
+        let height = d;
+        stats.max_depth = stats.max_depth.max(height);
+        stats.total_levels += height as u64;
+        stats.last_reached = reached;
+
+        // Backward stage with per-edge accumulation: the SpMV's addends
+        // are the edge dependencies.
+        delta.fill(0.0);
+        let mut depth = height;
+        while depth > 1 {
+            ops::seed_delta_u(&depths, &sigma, &delta, depth, &mut delta_u);
+            for (k, &(r, c)) in arcs.iter().enumerate() {
+                // DAG edge r → c with c one level deeper.
+                if depths[c as usize] == depth && depths[r as usize] == depth - 1 {
+                    let contribution = sigma[r as usize] as f64 * delta_u[c as usize];
+                    if contribution != 0.0 {
+                        ebc[k] += contribution * scale;
+                        delta[r as usize] += contribution;
+                    }
+                }
+            }
+            depth -= 1;
+        }
+    }
+    stats.elapsed = start.elapsed();
+    EdgeBcResult { arcs, ebc, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use turbobc_baselines::brandes::brandes_edge_bc;
+    use turbobc_graph::gen;
+
+    /// The oracle reports per-arc values in `Graph::edges()` order, which
+    /// is the COOC order — align and compare.
+    fn assert_matches_oracle(graph: &Graph) {
+        let got = edge_bc(graph);
+        let want = brandes_edge_bc(graph);
+        let want_arcs: Vec<(u32, u32)> = graph.edges().collect();
+        assert_eq!(got.arcs, want_arcs, "arc order must match");
+        for (k, (g, w)) in got.ebc.iter().zip(&want).enumerate() {
+            assert!((g - w).abs() < 1e-9, "arc {:?}: {g} vs {w}", got.arcs[k]);
+        }
+    }
+
+    #[test]
+    fn path_graph_edge_bc() {
+        // Undirected P4: 0-1-2-3. Edge {1,2} carries pairs
+        // {0,1}×{2,3} = 4 crossings.
+        let g = Graph::from_edges(4, false, &[(0, 1), (1, 2), (2, 3)]);
+        let r = edge_bc(&g);
+        let total: f64 = r
+            .arcs
+            .iter()
+            .zip(&r.ebc)
+            .filter(|((u, v), _)| (*u, *v) == (1, 2) || (*u, *v) == (2, 1))
+            .map(|(_, &x)| x)
+            .sum();
+        assert!((total - 4.0).abs() < 1e-9, "middle edge carries 4, got {total}");
+        assert_matches_oracle(&g);
+    }
+
+    #[test]
+    fn star_spokes_carry_equal_load() {
+        let g = gen::star(6);
+        let r = edge_bc(&g);
+        // Every spoke {0, v} carries: its own endpoint pair + 4 pairs
+        // through the hub = 1 + 4 = 5.
+        for ((u, v), &x) in r.arcs.iter().zip(&r.ebc) {
+            let undirected = if *u == 0 {
+                x + r.ebc[r.arcs.iter().position(|a| a == &(*v, *u)).unwrap()]
+            } else {
+                continue;
+            };
+            assert!((undirected - 5.0).abs() < 1e-9, "spoke {u}-{v}: {undirected}");
+        }
+        assert_matches_oracle(&g);
+    }
+
+    #[test]
+    fn matches_oracle_on_random_graphs() {
+        for (seed, directed) in [(1u64, true), (2, false), (3, true), (4, false)] {
+            let g = gen::gnm(30, 90, directed, seed);
+            assert_matches_oracle(&g);
+        }
+    }
+
+    #[test]
+    fn disconnected_and_empty() {
+        let g = Graph::from_edges(5, false, &[(0, 1), (2, 3)]);
+        assert_matches_oracle(&g);
+        let e = Graph::from_edges(0, true, &[]);
+        assert!(edge_bc(&e).ebc.is_empty());
+    }
+
+    #[test]
+    fn top_arcs_finds_the_bridge() {
+        // Two triangles joined by a bridge (2, 3): the classic
+        // Girvan-Newman cut.
+        let g = Graph::from_edges(
+            6,
+            false,
+            &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)],
+        );
+        let r = edge_bc(&g);
+        let top = r.top_arcs(2);
+        for ((u, v), _) in top {
+            assert!(
+                (u, v) == (2, 3) || (u, v) == (3, 2),
+                "bridge must rank first, got {u}-{v}"
+            );
+        }
+        assert_matches_oracle(&g);
+    }
+
+    #[test]
+    fn vertex_bc_is_recoverable_from_edge_bc() {
+        // δ_s(v) = Σ_{(v,w)} edge-dependency, so BC(v) equals the sum of
+        // its outgoing arc betweenness minus terminal-pair credit; for a
+        // sanity check use the identity Σ_arcs ebc = Σ_pairs (path length
+        // − 1) aggregated — here just verify totals are positive and
+        // finite on a generated graph.
+        let g = gen::small_world(60, 2, 0.2, 5);
+        let r = edge_bc(&g);
+        assert!(r.ebc.iter().all(|x| x.is_finite() && *x >= -1e-9));
+        assert!(r.ebc.iter().sum::<f64>() > 0.0);
+    }
+}

@@ -1,0 +1,140 @@
+//! Device-memory footprint accounting (the paper's Figure 4).
+//!
+//! The paper's central memory claim: during the BC computation TurboBC
+//! keeps `7n + m` array words on the device against gunrock's `9n + 2m`.
+//! The breakdown for the CSC run is
+//!
+//! | array | size | phase |
+//! |---|---|---|
+//! | `CP_A` | `n + 1` | whole run |
+//! | `row_A` | `m` | whole run |
+//! | `σ` | `n` | whole run |
+//! | `S` (depths) | `n` | whole run |
+//! | `bc` | `n` | whole run |
+//! | `f`, `f_t` | `2n` | forward only (freed at stage switch, §3.4) |
+//! | `δ`, `δ_u`, `δ_ut` | `3n` | backward only (allocated at stage switch) |
+//!
+//! Peak = `(n + 1 + m) + 3n + max(2n, 3n) = 7n + m + 1`. The COOC run
+//! swaps the structure term for `2m` (both index arrays). These formulas
+//! are asserted against the simulator's actual allocation ledger in the
+//! `simt_engine` tests.
+
+use crate::Kernel;
+use turbobc_simt::{Device, DeviceError};
+
+/// Dry-runs the engine's allocation sequence (§3.4) against a simulated
+/// device *without computing anything*, returning the peak bytes the run
+/// would need. Fails with [`DeviceError::OutOfMemory`] exactly when the
+/// real run would — this is how the Table 4 OOM comparison is generated
+/// cheaply at any graph size.
+pub fn plan_peak_on_device(
+    device: &Device,
+    n: usize,
+    m: usize,
+    kernel: Kernel,
+) -> Result<u64, DeviceError> {
+    device.reset_peak();
+    // Structure arrays (u32 indices).
+    let _structure = match kernel {
+        Kernel::ScCooc => (device.alloc::<u32>(m)?, device.alloc::<u32>(m)?),
+        _ => (device.alloc::<u32>(n + 1)?, device.alloc::<u32>(m)?),
+    };
+    // Persistent vectors.
+    let _sigma = device.alloc::<i64>(n)?;
+    let _depths = device.alloc::<u32>(n)?;
+    let _bc = device.alloc::<f64>(n)?;
+    let _count = device.alloc::<i64>(1)?;
+    {
+        // Forward-phase integer frontier vectors…
+        let _f = device.alloc::<i64>(n)?;
+        let _f_t = device.alloc::<i64>(n)?;
+        // …freed here, before the backward floats are allocated.
+    }
+    {
+        let _delta = device.alloc::<f64>(n)?;
+        let _delta_u = device.alloc::<f64>(n)?;
+        let _delta_ut = device.alloc::<f64>(n)?;
+    }
+    Ok(device.memory().peak)
+}
+
+/// Peak device words for a TurboBC run with the given kernel/format.
+pub fn turbobc_words(n: usize, m: usize, kernel: Kernel) -> usize {
+    let structure = match kernel {
+        Kernel::ScCooc => 2 * m,
+        Kernel::ScCsc | Kernel::VeCsc => n + 1 + m,
+        Kernel::Auto => n + 1 + m,
+    };
+    // σ + S + bc persistent, plus the larger of the two phase groups
+    // (2n forward ints vs 3n backward floats) and the frontier counter.
+    structure + 3 * n + 3 * n + 1
+}
+
+/// Device words for the gunrock-like baseline (re-exported convenience;
+/// the authoritative allocation lives in
+/// `turbobc_baselines::gunrock_like`).
+pub fn gunrock_words(n: usize, m: usize) -> usize {
+    9 * n + 2 * m
+}
+
+/// The paper's headline saving: `gunrock − TurboBC ≈ 2n + m` words for
+/// the CSC format.
+pub fn saving_words(n: usize, m: usize) -> usize {
+    gunrock_words(n, m).saturating_sub(turbobc_words(n, m, Kernel::ScCsc))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use turbobc_simt::DeviceProps;
+
+    #[test]
+    fn plan_peak_matches_real_run_peak() {
+        use crate::{BcOptions, BcSolver};
+        let g = turbobc_graph::gen::gnm(500, 2000, false, 9);
+        let solver = BcSolver::new(&g, BcOptions::default());
+        let dev = Device::titan_xp();
+        solver.run_simt(&dev, &[0]).unwrap();
+        let real_peak = dev.memory().peak;
+        let dev2 = Device::titan_xp();
+        let plan_peak =
+            plan_peak_on_device(&dev2, g.n(), g.m(), solver.kernel()).unwrap();
+        assert_eq!(plan_peak, real_peak);
+    }
+
+    #[test]
+    fn plan_ooms_on_tiny_device() {
+        let dev = Device::with_capacity(DeviceProps::titan_xp(), 1024);
+        assert!(matches!(
+            plan_peak_on_device(&dev, 10_000, 50_000, Kernel::ScCsc),
+            Err(DeviceError::OutOfMemory { .. })
+        ));
+    }
+
+    #[test]
+    fn csc_formula_is_seven_n_plus_m() {
+        assert_eq!(turbobc_words(100, 1000, Kernel::ScCsc), 7 * 100 + 1000 + 2);
+        assert_eq!(turbobc_words(100, 1000, Kernel::VeCsc), 7 * 100 + 1000 + 2);
+    }
+
+    #[test]
+    fn cooc_formula_uses_both_index_arrays() {
+        assert_eq!(turbobc_words(100, 1000, Kernel::ScCooc), 6 * 100 + 2 * 1000 + 1);
+    }
+
+    #[test]
+    fn saving_approximates_two_n_plus_m() {
+        let n = 10_000;
+        let m = 80_000;
+        let s = saving_words(n, m);
+        assert!((s as i64 - (2 * n + m) as i64).abs() < 8, "saving {s}");
+    }
+
+    #[test]
+    fn turbobc_always_below_gunrock() {
+        for &(n, m) in &[(10usize, 20usize), (1000, 5000), (1 << 20, 16 << 20)] {
+            assert!(turbobc_words(n, m, Kernel::ScCsc) < gunrock_words(n, m));
+            assert!(turbobc_words(n, m, Kernel::ScCooc) < gunrock_words(n, m));
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! **TurboBC** — memory-efficient betweenness centrality in the language
+//! of linear algebra: a Rust reproduction of Artiles & Saeed, *TurboBC: A
+//! Memory Efficient and Scalable GPU Based Betweenness Centrality
+//! Algorithm in the Language of Linear Algebra* (ICPP Workshops '21).
+//!
+//! Betweenness centrality (BC) of a vertex `v` is the sum over all vertex
+//! pairs `(s, t)` of the fraction of shortest `s → t` paths that pass
+//! through `v`. The paper computes it with Brandes' two-stage algorithm
+//! reformulated over the sparse adjacency matrix `A`:
+//!
+//! * a **forward** (BFS) stage advancing a frontier vector by masked
+//!   sparse matrix–vector products `f_t ← Aᵀ f`, accumulating shortest-path
+//!   counts `σ` and discovery depths `S`;
+//! * a **backward** stage accumulating the one-sided dependencies `δ` by
+//!   sweeping discovered depths in reverse, one SpMV (`δ_ut ← A δ_u`) plus
+//!   two masked elementwise updates per depth.
+//!
+//! Three SpMV kernels are provided, mirroring the paper's §3:
+//!
+//! | kernel | storage | mapping | best for |
+//! |---|---|---|---|
+//! | [`Kernel::ScCooc`] | COOC | one thread per **edge** | graphs with a few extreme-degree vertices (mawi) |
+//! | [`Kernel::ScCsc`] | CSC | one thread per **vertex** | low-degree *regular* graphs (meshes, roads) |
+//! | [`Kernel::VeCsc`] | CSC | one **warp** per vertex | high-mean-degree *irregular* graphs (Mycielski, Kronecker) |
+//!
+//! and three execution engines:
+//!
+//! * [`Engine::Sequential`] — the paper's "(sequential)x" baseline: a
+//!   plain sequential run of Algorithm 1;
+//! * [`Engine::Parallel`] — a rayon data-parallel engine with the same
+//!   kernel structure (the reproduction's stand-in for CUDA wall-clock
+//!   measurements);
+//! * [`BcSolver::run_simt`] — execution on the [`turbobc_simt`] GPU
+//!   simulator, reporting device-memory footprint (the paper's `7n + m`
+//!   words), per-kernel memory transactions, warp efficiency, modelled
+//!   runtime and GLT.
+//!
+//! # Quick start
+//!
+//! ```
+//! use turbobc::{BcOptions, BcSolver};
+//! use turbobc_graph::Graph;
+//!
+//! // An undirected path 0 – 1 – 2 – 3 – 4.
+//! let g = Graph::from_edges(5, false, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+//! let solver = BcSolver::new(&g, BcOptions::default());
+//! let result = solver.bc_exact();
+//! assert_eq!(result.bc, vec![0.0, 3.0, 4.0, 3.0, 0.0]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![allow(clippy::needless_range_loop)]
+#![warn(missing_docs)]
+
+pub mod approx;
+pub mod closeness;
+pub mod edge;
+pub mod footprint;
+pub mod weighted;
+mod options;
+mod par;
+mod result;
+mod seq;
+mod simt_engine;
+mod solver;
+pub mod msbfs;
+pub mod multi_gpu;
+pub mod multi_gpu2d;
+pub mod turbobfs;
+
+pub use simt_engine::vecsc_reduction_ablation;
+
+pub use approx::{bc_approx, ApproxBcResult, ApproxOptions};
+pub use edge::{edge_bc, edge_bc_sources, EdgeBcResult};
+pub use options::{BcOptions, Engine, Kernel};
+pub use result::{BcResult, RunStats, SimtReport};
+pub use solver::BcSolver;
+pub use turbobfs::{BfsRun, TurboBfs};

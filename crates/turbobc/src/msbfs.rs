@@ -1,0 +1,212 @@
+//! Multi-source BFS (MS-BFS, Then et al. VLDB '14) in the language of
+//! linear algebra: up to 64 BFS trees advance simultaneously through
+//! **bit-packed** frontier vectors, so one edge sweep per level serves
+//! every source in the batch.
+//!
+//! In semiring terms this is the `(∨, ∧)` frontier product of
+//! `turbobc_sparse::semiring` lifted from `bool` to `u64` lanes: the OR
+//! of 64 boolean SpMVs computed with single word operations. It is the
+//! natural amortisation for exact-BC workloads (the paper's Table 5),
+//! where the forward traversal is repeated once per source: the batched
+//! sweep shares the structure loads across the whole batch.
+
+use crate::options::{BcOptions, Kernel};
+use std::time::{Duration, Instant};
+use turbobc_graph::{Graph, VertexId};
+use turbobc_sparse::{Cooc, Csc};
+
+/// Batch width: one bit lane per source.
+pub const BATCH: usize = 64;
+
+/// Result of a multi-source BFS.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MsBfsResult {
+    /// `depths[k][v]` — depth of `v` from the `k`-th source (source
+    /// depth 1, unreached 0), matching `turbobc_graph::bfs`.
+    pub depths: Vec<Vec<u32>>,
+    /// BFS-tree height per source.
+    pub heights: Vec<u32>,
+    /// Edge sweeps performed (levels summed over batches) — the work
+    /// the batching amortises.
+    pub sweeps: usize,
+    /// Wall-clock time.
+    pub elapsed: Duration,
+}
+
+enum MsStorage {
+    Csc(Csc),
+    Cooc(Cooc),
+}
+
+impl MsStorage {
+    /// One bit-parallel frontier advance: `next = (structure ⊗ frontier)
+    /// & !seen` over the `(|, &)` word semiring.
+    fn advance(&self, frontier: &[u64], seen: &[u64], next: &mut [u64]) {
+        next.fill(0);
+        match self {
+            MsStorage::Csc(csc) => {
+                for j in 0..csc.n_cols() {
+                    let mut acc = 0u64;
+                    for &r in csc.column(j) {
+                        acc |= frontier[r as usize];
+                    }
+                    next[j] = acc & !seen[j];
+                }
+            }
+            MsStorage::Cooc(cooc) => {
+                for (r, c) in cooc.iter() {
+                    next[c as usize] |= frontier[r as usize];
+                }
+                for (n, s) in next.iter_mut().zip(seen) {
+                    *n &= !s;
+                }
+            }
+        }
+    }
+}
+
+/// Runs a bit-parallel BFS from every source (chunked into batches of
+/// [`BATCH`]). `options.kernel` selects the sweep storage (`ScCooc` →
+/// edge sweep, anything else → column gather); the engine field is
+/// ignored (the sweep is memory-bound and single-pass).
+///
+/// ```
+/// use turbobc::msbfs::ms_bfs;
+/// use turbobc::BcOptions;
+/// use turbobc_graph::Graph;
+///
+/// let g = Graph::from_edges(4, false, &[(0, 1), (1, 2), (2, 3)]);
+/// let r = ms_bfs(&g, &[0, 3], BcOptions::default());
+/// assert_eq!(r.depths[0], vec![1, 2, 3, 4]);
+/// assert_eq!(r.depths[1], vec![4, 3, 2, 1]);
+/// ```
+pub fn ms_bfs(graph: &Graph, sources: &[VertexId], options: BcOptions) -> MsBfsResult {
+    let start = Instant::now();
+    let n = graph.n();
+    let storage = match options.kernel {
+        Kernel::ScCooc => MsStorage::Cooc(graph.to_cooc()),
+        _ => MsStorage::Csc(graph.to_csc()),
+    };
+    let mut depths: Vec<Vec<u32>> = Vec::with_capacity(sources.len());
+    let mut heights: Vec<u32> = Vec::with_capacity(sources.len());
+    let mut sweeps = 0usize;
+
+    for batch in sources.chunks(BATCH) {
+        let mut seen = vec![0u64; n];
+        let mut frontier = vec![0u64; n];
+        let mut batch_depths: Vec<Vec<u32>> = batch.iter().map(|_| vec![0u32; n]).collect();
+        let mut batch_heights = vec![1u32; batch.len()];
+        if n == 0 {
+            depths.append(&mut batch_depths);
+            heights.extend_from_slice(&batch_heights);
+            continue;
+        }
+        for (k, &s) in batch.iter().enumerate() {
+            frontier[s as usize] |= 1 << k;
+            seen[s as usize] |= 1 << k;
+            batch_depths[k][s as usize] = 1;
+        }
+        let mut next = vec![0u64; n];
+        let mut level = 1u32;
+        loop {
+            storage.advance(&frontier, &seen, &mut next);
+            sweeps += 1;
+            level += 1;
+            let mut any = 0u64;
+            for v in 0..n {
+                let fresh = next[v];
+                if fresh != 0 {
+                    seen[v] |= fresh;
+                    any |= fresh;
+                    let mut bits = fresh;
+                    while bits != 0 {
+                        let k = bits.trailing_zeros() as usize;
+                        batch_depths[k][v] = level;
+                        batch_heights[k] = level;
+                        bits &= bits - 1;
+                    }
+                }
+            }
+            if any == 0 {
+                break;
+            }
+            std::mem::swap(&mut frontier, &mut next);
+        }
+        depths.append(&mut batch_depths);
+        heights.extend_from_slice(&batch_heights);
+    }
+    MsBfsResult { depths, heights, sweeps, elapsed: start.elapsed() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use turbobc_graph::gen;
+
+    fn check_against_reference(g: &Graph, sources: &[u32], kernel: Kernel) {
+        let r = ms_bfs(g, sources, BcOptions { kernel, ..Default::default() });
+        assert_eq!(r.depths.len(), sources.len());
+        for (k, &s) in sources.iter().enumerate() {
+            let want = turbobc_graph::bfs(g, s);
+            assert_eq!(r.depths[k], want.depths, "source {s} ({kernel:?})");
+            assert_eq!(r.heights[k], want.height, "source {s}");
+        }
+    }
+
+    #[test]
+    fn matches_per_source_bfs_both_storages() {
+        let g = gen::gnm(120, 420, true, 8);
+        let sources: Vec<u32> = (0..24).collect();
+        check_against_reference(&g, &sources, Kernel::ScCsc);
+        check_against_reference(&g, &sources, Kernel::ScCooc);
+    }
+
+    #[test]
+    fn chunks_batches_beyond_64_sources() {
+        let g = gen::small_world(150, 3, 0.2, 9);
+        let sources: Vec<u32> = (0..130).collect();
+        let r = ms_bfs(&g, &sources, BcOptions::default());
+        assert_eq!(r.depths.len(), 130);
+        // Spot-check a source in each chunk.
+        for &s in &[0u32, 70, 129] {
+            let want = turbobc_graph::bfs(&g, s);
+            assert_eq!(r.depths[s as usize], want.depths, "source {s}");
+        }
+    }
+
+    #[test]
+    fn amortises_sweeps_across_the_batch() {
+        let g = gen::delaunay(600, 3);
+        let sources: Vec<u32> = (0..64).collect();
+        let batched = ms_bfs(&g, &sources, BcOptions::default());
+        let individual: usize = sources
+            .iter()
+            .map(|&s| turbobc_graph::bfs(&g, s).height as usize)
+            .sum();
+        assert!(
+            batched.sweeps * 8 < individual,
+            "batched {} sweeps vs {} individual levels",
+            batched.sweeps,
+            individual
+        );
+    }
+
+    #[test]
+    fn disconnected_sources() {
+        let g = Graph::from_edges(6, false, &[(0, 1), (2, 3), (4, 5)]);
+        let r = ms_bfs(&g, &[0, 2, 4], BcOptions::default());
+        assert_eq!(r.depths[0], vec![1, 2, 0, 0, 0, 0]);
+        assert_eq!(r.depths[1], vec![0, 0, 1, 2, 0, 0]);
+        assert_eq!(r.depths[2], vec![0, 0, 0, 0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let g = Graph::from_edges(0, true, &[]);
+        let r = ms_bfs(&g, &[], BcOptions::default());
+        assert!(r.depths.is_empty());
+        let g1 = gen::path(4, false);
+        let r = ms_bfs(&g1, &[], BcOptions::default());
+        assert!(r.depths.is_empty());
+    }
+}

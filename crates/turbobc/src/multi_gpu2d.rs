@@ -1,0 +1,592 @@
+//! 2D (checkerboard) multi-GPU BC — the antidote to 1D partitioning's
+//! replication floor (see [`crate::multi_gpu`]).
+//!
+//! A `q × q` device grid splits the vertex set into `q` blocks
+//! `B_0 … B_{q−1}`; device `(i, j)` stores the adjacency block
+//! `A[B_i, B_j]`. Per BFS level:
+//!
+//! 1. each diagonal owner `(i, i)` **broadcasts** its frontier segment
+//!    `f[B_i]` along grid row `i` (`q − 1` transfers of `n/q`);
+//! 2. every device computes an *unmasked* partial
+//!    `Σ_{r ∈ B_i ∩ col} f[r]` for its column block (the extra unmasked
+//!    work is the classic 2D trade-off — the σ-mask lives only at the
+//!    owner);
+//! 3. partials **reduce** along grid column `j` onto the owner `(j, j)`
+//!    (`q − 1` transfers of `n/q`), which then runs the masked
+//!    `bfs_update` on its σ/S/f segment.
+//!
+//! The backward stage mirrors this with `δ_u` (symmetric adjacency:
+//! undirected graphs only — a directed 2D layout would store transposed
+//! blocks as well). Exchange per level is `O(n/q · (q−1) · 2)` against
+//! 1D's `O(n · (p−1))`, and no device holds a full-length vector.
+//!
+//! Layout caveat: this prototype keeps each block's vertex state (σ, S,
+//! δ, …) on the grid **diagonal** — simple and correct, but it
+//! concentrates `O(n/q)` state on `q` of the `q²` devices; the
+//! off-diagonal workers hold only their structure block plus two
+//! `n/q` segments. A production layout shards the owner state along
+//! grid columns to spread that too.
+
+use crate::simt_engine::kernels;
+use turbobc_graph::{Graph, VertexId};
+use turbobc_simt::{
+    DSlice, DSliceMut, Device, DeviceBuffer, DeviceError, DeviceProps, Interconnect,
+    LaunchConfig, MemoryReport, WARP_SIZE,
+};
+
+/// Report from a 2D run.
+#[derive(Debug, Clone)]
+pub struct MultiGpu2dReport {
+    /// Grid side `q` (device count = q²).
+    pub grid: usize,
+    /// Per-device memory snapshots (grid row-major).
+    pub per_device_memory: Vec<MemoryReport>,
+    /// Interconnect transfers.
+    pub transfers: u64,
+    /// Interconnect bytes.
+    pub transfer_bytes: u64,
+    /// Modelled compute time (max over devices).
+    pub modelled_compute_s: f64,
+    /// Modelled interconnect time.
+    pub modelled_transfer_s: f64,
+    /// Total modelled time.
+    pub modelled_time_s: f64,
+}
+
+/// Unmasked partial gather: `out[j] = Σ_{r ∈ column j} f[r]` over a
+/// local CSC block (i64). The σ-mask is applied later at the owner.
+fn partial_gather(
+    dev: &Device,
+    cp: &DSlice<'_, u32>,
+    rows: &DSlice<'_, u32>,
+    f: &DSlice<'_, i64>,
+    out: &mut DSliceMut<'_, i64>,
+) {
+    let n = cp.len() - 1;
+    dev.launch("fwd_partial", LaunchConfig::per_element(n), |w| {
+        let mut cols = [None; WARP_SIZE];
+        for (l, slot) in cols.iter_mut().enumerate() {
+            *slot = w.global_id(l).filter(|&g| g < n);
+        }
+        let some = cols.iter().filter(|c| c.is_some()).count();
+        if some == 0 {
+            return;
+        }
+        let starts = w.gather(cp, &cols);
+        let mut cols1 = [None; WARP_SIZE];
+        for l in 0..WARP_SIZE {
+            cols1[l] = cols[l].map(|j| j + 1);
+        }
+        let ends = w.gather(cp, &cols1);
+        let mut sums = [0i64; WARP_SIZE];
+        let mut t = 0u32;
+        loop {
+            let mut idx = [None; WARP_SIZE];
+            for l in 0..WARP_SIZE {
+                if cols[l].is_some() {
+                    let p = starts[l] + t;
+                    if p < ends[l] {
+                        idx[l] = Some(p as usize);
+                    }
+                }
+            }
+            let active = idx.iter().filter(|x| x.is_some()).count();
+            if active == 0 {
+                break;
+            }
+            let rs = w.gather(rows, &idx);
+            let mut fidx = [None; WARP_SIZE];
+            for l in 0..WARP_SIZE {
+                fidx[l] = idx[l].map(|_| rs[l] as usize);
+            }
+            let fv = w.gather(f, &fidx);
+            for l in 0..WARP_SIZE {
+                if idx[l].is_some() {
+                    sums[l] = sums[l].saturating_add(fv[l]);
+                }
+            }
+            w.alu(active);
+            t += 1;
+        }
+        let mut writes = [None; WARP_SIZE];
+        for l in 0..WARP_SIZE {
+            if let Some(j) = cols[l] {
+                writes[l] = Some((j, sums[l]));
+            }
+        }
+        w.scatter(out, &writes);
+    });
+}
+
+/// f64 variant of [`partial_gather`] for the backward stage.
+fn partial_gather_f64(
+    dev: &Device,
+    cp: &DSlice<'_, u32>,
+    rows: &DSlice<'_, u32>,
+    x: &DSlice<'_, f64>,
+    out: &mut DSliceMut<'_, f64>,
+) {
+    let n = cp.len() - 1;
+    dev.launch("bwd_partial", LaunchConfig::per_element(n), |w| {
+        let mut cols = [None; WARP_SIZE];
+        for (l, slot) in cols.iter_mut().enumerate() {
+            *slot = w.global_id(l).filter(|&g| g < n);
+        }
+        let some = cols.iter().filter(|c| c.is_some()).count();
+        if some == 0 {
+            return;
+        }
+        let starts = w.gather(cp, &cols);
+        let mut cols1 = [None; WARP_SIZE];
+        for l in 0..WARP_SIZE {
+            cols1[l] = cols[l].map(|j| j + 1);
+        }
+        let ends = w.gather(cp, &cols1);
+        let mut sums = [0.0f64; WARP_SIZE];
+        let mut t = 0u32;
+        loop {
+            let mut idx = [None; WARP_SIZE];
+            for l in 0..WARP_SIZE {
+                if cols[l].is_some() {
+                    let p = starts[l] + t;
+                    if p < ends[l] {
+                        idx[l] = Some(p as usize);
+                    }
+                }
+            }
+            let active = idx.iter().filter(|x| x.is_some()).count();
+            if active == 0 {
+                break;
+            }
+            let rs = w.gather(rows, &idx);
+            let mut xidx = [None; WARP_SIZE];
+            for l in 0..WARP_SIZE {
+                xidx[l] = idx[l].map(|_| rs[l] as usize);
+            }
+            let xv = w.gather(x, &xidx);
+            for l in 0..WARP_SIZE {
+                if idx[l].is_some() {
+                    sums[l] += xv[l];
+                }
+            }
+            w.alu(active);
+            t += 1;
+        }
+        let mut writes = [None; WARP_SIZE];
+        for l in 0..WARP_SIZE {
+            if let Some(j) = cols[l] {
+                writes[l] = Some((j, sums[l]));
+            }
+        }
+        w.scatter(out, &writes);
+    });
+}
+
+/// One grid device: the `A[B_i, B_j]` block plus its buffers.
+struct Cell {
+    device: Device,
+    cp: DeviceBuffer<u32>,
+    rows: DeviceBuffer<u32>,
+    /// Input-segment buffer (`f[B_i]` / `δ_u[B_i]` broadcast target).
+    seg_i64: DeviceBuffer<i64>,
+    seg_f64: DeviceBuffer<f64>,
+    /// Partial output (length |B_j|).
+    part_i64: DeviceBuffer<i64>,
+    part_f64: DeviceBuffer<f64>,
+}
+
+/// Owner-side (diagonal) state for block `B_j`.
+struct Owner {
+    sigma: DeviceBuffer<i64>,
+    depths: DeviceBuffer<u32>,
+    bc: DeviceBuffer<f64>,
+    f: DeviceBuffer<i64>,
+    f_t: DeviceBuffer<i64>,
+    delta: DeviceBuffer<f64>,
+    delta_u: DeviceBuffer<f64>,
+    delta_ut: DeviceBuffer<f64>,
+    count: DeviceBuffer<i64>,
+}
+
+/// Runs undirected BC for `sources` on a `q × q` simulated device grid.
+pub fn bc_multi_gpu_2d(
+    graph: &Graph,
+    sources: &[VertexId],
+    q: usize,
+    props: DeviceProps,
+    mut link: Interconnect,
+) -> Result<(Vec<f64>, MultiGpu2dReport), DeviceError> {
+    assert!(q >= 1, "need at least a 1x1 grid");
+    assert!(!graph.directed(), "the 2D prototype handles undirected graphs");
+    let n = graph.n();
+    let csc = graph.to_csc();
+    let scale = graph.bc_scale();
+    // Equal-width vertex blocks.
+    let block = n.div_ceil(q).max(1);
+    let blocks: Vec<(usize, usize)> =
+        (0..q).map(|b| (b * block, ((b + 1) * block).min(n))).collect();
+
+    // Build grid cells: (i, j) holds A[B_i, B_j] with rows rebased to B_i.
+    let mut cells: Vec<Cell> = Vec::with_capacity(q * q);
+    for i in 0..q {
+        let (rlo, rhi) = blocks[i];
+        for j in 0..q {
+            let (clo, chi) = blocks[j];
+            let device = Device::new(props);
+            let mut cp_host = Vec::with_capacity(chi - clo + 1);
+            let mut rows_host: Vec<u32> = Vec::new();
+            cp_host.push(0u32);
+            for c in clo..chi {
+                for &r in csc.column(c) {
+                    let r = r as usize;
+                    if (rlo..rhi).contains(&r) {
+                        rows_host.push((r - rlo) as u32);
+                    }
+                }
+                cp_host.push(rows_host.len() as u32);
+            }
+            let cp = device.alloc_from(&cp_host)?;
+            let rows = device.alloc_from(&rows_host)?;
+            let seg_i64 = device.alloc::<i64>(rhi - rlo)?;
+            let seg_f64 = device.alloc::<f64>(rhi - rlo)?;
+            let part_i64 = device.alloc::<i64>(chi - clo)?;
+            let part_f64 = device.alloc::<f64>(chi - clo)?;
+            cells.push(Cell { device, cp, rows, seg_i64, seg_f64, part_i64, part_f64 });
+        }
+    }
+    // Diagonal owners.
+    let mut owners: Vec<Owner> = Vec::with_capacity(q);
+    for j in 0..q {
+        let (lo, hi) = blocks[j];
+        let len = hi - lo;
+        let device = &cells[j * q + j].device;
+        owners.push(Owner {
+            sigma: device.alloc::<i64>(len)?,
+            depths: device.alloc::<u32>(len)?,
+            bc: device.alloc::<f64>(len)?,
+            f: device.alloc::<i64>(len)?,
+            f_t: device.alloc::<i64>(len)?,
+            delta: device.alloc::<f64>(len)?,
+            delta_u: device.alloc::<f64>(len)?,
+            delta_ut: device.alloc::<f64>(len)?,
+            count: device.alloc::<i64>(1)?,
+        });
+    }
+
+    let seg_of = |v: usize| v / block;
+
+    for &source in sources {
+        if n == 0 {
+            break;
+        }
+        // Init owner state.
+        for (j, owner) in owners.iter_mut().enumerate() {
+            let device = &cells[j * q + j].device;
+            kernels::clear(device, "clear_sigma", &mut owner.sigma.dslice_mut());
+            kernels::clear(device, "clear_depths", &mut owner.depths.dslice_mut());
+            kernels::clear(device, "clear_f", &mut owner.f.dslice_mut());
+        }
+        {
+            let sb = seg_of(source as usize);
+            let local = source as usize - blocks[sb].0;
+            owners[sb].f.host_mut()[local] = 1;
+            owners[sb].sigma.host_mut()[local] = 1;
+            owners[sb].depths.host_mut()[local] = 1;
+        }
+
+        let mut d = 1u32;
+        loop {
+            // 1) Broadcast f segments along grid rows.
+            for i in 0..q {
+                let f_host: Vec<i64> = owners[i].f.host().to_vec();
+                for j in 0..q {
+                    let cell = &mut cells[i * q + j];
+                    cell.seg_i64.host_mut()[..f_host.len()].copy_from_slice(&f_host);
+                    if j != i && q > 1 {
+                        link.transfer(f_host.len() as u64 * 8);
+                    }
+                }
+            }
+            // 2) Unmasked partials per cell.
+            for i in 0..q {
+                for j in 0..q {
+                    let cell = &mut cells[i * q + j];
+                    let (cp, rows, seg, part, device) = (
+                        cell.cp.dslice(),
+                        cell.rows.dslice(),
+                        cell.seg_i64.dslice(),
+                        &mut cell.part_i64,
+                        &cell.device,
+                    );
+                    partial_gather(device, &cp, &rows, &seg, &mut part.dslice_mut());
+                }
+            }
+            // 3) Reduce partials down each grid column onto the owner.
+            let mut total_count = 0i64;
+            for j in 0..q {
+                let len = blocks[j].1 - blocks[j].0;
+                let mut reduced = vec![0i64; len];
+                for i in 0..q {
+                    let part = cells[i * q + j].part_i64.host();
+                    for (acc, &x) in reduced.iter_mut().zip(part) {
+                        *acc = acc.saturating_add(x);
+                    }
+                    if i != j && q > 1 {
+                        link.transfer(len as u64 * 8);
+                    }
+                }
+                owners[j].f_t.host_mut().copy_from_slice(&reduced);
+                // 4) Masked update at the owner.
+                owners[j].count.fill(0);
+                let device = &cells[j * q + j].device;
+                let owner = &mut owners[j];
+                kernels::bfs_update(
+                    device,
+                    &mut owner.f_t.dslice_mut(),
+                    &mut owner.sigma.dslice_mut(),
+                    &mut owner.depths.dslice_mut(),
+                    &mut owner.f.dslice_mut(),
+                    d + 1,
+                    &mut owner.count.dslice_mut(),
+                );
+                total_count += owner.count.host()[0];
+            }
+            if total_count == 0 {
+                break;
+            }
+            d += 1;
+        }
+        let height = d;
+
+        // Backward (symmetric gather over the same blocks).
+        for (j, owner) in owners.iter_mut().enumerate() {
+            let device = &cells[j * q + j].device;
+            kernels::clear(device, "clear_delta", &mut owner.delta.dslice_mut());
+        }
+        let mut depth = height;
+        while depth > 1 {
+            // Seed δ_u at owners, broadcast along grid rows.
+            for i in 0..q {
+                let device = &cells[i * q + i].device;
+                let owner = &mut owners[i];
+                kernels::bwd_seed(
+                    device,
+                    &owner.depths.dslice(),
+                    &owner.sigma.dslice(),
+                    &owner.delta.dslice(),
+                    depth,
+                    &mut owner.delta_u.dslice_mut(),
+                );
+                let du_host: Vec<f64> = owner.delta_u.host().to_vec();
+                for j in 0..q {
+                    let cell = &mut cells[i * q + j];
+                    cell.seg_f64.host_mut()[..du_host.len()].copy_from_slice(&du_host);
+                    if j != i && q > 1 {
+                        link.transfer(du_host.len() as u64 * 8);
+                    }
+                }
+            }
+            // Partials + column reduction.
+            for i in 0..q {
+                for j in 0..q {
+                    let cell = &mut cells[i * q + j];
+                    let (cp, rows, seg, part, device) = (
+                        cell.cp.dslice(),
+                        cell.rows.dslice(),
+                        cell.seg_f64.dslice(),
+                        &mut cell.part_f64,
+                        &cell.device,
+                    );
+                    partial_gather_f64(device, &cp, &rows, &seg, &mut part.dslice_mut());
+                }
+            }
+            for j in 0..q {
+                let len = blocks[j].1 - blocks[j].0;
+                let mut reduced = vec![0.0f64; len];
+                for i in 0..q {
+                    let part = cells[i * q + j].part_f64.host();
+                    for (acc, &x) in reduced.iter_mut().zip(part) {
+                        *acc += x;
+                    }
+                    if i != j && q > 1 {
+                        link.transfer(len as u64 * 8);
+                    }
+                }
+                owners[j].delta_ut.host_mut().copy_from_slice(&reduced);
+                let device = &cells[j * q + j].device;
+                let owner = &mut owners[j];
+                kernels::bwd_accum(
+                    device,
+                    &owner.depths.dslice(),
+                    &owner.sigma.dslice(),
+                    &mut owner.delta_ut.dslice_mut(),
+                    depth,
+                    &mut owner.delta.dslice_mut(),
+                );
+            }
+            depth -= 1;
+        }
+        for (j, owner) in owners.iter_mut().enumerate() {
+            let (lo, hi) = blocks[j];
+            let local_source = if (lo..hi).contains(&(source as usize)) {
+                source as usize - lo
+            } else {
+                hi - lo // out of range = "not here"
+            };
+            let device = &cells[j * q + j].device;
+            kernels::bc_accum(
+                device,
+                &owner.delta.dslice(),
+                local_source,
+                scale,
+                &mut owner.bc.dslice_mut(),
+            );
+        }
+    }
+
+    // Assemble.
+    let mut bc = vec![0.0f64; n];
+    for (j, owner) in owners.iter().enumerate() {
+        let (lo, hi) = blocks[j];
+        bc[lo..hi].copy_from_slice(owner.bc.host());
+    }
+    let per_device_memory: Vec<MemoryReport> =
+        cells.iter().map(|c| c.device.memory()).collect();
+    let modelled_compute_s = cells
+        .iter()
+        .map(|c| {
+            let m = c.device.metrics();
+            let t = c.device.timing();
+            m.iter().map(|(_, s)| t.kernel_time_s(s)).sum::<f64>()
+        })
+        .fold(0.0f64, f64::max);
+    let modelled_transfer_s = link.modelled_time_s();
+    let report = MultiGpu2dReport {
+        grid: q,
+        per_device_memory,
+        transfers: link.transfers(),
+        transfer_bytes: link.bytes(),
+        modelled_compute_s,
+        modelled_transfer_s,
+        modelled_time_s: modelled_compute_s + modelled_transfer_s,
+    };
+    Ok((bc, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use turbobc_baselines::brandes_single_source;
+    use turbobc_graph::gen;
+
+    fn check(g: &Graph, q: usize) -> MultiGpu2dReport {
+        let s = g.default_source();
+        let (bc, report) =
+            bc_multi_gpu_2d(g, &[s], q, DeviceProps::titan_xp(), Interconnect::pcie3())
+                .unwrap();
+        let want = brandes_single_source(g, s);
+        for (v, (a, b)) in bc.iter().zip(&want).enumerate() {
+            assert!((a - b).abs() < 1e-9, "q={q} bc[{v}]: {a} vs {b}");
+        }
+        report
+    }
+
+    #[test]
+    fn matches_oracle_on_grids() {
+        let g = gen::small_world(130, 3, 0.2, 7);
+        for q in [1, 2, 3] {
+            let r = check(&g, q);
+            assert_eq!(r.grid, q);
+        }
+    }
+
+    #[test]
+    fn matches_oracle_on_disconnected_undirected() {
+        let g = gen::gnm(90, 80, false, 4);
+        check(&g, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "undirected")]
+    fn rejects_directed_graphs() {
+        let g = gen::gnm(20, 60, true, 1);
+        let _ = bc_multi_gpu_2d(&g, &[0], 2, DeviceProps::titan_xp(), Interconnect::pcie3());
+    }
+
+    #[test]
+    fn worker_cells_hold_no_full_length_vectors() {
+        let g = gen::delaunay(1600, 8);
+        let s = g.default_source();
+        let (_, r1d) = crate::multi_gpu::bc_multi_gpu(
+            &g,
+            &[s],
+            4,
+            DeviceProps::titan_xp(),
+            Interconnect::pcie3(),
+        )
+        .unwrap();
+        // 2D at q = 2 (also 4 devices): the off-diagonal workers carry
+        // only a structure block plus O(n/q) segments, unlike 1D where
+        // *every* device carries full-length replicated vectors.
+        let r2d = check(&g, 2);
+        let max_1d = r1d.per_device_memory.iter().map(|m| m.peak).max().unwrap();
+        let q = r2d.grid;
+        let worker_max = r2d
+            .per_device_memory
+            .iter()
+            .enumerate()
+            .filter(|(idx, _)| idx / q != idx % q)
+            .map(|(_, m)| m.peak)
+            .max()
+            .unwrap();
+        assert!(
+            worker_max < max_1d,
+            "2D workers must sit below the 1D replication floor: {worker_max} vs {max_1d}"
+        );
+        // At a 3x3 grid vs 9-way 1D the margin widens (worker segments
+        // are n/q while 1D replicas stay at n).
+        let (_, r1d9) = crate::multi_gpu::bc_multi_gpu(
+            &g,
+            &[s],
+            9,
+            DeviceProps::titan_xp(),
+            Interconnect::pcie3(),
+        )
+        .unwrap();
+        let r2d3 = check(&g, 3);
+        let max_1d9 = r1d9.per_device_memory.iter().map(|m| m.peak).max().unwrap();
+        let worker_max3 = r2d3
+            .per_device_memory
+            .iter()
+            .enumerate()
+            .filter(|(idx, _)| idx / 3 != idx % 3)
+            .map(|(_, m)| m.peak)
+            .max()
+            .unwrap();
+        assert!(
+            worker_max3 * 3 < max_1d9 * 2,
+            "q=3 workers: {worker_max3} vs 1D p=9: {max_1d9}"
+        );
+    }
+
+    #[test]
+    fn exchange_is_cheaper_than_1d_at_equal_devices() {
+        let g = gen::small_world(2000, 4, 0.1, 5);
+        let s = g.default_source();
+        let (_, r1d) = crate::multi_gpu::bc_multi_gpu(
+            &g,
+            &[s],
+            4,
+            DeviceProps::titan_xp(),
+            Interconnect::pcie3(),
+        )
+        .unwrap();
+        let r2d = check(&g, 2);
+        assert!(
+            r2d.transfer_bytes < r1d.transfer_bytes,
+            "2D: {} vs 1D: {}",
+            r2d.transfer_bytes,
+            r1d.transfer_bytes
+        );
+    }
+}

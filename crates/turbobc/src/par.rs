@@ -1,0 +1,288 @@
+//! Rayon data-parallel execution of Algorithm 1 — the reproduction's
+//! stand-in for the paper's CUDA wall-clock measurements.
+//!
+//! Each kernel keeps the GPU version's work mapping:
+//!
+//! * `scCOOC` — parallel over **edges**, accumulating the frontier and
+//!   dependency products with atomics (the GPU kernel's `atomicAdd`);
+//! * `scCSC` — parallel over **vertices** (columns), pure gather, no
+//!   atomics;
+//! * `veCSC` — on a CPU there are no warps, so the vector kernel shares
+//!   the scalar column gather; the warp-level distinction is observable
+//!   on the SIMT engine instead.
+//!
+//! The backward SpMV needs `A δ_u` (parent ← child). With CSC storage
+//! that is a gather only when `A` is symmetric (undirected graphs —
+//! which is how the paper gets away with one format); for directed
+//! graphs the same CSC structure is used in a scatter with atomic f64
+//! adds, preserving the one-format-per-run memory rule.
+
+use crate::seq::SourceRun;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use turbobc_sparse::{Cooc, Csc};
+
+/// Atomic saturating `i64 +=` via compare-exchange (shortest-path counts
+/// saturate instead of wrapping; see `turbobc_sparse::Scalar`).
+#[inline]
+fn atomic_i64_sat_add(cell: &AtomicI64, val: i64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let new = cur.saturating_add(val);
+        match cell.compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(now) => cur = now,
+        }
+    }
+}
+
+/// Atomic `f64 +=` via compare-exchange on the bit pattern.
+#[inline]
+fn atomic_f64_add(cell: &AtomicU64, val: f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let new = (f64::from_bits(cur) + val).to_bits();
+        match cell.compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(now) => cur = now,
+        }
+    }
+}
+
+/// Parallel storage: a borrowed view of the run's one format, plus the
+/// symmetry flag that decides the backward direction strategy.
+pub(crate) enum ParStorage<'a> {
+    Csc { csc: &'a Csc, symmetric: bool },
+    Cooc(&'a Cooc),
+}
+
+impl ParStorage<'_> {
+    pub(crate) fn n(&self) -> usize {
+        match self {
+            ParStorage::Csc { csc, .. } => csc.n_cols(),
+            ParStorage::Cooc(c) => c.n_cols(),
+        }
+    }
+
+    /// Parallel forward masked SpMV into `f_t` (atomic view).
+    ///
+    /// The CSC variant overwrites every entry of `f_t` (masked-out
+    /// columns get 0), so no separate clear pass is needed; the COOC
+    /// variant accumulates and relies on the previous level's fused
+    /// update pass having reset `f_t` (the paper's kernel-fusion §3.4).
+    fn forward(&self, f: &[i64], sigma: &[i64], f_t: &[AtomicI64]) {
+        match self {
+            ParStorage::Csc { csc, .. } => {
+                f_t.par_iter().enumerate().for_each(|(j, out)| {
+                    // Algorithm 3, one "thread" per column.
+                    let mut sum = 0i64;
+                    if sigma[j] == 0 {
+                        for &r in csc.column(j) {
+                            sum = sum.saturating_add(f[r as usize]);
+                        }
+                    }
+                    out.store(sum, Ordering::Relaxed);
+                });
+            }
+            ParStorage::Cooc(c) => {
+                // Algorithm 2, one "thread" per edge.
+                let rows = c.row_a();
+                let cols = c.col_a();
+                rows.par_iter().zip(cols.par_iter()).for_each(|(&r, &col)| {
+                    let fv = f[r as usize];
+                    if fv > 0 {
+                        atomic_i64_sat_add(&f_t[col as usize], fv);
+                    }
+                });
+            }
+        }
+    }
+
+    /// Parallel backward SpMV: `δ_ut ← A δ_u`. The gather variant
+    /// overwrites every entry; the scatter/COOC variants accumulate into
+    /// a `δ_ut` that the fused accumulate pass resets each depth.
+    fn backward(&self, delta_u: &[f64], delta_ut: &[AtomicU64]) {
+        match self {
+            ParStorage::Csc { csc, symmetric: true } => {
+                // Symmetric A: gather along columns, no atomics.
+                delta_ut.par_iter().enumerate().for_each(|(j, out)| {
+                    let mut sum = 0.0f64;
+                    for &r in csc.column(j) {
+                        sum += delta_u[r as usize];
+                    }
+                    out.store(sum.to_bits(), Ordering::Relaxed);
+                });
+            }
+            ParStorage::Csc { csc, symmetric: false } => {
+                // Directed: scatter each column's value to its rows.
+                (0..csc.n_cols()).into_par_iter().for_each(|j| {
+                    let x = delta_u[j];
+                    if x > 0.0 {
+                        for &r in csc.column(j) {
+                            atomic_f64_add(&delta_ut[r as usize], x);
+                        }
+                    }
+                });
+            }
+            ParStorage::Cooc(c) => {
+                let rows = c.row_a();
+                let cols = c.col_a();
+                rows.par_iter().zip(cols.par_iter()).for_each(|(&r, &col)| {
+                    let x = delta_u[col as usize];
+                    if x > 0.0 {
+                        atomic_f64_add(&delta_ut[r as usize], x);
+                    }
+                });
+            }
+        }
+    }
+}
+
+/// Runs Algorithm 1 for one source on the rayon engine, accumulating
+/// into `bc`.
+pub(crate) fn bc_source_par(
+    storage: &ParStorage,
+    source: usize,
+    scale: f64,
+    bc: &mut [f64],
+    sigma: &mut [i64],
+    depths: &mut [u32],
+) -> SourceRun {
+    let n = storage.n();
+    debug_assert_eq!(bc.len(), n);
+    sigma.par_iter_mut().for_each(|s| *s = 0);
+    depths.par_iter_mut().for_each(|d| *d = 0);
+    if n == 0 {
+        return SourceRun { height: 0, reached: 0 };
+    }
+
+    let mut f = vec![0i64; n];
+    let f_t: Vec<AtomicI64> = (0..n).map(|_| AtomicI64::new(0)).collect();
+    f[source] = 1;
+    sigma[source] = 1;
+    depths[source] = 1;
+    let mut d = 1u32;
+    let mut reached = 1usize;
+    loop {
+        storage.forward(&f, sigma, &f_t);
+        d += 1;
+        // Fused mask + σ/S update + f_t reset (lines 14 and 20–27 in one
+        // pass), one "thread" per vertex.
+        let next_d = d;
+        let count: usize = {
+            let f_t = &f_t;
+            f.par_iter_mut()
+                .zip(sigma.par_iter_mut())
+                .zip(depths.par_iter_mut())
+                .enumerate()
+                .map(|(i, ((fi, si), di))| {
+                    let ft = f_t[i].swap(0, Ordering::Relaxed);
+                    if *si == 0 && ft != 0 {
+                        *fi = ft;
+                        *si = si.saturating_add(ft);
+                        *di = next_d;
+                        1
+                    } else {
+                        *fi = 0;
+                        0
+                    }
+                })
+                .sum()
+        };
+        if count == 0 {
+            d -= 1;
+            break;
+        }
+        reached += count;
+    }
+    let height = d;
+
+    drop(f);
+    drop(f_t);
+
+    let mut delta = vec![0.0f64; n];
+    let mut delta_u = vec![0.0f64; n];
+    let delta_ut: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+    let mut depth = height;
+    while depth > 1 {
+        {
+            let (dep, sig, del) = (&*depths, &*sigma, &delta);
+            delta_u.par_iter_mut().enumerate().for_each(|(i, du)| {
+                *du = if dep[i] == depth && sig[i] > 0 {
+                    (1.0 + del[i]) / sig[i] as f64
+                } else {
+                    0.0
+                };
+            });
+        }
+        storage.backward(&delta_u, &delta_ut);
+        {
+            // Fused δ accumulate + δ_ut reset.
+            let (dep, sig, dut) = (&*depths, &*sigma, &delta_ut);
+            delta.par_iter_mut().enumerate().for_each(|(i, dl)| {
+                let v = f64::from_bits(dut[i].swap(0, Ordering::Relaxed));
+                if dep[i] == depth - 1 {
+                    *dl += v * sig[i] as f64;
+                }
+            });
+        }
+        depth -= 1;
+    }
+    bc.par_iter_mut().enumerate().for_each(|(v, b)| {
+        if v != source {
+            *b += delta[v] * scale;
+        }
+    });
+    SourceRun { height, reached }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use turbobc_baselines::brandes_single_source;
+    use turbobc_graph::Graph;
+
+    fn run(graph: &Graph, storage: ParStorage<'_>, source: usize) -> Vec<f64> {
+        let n = graph.n();
+        let mut bc = vec![0.0; n];
+        let mut sigma = vec![0i64; n];
+        let mut depths = vec![0u32; n];
+        bc_source_par(&storage, source, graph.bc_scale(), &mut bc, &mut sigma, &mut depths);
+        bc
+    }
+
+    fn assert_close(got: &[f64], want: &[f64]) {
+        for (i, (g, w)) in got.iter().zip(want).enumerate() {
+            assert!((g - w).abs() < 1e-9, "bc[{i}] = {g}, want {w}");
+        }
+    }
+
+    #[test]
+    fn cooc_matches_oracle_on_directed_diamond() {
+        let g = Graph::from_edges(4, true, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        assert_close(&run(&g, ParStorage::Cooc(&g.to_cooc()), 0), &brandes_single_source(&g, 0));
+    }
+
+    #[test]
+    fn csc_symmetric_gather_matches_oracle() {
+        let g = Graph::from_edges(6, false, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        let csc = g.to_csc();
+        let storage = ParStorage::Csc { csc: &csc, symmetric: true };
+        assert_close(&run(&g, storage, 1), &brandes_single_source(&g, 1));
+    }
+
+    #[test]
+    fn csc_directed_scatter_matches_oracle() {
+        let g = Graph::from_edges(5, true, &[(0, 1), (1, 2), (2, 3), (0, 3), (3, 4), (1, 4)]);
+        let csc = g.to_csc();
+        let storage = ParStorage::Csc { csc: &csc, symmetric: false };
+        assert_close(&run(&g, storage, 0), &brandes_single_source(&g, 0));
+    }
+
+    #[test]
+    fn empty_frontier_terminates() {
+        let g = Graph::from_edges(3, true, &[(1, 2)]);
+        let bc = run(&g, ParStorage::Cooc(&g.to_cooc()), 0);
+        assert!(bc.iter().all(|&x| x == 0.0));
+    }
+}

@@ -1,0 +1,90 @@
+//! Result types returned by the solver.
+
+use std::time::Duration;
+use turbobc_simt::{KernelStats, MemoryReport, MetricsRegistry};
+
+/// Aggregate statistics for a BC run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunStats {
+    /// Number of source vertices processed.
+    pub sources: usize,
+    /// Maximum BFS-tree height over the processed sources — the paper's
+    /// `d` column (source at depth 1).
+    pub max_depth: u32,
+    /// Sum of BFS heights over all sources (number of forward SpMV
+    /// sweeps).
+    pub total_levels: u64,
+    /// Vertices reached from the last processed source.
+    pub last_reached: usize,
+    /// Wall-clock time of the whole run.
+    pub elapsed: Duration,
+}
+
+impl RunStats {
+    /// The paper's MTEPS figure: for BC/vertex runs, `m / t`; for exact
+    /// runs, `n·m / t` (millions of traversed edges per second).
+    pub fn mteps(&self, m: usize) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs == 0.0 {
+            return 0.0;
+        }
+        (m as f64 * self.sources as f64) / secs / 1e6
+    }
+}
+
+/// Betweenness-centrality output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BcResult {
+    /// BC score per vertex (undirected contributions halved, as in the
+    /// paper).
+    pub bc: Vec<f64>,
+    /// Shortest-path counts `σ` from the *last* processed source.
+    pub sigma: Vec<i64>,
+    /// Discovery depths `S` from the last processed source (source = 1,
+    /// unreached = 0).
+    pub depths: Vec<u32>,
+    /// Run statistics.
+    pub stats: RunStats,
+}
+
+/// Extra observables from a run on the SIMT simulator.
+#[derive(Debug, Clone)]
+pub struct SimtReport {
+    /// Per-kernel counters accumulated over the run.
+    pub metrics: MetricsRegistry,
+    /// Device memory after the run (peak = the paper's "GPU memory upper
+    /// bound").
+    pub memory: MemoryReport,
+    /// Modelled execution time (timing-model seconds, all kernels).
+    pub modelled_time_s: f64,
+    /// Modelled global-memory load throughput over the whole run, GB/s.
+    pub glt_gbs: f64,
+}
+
+impl SimtReport {
+    /// Totals across kernels.
+    pub fn total(&self) -> KernelStats {
+        self.metrics.total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mteps_formula() {
+        let stats = RunStats {
+            sources: 2,
+            elapsed: Duration::from_secs(1),
+            ..Default::default()
+        };
+        assert!((stats.mteps(5_000_000) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mteps_of_zero_time_is_zero() {
+        let stats = RunStats::default();
+        assert_eq!(stats.mteps(100), 0.0);
+    }
+}

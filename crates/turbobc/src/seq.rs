@@ -1,0 +1,188 @@
+//! Sequential execution of Algorithm 1 — the paper's "(sequential)x"
+//! baseline and the reference semantics for the parallel engines.
+
+use turbobc_sparse::ops;
+use turbobc_sparse::{Cooc, Csc};
+
+/// The one storage format a run holds, per the paper's memory rule.
+pub(crate) enum Storage {
+    Csc(Csc),
+    Cooc(Cooc),
+}
+
+impl Storage {
+    pub(crate) fn n(&self) -> usize {
+        match self {
+            Storage::Csc(c) => c.n_cols(),
+            Storage::Cooc(c) => c.n_cols(),
+        }
+    }
+
+    #[allow(dead_code)] // used by the bench harness via the solver
+    pub(crate) fn m(&self) -> usize {
+        match self {
+            Storage::Csc(c) => c.nnz(),
+            Storage::Cooc(c) => c.nnz(),
+        }
+    }
+
+    /// Forward masked SpMV (`f_t ← Aᵀ f`, only into undiscovered
+    /// vertices). `f_t` must be zeroed by the caller (Algorithm 1 line
+    /// 14).
+    fn forward(&self, f: &[i64], sigma: &[i64], f_t: &mut [i64]) {
+        match self {
+            // Algorithm 3: the σ-mask is fused into the column gather.
+            Storage::Csc(c) => c.masked_spmv_t(f, |j| sigma[j] == 0, f_t),
+            // Algorithm 2: plain edge sweep; masking happens afterwards
+            // in `ops::mask_new_frontier`.
+            Storage::Cooc(c) => c.spmv_t(f, f_t),
+        }
+    }
+
+    /// Backward SpMV (`δ_ut ← A δ_u`): dependencies flow from children
+    /// back to parents along forward edges. `δ_ut` must be zeroed by the
+    /// caller.
+    fn backward(&self, delta_u: &[f64], delta_ut: &mut [f64]) {
+        match self {
+            Storage::Csc(c) => c.spmv(delta_u, delta_ut),
+            Storage::Cooc(c) => c.spmv(delta_u, delta_ut),
+        }
+    }
+}
+
+/// Output of one source's forward+backward sweep.
+pub(crate) struct SourceRun {
+    /// BFS-tree height (source at depth 1).
+    pub height: u32,
+    /// Vertices reached (including the source).
+    pub reached: usize,
+}
+
+/// Runs Algorithm 1 for one source, accumulating into `bc`.
+/// `sigma`/`depths` are caller-provided scratch, returned filled for the
+/// source (the solver surfaces the last source's vectors).
+pub(crate) fn bc_source_seq(
+    storage: &Storage,
+    source: usize,
+    scale: f64,
+    bc: &mut [f64],
+    sigma: &mut [i64],
+    depths: &mut [u32],
+) -> SourceRun {
+    let n = storage.n();
+    debug_assert_eq!(bc.len(), n);
+    sigma.fill(0);
+    depths.fill(ops::UNDISCOVERED);
+    if n == 0 {
+        return SourceRun { height: 0, reached: 0 };
+    }
+
+    // Forward stage: the paper's integer frontier vectors.
+    let mut f = vec![0i64; n];
+    let mut f_t = vec![0i64; n];
+    f[source] = 1;
+    sigma[source] = 1;
+    depths[source] = 1;
+    let mut d = 1u32;
+    let mut reached = 1usize;
+    loop {
+        f_t.fill(0);
+        storage.forward(&f, sigma, &mut f_t);
+        let count = ops::mask_new_frontier(&f_t, sigma, &mut f);
+        if count == 0 {
+            break;
+        }
+        d += 1;
+        ops::update_sigma_depth(&f, d, depths, sigma);
+        reached += count;
+    }
+    let height = d;
+
+    // §3.4: free the integer frontier vectors before allocating the
+    // float backward vectors.
+    drop(f);
+    drop(f_t);
+
+    // Backward stage.
+    let mut delta = vec![0.0f64; n];
+    let mut delta_u = vec![0.0f64; n];
+    let mut delta_ut = vec![0.0f64; n];
+    let mut depth = height;
+    while depth > 1 {
+        ops::seed_delta_u(depths, sigma, &delta, depth, &mut delta_u);
+        delta_ut.fill(0.0);
+        storage.backward(&delta_u, &mut delta_ut);
+        ops::accumulate_delta(depths, sigma, &delta_ut, depth, &mut delta);
+        depth -= 1;
+    }
+    ops::accumulate_bc(&delta, source, scale, bc);
+    SourceRun { height, reached }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use turbobc_baselines::brandes_single_source;
+    use turbobc_graph::Graph;
+
+    fn run(graph: &Graph, storage: Storage, source: usize) -> (Vec<f64>, SourceRun) {
+        let n = graph.n();
+        let mut bc = vec![0.0; n];
+        let mut sigma = vec![0i64; n];
+        let mut depths = vec![0u32; n];
+        let r = bc_source_seq(&storage, source, graph.bc_scale(), &mut bc, &mut sigma, &mut depths);
+        (bc, r)
+    }
+
+    #[test]
+    fn csc_matches_oracle_on_diamond() {
+        let g = Graph::from_edges(4, true, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let (bc, r) = run(&g, Storage::Csc(g.to_csc()), 0);
+        let want = brandes_single_source(&g, 0);
+        for (a, b) in bc.iter().zip(&want) {
+            assert!((a - b).abs() < 1e-12, "{bc:?} vs {want:?}");
+        }
+        assert_eq!(r.height, 3);
+        assert_eq!(r.reached, 4);
+    }
+
+    #[test]
+    fn cooc_matches_oracle_on_undirected_cycle() {
+        let g = Graph::from_edges(5, false, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        let (bc, _) = run(&g, Storage::Cooc(g.to_cooc()), 2);
+        let want = brandes_single_source(&g, 2);
+        for (a, b) in bc.iter().zip(&want) {
+            assert!((a - b).abs() < 1e-12, "{bc:?} vs {want:?}");
+        }
+    }
+
+    #[test]
+    fn sigma_and_depths_are_surfaced() {
+        let g = Graph::from_edges(4, true, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let n = g.n();
+        let mut bc = vec![0.0; n];
+        let mut sigma = vec![0i64; n];
+        let mut depths = vec![0u32; n];
+        bc_source_seq(&Storage::Csc(g.to_csc()), 0, 1.0, &mut bc, &mut sigma, &mut depths);
+        assert_eq!(sigma, vec![1, 1, 1, 2], "two shortest paths reach vertex 3");
+        assert_eq!(depths, vec![1, 2, 2, 3]);
+    }
+
+    #[test]
+    fn disconnected_source_component_only() {
+        let g = Graph::from_edges(5, false, &[(0, 1), (2, 3)]);
+        let (bc, r) = run(&g, Storage::Csc(g.to_csc()), 0);
+        assert_eq!(r.reached, 2);
+        assert_eq!(r.height, 2);
+        assert!(bc.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn isolated_source() {
+        let g = Graph::from_edges(3, true, &[(1, 2)]);
+        let (bc, r) = run(&g, Storage::Cooc(g.to_cooc()), 0);
+        assert_eq!(r.height, 1);
+        assert_eq!(r.reached, 1);
+        assert!(bc.iter().all(|&x| x == 0.0));
+    }
+}

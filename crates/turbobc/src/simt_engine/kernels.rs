@@ -1,0 +1,678 @@
+//! The TurboBC GPU kernels, written against the SIMT simulator's
+//! warp-instruction API.
+//!
+//! Kernel names recorded in the device metrics registry follow the
+//! pipeline of the paper's Figure 2: `fwd_*` (BFS SpMV), `bfs_update`
+//! (mask + σ/S update), `bwd_seed`, `bwd_*` (dependency SpMV),
+//! `bwd_accum`, and `bc_accum`.
+
+use turbobc_simt::{DSlice, DSliceMut, Device, KernelStats, LaunchConfig, Warp, WARP_SIZE};
+
+/// Per-lane global indices bounded by `bound`.
+#[inline]
+fn lane_ids(w: &Warp, bound: usize) -> [Option<usize>; WARP_SIZE] {
+    let mut idx = [None; WARP_SIZE];
+    for (l, slot) in idx.iter_mut().enumerate() {
+        *slot = w.global_id(l).filter(|&g| g < bound);
+    }
+    idx
+}
+
+fn count_some<T>(a: &[Option<T>; WARP_SIZE]) -> usize {
+    a.iter().filter(|x| x.is_some()).count()
+}
+
+/// `cudaMemset`-style clear kernel (coalesced stores), one thread per
+/// element.
+pub fn clear<T: Copy + Default>(dev: &Device, name: &str, buf: &mut DSliceMut<'_, T>) -> KernelStats {
+    let len = buf.len();
+    dev.launch(name, LaunchConfig::per_element(len), |w| {
+        let idx = lane_ids(w, len);
+        let mut writes = [None; WARP_SIZE];
+        for l in 0..WARP_SIZE {
+            writes[l] = idx[l].map(|i| (i, T::default()));
+        }
+        w.scatter(buf, &writes);
+    })
+}
+
+/// Initialises the source vertex (Algorithm 1 lines 15–18): one thread.
+pub fn init_source(
+    dev: &Device,
+    f: &mut DSliceMut<'_, i64>,
+    sigma: &mut DSliceMut<'_, i64>,
+    depths: &mut DSliceMut<'_, u32>,
+    source: usize,
+) -> KernelStats {
+    dev.launch("bfs_init", LaunchConfig::per_element(1), |w| {
+        let mut wf = [None; WARP_SIZE];
+        wf[0] = Some((source, 1i64));
+        w.scatter(f, &wf);
+        let mut ws = [None; WARP_SIZE];
+        ws[0] = Some((source, 1i64));
+        w.scatter(sigma, &ws);
+        let mut wd = [None; WARP_SIZE];
+        wd[0] = Some((source, 1u32));
+        w.scatter(depths, &wd);
+    })
+}
+
+/// Forward SpMV, scCOOC mapping (Algorithm 2): one thread per edge;
+/// `f_t[col] += f[row]` for `f[row] > 0`, with atomics.
+pub fn forward_sccooc(
+    dev: &Device,
+    row_a: &DSlice<'_, u32>,
+    col_a: &DSlice<'_, u32>,
+    f: &DSlice<'_, i64>,
+    f_t: &mut DSliceMut<'_, i64>,
+) -> KernelStats {
+    let m = row_a.len();
+    dev.launch("fwd_scCOOC", LaunchConfig::per_element(m), |w| {
+        let idx = lane_ids(w, m);
+        let rows = w.gather(row_a, &idx);
+        let mut fidx = [None; WARP_SIZE];
+        for l in 0..WARP_SIZE {
+            fidx[l] = idx[l].map(|_| rows[l] as usize);
+        }
+        let fv = w.gather(f, &fidx);
+        let mut cidx = [None; WARP_SIZE];
+        for l in 0..WARP_SIZE {
+            if fidx[l].is_some() && fv[l] > 0 {
+                cidx[l] = idx[l];
+            }
+        }
+        w.alu(count_some(&idx)); // the `f > 0` predicate test
+        if count_some(&cidx) > 0 {
+            let cols = w.gather(col_a, &cidx);
+            let mut ops = [None; WARP_SIZE];
+            for l in 0..WARP_SIZE {
+                if cidx[l].is_some() {
+                    ops[l] = Some((cols[l] as usize, fv[l]));
+                }
+            }
+            w.atomic_add(f_t, &ops);
+        }
+    })
+}
+
+/// Forward SpMV, scCSC mapping (Algorithm 3): one thread per column; the
+/// `σ == 0` mask is fused; lanes idle while longer columns in the warp
+/// finish (the divergence the paper blames for scalar kernels on skewed
+/// graphs).
+pub fn forward_sccsc(
+    dev: &Device,
+    cp: &DSlice<'_, u32>,
+    rows: &DSlice<'_, u32>,
+    sigma: &DSlice<'_, i64>,
+    f: &DSlice<'_, i64>,
+    f_t: &mut DSliceMut<'_, i64>,
+) -> KernelStats {
+    let n = sigma.len();
+    dev.launch("fwd_scCSC", LaunchConfig::per_element(n), |w| {
+        let cols = lane_ids(w, n);
+        let sig = w.gather(sigma, &cols);
+        let mut live = [None; WARP_SIZE];
+        for l in 0..WARP_SIZE {
+            if cols[l].is_some() && sig[l] == 0 {
+                live[l] = cols[l];
+            }
+        }
+        w.alu(count_some(&cols)); // mask test
+        if count_some(&live) == 0 {
+            return;
+        }
+        let starts = w.gather(cp, &live);
+        let mut live1 = [None; WARP_SIZE];
+        for l in 0..WARP_SIZE {
+            live1[l] = live[l].map(|j| j + 1);
+        }
+        let ends = w.gather(cp, &live1);
+        let mut sums = [0i64; WARP_SIZE];
+        let mut t = 0u32;
+        loop {
+            let mut idx = [None; WARP_SIZE];
+            for l in 0..WARP_SIZE {
+                if live[l].is_some() {
+                    let p = starts[l] + t;
+                    if p < ends[l] {
+                        idx[l] = Some(p as usize);
+                    }
+                }
+            }
+            let active = count_some(&idx);
+            if active == 0 {
+                break;
+            }
+            let rs = w.gather(rows, &idx);
+            let mut fidx = [None; WARP_SIZE];
+            for l in 0..WARP_SIZE {
+                fidx[l] = idx[l].map(|_| rs[l] as usize);
+            }
+            let fv = w.gather(f, &fidx);
+            for l in 0..WARP_SIZE {
+                if idx[l].is_some() {
+                    sums[l] = sums[l].saturating_add(fv[l]);
+                }
+            }
+            w.alu(active);
+            t += 1;
+        }
+        let mut writes = [None; WARP_SIZE];
+        for l in 0..WARP_SIZE {
+            if let Some(j) = live[l] {
+                if sums[l] > 0 {
+                    writes[l] = Some((j, sums[l]));
+                }
+            }
+        }
+        if count_some(&writes) > 0 {
+            w.scatter(f_t, &writes);
+        }
+    })
+}
+
+/// Forward SpMV, veCSC mapping (Algorithm 4): one warp per column; lanes
+/// stride the column (coalesced `row_A` loads) and a shuffle reduction
+/// produces the sum.
+pub fn forward_vecsc(
+    dev: &Device,
+    cp: &DSlice<'_, u32>,
+    rows: &DSlice<'_, u32>,
+    sigma: &DSlice<'_, i64>,
+    f: &DSlice<'_, i64>,
+    f_t: &mut DSliceMut<'_, i64>,
+) -> KernelStats {
+    let n = sigma.len();
+    dev.launch("fwd_veCSC", LaunchConfig::per_warp(n), |w| {
+        let col = w.id();
+        if col >= n {
+            w.alu(w.active_lanes());
+            return;
+        }
+        let bcast = [Some(col); WARP_SIZE];
+        let sig = w.gather(sigma, &bcast)[0];
+        w.alu(WARP_SIZE);
+        if sig != 0 {
+            return;
+        }
+        let start = w.gather(cp, &bcast)[0] as usize;
+        let end = w.gather(cp, &[Some(col + 1); WARP_SIZE])[0] as usize;
+        let mut sums = [0i64; WARP_SIZE];
+        let mut base = start;
+        while base < end {
+            let mut idx = [None; WARP_SIZE];
+            for (l, slot) in idx.iter_mut().enumerate() {
+                let p = base + l;
+                if p < end {
+                    *slot = Some(p);
+                }
+            }
+            let rs = w.gather(rows, &idx);
+            let mut fidx = [None; WARP_SIZE];
+            for l in 0..WARP_SIZE {
+                fidx[l] = idx[l].map(|_| rs[l] as usize);
+            }
+            let fv = w.gather(f, &fidx);
+            for l in 0..WARP_SIZE {
+                if idx[l].is_some() {
+                    sums[l] = sums[l].saturating_add(fv[l]);
+                }
+            }
+            w.alu(count_some(&idx));
+            base += WARP_SIZE;
+        }
+        let total = w.reduce_sum(sums);
+        if total > 0 {
+            let mut writes = [None; WARP_SIZE];
+            writes[0] = Some((col, total));
+            w.scatter(f_t, &writes);
+        }
+    })
+}
+
+/// Forward SpMV, veCSC mapping with a **shared-memory** tree reduction
+/// instead of the paper's warp shuffle — the Bell & Garland original
+/// that Algorithm 4 improves on. Used only by the reduction ablation.
+pub fn forward_vecsc_shared(
+    dev: &Device,
+    cp: &DSlice<'_, u32>,
+    rows: &DSlice<'_, u32>,
+    sigma: &DSlice<'_, i64>,
+    f: &DSlice<'_, i64>,
+    f_t: &mut DSliceMut<'_, i64>,
+) -> KernelStats {
+    let n = sigma.len();
+    dev.launch("fwd_veCSC_smem", LaunchConfig::per_warp(n), |w| {
+        let col = w.id();
+        if col >= n {
+            w.alu(w.active_lanes());
+            return;
+        }
+        let bcast = [Some(col); WARP_SIZE];
+        let sig = w.gather(sigma, &bcast)[0];
+        w.alu(WARP_SIZE);
+        if sig != 0 {
+            return;
+        }
+        let start = w.gather(cp, &bcast)[0] as usize;
+        let end = w.gather(cp, &[Some(col + 1); WARP_SIZE])[0] as usize;
+        let mut sums = [0i64; WARP_SIZE];
+        let mut base = start;
+        while base < end {
+            let mut idx = [None; WARP_SIZE];
+            for (l, slot) in idx.iter_mut().enumerate() {
+                let p = base + l;
+                if p < end {
+                    *slot = Some(p);
+                }
+            }
+            let rs = w.gather(rows, &idx);
+            let mut fidx = [None; WARP_SIZE];
+            for l in 0..WARP_SIZE {
+                fidx[l] = idx[l].map(|_| rs[l] as usize);
+            }
+            let fv = w.gather(f, &fidx);
+            for l in 0..WARP_SIZE {
+                if idx[l].is_some() {
+                    sums[l] = sums[l].saturating_add(fv[l]);
+                }
+            }
+            w.alu(count_some(&idx));
+            base += WARP_SIZE;
+        }
+        let total = w.reduce_sum_shared(sums);
+        if total > 0 {
+            let mut writes = [None; WARP_SIZE];
+            writes[0] = Some((col, total));
+            w.scatter(f_t, &writes);
+        }
+    })
+}
+
+/// BFS mask + update kernel (Algorithm 1 lines 14 and 20–27 **fused**,
+/// per the paper's §3.4 two-kernels-per-level pipeline): one thread per
+/// vertex. Newly discovered vertices get `f = f_t`, `σ += f`, `S = d`,
+/// and bump the frontier counter; `f_t` is reset to 0 for the next level
+/// in the same pass (no separate clear launch).
+#[allow(clippy::too_many_arguments)]
+pub fn bfs_update(
+    dev: &Device,
+    f_t: &mut DSliceMut<'_, i64>,
+    sigma: &mut DSliceMut<'_, i64>,
+    depths: &mut DSliceMut<'_, u32>,
+    f: &mut DSliceMut<'_, i64>,
+    d: u32,
+    count: &mut DSliceMut<'_, i64>,
+) -> KernelStats {
+    let n = f_t.len();
+    dev.launch("bfs_update", LaunchConfig::per_element(n), |w| {
+        let idx = lane_ids(w, n);
+        let ft = w.gather(&f_t.as_dslice(), &idx);
+        // Fused `f_t ← 0` (line 14) for the next level.
+        let mut zeroes = [None; WARP_SIZE];
+        for l in 0..WARP_SIZE {
+            zeroes[l] = idx[l].map(|i| (i, 0i64));
+        }
+        w.scatter(f_t, &zeroes);
+        let sig = w.gather(&sigma.as_dslice(), &idx);
+        let mut fresh = [false; WARP_SIZE];
+        for l in 0..WARP_SIZE {
+            fresh[l] = idx[l].is_some() && sig[l] == 0 && ft[l] != 0;
+        }
+        w.alu(count_some(&idx));
+        // f is rewritten for every vertex (frontier value or 0).
+        let mut wf = [None; WARP_SIZE];
+        for l in 0..WARP_SIZE {
+            wf[l] = idx[l].map(|i| (i, if fresh[l] { ft[l] } else { 0 }));
+        }
+        w.scatter(f, &wf);
+        let fresh_count = fresh.iter().filter(|&&b| b).count();
+        if fresh_count == 0 {
+            return;
+        }
+        let mut ws = [None; WARP_SIZE];
+        let mut wd = [None; WARP_SIZE];
+        let mut wc = [None; WARP_SIZE];
+        for l in 0..WARP_SIZE {
+            if fresh[l] {
+                let i = idx[l].unwrap();
+                ws[l] = Some((i, sig[l] + ft[l]));
+                wd[l] = Some((i, d));
+                wc[l] = Some((0usize, 1i64));
+            }
+        }
+        w.scatter(sigma, &ws);
+        w.scatter(depths, &wd);
+        w.atomic_add(count, &wc);
+    })
+}
+
+/// Backward seed kernel (lines 32–36): `δ_u[i] = (1 + δ[i]) / σ[i]` at
+/// depth `d`, else 0. One thread per vertex.
+pub fn bwd_seed(
+    dev: &Device,
+    depths: &DSlice<'_, u32>,
+    sigma: &DSlice<'_, i64>,
+    delta: &DSlice<'_, f64>,
+    depth: u32,
+    delta_u: &mut DSliceMut<'_, f64>,
+) -> KernelStats {
+    let n = depths.len();
+    dev.launch("bwd_seed", LaunchConfig::per_element(n), |w| {
+        let idx = lane_ids(w, n);
+        let dep = w.gather(depths, &idx);
+        let sig = w.gather(sigma, &idx);
+        let mut sel = [None; WARP_SIZE];
+        for l in 0..WARP_SIZE {
+            if idx[l].is_some() && dep[l] == depth && sig[l] > 0 {
+                sel[l] = idx[l];
+            }
+        }
+        w.alu(count_some(&idx));
+        let dl = w.gather(delta, &sel);
+        let mut writes = [None; WARP_SIZE];
+        for l in 0..WARP_SIZE {
+            if let Some(i) = idx[l] {
+                let v = if sel[l].is_some() { (1.0 + dl[l]) / sig[l] as f64 } else { 0.0 };
+                writes[l] = Some((i, v));
+            }
+        }
+        w.scatter(delta_u, &writes);
+    })
+}
+
+/// Backward SpMV, scCOOC mapping: one thread per edge;
+/// `δ_ut[row] += δ_u[col]` for `δ_u[col] > 0` (atomics).
+pub fn backward_sccooc(
+    dev: &Device,
+    row_a: &DSlice<'_, u32>,
+    col_a: &DSlice<'_, u32>,
+    delta_u: &DSlice<'_, f64>,
+    delta_ut: &mut DSliceMut<'_, f64>,
+) -> KernelStats {
+    let m = row_a.len();
+    dev.launch("bwd_scCOOC", LaunchConfig::per_element(m), |w| {
+        let idx = lane_ids(w, m);
+        let cols = w.gather(col_a, &idx);
+        let mut didx = [None; WARP_SIZE];
+        for l in 0..WARP_SIZE {
+            didx[l] = idx[l].map(|_| cols[l] as usize);
+        }
+        let du = w.gather(delta_u, &didx);
+        let mut act = [None; WARP_SIZE];
+        for l in 0..WARP_SIZE {
+            if didx[l].is_some() && du[l] > 0.0 {
+                act[l] = idx[l];
+            }
+        }
+        w.alu(count_some(&idx));
+        if count_some(&act) == 0 {
+            return;
+        }
+        let rows = w.gather(row_a, &act);
+        let mut ops = [None; WARP_SIZE];
+        for l in 0..WARP_SIZE {
+            if act[l].is_some() {
+                ops[l] = Some((rows[l] as usize, du[l]));
+            }
+        }
+        w.atomic_add(delta_ut, &ops);
+    })
+}
+
+/// Backward SpMV over CSC for **symmetric** adjacency: column gather
+/// (`A = Aᵀ`, so `A δ_u` is a gather like the forward kernel). One
+/// thread per column; no atomics.
+pub fn backward_sccsc_gather(
+    dev: &Device,
+    cp: &DSlice<'_, u32>,
+    rows: &DSlice<'_, u32>,
+    delta_u: &DSlice<'_, f64>,
+    delta_ut: &mut DSliceMut<'_, f64>,
+) -> KernelStats {
+    let n = cp.len() - 1;
+    dev.launch("bwd_scCSC", LaunchConfig::per_element(n), |w| {
+        let cols = lane_ids(w, n);
+        if count_some(&cols) == 0 {
+            return;
+        }
+        let starts = w.gather(cp, &cols);
+        let mut cols1 = [None; WARP_SIZE];
+        for l in 0..WARP_SIZE {
+            cols1[l] = cols[l].map(|j| j + 1);
+        }
+        let ends = w.gather(cp, &cols1);
+        let mut sums = [0.0f64; WARP_SIZE];
+        let mut t = 0u32;
+        loop {
+            let mut idx = [None; WARP_SIZE];
+            for l in 0..WARP_SIZE {
+                if cols[l].is_some() {
+                    let p = starts[l] + t;
+                    if p < ends[l] {
+                        idx[l] = Some(p as usize);
+                    }
+                }
+            }
+            let active = count_some(&idx);
+            if active == 0 {
+                break;
+            }
+            let rs = w.gather(rows, &idx);
+            let mut didx = [None; WARP_SIZE];
+            for l in 0..WARP_SIZE {
+                didx[l] = idx[l].map(|_| rs[l] as usize);
+            }
+            let du = w.gather(delta_u, &didx);
+            for l in 0..WARP_SIZE {
+                if idx[l].is_some() {
+                    sums[l] += du[l];
+                }
+            }
+            w.alu(active);
+            t += 1;
+        }
+        let mut writes = [None; WARP_SIZE];
+        for l in 0..WARP_SIZE {
+            if let Some(j) = cols[l] {
+                if sums[l] != 0.0 {
+                    writes[l] = Some((j, sums[l]));
+                }
+            }
+        }
+        if count_some(&writes) > 0 {
+            w.scatter(delta_ut, &writes);
+        }
+    })
+}
+
+/// Backward SpMV over CSC for **directed** adjacency: scatter each
+/// column's `δ_u` value to its stored rows with atomics (same CSC
+/// structure, no transpose copy — preserving the one-format rule).
+pub fn backward_sccsc_scatter(
+    dev: &Device,
+    cp: &DSlice<'_, u32>,
+    rows: &DSlice<'_, u32>,
+    delta_u: &DSlice<'_, f64>,
+    delta_ut: &mut DSliceMut<'_, f64>,
+) -> KernelStats {
+    let n = cp.len() - 1;
+    dev.launch("bwd_scCSC_scatter", LaunchConfig::per_element(n), |w| {
+        let cols = lane_ids(w, n);
+        let du = w.gather(delta_u, &cols);
+        let mut live = [None; WARP_SIZE];
+        for l in 0..WARP_SIZE {
+            if cols[l].is_some() && du[l] > 0.0 {
+                live[l] = cols[l];
+            }
+        }
+        w.alu(count_some(&cols));
+        if count_some(&live) == 0 {
+            return;
+        }
+        let starts = w.gather(cp, &live);
+        let mut live1 = [None; WARP_SIZE];
+        for l in 0..WARP_SIZE {
+            live1[l] = live[l].map(|j| j + 1);
+        }
+        let ends = w.gather(cp, &live1);
+        let mut t = 0u32;
+        loop {
+            let mut idx = [None; WARP_SIZE];
+            for l in 0..WARP_SIZE {
+                if live[l].is_some() {
+                    let p = starts[l] + t;
+                    if p < ends[l] {
+                        idx[l] = Some(p as usize);
+                    }
+                }
+            }
+            let active = count_some(&idx);
+            if active == 0 {
+                break;
+            }
+            let rs = w.gather(rows, &idx);
+            let mut ops = [None; WARP_SIZE];
+            for l in 0..WARP_SIZE {
+                if idx[l].is_some() {
+                    ops[l] = Some((rs[l] as usize, du[l]));
+                }
+            }
+            w.atomic_add(delta_ut, &ops);
+            t += 1;
+        }
+    })
+}
+
+/// Backward SpMV, veCSC mapping for symmetric adjacency: one warp per
+/// column with strided gather and shuffle reduction.
+pub fn backward_vecsc_gather(
+    dev: &Device,
+    cp: &DSlice<'_, u32>,
+    rows: &DSlice<'_, u32>,
+    delta_u: &DSlice<'_, f64>,
+    delta_ut: &mut DSliceMut<'_, f64>,
+) -> KernelStats {
+    let n = cp.len() - 1;
+    dev.launch("bwd_veCSC", LaunchConfig::per_warp(n), |w| {
+        let col = w.id();
+        if col >= n {
+            w.alu(w.active_lanes());
+            return;
+        }
+        let bcast = [Some(col); WARP_SIZE];
+        let start = w.gather(cp, &bcast)[0] as usize;
+        let end = w.gather(cp, &[Some(col + 1); WARP_SIZE])[0] as usize;
+        let mut sums = [0.0f64; WARP_SIZE];
+        let mut base = start;
+        while base < end {
+            let mut idx = [None; WARP_SIZE];
+            for (l, slot) in idx.iter_mut().enumerate() {
+                let p = base + l;
+                if p < end {
+                    *slot = Some(p);
+                }
+            }
+            let rs = w.gather(rows, &idx);
+            let mut didx = [None; WARP_SIZE];
+            for l in 0..WARP_SIZE {
+                didx[l] = idx[l].map(|_| rs[l] as usize);
+            }
+            let du = w.gather(delta_u, &didx);
+            for l in 0..WARP_SIZE {
+                if idx[l].is_some() {
+                    sums[l] += du[l];
+                }
+            }
+            w.alu(count_some(&idx));
+            base += WARP_SIZE;
+        }
+        let total = w.reduce_sum(sums);
+        if total != 0.0 {
+            let mut writes = [None; WARP_SIZE];
+            writes[0] = Some((col, total));
+            w.scatter(delta_ut, &writes);
+        }
+    })
+}
+
+/// Backward accumulate kernel (lines 38–40 with the `δ_ut ← 0` reset
+/// for the next depth **fused in**): at depth `d − 1`, `δ += δ_ut · σ`.
+/// One thread per vertex.
+pub fn bwd_accum(
+    dev: &Device,
+    depths: &DSlice<'_, u32>,
+    sigma: &DSlice<'_, i64>,
+    delta_ut: &mut DSliceMut<'_, f64>,
+    depth: u32,
+    delta: &mut DSliceMut<'_, f64>,
+) -> KernelStats {
+    let n = depths.len();
+    dev.launch("bwd_accum", LaunchConfig::per_element(n), |w| {
+        let idx = lane_ids(w, n);
+        let dep = w.gather(depths, &idx);
+        let mut sel = [None; WARP_SIZE];
+        for l in 0..WARP_SIZE {
+            if idx[l].is_some() && dep[l] == depth - 1 {
+                sel[l] = idx[l];
+            }
+        }
+        w.alu(count_some(&idx));
+        let dut = w.gather(&delta_ut.as_dslice(), &sel);
+        // Fused reset for the next depth's SpMV.
+        let mut zeroes = [None; WARP_SIZE];
+        for l in 0..WARP_SIZE {
+            zeroes[l] = idx[l].map(|i| (i, 0.0f64));
+        }
+        w.scatter(delta_ut, &zeroes);
+        if count_some(&sel) == 0 {
+            return;
+        }
+        let sig = w.gather(sigma, &sel);
+        let dl = w.gather(&delta.as_dslice(), &sel);
+        let mut writes = [None; WARP_SIZE];
+        for l in 0..WARP_SIZE {
+            if let Some(i) = sel[l] {
+                writes[l] = Some((i, dl[l] + dut[l] * sig[l] as f64));
+            }
+        }
+        w.scatter(delta, &writes);
+    })
+}
+
+/// BC accumulation kernel (lines 43–47): `bc[v] += δ[v] · scale` for
+/// every `v ≠ source`. One thread per vertex.
+pub fn bc_accum(
+    dev: &Device,
+    delta: &DSlice<'_, f64>,
+    source: usize,
+    scale: f64,
+    bc: &mut DSliceMut<'_, f64>,
+) -> KernelStats {
+    let n = delta.len();
+    dev.launch("bc_accum", LaunchConfig::per_element(n), |w| {
+        let idx = lane_ids(w, n);
+        let mut sel = [None; WARP_SIZE];
+        for l in 0..WARP_SIZE {
+            if let Some(i) = idx[l] {
+                if i != source {
+                    sel[l] = Some(i);
+                }
+            }
+        }
+        w.alu(count_some(&idx));
+        let dl = w.gather(delta, &sel);
+        let old = w.gather(&bc.as_dslice(), &sel);
+        let mut writes = [None; WARP_SIZE];
+        for l in 0..WARP_SIZE {
+            if let Some(i) = sel[l] {
+                if dl[l] != 0.0 {
+                    writes[l] = Some((i, old[l] + dl[l] * scale));
+                }
+            }
+        }
+        if count_some(&writes) > 0 {
+            w.scatter(bc, &writes);
+        }
+    })
+}

@@ -1,0 +1,492 @@
+//! Driver for Algorithm 1 on the SIMT simulator: device allocation
+//! (following the paper's §3.4 footprint discipline), the per-level
+//! kernel pipeline of Figure 2, and metric collection.
+
+pub(crate) mod kernels;
+
+use crate::options::Kernel;
+use crate::result::SimtReport;
+use crate::seq::Storage;
+use turbobc_simt::{Device, DeviceBuffer, DeviceError};
+
+/// Everything a SIMT run produces.
+#[derive(Debug)]
+pub(crate) struct SimtOutcome {
+    pub bc: Vec<f64>,
+    pub sigma: Vec<i64>,
+    pub depths: Vec<u32>,
+    pub max_depth: u32,
+    pub total_levels: u64,
+    pub last_reached: usize,
+    pub report: SimtReport,
+}
+
+enum DeviceStructure {
+    Csc { cp: DeviceBuffer<u32>, rows: DeviceBuffer<u32> },
+    Cooc { row_a: DeviceBuffer<u32>, col_a: DeviceBuffer<u32> },
+}
+
+/// Runs BC for `sources` on the simulated device. Kernel must be
+/// resolved (not `Auto`); the storage format must match the kernel.
+pub(crate) fn bc_simt(
+    device: &Device,
+    storage: &Storage,
+    kernel: Kernel,
+    symmetric: bool,
+    sources: &[u32],
+    scale: f64,
+) -> Result<SimtOutcome, DeviceError> {
+    let n = storage.n();
+    device.reset_metrics();
+    device.reset_peak();
+
+    // Host → device transfer of the single structure this run uses.
+    let structure = match (storage, kernel) {
+        (Storage::Csc(csc), Kernel::ScCsc | Kernel::VeCsc) => {
+            let cp: Vec<u32> = csc.col_ptr().iter().map(|&p| p as u32).collect();
+            DeviceStructure::Csc {
+                cp: device.alloc_from(&cp)?,
+                rows: device.alloc_from(csc.row_idx())?,
+            }
+        }
+        (Storage::Cooc(cooc), Kernel::ScCooc) => DeviceStructure::Cooc {
+            row_a: device.alloc_from(cooc.row_a())?,
+            col_a: device.alloc_from(cooc.col_a())?,
+        },
+        _ => panic!("storage format does not match kernel {:?}", kernel),
+    };
+
+    // Persistent vectors: σ, S, bc, frontier counter.
+    let mut sigma_d = device.alloc::<i64>(n)?;
+    let mut depths_d = device.alloc::<u32>(n)?;
+    let mut bc_d = device.alloc::<f64>(n)?;
+    let mut count_d = device.alloc::<i64>(1)?;
+
+    let mut max_depth = 0u32;
+    let mut total_levels = 0u64;
+    let mut last_reached = 0usize;
+
+    for &source in sources {
+        if n == 0 {
+            break;
+        }
+        let height;
+        // ---- Forward (BFS) stage: integer vectors f, f_t. ----
+        {
+            let mut f = device.alloc::<i64>(n)?;
+            let mut f_t = device.alloc::<i64>(n)?;
+            kernels::clear(device, "clear_sigma", &mut sigma_d.dslice_mut());
+            kernels::clear(device, "clear_depths", &mut depths_d.dslice_mut());
+            kernels::init_source(
+                device,
+                &mut f.dslice_mut(),
+                &mut sigma_d.dslice_mut(),
+                &mut depths_d.dslice_mut(),
+                source as usize,
+            );
+            let mut d = 1u32;
+            let mut reached = 1usize;
+            loop {
+                // `f_t` starts zeroed (fresh allocation) and is reset by
+                // the fused `bfs_update` each level (§3.4 kernel fusion).
+                match (&structure, kernel) {
+                    (DeviceStructure::Cooc { row_a, col_a }, Kernel::ScCooc) => {
+                        kernels::forward_sccooc(
+                            device,
+                            &row_a.dslice(),
+                            &col_a.dslice(),
+                            &f.dslice(),
+                            &mut f_t.dslice_mut(),
+                        );
+                    }
+                    (DeviceStructure::Csc { cp, rows }, Kernel::ScCsc) => {
+                        kernels::forward_sccsc(
+                            device,
+                            &cp.dslice(),
+                            &rows.dslice(),
+                            &sigma_d.dslice(),
+                            &f.dslice(),
+                            &mut f_t.dslice_mut(),
+                        );
+                    }
+                    (DeviceStructure::Csc { cp, rows }, Kernel::VeCsc) => {
+                        kernels::forward_vecsc(
+                            device,
+                            &cp.dslice(),
+                            &rows.dslice(),
+                            &sigma_d.dslice(),
+                            &f.dslice(),
+                            &mut f_t.dslice_mut(),
+                        );
+                    }
+                    _ => unreachable!("structure/kernel matched at build"),
+                }
+                count_d.fill(0);
+                kernels::bfs_update(
+                    device,
+                    &mut f_t.dslice_mut(),
+                    &mut sigma_d.dslice_mut(),
+                    &mut depths_d.dslice_mut(),
+                    &mut f.dslice_mut(),
+                    d + 1,
+                    &mut count_d.dslice_mut(),
+                );
+                // Device → host copy of the continuation flag `c`.
+                let count = count_d.host()[0];
+                if count == 0 {
+                    break;
+                }
+                d += 1;
+                reached += count as usize;
+            }
+            height = d;
+            max_depth = max_depth.max(height);
+            total_levels += height as u64;
+            last_reached = reached;
+            // f and f_t freed here (§3.4), before the float vectors below.
+        }
+
+        // ---- Backward (dependency) stage: float vectors δ, δ_u, δ_ut. ----
+        {
+            let mut delta = device.alloc::<f64>(n)?;
+            let mut delta_u = device.alloc::<f64>(n)?;
+            let mut delta_ut = device.alloc::<f64>(n)?;
+            let mut depth = height;
+            while depth > 1 {
+                kernels::bwd_seed(
+                    device,
+                    &depths_d.dslice(),
+                    &sigma_d.dslice(),
+                    &delta.dslice(),
+                    depth,
+                    &mut delta_u.dslice_mut(),
+                );
+                // `δ_ut` starts zeroed and is reset by the fused
+                // `bwd_accum` each depth.
+                match (&structure, kernel, symmetric) {
+                    (DeviceStructure::Cooc { row_a, col_a }, Kernel::ScCooc, _) => {
+                        kernels::backward_sccooc(
+                            device,
+                            &row_a.dslice(),
+                            &col_a.dslice(),
+                            &delta_u.dslice(),
+                            &mut delta_ut.dslice_mut(),
+                        );
+                    }
+                    (DeviceStructure::Csc { cp, rows }, Kernel::ScCsc, true) => {
+                        kernels::backward_sccsc_gather(
+                            device,
+                            &cp.dslice(),
+                            &rows.dslice(),
+                            &delta_u.dslice(),
+                            &mut delta_ut.dslice_mut(),
+                        );
+                    }
+                    (DeviceStructure::Csc { cp, rows }, Kernel::VeCsc, true) => {
+                        kernels::backward_vecsc_gather(
+                            device,
+                            &cp.dslice(),
+                            &rows.dslice(),
+                            &delta_u.dslice(),
+                            &mut delta_ut.dslice_mut(),
+                        );
+                    }
+                    (DeviceStructure::Csc { cp, rows }, _, false) => {
+                        kernels::backward_sccsc_scatter(
+                            device,
+                            &cp.dslice(),
+                            &rows.dslice(),
+                            &delta_u.dslice(),
+                            &mut delta_ut.dslice_mut(),
+                        );
+                    }
+                    _ => unreachable!("structure/kernel matched at build"),
+                }
+                kernels::bwd_accum(
+                    device,
+                    &depths_d.dslice(),
+                    &sigma_d.dslice(),
+                    &mut delta_ut.dslice_mut(),
+                    depth,
+                    &mut delta.dslice_mut(),
+                );
+                depth -= 1;
+            }
+            kernels::bc_accum(
+                device,
+                &delta.dslice(),
+                source as usize,
+                scale,
+                &mut bc_d.dslice_mut(),
+            );
+        }
+    }
+
+    let metrics = device.metrics();
+    let timing = device.timing();
+    let mut modelled_time_s = 0.0;
+    let mut busy_time_s = 0.0;
+    for (_, s) in metrics.iter() {
+        modelled_time_s += timing.kernel_time_s(s);
+        busy_time_s += timing.kernel_busy_time_s(s);
+    }
+    let total = metrics.total();
+    let glt_gbs =
+        if busy_time_s > 0.0 { total.bytes_loaded as f64 / busy_time_s / 1e9 } else { 0.0 };
+    let report = SimtReport { metrics, memory: device.memory(), modelled_time_s, glt_gbs };
+
+    Ok(SimtOutcome {
+        bc: bc_d.host().to_vec(),
+        sigma: sigma_d.host().to_vec(),
+        depths: depths_d.host().to_vec(),
+        max_depth,
+        total_levels,
+        last_reached,
+        report,
+    })
+}
+
+/// The §3.3 reduction ablation: runs one full forward sweep per variant
+/// (shuffle vs shared-memory veCSC) over a mid-BFS state of `graph` and
+/// returns the two kernels' stats plus their modelled busy times in
+/// seconds: `(shuffle, shared, t_shuffle, t_shared)`.
+pub fn vecsc_reduction_ablation(
+    graph: &turbobc_graph::Graph,
+    source: u32,
+) -> (
+    turbobc_simt::KernelStats,
+    turbobc_simt::KernelStats,
+    f64,
+    f64,
+) {
+    let csc = graph.to_csc();
+    let n = graph.n();
+    // Build a mid-BFS state: σ marks the source's first two levels.
+    let bfs = turbobc_graph::bfs(graph, source);
+    let mut sigma = vec![0i64; n];
+    let mut f = vec![0i64; n];
+    for v in 0..n {
+        match bfs.depths[v] {
+            1 => sigma[v] = 1,
+            2 => {
+                sigma[v] = 1;
+                f[v] = 1;
+            }
+            _ => {}
+        }
+    }
+    let cp: Vec<u32> = csc.col_ptr().iter().map(|&p| p as u32).collect();
+
+    let run = |shared: bool| -> turbobc_simt::KernelStats {
+        let dev = Device::titan_xp();
+        let cp_d = dev.alloc_from(&cp).unwrap();
+        let rows_d = dev.alloc_from(csc.row_idx()).unwrap();
+        let sigma_d = dev.alloc_from(&sigma).unwrap();
+        let f_d = dev.alloc_from(&f).unwrap();
+        let mut ft_d = dev.alloc::<i64>(n).unwrap();
+        if shared {
+            kernels::forward_vecsc_shared(
+                &dev,
+                &cp_d.dslice(),
+                &rows_d.dslice(),
+                &sigma_d.dslice(),
+                &f_d.dslice(),
+                &mut ft_d.dslice_mut(),
+            )
+        } else {
+            kernels::forward_vecsc(
+                &dev,
+                &cp_d.dslice(),
+                &rows_d.dslice(),
+                &sigma_d.dslice(),
+                &f_d.dslice(),
+                &mut ft_d.dslice_mut(),
+            )
+        }
+    };
+    let shuffle = run(false);
+    let shared = run(true);
+    let timing = turbobc_simt::TimingModel::titan_xp();
+    (
+        shuffle,
+        shared,
+        timing.kernel_busy_time_s(&shuffle),
+        timing.kernel_busy_time_s(&shared),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use turbobc_baselines::{brandes_all_sources, brandes_single_source};
+    use turbobc_graph::{gen, Graph};
+
+    fn storage_for(g: &Graph, kernel: Kernel) -> Storage {
+        match kernel {
+            Kernel::ScCooc => Storage::Cooc(g.to_cooc()),
+            _ => Storage::Csc(g.to_csc()),
+        }
+    }
+
+    fn run(g: &Graph, kernel: Kernel, sources: &[u32]) -> SimtOutcome {
+        let dev = Device::titan_xp();
+        let storage = storage_for(g, kernel);
+        bc_simt(&dev, &storage, kernel, !g.directed(), sources, g.bc_scale()).unwrap()
+    }
+
+    fn assert_close(got: &[f64], want: &[f64]) {
+        for (i, (g, w)) in got.iter().zip(want).enumerate() {
+            assert!((g - w).abs() < 1e-9, "bc[{i}] = {g}, want {w}");
+        }
+    }
+
+    #[test]
+    fn all_kernels_match_oracle_on_undirected_graph() {
+        let g = gen::small_world(120, 3, 0.2, 5);
+        let s = g.default_source();
+        let want = brandes_single_source(&g, s);
+        for kernel in [Kernel::ScCooc, Kernel::ScCsc, Kernel::VeCsc] {
+            let out = run(&g, kernel, &[s]);
+            assert_close(&out.bc, &want);
+        }
+    }
+
+    #[test]
+    fn all_kernels_match_oracle_on_directed_graph() {
+        let g = gen::gnm(80, 240, true, 11);
+        let s = g.default_source();
+        let want = brandes_single_source(&g, s);
+        for kernel in [Kernel::ScCooc, Kernel::ScCsc, Kernel::VeCsc] {
+            let out = run(&g, kernel, &[s]);
+            assert_close(&out.bc, &want);
+        }
+    }
+
+    #[test]
+    fn exact_bc_matches_oracle() {
+        let g = gen::gnm(40, 100, false, 3);
+        let sources: Vec<u32> = (0..g.n() as u32).collect();
+        let out = run(&g, Kernel::ScCsc, &sources);
+        assert_close(&out.bc, &brandes_all_sources(&g));
+    }
+
+    #[test]
+    fn depth_matches_bfs_oracle() {
+        let g = gen::grid2d(6, 7);
+        let out = run(&g, Kernel::ScCsc, &[0]);
+        let bfs = turbobc_graph::bfs(&g, 0);
+        assert_eq!(out.max_depth, bfs.height);
+        assert_eq!(out.last_reached, bfs.reached);
+        assert_eq!(out.depths, bfs.depths);
+    }
+
+    #[test]
+    fn peak_memory_matches_footprint_formula() {
+        let g = gen::delaunay(400, 2);
+        let (n, m) = (g.n(), g.m());
+        let dev = Device::titan_xp();
+        let storage = storage_for(&g, Kernel::ScCsc);
+        bc_simt(&dev, &storage, Kernel::ScCsc, true, &[0], 0.5).unwrap();
+        let peak = dev.memory().peak;
+        // Structure (u32) + per-vertex vectors (σ, bc, δ, δ_u, δ_ut i64/f64,
+        // S u32) + counter, with 256-byte rounding slack per allocation.
+        let expected: u64 = (4 * (n + 1 + m)          // cp + rows
+            + 8 * n + 4 * n + 8 * n                   // σ, S, bc
+            + 8                                        // counter
+            + 3 * 8 * n) as u64; // backward floats (larger than 2·8n forward ints)
+        assert!(
+            peak >= expected && peak <= expected + 16 * 256,
+            "peak {peak} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn forward_ints_are_freed_before_backward_floats() {
+        // With capacity for structure + persistent + 3 float vectors but
+        // NOT + 5 vectors simultaneously, the run must still succeed.
+        let g = gen::grid2d(20, 20);
+        let (n, m) = (g.n(), g.m());
+        let tight = (4 * (n + 1 + m) + 8 * n + 4 * n + 8 * n + 8 + 3 * 8 * n + 24 * 256) as u64;
+        let dev = Device::with_capacity(turbobc_simt::DeviceProps::titan_xp(), tight);
+        let storage = storage_for(&g, Kernel::ScCsc);
+        let out = bc_simt(&dev, &storage, Kernel::ScCsc, true, &[0], 0.5);
+        assert!(out.is_ok(), "stage-switch dealloc should make this fit: {:?}", out.err());
+    }
+
+    #[test]
+    fn oom_surfaces_as_error() {
+        let g = gen::grid2d(30, 30);
+        let dev = Device::with_capacity(turbobc_simt::DeviceProps::titan_xp(), 4096);
+        let storage = storage_for(&g, Kernel::ScCsc);
+        let err = bc_simt(&dev, &storage, Kernel::ScCsc, true, &[0], 0.5).unwrap_err();
+        assert!(matches!(err, DeviceError::OutOfMemory { .. }));
+    }
+
+    #[test]
+    fn oom_mid_run_releases_every_allocation() {
+        // Capacity fits the structure + persistent vectors but not the
+        // forward frontier pair: the failure happens mid-pipeline, and
+        // the error path must return every byte to the ledger.
+        let g = gen::grid2d(16, 16);
+        let (n, m) = (g.n(), g.m());
+        // Structure + persistent + one 8n vector: the second frontier
+        // vector (and the 3-vector backward group) cannot fit.
+        let partial = (4 * (n + 1 + m) + 8 * n + 4 * n + 8 * n + 8 + 8 * n + 2 * 256) as u64;
+        let dev = Device::with_capacity(turbobc_simt::DeviceProps::titan_xp(), partial);
+        let storage = storage_for(&g, Kernel::ScCsc);
+        let err = bc_simt(&dev, &storage, Kernel::ScCsc, true, &[0], 0.5).unwrap_err();
+        assert!(matches!(err, DeviceError::OutOfMemory { .. }));
+        let mem = dev.memory();
+        assert_eq!(mem.used, 0, "OOM path leaked {} bytes", mem.used);
+        assert_eq!(mem.live_allocations, 0);
+        // The device is reusable afterwards on a smaller graph.
+        let small = gen::grid2d(4, 4);
+        let st = storage_for(&small, Kernel::ScCsc);
+        assert!(bc_simt(&dev, &st, Kernel::ScCsc, true, &[0], 0.5).is_ok());
+    }
+
+    #[test]
+    fn vecsc_beats_sccsc_efficiency_on_dense_columns() {
+        // Mycielski: mean degree ≈ 60 at k=9 — warp-per-column keeps lanes
+        // busy, thread-per-column diverges.
+        let g = gen::mycielski(9);
+        let s = g.default_source();
+        let sc = run(&g, Kernel::ScCsc, &[s]);
+        let ve = run(&g, Kernel::VeCsc, &[s]);
+        let sc_eff = sc.report.metrics.kernel("fwd_scCSC").unwrap().warp_efficiency();
+        let ve_eff = ve.report.metrics.kernel("fwd_veCSC").unwrap().warp_efficiency();
+        assert!(
+            ve_eff > sc_eff,
+            "veCSC efficiency {ve_eff:.3} should beat scCSC {sc_eff:.3} on dense columns"
+        );
+    }
+
+    #[test]
+    fn simulator_is_deterministic_across_runs() {
+        let g = gen::gnm(70, 240, false, 13);
+        let s = g.default_source();
+        let run = || {
+            let storage = storage_for(&g, Kernel::VeCsc);
+            let dev = Device::titan_xp();
+            let out = bc_simt(&dev, &storage, Kernel::VeCsc, true, &[s], 0.5).unwrap();
+            (out.bc, out.report.modelled_time_s, out.report.total())
+        };
+        let (bc1, t1, m1) = run();
+        let (bc2, t2, m2) = run();
+        assert_eq!(bc1, bc2);
+        assert_eq!(t1, t2);
+        assert_eq!(m1, m2, "metrics (incl. L2 misses) must be bit-identical");
+    }
+
+    #[test]
+    fn report_contains_kernel_metrics_and_timing() {
+        let g = gen::gnm(60, 200, false, 7);
+        let out = run(&g, Kernel::ScCooc, &[g.default_source()]);
+        assert!(out.report.modelled_time_s > 0.0);
+        assert!(out.report.glt_gbs > 0.0);
+        assert!(out.report.metrics.kernel("fwd_scCOOC").is_some());
+        assert!(out.report.metrics.kernel("bfs_update").is_some());
+        assert!(out.report.memory.peak > 0);
+        assert!(out.report.total().instructions > 0);
+    }
+}

@@ -1,0 +1,361 @@
+//! The public solver: ties storage, kernel selection and engines
+//! together.
+
+use crate::options::{select_kernel, BcOptions, Engine, Kernel};
+use crate::par::{bc_source_par, ParStorage};
+use crate::result::{BcResult, RunStats, SimtReport};
+use crate::seq::{bc_source_seq, Storage};
+use crate::simt_engine::bc_simt;
+use std::time::Instant;
+use turbobc_graph::{Graph, GraphStats, VertexId};
+use turbobc_simt::{Device, DeviceError};
+
+/// Source count at which the Parallel engine additionally parallelises
+/// *across* sources (each task owns its scratch vectors, contributions
+/// are summed) — the scalable path for exact BC.
+const SOURCE_PAR_THRESHOLD: usize = 16;
+
+/// A prepared BC computation over one graph.
+///
+/// Construction resolves the kernel (running the paper's §3.1 selection
+/// for [`Kernel::Auto`]) and materialises **exactly one** sparse storage
+/// format — COOC for `scCOOC`, CSC for `scCSC`/`veCSC` — per the paper's
+/// memory rule.
+pub struct BcSolver {
+    storage: Storage,
+    kernel: Kernel,
+    engine: Engine,
+    symmetric: bool,
+    scale: f64,
+    n: usize,
+    m: usize,
+    stats: GraphStats,
+}
+
+impl BcSolver {
+    /// Prepares a solver for `graph` with the given options.
+    pub fn new(graph: &Graph, options: BcOptions) -> Self {
+        let stats = GraphStats::compute(graph);
+        let kernel = match options.kernel {
+            Kernel::Auto => select_kernel(&stats),
+            k => k,
+        };
+        let storage = match kernel {
+            Kernel::ScCooc => Storage::Cooc(graph.to_cooc()),
+            _ => Storage::Csc(graph.to_csc()),
+        };
+        BcSolver {
+            storage,
+            kernel,
+            engine: options.engine,
+            // Undirected graphs are stored as their symmetric closure.
+            symmetric: !graph.directed(),
+            scale: graph.bc_scale(),
+            n: graph.n(),
+            m: graph.m(),
+            stats,
+        }
+    }
+
+    /// The kernel this solver resolved to.
+    pub fn kernel(&self) -> Kernel {
+        self.kernel
+    }
+
+    /// The engine this solver runs on.
+    pub fn engine(&self) -> Engine {
+        self.engine
+    }
+
+    /// Vertex count.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Stored arc count.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Graph statistics computed at construction (degree profile, scf).
+    pub fn graph_stats(&self) -> &GraphStats {
+        &self.stats
+    }
+
+    /// BC contribution of a single source (the paper's "BC/vertex"
+    /// experiments, Tables 1–4).
+    pub fn bc_single_source(&self, source: VertexId) -> BcResult {
+        self.bc_sources(&[source])
+    }
+
+    /// Exact BC: all `n` sources (Table 5).
+    pub fn bc_exact(&self) -> BcResult {
+        let sources: Vec<VertexId> = (0..self.n as VertexId).collect();
+        self.bc_sources(&sources)
+    }
+
+    /// Approximate BC from `k` evenly-spaced pivot sources (Brandes &
+    /// Pich-style sampling; an extension beyond the paper used by the
+    /// examples).
+    pub fn bc_sampled(&self, k: usize) -> BcResult {
+        let k = k.clamp(1, self.n.max(1));
+        let stride = (self.n / k).max(1);
+        let sources: Vec<VertexId> =
+            (0..self.n).step_by(stride).take(k).map(|s| s as VertexId).collect();
+        self.bc_sources(&sources)
+    }
+
+    /// BC accumulated over an explicit source set.
+    pub fn bc_sources(&self, sources: &[VertexId]) -> BcResult {
+        let start = Instant::now();
+        let mut bc = vec![0.0f64; self.n];
+        let mut sigma = vec![0i64; self.n];
+        let mut depths = vec![0u32; self.n];
+        let mut stats = RunStats { sources: sources.len(), ..Default::default() };
+        match self.engine {
+            Engine::Sequential => {
+                for &s in sources {
+                    let run = bc_source_seq(
+                        &self.storage,
+                        s as usize,
+                        self.scale,
+                        &mut bc,
+                        &mut sigma,
+                        &mut depths,
+                    );
+                    stats.max_depth = stats.max_depth.max(run.height);
+                    stats.total_levels += run.height as u64;
+                    stats.last_reached = run.reached;
+                }
+            }
+            Engine::Parallel if sources.len() >= SOURCE_PAR_THRESHOLD => {
+                // Exact/sampled runs: parallelise across sources too —
+                // each task owns its scratch, contributions are summed.
+                use rayon::prelude::*;
+                let storage = match &self.storage {
+                    Storage::Csc(csc) => ParStorage::Csc { csc, symmetric: self.symmetric },
+                    Storage::Cooc(cooc) => ParStorage::Cooc(cooc),
+                };
+                let n = self.n;
+                let chunk = sources.len().div_ceil(rayon::current_num_threads().max(1));
+                let (sum_bc, max_depth, total_levels) = sources
+                    .par_chunks(chunk.max(1))
+                    .map(|batch| {
+                        let mut local_bc = vec![0.0f64; n];
+                        let mut local_sigma = vec![0i64; n];
+                        let mut local_depths = vec![0u32; n];
+                        let mut max_d = 0u32;
+                        let mut levels = 0u64;
+                        for &s in batch {
+                            let run = bc_source_par(
+                                &storage,
+                                s as usize,
+                                self.scale,
+                                &mut local_bc,
+                                &mut local_sigma,
+                                &mut local_depths,
+                            );
+                            max_d = max_d.max(run.height);
+                            levels += run.height as u64;
+                        }
+                        (local_bc, max_d, levels)
+                    })
+                    .reduce(
+                        || (vec![0.0f64; n], 0u32, 0u64),
+                        |(mut a, da, la), (b, db, lb)| {
+                            for (x, y) in a.iter_mut().zip(b) {
+                                *x += y;
+                            }
+                            (a, da.max(db), la + lb)
+                        },
+                    );
+                bc = sum_bc;
+                stats.max_depth = max_depth;
+                stats.total_levels = total_levels;
+                // Deterministic σ/S surface: rerun the last source once
+                // into the output buffers (without re-accumulating bc).
+                if let Some(&last) = sources.last() {
+                    let mut scratch_bc = vec![0.0f64; n];
+                    let run = bc_source_par(
+                        &storage,
+                        last as usize,
+                        self.scale,
+                        &mut scratch_bc,
+                        &mut sigma,
+                        &mut depths,
+                    );
+                    stats.last_reached = run.reached;
+                }
+            }
+            Engine::Parallel => {
+                let storage = match &self.storage {
+                    Storage::Csc(csc) => ParStorage::Csc { csc, symmetric: self.symmetric },
+                    Storage::Cooc(cooc) => ParStorage::Cooc(cooc),
+                };
+                for &s in sources {
+                    let run = bc_source_par(
+                        &storage,
+                        s as usize,
+                        self.scale,
+                        &mut bc,
+                        &mut sigma,
+                        &mut depths,
+                    );
+                    stats.max_depth = stats.max_depth.max(run.height);
+                    stats.total_levels += run.height as u64;
+                    stats.last_reached = run.reached;
+                }
+            }
+        }
+        stats.elapsed = start.elapsed();
+        BcResult { bc, sigma, depths, stats }
+    }
+
+    /// Runs the same computation on the SIMT simulator, returning both
+    /// the BC result and the device-level report (memory peak, per-kernel
+    /// transactions, modelled time/GLT). Fails with
+    /// [`DeviceError::OutOfMemory`] when the working set does not fit the
+    /// device — the paper's *OOM* entries.
+    pub fn run_simt(
+        &self,
+        device: &Device,
+        sources: &[VertexId],
+    ) -> Result<(BcResult, SimtReport), DeviceError> {
+        let start = Instant::now();
+        let out = bc_simt(device, &self.storage, self.kernel, self.symmetric, sources, self.scale)?;
+        let stats = RunStats {
+            sources: sources.len(),
+            max_depth: out.max_depth,
+            total_levels: out.total_levels,
+            last_reached: out.last_reached,
+            elapsed: start.elapsed(),
+        };
+        Ok((
+            BcResult { bc: out.bc, sigma: out.sigma, depths: out.depths, stats },
+            out.report,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use turbobc_baselines::{brandes_all_sources, brandes_single_source};
+    use turbobc_graph::gen;
+
+    fn assert_close(got: &[f64], want: &[f64], tol: f64) {
+        assert_eq!(got.len(), want.len());
+        for (i, (g, w)) in got.iter().zip(want).enumerate() {
+            assert!((g - w).abs() < tol, "bc[{i}] = {g}, want {w}");
+        }
+    }
+
+    #[test]
+    fn quickstart_path_graph() {
+        let g = Graph::from_edges(5, false, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let solver = BcSolver::new(&g, BcOptions::default());
+        let r = solver.bc_exact();
+        assert_close(&r.bc, &[0.0, 3.0, 4.0, 3.0, 0.0], 1e-12);
+        assert_eq!(r.stats.sources, 5);
+        assert_eq!(r.stats.max_depth, 5);
+    }
+
+    #[test]
+    fn every_engine_and_kernel_matches_oracle() {
+        let graphs = [gen::gnm(60, 180, true, 1), gen::gnm(60, 180, false, 2)];
+        for g in &graphs {
+            let s = g.default_source();
+            let want = brandes_single_source(g, s);
+            for engine in [Engine::Sequential, Engine::Parallel] {
+                for kernel in [Kernel::ScCooc, Kernel::ScCsc, Kernel::VeCsc] {
+                    let solver = BcSolver::new(g, BcOptions { kernel, engine });
+                    let r = solver.bc_single_source(s);
+                    assert_close(&r.bc, &want, 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exact_bc_matches_oracle_all_engines() {
+        let g = gen::small_world(80, 3, 0.3, 9);
+        let want = brandes_all_sources(&g);
+        for engine in [Engine::Sequential, Engine::Parallel] {
+            let solver = BcSolver::new(&g, BcOptions { kernel: Kernel::Auto, engine });
+            assert_close(&solver.bc_exact().bc, &want, 1e-6);
+        }
+    }
+
+    #[test]
+    fn auto_kernel_resolution_is_exposed() {
+        let dense = gen::mycielski(9);
+        assert_eq!(BcSolver::new(&dense, BcOptions::default()).kernel(), Kernel::VeCsc);
+        let mesh = gen::grid2d(10, 10);
+        assert_eq!(BcSolver::new(&mesh, BcOptions::default()).kernel(), Kernel::ScCsc);
+    }
+
+    #[test]
+    fn sampled_bc_uses_k_sources() {
+        let g = gen::gnm(100, 400, false, 5);
+        let solver = BcSolver::new(&g, BcOptions::default());
+        let r = solver.bc_sampled(10);
+        assert_eq!(r.stats.sources, 10);
+        // Sampled BC approximates the full ordering: top-exact vertex
+        // should rank highly in the sample.
+        let exact = brandes_all_sources(&g);
+        let top_exact =
+            exact.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
+        let mut order: Vec<usize> = (0..g.n()).collect();
+        order.sort_by(|&a, &b| r.bc[b].total_cmp(&r.bc[a]));
+        let rank = order.iter().position(|&v| v == top_exact).unwrap();
+        assert!(rank < g.n() / 4, "top vertex ranked {rank}");
+    }
+
+    #[test]
+    fn simt_run_agrees_with_cpu_run() {
+        let g = gen::delaunay(120, 4);
+        let solver = BcSolver::new(&g, BcOptions::default());
+        let s = g.default_source();
+        let cpu = solver.bc_single_source(s);
+        let dev = Device::titan_xp();
+        let (gpu, report) = solver.run_simt(&dev, &[s]).unwrap();
+        assert_close(&gpu.bc, &cpu.bc, 1e-9);
+        assert_eq!(gpu.stats.max_depth, cpu.stats.max_depth);
+        assert!(report.memory.peak > 0);
+    }
+
+    #[test]
+    fn run_stats_depth_matches_bfs() {
+        let g = gen::road_network(6, 6, 5, 3);
+        let solver = BcSolver::new(&g, BcOptions::default());
+        let s = g.default_source();
+        let r = solver.bc_single_source(s);
+        let bfs = turbobc_graph::bfs(&g, s);
+        assert_eq!(r.stats.max_depth, bfs.height);
+        assert_eq!(r.stats.last_reached, bfs.reached);
+        assert_eq!(r.depths, bfs.depths);
+    }
+
+    #[test]
+    fn source_parallel_exact_matches_oracle() {
+        // 80 sources crosses the across-sources parallel threshold.
+        let g = gen::gnm(80, 260, false, 12);
+        let solver = BcSolver::new(&g, BcOptions::default());
+        let r = solver.bc_exact();
+        let want = brandes_all_sources(&g);
+        assert_close(&r.bc, &want, 1e-7);
+        // σ/S surface the last source deterministically.
+        let last = (g.n() - 1) as u32;
+        let bfs = turbobc_graph::bfs(&g, last);
+        assert_eq!(r.depths, bfs.depths);
+        assert_eq!(r.stats.last_reached, bfs.reached);
+    }
+
+    #[test]
+    fn empty_graph_is_fine() {
+        let g = Graph::from_edges(0, true, &[]);
+        let solver = BcSolver::new(&g, BcOptions::default());
+        let r = solver.bc_sources(&[]);
+        assert!(r.bc.is_empty());
+    }
+}

@@ -1,0 +1,256 @@
+//! **TurboBFS** — the authors' companion system (Artiles & Saeed,
+//! IPDPSW '21, the paper's reference [1]): GPU BFS in the language of
+//! linear algebra. TurboBC's forward stage *is* TurboBFS with
+//! shortest-path counting bolted on; this module exposes the BFS by
+//! itself, over the same three kernels and engines.
+//!
+//! The output is the depth vector `S` (source depth 1, unreached 0 — the
+//! paper's convention), the shortest-path counts `σ` its masked SpMV
+//! accumulates for free, and the BFS-tree height `d`.
+
+use crate::options::{select_kernel, BcOptions, Engine, Kernel};
+use crate::par::{bc_source_par, ParStorage};
+use crate::seq::Storage;
+use crate::simt_engine::bc_simt;
+use crate::result::SimtReport;
+use std::time::{Duration, Instant};
+use turbobc_graph::{Graph, GraphStats, VertexId};
+use turbobc_simt::{Device, DeviceError};
+
+/// Result of a linear-algebraic BFS.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BfsRun {
+    /// Discovery depth per vertex (source 1, unreached 0).
+    pub depths: Vec<u32>,
+    /// Shortest-path counts from the source (saturating at `i64::MAX`).
+    pub sigma: Vec<i64>,
+    /// BFS-tree height `d`.
+    pub height: u32,
+    /// Vertices reached, including the source.
+    pub reached: usize,
+    /// Wall-clock time.
+    pub elapsed: Duration,
+}
+
+impl BfsRun {
+    /// Frontier size per level (index 0 = the source level) — the
+    /// expansion curve GPU BFS papers plot.
+    pub fn frontier_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.height as usize];
+        for &d in &self.depths {
+            if d > 0 {
+                sizes[(d - 1) as usize] += 1;
+            }
+        }
+        sizes
+    }
+}
+
+/// A prepared linear-algebraic BFS over one graph (one storage format,
+/// per the TurboBFS memory rule).
+///
+/// ```
+/// use turbobc::{BcOptions, TurboBfs};
+/// use turbobc_graph::Graph;
+///
+/// let g = Graph::from_edges(4, true, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+/// let bfs = TurboBfs::new(&g, BcOptions::default());
+/// let run = bfs.run(0);
+/// assert_eq!(run.depths, vec![1, 2, 2, 3]);
+/// assert_eq!(run.sigma[3], 2, "two shortest paths reach vertex 3");
+/// ```
+pub struct TurboBfs {
+    storage: Storage,
+    kernel: Kernel,
+    engine: Engine,
+    symmetric: bool,
+    n: usize,
+}
+
+impl TurboBfs {
+    /// Prepares the solver; `Kernel::Auto` resolves per §3.1.
+    pub fn new(graph: &Graph, options: BcOptions) -> Self {
+        let kernel = match options.kernel {
+            Kernel::Auto => select_kernel(&GraphStats::compute(graph)),
+            k => k,
+        };
+        let storage = match kernel {
+            Kernel::ScCooc => Storage::Cooc(graph.to_cooc()),
+            _ => Storage::Csc(graph.to_csc()),
+        };
+        TurboBfs {
+            storage,
+            kernel,
+            engine: options.engine,
+            symmetric: !graph.directed(),
+            n: graph.n(),
+        }
+    }
+
+    /// The resolved kernel.
+    pub fn kernel(&self) -> Kernel {
+        self.kernel
+    }
+
+    /// Runs the BFS from `source`.
+    ///
+    /// Implementation note: the Sequential engine runs a dedicated
+    /// forward-only loop; the Parallel engine reuses the shared BC
+    /// pipeline with a zero BC scale (its backward sweep contributes
+    /// nothing and costs one extra pass — the price of one verified
+    /// code path; kept in sync by the equivalence tests).
+    pub fn run(&self, source: VertexId) -> BfsRun {
+        let start = Instant::now();
+        let n = self.n;
+        let mut sigma = vec![0i64; n];
+        let mut depths = vec![0u32; n];
+        if n == 0 {
+            return BfsRun {
+                depths,
+                sigma,
+                height: 0,
+                reached: 0,
+                elapsed: start.elapsed(),
+            };
+        }
+        // The forward stage is the part of Algorithm 1 the BC engines
+        // share; run it via the engine with a throwaway bc vector of
+        // zero scale (the backward stage contributes nothing at scale 0
+        // but still costs sweeps, so for the Sequential engine we inline
+        // the forward loop directly).
+        let (height, reached) = match self.engine {
+            Engine::Sequential => {
+                forward_only_seq(&self.storage, source as usize, &mut sigma, &mut depths)
+            }
+            Engine::Parallel => {
+                let storage = match &self.storage {
+                    Storage::Csc(csc) => ParStorage::Csc { csc, symmetric: self.symmetric },
+                    Storage::Cooc(cooc) => ParStorage::Cooc(cooc),
+                };
+                let mut bc = vec![0.0; n];
+                let run =
+                    bc_source_par(&storage, source as usize, 0.0, &mut bc, &mut sigma, &mut depths);
+                (run.height, run.reached)
+            }
+        };
+        BfsRun { depths, sigma, height, reached, elapsed: start.elapsed() }
+    }
+
+    /// Runs the BFS on the SIMT simulator, returning the device report.
+    pub fn run_simt(
+        &self,
+        device: &Device,
+        source: VertexId,
+    ) -> Result<(BfsRun, SimtReport), DeviceError> {
+        let start = Instant::now();
+        let out = bc_simt(device, &self.storage, self.kernel, self.symmetric, &[source], 0.0)?;
+        Ok((
+            BfsRun {
+                depths: out.depths,
+                sigma: out.sigma,
+                height: out.max_depth,
+                reached: out.last_reached,
+                elapsed: start.elapsed(),
+            },
+            out.report,
+        ))
+    }
+}
+
+/// Sequential forward stage only (Algorithm 1 lines 5–29).
+fn forward_only_seq(
+    storage: &Storage,
+    source: usize,
+    sigma: &mut [i64],
+    depths: &mut [u32],
+) -> (u32, usize) {
+    let n = sigma.len();
+    sigma.fill(0);
+    depths.fill(0);
+    let mut f = vec![0i64; n];
+    let mut f_t = vec![0i64; n];
+    f[source] = 1;
+    sigma[source] = 1;
+    depths[source] = 1;
+    let mut d = 1u32;
+    let mut reached = 1usize;
+    loop {
+        f_t.fill(0);
+        match storage {
+            Storage::Csc(c) => c.masked_spmv_t(&f, |j| sigma[j] == 0, &mut f_t),
+            Storage::Cooc(c) => c.spmv_t(&f, &mut f_t),
+        }
+        let count = turbobc_sparse::ops::mask_new_frontier(&f_t, sigma, &mut f);
+        if count == 0 {
+            break;
+        }
+        d += 1;
+        turbobc_sparse::ops::update_sigma_depth(&f, d, depths, sigma);
+        reached += count;
+    }
+    (d, reached)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use turbobc_graph::gen;
+
+    #[test]
+    fn matches_reference_bfs_on_every_kernel_and_engine() {
+        for (seed, directed) in [(3u64, false), (4, true)] {
+            let g = gen::gnm(90, 300, directed, seed);
+            let s = g.default_source();
+            let want = turbobc_graph::bfs(&g, s);
+            for kernel in [Kernel::ScCooc, Kernel::ScCsc, Kernel::VeCsc] {
+                for engine in [Engine::Sequential, Engine::Parallel] {
+                    let bfs = TurboBfs::new(&g, BcOptions { kernel, engine });
+                    let r = bfs.run(s);
+                    assert_eq!(r.depths, want.depths, "{kernel:?}/{engine:?}");
+                    assert_eq!(r.height, want.height);
+                    assert_eq!(r.reached, want.reached);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sigma_counts_shortest_paths() {
+        // Diamond 0→{1,2}→3: two shortest paths to 3.
+        let g = Graph::from_edges(4, true, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let bfs = TurboBfs::new(&g, BcOptions::default());
+        let r = bfs.run(0);
+        assert_eq!(r.sigma, vec![1, 1, 1, 2]);
+    }
+
+    #[test]
+    fn simt_bfs_matches_and_reports() {
+        let g = gen::delaunay(200, 6);
+        let s = g.default_source();
+        let bfs = TurboBfs::new(&g, BcOptions::default());
+        let dev = Device::titan_xp();
+        let (r, report) = bfs.run_simt(&dev, s).unwrap();
+        let want = turbobc_graph::bfs(&g, s);
+        assert_eq!(r.depths, want.depths);
+        assert!(report.metrics.kernel("bfs_update").is_some());
+        assert!(report.modelled_time_s > 0.0);
+    }
+
+    #[test]
+    fn frontier_curve_sums_to_reached() {
+        let g = gen::small_world(300, 3, 0.1, 2);
+        let bfs = TurboBfs::new(&g, BcOptions::default());
+        let r = bfs.run(g.default_source());
+        let sizes = r.frontier_sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), r.reached);
+        assert_eq!(sizes[0], 1, "the source is alone at level 1");
+        assert_eq!(sizes.len(), r.height as usize);
+    }
+
+    #[test]
+    fn auto_kernel_resolves() {
+        let g = gen::mycielski(8);
+        let bfs = TurboBfs::new(&g, BcOptions::default());
+        assert_eq!(bfs.kernel(), Kernel::VeCsc);
+    }
+}

@@ -1,0 +1,354 @@
+//! Weighted betweenness centrality — the Brandes (2001) generalisation,
+//! with a **Δ-stepping** forward stage (Meyer & Sanders), as the natural
+//! extension of the paper's unweighted pipeline.
+//!
+//! The unweighted Algorithm 1 is level-synchronous: each BFS level is
+//! one SpMV "round". Δ-stepping is its weighted analogue — vertices
+//! settle in distance buckets of width Δ, and each bucket phase is a
+//! round of parallel relaxations (what a GPU port would launch as
+//! kernels). After the distances are fixed, path counts `σ` and
+//! dependencies `δ` are computed by sweeping vertices in (reverse)
+//! distance order over *tight* arcs (`dist(u) + w(u,v) = dist(v)`),
+//! mirroring the unweighted backward stage with distance ranks in place
+//! of BFS depths.
+
+use crate::result::RunStats;
+use std::time::Instant;
+use turbobc_graph::weighted::WeightedGraph;
+use turbobc_graph::VertexId;
+use turbobc_sparse::Csr;
+
+/// Tolerance for tight-arc detection.
+const EPS: f64 = 1e-12;
+
+/// Options for the weighted solver.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct WeightedBcOptions {
+    /// Bucket width Δ. `None` picks the mean arc weight — the standard
+    /// heuristic balancing bucket count against re-relaxations.
+    pub delta: Option<f64>,
+}
+
+/// Weighted-BC output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedBcResult {
+    /// BC score per vertex.
+    pub bc: Vec<f64>,
+    /// Distances from the last processed source.
+    pub dist: Vec<f64>,
+    /// Number of Δ-buckets processed for the last source (the weighted
+    /// analogue of the BFS depth `d`).
+    pub buckets: usize,
+    /// Run statistics.
+    pub stats: RunStats,
+}
+
+/// Δ-stepping single-source shortest paths. Returns per-vertex distances
+/// (`f64::INFINITY` = unreachable) and the number of bucket phases.
+pub fn sssp_delta_stepping(
+    csr: &Csr,
+    weights: &[f64],
+    source: VertexId,
+    delta: f64,
+) -> (Vec<f64>, usize) {
+    assert!(delta > 0.0, "delta must be positive");
+    let n = csr.n_rows();
+    let mut dist = vec![f64::INFINITY; n];
+    if n == 0 {
+        return (dist, 0);
+    }
+    // buckets[b] holds vertices with tentative dist in [bΔ, (b+1)Δ);
+    // entries go stale when a vertex improves — validated on pop.
+    let mut buckets: Vec<Vec<VertexId>> = vec![Vec::new()];
+    let bucket_of = |d: f64, delta: f64| (d / delta) as usize;
+    let relax =
+        |dist: &mut Vec<f64>, buckets: &mut Vec<Vec<VertexId>>, v: VertexId, cand: f64| {
+            if cand + EPS < dist[v as usize] {
+                dist[v as usize] = cand;
+                let b = bucket_of(cand, delta);
+                if b >= buckets.len() {
+                    buckets.resize(b + 1, Vec::new());
+                }
+                buckets[b].push(v);
+            }
+        };
+    relax(&mut dist, &mut buckets, source, 0.0);
+
+    let mut phases = 0usize;
+    let mut b = 0usize;
+    while b < buckets.len() {
+        // Light-edge phases: settle the bucket to a fixed point.
+        let mut settled_here: Vec<VertexId> = Vec::new();
+        loop {
+            let batch: Vec<VertexId> = std::mem::take(&mut buckets[b]);
+            if batch.is_empty() {
+                break;
+            }
+            phases += 1;
+            for &v in &batch {
+                let dv = dist[v as usize];
+                if bucket_of(dv, delta) != b {
+                    continue; // stale entry
+                }
+                settled_here.push(v);
+                let lo = csr.row_ptr()[v as usize];
+                for (k, &u) in csr.row(v as usize).iter().enumerate() {
+                    let w = weights[lo + k];
+                    if w < delta {
+                        relax(&mut dist, &mut buckets, u, dv + w);
+                    }
+                }
+            }
+        }
+        // Heavy edges once per settled vertex.
+        for &v in &settled_here {
+            let dv = dist[v as usize];
+            let lo = csr.row_ptr()[v as usize];
+            for (k, &u) in csr.row(v as usize).iter().enumerate() {
+                let w = weights[lo + k];
+                if w >= delta {
+                    relax(&mut dist, &mut buckets, u, dv + w);
+                }
+            }
+        }
+        b += 1;
+    }
+    (dist, phases)
+}
+
+/// Accumulates one source's weighted-BC contribution into `bc`.
+/// Returns `(dist, bucket_phases)`.
+fn accumulate(
+    csr: &Csr,
+    weights: &[f64],
+    source: VertexId,
+    delta: f64,
+    scale: f64,
+    bc: &mut [f64],
+) -> (Vec<f64>, usize) {
+    let n = csr.n_rows();
+    let (dist, phases) = sssp_delta_stepping(csr, weights, source, delta);
+
+    // Vertices in increasing-distance order (reachable only).
+    let mut order: Vec<VertexId> =
+        (0..n as VertexId).filter(|&v| dist[v as usize].is_finite()).collect();
+    order.sort_by(|&a, &b| {
+        dist[a as usize].total_cmp(&dist[b as usize]).then_with(|| a.cmp(&b))
+    });
+
+    // σ sweep over tight arcs in distance order.
+    let mut sigma = vec![0.0f64; n];
+    sigma[source as usize] = 1.0;
+    for &v in &order {
+        let dv = dist[v as usize];
+        let sv = sigma[v as usize];
+        if sv == 0.0 {
+            continue;
+        }
+        let lo = csr.row_ptr()[v as usize];
+        for (k, &u) in csr.row(v as usize).iter().enumerate() {
+            if (dv + weights[lo + k] - dist[u as usize]).abs() <= EPS {
+                sigma[u as usize] += sv;
+            }
+        }
+    }
+
+    // δ sweep in reverse distance order.
+    let mut dlt = vec![0.0f64; n];
+    for &v in order.iter().rev() {
+        let dv = dist[v as usize];
+        let lo = csr.row_ptr()[v as usize];
+        let mut acc = 0.0;
+        for (k, &u) in csr.row(v as usize).iter().enumerate() {
+            if (dv + weights[lo + k] - dist[u as usize]).abs() <= EPS && sigma[u as usize] > 0.0 {
+                acc += sigma[v as usize] / sigma[u as usize] * (1.0 + dlt[u as usize]);
+            }
+        }
+        dlt[v as usize] = acc;
+        if v != source {
+            bc[v as usize] += acc * scale;
+        }
+    }
+    (dist, phases)
+}
+
+fn auto_delta(weights: &[f64]) -> f64 {
+    if weights.is_empty() {
+        1.0
+    } else {
+        (weights.iter().sum::<f64>() / weights.len() as f64).max(f64::MIN_POSITIVE)
+    }
+}
+
+/// Weighted BC contribution of one source.
+///
+/// ```
+/// use turbobc::weighted::{weighted_bc_single_source, WeightedBcOptions};
+/// use turbobc_graph::weighted::WeightedGraph;
+///
+/// // A heavy direct edge 0-2 routes shortest paths through vertex 1.
+/// let g = WeightedGraph::from_edges(3, false, &[(0, 1, 1.0), (1, 2, 1.0), (0, 2, 9.0)]);
+/// let r = weighted_bc_single_source(&g, 0, WeightedBcOptions::default());
+/// assert!(r.bc[1] > 0.0);
+/// ```
+pub fn weighted_bc_single_source(
+    graph: &WeightedGraph,
+    source: VertexId,
+    options: WeightedBcOptions,
+) -> WeightedBcResult {
+    weighted_bc_sources(graph, &[source], options)
+}
+
+/// Exact weighted BC over all sources.
+pub fn weighted_bc_exact(graph: &WeightedGraph, options: WeightedBcOptions) -> WeightedBcResult {
+    let sources: Vec<VertexId> = (0..graph.n() as VertexId).collect();
+    weighted_bc_sources(graph, &sources, options)
+}
+
+/// Weighted BC over an explicit source set. Sources are processed in
+/// parallel batches (each task owns its scratch; contributions are
+/// summed), matching the unweighted solver's exact-BC path.
+pub fn weighted_bc_sources(
+    graph: &WeightedGraph,
+    sources: &[VertexId],
+    options: WeightedBcOptions,
+) -> WeightedBcResult {
+    use rayon::prelude::*;
+    let start = Instant::now();
+    let (csr, weights) = graph.to_weighted_csr();
+    let delta = options.delta.unwrap_or_else(|| auto_delta(&weights));
+    let n = graph.n();
+    let scale = graph.bc_scale();
+    let mut stats = RunStats { sources: sources.len(), ..Default::default() };
+
+    let chunk = sources.len().div_ceil(rayon::current_num_threads().max(1)).max(1);
+    let (bc, max_depth, total_levels) = sources
+        .par_chunks(chunk)
+        .map(|batch| {
+            let mut local_bc = vec![0.0f64; n];
+            let mut max_d = 0u32;
+            let mut levels = 0u64;
+            for &s in batch {
+                let (_, phases) = accumulate(&csr, &weights, s, delta, scale, &mut local_bc);
+                max_d = max_d.max(phases as u32);
+                levels += phases as u64;
+            }
+            (local_bc, max_d, levels)
+        })
+        .reduce(
+            || (vec![0.0f64; n], 0u32, 0u64),
+            |(mut a, da, la), (b, db, lb)| {
+                for (x, y) in a.iter_mut().zip(b) {
+                    *x += y;
+                }
+                (a, da.max(db), la + lb)
+            },
+        );
+    stats.max_depth = max_depth;
+    stats.total_levels = total_levels;
+
+    // Deterministic surface vectors: rerun the last source.
+    let (last_dist, last_buckets) = match sources.last() {
+        Some(&s) => {
+            let mut scratch = vec![0.0f64; n];
+            let (dist, phases) = accumulate(&csr, &weights, s, delta, scale, &mut scratch);
+            stats.last_reached = dist.iter().filter(|d| d.is_finite()).count();
+            (dist, phases)
+        }
+        None => (vec![f64::INFINITY; n], 0),
+    };
+    stats.elapsed = start.elapsed();
+    WeightedBcResult { bc, dist: last_dist, buckets: last_buckets, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use turbobc_baselines::{weighted_brandes_all_sources, weighted_sssp};
+    use turbobc_graph::{gen, Graph};
+
+    fn random_weighted(n: usize, m: usize, directed: bool, seed: u64) -> WeightedGraph {
+        WeightedGraph::random_weights(gen::gnm(n, m, directed, seed), 0.5, 8.0, seed ^ 9)
+    }
+
+    #[test]
+    fn delta_stepping_matches_dijkstra() {
+        for seed in 0..6u64 {
+            let wg = random_weighted(40, 160, seed % 2 == 0, seed);
+            let (csr, w) = wg.to_weighted_csr();
+            let s = wg.graph().default_source();
+            let want = weighted_sssp(&wg, s);
+            for delta in [0.3, 1.0, 5.0, 100.0] {
+                let (got, _) = sssp_delta_stepping(&csr, &w, s, delta);
+                for (v, (a, b)) in got.iter().zip(&want).enumerate() {
+                    assert!(
+                        (a - b).abs() < 1e-9 || (a.is_infinite() && b.is_infinite()),
+                        "seed {seed} delta {delta} vertex {v}: {a} vs {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_bc_matches_oracle() {
+        for seed in 0..4u64 {
+            let wg = random_weighted(30, 110, seed % 2 == 0, seed);
+            let got = weighted_bc_exact(&wg, WeightedBcOptions::default());
+            let want = weighted_brandes_all_sources(&wg);
+            for (v, (a, b)) in got.bc.iter().zip(&want).enumerate() {
+                assert!((a - b).abs() < 1e-7, "seed {seed} bc[{v}]: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn unit_weights_match_unweighted_turbobc() {
+        let g = gen::small_world(60, 3, 0.2, 4);
+        let unweighted = crate::BcSolver::new(&g, crate::BcOptions::default()).bc_exact();
+        let wg = WeightedGraph::unit_weights(g);
+        let weighted = weighted_bc_exact(&wg, WeightedBcOptions::default());
+        for (a, b) in weighted.bc.iter().zip(&unweighted.bc) {
+            assert!((a - b).abs() < 1e-7, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn delta_choice_does_not_change_results() {
+        let wg = random_weighted(30, 100, false, 11);
+        let a = weighted_bc_exact(&wg, WeightedBcOptions { delta: Some(0.25) });
+        let b = weighted_bc_exact(&wg, WeightedBcOptions { delta: Some(50.0) });
+        for (x, y) in a.bc.iter().zip(&b.bc) {
+            assert!((x - y).abs() < 1e-8);
+        }
+        // Smaller Δ means more bucket phases.
+        assert!(a.buckets >= b.buckets, "{} vs {}", a.buckets, b.buckets);
+    }
+
+    #[test]
+    fn bridge_vertex_dominates_weighted_bc() {
+        // Two clusters joined through vertex 4 with light edges.
+        let edges = [
+            (0u32, 1, 1.0),
+            (1, 2, 1.0),
+            (0, 2, 1.0),
+            (2, 4, 1.0),
+            (4, 5, 1.0),
+            (5, 6, 1.0),
+            (6, 7, 1.0),
+            (5, 7, 1.0),
+        ];
+        let wg = WeightedGraph::from_edges(8, false, &edges);
+        let r = weighted_bc_exact(&wg, WeightedBcOptions::default());
+        let max = r.bc.iter().cloned().fold(0.0, f64::max);
+        assert!(r.bc[4] >= max - 1e-9, "bridge must top the ranking: {:?}", r.bc);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let wg = WeightedGraph::unit_weights(Graph::from_edges(1, true, &[]));
+        let r = weighted_bc_exact(&wg, WeightedBcOptions::default());
+        assert_eq!(r.bc, vec![0.0]);
+        assert_eq!(r.stats.last_reached, 1);
+    }
+}

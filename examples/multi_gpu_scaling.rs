@@ -1,0 +1,65 @@
+//! Multi-GPU BC scaling on the simulator: 1D column partitioning over
+//! 1–4 devices, PCIe vs NVLink interconnects — the scalability frontier
+//! of the paper's related work (Pan et al., Multi-GPU Graph Analytics).
+//!
+//! ```text
+//! cargo run --release --example multi_gpu_scaling
+//! ```
+
+use turbobc_suite::graph::gen;
+use turbobc_suite::simt::{DeviceProps, Interconnect};
+use turbobc_suite::turbobc::multi_gpu::bc_multi_gpu;
+
+fn main() {
+    let graph = gen::mycielski(14);
+    let source = graph.default_source();
+    println!(
+        "graph: mycielski14 (n = {}, m = {}), BC from hub {source}\n",
+        graph.n(),
+        graph.m()
+    );
+
+    for (link_name, link) in [("PCIe3", Interconnect::pcie3()), ("NVLink", Interconnect::nvlink())]
+    {
+        println!("interconnect: {link_name}");
+        println!(
+            "{:>8} {:>12} {:>13} {:>10} {:>13} {:>15}",
+            "devices", "compute ms", "transfer ms", "total ms", "exchange MB", "max device MB"
+        );
+        let mut baseline = 0.0;
+        for p in [1usize, 2, 4] {
+            let (bc, report) =
+                bc_multi_gpu(&graph, &[source], p, DeviceProps::titan_xp(), link.clone())
+                    .expect("fits");
+            if p == 1 {
+                baseline = report.modelled_time_s;
+                // Sanity: the hub's BC is the same on every device count.
+                let top = bc.iter().cloned().fold(0.0, f64::max);
+                println!("         (top BC value {top:.2})");
+            }
+            let max_mem = report
+                .per_device_memory
+                .iter()
+                .map(|m| m.peak)
+                .max()
+                .unwrap_or(0) as f64
+                / 1e6;
+            println!(
+                "{:>8} {:>12.3} {:>13.3} {:>10.3} {:>13.2} {:>15.2}   ({:.2}x vs 1 GPU)",
+                p,
+                report.modelled_compute_s * 1e3,
+                report.modelled_transfer_s * 1e3,
+                report.modelled_time_s * 1e3,
+                report.transfer_bytes as f64 / 1e6,
+                max_mem,
+                baseline / report.modelled_time_s
+            );
+        }
+        println!();
+    }
+    println!(
+        "takeaways: compute scales with devices; the frontier allgather does not — NVLink\n\
+         moves the crossover; per-device memory is floored by the replicated f / delta_u\n\
+         vectors (the textbook 1D-partitioning trade-off)."
+    );
+}

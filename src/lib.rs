@@ -1,0 +1,12 @@
+//! Umbrella crate for the TurboBC reproduction workspace.
+//!
+//! Re-exports every member crate under one roof so the runnable examples in
+//! `examples/` and the integration tests in `tests/` can exercise the whole
+//! public API with a single dependency.
+
+pub use turbobc;
+pub use turbobc_baselines as baselines;
+pub use turbobc_graph as graph;
+pub use turbobc_ligra as ligra;
+pub use turbobc_simt as simt;
+pub use turbobc_sparse as sparse;

@@ -1,0 +1,101 @@
+//! Cross-crate equivalence: every BC implementation in the workspace —
+//! TurboBC's three kernels × three engines, the gunrock-like baseline,
+//! the mini-Ligra baseline — must agree with the queue-based Brandes
+//! oracle on arbitrary graphs.
+
+#![allow(clippy::needless_range_loop)]
+
+use proptest::prelude::*;
+use turbobc_suite::baselines::brandes_single_source;
+use turbobc_suite::baselines::gunrock_like::GunrockBc;
+use turbobc_suite::graph::Graph;
+use turbobc_suite::simt::Device;
+use turbobc_suite::turbobc::{BcOptions, BcSolver, Engine, Kernel};
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..28, any::<bool>()).prop_flat_map(|(n, directed)| {
+        let edge = (0..n as u32, 0..n as u32);
+        proptest::collection::vec(edge, 0..100)
+            .prop_map(move |edges| Graph::from_edges(n, directed, &edges))
+    })
+}
+
+fn assert_close(tag: &str, got: &[f64], want: &[f64]) {
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert!((g - w).abs() < 1e-7, "{tag}: bc[{i}] = {g}, want {w}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn ligra_bfs_matches_reference(g in arb_graph(), src_sel in any::<prop::sample::Index>()) {
+        let s = src_sel.index(g.n()) as u32;
+        let reference = turbobc_suite::graph::bfs(&g, s);
+        let (parent, levels) = turbobc_suite::ligra::bfs::bfs(&g, s);
+        prop_assert_eq!(levels as u32, reference.height);
+        for v in 0..g.n() {
+            prop_assert_eq!(
+                parent[v] >= 0,
+                reference.depths[v] != 0,
+                "vertex {} reachability mismatch", v
+            );
+        }
+    }
+
+    #[test]
+    fn all_turbobc_engines_and_kernels_match_oracle(g in arb_graph(), src_sel in any::<prop::sample::Index>()) {
+        let source = src_sel.index(g.n()) as u32;
+        let want = brandes_single_source(&g, source);
+        for kernel in [Kernel::ScCooc, Kernel::ScCsc, Kernel::VeCsc] {
+            for engine in [Engine::Sequential, Engine::Parallel] {
+                let solver = BcSolver::new(&g, BcOptions { kernel, engine });
+                let r = solver.bc_single_source(source);
+                assert_close(&format!("{:?}/{:?}", kernel, engine), &r.bc, &want);
+            }
+        }
+    }
+
+    #[test]
+    fn simt_engine_matches_oracle(g in arb_graph(), src_sel in any::<prop::sample::Index>()) {
+        let source = src_sel.index(g.n()) as u32;
+        let want = brandes_single_source(&g, source);
+        for kernel in [Kernel::ScCooc, Kernel::ScCsc, Kernel::VeCsc] {
+            let solver = BcSolver::new(&g, BcOptions { kernel, engine: Engine::Sequential });
+            let dev = Device::titan_xp();
+            let (r, _) = solver.run_simt(&dev, &[source]).expect("fits");
+            assert_close(&format!("simt/{:?}", kernel), &r.bc, &want);
+        }
+    }
+
+    #[test]
+    fn baselines_match_oracle(g in arb_graph(), src_sel in any::<prop::sample::Index>()) {
+        let source = src_sel.index(g.n()) as u32;
+        let want = brandes_single_source(&g, source);
+        assert_close("gunrock_like", &GunrockBc::new(&g).bc_single_source(source), &want);
+        assert_close(
+            "ligra",
+            &turbobc_suite::ligra::bc::bc_single_source(&g, source),
+            &want,
+        );
+        let gr = turbobc_suite::baselines::gunrock_simt::bc_single_source_simt(&g, source);
+        assert_close("gunrock_simt", &gr.bc, &want);
+    }
+
+    #[test]
+    fn sigma_and_depths_match_bfs_oracle(g in arb_graph(), src_sel in any::<prop::sample::Index>()) {
+        let source = src_sel.index(g.n()) as u32;
+        let solver = BcSolver::new(&g, BcOptions::default());
+        let r = solver.bc_single_source(source);
+        let bfs = turbobc_suite::graph::bfs(&g, source);
+        prop_assert_eq!(&r.depths, &bfs.depths);
+        prop_assert_eq!(r.stats.max_depth, bfs.height);
+        prop_assert_eq!(r.stats.last_reached, bfs.reached);
+        // σ of the source is 1; unreached vertices have σ = 0.
+        prop_assert_eq!(r.sigma[source as usize], 1);
+        for v in 0..g.n() {
+            prop_assert_eq!(bfs.depths[v] == 0, r.sigma[v] == 0, "vertex {}", v);
+        }
+    }
+}

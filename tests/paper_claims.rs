@@ -1,0 +1,165 @@
+//! The paper's headline *qualitative* claims, asserted as tests: these
+//! are the properties EXPERIMENTS.md reports, pinned so regressions in
+//! the engines or generators cannot silently invert a conclusion.
+
+use turbobc_suite::baselines::gunrock_like;
+use turbobc_suite::graph::families::{self, Scale};
+use turbobc_suite::graph::gen;
+use turbobc_suite::simt::{Device, DeviceProps};
+use turbobc_suite::turbobc::{footprint, BcOptions, BcSolver, Engine, Kernel};
+
+/// §3.1/Tables 1–3: the auto selector reproduces the published
+/// best-kernel split for the great majority of the 33 graphs.
+#[test]
+fn auto_kernel_matches_paper_assignment_on_most_graphs() {
+    let mut hits = 0;
+    let mut total = 0;
+    let mut misses = Vec::new();
+    for row in families::all_rows() {
+        let g = families::generate(row.name, Scale::Tiny).unwrap();
+        let solver = BcSolver::new(&g, BcOptions::default());
+        total += 1;
+        if solver.kernel().name() == row.kernel {
+            hits += 1;
+        } else {
+            misses.push((row.name, row.kernel, solver.kernel().name()));
+        }
+    }
+    assert!(
+        hits * 10 >= total * 7,
+        "auto selector matched only {hits}/{total}: misses {misses:?}"
+    );
+}
+
+/// Figure 4 / §3.4: TurboBC's device working set is strictly below the
+/// gunrock inventory, by about `2n + m` words for CSC.
+#[test]
+fn memory_footprint_ordering() {
+    for row in families::all_rows() {
+        let g = families::generate(row.name, Scale::Tiny).unwrap();
+        let (n, m) = (g.n(), g.m());
+        for kernel in [Kernel::ScCsc, Kernel::ScCooc, Kernel::VeCsc] {
+            assert!(
+                footprint::turbobc_words(n, m, kernel) < gunrock_like::footprint_words(n, m),
+                "{}: {:?}",
+                row.name,
+                kernel
+            );
+        }
+    }
+}
+
+/// Table 4: at a capacity between the two working sets, TurboBC runs and
+/// gunrock-like OOMs — on every big-graph family.
+#[test]
+fn table4_oom_ordering() {
+    for row in families::TABLE4 {
+        let g = families::generate(row.name, Scale::Tiny).unwrap();
+        let (n, m) = (g.n(), g.m());
+        let kernel = match row.kernel {
+            "scCOOC" => Kernel::ScCooc,
+            "veCSC" => Kernel::VeCsc,
+            _ => Kernel::ScCsc,
+        };
+        let probe = Device::titan_xp();
+        let turbo_peak = footprint::plan_peak_on_device(&probe, n, m, kernel).unwrap();
+        let probe2 = Device::titan_xp();
+        let _plan = gunrock_like::plan_on_device(&probe2, n, m).unwrap();
+        let gunrock_peak = probe2.memory().peak;
+        assert!(gunrock_peak > turbo_peak, "{}: inventory ordering", row.name);
+        // Midway between the two working sets — where the paper's 12 GB
+        // card sat for these graphs.
+        let capacity = (turbo_peak + gunrock_peak) / 2;
+        let dev = Device::with_capacity(DeviceProps::titan_xp(), capacity);
+        assert!(
+            footprint::plan_peak_on_device(&dev, n, m, kernel).is_ok(),
+            "{}: TurboBC must fit",
+            row.name
+        );
+        let dev2 = Device::with_capacity(DeviceProps::titan_xp(), capacity);
+        assert!(
+            gunrock_like::plan_on_device(&dev2, n, m).is_err(),
+            "{}: gunrock-like must OOM",
+            row.name
+        );
+    }
+}
+
+/// §3.3: on dense-column (irregular) graphs the warp-per-column kernel
+/// keeps lanes busier than the thread-per-column kernel; on skewed
+/// scalar-friendly graphs the edge-parallel COOC kernel out-utilises the
+/// CSC one.
+#[test]
+fn warp_efficiency_ordering_on_simulator() {
+    // Irregular: mycielski.
+    let g = gen::mycielski(9);
+    let s = g.default_source();
+    let eff = |kernel: Kernel, g: &turbobc_suite::graph::Graph, name: &str| {
+        let solver = BcSolver::new(g, BcOptions { kernel, engine: Engine::Sequential });
+        let dev = Device::titan_xp();
+        let (_, report) = solver.run_simt(&dev, &[g.default_source()]).unwrap();
+        report.metrics.kernel(name).expect("kernel ran").warp_efficiency()
+    };
+    let _ = s;
+    let ve = eff(Kernel::VeCsc, &g, "fwd_veCSC");
+    let sc = eff(Kernel::ScCsc, &g, "fwd_scCSC");
+    assert!(ve > sc, "mycielski: veCSC {ve:.3} must beat scCSC {sc:.3}");
+
+    // Skewed super-star: the CSC column loop starves warps; edge-parallel
+    // COOC stays near full occupancy.
+    let star = gen::mawi_star(2000, 6, 3);
+    let cooc_eff = eff(Kernel::ScCooc, &star, "fwd_scCOOC");
+    let csc_eff = eff(Kernel::ScCsc, &star, "fwd_scCSC");
+    assert!(
+        cooc_eff > csc_eff,
+        "mawi: scCOOC {cooc_eff:.3} must beat scCSC {csc_eff:.3}"
+    );
+}
+
+/// Table 3 vs Table 1 shape: modelled MTEPS of the irregular group is at
+/// least an order of magnitude above the deep regular group — the
+/// paper's 18 GTEPS headline is set by the Mycielskians.
+#[test]
+fn irregular_graphs_dominate_modelled_mteps() {
+    let mteps = |name: &str, kernel: Kernel| {
+        let g = families::generate(name, Scale::Tiny).unwrap();
+        let solver = BcSolver::new(&g, BcOptions { kernel, engine: Engine::Sequential });
+        let dev = Device::titan_xp();
+        let (_, report) = solver.run_simt(&dev, &[g.default_source()]).unwrap();
+        g.m() as f64 / report.modelled_time_s / 1e6
+    };
+    let myc = mteps("mycielskian16", Kernel::VeCsc);
+    let road = mteps("luxembourg_osm", Kernel::ScCsc);
+    assert!(
+        myc > 10.0 * road,
+        "mycielski {myc:.0} MTEPS should dwarf road {road:.0} MTEPS"
+    );
+}
+
+/// §4: the BFS-depth column drives the speedup shape — graphs with more
+/// levels launch more kernels and spend proportionally more time in
+/// fixed overhead. Verify the modelled time per edge grows with d.
+#[test]
+fn deep_graphs_pay_per_level_overhead()
+{
+    let per_edge_time = |name: &str| {
+        let g = families::generate(name, Scale::Tiny).unwrap();
+        let row = families::find(name).unwrap();
+        let kernel = match row.kernel {
+            "scCOOC" => Kernel::ScCooc,
+            "veCSC" => Kernel::VeCsc,
+            _ => Kernel::ScCsc,
+        };
+        let solver = BcSolver::new(&g, BcOptions { kernel, engine: Engine::Sequential });
+        let dev = Device::titan_xp();
+        let (r, report) = solver.run_simt(&dev, &[g.default_source()]).unwrap();
+        (report.modelled_time_s / g.m() as f64, r.stats.max_depth)
+    };
+    let (shallow_t, shallow_d) = per_edge_time("smallworld");
+    let (deep_t, deep_d) = per_edge_time("luxembourg_osm");
+    assert!(deep_d > 4 * shallow_d);
+    assert!(
+        deep_t > 3.0 * shallow_t,
+        "deep graph per-edge time {deep_t:.2e} should exceed shallow {shallow_t:.2e}"
+    );
+}

@@ -1,0 +1,97 @@
+//! End-to-end pipeline tests: generators → I/O → solver → results, the
+//! way the examples and the bench harness use the workspace.
+
+use turbobc_suite::graph::families::{self, Scale};
+use turbobc_suite::graph::{io, Graph};
+use turbobc_suite::turbobc::{BcOptions, BcSolver, Engine, Kernel};
+
+/// Every catalogued paper graph runs end to end (single-source BC on the
+/// parallel engine with the paper's kernel) at Tiny scale.
+#[test]
+fn every_family_runs_end_to_end() {
+    for row in families::all_rows() {
+        let g = families::generate(row.name, Scale::Tiny).unwrap();
+        let kernel = match row.kernel {
+            "scCOOC" => Kernel::ScCooc,
+            "veCSC" => Kernel::VeCsc,
+            _ => Kernel::ScCsc,
+        };
+        let solver = BcSolver::new(&g, BcOptions { kernel, engine: Engine::Parallel });
+        let r = solver.bc_single_source(g.default_source());
+        assert_eq!(r.bc.len(), g.n(), "{}", row.name);
+        assert!(r.stats.max_depth >= 1, "{}", row.name);
+        assert!(
+            r.bc.iter().all(|&x| x.is_finite() && x >= -1e-9),
+            "{}: BC must be finite and non-negative",
+            row.name
+        );
+    }
+}
+
+/// MatrixMarket round trip preserves BC exactly.
+#[test]
+fn mtx_round_trip_preserves_bc() {
+    let g = families::generate("delaunay_n15", Scale::Tiny).unwrap();
+    let mut buf = Vec::new();
+    io::write_matrix_market(&g, &mut buf).unwrap();
+    let back = io::read_matrix_market(buf.as_slice()).unwrap();
+    let a = BcSolver::new(&g, BcOptions::default()).bc_sampled(16);
+    let b = BcSolver::new(&back, BcOptions::default()).bc_sampled(16);
+    for (x, y) in a.bc.iter().zip(&b.bc) {
+        assert!((x - y).abs() < 1e-9);
+    }
+}
+
+/// Edge-list round trip through a real file on disk.
+#[test]
+fn edge_list_file_round_trip() {
+    let g = families::generate("internet", Scale::Tiny).unwrap();
+    let dir = std::env::temp_dir().join("turbobc_tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("internet.txt");
+    let mut f = std::fs::File::create(&path).unwrap();
+    io::write_edge_list(&g, &mut f).unwrap();
+    let back = io::read_edge_list_file(&path, true, Some(g.n())).unwrap();
+    assert_eq!(back.m(), g.m());
+    let mut ea: Vec<_> = g.edges().collect();
+    let mut eb: Vec<_> = back.edges().collect();
+    ea.sort_unstable();
+    eb.sort_unstable();
+    assert_eq!(ea, eb);
+}
+
+/// BC sums are internally consistent: exact == sum over all
+/// single-source runs.
+#[test]
+fn exact_bc_is_sum_of_single_sources() {
+    let g = Graph::from_edges(
+        12,
+        false,
+        &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (2, 8), (8, 9), (9, 10), (10, 11)],
+    );
+    let solver = BcSolver::new(&g, BcOptions::default());
+    let exact = solver.bc_exact();
+    let mut sum = vec![0.0; g.n()];
+    for s in 0..g.n() as u32 {
+        let r = solver.bc_single_source(s);
+        for (acc, v) in sum.iter_mut().zip(&r.bc) {
+            *acc += v;
+        }
+    }
+    for (a, b) in exact.bc.iter().zip(&sum) {
+        assert!((a - b).abs() < 1e-9);
+    }
+}
+
+/// The experiment harness runs at Tiny scale for a sample of ids.
+#[test]
+fn experiment_harness_smoke() {
+    use turbobc_bench::experiments::{run, Config};
+    let cfg = Config { scale: Scale::Tiny, trials: 1, max_sources: 8 };
+    let t1 = run("fig3", cfg).unwrap();
+    assert!(t1.contains("Figure 3"));
+    assert!(t1.contains("mycielski"));
+    let t2 = run("fig7", cfg).unwrap();
+    assert!(t2.contains("speedup"));
+    assert!(run("nope", cfg).is_none());
+}
