@@ -31,14 +31,14 @@ fn bench_tables(c: &mut Criterion) {
         let mut group = c.benchmark_group(format!("table{table}/{name}"));
         group.throughput(Throughput::Elements(graph.m() as u64));
 
-        let turbo = BcSolver::new(&graph, BcOptions { kernel, engine: Engine::Parallel });
+        let turbo = BcSolver::new(&graph, BcOptions { kernel, engine: Engine::Parallel, ..Default::default() }).unwrap();
         group.bench_with_input(BenchmarkId::new("turbobc", row.kernel), &(), |b, _| {
-            b.iter(|| turbo.bc_single_source(source))
+            b.iter(|| turbo.bc_single_source(source).unwrap())
         });
 
-        let seq = BcSolver::new(&graph, BcOptions { kernel, engine: Engine::Sequential });
+        let seq = BcSolver::new(&graph, BcOptions { kernel, engine: Engine::Sequential, ..Default::default() }).unwrap();
         group.bench_with_input(BenchmarkId::new("sequential", row.kernel), &(), |b, _| {
-            b.iter(|| seq.bc_single_source(source))
+            b.iter(|| seq.bc_single_source(source).unwrap())
         });
 
         let gunrock = GunrockBc::new(&graph);
@@ -57,12 +57,12 @@ fn bench_exact(c: &mut Criterion) {
     let row = families::find("mycielskian15").unwrap();
     let solver = BcSolver::new(
         &graph,
-        BcOptions { kernel: kernel_from_name(row.kernel), engine: Engine::Parallel },
-    );
+        BcOptions { kernel: kernel_from_name(row.kernel), engine: Engine::Parallel, ..Default::default() },
+    ).unwrap();
     let sources: Vec<u32> = (0..16.min(graph.n() as u32)).collect();
     let mut group = c.benchmark_group("table5/exact");
     group.throughput(Throughput::Elements(graph.m() as u64 * sources.len() as u64));
-    group.bench_function("turbobc-16-sources", |b| b.iter(|| solver.bc_sources(&sources)));
+    group.bench_function("turbobc-16-sources", |b| b.iter(|| solver.bc_sources(&sources).unwrap()));
     group.finish();
 }
 

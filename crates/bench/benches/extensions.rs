@@ -63,7 +63,7 @@ fn bench_approx_and_edge(c: &mut Criterion) {
     group.throughput(Throughput::Elements(g.m() as u64));
     group.bench_function("approx_eps_0.2", |b| {
         b.iter(|| {
-            bc_approx(&g, ApproxOptions { epsilon: 0.2, delta: 0.2, ..Default::default() })
+            bc_approx(&g, ApproxOptions { epsilon: 0.2, delta: 0.2, ..Default::default() }).unwrap()
         })
     });
     let small = gen::small_world(400, 3, 0.1, 3);

@@ -24,11 +24,11 @@ fn main() {
         };
         for kernel in [Kernel::ScCooc, Kernel::ScCsc, Kernel::VeCsc] {
             for engine in [Engine::Sequential, Engine::Parallel] {
-                let solver = BcSolver::new(&g, BcOptions { kernel, engine });
-                close(&solver.bc_single_source(s).bc, &format!("{kernel:?}/{engine:?}"));
+                let solver = BcSolver::new(&g, BcOptions { kernel, engine, ..Default::default() }).unwrap();
+                close(&solver.bc_single_source(s).unwrap().bc, &format!("{kernel:?}/{engine:?}"));
                 checked += 1;
             }
-            let solver = BcSolver::new(&g, BcOptions { kernel, engine: Engine::Sequential });
+            let solver = BcSolver::new(&g, BcOptions { kernel, engine: Engine::Sequential, ..Default::default() }).unwrap();
             let dev = turbobc_simt::Device::titan_xp();
             let (r, _) = solver.run_simt(&dev, &[s]).unwrap();
             close(&r.bc, &format!("simt/{kernel:?}"));

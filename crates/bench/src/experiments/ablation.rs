@@ -58,7 +58,7 @@ pub fn kernel_crossover(cfg: Config) -> String {
         let source = g.default_source();
         let mut times = Vec::new();
         for kernel in [Kernel::ScCooc, Kernel::ScCsc, Kernel::VeCsc] {
-            let solver = BcSolver::new(&g, BcOptions { kernel, engine: Engine::Parallel });
+            let solver = BcSolver::new(&g, BcOptions { kernel, engine: Engine::Parallel, ..Default::default() }).unwrap();
             let dev = Device::titan_xp();
             let (_, report) = solver.run_simt(&dev, &[source]).unwrap();
             times.push(report.modelled_time_s * 1e3);
@@ -192,7 +192,7 @@ pub fn relabeling(cfg: Config) -> String {
     ] {
         let kernel = if g.directed() { Kernel::ScCooc } else { Kernel::VeCsc };
         let run = |graph: &Graph| {
-            let solver = BcSolver::new(graph, BcOptions { kernel, engine: Engine::Parallel });
+            let solver = BcSolver::new(graph, BcOptions { kernel, engine: Engine::Parallel, ..Default::default() }).unwrap();
             let dev = Device::titan_xp();
             let (_, report) = solver.run_simt(&dev, &[graph.default_source()]).unwrap();
             (report.total().coalescing_factor(), report.modelled_time_s * 1e3)
@@ -239,7 +239,7 @@ pub fn warp_efficiency(cfg: Config) -> String {
         let mut eff = Vec::new();
         let mut coal = Vec::new();
         for kernel in [Kernel::ScCsc, Kernel::VeCsc] {
-            let solver = BcSolver::new(&g, BcOptions { kernel, engine: Engine::Parallel });
+            let solver = BcSolver::new(&g, BcOptions { kernel, engine: Engine::Parallel, ..Default::default() }).unwrap();
             let dev = Device::titan_xp();
             let (_, report) = solver.run_simt(&dev, &[source]).unwrap();
             let kname = if kernel == Kernel::ScCsc { "fwd_scCSC" } else { "fwd_veCSC" };

@@ -123,7 +123,7 @@ pub fn fig5(cfg: Config) -> String {
     let mut mteps_glt: Vec<(String, f64, f64, f64, f64)> = Vec::new();
     for &k in &ks {
         let g = gen::mycielski(k);
-        let solver = BcSolver::new(&g, BcOptions { kernel: Kernel::VeCsc, engine: Engine::Parallel });
+        let solver = BcSolver::new(&g, BcOptions { kernel: Kernel::VeCsc, engine: Engine::Parallel, ..Default::default() }).unwrap();
         let dev = Device::titan_xp();
         let (_, report) = solver.run_simt(&dev, &[g.default_source()]).unwrap();
         let ceiling = dev.props().mem_bandwidth_gbs;
@@ -249,14 +249,14 @@ pub fn scaling(cfg: Config) -> String {
     for k in [8u32, 9, 10, 11, 12, 13] {
         let g = gen::mycielski(k);
         let solver =
-            BcSolver::new(&g, BcOptions { kernel: Kernel::VeCsc, engine: Engine::Parallel });
+            BcSolver::new(&g, BcOptions { kernel: Kernel::VeCsc, engine: Engine::Parallel, ..Default::default() }).unwrap();
         let dev = Device::titan_xp();
         let src = g.default_source();
         let (_, report) = solver.run_simt(&dev, &[src]).unwrap();
         let seq =
-            BcSolver::new(&g, BcOptions { kernel: Kernel::VeCsc, engine: Engine::Sequential });
+            BcSolver::new(&g, BcOptions { kernel: Kernel::VeCsc, engine: Engine::Sequential, ..Default::default() }).unwrap();
         let t0 = std::time::Instant::now();
-        let _ = seq.bc_single_source(src);
+        let _ = seq.bc_single_source(src).unwrap();
         let seq_ms = t0.elapsed().as_secs_f64() * 1e3;
         let mteps = g.m() as f64 / report.modelled_time_s / 1e6;
         t.row(vec![

@@ -141,11 +141,11 @@ pub fn measure_row_opts(row: &PaperRow, scale: Scale, trials: usize, with_simt: 
     let d = bfs(&graph, source).height;
     let kernel = kernel_from_name(row.kernel);
 
-    let solver = BcSolver::new(&graph, BcOptions { kernel, engine: Engine::Parallel });
-    let (turbo_t, _) = time_best(trials, || solver.bc_single_source(source));
+    let solver = BcSolver::new(&graph, BcOptions { kernel, engine: Engine::Parallel, ..Default::default() }).unwrap();
+    let (turbo_t, _) = time_best(trials, || solver.bc_single_source(source).unwrap());
 
-    let seq_solver = BcSolver::new(&graph, BcOptions { kernel, engine: Engine::Sequential });
-    let (seq_t, _) = time_best(trials, || seq_solver.bc_single_source(source));
+    let seq_solver = BcSolver::new(&graph, BcOptions { kernel, engine: Engine::Sequential, ..Default::default() }).unwrap();
+    let (seq_t, _) = time_best(trials, || seq_solver.bc_single_source(source).unwrap());
 
     let gunrock = GunrockBc::new(&graph);
     let (gun_t, _) = time_best(trials, || gunrock.bc_single_source(source));
@@ -240,14 +240,14 @@ pub fn measure_exact(name: &'static str, scale: Scale, max_sources: usize) -> Ex
         (0..n.min(max_sources)).map(|s| s as VertexId).collect();
     let d = bfs(&graph, graph.default_source()).height;
 
-    let par = BcSolver::new(&graph, BcOptions { kernel, engine: Engine::Parallel });
+    let par = BcSolver::new(&graph, BcOptions { kernel, engine: Engine::Parallel, ..Default::default() }).unwrap();
     let t0 = Instant::now();
-    let _ = par.bc_sources(&sources);
+    let _ = par.bc_sources(&sources).unwrap();
     let turbobc_s = t0.elapsed().as_secs_f64();
 
-    let seq = BcSolver::new(&graph, BcOptions { kernel, engine: Engine::Sequential });
+    let seq = BcSolver::new(&graph, BcOptions { kernel, engine: Engine::Sequential, ..Default::default() }).unwrap();
     let t0 = Instant::now();
-    let _ = seq.bc_sources(&sources);
+    let _ = seq.bc_sources(&sources).unwrap();
     let seq_s = t0.elapsed().as_secs_f64();
 
     // Modelled GPU time: simulate a deterministic subset of the sources

@@ -2,9 +2,13 @@
 //! drive it without spawning a process).
 
 use std::fmt::Write as _;
-use turbobc::{bc_approx, edge_bc, ApproxOptions, BcOptions, BcSolver, Engine, Kernel};
+use turbobc::{
+    bc_approx, edge_bc, ApproxOptions, BcOptions, BcSolver, CheckpointConfig, Engine, Kernel,
+    RecoveryLog,
+};
 use turbobc_graph::families::{self, Scale};
 use turbobc_graph::{bfs, io, Graph, GraphStats};
+use turbobc_simt::{Device, DeviceProps, FaultPlan};
 
 /// Thin oracle wrapper (kept here so the CLI crate's only oracle
 /// dependency is explicit).
@@ -19,6 +23,8 @@ usage:
   turbobc bc      <file> [--format mtx|edges] [--directed]
                   [--kernel auto|sccooc|sccsc|vecsc] [--sequential]
                   [--exact | --samples K | --approx EPSILON] [--top N]
+                  [--faults SPEC] [--checkpoint FILE]
+                  [--checkpoint-every K] [--resume]
   turbobc edge-bc <file> [--format mtx|edges] [--directed] [--top N]
   turbobc closeness <file> [--format mtx|edges] [--directed] [--top N]
   turbobc gen     <family> [--scale tiny|small|medium|large] [-o FILE]
@@ -45,7 +51,7 @@ fn parse(args: &[String]) -> Result<Parsed, String> {
         if let Some(name) = a.strip_prefix("--") {
             let value = match name {
                 // boolean flags
-                "directed" | "exact" | "sequential" => "true".to_string(),
+                "directed" | "exact" | "sequential" | "resume" => "true".to_string(),
                 _ => it
                     .next()
                     .ok_or_else(|| format!("--{name} needs a value"))?
@@ -95,6 +101,52 @@ fn top_n(p: &Parsed) -> usize {
     p.flags.get("top").and_then(|v| v.parse().ok()).unwrap_or(10)
 }
 
+/// The source set the `--exact` / `--samples K` / default flags select
+/// (the `--samples` stride matches [`BcSolver::bc_sampled`]).
+fn sources_of(p: &Parsed, g: &Graph) -> Result<Vec<u32>, String> {
+    let n = g.n();
+    if p.flags.contains_key("exact") {
+        return Ok((0..n as u32).collect());
+    }
+    if let Some(k) = p.flags.get("samples") {
+        let k: usize = k.parse().map_err(|_| format!("bad sample count `{k}`"))?;
+        let k = k.clamp(1, n.max(1));
+        let stride = (n / k).max(1);
+        return Ok((0..n).step_by(stride).take(k).map(|s| s as u32).collect());
+    }
+    Ok(vec![g.default_source()])
+}
+
+fn recovery_summary(log: &RecoveryLog) -> String {
+    if log.is_clean() {
+        return "recovery: clean run, nothing absorbed".to_string();
+    }
+    let mut parts = Vec::new();
+    if log.kernel_retries > 0 {
+        parts.push(format!("{} kernel retries", log.kernel_retries));
+    }
+    if log.link_retries > 0 {
+        parts.push(format!("{} link retries", log.link_retries));
+    }
+    if log.oom_degradations > 0 {
+        parts.push(format!(
+            "{} OOM degradation(s) to {}",
+            log.oom_degradations,
+            log.degraded_to.unwrap_or("?")
+        ));
+    }
+    if log.device_requeues > 0 {
+        parts.push(format!("{} device requeue(s)", log.device_requeues));
+    }
+    if log.resumed_sources > 0 {
+        parts.push(format!("{} sources resumed from checkpoint", log.resumed_sources));
+    }
+    if log.cpu_fallback {
+        parts.push("CPU fallback".to_string());
+    }
+    format!("recovery: absorbed {}", parts.join(", "))
+}
+
 fn stats_report(g: &Graph) -> String {
     let s = GraphStats::compute(g);
     let source = g.default_source();
@@ -139,7 +191,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
             let g = load(&p)?;
             let engine =
                 if p.flags.contains_key("sequential") { Engine::Sequential } else { Engine::Parallel };
-            let options = BcOptions { kernel: kernel_of(&p)?, engine };
+            let options = BcOptions { kernel: kernel_of(&p)?, engine, ..Default::default() };
             let top = top_n(&p);
             let mut out = String::new();
             if let Some(eps) = p.flags.get("approx") {
@@ -148,7 +200,8 @@ pub fn run(args: &[String]) -> Result<String, String> {
                 let r = bc_approx(
                     &g,
                     ApproxOptions { epsilon, bc: options, ..Default::default() },
-                );
+                )
+                .map_err(|e| e.to_string())?;
                 let _ = writeln!(
                     out,
                     "approximate BC: {} sampled sources (epsilon {}, delta {}) in {:.1} ms",
@@ -158,8 +211,52 @@ pub fn run(args: &[String]) -> Result<String, String> {
                     r.run.stats.elapsed.as_secs_f64() * 1e3
                 );
                 out.push_str(&rank_report("estimated BC", &r.bc, top));
+            } else if let Some(spec) = p.flags.get("faults") {
+                // Fault-injected run on the SIMT device: the recovery
+                // policy absorbs what it can, the summary reports it.
+                let plan = FaultPlan::parse(spec)?;
+                let solver = BcSolver::new(&g, options).map_err(|e| e.to_string())?;
+                let device = Device::with_faults(DeviceProps::titan_xp(), plan);
+                let sources = sources_of(&p, &g)?;
+                let (r, report) =
+                    solver.run_simt(&device, &sources).map_err(|e| e.to_string())?;
+                let _ = writeln!(
+                    out,
+                    "SIMT run under injected faults: kernel {} over {} source(s), \
+                     modelled {:.3} ms",
+                    solver.kernel().name(),
+                    r.stats.sources,
+                    report.modelled_time_s * 1e3
+                );
+                let _ = writeln!(out, "{}", recovery_summary(&r.stats.recovery));
+                out.push_str(&rank_report("BC", &r.bc, top));
+            } else if let Some(ckpt) = p.flags.get("checkpoint") {
+                let every: usize = match p.flags.get("checkpoint-every") {
+                    Some(v) => v.parse().map_err(|_| format!("bad checkpoint interval `{v}`"))?,
+                    None => 64,
+                };
+                let mut cfg = CheckpointConfig::new(ckpt, every);
+                if p.flags.contains_key("resume") {
+                    cfg = cfg.resume();
+                }
+                let solver = BcSolver::new(&g, options).map_err(|e| e.to_string())?;
+                let sources = sources_of(&p, &g)?;
+                let r = solver
+                    .bc_sources_checkpointed(&sources, &cfg)
+                    .map_err(|e| e.to_string())?;
+                let _ = writeln!(
+                    out,
+                    "kernel {} over {} source(s) (checkpoint `{}` every {}), {:.1} ms",
+                    solver.kernel().name(),
+                    r.stats.sources,
+                    ckpt,
+                    every,
+                    r.stats.elapsed.as_secs_f64() * 1e3
+                );
+                let _ = writeln!(out, "{}", recovery_summary(&r.stats.recovery));
+                out.push_str(&rank_report("BC", &r.bc, top));
             } else {
-                let solver = BcSolver::new(&g, options);
+                let solver = BcSolver::new(&g, options).map_err(|e| e.to_string())?;
                 let r = if p.flags.contains_key("exact") {
                     solver.bc_exact()
                 } else if let Some(k) = p.flags.get("samples") {
@@ -167,7 +264,8 @@ pub fn run(args: &[String]) -> Result<String, String> {
                     solver.bc_sampled(k)
                 } else {
                     solver.bc_single_source(g.default_source())
-                };
+                }
+                .map_err(|e| e.to_string())?;
                 let _ = writeln!(
                     out,
                     "kernel {} over {} source(s), BFS depth <= {}, {:.1} ms",
@@ -184,7 +282,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
             let g = load(&p)?;
             let r = turbobc::closeness::closeness_centrality(
                 &g,
-                BcOptions { kernel: kernel_of(&p)?, engine: Engine::Parallel },
+                BcOptions { kernel: kernel_of(&p)?, engine: Engine::Parallel, ..Default::default() },
             );
             let mut out = rank_report("harmonic centrality", &r.harmonic, top_n(&p));
             out.push_str(&rank_report("closeness (Wasserman-Faust)", &r.closeness, top_n(&p)));
@@ -254,8 +352,10 @@ pub fn run(args: &[String]) -> Result<String, String> {
                 let want = turbobc_baselines_single(&g, s);
                 for kernel in [Kernel::ScCooc, Kernel::ScCsc, Kernel::VeCsc] {
                     for engine in [Engine::Sequential, Engine::Parallel] {
-                        let solver = BcSolver::new(&g, BcOptions { kernel, engine });
-                        let r = solver.bc_single_source(s);
+                        let solver =
+                            BcSolver::new(&g, BcOptions { kernel, engine, ..Default::default() })
+                                .map_err(|e| e.to_string())?;
+                        let r = solver.bc_single_source(s).map_err(|e| e.to_string())?;
                         let ok = r
                             .bc
                             .iter()
@@ -391,6 +491,62 @@ mod tests {
         run(&args(&["gen", "com-Youtube", "-o", path.to_str().unwrap()])).unwrap();
         let out = run(&args(&["pagerank", path.to_str().unwrap(), "--top", "3"])).unwrap();
         assert!(out.contains("PageRank"), "{out}");
+    }
+
+    #[test]
+    fn fault_injected_run_reports_recovery() {
+        let path = temp("faults.mtx");
+        run(&args(&["gen", "smallworld", "-o", path.to_str().unwrap()])).unwrap();
+        let out = run(&args(&[
+            "bc",
+            path.to_str().unwrap(),
+            "--faults",
+            "seed=1,fail_launch_at=3",
+        ]))
+        .unwrap();
+        assert!(out.contains("injected faults"), "{out}");
+        assert!(out.contains("kernel retries"), "{out}");
+        let out =
+            run(&args(&["bc", path.to_str().unwrap(), "--faults", "seed=1"])).unwrap();
+        assert!(out.contains("clean run"), "{out}");
+        assert!(run(&args(&["bc", path.to_str().unwrap(), "--faults", "bogus"])).is_err());
+    }
+
+    #[test]
+    fn checkpointed_run_matches_and_resumes() {
+        let mtx = temp("ckpt.mtx");
+        let ck = temp("ckpt.bin");
+        let _ = std::fs::remove_file(&ck);
+        run(&args(&["gen", "smallworld", "-o", mtx.to_str().unwrap()])).unwrap();
+        let ranks = |s: &str| s[s.find("top ").unwrap()..].to_string();
+        let plain =
+            run(&args(&["bc", mtx.to_str().unwrap(), "--samples", "9"])).unwrap();
+        let ckpt = run(&args(&[
+            "bc",
+            mtx.to_str().unwrap(),
+            "--samples",
+            "9",
+            "--checkpoint",
+            ck.to_str().unwrap(),
+            "--checkpoint-every",
+            "2",
+        ]))
+        .unwrap();
+        assert_eq!(ranks(&plain), ranks(&ckpt), "checkpointing must not perturb the ranking");
+        let resumed = run(&args(&[
+            "bc",
+            mtx.to_str().unwrap(),
+            "--samples",
+            "9",
+            "--checkpoint",
+            ck.to_str().unwrap(),
+            "--checkpoint-every",
+            "2",
+            "--resume",
+        ]))
+        .unwrap();
+        assert!(resumed.contains("resumed from checkpoint"), "{resumed}");
+        assert_eq!(ranks(&plain), ranks(&resumed));
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The [`Graph`] type: an unweighted graph as an adjacency-matrix pattern.
 
-use turbobc_sparse::{Coo, Cooc, Csc, Csr, Index};
+use turbobc_sparse::{Coo, Cooc, Csc, Csr, Index, SparseError};
 
 /// Vertex identifier (alias of the sparse index type).
 pub type VertexId = Index;
@@ -28,14 +28,32 @@ impl Graph {
     /// graphs each `(u, v)` pair is stored in both orientations.
     ///
     /// # Panics
-    /// Panics if any endpoint is `>= n`.
+    /// Panics if any endpoint is `>= n` or `n` exceeds `u32::MAX`. Use
+    /// [`Graph::try_from_edges`] when the edge list comes from untrusted
+    /// input (e.g. a file) and should be validated instead.
     pub fn from_edges(n: usize, directed: bool, edges: &[(VertexId, VertexId)]) -> Self {
-        let mut coo = Coo::new(n, n).expect("vertex count exceeds u32::MAX");
+        Self::try_from_edges(n, directed, edges).expect("invalid edge list")
+    }
+
+    /// Fallible [`Graph::from_edges`]: returns an error instead of panicking
+    /// when `n` does not fit the index type or an endpoint is `>= n`.
+    pub fn try_from_edges(
+        n: usize,
+        directed: bool,
+        edges: &[(VertexId, VertexId)],
+    ) -> Result<Self, SparseError> {
+        let mut coo = Coo::new(n, n)?;
         coo.reserve(edges.len());
         for &(u, v) in edges {
+            if (u as usize) >= n {
+                return Err(SparseError::RowOutOfBounds(u, n));
+            }
+            if (v as usize) >= n {
+                return Err(SparseError::ColOutOfBounds(v, n));
+            }
             coo.push(u, v);
         }
-        Self::from_coo(directed, coo)
+        Ok(Self::from_coo(directed, coo))
     }
 
     /// Builds a graph from an adjacency pattern in COO form, normalising it
@@ -262,5 +280,22 @@ mod tests {
         assert_eq!(g.default_source(), 0);
         let g1 = Graph::from_edges(1, false, &[]);
         assert_eq!(g1.m(), 0);
+    }
+
+    #[test]
+    fn try_from_edges_validates_endpoints() {
+        assert!(Graph::try_from_edges(3, true, &[(0, 1), (2, 0)]).is_ok());
+        assert!(matches!(
+            Graph::try_from_edges(3, true, &[(3, 0)]),
+            Err(SparseError::RowOutOfBounds(3, 3))
+        ));
+        assert!(matches!(
+            Graph::try_from_edges(3, true, &[(0, 7)]),
+            Err(SparseError::ColOutOfBounds(7, 3))
+        ));
+        assert!(matches!(
+            Graph::try_from_edges(u32::MAX as usize + 1, true, &[]),
+            Err(SparseError::DimensionTooLarge(_))
+        ));
     }
 }

@@ -87,7 +87,7 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<Graph, IoError> {
             continue;
         }
         let mut it = trimmed.split_whitespace();
-        if dims.is_none() {
+        let Some((n, _, _)) = dims else {
             let nr: usize = it
                 .next()
                 .and_then(|t| t.parse().ok())
@@ -103,11 +103,18 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<Graph, IoError> {
             if nr != nc {
                 return Err(parse_err(line_no, "adjacency matrix must be square"));
             }
+            if nr > u32::MAX as usize {
+                return Err(parse_err(
+                    line_no,
+                    format!("dimension {nr} exceeds the u32 index range"),
+                ));
+            }
             dims = Some((nr, nc, nnz));
-            edges.reserve(nnz);
+            // A hostile header can declare an absurd nnz; cap the eager
+            // reservation so a short file never triggers a huge allocation.
+            edges.reserve(nnz.min(1 << 20));
             continue;
-        }
-        let (n, _, _) = dims.unwrap();
+        };
         let r: usize = it
             .next()
             .and_then(|t| t.parse().ok())
@@ -129,7 +136,8 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<Graph, IoError> {
             format!("declared {declared_nnz} entries but found {}", edges.len()),
         ));
     }
-    Ok(Graph::from_edges(n, directed, &edges))
+    Graph::try_from_edges(n, directed, &edges)
+        .map_err(|e| parse_err(line_no, format!("invalid matrix: {e}")))
 }
 
 /// Reads a MatrixMarket file from disk.
@@ -194,7 +202,8 @@ pub fn read_edge_list<R: Read>(
             "given n = {n} but the file references vertex {max_id}"
         )));
     }
-    Ok(Graph::from_edges(n, directed, &edges))
+    Graph::try_from_edges(n, directed, &edges)
+        .map_err(|e| IoError::Parse(format!("invalid edge list: {e}")))
 }
 
 /// Reads an edge-list file from disk.
@@ -286,6 +295,28 @@ mod tests {
     fn rejects_rectangular_matrix() {
         let bad = "%%MatrixMarket matrix coordinate pattern general\n2 3 1\n1 2\n";
         assert!(read_matrix_market(bad.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_dimension_beyond_index_type() {
+        let bad = "%%MatrixMarket matrix coordinate pattern general\n5000000000 5000000000 1\n1 2\n";
+        let err = read_matrix_market(bad.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("u32"), "got: {err}");
+    }
+
+    #[test]
+    fn huge_declared_nnz_fails_without_allocating() {
+        // Declares 10^15 entries but supplies one; must return a clean
+        // parse error (mismatched count), not attempt a huge reservation.
+        let bad = "%%MatrixMarket matrix coordinate pattern general\n3 3 1000000000000000\n1 2\n";
+        assert!(read_matrix_market(bad.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn edge_list_vertex_beyond_index_type_is_an_error() {
+        let bad = "0 4294967296\n";
+        let err = read_edge_list(bad.as_bytes(), true, None).unwrap_err();
+        assert!(err.to_string().contains("u32"), "got: {err}");
     }
 
     #[test]

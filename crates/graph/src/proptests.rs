@@ -58,6 +58,46 @@ proptest! {
         prop_assert_eq!(g.in_degrees().iter().map(|&d| d as usize).sum::<usize>(), g.m());
     }
 
+    /// Reader fuzzing: arbitrary bytes — truncated files, garbage tokens,
+    /// binary noise — must never panic the MatrixMarket reader. Any input
+    /// either parses or yields a clean `IoError`.
+    #[test]
+    fn matrix_market_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = io::read_matrix_market(bytes.as_slice());
+    }
+
+    /// Same fuzz property for the edge-list reader, with and without an
+    /// explicit vertex count.
+    #[test]
+    fn edge_list_never_panics_on_garbage(
+        bytes in proptest::collection::vec(any::<u8>(), 0..512),
+        n in (any::<bool>(), 0usize..64).prop_map(|(some, n)| some.then_some(n)),
+        directed in any::<bool>(),
+    ) {
+        let _ = io::read_edge_list(bytes.as_slice(), directed, n);
+    }
+
+    /// Structured fuzz: token soup that *looks* like a MatrixMarket body
+    /// (valid header, then short strings over a numeric-ish alphabet)
+    /// exercises the per-line parse paths more densely than raw bytes.
+    #[test]
+    fn matrix_market_never_panics_on_token_soup(
+        lines in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..24),
+            0..20,
+        )
+    ) {
+        const ALPHABET: &[u8] = b"0123456789 .%+-e:na\t";
+        let mut text = String::from("%%MatrixMarket matrix coordinate pattern general\n");
+        for line in &lines {
+            for &b in line {
+                text.push(ALPHABET[b as usize % ALPHABET.len()] as char);
+            }
+            text.push('\n');
+        }
+        let _ = io::read_matrix_market(text.as_bytes());
+    }
+
     /// BFS sanity: depths are 0 or ≥ 1, the source has depth 1, every
     /// reached non-source vertex has an in-neighbour one level up.
     #[test]

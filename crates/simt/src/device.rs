@@ -2,6 +2,7 @@
 
 use crate::buffer::DeviceBuffer;
 use crate::cache::L2Cache;
+use crate::faults::{FaultPlan, FaultState, Verdict};
 use crate::metrics::{KernelStats, MetricsRegistry};
 use crate::timing::TimingModel;
 use crate::warp::{Warp, WARP_SIZE};
@@ -54,6 +55,27 @@ pub enum DeviceError {
         /// Bytes still free on the device.
         free: u64,
     },
+    /// A kernel launch faulted transiently (injected by a
+    /// [`FaultPlan`]). The kernel body did **not** execute, so the
+    /// launch is safe to retry.
+    KernelFault {
+        /// Name of the faulted kernel.
+        kernel: String,
+        /// 0-based launch index on this device.
+        launch_index: u64,
+    },
+    /// The device was lost (injected by
+    /// [`FaultPlan::lose_device_at_launch`]). Sticky: every subsequent
+    /// operation on this device fails the same way.
+    DeviceLost,
+}
+
+impl DeviceError {
+    /// Whether retrying the failed operation on the same device can
+    /// succeed (true only for transient kernel faults).
+    pub fn is_transient(&self) -> bool {
+        matches!(self, DeviceError::KernelFault { .. })
+    }
 }
 
 impl fmt::Display for DeviceError {
@@ -62,6 +84,10 @@ impl fmt::Display for DeviceError {
             DeviceError::OutOfMemory { requested, free } => {
                 write!(f, "device out of memory: requested {requested} B, {free} B free")
             }
+            DeviceError::KernelFault { kernel, launch_index } => {
+                write!(f, "transient fault in kernel `{kernel}` (launch #{launch_index})")
+            }
+            DeviceError::DeviceLost => write!(f, "device lost"),
         }
     }
 }
@@ -147,6 +173,7 @@ pub struct Device {
     ledger: Arc<Mutex<Ledger>>,
     metrics: Mutex<MetricsRegistry>,
     l2: Mutex<L2Cache>,
+    faults: Mutex<FaultState>,
 }
 
 impl Device {
@@ -168,8 +195,28 @@ impl Device {
             })),
             metrics: Mutex::new(MetricsRegistry::default()),
             l2: Mutex::new(L2Cache::new(props.l2_bytes)),
+            faults: Mutex::new(FaultState::default()),
             props,
         }
+    }
+
+    /// Creates a device with a fault plan armed from the start.
+    pub fn with_faults(props: DeviceProps, plan: FaultPlan) -> Self {
+        let dev = Self::new(props);
+        dev.install_faults(plan);
+        dev
+    }
+
+    /// Installs (or replaces) the fault plan. Counters restart from
+    /// operation index 0.
+    pub fn install_faults(&self, plan: FaultPlan) {
+        *self.faults.lock() = FaultState::new(plan);
+    }
+
+    /// Whether this device has been lost to an injected fault. All
+    /// operations on a lost device fail with [`DeviceError::DeviceLost`].
+    pub fn is_lost(&self) -> bool {
+        self.faults.lock().is_lost()
     }
 
     /// Same properties but a different memory capacity — used by the
@@ -193,6 +240,17 @@ impl Device {
     /// Allocates a zero-initialised buffer of `len` elements.
     pub fn alloc<T: Copy + Default>(&self, len: usize) -> Result<DeviceBuffer<T>, DeviceError> {
         let bytes = (len * std::mem::size_of::<T>()) as u64;
+        match self.faults.lock().on_alloc() {
+            Verdict::Ok => {}
+            Verdict::Lost => return Err(DeviceError::DeviceLost),
+            Verdict::Fault => {
+                let free = {
+                    let l = self.ledger.lock();
+                    l.capacity - l.used
+                };
+                return Err(DeviceError::OutOfMemory { requested: bytes, free });
+            }
+        }
         let base = self.ledger.lock().alloc(bytes)?;
         Ok(DeviceBuffer::new(vec![T::default(); len], base, bytes, Arc::clone(&self.ledger)))
     }
@@ -217,9 +275,36 @@ impl Device {
         l.peak = l.used;
     }
 
+    /// Fault-aware kernel launch: consults the installed [`FaultPlan`]
+    /// before executing. A faulted launch returns
+    /// [`DeviceError::KernelFault`] **without running the kernel body**
+    /// (no partial writes), so it is always safe to retry; a launch on a
+    /// lost device returns [`DeviceError::DeviceLost`].
+    pub fn try_launch<F>(
+        &self,
+        name: &str,
+        cfg: LaunchConfig,
+        body: F,
+    ) -> Result<KernelStats, DeviceError>
+    where
+        F: FnMut(&mut Warp),
+    {
+        let (verdict, launch_index) = self.faults.lock().on_launch();
+        match verdict {
+            Verdict::Ok => Ok(self.launch(name, cfg, body)),
+            Verdict::Lost => Err(DeviceError::DeviceLost),
+            Verdict::Fault => {
+                Err(DeviceError::KernelFault { kernel: name.to_string(), launch_index })
+            }
+        }
+    }
+
     /// Launches a kernel: `body` is executed once per warp, lanes in
     /// lockstep, warps in increasing id order (deterministic). Statistics
     /// are accumulated in the device metrics registry under `name`.
+    ///
+    /// Bypasses fault injection — use [`Device::try_launch`] for
+    /// fault-aware engines.
     ///
     /// Returns the stats of this single launch.
     pub fn launch<F>(&self, name: &str, cfg: LaunchConfig, mut body: F) -> KernelStats
@@ -289,6 +374,7 @@ mod tests {
                 assert_eq!(requested, 1024);
                 assert_eq!(free, 512);
             }
+            other => panic!("expected OOM, got {other:?}"),
         }
     }
 
@@ -338,6 +424,51 @@ mod tests {
     fn launch_config_helpers() {
         assert_eq!(LaunchConfig::per_element(100).threads, 100);
         assert_eq!(LaunchConfig::per_warp(10).threads, 320);
+    }
+
+    #[test]
+    fn injected_alloc_fault_is_one_shot() {
+        let dev =
+            Device::with_faults(DeviceProps::titan_xp(), crate::FaultPlan::new(1).fail_alloc_at(0));
+        let err = dev.alloc::<u32>(8).unwrap_err();
+        assert!(matches!(err, DeviceError::OutOfMemory { .. }));
+        assert_eq!(dev.memory().used, 0, "injected OOM reserves nothing");
+        assert!(dev.alloc::<u32>(8).is_ok(), "retry succeeds");
+    }
+
+    #[test]
+    fn injected_launch_fault_skips_the_body() {
+        let dev = Device::with_faults(
+            DeviceProps::titan_xp(),
+            crate::FaultPlan::new(1).fail_launch_at(1),
+        );
+        let mut runs = 0;
+        assert!(dev.try_launch("k", LaunchConfig::per_element(32), |_| runs += 1).is_ok());
+        let err = dev.try_launch("k", LaunchConfig::per_element(32), |_| runs += 1).unwrap_err();
+        assert_eq!(err, DeviceError::KernelFault { kernel: "k".into(), launch_index: 1 });
+        assert!(err.is_transient());
+        assert_eq!(runs, 1, "faulted launch must not execute the kernel body");
+        assert!(dev.try_launch("k", LaunchConfig::per_element(32), |_| runs += 1).is_ok());
+        assert_eq!(runs, 2);
+        assert_eq!(dev.metrics().kernel("k").unwrap().launches, 2, "faulted launch unrecorded");
+    }
+
+    #[test]
+    fn lost_device_rejects_everything() {
+        let dev = Device::with_faults(
+            DeviceProps::titan_xp(),
+            crate::FaultPlan::new(1).lose_device_at_launch(0),
+        );
+        assert!(!dev.is_lost());
+        let err = dev.try_launch("k", LaunchConfig::per_element(32), |_| {}).unwrap_err();
+        assert_eq!(err, DeviceError::DeviceLost);
+        assert!(!err.is_transient());
+        assert!(dev.is_lost());
+        assert_eq!(dev.alloc::<u8>(1).unwrap_err(), DeviceError::DeviceLost);
+        assert_eq!(
+            dev.try_launch("k", LaunchConfig::per_element(32), |_| {}).unwrap_err(),
+            DeviceError::DeviceLost,
+        );
     }
 
     #[test]

@@ -1,0 +1,399 @@
+//! Deterministic, seedable fault injection for the simulated device and
+//! interconnect.
+//!
+//! A [`FaultPlan`] describes *when* faults fire: either at explicit
+//! operation indices (the 3rd allocation, the 17th kernel launch, the 2nd
+//! frontier exchange…) or at a seeded random rate. Faults are **one-shot
+//! and transient** unless stated otherwise: the injected operation fails
+//! *without side effects* (a faulted launch never executes its body, a
+//! dropped transfer moves no bytes), and the fault counter advances, so a
+//! retry of the same operation draws the next index and succeeds. The one
+//! sticky fault is device loss ([`FaultPlan::lose_device_at_launch`]): once
+//! it fires, every subsequent operation on that device fails with
+//! `DeviceError::DeviceLost`.
+//!
+//! Determinism: given the same plan (same seed, same trigger points) and
+//! the same operation sequence, exactly the same operations fault. This is
+//! what lets the fault-sweep tests assert *bit-identical* BC output under
+//! recovery.
+
+use std::fmt;
+
+/// Which operations of a device/link should fail, and when.
+///
+/// Build with the fluent setters, or parse a CLI spec with
+/// [`FaultPlan::parse`]:
+///
+/// ```
+/// use turbobc_simt::FaultPlan;
+/// let plan = FaultPlan::new(42)
+///     .fail_launch_at(3)
+///     .with_launch_fault_rate(0.01);
+/// assert!(plan.is_armed());
+/// let parsed = FaultPlan::parse("seed=42,fail_launch_at=3,launch_rate=0.01").unwrap();
+/// assert_eq!(plan, parsed);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Seed for the random-rate draws.
+    pub seed: u64,
+    /// Allocation indices (0-based) that fail with an injected OOM.
+    pub fail_alloc_at: Vec<u64>,
+    /// Launch indices (0-based) that fail with a transient kernel fault.
+    pub fail_launch_at: Vec<u64>,
+    /// Transfer indices (0-based) that are dropped in flight.
+    pub drop_transfer_at: Vec<u64>,
+    /// Transfer indices (0-based) that arrive corrupted.
+    pub corrupt_transfer_at: Vec<u64>,
+    /// Launch index at which the whole device is lost (sticky).
+    pub lose_device_at_launch: Option<u64>,
+    /// Probability in `[0, 1]` that any given allocation OOMs.
+    pub alloc_fault_rate: f64,
+    /// Probability in `[0, 1]` that any given launch faults transiently.
+    pub launch_fault_rate: f64,
+    /// Probability in `[0, 1]` that any given transfer is dropped.
+    pub transfer_drop_rate: f64,
+    /// Probability in `[0, 1]` that any given transfer is corrupted.
+    pub transfer_corrupt_rate: f64,
+}
+
+impl FaultPlan {
+    /// An armed-but-empty plan with the given seed: no faults fire until
+    /// trigger points or rates are added.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan { seed, ..Default::default() }
+    }
+
+    /// Fail the `index`-th allocation (0-based) with an injected OOM.
+    pub fn fail_alloc_at(mut self, index: u64) -> Self {
+        self.fail_alloc_at.push(index);
+        self
+    }
+
+    /// Fail the `index`-th kernel launch (0-based) with a transient fault.
+    pub fn fail_launch_at(mut self, index: u64) -> Self {
+        self.fail_launch_at.push(index);
+        self
+    }
+
+    /// Drop the `index`-th link transfer (0-based).
+    pub fn drop_transfer_at(mut self, index: u64) -> Self {
+        self.drop_transfer_at.push(index);
+        self
+    }
+
+    /// Corrupt the `index`-th link transfer (0-based).
+    pub fn corrupt_transfer_at(mut self, index: u64) -> Self {
+        self.corrupt_transfer_at.push(index);
+        self
+    }
+
+    /// Lose the device permanently at the `index`-th launch (0-based).
+    pub fn lose_device_at_launch(mut self, index: u64) -> Self {
+        self.lose_device_at_launch = Some(index);
+        self
+    }
+
+    /// Random allocation-OOM rate in `[0, 1]`.
+    pub fn with_alloc_fault_rate(mut self, rate: f64) -> Self {
+        self.alloc_fault_rate = rate;
+        self
+    }
+
+    /// Random transient-launch-fault rate in `[0, 1]`.
+    pub fn with_launch_fault_rate(mut self, rate: f64) -> Self {
+        self.launch_fault_rate = rate;
+        self
+    }
+
+    /// Random transfer-drop rate in `[0, 1]`.
+    pub fn with_transfer_drop_rate(mut self, rate: f64) -> Self {
+        self.transfer_drop_rate = rate;
+        self
+    }
+
+    /// Random transfer-corruption rate in `[0, 1]`.
+    pub fn with_transfer_corrupt_rate(mut self, rate: f64) -> Self {
+        self.transfer_corrupt_rate = rate;
+        self
+    }
+
+    /// Whether the plan can fire at all.
+    pub fn is_armed(&self) -> bool {
+        !self.fail_alloc_at.is_empty()
+            || !self.fail_launch_at.is_empty()
+            || !self.drop_transfer_at.is_empty()
+            || !self.corrupt_transfer_at.is_empty()
+            || self.lose_device_at_launch.is_some()
+            || self.alloc_fault_rate > 0.0
+            || self.launch_fault_rate > 0.0
+            || self.transfer_drop_rate > 0.0
+            || self.transfer_corrupt_rate > 0.0
+    }
+
+    /// Parses a comma-separated `key=value` spec, e.g.
+    /// `seed=42,fail_launch_at=3,fail_alloc_at=0,launch_rate=0.01`.
+    ///
+    /// Keys: `seed`, `fail_alloc_at`, `fail_launch_at`, `drop_transfer_at`,
+    /// `corrupt_transfer_at`, `lose_device_at_launch` (integers; the
+    /// `*_at` keys may repeat), `alloc_rate`, `launch_rate`, `drop_rate`,
+    /// `corrupt_rate` (floats in `[0, 1]`).
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut plan = FaultPlan::default();
+        for item in spec.split(',') {
+            let item = item.trim();
+            if item.is_empty() {
+                continue;
+            }
+            let (key, value) = item
+                .split_once('=')
+                .ok_or_else(|| format!("fault spec item `{item}` is not key=value"))?;
+            let int = || -> Result<u64, String> {
+                value.parse::<u64>().map_err(|_| format!("`{key}` needs an integer, got `{value}`"))
+            };
+            let rate = || -> Result<f64, String> {
+                let r = value
+                    .parse::<f64>()
+                    .map_err(|_| format!("`{key}` needs a float, got `{value}`"))?;
+                if !(0.0..=1.0).contains(&r) {
+                    return Err(format!("`{key}` must be in [0, 1], got {r}"));
+                }
+                Ok(r)
+            };
+            match key.trim() {
+                "seed" => plan.seed = int()?,
+                "fail_alloc_at" => plan.fail_alloc_at.push(int()?),
+                "fail_launch_at" => plan.fail_launch_at.push(int()?),
+                "drop_transfer_at" => plan.drop_transfer_at.push(int()?),
+                "corrupt_transfer_at" => plan.corrupt_transfer_at.push(int()?),
+                "lose_device_at_launch" => plan.lose_device_at_launch = Some(int()?),
+                "alloc_rate" => plan.alloc_fault_rate = rate()?,
+                "launch_rate" => plan.launch_fault_rate = rate()?,
+                "drop_rate" => plan.transfer_drop_rate = rate()?,
+                "corrupt_rate" => plan.transfer_corrupt_rate = rate()?,
+                other => return Err(format!("unknown fault spec key `{other}`")),
+            }
+        }
+        Ok(plan)
+    }
+}
+
+/// A failed or corrupted link transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkError {
+    /// The transfer was dropped in flight; no bytes arrived.
+    Dropped {
+        /// 0-based index of the faulted transfer.
+        transfer_index: u64,
+    },
+    /// The transfer arrived but failed its integrity check.
+    Corrupted {
+        /// 0-based index of the faulted transfer.
+        transfer_index: u64,
+    },
+}
+
+impl fmt::Display for LinkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinkError::Dropped { transfer_index } => {
+                write!(f, "link transfer #{transfer_index} dropped")
+            }
+            LinkError::Corrupted { transfer_index } => {
+                write!(f, "link transfer #{transfer_index} corrupted")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinkError {}
+
+/// What a fault check decided for one operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Verdict {
+    Ok,
+    Fault,
+    Lost,
+}
+
+/// Mutable runtime state evolving a [`FaultPlan`] over an operation
+/// sequence: per-class counters plus the sticky lost flag.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub(crate) struct FaultState {
+    plan: FaultPlan,
+    rng: u64,
+    allocs: u64,
+    launches: u64,
+    transfers: u64,
+    lost: bool,
+}
+
+impl FaultState {
+    pub(crate) fn new(plan: FaultPlan) -> Self {
+        let rng = plan.seed ^ 0x6661_756C_7470_6C6E; // "faultpln"
+        FaultState { plan, rng, allocs: 0, launches: 0, transfers: 0, lost: false }
+    }
+
+    /// SplitMix64 step — deterministic rate draws with no external deps.
+    fn next_unit(&mut self) -> f64 {
+        self.rng = self.rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    pub(crate) fn is_lost(&self) -> bool {
+        self.lost
+    }
+
+    /// Decides the fate of the next allocation and advances the counter.
+    pub(crate) fn on_alloc(&mut self) -> Verdict {
+        if self.lost {
+            return Verdict::Lost;
+        }
+        let idx = self.allocs;
+        self.allocs += 1;
+        if self.plan.fail_alloc_at.contains(&idx) {
+            return Verdict::Fault;
+        }
+        if self.plan.alloc_fault_rate > 0.0 && self.next_unit() < self.plan.alloc_fault_rate {
+            return Verdict::Fault;
+        }
+        Verdict::Ok
+    }
+
+    /// Decides the fate of the next launch and advances the counter.
+    /// Returns the launch index alongside the verdict for error reporting.
+    pub(crate) fn on_launch(&mut self) -> (Verdict, u64) {
+        if self.lost {
+            return (Verdict::Lost, self.launches);
+        }
+        let idx = self.launches;
+        self.launches += 1;
+        if self.plan.lose_device_at_launch == Some(idx) {
+            self.lost = true;
+            return (Verdict::Lost, idx);
+        }
+        if self.plan.fail_launch_at.contains(&idx) {
+            return (Verdict::Fault, idx);
+        }
+        if self.plan.launch_fault_rate > 0.0 && self.next_unit() < self.plan.launch_fault_rate {
+            return (Verdict::Fault, idx);
+        }
+        (Verdict::Ok, idx)
+    }
+
+    /// Decides the fate of the next transfer and advances the counter.
+    pub(crate) fn on_transfer(&mut self) -> Result<(), LinkError> {
+        let idx = self.transfers;
+        self.transfers += 1;
+        if self.plan.drop_transfer_at.contains(&idx) {
+            return Err(LinkError::Dropped { transfer_index: idx });
+        }
+        if self.plan.corrupt_transfer_at.contains(&idx) {
+            return Err(LinkError::Corrupted { transfer_index: idx });
+        }
+        if self.plan.transfer_drop_rate > 0.0 && self.next_unit() < self.plan.transfer_drop_rate {
+            return Err(LinkError::Dropped { transfer_index: idx });
+        }
+        if self.plan.transfer_corrupt_rate > 0.0
+            && self.next_unit() < self.plan.transfer_corrupt_rate
+        {
+            return Err(LinkError::Corrupted { transfer_index: idx });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_never_fires() {
+        let mut st = FaultState::new(FaultPlan::default());
+        for _ in 0..1000 {
+            assert_eq!(st.on_alloc(), Verdict::Ok);
+            assert_eq!(st.on_launch().0, Verdict::Ok);
+            assert!(st.on_transfer().is_ok());
+        }
+        assert!(!FaultPlan::default().is_armed());
+    }
+
+    #[test]
+    fn explicit_triggers_fire_once_at_their_index() {
+        let plan = FaultPlan::new(7).fail_launch_at(2).fail_alloc_at(0);
+        let mut st = FaultState::new(plan);
+        assert_eq!(st.on_alloc(), Verdict::Fault);
+        assert_eq!(st.on_alloc(), Verdict::Ok, "retry after one-shot fault succeeds");
+        assert_eq!(st.on_launch().0, Verdict::Ok);
+        assert_eq!(st.on_launch().0, Verdict::Ok);
+        let (v, idx) = st.on_launch();
+        assert_eq!((v, idx), (Verdict::Fault, 2));
+        assert_eq!(st.on_launch().0, Verdict::Ok);
+    }
+
+    #[test]
+    fn device_loss_is_sticky() {
+        let plan = FaultPlan::new(7).lose_device_at_launch(1);
+        let mut st = FaultState::new(plan);
+        assert_eq!(st.on_launch().0, Verdict::Ok);
+        assert_eq!(st.on_launch().0, Verdict::Lost);
+        assert_eq!(st.on_launch().0, Verdict::Lost);
+        assert_eq!(st.on_alloc(), Verdict::Lost);
+        assert!(st.is_lost());
+    }
+
+    #[test]
+    fn rates_are_deterministic_per_seed() {
+        let fires = |seed: u64| -> Vec<bool> {
+            let mut st = FaultState::new(FaultPlan::new(seed).with_launch_fault_rate(0.3));
+            (0..64).map(|_| st.on_launch().0 == Verdict::Fault).collect()
+        };
+        assert_eq!(fires(1), fires(1), "same seed, same schedule");
+        assert_ne!(fires(1), fires(2), "different seed, different schedule");
+        assert!(fires(1).iter().any(|&f| f), "a 30% rate fires within 64 draws");
+        assert!(!fires(1).iter().all(|&f| f), "…but not on every draw");
+    }
+
+    #[test]
+    fn transfer_faults_carry_their_index() {
+        let plan = FaultPlan::new(0).drop_transfer_at(1).corrupt_transfer_at(2);
+        let mut st = FaultState::new(plan);
+        assert!(st.on_transfer().is_ok());
+        assert_eq!(st.on_transfer(), Err(LinkError::Dropped { transfer_index: 1 }));
+        assert_eq!(st.on_transfer(), Err(LinkError::Corrupted { transfer_index: 2 }));
+        assert!(st.on_transfer().is_ok());
+    }
+
+    #[test]
+    fn parse_round_trips_builder() {
+        let built = FaultPlan::new(9)
+            .fail_alloc_at(1)
+            .fail_launch_at(4)
+            .drop_transfer_at(2)
+            .corrupt_transfer_at(3)
+            .lose_device_at_launch(10)
+            .with_alloc_fault_rate(0.1)
+            .with_launch_fault_rate(0.2)
+            .with_transfer_drop_rate(0.3)
+            .with_transfer_corrupt_rate(0.4);
+        let parsed = FaultPlan::parse(
+            "seed=9,fail_alloc_at=1,fail_launch_at=4,drop_transfer_at=2,corrupt_transfer_at=3,\
+             lose_device_at_launch=10,alloc_rate=0.1,launch_rate=0.2,drop_rate=0.3,corrupt_rate=0.4",
+        )
+        .unwrap();
+        assert_eq!(built, parsed);
+    }
+
+    #[test]
+    fn parse_rejects_bad_specs() {
+        assert!(FaultPlan::parse("nonsense").is_err());
+        assert!(FaultPlan::parse("frobnicate=1").is_err());
+        assert!(FaultPlan::parse("seed=abc").is_err());
+        assert!(FaultPlan::parse("launch_rate=1.5").is_err());
+        assert_eq!(FaultPlan::parse("").unwrap(), FaultPlan::default());
+    }
+}

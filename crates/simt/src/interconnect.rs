@@ -1,5 +1,7 @@
 //! Device-to-device interconnect model for multi-GPU simulations.
 
+use crate::faults::{FaultPlan, FaultState, LinkError};
+
 /// Bandwidth/latency model of a GPU interconnect, with a transfer
 /// ledger. Used by the multi-GPU BC driver to charge the frontier
 /// allgather and dependency reduce-scatter each level.
@@ -11,24 +13,55 @@ pub struct Interconnect {
     pub latency: f64,
     transfers: u64,
     bytes: u64,
+    faults: FaultState,
 }
 
 impl Interconnect {
     /// PCIe 3.0 x16-class link (~12 GB/s, ~10 µs latency) — what the
     /// paper's Titan Xp generation of cards shipped with.
     pub fn pcie3() -> Self {
-        Interconnect { bandwidth: 12e9, latency: 10e-6, transfers: 0, bytes: 0 }
+        Interconnect {
+            bandwidth: 12e9,
+            latency: 10e-6,
+            transfers: 0,
+            bytes: 0,
+            faults: FaultState::default(),
+        }
     }
 
     /// NVLink-class link (~50 GB/s, ~5 µs latency).
     pub fn nvlink() -> Self {
-        Interconnect { bandwidth: 50e9, latency: 5e-6, transfers: 0, bytes: 0 }
+        Interconnect {
+            bandwidth: 50e9,
+            latency: 5e-6,
+            transfers: 0,
+            bytes: 0,
+            faults: FaultState::default(),
+        }
     }
 
-    /// Records one transfer of `bytes`.
+    /// Arms a fault plan on this link (drop/corrupt schedules and rates).
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = FaultState::new(plan);
+        self
+    }
+
+    /// Records one transfer of `bytes`. Bypasses fault injection — use
+    /// [`Interconnect::try_transfer`] for fault-aware drivers.
     pub fn transfer(&mut self, bytes: u64) {
         self.transfers += 1;
         self.bytes += bytes;
+    }
+
+    /// Fault-aware transfer: consults the armed [`FaultPlan`] first. A
+    /// dropped or corrupted transfer moves no bytes and is **not**
+    /// recorded in the ledger (the payload never usably arrived); the
+    /// fault counter advances, so retrying the same exchange draws the
+    /// next schedule slot.
+    pub fn try_transfer(&mut self, bytes: u64) -> Result<(), LinkError> {
+        self.faults.on_transfer()?;
+        self.transfer(bytes);
+        Ok(())
     }
 
     /// Number of transfers recorded.
@@ -60,6 +93,19 @@ mod tests {
         assert_eq!(link.bytes(), 24_000_000);
         let t = link.modelled_time_s();
         assert!((t - (2.0 * 10e-6 + 24e6 / 12e9)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn faulted_transfers_fail_then_recover() {
+        let mut link =
+            Interconnect::pcie3().with_faults(FaultPlan::new(3).drop_transfer_at(0).corrupt_transfer_at(2));
+        assert_eq!(link.try_transfer(100), Err(LinkError::Dropped { transfer_index: 0 }));
+        assert_eq!(link.bytes(), 0, "dropped transfer moves no bytes");
+        assert!(link.try_transfer(100).is_ok());
+        assert_eq!(link.try_transfer(100), Err(LinkError::Corrupted { transfer_index: 2 }));
+        assert!(link.try_transfer(100).is_ok());
+        assert_eq!(link.transfers(), 2);
+        assert_eq!(link.bytes(), 200);
     }
 
     #[test]

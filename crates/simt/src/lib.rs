@@ -49,6 +49,7 @@
 mod buffer;
 mod cache;
 mod device;
+mod faults;
 mod interconnect;
 mod metrics;
 #[cfg(test)]
@@ -58,6 +59,7 @@ mod warp;
 
 pub use buffer::{DeviceBuffer, DSlice, DSliceMut};
 pub use device::{Device, DeviceError, DeviceProps, LaunchConfig, MemoryReport};
+pub use faults::{FaultPlan, LinkError};
 pub use interconnect::Interconnect;
 pub use metrics::{KernelStats, MetricsRegistry};
 pub use timing::TimingModel;

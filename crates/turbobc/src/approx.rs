@@ -16,7 +16,7 @@
 //! simultaneously with probability at least `1 − δ`, where `b(v) =
 //! BC(v) / (n·(n−2))` is the normalised score.
 
-use crate::{BcOptions, BcResult, BcSolver};
+use crate::{BcOptions, BcResult, BcSolver, TurboBcError};
 use rand::{Rng, SeedableRng};
 use turbobc_graph::{Graph, VertexId};
 
@@ -87,29 +87,32 @@ impl ApproxBcResult {
 /// use turbobc_graph::gen;
 ///
 /// let g = gen::star(50);
-/// let r = bc_approx(&g, ApproxOptions { epsilon: 0.1, delta: 0.1, ..Default::default() });
+/// let r = bc_approx(&g, ApproxOptions { epsilon: 0.1, delta: 0.1, ..Default::default() }).unwrap();
 /// let hub = r.bc.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
 /// assert_eq!(hub, 0);
 /// ```
-pub fn bc_approx(graph: &Graph, options: ApproxOptions) -> ApproxBcResult {
+pub fn bc_approx(
+    graph: &Graph,
+    options: ApproxOptions,
+) -> Result<ApproxBcResult, TurboBcError> {
     let n = graph.n();
     let k = sample_size(n, options.epsilon, options.delta);
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(options.seed);
     let sources: Vec<VertexId> =
         (0..k).map(|_| rng.gen_range(0..n.max(1)) as VertexId).collect();
-    let solver = BcSolver::new(graph, options.bc);
-    let mut run = solver.bc_sources(&sources);
+    let solver = BcSolver::new(graph, options.bc)?;
+    let mut run = solver.bc_sources(&sources)?;
     let scale = if k > 0 { n as f64 / k as f64 } else { 0.0 };
     for b in &mut run.bc {
         *b *= scale;
     }
-    ApproxBcResult {
+    Ok(ApproxBcResult {
         bc: run.bc.clone(),
         samples: k,
         epsilon: options.epsilon,
         delta: options.delta,
         run,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -130,13 +133,14 @@ mod tests {
     #[test]
     fn estimator_is_deterministic_per_seed() {
         let g = gen::gnm(200, 800, false, 5);
-        let a = bc_approx(&g, ApproxOptions { epsilon: 0.2, delta: 0.2, ..Default::default() });
-        let b = bc_approx(&g, ApproxOptions { epsilon: 0.2, delta: 0.2, ..Default::default() });
+        let a = bc_approx(&g, ApproxOptions { epsilon: 0.2, delta: 0.2, ..Default::default() }).unwrap();
+        let b = bc_approx(&g, ApproxOptions { epsilon: 0.2, delta: 0.2, ..Default::default() }).unwrap();
         assert_eq!(a.bc, b.bc);
         let c = bc_approx(
             &g,
             ApproxOptions { epsilon: 0.2, delta: 0.2, seed: 99, ..Default::default() },
-        );
+        )
+        .unwrap();
         assert_ne!(a.bc, c.bc, "different seed, different sample");
     }
 
@@ -149,7 +153,7 @@ mod tests {
             let exact = brandes_all_sources(&g);
             let denom = n as f64 * (n as f64 - 2.0);
             let opts = ApproxOptions { epsilon: 0.05, delta: 0.05, seed, ..Default::default() };
-            let approx = bc_approx(&g, opts);
+            let approx = bc_approx(&g, opts).unwrap();
             assert!(approx.samples >= 100, "k = {}", approx.samples);
             let worst = approx
                 .bc
@@ -171,8 +175,8 @@ mod tests {
         // is not literally exact — but the top-vertex ordering is stable
         // on a star.
         let g = gen::star(40);
-        let approx =
-            bc_approx(&g, ApproxOptions { epsilon: 0.01, delta: 0.01, ..Default::default() });
+        let approx = bc_approx(&g, ApproxOptions { epsilon: 0.01, delta: 0.01, ..Default::default() })
+            .unwrap();
         let top = approx
             .bc
             .iter()
@@ -187,7 +191,7 @@ mod tests {
     #[test]
     fn normalised_scale() {
         let g = gen::star(30);
-        let approx = bc_approx(&g, ApproxOptions::default());
+        let approx = bc_approx(&g, ApproxOptions::default()).unwrap();
         let norm = approx.normalised(g.n());
         assert!(norm.iter().all(|&x| (0.0..=1.0 + 1e-9).contains(&x)), "{norm:?}");
     }

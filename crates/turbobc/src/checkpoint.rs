@@ -1,0 +1,227 @@
+//! Checkpoint/resume for long multi-source exact-BC runs.
+//!
+//! A checkpointed run processes its sources in fixed batches and, after
+//! each batch, durably snapshots the accumulated `bc` vector plus the
+//! number of completed sources. A killed run restarted with
+//! [`CheckpointConfig::resume`] skips the completed prefix and produces
+//! **bit-identical** output to an uninterrupted run, because batches are
+//! always accumulated in the same order with the same per-batch
+//! summation (see `BcSolver::bc_sources_checkpointed`).
+//!
+//! The file format is a small fixed-endian binary record:
+//!
+//! ```text
+//! magic    u64  "TBCKPT01" (little-endian bytes)
+//! fingerprint u64  FNV-1a over (n, m, symmetric, scale bits, sources)
+//! n        u64  vertex count
+//! done     u64  completed sources (a prefix of the source list)
+//! bc[n]    u64  f64 bit patterns (bit-exact round trip)
+//! ```
+//!
+//! Saves are atomic: the record is written to `<path>.tmp` and renamed
+//! over `path`, so a kill mid-write never leaves a torn checkpoint.
+
+use crate::error::CheckpointError;
+use std::fs;
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+/// File magic: `TBCKPT01` as a little-endian u64.
+const MAGIC: u64 = u64::from_le_bytes(*b"TBCKPT01");
+
+/// Configuration for a checkpointed multi-source run.
+#[derive(Debug, Clone)]
+pub struct CheckpointConfig {
+    /// Where the checkpoint file lives.
+    pub path: PathBuf,
+    /// Snapshot every `every` completed sources (also the batch size of
+    /// the deterministic accumulation). Clamped to at least 1.
+    pub every: usize,
+    /// Resume from `path` if it holds a matching checkpoint; without
+    /// this flag an existing file is overwritten.
+    pub resume: bool,
+    /// Test-harness kill switch: abort the run (with
+    /// [`CheckpointError::InjectedKill`]) after this many batches have
+    /// been durably checkpointed. `None` in production.
+    pub fail_after_batches: Option<u32>,
+}
+
+impl CheckpointConfig {
+    /// A fresh (non-resuming) checkpoint at `path`, snapshotting every
+    /// `every` sources.
+    pub fn new(path: impl Into<PathBuf>, every: usize) -> Self {
+        CheckpointConfig { path: path.into(), every, resume: false, fail_after_batches: None }
+    }
+
+    /// Enables resuming from an existing checkpoint file.
+    pub fn resume(mut self) -> Self {
+        self.resume = true;
+        self
+    }
+
+    /// Arms the injected kill switch (testing only).
+    pub fn fail_after_batches(mut self, batches: u32) -> Self {
+        self.fail_after_batches = Some(batches);
+        self
+    }
+}
+
+/// FNV-1a fingerprint binding a checkpoint to one (graph, source-set)
+/// run: vertex/arc counts, directedness, the BC scale factor's exact
+/// bits, and the full source list in order.
+pub fn fingerprint(n: usize, m: usize, symmetric: bool, scale: f64, sources: &[u32]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |x: u64| {
+        for b in x.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+    };
+    eat(n as u64);
+    eat(m as u64);
+    eat(symmetric as u64);
+    eat(scale.to_bits());
+    eat(sources.len() as u64);
+    for &s in sources {
+        eat(s as u64);
+    }
+    h
+}
+
+/// A loaded snapshot: how many sources of the run's source list are
+/// complete, and the `bc` accumulated over exactly that prefix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// Completed-source count (prefix of the source list).
+    pub done: usize,
+    /// Accumulated BC over the completed prefix.
+    pub bc: Vec<f64>,
+}
+
+/// Atomically writes a snapshot to `path` (`path.tmp` + rename).
+pub fn save(path: &Path, fp: u64, done: usize, bc: &[f64]) -> Result<(), CheckpointError> {
+    let tmp = path.with_extension("tmp");
+    let io = |e: std::io::Error| CheckpointError::Io(e.to_string());
+    {
+        let mut f = fs::File::create(&tmp).map_err(io)?;
+        let mut buf = Vec::with_capacity(32 + 8 * bc.len());
+        buf.extend_from_slice(&MAGIC.to_le_bytes());
+        buf.extend_from_slice(&fp.to_le_bytes());
+        buf.extend_from_slice(&(bc.len() as u64).to_le_bytes());
+        buf.extend_from_slice(&(done as u64).to_le_bytes());
+        for &x in bc {
+            buf.extend_from_slice(&x.to_bits().to_le_bytes());
+        }
+        f.write_all(&buf).map_err(io)?;
+        f.sync_all().map_err(io)?;
+    }
+    fs::rename(&tmp, path).map_err(io)
+}
+
+/// Loads and validates a snapshot. `Ok(None)` when no file exists yet
+/// (a fresh resume); errors on corruption or a fingerprint/size
+/// mismatch with the run being resumed.
+pub fn load(path: &Path, fp: u64, n: usize) -> Result<Option<Snapshot>, CheckpointError> {
+    let mut f = match fs::File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(CheckpointError::Io(e.to_string())),
+    };
+    let mut buf = Vec::new();
+    f.read_to_end(&mut buf).map_err(|e| CheckpointError::Io(e.to_string()))?;
+    if buf.len() < 32 {
+        return Err(CheckpointError::Corrupt(format!("{} bytes, header needs 32", buf.len())));
+    }
+    let word = |i: usize| u64::from_le_bytes(buf[8 * i..8 * i + 8].try_into().unwrap());
+    if word(0) != MAGIC {
+        return Err(CheckpointError::Corrupt("bad magic".into()));
+    }
+    let found = word(1);
+    if found != fp {
+        return Err(CheckpointError::Mismatch { found, expected: fp });
+    }
+    let len = word(2) as usize;
+    let done = word(3) as usize;
+    if len != n {
+        return Err(CheckpointError::Corrupt(format!("bc length {len}, graph has {n} vertices")));
+    }
+    if buf.len() != 32 + 8 * len {
+        return Err(CheckpointError::Corrupt(format!(
+            "{} bytes, expected {}",
+            buf.len(),
+            32 + 8 * len
+        )));
+    }
+    let bc = (0..len).map(|i| f64::from_bits(word(4 + i))).collect();
+    Ok(Some(Snapshot { done, bc }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("turbobc_ckpt_tests");
+        fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn round_trips_bit_exact() {
+        let path = temp("rt.ckpt");
+        let bc = vec![0.0, 1.5, f64::MIN_POSITIVE, 1.0 / 3.0, -0.0];
+        let fp = fingerprint(5, 8, true, 0.5, &[0, 1, 2]);
+        save(&path, fp, 3, &bc).unwrap();
+        let snap = load(&path, fp, 5).unwrap().unwrap();
+        assert_eq!(snap.done, 3);
+        assert_eq!(snap.bc.len(), bc.len());
+        for (a, b) in snap.bc.iter().zip(&bc) {
+            assert_eq!(a.to_bits(), b.to_bits(), "bit-exact round trip");
+        }
+    }
+
+    #[test]
+    fn missing_file_is_a_fresh_start() {
+        let path = temp("nope.ckpt");
+        let _ = fs::remove_file(&path);
+        assert_eq!(load(&path, 1, 4).unwrap(), None);
+    }
+
+    #[test]
+    fn fingerprint_mismatch_is_rejected() {
+        let path = temp("fp.ckpt");
+        save(&path, 111, 1, &[0.0; 4]).unwrap();
+        match load(&path, 222, 4) {
+            Err(CheckpointError::Mismatch { found: 111, expected: 222 }) => {}
+            other => panic!("want Mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_and_garbage_files_are_corrupt_not_panics() {
+        let path = temp("bad.ckpt");
+        fs::write(&path, b"short").unwrap();
+        assert!(matches!(load(&path, 0, 4), Err(CheckpointError::Corrupt(_))));
+        fs::write(&path, [0u8; 64]).unwrap();
+        assert!(matches!(load(&path, 0, 4), Err(CheckpointError::Corrupt(_))));
+        // Right magic + fingerprint but a torn body.
+        let fp = 7u64;
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC.to_le_bytes());
+        buf.extend_from_slice(&fp.to_le_bytes());
+        buf.extend_from_slice(&4u64.to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        buf.extend_from_slice(&[1, 2, 3]);
+        fs::write(&path, &buf).unwrap();
+        assert!(matches!(load(&path, fp, 4), Err(CheckpointError::Corrupt(_))));
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_runs() {
+        let a = fingerprint(10, 20, true, 0.5, &[0, 1]);
+        assert_ne!(a, fingerprint(10, 20, true, 0.5, &[1, 0]), "source order matters");
+        assert_ne!(a, fingerprint(10, 20, false, 0.5, &[0, 1]));
+        assert_ne!(a, fingerprint(11, 20, true, 0.5, &[0, 1]));
+        assert_ne!(a, fingerprint(10, 20, true, 1.0, &[0, 1]));
+    }
+}

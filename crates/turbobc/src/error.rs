@@ -1,0 +1,168 @@
+//! The unified error type for every fallible TurboBC entry point.
+//!
+//! Device faults ([`DeviceError`]), interconnect faults ([`LinkError`]),
+//! input-validation failures and checkpoint problems all surface as one
+//! [`TurboBcError`], so callers match a single enum instead of chasing
+//! panics through the engine layers.
+
+use std::fmt;
+use turbobc_simt::{DeviceError, LinkError};
+
+/// Everything that can go wrong in a BC run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TurboBcError {
+    /// A simulated device failed (OOM, injected kernel fault, device
+    /// lost) and the recovery policy could not absorb it.
+    Device(DeviceError),
+    /// An interconnect exchange failed (dropped or corrupted transfer)
+    /// beyond the retry budget.
+    Link(LinkError),
+    /// The graph has no vertices; BC over nothing is a caller bug, not
+    /// an all-zero answer.
+    EmptyGraph,
+    /// A requested source vertex does not exist.
+    InvalidSource {
+        /// The offending source id.
+        source: u32,
+        /// Vertex count of the graph.
+        n: usize,
+    },
+    /// The resolved kernel does not match the materialised storage
+    /// format (an internal invariant; surfaced instead of panicking).
+    StorageMismatch {
+        /// Display name of the kernel that was requested.
+        kernel: &'static str,
+    },
+    /// The operation only supports undirected graphs.
+    DirectedUnsupported {
+        /// Which operation rejected the graph.
+        what: &'static str,
+    },
+    /// A multi-GPU run was asked for zero devices.
+    NoDevices,
+    /// Every device in a multi-GPU run was lost; there is nowhere left
+    /// to requeue the failed partitions.
+    AllDevicesLost,
+    /// A checkpoint file could not be written, read, or trusted.
+    Checkpoint(CheckpointError),
+}
+
+/// Why a checkpoint save or resume failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CheckpointError {
+    /// Filesystem failure (message carries the underlying `io::Error`).
+    Io(String),
+    /// The file exists but is not a valid TurboBC checkpoint.
+    Corrupt(String),
+    /// The checkpoint belongs to a different graph/source-set (the
+    /// fingerprint over `n`, `m`, directedness, scale and the source
+    /// list does not match).
+    Mismatch {
+        /// Fingerprint recorded in the file.
+        found: u64,
+        /// Fingerprint of the run being resumed.
+        expected: u64,
+    },
+    /// The injected `fail_after_batches` kill-switch fired (test
+    /// harness for the kill/resume scenario).
+    InjectedKill {
+        /// How many batches were durably checkpointed before the kill.
+        batches_done: u32,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O failed: {e}"),
+            CheckpointError::Corrupt(why) => write!(f, "checkpoint file is corrupt: {why}"),
+            CheckpointError::Mismatch { found, expected } => write!(
+                f,
+                "checkpoint belongs to a different run (fingerprint {found:#018x}, \
+                 expected {expected:#018x})"
+            ),
+            CheckpointError::InjectedKill { batches_done } => {
+                write!(f, "injected kill after {batches_done} checkpointed batch(es)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl fmt::Display for TurboBcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TurboBcError::Device(e) => write!(f, "device error: {e}"),
+            TurboBcError::Link(e) => write!(f, "interconnect error: {e}"),
+            TurboBcError::EmptyGraph => write!(f, "graph has no vertices"),
+            TurboBcError::InvalidSource { source, n } => {
+                write!(f, "source {source} out of range for a graph with {n} vertices")
+            }
+            TurboBcError::StorageMismatch { kernel } => {
+                write!(f, "storage format does not match kernel {kernel}")
+            }
+            TurboBcError::DirectedUnsupported { what } => {
+                write!(f, "{what} supports undirected graphs only")
+            }
+            TurboBcError::NoDevices => write!(f, "multi-GPU run needs at least one device"),
+            TurboBcError::AllDevicesLost => {
+                write!(f, "all devices lost; no survivors to requeue partitions onto")
+            }
+            TurboBcError::Checkpoint(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for TurboBcError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TurboBcError::Device(e) => Some(e),
+            TurboBcError::Checkpoint(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DeviceError> for TurboBcError {
+    fn from(e: DeviceError) -> Self {
+        TurboBcError::Device(e)
+    }
+}
+
+impl From<LinkError> for TurboBcError {
+    fn from(e: LinkError) -> Self {
+        TurboBcError::Link(e)
+    }
+}
+
+impl From<CheckpointError> for TurboBcError {
+    fn from(e: CheckpointError) -> Self {
+        TurboBcError::Checkpoint(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = TurboBcError::InvalidSource { source: 9, n: 4 };
+        assert_eq!(e.to_string(), "source 9 out of range for a graph with 4 vertices");
+        let e: TurboBcError = DeviceError::DeviceLost.into();
+        assert!(e.to_string().starts_with("device error:"));
+        let e: TurboBcError = LinkError::Dropped { transfer_index: 3 }.into();
+        assert!(e.to_string().contains("transfer #3"), "{e}");
+        let e = TurboBcError::Checkpoint(CheckpointError::Mismatch { found: 1, expected: 2 });
+        assert!(e.to_string().contains("different run"));
+    }
+
+    #[test]
+    fn source_chains_to_device_error() {
+        use std::error::Error as _;
+        let e = TurboBcError::Device(DeviceError::DeviceLost);
+        assert!(e.source().is_some());
+        assert!(TurboBcError::EmptyGraph.source().is_none());
+    }
+}

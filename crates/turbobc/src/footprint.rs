@@ -92,7 +92,7 @@ mod tests {
     fn plan_peak_matches_real_run_peak() {
         use crate::{BcOptions, BcSolver};
         let g = turbobc_graph::gen::gnm(500, 2000, false, 9);
-        let solver = BcSolver::new(&g, BcOptions::default());
+        let solver = BcSolver::new(&g, BcOptions::default()).unwrap();
         let dev = Device::titan_xp();
         solver.run_simt(&dev, &[0]).unwrap();
         let real_peak = dev.memory().peak;

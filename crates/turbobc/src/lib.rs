@@ -43,18 +43,30 @@
 //!
 //! // An undirected path 0 – 1 – 2 – 3 – 4.
 //! let g = Graph::from_edges(5, false, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
-//! let solver = BcSolver::new(&g, BcOptions::default());
-//! let result = solver.bc_exact();
+//! let solver = BcSolver::new(&g, BcOptions::default())?;
+//! let result = solver.bc_exact()?;
 //! assert_eq!(result.bc, vec![0.0, 3.0, 4.0, 3.0, 0.0]);
+//! # Ok::<(), turbobc::TurboBcError>(())
 //! ```
+//!
+//! # Robustness
+//!
+//! Every public entry point returns [`Result<_, TurboBcError>`]; the
+//! [`RecoveryPolicy`] in [`BcOptions`] controls how SIMT and multi-GPU
+//! runs absorb device faults (transient-kernel retry, OOM degradation
+//! veCSC → scCSC → scCOOC → CPU, lost-device requeue), and
+//! [`CheckpointConfig`] adds checkpoint/resume to long multi-source
+//! runs. What a run absorbed is logged in [`RunStats::recovery`].
 
 #![forbid(unsafe_code)]
 #![allow(clippy::needless_range_loop)]
 #![warn(missing_docs)]
 
 pub mod approx;
+pub mod checkpoint;
 pub mod closeness;
 pub mod edge;
+mod error;
 pub mod footprint;
 pub mod weighted;
 mod options;
@@ -71,8 +83,10 @@ pub mod turbobfs;
 pub use simt_engine::vecsc_reduction_ablation;
 
 pub use approx::{bc_approx, ApproxBcResult, ApproxOptions};
+pub use checkpoint::CheckpointConfig;
 pub use edge::{edge_bc, edge_bc_sources, EdgeBcResult};
-pub use options::{BcOptions, Engine, Kernel};
-pub use result::{BcResult, RunStats, SimtReport};
+pub use error::{CheckpointError, TurboBcError};
+pub use options::{degrade, BcOptions, Engine, Kernel, RecoveryPolicy};
+pub use result::{BcResult, RecoveryLog, RunStats, SimtReport};
 pub use solver::BcSolver;
 pub use turbobfs::{BfsRun, TurboBfs};

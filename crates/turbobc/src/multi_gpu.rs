@@ -24,18 +24,40 @@
 //! bulk-synchronous rounds); exact per-level interleaving is not
 //! modelled. Results are bit-identical to the single-device engine —
 //! asserted in the tests.
+//!
+//! # Fault tolerance
+//!
+//! [`bc_multi_gpu_faulty`] accepts per-device [`FaultPlan`]s (armed on
+//! each device at creation; arm the link with
+//! [`Interconnect::with_faults`] before calling) and a
+//! [`RecoveryPolicy`]:
+//!
+//! * transient kernel faults retry in place with bounded backoff;
+//! * dropped/corrupted frontier exchanges retry — the payload is only
+//!   applied after a successful transfer, so a dropped exchange never
+//!   leaks half-updated replicas;
+//! * a **lost device** aborts the in-flight source, its column
+//!   partition is requeued onto the survivors (repartitioning the CSC
+//!   over the remaining devices), the accumulated `bc` is restored from
+//!   the host mirror of the last completed source, and the in-flight
+//!   source reruns — output stays bit-identical because the partitioned
+//!   computation is independent of the partition layout.
 
-use crate::simt_engine::kernels;
+use crate::error::TurboBcError;
+use crate::options::RecoveryPolicy;
+use crate::result::RecoveryLog;
+use crate::simt_engine::{kernels, retry_kernel};
 use turbobc_graph::{Graph, VertexId};
 use turbobc_simt::{
-    Device, DeviceBuffer, DeviceError, DeviceProps, Interconnect, MemoryReport, MetricsRegistry,
+    Device, DeviceBuffer, DeviceError, DeviceProps, FaultPlan, Interconnect, LinkError,
+    MemoryReport, MetricsRegistry,
 };
 use turbobc_sparse::Csc;
 
 /// Report from a multi-GPU run.
 #[derive(Debug, Clone)]
 pub struct MultiGpuReport {
-    /// Devices used.
+    /// Devices that finished the run (initial count minus lost ones).
     pub devices: usize,
     /// Per-device kernel metrics.
     pub per_device: Vec<MetricsRegistry>,
@@ -51,6 +73,8 @@ pub struct MultiGpuReport {
     pub modelled_transfer_s: f64,
     /// Modelled total (`compute + transfer`).
     pub modelled_time_s: f64,
+    /// What the recovery policy absorbed (retries, requeues).
+    pub recovery: RecoveryLog,
 }
 
 /// One device's partition state.
@@ -95,26 +119,13 @@ fn partition_columns(csc: &Csc, p: usize) -> Vec<(usize, usize)> {
     cuts
 }
 
-/// Runs BC for `sources` across `p` simulated devices (scCSC mapping).
-/// Fails with OOM if any device's share does not fit.
-pub fn bc_multi_gpu(
-    graph: &Graph,
-    sources: &[VertexId],
-    p: usize,
-    props: DeviceProps,
-    mut link: Interconnect,
-) -> Result<(Vec<f64>, MultiGpuReport), DeviceError> {
-    assert!(p >= 1, "need at least one device");
-    let n = graph.n();
-    let csc = graph.to_csc();
-    let symmetric = !graph.directed();
-    let scale = graph.bc_scale();
-    let ranges = partition_columns(&csc, p);
-
-    // Build per-device partitions.
+/// Distributes the CSC over `devices`, allocating each partition's
+/// structure and state. Consumes the devices (they move into the parts).
+fn build_parts(csc: &Csc, devices: Vec<Device>, n: usize) -> Result<Vec<Part>, TurboBcError> {
+    let p = devices.len();
+    let ranges = partition_columns(csc, p);
     let mut parts: Vec<Part> = Vec::with_capacity(p);
-    for &(lo, hi) in &ranges {
-        let device = Device::new(props);
+    for (device, &(lo, hi)) in devices.into_iter().zip(&ranges) {
         let local_n = hi - lo;
         let base = csc.col_ptr()[lo];
         let cp_host: Vec<u32> =
@@ -131,31 +142,80 @@ pub fn bc_multi_gpu(
         let f_part = device.alloc::<i64>(local_n)?;
         parts.push(Part { device, lo, hi, cp, rows, sigma, depths, bc, count, f_rep, f_t, f_part });
     }
+    Ok(parts)
+}
 
-    for &source in sources {
-        if n == 0 {
-            break;
-        }
-        // Init: clear partitions, seed the source on its owner + the
-        // replicated frontier everywhere.
-        for part in parts.iter_mut() {
-            kernels::clear(&part.device, "clear_sigma", &mut part.sigma.dslice_mut());
-            kernels::clear(&part.device, "clear_depths", &mut part.depths.dslice_mut());
-            kernels::clear(&part.device, "clear_frontier", &mut part.f_rep.dslice_mut());
-            kernels::clear(&part.device, "clear_fpart", &mut part.f_part.dslice_mut());
-            part.f_rep.host_mut()[source as usize] = 1;
-            if (part.lo..part.hi).contains(&(source as usize)) {
-                let local = source as usize - part.lo;
-                part.sigma.host_mut()[local] = 1;
-                part.depths.host_mut()[local] = 1;
+/// Retries a frontier exchange on drop/corrupt faults. The caller must
+/// only apply the payload after this returns `Ok` — a failed transfer
+/// moved no usable data.
+pub(crate) fn transfer_with_retry(
+    link: &mut Interconnect,
+    bytes: u64,
+    policy: &RecoveryPolicy,
+    log: &mut RecoveryLog,
+) -> Result<(), LinkError> {
+    let mut attempt = 0u32;
+    loop {
+        match link.try_transfer(bytes) {
+            Ok(()) => return Ok(()),
+            Err(_) if attempt < policy.max_link_retries => {
+                log.link_retries += 1;
+                let delay = policy.backoff(attempt);
+                if !delay.is_zero() {
+                    std::thread::sleep(delay);
+                }
+                attempt += 1;
             }
+            Err(e) => return Err(e),
         }
+    }
+}
 
-        let mut d = 1u32;
-        loop {
-            let mut total_count = 0i64;
-            for part in parts.iter_mut() {
-                // Forward masked SpMV over the local columns.
+/// Runs one source to completion across the current partition layout.
+/// On any error the caller owns cleanup; in particular a
+/// [`DeviceError::DeviceLost`] means partial per-source state is stale
+/// and the source must be rerun after requeueing.
+#[allow(clippy::too_many_arguments)]
+fn run_source(
+    parts: &mut [Part],
+    link: &mut Interconnect,
+    n: usize,
+    symmetric: bool,
+    scale: f64,
+    source: VertexId,
+    policy: &RecoveryPolicy,
+    log: &mut RecoveryLog,
+) -> Result<(), TurboBcError> {
+    let p = parts.len();
+    // Init: clear partitions, seed the source on its owner + the
+    // replicated frontier everywhere.
+    for part in parts.iter_mut() {
+        retry_kernel(policy, &mut log.kernel_retries, || {
+            kernels::clear(&part.device, "clear_sigma", &mut part.sigma.dslice_mut())
+        })?;
+        retry_kernel(policy, &mut log.kernel_retries, || {
+            kernels::clear(&part.device, "clear_depths", &mut part.depths.dslice_mut())
+        })?;
+        retry_kernel(policy, &mut log.kernel_retries, || {
+            kernels::clear(&part.device, "clear_frontier", &mut part.f_rep.dslice_mut())
+        })?;
+        retry_kernel(policy, &mut log.kernel_retries, || {
+            kernels::clear(&part.device, "clear_fpart", &mut part.f_part.dslice_mut())
+        })?;
+        part.f_rep.host_mut()[source as usize] = 1;
+        if (part.lo..part.hi).contains(&(source as usize)) {
+            let local = source as usize - part.lo;
+            part.sigma.host_mut()[local] = 1;
+            part.depths.host_mut()[local] = 1;
+        }
+    }
+
+    let mut d = 1u32;
+    loop {
+        let mut total_count = 0i64;
+        for part in parts.iter_mut() {
+            // Forward masked SpMV over the local columns.
+            retry_kernel(policy, &mut log.kernel_retries, || {
                 kernels::forward_sccsc(
                     &part.device,
                     &part.cp.dslice(),
@@ -163,8 +223,10 @@ pub fn bc_multi_gpu(
                     &part.sigma.dslice(),
                     &part.f_rep.dslice(),
                     &mut part.f_t.dslice_mut(),
-                );
-                part.count.fill(0);
+                )
+            })?;
+            part.count.fill(0);
+            retry_kernel(policy, &mut log.kernel_retries, || {
                 kernels::bfs_update(
                     &part.device,
                     &mut part.f_t.dslice_mut(),
@@ -173,53 +235,57 @@ pub fn bc_multi_gpu(
                     &mut part.f_part.dslice_mut(),
                     d + 1,
                     &mut part.count.dslice_mut(),
-                );
-                total_count += part.count.host()[0];
-            }
-            // Allgather the frontier partitions into every replica.
-            let mut assembled = vec![0i64; n];
-            for part in parts.iter() {
-                assembled[part.lo..part.hi].copy_from_slice(part.f_part.host());
-            }
-            for part in parts.iter_mut() {
-                part.f_rep.host_mut().copy_from_slice(&assembled);
-                // Each device receives every other partition.
-                let recv = (n - (part.hi - part.lo)) as u64 * 8;
-                if p > 1 {
-                    link.transfer(recv);
-                }
-            }
-            if total_count == 0 {
-                break;
-            }
-            d += 1;
+                )
+            })?;
+            total_count += part.count.host()[0];
         }
-        let height = d;
-
-        // ---- Backward stage. ----
-        // Replicated δ_u (global); partitioned δ, δ_ut, reusing the
-        // frontier buffers' devices for allocation accounting.
-        let mut delta_parts: Vec<DeviceBuffer<f64>> = Vec::with_capacity(p);
-        let mut delta_u_reps: Vec<DeviceBuffer<f64>> = Vec::with_capacity(p);
-        let mut delta_ut_parts: Vec<DeviceBuffer<f64>> = Vec::with_capacity(p);
+        // Allgather the frontier partitions into every replica. The
+        // assembled payload lands in a replica only after its transfer
+        // succeeds.
+        let mut assembled = vec![0i64; n];
         for part in parts.iter() {
-            let local_n = part.hi - part.lo;
-            delta_parts.push(part.device.alloc::<f64>(local_n)?);
-            if symmetric {
-                // Only the gather path reads δ_u at global rows.
-                delta_u_reps.push(part.device.alloc::<f64>(n)?);
-            }
-            // Directed graphs need a full-length partial for the scatter.
-            let ut_len = if symmetric { local_n } else { n };
-            delta_ut_parts.push(part.device.alloc::<f64>(ut_len)?);
+            assembled[part.lo..part.hi].copy_from_slice(part.f_part.host());
         }
-        let mut depth = height;
-        while depth > 1 {
-            // Seed δ_u on each partition.
-            let mut local_dus: Vec<DeviceBuffer<f64>> = Vec::with_capacity(p);
-            for (i, part) in parts.iter_mut().enumerate() {
-                let local_n = part.hi - part.lo;
-                let mut local_du = part.device.alloc::<f64>(local_n)?;
+        for part in parts.iter_mut() {
+            // Each device receives every other partition.
+            let recv = (n - (part.hi - part.lo)) as u64 * 8;
+            if p > 1 {
+                transfer_with_retry(link, recv, policy, log)?;
+            }
+            part.f_rep.host_mut().copy_from_slice(&assembled);
+        }
+        if total_count == 0 {
+            break;
+        }
+        d += 1;
+    }
+    let height = d;
+
+    // ---- Backward stage. ----
+    // Replicated δ_u (global); partitioned δ, δ_ut, reusing the
+    // frontier buffers' devices for allocation accounting.
+    let mut delta_parts: Vec<DeviceBuffer<f64>> = Vec::with_capacity(p);
+    let mut delta_u_reps: Vec<DeviceBuffer<f64>> = Vec::with_capacity(p);
+    let mut delta_ut_parts: Vec<DeviceBuffer<f64>> = Vec::with_capacity(p);
+    for part in parts.iter() {
+        let local_n = part.hi - part.lo;
+        delta_parts.push(part.device.alloc::<f64>(local_n)?);
+        if symmetric {
+            // Only the gather path reads δ_u at global rows.
+            delta_u_reps.push(part.device.alloc::<f64>(n)?);
+        }
+        // Directed graphs need a full-length partial for the scatter.
+        let ut_len = if symmetric { local_n } else { n };
+        delta_ut_parts.push(part.device.alloc::<f64>(ut_len)?);
+    }
+    let mut depth = height;
+    while depth > 1 {
+        // Seed δ_u on each partition.
+        let mut local_dus: Vec<DeviceBuffer<f64>> = Vec::with_capacity(p);
+        for (i, part) in parts.iter_mut().enumerate() {
+            let local_n = part.hi - part.lo;
+            let mut local_du = part.device.alloc::<f64>(local_n)?;
+            retry_kernel(policy, &mut log.kernel_retries, || {
                 kernels::bwd_seed(
                     &part.device,
                     &part.depths.dslice(),
@@ -227,75 +293,91 @@ pub fn bc_multi_gpu(
                     &delta_parts[i].dslice(),
                     depth,
                     &mut local_du.dslice_mut(),
-                );
-                local_dus.push(local_du);
+                )
+            })?;
+            local_dus.push(local_du);
+        }
+        // Backward SpMV per device.
+        if symmetric {
+            // The gather reads δ_u at *global* row ids: allgather the
+            // partitions into every replica first.
+            let mut assembled = vec![0.0f64; n];
+            for (part, du) in parts.iter().zip(&local_dus) {
+                assembled[part.lo..part.hi].copy_from_slice(du.host());
             }
-            // Backward SpMV per device.
-            if symmetric {
-                // The gather reads δ_u at *global* row ids: allgather the
-                // partitions into every replica first.
-                let mut assembled = vec![0.0f64; n];
-                for (part, du) in parts.iter().zip(&local_dus) {
-                    assembled[part.lo..part.hi].copy_from_slice(du.host());
+            for (i, part) in parts.iter().enumerate() {
+                if p > 1 {
+                    transfer_with_retry(
+                        link,
+                        (n - (part.hi - part.lo)) as u64 * 8,
+                        policy,
+                        log,
+                    )?;
                 }
-                for (i, part) in parts.iter().enumerate() {
-                    delta_u_reps[i].host_mut().copy_from_slice(&assembled);
-                    if p > 1 {
-                        link.transfer((n - (part.hi - part.lo)) as u64 * 8);
-                    }
-                }
-                for (i, part) in parts.iter().enumerate() {
+                delta_u_reps[i].host_mut().copy_from_slice(&assembled);
+            }
+            for (i, part) in parts.iter().enumerate() {
+                retry_kernel(policy, &mut log.kernel_retries, || {
                     kernels::backward_sccsc_gather(
                         &part.device,
                         &part.cp.dslice(),
                         &part.rows.dslice(),
                         &delta_u_reps[i].dslice(),
                         &mut delta_ut_parts[i].dslice_mut(),
-                    );
-                }
-            } else {
-                // The scatter reads δ_u per *owned* column — no allgather
-                // — and writes global rows into a full-length partial;
-                // a reduce-scatter folds the partials onto the owners.
-                for (i, part) in parts.iter().enumerate() {
-                    delta_ut_parts[i].fill(0.0);
+                    )
+                })?;
+            }
+        } else {
+            // The scatter reads δ_u per *owned* column — no allgather
+            // — and writes global rows into a full-length partial;
+            // a reduce-scatter folds the partials onto the owners.
+            for (i, part) in parts.iter().enumerate() {
+                delta_ut_parts[i].fill(0.0);
+                retry_kernel(policy, &mut log.kernel_retries, || {
                     kernels::backward_sccsc_scatter(
                         &part.device,
                         &part.cp.dslice(),
                         &part.rows.dslice(),
                         &local_dus[i].dslice(),
                         &mut delta_ut_parts[i].dslice_mut(),
-                    );
-                }
-                let mut reduced = vec![0.0f64; n];
-                for dut in delta_ut_parts.iter() {
-                    for (acc, &x) in reduced.iter_mut().zip(dut.host()) {
-                        *acc += x;
-                    }
-                }
-                for (i, part) in parts.iter().enumerate() {
-                    let host = delta_ut_parts[i].host_mut();
-                    host[..n].copy_from_slice(&reduced);
-                    // Each device sends its partials of the other
-                    // partitions.
-                    if p > 1 {
-                        link.transfer((n - (part.hi - part.lo)) as u64 * 8);
-                    }
+                    )
+                })?;
+            }
+            let mut reduced = vec![0.0f64; n];
+            for dut in delta_ut_parts.iter() {
+                for (acc, &x) in reduced.iter_mut().zip(dut.host()) {
+                    *acc += x;
                 }
             }
-            // Accumulate δ on the owned columns.
-            for (i, part) in parts.iter_mut().enumerate() {
-                // For the directed path δ_ut is full-length: view the
-                // owned slice.
-                let local_n = part.hi - part.lo;
-                let mut owned = part.device.alloc::<f64>(local_n)?;
-                if symmetric {
-                    owned.host_mut().copy_from_slice(delta_ut_parts[i].host());
-                } else {
-                    owned
-                        .host_mut()
-                        .copy_from_slice(&delta_ut_parts[i].host()[part.lo..part.hi]);
+            for (i, part) in parts.iter().enumerate() {
+                // Each device sends its partials of the other
+                // partitions.
+                if p > 1 {
+                    transfer_with_retry(
+                        link,
+                        (n - (part.hi - part.lo)) as u64 * 8,
+                        policy,
+                        log,
+                    )?;
                 }
+                let host = delta_ut_parts[i].host_mut();
+                host[..n].copy_from_slice(&reduced);
+            }
+        }
+        // Accumulate δ on the owned columns.
+        for (i, part) in parts.iter_mut().enumerate() {
+            // For the directed path δ_ut is full-length: view the
+            // owned slice.
+            let local_n = part.hi - part.lo;
+            let mut owned = part.device.alloc::<f64>(local_n)?;
+            if symmetric {
+                owned.host_mut().copy_from_slice(delta_ut_parts[i].host());
+            } else {
+                owned
+                    .host_mut()
+                    .copy_from_slice(&delta_ut_parts[i].host()[part.lo..part.hi]);
+            }
+            retry_kernel(policy, &mut log.kernel_retries, || {
                 kernels::bwd_accum(
                     &part.device,
                     &part.depths.dslice(),
@@ -303,26 +385,119 @@ pub fn bc_multi_gpu(
                     &mut owned.dslice_mut(),
                     depth,
                     &mut delta_parts[i].dslice_mut(),
-                );
-            }
-            depth -= 1;
+                )
+            })?;
         }
-        // BC accumulation on owned columns.
-        for (i, part) in parts.iter_mut().enumerate() {
-            let local_source = if (part.lo..part.hi).contains(&(source as usize)) {
-                source as usize - part.lo
-            } else {
-                usize::MAX
-            };
-            let n_local = part.hi - part.lo;
-            let src = if local_source == usize::MAX { n_local } else { local_source };
+        depth -= 1;
+    }
+    // BC accumulation on owned columns.
+    for (i, part) in parts.iter_mut().enumerate() {
+        let local_source = if (part.lo..part.hi).contains(&(source as usize)) {
+            source as usize - part.lo
+        } else {
+            usize::MAX
+        };
+        let n_local = part.hi - part.lo;
+        let src = if local_source == usize::MAX { n_local } else { local_source };
+        retry_kernel(policy, &mut log.kernel_retries, || {
             kernels::bc_accum(
                 &part.device,
                 &delta_parts[i].dslice(),
                 src,
                 scale,
                 &mut part.bc.dslice_mut(),
-            );
+            )
+        })?;
+    }
+    Ok(())
+}
+
+/// Runs BC for `sources` across `p` simulated devices (scCSC mapping).
+/// Fails with OOM if any device's share does not fit. Fault-free entry
+/// point; see [`bc_multi_gpu_faulty`] for injection and recovery knobs.
+pub fn bc_multi_gpu(
+    graph: &Graph,
+    sources: &[VertexId],
+    p: usize,
+    props: DeviceProps,
+    link: Interconnect,
+) -> Result<(Vec<f64>, MultiGpuReport), TurboBcError> {
+    bc_multi_gpu_faulty(graph, sources, p, props, link, &[], &RecoveryPolicy::default())
+}
+
+/// [`bc_multi_gpu`] with fault injection and recovery.
+///
+/// `device_plans[i]` is armed on device `i` (missing entries mean no
+/// faults); arm link faults on the `link` with
+/// [`Interconnect::with_faults`] before calling. The policy bounds the
+/// kernel/link retry budgets; a lost device triggers a requeue of its
+/// partition onto the survivors ([`TurboBcError::AllDevicesLost`] when
+/// none remain). The recovery log lands in the report.
+pub fn bc_multi_gpu_faulty(
+    graph: &Graph,
+    sources: &[VertexId],
+    p: usize,
+    props: DeviceProps,
+    mut link: Interconnect,
+    device_plans: &[FaultPlan],
+    policy: &RecoveryPolicy,
+) -> Result<(Vec<f64>, MultiGpuReport), TurboBcError> {
+    if p == 0 {
+        return Err(TurboBcError::NoDevices);
+    }
+    for &s in sources {
+        if s as usize >= graph.n() {
+            return Err(TurboBcError::InvalidSource { source: s, n: graph.n() });
+        }
+    }
+    let n = graph.n();
+    let csc = graph.to_csc();
+    let symmetric = !graph.directed();
+    let scale = graph.bc_scale();
+
+    let mut devices = Vec::with_capacity(p);
+    for i in 0..p {
+        let device = Device::new(props);
+        if let Some(plan) = device_plans.get(i) {
+            device.install_faults(plan.clone());
+        }
+        devices.push(device);
+    }
+    let mut parts = build_parts(&csc, devices, n)?;
+    let mut log = RecoveryLog::default();
+
+    // Host mirror of the accumulated bc as of the last *completed*
+    // source — the restore point for device-loss requeues.
+    let mut bc_mirror = vec![0.0f64; n];
+    let mut idx = 0usize;
+    while idx < sources.len() && n > 0 {
+        let source = sources[idx];
+        match run_source(&mut parts, &mut link, n, symmetric, scale, source, policy, &mut log) {
+            Ok(()) => {
+                for part in parts.iter() {
+                    bc_mirror[part.lo..part.hi].copy_from_slice(part.bc.host());
+                }
+                idx += 1;
+            }
+            Err(TurboBcError::Device(DeviceError::DeviceLost)) => {
+                // Requeue: drop lost devices, repartition the columns
+                // over the survivors, restore bc from the mirror and
+                // rerun the in-flight source.
+                let survivors: Vec<Device> = parts
+                    .drain(..)
+                    .filter(|part| !part.device.is_lost())
+                    .map(|part| part.device)
+                    .collect();
+                if survivors.is_empty() {
+                    return Err(TurboBcError::AllDevicesLost);
+                }
+                log.device_requeues += 1;
+                parts = build_parts(&csc, survivors, n)?;
+                for part in parts.iter_mut() {
+                    part.bc.host_mut().copy_from_slice(&bc_mirror[part.lo..part.hi]);
+                }
+            }
+            Err(e) => return Err(e),
         }
     }
 
@@ -343,7 +518,7 @@ pub fn bc_multi_gpu(
         .fold(0.0f64, f64::max);
     let modelled_transfer_s = link.modelled_time_s();
     let report = MultiGpuReport {
-        devices: p,
+        devices: parts.len(),
         per_device,
         per_device_memory,
         transfers: link.transfers(),
@@ -351,6 +526,7 @@ pub fn bc_multi_gpu(
         modelled_compute_s,
         modelled_transfer_s,
         modelled_time_s: modelled_compute_s + modelled_transfer_s,
+        recovery: log,
     };
     Ok((bc, report))
 }
@@ -378,6 +554,7 @@ mod tests {
         for p in [1, 2, 3, 4] {
             let r = check(&g, p);
             assert_eq!(r.devices, p);
+            assert!(r.recovery.is_clean());
         }
     }
 
@@ -443,5 +620,106 @@ mod tests {
         for (a, b) in bc.iter().zip(&want) {
             assert!((a - b).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn zero_devices_is_an_error() {
+        let g = gen::gnm(20, 60, false, 1);
+        assert!(matches!(
+            bc_multi_gpu(&g, &[0], 0, DeviceProps::titan_xp(), Interconnect::pcie3()),
+            Err(TurboBcError::NoDevices)
+        ));
+    }
+
+    #[test]
+    fn dropped_exchanges_are_retried_bit_identically() {
+        let g = gen::small_world(120, 3, 0.2, 8);
+        let s = g.default_source();
+        let (clean, _) =
+            bc_multi_gpu(&g, &[s], 3, DeviceProps::titan_xp(), Interconnect::pcie3()).unwrap();
+        let link = Interconnect::pcie3()
+            .with_faults(FaultPlan::new(11).drop_transfer_at(0).corrupt_transfer_at(5));
+        let (bc, report) = bc_multi_gpu_faulty(
+            &g,
+            &[s],
+            3,
+            DeviceProps::titan_xp(),
+            link,
+            &[],
+            &RecoveryPolicy { backoff_base_us: 0, ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(report.recovery.link_retries, 2);
+        assert_eq!(bc, clean, "retried exchanges must not perturb the result");
+    }
+
+    #[test]
+    fn kernel_faults_are_retried_bit_identically() {
+        let g = gen::gnm(90, 280, false, 17);
+        let s = g.default_source();
+        let (clean, _) =
+            bc_multi_gpu(&g, &[s], 2, DeviceProps::titan_xp(), Interconnect::pcie3()).unwrap();
+        let plans = vec![FaultPlan::new(5).fail_launch_at(3), FaultPlan::new(6).fail_launch_at(10)];
+        let (bc, report) = bc_multi_gpu_faulty(
+            &g,
+            &[s],
+            2,
+            DeviceProps::titan_xp(),
+            Interconnect::pcie3(),
+            &plans,
+            &RecoveryPolicy { backoff_base_us: 0, ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(report.recovery.kernel_retries, 2);
+        assert_eq!(bc, clean);
+    }
+
+    #[test]
+    fn lost_device_requeues_onto_survivors_bit_identically() {
+        let g = gen::small_world(150, 3, 0.15, 4);
+        let sources = [g.default_source(), 3, 40];
+        let (clean, _) = bc_multi_gpu(
+            &g,
+            &sources,
+            3,
+            DeviceProps::titan_xp(),
+            Interconnect::pcie3(),
+        )
+        .unwrap();
+        // Device 1 dies partway through the run.
+        let plans = vec![FaultPlan::new(9), FaultPlan::new(10).lose_device_at_launch(30)];
+        let (bc, report) = bc_multi_gpu_faulty(
+            &g,
+            &sources,
+            3,
+            DeviceProps::titan_xp(),
+            Interconnect::pcie3(),
+            &plans,
+            &RecoveryPolicy { backoff_base_us: 0, ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(report.recovery.device_requeues, 1);
+        assert_eq!(report.devices, 2, "the lost device must not come back");
+        assert_eq!(bc, clean, "requeued run must be bit-identical");
+    }
+
+    #[test]
+    fn losing_every_device_is_fatal() {
+        let g = gen::gnm(40, 120, false, 5);
+        let plans = vec![
+            FaultPlan::new(1).lose_device_at_launch(2),
+            FaultPlan::new(2).lose_device_at_launch(2),
+        ];
+        let err = bc_multi_gpu_faulty(
+            &g,
+            &[0],
+            2,
+            DeviceProps::titan_xp(),
+            Interconnect::pcie3(),
+            &plans,
+            &RecoveryPolicy { backoff_base_us: 0, ..Default::default() },
+        )
+        .unwrap_err();
+        assert_eq!(err, TurboBcError::AllDevicesLost);
     }
 }

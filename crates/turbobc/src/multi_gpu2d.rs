@@ -27,7 +27,11 @@
 //! `n/q` segments. A production layout shards the owner state along
 //! grid columns to spread that too.
 
-use crate::simt_engine::kernels;
+use crate::error::TurboBcError;
+use crate::multi_gpu::transfer_with_retry;
+use crate::options::RecoveryPolicy;
+use crate::result::RecoveryLog;
+use crate::simt_engine::{kernels, retry_kernel};
 use turbobc_graph::{Graph, VertexId};
 use turbobc_simt::{
     DSlice, DSliceMut, Device, DeviceBuffer, DeviceError, DeviceProps, Interconnect,
@@ -51,6 +55,9 @@ pub struct MultiGpu2dReport {
     pub modelled_transfer_s: f64,
     /// Total modelled time.
     pub modelled_time_s: f64,
+    /// What the (default) recovery policy absorbed — link retries and
+    /// transient-kernel retries; device loss is a 1D-driver feature.
+    pub recovery: RecoveryLog,
 }
 
 /// Unmasked partial gather: `out[j] = Σ_{r ∈ column j} f[r]` over a
@@ -61,9 +68,9 @@ fn partial_gather(
     rows: &DSlice<'_, u32>,
     f: &DSlice<'_, i64>,
     out: &mut DSliceMut<'_, i64>,
-) {
+) -> Result<(), DeviceError> {
     let n = cp.len() - 1;
-    dev.launch("fwd_partial", LaunchConfig::per_element(n), |w| {
+    dev.try_launch("fwd_partial", LaunchConfig::per_element(n), |w| {
         let mut cols = [None; WARP_SIZE];
         for (l, slot) in cols.iter_mut().enumerate() {
             *slot = w.global_id(l).filter(|&g| g < n);
@@ -115,7 +122,8 @@ fn partial_gather(
             }
         }
         w.scatter(out, &writes);
-    });
+    })
+    .map(|_| ())
 }
 
 /// f64 variant of [`partial_gather`] for the backward stage.
@@ -125,9 +133,9 @@ fn partial_gather_f64(
     rows: &DSlice<'_, u32>,
     x: &DSlice<'_, f64>,
     out: &mut DSliceMut<'_, f64>,
-) {
+) -> Result<(), DeviceError> {
     let n = cp.len() - 1;
-    dev.launch("bwd_partial", LaunchConfig::per_element(n), |w| {
+    dev.try_launch("bwd_partial", LaunchConfig::per_element(n), |w| {
         let mut cols = [None; WARP_SIZE];
         for (l, slot) in cols.iter_mut().enumerate() {
             *slot = w.global_id(l).filter(|&g| g < n);
@@ -179,7 +187,8 @@ fn partial_gather_f64(
             }
         }
         w.scatter(out, &writes);
-    });
+    })
+    .map(|_| ())
 }
 
 /// One grid device: the `A[B_i, B_j]` block plus its buffers.
@@ -209,15 +218,32 @@ struct Owner {
 }
 
 /// Runs undirected BC for `sources` on a `q × q` simulated device grid.
+///
+/// Link faults armed on the `link` (see
+/// [`Interconnect::with_faults`]) are absorbed by retries under the
+/// default [`RecoveryPolicy`]; per-device fault plans and lost-device
+/// requeueing live in the 1D driver
+/// ([`crate::multi_gpu::bc_multi_gpu_faulty`]).
 pub fn bc_multi_gpu_2d(
     graph: &Graph,
     sources: &[VertexId],
     q: usize,
     props: DeviceProps,
     mut link: Interconnect,
-) -> Result<(Vec<f64>, MultiGpu2dReport), DeviceError> {
-    assert!(q >= 1, "need at least a 1x1 grid");
-    assert!(!graph.directed(), "the 2D prototype handles undirected graphs");
+) -> Result<(Vec<f64>, MultiGpu2dReport), TurboBcError> {
+    if q == 0 {
+        return Err(TurboBcError::NoDevices);
+    }
+    if graph.directed() {
+        return Err(TurboBcError::DirectedUnsupported { what: "the 2D multi-GPU prototype" });
+    }
+    for &s in sources {
+        if s as usize >= graph.n() {
+            return Err(TurboBcError::InvalidSource { source: s, n: graph.n() });
+        }
+    }
+    let policy = RecoveryPolicy::default();
+    let mut log = RecoveryLog::default();
     let n = graph.n();
     let csc = graph.to_csc();
     let scale = graph.bc_scale();
@@ -282,9 +308,15 @@ pub fn bc_multi_gpu_2d(
         // Init owner state.
         for (j, owner) in owners.iter_mut().enumerate() {
             let device = &cells[j * q + j].device;
-            kernels::clear(device, "clear_sigma", &mut owner.sigma.dslice_mut());
-            kernels::clear(device, "clear_depths", &mut owner.depths.dslice_mut());
-            kernels::clear(device, "clear_f", &mut owner.f.dslice_mut());
+            retry_kernel(&policy, &mut log.kernel_retries, || {
+                kernels::clear(device, "clear_sigma", &mut owner.sigma.dslice_mut())
+            })?;
+            retry_kernel(&policy, &mut log.kernel_retries, || {
+                kernels::clear(device, "clear_depths", &mut owner.depths.dslice_mut())
+            })?;
+            retry_kernel(&policy, &mut log.kernel_retries, || {
+                kernels::clear(device, "clear_f", &mut owner.f.dslice_mut())
+            })?;
         }
         {
             let sb = seg_of(source as usize);
@@ -301,10 +333,10 @@ pub fn bc_multi_gpu_2d(
                 let f_host: Vec<i64> = owners[i].f.host().to_vec();
                 for j in 0..q {
                     let cell = &mut cells[i * q + j];
-                    cell.seg_i64.host_mut()[..f_host.len()].copy_from_slice(&f_host);
                     if j != i && q > 1 {
-                        link.transfer(f_host.len() as u64 * 8);
+                        transfer_with_retry(&mut link, f_host.len() as u64 * 8, &policy, &mut log)?;
                     }
+                    cell.seg_i64.host_mut()[..f_host.len()].copy_from_slice(&f_host);
                 }
             }
             // 2) Unmasked partials per cell.
@@ -318,7 +350,9 @@ pub fn bc_multi_gpu_2d(
                         &mut cell.part_i64,
                         &cell.device,
                     );
-                    partial_gather(device, &cp, &rows, &seg, &mut part.dslice_mut());
+                    retry_kernel(&policy, &mut log.kernel_retries, || {
+                        partial_gather(device, &cp, &rows, &seg, &mut part.dslice_mut())
+                    })?;
                 }
             }
             // 3) Reduce partials down each grid column onto the owner.
@@ -327,12 +361,12 @@ pub fn bc_multi_gpu_2d(
                 let len = blocks[j].1 - blocks[j].0;
                 let mut reduced = vec![0i64; len];
                 for i in 0..q {
+                    if i != j && q > 1 {
+                        transfer_with_retry(&mut link, len as u64 * 8, &policy, &mut log)?;
+                    }
                     let part = cells[i * q + j].part_i64.host();
                     for (acc, &x) in reduced.iter_mut().zip(part) {
                         *acc = acc.saturating_add(x);
-                    }
-                    if i != j && q > 1 {
-                        link.transfer(len as u64 * 8);
                     }
                 }
                 owners[j].f_t.host_mut().copy_from_slice(&reduced);
@@ -340,15 +374,17 @@ pub fn bc_multi_gpu_2d(
                 owners[j].count.fill(0);
                 let device = &cells[j * q + j].device;
                 let owner = &mut owners[j];
-                kernels::bfs_update(
-                    device,
-                    &mut owner.f_t.dslice_mut(),
-                    &mut owner.sigma.dslice_mut(),
-                    &mut owner.depths.dslice_mut(),
-                    &mut owner.f.dslice_mut(),
-                    d + 1,
-                    &mut owner.count.dslice_mut(),
-                );
+                retry_kernel(&policy, &mut log.kernel_retries, || {
+                    kernels::bfs_update(
+                        device,
+                        &mut owner.f_t.dslice_mut(),
+                        &mut owner.sigma.dslice_mut(),
+                        &mut owner.depths.dslice_mut(),
+                        &mut owner.f.dslice_mut(),
+                        d + 1,
+                        &mut owner.count.dslice_mut(),
+                    )
+                })?;
                 total_count += owner.count.host()[0];
             }
             if total_count == 0 {
@@ -361,7 +397,9 @@ pub fn bc_multi_gpu_2d(
         // Backward (symmetric gather over the same blocks).
         for (j, owner) in owners.iter_mut().enumerate() {
             let device = &cells[j * q + j].device;
-            kernels::clear(device, "clear_delta", &mut owner.delta.dslice_mut());
+            retry_kernel(&policy, &mut log.kernel_retries, || {
+                kernels::clear(device, "clear_delta", &mut owner.delta.dslice_mut())
+            })?;
         }
         let mut depth = height;
         while depth > 1 {
@@ -369,21 +407,23 @@ pub fn bc_multi_gpu_2d(
             for i in 0..q {
                 let device = &cells[i * q + i].device;
                 let owner = &mut owners[i];
-                kernels::bwd_seed(
-                    device,
-                    &owner.depths.dslice(),
-                    &owner.sigma.dslice(),
-                    &owner.delta.dslice(),
-                    depth,
-                    &mut owner.delta_u.dslice_mut(),
-                );
+                retry_kernel(&policy, &mut log.kernel_retries, || {
+                    kernels::bwd_seed(
+                        device,
+                        &owner.depths.dslice(),
+                        &owner.sigma.dslice(),
+                        &owner.delta.dslice(),
+                        depth,
+                        &mut owner.delta_u.dslice_mut(),
+                    )
+                })?;
                 let du_host: Vec<f64> = owner.delta_u.host().to_vec();
                 for j in 0..q {
                     let cell = &mut cells[i * q + j];
-                    cell.seg_f64.host_mut()[..du_host.len()].copy_from_slice(&du_host);
                     if j != i && q > 1 {
-                        link.transfer(du_host.len() as u64 * 8);
+                        transfer_with_retry(&mut link, du_host.len() as u64 * 8, &policy, &mut log)?;
                     }
+                    cell.seg_f64.host_mut()[..du_host.len()].copy_from_slice(&du_host);
                 }
             }
             // Partials + column reduction.
@@ -397,32 +437,36 @@ pub fn bc_multi_gpu_2d(
                         &mut cell.part_f64,
                         &cell.device,
                     );
-                    partial_gather_f64(device, &cp, &rows, &seg, &mut part.dslice_mut());
+                    retry_kernel(&policy, &mut log.kernel_retries, || {
+                        partial_gather_f64(device, &cp, &rows, &seg, &mut part.dslice_mut())
+                    })?;
                 }
             }
             for j in 0..q {
                 let len = blocks[j].1 - blocks[j].0;
                 let mut reduced = vec![0.0f64; len];
                 for i in 0..q {
+                    if i != j && q > 1 {
+                        transfer_with_retry(&mut link, len as u64 * 8, &policy, &mut log)?;
+                    }
                     let part = cells[i * q + j].part_f64.host();
                     for (acc, &x) in reduced.iter_mut().zip(part) {
                         *acc += x;
-                    }
-                    if i != j && q > 1 {
-                        link.transfer(len as u64 * 8);
                     }
                 }
                 owners[j].delta_ut.host_mut().copy_from_slice(&reduced);
                 let device = &cells[j * q + j].device;
                 let owner = &mut owners[j];
-                kernels::bwd_accum(
-                    device,
-                    &owner.depths.dslice(),
-                    &owner.sigma.dslice(),
-                    &mut owner.delta_ut.dslice_mut(),
-                    depth,
-                    &mut owner.delta.dslice_mut(),
-                );
+                retry_kernel(&policy, &mut log.kernel_retries, || {
+                    kernels::bwd_accum(
+                        device,
+                        &owner.depths.dslice(),
+                        &owner.sigma.dslice(),
+                        &mut owner.delta_ut.dslice_mut(),
+                        depth,
+                        &mut owner.delta.dslice_mut(),
+                    )
+                })?;
             }
             depth -= 1;
         }
@@ -434,13 +478,15 @@ pub fn bc_multi_gpu_2d(
                 hi - lo // out of range = "not here"
             };
             let device = &cells[j * q + j].device;
-            kernels::bc_accum(
-                device,
-                &owner.delta.dslice(),
-                local_source,
-                scale,
-                &mut owner.bc.dslice_mut(),
-            );
+            retry_kernel(&policy, &mut log.kernel_retries, || {
+                kernels::bc_accum(
+                    device,
+                    &owner.delta.dslice(),
+                    local_source,
+                    scale,
+                    &mut owner.bc.dslice_mut(),
+                )
+            })?;
         }
     }
 
@@ -469,6 +515,7 @@ pub fn bc_multi_gpu_2d(
         modelled_compute_s,
         modelled_transfer_s,
         modelled_time_s: modelled_compute_s + modelled_transfer_s,
+        recovery: log,
     };
     Ok((bc, report))
 }
@@ -507,10 +554,34 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "undirected")]
     fn rejects_directed_graphs() {
         let g = gen::gnm(20, 60, true, 1);
-        let _ = bc_multi_gpu_2d(&g, &[0], 2, DeviceProps::titan_xp(), Interconnect::pcie3());
+        let err = bc_multi_gpu_2d(&g, &[0], 2, DeviceProps::titan_xp(), Interconnect::pcie3())
+            .unwrap_err();
+        assert!(matches!(err, TurboBcError::DirectedUnsupported { .. }));
+    }
+
+    #[test]
+    fn rejects_empty_grid() {
+        let g = gen::gnm(20, 60, false, 1);
+        assert!(matches!(
+            bc_multi_gpu_2d(&g, &[0], 0, DeviceProps::titan_xp(), Interconnect::pcie3()),
+            Err(TurboBcError::NoDevices)
+        ));
+    }
+
+    #[test]
+    fn dropped_grid_exchanges_are_retried_bit_identically() {
+        use turbobc_simt::FaultPlan;
+        let g = gen::small_world(100, 3, 0.2, 2);
+        let s = g.default_source();
+        let (clean, _) =
+            bc_multi_gpu_2d(&g, &[s], 2, DeviceProps::titan_xp(), Interconnect::pcie3()).unwrap();
+        let link = Interconnect::pcie3().with_faults(FaultPlan::new(3).drop_transfer_at(1));
+        let (bc, report) =
+            bc_multi_gpu_2d(&g, &[s], 2, DeviceProps::titan_xp(), link).unwrap();
+        assert_eq!(report.recovery.link_retries, 1);
+        assert_eq!(bc, clean);
     }
 
     #[test]

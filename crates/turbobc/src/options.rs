@@ -53,11 +53,86 @@ pub struct BcOptions {
     pub kernel: Kernel,
     /// Execution engine.
     pub engine: Engine,
+    /// What the solver does when a device misbehaves.
+    pub recovery: RecoveryPolicy,
 }
 
 impl Default for BcOptions {
     fn default() -> Self {
-        BcOptions { kernel: Kernel::Auto, engine: Engine::Parallel }
+        BcOptions {
+            kernel: Kernel::Auto,
+            engine: Engine::Parallel,
+            recovery: RecoveryPolicy::default(),
+        }
+    }
+}
+
+/// How a SIMT run absorbs injected or real device faults.
+///
+/// * **Transient kernel faults** are retried in place with bounded
+///   exponential backoff — a retried kernel launch is bit-identical to
+///   an unfaulted one because a faulted launch never executes its body.
+/// * **Device OOM** walks the degradation ladder veCSC → scCSC →
+///   scCOOC (each rung re-runs the whole request on the cheaper
+///   kernel), and finally falls back to the CPU Parallel engine.
+/// * Both knobs can be disabled to surface the raw error instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryPolicy {
+    /// Retries per kernel launch before the fault is fatal.
+    pub max_kernel_retries: u32,
+    /// Retries per interconnect exchange before the fault is fatal
+    /// (multi-GPU drivers).
+    pub max_link_retries: u32,
+    /// Walk the kernel degradation ladder on device OOM.
+    pub allow_degradation: bool,
+    /// After the ladder is exhausted, rerun on the CPU Parallel engine
+    /// instead of failing.
+    pub allow_cpu_fallback: bool,
+    /// Base backoff delay in microseconds; retry `k` sleeps
+    /// `backoff_base_us << k`, capped at ~100 ms. Zero disables
+    /// sleeping (useful in tests).
+    pub backoff_base_us: u64,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            max_kernel_retries: 3,
+            max_link_retries: 3,
+            allow_degradation: true,
+            allow_cpu_fallback: true,
+            backoff_base_us: 50,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// A policy that absorbs nothing: every fault surfaces immediately.
+    pub fn strict() -> Self {
+        RecoveryPolicy {
+            max_kernel_retries: 0,
+            max_link_retries: 0,
+            allow_degradation: false,
+            allow_cpu_fallback: false,
+            backoff_base_us: 0,
+        }
+    }
+
+    /// Backoff before retry attempt `k` (0-based), exponentially grown
+    /// and capped at 100 ms.
+    pub fn backoff(&self, attempt: u32) -> std::time::Duration {
+        let us = self.backoff_base_us.saturating_mul(1u64 << attempt.min(20)).min(100_000);
+        std::time::Duration::from_micros(us)
+    }
+}
+
+/// The next rung down the OOM degradation ladder: veCSC → scCSC →
+/// scCOOC → (CPU fallback, represented as `None`).
+pub fn degrade(kernel: Kernel) -> Option<Kernel> {
+    match kernel {
+        Kernel::VeCsc => Some(Kernel::ScCsc),
+        Kernel::ScCsc => Some(Kernel::ScCooc),
+        Kernel::ScCooc | Kernel::Auto => None,
     }
 }
 
@@ -144,5 +219,23 @@ mod tests {
         let o = BcOptions::default();
         assert_eq!(o.kernel, Kernel::Auto);
         assert_eq!(o.engine, Engine::Parallel);
+        assert_eq!(o.recovery, RecoveryPolicy::default());
+        assert!(o.recovery.allow_degradation && o.recovery.allow_cpu_fallback);
+    }
+
+    #[test]
+    fn degradation_ladder_ends_at_sccooc() {
+        assert_eq!(degrade(Kernel::VeCsc), Some(Kernel::ScCsc));
+        assert_eq!(degrade(Kernel::ScCsc), Some(Kernel::ScCooc));
+        assert_eq!(degrade(Kernel::ScCooc), None);
+        assert_eq!(degrade(Kernel::Auto), None);
+    }
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let p = RecoveryPolicy::default();
+        assert!(p.backoff(1) > p.backoff(0));
+        assert!(p.backoff(60) <= std::time::Duration::from_millis(100));
+        assert_eq!(RecoveryPolicy::strict().backoff(5), std::time::Duration::ZERO);
     }
 }

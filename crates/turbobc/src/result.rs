@@ -18,6 +18,39 @@ pub struct RunStats {
     pub last_reached: usize,
     /// Wall-clock time of the whole run.
     pub elapsed: Duration,
+    /// Recovery log: what the run absorbed (all zero on a clean run).
+    pub recovery: RecoveryLog,
+}
+
+/// What the recovery policy absorbed during a run (see
+/// [`crate::RecoveryPolicy`]). All-zero/default on a fault-free run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RecoveryLog {
+    /// Times the solver stepped down the veCSC → scCSC → scCOOC ladder
+    /// after a device OOM.
+    pub oom_degradations: u32,
+    /// Transient kernel faults absorbed by in-place retries.
+    pub kernel_retries: u64,
+    /// Dropped/corrupted interconnect exchanges absorbed by retries.
+    pub link_retries: u64,
+    /// Lost devices whose column partitions were requeued onto
+    /// survivors (multi-GPU driver).
+    pub device_requeues: u32,
+    /// Sources skipped because a checkpoint already covered them.
+    pub resumed_sources: usize,
+    /// The run fell back to the CPU Parallel engine after exhausting
+    /// the device ladder.
+    pub cpu_fallback: bool,
+    /// The kernel that actually produced the result, when degradation
+    /// changed it (by display name, e.g. `"scCSC"`).
+    pub degraded_to: Option<&'static str>,
+}
+
+impl RecoveryLog {
+    /// True when the run needed no recovery at all.
+    pub fn is_clean(&self) -> bool {
+        *self == RecoveryLog::default()
+    }
 }
 
 impl RunStats {
@@ -86,5 +119,12 @@ mod tests {
     fn mteps_of_zero_time_is_zero() {
         let stats = RunStats::default();
         assert_eq!(stats.mteps(100), 0.0);
+    }
+
+    #[test]
+    fn recovery_log_cleanliness() {
+        assert!(RunStats::default().recovery.is_clean());
+        let dirty = RecoveryLog { kernel_retries: 1, ..Default::default() };
+        assert!(!dirty.is_clean());
     }
 }

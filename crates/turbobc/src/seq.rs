@@ -5,6 +5,7 @@ use turbobc_sparse::ops;
 use turbobc_sparse::{Cooc, Csc};
 
 /// The one storage format a run holds, per the paper's memory rule.
+#[derive(Clone)]
 pub(crate) enum Storage {
     Csc(Csc),
     Cooc(Cooc),

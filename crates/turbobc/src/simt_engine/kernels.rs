@@ -6,7 +6,7 @@
 //! (mask + σ/S update), `bwd_seed`, `bwd_*` (dependency SpMV),
 //! `bwd_accum`, and `bc_accum`.
 
-use turbobc_simt::{DSlice, DSliceMut, Device, KernelStats, LaunchConfig, Warp, WARP_SIZE};
+use turbobc_simt::{DSlice, DSliceMut, Device, DeviceError, KernelStats, LaunchConfig, Warp, WARP_SIZE};
 
 /// Per-lane global indices bounded by `bound`.
 #[inline]
@@ -24,9 +24,9 @@ fn count_some<T>(a: &[Option<T>; WARP_SIZE]) -> usize {
 
 /// `cudaMemset`-style clear kernel (coalesced stores), one thread per
 /// element.
-pub fn clear<T: Copy + Default>(dev: &Device, name: &str, buf: &mut DSliceMut<'_, T>) -> KernelStats {
+pub fn clear<T: Copy + Default>(dev: &Device, name: &str, buf: &mut DSliceMut<'_, T>) -> Result<KernelStats, DeviceError> {
     let len = buf.len();
-    dev.launch(name, LaunchConfig::per_element(len), |w| {
+    dev.try_launch(name, LaunchConfig::per_element(len), |w| {
         let idx = lane_ids(w, len);
         let mut writes = [None; WARP_SIZE];
         for l in 0..WARP_SIZE {
@@ -43,8 +43,8 @@ pub fn init_source(
     sigma: &mut DSliceMut<'_, i64>,
     depths: &mut DSliceMut<'_, u32>,
     source: usize,
-) -> KernelStats {
-    dev.launch("bfs_init", LaunchConfig::per_element(1), |w| {
+) -> Result<KernelStats, DeviceError> {
+    dev.try_launch("bfs_init", LaunchConfig::per_element(1), |w| {
         let mut wf = [None; WARP_SIZE];
         wf[0] = Some((source, 1i64));
         w.scatter(f, &wf);
@@ -65,9 +65,9 @@ pub fn forward_sccooc(
     col_a: &DSlice<'_, u32>,
     f: &DSlice<'_, i64>,
     f_t: &mut DSliceMut<'_, i64>,
-) -> KernelStats {
+) -> Result<KernelStats, DeviceError> {
     let m = row_a.len();
-    dev.launch("fwd_scCOOC", LaunchConfig::per_element(m), |w| {
+    dev.try_launch("fwd_scCOOC", LaunchConfig::per_element(m), |w| {
         let idx = lane_ids(w, m);
         let rows = w.gather(row_a, &idx);
         let mut fidx = [None; WARP_SIZE];
@@ -106,9 +106,9 @@ pub fn forward_sccsc(
     sigma: &DSlice<'_, i64>,
     f: &DSlice<'_, i64>,
     f_t: &mut DSliceMut<'_, i64>,
-) -> KernelStats {
+) -> Result<KernelStats, DeviceError> {
     let n = sigma.len();
-    dev.launch("fwd_scCSC", LaunchConfig::per_element(n), |w| {
+    dev.try_launch("fwd_scCSC", LaunchConfig::per_element(n), |w| {
         let cols = lane_ids(w, n);
         let sig = w.gather(sigma, &cols);
         let mut live = [None; WARP_SIZE];
@@ -181,9 +181,9 @@ pub fn forward_vecsc(
     sigma: &DSlice<'_, i64>,
     f: &DSlice<'_, i64>,
     f_t: &mut DSliceMut<'_, i64>,
-) -> KernelStats {
+) -> Result<KernelStats, DeviceError> {
     let n = sigma.len();
-    dev.launch("fwd_veCSC", LaunchConfig::per_warp(n), |w| {
+    dev.try_launch("fwd_veCSC", LaunchConfig::per_warp(n), |w| {
         let col = w.id();
         if col >= n {
             w.alu(w.active_lanes());
@@ -240,9 +240,9 @@ pub fn forward_vecsc_shared(
     sigma: &DSlice<'_, i64>,
     f: &DSlice<'_, i64>,
     f_t: &mut DSliceMut<'_, i64>,
-) -> KernelStats {
+) -> Result<KernelStats, DeviceError> {
     let n = sigma.len();
-    dev.launch("fwd_veCSC_smem", LaunchConfig::per_warp(n), |w| {
+    dev.try_launch("fwd_veCSC_smem", LaunchConfig::per_warp(n), |w| {
         let col = w.id();
         if col >= n {
             w.alu(w.active_lanes());
@@ -303,9 +303,9 @@ pub fn bfs_update(
     f: &mut DSliceMut<'_, i64>,
     d: u32,
     count: &mut DSliceMut<'_, i64>,
-) -> KernelStats {
+) -> Result<KernelStats, DeviceError> {
     let n = f_t.len();
-    dev.launch("bfs_update", LaunchConfig::per_element(n), |w| {
+    dev.try_launch("bfs_update", LaunchConfig::per_element(n), |w| {
         let idx = lane_ids(w, n);
         let ft = w.gather(&f_t.as_dslice(), &idx);
         // Fused `f_t ← 0` (line 14) for the next level.
@@ -356,9 +356,9 @@ pub fn bwd_seed(
     delta: &DSlice<'_, f64>,
     depth: u32,
     delta_u: &mut DSliceMut<'_, f64>,
-) -> KernelStats {
+) -> Result<KernelStats, DeviceError> {
     let n = depths.len();
-    dev.launch("bwd_seed", LaunchConfig::per_element(n), |w| {
+    dev.try_launch("bwd_seed", LaunchConfig::per_element(n), |w| {
         let idx = lane_ids(w, n);
         let dep = w.gather(depths, &idx);
         let sig = w.gather(sigma, &idx);
@@ -389,9 +389,9 @@ pub fn backward_sccooc(
     col_a: &DSlice<'_, u32>,
     delta_u: &DSlice<'_, f64>,
     delta_ut: &mut DSliceMut<'_, f64>,
-) -> KernelStats {
+) -> Result<KernelStats, DeviceError> {
     let m = row_a.len();
-    dev.launch("bwd_scCOOC", LaunchConfig::per_element(m), |w| {
+    dev.try_launch("bwd_scCOOC", LaunchConfig::per_element(m), |w| {
         let idx = lane_ids(w, m);
         let cols = w.gather(col_a, &idx);
         let mut didx = [None; WARP_SIZE];
@@ -429,9 +429,9 @@ pub fn backward_sccsc_gather(
     rows: &DSlice<'_, u32>,
     delta_u: &DSlice<'_, f64>,
     delta_ut: &mut DSliceMut<'_, f64>,
-) -> KernelStats {
+) -> Result<KernelStats, DeviceError> {
     let n = cp.len() - 1;
-    dev.launch("bwd_scCSC", LaunchConfig::per_element(n), |w| {
+    dev.try_launch("bwd_scCSC", LaunchConfig::per_element(n), |w| {
         let cols = lane_ids(w, n);
         if count_some(&cols) == 0 {
             return;
@@ -495,9 +495,9 @@ pub fn backward_sccsc_scatter(
     rows: &DSlice<'_, u32>,
     delta_u: &DSlice<'_, f64>,
     delta_ut: &mut DSliceMut<'_, f64>,
-) -> KernelStats {
+) -> Result<KernelStats, DeviceError> {
     let n = cp.len() - 1;
-    dev.launch("bwd_scCSC_scatter", LaunchConfig::per_element(n), |w| {
+    dev.try_launch("bwd_scCSC_scatter", LaunchConfig::per_element(n), |w| {
         let cols = lane_ids(w, n);
         let du = w.gather(delta_u, &cols);
         let mut live = [None; WARP_SIZE];
@@ -552,9 +552,9 @@ pub fn backward_vecsc_gather(
     rows: &DSlice<'_, u32>,
     delta_u: &DSlice<'_, f64>,
     delta_ut: &mut DSliceMut<'_, f64>,
-) -> KernelStats {
+) -> Result<KernelStats, DeviceError> {
     let n = cp.len() - 1;
-    dev.launch("bwd_veCSC", LaunchConfig::per_warp(n), |w| {
+    dev.try_launch("bwd_veCSC", LaunchConfig::per_warp(n), |w| {
         let col = w.id();
         if col >= n {
             w.alu(w.active_lanes());
@@ -606,9 +606,9 @@ pub fn bwd_accum(
     delta_ut: &mut DSliceMut<'_, f64>,
     depth: u32,
     delta: &mut DSliceMut<'_, f64>,
-) -> KernelStats {
+) -> Result<KernelStats, DeviceError> {
     let n = depths.len();
-    dev.launch("bwd_accum", LaunchConfig::per_element(n), |w| {
+    dev.try_launch("bwd_accum", LaunchConfig::per_element(n), |w| {
         let idx = lane_ids(w, n);
         let dep = w.gather(depths, &idx);
         let mut sel = [None; WARP_SIZE];
@@ -648,9 +648,9 @@ pub fn bc_accum(
     source: usize,
     scale: f64,
     bc: &mut DSliceMut<'_, f64>,
-) -> KernelStats {
+) -> Result<KernelStats, DeviceError> {
     let n = delta.len();
-    dev.launch("bc_accum", LaunchConfig::per_element(n), |w| {
+    dev.try_launch("bc_accum", LaunchConfig::per_element(n), |w| {
         let idx = lane_ids(w, n);
         let mut sel = [None; WARP_SIZE];
         for l in 0..WARP_SIZE {

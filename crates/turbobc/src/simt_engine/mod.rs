@@ -4,7 +4,8 @@
 
 pub(crate) mod kernels;
 
-use crate::options::Kernel;
+use crate::error::TurboBcError;
+use crate::options::{Kernel, RecoveryPolicy};
 use crate::result::SimtReport;
 use crate::seq::Storage;
 use turbobc_simt::{Device, DeviceBuffer, DeviceError};
@@ -18,7 +19,34 @@ pub(crate) struct SimtOutcome {
     pub max_depth: u32,
     pub total_levels: u64,
     pub last_reached: usize,
+    pub kernel_retries: u64,
     pub report: SimtReport,
+}
+
+/// Retries a kernel launch on transient faults with bounded exponential
+/// backoff. A faulted launch never executed its body, so re-invoking the
+/// closure replays the exact same launch; the fault counter inside the
+/// device advanced, so a one-shot injected fault is absorbed. Permanent
+/// errors (OOM, lost device) and exhausted budgets surface unchanged.
+pub(crate) fn retry_kernel<T>(
+    policy: &RecoveryPolicy,
+    retries: &mut u64,
+    mut op: impl FnMut() -> Result<T, DeviceError>,
+) -> Result<T, DeviceError> {
+    let mut attempt = 0u32;
+    loop {
+        match op() {
+            Err(e) if e.is_transient() && attempt < policy.max_kernel_retries => {
+                *retries += 1;
+                let delay = policy.backoff(attempt);
+                if !delay.is_zero() {
+                    std::thread::sleep(delay);
+                }
+                attempt += 1;
+            }
+            other => return other,
+        }
+    }
 }
 
 enum DeviceStructure {
@@ -35,8 +63,10 @@ pub(crate) fn bc_simt(
     symmetric: bool,
     sources: &[u32],
     scale: f64,
-) -> Result<SimtOutcome, DeviceError> {
+    policy: &RecoveryPolicy,
+) -> Result<SimtOutcome, TurboBcError> {
     let n = storage.n();
+    let mut kernel_retries = 0u64;
     device.reset_metrics();
     device.reset_peak();
 
@@ -53,7 +83,7 @@ pub(crate) fn bc_simt(
             row_a: device.alloc_from(cooc.row_a())?,
             col_a: device.alloc_from(cooc.col_a())?,
         },
-        _ => panic!("storage format does not match kernel {:?}", kernel),
+        _ => return Err(TurboBcError::StorageMismatch { kernel: kernel.name() }),
     };
 
     // Persistent vectors: σ, S, bc, frontier counter.
@@ -75,21 +105,27 @@ pub(crate) fn bc_simt(
         {
             let mut f = device.alloc::<i64>(n)?;
             let mut f_t = device.alloc::<i64>(n)?;
-            kernels::clear(device, "clear_sigma", &mut sigma_d.dslice_mut());
-            kernels::clear(device, "clear_depths", &mut depths_d.dslice_mut());
-            kernels::init_source(
-                device,
-                &mut f.dslice_mut(),
-                &mut sigma_d.dslice_mut(),
-                &mut depths_d.dslice_mut(),
-                source as usize,
-            );
+            retry_kernel(policy, &mut kernel_retries, || {
+                kernels::clear(device, "clear_sigma", &mut sigma_d.dslice_mut())
+            })?;
+            retry_kernel(policy, &mut kernel_retries, || {
+                kernels::clear(device, "clear_depths", &mut depths_d.dslice_mut())
+            })?;
+            retry_kernel(policy, &mut kernel_retries, || {
+                kernels::init_source(
+                    device,
+                    &mut f.dslice_mut(),
+                    &mut sigma_d.dslice_mut(),
+                    &mut depths_d.dslice_mut(),
+                    source as usize,
+                )
+            })?;
             let mut d = 1u32;
             let mut reached = 1usize;
             loop {
                 // `f_t` starts zeroed (fresh allocation) and is reset by
                 // the fused `bfs_update` each level (§3.4 kernel fusion).
-                match (&structure, kernel) {
+                retry_kernel(policy, &mut kernel_retries, || match (&structure, kernel) {
                     (DeviceStructure::Cooc { row_a, col_a }, Kernel::ScCooc) => {
                         kernels::forward_sccooc(
                             device,
@@ -97,7 +133,7 @@ pub(crate) fn bc_simt(
                             &col_a.dslice(),
                             &f.dslice(),
                             &mut f_t.dslice_mut(),
-                        );
+                        )
                     }
                     (DeviceStructure::Csc { cp, rows }, Kernel::ScCsc) => {
                         kernels::forward_sccsc(
@@ -107,7 +143,7 @@ pub(crate) fn bc_simt(
                             &sigma_d.dslice(),
                             &f.dslice(),
                             &mut f_t.dslice_mut(),
-                        );
+                        )
                     }
                     (DeviceStructure::Csc { cp, rows }, Kernel::VeCsc) => {
                         kernels::forward_vecsc(
@@ -117,20 +153,22 @@ pub(crate) fn bc_simt(
                             &sigma_d.dslice(),
                             &f.dslice(),
                             &mut f_t.dslice_mut(),
-                        );
+                        )
                     }
                     _ => unreachable!("structure/kernel matched at build"),
-                }
+                })?;
                 count_d.fill(0);
-                kernels::bfs_update(
-                    device,
-                    &mut f_t.dslice_mut(),
-                    &mut sigma_d.dslice_mut(),
-                    &mut depths_d.dslice_mut(),
-                    &mut f.dslice_mut(),
-                    d + 1,
-                    &mut count_d.dslice_mut(),
-                );
+                retry_kernel(policy, &mut kernel_retries, || {
+                    kernels::bfs_update(
+                        device,
+                        &mut f_t.dslice_mut(),
+                        &mut sigma_d.dslice_mut(),
+                        &mut depths_d.dslice_mut(),
+                        &mut f.dslice_mut(),
+                        d + 1,
+                        &mut count_d.dslice_mut(),
+                    )
+                })?;
                 // Device → host copy of the continuation flag `c`.
                 let count = count_d.host()[0];
                 if count == 0 {
@@ -153,17 +191,20 @@ pub(crate) fn bc_simt(
             let mut delta_ut = device.alloc::<f64>(n)?;
             let mut depth = height;
             while depth > 1 {
-                kernels::bwd_seed(
-                    device,
-                    &depths_d.dslice(),
-                    &sigma_d.dslice(),
-                    &delta.dslice(),
-                    depth,
-                    &mut delta_u.dslice_mut(),
-                );
+                retry_kernel(policy, &mut kernel_retries, || {
+                    kernels::bwd_seed(
+                        device,
+                        &depths_d.dslice(),
+                        &sigma_d.dslice(),
+                        &delta.dslice(),
+                        depth,
+                        &mut delta_u.dslice_mut(),
+                    )
+                })?;
                 // `δ_ut` starts zeroed and is reset by the fused
                 // `bwd_accum` each depth.
-                match (&structure, kernel, symmetric) {
+                retry_kernel(policy, &mut kernel_retries, || match (&structure, kernel, symmetric)
+                {
                     (DeviceStructure::Cooc { row_a, col_a }, Kernel::ScCooc, _) => {
                         kernels::backward_sccooc(
                             device,
@@ -171,7 +212,7 @@ pub(crate) fn bc_simt(
                             &col_a.dslice(),
                             &delta_u.dslice(),
                             &mut delta_ut.dslice_mut(),
-                        );
+                        )
                     }
                     (DeviceStructure::Csc { cp, rows }, Kernel::ScCsc, true) => {
                         kernels::backward_sccsc_gather(
@@ -180,7 +221,7 @@ pub(crate) fn bc_simt(
                             &rows.dslice(),
                             &delta_u.dslice(),
                             &mut delta_ut.dslice_mut(),
-                        );
+                        )
                     }
                     (DeviceStructure::Csc { cp, rows }, Kernel::VeCsc, true) => {
                         kernels::backward_vecsc_gather(
@@ -189,7 +230,7 @@ pub(crate) fn bc_simt(
                             &rows.dslice(),
                             &delta_u.dslice(),
                             &mut delta_ut.dslice_mut(),
-                        );
+                        )
                     }
                     (DeviceStructure::Csc { cp, rows }, _, false) => {
                         kernels::backward_sccsc_scatter(
@@ -198,27 +239,31 @@ pub(crate) fn bc_simt(
                             &rows.dslice(),
                             &delta_u.dslice(),
                             &mut delta_ut.dslice_mut(),
-                        );
+                        )
                     }
                     _ => unreachable!("structure/kernel matched at build"),
-                }
-                kernels::bwd_accum(
-                    device,
-                    &depths_d.dslice(),
-                    &sigma_d.dslice(),
-                    &mut delta_ut.dslice_mut(),
-                    depth,
-                    &mut delta.dslice_mut(),
-                );
+                })?;
+                retry_kernel(policy, &mut kernel_retries, || {
+                    kernels::bwd_accum(
+                        device,
+                        &depths_d.dslice(),
+                        &sigma_d.dslice(),
+                        &mut delta_ut.dslice_mut(),
+                        depth,
+                        &mut delta.dslice_mut(),
+                    )
+                })?;
                 depth -= 1;
             }
-            kernels::bc_accum(
-                device,
-                &delta.dslice(),
-                source as usize,
-                scale,
-                &mut bc_d.dslice_mut(),
-            );
+            retry_kernel(policy, &mut kernel_retries, || {
+                kernels::bc_accum(
+                    device,
+                    &delta.dslice(),
+                    source as usize,
+                    scale,
+                    &mut bc_d.dslice_mut(),
+                )
+            })?;
         }
     }
 
@@ -242,6 +287,7 @@ pub(crate) fn bc_simt(
         max_depth,
         total_levels,
         last_reached,
+        kernel_retries,
         report,
     })
 }
@@ -293,6 +339,7 @@ pub fn vecsc_reduction_ablation(
                 &f_d.dslice(),
                 &mut ft_d.dslice_mut(),
             )
+            .expect("ablation device has no fault plan")
         } else {
             kernels::forward_vecsc(
                 &dev,
@@ -302,6 +349,7 @@ pub fn vecsc_reduction_ablation(
                 &f_d.dslice(),
                 &mut ft_d.dslice_mut(),
             )
+            .expect("ablation device has no fault plan")
         }
     };
     let shuffle = run(false);
@@ -331,7 +379,16 @@ mod tests {
     fn run(g: &Graph, kernel: Kernel, sources: &[u32]) -> SimtOutcome {
         let dev = Device::titan_xp();
         let storage = storage_for(g, kernel);
-        bc_simt(&dev, &storage, kernel, !g.directed(), sources, g.bc_scale()).unwrap()
+        bc_simt(
+            &dev,
+            &storage,
+            kernel,
+            !g.directed(),
+            sources,
+            g.bc_scale(),
+            &RecoveryPolicy::default(),
+        )
+        .unwrap()
     }
 
     fn assert_close(got: &[f64], want: &[f64]) {
@@ -386,7 +443,7 @@ mod tests {
         let (n, m) = (g.n(), g.m());
         let dev = Device::titan_xp();
         let storage = storage_for(&g, Kernel::ScCsc);
-        bc_simt(&dev, &storage, Kernel::ScCsc, true, &[0], 0.5).unwrap();
+        bc_simt(&dev, &storage, Kernel::ScCsc, true, &[0], 0.5, &RecoveryPolicy::default()).unwrap();
         let peak = dev.memory().peak;
         // Structure (u32) + per-vertex vectors (σ, bc, δ, δ_u, δ_ut i64/f64,
         // S u32) + counter, with 256-byte rounding slack per allocation.
@@ -409,7 +466,7 @@ mod tests {
         let tight = (4 * (n + 1 + m) + 8 * n + 4 * n + 8 * n + 8 + 3 * 8 * n + 24 * 256) as u64;
         let dev = Device::with_capacity(turbobc_simt::DeviceProps::titan_xp(), tight);
         let storage = storage_for(&g, Kernel::ScCsc);
-        let out = bc_simt(&dev, &storage, Kernel::ScCsc, true, &[0], 0.5);
+        let out = bc_simt(&dev, &storage, Kernel::ScCsc, true, &[0], 0.5, &RecoveryPolicy::default());
         assert!(out.is_ok(), "stage-switch dealloc should make this fit: {:?}", out.err());
     }
 
@@ -418,8 +475,8 @@ mod tests {
         let g = gen::grid2d(30, 30);
         let dev = Device::with_capacity(turbobc_simt::DeviceProps::titan_xp(), 4096);
         let storage = storage_for(&g, Kernel::ScCsc);
-        let err = bc_simt(&dev, &storage, Kernel::ScCsc, true, &[0], 0.5).unwrap_err();
-        assert!(matches!(err, DeviceError::OutOfMemory { .. }));
+        let err = bc_simt(&dev, &storage, Kernel::ScCsc, true, &[0], 0.5, &RecoveryPolicy::default()).unwrap_err();
+        assert!(matches!(err, TurboBcError::Device(DeviceError::OutOfMemory { .. })));
     }
 
     #[test]
@@ -434,15 +491,15 @@ mod tests {
         let partial = (4 * (n + 1 + m) + 8 * n + 4 * n + 8 * n + 8 + 8 * n + 2 * 256) as u64;
         let dev = Device::with_capacity(turbobc_simt::DeviceProps::titan_xp(), partial);
         let storage = storage_for(&g, Kernel::ScCsc);
-        let err = bc_simt(&dev, &storage, Kernel::ScCsc, true, &[0], 0.5).unwrap_err();
-        assert!(matches!(err, DeviceError::OutOfMemory { .. }));
+        let err = bc_simt(&dev, &storage, Kernel::ScCsc, true, &[0], 0.5, &RecoveryPolicy::default()).unwrap_err();
+        assert!(matches!(err, TurboBcError::Device(DeviceError::OutOfMemory { .. })));
         let mem = dev.memory();
         assert_eq!(mem.used, 0, "OOM path leaked {} bytes", mem.used);
         assert_eq!(mem.live_allocations, 0);
         // The device is reusable afterwards on a smaller graph.
         let small = gen::grid2d(4, 4);
         let st = storage_for(&small, Kernel::ScCsc);
-        assert!(bc_simt(&dev, &st, Kernel::ScCsc, true, &[0], 0.5).is_ok());
+        assert!(bc_simt(&dev, &st, Kernel::ScCsc, true, &[0], 0.5, &RecoveryPolicy::default()).is_ok());
     }
 
     #[test]
@@ -468,7 +525,7 @@ mod tests {
         let run = || {
             let storage = storage_for(&g, Kernel::VeCsc);
             let dev = Device::titan_xp();
-            let out = bc_simt(&dev, &storage, Kernel::VeCsc, true, &[s], 0.5).unwrap();
+            let out = bc_simt(&dev, &storage, Kernel::VeCsc, true, &[s], 0.5, &RecoveryPolicy::default()).unwrap();
             (out.bc, out.report.modelled_time_s, out.report.total())
         };
         let (bc1, t1, m1) = run();

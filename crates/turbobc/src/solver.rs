@@ -1,14 +1,17 @@
-//! The public solver: ties storage, kernel selection and engines
-//! together.
+//! The public solver: ties storage, kernel selection, engines and the
+//! fault-recovery policy together.
 
-use crate::options::{select_kernel, BcOptions, Engine, Kernel};
+use crate::checkpoint::{self, CheckpointConfig};
+use crate::error::{CheckpointError, TurboBcError};
+use crate::options::{degrade, select_kernel, BcOptions, Engine, Kernel, RecoveryPolicy};
 use crate::par::{bc_source_par, ParStorage};
-use crate::result::{BcResult, RunStats, SimtReport};
-use crate::seq::{bc_source_seq, Storage};
+use crate::result::{BcResult, RecoveryLog, RunStats, SimtReport};
+use crate::seq::{bc_source_seq, SourceRun, Storage};
 use crate::simt_engine::bc_simt;
 use std::time::Instant;
 use turbobc_graph::{Graph, GraphStats, VertexId};
 use turbobc_simt::{Device, DeviceError};
+use turbobc_sparse::{Cooc, Index};
 
 /// Source count at which the Parallel engine additionally parallelises
 /// *across* sources (each task owns its scratch vectors, contributions
@@ -17,14 +20,15 @@ const SOURCE_PAR_THRESHOLD: usize = 16;
 
 /// A prepared BC computation over one graph.
 ///
-/// Construction resolves the kernel (running the paper's §3.1 selection
-/// for [`Kernel::Auto`]) and materialises **exactly one** sparse storage
-/// format — COOC for `scCOOC`, CSC for `scCSC`/`veCSC` — per the paper's
-/// memory rule.
+/// Construction validates the graph, resolves the kernel (running the
+/// paper's §3.1 selection for [`Kernel::Auto`]) and materialises
+/// **exactly one** sparse storage format — COOC for `scCOOC`, CSC for
+/// `scCSC`/`veCSC` — per the paper's memory rule.
 pub struct BcSolver {
     storage: Storage,
     kernel: Kernel,
     engine: Engine,
+    recovery: RecoveryPolicy,
     symmetric: bool,
     scale: f64,
     n: usize,
@@ -34,7 +38,13 @@ pub struct BcSolver {
 
 impl BcSolver {
     /// Prepares a solver for `graph` with the given options.
-    pub fn new(graph: &Graph, options: BcOptions) -> Self {
+    ///
+    /// Fails with [`TurboBcError::EmptyGraph`] on a zero-vertex graph —
+    /// BC over nothing is a caller bug, not an all-zero answer.
+    pub fn new(graph: &Graph, options: BcOptions) -> Result<Self, TurboBcError> {
+        if graph.n() == 0 {
+            return Err(TurboBcError::EmptyGraph);
+        }
         let stats = GraphStats::compute(graph);
         let kernel = match options.kernel {
             Kernel::Auto => select_kernel(&stats),
@@ -44,17 +54,18 @@ impl BcSolver {
             Kernel::ScCooc => Storage::Cooc(graph.to_cooc()),
             _ => Storage::Csc(graph.to_csc()),
         };
-        BcSolver {
+        Ok(BcSolver {
             storage,
             kernel,
             engine: options.engine,
+            recovery: options.recovery,
             // Undirected graphs are stored as their symmetric closure.
             symmetric: !graph.directed(),
             scale: graph.bc_scale(),
             n: graph.n(),
             m: graph.m(),
             stats,
-        }
+        })
     }
 
     /// The kernel this solver resolved to.
@@ -65,6 +76,11 @@ impl BcSolver {
     /// The engine this solver runs on.
     pub fn engine(&self) -> Engine {
         self.engine
+    }
+
+    /// The recovery policy applied to SIMT and multi-GPU runs.
+    pub fn recovery(&self) -> RecoveryPolicy {
+        self.recovery
     }
 
     /// Vertex count.
@@ -82,14 +98,23 @@ impl BcSolver {
         &self.stats
     }
 
+    fn validate_sources(&self, sources: &[VertexId]) -> Result<(), TurboBcError> {
+        for &s in sources {
+            if s as usize >= self.n {
+                return Err(TurboBcError::InvalidSource { source: s, n: self.n });
+            }
+        }
+        Ok(())
+    }
+
     /// BC contribution of a single source (the paper's "BC/vertex"
     /// experiments, Tables 1–4).
-    pub fn bc_single_source(&self, source: VertexId) -> BcResult {
+    pub fn bc_single_source(&self, source: VertexId) -> Result<BcResult, TurboBcError> {
         self.bc_sources(&[source])
     }
 
     /// Exact BC: all `n` sources (Table 5).
-    pub fn bc_exact(&self) -> BcResult {
+    pub fn bc_exact(&self) -> Result<BcResult, TurboBcError> {
         let sources: Vec<VertexId> = (0..self.n as VertexId).collect();
         self.bc_sources(&sources)
     }
@@ -97,7 +122,7 @@ impl BcSolver {
     /// Approximate BC from `k` evenly-spaced pivot sources (Brandes &
     /// Pich-style sampling; an extension beyond the paper used by the
     /// examples).
-    pub fn bc_sampled(&self, k: usize) -> BcResult {
+    pub fn bc_sampled(&self, k: usize) -> Result<BcResult, TurboBcError> {
         let k = k.clamp(1, self.n.max(1));
         let stride = (self.n / k).max(1);
         let sources: Vec<VertexId> =
@@ -105,14 +130,45 @@ impl BcSolver {
         self.bc_sources(&sources)
     }
 
-    /// BC accumulated over an explicit source set.
-    pub fn bc_sources(&self, sources: &[VertexId]) -> BcResult {
+    /// BC accumulated over an explicit source set. Every source must be
+    /// a vertex of the graph ([`TurboBcError::InvalidSource`]).
+    pub fn bc_sources(&self, sources: &[VertexId]) -> Result<BcResult, TurboBcError> {
+        self.validate_sources(sources)?;
+        Ok(self.run_cpu(sources, self.engine))
+    }
+
+    /// One source on the CPU (engine-selected kernel structure),
+    /// accumulating into the caller's buffers.
+    fn one_source(
+        &self,
+        source: usize,
+        engine: Engine,
+        bc: &mut [f64],
+        sigma: &mut [i64],
+        depths: &mut [u32],
+    ) -> SourceRun {
+        match engine {
+            Engine::Sequential => {
+                bc_source_seq(&self.storage, source, self.scale, bc, sigma, depths)
+            }
+            Engine::Parallel => {
+                let storage = match &self.storage {
+                    Storage::Csc(csc) => ParStorage::Csc { csc, symmetric: self.symmetric },
+                    Storage::Cooc(cooc) => ParStorage::Cooc(cooc),
+                };
+                bc_source_par(&storage, source, self.scale, bc, sigma, depths)
+            }
+        }
+    }
+
+    /// The CPU engines (validation already done).
+    fn run_cpu(&self, sources: &[VertexId], engine: Engine) -> BcResult {
         let start = Instant::now();
         let mut bc = vec![0.0f64; self.n];
         let mut sigma = vec![0i64; self.n];
         let mut depths = vec![0u32; self.n];
         let mut stats = RunStats { sources: sources.len(), ..Default::default() };
-        match self.engine {
+        match engine {
             Engine::Sequential => {
                 for &s in sources {
                     let run = bc_source_seq(
@@ -211,29 +267,192 @@ impl BcSolver {
         BcResult { bc, sigma, depths, stats }
     }
 
+    /// Multi-source BC with periodic checkpoints and resume.
+    ///
+    /// Sources are processed in batches of `ckpt.every`; after each
+    /// batch the accumulated `bc` and the completed-source count are
+    /// atomically snapshotted to `ckpt.path`. A run restarted with
+    /// [`CheckpointConfig::resume`] skips the completed prefix and
+    /// produces **bit-identical** `bc` to an uninterrupted checkpointed
+    /// run: batches are always summed source-by-source into a
+    /// batch-local vector and folded into the accumulator in batch
+    /// order, so the floating-point association never depends on where
+    /// a kill happened.
+    ///
+    /// `stats.recovery.resumed_sources` records how many sources the
+    /// checkpoint covered; `stats.max_depth`/`total_levels` cover only
+    /// the work done by *this* process.
+    pub fn bc_sources_checkpointed(
+        &self,
+        sources: &[VertexId],
+        ckpt: &CheckpointConfig,
+    ) -> Result<BcResult, TurboBcError> {
+        self.validate_sources(sources)?;
+        let start = Instant::now();
+        let every = ckpt.every.max(1);
+        let fp = checkpoint::fingerprint(self.n, self.m, self.symmetric, self.scale, sources);
+
+        let mut bc = vec![0.0f64; self.n];
+        let mut done = 0usize;
+        if ckpt.resume {
+            if let Some(snap) = checkpoint::load(&ckpt.path, fp, self.n)? {
+                done = snap.done.min(sources.len());
+                bc = snap.bc;
+            }
+        }
+        let mut stats = RunStats {
+            sources: sources.len(),
+            recovery: RecoveryLog { resumed_sources: done, ..Default::default() },
+            ..Default::default()
+        };
+        let mut sigma = vec![0i64; self.n];
+        let mut depths = vec![0u32; self.n];
+        let mut batches_done = 0u32;
+        while done < sources.len() {
+            let hi = (done + every).min(sources.len());
+            let mut batch_bc = vec![0.0f64; self.n];
+            for &s in &sources[done..hi] {
+                let run =
+                    self.one_source(s as usize, self.engine, &mut batch_bc, &mut sigma, &mut depths);
+                stats.max_depth = stats.max_depth.max(run.height);
+                stats.total_levels += run.height as u64;
+            }
+            for (acc, x) in bc.iter_mut().zip(&batch_bc) {
+                *acc += x;
+            }
+            done = hi;
+            checkpoint::save(&ckpt.path, fp, done, &bc)?;
+            batches_done += 1;
+            if let Some(kill) = ckpt.fail_after_batches {
+                if batches_done >= kill {
+                    return Err(CheckpointError::InjectedKill { batches_done }.into());
+                }
+            }
+        }
+        // σ/S surface the last source deterministically — also when the
+        // checkpoint already covered every source.
+        if let Some(&last) = sources.last() {
+            let mut scratch = vec![0.0f64; self.n];
+            let run =
+                self.one_source(last as usize, self.engine, &mut scratch, &mut sigma, &mut depths);
+            stats.last_reached = run.reached;
+            stats.max_depth = stats.max_depth.max(run.height);
+        }
+        stats.elapsed = start.elapsed();
+        Ok(BcResult { bc, sigma, depths, stats })
+    }
+
+    /// Rebuilds the storage a degraded kernel needs. Degradation only
+    /// steps *down* the ladder (veCSC → scCSC → scCOOC), so the only
+    /// conversion is CSC → COOC.
+    fn storage_for(&self, kernel: Kernel) -> Storage {
+        match (kernel, &self.storage) {
+            (Kernel::ScCooc, Storage::Csc(csc)) => {
+                let nnz = csc.nnz();
+                let mut rows = Vec::with_capacity(nnz);
+                let mut cols = Vec::with_capacity(nnz);
+                for j in 0..csc.n_cols() {
+                    for k in csc.col_ptr()[j]..csc.col_ptr()[j + 1] {
+                        rows.push(csc.row_idx()[k]);
+                        cols.push(j as Index);
+                    }
+                }
+                Storage::Cooc(
+                    Cooc::from_entries(csc.n_rows(), csc.n_cols(), rows, cols)
+                        .expect("CSC entries are in range"),
+                )
+            }
+            (_, s) => s.clone(),
+        }
+    }
+
     /// Runs the same computation on the SIMT simulator, returning both
     /// the BC result and the device-level report (memory peak, per-kernel
-    /// transactions, modelled time/GLT). Fails with
-    /// [`DeviceError::OutOfMemory`] when the working set does not fit the
-    /// device — the paper's *OOM* entries.
+    /// transactions, modelled time/GLT).
+    ///
+    /// The solver's [`RecoveryPolicy`] governs what happens when the
+    /// device misbehaves:
+    ///
+    /// * transient kernel faults are retried in place with bounded
+    ///   exponential backoff (`stats.recovery.kernel_retries`);
+    /// * on [`DeviceError::OutOfMemory`] the run degrades veCSC → scCSC
+    ///   → scCOOC (`stats.recovery.oom_degradations`, `degraded_to`) and
+    ///   finally falls back to the CPU Parallel engine
+    ///   (`stats.recovery.cpu_fallback`);
+    /// * with [`RecoveryPolicy::strict`] every fault surfaces
+    ///   immediately — the paper's *OOM* table entries.
     pub fn run_simt(
         &self,
         device: &Device,
         sources: &[VertexId],
-    ) -> Result<(BcResult, SimtReport), DeviceError> {
+    ) -> Result<(BcResult, SimtReport), TurboBcError> {
+        self.validate_sources(sources)?;
         let start = Instant::now();
-        let out = bc_simt(device, &self.storage, self.kernel, self.symmetric, sources, self.scale)?;
-        let stats = RunStats {
-            sources: sources.len(),
-            max_depth: out.max_depth,
-            total_levels: out.total_levels,
-            last_reached: out.last_reached,
-            elapsed: start.elapsed(),
-        };
-        Ok((
-            BcResult { bc: out.bc, sigma: out.sigma, depths: out.depths, stats },
-            out.report,
-        ))
+        let mut recovery = RecoveryLog::default();
+        let mut kernel = self.kernel;
+        let mut degraded_storage: Option<Storage> = None;
+        loop {
+            let storage = degraded_storage.as_ref().unwrap_or(&self.storage);
+            match bc_simt(
+                device,
+                storage,
+                kernel,
+                self.symmetric,
+                sources,
+                self.scale,
+                &self.recovery,
+            ) {
+                Ok(out) => {
+                    recovery.kernel_retries += out.kernel_retries;
+                    let stats = RunStats {
+                        sources: sources.len(),
+                        max_depth: out.max_depth,
+                        total_levels: out.total_levels,
+                        last_reached: out.last_reached,
+                        elapsed: start.elapsed(),
+                        recovery,
+                    };
+                    return Ok((
+                        BcResult { bc: out.bc, sigma: out.sigma, depths: out.depths, stats },
+                        out.report,
+                    ));
+                }
+                Err(TurboBcError::Device(DeviceError::OutOfMemory { .. }))
+                    if self.recovery.allow_degradation || self.recovery.allow_cpu_fallback =>
+                {
+                    let next = if self.recovery.allow_degradation { degrade(kernel) } else { None };
+                    match next {
+                        Some(next) => {
+                            recovery.oom_degradations += 1;
+                            recovery.degraded_to = Some(next.name());
+                            degraded_storage = Some(self.storage_for(next));
+                            kernel = next;
+                        }
+                        None if self.recovery.allow_cpu_fallback => {
+                            recovery.cpu_fallback = true;
+                            let mut result = self.run_cpu(sources, Engine::Parallel);
+                            result.stats.recovery = recovery;
+                            // The device never completed a run: report
+                            // whatever it measured before giving up.
+                            let report = SimtReport {
+                                metrics: device.metrics(),
+                                memory: device.memory(),
+                                modelled_time_s: 0.0,
+                                glt_gbs: 0.0,
+                            };
+                            return Ok((result, report));
+                        }
+                        None => {
+                            return Err(TurboBcError::Device(DeviceError::OutOfMemory {
+                                requested: 0,
+                                free: 0,
+                            }))
+                        }
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 }
 
@@ -253,11 +472,12 @@ mod tests {
     #[test]
     fn quickstart_path_graph() {
         let g = Graph::from_edges(5, false, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
-        let solver = BcSolver::new(&g, BcOptions::default());
-        let r = solver.bc_exact();
+        let solver = BcSolver::new(&g, BcOptions::default()).unwrap();
+        let r = solver.bc_exact().unwrap();
         assert_close(&r.bc, &[0.0, 3.0, 4.0, 3.0, 0.0], 1e-12);
         assert_eq!(r.stats.sources, 5);
         assert_eq!(r.stats.max_depth, 5);
+        assert!(r.stats.recovery.is_clean());
     }
 
     #[test]
@@ -268,8 +488,10 @@ mod tests {
             let want = brandes_single_source(g, s);
             for engine in [Engine::Sequential, Engine::Parallel] {
                 for kernel in [Kernel::ScCooc, Kernel::ScCsc, Kernel::VeCsc] {
-                    let solver = BcSolver::new(g, BcOptions { kernel, engine });
-                    let r = solver.bc_single_source(s);
+                    let solver =
+                        BcSolver::new(g, BcOptions { kernel, engine, ..Default::default() })
+                            .unwrap();
+                    let r = solver.bc_single_source(s).unwrap();
                     assert_close(&r.bc, &want, 1e-9);
                 }
             }
@@ -281,24 +503,26 @@ mod tests {
         let g = gen::small_world(80, 3, 0.3, 9);
         let want = brandes_all_sources(&g);
         for engine in [Engine::Sequential, Engine::Parallel] {
-            let solver = BcSolver::new(&g, BcOptions { kernel: Kernel::Auto, engine });
-            assert_close(&solver.bc_exact().bc, &want, 1e-6);
+            let solver =
+                BcSolver::new(&g, BcOptions { kernel: Kernel::Auto, engine, ..Default::default() })
+                    .unwrap();
+            assert_close(&solver.bc_exact().unwrap().bc, &want, 1e-6);
         }
     }
 
     #[test]
     fn auto_kernel_resolution_is_exposed() {
         let dense = gen::mycielski(9);
-        assert_eq!(BcSolver::new(&dense, BcOptions::default()).kernel(), Kernel::VeCsc);
+        assert_eq!(BcSolver::new(&dense, BcOptions::default()).unwrap().kernel(), Kernel::VeCsc);
         let mesh = gen::grid2d(10, 10);
-        assert_eq!(BcSolver::new(&mesh, BcOptions::default()).kernel(), Kernel::ScCsc);
+        assert_eq!(BcSolver::new(&mesh, BcOptions::default()).unwrap().kernel(), Kernel::ScCsc);
     }
 
     #[test]
     fn sampled_bc_uses_k_sources() {
         let g = gen::gnm(100, 400, false, 5);
-        let solver = BcSolver::new(&g, BcOptions::default());
-        let r = solver.bc_sampled(10);
+        let solver = BcSolver::new(&g, BcOptions::default()).unwrap();
+        let r = solver.bc_sampled(10).unwrap();
         assert_eq!(r.stats.sources, 10);
         // Sampled BC approximates the full ordering: top-exact vertex
         // should rank highly in the sample.
@@ -314,22 +538,23 @@ mod tests {
     #[test]
     fn simt_run_agrees_with_cpu_run() {
         let g = gen::delaunay(120, 4);
-        let solver = BcSolver::new(&g, BcOptions::default());
+        let solver = BcSolver::new(&g, BcOptions::default()).unwrap();
         let s = g.default_source();
-        let cpu = solver.bc_single_source(s);
+        let cpu = solver.bc_single_source(s).unwrap();
         let dev = Device::titan_xp();
         let (gpu, report) = solver.run_simt(&dev, &[s]).unwrap();
         assert_close(&gpu.bc, &cpu.bc, 1e-9);
         assert_eq!(gpu.stats.max_depth, cpu.stats.max_depth);
         assert!(report.memory.peak > 0);
+        assert!(gpu.stats.recovery.is_clean());
     }
 
     #[test]
     fn run_stats_depth_matches_bfs() {
         let g = gen::road_network(6, 6, 5, 3);
-        let solver = BcSolver::new(&g, BcOptions::default());
+        let solver = BcSolver::new(&g, BcOptions::default()).unwrap();
         let s = g.default_source();
-        let r = solver.bc_single_source(s);
+        let r = solver.bc_single_source(s).unwrap();
         let bfs = turbobc_graph::bfs(&g, s);
         assert_eq!(r.stats.max_depth, bfs.height);
         assert_eq!(r.stats.last_reached, bfs.reached);
@@ -340,8 +565,8 @@ mod tests {
     fn source_parallel_exact_matches_oracle() {
         // 80 sources crosses the across-sources parallel threshold.
         let g = gen::gnm(80, 260, false, 12);
-        let solver = BcSolver::new(&g, BcOptions::default());
-        let r = solver.bc_exact();
+        let solver = BcSolver::new(&g, BcOptions::default()).unwrap();
+        let r = solver.bc_exact().unwrap();
         let want = brandes_all_sources(&g);
         assert_close(&r.bc, &want, 1e-7);
         // σ/S surface the last source deterministically.
@@ -352,10 +577,48 @@ mod tests {
     }
 
     #[test]
-    fn empty_graph_is_fine() {
+    fn empty_graph_is_rejected_at_construction() {
         let g = Graph::from_edges(0, true, &[]);
-        let solver = BcSolver::new(&g, BcOptions::default());
-        let r = solver.bc_sources(&[]);
-        assert!(r.bc.is_empty());
+        match BcSolver::new(&g, BcOptions::default()) {
+            Err(TurboBcError::EmptyGraph) => {}
+            other => panic!("want EmptyGraph, got {:?}", other.err()),
+        }
+    }
+
+    #[test]
+    fn out_of_range_source_is_rejected() {
+        let g = Graph::from_edges(4, false, &[(0, 1), (1, 2), (2, 3)]);
+        let solver = BcSolver::new(&g, BcOptions::default()).unwrap();
+        match solver.bc_single_source(4) {
+            Err(TurboBcError::InvalidSource { source: 4, n: 4 }) => {}
+            other => panic!("want InvalidSource, got {:?}", other.err()),
+        }
+        match solver.bc_sources(&[0, 99]) {
+            Err(TurboBcError::InvalidSource { source: 99, .. }) => {}
+            other => panic!("want InvalidSource, got {:?}", other.err()),
+        }
+        let dev = Device::titan_xp();
+        assert!(matches!(
+            solver.run_simt(&dev, &[7]),
+            Err(TurboBcError::InvalidSource { source: 7, .. })
+        ));
+    }
+
+    #[test]
+    fn checkpointed_run_matches_plain_run() {
+        let g = gen::gnm(60, 200, false, 31);
+        let solver = BcSolver::new(&g, BcOptions::default()).unwrap();
+        let sources: Vec<u32> = (0..g.n() as u32).collect();
+        let dir = std::env::temp_dir().join("turbobc_solver_ckpt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("plain.ckpt");
+        let _ = std::fs::remove_file(&path);
+        let ck = solver
+            .bc_sources_checkpointed(&sources, &CheckpointConfig::new(&path, 7))
+            .unwrap();
+        let plain = solver.bc_sources(&sources).unwrap();
+        assert_close(&ck.bc, &plain.bc, 1e-9);
+        assert_eq!(ck.depths, plain.depths);
+        assert_eq!(ck.sigma, plain.sigma);
     }
 }

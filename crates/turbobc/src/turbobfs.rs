@@ -8,14 +8,15 @@
 //! paper's convention), the shortest-path counts `σ` its masked SpMV
 //! accumulates for free, and the BFS-tree height `d`.
 
-use crate::options::{select_kernel, BcOptions, Engine, Kernel};
+use crate::error::TurboBcError;
+use crate::options::{select_kernel, BcOptions, Engine, Kernel, RecoveryPolicy};
 use crate::par::{bc_source_par, ParStorage};
 use crate::seq::Storage;
 use crate::simt_engine::bc_simt;
 use crate::result::SimtReport;
 use std::time::{Duration, Instant};
 use turbobc_graph::{Graph, GraphStats, VertexId};
-use turbobc_simt::{Device, DeviceError};
+use turbobc_simt::Device;
 
 /// Result of a linear-algebraic BFS.
 #[derive(Debug, Clone, PartialEq)]
@@ -63,6 +64,7 @@ pub struct TurboBfs {
     storage: Storage,
     kernel: Kernel,
     engine: Engine,
+    recovery: RecoveryPolicy,
     symmetric: bool,
     n: usize,
 }
@@ -82,6 +84,7 @@ impl TurboBfs {
             storage,
             kernel,
             engine: options.engine,
+            recovery: options.recovery,
             symmetric: !graph.directed(),
             n: graph.n(),
         }
@@ -141,9 +144,17 @@ impl TurboBfs {
         &self,
         device: &Device,
         source: VertexId,
-    ) -> Result<(BfsRun, SimtReport), DeviceError> {
+    ) -> Result<(BfsRun, SimtReport), TurboBcError> {
         let start = Instant::now();
-        let out = bc_simt(device, &self.storage, self.kernel, self.symmetric, &[source], 0.0)?;
+        let out = bc_simt(
+            device,
+            &self.storage,
+            self.kernel,
+            self.symmetric,
+            &[source],
+            0.0,
+            &self.recovery,
+        )?;
         Ok((
             BfsRun {
                 depths: out.depths,
@@ -204,7 +215,7 @@ mod tests {
             let want = turbobc_graph::bfs(&g, s);
             for kernel in [Kernel::ScCooc, Kernel::ScCsc, Kernel::VeCsc] {
                 for engine in [Engine::Sequential, Engine::Parallel] {
-                    let bfs = TurboBfs::new(&g, BcOptions { kernel, engine });
+                    let bfs = TurboBfs::new(&g, BcOptions { kernel, engine, ..Default::default() });
                     let r = bfs.run(s);
                     assert_eq!(r.depths, want.depths, "{kernel:?}/{engine:?}");
                     assert_eq!(r.height, want.height);

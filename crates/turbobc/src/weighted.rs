@@ -305,7 +305,8 @@ mod tests {
     #[test]
     fn unit_weights_match_unweighted_turbobc() {
         let g = gen::small_world(60, 3, 0.2, 4);
-        let unweighted = crate::BcSolver::new(&g, crate::BcOptions::default()).bc_exact();
+        let unweighted =
+            crate::BcSolver::new(&g, crate::BcOptions::default()).unwrap().bc_exact().unwrap();
         let wg = WeightedGraph::unit_weights(g);
         let weighted = weighted_bc_exact(&wg, WeightedBcOptions::default());
         for (a, b) in weighted.bc.iter().zip(&unweighted.bc) {

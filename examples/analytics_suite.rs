@@ -38,15 +38,15 @@ fn main() {
     println!("top-3 by each analytic:");
 
     // Exact BC (the headline metric).
-    let solver = BcSolver::new(&network, BcOptions::default());
-    let bc = solver.bc_exact();
+    let solver = BcSolver::new(&network, BcOptions::default()).unwrap();
+    let bc = solver.bc_exact().unwrap();
     top3("betweenness", &bc.bc);
 
     // Approximate BC with a guarantee — a fraction of the cost.
     let approx = bc_approx(
         &network,
         ApproxOptions { epsilon: 0.05, delta: 0.05, ..Default::default() },
-    );
+    ).unwrap();
     top3(
         &format!("approx BC (k={})", approx.samples),
         &approx.bc,

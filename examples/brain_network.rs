@@ -26,10 +26,10 @@ fn main() {
         stats.degree.mean
     );
 
-    let solver = BcSolver::new(&connectome, BcOptions::default());
+    let solver = BcSolver::new(&connectome, BcOptions::default()).unwrap();
     println!("selected kernel: {} (regular small-world profile)", solver.kernel().name());
 
-    let result = solver.bc_exact();
+    let result = solver.bc_exact().unwrap();
     println!(
         "exact BC over {} sources in {:.1} ms (BFS depth ≤ {})",
         result.stats.sources,

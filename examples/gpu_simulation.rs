@@ -17,7 +17,7 @@ fn main() {
     let graph = gen::mycielski(11);
     println!("graph: mycielski11, n = {}, m = {}", graph.n(), graph.m());
 
-    let solver = BcSolver::new(&graph, BcOptions::default());
+    let solver = BcSolver::new(&graph, BcOptions::default()).unwrap();
     println!("auto-selected kernel: {}\n", solver.kernel().name());
 
     let device = Device::titan_xp();

@@ -26,7 +26,7 @@ fn main() {
 
     // Default options: the kernel is selected automatically from the
     // graph's degree profile (§3.1 of the paper), engine = rayon.
-    let solver = BcSolver::new(&graph, BcOptions::default());
+    let solver = BcSolver::new(&graph, BcOptions::default()).unwrap();
     println!(
         "karate club: n = {}, m = {} stored arcs, kernel = {}",
         solver.n(),
@@ -35,7 +35,7 @@ fn main() {
     );
 
     // Exact BC: every vertex as a BFS source.
-    let result = solver.bc_exact();
+    let result = solver.bc_exact().unwrap();
     let mut ranked: Vec<(usize, f64)> = result.bc.iter().copied().enumerate().collect();
     ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
     println!("\ntop-5 betweenness (who brokers the most shortest paths):");
@@ -59,8 +59,8 @@ fn main() {
     // The same computation with each explicit kernel gives identical
     // results; only the storage format and work mapping change.
     for kernel in [Kernel::ScCooc, Kernel::ScCsc, Kernel::VeCsc] {
-        let s = BcSolver::new(&graph, BcOptions { kernel, engine: Engine::Sequential });
-        let r = s.bc_exact();
+        let s = BcSolver::new(&graph, BcOptions { kernel, engine: Engine::Sequential, ..Default::default() }).unwrap();
+        let r = s.bc_exact().unwrap();
         let diff = r.bc.iter().zip(&result.bc).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
         println!("kernel {:>6}: max diff vs default = {diff:.2e}", kernel.name());
     }

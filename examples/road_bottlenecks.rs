@@ -23,12 +23,12 @@ fn main() {
         probe.height
     );
 
-    let solver = BcSolver::new(&roads, BcOptions::default());
+    let solver = BcSolver::new(&roads, BcOptions::default()).unwrap();
     println!("auto-selected kernel: {} (paper: scCSC for road networks)", solver.kernel().name());
     assert_eq!(solver.kernel(), Kernel::ScCsc);
 
     // Sampled BC is plenty to surface the arterial bottlenecks.
-    let result = solver.bc_sampled(128);
+    let result = solver.bc_sampled(128).unwrap();
     let mut ranked: Vec<usize> = (0..roads.n()).collect();
     ranked.sort_by(|&a, &b| result.bc[b].total_cmp(&result.bc[a]));
 
@@ -60,8 +60,8 @@ fn main() {
     );
 
     // BC is identical on the reloaded graph.
-    let solver2 = BcSolver::new(&reloaded, BcOptions::default());
-    let result2 = solver2.bc_sampled(128);
+    let solver2 = BcSolver::new(&reloaded, BcOptions::default()).unwrap();
+    let result2 = solver2.bc_sampled(128).unwrap();
     let max_diff = result
         .bc
         .iter()

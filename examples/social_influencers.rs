@@ -25,14 +25,14 @@ fn main() {
 
     // Auto-selection: the degree skew (max ≫ mean) picks the
     // edge-parallel scCOOC kernel, as the paper found for com-Youtube.
-    let solver = BcSolver::new(&network, BcOptions::default());
+    let solver = BcSolver::new(&network, BcOptions::default()).unwrap();
     println!("auto-selected kernel: {}", solver.kernel().name());
     assert_eq!(solver.kernel(), Kernel::ScCooc);
 
     // Sampled BC: 64 evenly spaced pivots approximate the ranking at a
     // fraction of the exact cost (Brandes–Pich pivoting).
     let t0 = Instant::now();
-    let sampled = solver.bc_sampled(64);
+    let sampled = solver.bc_sampled(64).unwrap();
     println!(
         "sampled BC (64 pivots) in {:.0} ms",
         t0.elapsed().as_secs_f64() * 1e3
@@ -51,7 +51,7 @@ fn main() {
 
     // Check the sampled ranking against one more-expensive reference:
     // 512 pivots.
-    let reference = solver.bc_sampled(512);
+    let reference = solver.bc_sampled(512).unwrap();
     let mut ref_ranked: Vec<usize> = (0..network.n()).collect();
     ref_ranked.sort_by(|&a, &b| reference.bc[b].total_cmp(&reference.bc[a]));
     let overlap = ranked[..10].iter().filter(|v| ref_ranked[..10].contains(v)).count();
@@ -61,10 +61,10 @@ fn main() {
     // the paper's "(sequential)x" baseline uses.
     let seq = BcSolver::new(
         &network,
-        BcOptions { kernel: Kernel::ScCooc, engine: Engine::Sequential },
-    );
+        BcOptions { kernel: Kernel::ScCooc, engine: Engine::Sequential, ..Default::default() },
+    ).unwrap();
     let t0 = Instant::now();
-    let _ = seq.bc_sampled(8);
+    let _ = seq.bc_sampled(8).unwrap();
     println!(
         "sequential engine, 8 pivots: {:.0} ms (the paper's CPU baseline path)",
         t0.elapsed().as_secs_f64() * 1e3

@@ -50,8 +50,8 @@ proptest! {
         let want = brandes_single_source(&g, source);
         for kernel in [Kernel::ScCooc, Kernel::ScCsc, Kernel::VeCsc] {
             for engine in [Engine::Sequential, Engine::Parallel] {
-                let solver = BcSolver::new(&g, BcOptions { kernel, engine });
-                let r = solver.bc_single_source(source);
+                let solver = BcSolver::new(&g, BcOptions { kernel, engine, ..Default::default() }).unwrap();
+                let r = solver.bc_single_source(source).unwrap();
                 assert_close(&format!("{:?}/{:?}", kernel, engine), &r.bc, &want);
             }
         }
@@ -62,7 +62,7 @@ proptest! {
         let source = src_sel.index(g.n()) as u32;
         let want = brandes_single_source(&g, source);
         for kernel in [Kernel::ScCooc, Kernel::ScCsc, Kernel::VeCsc] {
-            let solver = BcSolver::new(&g, BcOptions { kernel, engine: Engine::Sequential });
+            let solver = BcSolver::new(&g, BcOptions { kernel, engine: Engine::Sequential, ..Default::default() }).unwrap();
             let dev = Device::titan_xp();
             let (r, _) = solver.run_simt(&dev, &[source]).expect("fits");
             assert_close(&format!("simt/{:?}", kernel), &r.bc, &want);
@@ -86,8 +86,8 @@ proptest! {
     #[test]
     fn sigma_and_depths_match_bfs_oracle(g in arb_graph(), src_sel in any::<prop::sample::Index>()) {
         let source = src_sel.index(g.n()) as u32;
-        let solver = BcSolver::new(&g, BcOptions::default());
-        let r = solver.bc_single_source(source);
+        let solver = BcSolver::new(&g, BcOptions::default()).unwrap();
+        let r = solver.bc_single_source(source).unwrap();
         let bfs = turbobc_suite::graph::bfs(&g, source);
         prop_assert_eq!(&r.depths, &bfs.depths);
         prop_assert_eq!(r.stats.max_depth, bfs.height);

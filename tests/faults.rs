@@ -1,0 +1,216 @@
+//! Fault-sweep integration tests: the robustness contract of the whole
+//! stack. Every *absorbable* injected fault — a transient kernel-launch
+//! failure at any point in the schedule, a dropped or corrupted
+//! interconnect exchange, an injected OOM that walks the degradation
+//! ladder, a whole device lost mid-run, a checkpointed run killed between
+//! batches — must leave the BC scores bit-identical to the corresponding
+//! clean run, with the absorption recorded in the recovery log.
+
+use turbobc::multi_gpu::{bc_multi_gpu, bc_multi_gpu_faulty};
+use turbobc::{BcOptions, BcSolver, CheckpointConfig, Kernel, RecoveryPolicy, TurboBcError};
+use turbobc_graph::gen;
+use turbobc_simt::{Device, DeviceProps, FaultPlan, Interconnect};
+
+/// The default policy minus the backoff sleeps (pointless in tests).
+fn fast_policy() -> RecoveryPolicy {
+    RecoveryPolicy { backoff_base_us: 0, ..Default::default() }
+}
+
+fn opts(kernel: Kernel) -> BcOptions {
+    BcOptions { kernel, recovery: fast_policy(), ..Default::default() }
+}
+
+fn assert_close(got: &[f64], want: &[f64], tol: f64) {
+    assert_eq!(got.len(), want.len());
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert!((g - w).abs() < tol, "bc[{i}] = {g}, want {w}");
+    }
+}
+
+/// Inject a transient fault at *every* launch index of the schedule, one
+/// run per index: each run must retry exactly once and reproduce the
+/// clean result bit for bit (a faulted launch never executes its body,
+/// so the retry is the first real execution).
+#[test]
+fn every_launch_index_survives_a_transient_fault() {
+    let g = gen::small_world(64, 2, 0.2, 7);
+    let sources = [g.default_source(), 5];
+    let solver = BcSolver::new(&g, opts(Kernel::ScCsc)).unwrap();
+
+    let clean_dev = Device::titan_xp();
+    let (clean, _) = solver.run_simt(&clean_dev, &sources).unwrap();
+    let total = clean_dev.metrics().total().launches;
+    assert!(total > 10, "schedule too short to be a meaningful sweep: {total}");
+
+    for k in 0..total {
+        let dev = Device::with_faults(DeviceProps::titan_xp(), FaultPlan::new(k).fail_launch_at(k));
+        let (got, _) = solver
+            .run_simt(&dev, &sources)
+            .unwrap_or_else(|e| panic!("fault at launch {k}/{total} was fatal: {e}"));
+        assert_eq!(
+            got.stats.recovery.kernel_retries, 1,
+            "fault at launch {k} should cost exactly one retry"
+        );
+        assert_eq!(got.bc, clean.bc, "fault at launch {k} perturbed the result");
+        assert_eq!(got.sigma, clean.sigma);
+        assert_eq!(got.depths, clean.depths);
+    }
+}
+
+/// An injected OOM on a veCSC run steps down the degradation ladder to
+/// scCSC; the degraded run must match a *clean* scCSC run bit for bit.
+#[test]
+fn injected_oom_degrades_bit_identically_to_the_next_kernel() {
+    let g = gen::gnm(80, 400, false, 3);
+    let sources = [g.default_source()];
+
+    let sc = BcSolver::new(&g, opts(Kernel::ScCsc)).unwrap();
+    let (want, _) = sc.run_simt(&Device::titan_xp(), &sources).unwrap();
+
+    let ve = BcSolver::new(&g, opts(Kernel::VeCsc)).unwrap();
+    for alloc_idx in [0u64, 3] {
+        let dev = Device::with_faults(
+            DeviceProps::titan_xp(),
+            FaultPlan::new(alloc_idx).fail_alloc_at(alloc_idx),
+        );
+        let (got, _) = ve.run_simt(&dev, &sources).unwrap();
+        let log = &got.stats.recovery;
+        assert_eq!(log.oom_degradations, 1, "alloc fault {alloc_idx} should degrade once");
+        assert_eq!(log.degraded_to, Some("scCSC"));
+        assert!(!log.cpu_fallback);
+        assert_eq!(got.bc, want.bc, "degraded run (alloc fault {alloc_idx}) must match scCSC");
+    }
+}
+
+/// A device too small for *any* kernel exhausts the ladder and lands on
+/// the CPU Parallel engine, still producing correct scores.
+#[test]
+fn exhausted_ladder_falls_back_to_cpu() {
+    let g = gen::grid2d(12, 12);
+    let solver = BcSolver::new(&g, opts(Kernel::ScCsc)).unwrap();
+    let dev = Device::with_capacity(DeviceProps::titan_xp(), 4096);
+    let (got, _) = solver.run_simt(&dev, &[0]).unwrap();
+    assert!(got.stats.recovery.cpu_fallback, "tiny device must end on the CPU");
+    assert!(got.stats.recovery.oom_degradations >= 1);
+    let want = solver.bc_sources(&[0]).unwrap();
+    assert_close(&got.bc, &want.bc, 1e-9);
+}
+
+/// With recovery disabled the same faults surface as hard errors — the
+/// knobs, not the faults, decide whether a run survives.
+#[test]
+fn strict_policy_surfaces_the_fault_instead() {
+    let g = gen::gnm(40, 120, false, 5);
+    let strict = BcOptions {
+        kernel: Kernel::ScCsc,
+        recovery: RecoveryPolicy::strict(),
+        ..Default::default()
+    };
+    let solver = BcSolver::new(&g, strict).unwrap();
+    let dev = Device::with_faults(DeviceProps::titan_xp(), FaultPlan::new(1).fail_launch_at(2));
+    assert!(matches!(solver.run_simt(&dev, &[0]), Err(TurboBcError::Device(_))));
+}
+
+/// Dropped and corrupted frontier exchanges on the multi-GPU interconnect
+/// are retried; a dropped exchange moves no data, so the retried run is
+/// bit-identical.
+#[test]
+fn multi_gpu_link_faults_are_absorbed_bit_identically() {
+    let g = gen::small_world(100, 3, 0.1, 21);
+    let sources = [g.default_source(), 7];
+    let (clean, _) =
+        bc_multi_gpu(&g, &sources, 2, DeviceProps::titan_xp(), Interconnect::nvlink()).unwrap();
+
+    let link = Interconnect::nvlink()
+        .with_faults(FaultPlan::new(3).drop_transfer_at(2).corrupt_transfer_at(9));
+    let (bc, report) = bc_multi_gpu_faulty(
+        &g,
+        &sources,
+        2,
+        DeviceProps::titan_xp(),
+        link,
+        &[],
+        &fast_policy(),
+    )
+    .unwrap();
+    assert_eq!(report.recovery.link_retries, 2);
+    assert_eq!(bc, clean);
+}
+
+/// A device lost mid-run has its column partition requeued onto the
+/// survivors; the finished run matches the clean one bit for bit because
+/// the partitioned computation is layout-independent.
+#[test]
+fn multi_gpu_device_loss_requeues_bit_identically() {
+    let g = gen::gnm(120, 480, false, 33);
+    let sources = [g.default_source(), 11, 57];
+    let (clean, _) =
+        bc_multi_gpu(&g, &sources, 4, DeviceProps::titan_xp(), Interconnect::pcie3()).unwrap();
+
+    let plans = vec![
+        FaultPlan::new(1),
+        FaultPlan::new(2),
+        FaultPlan::new(3).lose_device_at_launch(25),
+        FaultPlan::new(4),
+    ];
+    let (bc, report) = bc_multi_gpu_faulty(
+        &g,
+        &sources,
+        4,
+        DeviceProps::titan_xp(),
+        Interconnect::pcie3(),
+        &plans,
+        &fast_policy(),
+    )
+    .unwrap();
+    assert_eq!(report.recovery.device_requeues, 1);
+    assert_eq!(report.devices, 3, "the lost device must stay lost");
+    assert_eq!(bc, clean, "requeued run must be bit-identical");
+}
+
+/// A checkpointed multi-source run killed between batches resumes from
+/// the snapshot and finishes with output bit-identical to the same run
+/// left uninterrupted.
+#[test]
+fn killed_checkpointed_run_resumes_bit_identically() {
+    let g = gen::small_world(80, 2, 0.3, 12);
+    let sources: Vec<u32> = (0..g.n() as u32).collect();
+    let solver = BcSolver::new(&g, BcOptions::default()).unwrap();
+
+    let dir = std::env::temp_dir().join("turbobc_fault_sweep");
+    std::fs::create_dir_all(&dir).unwrap();
+    let uninterrupted_path = dir.join("uninterrupted.ckpt");
+    let killed_path = dir.join("killed.ckpt");
+    let _ = std::fs::remove_file(&uninterrupted_path);
+    let _ = std::fs::remove_file(&killed_path);
+
+    let want = solver
+        .bc_sources_checkpointed(&sources, &CheckpointConfig::new(&uninterrupted_path, 16))
+        .unwrap();
+
+    // Kill the run after two 16-source batches...
+    let killed = solver.bc_sources_checkpointed(
+        &sources,
+        &CheckpointConfig::new(&killed_path, 16).fail_after_batches(2),
+    );
+    assert!(
+        matches!(killed, Err(TurboBcError::Checkpoint(_))),
+        "the injected kill must surface: {killed:?}"
+    );
+
+    // ...then resume from the snapshot it left behind.
+    let resumed = solver
+        .bc_sources_checkpointed(&sources, &CheckpointConfig::new(&killed_path, 16).resume())
+        .unwrap();
+    assert_eq!(resumed.stats.recovery.resumed_sources, 32);
+    assert_eq!(resumed.bc, want.bc, "resume must be bit-identical to uninterrupted");
+    assert_eq!(resumed.sigma, want.sigma);
+    assert_eq!(resumed.depths, want.depths);
+
+    // And the scores are the right scores.
+    let plain = solver.bc_sources(&sources).unwrap();
+    assert_close(&resumed.bc, &plain.bc, 1e-9);
+
+    let _ = std::fs::remove_file(&uninterrupted_path);
+    let _ = std::fs::remove_file(&killed_path);
+}

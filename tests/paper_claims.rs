@@ -17,7 +17,7 @@ fn auto_kernel_matches_paper_assignment_on_most_graphs() {
     let mut misses = Vec::new();
     for row in families::all_rows() {
         let g = families::generate(row.name, Scale::Tiny).unwrap();
-        let solver = BcSolver::new(&g, BcOptions::default());
+        let solver = BcSolver::new(&g, BcOptions::default()).unwrap();
         total += 1;
         if solver.kernel().name() == row.kernel {
             hits += 1;
@@ -95,7 +95,7 @@ fn warp_efficiency_ordering_on_simulator() {
     let g = gen::mycielski(9);
     let s = g.default_source();
     let eff = |kernel: Kernel, g: &turbobc_suite::graph::Graph, name: &str| {
-        let solver = BcSolver::new(g, BcOptions { kernel, engine: Engine::Sequential });
+        let solver = BcSolver::new(g, BcOptions { kernel, engine: Engine::Sequential, ..Default::default() }).unwrap();
         let dev = Device::titan_xp();
         let (_, report) = solver.run_simt(&dev, &[g.default_source()]).unwrap();
         report.metrics.kernel(name).expect("kernel ran").warp_efficiency()
@@ -123,7 +123,7 @@ fn warp_efficiency_ordering_on_simulator() {
 fn irregular_graphs_dominate_modelled_mteps() {
     let mteps = |name: &str, kernel: Kernel| {
         let g = families::generate(name, Scale::Tiny).unwrap();
-        let solver = BcSolver::new(&g, BcOptions { kernel, engine: Engine::Sequential });
+        let solver = BcSolver::new(&g, BcOptions { kernel, engine: Engine::Sequential, ..Default::default() }).unwrap();
         let dev = Device::titan_xp();
         let (_, report) = solver.run_simt(&dev, &[g.default_source()]).unwrap();
         g.m() as f64 / report.modelled_time_s / 1e6
@@ -150,7 +150,7 @@ fn deep_graphs_pay_per_level_overhead()
             "veCSC" => Kernel::VeCsc,
             _ => Kernel::ScCsc,
         };
-        let solver = BcSolver::new(&g, BcOptions { kernel, engine: Engine::Sequential });
+        let solver = BcSolver::new(&g, BcOptions { kernel, engine: Engine::Sequential, ..Default::default() }).unwrap();
         let dev = Device::titan_xp();
         let (r, report) = solver.run_simt(&dev, &[g.default_source()]).unwrap();
         (report.modelled_time_s / g.m() as f64, r.stats.max_depth)

@@ -16,8 +16,8 @@ fn every_family_runs_end_to_end() {
             "veCSC" => Kernel::VeCsc,
             _ => Kernel::ScCsc,
         };
-        let solver = BcSolver::new(&g, BcOptions { kernel, engine: Engine::Parallel });
-        let r = solver.bc_single_source(g.default_source());
+        let solver = BcSolver::new(&g, BcOptions { kernel, engine: Engine::Parallel, ..Default::default() }).unwrap();
+        let r = solver.bc_single_source(g.default_source()).unwrap();
         assert_eq!(r.bc.len(), g.n(), "{}", row.name);
         assert!(r.stats.max_depth >= 1, "{}", row.name);
         assert!(
@@ -35,8 +35,8 @@ fn mtx_round_trip_preserves_bc() {
     let mut buf = Vec::new();
     io::write_matrix_market(&g, &mut buf).unwrap();
     let back = io::read_matrix_market(buf.as_slice()).unwrap();
-    let a = BcSolver::new(&g, BcOptions::default()).bc_sampled(16);
-    let b = BcSolver::new(&back, BcOptions::default()).bc_sampled(16);
+    let a = BcSolver::new(&g, BcOptions::default()).unwrap().bc_sampled(16).unwrap();
+    let b = BcSolver::new(&back, BcOptions::default()).unwrap().bc_sampled(16).unwrap();
     for (x, y) in a.bc.iter().zip(&b.bc) {
         assert!((x - y).abs() < 1e-9);
     }
@@ -69,11 +69,11 @@ fn exact_bc_is_sum_of_single_sources() {
         false,
         &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (2, 8), (8, 9), (9, 10), (10, 11)],
     );
-    let solver = BcSolver::new(&g, BcOptions::default());
-    let exact = solver.bc_exact();
+    let solver = BcSolver::new(&g, BcOptions::default()).unwrap();
+    let exact = solver.bc_exact().unwrap();
     let mut sum = vec![0.0; g.n()];
     for s in 0..g.n() as u32 {
-        let r = solver.bc_single_source(s);
+        let r = solver.bc_single_source(s).unwrap();
         for (acc, v) in sum.iter_mut().zip(&r.bc) {
             *acc += v;
         }
