@@ -165,7 +165,10 @@ mod tests {
     fn assert_close(got: &[f64], want: &[f64]) {
         assert_eq!(got.len(), want.len());
         for (i, (g, w)) in got.iter().zip(want).enumerate() {
-            assert!((g - w).abs() < 1e-9, "bc[{i}] = {g}, want {w}\ngot  {got:?}\nwant {want:?}");
+            assert!(
+                (g - w).abs() < 1e-9,
+                "bc[{i}] = {g}, want {w}\ngot  {got:?}\nwant {want:?}"
+            );
         }
     }
 

@@ -85,7 +85,10 @@ pub fn plan_on_device(device: &Device, n: usize, m: usize) -> Result<DevicePlan,
     for _ in 0..3 {
         index_buffers.push(device.alloc::<u32>(n)?);
     }
-    Ok(DevicePlan { index_buffers, value_buffers })
+    Ok(DevicePlan {
+        index_buffers,
+        value_buffers,
+    })
 }
 
 /// Gunrock-like BC solver: prebuilt two-direction adjacency.
@@ -157,10 +160,11 @@ impl GunrockBc {
                 break;
             }
             let d = (levels.len() - 1) as i64;
-            let frontier_edges: usize =
-                frontier.par_iter().map(|&v| self.csr.row_len(v as usize)).sum();
-            let next: Vec<VertexId> = if (frontier_edges as f64) < PULL_THRESHOLD * self.m as f64
-            {
+            let frontier_edges: usize = frontier
+                .par_iter()
+                .map(|&v| self.csr.row_len(v as usize))
+                .sum();
+            let next: Vec<VertexId> = if (frontier_edges as f64) < PULL_THRESHOLD * self.m as f64 {
                 self.push_step(frontier, d, &dist, &sigma)
             } else {
                 self.pull_step(d, &dist, &sigma)
@@ -278,9 +282,15 @@ mod tests {
     #[test]
     fn matches_oracle_on_known_graphs() {
         let path = Graph::from_edges(5, false, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
-        assert_close(&GunrockBc::new(&path).bc_all_sources(), &brandes_all_sources(&path));
+        assert_close(
+            &GunrockBc::new(&path).bc_all_sources(),
+            &brandes_all_sources(&path),
+        );
         let diamond = Graph::from_edges(4, true, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
-        assert_close(&GunrockBc::new(&diamond).bc_all_sources(), &brandes_all_sources(&diamond));
+        assert_close(
+            &GunrockBc::new(&diamond).bc_all_sources(),
+            &brandes_all_sources(&diamond),
+        );
     }
 
     #[test]
@@ -294,9 +304,15 @@ mod tests {
                 .map(|_| (rng.gen_range(0..n) as u32, rng.gen_range(0..n) as u32))
                 .collect();
             let g = Graph::from_edges(n, directed, &edges);
-            assert_close(&GunrockBc::new(&g).bc_all_sources(), &brandes_all_sources(&g));
+            assert_close(
+                &GunrockBc::new(&g).bc_all_sources(),
+                &brandes_all_sources(&g),
+            );
             let s = g.default_source();
-            assert_close(&GunrockBc::new(&g).bc_single_source(s), &brandes_single_source(&g, s));
+            assert_close(
+                &GunrockBc::new(&g).bc_single_source(s),
+                &brandes_single_source(&g, s),
+            );
         }
     }
 

@@ -133,14 +133,23 @@ pub fn bc_simt(
     let mut offsets = device.alloc::<u32>(n)?;
 
     let scale = graph.bc_scale();
-    let fwd = Forward { row_ptr: row_ptr.dslice(), col_idx: col_idx.dslice() };
+    let fwd = Forward {
+        row_ptr: row_ptr.dslice(),
+        col_idx: col_idx.dslice(),
+    };
 
     for &source in sources {
         if n == 0 {
             break;
         }
         // Init kernels (labels/σ/δ cleared, source seeded).
-        init(device, &mut labels.dslice_mut(), &mut sigma.dslice_mut(), &mut delta.dslice_mut(), source as usize);
+        init(
+            device,
+            &mut labels.dslice_mut(),
+            &mut sigma.dslice_mut(),
+            &mut delta.dslice_mut(),
+            source as usize,
+        );
         frontier_a.host_mut()[0] = source;
         let mut frontier_len = 1usize;
         let mut level = 0u32;
@@ -149,7 +158,13 @@ pub fn bc_simt(
         // ---- Forward: advance (scan + expand) + filter per level. ----
         loop {
             // Phase 1: degree scan + prefix.
-            scan_kernel(device, &frontier_a.dslice(), frontier_len, &fwd.row_ptr, &mut offsets.dslice_mut());
+            scan_kernel(
+                device,
+                &frontier_a.dslice(),
+                frontier_len,
+                &fwd.row_ptr,
+                &mut offsets.dslice_mut(),
+            );
             prefix_kernel(device, &mut offsets.dslice_mut(), frontier_len);
             // Host-side exclusive prefix (the kernel above charged the
             // traffic; gunrock reads the total back for the grid size).
@@ -199,7 +214,13 @@ pub fn bc_simt(
             if len == 0 {
                 continue;
             }
-            scan_kernel(device, &frontier_a.dslice(), len, &fwd.row_ptr, &mut offsets.dslice_mut());
+            scan_kernel(
+                device,
+                &frontier_a.dslice(),
+                len,
+                &fwd.row_ptr,
+                &mut offsets.dslice_mut(),
+            );
             prefix_kernel(device, &mut offsets.dslice_mut(), len);
             let mut total_edges = 0usize;
             {
@@ -226,7 +247,13 @@ pub fn bc_simt(
                 d,
             );
         }
-        accum_bc(device, &delta.dslice(), source as usize, scale, &mut bc.dslice_mut());
+        accum_bc(
+            device,
+            &delta.dslice(),
+            source as usize,
+            scale,
+            &mut bc.dslice_mut(),
+        );
     }
 
     let metrics = device.metrics();
@@ -238,8 +265,11 @@ pub fn bc_simt(
         busy_time_s += timing.kernel_busy_time_s(s);
     }
     let total = metrics.total();
-    let glt_gbs =
-        if busy_time_s > 0.0 { total.bytes_loaded as f64 / busy_time_s / 1e9 } else { 0.0 };
+    let glt_gbs = if busy_time_s > 0.0 {
+        total.bytes_loaded as f64 / busy_time_s / 1e9
+    } else {
+        0.0
+    };
     Ok(GunrockSimtReport {
         bc: bc.host().to_vec(),
         metrics,
@@ -403,22 +433,26 @@ fn expand_forward(
 /// traffic the real operator pays.
 fn filter_queue(dev: &Device, queue: &DSlice<'_, u32>, valid: usize, queue_len: usize) {
     let n = queue.len();
-    dev.launch("gr_filter", LaunchConfig::per_element(queue_len.min(n.max(1))), |w| {
-        let bound = queue_len.min(n);
-        let idx = lane_ids(w, bound);
-        let vals = w.gather(queue, &idx);
-        // Compacted rewrite of the valid prefix.
-        let mut writes = [None; WARP_SIZE];
-        for l in 0..WARP_SIZE {
-            if let Some(i) = idx[l] {
-                if i < valid {
-                    writes[l] = Some((i, vals[l]));
+    dev.launch(
+        "gr_filter",
+        LaunchConfig::per_element(queue_len.min(n.max(1))),
+        |w| {
+            let bound = queue_len.min(n);
+            let idx = lane_ids(w, bound);
+            let vals = w.gather(queue, &idx);
+            // Compacted rewrite of the valid prefix.
+            let mut writes = [None; WARP_SIZE];
+            for l in 0..WARP_SIZE {
+                if let Some(i) = idx[l] {
+                    if i < valid {
+                        writes[l] = Some((i, vals[l]));
+                    }
                 }
             }
-        }
-        let _ = writes; // queue already holds the compacted values
-        w.alu(idx.iter().filter(|x| x.is_some()).count());
-    });
+            let _ = writes; // queue already holds the compacted values
+            w.alu(idx.iter().filter(|x| x.is_some()).count());
+        },
+    );
 }
 
 /// Rebuilds the vertex list of one BFS level from the labels array
@@ -463,72 +497,77 @@ fn expand_backward(
 ) {
     let off_host: Vec<u32> = (0..frontier_len).map(|i| offsets.get(i)).collect();
     let front_host: Vec<u32> = (0..frontier_len).map(|i| frontier.get(i)).collect();
-    let row_ptr_host: Vec<u32> =
-        (0..frontier_len).map(|i| fwd.row_ptr.get(front_host[i] as usize)).collect();
-    dev.launch("gr_bwd_expand", LaunchConfig::per_element(total_edges), |w| {
-        let idx = lane_ids(w, total_edges);
-        let mut oidx = [None; WARP_SIZE];
-        let mut slots = [0usize; WARP_SIZE];
-        for l in 0..WARP_SIZE {
-            if let Some(k) = idx[l] {
-                let slot = locate(&off_host, frontier_len, k);
-                slots[l] = slot;
-                oidx[l] = Some(slot);
+    let row_ptr_host: Vec<u32> = (0..frontier_len)
+        .map(|i| fwd.row_ptr.get(front_host[i] as usize))
+        .collect();
+    dev.launch(
+        "gr_bwd_expand",
+        LaunchConfig::per_element(total_edges),
+        |w| {
+            let idx = lane_ids(w, total_edges);
+            let mut oidx = [None; WARP_SIZE];
+            let mut slots = [0usize; WARP_SIZE];
+            for l in 0..WARP_SIZE {
+                if let Some(k) = idx[l] {
+                    let slot = locate(&off_host, frontier_len, k);
+                    slots[l] = slot;
+                    oidx[l] = Some(slot);
+                }
             }
-        }
-        let probes = (usize::BITS - frontier_len.leading_zeros()).max(1);
-        for _ in 0..probes {
-            w.gather(offsets, &oidx);
-            w.alu(idx.iter().filter(|x| x.is_some()).count());
-        }
-        let mut fidx = [None; WARP_SIZE];
-        for l in 0..WARP_SIZE {
-            if idx[l].is_some() {
-                fidx[l] = Some(slots[l]);
+            let probes = (usize::BITS - frontier_len.leading_zeros()).max(1);
+            for _ in 0..probes {
+                w.gather(offsets, &oidx);
+                w.alu(idx.iter().filter(|x| x.is_some()).count());
             }
-        }
-        let srcs = w.gather(frontier, &fidx);
-        let mut eidx = [None; WARP_SIZE];
-        for l in 0..WARP_SIZE {
-            if let Some(k) = idx[l] {
-                let within = k - off_host[slots[l]] as usize;
-                eidx[l] = Some(row_ptr_host[slots[l]] as usize + within);
+            let mut fidx = [None; WARP_SIZE];
+            for l in 0..WARP_SIZE {
+                if idx[l].is_some() {
+                    fidx[l] = Some(slots[l]);
+                }
             }
-        }
-        let dsts = w.gather(&fwd.col_idx, &eidx);
-        let mut lidx = [None; WARP_SIZE];
-        for l in 0..WARP_SIZE {
-            if idx[l].is_some() {
-                lidx[l] = Some(dsts[l] as usize);
+            let srcs = w.gather(frontier, &fidx);
+            let mut eidx = [None; WARP_SIZE];
+            for l in 0..WARP_SIZE {
+                if let Some(k) = idx[l] {
+                    let within = k - off_host[slots[l]] as usize;
+                    eidx[l] = Some(row_ptr_host[slots[l]] as usize + within);
+                }
             }
-        }
-        let dlabels = w.gather(labels, &lidx);
-        // Children at level d+1 contribute σ_src/σ_dst (1 + δ_dst).
-        let mut keep = [None; WARP_SIZE];
-        for l in 0..WARP_SIZE {
-            if idx[l].is_some() && dlabels[l] == d + 1 {
-                keep[l] = Some(dsts[l] as usize);
+            let dsts = w.gather(&fwd.col_idx, &eidx);
+            let mut lidx = [None; WARP_SIZE];
+            for l in 0..WARP_SIZE {
+                if idx[l].is_some() {
+                    lidx[l] = Some(dsts[l] as usize);
+                }
             }
-        }
-        let child_sigma = w.gather(sigma, &keep);
-        let child_delta = w.gather(&delta.as_dslice(), &keep);
-        let mut src_idx = [None; WARP_SIZE];
-        for l in 0..WARP_SIZE {
-            if keep[l].is_some() {
-                src_idx[l] = Some(srcs[l] as usize);
+            let dlabels = w.gather(labels, &lidx);
+            // Children at level d+1 contribute σ_src/σ_dst (1 + δ_dst).
+            let mut keep = [None; WARP_SIZE];
+            for l in 0..WARP_SIZE {
+                if idx[l].is_some() && dlabels[l] == d + 1 {
+                    keep[l] = Some(dsts[l] as usize);
+                }
             }
-        }
-        let src_sigma = w.gather(sigma, &src_idx);
-        let mut ops = [None; WARP_SIZE];
-        for l in 0..WARP_SIZE {
-            if keep[l].is_some() && child_sigma[l] > 0 {
-                let contrib =
-                    src_sigma[l] as f64 / child_sigma[l] as f64 * (1.0 + child_delta[l]);
-                ops[l] = Some((srcs[l] as usize, contrib));
+            let child_sigma = w.gather(sigma, &keep);
+            let child_delta = w.gather(&delta.as_dslice(), &keep);
+            let mut src_idx = [None; WARP_SIZE];
+            for l in 0..WARP_SIZE {
+                if keep[l].is_some() {
+                    src_idx[l] = Some(srcs[l] as usize);
+                }
             }
-        }
-        w.atomic_add(delta, &ops);
-    });
+            let src_sigma = w.gather(sigma, &src_idx);
+            let mut ops = [None; WARP_SIZE];
+            for l in 0..WARP_SIZE {
+                if keep[l].is_some() && child_sigma[l] > 0 {
+                    let contrib =
+                        src_sigma[l] as f64 / child_sigma[l] as f64 * (1.0 + child_delta[l]);
+                    ops[l] = Some((srcs[l] as usize, contrib));
+                }
+            }
+            w.atomic_add(delta, &ops);
+        },
+    );
 }
 
 fn accum_bc(
@@ -625,17 +664,30 @@ mod tests {
         // Index arrays are 4 B, σ/δ/bc are 8 B: peak sits between 4 B and
         // 8 B per inventory word.
         let words = crate::gunrock_like::footprint_words(g.n(), g.m()) as u64;
-        assert!(report.memory.peak >= 4 * words, "peak {} too small", report.memory.peak);
-        assert!(report.memory.peak <= 8 * words, "peak {} too large", report.memory.peak);
+        assert!(
+            report.memory.peak >= 4 * words,
+            "peak {} too small",
+            report.memory.peak
+        );
+        assert!(
+            report.memory.peak <= 8 * words,
+            "peak {} too large",
+            report.memory.peak
+        );
     }
 
     #[test]
     fn pipeline_kernels_are_recorded() {
         let g = gen::gnm(50, 150, false, 3);
         let report = bc_single_source_simt(&g, g.default_source());
-        for name in
-            ["gr_init", "gr_scan", "gr_prefix", "gr_expand", "gr_extract", "gr_bwd_expand"]
-        {
+        for name in [
+            "gr_init",
+            "gr_scan",
+            "gr_prefix",
+            "gr_expand",
+            "gr_extract",
+            "gr_bwd_expand",
+        ] {
             assert!(report.metrics.kernel(name).is_some(), "missing {name}");
         }
         assert!(report.modelled_time_s > 0.0);

@@ -24,4 +24,6 @@ pub mod gunrock_simt;
 pub mod weighted_brandes;
 
 pub use brandes::{brandes_all_sources, brandes_single_source};
-pub use weighted_brandes::{weighted_brandes_all_sources, weighted_brandes_single_source, weighted_sssp};
+pub use weighted_brandes::{
+    weighted_brandes_all_sources, weighted_brandes_single_source, weighted_sssp,
+};

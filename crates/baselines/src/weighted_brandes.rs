@@ -57,8 +57,15 @@ fn accumulate(
     dist[source as usize] = 0.0;
     sigma[source as usize] = 1.0;
     let mut heap = BinaryHeap::new();
-    heap.push(HeapItem { dist: 0.0, vertex: source });
-    while let Some(HeapItem { dist: dv, vertex: v }) = heap.pop() {
+    heap.push(HeapItem {
+        dist: 0.0,
+        vertex: source,
+    });
+    while let Some(HeapItem {
+        dist: dv,
+        vertex: v,
+    }) = heap.pop()
+    {
         let vi = v as usize;
         if settled[vi] || dv > dist[vi] {
             continue;
@@ -74,7 +81,10 @@ fn accumulate(
                 sigma[ui] = sigma[vi];
                 preds[ui].clear();
                 preds[ui].push(v);
-                heap.push(HeapItem { dist: cand, vertex: u });
+                heap.push(HeapItem {
+                    dist: cand,
+                    vertex: u,
+                });
             } else if (cand - dist[ui]).abs() <= EPS && !settled[ui] {
                 sigma[ui] += sigma[vi];
                 preds[ui].push(v);
@@ -146,18 +156,14 @@ mod tests {
     fn weights_change_the_shortest_paths() {
         // Triangle 0-1-2 plus direct edge 0-2: with a heavy direct edge,
         // paths route through 1.
-        let heavy = WeightedGraph::from_edges(
-            3,
-            false,
-            &[(0, 1, 1.0), (1, 2, 1.0), (0, 2, 5.0)],
-        );
+        let heavy = WeightedGraph::from_edges(3, false, &[(0, 1, 1.0), (1, 2, 1.0), (0, 2, 5.0)]);
         let bc = weighted_brandes_all_sources(&heavy);
-        assert!(bc[1] > 0.9, "vertex 1 must lie on the 0-2 shortest path, bc = {}", bc[1]);
-        let light = WeightedGraph::from_edges(
-            3,
-            false,
-            &[(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.5)],
+        assert!(
+            bc[1] > 0.9,
+            "vertex 1 must lie on the 0-2 shortest path, bc = {}",
+            bc[1]
         );
+        let light = WeightedGraph::from_edges(3, false, &[(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.5)]);
         let bc = weighted_brandes_all_sources(&light);
         assert!(bc[1] < 1e-9, "direct edge is shorter; bc(1) = {}", bc[1]);
     }

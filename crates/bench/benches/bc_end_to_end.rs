@@ -6,7 +6,7 @@
 //! Run: `cargo bench -p turbobc-bench --bench bc_end_to_end`
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use turbobc::{BcOptions, BcSolver, Engine};
+use turbobc::{BcOptions, BcSolver};
 use turbobc_baselines::gunrock_like::GunrockBc;
 use turbobc_bench::runner::kernel_from_name;
 use turbobc_graph::families::{self, Scale};
@@ -31,18 +31,28 @@ fn bench_tables(c: &mut Criterion) {
         let mut group = c.benchmark_group(format!("table{table}/{name}"));
         group.throughput(Throughput::Elements(graph.m() as u64));
 
-        let turbo = BcSolver::new(&graph, BcOptions { kernel, engine: Engine::Parallel, ..Default::default() }).unwrap();
+        let turbo = BcSolver::new(
+            &graph,
+            BcOptions::builder().kernel(kernel).parallel().build(),
+        )
+        .unwrap();
         group.bench_with_input(BenchmarkId::new("turbobc", row.kernel), &(), |b, _| {
             b.iter(|| turbo.bc_single_source(source).unwrap())
         });
 
-        let seq = BcSolver::new(&graph, BcOptions { kernel, engine: Engine::Sequential, ..Default::default() }).unwrap();
+        let seq = BcSolver::new(
+            &graph,
+            BcOptions::builder().kernel(kernel).sequential().build(),
+        )
+        .unwrap();
         group.bench_with_input(BenchmarkId::new("sequential", row.kernel), &(), |b, _| {
             b.iter(|| seq.bc_single_source(source).unwrap())
         });
 
         let gunrock = GunrockBc::new(&graph);
-        group.bench_function("gunrock_like", |b| b.iter(|| gunrock.bc_single_source(source)));
+        group.bench_function("gunrock_like", |b| {
+            b.iter(|| gunrock.bc_single_source(source))
+        });
 
         group.bench_function("ligra_like", |b| {
             b.iter(|| turbobc_ligra::bc::bc_single_source(&graph, source))
@@ -57,12 +67,20 @@ fn bench_exact(c: &mut Criterion) {
     let row = families::find("mycielskian15").unwrap();
     let solver = BcSolver::new(
         &graph,
-        BcOptions { kernel: kernel_from_name(row.kernel), engine: Engine::Parallel, ..Default::default() },
-    ).unwrap();
+        BcOptions::builder()
+            .kernel(kernel_from_name(row.kernel))
+            .parallel()
+            .build(),
+    )
+    .unwrap();
     let sources: Vec<u32> = (0..16.min(graph.n() as u32)).collect();
     let mut group = c.benchmark_group("table5/exact");
-    group.throughput(Throughput::Elements(graph.m() as u64 * sources.len() as u64));
-    group.bench_function("turbobc-16-sources", |b| b.iter(|| solver.bc_sources(&sources).unwrap()));
+    group.throughput(Throughput::Elements(
+        graph.m() as u64 * sources.len() as u64,
+    ));
+    group.bench_function("turbobc-16-sources", |b| {
+        b.iter(|| solver.bc_sources(&sources).unwrap())
+    });
     group.finish();
 }
 

@@ -6,7 +6,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use turbobc::weighted::{sssp_delta_stepping, weighted_bc_sources, WeightedBcOptions};
-use turbobc::{bc_approx, ApproxOptions, BcOptions, TurboBfs};
+use turbobc::{BcOptions, BcSolver, TurboBfs};
 use turbobc_baselines::weighted_sssp;
 use turbobc_graph::weighted::WeightedGraph;
 use turbobc_graph::{gen, Graph};
@@ -61,13 +61,15 @@ fn bench_approx_and_edge(c: &mut Criterion) {
     let g = gen::preferential_attachment(4000, 3, 7);
     let mut group = c.benchmark_group("approx_and_edge");
     group.throughput(Throughput::Elements(g.m() as u64));
+    let solver = BcSolver::new(&g, BcOptions::default()).unwrap();
     group.bench_function("approx_eps_0.2", |b| {
-        b.iter(|| {
-            bc_approx(&g, ApproxOptions { epsilon: 0.2, delta: 0.2, ..Default::default() }).unwrap()
-        })
+        b.iter(|| solver.approx(0.2, 0.2, 0x70b0bc).unwrap())
     });
     let small = gen::small_world(400, 3, 0.1, 3);
-    group.bench_function("edge_bc_exact_400", |b| b.iter(|| turbobc::edge_bc(&small)));
+    let edge_solver = BcSolver::new(&small, BcOptions::default()).unwrap();
+    group.bench_function("edge_bc_exact_400", |b| {
+        b.iter(|| edge_solver.edge_bc().unwrap())
+    });
     group.finish();
 }
 
@@ -76,8 +78,9 @@ fn bench_msbfs(c: &mut Criterion) {
     let sources: Vec<u32> = (0..64).collect();
     let mut group = c.benchmark_group("msbfs");
     group.throughput(Throughput::Elements(g.m() as u64 * 64));
+    let solver = BcSolver::new(&g, BcOptions::default()).unwrap();
     group.bench_function("batched_64_sources", |b| {
-        b.iter(|| turbobc::msbfs::ms_bfs(&g, &sources, BcOptions::default()))
+        b.iter(|| solver.ms_bfs(&sources).unwrap())
     });
     group.bench_function("individual_64_sources", |b| {
         let bfs = TurboBfs::new(&g, BcOptions::default());

@@ -10,7 +10,9 @@ fn forward_inputs(g: &Graph) -> (Vec<i64>, Vec<i64>) {
     // A quarter-full frontier with σ marking another quarter discovered —
     // a mid-BFS state.
     let n = g.n();
-    let f: Vec<i64> = (0..n).map(|i| if i % 4 == 0 { 1 + (i % 3) as i64 } else { 0 }).collect();
+    let f: Vec<i64> = (0..n)
+        .map(|i| if i % 4 == 0 { 1 + (i % 3) as i64 } else { 0 })
+        .collect();
     let sigma: Vec<i64> = (0..n).map(|i| if i % 4 == 1 { 1 } else { 0 }).collect();
     (f, sigma)
 }
@@ -71,12 +73,16 @@ fn bench_backward(c: &mut Criterion) {
                 csc.spmv(&du, &mut y);
             })
         });
-        group.bench_with_input(BenchmarkId::new("CSC-gather-symmetric", name), &(), |b, _| {
-            b.iter(|| {
-                y.fill(0.0);
-                csc.spmv_t(&du, &mut y);
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("CSC-gather-symmetric", name),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    y.fill(0.0);
+                    csc.spmv_t(&du, &mut y);
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -11,8 +11,9 @@ use turbobc_graph::families::Scale;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments <id>... [--scale tiny|small|medium|large] [--trials N] [--max-sources N]\n\
-         ids: {}  (or `all`, `list`)",
+        "usage: experiments <id>... [--scale tiny|small|medium|large] [--trials N] [--max-sources N] [--out DIR]\n\
+         ids: {}  (or `all`, `list`, `profiles`)\n\
+         `profiles` emits BENCH_*.json run profiles into DIR (default target/profiles)",
         ALL.join(" ")
     );
     std::process::exit(2);
@@ -25,9 +26,11 @@ fn main() {
     }
     let mut cfg = Config::default();
     let mut ids: Vec<String> = Vec::new();
+    let mut out_dir = String::from("target/profiles");
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--out" => out_dir = it.next().unwrap_or_else(|| usage()),
             "--scale" => {
                 cfg.scale = match it.next().as_deref() {
                     Some("tiny") => Scale::Tiny,
@@ -38,11 +41,16 @@ fn main() {
                 }
             }
             "--trials" => {
-                cfg.trials = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+                cfg.trials = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
             }
             "--max-sources" => {
-                cfg.max_sources =
-                    it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+                cfg.max_sources = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
             }
             "list" => {
                 for id in ALL {
@@ -62,6 +70,21 @@ fn main() {
         return;
     }
     for id in &ids {
+        if id == "profiles" {
+            let dir = std::path::PathBuf::from(&out_dir);
+            match turbobc_bench::profiles::emit_default_profiles(&dir) {
+                Ok(paths) => {
+                    for p in paths {
+                        println!("wrote {}", p.display());
+                    }
+                }
+                Err(e) => {
+                    eprintln!("profile emission failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+            continue;
+        }
         match experiments::run(id, cfg) {
             Some(report) => println!("{report}"),
             None => {

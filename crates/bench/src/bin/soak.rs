@@ -12,44 +12,66 @@ fn main() {
         let n = 2 + rng.gen_range(0..120);
         let m = rng.gen_range(0..6 * n);
         let directed = trial % 2 == 0;
-        let edges: Vec<(u32, u32)> =
-            (0..m).map(|_| (rng.gen_range(0..n) as u32, rng.gen_range(0..n) as u32)).collect();
+        let edges: Vec<(u32, u32)> = (0..m)
+            .map(|_| (rng.gen_range(0..n) as u32, rng.gen_range(0..n) as u32))
+            .collect();
         let g = Graph::from_edges(n, directed, &edges);
         let s = (rng.gen_range(0..n)) as u32;
         let want = brandes_single_source(&g, s);
         let close = |got: &[f64], tag: &str| {
             for (v, (a, b)) in got.iter().zip(&want).enumerate() {
-                assert!((a - b).abs() < 1e-7, "trial {trial} {tag} bc[{v}]: {a} vs {b}");
+                assert!(
+                    (a - b).abs() < 1e-7,
+                    "trial {trial} {tag} bc[{v}]: {a} vs {b}"
+                );
             }
         };
         for kernel in [Kernel::ScCooc, Kernel::ScCsc, Kernel::VeCsc] {
             for engine in [Engine::Sequential, Engine::Parallel] {
-                let solver = BcSolver::new(&g, BcOptions { kernel, engine, ..Default::default() }).unwrap();
-                close(&solver.bc_single_source(s).unwrap().bc, &format!("{kernel:?}/{engine:?}"));
+                let solver = BcSolver::new(
+                    &g,
+                    BcOptions::builder().kernel(kernel).engine(engine).build(),
+                )
+                .unwrap();
+                close(
+                    &solver.bc_single_source(s).unwrap().bc,
+                    &format!("{kernel:?}/{engine:?}"),
+                );
                 checked += 1;
             }
-            let solver = BcSolver::new(&g, BcOptions { kernel, engine: Engine::Sequential, ..Default::default() }).unwrap();
+            let solver =
+                BcSolver::new(&g, BcOptions::builder().kernel(kernel).sequential().build())
+                    .unwrap();
             let dev = turbobc_simt::Device::titan_xp();
-            let (r, _) = solver.run_simt(&dev, &[s]).unwrap();
+            let (r, _) = solver.run_simt_on(&dev, &[s]).unwrap();
             close(&r.bc, &format!("simt/{kernel:?}"));
             checked += 1;
         }
         close(&GunrockBc::new(&g).bc_single_source(s), "gunrock");
         close(&turbobc_ligra::bc::bc_single_source(&g, s), "ligra");
-        close(&turbobc_baselines::gunrock_simt::bc_single_source_simt(&g, s).bc, "gunrock_simt");
+        close(
+            &turbobc_baselines::gunrock_simt::bc_single_source_simt(&g, s).bc,
+            "gunrock_simt",
+        );
         if !directed {
             let (bc2d, _) = turbobc::multi_gpu2d::bc_multi_gpu_2d(
-                &g, &[s], 2,
+                &g,
+                &[s],
+                2,
                 turbobc_simt::DeviceProps::titan_xp(),
                 turbobc_simt::Interconnect::pcie3(),
-            ).unwrap();
+            )
+            .unwrap();
             close(&bc2d, "2d-grid");
         }
         let (bc1d, _) = turbobc::multi_gpu::bc_multi_gpu(
-            &g, &[s], 3,
+            &g,
+            &[s],
+            3,
             turbobc_simt::DeviceProps::titan_xp(),
             turbobc_simt::Interconnect::pcie3(),
-        ).unwrap();
+        )
+        .unwrap();
         close(&bc1d, "1d-multi");
         checked += 4;
     }

@@ -16,7 +16,7 @@
 use super::Config;
 use crate::runner::time_best;
 use crate::table::{fnum, TextTable};
-use turbobc::{BcOptions, BcSolver, Engine, Kernel};
+use turbobc::{BcOptions, BcSolver, Kernel};
 use turbobc_graph::families::Scale;
 use turbobc_graph::{gen, Graph};
 use turbobc_simt::Device;
@@ -25,11 +25,25 @@ fn workloads(scale: Scale) -> Vec<(&'static str, Graph)> {
     let f = scale.factor();
     let sz = |base: usize| ((base as f64 * f) as usize).max(256);
     vec![
-        ("road (regular)", gen::road_network((12.0 * f.sqrt()) as usize + 4, (12.0 * f.sqrt()) as usize + 4, 8, 11)),
+        (
+            "road (regular)",
+            gen::road_network(
+                (12.0 * f.sqrt()) as usize + 4,
+                (12.0 * f.sqrt()) as usize + 4,
+                8,
+                11,
+            ),
+        ),
         ("delaunay (regular)", gen::delaunay(sz(8000), 12)),
         ("mawi (regular, skewed)", gen::mawi_star(sz(60_000), 8, 13)),
-        ("mycielski (irregular)", gen::mycielski((11 + scale.log2_offset()) as u32)),
-        ("rmat (irregular)", gen::rmat((13 + scale.log2_offset()) as u32, 48, 14)),
+        (
+            "mycielski (irregular)",
+            gen::mycielski((11 + scale.log2_offset()) as u32),
+        ),
+        (
+            "rmat (irregular)",
+            gen::rmat((13 + scale.log2_offset()) as u32, 48, 14),
+        ),
     ]
 }
 
@@ -58,9 +72,10 @@ pub fn kernel_crossover(cfg: Config) -> String {
         let source = g.default_source();
         let mut times = Vec::new();
         for kernel in [Kernel::ScCooc, Kernel::ScCsc, Kernel::VeCsc] {
-            let solver = BcSolver::new(&g, BcOptions { kernel, engine: Engine::Parallel, ..Default::default() }).unwrap();
+            let solver =
+                BcSolver::new(&g, BcOptions::builder().kernel(kernel).parallel().build()).unwrap();
             let dev = Device::titan_xp();
-            let (_, report) = solver.run_simt(&dev, &[source]).unwrap();
+            let (_, report) = solver.run_simt_on(&dev, &[source]).unwrap();
             times.push(report.modelled_time_s * 1e3);
         }
         let winner = ["scCOOC", "scCSC", "veCSC"][times
@@ -87,11 +102,14 @@ pub fn kernel_crossover(cfg: Config) -> String {
 /// Ablation 2: the §3.4 integer-vs-float claim, at the SpMV level: the
 /// same forward gather with `i64` path counts vs `f64`.
 pub fn int_vs_float(cfg: Config) -> String {
-    let mut out = String::from(
-        "(2) integer vs float frontier vectors — forward SpMV sweep time (ms):\n",
-    );
+    let mut out =
+        String::from("(2) integer vs float frontier vectors — forward SpMV sweep time (ms):\n");
     let mut t = TextTable::new(vec![
-        "graph", "i64 sat SpMV", "i64 wrap SpMV", "f64 SpMV", "int speedup (wrap/f64)",
+        "graph",
+        "i64 sat SpMV",
+        "i64 wrap SpMV",
+        "f64 SpMV",
+        "int speedup (wrap/f64)",
     ]);
     for (name, g) in workloads(cfg.scale) {
         let csc = g.to_csc();
@@ -144,8 +162,13 @@ pub fn reduction_strategy(cfg: Config) -> String {
         "(4) veCSC reduction: warp shuffle (Algorithm 4) vs shared memory (Bell & Garland):\n",
     );
     let mut t = TextTable::new(vec![
-        "graph", "shuffle instr", "smem instr", "smem ops", "bank conflicts",
-        "issue-side gain", "busy-time gain",
+        "graph",
+        "shuffle instr",
+        "smem instr",
+        "smem ops",
+        "bank conflicts",
+        "issue-side gain",
+        "busy-time gain",
     ]);
     for (name, g) in workloads(cfg.scale) {
         let (shfl, smem, t_shfl, t_smem) =
@@ -158,8 +181,7 @@ pub fn reduction_strategy(cfg: Config) -> String {
             smem.smem_bank_conflicts.to_string(),
             format!(
                 "{:.2}x",
-                (smem.instructions + smem.smem_bank_conflicts) as f64
-                    / shfl.instructions as f64
+                (smem.instructions + smem.smem_bank_conflicts) as f64 / shfl.instructions as f64
             ),
             format!("{:.2}x", t_smem / t_shfl),
         ]);
@@ -182,7 +204,11 @@ pub fn relabeling(cfg: Config) -> String {
         "(5) degree relabelling (hubs-first ids) — full BC/vertex on the simulator:\n",
     );
     let mut t = TextTable::new(vec![
-        "graph", "lanes/tx before", "lanes/tx after", "t_gpu before ms", "t_gpu after ms",
+        "graph",
+        "lanes/tx before",
+        "lanes/tx after",
+        "t_gpu before ms",
+        "t_gpu after ms",
         "gain",
     ]);
     for (name, g) in [
@@ -190,12 +216,23 @@ pub fn relabeling(cfg: Config) -> String {
         ("mycielski", gen::mycielski(10)),
         ("webgraph", gen::webgraph(8000, 12, 0.5, 5)),
     ] {
-        let kernel = if g.directed() { Kernel::ScCooc } else { Kernel::VeCsc };
+        let kernel = if g.directed() {
+            Kernel::ScCooc
+        } else {
+            Kernel::VeCsc
+        };
         let run = |graph: &Graph| {
-            let solver = BcSolver::new(graph, BcOptions { kernel, engine: Engine::Parallel, ..Default::default() }).unwrap();
+            let solver = BcSolver::new(
+                graph,
+                BcOptions::builder().kernel(kernel).parallel().build(),
+            )
+            .unwrap();
             let dev = Device::titan_xp();
-            let (_, report) = solver.run_simt(&dev, &[graph.default_source()]).unwrap();
-            (report.total().coalescing_factor(), report.modelled_time_s * 1e3)
+            let (_, report) = solver.run_simt_on(&dev, &[graph.default_source()]).unwrap();
+            (
+                report.total().coalescing_factor(),
+                report.modelled_time_s * 1e3,
+            )
         };
         let (coal_before, t_before) = run(&g);
         let (relabelled, _) = g.relabeled_by_degree();
@@ -221,11 +258,14 @@ pub fn relabeling(cfg: Config) -> String {
 
 /// Ablation 3: warp efficiency of scCSC vs veCSC on the simulator.
 pub fn warp_efficiency(cfg: Config) -> String {
-    let mut out = String::from(
-        "(3) warp execution efficiency, forward SpMV kernels (SIMT simulator):\n",
-    );
+    let mut out =
+        String::from("(3) warp execution efficiency, forward SpMV kernels (SIMT simulator):\n");
     let mut t = TextTable::new(vec![
-        "graph", "scCSC efficiency", "veCSC efficiency", "scCSC lanes/tx", "veCSC lanes/tx",
+        "graph",
+        "scCSC efficiency",
+        "veCSC efficiency",
+        "scCSC lanes/tx",
+        "veCSC lanes/tx",
     ]);
     // The simulator is sequential: run it one scale below the wall-clock
     // experiments.
@@ -239,10 +279,15 @@ pub fn warp_efficiency(cfg: Config) -> String {
         let mut eff = Vec::new();
         let mut coal = Vec::new();
         for kernel in [Kernel::ScCsc, Kernel::VeCsc] {
-            let solver = BcSolver::new(&g, BcOptions { kernel, engine: Engine::Parallel, ..Default::default() }).unwrap();
+            let solver =
+                BcSolver::new(&g, BcOptions::builder().kernel(kernel).parallel().build()).unwrap();
             let dev = Device::titan_xp();
-            let (_, report) = solver.run_simt(&dev, &[source]).unwrap();
-            let kname = if kernel == Kernel::ScCsc { "fwd_scCSC" } else { "fwd_veCSC" };
+            let (_, report) = solver.run_simt_on(&dev, &[source]).unwrap();
+            let kname = if kernel == Kernel::ScCsc {
+                "fwd_scCSC"
+            } else {
+                "fwd_veCSC"
+            };
             let s = report.metrics.kernel(kname).expect("forward kernel ran");
             eff.push(s.warp_efficiency());
             coal.push(s.coalescing_factor());

@@ -3,7 +3,7 @@
 use super::Config;
 use crate::runner::{measure_exact, measure_row};
 use crate::table::{fcount, fnum, TextTable};
-use turbobc::{footprint, BcOptions, BcSolver, Engine, Kernel};
+use turbobc::{footprint, BcOptions, BcSolver, Kernel};
 use turbobc_baselines::gunrock_like;
 use turbobc_graph::families::{Scale, TABLE4, TABLE5};
 use turbobc_graph::gen;
@@ -35,11 +35,15 @@ fn slope(xs: &[f64], ys: &[f64]) -> f64 {
 /// Figure 3: GPU memory upper bound is linear in the array-word count
 /// for both systems, with TurboBC's line below gunrock's.
 pub fn fig3(cfg: Config) -> String {
-    let mut out = String::from(
-        "== Figure 3: GPU memory upper bound vs array words (mycielski sweep) ==\n\n",
-    );
+    let mut out =
+        String::from("== Figure 3: GPU memory upper bound vs array words (mycielski sweep) ==\n\n");
     let mut t = TextTable::new(vec![
-        "graph", "n", "m", "TurboBC words (7n+m)", "TurboBC MB", "gunrock words (9n+2m)",
+        "graph",
+        "n",
+        "m",
+        "TurboBC words (7n+m)",
+        "TurboBC MB",
+        "gunrock words (9n+2m)",
         "gunrock MB",
     ]);
     let mut tx = Vec::new();
@@ -84,12 +88,18 @@ pub fn fig3(cfg: Config) -> String {
 /// Figure 5: (a) memory usage for both systems, (b) per-kernel GLT
 /// against the DRAM ceiling, (c) MTEPS vs GLT.
 pub fn fig5(cfg: Config) -> String {
-    let mut out = String::from("== Figure 5: memory / GLT / MTEPS (mycielski sweep, veCSC on the SIMT simulator) ==\n\n");
+    let mut out = String::from(
+        "== Figure 5: memory / GLT / MTEPS (mycielski sweep, veCSC on the SIMT simulator) ==\n\n",
+    );
 
     // (a) memory usage vs n + m.
     out.push_str("(a) device memory usage vs n + m:\n");
     let mut ta = TextTable::new(vec![
-        "graph", "n+m", "TurboBC MB", "gunrock MB", "gunrock/TurboBC",
+        "graph",
+        "n+m",
+        "TurboBC MB",
+        "gunrock MB",
+        "gunrock/TurboBC",
     ]);
     let ks = mycielski_ks(cfg.scale);
     for &k in &ks {
@@ -118,14 +128,26 @@ pub fn fig5(cfg: Config) -> String {
         Device::titan_xp().props().mem_bandwidth_gbs
     ));
     let mut tb = TextTable::new(vec![
-        "graph", "kernel", "GLT GB/s", "above ceiling?", "warp efficiency", "lanes/transaction",
+        "graph",
+        "kernel",
+        "GLT GB/s",
+        "above ceiling?",
+        "warp efficiency",
+        "lanes/transaction",
     ]);
     let mut mteps_glt: Vec<(String, f64, f64, f64, f64)> = Vec::new();
     for &k in &ks {
         let g = gen::mycielski(k);
-        let solver = BcSolver::new(&g, BcOptions { kernel: Kernel::VeCsc, engine: Engine::Parallel, ..Default::default() }).unwrap();
+        let solver = BcSolver::new(
+            &g,
+            BcOptions::builder()
+                .kernel(Kernel::VeCsc)
+                .parallel()
+                .build(),
+        )
+        .unwrap();
         let dev = Device::titan_xp();
-        let (_, report) = solver.run_simt(&dev, &[g.default_source()]).unwrap();
+        let (_, report) = solver.run_simt_on(&dev, &[g.default_source()]).unwrap();
         let ceiling = dev.props().mem_bandwidth_gbs;
         for name in ["fwd_veCSC", "bwd_veCSC", "bfs_update"] {
             if let Some(s) = report.metrics.kernel(name) {
@@ -134,7 +156,11 @@ pub fn fig5(cfg: Config) -> String {
                     format!("mycielski{k}"),
                     name.to_string(),
                     fnum(glt),
-                    if glt > ceiling { "yes".to_string() } else { "no".to_string() },
+                    if glt > ceiling {
+                        "yes".to_string()
+                    } else {
+                        "no".to_string()
+                    },
                     format!("{:.2}", s.warp_efficiency()),
                     format!("{:.1}", s.coalescing_factor()),
                 ]);
@@ -150,7 +176,11 @@ pub fn fig5(cfg: Config) -> String {
                     format!("mycielski{k}"),
                     format!("gunrock {name}"),
                     fnum(glt),
-                    if glt > ceiling { "yes".to_string() } else { "no".to_string() },
+                    if glt > ceiling {
+                        "yes".to_string()
+                    } else {
+                        "no".to_string()
+                    },
                     format!("{:.2}", s.warp_efficiency()),
                     format!("{:.1}", s.coalescing_factor()),
                 ]);
@@ -158,16 +188,32 @@ pub fn fig5(cfg: Config) -> String {
         }
         let mteps = g.m() as f64 / report.modelled_time_s / 1e6;
         let gr_mteps = g.m() as f64 / gr.modelled_time_s / 1e6;
-        mteps_glt.push((format!("mycielski{k}"), report.glt_gbs, mteps, gr.glt_gbs, gr_mteps));
+        mteps_glt.push((
+            format!("mycielski{k}"),
+            report.glt_gbs,
+            mteps,
+            gr.glt_gbs,
+            gr_mteps,
+        ));
     }
     out.push_str(&tb.render());
 
     out.push_str("\n(c) modelled MTEPS vs whole-run GLT, TurboBC-veCSC vs gunrock-like:\n");
     let mut tc = TextTable::new(vec![
-        "graph", "TurboBC GLT", "TurboBC MTEPS", "gunrock GLT", "gunrock MTEPS",
+        "graph",
+        "TurboBC GLT",
+        "TurboBC MTEPS",
+        "gunrock GLT",
+        "gunrock MTEPS",
     ]);
     for (name, glt, mteps, gglt, gmteps) in &mteps_glt {
-        tc.row(vec![name.clone(), fnum(*glt), fnum(*mteps), fnum(*gglt), fnum(*gmteps)]);
+        tc.row(vec![
+            name.clone(),
+            fnum(*glt),
+            fnum(*mteps),
+            fnum(*gglt),
+            fnum(*gmteps),
+        ]);
     }
     out.push_str(&tc.render());
     out.push_str(
@@ -178,7 +224,9 @@ pub fn fig5(cfg: Config) -> String {
 
 /// Figure 6: speedup-vs-d and MTEPS for the big-graph set of Table 4.
 pub fn fig6(cfg: Config) -> String {
-    let mut out = String::from("== Figure 6: big graphs — speedup over sequential vs BFS depth, and MTEPS ==\n\n");
+    let mut out = String::from(
+        "== Figure 6: big graphs — speedup over sequential vs BFS depth, and MTEPS ==\n\n",
+    );
     let mut t = TextTable::new(vec!["graph", "d", "speedup vs seq", "MTEPS", "kernel"]);
     let mut pairs = Vec::new();
     for row in TABLE4 {
@@ -194,7 +242,10 @@ pub fn fig6(cfg: Config) -> String {
     }
     out.push_str(&t.render());
     let deepest = pairs.iter().max_by_key(|p| p.0).unwrap();
-    let best = pairs.iter().cloned().fold((0u32, 0.0f64), |a, b| if b.1 > a.1 { b } else { a });
+    let best = pairs
+        .iter()
+        .cloned()
+        .fold((0u32, 0.0f64), |a, b| if b.1 > a.1 { b } else { a });
     out.push_str(&format!(
         "\ndeepest graph (d = {}) speedup {:.1}x; best speedup {:.1}x at d = {}\n\
          (paper shape: the deep regular graph gets the largest speedup; shallow irregular graphs get the highest MTEPS)\n",
@@ -240,21 +291,39 @@ pub fn fig7(cfg: Config) -> String {
 /// across four scales, modelled MTEPS and memory vs size.
 pub fn scaling(cfg: Config) -> String {
     let _ = cfg;
-    let mut out = String::from(
-        "== Scalability: TurboBC-veCSC across scales (mycielski family) ==\n\n",
-    );
+    let mut out =
+        String::from("== Scalability: TurboBC-veCSC across scales (mycielski family) ==\n\n");
     let mut t = TextTable::new(vec![
-        "k", "n", "m", "t_gpu_ms", "modelled MTEPS", "device MB", "host seq ms", "vs seq",
+        "k",
+        "n",
+        "m",
+        "t_gpu_ms",
+        "modelled MTEPS",
+        "device MB",
+        "host seq ms",
+        "vs seq",
     ]);
     for k in [8u32, 9, 10, 11, 12, 13] {
         let g = gen::mycielski(k);
-        let solver =
-            BcSolver::new(&g, BcOptions { kernel: Kernel::VeCsc, engine: Engine::Parallel, ..Default::default() }).unwrap();
+        let solver = BcSolver::new(
+            &g,
+            BcOptions::builder()
+                .kernel(Kernel::VeCsc)
+                .parallel()
+                .build(),
+        )
+        .unwrap();
         let dev = Device::titan_xp();
         let src = g.default_source();
-        let (_, report) = solver.run_simt(&dev, &[src]).unwrap();
-        let seq =
-            BcSolver::new(&g, BcOptions { kernel: Kernel::VeCsc, engine: Engine::Sequential, ..Default::default() }).unwrap();
+        let (_, report) = solver.run_simt_on(&dev, &[src]).unwrap();
+        let seq = BcSolver::new(
+            &g,
+            BcOptions::builder()
+                .kernel(Kernel::VeCsc)
+                .sequential()
+                .build(),
+        )
+        .unwrap();
         let t0 = std::time::Instant::now();
         let _ = seq.bc_single_source(src).unwrap();
         let seq_ms = t0.elapsed().as_secs_f64() * 1e3;
@@ -288,8 +357,13 @@ pub fn multigpu(cfg: Config) -> String {
     let g = gen::mycielski(14);
     let s = g.default_source();
     let mut t = TextTable::new(vec![
-        "devices", "compute ms", "transfer ms", "total ms", "exchange MB",
-        "max device MB", "speedup vs 1 GPU",
+        "devices",
+        "compute ms",
+        "transfer ms",
+        "total ms",
+        "exchange MB",
+        "max device MB",
+        "speedup vs 1 GPU",
     ]);
     let mut base = 0.0f64;
     for p in [1usize, 2, 4] {
@@ -304,8 +378,13 @@ pub fn multigpu(cfg: Config) -> String {
         if p == 1 {
             base = report.modelled_time_s;
         }
-        let max_mem =
-            report.per_device_memory.iter().map(|m| m.peak).max().unwrap_or(0) as f64 / 1e6;
+        let max_mem = report
+            .per_device_memory
+            .iter()
+            .map(|m| m.peak)
+            .max()
+            .unwrap_or(0) as f64
+            / 1e6;
         t.row(vec![
             p.to_string(),
             fnum(report.modelled_compute_s * 1e3),
@@ -325,7 +404,12 @@ pub fn multigpu(cfg: Config) -> String {
     // 2D checkerboard at the same device count.
     out.push_str("\n2D checkerboard grid on the same graph (undirected prototype):\n");
     let mut t2 = TextTable::new(vec![
-        "grid", "devices", "total ms", "exchange MB", "max worker MB", "max owner MB",
+        "grid",
+        "devices",
+        "total ms",
+        "exchange MB",
+        "max worker MB",
+        "max owner MB",
     ]);
     for qd in [1usize, 2, 3] {
         let (_, r) = turbobc::multi_gpu2d::bc_multi_gpu_2d(

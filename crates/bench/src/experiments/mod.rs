@@ -22,7 +22,11 @@ pub struct Config {
 
 impl Default for Config {
     fn default() -> Self {
-        Config { scale: Scale::Small, trials: 3, max_sources: 256 }
+        Config {
+            scale: Scale::Small,
+            trials: 3,
+            max_sources: 256,
+        }
     }
 }
 

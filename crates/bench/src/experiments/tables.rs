@@ -40,8 +40,17 @@ pub fn table(table_no: u8, cfg: Config) -> String {
         cfg.trials,
     );
     let mut t = TextTable::new(vec![
-        "graph", "n", "m", "deg(max/mu/sigma)", "d /paper", "scf~", "t_gpu_ms", "MTEPS /paper",
-        "vs seq /paper", "vs gunrock /paper", "vs ligra /paper",
+        "graph",
+        "n",
+        "m",
+        "deg(max/mu/sigma)",
+        "d /paper",
+        "scf~",
+        "t_gpu_ms",
+        "MTEPS /paper",
+        "vs seq /paper",
+        "vs gunrock /paper",
+        "vs ligra /paper",
     ]);
     let mut ms: Vec<Measured> = Vec::new();
     for row in rows {
@@ -50,11 +59,20 @@ pub fn table(table_no: u8, cfg: Config) -> String {
             m.name.to_string(),
             fcount(m.n),
             fcount(m.m),
-            format!("{}/{}/{}", m.stats.degree.max, fnum(m.stats.degree.mean), fnum(m.stats.degree.std)),
+            format!(
+                "{}/{}/{}",
+                m.stats.degree.max,
+                fnum(m.stats.degree.mean),
+                fnum(m.stats.degree.std)
+            ),
             format!("{} /{}", m.d, row.d),
             fnum(m.stats.scf),
             fnum(m.modelled_ms.unwrap_or(m.turbobc_ms)),
-            format!("{} /{}", fnum(m.modelled_mteps().unwrap_or(m.mteps(1))), fnum(row.mteps)),
+            format!(
+                "{} /{}",
+                fnum(m.modelled_mteps().unwrap_or(m.mteps(1))),
+                fnum(row.mteps)
+            ),
             ratio_cell(m.speedup_seq(), Some(row.speedup_seq)),
             ratio_cell(m.speedup_gunrock(), row.speedup_gunrock),
             ratio_cell(m.speedup_ligra(), row.speedup_ligra),
@@ -82,7 +100,14 @@ pub fn table4(cfg: Config) -> String {
 
     // Part 1: timing rows (vs sequential and ligra, as in the paper).
     let mut t = TextTable::new(vec![
-        "graph", "n", "m", "d /paper", "kernel", "t_gpu_ms", "MTEPS /paper", "vs seq /paper",
+        "graph",
+        "n",
+        "m",
+        "d /paper",
+        "kernel",
+        "t_gpu_ms",
+        "MTEPS /paper",
+        "vs seq /paper",
         "vs ligra /paper",
     ]);
     let mut measured = Vec::new();
@@ -95,7 +120,11 @@ pub fn table4(cfg: Config) -> String {
             format!("{} /{}", m.d, row.d),
             row.kernel.to_string(),
             fnum(m.modelled_ms.unwrap_or(m.turbobc_ms)),
-            format!("{} /{}", fnum(m.modelled_mteps().unwrap_or(m.mteps(1))), fnum(row.mteps)),
+            format!(
+                "{} /{}",
+                fnum(m.modelled_mteps().unwrap_or(m.mteps(1))),
+                fnum(row.mteps)
+            ),
             ratio_cell(m.speedup_seq(), Some(row.speedup_seq)),
             ratio_cell(m.speedup_ligra(), row.speedup_ligra),
         ]);
@@ -110,8 +139,12 @@ pub fn table4(cfg: Config) -> String {
     // midpoint of the two requirements.
     out.push_str("\ndevice-memory comparison (simulated device, capacity midway between the two working sets):\n");
     let mut mt = TextTable::new(vec![
-        "graph", "TurboBC peak MB (7n+m words)", "gunrock need MB (9n+2m words)", "capacity MB",
-        "TurboBC", "gunrock",
+        "graph",
+        "TurboBC peak MB (7n+m words)",
+        "gunrock need MB (9n+2m words)",
+        "capacity MB",
+        "TurboBC",
+        "gunrock",
     ]);
     for m in &measured {
         let probe = Device::titan_xp();
@@ -130,8 +163,16 @@ pub fn table4(cfg: Config) -> String {
             format!("{:.1}", turbo_peak as f64 / 1e6),
             format!("{:.1}", gunrock_peak as f64 / 1e6),
             format!("{:.1}", capacity as f64 / 1e6),
-            if turbo.is_ok() { "ok".into() } else { "OOM".to_string() },
-            if gunrock.is_ok() { "ok".into() } else { "OOM".to_string() },
+            if turbo.is_ok() {
+                "ok".into()
+            } else {
+                "OOM".to_string()
+            },
+            if gunrock.is_ok() {
+                "ok".into()
+            } else {
+                "OOM".to_string()
+            },
         ]);
     }
     out.push_str(&mt.render());
@@ -147,10 +188,18 @@ pub fn table5(cfg: Config) -> String {
         format_args!("{:?}", cfg.scale).to_string().to_lowercase()
     );
     let mut t = TextTable::new(vec![
-        "graph", "d /paper", "srcs*m (1e6)", "t_gpu_s", "MTEPS", "vs seq /paper",
+        "graph",
+        "d /paper",
+        "srcs*m (1e6)",
+        "t_gpu_s",
+        "MTEPS",
+        "vs seq /paper",
     ]);
     for &(name, paper_d, _nm, _rt, _mteps, paper_sx) in TABLE5 {
-        assert!(families::find(name).is_some(), "{name} missing from catalog");
+        assert!(
+            families::find(name).is_some(),
+            "{name} missing from catalog"
+        );
         let m = measure_exact(name, cfg.scale, cfg.max_sources);
         t.row(vec![
             m.name.to_string(),

@@ -19,6 +19,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod profiles;
 pub mod runner;
 pub mod table;
 

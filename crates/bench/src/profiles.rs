@@ -1,0 +1,134 @@
+//! `BENCH_*.json` emission — machine-readable run profiles for every
+//! engine family, produced by the same [`turbobc::observe`] machinery
+//! the CLI's `--profile` flag uses.
+//!
+//! Each emitted file is a complete `turbobc-profile-v1` document
+//! (schema-validated before it hits disk), so downstream tooling can
+//! consume CLI profiles and bench profiles interchangeably:
+//!
+//! ```text
+//! cargo run -p turbobc-bench --release --bin experiments -- profiles --out target/profiles
+//! ```
+
+use std::path::{Path, PathBuf};
+use turbobc::multi_gpu::bc_multi_gpu;
+use turbobc::observe::{ProfileObserver, RunProfile};
+use turbobc::{BcOptions, BcSolver};
+use turbobc_graph::{gen, Graph, VertexId};
+
+/// Run one engine per family on `graph` and write a `BENCH_<name>.json`
+/// profile for each into `dir` (created if missing). Returns the paths
+/// written, in emission order: `cpu_par`, `simt`, `msbfs`,
+/// `multi_gpu_1d`.
+pub fn emit_profiles(dir: &Path, graph: &Graph) -> std::io::Result<Vec<PathBuf>> {
+    std::fs::create_dir_all(dir)?;
+    let solver = BcSolver::new(graph, BcOptions::builder().parallel().build())
+        .map_err(|e| std::io::Error::other(e.to_string()))?;
+    let source = graph.default_source();
+    let batch: Vec<VertexId> = (0..graph.n().min(8) as VertexId).collect();
+    let mut written = Vec::new();
+
+    let mut obs = ProfileObserver::new();
+    solver
+        .bc_sources_observed(&[source], &mut obs)
+        .map_err(|e| std::io::Error::other(e.to_string()))?;
+    written.push(write_profile(dir, "cpu_par", obs.into_profile())?);
+
+    let mut obs = ProfileObserver::new();
+    solver
+        .run_simt_observed(&[source], &mut obs)
+        .map_err(|e| std::io::Error::other(e.to_string()))?;
+    written.push(write_profile(dir, "simt", obs.into_profile())?);
+
+    let mut obs = ProfileObserver::new();
+    solver
+        .ms_bfs_observed(&batch, &mut obs)
+        .map_err(|e| std::io::Error::other(e.to_string()))?;
+    written.push(write_profile(dir, "msbfs", obs.into_profile())?);
+
+    let (_, report) = bc_multi_gpu(
+        graph,
+        &batch,
+        2,
+        turbobc_simt::DeviceProps::titan_xp(),
+        turbobc_simt::Interconnect::pcie3(),
+    )
+    .map_err(|e| std::io::Error::other(e.to_string()))?;
+    written.push(write_profile(
+        dir,
+        "multi_gpu_1d",
+        report.run_profile(graph.n(), graph.m(), batch.len()),
+    )?);
+
+    Ok(written)
+}
+
+/// [`emit_profiles`] on the default bench workload (a small-world
+/// graph, the shape the paper's Table 4 row 1 models).
+pub fn emit_default_profiles(dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+    emit_profiles(dir, &gen::small_world(2000, 4, 0.05, 7))
+}
+
+fn write_profile(dir: &Path, name: &str, profile: RunProfile) -> std::io::Result<PathBuf> {
+    let text = profile.to_json_string();
+    // Never write a profile the CLI's `validate-profile` would reject.
+    RunProfile::validate(&text)
+        .map_err(|e| std::io::Error::other(format!("BENCH_{name}.json failed validation: {e}")))?;
+    let path = dir.join(format!("BENCH_{name}.json"));
+    std::fs::write(&path, text)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emitted_profiles_validate_and_cover_every_engine() {
+        let dir = std::env::temp_dir().join(format!("turbobc-profiles-{}", std::process::id()));
+        let g = gen::small_world(300, 3, 0.1, 11);
+        let paths = emit_profiles(&dir, &g).unwrap();
+        assert_eq!(paths.len(), 4);
+        let mut engines = Vec::new();
+        for p in &paths {
+            let text = std::fs::read_to_string(p).unwrap();
+            let doc = RunProfile::validate(&text).unwrap();
+            engines.push(
+                doc.get("engine")
+                    .and_then(|v| v.as_str())
+                    .unwrap_or_default()
+                    .to_string(),
+            );
+            assert!(
+                p.file_name()
+                    .unwrap()
+                    .to_str()
+                    .unwrap()
+                    .starts_with("BENCH_"),
+                "{p:?}"
+            );
+        }
+        assert_eq!(engines, ["par", "simt", "msbfs", "multi_gpu_1d"]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn simt_bench_profile_carries_levels_and_memory() {
+        let dir = std::env::temp_dir().join(format!("turbobc-profiles-m-{}", std::process::id()));
+        let g = gen::mycielski(5);
+        let paths = emit_profiles(&dir, &g).unwrap();
+        let text = std::fs::read_to_string(&paths[1]).unwrap();
+        let doc = RunProfile::validate(&text).unwrap();
+        let levels = doc.get("levels").and_then(|v| v.as_arr()).unwrap();
+        assert!(
+            !levels.is_empty(),
+            "simt profile must trace per-level events"
+        );
+        let mem = doc.get("memory").unwrap();
+        assert!(
+            mem.get("paper_words").is_some(),
+            "7n + m model words recorded"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

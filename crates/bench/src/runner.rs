@@ -3,7 +3,7 @@
 //! produce one comparable row.
 
 use std::time::{Duration, Instant};
-use turbobc::{BcOptions, BcSolver, Engine, Kernel};
+use turbobc::{BcOptions, BcSolver, Kernel};
 use turbobc_baselines::gunrock_like::GunrockBc;
 use turbobc_graph::families::{PaperRow, Scale};
 use turbobc_graph::{bfs, families, Graph, GraphStats, VertexId};
@@ -125,8 +125,7 @@ pub fn kernel_from_name(name: &str) -> Kernel {
 
 /// Generates a row's stand-in graph at `scale`.
 pub fn generate(row: &PaperRow, scale: Scale) -> Graph {
-    families::generate(row.name, scale)
-        .unwrap_or_else(|| panic!("no generator for {}", row.name))
+    families::generate(row.name, scale).unwrap_or_else(|| panic!("no generator for {}", row.name))
 }
 
 /// Measures a BC/vertex experiment for one paper row: TurboBC (parallel,
@@ -141,20 +140,32 @@ pub fn measure_row_opts(row: &PaperRow, scale: Scale, trials: usize, with_simt: 
     let d = bfs(&graph, source).height;
     let kernel = kernel_from_name(row.kernel);
 
-    let solver = BcSolver::new(&graph, BcOptions { kernel, engine: Engine::Parallel, ..Default::default() }).unwrap();
+    let solver = BcSolver::new(
+        &graph,
+        BcOptions::builder().kernel(kernel).parallel().build(),
+    )
+    .unwrap();
     let (turbo_t, _) = time_best(trials, || solver.bc_single_source(source).unwrap());
 
-    let seq_solver = BcSolver::new(&graph, BcOptions { kernel, engine: Engine::Sequential, ..Default::default() }).unwrap();
+    let seq_solver = BcSolver::new(
+        &graph,
+        BcOptions::builder().kernel(kernel).sequential().build(),
+    )
+    .unwrap();
     let (seq_t, _) = time_best(trials, || seq_solver.bc_single_source(source).unwrap());
 
     let gunrock = GunrockBc::new(&graph);
     let (gun_t, _) = time_best(trials, || gunrock.bc_single_source(source));
 
-    let (ligra_t, _) = time_best(trials, || turbobc_ligra::bc::bc_single_source(&graph, source));
+    let (ligra_t, _) = time_best(trials, || {
+        turbobc_ligra::bc::bc_single_source(&graph, source)
+    });
 
     let (modelled_ms, modelled_glt, gunrock_modelled_ms) = if with_simt {
         let dev = turbobc_simt::Device::titan_xp();
-        let (_, report) = solver.run_simt(&dev, &[source]).expect("Titan Xp capacity suffices");
+        let (_, report) = solver
+            .run_simt_on(&dev, &[source])
+            .expect("Titan Xp capacity suffices");
         let gr = turbobc_baselines::gunrock_simt::bc_single_source_simt(&graph, source);
         (
             Some(report.modelled_time_s * 1e3),
@@ -231,21 +242,28 @@ impl ExactMeasured {
 
 /// Runs the exact-BC measurement for one named graph.
 pub fn measure_exact(name: &'static str, scale: Scale, max_sources: usize) -> ExactMeasured {
-    let graph = families::generate(name, scale)
-        .unwrap_or_else(|| panic!("no generator for {name}"));
+    let graph =
+        families::generate(name, scale).unwrap_or_else(|| panic!("no generator for {name}"));
     let row = families::find(name).expect("catalogued graph");
     let kernel = kernel_from_name(row.kernel);
     let n = graph.n();
-    let sources: Vec<VertexId> =
-        (0..n.min(max_sources)).map(|s| s as VertexId).collect();
+    let sources: Vec<VertexId> = (0..n.min(max_sources)).map(|s| s as VertexId).collect();
     let d = bfs(&graph, graph.default_source()).height;
 
-    let par = BcSolver::new(&graph, BcOptions { kernel, engine: Engine::Parallel, ..Default::default() }).unwrap();
+    let par = BcSolver::new(
+        &graph,
+        BcOptions::builder().kernel(kernel).parallel().build(),
+    )
+    .unwrap();
     let t0 = Instant::now();
     let _ = par.bc_sources(&sources).unwrap();
     let turbobc_s = t0.elapsed().as_secs_f64();
 
-    let seq = BcSolver::new(&graph, BcOptions { kernel, engine: Engine::Sequential, ..Default::default() }).unwrap();
+    let seq = BcSolver::new(
+        &graph,
+        BcOptions::builder().kernel(kernel).sequential().build(),
+    )
+    .unwrap();
     let t0 = Instant::now();
     let _ = seq.bc_sources(&sources).unwrap();
     let seq_s = t0.elapsed().as_secs_f64();
@@ -254,7 +272,9 @@ pub fn measure_exact(name: &'static str, scale: Scale, max_sources: usize) -> Ex
     // and scale linearly (every source costs the same kernel pipeline).
     let probe: Vec<VertexId> = sources.iter().copied().take(4).collect();
     let dev = turbobc_simt::Device::titan_xp();
-    let (_, report) = par.run_simt(&dev, &probe).expect("Titan Xp capacity suffices");
+    let (_, report) = par
+        .run_simt_on(&dev, &probe)
+        .expect("Titan Xp capacity suffices");
     let modelled_s = report.modelled_time_s / probe.len() as f64 * sources.len() as f64;
 
     ExactMeasured {

@@ -2,13 +2,10 @@
 //! drive it without spawning a process).
 
 use std::fmt::Write as _;
-use turbobc::{
-    bc_approx, edge_bc, ApproxOptions, BcOptions, BcSolver, CheckpointConfig, Engine, Kernel,
-    RecoveryLog,
-};
+use turbobc::prelude::*;
 use turbobc_graph::families::{self, Scale};
 use turbobc_graph::{bfs, io, Graph, GraphStats};
-use turbobc_simt::{Device, DeviceProps, FaultPlan};
+use turbobc_simt::{Device, FaultPlan};
 
 /// Thin oracle wrapper (kept here so the CLI crate's only oracle
 /// dependency is explicit).
@@ -23,8 +20,10 @@ usage:
   turbobc bc      <file> [--format mtx|edges] [--directed]
                   [--kernel auto|sccooc|sccsc|vecsc] [--sequential]
                   [--exact | --samples K | --approx EPSILON] [--top N]
-                  [--faults SPEC] [--checkpoint FILE]
+                  [--simt] [--faults SPEC] [--checkpoint FILE]
                   [--checkpoint-every K] [--resume]
+                  [--profile FILE] [--profile-summary]
+  turbobc validate-profile <file.json>
   turbobc edge-bc <file> [--format mtx|edges] [--directed] [--top N]
   turbobc closeness <file> [--format mtx|edges] [--directed] [--top N]
   turbobc gen     <family> [--scale tiny|small|medium|large] [-o FILE]
@@ -51,7 +50,9 @@ fn parse(args: &[String]) -> Result<Parsed, String> {
         if let Some(name) = a.strip_prefix("--") {
             let value = match name {
                 // boolean flags
-                "directed" | "exact" | "sequential" | "resume" => "true".to_string(),
+                "directed" | "exact" | "sequential" | "resume" | "simt" | "profile-summary" => {
+                    "true".to_string()
+                }
                 _ => it
                     .next()
                     .ok_or_else(|| format!("--{name} needs a value"))?
@@ -65,18 +66,26 @@ fn parse(args: &[String]) -> Result<Parsed, String> {
             positional.push(a.clone());
         }
     }
-    Ok(Parsed { command, positional, flags })
+    Ok(Parsed {
+        command,
+        positional,
+        flags,
+    })
 }
 
 fn load(p: &Parsed) -> Result<Graph, String> {
     let path = p.positional.first().ok_or("missing input file")?;
-    let format = p.flags.get("format").map(String::as_str).unwrap_or_else(|| {
-        if path.ends_with(".mtx") {
-            "mtx"
-        } else {
-            "edges"
-        }
-    });
+    let format = p
+        .flags
+        .get("format")
+        .map(String::as_str)
+        .unwrap_or_else(|| {
+            if path.ends_with(".mtx") {
+                "mtx"
+            } else {
+                "edges"
+            }
+        });
     match format {
         "mtx" => io::read_matrix_market_file(path).map_err(|e| e.to_string()),
         "edges" => {
@@ -98,7 +107,10 @@ fn kernel_of(p: &Parsed) -> Result<Kernel, String> {
 }
 
 fn top_n(p: &Parsed) -> usize {
-    p.flags.get("top").and_then(|v| v.parse().ok()).unwrap_or(10)
+    p.flags
+        .get("top")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10)
 }
 
 /// The source set the `--exact` / `--samples K` / default flags select
@@ -139,7 +151,10 @@ fn recovery_summary(log: &RecoveryLog) -> String {
         parts.push(format!("{} device requeue(s)", log.device_requeues));
     }
     if log.resumed_sources > 0 {
-        parts.push(format!("{} sources resumed from checkpoint", log.resumed_sources));
+        parts.push(format!(
+            "{} sources resumed from checkpoint",
+            log.resumed_sources
+        ));
     }
     if log.cpu_fallback {
         parts.push("CPU fallback".to_string());
@@ -152,11 +167,21 @@ fn stats_report(g: &Graph) -> String {
     let source = g.default_source();
     let b = bfs(g, source);
     let mut out = String::new();
-    let _ = writeln!(out, "n = {}, m = {} stored arcs, directed = {}", s.n, s.m, g.directed());
+    let _ = writeln!(
+        out,
+        "n = {}, m = {} stored arcs, directed = {}",
+        s.n,
+        s.m,
+        g.directed()
+    );
     let _ = writeln!(
         out,
         "degree max/mean/std = {}/{:.2}/{:.2}, scf~ = {:.2}, class = {:?}",
-        s.degree.max, s.degree.mean, s.degree.std, s.scf, s.class()
+        s.degree.max,
+        s.degree.mean,
+        s.degree.std,
+        s.scf,
+        s.class()
     );
     let _ = writeln!(
         out,
@@ -189,19 +214,45 @@ pub fn run(args: &[String]) -> Result<String, String> {
         }
         "bc" => {
             let g = load(&p)?;
-            let engine =
-                if p.flags.contains_key("sequential") { Engine::Sequential } else { Engine::Parallel };
-            let options = BcOptions { kernel: kernel_of(&p)?, engine, ..Default::default() };
+            let mut builder = BcOptions::builder().kernel(kernel_of(&p)?);
+            if p.flags.contains_key("sequential") {
+                builder = builder.sequential();
+            }
+            let ckpt_every: usize = match p.flags.get("checkpoint-every") {
+                Some(v) => v
+                    .parse()
+                    .map_err(|_| format!("bad checkpoint interval `{v}`"))?,
+                None => 64,
+            };
+            if let Some(ckpt) = p.flags.get("checkpoint") {
+                let mut cfg = CheckpointConfig::new(ckpt, ckpt_every);
+                if p.flags.contains_key("resume") {
+                    cfg = cfg.resume();
+                }
+                builder = builder.checkpoint(cfg);
+            }
+            let options = builder.build();
             let top = top_n(&p);
+            let profile_path = p.flags.get("profile").cloned();
+            let want_summary = p.flags.contains_key("profile-summary");
+            let want_profile = profile_path.is_some() || want_summary;
+            let mut profile_obs = ProfileObserver::new();
+            let mut null_obs = NullObserver;
+            let obs: &mut dyn Observer = if want_profile {
+                &mut profile_obs
+            } else {
+                &mut null_obs
+            };
             let mut out = String::new();
             if let Some(eps) = p.flags.get("approx") {
-                let epsilon: f64 =
-                    eps.parse().map_err(|_| format!("bad epsilon `{eps}`"))?;
-                let r = bc_approx(
-                    &g,
-                    ApproxOptions { epsilon, bc: options, ..Default::default() },
-                )
-                .map_err(|e| e.to_string())?;
+                if want_profile {
+                    return Err("--profile is not supported with --approx".to_string());
+                }
+                let epsilon: f64 = eps.parse().map_err(|_| format!("bad epsilon `{eps}`"))?;
+                let solver = BcSolver::new(&g, options).map_err(|e| e.to_string())?;
+                let r = solver
+                    .approx(epsilon, 0.1, 0x70b0bc)
+                    .map_err(|e| e.to_string())?;
                 let _ = writeln!(
                     out,
                     "approximate BC: {} sampled sources (epsilon {}, delta {}) in {:.1} ms",
@@ -218,8 +269,9 @@ pub fn run(args: &[String]) -> Result<String, String> {
                 let solver = BcSolver::new(&g, options).map_err(|e| e.to_string())?;
                 let device = Device::with_faults(DeviceProps::titan_xp(), plan);
                 let sources = sources_of(&p, &g)?;
-                let (r, report) =
-                    solver.run_simt(&device, &sources).map_err(|e| e.to_string())?;
+                let (r, report) = solver
+                    .run_simt_on_observed(&device, &sources, obs)
+                    .map_err(|e| e.to_string())?;
                 let _ = writeln!(
                     out,
                     "SIMT run under injected faults: kernel {} over {} source(s), \
@@ -230,19 +282,32 @@ pub fn run(args: &[String]) -> Result<String, String> {
                 );
                 let _ = writeln!(out, "{}", recovery_summary(&r.stats.recovery));
                 out.push_str(&rank_report("BC", &r.bc, top));
-            } else if let Some(ckpt) = p.flags.get("checkpoint") {
-                let every: usize = match p.flags.get("checkpoint-every") {
-                    Some(v) => v.parse().map_err(|_| format!("bad checkpoint interval `{v}`"))?,
-                    None => 64,
-                };
-                let mut cfg = CheckpointConfig::new(ckpt, every);
-                if p.flags.contains_key("resume") {
-                    cfg = cfg.resume();
+            } else if p.flags.contains_key("simt") {
+                let solver = BcSolver::new(&g, options).map_err(|e| e.to_string())?;
+                let sources = sources_of(&p, &g)?;
+                let (r, report) = solver
+                    .run_simt_observed(&sources, obs)
+                    .map_err(|e| e.to_string())?;
+                let _ = writeln!(
+                    out,
+                    "SIMT run: kernel {} over {} source(s), modelled {:.3} ms, \
+                     peak device memory {} bytes",
+                    solver.kernel().name(),
+                    r.stats.sources,
+                    report.modelled_time_s * 1e3,
+                    report.memory.peak
+                );
+                let _ = writeln!(out, "{}", recovery_summary(&r.stats.recovery));
+                out.push_str(&rank_report("BC", &r.bc, top));
+            } else if p.flags.contains_key("checkpoint") {
+                if want_profile {
+                    return Err("--profile is not supported with --checkpoint".to_string());
                 }
+                let ckpt = p.flags.get("checkpoint").expect("guarded by contains_key");
                 let solver = BcSolver::new(&g, options).map_err(|e| e.to_string())?;
                 let sources = sources_of(&p, &g)?;
                 let r = solver
-                    .bc_sources_checkpointed(&sources, &cfg)
+                    .bc_sources_checkpointed(&sources)
                     .map_err(|e| e.to_string())?;
                 let _ = writeln!(
                     out,
@@ -250,22 +315,17 @@ pub fn run(args: &[String]) -> Result<String, String> {
                     solver.kernel().name(),
                     r.stats.sources,
                     ckpt,
-                    every,
+                    ckpt_every,
                     r.stats.elapsed.as_secs_f64() * 1e3
                 );
                 let _ = writeln!(out, "{}", recovery_summary(&r.stats.recovery));
                 out.push_str(&rank_report("BC", &r.bc, top));
             } else {
                 let solver = BcSolver::new(&g, options).map_err(|e| e.to_string())?;
-                let r = if p.flags.contains_key("exact") {
-                    solver.bc_exact()
-                } else if let Some(k) = p.flags.get("samples") {
-                    let k: usize = k.parse().map_err(|_| format!("bad sample count `{k}`"))?;
-                    solver.bc_sampled(k)
-                } else {
-                    solver.bc_single_source(g.default_source())
-                }
-                .map_err(|e| e.to_string())?;
+                let sources = sources_of(&p, &g)?;
+                let r = solver
+                    .bc_sources_observed(&sources, obs)
+                    .map_err(|e| e.to_string())?;
                 let _ = writeln!(
                     out,
                     "kernel {} over {} source(s), BFS depth <= {}, {:.1} ms",
@@ -276,21 +336,59 @@ pub fn run(args: &[String]) -> Result<String, String> {
                 );
                 out.push_str(&rank_report("BC", &r.bc, top));
             }
+            if want_profile {
+                let profile = profile_obs.into_profile();
+                if let Some(path) = profile_path {
+                    std::fs::write(&path, profile.to_json_string()).map_err(|e| e.to_string())?;
+                    let _ = writeln!(out, "profile written to {path}");
+                }
+                if want_summary {
+                    out.push_str(&profile.summary());
+                }
+            }
             Ok(out)
+        }
+        "validate-profile" => {
+            let path = p.positional.first().ok_or("missing profile file")?;
+            let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+            let json = RunProfile::validate(&text).map_err(|e| format!("invalid profile: {e}"))?;
+            let field = |k: &str| {
+                json.get(k)
+                    .and_then(|j| j.as_str())
+                    .map(str::to_string)
+                    .unwrap_or_default()
+            };
+            let count = |k: &str| json.get(k).and_then(|j| j.as_arr()).map_or(0, <[_]>::len);
+            Ok(format!(
+                "profile ok: schema {}, engine {}, kernel {}, {} level event(s), \
+                 {} source run(s), {} kernel stat(s), {} recovery event(s)\n",
+                field("schema"),
+                field("engine"),
+                field("kernel"),
+                count("levels"),
+                count("source_runs"),
+                count("kernels"),
+                count("recovery"),
+            ))
         }
         "closeness" => {
             let g = load(&p)?;
-            let r = turbobc::closeness::closeness_centrality(
-                &g,
-                BcOptions { kernel: kernel_of(&p)?, engine: Engine::Parallel, ..Default::default() },
-            );
+            let options = BcOptions::builder().kernel(kernel_of(&p)?).build();
+            let solver = BcSolver::new(&g, options).map_err(|e| e.to_string())?;
+            let r = solver.closeness().map_err(|e| e.to_string())?;
             let mut out = rank_report("harmonic centrality", &r.harmonic, top_n(&p));
-            out.push_str(&rank_report("closeness (Wasserman-Faust)", &r.closeness, top_n(&p)));
+            out.push_str(&rank_report(
+                "closeness (Wasserman-Faust)",
+                &r.closeness,
+                top_n(&p),
+            ));
             Ok(out)
         }
         "edge-bc" => {
             let g = load(&p)?;
-            let r = edge_bc(&g);
+            let solver =
+                BcSolver::new(&g, BcOptions::builder().build()).map_err(|e| e.to_string())?;
+            let r = solver.edge_bc().map_err(|e| e.to_string())?;
             let mut out = format!(
                 "edge BC over {} sources in {:.1} ms\n",
                 r.stats.sources,
@@ -314,8 +412,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
                 .ok_or_else(|| format!("unknown family `{name}` (see `turbobc list`)"))?;
             match p.flags.get("out") {
                 Some(path) => {
-                    let mut f =
-                        std::fs::File::create(path).map_err(|e| e.to_string())?;
+                    let mut f = std::fs::File::create(path).map_err(|e| e.to_string())?;
                     io::write_matrix_market(&g, &mut f).map_err(|e| e.to_string())?;
                     Ok(format!("wrote {} (n = {}, m = {})\n", path, g.n(), g.m()))
                 }
@@ -352,15 +449,10 @@ pub fn run(args: &[String]) -> Result<String, String> {
                 let want = turbobc_baselines_single(&g, s);
                 for kernel in [Kernel::ScCooc, Kernel::ScCsc, Kernel::VeCsc] {
                     for engine in [Engine::Sequential, Engine::Parallel] {
-                        let solver =
-                            BcSolver::new(&g, BcOptions { kernel, engine, ..Default::default() })
-                                .map_err(|e| e.to_string())?;
+                        let options = BcOptions::builder().kernel(kernel).engine(engine).build();
+                        let solver = BcSolver::new(&g, options).map_err(|e| e.to_string())?;
                         let r = solver.bc_single_source(s).map_err(|e| e.to_string())?;
-                        let ok = r
-                            .bc
-                            .iter()
-                            .zip(&want)
-                            .all(|(a, b)| (a - b).abs() < 1e-7);
+                        let ok = r.bc.iter().zip(&want).all(|(a, b)| (a - b).abs() < 1e-7);
                         if !ok {
                             failures += 1;
                         }
@@ -446,7 +538,13 @@ mod tests {
     #[test]
     fn edge_bc_and_convert_round_trip() {
         let mtx = temp("roads.mtx");
-        run(&args(&["gen", "luxembourg_osm", "-o", mtx.to_str().unwrap()])).unwrap();
+        run(&args(&[
+            "gen",
+            "luxembourg_osm",
+            "-o",
+            mtx.to_str().unwrap(),
+        ]))
+        .unwrap();
         let txt = temp("roads.txt");
         let out = run(&args(&[
             "convert",
@@ -456,8 +554,13 @@ mod tests {
         ]))
         .unwrap();
         assert!(out.starts_with("wrote"));
-        let stats =
-            run(&args(&["stats", txt.to_str().unwrap(), "--format", "edges"])).unwrap();
+        let stats = run(&args(&[
+            "stats",
+            txt.to_str().unwrap(),
+            "--format",
+            "edges",
+        ]))
+        .unwrap();
         assert!(stats.contains("class = Regular"), "{stats}");
 
         // Edge BC on a tiny star written by hand.
@@ -506,8 +609,7 @@ mod tests {
         .unwrap();
         assert!(out.contains("injected faults"), "{out}");
         assert!(out.contains("kernel retries"), "{out}");
-        let out =
-            run(&args(&["bc", path.to_str().unwrap(), "--faults", "seed=1"])).unwrap();
+        let out = run(&args(&["bc", path.to_str().unwrap(), "--faults", "seed=1"])).unwrap();
         assert!(out.contains("clean run"), "{out}");
         assert!(run(&args(&["bc", path.to_str().unwrap(), "--faults", "bogus"])).is_err());
     }
@@ -519,8 +621,7 @@ mod tests {
         let _ = std::fs::remove_file(&ck);
         run(&args(&["gen", "smallworld", "-o", mtx.to_str().unwrap()])).unwrap();
         let ranks = |s: &str| s[s.find("top ").unwrap()..].to_string();
-        let plain =
-            run(&args(&["bc", mtx.to_str().unwrap(), "--samples", "9"])).unwrap();
+        let plain = run(&args(&["bc", mtx.to_str().unwrap(), "--samples", "9"])).unwrap();
         let ckpt = run(&args(&[
             "bc",
             mtx.to_str().unwrap(),
@@ -532,7 +633,11 @@ mod tests {
             "2",
         ]))
         .unwrap();
-        assert_eq!(ranks(&plain), ranks(&ckpt), "checkpointing must not perturb the ranking");
+        assert_eq!(
+            ranks(&plain),
+            ranks(&ckpt),
+            "checkpointing must not perturb the ranking"
+        );
         let resumed = run(&args(&[
             "bc",
             mtx.to_str().unwrap(),
@@ -547,6 +652,54 @@ mod tests {
         .unwrap();
         assert!(resumed.contains("resumed from checkpoint"), "{resumed}");
         assert_eq!(ranks(&plain), ranks(&resumed));
+    }
+
+    #[test]
+    fn simt_profile_round_trips_through_validate() {
+        let mtx = temp("prof.mtx");
+        run(&args(&["gen", "smallworld", "-o", mtx.to_str().unwrap()])).unwrap();
+        let prof = temp("prof.json");
+        let out = run(&args(&[
+            "bc",
+            mtx.to_str().unwrap(),
+            "--simt",
+            "--profile",
+            prof.to_str().unwrap(),
+            "--profile-summary",
+        ]))
+        .unwrap();
+        assert!(out.contains("SIMT run:"), "{out}");
+        assert!(out.contains("profile written"), "{out}");
+        let validated = run(&args(&["validate-profile", prof.to_str().unwrap()])).unwrap();
+        assert!(
+            validated.contains("profile ok: schema turbobc-profile-v1"),
+            "{validated}"
+        );
+        assert!(validated.contains("engine simt"), "{validated}");
+    }
+
+    #[test]
+    fn cpu_profile_summary_reports_levels() {
+        let mtx = temp("prof_cpu.mtx");
+        run(&args(&["gen", "smallworld", "-o", mtx.to_str().unwrap()])).unwrap();
+        let out = run(&args(&["bc", mtx.to_str().unwrap(), "--profile-summary"])).unwrap();
+        assert!(out.contains("engine"), "{out}");
+        assert!(out.contains("level"), "{out}");
+    }
+
+    #[test]
+    fn profile_rejects_unsupported_modes() {
+        let mtx = temp("prof_bad.mtx");
+        run(&args(&["gen", "smallworld", "-o", mtx.to_str().unwrap()])).unwrap();
+        assert!(run(&args(&[
+            "bc",
+            mtx.to_str().unwrap(),
+            "--approx",
+            "0.2",
+            "--profile-summary"
+        ]))
+        .is_err());
+        assert!(run(&args(&["validate-profile", "/nonexistent.json"])).is_err());
     }
 
     #[test]

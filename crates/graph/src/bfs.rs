@@ -29,7 +29,11 @@ pub fn bfs_csr(csr: &Csr, source: VertexId) -> BfsResult {
     let n = csr.n_rows();
     let mut depths = vec![0u32; n];
     if n == 0 {
-        return BfsResult { depths, height: 0, reached: 0 };
+        return BfsResult {
+            depths,
+            height: 0,
+            reached: 0,
+        };
     }
     let mut queue = VecDeque::new();
     depths[source as usize] = 1;
@@ -47,7 +51,11 @@ pub fn bfs_csr(csr: &Csr, source: VertexId) -> BfsResult {
             }
         }
     }
-    BfsResult { depths, height, reached }
+    BfsResult {
+        depths,
+        height,
+        reached,
+    }
 }
 
 impl BfsResult {
@@ -102,7 +110,9 @@ pub fn largest_component(graph: &Graph) -> Vec<VertexId> {
     let Some((&best, _)) = sizes.iter().max_by_key(|(_, &c)| c) else {
         return Vec::new();
     };
-    (0..graph.n() as VertexId).filter(|&v| label[v as usize] == best).collect()
+    (0..graph.n() as VertexId)
+        .filter(|&v| label[v as usize] == best)
+        .collect()
 }
 
 #[cfg(test)]

@@ -124,52 +124,547 @@ const fn row(
 
 /// Table 1: ten regular graphs where `TurboBC-scCSC` was fastest.
 pub const TABLE1: &[PaperRow] = &[
-    row("mark3jac060sc", true, 1, "scCSC", 28.0, 171.0, (44.0, 6.0, 4.0), 42, 10.0, 2.1, 82.0, 11.5, Some(2.7), Some(2.2)),
-    row("mark3jac080sc", true, 1, "scCSC", 37.0, 228.0, (44.0, 6.0, 4.0), 52, 10.0, 2.8, 82.0, 9.8, Some(2.5), Some(1.5)),
-    row("mark3jac100sc", true, 1, "scCSC", 46.0, 285.0, (44.0, 6.0, 4.0), 62, 10.0, 3.5, 82.0, 11.4, Some(2.4), Some(1.5)),
-    row("mark3jac120sc", true, 1, "scCSC", 55.0, 343.0, (44.0, 6.0, 4.0), 72, 10.0, 4.4, 78.0, 12.9, Some(2.2), Some(1.6)),
-    row("g7jac140sc", true, 1, "scCSC", 42.0, 566.0, (153.0, 14.0, 24.0), 15, 197.0, 1.2, 472.0, 12.5, Some(1.9), Some(2.3)),
-    row("g7jac160sc", true, 1, "scCSC", 47.0, 657.0, (153.0, 14.0, 24.0), 16, 208.0, 1.4, 469.0, 13.3, Some(1.8), Some(2.6)),
-    row("delaunay_n15", false, 1, "scCSC", 33.0, 197.0, (18.0, 6.0, 1.0), 84, 13.0, 4.7, 42.0, 14.4, Some(2.4), Some(1.2)),
-    row("delaunay_n16", false, 1, "scCSC", 66.0, 393.0, (17.0, 6.0, 1.0), 110, 14.0, 7.1, 55.0, 25.3, Some(2.2), Some(1.9)),
-    row("luxembourg_osm", false, 1, "scCSC", 115.0, 239.0, (6.0, 2.0, 0.0), 1035, 2.0, 50.0, 5.0, 24.7, Some(2.3), Some(1.0)),
-    row("internet", true, 1, "scCSC", 125.0, 207.0, (138.0, 2.0, 4.0), 21, 1.0, 1.5, 138.0, 37.8, Some(1.9), Some(2.0)),
+    row(
+        "mark3jac060sc",
+        true,
+        1,
+        "scCSC",
+        28.0,
+        171.0,
+        (44.0, 6.0, 4.0),
+        42,
+        10.0,
+        2.1,
+        82.0,
+        11.5,
+        Some(2.7),
+        Some(2.2),
+    ),
+    row(
+        "mark3jac080sc",
+        true,
+        1,
+        "scCSC",
+        37.0,
+        228.0,
+        (44.0, 6.0, 4.0),
+        52,
+        10.0,
+        2.8,
+        82.0,
+        9.8,
+        Some(2.5),
+        Some(1.5),
+    ),
+    row(
+        "mark3jac100sc",
+        true,
+        1,
+        "scCSC",
+        46.0,
+        285.0,
+        (44.0, 6.0, 4.0),
+        62,
+        10.0,
+        3.5,
+        82.0,
+        11.4,
+        Some(2.4),
+        Some(1.5),
+    ),
+    row(
+        "mark3jac120sc",
+        true,
+        1,
+        "scCSC",
+        55.0,
+        343.0,
+        (44.0, 6.0, 4.0),
+        72,
+        10.0,
+        4.4,
+        78.0,
+        12.9,
+        Some(2.2),
+        Some(1.6),
+    ),
+    row(
+        "g7jac140sc",
+        true,
+        1,
+        "scCSC",
+        42.0,
+        566.0,
+        (153.0, 14.0, 24.0),
+        15,
+        197.0,
+        1.2,
+        472.0,
+        12.5,
+        Some(1.9),
+        Some(2.3),
+    ),
+    row(
+        "g7jac160sc",
+        true,
+        1,
+        "scCSC",
+        47.0,
+        657.0,
+        (153.0, 14.0, 24.0),
+        16,
+        208.0,
+        1.4,
+        469.0,
+        13.3,
+        Some(1.8),
+        Some(2.6),
+    ),
+    row(
+        "delaunay_n15",
+        false,
+        1,
+        "scCSC",
+        33.0,
+        197.0,
+        (18.0, 6.0, 1.0),
+        84,
+        13.0,
+        4.7,
+        42.0,
+        14.4,
+        Some(2.4),
+        Some(1.2),
+    ),
+    row(
+        "delaunay_n16",
+        false,
+        1,
+        "scCSC",
+        66.0,
+        393.0,
+        (17.0, 6.0, 1.0),
+        110,
+        14.0,
+        7.1,
+        55.0,
+        25.3,
+        Some(2.2),
+        Some(1.9),
+    ),
+    row(
+        "luxembourg_osm",
+        false,
+        1,
+        "scCSC",
+        115.0,
+        239.0,
+        (6.0, 2.0, 0.0),
+        1035,
+        2.0,
+        50.0,
+        5.0,
+        24.7,
+        Some(2.3),
+        Some(1.0),
+    ),
+    row(
+        "internet",
+        true,
+        1,
+        "scCSC",
+        125.0,
+        207.0,
+        (138.0, 2.0, 4.0),
+        21,
+        1.0,
+        1.5,
+        138.0,
+        37.8,
+        Some(1.9),
+        Some(2.0),
+    ),
 ];
 
 /// Table 2: ten regular graphs where `TurboBC-scCOOC` was fastest.
 pub const TABLE2: &[PaperRow] = &[
-    row("g7jac180sc", true, 2, "scCOOC", 53.0, 747.0, (153.0, 14.0, 24.0), 17, 217.0, 1.6, 467.0, 13.9, Some(1.7), Some(1.7)),
-    row("g7jac200sc", true, 2, "scCOOC", 59.0, 838.0, (153.0, 14.0, 25.0), 18, 224.0, 1.7, 493.0, 14.6, Some(1.7), Some(1.8)),
-    row("mark3jac140sc", true, 2, "scCOOC", 64.0, 400.0, (44.0, 6.0, 4.0), 82, 10.0, 5.3, 76.0, 13.2, Some(2.1), Some(1.2)),
-    row("smallworld", false, 2, "scCOOC", 100.0, 1000.0, (17.0, 10.0, 1.0), 9, 61.0, 1.0, 1000.0, 27.6, Some(1.5), Some(1.5)),
-    row("ASIC_100ks", true, 2, "scCOOC", 99.0, 579.0, (206.0, 6.0, 6.0), 33, 3.0, 2.7, 215.0, 25.7, Some(1.6), Some(1.7)),
-    row("ASIC_680ks", true, 2, "scCOOC", 683.0, 2329.0, (210.0, 3.0, 4.0), 31, 2.0, 6.6, 353.0, 43.9, Some(1.0), Some(1.5)),
-    row("com-Youtube", false, 2, "scCOOC", 1135.0, 5975.0, (28754.0, 5.0, 51.0), 14, 8.0, 9.7, 616.0, 48.4, Some(1.0), Some(2.8)),
-    row("mawi_201512012345", false, 2, "scCOOC", 18571.0, 38040.0, (16e6, 2.0, 3806.0), 10, 2.0, 74.8, 509.0, 33.6, Some(1.0), Some(3.6)),
-    row("mawi_201512020000", false, 2, "scCOOC", 35991.0, 74485.0, (33e6, 2.0, 5414.0), 11, 2.0, 143.0, 521.0, 33.9, Some(1.0), Some(3.4)),
-    row("mawi_201512020030", false, 2, "scCOOC", 68863.0, 143415.0, (63e6, 2.0, 7597.0), 12, 2.0, 261.4, 549.0, 32.3, Some(1.0), Some(3.2)),
+    row(
+        "g7jac180sc",
+        true,
+        2,
+        "scCOOC",
+        53.0,
+        747.0,
+        (153.0, 14.0, 24.0),
+        17,
+        217.0,
+        1.6,
+        467.0,
+        13.9,
+        Some(1.7),
+        Some(1.7),
+    ),
+    row(
+        "g7jac200sc",
+        true,
+        2,
+        "scCOOC",
+        59.0,
+        838.0,
+        (153.0, 14.0, 25.0),
+        18,
+        224.0,
+        1.7,
+        493.0,
+        14.6,
+        Some(1.7),
+        Some(1.8),
+    ),
+    row(
+        "mark3jac140sc",
+        true,
+        2,
+        "scCOOC",
+        64.0,
+        400.0,
+        (44.0, 6.0, 4.0),
+        82,
+        10.0,
+        5.3,
+        76.0,
+        13.2,
+        Some(2.1),
+        Some(1.2),
+    ),
+    row(
+        "smallworld",
+        false,
+        2,
+        "scCOOC",
+        100.0,
+        1000.0,
+        (17.0, 10.0, 1.0),
+        9,
+        61.0,
+        1.0,
+        1000.0,
+        27.6,
+        Some(1.5),
+        Some(1.5),
+    ),
+    row(
+        "ASIC_100ks",
+        true,
+        2,
+        "scCOOC",
+        99.0,
+        579.0,
+        (206.0, 6.0, 6.0),
+        33,
+        3.0,
+        2.7,
+        215.0,
+        25.7,
+        Some(1.6),
+        Some(1.7),
+    ),
+    row(
+        "ASIC_680ks",
+        true,
+        2,
+        "scCOOC",
+        683.0,
+        2329.0,
+        (210.0, 3.0, 4.0),
+        31,
+        2.0,
+        6.6,
+        353.0,
+        43.9,
+        Some(1.0),
+        Some(1.5),
+    ),
+    row(
+        "com-Youtube",
+        false,
+        2,
+        "scCOOC",
+        1135.0,
+        5975.0,
+        (28754.0, 5.0, 51.0),
+        14,
+        8.0,
+        9.7,
+        616.0,
+        48.4,
+        Some(1.0),
+        Some(2.8),
+    ),
+    row(
+        "mawi_201512012345",
+        false,
+        2,
+        "scCOOC",
+        18571.0,
+        38040.0,
+        (16e6, 2.0, 3806.0),
+        10,
+        2.0,
+        74.8,
+        509.0,
+        33.6,
+        Some(1.0),
+        Some(3.6),
+    ),
+    row(
+        "mawi_201512020000",
+        false,
+        2,
+        "scCOOC",
+        35991.0,
+        74485.0,
+        (33e6, 2.0, 5414.0),
+        11,
+        2.0,
+        143.0,
+        521.0,
+        33.9,
+        Some(1.0),
+        Some(3.4),
+    ),
+    row(
+        "mawi_201512020030",
+        false,
+        2,
+        "scCOOC",
+        68863.0,
+        143415.0,
+        (63e6, 2.0, 7597.0),
+        12,
+        2.0,
+        261.4,
+        549.0,
+        32.3,
+        Some(1.0),
+        Some(3.2),
+    ),
 ];
 
 /// Table 3: nine irregular graphs where `TurboBC-veCSC` was fastest.
 pub const TABLE3: &[PaperRow] = &[
-    row("mycielskian15", false, 3, "veCSC", 25.0, 11111.0, (12287.0, 452.0, 664.0), 3, 41166.0, 1.7, 6536.0, 17.4, Some(1.2), Some(2.3)),
-    row("mycielskian16", false, 3, "veCSC", 49.0, 33383.0, (24575.0, 679.0, 1078.0), 3, 82833.0, 3.4, 9819.0, 26.6, Some(1.5), Some(3.4)),
-    row("mycielskian17", false, 3, "veCSC", 98.0, 100246.0, (49151.0, 1020.0, 1747.0), 3, 166407.0, 7.9, 12689.0, 34.6, Some(1.7), Some(4.4)),
-    row("mycielskian18", false, 3, "veCSC", 197.0, 300934.0, (98303.0, 1531.0, 2817.0), 3, 333199.0, 18.5, 16267.0, 45.8, Some(2.1), Some(5.1)),
-    row("mycielskian19", false, 3, "veCSC", 393.0, 903195.0, (196607.0, 2297.0, 4530.0), 3, 651837.0, 48.9, 18470.0, 53.1, Some(2.7), Some(5.2)),
-    row("kron_g500-logn18", false, 3, "veCSC", 262.0, 21166.0, (49164.0, 81.0, 454.0), 6, 5846.0, 8.7, 2433.0, 31.6, Some(0.9), Some(1.1)),
-    row("kron_g500-logn19", false, 3, "veCSC", 524.0, 43563.0, (80676.0, 83.0, 541.0), 6, 6609.0, 17.4, 2504.0, 44.7, Some(1.0), Some(0.9)),
-    row("kron_g500-logn20", false, 3, "veCSC", 1049.0, 89241.0, (131505.0, 85.0, 641.0), 6, 7410.0, 58.4, 1528.0, 34.0, Some(1.3), Some(1.0)),
-    row("kron_g500-logn21", false, 3, "veCSC", 2097.0, 182084.0, (213906.0, 87.0, 756.0), 6, 8161.0, 193.2, 943.0, 24.5, Some(1.1), Some(1.0)),
+    row(
+        "mycielskian15",
+        false,
+        3,
+        "veCSC",
+        25.0,
+        11111.0,
+        (12287.0, 452.0, 664.0),
+        3,
+        41166.0,
+        1.7,
+        6536.0,
+        17.4,
+        Some(1.2),
+        Some(2.3),
+    ),
+    row(
+        "mycielskian16",
+        false,
+        3,
+        "veCSC",
+        49.0,
+        33383.0,
+        (24575.0, 679.0, 1078.0),
+        3,
+        82833.0,
+        3.4,
+        9819.0,
+        26.6,
+        Some(1.5),
+        Some(3.4),
+    ),
+    row(
+        "mycielskian17",
+        false,
+        3,
+        "veCSC",
+        98.0,
+        100246.0,
+        (49151.0, 1020.0, 1747.0),
+        3,
+        166407.0,
+        7.9,
+        12689.0,
+        34.6,
+        Some(1.7),
+        Some(4.4),
+    ),
+    row(
+        "mycielskian18",
+        false,
+        3,
+        "veCSC",
+        197.0,
+        300934.0,
+        (98303.0, 1531.0, 2817.0),
+        3,
+        333199.0,
+        18.5,
+        16267.0,
+        45.8,
+        Some(2.1),
+        Some(5.1),
+    ),
+    row(
+        "mycielskian19",
+        false,
+        3,
+        "veCSC",
+        393.0,
+        903195.0,
+        (196607.0, 2297.0, 4530.0),
+        3,
+        651837.0,
+        48.9,
+        18470.0,
+        53.1,
+        Some(2.7),
+        Some(5.2),
+    ),
+    row(
+        "kron_g500-logn18",
+        false,
+        3,
+        "veCSC",
+        262.0,
+        21166.0,
+        (49164.0, 81.0, 454.0),
+        6,
+        5846.0,
+        8.7,
+        2433.0,
+        31.6,
+        Some(0.9),
+        Some(1.1),
+    ),
+    row(
+        "kron_g500-logn19",
+        false,
+        3,
+        "veCSC",
+        524.0,
+        43563.0,
+        (80676.0, 83.0, 541.0),
+        6,
+        6609.0,
+        17.4,
+        2504.0,
+        44.7,
+        Some(1.0),
+        Some(0.9),
+    ),
+    row(
+        "kron_g500-logn20",
+        false,
+        3,
+        "veCSC",
+        1049.0,
+        89241.0,
+        (131505.0, 85.0, 641.0),
+        6,
+        7410.0,
+        58.4,
+        1528.0,
+        34.0,
+        Some(1.3),
+        Some(1.0),
+    ),
+    row(
+        "kron_g500-logn21",
+        false,
+        3,
+        "veCSC",
+        2097.0,
+        182084.0,
+        (213906.0, 87.0, 756.0),
+        6,
+        8161.0,
+        193.2,
+        943.0,
+        24.5,
+        Some(1.1),
+        Some(1.0),
+    ),
 ];
 
 /// Table 4: four big graphs for which gunrock's BC ran out of memory
 /// (runtimes in the paper are in seconds; stored here in ms).
 pub const TABLE4: &[PaperRow] = &[
-    row("kmer_V1r", false, 4, "scCSC", 214e3, 465e3, (8.0, 2.0, 1.0), 324, 2.0, 14300.0, 33.0, 94.5, None, Some(0.9)),
-    row("it-2004", true, 4, "scCOOC", 42e3, 1151e3, (9964.0, 28.0, 67.0), 50, 543.0, 3100.0, 371.0, 39.5, None, Some(0.8)),
-    row("GAP-twitter", true, 4, "veCSC", 62e3, 1469e3, (3e6, 24.0, 1990.0), 15, 126.0, 7300.0, 201.0, 50.4, None, Some(0.8)),
-    row("sk-2005", true, 4, "veCSC", 51e3, 1950e3, (12870.0, 39.0, 78.0), 54, 1262.0, 6800.0, 287.0, 30.5, None, Some(0.7)),
+    row(
+        "kmer_V1r",
+        false,
+        4,
+        "scCSC",
+        214e3,
+        465e3,
+        (8.0, 2.0, 1.0),
+        324,
+        2.0,
+        14300.0,
+        33.0,
+        94.5,
+        None,
+        Some(0.9),
+    ),
+    row(
+        "it-2004",
+        true,
+        4,
+        "scCOOC",
+        42e3,
+        1151e3,
+        (9964.0, 28.0, 67.0),
+        50,
+        543.0,
+        3100.0,
+        371.0,
+        39.5,
+        None,
+        Some(0.8),
+    ),
+    row(
+        "GAP-twitter",
+        true,
+        4,
+        "veCSC",
+        62e3,
+        1469e3,
+        (3e6, 24.0, 1990.0),
+        15,
+        126.0,
+        7300.0,
+        201.0,
+        50.4,
+        None,
+        Some(0.8),
+    ),
+    row(
+        "sk-2005",
+        true,
+        4,
+        "veCSC",
+        51e3,
+        1950e3,
+        (12870.0, 39.0, 78.0),
+        54,
+        1262.0,
+        6800.0,
+        287.0,
+        30.5,
+        None,
+        Some(0.7),
+    ),
 ];
 
 /// Table 5: exact (all-sources) BC results. `(name, d, n·m ×10⁶,
@@ -185,7 +680,13 @@ pub const TABLE5: &[(&str, u32, f64, f64, f64, f64)] = &[
 
 /// Every table-row in one list.
 pub fn all_rows() -> Vec<PaperRow> {
-    TABLE1.iter().chain(TABLE2).chain(TABLE3).chain(TABLE4).copied().collect()
+    TABLE1
+        .iter()
+        .chain(TABLE2)
+        .chain(TABLE3)
+        .chain(TABLE4)
+        .copied()
+        .collect()
 }
 
 /// Looks a row up by paper graph name.
@@ -314,7 +815,12 @@ mod tests {
         for &name in &["smallworld", "delaunay_n15", "mycielskian16"] {
             let tiny = generate(name, Scale::Tiny).unwrap();
             let small = generate(name, Scale::Small).unwrap();
-            assert!(tiny.n() < small.n(), "{name}: {} !< {}", tiny.n(), small.n());
+            assert!(
+                tiny.n() < small.n(),
+                "{name}: {} !< {}",
+                tiny.n(),
+                small.n()
+            );
         }
     }
 
@@ -324,9 +830,20 @@ mod tests {
         for row in TABLE3 {
             let g = generate(row.name, Scale::Tiny).unwrap();
             let s = GraphStats::compute(&g);
-            assert_eq!(s.class(), GraphClass::Irregular, "{}: scf {}", row.name, s.scf);
+            assert_eq!(
+                s.class(),
+                GraphClass::Irregular,
+                "{}: scf {}",
+                row.name,
+                s.scf
+            );
         }
-        for name in ["mark3jac060sc", "delaunay_n15", "smallworld", "luxembourg_osm"] {
+        for name in [
+            "mark3jac060sc",
+            "delaunay_n15",
+            "smallworld",
+            "luxembourg_osm",
+        ] {
             let g = generate(name, Scale::Tiny).unwrap();
             let s = GraphStats::compute(&g);
             assert_eq!(s.class(), GraphClass::Regular, "{name}: scf {}", s.scf);

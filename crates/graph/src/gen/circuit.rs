@@ -51,8 +51,16 @@ mod tests {
     fn degree_profile_matches_family() {
         let g = circuit(6000, 3, 6, 180, 1);
         let s = GraphStats::compute(&g);
-        assert!((2.0..8.0).contains(&s.degree.mean), "mean {}", s.degree.mean);
-        assert!(s.degree.max >= 150, "global nets expected, max {}", s.degree.max);
+        assert!(
+            (2.0..8.0).contains(&s.degree.mean),
+            "mean {}",
+            s.degree.mean
+        );
+        assert!(
+            s.degree.max >= 150,
+            "global nets expected, max {}",
+            s.degree.max
+        );
         assert_eq!(s.class(), GraphClass::Regular, "scf = {}", s.scf);
     }
 
@@ -66,6 +74,8 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        assert!(circuit(300, 2, 2, 40, 3).edges().eq(circuit(300, 2, 2, 40, 3).edges()));
+        assert!(circuit(300, 2, 2, 40, 3)
+            .edges()
+            .eq(circuit(300, 2, 2, 40, 3).edges()));
     }
 }

@@ -63,9 +63,16 @@ impl Triangulation {
         let s2 = Point { x: -10.0, y: 30.0 };
         let base = all.len();
         all.extend_from_slice(&[s0, s1, s2]);
-        let tris =
-            vec![Tri { v: [base, base + 1, base + 2], nbr: [None, None, None], alive: true }];
-        Triangulation { pts: all, tris, last: 0 }
+        let tris = vec![Tri {
+            v: [base, base + 1, base + 2],
+            nbr: [None, None, None],
+            alive: true,
+        }];
+        Triangulation {
+            pts: all,
+            tris,
+            last: 0,
+        }
     }
 
     fn point(&self, v: usize) -> Point {
@@ -76,7 +83,11 @@ impl Triangulation {
     fn locate(&self, p: Point) -> usize {
         let mut t = self.last;
         if !self.tris[t].alive {
-            t = self.tris.iter().rposition(|tr| tr.alive).expect("live triangle exists");
+            t = self
+                .tris
+                .iter()
+                .rposition(|tr| tr.alive)
+                .expect("live triangle exists");
         }
         let mut steps = 0usize;
         'walk: loop {
@@ -155,7 +166,9 @@ impl Triangulation {
             // In each child/flip product, vertex 0 is the new point `pi`;
             // the edge to legalise is opposite it.
             debug_assert_eq!(self.tris[t].v[0], pi);
-            let Some(u) = self.tris[t].nbr[0] else { continue };
+            let Some(u) = self.tris[t].nbr[0] else {
+                continue;
+            };
             let tv = self.tris[t].v;
             let uv = self.tris[u].v;
             // Find the vertex of `u` not shared with edge (tv[1], tv[2]).
@@ -222,14 +235,16 @@ pub fn delaunay(n: usize, seed: u64) -> Graph {
         return Graph::from_edges(n, false, &[]);
     }
     let mut r = rng(seed);
-    let pts: Vec<Point> =
-        (0..n).map(|_| Point { x: r.gen::<f64>(), y: r.gen::<f64>() }).collect();
+    let pts: Vec<Point> = (0..n)
+        .map(|_| Point {
+            x: r.gen::<f64>(),
+            y: r.gen::<f64>(),
+        })
+        .collect();
 
     // Insert in Morton order for near-linear walking location.
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by_key(|&i| {
-        morton((pts[i].x * 65535.0) as u32, (pts[i].y * 65535.0) as u32)
-    });
+    order.sort_by_key(|&i| morton((pts[i].x * 65535.0) as u32, (pts[i].y * 65535.0) as u32));
 
     let mut tri = Triangulation::new(pts);
     for &i in &order {
@@ -269,7 +284,10 @@ mod tests {
             let g = delaunay(n, 9);
             let undirected = g.m() / 2;
             assert!(undirected <= 3 * n - 6, "n = {n}: {undirected} edges");
-            assert!(undirected >= 2 * n, "n = {n}: suspiciously sparse ({undirected})");
+            assert!(
+                undirected >= 2 * n,
+                "n = {n}: suspiciously sparse ({undirected})"
+            );
         }
     }
 
@@ -287,7 +305,11 @@ mod tests {
     fn regular_degree_profile() {
         let g = delaunay(3000, 7);
         let s = GraphStats::compute(&g);
-        assert!((5.0..7.0).contains(&s.degree.mean), "mean degree {}", s.degree.mean);
+        assert!(
+            (5.0..7.0).contains(&s.degree.mean),
+            "mean degree {}",
+            s.degree.mean
+        );
         assert!(s.degree.max <= 25, "max degree {}", s.degree.max);
         assert_eq!(s.class(), GraphClass::Regular, "scf = {}", s.scf);
     }
@@ -298,8 +320,12 @@ mod tests {
         // circumcircle of any output triangle (the defining property).
         let n = 40;
         let mut r = rng(3);
-        let pts: Vec<Point> =
-            (0..n).map(|_| Point { x: r.gen::<f64>(), y: r.gen::<f64>() }).collect();
+        let pts: Vec<Point> = (0..n)
+            .map(|_| Point {
+                x: r.gen::<f64>(),
+                y: r.gen::<f64>(),
+            })
+            .collect();
         let mut tri = Triangulation::new(pts.clone());
         let mut order: Vec<usize> = (0..n).collect();
         order.sort_by_key(|&i| morton((pts[i].x * 65535.0) as u32, (pts[i].y * 65535.0) as u32));
@@ -312,7 +338,11 @@ mod tests {
             }
             let (a, b, c) = (tri.point(t.v[0]), tri.point(t.v[1]), tri.point(t.v[2]));
             // Normalise to ccw for the in_circle sign convention.
-            let (a, b, c) = if orient2d(a, b, c) > 0.0 { (a, b, c) } else { (a, c, b) };
+            let (a, b, c) = if orient2d(a, b, c) > 0.0 {
+                (a, b, c)
+            } else {
+                (a, c, b)
+            };
             for (i, p) in pts.iter().enumerate() {
                 if t.v.contains(&i) {
                     continue;

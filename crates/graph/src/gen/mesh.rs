@@ -17,7 +17,10 @@ use rand::Rng;
 /// back-edge, giving mean out-degree ≈ 6, max ≈ 40+ and BFS depth ≈
 /// `stages` from a stage-0 source.
 pub fn markov_mesh(stages: usize, width: usize, seed: u64) -> Graph {
-    assert!(stages >= 1 && width >= 2, "markov_mesh needs stages >= 1, width >= 2");
+    assert!(
+        stages >= 1 && width >= 2,
+        "markov_mesh needs stages >= 1, width >= 2"
+    );
     let n = stages * width;
     let mut r = rng(seed);
     let mut edges: Vec<(VertexId, VertexId)> = Vec::with_capacity(6 * n);
@@ -128,8 +131,16 @@ mod tests {
     fn markov_mesh_degree_profile() {
         let g = markov_mesh(30, 64, 2);
         let s = GraphStats::compute(&g);
-        assert!((3.0..9.0).contains(&s.degree.mean), "mean {}", s.degree.mean);
-        assert!(s.degree.max >= 16 && s.degree.max <= 64, "max {}", s.degree.max);
+        assert!(
+            (3.0..9.0).contains(&s.degree.mean),
+            "mean {}",
+            s.degree.mean
+        );
+        assert!(
+            s.degree.max >= 16 && s.degree.max <= 64,
+            "max {}",
+            s.degree.max
+        );
         assert_eq!(s.class(), GraphClass::Regular, "scf = {}", s.scf);
     }
 
@@ -139,14 +150,22 @@ mod tests {
         let s = GraphStats::compute(&g);
         assert!(s.degree.max >= 100, "hub fan missing: max {}", s.degree.max);
         let r = bfs(&g, g.default_source());
-        assert!(r.height <= 40, "long-range couplings keep BFS shallow, got {}", r.height);
+        assert!(
+            r.height <= 40,
+            "long-range couplings keep BFS shallow, got {}",
+            r.height
+        );
         assert!(r.reached as f64 >= 0.9 * g.n() as f64);
     }
 
     #[test]
     fn generators_are_deterministic() {
-        assert!(markov_mesh(10, 16, 9).edges().eq(markov_mesh(10, 16, 9).edges()));
-        assert!(jacobian(200, 5, 2, 30, 9).edges().eq(jacobian(200, 5, 2, 30, 9).edges()));
+        assert!(markov_mesh(10, 16, 9)
+            .edges()
+            .eq(markov_mesh(10, 16, 9).edges()));
+        assert!(jacobian(200, 5, 2, 30, 9)
+            .edges()
+            .eq(jacobian(200, 5, 2, 30, 9).edges()));
     }
 
     #[test]

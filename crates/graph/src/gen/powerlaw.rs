@@ -10,7 +10,10 @@ use rand::Rng;
 /// (implemented with the repeated-endpoint trick). Undirected; the family
 /// of `com-Youtube` (mean degree ~2·m0, heavy tail).
 pub fn preferential_attachment(n: usize, m0: usize, seed: u64) -> Graph {
-    assert!(n >= 2 && m0 >= 1, "preferential_attachment needs n >= 2, m0 >= 1");
+    assert!(
+        n >= 2 && m0 >= 1,
+        "preferential_attachment needs n >= 2, m0 >= 1"
+    );
     let mut r = rng(seed);
     // `targets` holds every edge endpoint ever created; sampling uniformly
     // from it is sampling proportionally to degree.
@@ -150,7 +153,11 @@ pub fn webgraph(n: usize, out_deg: usize, copy_p: f64, seed: u64) -> Graph {
         }
         // A few index/directory pages fan out to a large share of their
         // neighbourhood (the family's max out-degree is ~350x the mean).
-        let fan = if r.gen::<f64>() < 0.003 { out_deg * 40 } else { out_deg };
+        let fan = if r.gen::<f64>() < 0.003 {
+            out_deg * 40
+        } else {
+            out_deg
+        };
         while links.len() < fan {
             let v = if r.gen::<f64>() < 0.8 {
                 // Intra-host link.
@@ -184,7 +191,11 @@ mod tests {
     fn ba_has_heavy_tail() {
         let g = preferential_attachment(4000, 3, 1);
         let s = GraphStats::compute(&g);
-        assert!((5.0..7.0).contains(&s.degree.mean), "mean {}", s.degree.mean);
+        assert!(
+            (5.0..7.0).contains(&s.degree.mean),
+            "mean {}",
+            s.degree.mean
+        );
         assert!(s.degree.max > 50, "hubs expected, max {}", s.degree.max);
         let r = bfs(&g, g.default_source());
         assert_eq!(r.reached, g.n(), "BA graphs are connected");
@@ -208,8 +219,16 @@ mod tests {
     fn internet_profile() {
         let g = internet_topology(6000, 3);
         let s = GraphStats::compute(&g);
-        assert!((1.5..3.0).contains(&s.degree.mean), "mean {}", s.degree.mean);
-        assert!(s.degree.max > 40, "transit hub expected, max {}", s.degree.max);
+        assert!(
+            (1.5..3.0).contains(&s.degree.mean),
+            "mean {}",
+            s.degree.mean
+        );
+        assert!(
+            s.degree.max > 40,
+            "transit hub expected, max {}",
+            s.degree.max
+        );
         let r = bfs(&g, g.default_source());
         assert_eq!(r.reached, g.n(), "provider tree connects everything");
         assert!((5..40).contains(&r.height), "depth {}", r.height);
@@ -219,7 +238,11 @@ mod tests {
     fn webgraph_profile() {
         let g = webgraph(12_000, 10, 0.5, 4);
         let s = GraphStats::compute(&g);
-        assert!((6.0..16.0).contains(&s.degree.mean), "mean out-degree {}", s.degree.mean);
+        assert!(
+            (6.0..16.0).contains(&s.degree.mean),
+            "mean out-degree {}",
+            s.degree.mean
+        );
         assert!(
             s.degree.max as f64 > 10.0 * s.degree.mean,
             "index pages give a fat out-degree tail: max {} mean {}",
@@ -229,7 +252,11 @@ mod tests {
         // Host-window locality gives the family's deep BFS.
         let r = bfs(&g, g.default_source());
         assert!((8..80).contains(&r.height), "depth {}", r.height);
-        assert!(r.reached as f64 > 0.5 * g.n() as f64, "reached {}", r.reached);
+        assert!(
+            r.reached as f64 > 0.5 * g.n() as f64,
+            "reached {}",
+            r.reached
+        );
     }
 
     #[test]
@@ -237,8 +264,14 @@ mod tests {
         assert!(preferential_attachment(500, 2, 9)
             .edges()
             .eq(preferential_attachment(500, 2, 9).edges()));
-        assert!(chung_lu(500, 5.0, 2.1, 9).edges().eq(chung_lu(500, 5.0, 2.1, 9).edges()));
-        assert!(internet_topology(500, 9).edges().eq(internet_topology(500, 9).edges()));
-        assert!(webgraph(500, 5, 0.4, 9).edges().eq(webgraph(500, 5, 0.4, 9).edges()));
+        assert!(chung_lu(500, 5.0, 2.1, 9)
+            .edges()
+            .eq(chung_lu(500, 5.0, 2.1, 9).edges()));
+        assert!(internet_topology(500, 9)
+            .edges()
+            .eq(internet_topology(500, 9).edges()));
+        assert!(webgraph(500, 5, 0.4, 9)
+            .edges()
+            .eq(webgraph(500, 5, 0.4, 9).edges()));
     }
 }

@@ -40,7 +40,9 @@ pub fn grid2d(nx: usize, ny: usize) -> Graph {
 
 /// A simple path `0 – 1 – … – (n-1)`.
 pub fn path(n: usize, directed: bool) -> Graph {
-    let edges: Vec<_> = (1..n).map(|v| ((v - 1) as VertexId, v as VertexId)).collect();
+    let edges: Vec<_> = (1..n)
+        .map(|v| ((v - 1) as VertexId, v as VertexId))
+        .collect();
     Graph::from_edges(n, directed, &edges)
 }
 

@@ -20,16 +20,15 @@ pub fn rmat(scale: u32, edge_factor: usize, seed: u64) -> Graph {
 
 /// R-MAT with explicit partition probabilities `a`, `b`, `c`
 /// (`d = 1 − a − b − c`).
-pub fn rmat_with_probs(
-    scale: u32,
-    edge_factor: usize,
-    a: f64,
-    b: f64,
-    c: f64,
-    seed: u64,
-) -> Graph {
-    assert!(scale <= 30, "scale > 30 would overflow the workspace index type");
-    assert!(a + b + c <= 1.0 + 1e-9, "probabilities must sum to at most 1");
+pub fn rmat_with_probs(scale: u32, edge_factor: usize, a: f64, b: f64, c: f64, seed: u64) -> Graph {
+    assert!(
+        scale <= 30,
+        "scale > 30 would overflow the workspace index type"
+    );
+    assert!(
+        a + b + c <= 1.0 + 1e-9,
+        "probabilities must sum to at most 1"
+    );
     let n = 1usize << scale;
     let m = edge_factor * n;
     let mut r = rng(seed);

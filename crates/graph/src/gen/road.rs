@@ -17,7 +17,10 @@ use rand::Rng;
 /// Mean degree lands just above 2 and BFS depth scales with
 /// `(bx + by) · subdiv`, matching the family profile.
 pub fn road_network(bx: usize, by: usize, subdiv: usize, seed: u64) -> Graph {
-    assert!(bx >= 2 && by >= 2, "road_network needs a grid of at least 2×2 junctions");
+    assert!(
+        bx >= 2 && by >= 2,
+        "road_network needs a grid of at least 2×2 junctions"
+    );
     let mut r = rng(seed);
     let junctions = bx * by;
     // First junctions, then chain vertices appended on demand.
@@ -50,8 +53,10 @@ pub fn road_network(bx: usize, by: usize, subdiv: usize, seed: u64) -> Graph {
         }
     }
     let n = next_vertex;
-    let edges: Vec<(VertexId, VertexId)> =
-        edges.into_iter().map(|(a, b)| (a as VertexId, b as VertexId)).collect();
+    let edges: Vec<(VertexId, VertexId)> = edges
+        .into_iter()
+        .map(|(a, b)| (a as VertexId, b as VertexId))
+        .collect();
     Graph::from_edges(n, false, &edges)
 }
 
@@ -64,8 +69,16 @@ mod tests {
     fn mostly_degree_two() {
         let g = road_network(12, 12, 8, 1);
         let s = GraphStats::compute(&g);
-        assert!((2.0..2.6).contains(&s.degree.mean), "mean {}", s.degree.mean);
-        assert!(s.degree.max <= 8, "junctions cap at degree 4 + slack, got {}", s.degree.max);
+        assert!(
+            (2.0..2.6).contains(&s.degree.mean),
+            "mean {}",
+            s.degree.mean
+        );
+        assert!(
+            s.degree.max <= 8,
+            "junctions cap at degree 4 + slack, got {}",
+            s.degree.max
+        );
         assert_eq!(s.class(), GraphClass::Regular);
     }
 
@@ -91,6 +104,8 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        assert!(road_network(6, 6, 4, 7).edges().eq(road_network(6, 6, 4, 7).edges()));
+        assert!(road_network(6, 6, 4, 7)
+            .edges()
+            .eq(road_network(6, 6, 4, 7).edges()));
     }
 }

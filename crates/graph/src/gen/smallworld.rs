@@ -13,7 +13,10 @@ use rand::Rng;
 /// 9) corresponds to `k = 5` and a small `p`.
 pub fn small_world(n: usize, k: usize, p: f64, seed: u64) -> Graph {
     assert!(n > 2 * k, "ring lattice needs n > 2k");
-    assert!((0.0..=1.0).contains(&p), "rewiring probability must be in [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "rewiring probability must be in [0, 1]"
+    );
     let mut r = rng(seed);
     let mut edges: Vec<(VertexId, VertexId)> = Vec::with_capacity(n * k);
     for u in 0..n {
@@ -61,7 +64,11 @@ mod tests {
     fn smallworld_profile_matches_paper_family() {
         let g = small_world(4000, 5, 0.05, 3);
         let s = GraphStats::compute(&g);
-        assert!((9.0..11.0).contains(&s.degree.mean), "mean {}", s.degree.mean);
+        assert!(
+            (9.0..11.0).contains(&s.degree.mean),
+            "mean {}",
+            s.degree.mean
+        );
         assert!(s.degree.max <= 22, "max {}", s.degree.max);
         assert_eq!(s.class(), GraphClass::Regular);
         let r = bfs(&g, g.default_source());
@@ -71,7 +78,9 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        assert!(small_world(300, 4, 0.2, 5).edges().eq(small_world(300, 4, 0.2, 5).edges()));
+        assert!(small_world(300, 4, 0.2, 5)
+            .edges()
+            .eq(small_world(300, 4, 0.2, 5).edges()));
     }
 
     #[test]

@@ -45,7 +45,10 @@ pub fn mawi_star(n: usize, tiers: usize, seed: u64) -> Graph {
 /// (degree cap ~8) and stitches chains together sparsely so most of the
 /// graph is one deep component (the paper's `d = 324` at 214M vertices).
 pub fn kmer_paths(n: usize, chain_len: usize, seed: u64) -> Graph {
-    assert!(n >= 4 && chain_len >= 2, "kmer_paths needs n >= 4, chain_len >= 2");
+    assert!(
+        n >= 4 && chain_len >= 2,
+        "kmer_paths needs n >= 4, chain_len >= 2"
+    );
     let mut r = rng(seed);
     let mut edges: Vec<(VertexId, VertexId)> = Vec::with_capacity(n + n / 8);
     for u in 0..n - 1 {
@@ -81,7 +84,11 @@ mod tests {
             "root should touch most hosts, max {}",
             s.degree.max
         );
-        assert!((1.8..2.4).contains(&s.degree.mean), "mean {}", s.degree.mean);
+        assert!(
+            (1.8..2.4).contains(&s.degree.mean),
+            "mean {}",
+            s.degree.mean
+        );
         let r = bfs(&g, g.default_source());
         assert_eq!(r.reached, g.n());
         assert!(r.height <= 8 + 4, "depth {}", r.height);
@@ -92,7 +99,11 @@ mod tests {
         let g = kmer_paths(4000, 80, 2);
         let s = GraphStats::compute(&g);
         assert!(s.degree.max <= 12, "max {}", s.degree.max);
-        assert!((1.8..2.6).contains(&s.degree.mean), "mean {}", s.degree.mean);
+        assert!(
+            (1.8..2.6).contains(&s.degree.mean),
+            "mean {}",
+            s.degree.mean
+        );
         let r = bfs(&g, g.default_source());
         assert!(r.height >= 40, "k-mer graphs are deep, got {}", r.height);
         assert_eq!(r.reached, g.n(), "stitching keeps one component");
@@ -100,8 +111,12 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        assert!(mawi_star(200, 4, 5).edges().eq(mawi_star(200, 4, 5).edges()));
-        assert!(kmer_paths(200, 20, 5).edges().eq(kmer_paths(200, 20, 5).edges()));
+        assert!(mawi_star(200, 4, 5)
+            .edges()
+            .eq(mawi_star(200, 4, 5).edges()));
+        assert!(kmer_paths(200, 20, 5)
+            .edges()
+            .eq(kmer_paths(200, 20, 5).edges()));
     }
 
     #[test]

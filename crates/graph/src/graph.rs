@@ -59,7 +59,11 @@ impl Graph {
     /// Builds a graph from an adjacency pattern in COO form, normalising it
     /// (loops removed, duplicates removed, symmetrised when undirected).
     pub fn from_coo(directed: bool, mut coo: Coo) -> Self {
-        assert_eq!(coo.n_rows(), coo.n_cols(), "adjacency matrix must be square");
+        assert_eq!(
+            coo.n_rows(),
+            coo.n_cols(),
+            "adjacency matrix must be square"
+        );
         coo.remove_diagonal();
         if directed {
             coo.dedup();
@@ -142,7 +146,10 @@ impl Graph {
     /// The transpose graph (every arc reversed). Undirected graphs are
     /// their own transpose.
     pub fn transpose(&self) -> Graph {
-        Graph { directed: self.directed, coo: self.coo.transpose() }
+        Graph {
+            directed: self.directed,
+            coo: self.coo.transpose(),
+        }
     }
 
     /// Relabels vertices by descending out-degree (GPU BC's standard
@@ -159,7 +166,9 @@ impl Graph {
             perm[old] = new as VertexId;
         }
         let edges: Vec<(VertexId, VertexId)> = if self.directed {
-            self.edges().map(|(u, v)| (perm[u as usize], perm[v as usize])).collect()
+            self.edges()
+                .map(|(u, v)| (perm[u as usize], perm[v as usize]))
+                .collect()
         } else {
             self.edges()
                 .filter(|&(u, v)| u <= v)

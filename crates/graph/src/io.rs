@@ -63,7 +63,10 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<Graph, IoError> {
         return Err(parse_err(1, "not a MatrixMarket matrix header"));
     }
     if tokens[2] != "coordinate" {
-        return Err(parse_err(1, "only coordinate (sparse) matrices are supported"));
+        return Err(parse_err(
+            1,
+            "only coordinate (sparse) matrices are supported",
+        ));
     }
     let field = tokens[3];
     if !matches!(field, "pattern" | "real" | "integer") {
@@ -124,7 +127,10 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<Graph, IoError> {
             .and_then(|t| t.parse().ok())
             .ok_or_else(|| parse_err(line_no, "bad column index"))?;
         if r == 0 || c == 0 || r > n || c > n {
-            return Err(parse_err(line_no, format!("index ({r}, {c}) out of range 1..={n}")));
+            return Err(parse_err(
+                line_no,
+                format!("index ({r}, {c}) out of range 1..={n}"),
+            ));
         }
         // Values (if any) are ignored: unweighted interpretation.
         edges.push(((r - 1) as VertexId, (c - 1) as VertexId));
@@ -149,7 +155,11 @@ pub fn read_matrix_market_file(path: impl AsRef<Path>) -> Result<Graph, IoError>
 /// Undirected graphs are written `symmetric` with each edge stored once
 /// (`row ≥ col` triangle).
 pub fn write_matrix_market<W: Write>(graph: &Graph, mut w: W) -> std::io::Result<()> {
-    let symmetry = if graph.directed() { "general" } else { "symmetric" };
+    let symmetry = if graph.directed() {
+        "general"
+    } else {
+        "symmetric"
+    };
     writeln!(w, "%%MatrixMarket matrix coordinate pattern {symmetry}")?;
     writeln!(w, "% written by turbobc-graph")?;
     let entries: Vec<(VertexId, VertexId)> = if graph.directed() {
@@ -195,7 +205,11 @@ pub fn read_edge_list<R: Read>(
         max_id = max_id.max(u).max(v);
         edges.push((u as VertexId, v as VertexId));
     }
-    let inferred = if edges.is_empty() { 0 } else { max_id as usize + 1 };
+    let inferred = if edges.is_empty() {
+        0
+    } else {
+        max_id as usize + 1
+    };
     let n = n.unwrap_or(inferred);
     if n < inferred {
         return Err(IoError::Parse(format!(
@@ -218,7 +232,12 @@ pub fn read_edge_list_file(
 /// Writes a graph as an edge list (0-based). Undirected graphs are written
 /// with each edge once.
 pub fn write_edge_list<W: Write>(graph: &Graph, mut w: W) -> std::io::Result<()> {
-    writeln!(w, "# turbobc edge list: n = {}, directed = {}", graph.n(), graph.directed())?;
+    writeln!(
+        w,
+        "# turbobc edge list: n = {}, directed = {}",
+        graph.n(),
+        graph.directed()
+    )?;
     for (u, v) in graph.edges() {
         if graph.directed() || u <= v {
             writeln!(w, "{u} {v}")?;
@@ -269,8 +288,10 @@ mod tests {
 
     #[test]
     fn rejects_bad_header() {
-        assert!(read_matrix_market("%%MatrixMarket matrix array real general\n1 1\n".as_bytes())
-            .is_err());
+        assert!(
+            read_matrix_market("%%MatrixMarket matrix array real general\n1 1\n".as_bytes())
+                .is_err()
+        );
         assert!(read_matrix_market("hello\n".as_bytes()).is_err());
         assert!(read_matrix_market(
             "%%MatrixMarket matrix coordinate complex general\n1 1 0\n".as_bytes()
@@ -299,7 +320,8 @@ mod tests {
 
     #[test]
     fn rejects_dimension_beyond_index_type() {
-        let bad = "%%MatrixMarket matrix coordinate pattern general\n5000000000 5000000000 1\n1 2\n";
+        let bad =
+            "%%MatrixMarket matrix coordinate pattern general\n5000000000 5000000000 1\n1 2\n";
         let err = read_matrix_market(bad.as_bytes()).unwrap_err();
         assert!(err.to_string().contains("u32"), "got: {err}");
     }

@@ -21,11 +21,11 @@
 
 mod bfs;
 pub mod families;
-#[cfg(test)]
-mod proptests;
 pub mod gen;
 mod graph;
 pub mod io;
+#[cfg(test)]
+mod proptests;
 mod stats;
 pub mod weighted;
 

@@ -37,14 +37,26 @@ impl DegreeStats {
     /// Computes statistics over a degree array.
     pub fn from_degrees(degrees: &[u32]) -> Self {
         if degrees.is_empty() {
-            return DegreeStats { max: 0, mean: 0.0, std: 0.0 };
+            return DegreeStats {
+                max: 0,
+                mean: 0.0,
+                std: 0.0,
+            };
         }
         let n = degrees.len() as f64;
         let max = degrees.iter().copied().max().unwrap_or(0);
         let sum: u64 = degrees.iter().map(|&d| d as u64).sum();
         let mean = sum as f64 / n;
-        let var = degrees.iter().map(|&d| (d as f64 - mean).powi(2)).sum::<f64>() / n;
-        DegreeStats { max, mean, std: var.sqrt() }
+        let var = degrees
+            .iter()
+            .map(|&d| (d as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n;
+        DegreeStats {
+            max,
+            mean,
+            std: var.sqrt(),
+        }
     }
 }
 
@@ -103,7 +115,13 @@ impl GraphStats {
         } else {
             scf_raw as f64 / (m as f64 * degree.mean * degree.mean)
         };
-        GraphStats { n: graph.n(), m, degree, scf_raw, scf }
+        GraphStats {
+            n: graph.n(),
+            m,
+            degree,
+            scf_raw,
+            scf,
+        }
     }
 
     /// Classifies the graph per §3.1 (see [`IRREGULAR_MEAN_DEGREE`]).

@@ -30,7 +30,10 @@ impl WeightedGraph {
     /// endpoints.
     pub fn from_edges(n: usize, directed: bool, edges: &[(VertexId, VertexId, f64)]) -> Self {
         for &(_, _, w) in edges {
-            assert!(w > 0.0 && w.is_finite(), "weights must be positive and finite, got {w}");
+            assert!(
+                w > 0.0 && w.is_finite(),
+                "weights must be positive and finite, got {w}"
+            );
         }
         let plain: Vec<(VertexId, VertexId)> = edges.iter().map(|&(u, v, _)| (u, v)).collect();
         let graph = Graph::from_edges(n, directed, &plain);
@@ -73,7 +76,11 @@ impl WeightedGraph {
         let weights = graph
             .edges()
             .map(|(u, v)| {
-                let key = if graph.directed() { (u, v) } else { (u.min(v), u.max(v)) };
+                let key = if graph.directed() {
+                    (u, v)
+                } else {
+                    (u.min(v), u.max(v))
+                };
                 *pair_w.entry(key).or_insert_with(|| r.gen_range(lo..hi))
             })
             .collect();
@@ -174,8 +181,11 @@ mod tests {
     fn random_weights_are_symmetric_on_undirected_graphs() {
         let g = crate::gen::gnm(30, 120, false, 7);
         let wg = WeightedGraph::random_weights(g, 1.0, 10.0, 3);
-        let w: HashMap<(u32, u32), f64> =
-            wg.graph().edges().zip(wg.weights().iter().copied()).collect();
+        let w: HashMap<(u32, u32), f64> = wg
+            .graph()
+            .edges()
+            .zip(wg.weights().iter().copied())
+            .collect();
         for (&(u, v), &wt) in &w {
             assert_eq!(w[&(v, u)], wt, "asymmetric weight on {u}-{v}");
         }

@@ -86,16 +86,24 @@ fn accumulate(lg: &LigraGraph, source: VertexId, bc: &mut [f64]) {
 
     let mut levels: Vec<Frontier> = vec![Frontier::single(source)];
     loop {
-        let op = PathsOp { num_paths: &num_paths, visited: &visited };
+        let op = PathsOp {
+            num_paths: &num_paths,
+            visited: &visited,
+        };
         let next = edge_map(lg, levels.last().unwrap(), &op);
         if next.is_empty() {
             break;
         }
-        vertex_map(&next, |v| visited[v as usize].store(true, Ordering::Relaxed));
+        vertex_map(&next, |v| {
+            visited[v as usize].store(true, Ordering::Relaxed)
+        });
         levels.push(next);
     }
 
-    let sigma: Vec<i64> = num_paths.iter().map(|a| a.load(Ordering::Relaxed)).collect();
+    let sigma: Vec<i64> = num_paths
+        .iter()
+        .map(|a| a.load(Ordering::Relaxed))
+        .collect();
     let dependencies: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
     let done: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
 
@@ -107,7 +115,10 @@ fn accumulate(lg: &LigraGraph, source: VertexId, bc: &mut [f64]) {
             atomic_f64_add(&dependencies[v as usize], 1.0 / sigma[v as usize] as f64);
         });
         if r > 0 {
-            let op = BackOp { dependencies: &dependencies, done: &done };
+            let op = BackOp {
+                dependencies: &dependencies,
+                done: &done,
+            };
             let _ = edge_map_rev(lg, &levels[r], &op);
         }
     }

@@ -70,8 +70,7 @@ const DENSE_FRACTION: usize = 20;
 /// per Ligra's `|U| + outDegrees(U) > m/20` rule.
 pub fn edge_map(g: &LigraGraph, frontier: &Frontier, op: &impl EdgeOp) -> Frontier {
     let members = frontier.vertices();
-    let out_edges: usize =
-        members.par_iter().map(|&v| g.csr.row_len(v as usize)).sum();
+    let out_edges: usize = members.par_iter().map(|&v| g.csr.row_len(v as usize)).sum();
     if members.len() + out_edges > g.m / DENSE_FRACTION {
         edge_map_dense(g, frontier, op)
     } else {
@@ -122,7 +121,10 @@ pub fn edge_map_dense(g: &LigraGraph, frontier: &Frontier, op: &impl EdgeOp) -> 
         })
         .collect();
     let count = next_bits.par_iter().filter(|&&b| b).count();
-    Frontier::Dense { bits: next_bits, count }
+    Frontier::Dense {
+        bits: next_bits,
+        count,
+    }
 }
 
 /// [`edge_map`] over the **transposed** graph: traverses `v → u` for each
@@ -130,8 +132,10 @@ pub fn edge_map_dense(g: &LigraGraph, frontier: &Frontier, op: &impl EdgeOp) -> 
 /// [`crate::bc`], matching how Ligra's BC edge-maps the transpose.
 pub fn edge_map_rev(g: &LigraGraph, frontier: &Frontier, op: &impl EdgeOp) -> Frontier {
     let members = frontier.vertices();
-    let in_edges: usize =
-        members.par_iter().map(|&v| g.csc.column_len(v as usize)).sum();
+    let in_edges: usize = members
+        .par_iter()
+        .map(|&v| g.csc.column_len(v as usize))
+        .sum();
     if members.len() + in_edges > g.m / DENSE_FRACTION {
         edge_map_dense_rev(g, frontier, op)
     } else {
@@ -182,7 +186,10 @@ pub fn edge_map_dense_rev(g: &LigraGraph, frontier: &Frontier, op: &impl EdgeOp)
         })
         .collect();
     let count = next_bits.par_iter().filter(|&&b| b).count();
-    Frontier::Dense { bits: next_bits, count }
+    Frontier::Dense {
+        bits: next_bits,
+        count,
+    }
 }
 
 /// Applies `f` to every member of the frontier in parallel.
@@ -222,7 +229,9 @@ mod tests {
 
     fn reach_count(g: &Graph, source: VertexId) -> usize {
         let lg = LigraGraph::new(g);
-        let op = Reach { visited: (0..g.n()).map(|_| AtomicBool::new(false)).collect() };
+        let op = Reach {
+            visited: (0..g.n()).map(|_| AtomicBool::new(false)).collect(),
+        };
         op.visited[source as usize].store(true, Ordering::Relaxed);
         let mut frontier = Frontier::single(source);
         let mut total = 1;
@@ -244,7 +253,9 @@ mod tests {
     fn sparse_and_dense_agree() {
         let g = turbobc_graph::gen::gnm(80, 400, true, 3);
         let lg = LigraGraph::new(&g);
-        let mk = || Reach { visited: (0..g.n()).map(|_| AtomicBool::new(false)).collect() };
+        let mk = || Reach {
+            visited: (0..g.n()).map(|_| AtomicBool::new(false)).collect(),
+        };
         let members = vec![0u32, 5, 9];
         let a = mk();
         let sparse = edge_map_sparse(&lg, &members, &a);
@@ -263,10 +274,15 @@ mod tests {
         let edges: Vec<(u32, u32)> = (1..100).map(|v| (0, v)).collect();
         let g = Graph::from_edges(100, true, &edges);
         let lg = LigraGraph::new(&g);
-        let op = Reach { visited: (0..100).map(|_| AtomicBool::new(false)).collect() };
+        let op = Reach {
+            visited: (0..100).map(|_| AtomicBool::new(false)).collect(),
+        };
         op.visited[0].store(true, Ordering::Relaxed);
         let next = edge_map(&lg, &Frontier::single(0), &op);
-        assert!(matches!(next, Frontier::Dense { .. }), "expected pull for dense frontier");
+        assert!(
+            matches!(next, Frontier::Dense { .. }),
+            "expected pull for dense frontier"
+        );
         assert_eq!(next.len(), 99);
     }
 

@@ -60,7 +60,10 @@ impl Frontier {
                 for &v in list {
                     bits[v as usize] = true;
                 }
-                Frontier::Dense { bits, count: list.len() }
+                Frontier::Dense {
+                    bits,
+                    count: list.len(),
+                }
             }
         }
     }

@@ -18,7 +18,12 @@ pub struct DeviceBuffer<T> {
 
 impl<T: Copy> DeviceBuffer<T> {
     pub(crate) fn new(data: Vec<T>, base: u64, bytes: u64, ledger: Arc<Mutex<Ledger>>) -> Self {
-        DeviceBuffer { data, base, bytes, ledger }
+        DeviceBuffer {
+            data,
+            base,
+            bytes,
+            ledger,
+        }
     }
 
     /// Number of elements.
@@ -48,12 +53,18 @@ impl<T: Copy> DeviceBuffer<T> {
 
     /// Read-only device view for kernel arguments.
     pub fn dslice(&self) -> DSlice<'_, T> {
-        DSlice { data: &self.data, base: self.base }
+        DSlice {
+            data: &self.data,
+            base: self.base,
+        }
     }
 
     /// Mutable device view for kernel arguments.
     pub fn dslice_mut(&mut self) -> DSliceMut<'_, T> {
-        DSliceMut { data: &mut self.data, base: self.base }
+        DSliceMut {
+            data: &mut self.data,
+            base: self.base,
+        }
     }
 
     /// Overwrites every element (a `cudaMemset`-style clear).
@@ -131,7 +142,10 @@ impl<'a, T: Copy> DSliceMut<'a, T> {
 
     /// Re-borrows as a read-only view.
     pub fn as_dslice(&self) -> DSlice<'_, T> {
-        DSlice { data: self.data, base: self.base }
+        DSlice {
+            data: self.data,
+            base: self.base,
+        }
     }
 
     pub(crate) fn addr_of(&self, index: usize) -> u64 {

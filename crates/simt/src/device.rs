@@ -82,10 +82,19 @@ impl fmt::Display for DeviceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DeviceError::OutOfMemory { requested, free } => {
-                write!(f, "device out of memory: requested {requested} B, {free} B free")
+                write!(
+                    f,
+                    "device out of memory: requested {requested} B, {free} B free"
+                )
             }
-            DeviceError::KernelFault { kernel, launch_index } => {
-                write!(f, "transient fault in kernel `{kernel}` (launch #{launch_index})")
+            DeviceError::KernelFault {
+                kernel,
+                launch_index,
+            } => {
+                write!(
+                    f,
+                    "transient fault in kernel `{kernel}` (launch #{launch_index})"
+                )
             }
             DeviceError::DeviceLost => write!(f, "device lost"),
         }
@@ -157,12 +166,18 @@ pub struct LaunchConfig {
 impl LaunchConfig {
     /// One thread per element, 256-thread blocks (the common CUDA default).
     pub fn per_element(elements: usize) -> Self {
-        LaunchConfig { threads: elements, threads_per_block: 256 }
+        LaunchConfig {
+            threads: elements,
+            threads_per_block: 256,
+        }
     }
 
     /// One warp per element (`veCSC`-style mapping).
     pub fn per_warp(elements: usize) -> Self {
-        LaunchConfig { threads: elements * WARP_SIZE, threads_per_block: 256 }
+        LaunchConfig {
+            threads: elements * WARP_SIZE,
+            threads_per_block: 256,
+        }
     }
 }
 
@@ -248,16 +263,27 @@ impl Device {
                     let l = self.ledger.lock();
                     l.capacity - l.used
                 };
-                return Err(DeviceError::OutOfMemory { requested: bytes, free });
+                return Err(DeviceError::OutOfMemory {
+                    requested: bytes,
+                    free,
+                });
             }
         }
         let base = self.ledger.lock().alloc(bytes)?;
-        Ok(DeviceBuffer::new(vec![T::default(); len], base, bytes, Arc::clone(&self.ledger)))
+        Ok(DeviceBuffer::new(
+            vec![T::default(); len],
+            base,
+            bytes,
+            Arc::clone(&self.ledger),
+        ))
     }
 
     /// Allocates a buffer and copies `data` into it (host→device
     /// transfer).
-    pub fn alloc_from<T: Copy + Default>(&self, data: &[T]) -> Result<DeviceBuffer<T>, DeviceError> {
+    pub fn alloc_from<T: Copy + Default>(
+        &self,
+        data: &[T],
+    ) -> Result<DeviceBuffer<T>, DeviceError> {
         let mut buf = self.alloc(data.len())?;
         buf.host_mut().copy_from_slice(data);
         Ok(buf)
@@ -266,7 +292,12 @@ impl Device {
     /// Current memory-ledger snapshot.
     pub fn memory(&self) -> MemoryReport {
         let l = self.ledger.lock();
-        MemoryReport { used: l.used, peak: l.peak, capacity: l.capacity, live_allocations: l.live }
+        MemoryReport {
+            used: l.used,
+            peak: l.peak,
+            capacity: l.capacity,
+            live_allocations: l.live,
+        }
     }
 
     /// Resets the peak-usage high-water mark to the current usage.
@@ -293,9 +324,10 @@ impl Device {
         match verdict {
             Verdict::Ok => Ok(self.launch(name, cfg, body)),
             Verdict::Lost => Err(DeviceError::DeviceLost),
-            Verdict::Fault => {
-                Err(DeviceError::KernelFault { kernel: name.to_string(), launch_index })
-            }
+            Verdict::Fault => Err(DeviceError::KernelFault {
+                kernel: name.to_string(),
+                launch_index,
+            }),
         }
     }
 
@@ -326,7 +358,11 @@ impl Device {
         };
         let mut l2 = self.l2.lock();
         for w in 0..warps {
-            let active = if w + 1 == warps { tail_active } else { WARP_SIZE };
+            let active = if w + 1 == warps {
+                tail_active
+            } else {
+                WARP_SIZE
+            };
             let mut warp = Warp::new(w, active, &mut stats, &mut l2);
             body(&mut warp);
         }
@@ -356,7 +392,10 @@ mod tests {
         assert_eq!(dev.memory().used, 0);
         let a = dev.alloc::<u32>(1000).unwrap();
         let used = dev.memory().used;
-        assert!((4000..=4096 + 256).contains(&used), "aligned allocation, got {used}");
+        assert!(
+            (4000..=4096 + 256).contains(&used),
+            "aligned allocation, got {used}"
+        );
         assert_eq!(dev.memory().live_allocations, 1);
         drop(a);
         assert_eq!(dev.memory().used, 0);
@@ -428,8 +467,10 @@ mod tests {
 
     #[test]
     fn injected_alloc_fault_is_one_shot() {
-        let dev =
-            Device::with_faults(DeviceProps::titan_xp(), crate::FaultPlan::new(1).fail_alloc_at(0));
+        let dev = Device::with_faults(
+            DeviceProps::titan_xp(),
+            crate::FaultPlan::new(1).fail_alloc_at(0),
+        );
         let err = dev.alloc::<u32>(8).unwrap_err();
         assert!(matches!(err, DeviceError::OutOfMemory { .. }));
         assert_eq!(dev.memory().used, 0, "injected OOM reserves nothing");
@@ -443,14 +484,30 @@ mod tests {
             crate::FaultPlan::new(1).fail_launch_at(1),
         );
         let mut runs = 0;
-        assert!(dev.try_launch("k", LaunchConfig::per_element(32), |_| runs += 1).is_ok());
-        let err = dev.try_launch("k", LaunchConfig::per_element(32), |_| runs += 1).unwrap_err();
-        assert_eq!(err, DeviceError::KernelFault { kernel: "k".into(), launch_index: 1 });
+        assert!(dev
+            .try_launch("k", LaunchConfig::per_element(32), |_| runs += 1)
+            .is_ok());
+        let err = dev
+            .try_launch("k", LaunchConfig::per_element(32), |_| runs += 1)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            DeviceError::KernelFault {
+                kernel: "k".into(),
+                launch_index: 1
+            }
+        );
         assert!(err.is_transient());
         assert_eq!(runs, 1, "faulted launch must not execute the kernel body");
-        assert!(dev.try_launch("k", LaunchConfig::per_element(32), |_| runs += 1).is_ok());
+        assert!(dev
+            .try_launch("k", LaunchConfig::per_element(32), |_| runs += 1)
+            .is_ok());
         assert_eq!(runs, 2);
-        assert_eq!(dev.metrics().kernel("k").unwrap().launches, 2, "faulted launch unrecorded");
+        assert_eq!(
+            dev.metrics().kernel("k").unwrap().launches,
+            2,
+            "faulted launch unrecorded"
+        );
     }
 
     #[test]
@@ -460,13 +517,16 @@ mod tests {
             crate::FaultPlan::new(1).lose_device_at_launch(0),
         );
         assert!(!dev.is_lost());
-        let err = dev.try_launch("k", LaunchConfig::per_element(32), |_| {}).unwrap_err();
+        let err = dev
+            .try_launch("k", LaunchConfig::per_element(32), |_| {})
+            .unwrap_err();
         assert_eq!(err, DeviceError::DeviceLost);
         assert!(!err.is_transient());
         assert!(dev.is_lost());
         assert_eq!(dev.alloc::<u8>(1).unwrap_err(), DeviceError::DeviceLost);
         assert_eq!(
-            dev.try_launch("k", LaunchConfig::per_element(32), |_| {}).unwrap_err(),
+            dev.try_launch("k", LaunchConfig::per_element(32), |_| {})
+                .unwrap_err(),
             DeviceError::DeviceLost,
         );
     }

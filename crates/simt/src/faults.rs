@@ -61,7 +61,10 @@ impl FaultPlan {
     /// An armed-but-empty plan with the given seed: no faults fire until
     /// trigger points or rates are added.
     pub fn new(seed: u64) -> Self {
-        FaultPlan { seed, ..Default::default() }
+        FaultPlan {
+            seed,
+            ..Default::default()
+        }
     }
 
     /// Fail the `index`-th allocation (0-based) with an injected OOM.
@@ -149,7 +152,9 @@ impl FaultPlan {
                 .split_once('=')
                 .ok_or_else(|| format!("fault spec item `{item}` is not key=value"))?;
             let int = || -> Result<u64, String> {
-                value.parse::<u64>().map_err(|_| format!("`{key}` needs an integer, got `{value}`"))
+                value
+                    .parse::<u64>()
+                    .map_err(|_| format!("`{key}` needs an integer, got `{value}`"))
             };
             let rate = || -> Result<f64, String> {
                 let r = value
@@ -231,7 +236,14 @@ pub(crate) struct FaultState {
 impl FaultState {
     pub(crate) fn new(plan: FaultPlan) -> Self {
         let rng = plan.seed ^ 0x6661_756C_7470_6C6E; // "faultpln"
-        FaultState { plan, rng, allocs: 0, launches: 0, transfers: 0, lost: false }
+        FaultState {
+            plan,
+            rng,
+            allocs: 0,
+            launches: 0,
+            transfers: 0,
+            lost: false,
+        }
     }
 
     /// SplitMix64 step — deterministic rate draws with no external deps.
@@ -290,18 +302,26 @@ impl FaultState {
         let idx = self.transfers;
         self.transfers += 1;
         if self.plan.drop_transfer_at.contains(&idx) {
-            return Err(LinkError::Dropped { transfer_index: idx });
+            return Err(LinkError::Dropped {
+                transfer_index: idx,
+            });
         }
         if self.plan.corrupt_transfer_at.contains(&idx) {
-            return Err(LinkError::Corrupted { transfer_index: idx });
+            return Err(LinkError::Corrupted {
+                transfer_index: idx,
+            });
         }
         if self.plan.transfer_drop_rate > 0.0 && self.next_unit() < self.plan.transfer_drop_rate {
-            return Err(LinkError::Dropped { transfer_index: idx });
+            return Err(LinkError::Dropped {
+                transfer_index: idx,
+            });
         }
         if self.plan.transfer_corrupt_rate > 0.0
             && self.next_unit() < self.plan.transfer_corrupt_rate
         {
-            return Err(LinkError::Corrupted { transfer_index: idx });
+            return Err(LinkError::Corrupted {
+                transfer_index: idx,
+            });
         }
         Ok(())
     }
@@ -327,7 +347,11 @@ mod tests {
         let plan = FaultPlan::new(7).fail_launch_at(2).fail_alloc_at(0);
         let mut st = FaultState::new(plan);
         assert_eq!(st.on_alloc(), Verdict::Fault);
-        assert_eq!(st.on_alloc(), Verdict::Ok, "retry after one-shot fault succeeds");
+        assert_eq!(
+            st.on_alloc(),
+            Verdict::Ok,
+            "retry after one-shot fault succeeds"
+        );
         assert_eq!(st.on_launch().0, Verdict::Ok);
         assert_eq!(st.on_launch().0, Verdict::Ok);
         let (v, idx) = st.on_launch();
@@ -350,11 +374,16 @@ mod tests {
     fn rates_are_deterministic_per_seed() {
         let fires = |seed: u64| -> Vec<bool> {
             let mut st = FaultState::new(FaultPlan::new(seed).with_launch_fault_rate(0.3));
-            (0..64).map(|_| st.on_launch().0 == Verdict::Fault).collect()
+            (0..64)
+                .map(|_| st.on_launch().0 == Verdict::Fault)
+                .collect()
         };
         assert_eq!(fires(1), fires(1), "same seed, same schedule");
         assert_ne!(fires(1), fires(2), "different seed, different schedule");
-        assert!(fires(1).iter().any(|&f| f), "a 30% rate fires within 64 draws");
+        assert!(
+            fires(1).iter().any(|&f| f),
+            "a 30% rate fires within 64 draws"
+        );
         assert!(!fires(1).iter().all(|&f| f), "…but not on every draw");
     }
 
@@ -363,8 +392,14 @@ mod tests {
         let plan = FaultPlan::new(0).drop_transfer_at(1).corrupt_transfer_at(2);
         let mut st = FaultState::new(plan);
         assert!(st.on_transfer().is_ok());
-        assert_eq!(st.on_transfer(), Err(LinkError::Dropped { transfer_index: 1 }));
-        assert_eq!(st.on_transfer(), Err(LinkError::Corrupted { transfer_index: 2 }));
+        assert_eq!(
+            st.on_transfer(),
+            Err(LinkError::Dropped { transfer_index: 1 })
+        );
+        assert_eq!(
+            st.on_transfer(),
+            Err(LinkError::Corrupted { transfer_index: 2 })
+        );
         assert!(st.on_transfer().is_ok());
     }
 

@@ -97,12 +97,18 @@ mod tests {
 
     #[test]
     fn faulted_transfers_fail_then_recover() {
-        let mut link =
-            Interconnect::pcie3().with_faults(FaultPlan::new(3).drop_transfer_at(0).corrupt_transfer_at(2));
-        assert_eq!(link.try_transfer(100), Err(LinkError::Dropped { transfer_index: 0 }));
+        let mut link = Interconnect::pcie3()
+            .with_faults(FaultPlan::new(3).drop_transfer_at(0).corrupt_transfer_at(2));
+        assert_eq!(
+            link.try_transfer(100),
+            Err(LinkError::Dropped { transfer_index: 0 })
+        );
         assert_eq!(link.bytes(), 0, "dropped transfer moves no bytes");
         assert!(link.try_transfer(100).is_ok());
-        assert_eq!(link.try_transfer(100), Err(LinkError::Corrupted { transfer_index: 2 }));
+        assert_eq!(
+            link.try_transfer(100),
+            Err(LinkError::Corrupted { transfer_index: 2 })
+        );
         assert!(link.try_transfer(100).is_ok());
         assert_eq!(link.transfers(), 2);
         assert_eq!(link.bytes(), 200);

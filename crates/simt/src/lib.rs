@@ -57,7 +57,7 @@ mod proptests;
 mod timing;
 mod warp;
 
-pub use buffer::{DeviceBuffer, DSlice, DSliceMut};
+pub use buffer::{DSlice, DSliceMut, DeviceBuffer};
 pub use device::{Device, DeviceError, DeviceProps, LaunchConfig, MemoryReport};
 pub use faults::{FaultPlan, LinkError};
 pub use interconnect::Interconnect;

@@ -110,7 +110,7 @@ impl KernelStats {
 
 /// Named accumulation of [`KernelStats`] across launches (what
 /// `Device::metrics()` returns).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MetricsRegistry {
     kernels: BTreeMap<String, KernelStats>,
 }
@@ -118,7 +118,10 @@ pub struct MetricsRegistry {
 impl MetricsRegistry {
     /// Accumulates one launch under `name`.
     pub fn record(&mut self, name: &str, stats: &KernelStats) {
-        self.kernels.entry(name.to_string()).or_default().merge(stats);
+        self.kernels
+            .entry(name.to_string())
+            .or_default()
+            .merge(stats);
     }
 
     /// Stats for one kernel name, if it has launched.
@@ -132,12 +135,56 @@ impl MetricsRegistry {
     }
 
     /// Sum over all kernels.
+    ///
+    /// Note that the merged record sets `l2_modelled` if *any* input
+    /// record was instrumented, so calling [`KernelStats::l2_hit_rate`]
+    /// on it silently counts uninstrumented bytes as hits. Hit-rate
+    /// summaries should use [`MetricsRegistry::l2_hit_rate`] instead,
+    /// which excludes uninstrumented records.
     pub fn total(&self) -> KernelStats {
         let mut t = KernelStats::default();
         for s in self.kernels.values() {
             t.merge(s);
         }
         t
+    }
+
+    /// Sum over only the kernels the L2 model instrumented
+    /// (`l2_modelled == true`). `None` when no record was instrumented —
+    /// distinguishing "no cache data" from a genuine 100% hit rate.
+    pub fn total_l2_modelled(&self) -> Option<KernelStats> {
+        let mut t = KernelStats::default();
+        let mut any = false;
+        for s in self.kernels.values().filter(|s| s.l2_modelled) {
+            t.merge(s);
+            any = true;
+        }
+        any.then_some(t)
+    }
+
+    /// L2 hit rate over instrumented records only. Uninstrumented
+    /// records carry no miss data, so folding their bytes into the
+    /// denominator would inflate the rate; they are excluded here (their
+    /// volume is reported by [`MetricsRegistry::unmodelled_bytes`]).
+    pub fn l2_hit_rate(&self) -> Option<f64> {
+        self.total_l2_modelled().map(|t| t.l2_hit_rate())
+    }
+
+    /// Bytes moved by records the L2 model did *not* instrument — the
+    /// traffic excluded from [`MetricsRegistry::l2_hit_rate`].
+    pub fn unmodelled_bytes(&self) -> u64 {
+        self.kernels
+            .values()
+            .filter(|s| !s.l2_modelled)
+            .map(|s| s.bytes_total())
+            .sum()
+    }
+
+    /// Lane-weighted warp efficiency across every kernel. Records with
+    /// zero issued instructions contribute nothing (rather than the
+    /// per-record 1.0 placeholder of [`KernelStats::warp_efficiency`]).
+    pub fn warp_efficiency(&self) -> f64 {
+        self.total().warp_efficiency()
     }
 }
 
@@ -153,7 +200,11 @@ mod tests {
 
     #[test]
     fn efficiency_reflects_active_lanes() {
-        let s = KernelStats { instructions: 10, active_lane_ops: 160, ..Default::default() };
+        let s = KernelStats {
+            instructions: 10,
+            active_lane_ops: 160,
+            ..Default::default()
+        };
         assert!((s.warp_efficiency() - 0.5).abs() < 1e-12);
     }
 
@@ -169,8 +220,18 @@ mod tests {
 
     #[test]
     fn merge_adds_fields() {
-        let mut a = KernelStats { loads: 1, bytes_loaded: 32, launches: 1, ..Default::default() };
-        let b = KernelStats { loads: 2, bytes_loaded: 64, launches: 1, ..Default::default() };
+        let mut a = KernelStats {
+            loads: 1,
+            bytes_loaded: 32,
+            launches: 1,
+            ..Default::default()
+        };
+        let b = KernelStats {
+            loads: 2,
+            bytes_loaded: 64,
+            launches: 1,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.loads, 3);
         assert_eq!(a.bytes_total(), 96);
@@ -185,7 +246,11 @@ mod tests {
             l2_modelled: true,
             ..Default::default()
         };
-        let b = KernelStats { bytes_stored: 320, dram_bytes_stored: 0, ..Default::default() };
+        let b = KernelStats {
+            bytes_stored: 320,
+            dram_bytes_stored: 0,
+            ..Default::default()
+        };
         a.merge(&b);
         assert!(a.l2_modelled);
         assert_eq!(a.dram_bytes_total(), 160);
@@ -193,12 +258,137 @@ mod tests {
         assert_eq!(KernelStats::default().l2_hit_rate(), 1.0);
     }
 
+    /// A record shaped like the simulator emits them: every transaction
+    /// moves exactly one 32-byte sector.
+    fn sectorised(loads: u64, stores: u64, l2: bool) -> KernelStats {
+        KernelStats {
+            launches: 1,
+            instructions: loads + stores,
+            active_lane_ops: 32 * (loads + stores),
+            loads: 8 * loads,
+            stores: 8 * stores,
+            load_transactions: loads,
+            store_transactions: stores,
+            bytes_loaded: 32 * loads,
+            bytes_stored: 32 * stores,
+            dram_bytes_loaded: if l2 { 16 * loads } else { 0 },
+            l2_modelled: l2,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn merge_preserves_sector_byte_invariant() {
+        // bytes == 32 · transactions is the simulator's sector law; it
+        // must survive any sequence of merges.
+        let mut reg = MetricsRegistry::default();
+        for i in 0..5u64 {
+            reg.record("fwd", &sectorised(3 * i + 1, i, true));
+            reg.record("bwd", &sectorised(i + 2, 2 * i, true));
+        }
+        for (name, s) in reg.iter() {
+            assert_eq!(s.bytes_loaded, 32 * s.load_transactions, "{name}");
+            assert_eq!(s.bytes_stored, 32 * s.store_transactions, "{name}");
+        }
+        let t = reg.total();
+        assert_eq!(t.bytes_loaded, 32 * t.load_transactions);
+        assert_eq!(t.bytes_stored, 32 * t.store_transactions);
+    }
+
+    #[test]
+    fn counters_are_monotone_across_launches() {
+        let mut reg = MetricsRegistry::default();
+        let mut prev = KernelStats::default();
+        for i in 0..8u64 {
+            reg.record("k", &sectorised(i, i / 2, i % 2 == 0));
+            let cur = *reg.kernel("k").unwrap();
+            assert!(cur.launches > prev.launches, "launch count must grow");
+            assert!(cur.loads >= prev.loads);
+            assert!(cur.stores >= prev.stores);
+            assert!(cur.bytes_loaded >= prev.bytes_loaded);
+            assert!(cur.instructions >= prev.instructions);
+            assert!(cur.active_lane_ops >= prev.active_lane_ops);
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn unmodelled_records_are_excluded_from_registry_hit_rate() {
+        let mut reg = MetricsRegistry::default();
+        // Instrumented kernel: 50% of its load bytes miss to DRAM.
+        reg.record("modelled", &sectorised(10, 0, true));
+        // Uninstrumented kernel with a large byte volume: folding it into
+        // the denominator would report a ~90% hit rate.
+        reg.record("synthetic", &sectorised(90, 0, false));
+        let rate = reg.l2_hit_rate().expect("one record is instrumented");
+        assert!(
+            (rate - 0.5).abs() < 1e-12,
+            "rate {rate} must ignore synthetic bytes"
+        );
+        assert_eq!(reg.unmodelled_bytes(), 32 * 90);
+        // The naive total still ORs the flag and skews the rate — that is
+        // exactly what the registry-level accessor avoids.
+        let naive = reg.total();
+        assert!(naive.l2_modelled);
+        assert!(naive.l2_hit_rate() > 0.9);
+    }
+
+    #[test]
+    fn hit_rate_is_none_without_instrumented_records() {
+        let mut reg = MetricsRegistry::default();
+        assert_eq!(reg.l2_hit_rate(), None);
+        reg.record("synthetic", &sectorised(5, 5, false));
+        assert_eq!(reg.l2_hit_rate(), None);
+        assert!(reg.total_l2_modelled().is_none());
+    }
+
+    #[test]
+    fn registry_warp_efficiency_ignores_empty_records() {
+        let mut reg = MetricsRegistry::default();
+        reg.record(
+            "empty",
+            &KernelStats {
+                launches: 1,
+                ..Default::default()
+            },
+        );
+        reg.record(
+            "half",
+            &KernelStats {
+                instructions: 10,
+                active_lane_ops: 160,
+                ..Default::default()
+            },
+        );
+        // The empty record's per-record efficiency placeholder is 1.0,
+        // but it issued nothing, so the aggregate must stay at 0.5.
+        assert!((reg.warp_efficiency() - 0.5).abs() < 1e-12);
+    }
+
     #[test]
     fn registry_accumulates_and_totals() {
         let mut reg = MetricsRegistry::default();
-        reg.record("a", &KernelStats { loads: 5, ..Default::default() });
-        reg.record("a", &KernelStats { loads: 7, ..Default::default() });
-        reg.record("b", &KernelStats { stores: 3, ..Default::default() });
+        reg.record(
+            "a",
+            &KernelStats {
+                loads: 5,
+                ..Default::default()
+            },
+        );
+        reg.record(
+            "a",
+            &KernelStats {
+                loads: 7,
+                ..Default::default()
+            },
+        );
+        reg.record(
+            "b",
+            &KernelStats {
+                stores: 3,
+                ..Default::default()
+            },
+        );
         assert_eq!(reg.kernel("a").unwrap().loads, 12);
         assert_eq!(reg.kernel("b").unwrap().stores, 3);
         assert!(reg.kernel("c").is_none());

@@ -50,7 +50,12 @@ impl<'a> Warp<'a> {
         l2: &'a mut crate::cache::L2Cache,
     ) -> Self {
         debug_assert!((1..=WARP_SIZE).contains(&launched));
-        Warp { id, launched, stats, l2 }
+        Warp {
+            id,
+            launched,
+            stats,
+            l2,
+        }
     }
 
     /// Runs the distinct sectors of one memory instruction through the
@@ -440,7 +445,10 @@ mod tests {
             w.atomic_add(&mut buf.dslice_mut(), &ops);
         });
         assert_eq!(buf.host(), &[16, 16]);
-        assert_eq!(s.atomic_conflicts, 30, "16 lanes per address => 15 replays each");
+        assert_eq!(
+            s.atomic_conflicts, 30,
+            "16 lanes per address => 15 replays each"
+        );
     }
 
     #[test]
@@ -472,7 +480,10 @@ mod tests {
             let vals = w.smem_load(&smem, &idx);
             assert!(vals.iter().all(|&v| v == 15));
         });
-        assert_eq!(s.smem_bank_conflicts, 0, "stride-1 and broadcast are conflict-free");
+        assert_eq!(
+            s.smem_bank_conflicts, 0,
+            "stride-1 and broadcast are conflict-free"
+        );
         assert_eq!(s.smem_ops, 64);
         assert_eq!(s.bytes_loaded, 0, "shared memory makes no global traffic");
     }
@@ -544,7 +555,10 @@ mod tests {
         let cold = sweep("cold");
         let warm = sweep("warm");
         assert!(cold.l2_modelled && warm.l2_modelled);
-        assert_eq!(cold.dram_bytes_loaded, cold.bytes_loaded, "cold sweep all misses");
+        assert_eq!(
+            cold.dram_bytes_loaded, cold.bytes_loaded,
+            "cold sweep all misses"
+        );
         assert_eq!(warm.dram_bytes_loaded, 0, "warm sweep fully resident");
         assert!(warm.l2_hit_rate() > cold.l2_hit_rate());
         // Warm sweep models faster.

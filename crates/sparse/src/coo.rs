@@ -22,7 +22,12 @@ impl Coo {
     pub fn new(n_rows: usize, n_cols: usize) -> Result<Self, SparseError> {
         check_dim(n_rows)?;
         check_dim(n_cols)?;
-        Ok(Coo { n_rows, n_cols, rows: Vec::new(), cols: Vec::new() })
+        Ok(Coo {
+            n_rows,
+            n_cols,
+            rows: Vec::new(),
+            cols: Vec::new(),
+        })
     }
 
     /// Creates a COO matrix from parallel index arrays.
@@ -35,7 +40,10 @@ impl Coo {
         check_dim(n_rows)?;
         check_dim(n_cols)?;
         if rows.len() != cols.len() {
-            return Err(SparseError::LengthMismatch { rows: rows.len(), cols: cols.len() });
+            return Err(SparseError::LengthMismatch {
+                rows: rows.len(),
+                cols: cols.len(),
+            });
         }
         for &r in &rows {
             if r as usize >= n_rows {
@@ -47,7 +55,12 @@ impl Coo {
                 return Err(SparseError::ColOutOfBounds(c, n_cols));
             }
         }
-        Ok(Coo { n_rows, n_cols, rows, cols })
+        Ok(Coo {
+            n_rows,
+            n_cols,
+            rows,
+            cols,
+        })
     }
 
     /// Number of rows.
@@ -137,7 +150,10 @@ impl Coo {
     /// Adds the transpose of every entry (symmetrises the pattern), then
     /// dedups. Used to turn a directed edge list into an undirected graph.
     pub fn symmetrize(&mut self) {
-        assert_eq!(self.n_rows, self.n_cols, "symmetrize requires a square matrix");
+        assert_eq!(
+            self.n_rows, self.n_cols,
+            "symmetrize requires a square matrix"
+        );
         let m = self.rows.len();
         self.rows.reserve(m);
         self.cols.reserve(m);

@@ -30,8 +30,16 @@ impl Cooc {
         row_a: Vec<Index>,
         col_a: Vec<Index>,
     ) -> Self {
-        debug_assert!(col_a.windows(2).all(|w| w[0] <= w[1]), "COOC must be column-sorted");
-        Cooc { n_rows, n_cols, row_a, col_a }
+        debug_assert!(
+            col_a.windows(2).all(|w| w[0] <= w[1]),
+            "COOC must be column-sorted"
+        );
+        Cooc {
+            n_rows,
+            n_cols,
+            row_a,
+            col_a,
+        }
     }
 
     /// Builds a COOC matrix from arbitrary entry arrays, validating bounds

@@ -55,7 +55,12 @@ impl Csc {
                 return Err(SparseError::RowOutOfBounds(r, n_rows));
             }
         }
-        Ok(Csc { n_rows, n_cols, col_ptr, row_idx })
+        Ok(Csc {
+            n_rows,
+            n_cols,
+            col_ptr,
+            row_idx,
+        })
     }
 
     pub(crate) fn from_parts_unchecked(
@@ -66,7 +71,12 @@ impl Csc {
     ) -> Self {
         debug_assert_eq!(col_ptr.len(), n_cols + 1);
         debug_assert_eq!(*col_ptr.last().unwrap_or(&0), row_idx.len());
-        Csc { n_rows, n_cols, col_ptr, row_idx }
+        Csc {
+            n_rows,
+            n_cols,
+            col_ptr,
+            row_idx,
+        }
     }
 
     /// Number of rows.
@@ -228,7 +238,9 @@ mod tests {
 
     /// Directed: 0→1, 0→2, 1→2, 2→0, 2→3.
     fn sample() -> Csc {
-        Coo::from_entries(4, 4, vec![0, 0, 1, 2, 2], vec![1, 2, 2, 0, 3]).unwrap().to_csc()
+        Coo::from_entries(4, 4, vec![0, 0, 1, 2, 2], vec![1, 2, 2, 0, 3])
+            .unwrap()
+            .to_csc()
     }
 
     #[test]
@@ -247,7 +259,10 @@ mod tests {
         assert!(Csc::from_parts(2, 2, vec![0, 1, 2], vec![0, 1]).is_ok());
         assert_eq!(
             Csc::from_parts(2, 2, vec![0, 1], vec![0]).unwrap_err(),
-            SparseError::PointerLength { expected: 3, actual: 2 }
+            SparseError::PointerLength {
+                expected: 3,
+                actual: 2
+            }
         );
         assert_eq!(
             Csc::from_parts(2, 2, vec![0, 1, 1], vec![0, 0]).unwrap_err(),

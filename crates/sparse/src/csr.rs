@@ -53,7 +53,12 @@ impl Csr {
                 return Err(SparseError::ColOutOfBounds(c, n_cols));
             }
         }
-        Ok(Csr { n_rows, n_cols, row_ptr, col_idx })
+        Ok(Csr {
+            n_rows,
+            n_cols,
+            row_ptr,
+            col_idx,
+        })
     }
 
     pub(crate) fn from_parts_unchecked(
@@ -64,7 +69,12 @@ impl Csr {
     ) -> Self {
         debug_assert_eq!(row_ptr.len(), n_rows + 1);
         debug_assert_eq!(*row_ptr.last().unwrap_or(&0), col_idx.len());
-        Csr { n_rows, n_cols, row_ptr, col_idx }
+        Csr {
+            n_rows,
+            n_cols,
+            row_ptr,
+            col_idx,
+        }
     }
 
     /// Number of rows.
@@ -165,7 +175,9 @@ mod tests {
 
     /// Directed: 0→1, 0→2, 1→2, 2→0, 2→3.
     fn sample() -> Csr {
-        Coo::from_entries(4, 4, vec![0, 0, 1, 2, 2], vec![1, 2, 2, 0, 3]).unwrap().to_csr()
+        Coo::from_entries(4, 4, vec![0, 0, 1, 2, 2], vec![1, 2, 2, 0, 3])
+            .unwrap()
+            .to_csr()
     }
 
     #[test]
@@ -187,7 +199,10 @@ mod tests {
         );
         assert_eq!(
             Csr::from_parts(1, 1, vec![0], vec![]).unwrap_err(),
-            SparseError::PointerLength { expected: 2, actual: 1 }
+            SparseError::PointerLength {
+                expected: 2,
+                actual: 1
+            }
         );
     }
 

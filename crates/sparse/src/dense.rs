@@ -14,7 +14,11 @@ pub struct DenseMatrix {
 impl DenseMatrix {
     /// Creates an all-zero dense matrix.
     pub fn zeros(n_rows: usize, n_cols: usize) -> Self {
-        DenseMatrix { n_rows, n_cols, data: vec![false; n_rows * n_cols] }
+        DenseMatrix {
+            n_rows,
+            n_cols,
+            data: vec![false; n_rows * n_cols],
+        }
     }
 
     /// Builds a dense matrix from any COO pattern.

@@ -60,7 +60,10 @@ impl fmt::Display for SparseError {
                 write!(f, "column index {c} out of bounds for {n} columns")
             }
             SparseError::LengthMismatch { rows, cols } => {
-                write!(f, "row array has {rows} entries but column array has {cols}")
+                write!(
+                    f,
+                    "row array has {rows} entries but column array has {cols}"
+                )
             }
             SparseError::NonMonotonicPointer { position } => {
                 write!(f, "pointer array decreases at position {position}")

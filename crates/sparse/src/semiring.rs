@@ -299,8 +299,7 @@ pub fn pagerank(a: &Csr, damping: f64, tol: f64, max_iters: usize) -> Vec<f64> {
     let mut next = vec![0.0f64; n];
     for _ in 0..max_iters {
         // Dangling vertices spread their rank uniformly.
-        let dangling: f64 =
-            (0..n).filter(|&i| out_deg[i] == 0).map(|i| rank[i]).sum();
+        let dangling: f64 = (0..n).filter(|&i| out_deg[i] == 0).map(|i| rank[i]).sum();
         let base = (1.0 - damping) / n as f64 + damping * dangling / n as f64;
         next.iter_mut().for_each(|x| *x = base);
         for i in 0..n {
@@ -327,8 +326,7 @@ mod tests {
 
     /// 0→1 (w 2), 0→2 (w 5), 1→2 (w 1), 2→3 (w 4).
     fn sample() -> CsrValues<f64> {
-        let coo =
-            Coo::from_entries(4, 4, vec![0, 0, 1, 2], vec![1, 2, 2, 3]).unwrap();
+        let coo = Coo::from_entries(4, 4, vec![0, 0, 1, 2], vec![1, 2, 2, 3]).unwrap();
         let csr = coo.to_csr();
         // CSR row order: row0 = [1, 2], row1 = [2], row2 = [3].
         CsrValues::new(csr, vec![2.0, 5.0, 1.0, 4.0])
@@ -394,7 +392,12 @@ mod tests {
         let mut tv = Vec::new();
         for i in 0..t.n_rows() {
             for &j in t.row(i) {
-                let pos = a.csr().row(j as usize).iter().position(|&c| c as usize == i).unwrap();
+                let pos = a
+                    .csr()
+                    .row(j as usize)
+                    .iter()
+                    .position(|&c| c as usize == i)
+                    .unwrap();
                 tv.push(a.row_values(j as usize)[pos]);
             }
         }
@@ -412,7 +415,10 @@ mod tests {
         let r = pagerank(&csr, 0.85, 1e-12, 200);
         let total: f64 = r.iter().sum();
         assert!((total - 1.0).abs() < 1e-9, "total {total}");
-        assert!(r[2] > r[0] && r[2] > r[1], "the sink of two links ranks first: {r:?}");
+        assert!(
+            r[2] > r[0] && r[2] > r[1],
+            "the sink of two links ranks first: {r:?}"
+        );
     }
 
     #[test]

@@ -21,7 +21,7 @@ use rand::{Rng, SeedableRng};
 use turbobc_graph::{Graph, VertexId};
 
 /// Accuracy contract for [`bc_approx`].
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ApproxOptions {
     /// Maximum normalised error `ε` (per vertex).
     pub epsilon: f64,
@@ -35,7 +35,12 @@ pub struct ApproxOptions {
 
 impl Default for ApproxOptions {
     fn default() -> Self {
-        ApproxOptions { epsilon: 0.05, delta: 0.1, seed: 0x70b0bc, bc: BcOptions::default() }
+        ApproxOptions {
+            epsilon: 0.05,
+            delta: 0.1,
+            seed: 0x70b0bc,
+            bc: BcOptions::default(),
+        }
     }
 }
 
@@ -81,26 +86,27 @@ impl ApproxBcResult {
 /// Approximate BC with the `(epsilon, delta)` guarantee of the module
 /// docs. Samples sources uniformly **with replacement** (as the bound
 /// requires) and scales by `n/k`.
-///
-/// ```
-/// use turbobc::{bc_approx, ApproxOptions};
-/// use turbobc_graph::gen;
-///
-/// let g = gen::star(50);
-/// let r = bc_approx(&g, ApproxOptions { epsilon: 0.1, delta: 0.1, ..Default::default() }).unwrap();
-/// let hub = r.bc.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
-/// assert_eq!(hub, 0);
-/// ```
-pub fn bc_approx(
-    graph: &Graph,
-    options: ApproxOptions,
-) -> Result<ApproxBcResult, TurboBcError> {
-    let n = graph.n();
-    let k = sample_size(n, options.epsilon, options.delta);
-    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(options.seed);
-    let sources: Vec<VertexId> =
-        (0..k).map(|_| rng.gen_range(0..n.max(1)) as VertexId).collect();
+#[deprecated(since = "0.2.0", note = "use `BcSolver::approx` instead")]
+pub fn bc_approx(graph: &Graph, options: ApproxOptions) -> Result<ApproxBcResult, TurboBcError> {
     let solver = BcSolver::new(graph, options.bc)?;
+    bc_approx_with_solver(&solver, options.epsilon, options.delta, options.seed)
+}
+
+/// What [`BcSolver::approx`] runs: samples `k = sample_size(n, ε, δ)`
+/// sources with replacement from the solver's graph and scales the
+/// accumulated dependencies by `n/k`.
+pub(crate) fn bc_approx_with_solver(
+    solver: &BcSolver,
+    epsilon: f64,
+    delta: f64,
+    seed: u64,
+) -> Result<ApproxBcResult, TurboBcError> {
+    let n = solver.n();
+    let k = sample_size(n, epsilon, delta);
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    let sources: Vec<VertexId> = (0..k)
+        .map(|_| rng.gen_range(0..n.max(1)) as VertexId)
+        .collect();
     let mut run = solver.bc_sources(&sources)?;
     let scale = if k > 0 { n as f64 / k as f64 } else { 0.0 };
     for b in &mut run.bc {
@@ -109,14 +115,15 @@ pub fn bc_approx(
     Ok(ApproxBcResult {
         bc: run.bc.clone(),
         samples: k,
-        epsilon: options.epsilon,
-        delta: options.delta,
+        epsilon,
+        delta,
         run,
     })
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // exercises the shim so downstream callers stay covered
     use super::*;
     use turbobc_baselines::brandes_all_sources;
     use turbobc_graph::gen;
@@ -133,12 +140,33 @@ mod tests {
     #[test]
     fn estimator_is_deterministic_per_seed() {
         let g = gen::gnm(200, 800, false, 5);
-        let a = bc_approx(&g, ApproxOptions { epsilon: 0.2, delta: 0.2, ..Default::default() }).unwrap();
-        let b = bc_approx(&g, ApproxOptions { epsilon: 0.2, delta: 0.2, ..Default::default() }).unwrap();
+        let a = bc_approx(
+            &g,
+            ApproxOptions {
+                epsilon: 0.2,
+                delta: 0.2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let b = bc_approx(
+            &g,
+            ApproxOptions {
+                epsilon: 0.2,
+                delta: 0.2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert_eq!(a.bc, b.bc);
         let c = bc_approx(
             &g,
-            ApproxOptions { epsilon: 0.2, delta: 0.2, seed: 99, ..Default::default() },
+            ApproxOptions {
+                epsilon: 0.2,
+                delta: 0.2,
+                seed: 99,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert_ne!(a.bc, c.bc, "different seed, different sample");
@@ -152,8 +180,13 @@ mod tests {
             let n = g.n();
             let exact = brandes_all_sources(&g);
             let denom = n as f64 * (n as f64 - 2.0);
-            let opts = ApproxOptions { epsilon: 0.05, delta: 0.05, seed, ..Default::default() };
-            let approx = bc_approx(&g, opts).unwrap();
+            let opts = ApproxOptions {
+                epsilon: 0.05,
+                delta: 0.05,
+                seed,
+                ..Default::default()
+            };
+            let approx = bc_approx(&g, opts.clone()).unwrap();
             assert!(approx.samples >= 100, "k = {}", approx.samples);
             let worst = approx
                 .bc
@@ -175,8 +208,15 @@ mod tests {
         // is not literally exact — but the top-vertex ordering is stable
         // on a star.
         let g = gen::star(40);
-        let approx = bc_approx(&g, ApproxOptions { epsilon: 0.01, delta: 0.01, ..Default::default() })
-            .unwrap();
+        let approx = bc_approx(
+            &g,
+            ApproxOptions {
+                epsilon: 0.01,
+                delta: 0.01,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let top = approx
             .bc
             .iter()
@@ -193,6 +233,9 @@ mod tests {
         let g = gen::star(30);
         let approx = bc_approx(&g, ApproxOptions::default()).unwrap();
         let norm = approx.normalised(g.n());
-        assert!(norm.iter().all(|&x| (0.0..=1.0 + 1e-9).contains(&x)), "{norm:?}");
+        assert!(
+            norm.iter().all(|&x| (0.0..=1.0 + 1e-9).contains(&x)),
+            "{norm:?}"
+        );
     }
 }

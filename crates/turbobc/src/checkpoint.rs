@@ -30,7 +30,7 @@ use std::path::{Path, PathBuf};
 const MAGIC: u64 = u64::from_le_bytes(*b"TBCKPT01");
 
 /// Configuration for a checkpointed multi-source run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CheckpointConfig {
     /// Where the checkpoint file lives.
     pub path: PathBuf,
@@ -50,7 +50,12 @@ impl CheckpointConfig {
     /// A fresh (non-resuming) checkpoint at `path`, snapshotting every
     /// `every` sources.
     pub fn new(path: impl Into<PathBuf>, every: usize) -> Self {
-        CheckpointConfig { path: path.into(), every, resume: false, fail_after_batches: None }
+        CheckpointConfig {
+            path: path.into(),
+            every,
+            resume: false,
+            fail_after_batches: None,
+        }
     }
 
     /// Enables resuming from an existing checkpoint file.
@@ -128,9 +133,13 @@ pub fn load(path: &Path, fp: u64, n: usize) -> Result<Option<Snapshot>, Checkpoi
         Err(e) => return Err(CheckpointError::Io(e.to_string())),
     };
     let mut buf = Vec::new();
-    f.read_to_end(&mut buf).map_err(|e| CheckpointError::Io(e.to_string()))?;
+    f.read_to_end(&mut buf)
+        .map_err(|e| CheckpointError::Io(e.to_string()))?;
     if buf.len() < 32 {
-        return Err(CheckpointError::Corrupt(format!("{} bytes, header needs 32", buf.len())));
+        return Err(CheckpointError::Corrupt(format!(
+            "{} bytes, header needs 32",
+            buf.len()
+        )));
     }
     let word = |i: usize| u64::from_le_bytes(buf[8 * i..8 * i + 8].try_into().unwrap());
     if word(0) != MAGIC {
@@ -138,12 +147,17 @@ pub fn load(path: &Path, fp: u64, n: usize) -> Result<Option<Snapshot>, Checkpoi
     }
     let found = word(1);
     if found != fp {
-        return Err(CheckpointError::Mismatch { found, expected: fp });
+        return Err(CheckpointError::Mismatch {
+            found,
+            expected: fp,
+        });
     }
     let len = word(2) as usize;
     let done = word(3) as usize;
     if len != n {
-        return Err(CheckpointError::Corrupt(format!("bc length {len}, graph has {n} vertices")));
+        return Err(CheckpointError::Corrupt(format!(
+            "bc length {len}, graph has {n} vertices"
+        )));
     }
     if buf.len() != 32 + 8 * len {
         return Err(CheckpointError::Corrupt(format!(
@@ -192,7 +206,10 @@ mod tests {
         let path = temp("fp.ckpt");
         save(&path, 111, 1, &[0.0; 4]).unwrap();
         match load(&path, 222, 4) {
-            Err(CheckpointError::Mismatch { found: 111, expected: 222 }) => {}
+            Err(CheckpointError::Mismatch {
+                found: 111,
+                expected: 222,
+            }) => {}
             other => panic!("want Mismatch, got {other:?}"),
         }
     }
@@ -201,9 +218,15 @@ mod tests {
     fn truncated_and_garbage_files_are_corrupt_not_panics() {
         let path = temp("bad.ckpt");
         fs::write(&path, b"short").unwrap();
-        assert!(matches!(load(&path, 0, 4), Err(CheckpointError::Corrupt(_))));
+        assert!(matches!(
+            load(&path, 0, 4),
+            Err(CheckpointError::Corrupt(_))
+        ));
         fs::write(&path, [0u8; 64]).unwrap();
-        assert!(matches!(load(&path, 0, 4), Err(CheckpointError::Corrupt(_))));
+        assert!(matches!(
+            load(&path, 0, 4),
+            Err(CheckpointError::Corrupt(_))
+        ));
         // Right magic + fingerprint but a torn body.
         let fp = 7u64;
         let mut buf = Vec::new();
@@ -213,13 +236,20 @@ mod tests {
         buf.extend_from_slice(&0u64.to_le_bytes());
         buf.extend_from_slice(&[1, 2, 3]);
         fs::write(&path, &buf).unwrap();
-        assert!(matches!(load(&path, fp, 4), Err(CheckpointError::Corrupt(_))));
+        assert!(matches!(
+            load(&path, fp, 4),
+            Err(CheckpointError::Corrupt(_))
+        ));
     }
 
     #[test]
     fn fingerprint_distinguishes_runs() {
         let a = fingerprint(10, 20, true, 0.5, &[0, 1]);
-        assert_ne!(a, fingerprint(10, 20, true, 0.5, &[1, 0]), "source order matters");
+        assert_ne!(
+            a,
+            fingerprint(10, 20, true, 0.5, &[1, 0]),
+            "source order matters"
+        );
         assert_ne!(a, fingerprint(10, 20, false, 0.5, &[0, 1]));
         assert_ne!(a, fingerprint(11, 20, true, 0.5, &[0, 1]));
         assert_ne!(a, fingerprint(10, 20, true, 1.0, &[0, 1]));

@@ -12,8 +12,10 @@
 //! Both need one full BFS per vertex; [`crate::msbfs::ms_bfs`] serves 64
 //! of them per edge sweep.
 
-use crate::msbfs::ms_bfs;
+use crate::error::TurboBcError;
+use crate::msbfs::MsBfsResult;
 use crate::options::BcOptions;
+use crate::solver::BcSolver;
 use turbobc_graph::{Graph, VertexId};
 
 /// Closeness-family scores.
@@ -26,26 +28,66 @@ pub struct ClosenessResult {
 }
 
 /// Computes harmonic and closeness centrality for every vertex.
+#[deprecated(since = "0.2.0", note = "use `BcSolver::closeness` instead")]
 pub fn closeness_centrality(graph: &Graph, options: BcOptions) -> ClosenessResult {
     let n = graph.n();
     let sources: Vec<VertexId> = (0..n as VertexId).collect();
+    #[allow(deprecated)]
     closeness_for_sources(graph, &sources, options)
 }
 
 /// Computes the scores for a subset of vertices (each still needs its
 /// own BFS; the batching amortises the sweeps).
+#[deprecated(
+    since = "0.2.0",
+    note = "use `BcSolver::closeness_for_sources` instead"
+)]
 pub fn closeness_for_sources(
     graph: &Graph,
     sources: &[VertexId],
     options: BcOptions,
 ) -> ClosenessResult {
-    let n = graph.n();
+    if graph.n() <= 1 {
+        return ClosenessResult {
+            harmonic: vec![0.0; graph.n()],
+            closeness: vec![0.0; graph.n()],
+        };
+    }
+    #[allow(deprecated)]
+    let bfs = crate::msbfs::ms_bfs(graph, sources, options);
+    scores_from_sweeps(graph.n(), sources, &bfs)
+}
+
+/// What [`BcSolver::closeness`] / [`BcSolver::closeness_for_sources`]
+/// run: the sweeps come from the solver's own MS-BFS (one storage
+/// format, solver-resolved kernel), `None` meaning every vertex.
+pub(crate) fn closeness_with_solver(
+    solver: &BcSolver,
+    sources: Option<&[VertexId]>,
+) -> Result<ClosenessResult, TurboBcError> {
+    let n = solver.n();
+    if n <= 1 {
+        return Ok(ClosenessResult {
+            harmonic: vec![0.0; n],
+            closeness: vec![0.0; n],
+        });
+    }
+    let all: Vec<VertexId>;
+    let sources = match sources {
+        Some(s) => s,
+        None => {
+            all = (0..n as VertexId).collect();
+            &all
+        }
+    };
+    let bfs = solver.ms_bfs(sources)?;
+    Ok(scores_from_sweeps(n, sources, &bfs))
+}
+
+/// Folds per-source depth vectors into harmonic / closeness scores.
+fn scores_from_sweeps(n: usize, sources: &[VertexId], bfs: &MsBfsResult) -> ClosenessResult {
     let mut harmonic = vec![0.0f64; n];
     let mut closeness = vec![0.0f64; n];
-    if n <= 1 {
-        return ClosenessResult { harmonic, closeness };
-    }
-    let bfs = ms_bfs(graph, sources, options);
     for (k, &s) in sources.iter().enumerate() {
         let depths = &bfs.depths[k];
         let mut inv_sum = 0.0f64;
@@ -67,11 +109,15 @@ pub fn closeness_for_sources(
             0.0
         };
     }
-    ClosenessResult { harmonic, closeness }
+    ClosenessResult {
+        harmonic,
+        closeness,
+    }
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // exercises the shims so downstream callers stay covered
     use super::*;
     use turbobc_graph::gen;
 
@@ -98,7 +144,10 @@ mod tests {
                 0.0
             };
         }
-        ClosenessResult { harmonic, closeness }
+        ClosenessResult {
+            harmonic,
+            closeness,
+        }
     }
 
     #[test]
@@ -120,7 +169,10 @@ mod tests {
             let want = reference(&g);
             for v in 0..g.n() {
                 assert!((got.harmonic[v] - want.harmonic[v]).abs() < 1e-9, "H[{v}]");
-                assert!((got.closeness[v] - want.closeness[v]).abs() < 1e-9, "C[{v}]");
+                assert!(
+                    (got.closeness[v] - want.closeness[v]).abs() < 1e-9,
+                    "C[{v}]"
+                );
             }
         }
     }

@@ -69,6 +69,11 @@ pub enum CheckpointError {
         /// How many batches were durably checkpointed before the kill.
         batches_done: u32,
     },
+    /// A checkpointed entry point was called on a solver whose
+    /// [`crate::BcOptions`] carries no
+    /// [`crate::CheckpointConfig`] — set one through
+    /// `BcOptions::builder().checkpoint(..)`.
+    NotConfigured,
 }
 
 impl fmt::Display for CheckpointError {
@@ -82,8 +87,15 @@ impl fmt::Display for CheckpointError {
                  expected {expected:#018x})"
             ),
             CheckpointError::InjectedKill { batches_done } => {
-                write!(f, "injected kill after {batches_done} checkpointed batch(es)")
+                write!(
+                    f,
+                    "injected kill after {batches_done} checkpointed batch(es)"
+                )
             }
+            CheckpointError::NotConfigured => write!(
+                f,
+                "checkpointed run requested but the solver options carry no CheckpointConfig"
+            ),
         }
     }
 }
@@ -97,7 +109,10 @@ impl fmt::Display for TurboBcError {
             TurboBcError::Link(e) => write!(f, "interconnect error: {e}"),
             TurboBcError::EmptyGraph => write!(f, "graph has no vertices"),
             TurboBcError::InvalidSource { source, n } => {
-                write!(f, "source {source} out of range for a graph with {n} vertices")
+                write!(
+                    f,
+                    "source {source} out of range for a graph with {n} vertices"
+                )
             }
             TurboBcError::StorageMismatch { kernel } => {
                 write!(f, "storage format does not match kernel {kernel}")
@@ -107,7 +122,10 @@ impl fmt::Display for TurboBcError {
             }
             TurboBcError::NoDevices => write!(f, "multi-GPU run needs at least one device"),
             TurboBcError::AllDevicesLost => {
-                write!(f, "all devices lost; no survivors to requeue partitions onto")
+                write!(
+                    f,
+                    "all devices lost; no survivors to requeue partitions onto"
+                )
             }
             TurboBcError::Checkpoint(e) => write!(f, "{e}"),
         }
@@ -149,12 +167,18 @@ mod tests {
     #[test]
     fn display_is_informative() {
         let e = TurboBcError::InvalidSource { source: 9, n: 4 };
-        assert_eq!(e.to_string(), "source 9 out of range for a graph with 4 vertices");
+        assert_eq!(
+            e.to_string(),
+            "source 9 out of range for a graph with 4 vertices"
+        );
         let e: TurboBcError = DeviceError::DeviceLost.into();
         assert!(e.to_string().starts_with("device error:"));
         let e: TurboBcError = LinkError::Dropped { transfer_index: 3 }.into();
         assert!(e.to_string().contains("transfer #3"), "{e}");
-        let e = TurboBcError::Checkpoint(CheckpointError::Mismatch { found: 1, expected: 2 });
+        let e = TurboBcError::Checkpoint(CheckpointError::Mismatch {
+            found: 1,
+            expected: 2,
+        });
         assert!(e.to_string().contains("different run"));
     }
 

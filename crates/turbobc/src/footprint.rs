@@ -70,6 +70,21 @@ pub fn turbobc_words(n: usize, m: usize, kernel: Kernel) -> usize {
     structure + 3 * n + 3 * n + 1
 }
 
+/// The footprint model in bytes (exact element sizes, before the
+/// device's per-allocation rounding): the §3.4 allocation sequence
+/// priced with `u32` structure and depth arrays, `i64` σ/frontier
+/// vectors and counter, and `f64` bc/δ arrays. The simulated device's
+/// measured peak sits at or just above this (each allocation rounds up
+/// to the 256-byte granule).
+pub fn turbobc_bytes(n: usize, m: usize, kernel: Kernel) -> u64 {
+    let structure = match kernel {
+        Kernel::ScCooc => 4 * 2 * m,
+        _ => 4 * (n + 1 + m),
+    };
+    // σ(8n) + S(4n) + bc(8n) + count(8) + max(16n forward, 24n backward).
+    (structure + 8 * n + 4 * n + 8 * n + 8 + 24 * n) as u64
+}
+
 /// Device words for the gunrock-like baseline (re-exported convenience;
 /// the authoritative allocation lives in
 /// `turbobc_baselines::gunrock_like`).
@@ -94,11 +109,10 @@ mod tests {
         let g = turbobc_graph::gen::gnm(500, 2000, false, 9);
         let solver = BcSolver::new(&g, BcOptions::default()).unwrap();
         let dev = Device::titan_xp();
-        solver.run_simt(&dev, &[0]).unwrap();
+        solver.run_simt_on(&dev, &[0]).unwrap();
         let real_peak = dev.memory().peak;
         let dev2 = Device::titan_xp();
-        let plan_peak =
-            plan_peak_on_device(&dev2, g.n(), g.m(), solver.kernel()).unwrap();
+        let plan_peak = plan_peak_on_device(&dev2, g.n(), g.m(), solver.kernel()).unwrap();
         assert_eq!(plan_peak, real_peak);
     }
 
@@ -119,7 +133,28 @@ mod tests {
 
     #[test]
     fn cooc_formula_uses_both_index_arrays() {
-        assert_eq!(turbobc_words(100, 1000, Kernel::ScCooc), 6 * 100 + 2 * 1000 + 1);
+        assert_eq!(
+            turbobc_words(100, 1000, Kernel::ScCooc),
+            6 * 100 + 2 * 1000 + 1
+        );
+    }
+
+    #[test]
+    fn byte_model_brackets_planned_peak() {
+        for &kernel in &[Kernel::ScCsc, Kernel::ScCooc] {
+            let (n, m) = (500, 2000);
+            let dev = Device::titan_xp();
+            let peak = plan_peak_on_device(&dev, n, m, kernel).unwrap();
+            let modelled = turbobc_bytes(n, m, kernel);
+            assert!(
+                peak >= modelled,
+                "{kernel:?}: peak {peak} < model {modelled}"
+            );
+            assert!(
+                peak <= modelled + 16 * 256,
+                "{kernel:?}: rounding slack exceeded"
+            );
+        }
     }
 
     #[test]

@@ -38,16 +38,32 @@
 //! # Quick start
 //!
 //! ```
-//! use turbobc::{BcOptions, BcSolver};
+//! use turbobc::prelude::*;
 //! use turbobc_graph::Graph;
 //!
 //! // An undirected path 0 – 1 – 2 – 3 – 4.
 //! let g = Graph::from_edges(5, false, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
-//! let solver = BcSolver::new(&g, BcOptions::default())?;
+//! let solver = BcSolver::new(&g, BcOptions::builder().build())?;
 //! let result = solver.bc_exact()?;
 //! assert_eq!(result.bc, vec![0.0, 3.0, 4.0, 3.0, 0.0]);
 //! # Ok::<(), turbobc::TurboBcError>(())
 //! ```
+//!
+//! [`BcOptions::builder`] configures everything a run needs — kernel,
+//! engine, recovery policy, checkpointing, simulated device — and the
+//! solver's methods cover the whole algorithm family: [`BcSolver::approx`]
+//! (sampled BC), [`BcSolver::edge_bc`] (Girvan–Newman edge scores),
+//! [`BcSolver::closeness`], and [`BcSolver::ms_bfs`] (bit-parallel
+//! multi-source BFS).
+//!
+//! # Observability
+//!
+//! Every engine reports through the [`observe`] subsystem: pass an
+//! [`observe::Observer`] (usually an [`observe::ProfileObserver`]) to the
+//! `*_observed` entry points and read back an [`observe::RunProfile`] —
+//! per-level BFS trace events, merged kernel statistics, peak-memory
+//! accounting against the paper's `7n + m` model, and the recovery
+//! timeline — serialisable to the `turbobc-profile-v1` JSON schema.
 //!
 //! # Robustness
 //!
@@ -68,25 +84,47 @@ pub mod closeness;
 pub mod edge;
 mod error;
 pub mod footprint;
-pub mod weighted;
+pub mod msbfs;
+pub mod multi_gpu;
+pub mod multi_gpu2d;
+pub mod observe;
 mod options;
 mod par;
 mod result;
 mod seq;
 mod simt_engine;
 mod solver;
-pub mod msbfs;
-pub mod multi_gpu;
-pub mod multi_gpu2d;
 pub mod turbobfs;
+pub mod weighted;
 
 pub use simt_engine::vecsc_reduction_ablation;
 
-pub use approx::{bc_approx, ApproxBcResult, ApproxOptions};
+#[allow(deprecated)] // the shims stay importable from the crate root
+pub use approx::bc_approx;
+pub use approx::{ApproxBcResult, ApproxOptions};
 pub use checkpoint::CheckpointConfig;
-pub use edge::{edge_bc, edge_bc_sources, EdgeBcResult};
+pub use edge::EdgeBcResult;
+#[allow(deprecated)] // the shims stay importable from the crate root
+pub use edge::{edge_bc, edge_bc_sources};
 pub use error::{CheckpointError, TurboBcError};
-pub use options::{degrade, BcOptions, Engine, Kernel, RecoveryPolicy};
+pub use options::{degrade, BcOptions, BcOptionsBuilder, Engine, Kernel, RecoveryPolicy};
 pub use result::{BcResult, RecoveryLog, RunStats, SimtReport};
 pub use solver::BcSolver;
 pub use turbobfs::{BfsRun, TurboBfs};
+
+/// One-line import for the solver-centric API: `use turbobc::prelude::*;`.
+///
+/// Brings in the solver, its options builder, the result and error
+/// types, and the observability layer's entry points.
+pub mod prelude {
+    pub use crate::checkpoint::CheckpointConfig;
+    pub use crate::error::{CheckpointError, TurboBcError};
+    pub use crate::observe::{
+        NullObserver, Observer, ProfileObserver, RunProfile, TraceEvent, PROFILE_SCHEMA,
+    };
+    pub use crate::options::{BcOptions, BcOptionsBuilder, Engine, Kernel, RecoveryPolicy};
+    pub use crate::result::{BcResult, RecoveryLog, RunStats, SimtReport};
+    pub use crate::solver::BcSolver;
+    pub use crate::turbobfs::{BfsRun, TurboBfs};
+    pub use turbobc_simt::DeviceProps;
+}

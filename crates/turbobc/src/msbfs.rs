@@ -10,10 +10,11 @@
 //! where the forward traversal is repeated once per source: the batched
 //! sweep shares the structure loads across the whole batch.
 
+use crate::observe::{Observer, TraceEvent};
 use crate::options::{BcOptions, Kernel};
+use crate::seq::Storage;
 use std::time::{Duration, Instant};
 use turbobc_graph::{Graph, VertexId};
-use turbobc_sparse::{Cooc, Csc};
 
 /// Batch width: one bit lane per source.
 pub const BATCH: usize = 64;
@@ -33,33 +34,26 @@ pub struct MsBfsResult {
     pub elapsed: Duration,
 }
 
-enum MsStorage {
-    Csc(Csc),
-    Cooc(Cooc),
-}
-
-impl MsStorage {
-    /// One bit-parallel frontier advance: `next = (structure ⊗ frontier)
-    /// & !seen` over the `(|, &)` word semiring.
-    fn advance(&self, frontier: &[u64], seen: &[u64], next: &mut [u64]) {
-        next.fill(0);
-        match self {
-            MsStorage::Csc(csc) => {
-                for j in 0..csc.n_cols() {
-                    let mut acc = 0u64;
-                    for &r in csc.column(j) {
-                        acc |= frontier[r as usize];
-                    }
-                    next[j] = acc & !seen[j];
+/// One bit-parallel frontier advance: `next = (structure ⊗ frontier)
+/// & !seen` over the `(|, &)` word semiring.
+fn advance(storage: &Storage, frontier: &[u64], seen: &[u64], next: &mut [u64]) {
+    next.fill(0);
+    match storage {
+        Storage::Csc(csc) => {
+            for j in 0..csc.n_cols() {
+                let mut acc = 0u64;
+                for &r in csc.column(j) {
+                    acc |= frontier[r as usize];
                 }
+                next[j] = acc & !seen[j];
             }
-            MsStorage::Cooc(cooc) => {
-                for (r, c) in cooc.iter() {
-                    next[c as usize] |= frontier[r as usize];
-                }
-                for (n, s) in next.iter_mut().zip(seen) {
-                    *n &= !s;
-                }
+        }
+        Storage::Cooc(cooc) => {
+            for (r, c) in cooc.iter() {
+                next[c as usize] |= frontier[r as usize];
+            }
+            for (n, s) in next.iter_mut().zip(seen) {
+                *n &= !s;
             }
         }
     }
@@ -69,24 +63,42 @@ impl MsStorage {
 /// [`BATCH`]). `options.kernel` selects the sweep storage (`ScCooc` →
 /// edge sweep, anything else → column gather); the engine field is
 /// ignored (the sweep is memory-bound and single-pass).
-///
-/// ```
-/// use turbobc::msbfs::ms_bfs;
-/// use turbobc::BcOptions;
-/// use turbobc_graph::Graph;
-///
-/// let g = Graph::from_edges(4, false, &[(0, 1), (1, 2), (2, 3)]);
-/// let r = ms_bfs(&g, &[0, 3], BcOptions::default());
-/// assert_eq!(r.depths[0], vec![1, 2, 3, 4]);
-/// assert_eq!(r.depths[1], vec![4, 3, 2, 1]);
-/// ```
+#[deprecated(
+    since = "0.2.0",
+    note = "use `BcSolver::ms_bfs` (or `ms_bfs_observed`) instead"
+)]
 pub fn ms_bfs(graph: &Graph, sources: &[VertexId], options: BcOptions) -> MsBfsResult {
-    let start = Instant::now();
-    let n = graph.n();
     let storage = match options.kernel {
-        Kernel::ScCooc => MsStorage::Cooc(graph.to_cooc()),
-        _ => MsStorage::Csc(graph.to_csc()),
+        Kernel::ScCooc => Storage::Cooc(graph.to_cooc()),
+        _ => Storage::Csc(graph.to_csc()),
     };
+    let kernel = match options.kernel {
+        Kernel::ScCooc => Kernel::ScCooc,
+        _ => Kernel::ScCsc,
+    };
+    ms_bfs_on_storage(&storage, kernel, sources, &mut crate::observe::NullObserver)
+}
+
+/// The MS-BFS engine over an already-materialised storage format —
+/// what [`crate::BcSolver::ms_bfs`] runs. Each batch's levels land in
+/// `obs` as [`TraceEvent::Level`]s (`source` = first source of the
+/// batch, `frontier` = vertex-lane discoveries across the whole batch)
+/// followed by one [`TraceEvent::SourceDone`] per source.
+pub(crate) fn ms_bfs_on_storage(
+    storage: &Storage,
+    kernel: Kernel,
+    sources: &[VertexId],
+    obs: &mut dyn Observer,
+) -> MsBfsResult {
+    let start = Instant::now();
+    let n = storage.n();
+    obs.event(TraceEvent::RunStart {
+        engine: "msbfs",
+        kernel,
+        n,
+        m: storage.m(),
+        sources: sources.len(),
+    });
     let mut depths: Vec<Vec<u32>> = Vec::with_capacity(sources.len());
     let mut heights: Vec<u32> = Vec::with_capacity(sources.len());
     let mut sweeps = 0usize;
@@ -96,6 +108,7 @@ pub fn ms_bfs(graph: &Graph, sources: &[VertexId], options: BcOptions) -> MsBfsR
         let mut frontier = vec![0u64; n];
         let mut batch_depths: Vec<Vec<u32>> = batch.iter().map(|_| vec![0u32; n]).collect();
         let mut batch_heights = vec![1u32; batch.len()];
+        let mut batch_reached = vec![1usize; batch.len()];
         if n == 0 {
             depths.append(&mut batch_depths);
             heights.extend_from_slice(&batch_heights);
@@ -109,10 +122,11 @@ pub fn ms_bfs(graph: &Graph, sources: &[VertexId], options: BcOptions) -> MsBfsR
         let mut next = vec![0u64; n];
         let mut level = 1u32;
         loop {
-            storage.advance(&frontier, &seen, &mut next);
+            advance(storage, &frontier, &seen, &mut next);
             sweeps += 1;
             level += 1;
             let mut any = 0u64;
+            let mut discovered = 0usize;
             for v in 0..n {
                 let fresh = next[v];
                 if fresh != 0 {
@@ -123,6 +137,8 @@ pub fn ms_bfs(graph: &Graph, sources: &[VertexId], options: BcOptions) -> MsBfsR
                         let k = bits.trailing_zeros() as usize;
                         batch_depths[k][v] = level;
                         batch_heights[k] = level;
+                        batch_reached[k] += 1;
+                        discovered += 1;
                         bits &= bits - 1;
                     }
                 }
@@ -130,21 +146,46 @@ pub fn ms_bfs(graph: &Graph, sources: &[VertexId], options: BcOptions) -> MsBfsR
             if any == 0 {
                 break;
             }
+            if obs.wants_levels() {
+                obs.event(TraceEvent::Level {
+                    source: batch[0],
+                    depth: level,
+                    frontier: discovered,
+                    sigma_updates: discovered as u64,
+                });
+            }
             std::mem::swap(&mut frontier, &mut next);
+        }
+        for (k, &s) in batch.iter().enumerate() {
+            obs.event(TraceEvent::SourceDone {
+                source: s,
+                height: batch_heights[k],
+                reached: batch_reached[k],
+            });
         }
         depths.append(&mut batch_depths);
         heights.extend_from_slice(&batch_heights);
     }
-    MsBfsResult { depths, heights, sweeps, elapsed: start.elapsed() }
+    let elapsed = start.elapsed();
+    obs.event(TraceEvent::RunEnd {
+        elapsed_s: elapsed.as_secs_f64(),
+    });
+    MsBfsResult {
+        depths,
+        heights,
+        sweeps,
+        elapsed,
+    }
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // exercises the shim so downstream callers stay covered
     use super::*;
     use turbobc_graph::gen;
 
     fn check_against_reference(g: &Graph, sources: &[u32], kernel: Kernel) {
-        let r = ms_bfs(g, sources, BcOptions { kernel, ..Default::default() });
+        let r = ms_bfs(g, sources, BcOptions::builder().kernel(kernel).build());
         assert_eq!(r.depths.len(), sources.len());
         for (k, &s) in sources.iter().enumerate() {
             let want = turbobc_graph::bfs(g, s);

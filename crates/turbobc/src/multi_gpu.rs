@@ -77,6 +77,30 @@ pub struct MultiGpuReport {
     pub recovery: RecoveryLog,
 }
 
+impl MultiGpuReport {
+    /// Folds this report into a [`crate::observe::RunProfile`]: each
+    /// device's kernel registry merges under a `gpuN/` prefix and the
+    /// recovery log lands in the timeline. `n`/`m`/`sources` describe the
+    /// run (the report itself only holds device-side state).
+    pub fn run_profile(&self, n: usize, m: usize, sources: usize) -> crate::observe::RunProfile {
+        let mut profile = crate::observe::RunProfile {
+            engine: "multi_gpu_1d".to_string(),
+            kernel: "scCSC".to_string(),
+            n,
+            m,
+            sources,
+            attempts: 1,
+            elapsed_s: self.modelled_time_s,
+            ..Default::default()
+        };
+        for (i, registry) in self.per_device.iter().enumerate() {
+            profile.absorb_registry(&format!("gpu{i}/"), registry);
+        }
+        profile.absorb_recovery_log(&self.recovery);
+        profile
+    }
+}
+
 /// One device's partition state.
 struct Part {
     device: Device,
@@ -128,8 +152,10 @@ fn build_parts(csc: &Csc, devices: Vec<Device>, n: usize) -> Result<Vec<Part>, T
     for (device, &(lo, hi)) in devices.into_iter().zip(&ranges) {
         let local_n = hi - lo;
         let base = csc.col_ptr()[lo];
-        let cp_host: Vec<u32> =
-            csc.col_ptr()[lo..=hi].iter().map(|&x| (x - base) as u32).collect();
+        let cp_host: Vec<u32> = csc.col_ptr()[lo..=hi]
+            .iter()
+            .map(|&x| (x - base) as u32)
+            .collect();
         let rows_host: Vec<u32> = csc.row_idx()[base..csc.col_ptr()[hi]].to_vec();
         let cp = device.alloc_from(&cp_host)?;
         let rows = device.alloc_from(&rows_host)?;
@@ -140,7 +166,20 @@ fn build_parts(csc: &Csc, devices: Vec<Device>, n: usize) -> Result<Vec<Part>, T
         let f_rep = device.alloc::<i64>(n)?;
         let f_t = device.alloc::<i64>(local_n)?;
         let f_part = device.alloc::<i64>(local_n)?;
-        parts.push(Part { device, lo, hi, cp, rows, sigma, depths, bc, count, f_rep, f_t, f_part });
+        parts.push(Part {
+            device,
+            lo,
+            hi,
+            cp,
+            rows,
+            sigma,
+            depths,
+            bc,
+            count,
+            f_rep,
+            f_t,
+            f_part,
+        });
     }
     Ok(parts)
 }
@@ -307,12 +346,7 @@ fn run_source(
             }
             for (i, part) in parts.iter().enumerate() {
                 if p > 1 {
-                    transfer_with_retry(
-                        link,
-                        (n - (part.hi - part.lo)) as u64 * 8,
-                        policy,
-                        log,
-                    )?;
+                    transfer_with_retry(link, (n - (part.hi - part.lo)) as u64 * 8, policy, log)?;
                 }
                 delta_u_reps[i].host_mut().copy_from_slice(&assembled);
             }
@@ -353,12 +387,7 @@ fn run_source(
                 // Each device sends its partials of the other
                 // partitions.
                 if p > 1 {
-                    transfer_with_retry(
-                        link,
-                        (n - (part.hi - part.lo)) as u64 * 8,
-                        policy,
-                        log,
-                    )?;
+                    transfer_with_retry(link, (n - (part.hi - part.lo)) as u64 * 8, policy, log)?;
                 }
                 let host = delta_ut_parts[i].host_mut();
                 host[..n].copy_from_slice(&reduced);
@@ -398,7 +427,11 @@ fn run_source(
             usize::MAX
         };
         let n_local = part.hi - part.lo;
-        let src = if local_source == usize::MAX { n_local } else { local_source };
+        let src = if local_source == usize::MAX {
+            n_local
+        } else {
+            local_source
+        };
         retry_kernel(policy, &mut log.kernel_retries, || {
             kernels::bc_accum(
                 &part.device,
@@ -422,7 +455,15 @@ pub fn bc_multi_gpu(
     props: DeviceProps,
     link: Interconnect,
 ) -> Result<(Vec<f64>, MultiGpuReport), TurboBcError> {
-    bc_multi_gpu_faulty(graph, sources, p, props, link, &[], &RecoveryPolicy::default())
+    bc_multi_gpu_faulty(
+        graph,
+        sources,
+        p,
+        props,
+        link,
+        &[],
+        &RecoveryPolicy::default(),
+    )
 }
 
 /// [`bc_multi_gpu`] with fault injection and recovery.
@@ -447,7 +488,10 @@ pub fn bc_multi_gpu_faulty(
     }
     for &s in sources {
         if s as usize >= graph.n() {
-            return Err(TurboBcError::InvalidSource { source: s, n: graph.n() });
+            return Err(TurboBcError::InvalidSource {
+                source: s,
+                n: graph.n(),
+            });
         }
     }
     let n = graph.n();
@@ -472,7 +516,9 @@ pub fn bc_multi_gpu_faulty(
     let mut idx = 0usize;
     while idx < sources.len() && n > 0 {
         let source = sources[idx];
-        match run_source(&mut parts, &mut link, n, symmetric, scale, source, policy, &mut log) {
+        match run_source(
+            &mut parts, &mut link, n, symmetric, scale, source, policy, &mut log,
+        ) {
             Ok(()) => {
                 for part in parts.iter() {
                     bc_mirror[part.lo..part.hi].copy_from_slice(part.bc.host());
@@ -494,7 +540,9 @@ pub fn bc_multi_gpu_faulty(
                 log.device_requeues += 1;
                 parts = build_parts(&csc, survivors, n)?;
                 for part in parts.iter_mut() {
-                    part.bc.host_mut().copy_from_slice(&bc_mirror[part.lo..part.hi]);
+                    part.bc
+                        .host_mut()
+                        .copy_from_slice(&bc_mirror[part.lo..part.hi]);
                 }
             }
             Err(e) => return Err(e),
@@ -595,9 +643,15 @@ mod tests {
         let r4 = check(&g, 4);
         let peak1 = r1.per_device_memory[0].peak;
         let peak4 = r4.per_device_memory.iter().map(|m| m.peak).max().unwrap();
-        assert!(peak4 < peak1, "partitioning must shed memory: {peak4} vs {peak1}");
+        assert!(
+            peak4 < peak1,
+            "partitioning must shed memory: {peak4} vs {peak1}"
+        );
         // …but not by 4x: f and δ_u stay replicated (the 1D limitation).
-        assert!(peak4 * 3 > peak1, "replication floors the saving: {peak4} vs {peak1}");
+        assert!(
+            peak4 * 3 > peak1,
+            "replication floors the saving: {peak4} vs {peak1}"
+        );
     }
 
     #[test]
@@ -637,8 +691,11 @@ mod tests {
         let s = g.default_source();
         let (clean, _) =
             bc_multi_gpu(&g, &[s], 3, DeviceProps::titan_xp(), Interconnect::pcie3()).unwrap();
-        let link = Interconnect::pcie3()
-            .with_faults(FaultPlan::new(11).drop_transfer_at(0).corrupt_transfer_at(5));
+        let link = Interconnect::pcie3().with_faults(
+            FaultPlan::new(11)
+                .drop_transfer_at(0)
+                .corrupt_transfer_at(5),
+        );
         let (bc, report) = bc_multi_gpu_faulty(
             &g,
             &[s],
@@ -646,7 +703,10 @@ mod tests {
             DeviceProps::titan_xp(),
             link,
             &[],
-            &RecoveryPolicy { backoff_base_us: 0, ..Default::default() },
+            &RecoveryPolicy {
+                backoff_base_us: 0,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert_eq!(report.recovery.link_retries, 2);
@@ -659,7 +719,10 @@ mod tests {
         let s = g.default_source();
         let (clean, _) =
             bc_multi_gpu(&g, &[s], 2, DeviceProps::titan_xp(), Interconnect::pcie3()).unwrap();
-        let plans = vec![FaultPlan::new(5).fail_launch_at(3), FaultPlan::new(6).fail_launch_at(10)];
+        let plans = vec![
+            FaultPlan::new(5).fail_launch_at(3),
+            FaultPlan::new(6).fail_launch_at(10),
+        ];
         let (bc, report) = bc_multi_gpu_faulty(
             &g,
             &[s],
@@ -667,7 +730,10 @@ mod tests {
             DeviceProps::titan_xp(),
             Interconnect::pcie3(),
             &plans,
-            &RecoveryPolicy { backoff_base_us: 0, ..Default::default() },
+            &RecoveryPolicy {
+                backoff_base_us: 0,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert_eq!(report.recovery.kernel_retries, 2);
@@ -687,7 +753,10 @@ mod tests {
         )
         .unwrap();
         // Device 1 dies partway through the run.
-        let plans = vec![FaultPlan::new(9), FaultPlan::new(10).lose_device_at_launch(30)];
+        let plans = vec![
+            FaultPlan::new(9),
+            FaultPlan::new(10).lose_device_at_launch(30),
+        ];
         let (bc, report) = bc_multi_gpu_faulty(
             &g,
             &sources,
@@ -695,7 +764,10 @@ mod tests {
             DeviceProps::titan_xp(),
             Interconnect::pcie3(),
             &plans,
-            &RecoveryPolicy { backoff_base_us: 0, ..Default::default() },
+            &RecoveryPolicy {
+                backoff_base_us: 0,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert_eq!(report.recovery.device_requeues, 1);
@@ -717,7 +789,10 @@ mod tests {
             DeviceProps::titan_xp(),
             Interconnect::pcie3(),
             &plans,
-            &RecoveryPolicy { backoff_base_us: 0, ..Default::default() },
+            &RecoveryPolicy {
+                backoff_base_us: 0,
+                ..Default::default()
+            },
         )
         .unwrap_err();
         assert_eq!(err, TurboBcError::AllDevicesLost);

@@ -34,8 +34,8 @@ use crate::result::RecoveryLog;
 use crate::simt_engine::{kernels, retry_kernel};
 use turbobc_graph::{Graph, VertexId};
 use turbobc_simt::{
-    DSlice, DSliceMut, Device, DeviceBuffer, DeviceError, DeviceProps, Interconnect,
-    LaunchConfig, MemoryReport, WARP_SIZE,
+    DSlice, DSliceMut, Device, DeviceBuffer, DeviceError, DeviceProps, Interconnect, LaunchConfig,
+    MemoryReport, WARP_SIZE,
 };
 
 /// Report from a 2D run.
@@ -58,6 +58,26 @@ pub struct MultiGpu2dReport {
     /// What the (default) recovery policy absorbed — link retries and
     /// transient-kernel retries; device loss is a 1D-driver feature.
     pub recovery: RecoveryLog,
+}
+
+impl MultiGpu2dReport {
+    /// Folds this report into a [`crate::observe::RunProfile`] (the 2D
+    /// driver keeps per-device memory, not registries, so only the
+    /// recovery timeline and run shape carry over).
+    pub fn run_profile(&self, n: usize, m: usize, sources: usize) -> crate::observe::RunProfile {
+        let mut profile = crate::observe::RunProfile {
+            engine: "multi_gpu_2d".to_string(),
+            kernel: "scCSC".to_string(),
+            n,
+            m,
+            sources,
+            attempts: 1,
+            elapsed_s: self.modelled_time_s,
+            ..Default::default()
+        };
+        profile.absorb_recovery_log(&self.recovery);
+        profile
+    }
 }
 
 /// Unmasked partial gather: `out[j] = Σ_{r ∈ column j} f[r]` over a
@@ -235,11 +255,16 @@ pub fn bc_multi_gpu_2d(
         return Err(TurboBcError::NoDevices);
     }
     if graph.directed() {
-        return Err(TurboBcError::DirectedUnsupported { what: "the 2D multi-GPU prototype" });
+        return Err(TurboBcError::DirectedUnsupported {
+            what: "the 2D multi-GPU prototype",
+        });
     }
     for &s in sources {
         if s as usize >= graph.n() {
-            return Err(TurboBcError::InvalidSource { source: s, n: graph.n() });
+            return Err(TurboBcError::InvalidSource {
+                source: s,
+                n: graph.n(),
+            });
         }
     }
     let policy = RecoveryPolicy::default();
@@ -249,8 +274,9 @@ pub fn bc_multi_gpu_2d(
     let scale = graph.bc_scale();
     // Equal-width vertex blocks.
     let block = n.div_ceil(q).max(1);
-    let blocks: Vec<(usize, usize)> =
-        (0..q).map(|b| (b * block, ((b + 1) * block).min(n))).collect();
+    let blocks: Vec<(usize, usize)> = (0..q)
+        .map(|b| (b * block, ((b + 1) * block).min(n)))
+        .collect();
 
     // Build grid cells: (i, j) holds A[B_i, B_j] with rows rebased to B_i.
     let mut cells: Vec<Cell> = Vec::with_capacity(q * q);
@@ -277,7 +303,15 @@ pub fn bc_multi_gpu_2d(
             let seg_f64 = device.alloc::<f64>(rhi - rlo)?;
             let part_i64 = device.alloc::<i64>(chi - clo)?;
             let part_f64 = device.alloc::<f64>(chi - clo)?;
-            cells.push(Cell { device, cp, rows, seg_i64, seg_f64, part_i64, part_f64 });
+            cells.push(Cell {
+                device,
+                cp,
+                rows,
+                seg_i64,
+                seg_f64,
+                part_i64,
+                part_f64,
+            });
         }
     }
     // Diagonal owners.
@@ -421,7 +455,12 @@ pub fn bc_multi_gpu_2d(
                 for j in 0..q {
                     let cell = &mut cells[i * q + j];
                     if j != i && q > 1 {
-                        transfer_with_retry(&mut link, du_host.len() as u64 * 8, &policy, &mut log)?;
+                        transfer_with_retry(
+                            &mut link,
+                            du_host.len() as u64 * 8,
+                            &policy,
+                            &mut log,
+                        )?;
                     }
                     cell.seg_f64.host_mut()[..du_host.len()].copy_from_slice(&du_host);
                 }
@@ -496,8 +535,7 @@ pub fn bc_multi_gpu_2d(
         let (lo, hi) = blocks[j];
         bc[lo..hi].copy_from_slice(owner.bc.host());
     }
-    let per_device_memory: Vec<MemoryReport> =
-        cells.iter().map(|c| c.device.memory()).collect();
+    let per_device_memory: Vec<MemoryReport> = cells.iter().map(|c| c.device.memory()).collect();
     let modelled_compute_s = cells
         .iter()
         .map(|c| {
@@ -529,8 +567,7 @@ mod tests {
     fn check(g: &Graph, q: usize) -> MultiGpu2dReport {
         let s = g.default_source();
         let (bc, report) =
-            bc_multi_gpu_2d(g, &[s], q, DeviceProps::titan_xp(), Interconnect::pcie3())
-                .unwrap();
+            bc_multi_gpu_2d(g, &[s], q, DeviceProps::titan_xp(), Interconnect::pcie3()).unwrap();
         let want = brandes_single_source(g, s);
         for (v, (a, b)) in bc.iter().zip(&want).enumerate() {
             assert!((a - b).abs() < 1e-9, "q={q} bc[{v}]: {a} vs {b}");
@@ -578,8 +615,7 @@ mod tests {
         let (clean, _) =
             bc_multi_gpu_2d(&g, &[s], 2, DeviceProps::titan_xp(), Interconnect::pcie3()).unwrap();
         let link = Interconnect::pcie3().with_faults(FaultPlan::new(3).drop_transfer_at(1));
-        let (bc, report) =
-            bc_multi_gpu_2d(&g, &[s], 2, DeviceProps::titan_xp(), link).unwrap();
+        let (bc, report) = bc_multi_gpu_2d(&g, &[s], 2, DeviceProps::titan_xp(), link).unwrap();
         assert_eq!(report.recovery.link_retries, 1);
         assert_eq!(bc, clean);
     }

@@ -1,0 +1,1006 @@
+//! The unified observability layer: every engine (CPU sequential /
+//! parallel, SIMT, TurboBFS, MS-BFS, multi-GPU, approx, weighted)
+//! reports its traversal behaviour through one [`Observer`] trait, and
+//! [`ProfileObserver`] assembles those events into a [`RunProfile`] —
+//! the machine-readable record the paper's Tables 1–5 are made of:
+//!
+//! * per-level BFS trace events (frontier size, σ updates, timestamps);
+//! * per-source completion events (BFS height, vertices reached);
+//! * aggregated [`MetricsRegistry`] kernel counters (warp efficiency,
+//!   coalescing, L2 hit rate) lifted out of the SIMT simulator;
+//! * a peak-memory snapshot validated against the paper's `7n + m`
+//!   device-words claim (§3.4, Figure 4);
+//! * recovery events (retries, OOM degradations, checkpoint resumes)
+//!   folded into the same timeline.
+//!
+//! Profiles serialise to JSON (`RunProfile::to_json`) with a documented
+//! schema (`turbobc-profile-v1`, see DESIGN.md) that
+//! [`RunProfile::validate`] checks without any external dependency, and
+//! render to a human summary table (`RunProfile::summary`). The CLI's
+//! `--profile out.json` / `--profile-summary` flags and the bench
+//! crate's `BENCH_*.json` emitter are thin wrappers over this module.
+
+pub mod json;
+
+use crate::footprint;
+use crate::options::Kernel;
+use crate::result::RecoveryLog;
+use json::Json;
+use std::time::Instant;
+use turbobc_simt::{KernelStats, MemoryReport, MetricsRegistry};
+
+/// Schema identifier written into (and required from) profile JSON.
+pub const PROFILE_SCHEMA: &str = "turbobc-profile-v1";
+
+/// One observation from a running engine. Events arrive in timeline
+/// order within a run attempt.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A run attempt begins. Emitted once per attempt — an OOM
+    /// degradation or CPU fallback starts a fresh attempt (with the
+    /// events of the failed attempt discarded by [`ProfileObserver`],
+    /// and the failure recorded as a [`TraceEvent::Recovery`]).
+    RunStart {
+        /// Engine display name (`"seq"`, `"par"`, `"simt"`, …).
+        engine: &'static str,
+        /// The resolved kernel for this attempt.
+        kernel: Kernel,
+        /// Vertex count.
+        n: usize,
+        /// Stored arc count.
+        m: usize,
+        /// Number of sources the attempt will process.
+        sources: usize,
+    },
+    /// One BFS level advanced: `frontier` vertices were discovered at
+    /// `depth`, writing `sigma_updates` σ cells.
+    Level {
+        /// Source vertex of the sweep this level belongs to.
+        source: u32,
+        /// Depth just reached (source depth is 1).
+        depth: u32,
+        /// Vertices discovered at this depth (the frontier size).
+        frontier: usize,
+        /// σ cells written this level (equals `frontier` for the exact
+        /// engines; recorded separately so sampling engines can differ).
+        sigma_updates: u64,
+    },
+    /// One source's forward+backward sweep finished.
+    SourceDone {
+        /// The source vertex.
+        source: u32,
+        /// BFS-tree height (source at depth 1).
+        height: u32,
+        /// Vertices reached, including the source.
+        reached: usize,
+    },
+    /// The recovery machinery absorbed something.
+    Recovery {
+        /// Event class (`"kernel_retry"`, `"oom_degradation"`,
+        /// `"cpu_fallback"`, `"resume"`, `"link_retry"`,
+        /// `"device_requeue"`).
+        kind: &'static str,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// Device kernel counters, reported once per attempt (SIMT and
+    /// multi-GPU engines).
+    Metrics {
+        /// The device's accumulated per-kernel registry.
+        registry: MetricsRegistry,
+    },
+    /// Device memory snapshot, reported once per attempt (SIMT engines).
+    Memory {
+        /// The allocation-ledger snapshot at the end of the attempt.
+        report: MemoryReport,
+    },
+    /// The run finished successfully.
+    RunEnd {
+        /// Wall-clock seconds for the whole run.
+        elapsed_s: f64,
+    },
+}
+
+/// Receives [`TraceEvent`]s from a running engine.
+///
+/// Engines call [`Observer::event`] from their driver loop; the
+/// [`Observer::wants_levels`] hint lets the hot per-level path skip
+/// event construction entirely when nobody is listening.
+pub trait Observer {
+    /// Handles one event.
+    fn event(&mut self, event: TraceEvent);
+
+    /// Whether per-level [`TraceEvent::Level`] events should be emitted.
+    fn wants_levels(&self) -> bool {
+        true
+    }
+}
+
+/// The no-op observer: every un-observed run uses this.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullObserver;
+
+impl Observer for NullObserver {
+    fn event(&mut self, _event: TraceEvent) {}
+
+    fn wants_levels(&self) -> bool {
+        false
+    }
+}
+
+/// One [`TraceEvent::Level`] with its timeline stamp.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LevelTrace {
+    /// Source vertex of the sweep.
+    pub source: u32,
+    /// Depth reached.
+    pub depth: u32,
+    /// Frontier size at this depth.
+    pub frontier: usize,
+    /// σ cells written.
+    pub sigma_updates: u64,
+    /// Seconds since the profile started.
+    pub t_s: f64,
+}
+
+/// One [`TraceEvent::SourceDone`] with its timeline stamp.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SourceTrace {
+    /// The source vertex.
+    pub source: u32,
+    /// BFS-tree height.
+    pub height: u32,
+    /// Vertices reached.
+    pub reached: usize,
+    /// Seconds since the profile started.
+    pub t_s: f64,
+}
+
+/// One [`TraceEvent::Recovery`] with its timeline stamp.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryTrace {
+    /// Event class.
+    pub kind: String,
+    /// Detail message.
+    pub detail: String,
+    /// Seconds since the profile started.
+    pub t_s: f64,
+}
+
+/// Device peak memory checked against the paper's footprint model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemorySnapshot {
+    /// Measured peak bytes on the device.
+    pub peak_bytes: u64,
+    /// Device capacity.
+    pub capacity_bytes: u64,
+    /// The paper's word count for this kernel/format — `7n + m (+ 2)`
+    /// for CSC, `6n + 2m + 1` for COOC (§3.4).
+    pub paper_words: usize,
+    /// The footprint model in bytes (exact element sizes, before the
+    /// device's per-allocation rounding).
+    pub modelled_bytes: u64,
+    /// Measured peak expressed in 8-byte words — the figure comparable
+    /// against `paper_words` (array elements are 4 or 8 bytes, so this
+    /// brackets the paper's count from above in word terms).
+    pub measured_words: u64,
+    /// Whether the measured peak sits within the model plus the
+    /// device's per-allocation rounding slack.
+    pub within_model: bool,
+}
+
+/// The assembled observability record of one run.
+#[derive(Debug, Clone, Default)]
+pub struct RunProfile {
+    /// Engine display name (`"seq"`, `"par"`, `"simt"`, …).
+    pub engine: String,
+    /// Resolved kernel display name (`"scCSC"`, …).
+    pub kernel: String,
+    /// Vertex count.
+    pub n: usize,
+    /// Stored arc count.
+    pub m: usize,
+    /// Sources processed.
+    pub sources: usize,
+    /// Run attempts (1 on a clean run; +1 per OOM degradation rung or
+    /// CPU fallback).
+    pub attempts: u32,
+    /// Per-level trace of the successful attempt.
+    pub levels: Vec<LevelTrace>,
+    /// Per-source completions of the successful attempt.
+    pub source_runs: Vec<SourceTrace>,
+    /// Recovery timeline (kept across attempts).
+    pub recovery: Vec<RecoveryTrace>,
+    /// Aggregated device kernel counters (empty for pure-CPU runs).
+    pub metrics: MetricsRegistry,
+    /// Device memory vs. the `7n + m` model (SIMT runs only).
+    pub memory: Option<MemorySnapshot>,
+    /// Wall-clock seconds.
+    pub elapsed_s: f64,
+}
+
+impl RunProfile {
+    /// Number of per-level trace events recorded.
+    pub fn level_count(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Per-level events of one source, in depth order.
+    pub fn levels_for(&self, source: u32) -> impl Iterator<Item = &LevelTrace> {
+        self.levels.iter().filter(move |l| l.source == source)
+    }
+
+    /// The paper's MTEPS figure (`sources · m / t`, in millions).
+    pub fn mteps(&self) -> f64 {
+        if self.elapsed_s <= 0.0 {
+            return 0.0;
+        }
+        self.m as f64 * self.sources as f64 / self.elapsed_s / 1e6
+    }
+
+    /// Folds a [`RecoveryLog`]'s counters into the recovery timeline —
+    /// used by drivers that aggregate recovery outside the event stream
+    /// (checkpointed and multi-GPU runs).
+    pub fn absorb_recovery_log(&mut self, log: &RecoveryLog) {
+        let mut push = |kind: &str, detail: String| {
+            self.recovery.push(RecoveryTrace {
+                kind: kind.to_string(),
+                detail,
+                t_s: self.elapsed_s,
+            });
+        };
+        if log.resumed_sources > 0 {
+            push(
+                "resume",
+                format!("checkpoint covered {} source(s)", log.resumed_sources),
+            );
+        }
+        if log.kernel_retries > 0 {
+            push(
+                "kernel_retry",
+                format!("{} transient kernel fault(s) retried", log.kernel_retries),
+            );
+        }
+        if log.link_retries > 0 {
+            push(
+                "link_retry",
+                format!("{} interconnect retry(ies)", log.link_retries),
+            );
+        }
+        if log.device_requeues > 0 {
+            push(
+                "device_requeue",
+                format!("{} lost device(s) requeued", log.device_requeues),
+            );
+        }
+        if log.oom_degradations > 0 {
+            push(
+                "oom_degradation",
+                format!(
+                    "{} rung(s) down the ladder{}",
+                    log.oom_degradations,
+                    log.degraded_to
+                        .map(|k| format!(", finished on {k}"))
+                        .unwrap_or_default()
+                ),
+            );
+        }
+        if log.cpu_fallback {
+            push(
+                "cpu_fallback",
+                "device ladder exhausted, reran on CPU".to_string(),
+            );
+        }
+    }
+
+    /// Merges a device's kernel registry under a per-device prefix
+    /// (multi-GPU drivers report one registry per device).
+    pub fn absorb_registry(&mut self, prefix: &str, registry: &MetricsRegistry) {
+        for (name, stats) in registry.iter() {
+            self.metrics.record(&format!("{prefix}{name}"), stats);
+        }
+    }
+
+    /// Serialises to the `turbobc-profile-v1` JSON document.
+    pub fn to_json(&self) -> Json {
+        let kernel_entry = |name: &str, s: &KernelStats| {
+            Json::Obj(vec![
+                ("name".into(), name.into()),
+                ("launches".into(), s.launches.into()),
+                ("instructions".into(), s.instructions.into()),
+                ("warp_efficiency".into(), s.warp_efficiency().into()),
+                ("coalescing_factor".into(), s.coalescing_factor().into()),
+                ("load_transactions".into(), s.load_transactions.into()),
+                ("store_transactions".into(), s.store_transactions.into()),
+                ("bytes_loaded".into(), s.bytes_loaded.into()),
+                ("bytes_stored".into(), s.bytes_stored.into()),
+                ("atomic_conflicts".into(), s.atomic_conflicts.into()),
+                ("l2_modelled".into(), s.l2_modelled.into()),
+                (
+                    "l2_hit_rate".into(),
+                    if s.l2_modelled {
+                        Json::Num(s.l2_hit_rate())
+                    } else {
+                        Json::Null
+                    },
+                ),
+            ])
+        };
+        let total = self.metrics.total();
+        let totals = Json::Obj(vec![
+            ("launches".into(), total.launches.into()),
+            ("instructions".into(), total.instructions.into()),
+            (
+                "warp_efficiency".into(),
+                self.metrics.warp_efficiency().into(),
+            ),
+            ("bytes_loaded".into(), total.bytes_loaded.into()),
+            ("bytes_stored".into(), total.bytes_stored.into()),
+            (
+                "l2_hit_rate".into(),
+                self.metrics
+                    .l2_hit_rate()
+                    .map(Json::Num)
+                    .unwrap_or(Json::Null),
+            ),
+            (
+                "l2_unmodelled_bytes".into(),
+                self.metrics.unmodelled_bytes().into(),
+            ),
+        ]);
+        let memory = match &self.memory {
+            None => Json::Null,
+            Some(mem) => Json::Obj(vec![
+                ("peak_bytes".into(), mem.peak_bytes.into()),
+                ("capacity_bytes".into(), mem.capacity_bytes.into()),
+                ("paper_words".into(), mem.paper_words.into()),
+                ("modelled_bytes".into(), mem.modelled_bytes.into()),
+                ("measured_words".into(), mem.measured_words.into()),
+                ("within_model".into(), mem.within_model.into()),
+            ]),
+        };
+        Json::Obj(vec![
+            ("schema".into(), PROFILE_SCHEMA.into()),
+            ("engine".into(), self.engine.as_str().into()),
+            ("kernel".into(), self.kernel.as_str().into()),
+            (
+                "graph".into(),
+                Json::Obj(vec![
+                    ("n".into(), self.n.into()),
+                    ("m".into(), self.m.into()),
+                ]),
+            ),
+            ("sources".into(), self.sources.into()),
+            ("attempts".into(), self.attempts.into()),
+            ("elapsed_s".into(), self.elapsed_s.into()),
+            ("mteps".into(), self.mteps().into()),
+            (
+                "levels".into(),
+                Json::Arr(
+                    self.levels
+                        .iter()
+                        .map(|l| {
+                            Json::Obj(vec![
+                                ("source".into(), l.source.into()),
+                                ("depth".into(), l.depth.into()),
+                                ("frontier".into(), l.frontier.into()),
+                                ("sigma_updates".into(), l.sigma_updates.into()),
+                                ("t_s".into(), l.t_s.into()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "source_runs".into(),
+                Json::Arr(
+                    self.source_runs
+                        .iter()
+                        .map(|s| {
+                            Json::Obj(vec![
+                                ("source".into(), s.source.into()),
+                                ("height".into(), s.height.into()),
+                                ("reached".into(), s.reached.into()),
+                                ("t_s".into(), s.t_s.into()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "kernels".into(),
+                Json::Arr(
+                    self.metrics
+                        .iter()
+                        .map(|(name, s)| kernel_entry(name, s))
+                        .collect(),
+                ),
+            ),
+            ("totals".into(), totals),
+            ("memory".into(), memory),
+            (
+                "recovery".into(),
+                Json::Arr(
+                    self.recovery
+                        .iter()
+                        .map(|r| {
+                            Json::Obj(vec![
+                                ("kind".into(), r.kind.as_str().into()),
+                                ("detail".into(), r.detail.as_str().into()),
+                                ("t_s".into(), r.t_s.into()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Serialises to pretty-printed JSON text.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().pretty()
+    }
+
+    /// Validates a JSON document against the `turbobc-profile-v1`
+    /// schema: required keys, field types, and per-entry structure of
+    /// the trace arrays. Returns the parsed document on success.
+    pub fn validate(text: &str) -> Result<Json, String> {
+        let doc = json::parse(text)?;
+        let schema = doc
+            .get("schema")
+            .and_then(Json::as_str)
+            .ok_or("missing 'schema' string")?;
+        if schema != PROFILE_SCHEMA {
+            return Err(format!("schema '{schema}' is not '{PROFILE_SCHEMA}'"));
+        }
+        for key in ["engine", "kernel"] {
+            doc.get(key)
+                .and_then(Json::as_str)
+                .ok_or(format!("missing '{key}' string"))?;
+        }
+        let graph = doc.get("graph").ok_or("missing 'graph' object")?;
+        for key in ["n", "m"] {
+            graph
+                .get(key)
+                .and_then(Json::as_f64)
+                .ok_or(format!("missing 'graph.{key}'"))?;
+        }
+        for key in ["sources", "attempts", "elapsed_s", "mteps"] {
+            doc.get(key)
+                .and_then(Json::as_f64)
+                .ok_or(format!("missing '{key}' number"))?;
+        }
+        let check_entries = |key: &str, fields: &[&str]| -> Result<(), String> {
+            let arr = doc
+                .get(key)
+                .and_then(Json::as_arr)
+                .ok_or(format!("missing '{key}' array"))?;
+            for (i, entry) in arr.iter().enumerate() {
+                for f in fields {
+                    entry
+                        .get(f)
+                        .and_then(Json::as_f64)
+                        .ok_or(format!("{key}[{i}] missing number '{f}'"))?;
+                }
+            }
+            Ok(())
+        };
+        check_entries(
+            "levels",
+            &["source", "depth", "frontier", "sigma_updates", "t_s"],
+        )?;
+        check_entries("source_runs", &["source", "height", "reached", "t_s"])?;
+        let kernels = doc
+            .get("kernels")
+            .and_then(Json::as_arr)
+            .ok_or("missing 'kernels' array")?;
+        for (i, entry) in kernels.iter().enumerate() {
+            entry
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or(format!("kernels[{i}] missing 'name'"))?;
+            for f in [
+                "launches",
+                "warp_efficiency",
+                "bytes_loaded",
+                "bytes_stored",
+            ] {
+                entry
+                    .get(f)
+                    .and_then(Json::as_f64)
+                    .ok_or(format!("kernels[{i}] missing '{f}'"))?;
+            }
+            entry
+                .get("l2_modelled")
+                .and_then(Json::as_bool)
+                .ok_or(format!("kernels[{i}] missing 'l2_modelled'"))?;
+        }
+        let totals = doc.get("totals").ok_or("missing 'totals' object")?;
+        for f in ["warp_efficiency", "bytes_loaded", "l2_unmodelled_bytes"] {
+            totals
+                .get(f)
+                .and_then(Json::as_f64)
+                .ok_or(format!("totals missing '{f}'"))?;
+        }
+        match doc.get("memory") {
+            None => return Err("missing 'memory' (object or null)".to_string()),
+            Some(Json::Null) => {}
+            Some(mem) => {
+                for f in [
+                    "peak_bytes",
+                    "capacity_bytes",
+                    "paper_words",
+                    "modelled_bytes",
+                    "measured_words",
+                ] {
+                    mem.get(f)
+                        .and_then(Json::as_f64)
+                        .ok_or(format!("memory missing '{f}'"))?;
+                }
+                mem.get("within_model")
+                    .and_then(Json::as_bool)
+                    .ok_or("memory missing 'within_model'")?;
+            }
+        }
+        let recovery = doc
+            .get("recovery")
+            .and_then(Json::as_arr)
+            .ok_or("missing 'recovery' array")?;
+        for (i, entry) in recovery.iter().enumerate() {
+            entry
+                .get("kind")
+                .and_then(Json::as_str)
+                .ok_or(format!("recovery[{i}] missing 'kind'"))?;
+            entry
+                .get("detail")
+                .and_then(Json::as_str)
+                .ok_or(format!("recovery[{i}] missing 'detail'"))?;
+        }
+        Ok(doc)
+    }
+
+    /// Renders the human-readable profile table.
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "run profile: engine {}, kernel {}, n {}, m {}",
+            self.engine, self.kernel, self.n, self.m
+        );
+        let _ = writeln!(
+            out,
+            "  {} source(s), {} attempt(s), {:.3} ms, {:.2} MTEPS",
+            self.sources,
+            self.attempts,
+            self.elapsed_s * 1e3,
+            self.mteps()
+        );
+        if !self.source_runs.is_empty() {
+            let max_h = self.source_runs.iter().map(|s| s.height).max().unwrap_or(0);
+            let _ = writeln!(
+                out,
+                "  {} level event(s), max depth {} over {} completed source(s)",
+                self.levels.len(),
+                max_h,
+                self.source_runs.len()
+            );
+        }
+        if let Some(first) = self.source_runs.first() {
+            let _ = writeln!(out, "  level trace (source {}):", first.source);
+            let _ = writeln!(out, "    {:>5}  {:>9}  {:>9}", "depth", "frontier", "sigma");
+            for l in self.levels_for(first.source) {
+                let _ = writeln!(
+                    out,
+                    "    {:>5}  {:>9}  {:>9}",
+                    l.depth, l.frontier, l.sigma_updates
+                );
+            }
+        }
+        if self.metrics.iter().count() > 0 {
+            let _ = writeln!(out, "  kernels:");
+            let _ = writeln!(
+                out,
+                "    {:<22} {:>8} {:>9} {:>8} {:>12}",
+                "name", "launches", "warp_eff", "l2_hit", "bytes"
+            );
+            for (name, s) in self.metrics.iter() {
+                let l2 = if s.l2_modelled {
+                    format!("{:.3}", s.l2_hit_rate())
+                } else {
+                    "-".to_string()
+                };
+                let _ = writeln!(
+                    out,
+                    "    {:<22} {:>8} {:>9.3} {:>8} {:>12}",
+                    name,
+                    s.launches,
+                    s.warp_efficiency(),
+                    l2,
+                    s.bytes_total()
+                );
+            }
+            let l2 = self
+                .metrics
+                .l2_hit_rate()
+                .map(|r| format!("{r:.3}"))
+                .unwrap_or_else(|| "-".to_string());
+            let _ = writeln!(
+                out,
+                "    total: warp_eff {:.3}, l2_hit {} ({} unmodelled bytes excluded)",
+                self.metrics.warp_efficiency(),
+                l2,
+                self.metrics.unmodelled_bytes()
+            );
+        }
+        if let Some(mem) = &self.memory {
+            let _ = writeln!(
+                out,
+                "  memory: peak {} B = {} words vs paper {} words ({} B modelled) — {}",
+                mem.peak_bytes,
+                mem.measured_words,
+                mem.paper_words,
+                mem.modelled_bytes,
+                if mem.within_model {
+                    "within model"
+                } else {
+                    "OVER model"
+                }
+            );
+        }
+        if self.recovery.is_empty() {
+            let _ = writeln!(out, "  recovery: clean");
+        } else {
+            let _ = writeln!(out, "  recovery:");
+            for r in &self.recovery {
+                let _ = writeln!(out, "    [{:>9.3}s] {}: {}", r.t_s, r.kind, r.detail);
+            }
+        }
+        out
+    }
+}
+
+/// Assembles [`TraceEvent`]s into a [`RunProfile`].
+///
+/// A new [`TraceEvent::RunStart`] discards the level/source traces of a
+/// failed attempt (the successful attempt's trace is the profile) while
+/// keeping the recovery timeline and bumping `attempts`.
+#[derive(Debug)]
+pub struct ProfileObserver {
+    profile: RunProfile,
+    started: Instant,
+}
+
+impl Default for ProfileObserver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ProfileObserver {
+    /// A fresh observer; the timeline starts now.
+    pub fn new() -> Self {
+        ProfileObserver {
+            profile: RunProfile::default(),
+            started: Instant::now(),
+        }
+    }
+
+    /// The profile assembled so far.
+    pub fn profile(&self) -> &RunProfile {
+        &self.profile
+    }
+
+    /// Consumes the observer, returning the assembled profile.
+    pub fn into_profile(self) -> RunProfile {
+        self.profile
+    }
+
+    fn now(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+}
+
+impl Observer for ProfileObserver {
+    fn event(&mut self, event: TraceEvent) {
+        let t_s = self.now();
+        let p = &mut self.profile;
+        match event {
+            TraceEvent::RunStart {
+                engine,
+                kernel,
+                n,
+                m,
+                sources,
+            } => {
+                p.engine = engine.to_string();
+                p.kernel = kernel.name().to_string();
+                p.n = n;
+                p.m = m;
+                p.sources = sources;
+                p.attempts += 1;
+                p.levels.clear();
+                p.source_runs.clear();
+                p.metrics = MetricsRegistry::default();
+                p.memory = None;
+            }
+            TraceEvent::Level {
+                source,
+                depth,
+                frontier,
+                sigma_updates,
+            } => {
+                p.levels.push(LevelTrace {
+                    source,
+                    depth,
+                    frontier,
+                    sigma_updates,
+                    t_s,
+                });
+            }
+            TraceEvent::SourceDone {
+                source,
+                height,
+                reached,
+            } => {
+                p.source_runs.push(SourceTrace {
+                    source,
+                    height,
+                    reached,
+                    t_s,
+                });
+            }
+            TraceEvent::Recovery { kind, detail } => {
+                p.recovery.push(RecoveryTrace {
+                    kind: kind.to_string(),
+                    detail,
+                    t_s,
+                });
+            }
+            TraceEvent::Metrics { registry } => {
+                p.metrics = registry;
+            }
+            TraceEvent::Memory { report } => {
+                let kernel = kernel_from_name(&p.kernel);
+                let modelled_bytes = footprint::turbobc_bytes(p.n, p.m, kernel);
+                // The simulator rounds each allocation up to 256 bytes;
+                // a run holds at most ~12 simultaneous allocations.
+                let slack = 16 * 256;
+                p.memory = Some(MemorySnapshot {
+                    peak_bytes: report.peak,
+                    capacity_bytes: report.capacity,
+                    paper_words: footprint::turbobc_words(p.n, p.m, kernel),
+                    modelled_bytes,
+                    measured_words: report.peak.div_ceil(8),
+                    within_model: report.peak >= modelled_bytes
+                        && report.peak <= modelled_bytes + slack,
+                });
+            }
+            TraceEvent::RunEnd { elapsed_s } => {
+                p.elapsed_s = elapsed_s;
+            }
+        }
+    }
+}
+
+fn kernel_from_name(name: &str) -> Kernel {
+    match name {
+        "scCOOC" => Kernel::ScCooc,
+        "veCSC" => Kernel::VeCsc,
+        _ => Kernel::ScCsc,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(obs: &mut ProfileObserver) {
+        obs.event(TraceEvent::RunStart {
+            engine: "simt",
+            kernel: Kernel::ScCsc,
+            n: 100,
+            m: 400,
+            sources: 2,
+        });
+        for (src, depth, frontier) in [(0u32, 2u32, 5usize), (0, 3, 7), (1, 2, 4)] {
+            obs.event(TraceEvent::Level {
+                source: src,
+                depth,
+                frontier,
+                sigma_updates: frontier as u64,
+            });
+        }
+        obs.event(TraceEvent::SourceDone {
+            source: 0,
+            height: 3,
+            reached: 13,
+        });
+        obs.event(TraceEvent::SourceDone {
+            source: 1,
+            height: 2,
+            reached: 5,
+        });
+        obs.event(TraceEvent::RunEnd { elapsed_s: 0.25 });
+    }
+
+    #[test]
+    fn profile_collects_levels_and_sources() {
+        let mut obs = ProfileObserver::new();
+        feed(&mut obs);
+        let p = obs.into_profile();
+        assert_eq!(p.engine, "simt");
+        assert_eq!(p.kernel, "scCSC");
+        assert_eq!(p.level_count(), 3);
+        assert_eq!(p.levels_for(0).count(), 2);
+        assert_eq!(p.source_runs.len(), 2);
+        assert_eq!(p.attempts, 1);
+        assert!((p.mteps() - 400.0 * 2.0 / 0.25 / 1e6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn restart_discards_failed_attempt_but_keeps_recovery() {
+        let mut obs = ProfileObserver::new();
+        obs.event(TraceEvent::RunStart {
+            engine: "simt",
+            kernel: Kernel::VeCsc,
+            n: 100,
+            m: 400,
+            sources: 2,
+        });
+        obs.event(TraceEvent::Level {
+            source: 0,
+            depth: 2,
+            frontier: 9,
+            sigma_updates: 9,
+        });
+        obs.event(TraceEvent::Recovery {
+            kind: "oom_degradation",
+            detail: "veCSC -> scCSC".to_string(),
+        });
+        feed(&mut obs);
+        let p = obs.into_profile();
+        assert_eq!(p.attempts, 2);
+        assert_eq!(p.kernel, "scCSC", "profile reflects the successful attempt");
+        assert_eq!(p.level_count(), 3, "failed attempt's levels dropped");
+        assert_eq!(
+            p.recovery.len(),
+            1,
+            "recovery timeline survives the restart"
+        );
+    }
+
+    #[test]
+    fn json_round_trip_validates() {
+        let mut obs = ProfileObserver::new();
+        feed(&mut obs);
+        let mut p = obs.into_profile();
+        p.metrics.record(
+            "fwd_scCSC",
+            &KernelStats {
+                launches: 3,
+                instructions: 10,
+                active_lane_ops: 200,
+                bytes_loaded: 320,
+                load_transactions: 10,
+                dram_bytes_loaded: 64,
+                l2_modelled: true,
+                ..Default::default()
+            },
+        );
+        let text = p.to_json_string();
+        let doc = RunProfile::validate(&text).expect("self-produced profile must validate");
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some(PROFILE_SCHEMA)
+        );
+        assert_eq!(doc.get("levels").and_then(Json::as_arr).unwrap().len(), 3);
+        let totals = doc.get("totals").unwrap();
+        assert!(totals.get("l2_hit_rate").and_then(Json::as_f64).is_some());
+    }
+
+    #[test]
+    fn validate_rejects_broken_documents() {
+        assert!(RunProfile::validate("{}").is_err());
+        assert!(RunProfile::validate("not json").is_err());
+        let wrong_schema = r#"{"schema": "other-v9"}"#;
+        assert!(RunProfile::validate(wrong_schema)
+            .unwrap_err()
+            .contains("other-v9"));
+        // A valid profile with one required level field removed.
+        let mut obs = ProfileObserver::new();
+        feed(&mut obs);
+        let text = obs
+            .into_profile()
+            .to_json_string()
+            .replace("\"frontier\"", "\"frontear\"");
+        assert!(RunProfile::validate(&text)
+            .unwrap_err()
+            .contains("frontier"));
+    }
+
+    #[test]
+    fn recovery_log_folds_into_timeline() {
+        let mut p = RunProfile {
+            elapsed_s: 1.5,
+            ..Default::default()
+        };
+        p.absorb_recovery_log(&RecoveryLog {
+            oom_degradations: 2,
+            kernel_retries: 3,
+            resumed_sources: 10,
+            cpu_fallback: true,
+            degraded_to: Some("scCOOC"),
+            ..Default::default()
+        });
+        let kinds: Vec<&str> = p.recovery.iter().map(|r| r.kind.as_str()).collect();
+        assert_eq!(
+            kinds,
+            vec!["resume", "kernel_retry", "oom_degradation", "cpu_fallback"]
+        );
+        assert!(p.recovery.iter().all(|r| (r.t_s - 1.5).abs() < 1e-12));
+        p.absorb_recovery_log(&RecoveryLog::default());
+        assert_eq!(p.recovery.len(), 4, "clean log adds nothing");
+    }
+
+    #[test]
+    fn registry_absorption_prefixes_kernel_names() {
+        let mut p = RunProfile::default();
+        let mut reg = MetricsRegistry::default();
+        reg.record(
+            "fwd",
+            &KernelStats {
+                launches: 2,
+                ..Default::default()
+            },
+        );
+        p.absorb_registry("gpu0/", &reg);
+        p.absorb_registry("gpu1/", &reg);
+        assert!(p.metrics.kernel("gpu0/fwd").is_some());
+        assert_eq!(p.metrics.total().launches, 4);
+    }
+
+    #[test]
+    fn memory_event_checks_footprint_model() {
+        let mut obs = ProfileObserver::new();
+        obs.event(TraceEvent::RunStart {
+            engine: "simt",
+            kernel: Kernel::ScCsc,
+            n: 100,
+            m: 400,
+            sources: 1,
+        });
+        let modelled = footprint::turbobc_bytes(100, 400, Kernel::ScCsc);
+        obs.event(TraceEvent::Memory {
+            report: MemoryReport {
+                used: 0,
+                peak: modelled + 512,
+                capacity: 1 << 30,
+                live_allocations: 0,
+            },
+        });
+        obs.event(TraceEvent::RunEnd { elapsed_s: 0.1 });
+        let mem = obs.into_profile().memory.unwrap();
+        assert!(mem.within_model);
+        assert_eq!(mem.paper_words, 7 * 100 + 400 + 2);
+        assert_eq!(mem.measured_words, (modelled + 512).div_ceil(8));
+    }
+
+    #[test]
+    fn summary_renders_key_figures() {
+        let mut obs = ProfileObserver::new();
+        feed(&mut obs);
+        let s = obs.into_profile().summary();
+        assert!(s.contains("engine simt"));
+        assert!(s.contains("kernel scCSC"));
+        assert!(s.contains("recovery: clean"));
+        assert!(s.contains("level trace"));
+    }
+
+    #[test]
+    fn null_observer_skips_levels() {
+        assert!(!NullObserver.wants_levels());
+        assert!(ProfileObserver::new().wants_levels());
+        NullObserver.event(TraceEvent::RunEnd { elapsed_s: 0.0 });
+    }
+}

@@ -1,7 +1,9 @@
 //! Solver configuration: kernel, engine, and the automatic kernel
 //! selection heuristic of the paper's §3.1.
 
+use crate::checkpoint::CheckpointConfig;
 use turbobc_graph::GraphStats;
+use turbobc_simt::DeviceProps;
 
 /// Which SpMV kernel (and therefore which single sparse storage format)
 /// a BC run uses. The paper's memory rule — *one* format per run — is
@@ -46,8 +48,13 @@ pub enum Engine {
     Parallel,
 }
 
-/// Options for [`crate::BcSolver`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Options for [`crate::BcSolver`], built with [`BcOptions::builder`].
+///
+/// The struct is `#[non_exhaustive]`: downstream crates construct it
+/// through the builder (or `Default`) and mutate public fields, so new
+/// knobs can be added without breaking them.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub struct BcOptions {
     /// SpMV kernel (implies the storage format).
     pub kernel: Kernel,
@@ -55,6 +62,12 @@ pub struct BcOptions {
     pub engine: Engine,
     /// What the solver does when a device misbehaves.
     pub recovery: RecoveryPolicy,
+    /// Checkpoint/resume configuration for
+    /// [`crate::BcSolver::bc_sources_checkpointed`]; `None` means the
+    /// checkpointed entry points refuse to run.
+    pub checkpoint: Option<CheckpointConfig>,
+    /// The simulated GPU that [`crate::BcSolver::run_simt`] targets.
+    pub device: DeviceProps,
 }
 
 impl Default for BcOptions {
@@ -63,7 +76,80 @@ impl Default for BcOptions {
             kernel: Kernel::Auto,
             engine: Engine::Parallel,
             recovery: RecoveryPolicy::default(),
+            checkpoint: None,
+            device: DeviceProps::titan_xp(),
         }
+    }
+}
+
+impl BcOptions {
+    /// Starts a [`BcOptionsBuilder`] from the defaults.
+    pub fn builder() -> BcOptionsBuilder {
+        BcOptionsBuilder {
+            options: BcOptions::default(),
+        }
+    }
+}
+
+/// Typed builder for [`BcOptions`].
+///
+/// ```
+/// use turbobc::{BcOptions, Engine, Kernel};
+/// let options = BcOptions::builder()
+///     .kernel(Kernel::ScCsc)
+///     .engine(Engine::Sequential)
+///     .build();
+/// assert_eq!(options.kernel, Kernel::ScCsc);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BcOptionsBuilder {
+    options: BcOptions,
+}
+
+impl BcOptionsBuilder {
+    /// Selects the SpMV kernel (and with it the storage format).
+    pub fn kernel(mut self, kernel: Kernel) -> Self {
+        self.options.kernel = kernel;
+        self
+    }
+
+    /// Selects the execution engine.
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.options.engine = engine;
+        self
+    }
+
+    /// Shorthand for `engine(Engine::Sequential)`.
+    pub fn sequential(self) -> Self {
+        self.engine(Engine::Sequential)
+    }
+
+    /// Shorthand for `engine(Engine::Parallel)` (the default).
+    pub fn parallel(self) -> Self {
+        self.engine(Engine::Parallel)
+    }
+
+    /// Sets the fault-recovery policy.
+    pub fn recovery(mut self, recovery: RecoveryPolicy) -> Self {
+        self.options.recovery = recovery;
+        self
+    }
+
+    /// Enables checkpoint/resume for multi-source runs.
+    pub fn checkpoint(mut self, checkpoint: CheckpointConfig) -> Self {
+        self.options.checkpoint = Some(checkpoint);
+        self
+    }
+
+    /// Sets the simulated GPU for `run_simt`.
+    pub fn device(mut self, device: DeviceProps) -> Self {
+        self.options.device = device;
+        self
+    }
+
+    /// Finishes the build.
+    pub fn build(self) -> BcOptions {
+        self.options
     }
 }
 
@@ -121,7 +207,10 @@ impl RecoveryPolicy {
     /// Backoff before retry attempt `k` (0-based), exponentially grown
     /// and capped at 100 ms.
     pub fn backoff(&self, attempt: u32) -> std::time::Duration {
-        let us = self.backoff_base_us.saturating_mul(1u64 << attempt.min(20)).min(100_000);
+        let us = self
+            .backoff_base_us
+            .saturating_mul(1u64 << attempt.min(20))
+            .min(100_000);
         std::time::Duration::from_micros(us)
     }
 }
@@ -221,6 +310,26 @@ mod tests {
         assert_eq!(o.engine, Engine::Parallel);
         assert_eq!(o.recovery, RecoveryPolicy::default());
         assert!(o.recovery.allow_degradation && o.recovery.allow_cpu_fallback);
+        assert!(o.checkpoint.is_none());
+        assert_eq!(o.device, DeviceProps::titan_xp());
+    }
+
+    #[test]
+    fn builder_mirrors_field_assignment() {
+        let built = BcOptions::builder()
+            .kernel(Kernel::VeCsc)
+            .sequential()
+            .recovery(RecoveryPolicy::strict())
+            .checkpoint(CheckpointConfig::new("/tmp/x.ckpt", 8))
+            .build();
+        assert_eq!(built.kernel, Kernel::VeCsc);
+        assert_eq!(built.engine, Engine::Sequential);
+        assert_eq!(built.recovery, RecoveryPolicy::strict());
+        assert_eq!(built.checkpoint.as_ref().unwrap().every, 8);
+        assert_eq!(
+            BcOptions::builder().parallel().build(),
+            BcOptions::default()
+        );
     }
 
     #[test]
@@ -236,6 +345,9 @@ mod tests {
         let p = RecoveryPolicy::default();
         assert!(p.backoff(1) > p.backoff(0));
         assert!(p.backoff(60) <= std::time::Duration::from_millis(100));
-        assert_eq!(RecoveryPolicy::strict().backoff(5), std::time::Duration::ZERO);
+        assert_eq!(
+            RecoveryPolicy::strict().backoff(5),
+            std::time::Duration::ZERO
+        );
     }
 }

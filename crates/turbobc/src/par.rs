@@ -103,7 +103,10 @@ impl ParStorage<'_> {
     /// a `δ_ut` that the fused accumulate pass resets each depth.
     fn backward(&self, delta_u: &[f64], delta_ut: &[AtomicU64]) {
         match self {
-            ParStorage::Csc { csc, symmetric: true } => {
+            ParStorage::Csc {
+                csc,
+                symmetric: true,
+            } => {
                 // Symmetric A: gather along columns, no atomics.
                 delta_ut.par_iter().enumerate().for_each(|(j, out)| {
                     let mut sum = 0.0f64;
@@ -113,7 +116,10 @@ impl ParStorage<'_> {
                     out.store(sum.to_bits(), Ordering::Relaxed);
                 });
             }
-            ParStorage::Csc { csc, symmetric: false } => {
+            ParStorage::Csc {
+                csc,
+                symmetric: false,
+            } => {
                 // Directed: scatter each column's value to its rows.
                 (0..csc.n_cols()).into_par_iter().for_each(|j| {
                     let x = delta_u[j];
@@ -148,12 +154,30 @@ pub(crate) fn bc_source_par(
     sigma: &mut [i64],
     depths: &mut [u32],
 ) -> SourceRun {
+    bc_source_par_traced(storage, source, scale, bc, sigma, depths, &mut |_, _| {})
+}
+
+/// [`bc_source_par`] with a per-level hook: `on_level(depth, frontier)`
+/// fires after each level's fused frontier update, from the driving
+/// thread (never from inside a rayon task).
+pub(crate) fn bc_source_par_traced(
+    storage: &ParStorage,
+    source: usize,
+    scale: f64,
+    bc: &mut [f64],
+    sigma: &mut [i64],
+    depths: &mut [u32],
+    on_level: &mut dyn FnMut(u32, usize),
+) -> SourceRun {
     let n = storage.n();
     debug_assert_eq!(bc.len(), n);
     sigma.par_iter_mut().for_each(|s| *s = 0);
     depths.par_iter_mut().for_each(|d| *d = 0);
     if n == 0 {
-        return SourceRun { height: 0, reached: 0 };
+        return SourceRun {
+            height: 0,
+            reached: 0,
+        };
     }
 
     let mut f = vec![0i64; n];
@@ -194,6 +218,7 @@ pub(crate) fn bc_source_par(
             break;
         }
         reached += count;
+        on_level(d, count);
     }
     let height = d;
 
@@ -247,7 +272,14 @@ mod tests {
         let mut bc = vec![0.0; n];
         let mut sigma = vec![0i64; n];
         let mut depths = vec![0u32; n];
-        bc_source_par(&storage, source, graph.bc_scale(), &mut bc, &mut sigma, &mut depths);
+        bc_source_par(
+            &storage,
+            source,
+            graph.bc_scale(),
+            &mut bc,
+            &mut sigma,
+            &mut depths,
+        );
         bc
     }
 
@@ -260,14 +292,20 @@ mod tests {
     #[test]
     fn cooc_matches_oracle_on_directed_diamond() {
         let g = Graph::from_edges(4, true, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
-        assert_close(&run(&g, ParStorage::Cooc(&g.to_cooc()), 0), &brandes_single_source(&g, 0));
+        assert_close(
+            &run(&g, ParStorage::Cooc(&g.to_cooc()), 0),
+            &brandes_single_source(&g, 0),
+        );
     }
 
     #[test]
     fn csc_symmetric_gather_matches_oracle() {
         let g = Graph::from_edges(6, false, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
         let csc = g.to_csc();
-        let storage = ParStorage::Csc { csc: &csc, symmetric: true };
+        let storage = ParStorage::Csc {
+            csc: &csc,
+            symmetric: true,
+        };
         assert_close(&run(&g, storage, 1), &brandes_single_source(&g, 1));
     }
 
@@ -275,7 +313,10 @@ mod tests {
     fn csc_directed_scatter_matches_oracle() {
         let g = Graph::from_edges(5, true, &[(0, 1), (1, 2), (2, 3), (0, 3), (3, 4), (1, 4)]);
         let csc = g.to_csc();
-        let storage = ParStorage::Csc { csc: &csc, symmetric: false };
+        let storage = ParStorage::Csc {
+            csc: &csc,
+            symmetric: false,
+        };
         assert_close(&run(&g, storage, 0), &brandes_single_source(&g, 0));
     }
 

@@ -124,7 +124,10 @@ mod tests {
     #[test]
     fn recovery_log_cleanliness() {
         assert!(RunStats::default().recovery.is_clean());
-        let dirty = RecoveryLog { kernel_retries: 1, ..Default::default() };
+        let dirty = RecoveryLog {
+            kernel_retries: 1,
+            ..Default::default()
+        };
         assert!(!dirty.is_clean());
     }
 }

@@ -61,21 +61,29 @@ pub(crate) struct SourceRun {
 
 /// Runs Algorithm 1 for one source, accumulating into `bc`.
 /// `sigma`/`depths` are caller-provided scratch, returned filled for the
-/// source (the solver surfaces the last source's vectors).
-pub(crate) fn bc_source_seq(
+/// source (the solver surfaces the last source's vectors). The
+/// `on_level(depth, frontier)` hook fires once per discovered BFS level,
+/// with the depth just reached and the number of vertices discovered
+/// there (the observability layer's
+/// [`crate::observe::TraceEvent::Level`] source).
+pub(crate) fn bc_source_seq_traced(
     storage: &Storage,
     source: usize,
     scale: f64,
     bc: &mut [f64],
     sigma: &mut [i64],
     depths: &mut [u32],
+    on_level: &mut dyn FnMut(u32, usize),
 ) -> SourceRun {
     let n = storage.n();
     debug_assert_eq!(bc.len(), n);
     sigma.fill(0);
     depths.fill(ops::UNDISCOVERED);
     if n == 0 {
-        return SourceRun { height: 0, reached: 0 };
+        return SourceRun {
+            height: 0,
+            reached: 0,
+        };
     }
 
     // Forward stage: the paper's integer frontier vectors.
@@ -96,6 +104,7 @@ pub(crate) fn bc_source_seq(
         d += 1;
         ops::update_sigma_depth(&f, d, depths, sigma);
         reached += count;
+        on_level(d, count);
     }
     let height = d;
 
@@ -131,7 +140,15 @@ mod tests {
         let mut bc = vec![0.0; n];
         let mut sigma = vec![0i64; n];
         let mut depths = vec![0u32; n];
-        let r = bc_source_seq(&storage, source, graph.bc_scale(), &mut bc, &mut sigma, &mut depths);
+        let r = bc_source_seq_traced(
+            &storage,
+            source,
+            graph.bc_scale(),
+            &mut bc,
+            &mut sigma,
+            &mut depths,
+            &mut |_, _| {},
+        );
         (bc, r)
     }
 
@@ -164,9 +181,36 @@ mod tests {
         let mut bc = vec![0.0; n];
         let mut sigma = vec![0i64; n];
         let mut depths = vec![0u32; n];
-        bc_source_seq(&Storage::Csc(g.to_csc()), 0, 1.0, &mut bc, &mut sigma, &mut depths);
+        bc_source_seq_traced(
+            &Storage::Csc(g.to_csc()),
+            0,
+            1.0,
+            &mut bc,
+            &mut sigma,
+            &mut depths,
+            &mut |_, _| {},
+        );
         assert_eq!(sigma, vec![1, 1, 1, 2], "two shortest paths reach vertex 3");
         assert_eq!(depths, vec![1, 2, 2, 3]);
+    }
+
+    #[test]
+    fn level_hook_sees_every_frontier() {
+        let g = Graph::from_edges(4, true, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let n = g.n();
+        let (mut bc, mut sigma, mut depths) = (vec![0.0; n], vec![0i64; n], vec![0u32; n]);
+        let mut levels = Vec::new();
+        let r = bc_source_seq_traced(
+            &Storage::Csc(g.to_csc()),
+            0,
+            1.0,
+            &mut bc,
+            &mut sigma,
+            &mut depths,
+            &mut |d, count| levels.push((d, count)),
+        );
+        assert_eq!(levels, vec![(2, 2), (3, 1)]);
+        assert_eq!(levels.len() as u32 + 1, r.height);
     }
 
     #[test]

@@ -6,7 +6,9 @@
 //! (mask + σ/S update), `bwd_seed`, `bwd_*` (dependency SpMV),
 //! `bwd_accum`, and `bc_accum`.
 
-use turbobc_simt::{DSlice, DSliceMut, Device, DeviceError, KernelStats, LaunchConfig, Warp, WARP_SIZE};
+use turbobc_simt::{
+    DSlice, DSliceMut, Device, DeviceError, KernelStats, LaunchConfig, Warp, WARP_SIZE,
+};
 
 /// Per-lane global indices bounded by `bound`.
 #[inline]
@@ -24,7 +26,11 @@ fn count_some<T>(a: &[Option<T>; WARP_SIZE]) -> usize {
 
 /// `cudaMemset`-style clear kernel (coalesced stores), one thread per
 /// element.
-pub fn clear<T: Copy + Default>(dev: &Device, name: &str, buf: &mut DSliceMut<'_, T>) -> Result<KernelStats, DeviceError> {
+pub fn clear<T: Copy + Default>(
+    dev: &Device,
+    name: &str,
+    buf: &mut DSliceMut<'_, T>,
+) -> Result<KernelStats, DeviceError> {
     let len = buf.len();
     dev.try_launch(name, LaunchConfig::per_element(len), |w| {
         let idx = lane_ids(w, len);
@@ -373,7 +379,11 @@ pub fn bwd_seed(
         let mut writes = [None; WARP_SIZE];
         for l in 0..WARP_SIZE {
             if let Some(i) = idx[l] {
-                let v = if sel[l].is_some() { (1.0 + dl[l]) / sig[l] as f64 } else { 0.0 };
+                let v = if sel[l].is_some() {
+                    (1.0 + dl[l]) / sig[l] as f64
+                } else {
+                    0.0
+                };
                 writes[l] = Some((i, v));
             }
         }

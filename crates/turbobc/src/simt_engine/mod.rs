@@ -5,6 +5,7 @@
 pub(crate) mod kernels;
 
 use crate::error::TurboBcError;
+use crate::observe::{Observer, TraceEvent};
 use crate::options::{Kernel, RecoveryPolicy};
 use crate::result::SimtReport;
 use crate::seq::Storage;
@@ -50,12 +51,23 @@ pub(crate) fn retry_kernel<T>(
 }
 
 enum DeviceStructure {
-    Csc { cp: DeviceBuffer<u32>, rows: DeviceBuffer<u32> },
-    Cooc { row_a: DeviceBuffer<u32>, col_a: DeviceBuffer<u32> },
+    Csc {
+        cp: DeviceBuffer<u32>,
+        rows: DeviceBuffer<u32>,
+    },
+    Cooc {
+        row_a: DeviceBuffer<u32>,
+        col_a: DeviceBuffer<u32>,
+    },
 }
 
 /// Runs BC for `sources` on the simulated device. Kernel must be
 /// resolved (not `Auto`); the storage format must match the kernel.
+///
+/// Emits one attempt's worth of [`TraceEvent`]s to `obs`: `RunStart`,
+/// per-level `Level`s (when the observer wants them), per-source
+/// `SourceDone`s, and the device's `Metrics`/`Memory` on success.
+#[allow(clippy::too_many_arguments)] // one positional slot per engine knob, crate-internal
 pub(crate) fn bc_simt(
     device: &Device,
     storage: &Storage,
@@ -64,11 +76,19 @@ pub(crate) fn bc_simt(
     sources: &[u32],
     scale: f64,
     policy: &RecoveryPolicy,
+    obs: &mut dyn Observer,
 ) -> Result<SimtOutcome, TurboBcError> {
     let n = storage.n();
     let mut kernel_retries = 0u64;
     device.reset_metrics();
     device.reset_peak();
+    obs.event(TraceEvent::RunStart {
+        engine: "simt",
+        kernel,
+        n,
+        m: storage.m(),
+        sources: sources.len(),
+    });
 
     // Host → device transfer of the single structure this run uses.
     let structure = match (storage, kernel) {
@@ -83,7 +103,11 @@ pub(crate) fn bc_simt(
             row_a: device.alloc_from(cooc.row_a())?,
             col_a: device.alloc_from(cooc.col_a())?,
         },
-        _ => return Err(TurboBcError::StorageMismatch { kernel: kernel.name() }),
+        _ => {
+            return Err(TurboBcError::StorageMismatch {
+                kernel: kernel.name(),
+            })
+        }
     };
 
     // Persistent vectors: σ, S, bc, frontier counter.
@@ -135,26 +159,22 @@ pub(crate) fn bc_simt(
                             &mut f_t.dslice_mut(),
                         )
                     }
-                    (DeviceStructure::Csc { cp, rows }, Kernel::ScCsc) => {
-                        kernels::forward_sccsc(
-                            device,
-                            &cp.dslice(),
-                            &rows.dslice(),
-                            &sigma_d.dslice(),
-                            &f.dslice(),
-                            &mut f_t.dslice_mut(),
-                        )
-                    }
-                    (DeviceStructure::Csc { cp, rows }, Kernel::VeCsc) => {
-                        kernels::forward_vecsc(
-                            device,
-                            &cp.dslice(),
-                            &rows.dslice(),
-                            &sigma_d.dslice(),
-                            &f.dslice(),
-                            &mut f_t.dslice_mut(),
-                        )
-                    }
+                    (DeviceStructure::Csc { cp, rows }, Kernel::ScCsc) => kernels::forward_sccsc(
+                        device,
+                        &cp.dslice(),
+                        &rows.dslice(),
+                        &sigma_d.dslice(),
+                        &f.dslice(),
+                        &mut f_t.dslice_mut(),
+                    ),
+                    (DeviceStructure::Csc { cp, rows }, Kernel::VeCsc) => kernels::forward_vecsc(
+                        device,
+                        &cp.dslice(),
+                        &rows.dslice(),
+                        &sigma_d.dslice(),
+                        &f.dslice(),
+                        &mut f_t.dslice_mut(),
+                    ),
                     _ => unreachable!("structure/kernel matched at build"),
                 })?;
                 count_d.fill(0);
@@ -176,6 +196,14 @@ pub(crate) fn bc_simt(
                 }
                 d += 1;
                 reached += count as usize;
+                if obs.wants_levels() {
+                    obs.event(TraceEvent::Level {
+                        source,
+                        depth: d,
+                        frontier: count as usize,
+                        sigma_updates: count as u64,
+                    });
+                }
             }
             height = d;
             max_depth = max_depth.max(height);
@@ -203,45 +231,46 @@ pub(crate) fn bc_simt(
                 })?;
                 // `δ_ut` starts zeroed and is reset by the fused
                 // `bwd_accum` each depth.
-                retry_kernel(policy, &mut kernel_retries, || match (&structure, kernel, symmetric)
-                {
-                    (DeviceStructure::Cooc { row_a, col_a }, Kernel::ScCooc, _) => {
-                        kernels::backward_sccooc(
-                            device,
-                            &row_a.dslice(),
-                            &col_a.dslice(),
-                            &delta_u.dslice(),
-                            &mut delta_ut.dslice_mut(),
-                        )
+                retry_kernel(policy, &mut kernel_retries, || {
+                    match (&structure, kernel, symmetric) {
+                        (DeviceStructure::Cooc { row_a, col_a }, Kernel::ScCooc, _) => {
+                            kernels::backward_sccooc(
+                                device,
+                                &row_a.dslice(),
+                                &col_a.dslice(),
+                                &delta_u.dslice(),
+                                &mut delta_ut.dslice_mut(),
+                            )
+                        }
+                        (DeviceStructure::Csc { cp, rows }, Kernel::ScCsc, true) => {
+                            kernels::backward_sccsc_gather(
+                                device,
+                                &cp.dslice(),
+                                &rows.dslice(),
+                                &delta_u.dslice(),
+                                &mut delta_ut.dslice_mut(),
+                            )
+                        }
+                        (DeviceStructure::Csc { cp, rows }, Kernel::VeCsc, true) => {
+                            kernels::backward_vecsc_gather(
+                                device,
+                                &cp.dslice(),
+                                &rows.dslice(),
+                                &delta_u.dslice(),
+                                &mut delta_ut.dslice_mut(),
+                            )
+                        }
+                        (DeviceStructure::Csc { cp, rows }, _, false) => {
+                            kernels::backward_sccsc_scatter(
+                                device,
+                                &cp.dslice(),
+                                &rows.dslice(),
+                                &delta_u.dslice(),
+                                &mut delta_ut.dslice_mut(),
+                            )
+                        }
+                        _ => unreachable!("structure/kernel matched at build"),
                     }
-                    (DeviceStructure::Csc { cp, rows }, Kernel::ScCsc, true) => {
-                        kernels::backward_sccsc_gather(
-                            device,
-                            &cp.dslice(),
-                            &rows.dslice(),
-                            &delta_u.dslice(),
-                            &mut delta_ut.dslice_mut(),
-                        )
-                    }
-                    (DeviceStructure::Csc { cp, rows }, Kernel::VeCsc, true) => {
-                        kernels::backward_vecsc_gather(
-                            device,
-                            &cp.dslice(),
-                            &rows.dslice(),
-                            &delta_u.dslice(),
-                            &mut delta_ut.dslice_mut(),
-                        )
-                    }
-                    (DeviceStructure::Csc { cp, rows }, _, false) => {
-                        kernels::backward_sccsc_scatter(
-                            device,
-                            &cp.dslice(),
-                            &rows.dslice(),
-                            &delta_u.dslice(),
-                            &mut delta_ut.dslice_mut(),
-                        )
-                    }
-                    _ => unreachable!("structure/kernel matched at build"),
                 })?;
                 retry_kernel(policy, &mut kernel_retries, || {
                     kernels::bwd_accum(
@@ -265,6 +294,11 @@ pub(crate) fn bc_simt(
                 )
             })?;
         }
+        obs.event(TraceEvent::SourceDone {
+            source,
+            height,
+            reached: last_reached,
+        });
     }
 
     let metrics = device.metrics();
@@ -276,9 +310,23 @@ pub(crate) fn bc_simt(
         busy_time_s += timing.kernel_busy_time_s(s);
     }
     let total = metrics.total();
-    let glt_gbs =
-        if busy_time_s > 0.0 { total.bytes_loaded as f64 / busy_time_s / 1e9 } else { 0.0 };
-    let report = SimtReport { metrics, memory: device.memory(), modelled_time_s, glt_gbs };
+    let glt_gbs = if busy_time_s > 0.0 {
+        total.bytes_loaded as f64 / busy_time_s / 1e9
+    } else {
+        0.0
+    };
+    let report = SimtReport {
+        metrics,
+        memory: device.memory(),
+        modelled_time_s,
+        glt_gbs,
+    };
+    obs.event(TraceEvent::Metrics {
+        registry: report.metrics.clone(),
+    });
+    obs.event(TraceEvent::Memory {
+        report: report.memory,
+    });
 
     Ok(SimtOutcome {
         bc: bc_d.host().to_vec(),
@@ -387,6 +435,7 @@ mod tests {
             sources,
             g.bc_scale(),
             &RecoveryPolicy::default(),
+            &mut crate::observe::NullObserver,
         )
         .unwrap()
     }
@@ -443,7 +492,17 @@ mod tests {
         let (n, m) = (g.n(), g.m());
         let dev = Device::titan_xp();
         let storage = storage_for(&g, Kernel::ScCsc);
-        bc_simt(&dev, &storage, Kernel::ScCsc, true, &[0], 0.5, &RecoveryPolicy::default()).unwrap();
+        bc_simt(
+            &dev,
+            &storage,
+            Kernel::ScCsc,
+            true,
+            &[0],
+            0.5,
+            &RecoveryPolicy::default(),
+            &mut crate::observe::NullObserver,
+        )
+        .unwrap();
         let peak = dev.memory().peak;
         // Structure (u32) + per-vertex vectors (σ, bc, δ, δ_u, δ_ut i64/f64,
         // S u32) + counter, with 256-byte rounding slack per allocation.
@@ -466,8 +525,21 @@ mod tests {
         let tight = (4 * (n + 1 + m) + 8 * n + 4 * n + 8 * n + 8 + 3 * 8 * n + 24 * 256) as u64;
         let dev = Device::with_capacity(turbobc_simt::DeviceProps::titan_xp(), tight);
         let storage = storage_for(&g, Kernel::ScCsc);
-        let out = bc_simt(&dev, &storage, Kernel::ScCsc, true, &[0], 0.5, &RecoveryPolicy::default());
-        assert!(out.is_ok(), "stage-switch dealloc should make this fit: {:?}", out.err());
+        let out = bc_simt(
+            &dev,
+            &storage,
+            Kernel::ScCsc,
+            true,
+            &[0],
+            0.5,
+            &RecoveryPolicy::default(),
+            &mut crate::observe::NullObserver,
+        );
+        assert!(
+            out.is_ok(),
+            "stage-switch dealloc should make this fit: {:?}",
+            out.err()
+        );
     }
 
     #[test]
@@ -475,8 +547,21 @@ mod tests {
         let g = gen::grid2d(30, 30);
         let dev = Device::with_capacity(turbobc_simt::DeviceProps::titan_xp(), 4096);
         let storage = storage_for(&g, Kernel::ScCsc);
-        let err = bc_simt(&dev, &storage, Kernel::ScCsc, true, &[0], 0.5, &RecoveryPolicy::default()).unwrap_err();
-        assert!(matches!(err, TurboBcError::Device(DeviceError::OutOfMemory { .. })));
+        let err = bc_simt(
+            &dev,
+            &storage,
+            Kernel::ScCsc,
+            true,
+            &[0],
+            0.5,
+            &RecoveryPolicy::default(),
+            &mut crate::observe::NullObserver,
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            TurboBcError::Device(DeviceError::OutOfMemory { .. })
+        ));
     }
 
     #[test]
@@ -491,15 +576,38 @@ mod tests {
         let partial = (4 * (n + 1 + m) + 8 * n + 4 * n + 8 * n + 8 + 8 * n + 2 * 256) as u64;
         let dev = Device::with_capacity(turbobc_simt::DeviceProps::titan_xp(), partial);
         let storage = storage_for(&g, Kernel::ScCsc);
-        let err = bc_simt(&dev, &storage, Kernel::ScCsc, true, &[0], 0.5, &RecoveryPolicy::default()).unwrap_err();
-        assert!(matches!(err, TurboBcError::Device(DeviceError::OutOfMemory { .. })));
+        let err = bc_simt(
+            &dev,
+            &storage,
+            Kernel::ScCsc,
+            true,
+            &[0],
+            0.5,
+            &RecoveryPolicy::default(),
+            &mut crate::observe::NullObserver,
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            TurboBcError::Device(DeviceError::OutOfMemory { .. })
+        ));
         let mem = dev.memory();
         assert_eq!(mem.used, 0, "OOM path leaked {} bytes", mem.used);
         assert_eq!(mem.live_allocations, 0);
         // The device is reusable afterwards on a smaller graph.
         let small = gen::grid2d(4, 4);
         let st = storage_for(&small, Kernel::ScCsc);
-        assert!(bc_simt(&dev, &st, Kernel::ScCsc, true, &[0], 0.5, &RecoveryPolicy::default()).is_ok());
+        assert!(bc_simt(
+            &dev,
+            &st,
+            Kernel::ScCsc,
+            true,
+            &[0],
+            0.5,
+            &RecoveryPolicy::default(),
+            &mut crate::observe::NullObserver
+        )
+        .is_ok());
     }
 
     #[test]
@@ -510,8 +618,18 @@ mod tests {
         let s = g.default_source();
         let sc = run(&g, Kernel::ScCsc, &[s]);
         let ve = run(&g, Kernel::VeCsc, &[s]);
-        let sc_eff = sc.report.metrics.kernel("fwd_scCSC").unwrap().warp_efficiency();
-        let ve_eff = ve.report.metrics.kernel("fwd_veCSC").unwrap().warp_efficiency();
+        let sc_eff = sc
+            .report
+            .metrics
+            .kernel("fwd_scCSC")
+            .unwrap()
+            .warp_efficiency();
+        let ve_eff = ve
+            .report
+            .metrics
+            .kernel("fwd_veCSC")
+            .unwrap()
+            .warp_efficiency();
         assert!(
             ve_eff > sc_eff,
             "veCSC efficiency {ve_eff:.3} should beat scCSC {sc_eff:.3} on dense columns"
@@ -525,7 +643,17 @@ mod tests {
         let run = || {
             let storage = storage_for(&g, Kernel::VeCsc);
             let dev = Device::titan_xp();
-            let out = bc_simt(&dev, &storage, Kernel::VeCsc, true, &[s], 0.5, &RecoveryPolicy::default()).unwrap();
+            let out = bc_simt(
+                &dev,
+                &storage,
+                Kernel::VeCsc,
+                true,
+                &[s],
+                0.5,
+                &RecoveryPolicy::default(),
+                &mut crate::observe::NullObserver,
+            )
+            .unwrap();
             (out.bc, out.report.modelled_time_s, out.report.total())
         };
         let (bc1, t1, m1) = run();

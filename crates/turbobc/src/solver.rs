@@ -1,12 +1,17 @@
 //! The public solver: ties storage, kernel selection, engines and the
 //! fault-recovery policy together.
 
-use crate::checkpoint::{self, CheckpointConfig};
+use crate::approx::{bc_approx_with_solver, ApproxBcResult};
+use crate::checkpoint;
+use crate::closeness::{closeness_with_solver, ClosenessResult};
+use crate::edge::{edge_bc_with_solver, EdgeBcResult};
 use crate::error::{CheckpointError, TurboBcError};
+use crate::msbfs::{ms_bfs_on_storage, MsBfsResult};
+use crate::observe::{NullObserver, Observer, TraceEvent};
 use crate::options::{degrade, select_kernel, BcOptions, Engine, Kernel, RecoveryPolicy};
-use crate::par::{bc_source_par, ParStorage};
+use crate::par::{bc_source_par, bc_source_par_traced, ParStorage};
 use crate::result::{BcResult, RecoveryLog, RunStats, SimtReport};
-use crate::seq::{bc_source_seq, SourceRun, Storage};
+use crate::seq::{bc_source_seq_traced, SourceRun, Storage};
 use crate::simt_engine::bc_simt;
 use std::time::Instant;
 use turbobc_graph::{Graph, GraphStats, VertexId};
@@ -25,10 +30,10 @@ const SOURCE_PAR_THRESHOLD: usize = 16;
 /// **exactly one** sparse storage format — COOC for `scCOOC`, CSC for
 /// `scCSC`/`veCSC` — per the paper's memory rule.
 pub struct BcSolver {
+    graph: Graph,
     storage: Storage,
     kernel: Kernel,
-    engine: Engine,
-    recovery: RecoveryPolicy,
+    options: BcOptions,
     symmetric: bool,
     scale: f64,
     n: usize,
@@ -55,16 +60,16 @@ impl BcSolver {
             _ => Storage::Csc(graph.to_csc()),
         };
         Ok(BcSolver {
+            graph: graph.clone(),
             storage,
             kernel,
-            engine: options.engine,
-            recovery: options.recovery,
             // Undirected graphs are stored as their symmetric closure.
             symmetric: !graph.directed(),
             scale: graph.bc_scale(),
             n: graph.n(),
             m: graph.m(),
             stats,
+            options,
         })
     }
 
@@ -75,12 +80,23 @@ impl BcSolver {
 
     /// The engine this solver runs on.
     pub fn engine(&self) -> Engine {
-        self.engine
+        self.options.engine
     }
 
     /// The recovery policy applied to SIMT and multi-GPU runs.
     pub fn recovery(&self) -> RecoveryPolicy {
-        self.recovery
+        self.options.recovery
+    }
+
+    /// The full options this solver was built with.
+    pub fn options(&self) -> &BcOptions {
+        &self.options
+    }
+
+    /// The graph this solver was prepared for (host-side; the device
+    /// memory rule of §3.4 concerns device arrays only).
+    pub(crate) fn graph(&self) -> &Graph {
+        &self.graph
     }
 
     /// Vertex count.
@@ -101,7 +117,10 @@ impl BcSolver {
     fn validate_sources(&self, sources: &[VertexId]) -> Result<(), TurboBcError> {
         for &s in sources {
             if s as usize >= self.n {
-                return Err(TurboBcError::InvalidSource { source: s, n: self.n });
+                return Err(TurboBcError::InvalidSource {
+                    source: s,
+                    n: self.n,
+                });
             }
         }
         Ok(())
@@ -125,16 +144,32 @@ impl BcSolver {
     pub fn bc_sampled(&self, k: usize) -> Result<BcResult, TurboBcError> {
         let k = k.clamp(1, self.n.max(1));
         let stride = (self.n / k).max(1);
-        let sources: Vec<VertexId> =
-            (0..self.n).step_by(stride).take(k).map(|s| s as VertexId).collect();
+        let sources: Vec<VertexId> = (0..self.n)
+            .step_by(stride)
+            .take(k)
+            .map(|s| s as VertexId)
+            .collect();
         self.bc_sources(&sources)
     }
 
     /// BC accumulated over an explicit source set. Every source must be
     /// a vertex of the graph ([`TurboBcError::InvalidSource`]).
     pub fn bc_sources(&self, sources: &[VertexId]) -> Result<BcResult, TurboBcError> {
+        self.bc_sources_observed(sources, &mut NullObserver)
+    }
+
+    /// [`BcSolver::bc_sources`] with the run traced into `obs` — the
+    /// observability entry point for the CPU engines. An observer that
+    /// wants per-level events forces the across-sources parallel path
+    /// off (per-kernel parallelism stays on), so the trace is an ordered
+    /// per-source timeline.
+    pub fn bc_sources_observed(
+        &self,
+        sources: &[VertexId],
+        obs: &mut dyn Observer,
+    ) -> Result<BcResult, TurboBcError> {
         self.validate_sources(sources)?;
-        Ok(self.run_cpu(sources, self.engine))
+        Ok(self.run_cpu_observed(sources, self.options.engine, obs))
     }
 
     /// One source on the CPU (engine-selected kernel structure),
@@ -146,50 +181,67 @@ impl BcSolver {
         bc: &mut [f64],
         sigma: &mut [i64],
         depths: &mut [u32],
+        on_level: &mut dyn FnMut(u32, usize),
     ) -> SourceRun {
         match engine {
-            Engine::Sequential => {
-                bc_source_seq(&self.storage, source, self.scale, bc, sigma, depths)
-            }
+            Engine::Sequential => bc_source_seq_traced(
+                &self.storage,
+                source,
+                self.scale,
+                bc,
+                sigma,
+                depths,
+                on_level,
+            ),
             Engine::Parallel => {
                 let storage = match &self.storage {
-                    Storage::Csc(csc) => ParStorage::Csc { csc, symmetric: self.symmetric },
+                    Storage::Csc(csc) => ParStorage::Csc {
+                        csc,
+                        symmetric: self.symmetric,
+                    },
                     Storage::Cooc(cooc) => ParStorage::Cooc(cooc),
                 };
-                bc_source_par(&storage, source, self.scale, bc, sigma, depths)
+                bc_source_par_traced(&storage, source, self.scale, bc, sigma, depths, on_level)
             }
         }
     }
 
-    /// The CPU engines (validation already done).
-    fn run_cpu(&self, sources: &[VertexId], engine: Engine) -> BcResult {
+    /// The CPU engines with the run traced into `obs` (validation
+    /// already done).
+    fn run_cpu_observed(
+        &self,
+        sources: &[VertexId],
+        engine: Engine,
+        obs: &mut dyn Observer,
+    ) -> BcResult {
         let start = Instant::now();
+        obs.event(TraceEvent::RunStart {
+            engine: match engine {
+                Engine::Sequential => "seq",
+                Engine::Parallel => "par",
+            },
+            kernel: self.kernel,
+            n: self.n,
+            m: self.m,
+            sources: sources.len(),
+        });
         let mut bc = vec![0.0f64; self.n];
         let mut sigma = vec![0i64; self.n];
         let mut depths = vec![0u32; self.n];
-        let mut stats = RunStats { sources: sources.len(), ..Default::default() };
+        let mut stats = RunStats {
+            sources: sources.len(),
+            ..Default::default()
+        };
         match engine {
-            Engine::Sequential => {
-                for &s in sources {
-                    let run = bc_source_seq(
-                        &self.storage,
-                        s as usize,
-                        self.scale,
-                        &mut bc,
-                        &mut sigma,
-                        &mut depths,
-                    );
-                    stats.max_depth = stats.max_depth.max(run.height);
-                    stats.total_levels += run.height as u64;
-                    stats.last_reached = run.reached;
-                }
-            }
-            Engine::Parallel if sources.len() >= SOURCE_PAR_THRESHOLD => {
+            Engine::Parallel if sources.len() >= SOURCE_PAR_THRESHOLD && !obs.wants_levels() => {
                 // Exact/sampled runs: parallelise across sources too —
                 // each task owns its scratch, contributions are summed.
                 use rayon::prelude::*;
                 let storage = match &self.storage {
-                    Storage::Csc(csc) => ParStorage::Csc { csc, symmetric: self.symmetric },
+                    Storage::Csc(csc) => ParStorage::Csc {
+                        csc,
+                        symmetric: self.symmetric,
+                    },
                     Storage::Cooc(cooc) => ParStorage::Cooc(cooc),
                 };
                 let n = self.n;
@@ -243,28 +295,54 @@ impl BcSolver {
                     stats.last_reached = run.reached;
                 }
             }
-            Engine::Parallel => {
-                let storage = match &self.storage {
-                    Storage::Csc(csc) => ParStorage::Csc { csc, symmetric: self.symmetric },
-                    Storage::Cooc(cooc) => ParStorage::Cooc(cooc),
-                };
+            _ => {
+                // Sequential engine, small parallel runs, and every
+                // level-observed run: ordered per-source loop (the
+                // Parallel engine still parallelises within each
+                // kernel), so the trace is a clean timeline.
+                let wants = obs.wants_levels();
                 for &s in sources {
-                    let run = bc_source_par(
-                        &storage,
-                        s as usize,
-                        self.scale,
-                        &mut bc,
-                        &mut sigma,
-                        &mut depths,
-                    );
+                    let run = {
+                        let mut on_level = |depth: u32, frontier: usize| {
+                            if wants {
+                                obs.event(TraceEvent::Level {
+                                    source: s,
+                                    depth,
+                                    frontier,
+                                    sigma_updates: frontier as u64,
+                                });
+                            }
+                        };
+                        self.one_source(
+                            s as usize,
+                            engine,
+                            &mut bc,
+                            &mut sigma,
+                            &mut depths,
+                            &mut on_level,
+                        )
+                    };
                     stats.max_depth = stats.max_depth.max(run.height);
                     stats.total_levels += run.height as u64;
                     stats.last_reached = run.reached;
+                    obs.event(TraceEvent::SourceDone {
+                        source: s,
+                        height: run.height,
+                        reached: run.reached,
+                    });
                 }
             }
         }
         stats.elapsed = start.elapsed();
-        BcResult { bc, sigma, depths, stats }
+        obs.event(TraceEvent::RunEnd {
+            elapsed_s: stats.elapsed.as_secs_f64(),
+        });
+        BcResult {
+            bc,
+            sigma,
+            depths,
+            stats,
+        }
     }
 
     /// Multi-source BC with periodic checkpoints and resume.
@@ -282,11 +360,16 @@ impl BcSolver {
     /// `stats.recovery.resumed_sources` records how many sources the
     /// checkpoint covered; `stats.max_depth`/`total_levels` cover only
     /// the work done by *this* process.
-    pub fn bc_sources_checkpointed(
-        &self,
-        sources: &[VertexId],
-        ckpt: &CheckpointConfig,
-    ) -> Result<BcResult, TurboBcError> {
+    ///
+    /// The checkpoint configuration comes from the solver's options
+    /// (`BcOptions::builder().checkpoint(..)`); calling this on a solver
+    /// without one fails with [`CheckpointError::NotConfigured`].
+    pub fn bc_sources_checkpointed(&self, sources: &[VertexId]) -> Result<BcResult, TurboBcError> {
+        let ckpt = self
+            .options
+            .checkpoint
+            .as_ref()
+            .ok_or(CheckpointError::NotConfigured)?;
         self.validate_sources(sources)?;
         let start = Instant::now();
         let every = ckpt.every.max(1);
@@ -302,7 +385,10 @@ impl BcSolver {
         }
         let mut stats = RunStats {
             sources: sources.len(),
-            recovery: RecoveryLog { resumed_sources: done, ..Default::default() },
+            recovery: RecoveryLog {
+                resumed_sources: done,
+                ..Default::default()
+            },
             ..Default::default()
         };
         let mut sigma = vec![0i64; self.n];
@@ -312,8 +398,14 @@ impl BcSolver {
             let hi = (done + every).min(sources.len());
             let mut batch_bc = vec![0.0f64; self.n];
             for &s in &sources[done..hi] {
-                let run =
-                    self.one_source(s as usize, self.engine, &mut batch_bc, &mut sigma, &mut depths);
+                let run = self.one_source(
+                    s as usize,
+                    self.options.engine,
+                    &mut batch_bc,
+                    &mut sigma,
+                    &mut depths,
+                    &mut |_, _| {},
+                );
                 stats.max_depth = stats.max_depth.max(run.height);
                 stats.total_levels += run.height as u64;
             }
@@ -333,13 +425,24 @@ impl BcSolver {
         // checkpoint already covered every source.
         if let Some(&last) = sources.last() {
             let mut scratch = vec![0.0f64; self.n];
-            let run =
-                self.one_source(last as usize, self.engine, &mut scratch, &mut sigma, &mut depths);
+            let run = self.one_source(
+                last as usize,
+                self.options.engine,
+                &mut scratch,
+                &mut sigma,
+                &mut depths,
+                &mut |_, _| {},
+            );
             stats.last_reached = run.reached;
             stats.max_depth = stats.max_depth.max(run.height);
         }
         stats.elapsed = start.elapsed();
-        Ok(BcResult { bc, sigma, depths, stats })
+        Ok(BcResult {
+            bc,
+            sigma,
+            depths,
+            stats,
+        })
     }
 
     /// Rebuilds the storage a degraded kernel needs. Degradation only
@@ -368,7 +471,10 @@ impl BcSolver {
 
     /// Runs the same computation on the SIMT simulator, returning both
     /// the BC result and the device-level report (memory peak, per-kernel
-    /// transactions, modelled time/GLT).
+    /// transactions, modelled time/GLT). The device is built from the
+    /// solver's options (`BcOptions::builder().device(..)`, default
+    /// Titan Xp); use [`BcSolver::run_simt_on`] to target a caller-built
+    /// device (fault plans, capacity caps).
     ///
     /// The solver's [`RecoveryPolicy`] governs what happens when the
     /// device misbehaves:
@@ -381,13 +487,44 @@ impl BcSolver {
     ///   (`stats.recovery.cpu_fallback`);
     /// * with [`RecoveryPolicy::strict`] every fault surfaces
     ///   immediately — the paper's *OOM* table entries.
-    pub fn run_simt(
+    pub fn run_simt(&self, sources: &[VertexId]) -> Result<(BcResult, SimtReport), TurboBcError> {
+        let device = Device::new(self.options.device);
+        self.run_simt_on_observed(&device, sources, &mut NullObserver)
+    }
+
+    /// [`BcSolver::run_simt`] with the run traced into `obs`.
+    pub fn run_simt_observed(
+        &self,
+        sources: &[VertexId],
+        obs: &mut dyn Observer,
+    ) -> Result<(BcResult, SimtReport), TurboBcError> {
+        let device = Device::new(self.options.device);
+        self.run_simt_on_observed(&device, sources, obs)
+    }
+
+    /// [`BcSolver::run_simt`] on a caller-built device (fault plans,
+    /// capacity caps, shared metric ledgers).
+    pub fn run_simt_on(
         &self,
         device: &Device,
         sources: &[VertexId],
     ) -> Result<(BcResult, SimtReport), TurboBcError> {
+        self.run_simt_on_observed(device, sources, &mut NullObserver)
+    }
+
+    /// [`BcSolver::run_simt_on`] with the run traced into `obs`: each
+    /// attempt emits `RunStart`/`Level`/`SourceDone`/`Metrics`/`Memory`
+    /// events, degradations and CPU fallback land as `Recovery` events,
+    /// and the final `RunEnd` carries the wall-clock time.
+    pub fn run_simt_on_observed(
+        &self,
+        device: &Device,
+        sources: &[VertexId],
+        obs: &mut dyn Observer,
+    ) -> Result<(BcResult, SimtReport), TurboBcError> {
         self.validate_sources(sources)?;
         let start = Instant::now();
+        let policy = self.options.recovery;
         let mut recovery = RecoveryLog::default();
         let mut kernel = self.kernel;
         let mut degraded_storage: Option<Storage> = None;
@@ -400,10 +537,20 @@ impl BcSolver {
                 self.symmetric,
                 sources,
                 self.scale,
-                &self.recovery,
+                &policy,
+                obs,
             ) {
                 Ok(out) => {
                     recovery.kernel_retries += out.kernel_retries;
+                    if out.kernel_retries > 0 {
+                        obs.event(TraceEvent::Recovery {
+                            kind: "kernel_retry",
+                            detail: format!(
+                                "{} transient kernel fault(s) retried in place",
+                                out.kernel_retries
+                            ),
+                        });
+                    }
                     let stats = RunStats {
                         sources: sources.len(),
                         max_depth: out.max_depth,
@@ -412,25 +559,51 @@ impl BcSolver {
                         elapsed: start.elapsed(),
                         recovery,
                     };
+                    obs.event(TraceEvent::RunEnd {
+                        elapsed_s: stats.elapsed.as_secs_f64(),
+                    });
                     return Ok((
-                        BcResult { bc: out.bc, sigma: out.sigma, depths: out.depths, stats },
+                        BcResult {
+                            bc: out.bc,
+                            sigma: out.sigma,
+                            depths: out.depths,
+                            stats,
+                        },
                         out.report,
                     ));
                 }
                 Err(TurboBcError::Device(DeviceError::OutOfMemory { .. }))
-                    if self.recovery.allow_degradation || self.recovery.allow_cpu_fallback =>
+                    if policy.allow_degradation || policy.allow_cpu_fallback =>
                 {
-                    let next = if self.recovery.allow_degradation { degrade(kernel) } else { None };
+                    let next = if policy.allow_degradation {
+                        degrade(kernel)
+                    } else {
+                        None
+                    };
                     match next {
                         Some(next) => {
                             recovery.oom_degradations += 1;
                             recovery.degraded_to = Some(next.name());
+                            obs.event(TraceEvent::Recovery {
+                                kind: "oom_degradation",
+                                detail: format!(
+                                    "{} out of device memory, degrading to {}",
+                                    kernel.name(),
+                                    next.name()
+                                ),
+                            });
                             degraded_storage = Some(self.storage_for(next));
                             kernel = next;
                         }
-                        None if self.recovery.allow_cpu_fallback => {
+                        None if policy.allow_cpu_fallback => {
                             recovery.cpu_fallback = true;
-                            let mut result = self.run_cpu(sources, Engine::Parallel);
+                            obs.event(TraceEvent::Recovery {
+                                kind: "cpu_fallback",
+                                detail: "degradation ladder exhausted, rerunning on the CPU \
+                                         Parallel engine"
+                                    .to_string(),
+                            });
+                            let mut result = self.run_cpu_observed(sources, Engine::Parallel, obs);
                             result.stats.recovery = recovery;
                             // The device never completed a run: report
                             // whatever it measured before giving up.
@@ -453,6 +626,71 @@ impl BcSolver {
                 Err(e) => return Err(e),
             }
         }
+    }
+
+    /// Approximate BC by uniform source sampling (Brandes–Pich style):
+    /// `k = sample_size(n, epsilon, delta)` sources drawn with
+    /// replacement, contributions scaled by `n / k`. Returns the sampled
+    /// estimate plus the sampling parameters used.
+    pub fn approx(
+        &self,
+        epsilon: f64,
+        delta: f64,
+        seed: u64,
+    ) -> Result<ApproxBcResult, TurboBcError> {
+        bc_approx_with_solver(self, epsilon, delta, seed)
+    }
+
+    /// Edge betweenness centrality over all sources (Girvan–Newman's
+    /// edge score; an extension beyond the paper used by the examples).
+    pub fn edge_bc(&self) -> Result<EdgeBcResult, TurboBcError> {
+        let sources: Vec<VertexId> = (0..self.n as VertexId).collect();
+        self.edge_bc_sources(&sources)
+    }
+
+    /// Edge BC accumulated over an explicit source set.
+    pub fn edge_bc_sources(&self, sources: &[VertexId]) -> Result<EdgeBcResult, TurboBcError> {
+        self.validate_sources(sources)?;
+        edge_bc_with_solver(self, sources)
+    }
+
+    /// Harmonic and classic closeness centrality for every vertex,
+    /// computed by multi-source BFS sweeps over this solver's graph.
+    pub fn closeness(&self) -> Result<ClosenessResult, TurboBcError> {
+        closeness_with_solver(self, None)
+    }
+
+    /// Closeness restricted to an explicit source set (landmark
+    /// approximation).
+    pub fn closeness_for_sources(
+        &self,
+        sources: &[VertexId],
+    ) -> Result<ClosenessResult, TurboBcError> {
+        self.validate_sources(sources)?;
+        closeness_with_solver(self, Some(sources))
+    }
+
+    /// Multi-source BFS: all `sources` swept concurrently in 64-source
+    /// batches over one bit-parallel frontier (the MS-BFS extension).
+    /// Returns per-source depth vectors and sweep statistics.
+    pub fn ms_bfs(&self, sources: &[VertexId]) -> Result<MsBfsResult, TurboBcError> {
+        self.validate_sources(sources)?;
+        Ok(ms_bfs_on_storage(
+            &self.storage,
+            self.kernel,
+            sources,
+            &mut NullObserver,
+        ))
+    }
+
+    /// [`BcSolver::ms_bfs`] with per-sweep trace events into `obs`.
+    pub fn ms_bfs_observed(
+        &self,
+        sources: &[VertexId],
+        obs: &mut dyn Observer,
+    ) -> Result<MsBfsResult, TurboBcError> {
+        self.validate_sources(sources)?;
+        Ok(ms_bfs_on_storage(&self.storage, self.kernel, sources, obs))
     }
 }
 
@@ -488,9 +726,15 @@ mod tests {
             let want = brandes_single_source(g, s);
             for engine in [Engine::Sequential, Engine::Parallel] {
                 for kernel in [Kernel::ScCooc, Kernel::ScCsc, Kernel::VeCsc] {
-                    let solver =
-                        BcSolver::new(g, BcOptions { kernel, engine, ..Default::default() })
-                            .unwrap();
+                    let solver = BcSolver::new(
+                        g,
+                        BcOptions {
+                            kernel,
+                            engine,
+                            ..Default::default()
+                        },
+                    )
+                    .unwrap();
                     let r = solver.bc_single_source(s).unwrap();
                     assert_close(&r.bc, &want, 1e-9);
                 }
@@ -503,9 +747,15 @@ mod tests {
         let g = gen::small_world(80, 3, 0.3, 9);
         let want = brandes_all_sources(&g);
         for engine in [Engine::Sequential, Engine::Parallel] {
-            let solver =
-                BcSolver::new(&g, BcOptions { kernel: Kernel::Auto, engine, ..Default::default() })
-                    .unwrap();
+            let solver = BcSolver::new(
+                &g,
+                BcOptions {
+                    kernel: Kernel::Auto,
+                    engine,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
             assert_close(&solver.bc_exact().unwrap().bc, &want, 1e-6);
         }
     }
@@ -513,9 +763,17 @@ mod tests {
     #[test]
     fn auto_kernel_resolution_is_exposed() {
         let dense = gen::mycielski(9);
-        assert_eq!(BcSolver::new(&dense, BcOptions::default()).unwrap().kernel(), Kernel::VeCsc);
+        assert_eq!(
+            BcSolver::new(&dense, BcOptions::default())
+                .unwrap()
+                .kernel(),
+            Kernel::VeCsc
+        );
         let mesh = gen::grid2d(10, 10);
-        assert_eq!(BcSolver::new(&mesh, BcOptions::default()).unwrap().kernel(), Kernel::ScCsc);
+        assert_eq!(
+            BcSolver::new(&mesh, BcOptions::default()).unwrap().kernel(),
+            Kernel::ScCsc
+        );
     }
 
     #[test]
@@ -527,8 +785,12 @@ mod tests {
         // Sampled BC approximates the full ordering: top-exact vertex
         // should rank highly in the sample.
         let exact = brandes_all_sources(&g);
-        let top_exact =
-            exact.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
+        let top_exact = exact
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
         let mut order: Vec<usize> = (0..g.n()).collect();
         order.sort_by(|&a, &b| r.bc[b].total_cmp(&r.bc[a]));
         let rank = order.iter().position(|&v| v == top_exact).unwrap();
@@ -541,8 +803,7 @@ mod tests {
         let solver = BcSolver::new(&g, BcOptions::default()).unwrap();
         let s = g.default_source();
         let cpu = solver.bc_single_source(s).unwrap();
-        let dev = Device::titan_xp();
-        let (gpu, report) = solver.run_simt(&dev, &[s]).unwrap();
+        let (gpu, report) = solver.run_simt(&[s]).unwrap();
         assert_close(&gpu.bc, &cpu.bc, 1e-9);
         assert_eq!(gpu.stats.max_depth, cpu.stats.max_depth);
         assert!(report.memory.peak > 0);
@@ -597,9 +858,8 @@ mod tests {
             Err(TurboBcError::InvalidSource { source: 99, .. }) => {}
             other => panic!("want InvalidSource, got {:?}", other.err()),
         }
-        let dev = Device::titan_xp();
         assert!(matches!(
-            solver.run_simt(&dev, &[7]),
+            solver.run_simt(&[7]),
             Err(TurboBcError::InvalidSource { source: 7, .. })
         ));
     }
@@ -607,18 +867,29 @@ mod tests {
     #[test]
     fn checkpointed_run_matches_plain_run() {
         let g = gen::gnm(60, 200, false, 31);
-        let solver = BcSolver::new(&g, BcOptions::default()).unwrap();
         let sources: Vec<u32> = (0..g.n() as u32).collect();
         let dir = std::env::temp_dir().join("turbobc_solver_ckpt");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("plain.ckpt");
         let _ = std::fs::remove_file(&path);
-        let ck = solver
-            .bc_sources_checkpointed(&sources, &CheckpointConfig::new(&path, 7))
-            .unwrap();
+        let options = BcOptions::builder()
+            .checkpoint(crate::checkpoint::CheckpointConfig::new(&path, 7))
+            .build();
+        let solver = BcSolver::new(&g, options).unwrap();
+        let ck = solver.bc_sources_checkpointed(&sources).unwrap();
         let plain = solver.bc_sources(&sources).unwrap();
         assert_close(&ck.bc, &plain.bc, 1e-9);
         assert_eq!(ck.depths, plain.depths);
         assert_eq!(ck.sigma, plain.sigma);
+    }
+
+    #[test]
+    fn checkpoint_without_config_is_rejected() {
+        let g = Graph::from_edges(3, false, &[(0, 1), (1, 2)]);
+        let solver = BcSolver::new(&g, BcOptions::default()).unwrap();
+        assert!(matches!(
+            solver.bc_sources_checkpointed(&[0]),
+            Err(TurboBcError::Checkpoint(CheckpointError::NotConfigured))
+        ));
     }
 }

@@ -11,9 +11,9 @@
 use crate::error::TurboBcError;
 use crate::options::{select_kernel, BcOptions, Engine, Kernel, RecoveryPolicy};
 use crate::par::{bc_source_par, ParStorage};
+use crate::result::SimtReport;
 use crate::seq::Storage;
 use crate::simt_engine::bc_simt;
-use crate::result::SimtReport;
 use std::time::{Duration, Instant};
 use turbobc_graph::{Graph, GraphStats, VertexId};
 use turbobc_simt::Device;
@@ -127,16 +127,31 @@ impl TurboBfs {
             }
             Engine::Parallel => {
                 let storage = match &self.storage {
-                    Storage::Csc(csc) => ParStorage::Csc { csc, symmetric: self.symmetric },
+                    Storage::Csc(csc) => ParStorage::Csc {
+                        csc,
+                        symmetric: self.symmetric,
+                    },
                     Storage::Cooc(cooc) => ParStorage::Cooc(cooc),
                 };
                 let mut bc = vec![0.0; n];
-                let run =
-                    bc_source_par(&storage, source as usize, 0.0, &mut bc, &mut sigma, &mut depths);
+                let run = bc_source_par(
+                    &storage,
+                    source as usize,
+                    0.0,
+                    &mut bc,
+                    &mut sigma,
+                    &mut depths,
+                );
                 (run.height, run.reached)
             }
         };
-        BfsRun { depths, sigma, height, reached, elapsed: start.elapsed() }
+        BfsRun {
+            depths,
+            sigma,
+            height,
+            reached,
+            elapsed: start.elapsed(),
+        }
     }
 
     /// Runs the BFS on the SIMT simulator, returning the device report.
@@ -154,6 +169,7 @@ impl TurboBfs {
             &[source],
             0.0,
             &self.recovery,
+            &mut crate::observe::NullObserver,
         )?;
         Ok((
             BfsRun {
@@ -215,7 +231,14 @@ mod tests {
             let want = turbobc_graph::bfs(&g, s);
             for kernel in [Kernel::ScCooc, Kernel::ScCsc, Kernel::VeCsc] {
                 for engine in [Engine::Sequential, Engine::Parallel] {
-                    let bfs = TurboBfs::new(&g, BcOptions { kernel, engine, ..Default::default() });
+                    let bfs = TurboBfs::new(
+                        &g,
+                        BcOptions {
+                            kernel,
+                            engine,
+                            ..Default::default()
+                        },
+                    );
                     let r = bfs.run(s);
                     assert_eq!(r.depths, want.depths, "{kernel:?}/{engine:?}");
                     assert_eq!(r.height, want.height);

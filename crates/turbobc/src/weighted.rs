@@ -61,17 +61,16 @@ pub fn sssp_delta_stepping(
     // entries go stale when a vertex improves — validated on pop.
     let mut buckets: Vec<Vec<VertexId>> = vec![Vec::new()];
     let bucket_of = |d: f64, delta: f64| (d / delta) as usize;
-    let relax =
-        |dist: &mut Vec<f64>, buckets: &mut Vec<Vec<VertexId>>, v: VertexId, cand: f64| {
-            if cand + EPS < dist[v as usize] {
-                dist[v as usize] = cand;
-                let b = bucket_of(cand, delta);
-                if b >= buckets.len() {
-                    buckets.resize(b + 1, Vec::new());
-                }
-                buckets[b].push(v);
+    let relax = |dist: &mut Vec<f64>, buckets: &mut Vec<Vec<VertexId>>, v: VertexId, cand: f64| {
+        if cand + EPS < dist[v as usize] {
+            dist[v as usize] = cand;
+            let b = bucket_of(cand, delta);
+            if b >= buckets.len() {
+                buckets.resize(b + 1, Vec::new());
             }
-        };
+            buckets[b].push(v);
+        }
+    };
     relax(&mut dist, &mut buckets, source, 0.0);
 
     let mut phases = 0usize;
@@ -130,10 +129,13 @@ fn accumulate(
     let (dist, phases) = sssp_delta_stepping(csr, weights, source, delta);
 
     // Vertices in increasing-distance order (reachable only).
-    let mut order: Vec<VertexId> =
-        (0..n as VertexId).filter(|&v| dist[v as usize].is_finite()).collect();
+    let mut order: Vec<VertexId> = (0..n as VertexId)
+        .filter(|&v| dist[v as usize].is_finite())
+        .collect();
     order.sort_by(|&a, &b| {
-        dist[a as usize].total_cmp(&dist[b as usize]).then_with(|| a.cmp(&b))
+        dist[a as usize]
+            .total_cmp(&dist[b as usize])
+            .then_with(|| a.cmp(&b))
     });
 
     // σ sweep over tight arcs in distance order.
@@ -219,9 +221,15 @@ pub fn weighted_bc_sources(
     let delta = options.delta.unwrap_or_else(|| auto_delta(&weights));
     let n = graph.n();
     let scale = graph.bc_scale();
-    let mut stats = RunStats { sources: sources.len(), ..Default::default() };
+    let mut stats = RunStats {
+        sources: sources.len(),
+        ..Default::default()
+    };
 
-    let chunk = sources.len().div_ceil(rayon::current_num_threads().max(1)).max(1);
+    let chunk = sources
+        .len()
+        .div_ceil(rayon::current_num_threads().max(1))
+        .max(1);
     let (bc, max_depth, total_levels) = sources
         .par_chunks(chunk)
         .map(|batch| {
@@ -258,7 +266,12 @@ pub fn weighted_bc_sources(
         None => (vec![f64::INFINITY; n], 0),
     };
     stats.elapsed = start.elapsed();
-    WeightedBcResult { bc, dist: last_dist, buckets: last_buckets, stats }
+    WeightedBcResult {
+        bc,
+        dist: last_dist,
+        buckets: last_buckets,
+        stats,
+    }
 }
 
 #[cfg(test)]
@@ -305,8 +318,10 @@ mod tests {
     #[test]
     fn unit_weights_match_unweighted_turbobc() {
         let g = gen::small_world(60, 3, 0.2, 4);
-        let unweighted =
-            crate::BcSolver::new(&g, crate::BcOptions::default()).unwrap().bc_exact().unwrap();
+        let unweighted = crate::BcSolver::new(&g, crate::BcOptions::default())
+            .unwrap()
+            .bc_exact()
+            .unwrap();
         let wg = WeightedGraph::unit_weights(g);
         let weighted = weighted_bc_exact(&wg, WeightedBcOptions::default());
         for (a, b) in weighted.bc.iter().zip(&unweighted.bc) {
@@ -342,7 +357,11 @@ mod tests {
         let wg = WeightedGraph::from_edges(8, false, &edges);
         let r = weighted_bc_exact(&wg, WeightedBcOptions::default());
         let max = r.bc.iter().cloned().fold(0.0, f64::max);
-        assert!(r.bc[4] >= max - 1e-9, "bridge must top the ranking: {:?}", r.bc);
+        assert!(
+            r.bc[4] >= max - 1e-9,
+            "bridge must top the ranking: {:?}",
+            r.bc
+        );
     }
 
     #[test]

@@ -9,15 +9,16 @@
 
 use turbobc_suite::graph::{connected_components, gen, GraphStats};
 use turbobc_suite::sparse::semiring;
-use turbobc_suite::turbobc::{
-    bc_approx, closeness, edge_bc_sources, ApproxOptions, BcOptions, BcSolver,
-};
+use turbobc_suite::turbobc::{BcOptions, BcSolver};
 
 fn top3(label: &str, scores: &[f64]) {
     let mut order: Vec<usize> = (0..scores.len()).collect();
     order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
-    let row: Vec<String> =
-        order.iter().take(3).map(|&v| format!("{v} ({:.2})", scores[v])).collect();
+    let row: Vec<String> = order
+        .iter()
+        .take(3)
+        .map(|&v| format!("{v} ({:.2})", scores[v]))
+        .collect();
     println!("  {label:<22} {}", row.join(", "));
 }
 
@@ -43,17 +44,11 @@ fn main() {
     top3("betweenness", &bc.bc);
 
     // Approximate BC with a guarantee — a fraction of the cost.
-    let approx = bc_approx(
-        &network,
-        ApproxOptions { epsilon: 0.05, delta: 0.05, ..Default::default() },
-    ).unwrap();
-    top3(
-        &format!("approx BC (k={})", approx.samples),
-        &approx.bc,
-    );
+    let approx = solver.approx(0.05, 0.05, 0x70b0bc).unwrap();
+    top3(&format!("approx BC (k={})", approx.samples), &approx.bc);
 
     // Closeness family.
-    let close = closeness::closeness_centrality(&network, BcOptions::default());
+    let close = solver.closeness().unwrap();
     top3("harmonic", &close.harmonic);
     top3("closeness", &close.closeness);
 
@@ -63,8 +58,10 @@ fn main() {
 
     // Edge betweenness on a pivot sample (exact over all sources is
     // O(nm); 64 pivots suffice for ranking ties).
-    let pivots: Vec<u32> = (0..64).map(|k| (k * (network.n() as u32 / 64)).min(network.n() as u32 - 1)).collect();
-    let ebc = edge_bc_sources(&network, &pivots);
+    let pivots: Vec<u32> = (0..64)
+        .map(|k| (k * (network.n() as u32 / 64)).min(network.n() as u32 - 1))
+        .collect();
+    let ebc = solver.edge_bc_sources(&pivots).unwrap();
     let ((u, v), w) = ebc.top_arcs(1)[0];
     println!("  {:<22} {u} -> {v} ({w:.2})", "strongest tie (edge BC)");
 
@@ -73,7 +70,10 @@ fn main() {
     by_bc.sort_by(|&a, &b| bc.bc[b].total_cmp(&bc.bc[a]));
     let mut by_pr: Vec<usize> = (0..network.n()).collect();
     by_pr.sort_by(|&a, &b| pr[b].total_cmp(&pr[a]));
-    let overlap = by_bc[..25].iter().filter(|v| by_pr[..25].contains(v)).count();
+    let overlap = by_bc[..25]
+        .iter()
+        .filter(|v| by_pr[..25].contains(v))
+        .count();
     println!(
         "\ntop-25 agreement between betweenness and pagerank: {overlap}/25 — related but not\n\
          interchangeable, which is why shortest-path centralities are worth their O(nm)."

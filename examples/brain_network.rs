@@ -27,7 +27,10 @@ fn main() {
     );
 
     let solver = BcSolver::new(&connectome, BcOptions::default()).unwrap();
-    println!("selected kernel: {} (regular small-world profile)", solver.kernel().name());
+    println!(
+        "selected kernel: {} (regular small-world profile)",
+        solver.kernel().name()
+    );
 
     let result = solver.bc_exact().unwrap();
     println!(
@@ -56,7 +59,10 @@ fn main() {
     // In a small-world network the highest-BC regions are the ones whose
     // rewired long-range fibres bridge distant neighbourhoods — they need
     // not be the highest-degree ones.
-    let overlap = by_bc[..20].iter().filter(|v| by_degree[..20].contains(v)).count();
+    let overlap = by_bc[..20]
+        .iter()
+        .filter(|v| by_degree[..20].contains(v))
+        .count();
     println!(
         "\noverlap between top-20 by BC and top-20 by degree: {overlap}/20 \
          (shortcut carriers ≠ local hubs)"
@@ -68,8 +74,7 @@ fn main() {
         .edges()
         .filter(|&(u, v)| u != hub && v != hub && u < v)
         .collect();
-    let pruned =
-        turbobc_suite::graph::Graph::from_edges(connectome.n(), false, &pruned_edges);
+    let pruned = turbobc_suite::graph::Graph::from_edges(connectome.n(), false, &pruned_edges);
     let before = turbobc_suite::graph::bfs(&connectome, 0);
     let after = turbobc_suite::graph::bfs(&pruned, 0);
     println!(

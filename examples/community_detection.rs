@@ -12,7 +12,7 @@
 //! ```
 
 use turbobc_suite::graph::{bfs, gen, Graph, VertexId};
-use turbobc_suite::turbobc::edge::edge_bc;
+use turbobc_suite::turbobc::{BcOptions, BcSolver};
 
 /// Number of connected components (undirected).
 fn components(g: &Graph) -> usize {
@@ -63,15 +63,16 @@ fn main() {
     let mut current = g;
     let mut cuts: Vec<(u32, u32)> = Vec::new();
     while components(&current) < 3 {
-        let r = edge_bc(&current);
+        let r = BcSolver::new(&current, BcOptions::default())
+            .unwrap()
+            .edge_bc()
+            .unwrap();
         let ((u, v), score) = r.top_arcs(1)[0];
         println!("cutting tie {u} – {v} (edge betweenness {score:.1})");
         cuts.push((u, v));
         let remaining: Vec<(u32, u32)> = current
             .edges()
-            .filter(|&(a, b)| {
-                a < b && !((a, b) == (u, v) || (a, b) == (v, u))
-            })
+            .filter(|&(a, b)| a < b && !((a, b) == (u, v) || (a, b) == (v, u)))
             .collect();
         current = Graph::from_edges(120, false, &remaining);
     }
@@ -82,10 +83,7 @@ fn main() {
         cuts
     );
     println!("(the bridges 7–53 and 25–99 are exactly the planted weak ties)");
-    assert!(cuts.iter().all(|&(u, v)| {
-        matches!(
-            (u.min(v), u.max(v)),
-            (7, 53) | (25, 99)
-        )
-    }));
+    assert!(cuts
+        .iter()
+        .all(|&(u, v)| { matches!((u.min(v), u.max(v)), (7, 53) | (25, 99)) }));
 }

@@ -22,11 +22,17 @@ fn main() {
 
     let device = Device::titan_xp();
     let (result, report) = solver
-        .run_simt(&device, &[graph.default_source()])
+        .run_simt_on(&device, &[graph.default_source()])
         .expect("12 GB Titan Xp fits this easily");
 
-    println!("BC of top vertex: {:.2}", result.bc.iter().cloned().fold(0.0, f64::max));
-    println!("BFS depth d = {}, reached {} vertices\n", result.stats.max_depth, result.stats.last_reached);
+    println!(
+        "BC of top vertex: {:.2}",
+        result.bc.iter().cloned().fold(0.0, f64::max)
+    );
+    println!(
+        "BFS depth d = {}, reached {} vertices\n",
+        result.stats.max_depth, result.stats.last_reached
+    );
 
     println!("simulated profiler output (per kernel):");
     println!(
@@ -71,13 +77,15 @@ fn main() {
     let turbo_peak = footprint::plan_peak_on_device(&probe, n, m, Kernel::VeCsc).unwrap();
     let probe2 = Device::titan_xp();
     let _plan = gunrock_like::plan_on_device(&probe2, n, m).unwrap();
-    let small =
-        Device::with_capacity(DeviceProps::titan_xp(), (turbo_peak + probe2.memory().peak) / 2);
+    let small = Device::with_capacity(
+        DeviceProps::titan_xp(),
+        (turbo_peak + probe2.memory().peak) / 2,
+    );
     println!(
         "shrinking the device to {:.2} MB:",
         small.memory().capacity as f64 / 1e6
     );
-    match solver.run_simt(&small, &[graph.default_source()]) {
+    match solver.run_simt_on(&small, &[graph.default_source()]) {
         Ok(_) => println!("  TurboBC-veCSC: completed"),
         Err(e) => println!("  TurboBC-veCSC: {e}"),
     }

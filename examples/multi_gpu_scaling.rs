@@ -19,8 +19,10 @@ fn main() {
         graph.m()
     );
 
-    for (link_name, link) in [("PCIe3", Interconnect::pcie3()), ("NVLink", Interconnect::nvlink())]
-    {
+    for (link_name, link) in [
+        ("PCIe3", Interconnect::pcie3()),
+        ("NVLink", Interconnect::nvlink()),
+    ] {
         println!("interconnect: {link_name}");
         println!(
             "{:>8} {:>12} {:>13} {:>10} {:>13} {:>15}",

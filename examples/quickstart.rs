@@ -6,7 +6,7 @@
 
 use turbobc_suite::baselines::brandes_all_sources;
 use turbobc_suite::graph::Graph;
-use turbobc_suite::turbobc::{BcOptions, BcSolver, Engine, Kernel};
+use turbobc_suite::turbobc::{BcOptions, BcSolver, Kernel};
 
 fn main() {
     // Zachary's karate club, the classic social-network test graph
@@ -42,9 +42,7 @@ fn main() {
     for (v, bc) in ranked.iter().take(5) {
         println!("  member {v:>2}: BC = {bc:8.2}");
     }
-    println!(
-        "\n(members 0 and 33 — the instructor and the club admin — should dominate)"
-    );
+    println!("\n(members 0 and 33 — the instructor and the club admin — should dominate)");
 
     // Verify against the queue-based Brandes oracle.
     let oracle = brandes_all_sources(&graph);
@@ -59,9 +57,20 @@ fn main() {
     // The same computation with each explicit kernel gives identical
     // results; only the storage format and work mapping change.
     for kernel in [Kernel::ScCooc, Kernel::ScCsc, Kernel::VeCsc] {
-        let s = BcSolver::new(&graph, BcOptions { kernel, engine: Engine::Sequential, ..Default::default() }).unwrap();
+        let s = BcSolver::new(
+            &graph,
+            BcOptions::builder().kernel(kernel).sequential().build(),
+        )
+        .unwrap();
         let r = s.bc_exact().unwrap();
-        let diff = r.bc.iter().zip(&result.bc).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
-        println!("kernel {:>6}: max diff vs default = {diff:.2e}", kernel.name());
+        let diff =
+            r.bc.iter()
+                .zip(&result.bc)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f64, f64::max);
+        println!(
+            "kernel {:>6}: max diff vs default = {diff:.2e}",
+            kernel.name()
+        );
     }
 }

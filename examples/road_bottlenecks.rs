@@ -24,7 +24,10 @@ fn main() {
     );
 
     let solver = BcSolver::new(&roads, BcOptions::default()).unwrap();
-    println!("auto-selected kernel: {} (paper: scCSC for road networks)", solver.kernel().name());
+    println!(
+        "auto-selected kernel: {} (paper: scCSC for road networks)",
+        solver.kernel().name()
+    );
     assert_eq!(solver.kernel(), Kernel::ScCsc);
 
     // Sampled BC is plenty to surface the arterial bottlenecks.
@@ -39,7 +42,11 @@ fn main() {
             "  node {v:>5}: BC = {:>10.1}, degree {} ({})",
             result.bc[v],
             degrees[v],
-            if degrees[v] >= 3 { "junction" } else { "road segment" }
+            if degrees[v] >= 3 {
+                "junction"
+            } else {
+                "road segment"
+            }
         );
     }
 

@@ -8,7 +8,7 @@
 
 use std::time::Instant;
 use turbobc_suite::graph::{gen, GraphStats};
-use turbobc_suite::turbobc::{BcOptions, BcSolver, Engine, Kernel};
+use turbobc_suite::turbobc::{BcOptions, BcSolver, Kernel};
 
 fn main() {
     // A 30k-member preferential-attachment network (com-Youtube profile:
@@ -54,15 +54,22 @@ fn main() {
     let reference = solver.bc_sampled(512).unwrap();
     let mut ref_ranked: Vec<usize> = (0..network.n()).collect();
     ref_ranked.sort_by(|&a, &b| reference.bc[b].total_cmp(&reference.bc[a]));
-    let overlap = ranked[..10].iter().filter(|v| ref_ranked[..10].contains(v)).count();
+    let overlap = ranked[..10]
+        .iter()
+        .filter(|v| ref_ranked[..10].contains(v))
+        .count();
     println!("\ntop-10 overlap with a 512-pivot reference: {overlap}/10");
 
     // The same query on the sequential engine, to show the API parity
     // the paper's "(sequential)x" baseline uses.
     let seq = BcSolver::new(
         &network,
-        BcOptions { kernel: Kernel::ScCooc, engine: Engine::Sequential, ..Default::default() },
-    ).unwrap();
+        BcOptions::builder()
+            .kernel(Kernel::ScCooc)
+            .sequential()
+            .build(),
+    )
+    .unwrap();
     let t0 = Instant::now();
     let _ = seq.bc_sampled(8).unwrap();
     println!(

@@ -9,9 +9,7 @@
 use turbobc_suite::baselines::weighted_sssp;
 use turbobc_suite::graph::weighted::weighted_road_network;
 use turbobc_suite::sparse::semiring::{self, CsrValues};
-use turbobc_suite::turbobc::weighted::{
-    sssp_delta_stepping, weighted_bc_exact, WeightedBcOptions,
-};
+use turbobc_suite::turbobc::weighted::{sssp_delta_stepping, weighted_bc_exact, WeightedBcOptions};
 
 fn main() {
     // A road network whose arc weights are segment travel times.

@@ -50,7 +50,7 @@ proptest! {
         let want = brandes_single_source(&g, source);
         for kernel in [Kernel::ScCooc, Kernel::ScCsc, Kernel::VeCsc] {
             for engine in [Engine::Sequential, Engine::Parallel] {
-                let solver = BcSolver::new(&g, BcOptions { kernel, engine, ..Default::default() }).unwrap();
+                let solver = BcSolver::new(&g, BcOptions::builder().kernel(kernel).engine(engine).build()).unwrap();
                 let r = solver.bc_single_source(source).unwrap();
                 assert_close(&format!("{:?}/{:?}", kernel, engine), &r.bc, &want);
             }
@@ -62,9 +62,9 @@ proptest! {
         let source = src_sel.index(g.n()) as u32;
         let want = brandes_single_source(&g, source);
         for kernel in [Kernel::ScCooc, Kernel::ScCsc, Kernel::VeCsc] {
-            let solver = BcSolver::new(&g, BcOptions { kernel, engine: Engine::Sequential, ..Default::default() }).unwrap();
+            let solver = BcSolver::new(&g, BcOptions::builder().kernel(kernel).sequential().build()).unwrap();
             let dev = Device::titan_xp();
-            let (r, _) = solver.run_simt(&dev, &[source]).expect("fits");
+            let (r, _) = solver.run_simt_on(&dev, &[source]).expect("fits");
             assert_close(&format!("simt/{:?}", kernel), &r.bc, &want);
         }
     }

@@ -11,16 +11,16 @@ use turbobc_suite::baselines::{
 use turbobc_suite::graph::weighted::WeightedGraph;
 use turbobc_suite::graph::Graph;
 use turbobc_suite::sparse::semiring::{self, CsrValues};
-use turbobc_suite::turbobc::weighted::{
-    sssp_delta_stepping, weighted_bc_exact, WeightedBcOptions,
-};
+use turbobc_suite::turbobc::weighted::{sssp_delta_stepping, weighted_bc_exact, WeightedBcOptions};
 
 fn arb_weighted() -> impl Strategy<Value = WeightedGraph> {
     (2usize..24, any::<bool>()).prop_flat_map(|(n, directed)| {
         let edge = (0..n as u32, 0..n as u32, 1u32..64);
         proptest::collection::vec(edge, 0..90).prop_map(move |edges| {
-            let weighted: Vec<(u32, u32, f64)> =
-                edges.into_iter().map(|(u, v, w)| (u, v, w as f64 / 4.0)).collect();
+            let weighted: Vec<(u32, u32, f64)> = edges
+                .into_iter()
+                .map(|(u, v, w)| (u, v, w as f64 / 4.0))
+                .collect();
             WeightedGraph::from_edges(n, directed, &weighted)
         })
     })
@@ -95,7 +95,10 @@ proptest! {
     #[test]
     fn edge_bc_matches_oracle(wg in arb_weighted()) {
         let g = wg.graph();
-        let got = turbobc_suite::turbobc::edge_bc(g);
+        let got = turbobc_suite::turbobc::BcSolver::new(g, Default::default())
+            .unwrap()
+            .edge_bc()
+            .unwrap();
         let want = brandes_edge_bc(g);
         for (k, (a, b)) in got.ebc.iter().zip(&want).enumerate() {
             prop_assert!((a - b).abs() < 1e-7, "arc {:?}: {} vs {}", got.arcs[k], a, b);
@@ -109,11 +112,21 @@ fn widest_path_picks_the_bottleneck_route() {
     let wg = WeightedGraph::from_edges(
         5,
         true,
-        &[(0, 1, 10.0), (1, 4, 2.0), (0, 2, 4.0), (2, 4, 4.0), (0, 3, 9.0), (3, 4, 3.0)],
+        &[
+            (0, 1, 10.0),
+            (1, 4, 2.0),
+            (0, 2, 4.0),
+            (2, 4, 4.0),
+            (0, 3, 9.0),
+            (3, 4, 3.0),
+        ],
     );
     let (csr, w) = wg.to_weighted_csr();
     let caps = semiring::widest_paths(&CsrValues::new(csr, w), 0);
-    assert_eq!(caps[4], 4.0, "route through 2 has the fattest bottleneck: {caps:?}");
+    assert_eq!(
+        caps[4], 4.0,
+        "route through 2 has the fattest bottleneck: {caps:?}"
+    );
 }
 
 /// Unit-weight equivalence across the whole stack.
@@ -122,7 +135,16 @@ fn unit_weight_stack_consistency() {
     let g = Graph::from_edges(
         7,
         false,
-        &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 0), (1, 5)],
+        &[
+            (0, 1),
+            (1, 2),
+            (2, 3),
+            (3, 4),
+            (4, 5),
+            (5, 6),
+            (6, 0),
+            (1, 5),
+        ],
     );
     let exact = turbobc_suite::baselines::brandes_all_sources(&g);
     let wg = WeightedGraph::unit_weights(g);

@@ -13,11 +13,17 @@ use turbobc_simt::{Device, DeviceProps, FaultPlan, Interconnect};
 
 /// The default policy minus the backoff sleeps (pointless in tests).
 fn fast_policy() -> RecoveryPolicy {
-    RecoveryPolicy { backoff_base_us: 0, ..Default::default() }
+    RecoveryPolicy {
+        backoff_base_us: 0,
+        ..Default::default()
+    }
 }
 
 fn opts(kernel: Kernel) -> BcOptions {
-    BcOptions { kernel, recovery: fast_policy(), ..Default::default() }
+    BcOptions::builder()
+        .kernel(kernel)
+        .recovery(fast_policy())
+        .build()
 }
 
 fn assert_close(got: &[f64], want: &[f64], tol: f64) {
@@ -38,14 +44,17 @@ fn every_launch_index_survives_a_transient_fault() {
     let solver = BcSolver::new(&g, opts(Kernel::ScCsc)).unwrap();
 
     let clean_dev = Device::titan_xp();
-    let (clean, _) = solver.run_simt(&clean_dev, &sources).unwrap();
+    let (clean, _) = solver.run_simt_on(&clean_dev, &sources).unwrap();
     let total = clean_dev.metrics().total().launches;
-    assert!(total > 10, "schedule too short to be a meaningful sweep: {total}");
+    assert!(
+        total > 10,
+        "schedule too short to be a meaningful sweep: {total}"
+    );
 
     for k in 0..total {
         let dev = Device::with_faults(DeviceProps::titan_xp(), FaultPlan::new(k).fail_launch_at(k));
         let (got, _) = solver
-            .run_simt(&dev, &sources)
+            .run_simt_on(&dev, &sources)
             .unwrap_or_else(|e| panic!("fault at launch {k}/{total} was fatal: {e}"));
         assert_eq!(
             got.stats.recovery.kernel_retries, 1,
@@ -65,7 +74,7 @@ fn injected_oom_degrades_bit_identically_to_the_next_kernel() {
     let sources = [g.default_source()];
 
     let sc = BcSolver::new(&g, opts(Kernel::ScCsc)).unwrap();
-    let (want, _) = sc.run_simt(&Device::titan_xp(), &sources).unwrap();
+    let (want, _) = sc.run_simt_on(&Device::titan_xp(), &sources).unwrap();
 
     let ve = BcSolver::new(&g, opts(Kernel::VeCsc)).unwrap();
     for alloc_idx in [0u64, 3] {
@@ -73,12 +82,18 @@ fn injected_oom_degrades_bit_identically_to_the_next_kernel() {
             DeviceProps::titan_xp(),
             FaultPlan::new(alloc_idx).fail_alloc_at(alloc_idx),
         );
-        let (got, _) = ve.run_simt(&dev, &sources).unwrap();
+        let (got, _) = ve.run_simt_on(&dev, &sources).unwrap();
         let log = &got.stats.recovery;
-        assert_eq!(log.oom_degradations, 1, "alloc fault {alloc_idx} should degrade once");
+        assert_eq!(
+            log.oom_degradations, 1,
+            "alloc fault {alloc_idx} should degrade once"
+        );
         assert_eq!(log.degraded_to, Some("scCSC"));
         assert!(!log.cpu_fallback);
-        assert_eq!(got.bc, want.bc, "degraded run (alloc fault {alloc_idx}) must match scCSC");
+        assert_eq!(
+            got.bc, want.bc,
+            "degraded run (alloc fault {alloc_idx}) must match scCSC"
+        );
     }
 }
 
@@ -89,8 +104,11 @@ fn exhausted_ladder_falls_back_to_cpu() {
     let g = gen::grid2d(12, 12);
     let solver = BcSolver::new(&g, opts(Kernel::ScCsc)).unwrap();
     let dev = Device::with_capacity(DeviceProps::titan_xp(), 4096);
-    let (got, _) = solver.run_simt(&dev, &[0]).unwrap();
-    assert!(got.stats.recovery.cpu_fallback, "tiny device must end on the CPU");
+    let (got, _) = solver.run_simt_on(&dev, &[0]).unwrap();
+    assert!(
+        got.stats.recovery.cpu_fallback,
+        "tiny device must end on the CPU"
+    );
     assert!(got.stats.recovery.oom_degradations >= 1);
     let want = solver.bc_sources(&[0]).unwrap();
     assert_close(&got.bc, &want.bc, 1e-9);
@@ -101,14 +119,16 @@ fn exhausted_ladder_falls_back_to_cpu() {
 #[test]
 fn strict_policy_surfaces_the_fault_instead() {
     let g = gen::gnm(40, 120, false, 5);
-    let strict = BcOptions {
-        kernel: Kernel::ScCsc,
-        recovery: RecoveryPolicy::strict(),
-        ..Default::default()
-    };
+    let strict = BcOptions::builder()
+        .kernel(Kernel::ScCsc)
+        .recovery(RecoveryPolicy::strict())
+        .build();
     let solver = BcSolver::new(&g, strict).unwrap();
     let dev = Device::with_faults(DeviceProps::titan_xp(), FaultPlan::new(1).fail_launch_at(2));
-    assert!(matches!(solver.run_simt(&dev, &[0]), Err(TurboBcError::Device(_))));
+    assert!(matches!(
+        solver.run_simt_on(&dev, &[0]),
+        Err(TurboBcError::Device(_))
+    ));
 }
 
 /// Dropped and corrupted frontier exchanges on the multi-GPU interconnect
@@ -118,8 +138,14 @@ fn strict_policy_surfaces_the_fault_instead() {
 fn multi_gpu_link_faults_are_absorbed_bit_identically() {
     let g = gen::small_world(100, 3, 0.1, 21);
     let sources = [g.default_source(), 7];
-    let (clean, _) =
-        bc_multi_gpu(&g, &sources, 2, DeviceProps::titan_xp(), Interconnect::nvlink()).unwrap();
+    let (clean, _) = bc_multi_gpu(
+        &g,
+        &sources,
+        2,
+        DeviceProps::titan_xp(),
+        Interconnect::nvlink(),
+    )
+    .unwrap();
 
     let link = Interconnect::nvlink()
         .with_faults(FaultPlan::new(3).drop_transfer_at(2).corrupt_transfer_at(9));
@@ -144,8 +170,14 @@ fn multi_gpu_link_faults_are_absorbed_bit_identically() {
 fn multi_gpu_device_loss_requeues_bit_identically() {
     let g = gen::gnm(120, 480, false, 33);
     let sources = [g.default_source(), 11, 57];
-    let (clean, _) =
-        bc_multi_gpu(&g, &sources, 4, DeviceProps::titan_xp(), Interconnect::pcie3()).unwrap();
+    let (clean, _) = bc_multi_gpu(
+        &g,
+        &sources,
+        4,
+        DeviceProps::titan_xp(),
+        Interconnect::pcie3(),
+    )
+    .unwrap();
 
     let plans = vec![
         FaultPlan::new(1),
@@ -184,26 +216,32 @@ fn killed_checkpointed_run_resumes_bit_identically() {
     let _ = std::fs::remove_file(&uninterrupted_path);
     let _ = std::fs::remove_file(&killed_path);
 
-    let want = solver
-        .bc_sources_checkpointed(&sources, &CheckpointConfig::new(&uninterrupted_path, 16))
+    // The checkpoint config now travels in the options, so each run
+    // variant gets its own solver.
+    let with_ckpt = |cfg: CheckpointConfig| {
+        BcSolver::new(&g, BcOptions::builder().checkpoint(cfg).build()).unwrap()
+    };
+    let want = with_ckpt(CheckpointConfig::new(&uninterrupted_path, 16))
+        .bc_sources_checkpointed(&sources)
         .unwrap();
 
     // Kill the run after two 16-source batches...
-    let killed = solver.bc_sources_checkpointed(
-        &sources,
-        &CheckpointConfig::new(&killed_path, 16).fail_after_batches(2),
-    );
+    let killed = with_ckpt(CheckpointConfig::new(&killed_path, 16).fail_after_batches(2))
+        .bc_sources_checkpointed(&sources);
     assert!(
         matches!(killed, Err(TurboBcError::Checkpoint(_))),
         "the injected kill must surface: {killed:?}"
     );
 
     // ...then resume from the snapshot it left behind.
-    let resumed = solver
-        .bc_sources_checkpointed(&sources, &CheckpointConfig::new(&killed_path, 16).resume())
+    let resumed = with_ckpt(CheckpointConfig::new(&killed_path, 16).resume())
+        .bc_sources_checkpointed(&sources)
         .unwrap();
     assert_eq!(resumed.stats.recovery.resumed_sources, 32);
-    assert_eq!(resumed.bc, want.bc, "resume must be bit-identical to uninterrupted");
+    assert_eq!(
+        resumed.bc, want.bc,
+        "resume must be bit-identical to uninterrupted"
+    );
     assert_eq!(resumed.sigma, want.sigma);
     assert_eq!(resumed.depths, want.depths);
 

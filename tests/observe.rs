@@ -1,0 +1,128 @@
+//! Observability integration tests: the profile a run emits must agree
+//! with what the underlying algorithms independently report — per-level
+//! trace depth against the BFS tree height, the memory snapshot against
+//! the paper's `7n + m` footprint model, and a lossless JSON round trip
+//! through the same validator the CLI's `validate-profile` command uses.
+
+use turbobc_suite::graph::gen;
+use turbobc_suite::turbobc::observe::{ProfileObserver, RunProfile};
+use turbobc_suite::turbobc::{BcOptions, BcSolver, Kernel, TurboBfs};
+
+/// The tentpole invariant: a SIMT exact-BC run's forward trace records
+/// exactly one `Level` event per frontier expansion, so the per-source
+/// level count plus the source's own level equals the BFS depth `d`
+/// that `TurboBfs` measures on the same graph and source.
+#[test]
+fn simt_profile_level_count_matches_turbobfs_depth() {
+    for (g, label) in [
+        (gen::mycielski(5), "mycielski"),
+        (gen::small_world(400, 3, 0.1, 9), "small_world"),
+        (gen::grid2d(12, 9), "grid2d"),
+    ] {
+        let options = BcOptions::builder().kernel(Kernel::ScCsc).build();
+        let source = g.default_source();
+        let depth = TurboBfs::new(&g, options.clone()).run(source).height;
+
+        let solver = BcSolver::new(&g, options).unwrap();
+        let mut obs = ProfileObserver::new();
+        solver.run_simt_observed(&[source], &mut obs).unwrap();
+        let profile = obs.into_profile();
+
+        // The source occupies depth 1 and needs no expansion event, so
+        // the trace holds exactly `d - 1` levels at depths 2..=d.
+        let levels = profile.levels_for(source).count();
+        assert_eq!(
+            levels + 1,
+            depth as usize,
+            "{label}: traced {levels} level(s), TurboBfs measured depth {depth}"
+        );
+        let mut seen: Vec<u32> = profile.levels_for(source).map(|l| l.depth).collect();
+        seen.sort_unstable();
+        assert_eq!(
+            seen,
+            (2..=depth).collect::<Vec<u32>>(),
+            "{label}: depths not contiguous"
+        );
+    }
+}
+
+/// The same invariant holds per source in a multi-source run.
+#[test]
+fn multi_source_profile_traces_every_source_at_its_own_depth() {
+    let g = gen::small_world(300, 2, 0.2, 4);
+    let options = BcOptions::default();
+    let bfs = TurboBfs::new(&g, options.clone());
+    let sources: Vec<u32> = vec![g.default_source(), 1, 17];
+
+    let solver = BcSolver::new(&g, options).unwrap();
+    let mut obs = ProfileObserver::new();
+    solver.run_simt_observed(&sources, &mut obs).unwrap();
+    let profile = obs.into_profile();
+
+    assert_eq!(profile.source_runs.len(), sources.len());
+    for &s in &sources {
+        let depth = bfs.run(s).height as usize;
+        assert_eq!(
+            profile.levels_for(s).count() + 1,
+            depth,
+            "source {s}: level trace disagrees with BFS depth"
+        );
+    }
+}
+
+/// A clean SIMT run's memory snapshot sits within the paper's `7n + m`
+/// device-word model and records no recovery events.
+#[test]
+fn simt_profile_memory_within_paper_model() {
+    let g = gen::mycielski(6);
+    let solver = BcSolver::new(&g, BcOptions::builder().kernel(Kernel::ScCsc).build()).unwrap();
+    let mut obs = ProfileObserver::new();
+    solver
+        .run_simt_observed(&[g.default_source()], &mut obs)
+        .unwrap();
+    let profile = obs.into_profile();
+
+    let mem = profile
+        .memory
+        .as_ref()
+        .expect("SIMT runs must snapshot device memory");
+    // §3.4 CSC footprint: 7n + m device words (+ CSC's n+1 offset slot
+    // and the frontier counter).
+    assert_eq!(mem.paper_words, 7 * g.n() + g.m() + 2);
+    assert!(
+        mem.within_model,
+        "peak {} words exceeds the paper's model of {} words",
+        mem.measured_words, mem.paper_words
+    );
+    assert!(
+        profile.recovery.is_empty(),
+        "clean run must log no recovery events"
+    );
+}
+
+/// Serialise → validate → reread: the JSON a profile emits is accepted
+/// by the CLI validator and preserves the headline fields.
+#[test]
+fn profile_json_round_trips_through_the_validator() {
+    let g = gen::small_world(200, 3, 0.1, 2);
+    let solver = BcSolver::new(&g, BcOptions::default()).unwrap();
+    let mut obs = ProfileObserver::new();
+    solver
+        .run_simt_observed(&[g.default_source()], &mut obs)
+        .unwrap();
+    let profile = obs.into_profile();
+
+    let text = profile.to_json_string();
+    let doc = RunProfile::validate(&text).expect("emitted profile must satisfy its own schema");
+    assert_eq!(doc.get("engine").and_then(|v| v.as_str()), Some("simt"));
+    assert_eq!(
+        doc.get("levels").and_then(|v| v.as_arr()).map(|a| a.len()),
+        Some(profile.level_count())
+    );
+    assert_eq!(
+        doc.get("graph")
+            .and_then(|gj| gj.get("n"))
+            .and_then(|v| v.as_f64()),
+        Some(g.n() as f64)
+    );
+}

@@ -6,7 +6,7 @@ use turbobc_suite::baselines::gunrock_like;
 use turbobc_suite::graph::families::{self, Scale};
 use turbobc_suite::graph::gen;
 use turbobc_suite::simt::{Device, DeviceProps};
-use turbobc_suite::turbobc::{footprint, BcOptions, BcSolver, Engine, Kernel};
+use turbobc_suite::turbobc::{footprint, BcOptions, BcSolver, Kernel};
 
 /// §3.1/Tables 1–3: the auto selector reproduces the published
 /// best-kernel split for the great majority of the 33 graphs.
@@ -66,7 +66,11 @@ fn table4_oom_ordering() {
         let probe2 = Device::titan_xp();
         let _plan = gunrock_like::plan_on_device(&probe2, n, m).unwrap();
         let gunrock_peak = probe2.memory().peak;
-        assert!(gunrock_peak > turbo_peak, "{}: inventory ordering", row.name);
+        assert!(
+            gunrock_peak > turbo_peak,
+            "{}: inventory ordering",
+            row.name
+        );
         // Midway between the two working sets — where the paper's 12 GB
         // card sat for these graphs.
         let capacity = (turbo_peak + gunrock_peak) / 2;
@@ -95,10 +99,15 @@ fn warp_efficiency_ordering_on_simulator() {
     let g = gen::mycielski(9);
     let s = g.default_source();
     let eff = |kernel: Kernel, g: &turbobc_suite::graph::Graph, name: &str| {
-        let solver = BcSolver::new(g, BcOptions { kernel, engine: Engine::Sequential, ..Default::default() }).unwrap();
+        let solver =
+            BcSolver::new(g, BcOptions::builder().kernel(kernel).sequential().build()).unwrap();
         let dev = Device::titan_xp();
-        let (_, report) = solver.run_simt(&dev, &[g.default_source()]).unwrap();
-        report.metrics.kernel(name).expect("kernel ran").warp_efficiency()
+        let (_, report) = solver.run_simt_on(&dev, &[g.default_source()]).unwrap();
+        report
+            .metrics
+            .kernel(name)
+            .expect("kernel ran")
+            .warp_efficiency()
     };
     let _ = s;
     let ve = eff(Kernel::VeCsc, &g, "fwd_veCSC");
@@ -123,9 +132,10 @@ fn warp_efficiency_ordering_on_simulator() {
 fn irregular_graphs_dominate_modelled_mteps() {
     let mteps = |name: &str, kernel: Kernel| {
         let g = families::generate(name, Scale::Tiny).unwrap();
-        let solver = BcSolver::new(&g, BcOptions { kernel, engine: Engine::Sequential, ..Default::default() }).unwrap();
+        let solver =
+            BcSolver::new(&g, BcOptions::builder().kernel(kernel).sequential().build()).unwrap();
         let dev = Device::titan_xp();
-        let (_, report) = solver.run_simt(&dev, &[g.default_source()]).unwrap();
+        let (_, report) = solver.run_simt_on(&dev, &[g.default_source()]).unwrap();
         g.m() as f64 / report.modelled_time_s / 1e6
     };
     let myc = mteps("mycielskian16", Kernel::VeCsc);
@@ -140,8 +150,7 @@ fn irregular_graphs_dominate_modelled_mteps() {
 /// levels launch more kernels and spend proportionally more time in
 /// fixed overhead. Verify the modelled time per edge grows with d.
 #[test]
-fn deep_graphs_pay_per_level_overhead()
-{
+fn deep_graphs_pay_per_level_overhead() {
     let per_edge_time = |name: &str| {
         let g = families::generate(name, Scale::Tiny).unwrap();
         let row = families::find(name).unwrap();
@@ -150,9 +159,10 @@ fn deep_graphs_pay_per_level_overhead()
             "veCSC" => Kernel::VeCsc,
             _ => Kernel::ScCsc,
         };
-        let solver = BcSolver::new(&g, BcOptions { kernel, engine: Engine::Sequential, ..Default::default() }).unwrap();
+        let solver =
+            BcSolver::new(&g, BcOptions::builder().kernel(kernel).sequential().build()).unwrap();
         let dev = Device::titan_xp();
-        let (r, report) = solver.run_simt(&dev, &[g.default_source()]).unwrap();
+        let (r, report) = solver.run_simt_on(&dev, &[g.default_source()]).unwrap();
         (report.modelled_time_s / g.m() as f64, r.stats.max_depth)
     };
     let (shallow_t, shallow_d) = per_edge_time("smallworld");

@@ -3,7 +3,7 @@
 
 use turbobc_suite::graph::families::{self, Scale};
 use turbobc_suite::graph::{io, Graph};
-use turbobc_suite::turbobc::{BcOptions, BcSolver, Engine, Kernel};
+use turbobc_suite::turbobc::{BcOptions, BcSolver, Kernel};
 
 /// Every catalogued paper graph runs end to end (single-source BC on the
 /// parallel engine with the paper's kernel) at Tiny scale.
@@ -16,7 +16,8 @@ fn every_family_runs_end_to_end() {
             "veCSC" => Kernel::VeCsc,
             _ => Kernel::ScCsc,
         };
-        let solver = BcSolver::new(&g, BcOptions { kernel, engine: Engine::Parallel, ..Default::default() }).unwrap();
+        let solver =
+            BcSolver::new(&g, BcOptions::builder().kernel(kernel).parallel().build()).unwrap();
         let r = solver.bc_single_source(g.default_source()).unwrap();
         assert_eq!(r.bc.len(), g.n(), "{}", row.name);
         assert!(r.stats.max_depth >= 1, "{}", row.name);
@@ -35,8 +36,14 @@ fn mtx_round_trip_preserves_bc() {
     let mut buf = Vec::new();
     io::write_matrix_market(&g, &mut buf).unwrap();
     let back = io::read_matrix_market(buf.as_slice()).unwrap();
-    let a = BcSolver::new(&g, BcOptions::default()).unwrap().bc_sampled(16).unwrap();
-    let b = BcSolver::new(&back, BcOptions::default()).unwrap().bc_sampled(16).unwrap();
+    let a = BcSolver::new(&g, BcOptions::default())
+        .unwrap()
+        .bc_sampled(16)
+        .unwrap();
+    let b = BcSolver::new(&back, BcOptions::default())
+        .unwrap()
+        .bc_sampled(16)
+        .unwrap();
     for (x, y) in a.bc.iter().zip(&b.bc) {
         assert!((x - y).abs() < 1e-9);
     }
@@ -67,7 +74,18 @@ fn exact_bc_is_sum_of_single_sources() {
     let g = Graph::from_edges(
         12,
         false,
-        &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (2, 8), (8, 9), (9, 10), (10, 11)],
+        &[
+            (0, 1),
+            (1, 2),
+            (2, 3),
+            (3, 4),
+            (4, 5),
+            (5, 0),
+            (2, 8),
+            (8, 9),
+            (9, 10),
+            (10, 11),
+        ],
     );
     let solver = BcSolver::new(&g, BcOptions::default()).unwrap();
     let exact = solver.bc_exact().unwrap();
@@ -87,7 +105,11 @@ fn exact_bc_is_sum_of_single_sources() {
 #[test]
 fn experiment_harness_smoke() {
     use turbobc_bench::experiments::{run, Config};
-    let cfg = Config { scale: Scale::Tiny, trials: 1, max_sources: 8 };
+    let cfg = Config {
+        scale: Scale::Tiny,
+        trials: 1,
+        max_sources: 8,
+    };
     let t1 = run("fig3", cfg).unwrap();
     assert!(t1.contains("Figure 3"));
     assert!(t1.contains("mycielski"));
