@@ -1,0 +1,295 @@
+//! The `direction` experiment: push vs pull vs the per-level auto
+//! direction heuristic (`|frontier| + frontier edges > m/α`) on one
+//! power-law and one road/mesh fixture set.
+//!
+//! Emits `BENCH_direction.json` (schema `turbobc-direction-v1`) into its
+//! own directory — deliberately *not* `target/profiles`, whose contents
+//! CI validates against the `turbobc-profile-v1` schema.
+
+use super::Config;
+use crate::table::{fcount, fnum, TextTable};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+use turbobc::observe::json::Json;
+use turbobc::observe::ProfileObserver;
+use turbobc::{BcOptions, BcSolver, DirectionMode};
+use turbobc_graph::families::Scale;
+use turbobc_graph::{gen, Graph, DENSE_DIRECTION_FRACTION};
+
+/// One fixture's timings under the three direction modes.
+#[derive(Debug, Clone)]
+pub struct DirectionRow {
+    /// Fixture name.
+    pub graph: String,
+    /// Whether the fixture has a power-law degree distribution (the
+    /// regime where pull-heavy schedules pay for full scans).
+    pub power_law: bool,
+    /// Vertex count.
+    pub n: usize,
+    /// Stored arc count.
+    pub m: usize,
+    /// Best-of-trials wall clock for `DirectionMode::PushOnly`, ms.
+    pub push_ms: f64,
+    /// Best-of-trials wall clock for `DirectionMode::PullOnly`, ms.
+    pub pull_ms: f64,
+    /// Best-of-trials wall clock for `DirectionMode::Auto`, ms.
+    pub auto_ms: f64,
+    /// Levels the auto heuristic ran as push.
+    pub auto_push_levels: usize,
+    /// Levels the auto heuristic ran as pull.
+    pub auto_pull_levels: usize,
+}
+
+/// Fixtures: two power-law stand-ins (R-MAT / preferential attachment)
+/// and two road/mesh stand-ins (road grid / Delaunay triangulation).
+fn fixtures(scale: Scale) -> Vec<(&'static str, bool, Graph)> {
+    let f = scale.factor();
+    let sz = |base: usize| ((base as f64 * f) as usize).max(64);
+    let grid = |base: usize| (((base * base) as f64 * f).sqrt() as usize).max(4);
+    let rmat_scale = (12 + scale.log2_offset()).max(6) as u32;
+    vec![
+        ("rmat", true, gen::rmat(rmat_scale, 8, 7)),
+        (
+            "pref-attach",
+            true,
+            gen::preferential_attachment(sz(4000), 4, 11),
+        ),
+        ("road", false, gen::road_network(grid(14), grid(14), 6, 3)),
+        ("delaunay", false, gen::delaunay(sz(3000), 5)),
+    ]
+}
+
+/// Evenly spread BC sources, starting from the graph's default.
+fn pick_sources(g: &Graph, count: usize) -> Vec<u32> {
+    let n = g.n().max(1);
+    let first = g.default_source() as usize;
+    (0..count.max(1))
+        .map(|i| ((first + i * n / count.max(1)) % n) as u32)
+        .collect()
+}
+
+/// Best-of-`trials` wall clock for the parallel engine under `mode`, ms.
+fn time_ms(g: &Graph, sources: &[u32], mode: DirectionMode, trials: usize) -> f64 {
+    let solver = BcSolver::new(g, BcOptions::builder().parallel().direction(mode).build())
+        .expect("fixture graphs are non-empty");
+    let mut best = f64::INFINITY;
+    for _ in 0..trials.max(1) {
+        let start = Instant::now();
+        let out = solver.bc_sources(sources).expect("cpu engines are total");
+        let elapsed = start.elapsed().as_secs_f64() * 1e3;
+        assert!(out.bc.len() == g.n());
+        best = best.min(elapsed);
+    }
+    best
+}
+
+/// Measures every fixture; the module test and [`run`] share this.
+pub fn measure(cfg: Config) -> Vec<DirectionRow> {
+    let sources_per_graph = cfg.max_sources.clamp(1, 4);
+    fixtures(cfg.scale)
+        .into_iter()
+        .map(|(name, power_law, g)| {
+            let sources = pick_sources(&g, sources_per_graph);
+            let push_ms = time_ms(&g, &sources, DirectionMode::PushOnly, cfg.trials);
+            let pull_ms = time_ms(&g, &sources, DirectionMode::PullOnly, cfg.trials);
+            let auto_ms = time_ms(&g, &sources, DirectionMode::Auto, cfg.trials);
+            // One observed (ordered, per-level traced) run for the
+            // decision counts; never timed.
+            let solver = BcSolver::new(&g, BcOptions::builder().parallel().build())
+                .expect("fixture graphs are non-empty");
+            let mut obs = ProfileObserver::new();
+            solver
+                .bc_sources_observed(&sources, &mut obs)
+                .expect("cpu engines are total");
+            let (auto_push_levels, auto_pull_levels) = obs.profile().direction_counts();
+            DirectionRow {
+                graph: name.to_string(),
+                power_law,
+                n: g.n(),
+                m: g.m(),
+                push_ms,
+                pull_ms,
+                auto_ms,
+                auto_push_levels,
+                auto_pull_levels,
+            }
+        })
+        .collect()
+}
+
+/// Serialises the rows under the `turbobc-direction-v1` schema.
+pub fn rows_to_json(rows: &[DirectionRow], cfg: Config) -> Json {
+    Json::Obj(vec![
+        ("schema".into(), "turbobc-direction-v1".into()),
+        ("alpha".into(), DENSE_DIRECTION_FRACTION.into()),
+        ("trials".into(), cfg.trials.into()),
+        (
+            "rows".into(),
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::Obj(vec![
+                            ("graph".into(), r.graph.as_str().into()),
+                            ("power_law".into(), r.power_law.into()),
+                            ("n".into(), r.n.into()),
+                            ("m".into(), r.m.into()),
+                            ("push_ms".into(), r.push_ms.into()),
+                            ("pull_ms".into(), r.pull_ms.into()),
+                            ("auto_ms".into(), r.auto_ms.into()),
+                            ("auto_push_levels".into(), r.auto_push_levels.into()),
+                            ("auto_pull_levels".into(), r.auto_pull_levels.into()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Where the BENCH JSON lands; overridable so CI can point it at the
+/// artifact directory.
+pub fn out_path() -> PathBuf {
+    std::env::var_os("TURBOBC_DIRECTION_OUT")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| Path::new("target").join("direction"))
+        .join("BENCH_direction.json")
+}
+
+/// Runs the experiment: a text table plus the BENCH JSON on disk.
+pub fn run(cfg: Config) -> String {
+    let rows = measure(cfg);
+    let mut out =
+        String::from("== Direction: push vs pull vs auto (parallel engine, best-of trials) ==\n\n");
+    let mut t = TextTable::new(vec![
+        "graph",
+        "class",
+        "n",
+        "m",
+        "push ms",
+        "pull ms",
+        "auto ms",
+        "auto/best",
+        "auto levels (push/pull)",
+    ]);
+    for r in &rows {
+        let best = r.push_ms.min(r.pull_ms);
+        t.row(vec![
+            r.graph.clone(),
+            if r.power_law {
+                "power-law"
+            } else {
+                "road/mesh"
+            }
+            .to_string(),
+            fcount(r.n),
+            fcount(r.m),
+            fnum(r.push_ms),
+            fnum(r.pull_ms),
+            fnum(r.auto_ms),
+            format!("{:.2}x", r.auto_ms / best.max(1e-9)),
+            format!("{}/{}", r.auto_push_levels, r.auto_pull_levels),
+        ]);
+    }
+    out.push_str(&t.render());
+
+    let path = out_path();
+    let doc = rows_to_json(&rows, cfg);
+    let written = path
+        .parent()
+        .map(std::fs::create_dir_all)
+        .transpose()
+        .and_then(|_| std::fs::write(&path, doc.pretty()).map(Some));
+    match written {
+        Ok(_) => out.push_str(&format!("\nBENCH JSON: {}\n", path.display())),
+        Err(e) => out.push_str(&format!("\nBENCH JSON not written ({e})\n")),
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> Config {
+        Config {
+            scale: Scale::Tiny,
+            trials: 1,
+            max_sources: 2,
+        }
+    }
+
+    #[test]
+    fn report_and_json_have_every_fixture() {
+        let rows = measure(tiny_cfg());
+        assert_eq!(rows.len(), 4);
+        assert!(rows.iter().any(|r| r.power_law));
+        assert!(rows.iter().any(|r| !r.power_law));
+        for r in &rows {
+            assert!(r.push_ms.is_finite() && r.pull_ms.is_finite() && r.auto_ms.is_finite());
+            assert!(
+                r.auto_push_levels + r.auto_pull_levels > 0,
+                "{}: the observed run must record level decisions",
+                r.graph
+            );
+        }
+        let doc = rows_to_json(&rows, tiny_cfg());
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some("turbobc-direction-v1")
+        );
+        let parsed = turbobc::observe::json::parse(&doc.pretty()).expect("own output parses");
+        assert_eq!(
+            parsed.get("rows").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(4)
+        );
+    }
+
+    #[test]
+    fn road_fixtures_lean_push_and_powerlaw_fixtures_pull_their_big_levels() {
+        // Structure (not timing) claims, so they hold in debug too: on a
+        // road/mesh diameter the frontier almost never crosses m/α, so
+        // auto is push-dominated; on power-law graphs the giant middle
+        // levels cross it, so pull shows up.
+        let rows = measure(tiny_cfg());
+        let road = rows.iter().find(|r| r.graph == "road").unwrap();
+        assert!(
+            road.auto_push_levels > road.auto_pull_levels,
+            "road: push {} vs pull {}",
+            road.auto_push_levels,
+            road.auto_pull_levels
+        );
+        let power: usize = rows
+            .iter()
+            .filter(|r| r.power_law)
+            .map(|r| r.auto_pull_levels)
+            .sum();
+        assert!(power > 0, "power-law fixtures should pull their big levels");
+    }
+
+    /// The acceptance bar from the issue: auto never loses to the best
+    /// fixed direction by more than 10%, and beats fixed-pull on at
+    /// least one power-law fixture. Timing-sensitive, so release only.
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "timing assertion; run under --release")]
+    fn auto_is_competitive_with_the_best_fixed_direction() {
+        let rows = measure(Config {
+            scale: Scale::Small,
+            trials: 5,
+            max_sources: 4,
+        });
+        for r in &rows {
+            let best = r.push_ms.min(r.pull_ms);
+            assert!(
+                r.auto_ms <= best * 1.10 + 1.0,
+                "{}: auto {:.2}ms vs best fixed {:.2}ms",
+                r.graph,
+                r.auto_ms,
+                best
+            );
+        }
+        assert!(
+            rows.iter().any(|r| r.power_law && r.auto_ms < r.pull_ms),
+            "auto should beat fixed-pull on a power-law fixture: {rows:?}"
+        );
+    }
+}

@@ -3,6 +3,7 @@
 //! `EXPERIMENTS.md` generator share one code path.
 
 pub mod ablation;
+pub mod direction;
 pub mod figures;
 pub mod tables;
 
@@ -32,8 +33,19 @@ impl Default for Config {
 
 /// All experiment ids, in paper order.
 pub const ALL: &[&str] = &[
-    "table1", "table2", "table3", "table4", "table5", "fig3", "fig5", "fig6", "fig7", "ablation",
-    "scaling", "multigpu",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "fig3",
+    "fig5",
+    "fig6",
+    "fig7",
+    "ablation",
+    "scaling",
+    "multigpu",
+    "direction",
 ];
 
 /// Runs one experiment by id.
@@ -51,6 +63,7 @@ pub fn run(id: &str, cfg: Config) -> Option<String> {
         "ablation" => ablation::run(cfg),
         "scaling" => figures::scaling(cfg),
         "multigpu" => figures::multigpu(cfg),
+        "direction" => direction::run(cfg),
         _ => return None,
     })
 }

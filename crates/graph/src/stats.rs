@@ -100,6 +100,26 @@ pub struct GraphStats {
 /// degree threshold reproduces the published split exactly.
 pub const IRREGULAR_MEAN_DEGREE: f64 = 24.0;
 
+/// Normalised [`GraphStats::scf`] at or above which a graph counts as
+/// *scale-free*.
+///
+/// Meshes, roads and Delaunay triangulations sit at `scf ≈ 1`; Kronecker,
+/// Mycielski and web graphs reach 10¹–10⁴. The threshold is deliberately
+/// conservative: it is a *secondary* signal used by kernel auto-selection
+/// to resolve boundary cases near [`IRREGULAR_MEAN_DEGREE`], never the
+/// primary discriminator (the mawi super-stars also have elevated scf but
+/// belong to the scalar kernels).
+pub const SCALE_FREE_SCF: f64 = 8.0;
+
+/// Beamer/Ligra direction-switching fraction `α`: a BFS level is advanced
+/// *pull* (dense, gather over in-neighbours) when
+/// `|frontier| + Σ out-degree(frontier) > m / α`, and *push* (sparse,
+/// scatter along out-edges of the frontier) otherwise.
+///
+/// Shared by the `ligra` baseline's `edge_map` and TurboBC's `frontier`
+/// subsystem so both switch representation at the same point.
+pub const DENSE_DIRECTION_FRACTION: usize = 20;
+
 impl GraphStats {
     /// Computes the full statistics row for a graph.
     pub fn compute(graph: &Graph) -> Self {
@@ -122,6 +142,12 @@ impl GraphStats {
             scf_raw,
             scf,
         }
+    }
+
+    /// Whether the normalised scf marks this graph as scale-free
+    /// (see [`SCALE_FREE_SCF`]).
+    pub fn is_scale_free(&self) -> bool {
+        self.scf >= SCALE_FREE_SCF
     }
 
     /// Classifies the graph per §3.1 (see [`IRREGULAR_MEAN_DEGREE`]).
@@ -183,6 +209,19 @@ mod tests {
         // …but like the paper's mawi super-stars it stays *regular*: its
         // mean degree is far below a warp's width.
         assert_eq!(s.class(), GraphClass::Regular);
+    }
+
+    #[test]
+    fn wide_star_is_scale_free_but_narrow_star_is_not() {
+        // K_{1,32}: every stored arc has degree product 32·1 against a
+        // mean degree just below 2 — the edge-endpoint product dominates.
+        let edges: Vec<_> = (1..33).map(|v| (0u32, v as u32)).collect();
+        let wide = Graph::from_edges(33, false, &edges);
+        assert!(GraphStats::compute(&wide).is_scale_free());
+        // K_{1,8} stays below the threshold.
+        let edges: Vec<_> = (1..9).map(|v| (0u32, v as u32)).collect();
+        let narrow = Graph::from_edges(9, false, &edges);
+        assert!(!GraphStats::compute(&narrow).is_scale_free());
     }
 
     #[test]

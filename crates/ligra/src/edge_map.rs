@@ -62,8 +62,10 @@ pub trait EdgeOp: Sync {
 }
 
 /// Ligra's threshold: pull (dense) when the frontier plus its out-edges
-/// exceed `m / DENSE_FRACTION`.
-const DENSE_FRACTION: usize = 20;
+/// exceed `m / α`. The denominator is the workspace-wide
+/// [`turbobc_graph::DENSE_DIRECTION_FRACTION`], shared with TurboBC's
+/// direction engine so both systems flip at the same frontier size.
+use turbobc_graph::DENSE_DIRECTION_FRACTION as DENSE_FRACTION;
 
 /// Applies `op` to every edge leaving `frontier`, returning the newly
 /// activated vertex subset. Direction-optimising: chooses push or pull

@@ -128,6 +128,34 @@ impl Csr {
         }
     }
 
+    /// Push-style `y ← y + Aᵀ x` restricted to a sparse frontier: for each
+    /// row index `u` in `frontier` with `x[u] > 0`, scatter `x[u]` along
+    /// row `u`. Equivalent to [`Csr::spmv_t`] whenever `frontier` contains
+    /// every row with a positive entry — the direction-optimised BFS
+    /// forward step, where the frontier index list replaces the full scan
+    /// over rows.
+    ///
+    /// Rows listed more than once are scattered more than once; callers
+    /// must pass a duplicate-free frontier.
+    pub fn spmv_t_frontier<T>(&self, frontier: &[Index], x: &[T], y: &mut [T])
+    where
+        T: Scalar,
+    {
+        assert_eq!(x.len(), self.n_rows, "x must have one entry per row");
+        assert_eq!(y.len(), self.n_cols, "y must have one entry per column");
+        let zero = T::default();
+        for &u in frontier {
+            let i = u as usize;
+            let xv = x[i];
+            if xv > zero {
+                for &c in self.row(i) {
+                    let ci = c as usize;
+                    y[ci] = y[ci].acc(xv);
+                }
+            }
+        }
+    }
+
     /// Sequential `y ← y + Aᵀ x` (scatter along rows).
     pub fn spmv_t<T>(&self, x: &[T], y: &mut [T])
     where
@@ -228,6 +256,26 @@ mod tests {
         csr.spmv_t(&x, &mut y1);
         csc.spmv_t(&x, &mut y2);
         assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn spmv_t_frontier_matches_full_scatter() {
+        let csr = sample();
+        let x = vec![1i32, 0, 2, 0];
+        let mut full = vec![0i32; 4];
+        csr.spmv_t(&x, &mut full);
+        // The frontier lists exactly the rows with positive entries.
+        let mut pushed = vec![0i32; 4];
+        csr.spmv_t_frontier(&[0, 2], &x, &mut pushed);
+        assert_eq!(pushed, full);
+        // Extra frontier members with zero entries contribute nothing.
+        let mut padded = vec![0i32; 4];
+        csr.spmv_t_frontier(&[0, 1, 2, 3], &x, &mut padded);
+        assert_eq!(padded, full);
+        // An empty frontier scatters nothing.
+        let mut none = vec![0i32; 4];
+        csr.spmv_t_frontier(&[], &x, &mut none);
+        assert_eq!(none, vec![0; 4]);
     }
 
     #[test]

@@ -97,6 +97,37 @@ proptest! {
     }
 
     #[test]
+    fn push_over_frontier_equals_full_pull(coo in arb_coo(), seed in any::<u64>()) {
+        // The direction-optimizing engine's core identity: scattering
+        // over exactly the rows with positive `x` (the sparse frontier)
+        // produces the same product as the full transposed SpMV.
+        let csr = coo.to_csr();
+        let n_rows = coo.n_rows();
+        let n_cols = coo.n_cols();
+        let x: Vec<i64> = (0..n_rows)
+            .map(|i| {
+                let h = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(i as u64);
+                ((h >> 33) % 4) as i64
+            })
+            .collect();
+        let frontier: Vec<Index> = (0..n_rows as Index)
+            .filter(|&i| x[i as usize] > 0)
+            .collect();
+
+        let mut pushed = vec![0i64; n_cols];
+        csr.spmv_t_frontier(&frontier, &x, &mut pushed);
+        let mut pulled = vec![0i64; n_cols];
+        csr.spmv_t(&x, &mut pulled);
+        prop_assert_eq!(&pushed, &pulled);
+
+        // A superset frontier (extra zero-valued rows) changes nothing.
+        let all: Vec<Index> = (0..n_rows as Index).collect();
+        let mut superset = vec![0i64; n_cols];
+        csr.spmv_t_frontier(&all, &x, &mut superset);
+        prop_assert_eq!(&superset, &pulled);
+    }
+
+    #[test]
     fn transpose_is_involutive(coo in arb_coo()) {
         let csc = coo.to_csc();
         prop_assert_eq!(csc.transpose().transpose(), csc);

@@ -1,0 +1,460 @@
+//! Direction-optimising BFS frontier: Beamer's push/pull switching in
+//! the language of linear algebra.
+//!
+//! The paper's forward stage advances every level *pull*-style: a masked
+//! SpMV with `Aᵀ` gathers over in-neighbours of every unvisited vertex.
+//! That is the right choice for the large mid-BFS frontiers that dominate
+//! the work, but early and late levels touch only a handful of vertices —
+//! there a *push* step (scatter `f[u]` along the out-edges of the few
+//! frontier vertices, i.e. a CSR row gather restricted to a sparse index
+//! list) does `O(|frontier edges|)` work instead of `O(n + m)`.
+//!
+//! This module holds the pieces the engines share:
+//!
+//! * [`DirectionMode`] — the user-facing knob ([`crate::BcOptions`]
+//!   defaults to [`DirectionMode::Auto`]);
+//! * [`LevelDirection`] — the per-level decision, reported through
+//!   [`crate::observe::TraceEvent::Direction`] so `--profile` output
+//!   shows every switch;
+//! * [`Frontier`] — the frontier as either a sparse index list or a
+//!   dense bitmask, with the conversions the representation switch is
+//!   built on (inside the engines the dense representation *is* the `f`
+//!   vector the SpMV kernels already consume; `Frontier::Dense`
+//!   materialises the same set at the subsystem boundary and for tests);
+//! * [`DirectionEngine`] — the switching policy plus the CSR
+//!   out-adjacency push steps run over.
+//!
+//! The threshold is the Ligra rule, shared verbatim with the `ligra`
+//! baseline crate through [`turbobc_graph::DENSE_DIRECTION_FRACTION`]:
+//! pull when `|frontier| + Σ out-degree(frontier) > m / α` with `α = 20`,
+//! push otherwise.
+//!
+//! **SIMT memory rule.** The paper's §3.4 device budget (`7n + m` words)
+//! assumes exactly one sparse structure resident on the GPU. A push step
+//! needs CSR(`A`) *in addition to* the pull structure the backward stage
+//! uses, so on the SIMT engine [`DirectionMode::Auto`] resolves to
+//! pull-only — preserving the budget the memory-pinning tests enforce —
+//! and only an explicit [`DirectionMode::PushOnly`] uploads the extra
+//! `n + 1 + m` words and runs the push kernel. The CPU engines carry no
+//! such budget and switch per level under `Auto`.
+
+use turbobc_graph::{Graph, DENSE_DIRECTION_FRACTION};
+use turbobc_sparse::Csr;
+
+/// How the forward stage advances the frontier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DirectionMode {
+    /// Switch per level with the Beamer/Ligra threshold (CPU engines);
+    /// resolves to pull-only on the SIMT engine to preserve the paper's
+    /// `7n + m` device-memory rule (see module docs).
+    #[default]
+    Auto,
+    /// Always push: scatter along out-edges of the sparse frontier list.
+    /// On the SIMT engine this uploads CSR(`A`) next to the pull
+    /// structure, exceeding the paper's device budget by `n + 1 + m`
+    /// words.
+    PushOnly,
+    /// Always pull: the paper's masked CSC/COOC gather, unchanged.
+    PullOnly,
+}
+
+impl DirectionMode {
+    /// Stable lower-case name used in profiles and bench JSON.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DirectionMode::Auto => "auto",
+            DirectionMode::PushOnly => "push",
+            DirectionMode::PullOnly => "pull",
+        }
+    }
+}
+
+/// The direction actually used to advance one BFS level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LevelDirection {
+    /// Sparse scatter over the frontier's out-edges (CSR row gather).
+    Push,
+    /// Dense masked gather over in-neighbours (CSC/COOC SpMV).
+    Pull,
+}
+
+impl LevelDirection {
+    /// Stable lower-case name used in profiles and bench JSON.
+    pub fn name(&self) -> &'static str {
+        match self {
+            LevelDirection::Push => "push",
+            LevelDirection::Pull => "pull",
+        }
+    }
+}
+
+/// A BFS frontier in one of its two representations.
+///
+/// `Sparse` holds a sorted, duplicate-free vertex index list — the
+/// representation push steps iterate. `Dense` holds a bitmask over all
+/// `n` vertices plus its population count — the representation pull
+/// steps mask with. [`Frontier::compact`] picks between them with the
+/// same `α` fraction the direction heuristic uses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frontier {
+    /// Sorted, duplicate-free vertex indices.
+    Sparse(Vec<u32>),
+    /// Membership bitmask over all vertices, with its population count.
+    Dense {
+        /// `bits[v]` is true iff vertex `v` is in the frontier.
+        bits: Vec<bool>,
+        /// Number of set bits.
+        count: usize,
+    },
+}
+
+impl Frontier {
+    /// Builds a sparse frontier, sorting and deduplicating `indices`.
+    pub fn sparse(mut indices: Vec<u32>) -> Self {
+        indices.sort_unstable();
+        indices.dedup();
+        Frontier::Sparse(indices)
+    }
+
+    /// Builds a dense frontier from a bitmask.
+    pub fn dense(bits: Vec<bool>) -> Self {
+        let count = bits.iter().filter(|&&b| b).count();
+        Frontier::Dense { bits, count }
+    }
+
+    /// Builds the frontier of non-zero entries of an engine `f` vector
+    /// (the dense representation the SpMV kernels consume).
+    pub fn from_mask(f: &[i64]) -> Self {
+        Frontier::Sparse(
+            f.iter()
+                .enumerate()
+                .filter(|(_, &v)| v != 0)
+                .map(|(i, _)| i as u32)
+                .collect(),
+        )
+    }
+
+    /// Number of frontier vertices.
+    pub fn len(&self) -> usize {
+        match self {
+            Frontier::Sparse(ix) => ix.len(),
+            Frontier::Dense { count, .. } => *count,
+        }
+    }
+
+    /// True when no vertex is in the frontier.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Membership test.
+    pub fn contains(&self, v: u32) -> bool {
+        match self {
+            Frontier::Sparse(ix) => ix.binary_search(&v).is_ok(),
+            Frontier::Dense { bits, .. } => bits.get(v as usize).copied().unwrap_or(false),
+        }
+    }
+
+    /// The sorted index list, whatever the representation.
+    pub fn indices(&self) -> Vec<u32> {
+        match self {
+            Frontier::Sparse(ix) => ix.clone(),
+            Frontier::Dense { bits, .. } => bits
+                .iter()
+                .enumerate()
+                .filter(|(_, &b)| b)
+                .map(|(i, _)| i as u32)
+                .collect(),
+        }
+    }
+
+    /// Converts to the dense representation over `n` vertices.
+    ///
+    /// Panics if a sparse index is `>= n`.
+    pub fn to_dense(&self, n: usize) -> Frontier {
+        match self {
+            Frontier::Sparse(ix) => {
+                let mut bits = vec![false; n];
+                for &v in ix {
+                    bits[v as usize] = true;
+                }
+                Frontier::Dense {
+                    bits,
+                    count: ix.len(),
+                }
+            }
+            Frontier::Dense { .. } => self.clone(),
+        }
+    }
+
+    /// Converts to the sparse representation.
+    pub fn to_sparse(&self) -> Frontier {
+        Frontier::Sparse(self.indices())
+    }
+
+    /// Set union of two frontiers, in the representation of `self`.
+    pub fn union(&self, other: &Frontier) -> Frontier {
+        match self {
+            Frontier::Sparse(ix) => {
+                let mut merged = ix.clone();
+                merged.extend(other.indices());
+                Frontier::sparse(merged)
+            }
+            Frontier::Dense { bits, .. } => {
+                let mut bits = bits.clone();
+                for v in other.indices() {
+                    let i = v as usize;
+                    if i >= bits.len() {
+                        bits.resize(i + 1, false);
+                    }
+                    bits[i] = true;
+                }
+                Frontier::dense(bits)
+            }
+        }
+    }
+
+    /// Re-compacts into the representation the Beamer rule favours for a
+    /// graph with `n` vertices: dense when `|frontier| > n / α`, sparse
+    /// otherwise. Membership is preserved exactly.
+    pub fn compact(&self, n: usize) -> Frontier {
+        if self.len() > n / DENSE_DIRECTION_FRACTION {
+            self.to_dense(n.max(self.len()))
+        } else {
+            self.to_sparse()
+        }
+    }
+}
+
+/// What one forward level did — handed to the engines' level hooks and
+/// forwarded to observers as [`crate::observe::TraceEvent::Level`] and
+/// [`crate::observe::TraceEvent::Direction`] events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct LevelReport {
+    /// Depth reached (source depth is 1; the first hop reports 2).
+    pub depth: u32,
+    /// Vertices discovered at this depth.
+    pub frontier: usize,
+    /// Direction used to advance into this depth.
+    pub direction: LevelDirection,
+    /// Out-edges of the *previous* frontier — the quantity the Beamer
+    /// rule compared against `m / α` (0 when no sparse list was kept).
+    pub frontier_edges: usize,
+}
+
+/// The per-run direction policy: the mode, the switching threshold and
+/// the CSR out-adjacency push steps scatter over.
+///
+/// Built once per solver; `csr` is `None` under [`DirectionMode::PullOnly`]
+/// (pure pull needs no second structure, keeping that configuration's
+/// host memory identical to the pre-direction engines).
+#[derive(Debug, Clone)]
+pub(crate) struct DirectionEngine {
+    csr: Option<Csr>,
+    mode: DirectionMode,
+    m: usize,
+}
+
+impl DirectionEngine {
+    /// Builds the policy for one graph.
+    pub(crate) fn new(graph: &Graph, mode: DirectionMode) -> Self {
+        let csr = match mode {
+            DirectionMode::PullOnly => None,
+            _ => Some(graph.to_csr()),
+        };
+        DirectionEngine {
+            csr,
+            mode,
+            m: graph.m(),
+        }
+    }
+
+    /// The configured mode.
+    pub(crate) fn mode(&self) -> DirectionMode {
+        self.mode
+    }
+
+    /// The CSR out-adjacency, present unless pull-only.
+    pub(crate) fn csr(&self) -> Option<&Csr> {
+        self.csr.as_ref()
+    }
+
+    /// The Beamer threshold `m / α`.
+    pub(crate) fn threshold(&self) -> usize {
+        self.m / DENSE_DIRECTION_FRACTION
+    }
+
+    /// Whether the engines should maintain a sparse frontier index list.
+    pub(crate) fn needs_sparse(&self) -> bool {
+        self.csr.is_some()
+    }
+
+    /// Out-edge count of a sparse frontier (the `Σ out-degree` term of
+    /// the switching rule).
+    pub(crate) fn frontier_edges(&self, frontier: &[u32]) -> usize {
+        match &self.csr {
+            Some(csr) => frontier.iter().map(|&u| csr.row_len(u as usize)).sum(),
+            None => 0,
+        }
+    }
+
+    /// Picks the direction for the next level. `have_list` is false when
+    /// the engine skipped collecting the sparse list because the frontier
+    /// alone already exceeded the threshold — pull is then forced, which
+    /// is exactly what the rule would decide (`|frontier| > m / α`
+    /// implies `|frontier| + edges > m / α`).
+    pub(crate) fn choose(
+        &self,
+        frontier_len: usize,
+        frontier_edges: usize,
+        have_list: bool,
+    ) -> LevelDirection {
+        match self.mode {
+            DirectionMode::PushOnly => LevelDirection::Push,
+            DirectionMode::PullOnly => LevelDirection::Pull,
+            DirectionMode::Auto => {
+                if !have_list || frontier_len + frontier_edges > self.threshold() {
+                    LevelDirection::Pull
+                } else {
+                    LevelDirection::Push
+                }
+            }
+        }
+    }
+
+    /// Sequential push step: scatter `f` along the out-edges of the
+    /// sparse frontier into `f_t` (unmasked — the caller's
+    /// `mask_new_frontier` pass filters, exactly as after a COOC pull).
+    pub(crate) fn push_seq(&self, frontier: &[u32], f: &[i64], f_t: &mut [i64]) {
+        self.csr
+            .as_ref()
+            .expect("push chosen without a CSR structure")
+            .spmv_t_frontier(frontier, f, f_t);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn policy(mode: DirectionMode) -> DirectionEngine {
+        // 100 distinct directed edges → threshold 5.
+        let edges: Vec<(u32, u32)> = (0..50u32)
+            .flat_map(|u| [(u, (u + 1) % 50), (u, (u + 2) % 50)])
+            .collect();
+        let g = Graph::from_edges(50, true, &edges);
+        DirectionEngine::new(&g, mode)
+    }
+
+    #[test]
+    fn auto_switches_at_the_ligra_threshold() {
+        let dir = policy(DirectionMode::Auto);
+        assert_eq!(dir.threshold(), 100 / DENSE_DIRECTION_FRACTION);
+        assert_eq!(dir.choose(1, 2, true), LevelDirection::Push);
+        assert_eq!(dir.choose(3, 3, true), LevelDirection::Pull);
+        // No list ⇒ the frontier alone exceeded the threshold ⇒ pull.
+        assert_eq!(dir.choose(40, 0, false), LevelDirection::Pull);
+    }
+
+    #[test]
+    fn fixed_modes_ignore_the_threshold() {
+        let push = policy(DirectionMode::PushOnly);
+        let pull = policy(DirectionMode::PullOnly);
+        assert_eq!(push.choose(1000, 1000, true), LevelDirection::Push);
+        assert_eq!(pull.choose(0, 0, true), LevelDirection::Pull);
+        assert!(push.needs_sparse());
+        assert!(!pull.needs_sparse());
+        assert_eq!(pull.frontier_edges(&[0, 1, 2]), 0);
+    }
+
+    #[test]
+    fn frontier_edges_sums_out_degrees() {
+        let g = Graph::from_edges(4, true, &[(0, 1), (0, 2), (1, 2), (2, 3)]);
+        let dir = DirectionEngine::new(&g, DirectionMode::Auto);
+        assert_eq!(dir.frontier_edges(&[0]), 2);
+        assert_eq!(dir.frontier_edges(&[0, 1, 2, 3]), 4);
+    }
+
+    #[test]
+    fn push_seq_matches_pull_semantics() {
+        let g = Graph::from_edges(4, true, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let dir = DirectionEngine::new(&g, DirectionMode::Auto);
+        let f = vec![0i64, 2, 3, 0];
+        let mut pushed = vec![0i64; 4];
+        dir.push_seq(&[1, 2], &f, &mut pushed);
+        let mut pulled = vec![0i64; 4];
+        g.to_cooc().spmv_t(&f, &mut pulled);
+        assert_eq!(pushed, pulled);
+    }
+
+    #[test]
+    fn frontier_round_trip_and_membership() {
+        let f = Frontier::sparse(vec![5, 1, 3, 3, 1]);
+        assert_eq!(f, Frontier::Sparse(vec![1, 3, 5]));
+        assert_eq!(f.len(), 3);
+        assert!(f.contains(3) && !f.contains(2));
+        let d = f.to_dense(8);
+        assert_eq!(d.len(), 3);
+        assert!(d.contains(5) && !d.contains(6));
+        assert_eq!(d.to_sparse(), f);
+    }
+
+    #[test]
+    fn from_mask_collects_nonzero_entries() {
+        let f = Frontier::from_mask(&[0, 4, 0, 1, -2]);
+        assert_eq!(f, Frontier::Sparse(vec![1, 3, 4]));
+    }
+
+    proptest! {
+        #[test]
+        fn sparse_dense_round_trip(mut ix in proptest::collection::vec(0u32..64, 0..40)) {
+            ix.sort_unstable();
+            ix.dedup();
+            let f = Frontier::Sparse(ix.clone());
+            let back = f.to_dense(64).to_sparse();
+            prop_assert_eq!(back, Frontier::Sparse(ix));
+        }
+
+        #[test]
+        fn union_is_set_union(
+            a in proptest::collection::vec(0u32..64, 0..40),
+            b in proptest::collection::vec(0u32..64, 0..40),
+        ) {
+            let fa = Frontier::sparse(a.clone());
+            let fb = Frontier::sparse(b.clone());
+            let union_sparse = fa.union(&fb);
+            let union_dense = fa.to_dense(64).union(&fb.to_dense(64));
+            let mut want: Vec<u32> = a.into_iter().chain(b).collect();
+            want.sort_unstable();
+            want.dedup();
+            prop_assert_eq!(union_sparse.indices(), want.clone());
+            prop_assert_eq!(union_dense.indices(), want.clone());
+            prop_assert_eq!(union_dense.len(), want.len());
+            // Union membership is the OR of the operands'.
+            for v in 0..64u32 {
+                prop_assert_eq!(
+                    union_sparse.contains(v),
+                    fa.contains(v) || fb.contains(v)
+                );
+            }
+        }
+
+        #[test]
+        fn compact_preserves_membership_and_is_idempotent(
+            ix in proptest::collection::vec(0u32..128, 0..100),
+        ) {
+            let f = Frontier::sparse(ix);
+            let c = f.compact(128);
+            prop_assert_eq!(c.indices(), f.indices());
+            prop_assert_eq!(c.compact(128), c.clone());
+            // The chosen representation obeys the α rule.
+            match &c {
+                Frontier::Sparse(s) => prop_assert!(s.len() <= 128 / DENSE_DIRECTION_FRACTION),
+                Frontier::Dense { count, .. } => {
+                    prop_assert!(*count > 128 / DENSE_DIRECTION_FRACTION)
+                }
+            }
+        }
+    }
+}

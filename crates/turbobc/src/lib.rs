@@ -84,6 +84,7 @@ pub mod closeness;
 pub mod edge;
 mod error;
 pub mod footprint;
+pub mod frontier;
 pub mod msbfs;
 pub mod multi_gpu;
 pub mod multi_gpu2d;
@@ -107,7 +108,10 @@ pub use edge::EdgeBcResult;
 #[allow(deprecated)] // the shims stay importable from the crate root
 pub use edge::{edge_bc, edge_bc_sources};
 pub use error::{CheckpointError, TurboBcError};
-pub use options::{degrade, BcOptions, BcOptionsBuilder, Engine, Kernel, RecoveryPolicy};
+pub use frontier::{DirectionMode, Frontier, LevelDirection};
+pub use options::{
+    degrade, BcOptions, BcOptionsBuilder, Engine, Kernel, KernelChoice, RecoveryPolicy,
+};
 pub use result::{BcResult, RecoveryLog, RunStats, SimtReport};
 pub use solver::BcSolver;
 pub use turbobfs::{BfsRun, TurboBfs};
@@ -119,10 +123,13 @@ pub use turbobfs::{BfsRun, TurboBfs};
 pub mod prelude {
     pub use crate::checkpoint::CheckpointConfig;
     pub use crate::error::{CheckpointError, TurboBcError};
+    pub use crate::frontier::{DirectionMode, Frontier, LevelDirection};
     pub use crate::observe::{
         NullObserver, Observer, ProfileObserver, RunProfile, TraceEvent, PROFILE_SCHEMA,
     };
-    pub use crate::options::{BcOptions, BcOptionsBuilder, Engine, Kernel, RecoveryPolicy};
+    pub use crate::options::{
+        BcOptions, BcOptionsBuilder, Engine, Kernel, KernelChoice, RecoveryPolicy,
+    };
     pub use crate::result::{BcResult, RecoveryLog, RunStats, SimtReport};
     pub use crate::solver::BcSolver;
     pub use crate::turbobfs::{BfsRun, TurboBfs};

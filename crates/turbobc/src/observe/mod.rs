@@ -4,7 +4,10 @@
 //! [`ProfileObserver`] assembles those events into a [`RunProfile`] —
 //! the machine-readable record the paper's Tables 1–5 are made of:
 //!
-//! * per-level BFS trace events (frontier size, σ updates, timestamps);
+//! * per-level BFS trace events (frontier size, σ updates, timestamps)
+//!   and the push/pull direction decision each level was advanced with;
+//! * the kernel auto-selection record (chosen kernel, the scf and mean
+//!   degree it saw, the configured direction mode);
 //! * per-source completion events (BFS height, vertices reached);
 //! * aggregated [`MetricsRegistry`] kernel counters (warp efficiency,
 //!   coalescing, L2 hit rate) lifted out of the SIMT simulator;
@@ -64,6 +67,38 @@ pub enum TraceEvent {
         /// σ cells written this level (equals `frontier` for the exact
         /// engines; recorded separately so sampling engines can differ).
         sigma_updates: u64,
+    },
+    /// The direction decision behind one BFS level: which of push/pull
+    /// advanced the frontier into `depth`, and the numbers the
+    /// Beamer-style rule compared. Emitted next to [`TraceEvent::Level`]
+    /// (and gated by the same [`Observer::wants_levels`] hint); fixed
+    /// direction modes report their forced direction with the same
+    /// fields.
+    Direction {
+        /// Source vertex of the sweep this decision belongs to.
+        source: u32,
+        /// Depth the level advanced into (matches the paired `Level`).
+        depth: u32,
+        /// `"push"` or `"pull"`.
+        direction: &'static str,
+        /// Out-edges of the previous frontier — the `Σ out-degree` term
+        /// of the rule (0 when no sparse list was kept).
+        frontier_edges: usize,
+        /// The rule's threshold `m / α`.
+        threshold: usize,
+    },
+    /// How `Kernel::Auto` (and the direction mode) resolved for this
+    /// run. Emitted once per run by the solver entry points, before
+    /// `RunStart`; survives attempt restarts like the recovery timeline.
+    KernelChoice {
+        /// The kernel the run starts on.
+        kernel: Kernel,
+        /// The graph's normalised scale-free metric the selector saw.
+        scf: f64,
+        /// The graph's mean out-degree the selector saw.
+        mean_degree: f64,
+        /// The configured [`crate::DirectionMode`] name.
+        direction: &'static str,
     },
     /// One source's forward+backward sweep finished.
     SourceDone {
@@ -143,6 +178,36 @@ pub struct LevelTrace {
     pub t_s: f64,
 }
 
+/// One [`TraceEvent::Direction`] with its timeline stamp.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DirectionTrace {
+    /// Source vertex of the sweep.
+    pub source: u32,
+    /// Depth the level advanced into.
+    pub depth: u32,
+    /// `"push"` or `"pull"`.
+    pub direction: String,
+    /// Out-edges of the previous frontier.
+    pub frontier_edges: usize,
+    /// The switching threshold `m / α`.
+    pub threshold: usize,
+    /// Seconds since the profile started.
+    pub t_s: f64,
+}
+
+/// The [`TraceEvent::KernelChoice`] record of a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelChoiceTrace {
+    /// Kernel display name the run started on.
+    pub kernel: String,
+    /// Normalised scale-free metric the selector saw.
+    pub scf: f64,
+    /// Mean out-degree the selector saw.
+    pub mean_degree: f64,
+    /// Configured direction mode name (`"auto"`/`"push"`/`"pull"`).
+    pub direction: String,
+}
+
 /// One [`TraceEvent::SourceDone`] with its timeline stamp.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SourceTrace {
@@ -207,6 +272,11 @@ pub struct RunProfile {
     pub attempts: u32,
     /// Per-level trace of the successful attempt.
     pub levels: Vec<LevelTrace>,
+    /// Per-level direction decisions of the successful attempt.
+    pub directions: Vec<DirectionTrace>,
+    /// How the kernel (and direction mode) resolved for this run; kept
+    /// across attempt restarts like the recovery timeline.
+    pub kernel_choice: Option<KernelChoiceTrace>,
     /// Per-source completions of the successful attempt.
     pub source_runs: Vec<SourceTrace>,
     /// Recovery timeline (kept across attempts).
@@ -228,6 +298,16 @@ impl RunProfile {
     /// Per-level events of one source, in depth order.
     pub fn levels_for(&self, source: u32) -> impl Iterator<Item = &LevelTrace> {
         self.levels.iter().filter(move |l| l.source == source)
+    }
+
+    /// Counts of (push, pull) level decisions recorded.
+    pub fn direction_counts(&self) -> (usize, usize) {
+        let push = self
+            .directions
+            .iter()
+            .filter(|d| d.direction == "push")
+            .count();
+        (push, self.directions.len() - push)
     }
 
     /// The paper's MTEPS figure (`sources · m / t`, in millions).
@@ -392,6 +472,36 @@ impl RunProfile {
                 ),
             ),
             (
+                "directions".into(),
+                Json::Arr(
+                    self.directions
+                        .iter()
+                        .map(|d| {
+                            Json::Obj(vec![
+                                ("source".into(), d.source.into()),
+                                ("depth".into(), d.depth.into()),
+                                ("direction".into(), d.direction.as_str().into()),
+                                ("frontier_edges".into(), d.frontier_edges.into()),
+                                ("threshold".into(), d.threshold.into()),
+                                ("t_s".into(), d.t_s.into()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "kernel_choice".into(),
+                match &self.kernel_choice {
+                    None => Json::Null,
+                    Some(c) => Json::Obj(vec![
+                        ("kernel".into(), c.kernel.as_str().into()),
+                        ("scf".into(), c.scf.into()),
+                        ("mean_degree".into(), c.mean_degree.into()),
+                        ("direction".into(), c.direction.as_str().into()),
+                    ]),
+                },
+            ),
+            (
                 "source_runs".into(),
                 Json::Arr(
                     self.source_runs
@@ -490,6 +600,38 @@ impl RunProfile {
             &["source", "depth", "frontier", "sigma_updates", "t_s"],
         )?;
         check_entries("source_runs", &["source", "height", "reached", "t_s"])?;
+        let directions = doc
+            .get("directions")
+            .and_then(Json::as_arr)
+            .ok_or("missing 'directions' array")?;
+        for (i, entry) in directions.iter().enumerate() {
+            entry
+                .get("direction")
+                .and_then(Json::as_str)
+                .ok_or(format!("directions[{i}] missing 'direction'"))?;
+            for f in ["source", "depth", "frontier_edges", "threshold", "t_s"] {
+                entry
+                    .get(f)
+                    .and_then(Json::as_f64)
+                    .ok_or(format!("directions[{i}] missing number '{f}'"))?;
+            }
+        }
+        match doc.get("kernel_choice") {
+            None => return Err("missing 'kernel_choice' (object or null)".to_string()),
+            Some(Json::Null) => {}
+            Some(c) => {
+                for f in ["kernel", "direction"] {
+                    c.get(f)
+                        .and_then(Json::as_str)
+                        .ok_or(format!("kernel_choice missing '{f}'"))?;
+                }
+                for f in ["scf", "mean_degree"] {
+                    c.get(f)
+                        .and_then(Json::as_f64)
+                        .ok_or(format!("kernel_choice missing '{f}'"))?;
+                }
+            }
+        }
         let kernels = doc
             .get("kernels")
             .and_then(Json::as_arr)
@@ -576,6 +718,21 @@ impl RunProfile {
             self.elapsed_s * 1e3,
             self.mteps()
         );
+        if let Some(c) = &self.kernel_choice {
+            let _ = writeln!(
+                out,
+                "  auto-selection: kernel {} (scf {:.2}, mean degree {:.2}), direction mode {}",
+                c.kernel, c.scf, c.mean_degree, c.direction
+            );
+        }
+        if !self.directions.is_empty() {
+            let (push, pull) = self.direction_counts();
+            let _ = writeln!(
+                out,
+                "  direction: {push} push / {pull} pull level(s), threshold {}",
+                self.directions.first().map(|d| d.threshold).unwrap_or(0)
+            );
+        }
         if !self.source_runs.is_empty() {
             let max_h = self.source_runs.iter().map(|s| s.height).max().unwrap_or(0);
             let _ = writeln!(
@@ -720,6 +877,7 @@ impl Observer for ProfileObserver {
                 p.sources = sources;
                 p.attempts += 1;
                 p.levels.clear();
+                p.directions.clear();
                 p.source_runs.clear();
                 p.metrics = MetricsRegistry::default();
                 p.memory = None;
@@ -736,6 +894,35 @@ impl Observer for ProfileObserver {
                     frontier,
                     sigma_updates,
                     t_s,
+                });
+            }
+            TraceEvent::Direction {
+                source,
+                depth,
+                direction,
+                frontier_edges,
+                threshold,
+            } => {
+                p.directions.push(DirectionTrace {
+                    source,
+                    depth,
+                    direction: direction.to_string(),
+                    frontier_edges,
+                    threshold,
+                    t_s,
+                });
+            }
+            TraceEvent::KernelChoice {
+                kernel,
+                scf,
+                mean_degree,
+                direction,
+            } => {
+                p.kernel_choice = Some(KernelChoiceTrace {
+                    kernel: kernel.name().to_string(),
+                    scf,
+                    mean_degree,
+                    direction: direction.to_string(),
                 });
             }
             TraceEvent::SourceDone {
@@ -984,6 +1171,99 @@ mod tests {
         assert!(mem.within_model);
         assert_eq!(mem.paper_words, 7 * 100 + 400 + 2);
         assert_eq!(mem.measured_words, (modelled + 512).div_ceil(8));
+    }
+
+    #[test]
+    fn direction_and_kernel_choice_events_flow_into_profile() {
+        let mut obs = ProfileObserver::new();
+        obs.event(TraceEvent::KernelChoice {
+            kernel: Kernel::VeCsc,
+            scf: 12.5,
+            mean_degree: 30.0,
+            direction: "auto",
+        });
+        obs.event(TraceEvent::RunStart {
+            engine: "par",
+            kernel: Kernel::VeCsc,
+            n: 100,
+            m: 400,
+            sources: 1,
+        });
+        obs.event(TraceEvent::Direction {
+            source: 0,
+            depth: 2,
+            direction: "push",
+            frontier_edges: 3,
+            threshold: 20,
+        });
+        obs.event(TraceEvent::Direction {
+            source: 0,
+            depth: 3,
+            direction: "pull",
+            frontier_edges: 90,
+            threshold: 20,
+        });
+        obs.event(TraceEvent::RunEnd { elapsed_s: 0.1 });
+        let p = obs.into_profile();
+        let choice = p.kernel_choice.as_ref().expect("choice survives RunStart");
+        assert_eq!(choice.kernel, "veCSC");
+        assert_eq!(choice.direction, "auto");
+        assert!((choice.scf - 12.5).abs() < 1e-12);
+        assert_eq!(p.direction_counts(), (1, 1));
+
+        let text = p.to_json_string();
+        let doc = RunProfile::validate(&text).expect("profile with directions must validate");
+        assert_eq!(
+            doc.get("directions").and_then(Json::as_arr).unwrap().len(),
+            2
+        );
+        assert_eq!(
+            doc.get("kernel_choice")
+                .and_then(|c| c.get("kernel"))
+                .and_then(Json::as_str),
+            Some("veCSC")
+        );
+        let s = p.summary();
+        assert!(s.contains("auto-selection"));
+        assert!(s.contains("1 push / 1 pull"));
+        // Validation catches a broken direction entry.
+        assert!(
+            RunProfile::validate(&text.replace("\"threshold\"", "\"treshold\""))
+                .unwrap_err()
+                .contains("threshold")
+        );
+    }
+
+    #[test]
+    fn restart_clears_directions_but_keeps_kernel_choice() {
+        let mut obs = ProfileObserver::new();
+        obs.event(TraceEvent::KernelChoice {
+            kernel: Kernel::ScCsc,
+            scf: 1.0,
+            mean_degree: 4.0,
+            direction: "pull",
+        });
+        obs.event(TraceEvent::RunStart {
+            engine: "simt",
+            kernel: Kernel::ScCsc,
+            n: 10,
+            m: 20,
+            sources: 1,
+        });
+        obs.event(TraceEvent::Direction {
+            source: 0,
+            depth: 2,
+            direction: "pull",
+            frontier_edges: 0,
+            threshold: 1,
+        });
+        feed(&mut obs);
+        let p = obs.into_profile();
+        assert!(
+            p.directions.is_empty(),
+            "failed attempt's decisions dropped"
+        );
+        assert!(p.kernel_choice.is_some(), "choice record survives restarts");
     }
 
     #[test]

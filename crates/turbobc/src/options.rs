@@ -2,6 +2,7 @@
 //! selection heuristic of the paper's §3.1.
 
 use crate::checkpoint::CheckpointConfig;
+use crate::frontier::DirectionMode;
 use turbobc_graph::GraphStats;
 use turbobc_simt::DeviceProps;
 
@@ -21,10 +22,16 @@ pub enum Kernel {
     /// Vector CSC: one warp per vertex with a shuffle reduction (paper
     /// Algorithm 4, after Bell & Garland's CSR-vector).
     VeCsc,
-    /// Choose per graph by the §3.1 selection rule (mean degree and
-    /// degree skew; see [`VECSC_MEAN_DEGREE`] and [`SCCOOC_SKEW_RATIO`]).
+    /// Choose per graph by the §3.1/§4 selection rule (mean degree,
+    /// degree skew and the scale-free metric `scf`; see
+    /// [`VECSC_MEAN_DEGREE`], [`SCCOOC_SKEW_RATIO`] and
+    /// [`VECSC_BOUNDARY_MEAN_DEGREE`]).
     Auto,
 }
+
+/// Alias spelling out what [`Kernel::Auto`] is: a *choice* the solver
+/// resolves per graph. `BcOptions::default()` uses `KernelChoice::Auto`.
+pub type KernelChoice = Kernel;
 
 impl Kernel {
     /// Display name matching the paper's acronyms.
@@ -60,6 +67,9 @@ pub struct BcOptions {
     pub kernel: Kernel,
     /// Execution engine.
     pub engine: Engine,
+    /// How the forward stage advances the frontier (push, pull, or the
+    /// per-level Beamer heuristic; see [`crate::frontier`]).
+    pub direction: DirectionMode,
     /// What the solver does when a device misbehaves.
     pub recovery: RecoveryPolicy,
     /// Checkpoint/resume configuration for
@@ -75,6 +85,7 @@ impl Default for BcOptions {
         BcOptions {
             kernel: Kernel::Auto,
             engine: Engine::Parallel,
+            direction: DirectionMode::Auto,
             recovery: RecoveryPolicy::default(),
             checkpoint: None,
             device: DeviceProps::titan_xp(),
@@ -127,6 +138,23 @@ impl BcOptionsBuilder {
     /// Shorthand for `engine(Engine::Parallel)` (the default).
     pub fn parallel(self) -> Self {
         self.engine(Engine::Parallel)
+    }
+
+    /// Selects the frontier direction mode (see [`crate::frontier`]).
+    pub fn direction(mut self, direction: DirectionMode) -> Self {
+        self.options.direction = direction;
+        self
+    }
+
+    /// Shorthand for `direction(DirectionMode::PushOnly)`.
+    pub fn push_only(self) -> Self {
+        self.direction(DirectionMode::PushOnly)
+    }
+
+    /// Shorthand for `direction(DirectionMode::PullOnly)` — the paper's
+    /// original fixed-pull forward stage.
+    pub fn pull_only(self) -> Self {
+        self.direction(DirectionMode::PullOnly)
     }
 
     /// Sets the fault-recovery policy.
@@ -238,26 +266,43 @@ pub const VECSC_MEAN_DEGREE: f64 = 24.0;
 /// stays balanced (the paper's Table 2 mawi/Youtube/ASIC observation).
 pub const SCCOOC_SKEW_RATIO: f64 = 16.0;
 
-/// Why there is no push–pull (direction-optimising) kernel here, even
-/// though gunrock and Ligra use one: direction optimisation wins in BFS
-/// because a *pull* step may stop scanning a vertex's in-neighbours at
-/// the **first** parent found. BC's forward stage cannot stop early —
-/// `σ(v)` needs the *sum over all* parents at the previous depth — so
-/// the pull side loses its advantage, and keeping both adjacency
-/// directions would break the paper's one-format-per-run memory rule
-/// (§5 criticises gunrock for exactly that `9n + 2m` cost). The masked
-/// CSC gather is already the pull direction; COOC is the push-agnostic
-/// edge-parallel form.
+/// Mean out-degree from which the scale-free metric may promote a
+/// boundary graph to `veCSC`: graphs with mean degree in
+/// `[VECSC_BOUNDARY_MEAN_DEGREE, VECSC_MEAN_DEGREE)` that are
+/// scale-free ([`turbobc_graph::SCALE_FREE_SCF`]) and not degree-skewed
+/// have *heavy* columns hidden behind a moderate mean — power-law tails
+/// the warp kernel strides through while the thread-per-column kernel
+/// serialises. Meshes and roads in the same mean-degree band have
+/// `scf ≈ 1` and stay on `scCSC`.
+pub const VECSC_BOUNDARY_MEAN_DEGREE: f64 = 16.0;
+
+/// The §3.1/§4 selection rule used by [`Kernel::Auto`].
 ///
-/// The §3.1 selection rule used by [`Kernel::Auto`].
+/// Primary signals are column density (mean degree → `veCSC`) and degree
+/// skew (`max/mean` → `scCOOC`); the paper's scale-free metric `scf`
+/// ([`GraphStats::scf`]) acts as a secondary discriminator on the
+/// `veCSC`/`scCSC` boundary (see [`VECSC_BOUNDARY_MEAN_DEGREE`]). The
+/// mawi super-stars also have elevated `scf`, which is why skew is
+/// checked first: the paper assigns them to `scCOOC`, not `veCSC`.
 ///
 /// Reproduces the published best-kernel assignment for 31 of the 33
 /// benchmark graphs; the two `smallworld`/`internet` cases sit on the
 /// scCSC/scCOOC boundary where the paper reports near-identical times.
+///
+/// Direction optimisation composes with, rather than replaces, this
+/// choice: [`DirectionMode::Auto`] switches the *forward step* between a
+/// sparse CSR push and the masked pull of the selected kernel per level
+/// (CPU engines), while the SIMT engine keeps the paper's fixed-pull
+/// forward stage under `Auto` to preserve the `7n + m` one-format device
+/// memory rule (§5 criticises gunrock for exactly that `9n + 2m` cost of
+/// holding both adjacency directions). See [`crate::frontier`].
 pub fn select_kernel(stats: &GraphStats) -> Kernel {
-    if stats.degree.mean >= VECSC_MEAN_DEGREE {
+    let skewed = stats.degree.max as f64 >= SCCOOC_SKEW_RATIO * stats.degree.mean.max(1.0);
+    if stats.degree.mean >= VECSC_MEAN_DEGREE
+        || (!skewed && stats.degree.mean >= VECSC_BOUNDARY_MEAN_DEGREE && stats.is_scale_free())
+    {
         Kernel::VeCsc
-    } else if stats.degree.max as f64 >= SCCOOC_SKEW_RATIO * stats.degree.mean.max(1.0) {
+    } else if skewed {
         Kernel::ScCooc
     } else {
         Kernel::ScCsc
@@ -304,10 +349,46 @@ mod tests {
     }
 
     #[test]
+    fn scf_breaks_the_vecsc_boundary_tie() {
+        use turbobc_graph::DegreeStats;
+        // Mean degree in the boundary band, no skew: scf decides.
+        let boundary = GraphStats {
+            n: 1_000,
+            m: 20_000,
+            degree: DegreeStats {
+                max: 200,
+                mean: 20.0,
+                std: 40.0,
+            },
+            scf_raw: 0,
+            scf: 12.0,
+        };
+        assert_eq!(select_kernel(&boundary), Kernel::VeCsc);
+        // A mesh in the same band has scf ≈ 1 and stays scalar.
+        let mesh = GraphStats {
+            scf: 1.1,
+            ..boundary.clone()
+        };
+        assert_eq!(select_kernel(&mesh), Kernel::ScCsc);
+        // Skew outranks scf: super-stars belong to scCOOC (paper Table 2).
+        let star = GraphStats {
+            degree: DegreeStats {
+                max: 5_000,
+                mean: 2.0,
+                std: 80.0,
+            },
+            scf: 50.0,
+            ..boundary
+        };
+        assert_eq!(select_kernel(&star), Kernel::ScCooc);
+    }
+
+    #[test]
     fn default_options_are_auto_parallel() {
         let o = BcOptions::default();
         assert_eq!(o.kernel, Kernel::Auto);
         assert_eq!(o.engine, Engine::Parallel);
+        assert_eq!(o.direction, DirectionMode::Auto);
         assert_eq!(o.recovery, RecoveryPolicy::default());
         assert!(o.recovery.allow_degradation && o.recovery.allow_cpu_fallback);
         assert!(o.checkpoint.is_none());
@@ -319,11 +400,17 @@ mod tests {
         let built = BcOptions::builder()
             .kernel(Kernel::VeCsc)
             .sequential()
+            .push_only()
             .recovery(RecoveryPolicy::strict())
             .checkpoint(CheckpointConfig::new("/tmp/x.ckpt", 8))
             .build();
         assert_eq!(built.kernel, Kernel::VeCsc);
         assert_eq!(built.engine, Engine::Sequential);
+        assert_eq!(built.direction, DirectionMode::PushOnly);
+        assert_eq!(
+            BcOptions::builder().pull_only().build().direction,
+            DirectionMode::PullOnly
+        );
         assert_eq!(built.recovery, RecoveryPolicy::strict());
         assert_eq!(built.checkpoint.as_ref().unwrap().every, 8);
         assert_eq!(

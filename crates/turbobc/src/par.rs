@@ -17,6 +17,7 @@
 //! graphs the same CSC structure is used in a scatter with atomic f64
 //! adds, preserving the one-format-per-run memory rule.
 
+use crate::frontier::{DirectionEngine, DirectionMode, LevelDirection, LevelReport};
 use crate::seq::SourceRun;
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
@@ -144,30 +145,54 @@ impl ParStorage<'_> {
     }
 }
 
+/// Parallel push step: scatter each frontier vertex's count along its
+/// CSR row with atomic saturating adds — the same edge-parallel shape as
+/// the COOC forward, restricted to the sparse frontier. Accumulates into
+/// an `f_t` the previous level's fused update pass left zeroed.
+fn push_forward_par(dir: &DirectionEngine, frontier: &[u32], f: &[i64], f_t: &[AtomicI64]) {
+    let csr = dir.csr().expect("push chosen without a CSR structure");
+    frontier.par_iter().for_each(|&u| {
+        let fv = f[u as usize];
+        if fv > 0 {
+            for &v in csr.row(u as usize) {
+                atomic_i64_sat_add(&f_t[v as usize], fv);
+            }
+        }
+    });
+}
+
 /// Runs Algorithm 1 for one source on the rayon engine, accumulating
 /// into `bc`.
 pub(crate) fn bc_source_par(
     storage: &ParStorage,
+    dir: &DirectionEngine,
     source: usize,
     scale: f64,
     bc: &mut [f64],
     sigma: &mut [i64],
     depths: &mut [u32],
 ) -> SourceRun {
-    bc_source_par_traced(storage, source, scale, bc, sigma, depths, &mut |_, _| {})
+    bc_source_par_traced(storage, dir, source, scale, bc, sigma, depths, &mut |_| {})
 }
 
-/// [`bc_source_par`] with a per-level hook: `on_level(depth, frontier)`
-/// fires after each level's fused frontier update, from the driving
-/// thread (never from inside a rayon task).
+/// [`bc_source_par`] with a per-level hook: `on_level` fires after each
+/// level's fused frontier update with a [`LevelReport`], from the
+/// driving thread (never from inside a rayon task).
+///
+/// A push level leaves masked-out entries of `f_t` untouched (they are
+/// zero from the fused swap-reset) where a CSC pull overwrites them with
+/// zero — the fused update pass sees identical values either way, so the
+/// direction never changes `σ` or the discovered frontier.
+#[allow(clippy::too_many_arguments)] // one arg per Algorithm-1 vector
 pub(crate) fn bc_source_par_traced(
     storage: &ParStorage,
+    dir: &DirectionEngine,
     source: usize,
     scale: f64,
     bc: &mut [f64],
     sigma: &mut [i64],
     depths: &mut [u32],
-    on_level: &mut dyn FnMut(u32, usize),
+    on_level: &mut dyn FnMut(LevelReport),
 ) -> SourceRun {
     let n = storage.n();
     debug_assert_eq!(bc.len(), n);
@@ -187,8 +212,23 @@ pub(crate) fn bc_source_par_traced(
     depths[source] = 1;
     let mut d = 1u32;
     let mut reached = 1usize;
+    let mut frontier_list: Vec<u32> = Vec::new();
+    let mut have_list = dir.needs_sparse();
+    if have_list {
+        frontier_list.push(source as u32);
+    }
+    let mut frontier_len = 1usize;
     loop {
-        storage.forward(&f, sigma, &f_t);
+        let frontier_edges = if have_list {
+            dir.frontier_edges(&frontier_list)
+        } else {
+            0
+        };
+        let direction = dir.choose(frontier_len, frontier_edges, have_list);
+        match direction {
+            LevelDirection::Push => push_forward_par(dir, &frontier_list, &f, &f_t),
+            LevelDirection::Pull => storage.forward(&f, sigma, &f_t),
+        }
         d += 1;
         // Fused mask + σ/S update + f_t reset (lines 14 and 20–27 in one
         // pass), one "thread" per vertex.
@@ -218,12 +258,31 @@ pub(crate) fn bc_source_par_traced(
             break;
         }
         reached += count;
-        on_level(d, count);
+        // Re-collect the sparse list only when the next level could go
+        // push: a frontier already past the threshold pulls regardless.
+        have_list = dir.needs_sparse()
+            && (dir.mode() == DirectionMode::PushOnly || count <= dir.threshold());
+        if have_list {
+            frontier_list = f
+                .par_iter()
+                .enumerate()
+                .filter(|(_, &v)| v != 0)
+                .map(|(i, _)| i as u32)
+                .collect();
+        }
+        frontier_len = count;
+        on_level(LevelReport {
+            depth: d,
+            frontier: count,
+            direction,
+            frontier_edges,
+        });
     }
     let height = d;
 
     drop(f);
     drop(f_t);
+    drop(frontier_list);
 
     let mut delta = vec![0.0f64; n];
     let mut delta_u = vec![0.0f64; n];
@@ -267,13 +326,20 @@ mod tests {
     use turbobc_baselines::brandes_single_source;
     use turbobc_graph::Graph;
 
-    fn run(graph: &Graph, storage: ParStorage<'_>, source: usize) -> Vec<f64> {
+    fn run_dir(
+        graph: &Graph,
+        storage: ParStorage<'_>,
+        source: usize,
+        mode: DirectionMode,
+    ) -> Vec<f64> {
         let n = graph.n();
         let mut bc = vec![0.0; n];
         let mut sigma = vec![0i64; n];
         let mut depths = vec![0u32; n];
+        let dir = DirectionEngine::new(graph, mode);
         bc_source_par(
             &storage,
+            &dir,
             source,
             graph.bc_scale(),
             &mut bc,
@@ -281,6 +347,10 @@ mod tests {
             &mut depths,
         );
         bc
+    }
+
+    fn run(graph: &Graph, storage: ParStorage<'_>, source: usize) -> Vec<f64> {
+        run_dir(graph, storage, source, DirectionMode::Auto)
     }
 
     fn assert_close(got: &[f64], want: &[f64]) {
@@ -318,6 +388,39 @@ mod tests {
             symmetric: false,
         };
         assert_close(&run(&g, storage, 0), &brandes_single_source(&g, 0));
+    }
+
+    #[test]
+    fn every_direction_mode_matches_the_oracle() {
+        let g = Graph::from_edges(
+            7,
+            false,
+            &[
+                (0, 1),
+                (0, 2),
+                (1, 3),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (1, 5),
+                (5, 6),
+            ],
+        );
+        let want = brandes_single_source(&g, 0);
+        let csc = g.to_csc();
+        let cooc = g.to_cooc();
+        for mode in [
+            DirectionMode::Auto,
+            DirectionMode::PushOnly,
+            DirectionMode::PullOnly,
+        ] {
+            let storage = ParStorage::Csc {
+                csc: &csc,
+                symmetric: true,
+            };
+            assert_close(&run_dir(&g, storage, 0, mode), &want);
+            assert_close(&run_dir(&g, ParStorage::Cooc(&cooc), 0, mode), &want);
+        }
     }
 
     #[test]

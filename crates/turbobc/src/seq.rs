@@ -1,6 +1,7 @@
 //! Sequential execution of Algorithm 1 — the paper's "(sequential)x"
 //! baseline and the reference semantics for the parallel engines.
 
+use crate::frontier::{DirectionEngine, LevelDirection, LevelReport};
 use turbobc_sparse::ops;
 use turbobc_sparse::{Cooc, Csc};
 
@@ -62,18 +63,27 @@ pub(crate) struct SourceRun {
 /// Runs Algorithm 1 for one source, accumulating into `bc`.
 /// `sigma`/`depths` are caller-provided scratch, returned filled for the
 /// source (the solver surfaces the last source's vectors). The
-/// `on_level(depth, frontier)` hook fires once per discovered BFS level,
-/// with the depth just reached and the number of vertices discovered
-/// there (the observability layer's
-/// [`crate::observe::TraceEvent::Level`] source).
+/// `on_level` hook fires once per discovered BFS level with a
+/// [`LevelReport`] — depth reached, vertices discovered, and the
+/// push/pull direction the level was advanced in (the observability
+/// layer's [`crate::observe::TraceEvent::Level`] and
+/// [`crate::observe::TraceEvent::Direction`] source).
+///
+/// The forward step per level is either the storage's masked pull SpMV
+/// or, when `dir` says so, a push scatter over the sparse frontier list
+/// (`dir.push_seq`); both produce the same unmasked counts, and the
+/// shared `mask_new_frontier` pass makes the masked results identical —
+/// integer arithmetic is exact, so the direction never changes `σ`.
+#[allow(clippy::too_many_arguments)] // one arg per Algorithm-1 vector
 pub(crate) fn bc_source_seq_traced(
     storage: &Storage,
+    dir: &DirectionEngine,
     source: usize,
     scale: f64,
     bc: &mut [f64],
     sigma: &mut [i64],
     depths: &mut [u32],
-    on_level: &mut dyn FnMut(u32, usize),
+    on_level: &mut dyn FnMut(LevelReport),
 ) -> SourceRun {
     let n = storage.n();
     debug_assert_eq!(bc.len(), n);
@@ -86,7 +96,9 @@ pub(crate) fn bc_source_seq_traced(
         };
     }
 
-    // Forward stage: the paper's integer frontier vectors.
+    // Forward stage: the paper's integer frontier vectors, plus the
+    // sparse index list the push direction iterates (maintained only
+    // while the frontier is small enough for push to be on the table).
     let mut f = vec![0i64; n];
     let mut f_t = vec![0i64; n];
     f[source] = 1;
@@ -94,9 +106,24 @@ pub(crate) fn bc_source_seq_traced(
     depths[source] = 1;
     let mut d = 1u32;
     let mut reached = 1usize;
+    let mut frontier_list: Vec<u32> = Vec::new();
+    let mut have_list = dir.needs_sparse();
+    if have_list {
+        frontier_list.push(source as u32);
+    }
+    let mut frontier_len = 1usize;
     loop {
+        let frontier_edges = if have_list {
+            dir.frontier_edges(&frontier_list)
+        } else {
+            0
+        };
+        let direction = dir.choose(frontier_len, frontier_edges, have_list);
         f_t.fill(0);
-        storage.forward(&f, sigma, &mut f_t);
+        match direction {
+            LevelDirection::Push => dir.push_seq(&frontier_list, &f, &mut f_t),
+            LevelDirection::Pull => storage.forward(&f, sigma, &mut f_t),
+        }
         let count = ops::mask_new_frontier(&f_t, sigma, &mut f);
         if count == 0 {
             break;
@@ -104,9 +131,30 @@ pub(crate) fn bc_source_seq_traced(
         d += 1;
         ops::update_sigma_depth(&f, d, depths, sigma);
         reached += count;
-        on_level(d, count);
+        // Re-collect the sparse list only when the next level could go
+        // push: a frontier already past the threshold pulls regardless.
+        have_list = dir.needs_sparse()
+            && (matches!(dir.mode(), crate::frontier::DirectionMode::PushOnly)
+                || count <= dir.threshold());
+        if have_list {
+            frontier_list.clear();
+            frontier_list.extend(
+                f.iter()
+                    .enumerate()
+                    .filter(|(_, &v)| v != 0)
+                    .map(|(i, _)| i as u32),
+            );
+        }
+        frontier_len = count;
+        on_level(LevelReport {
+            depth: d,
+            frontier: count,
+            direction,
+            frontier_edges,
+        });
     }
     let height = d;
+    drop(frontier_list);
 
     // §3.4: free the integer frontier vectors before allocating the
     // float backward vectors.
@@ -135,21 +183,34 @@ mod tests {
     use turbobc_baselines::brandes_single_source;
     use turbobc_graph::Graph;
 
-    fn run(graph: &Graph, storage: Storage, source: usize) -> (Vec<f64>, SourceRun) {
+    use crate::frontier::DirectionMode;
+
+    fn run_dir(
+        graph: &Graph,
+        storage: Storage,
+        source: usize,
+        mode: DirectionMode,
+    ) -> (Vec<f64>, SourceRun) {
         let n = graph.n();
         let mut bc = vec![0.0; n];
         let mut sigma = vec![0i64; n];
         let mut depths = vec![0u32; n];
+        let dir = DirectionEngine::new(graph, mode);
         let r = bc_source_seq_traced(
             &storage,
+            &dir,
             source,
             graph.bc_scale(),
             &mut bc,
             &mut sigma,
             &mut depths,
-            &mut |_, _| {},
+            &mut |_| {},
         );
         (bc, r)
+    }
+
+    fn run(graph: &Graph, storage: Storage, source: usize) -> (Vec<f64>, SourceRun) {
+        run_dir(graph, storage, source, DirectionMode::Auto)
     }
 
     #[test]
@@ -183,34 +244,55 @@ mod tests {
         let mut depths = vec![0u32; n];
         bc_source_seq_traced(
             &Storage::Csc(g.to_csc()),
+            &DirectionEngine::new(&g, DirectionMode::Auto),
             0,
             1.0,
             &mut bc,
             &mut sigma,
             &mut depths,
-            &mut |_, _| {},
+            &mut |_| {},
         );
         assert_eq!(sigma, vec![1, 1, 1, 2], "two shortest paths reach vertex 3");
         assert_eq!(depths, vec![1, 2, 2, 3]);
     }
 
     #[test]
-    fn level_hook_sees_every_frontier() {
+    fn level_hook_sees_every_frontier_and_direction() {
         let g = Graph::from_edges(4, true, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
         let n = g.n();
         let (mut bc, mut sigma, mut depths) = (vec![0.0; n], vec![0i64; n], vec![0u32; n]);
         let mut levels = Vec::new();
         let r = bc_source_seq_traced(
             &Storage::Csc(g.to_csc()),
+            &DirectionEngine::new(&g, DirectionMode::PushOnly),
             0,
             1.0,
             &mut bc,
             &mut sigma,
             &mut depths,
-            &mut |d, count| levels.push((d, count)),
+            &mut |lr: LevelReport| levels.push((lr.depth, lr.frontier, lr.direction)),
         );
-        assert_eq!(levels, vec![(2, 2), (3, 1)]);
+        assert_eq!(
+            levels,
+            vec![(2, 2, LevelDirection::Push), (3, 1, LevelDirection::Push)]
+        );
         assert_eq!(levels.len() as u32 + 1, r.height);
+    }
+
+    #[test]
+    fn every_direction_mode_matches_the_pull_reference() {
+        let g = Graph::from_edges(
+            6,
+            false,
+            &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (4, 5), (1, 5)],
+        );
+        let (want, _) = run_dir(&g, Storage::Csc(g.to_csc()), 0, DirectionMode::PullOnly);
+        for mode in [DirectionMode::Auto, DirectionMode::PushOnly] {
+            let (got, _) = run_dir(&g, Storage::Csc(g.to_csc()), 0, mode);
+            assert_eq!(got, want, "{mode:?} must be bit-identical to pull");
+            let (got, _) = run_dir(&g, Storage::Cooc(g.to_cooc()), 0, mode);
+            assert_eq!(got, want, "{mode:?}/COOC must be bit-identical to pull");
+        }
     }
 
     #[test]

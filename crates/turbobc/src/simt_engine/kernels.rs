@@ -24,6 +24,21 @@ fn count_some<T>(a: &[Option<T>; WARP_SIZE]) -> usize {
     a.iter().filter(|x| x.is_some()).count()
 }
 
+/// `i64` whose `+` saturates, fed to the generic warp tree reductions so
+/// they combine per-lane partial σ sums with the same saturating
+/// arithmetic as the scalar kernels' `atomic_add` (`Scalar::acc`). A
+/// wrapping reduction would drive `f_t` negative on graphs whose path
+/// counts reach `i64::MAX`, silently dropping vertices from the BFS.
+#[derive(Copy, Clone, Default)]
+struct SatI64(i64);
+
+impl std::ops::Add for SatI64 {
+    type Output = SatI64;
+    fn add(self, rhs: SatI64) -> SatI64 {
+        SatI64(self.0.saturating_add(rhs.0))
+    }
+}
+
 /// `cudaMemset`-style clear kernel (coalesced stores), one thread per
 /// element.
 pub fn clear<T: Copy + Default>(
@@ -97,6 +112,67 @@ pub fn forward_sccooc(
                 }
             }
             w.atomic_add(f_t, &ops);
+        }
+    })
+}
+
+/// Forward SpMV in the **push** direction over CSR (the direction
+/// engine's explicit-push step): one thread per row; frontier rows
+/// (`f[u] > 0`) scatter their path count along the row's adjacency with
+/// atomic adds. Masking happens afterwards in the fused `bfs_update`,
+/// exactly as for the unmasked COOC forward, so the masked result is
+/// identical to the pull kernels'.
+pub fn forward_push(
+    dev: &Device,
+    rp: &DSlice<'_, u32>,
+    ci: &DSlice<'_, u32>,
+    f: &DSlice<'_, i64>,
+    f_t: &mut DSliceMut<'_, i64>,
+) -> Result<KernelStats, DeviceError> {
+    let n = rp.len() - 1;
+    dev.try_launch("fwd_push", LaunchConfig::per_element(n), |w| {
+        let rows = lane_ids(w, n);
+        let fv = w.gather(f, &rows);
+        let mut live = [None; WARP_SIZE];
+        for l in 0..WARP_SIZE {
+            if rows[l].is_some() && fv[l] > 0 {
+                live[l] = rows[l];
+            }
+        }
+        w.alu(count_some(&rows)); // the `f > 0` frontier predicate
+        if count_some(&live) == 0 {
+            return;
+        }
+        let starts = w.gather(rp, &live);
+        let mut live1 = [None; WARP_SIZE];
+        for l in 0..WARP_SIZE {
+            live1[l] = live[l].map(|u| u + 1);
+        }
+        let ends = w.gather(rp, &live1);
+        let mut t = 0u32;
+        loop {
+            let mut idx = [None; WARP_SIZE];
+            for l in 0..WARP_SIZE {
+                if live[l].is_some() {
+                    let p = starts[l] + t;
+                    if p < ends[l] {
+                        idx[l] = Some(p as usize);
+                    }
+                }
+            }
+            let active = count_some(&idx);
+            if active == 0 {
+                break;
+            }
+            let cs = w.gather(ci, &idx);
+            let mut ops = [None; WARP_SIZE];
+            for l in 0..WARP_SIZE {
+                if idx[l].is_some() {
+                    ops[l] = Some((cs[l] as usize, fv[l]));
+                }
+            }
+            w.atomic_add(f_t, &ops);
+            t += 1;
         }
     })
 }
@@ -227,7 +303,7 @@ pub fn forward_vecsc(
             w.alu(count_some(&idx));
             base += WARP_SIZE;
         }
-        let total = w.reduce_sum(sums);
+        let total = w.reduce_sum(sums.map(SatI64)).0;
         if total > 0 {
             let mut writes = [None; WARP_SIZE];
             writes[0] = Some((col, total));
@@ -286,7 +362,7 @@ pub fn forward_vecsc_shared(
             w.alu(count_some(&idx));
             base += WARP_SIZE;
         }
-        let total = w.reduce_sum_shared(sums);
+        let total = w.reduce_sum_shared(sums.map(SatI64)).0;
         if total > 0 {
             let mut writes = [None; WARP_SIZE];
             writes[0] = Some((col, total));

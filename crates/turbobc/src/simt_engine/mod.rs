@@ -5,11 +5,14 @@
 pub(crate) mod kernels;
 
 use crate::error::TurboBcError;
+use crate::frontier::DirectionMode;
 use crate::observe::{Observer, TraceEvent};
 use crate::options::{Kernel, RecoveryPolicy};
 use crate::result::SimtReport;
 use crate::seq::Storage;
+use turbobc_graph::DENSE_DIRECTION_FRACTION;
 use turbobc_simt::{Device, DeviceBuffer, DeviceError};
+use turbobc_sparse::Csr;
 
 /// Everything a SIMT run produces.
 #[derive(Debug)]
@@ -64,9 +67,19 @@ enum DeviceStructure {
 /// Runs BC for `sources` on the simulated device. Kernel must be
 /// resolved (not `Auto`); the storage format must match the kernel.
 ///
+/// `direction` controls the forward SpMV orientation. On the device,
+/// [`DirectionMode::Auto`] resolves to pull: the §3.4 footprint budget
+/// (`7n + m` words) has no room for a resident CSR next to the pull
+/// structure, so per-level switching is a CPU-engine feature. An
+/// explicit [`DirectionMode::PushOnly`] uploads `push_csr` (its
+/// `n + 1 + m` words exceed the paper model — documented on the mode)
+/// and runs the `fwd_push` scatter kernel each level; passing
+/// `PushOnly` without a CSR is a [`TurboBcError::StorageMismatch`].
+///
 /// Emits one attempt's worth of [`TraceEvent`]s to `obs`: `RunStart`,
-/// per-level `Level`s (when the observer wants them), per-source
-/// `SourceDone`s, and the device's `Metrics`/`Memory` on success.
+/// per-level `Level`/`Direction`s (when the observer wants them),
+/// per-source `SourceDone`s, and the device's `Metrics`/`Memory` on
+/// success.
 #[allow(clippy::too_many_arguments)] // one positional slot per engine knob, crate-internal
 pub(crate) fn bc_simt(
     device: &Device,
@@ -76,9 +89,12 @@ pub(crate) fn bc_simt(
     sources: &[u32],
     scale: f64,
     policy: &RecoveryPolicy,
+    direction: DirectionMode,
+    push_csr: Option<&Csr>,
     obs: &mut dyn Observer,
 ) -> Result<SimtOutcome, TurboBcError> {
     let n = storage.n();
+    let m = storage.m();
     let mut kernel_retries = 0u64;
     device.reset_metrics();
     device.reset_peak();
@@ -86,7 +102,7 @@ pub(crate) fn bc_simt(
         engine: "simt",
         kernel,
         n,
-        m: storage.m(),
+        m,
         sources: sources.len(),
     });
 
@@ -109,6 +125,19 @@ pub(crate) fn bc_simt(
             })
         }
     };
+
+    // Explicit push: the CSR rides *alongside* the pull structure (the
+    // backward sweep still needs the latter), deliberately trading the
+    // §3.4 budget for scatter-oriented forward traversal.
+    let push = match direction {
+        DirectionMode::PushOnly => {
+            let csr = push_csr.ok_or(TurboBcError::StorageMismatch { kernel: "push" })?;
+            let rp: Vec<u32> = csr.row_ptr().iter().map(|&p| p as u32).collect();
+            Some((device.alloc_from(&rp)?, device.alloc_from(csr.col_idx())?))
+        }
+        DirectionMode::Auto | DirectionMode::PullOnly => None,
+    };
+    let direction_name = if push.is_some() { "push" } else { "pull" };
 
     // Persistent vectors: σ, S, bc, frontier counter.
     let mut sigma_d = device.alloc::<i64>(n)?;
@@ -149,33 +178,48 @@ pub(crate) fn bc_simt(
             loop {
                 // `f_t` starts zeroed (fresh allocation) and is reset by
                 // the fused `bfs_update` each level (§3.4 kernel fusion).
-                retry_kernel(policy, &mut kernel_retries, || match (&structure, kernel) {
-                    (DeviceStructure::Cooc { row_a, col_a }, Kernel::ScCooc) => {
-                        kernels::forward_sccooc(
+                retry_kernel(policy, &mut kernel_retries, || {
+                    if let Some((rp, ci)) = &push {
+                        return kernels::forward_push(
                             device,
-                            &row_a.dslice(),
-                            &col_a.dslice(),
+                            &rp.dslice(),
+                            &ci.dslice(),
                             &f.dslice(),
                             &mut f_t.dslice_mut(),
-                        )
+                        );
                     }
-                    (DeviceStructure::Csc { cp, rows }, Kernel::ScCsc) => kernels::forward_sccsc(
-                        device,
-                        &cp.dslice(),
-                        &rows.dslice(),
-                        &sigma_d.dslice(),
-                        &f.dslice(),
-                        &mut f_t.dslice_mut(),
-                    ),
-                    (DeviceStructure::Csc { cp, rows }, Kernel::VeCsc) => kernels::forward_vecsc(
-                        device,
-                        &cp.dslice(),
-                        &rows.dslice(),
-                        &sigma_d.dslice(),
-                        &f.dslice(),
-                        &mut f_t.dslice_mut(),
-                    ),
-                    _ => unreachable!("structure/kernel matched at build"),
+                    match (&structure, kernel) {
+                        (DeviceStructure::Cooc { row_a, col_a }, Kernel::ScCooc) => {
+                            kernels::forward_sccooc(
+                                device,
+                                &row_a.dslice(),
+                                &col_a.dslice(),
+                                &f.dslice(),
+                                &mut f_t.dslice_mut(),
+                            )
+                        }
+                        (DeviceStructure::Csc { cp, rows }, Kernel::ScCsc) => {
+                            kernels::forward_sccsc(
+                                device,
+                                &cp.dslice(),
+                                &rows.dslice(),
+                                &sigma_d.dslice(),
+                                &f.dslice(),
+                                &mut f_t.dslice_mut(),
+                            )
+                        }
+                        (DeviceStructure::Csc { cp, rows }, Kernel::VeCsc) => {
+                            kernels::forward_vecsc(
+                                device,
+                                &cp.dslice(),
+                                &rows.dslice(),
+                                &sigma_d.dslice(),
+                                &f.dslice(),
+                                &mut f_t.dslice_mut(),
+                            )
+                        }
+                        _ => unreachable!("structure/kernel matched at build"),
+                    }
                 })?;
                 count_d.fill(0);
                 retry_kernel(policy, &mut kernel_retries, || {
@@ -202,6 +246,15 @@ pub(crate) fn bc_simt(
                         depth: d,
                         frontier: count as usize,
                         sigma_updates: count as u64,
+                    });
+                    obs.event(TraceEvent::Direction {
+                        source,
+                        depth: d,
+                        direction: direction_name,
+                        // The device tracks no per-frontier degree sum;
+                        // the direction is fixed for the whole run.
+                        frontier_edges: 0,
+                        threshold: m / DENSE_DIRECTION_FRACTION,
                     });
                 }
             }
@@ -435,6 +488,8 @@ mod tests {
             sources,
             g.bc_scale(),
             &RecoveryPolicy::default(),
+            DirectionMode::PullOnly,
+            None,
             &mut crate::observe::NullObserver,
         )
         .unwrap()
@@ -500,6 +555,8 @@ mod tests {
             &[0],
             0.5,
             &RecoveryPolicy::default(),
+            DirectionMode::PullOnly,
+            None,
             &mut crate::observe::NullObserver,
         )
         .unwrap();
@@ -533,6 +590,8 @@ mod tests {
             &[0],
             0.5,
             &RecoveryPolicy::default(),
+            DirectionMode::PullOnly,
+            None,
             &mut crate::observe::NullObserver,
         );
         assert!(
@@ -555,6 +614,8 @@ mod tests {
             &[0],
             0.5,
             &RecoveryPolicy::default(),
+            DirectionMode::PullOnly,
+            None,
             &mut crate::observe::NullObserver,
         )
         .unwrap_err();
@@ -584,6 +645,8 @@ mod tests {
             &[0],
             0.5,
             &RecoveryPolicy::default(),
+            DirectionMode::PullOnly,
+            None,
             &mut crate::observe::NullObserver,
         )
         .unwrap_err();
@@ -605,9 +668,56 @@ mod tests {
             &[0],
             0.5,
             &RecoveryPolicy::default(),
+            DirectionMode::PullOnly,
+            None,
             &mut crate::observe::NullObserver
         )
         .is_ok());
+    }
+
+    #[test]
+    fn explicit_push_direction_matches_pull_on_device() {
+        let g = gen::gnm(80, 240, false, 21);
+        let s = g.default_source();
+        let want = run(&g, Kernel::ScCsc, &[s]); // pull reference
+        let csr = g.to_csr();
+        let dev = Device::titan_xp();
+        let storage = storage_for(&g, Kernel::ScCsc);
+        let out = bc_simt(
+            &dev,
+            &storage,
+            Kernel::ScCsc,
+            true,
+            &[s],
+            g.bc_scale(),
+            &RecoveryPolicy::default(),
+            DirectionMode::PushOnly,
+            Some(&csr),
+            &mut crate::observe::NullObserver,
+        )
+        .unwrap();
+        assert_eq!(out.bc, want.bc, "push forward must be bit-identical");
+        assert_eq!(out.sigma, want.sigma);
+        assert_eq!(out.depths, want.depths);
+        assert!(out.report.metrics.kernel("fwd_push").is_some());
+        assert!(out.report.metrics.kernel("fwd_scCSC").is_none());
+        // The CSR upload costs device memory beyond the pull run's.
+        assert!(out.report.memory.peak > want.report.memory.peak);
+        // PushOnly without a CSR structure is a storage mismatch.
+        let err = bc_simt(
+            &dev,
+            &storage,
+            Kernel::ScCsc,
+            true,
+            &[s],
+            0.5,
+            &RecoveryPolicy::default(),
+            DirectionMode::PushOnly,
+            None,
+            &mut crate::observe::NullObserver,
+        )
+        .unwrap_err();
+        assert!(matches!(err, TurboBcError::StorageMismatch { .. }));
     }
 
     #[test]
@@ -651,6 +761,8 @@ mod tests {
                 &[s],
                 0.5,
                 &RecoveryPolicy::default(),
+                DirectionMode::PullOnly,
+                None,
                 &mut crate::observe::NullObserver,
             )
             .unwrap();

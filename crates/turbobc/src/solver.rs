@@ -6,6 +6,7 @@ use crate::checkpoint;
 use crate::closeness::{closeness_with_solver, ClosenessResult};
 use crate::edge::{edge_bc_with_solver, EdgeBcResult};
 use crate::error::{CheckpointError, TurboBcError};
+use crate::frontier::{DirectionEngine, DirectionMode, LevelReport};
 use crate::msbfs::{ms_bfs_on_storage, MsBfsResult};
 use crate::observe::{NullObserver, Observer, TraceEvent};
 use crate::options::{degrade, select_kernel, BcOptions, Engine, Kernel, RecoveryPolicy};
@@ -39,6 +40,7 @@ pub struct BcSolver {
     n: usize,
     m: usize,
     stats: GraphStats,
+    dir: DirectionEngine,
 }
 
 impl BcSolver {
@@ -59,7 +61,9 @@ impl BcSolver {
             Kernel::ScCooc => Storage::Cooc(graph.to_cooc()),
             _ => Storage::Csc(graph.to_csc()),
         };
+        let dir = DirectionEngine::new(graph, options.direction);
         Ok(BcSolver {
+            dir,
             graph: graph.clone(),
             storage,
             kernel,
@@ -181,11 +185,12 @@ impl BcSolver {
         bc: &mut [f64],
         sigma: &mut [i64],
         depths: &mut [u32],
-        on_level: &mut dyn FnMut(u32, usize),
+        on_level: &mut dyn FnMut(LevelReport),
     ) -> SourceRun {
         match engine {
             Engine::Sequential => bc_source_seq_traced(
                 &self.storage,
+                &self.dir,
                 source,
                 self.scale,
                 bc,
@@ -201,7 +206,9 @@ impl BcSolver {
                     },
                     Storage::Cooc(cooc) => ParStorage::Cooc(cooc),
                 };
-                bc_source_par_traced(&storage, source, self.scale, bc, sigma, depths, on_level)
+                bc_source_par_traced(
+                    &storage, &self.dir, source, self.scale, bc, sigma, depths, on_level,
+                )
             }
         }
     }
@@ -215,6 +222,12 @@ impl BcSolver {
         obs: &mut dyn Observer,
     ) -> BcResult {
         let start = Instant::now();
+        obs.event(TraceEvent::KernelChoice {
+            kernel: self.kernel,
+            scf: self.stats.scf,
+            mean_degree: self.stats.degree.mean,
+            direction: self.options.direction.name(),
+        });
         obs.event(TraceEvent::RunStart {
             engine: match engine {
                 Engine::Sequential => "seq",
@@ -257,6 +270,7 @@ impl BcSolver {
                         for &s in batch {
                             let run = bc_source_par(
                                 &storage,
+                                &self.dir,
                                 s as usize,
                                 self.scale,
                                 &mut local_bc,
@@ -286,6 +300,7 @@ impl BcSolver {
                     let mut scratch_bc = vec![0.0f64; n];
                     let run = bc_source_par(
                         &storage,
+                        &self.dir,
                         last as usize,
                         self.scale,
                         &mut scratch_bc,
@@ -301,15 +316,23 @@ impl BcSolver {
                 // Parallel engine still parallelises within each
                 // kernel), so the trace is a clean timeline.
                 let wants = obs.wants_levels();
+                let threshold = self.dir.threshold();
                 for &s in sources {
                     let run = {
-                        let mut on_level = |depth: u32, frontier: usize| {
+                        let mut on_level = |lr: LevelReport| {
                             if wants {
                                 obs.event(TraceEvent::Level {
                                     source: s,
-                                    depth,
-                                    frontier,
-                                    sigma_updates: frontier as u64,
+                                    depth: lr.depth,
+                                    frontier: lr.frontier,
+                                    sigma_updates: lr.frontier as u64,
+                                });
+                                obs.event(TraceEvent::Direction {
+                                    source: s,
+                                    depth: lr.depth,
+                                    direction: lr.direction.name(),
+                                    frontier_edges: lr.frontier_edges,
+                                    threshold,
                                 });
                             }
                         };
@@ -404,7 +427,7 @@ impl BcSolver {
                     &mut batch_bc,
                     &mut sigma,
                     &mut depths,
-                    &mut |_, _| {},
+                    &mut |_| {},
                 );
                 stats.max_depth = stats.max_depth.max(run.height);
                 stats.total_levels += run.height as u64;
@@ -431,7 +454,7 @@ impl BcSolver {
                 &mut scratch,
                 &mut sigma,
                 &mut depths,
-                &mut |_, _| {},
+                &mut |_| {},
             );
             stats.last_reached = run.reached;
             stats.max_depth = stats.max_depth.max(run.height);
@@ -525,9 +548,21 @@ impl BcSolver {
         self.validate_sources(sources)?;
         let start = Instant::now();
         let policy = self.options.recovery;
+        obs.event(TraceEvent::KernelChoice {
+            kernel: self.kernel,
+            scf: self.stats.scf,
+            mean_degree: self.stats.degree.mean,
+            direction: self.options.direction.name(),
+        });
         let mut recovery = RecoveryLog::default();
         let mut kernel = self.kernel;
         let mut degraded_storage: Option<Storage> = None;
+        // Explicit push ships the CSR to the device; Auto resolves to
+        // pull there so the §3.4 footprint model keeps holding.
+        let push_csr = match self.options.direction {
+            DirectionMode::PushOnly => self.dir.csr(),
+            _ => None,
+        };
         loop {
             let storage = degraded_storage.as_ref().unwrap_or(&self.storage);
             match bc_simt(
@@ -538,6 +573,8 @@ impl BcSolver {
                 sources,
                 self.scale,
                 &policy,
+                self.options.direction,
+                push_csr,
                 obs,
             ) {
                 Ok(out) => {

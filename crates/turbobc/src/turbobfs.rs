@@ -9,6 +9,7 @@
 //! accumulates for free, and the BFS-tree height `d`.
 
 use crate::error::TurboBcError;
+use crate::frontier::{DirectionEngine, DirectionMode, LevelDirection};
 use crate::options::{select_kernel, BcOptions, Engine, Kernel, RecoveryPolicy};
 use crate::par::{bc_source_par, ParStorage};
 use crate::result::SimtReport;
@@ -65,12 +66,15 @@ pub struct TurboBfs {
     kernel: Kernel,
     engine: Engine,
     recovery: RecoveryPolicy,
+    dir: DirectionEngine,
     symmetric: bool,
     n: usize,
 }
 
 impl TurboBfs {
-    /// Prepares the solver; `Kernel::Auto` resolves per §3.1.
+    /// Prepares the solver; `Kernel::Auto` resolves per §3.1 and the
+    /// forward direction (push/pull/auto) comes from
+    /// `options.direction`.
     pub fn new(graph: &Graph, options: BcOptions) -> Self {
         let kernel = match options.kernel {
             Kernel::Auto => select_kernel(&GraphStats::compute(graph)),
@@ -85,6 +89,7 @@ impl TurboBfs {
             kernel,
             engine: options.engine,
             recovery: options.recovery,
+            dir: DirectionEngine::new(graph, options.direction),
             symmetric: !graph.directed(),
             n: graph.n(),
         }
@@ -122,9 +127,13 @@ impl TurboBfs {
         // but still costs sweeps, so for the Sequential engine we inline
         // the forward loop directly).
         let (height, reached) = match self.engine {
-            Engine::Sequential => {
-                forward_only_seq(&self.storage, source as usize, &mut sigma, &mut depths)
-            }
+            Engine::Sequential => forward_only_seq(
+                &self.storage,
+                &self.dir,
+                source as usize,
+                &mut sigma,
+                &mut depths,
+            ),
             Engine::Parallel => {
                 let storage = match &self.storage {
                     Storage::Csc(csc) => ParStorage::Csc {
@@ -136,6 +145,7 @@ impl TurboBfs {
                 let mut bc = vec![0.0; n];
                 let run = bc_source_par(
                     &storage,
+                    &self.dir,
                     source as usize,
                     0.0,
                     &mut bc,
@@ -161,6 +171,10 @@ impl TurboBfs {
         source: VertexId,
     ) -> Result<(BfsRun, SimtReport), TurboBcError> {
         let start = Instant::now();
+        let push_csr = match self.dir.mode() {
+            DirectionMode::PushOnly => self.dir.csr(),
+            _ => None,
+        };
         let out = bc_simt(
             device,
             &self.storage,
@@ -169,6 +183,8 @@ impl TurboBfs {
             &[source],
             0.0,
             &self.recovery,
+            self.dir.mode(),
+            push_csr,
             &mut crate::observe::NullObserver,
         )?;
         Ok((
@@ -184,9 +200,12 @@ impl TurboBfs {
     }
 }
 
-/// Sequential forward stage only (Algorithm 1 lines 5–29).
+/// Sequential forward stage only (Algorithm 1 lines 5–29), with the
+/// per-level push/pull decision made by `dir` — the same loop shape as
+/// `bc_source_seq_traced`, minus the backward sweep.
 fn forward_only_seq(
     storage: &Storage,
+    dir: &DirectionEngine,
     source: usize,
     sigma: &mut [i64],
     depths: &mut [u32],
@@ -201,11 +220,25 @@ fn forward_only_seq(
     depths[source] = 1;
     let mut d = 1u32;
     let mut reached = 1usize;
+    let mut frontier_list: Vec<u32> = Vec::new();
+    let mut have_list = dir.needs_sparse();
+    if have_list {
+        frontier_list.push(source as u32);
+    }
+    let mut frontier_len = 1usize;
     loop {
+        let frontier_edges = if have_list {
+            dir.frontier_edges(&frontier_list)
+        } else {
+            0
+        };
         f_t.fill(0);
-        match storage {
-            Storage::Csc(c) => c.masked_spmv_t(&f, |j| sigma[j] == 0, &mut f_t),
-            Storage::Cooc(c) => c.spmv_t(&f, &mut f_t),
+        match dir.choose(frontier_len, frontier_edges, have_list) {
+            LevelDirection::Push => dir.push_seq(&frontier_list, &f, &mut f_t),
+            LevelDirection::Pull => match storage {
+                Storage::Csc(c) => c.masked_spmv_t(&f, |j| sigma[j] == 0, &mut f_t),
+                Storage::Cooc(c) => c.spmv_t(&f, &mut f_t),
+            },
         }
         let count = turbobc_sparse::ops::mask_new_frontier(&f_t, sigma, &mut f);
         if count == 0 {
@@ -214,6 +247,18 @@ fn forward_only_seq(
         d += 1;
         turbobc_sparse::ops::update_sigma_depth(&f, d, depths, sigma);
         reached += count;
+        have_list = dir.needs_sparse()
+            && (matches!(dir.mode(), DirectionMode::PushOnly) || count <= dir.threshold());
+        if have_list {
+            frontier_list.clear();
+            frontier_list.extend(
+                f.iter()
+                    .enumerate()
+                    .filter(|(_, &v)| v != 0)
+                    .map(|(i, _)| i as u32),
+            );
+        }
+        frontier_len = count;
     }
     (d, reached)
 }
@@ -231,18 +276,25 @@ mod tests {
             let want = turbobc_graph::bfs(&g, s);
             for kernel in [Kernel::ScCooc, Kernel::ScCsc, Kernel::VeCsc] {
                 for engine in [Engine::Sequential, Engine::Parallel] {
-                    let bfs = TurboBfs::new(
-                        &g,
-                        BcOptions {
-                            kernel,
-                            engine,
-                            ..Default::default()
-                        },
-                    );
-                    let r = bfs.run(s);
-                    assert_eq!(r.depths, want.depths, "{kernel:?}/{engine:?}");
-                    assert_eq!(r.height, want.height);
-                    assert_eq!(r.reached, want.reached);
+                    for direction in [
+                        DirectionMode::Auto,
+                        DirectionMode::PushOnly,
+                        DirectionMode::PullOnly,
+                    ] {
+                        let bfs = TurboBfs::new(
+                            &g,
+                            BcOptions {
+                                kernel,
+                                engine,
+                                direction,
+                                ..Default::default()
+                            },
+                        );
+                        let r = bfs.run(s);
+                        assert_eq!(r.depths, want.depths, "{kernel:?}/{engine:?}/{direction:?}");
+                        assert_eq!(r.height, want.height);
+                        assert_eq!(r.reached, want.reached);
+                    }
                 }
             }
         }

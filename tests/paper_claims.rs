@@ -173,3 +173,37 @@ fn deep_graphs_pay_per_level_overhead() {
         "deep graph per-edge time {deep_t:.2e} should exceed shallow {shallow_t:.2e}"
     );
 }
+
+/// §4: the scale-free factor drives `KernelChoice::Auto`, pinned on one
+/// fixture per regime. The scf values themselves are pinned (the
+/// generators are seeded by name, so they are exactly reproducible): the
+/// R-MAT power-law stand-in sits far above the scale-free threshold and
+/// auto-selects veCSC; the road and mesh stand-ins sit at scf ≈ 1 and
+/// auto-select scCSC; the skewed power-law stand-in keeps scCOOC.
+#[test]
+fn scf_pins_drive_auto_kernel_selection() {
+    let pin = |name: &str, scf: f64, kernel: Kernel| {
+        let g = families::generate(name, Scale::Tiny).unwrap();
+        let solver = BcSolver::new(&g, BcOptions::default()).unwrap();
+        let stats = solver.graph_stats();
+        assert!(
+            (stats.scf - scf).abs() < 1e-3,
+            "{name}: scf = {}, pinned {scf}",
+            stats.scf
+        );
+        assert_eq!(solver.kernel(), kernel, "{name}: auto pick");
+        assert_eq!(
+            stats.is_scale_free(),
+            scf >= turbobc_suite::graph::SCALE_FREE_SCF,
+            "{name}: scale-free classification"
+        );
+    };
+    // Power-law (R-MAT / kron): high scf, dense-enough mean → veCSC.
+    pin("kron_g500-logn18", 9.613, Kernel::VeCsc);
+    // Road: scf ≈ 1 (degree ≈ 2 everywhere) → scCSC.
+    pin("luxembourg_osm", 1.036, Kernel::ScCsc);
+    // Mesh: scf ≈ 1 (bounded planar degree) → scCSC.
+    pin("delaunay_n15", 1.104, Kernel::ScCsc);
+    // Power-law but sparse and hub-skewed → scCOOC survives.
+    pin("com-Youtube", 9.228, Kernel::ScCooc);
+}
