@@ -1,0 +1,291 @@
+//! The `batched` experiment: per-source wall time of the batched
+//! multi-source BC engine as the batch width `b` grows, on the
+//! catalogued paper fixtures. One matrix sweep per level serves every
+//! lane in the block, so per-source time should collapse as `b → 64`.
+//!
+//! Emits `BENCH_batched.json` (schema `turbobc-batched-v1`) into its
+//! own directory — deliberately *not* `target/profiles`, whose contents
+//! CI validates against the `turbobc-profile-v1` schema.
+
+use super::Config;
+use crate::table::{fcount, fnum, TextTable};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+use turbobc::observe::json::Json;
+use turbobc::{BcOptions, BcSolver};
+use turbobc_graph::families::{self, Scale};
+use turbobc_graph::Graph;
+
+/// The batch widths the experiment sweeps.
+pub const WIDTHS: [usize; 4] = [1, 4, 16, 64];
+
+/// One fixture's timings across the batch widths.
+#[derive(Debug, Clone)]
+pub struct BatchedRow {
+    /// Fixture name (a `turbobc_graph::families` stand-in).
+    pub graph: String,
+    /// Whether the fixture has a power-law degree distribution — the
+    /// regime the issue's ≥ 2× acceptance bar targets.
+    pub power_law: bool,
+    /// Vertex count.
+    pub n: usize,
+    /// Stored arc count.
+    pub m: usize,
+    /// Best-of-trials wall clock per source, ms, one per [`WIDTHS`].
+    pub per_source_ms: [f64; 4],
+    /// Forward matrix sweeps the run performed, one per [`WIDTHS`] —
+    /// the work the batching amortises (at `b = 1` this equals the sum
+    /// of per-source BFS heights).
+    pub sweeps: [u64; 4],
+}
+
+/// Fixtures: the differential battery's always-on trio plus one more
+/// power-law stand-in, all from the paper's catalogue.
+fn fixtures(scale: Scale) -> Vec<(&'static str, bool, Graph)> {
+    [
+        ("mark3jac060sc", false),
+        ("luxembourg_osm", false),
+        ("com-Youtube", true),
+        ("kron_g500-logn18", true),
+    ]
+    .into_iter()
+    .map(|(name, power_law)| {
+        let g = families::generate(name, scale).expect("catalogued family");
+        (name, power_law, g)
+    })
+    .collect()
+}
+
+/// Evenly spread BC sources, starting from the graph's default.
+fn pick_sources(g: &Graph, count: usize) -> Vec<u32> {
+    let n = g.n().max(1);
+    let first = g.default_source() as usize;
+    (0..count.max(1))
+        .map(|i| ((first + i * n / count.max(1)) % n) as u32)
+        .collect()
+}
+
+/// Best-of-`trials` wall clock for the batched engine at width `b`,
+/// returned as (total ms, forward sweeps).
+fn time_ms(g: &Graph, sources: &[u32], b: usize, trials: usize) -> (f64, u64) {
+    let solver = BcSolver::new(g, BcOptions::builder().batch_width(b).build())
+        .expect("fixture graphs are non-empty");
+    let mut best = f64::INFINITY;
+    let mut sweeps = 0u64;
+    for _ in 0..trials.max(1) {
+        let start = Instant::now();
+        let out = solver.bc_batched(sources).expect("cpu engines are total");
+        let elapsed = start.elapsed().as_secs_f64() * 1e3;
+        assert!(out.bc.len() == g.n());
+        sweeps = out.stats.total_levels;
+        best = best.min(elapsed);
+    }
+    (best, sweeps)
+}
+
+/// Measures every fixture; the module tests and [`run`] share this.
+pub fn measure(cfg: Config) -> Vec<BatchedRow> {
+    let sources_per_graph = cfg.max_sources.clamp(1, 64);
+    fixtures(cfg.scale)
+        .into_iter()
+        .map(|(name, power_law, g)| {
+            let sources = pick_sources(&g, sources_per_graph);
+            let mut per_source_ms = [0.0f64; 4];
+            let mut sweeps = [0u64; 4];
+            for (i, &b) in WIDTHS.iter().enumerate() {
+                let (total_ms, s) = time_ms(&g, &sources, b, cfg.trials);
+                per_source_ms[i] = total_ms / sources.len() as f64;
+                sweeps[i] = s;
+            }
+            BatchedRow {
+                graph: name.to_string(),
+                power_law,
+                n: g.n(),
+                m: g.m(),
+                per_source_ms,
+                sweeps,
+            }
+        })
+        .collect()
+}
+
+/// Serialises the rows under the `turbobc-batched-v1` schema.
+pub fn rows_to_json(rows: &[BatchedRow], cfg: Config) -> Json {
+    Json::Obj(vec![
+        ("schema".into(), "turbobc-batched-v1".into()),
+        ("trials".into(), cfg.trials.into()),
+        (
+            "widths".into(),
+            Json::Arr(WIDTHS.iter().map(|&b| b.into()).collect()),
+        ),
+        (
+            "rows".into(),
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::Obj(vec![
+                            ("graph".into(), r.graph.as_str().into()),
+                            ("power_law".into(), r.power_law.into()),
+                            ("n".into(), r.n.into()),
+                            ("m".into(), r.m.into()),
+                            (
+                                "per_source_ms".into(),
+                                Json::Arr(r.per_source_ms.iter().map(|&t| t.into()).collect()),
+                            ),
+                            (
+                                "sweeps".into(),
+                                Json::Arr(r.sweeps.iter().map(|&s| s.into()).collect()),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Where the BENCH JSON lands; overridable so CI can point it at the
+/// artifact directory.
+pub fn out_path() -> PathBuf {
+    std::env::var_os("TURBOBC_BATCHED_OUT")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| Path::new("target").join("batched"))
+        .join("BENCH_batched.json")
+}
+
+/// Runs the experiment: a text table plus the BENCH JSON on disk.
+pub fn run(cfg: Config) -> String {
+    let rows = measure(cfg);
+    let mut out = String::from(
+        "== Batched: per-source time vs batch width (bit-sliced SpMM, best-of trials) ==\n\n",
+    );
+    let mut t = TextTable::new(vec![
+        "graph",
+        "class",
+        "n",
+        "m",
+        "b=1 ms/src",
+        "b=4 ms/src",
+        "b=16 ms/src",
+        "b=64 ms/src",
+        "b=64 speedup",
+        "sweeps b=1 -> b=64",
+    ]);
+    for r in &rows {
+        t.row(vec![
+            r.graph.clone(),
+            if r.power_law {
+                "power-law"
+            } else {
+                "road/mesh"
+            }
+            .to_string(),
+            fcount(r.n),
+            fcount(r.m),
+            fnum(r.per_source_ms[0]),
+            fnum(r.per_source_ms[1]),
+            fnum(r.per_source_ms[2]),
+            fnum(r.per_source_ms[3]),
+            format!("{:.2}x", r.per_source_ms[0] / r.per_source_ms[3].max(1e-9)),
+            format!("{} -> {}", r.sweeps[0], r.sweeps[3]),
+        ]);
+    }
+    out.push_str(&t.render());
+
+    let path = out_path();
+    let doc = rows_to_json(&rows, cfg);
+    let written = path
+        .parent()
+        .map(std::fs::create_dir_all)
+        .transpose()
+        .and_then(|_| std::fs::write(&path, doc.pretty()).map(Some));
+    match written {
+        Ok(_) => out.push_str(&format!("\nBENCH JSON: {}\n", path.display())),
+        Err(e) => out.push_str(&format!("\nBENCH JSON not written ({e})\n")),
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> Config {
+        Config {
+            scale: Scale::Tiny,
+            trials: 1,
+            max_sources: 8,
+        }
+    }
+
+    #[test]
+    fn report_and_json_have_every_fixture() {
+        let rows = measure(tiny_cfg());
+        assert_eq!(rows.len(), 4);
+        assert!(rows.iter().any(|r| r.power_law));
+        assert!(rows.iter().any(|r| !r.power_law));
+        for r in &rows {
+            for (i, t) in r.per_source_ms.iter().enumerate() {
+                assert!(
+                    t.is_finite() && *t >= 0.0,
+                    "{} width {}",
+                    r.graph,
+                    WIDTHS[i]
+                );
+            }
+            // Sweeps are a structural claim, so they hold in debug too:
+            // wider blocks never sweep the matrix more often.
+            assert!(
+                r.sweeps[3] <= r.sweeps[1] && r.sweeps[1] <= r.sweeps[0],
+                "{}: sweeps must not grow with the batch width: {:?}",
+                r.graph,
+                r.sweeps
+            );
+            assert!(r.sweeps[0] > 0, "{}: no forward work recorded", r.graph);
+        }
+        let doc = rows_to_json(&rows, tiny_cfg());
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some("turbobc-batched-v1")
+        );
+        let parsed = turbobc::observe::json::parse(&doc.pretty()).expect("own output parses");
+        assert_eq!(
+            parsed.get("rows").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(4)
+        );
+        assert_eq!(
+            parsed
+                .get("widths")
+                .and_then(Json::as_arr)
+                .map(<[Json]>::len),
+            Some(4)
+        );
+    }
+
+    /// The acceptance bar from the issue: on a power-law fixture the
+    /// batched engine at `b = 64` is at least 2× cheaper per source
+    /// than `b = 1`. Timing-sensitive, so release only.
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "timing assertion; run under --release")]
+    fn width_64_at_least_halves_per_source_time_on_power_law() {
+        let rows = measure(Config {
+            scale: Scale::Small,
+            trials: 3,
+            max_sources: 64,
+        });
+        for r in &rows {
+            assert!(
+                r.per_source_ms[3] <= r.per_source_ms[0],
+                "{}: b=64 ({:.3} ms/src) should not lose to b=1 ({:.3} ms/src)",
+                r.graph,
+                r.per_source_ms[3],
+                r.per_source_ms[0]
+            );
+        }
+        assert!(
+            rows.iter()
+                .any(|r| r.power_law && r.per_source_ms[3] * 2.0 <= r.per_source_ms[0]),
+            "a power-law fixture must show >= 2x per-source speedup at b=64: {rows:?}"
+        );
+    }
+}

@@ -3,6 +3,7 @@
 //! `EXPERIMENTS.md` generator share one code path.
 
 pub mod ablation;
+pub mod batched;
 pub mod direction;
 pub mod figures;
 pub mod tables;
@@ -46,6 +47,7 @@ pub const ALL: &[&str] = &[
     "scaling",
     "multigpu",
     "direction",
+    "batched",
 ];
 
 /// Runs one experiment by id.
@@ -64,6 +66,7 @@ pub fn run(id: &str, cfg: Config) -> Option<String> {
         "scaling" => figures::scaling(cfg),
         "multigpu" => figures::multigpu(cfg),
         "direction" => direction::run(cfg),
+        "batched" => batched::run(cfg),
         _ => return None,
     })
 }

@@ -20,7 +20,7 @@ usage:
   turbobc bc      <file> [--format mtx|edges] [--directed]
                   [--kernel auto|sccooc|sccsc|vecsc] [--sequential]
                   [--exact | --samples K | --approx EPSILON] [--top N]
-                  [--simt] [--faults SPEC] [--checkpoint FILE]
+                  [--batch B|auto] [--simt] [--faults SPEC] [--checkpoint FILE]
                   [--checkpoint-every K] [--resume]
                   [--profile FILE] [--profile-summary]
   turbobc validate-profile <file.json>
@@ -218,6 +218,12 @@ pub fn run(args: &[String]) -> Result<String, String> {
             if p.flags.contains_key("sequential") {
                 builder = builder.sequential();
             }
+            if let Some(b) = p.flags.get("batch") {
+                if b != "auto" {
+                    let w: usize = b.parse().map_err(|_| format!("bad batch width `{b}`"))?;
+                    builder = builder.batch_width(w);
+                }
+            }
             let ckpt_every: usize = match p.flags.get("checkpoint-every") {
                 Some(v) => v
                     .parse()
@@ -319,6 +325,26 @@ pub fn run(args: &[String]) -> Result<String, String> {
                     r.stats.elapsed.as_secs_f64() * 1e3
                 );
                 let _ = writeln!(out, "{}", recovery_summary(&r.stats.recovery));
+                out.push_str(&rank_report("BC", &r.bc, top));
+            } else if p.flags.contains_key("batch") {
+                // Batched multi-source engine: blocks of `B` sources per
+                // matrix sweep (`auto` sizes the block from the device
+                // memory budget).
+                let solver = BcSolver::new(&g, options).map_err(|e| e.to_string())?;
+                let sources = sources_of(&p, &g)?;
+                let width = solver.resolve_batch_width(sources.len());
+                let r = solver
+                    .bc_batched_observed(&sources, obs)
+                    .map_err(|e| e.to_string())?;
+                let _ = writeln!(
+                    out,
+                    "batched run: kernel {} over {} source(s) in {} block(s) of width {}, {:.1} ms",
+                    solver.kernel().name(),
+                    r.stats.sources,
+                    sources.len().div_ceil(width.max(1)),
+                    width,
+                    r.stats.elapsed.as_secs_f64() * 1e3
+                );
                 out.push_str(&rank_report("BC", &r.bc, top));
             } else {
                 let solver = BcSolver::new(&g, options).map_err(|e| e.to_string())?;
@@ -652,6 +678,52 @@ mod tests {
         .unwrap();
         assert!(resumed.contains("resumed from checkpoint"), "{resumed}");
         assert_eq!(ranks(&plain), ranks(&resumed));
+    }
+
+    #[test]
+    fn batched_run_reports_blocks_and_matches_plain() {
+        let mtx = temp("batch.mtx");
+        run(&args(&["gen", "smallworld", "-o", mtx.to_str().unwrap()])).unwrap();
+        let ranks = |s: &str| s[s.find("top ").unwrap()..].to_string();
+        // Sequential scCSC pull and the batched CSC engine accumulate
+        // per-lane floats in the same order, so the rankings agree.
+        let plain = run(&args(&[
+            "bc",
+            mtx.to_str().unwrap(),
+            "--kernel",
+            "sccsc",
+            "--sequential",
+            "--samples",
+            "9",
+        ]))
+        .unwrap();
+        let batched = run(&args(&[
+            "bc",
+            mtx.to_str().unwrap(),
+            "--kernel",
+            "sccsc",
+            "--sequential",
+            "--samples",
+            "9",
+            "--batch",
+            "4",
+        ]))
+        .unwrap();
+        assert!(batched.contains("batched run:"), "{batched}");
+        assert!(batched.contains("3 block(s) of width 4"), "{batched}");
+        assert_eq!(ranks(&plain), ranks(&batched));
+        let auto = run(&args(&[
+            "bc",
+            mtx.to_str().unwrap(),
+            "--batch",
+            "auto",
+            "--samples",
+            "9",
+            "--profile-summary",
+        ]))
+        .unwrap();
+        assert!(auto.contains("batched:"), "{auto}");
+        assert!(run(&args(&["bc", mtx.to_str().unwrap(), "--batch", "nope"])).is_err());
     }
 
     #[test]

@@ -48,8 +48,10 @@ mod error;
 pub mod ops;
 mod scalar;
 pub mod semiring;
+mod spmm;
 
 pub use scalar::Scalar;
+pub use spmm::lane_words;
 
 pub use coo::Coo;
 pub use cooc::Cooc;

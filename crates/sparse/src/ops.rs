@@ -92,6 +92,113 @@ pub fn accumulate_bc(delta: &[f64], source: usize, scale: f64, bc: &mut [f64]) {
 /// paper's `d` starts at 1), so 0 is free to mean unreached.
 pub const UNDISCOVERED: u32 = 0;
 
+// ---------------------------------------------------------------------
+// Batched (n×b panel) analogues of the masked updates above, used by
+// the multi-source block engine. Layout follows `crate::spmm`: bit
+// matrices hold `ceil(b/64)` u64 words per vertex, panels hold `b`
+// entries per vertex, and panel entries are only meaningful where the
+// corresponding bit is set.
+// ---------------------------------------------------------------------
+
+/// Lines 23–27 of Algorithm 1 over a block: for every lane `k` set in
+/// `fresh[v]`, record depth `d` and add the new shortest paths from
+/// `f_t` into the `σ` panel (saturating, like the scalar path).
+/// Returns the total number of `(vertex, lane)` discoveries.
+pub fn update_sigma_depth_panel(
+    width: usize,
+    fresh: &[u64],
+    f_t: &[i64],
+    d: u32,
+    depths: &mut [u32],
+    sigma: &mut [i64],
+) -> usize {
+    let w = width.div_ceil(64);
+    debug_assert_eq!(fresh.len() * width, f_t.len() * w);
+    debug_assert_eq!(f_t.len(), sigma.len());
+    debug_assert_eq!(f_t.len(), depths.len());
+    let n = f_t.len() / width.max(1);
+    let mut count = 0usize;
+    for v in 0..n {
+        for t in 0..w {
+            let mut bits = fresh[v * w + t];
+            count += bits.count_ones() as usize;
+            while bits != 0 {
+                let k = t * 64 + bits.trailing_zeros() as usize;
+                let i = v * width + k;
+                depths[i] = d;
+                sigma[i] = sigma[i].saturating_add(f_t[i]);
+                bits &= bits - 1;
+            }
+        }
+    }
+    count
+}
+
+/// Lines 32–36 over a block: seed the backward panel
+/// `δ_u[v,k] = (1 + δ[v,k]) / σ[v,k]` for every lane discovered at
+/// depth `d`; every other entry becomes 0 (full overwrite). Lanes whose
+/// BFS tree is shallower than `d` simply contribute zeros — the block
+/// sweeps each depth once for all `b` sources.
+pub fn seed_delta_u_panel(
+    width: usize,
+    depths: &[u32],
+    sigma: &[i64],
+    delta: &[f64],
+    d: u32,
+    delta_u: &mut [f64],
+) {
+    debug_assert_eq!(depths.len(), sigma.len());
+    debug_assert_eq!(depths.len(), delta.len());
+    debug_assert_eq!(depths.len(), delta_u.len());
+    let _ = width;
+    for i in 0..depths.len() {
+        delta_u[i] = if depths[i] == d && sigma[i] > 0 {
+            (1.0 + delta[i]) / sigma[i] as f64
+        } else {
+            0.0
+        };
+    }
+}
+
+/// Lines 38–40 over a block: fold the weighted dependency sums back
+/// into the `δ` panel for every lane at depth `d - 1`.
+pub fn accumulate_delta_panel(
+    width: usize,
+    depths: &[u32],
+    sigma: &[i64],
+    delta_ut: &[f64],
+    d: u32,
+    delta: &mut [f64],
+) {
+    debug_assert_eq!(depths.len(), delta_ut.len());
+    debug_assert_eq!(depths.len(), delta.len());
+    let _ = width;
+    for i in 0..depths.len() {
+        if depths[i] == d - 1 {
+            delta[i] += delta_ut[i] * sigma[i] as f64;
+        }
+    }
+}
+
+/// Lines 43–47 over a block: fold the `δ` panel into the shared BC
+/// vector, one lane (= one source) at a time in lane order — the same
+/// source-major accumulation order as the per-source loop, so batching
+/// does not perturb the float summation order.
+pub fn fold_bc_panel(width: usize, delta: &[f64], sources: &[u32], scale: f64, bc: &mut [f64]) {
+    debug_assert_eq!(delta.len(), bc.len() * width);
+    debug_assert!(sources.len() <= width);
+    for (k, &s) in sources.iter().enumerate() {
+        for (v, bcv) in bc.iter_mut().enumerate() {
+            if v != s as usize {
+                let dv = delta[v * width + k];
+                if dv != 0.0 {
+                    *bcv += dv * scale;
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

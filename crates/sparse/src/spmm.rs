@@ -1,0 +1,625 @@
+//! Bit-sliced **masked SpMM** kernels for batched multi-source BC.
+//!
+//! TurboBC's per-source engines sweep the whole sparse matrix once per
+//! BFS level *per source*, even though the matrix never changes. The
+//! batched formulation (Solomonik et al., *Scaling Betweenness
+//! Centrality using Communication-Efficient Sparse Matrix
+//! Multiplication*; GraphBLAST's masked-SpMM BC) processes a block of
+//! `b` sources per sweep instead: the frontier becomes an `n×b`
+//! **bit-sliced matrix** and the path-count vector `σ` becomes an `n×b`
+//! integer **panel**, so one traversal of the index structure serves
+//! all `b` lanes at once.
+//!
+//! # Layout conventions
+//!
+//! For a batch width `b`, `w = ceil(b/64)` words per vertex:
+//!
+//! * **bit matrix** — `&[u64]` of length `n·w`; vertex `v`'s words are
+//!   `bits[v*w .. (v+1)*w]`, and lane `k` is bit `k % 64` of word
+//!   `k / 64`. Bits `>= b` of the last word are always zero.
+//! * **count panel** — `&[i64]` of length `n·b`; vertex `v`, lane `k`
+//!   at `panel[v*b + k]`. Entries are only meaningful where the
+//!   corresponding bit matrix has the lane set — kernels never read a
+//!   panel entry whose frontier bit is clear.
+//! * **float panel** — `&[f64]`, same indexing, for the backward stage.
+//!
+//! Count accumulation uses the same saturating arithmetic as the
+//! per-source kernels ([`crate::Scalar::acc`]). Over non-negative
+//! counts, saturating addition is associative and commutative
+//! (`min(Σ, MAX)`), so every variant — and every batch width — produces
+//! bit-identical `σ` panels.
+//!
+//! Three forward variants mirror the paper's Algorithms 2–4, plus a
+//! push-direction gather over CSR for the Beamer direction switch, and
+//! `σ`-free bit-only variants that the multi-source BFS
+//! (`turbobc::msbfs`) is the `w = 1` special case of.
+
+use crate::{Cooc, Csc, Csr, Index};
+
+/// Number of `u64` words needed for `width` lanes: `ceil(width/64)`.
+pub fn lane_words(width: usize) -> usize {
+    width.div_ceil(64)
+}
+
+/// Visits every set lane in word `t` of a bit row, calling `f(k)` with
+/// the lane index.
+#[inline]
+fn for_each_lane(word: u64, t: usize, mut f: impl FnMut(usize)) {
+    let mut bits = word;
+    while bits != 0 {
+        let k = t * 64 + bits.trailing_zeros() as usize;
+        f(k);
+        bits &= bits - 1;
+    }
+}
+
+impl Csc {
+    /// Batched masked forward product, **scalar-CSC** mapping
+    /// (Algorithm 3 lifted to `b` lanes, one "thread" per column): for
+    /// every column `j`, OR-gather the in-neighbours' frontier words,
+    /// mask with `!seen[j]` (the fused `σ == 0` test, per lane), write
+    /// the fresh lanes to `tbits[j]`, and for each fresh lane `k`
+    /// overwrite `f_t[j*b + k]` with the saturating sum of the
+    /// in-neighbours' counts.
+    ///
+    /// Columns with no fresh lane cost only the bit OR — the
+    /// amortization: one structure sweep serves all `b` sources.
+    /// `tbits` is fully overwritten; `f_t` is written **only at fresh
+    /// lanes** (stale entries elsewhere are never read back, per the
+    /// module's layout contract), so neither needs pre-clearing.
+    pub fn spmm_t_frontier(
+        &self,
+        width: usize,
+        fbits: &[u64],
+        f: &[i64],
+        seen: &[u64],
+        tbits: &mut [u64],
+        f_t: &mut [i64],
+    ) {
+        let w = lane_words(width);
+        debug_assert_eq!(fbits.len(), self.n_rows() * w);
+        debug_assert_eq!(f.len(), self.n_rows() * width);
+        debug_assert_eq!(seen.len(), self.n_cols() * w);
+        debug_assert_eq!(tbits.len(), self.n_cols() * w);
+        debug_assert_eq!(f_t.len(), self.n_cols() * width);
+        let mut acc = vec![0u64; w];
+        for j in 0..self.n_cols() {
+            let col = self.column(j);
+            acc.fill(0);
+            for &r in col {
+                let rb = r as usize * w;
+                for t in 0..w {
+                    acc[t] |= fbits[rb + t];
+                }
+            }
+            let mut any = 0u64;
+            for t in 0..w {
+                acc[t] &= !seen[j * w + t];
+                any |= acc[t];
+            }
+            tbits[j * w..(j + 1) * w].copy_from_slice(&acc);
+            if any == 0 {
+                continue;
+            }
+            let out = &mut f_t[j * width..(j + 1) * width];
+            for t in 0..w {
+                for_each_lane(acc[t], t, |k| out[k] = 0);
+            }
+            for &r in col {
+                let rb = r as usize * w;
+                let fb = r as usize * width;
+                for t in 0..w {
+                    let common = fbits[rb + t] & acc[t];
+                    for_each_lane(common, t, |k| {
+                        out[k] = out[k].saturating_add(f[fb + k]);
+                    });
+                }
+            }
+        }
+    }
+
+    /// Batched masked forward product, **vector-CSC** mapping
+    /// (Algorithm 4 lifted to `b` lanes, one "warp" per column): same
+    /// masked product as [`Csc::spmm_t_frontier`], but the column is
+    /// consumed in 32-entry stripes with per-stripe partial sums folded
+    /// into the output afterwards — the CPU mirror of the warp's
+    /// strided gather plus tree reduction. Saturating addition over
+    /// non-negative counts is associative, so the result is
+    /// bit-identical to the scalar variant.
+    pub fn spmm_t_frontier_vector(
+        &self,
+        width: usize,
+        fbits: &[u64],
+        f: &[i64],
+        seen: &[u64],
+        tbits: &mut [u64],
+        f_t: &mut [i64],
+    ) {
+        let w = lane_words(width);
+        debug_assert_eq!(fbits.len(), self.n_rows() * w);
+        debug_assert_eq!(f.len(), self.n_rows() * width);
+        let mut acc = vec![0u64; w];
+        let mut stripe = vec![0i64; width];
+        for j in 0..self.n_cols() {
+            let col = self.column(j);
+            acc.fill(0);
+            for &r in col {
+                let rb = r as usize * w;
+                for t in 0..w {
+                    acc[t] |= fbits[rb + t];
+                }
+            }
+            let mut any = 0u64;
+            for t in 0..w {
+                acc[t] &= !seen[j * w + t];
+                any |= acc[t];
+            }
+            tbits[j * w..(j + 1) * w].copy_from_slice(&acc);
+            if any == 0 {
+                continue;
+            }
+            let out = &mut f_t[j * width..(j + 1) * width];
+            for t in 0..w {
+                for_each_lane(acc[t], t, |k| out[k] = 0);
+            }
+            for tile in col.chunks(32) {
+                for t in 0..w {
+                    for_each_lane(acc[t], t, |k| stripe[k] = 0);
+                }
+                for &r in tile {
+                    let rb = r as usize * w;
+                    let fb = r as usize * width;
+                    for t in 0..w {
+                        let common = fbits[rb + t] & acc[t];
+                        for_each_lane(common, t, |k| {
+                            stripe[k] = stripe[k].saturating_add(f[fb + k]);
+                        });
+                    }
+                }
+                for t in 0..w {
+                    for_each_lane(acc[t], t, |k| {
+                        out[k] = out[k].saturating_add(stripe[k]);
+                    });
+                }
+            }
+        }
+    }
+
+    /// `σ`-free bit advance: `next[j] = (OR of in-neighbour frontier
+    /// words) & !seen[j]`, fully overwriting `next`. The multi-source
+    /// BFS (`(∨,∧)` semiring of Then et al.) is exactly this product;
+    /// [`Csc::spmm_t_frontier`] adds the count panels on top.
+    pub fn spmm_t_bits(&self, words: usize, fbits: &[u64], seen: &[u64], next: &mut [u64]) {
+        debug_assert_eq!(fbits.len(), self.n_rows() * words);
+        debug_assert_eq!(seen.len(), self.n_cols() * words);
+        debug_assert_eq!(next.len(), self.n_cols() * words);
+        for j in 0..self.n_cols() {
+            let out = &mut next[j * words..(j + 1) * words];
+            out.fill(0);
+            for &r in self.column(j) {
+                let rb = r as usize * words;
+                for t in 0..words {
+                    out[t] |= fbits[rb + t];
+                }
+            }
+            for t in 0..words {
+                out[t] &= !seen[j * words + t];
+            }
+        }
+    }
+
+    /// Batched backward product `Y ← Y + A X` over `width` float lanes:
+    /// scatter each column's panel row along its stored entries,
+    /// skipping non-positive values — [`Csc::spmv`] per lane, in the
+    /// same column/entry order, so each lane's sums are bit-identical
+    /// to the per-source backward stage.
+    pub fn spmm_panel(&self, width: usize, x: &[f64], y: &mut [f64]) {
+        debug_assert_eq!(x.len(), self.n_cols() * width);
+        debug_assert_eq!(y.len(), self.n_rows() * width);
+        for j in 0..self.n_cols() {
+            let xj = &x[j * width..(j + 1) * width];
+            if xj.iter().all(|&v| v <= 0.0) {
+                continue;
+            }
+            for &r in self.column(j) {
+                let rb = r as usize * width;
+                for (k, &v) in xj.iter().enumerate() {
+                    if v > 0.0 {
+                        y[rb + k] += v;
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Cooc {
+    /// Batched forward product, **scalar-COOC** mapping (Algorithm 2
+    /// lifted to `b` lanes, one "thread" per edge): for every entry
+    /// `(r, c)` whose row has any frontier lane set, OR the row's words
+    /// into `tbits[c]` and add the row's counts into `f_t[c]` for each
+    /// set lane. Unmasked, like the per-source scCOOC kernel — the
+    /// caller masks afterwards (`tbits &= !seen`). Both `tbits` and
+    /// `f_t` accumulate and must be zeroed by the caller.
+    pub fn spmm_t_frontier(
+        &self,
+        width: usize,
+        fbits: &[u64],
+        f: &[i64],
+        tbits: &mut [u64],
+        f_t: &mut [i64],
+    ) {
+        let w = lane_words(width);
+        debug_assert_eq!(fbits.len(), self.n_rows() * w);
+        debug_assert_eq!(f.len(), self.n_rows() * width);
+        debug_assert_eq!(tbits.len(), self.n_cols() * w);
+        debug_assert_eq!(f_t.len(), self.n_cols() * width);
+        for (r, c) in self.iter() {
+            let rb = r as usize * w;
+            let fb = r as usize * width;
+            let cb = c as usize * w;
+            let ob = c as usize * width;
+            for t in 0..w {
+                let word = fbits[rb + t];
+                if word == 0 {
+                    continue;
+                }
+                tbits[cb + t] |= word;
+                for_each_lane(word, t, |k| {
+                    f_t[ob + k] = f_t[ob + k].saturating_add(f[fb + k]);
+                });
+            }
+        }
+    }
+
+    /// `σ`-free bit advance over the edge list: zeroes `next`,
+    /// accumulates `next[c] |= fbits[r]` per entry, then masks with
+    /// `!seen` — the COOC arm of the multi-source BFS.
+    pub fn spmm_t_bits(&self, words: usize, fbits: &[u64], seen: &[u64], next: &mut [u64]) {
+        debug_assert_eq!(fbits.len(), self.n_rows() * words);
+        debug_assert_eq!(next.len(), self.n_cols() * words);
+        next.fill(0);
+        for (r, c) in self.iter() {
+            let rb = r as usize * words;
+            let cb = c as usize * words;
+            for t in 0..words {
+                next[cb + t] |= fbits[rb + t];
+            }
+        }
+        for (nw, sw) in next.iter_mut().zip(seen) {
+            *nw &= !sw;
+        }
+    }
+
+    /// Batched backward product `Y ← Y + A X` over `width` float
+    /// lanes: the per-edge scatter of [`Cooc::spmv`], one lane at a
+    /// time in the same entry order.
+    pub fn spmm_panel(&self, width: usize, x: &[f64], y: &mut [f64]) {
+        debug_assert_eq!(x.len(), self.n_cols() * width);
+        debug_assert_eq!(y.len(), self.n_rows() * width);
+        for (r, c) in self.iter() {
+            let xc = &x[c as usize * width..(c as usize + 1) * width];
+            let yb = r as usize * width;
+            for (k, &v) in xc.iter().enumerate() {
+                if v > 0.0 {
+                    y[yb + k] += v;
+                }
+            }
+        }
+    }
+}
+
+impl Csr {
+    /// Batched forward product in the **push** direction: for each row
+    /// `u` in `frontier` (the union of all lanes' frontiers), scatter
+    /// `u`'s frontier words and counts along its out-edges — the
+    /// batched analogue of [`Csr::spmv_t_frontier`], used when the
+    /// Beamer switch picks push. Unmasked; `tbits`/`f_t` accumulate
+    /// and must be zeroed by the caller, which masks afterwards.
+    ///
+    /// Rows listed more than once are scattered more than once; callers
+    /// must pass a duplicate-free frontier.
+    pub fn spmm_t_frontier_push(
+        &self,
+        width: usize,
+        frontier: &[Index],
+        fbits: &[u64],
+        f: &[i64],
+        tbits: &mut [u64],
+        f_t: &mut [i64],
+    ) {
+        let w = lane_words(width);
+        debug_assert_eq!(fbits.len(), self.n_rows() * w);
+        debug_assert_eq!(f.len(), self.n_rows() * width);
+        debug_assert_eq!(tbits.len(), self.n_cols() * w);
+        debug_assert_eq!(f_t.len(), self.n_cols() * width);
+        for &u in frontier {
+            let u = u as usize;
+            let ub = u * w;
+            let fb = u * width;
+            for &c in self.row(u) {
+                let cb = c as usize * w;
+                let ob = c as usize * width;
+                for t in 0..w {
+                    let word = fbits[ub + t];
+                    if word == 0 {
+                        continue;
+                    }
+                    tbits[cb + t] |= word;
+                    for_each_lane(word, t, |k| {
+                        f_t[ob + k] = f_t[ob + k].saturating_add(f[fb + k]);
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Coo;
+
+    /// Directed: 0→1, 0→2, 1→2, 2→0, 2→3, 3→1 — plus a duplicate-ish
+    /// fan so columns have multiple entries.
+    fn sample() -> Coo {
+        Coo::from_entries(
+            5,
+            5,
+            vec![0, 0, 1, 2, 2, 3, 4, 4],
+            vec![1, 2, 2, 0, 3, 1, 2, 3],
+        )
+        .unwrap()
+    }
+
+    /// Expands a bit matrix + panel pair into per-lane (x, mask) inputs
+    /// and checks each lane against the per-source reference kernels.
+    fn reference_masked_lane(
+        csc: &Csc,
+        width: usize,
+        lane: usize,
+        fbits: &[u64],
+        f: &[i64],
+        seen: &[u64],
+    ) -> (Vec<u64>, Vec<i64>) {
+        let w = lane_words(width);
+        let n = csc.n_rows();
+        let (t, bit) = (lane / 64, 1u64 << (lane % 64));
+        let x: Vec<i64> = (0..n)
+            .map(|v| {
+                if fbits[v * w + t] & bit != 0 {
+                    f[v * width + lane]
+                } else {
+                    0
+                }
+            })
+            .collect();
+        let mut y = vec![0i64; csc.n_cols()];
+        csc.masked_spmv_t(&x, |j| seen[j * w + t] & bit == 0, &mut y);
+        // Reference fresh bits: y > 0 at unseen columns.
+        let fresh: Vec<u64> = (0..csc.n_cols())
+            .map(|j| {
+                if y[j] > 0 && seen[j * w + t] & bit == 0 {
+                    bit
+                } else {
+                    0
+                }
+            })
+            .collect();
+        (fresh, y)
+    }
+
+    /// A deterministic mid-BFS state with `width` lanes: lane k's
+    /// frontier is vertex `k % n` plus `(k*3) % n`, seen marks
+    /// `(k+1) % n`.
+    fn state(n: usize, width: usize) -> (Vec<u64>, Vec<i64>, Vec<u64>) {
+        let w = lane_words(width);
+        let mut fbits = vec![0u64; n * w];
+        let mut f = vec![0i64; n * width];
+        let mut seen = vec![0u64; n * w];
+        for k in 0..width {
+            let (t, bit) = (k / 64, 1u64 << (k % 64));
+            for (i, v) in [k % n, (k * 3) % n].into_iter().enumerate() {
+                fbits[v * w + t] |= bit;
+                f[v * width + k] = (k + i + 1) as i64;
+            }
+            let s = (k + 1) % n;
+            seen[s * w + t] |= bit;
+        }
+        (fbits, f, seen)
+    }
+
+    #[test]
+    fn csc_scalar_matches_per_source_masked_spmv_per_lane() {
+        for width in [1usize, 3, 64, 65, 130] {
+            let csc = sample().to_csc();
+            let n = csc.n_rows();
+            let w = lane_words(width);
+            let (fbits, f, seen) = state(n, width);
+            let mut tbits = vec![0xdeadbeefu64; n * w];
+            let mut f_t = vec![-1i64; n * width];
+            csc.spmm_t_frontier(width, &fbits, &f, &seen, &mut tbits, &mut f_t);
+            for lane in 0..width {
+                let (t, bit) = (lane / 64, 1u64 << (lane % 64));
+                let (fresh, y) = reference_masked_lane(&csc, width, lane, &fbits, &f, &seen);
+                for j in 0..n {
+                    assert_eq!(
+                        tbits[j * w + t] & bit,
+                        fresh[j],
+                        "width {width} lane {lane} col {j} fresh bit"
+                    );
+                    if fresh[j] != 0 {
+                        assert_eq!(
+                            f_t[j * width + lane],
+                            y[j],
+                            "width {width} lane {lane} col {j} count"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn vector_variant_is_bit_identical_to_scalar() {
+        for width in [1usize, 3, 64, 65] {
+            let csc = sample().to_csc();
+            let n = csc.n_rows();
+            let w = lane_words(width);
+            let (fbits, f, seen) = state(n, width);
+            let (mut tb1, mut ft1) = (vec![0u64; n * w], vec![0i64; n * width]);
+            let (mut tb2, mut ft2) = (vec![0u64; n * w], vec![0i64; n * width]);
+            csc.spmm_t_frontier(width, &fbits, &f, &seen, &mut tb1, &mut ft1);
+            csc.spmm_t_frontier_vector(width, &fbits, &f, &seen, &mut tb2, &mut ft2);
+            assert_eq!(tb1, tb2, "width {width}: fresh bits");
+            for j in 0..n {
+                for t in 0..w {
+                    for_each_lane(tb1[j * w + t], t, |k| {
+                        assert_eq!(ft1[j * width + k], ft2[j * width + k], "col {j} lane {k}");
+                    });
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cooc_after_masking_matches_csc() {
+        for width in [1usize, 3, 65] {
+            let coo = sample();
+            let csc = coo.to_csc();
+            let cooc = coo.to_cooc();
+            let n = csc.n_rows();
+            let w = lane_words(width);
+            let (fbits, f, seen) = state(n, width);
+            let (mut tb1, mut ft1) = (vec![0u64; n * w], vec![0i64; n * width]);
+            csc.spmm_t_frontier(width, &fbits, &f, &seen, &mut tb1, &mut ft1);
+            let (mut tb2, mut ft2) = (vec![0u64; n * w], vec![0i64; n * width]);
+            cooc.spmm_t_frontier(width, &fbits, &f, &mut tb2, &mut ft2);
+            for (j, (got, want)) in tb2.chunks(w).zip(tb1.chunks(w)).enumerate() {
+                for t in 0..w {
+                    let masked = got[t] & !seen[j * w + t];
+                    assert_eq!(masked, want[t], "width {width} col {j} word {t}");
+                    for_each_lane(masked, t, |k| {
+                        assert_eq!(ft2[j * width + k], ft1[j * width + k], "col {j} lane {k}");
+                    });
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn push_over_full_frontier_matches_csc() {
+        for width in [1usize, 64, 70] {
+            let coo = sample();
+            let csc = coo.to_csc();
+            let csr = coo.to_csr();
+            let n = csc.n_rows();
+            let w = lane_words(width);
+            let (fbits, f, seen) = state(n, width);
+            let frontier: Vec<Index> = (0..n as Index)
+                .filter(|&v| {
+                    fbits[v as usize * w..(v as usize + 1) * w]
+                        .iter()
+                        .any(|&x| x != 0)
+                })
+                .collect();
+            let (mut tb1, mut ft1) = (vec![0u64; n * w], vec![0i64; n * width]);
+            csc.spmm_t_frontier(width, &fbits, &f, &seen, &mut tb1, &mut ft1);
+            let (mut tb2, mut ft2) = (vec![0u64; n * w], vec![0i64; n * width]);
+            csr.spmm_t_frontier_push(width, &frontier, &fbits, &f, &mut tb2, &mut ft2);
+            for j in 0..n {
+                for t in 0..w {
+                    let masked = tb2[j * w + t] & !seen[j * w + t];
+                    assert_eq!(masked, tb1[j * w + t], "width {width} col {j}");
+                    for_each_lane(masked, t, |k| {
+                        assert_eq!(ft2[j * width + k], ft1[j * width + k], "col {j} lane {k}");
+                    });
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bit_advance_matches_frontier_variant_bits() {
+        let coo = sample();
+        let csc = coo.to_csc();
+        let cooc = coo.to_cooc();
+        let n = csc.n_rows();
+        let width = 64;
+        let w = lane_words(width);
+        let (fbits, f, seen) = state(n, width);
+        let (mut tb, mut ft) = (vec![0u64; n * w], vec![0i64; n * width]);
+        csc.spmm_t_frontier(width, &fbits, &f, &seen, &mut tb, &mut ft);
+        let mut next = vec![0u64; n * w];
+        csc.spmm_t_bits(w, &fbits, &seen, &mut next);
+        assert_eq!(next, tb, "CSC bit advance == frontier variant's bits");
+        let mut next_c = vec![0xffu64; n * w];
+        cooc.spmm_t_bits(w, &fbits, &seen, &mut next_c);
+        assert_eq!(next_c, tb, "COOC bit advance agrees");
+    }
+
+    #[test]
+    fn counts_saturate_like_the_scalar_kernels() {
+        // Two frontier vertices both feeding column 2 with near-MAX
+        // counts: the panel sum must clamp, not wrap.
+        let coo = Coo::from_entries(3, 3, vec![0, 1], vec![2, 2]).unwrap();
+        let csc = coo.to_csc();
+        let width = 3;
+        let w = lane_words(width);
+        let mut fbits = vec![0u64; 3 * w];
+        let mut f = vec![0i64; 3 * width];
+        for v in [0usize, 1] {
+            fbits[v * w] |= 0b10; // lane 1 only
+            f[v * width + 1] = i64::MAX - 1;
+        }
+        let seen = vec![0u64; 3 * w];
+        let (mut tb, mut ft) = (vec![0u64; 3 * w], vec![0i64; 3 * width]);
+        csc.spmm_t_frontier(width, &fbits, &f, &seen, &mut tb, &mut ft);
+        assert_eq!(tb[2 * w], 0b10);
+        assert_eq!(ft[2 * width + 1], i64::MAX);
+        let (mut tb2, mut ft2) = (vec![0u64; 3 * w], vec![0i64; 3 * width]);
+        csc.spmm_t_frontier_vector(width, &fbits, &f, &seen, &mut tb2, &mut ft2);
+        assert_eq!(ft2[2 * width + 1], i64::MAX);
+    }
+
+    #[test]
+    fn backward_panel_matches_per_lane_spmv() {
+        for width in [1usize, 3, 65] {
+            let coo = sample();
+            let csc = coo.to_csc();
+            let cooc = coo.to_cooc();
+            let n = csc.n_rows();
+            let x: Vec<f64> = (0..n * width)
+                .map(|i| {
+                    if i % 3 == 0 {
+                        0.0
+                    } else {
+                        (i % 7) as f64 * 0.25
+                    }
+                })
+                .collect();
+            let mut y_csc = vec![0.0f64; n * width];
+            csc.spmm_panel(width, &x, &mut y_csc);
+            let mut y_cooc = vec![0.0f64; n * width];
+            cooc.spmm_panel(width, &x, &mut y_cooc);
+            for lane in 0..width {
+                let xl: Vec<f64> = (0..n).map(|v| x[v * width + lane]).collect();
+                let mut want = vec![0.0f64; n];
+                csc.spmv(&xl, &mut want);
+                for v in 0..n {
+                    assert_eq!(y_csc[v * width + lane], want[v], "csc lane {lane} v {v}");
+                    assert_eq!(y_cooc[v * width + lane], want[v], "cooc lane {lane} v {v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lane_words_rounds_up() {
+        assert_eq!(lane_words(1), 1);
+        assert_eq!(lane_words(64), 1);
+        assert_eq!(lane_words(65), 2);
+        assert_eq!(lane_words(128), 2);
+        assert_eq!(lane_words(129), 3);
+    }
+}

@@ -1,0 +1,553 @@
+//! Batched multi-source BC: a block of `b` sources per matrix sweep.
+//!
+//! The per-source engines (`seq`, `par`) traverse the sparse matrix once
+//! per BFS level *per source*; the structure arrays are re-read `n` times
+//! for exact BC even though they never change. This module processes `b`
+//! sources at once instead (Solomonik et al.'s communication-efficient
+//! SpMM formulation; GraphBLAST's masked-SpMM BC):
+//!
+//! * the frontier becomes an `n×b` **bit-sliced matrix** (`ceil(b/64)`
+//!   u64 words per vertex, one lane per source — the multi-source
+//!   generalisation of [`crate::frontier`]'s dense bitmask);
+//! * `σ` and the depth vector become `n×b` **panels**;
+//! * the forward stage is one masked SpMM per level
+//!   ([`Csc::spmm_t_frontier`] / [`Cooc::spmm_t_frontier`] /
+//!   [`Csr::spmm_t_frontier_push`] under the Beamer direction switch);
+//! * the backward stage sweeps each depth once for all `b` lanes
+//!   ([`Csc::spmm_panel`]) and folds the `δ` panel into the shared BC
+//!   vector lane-by-lane, preserving the per-source summation order.
+//!
+//! The multi-source BFS of [`crate::msbfs`] is the `σ`-free special case
+//! of this engine (bit matrix only, no panels).
+//!
+//! All scratch lives in one [`BatchScratch`] reused across blocks —
+//! no per-source (or per-block) allocation churn.
+
+use crate::frontier::{DirectionEngine, DirectionMode, LevelDirection, LevelReport};
+use crate::options::Kernel;
+use crate::seq::Storage;
+use turbobc_sparse::{lane_words, ops};
+
+/// Reusable scratch for the batched engine: one bit-sliced frontier
+/// triple plus the `σ`/depth/`δ` panels, sized for a fixed batch width.
+/// Construct once per run, reuse for every block (tail blocks run at
+/// full width with the extra lanes simply never seeded).
+pub(crate) struct BatchScratch {
+    /// Batch width `b` (lanes per sweep).
+    width: usize,
+    /// `ceil(width / 64)` — u64 words per vertex in the bit matrices.
+    words: usize,
+    /// Current frontier bits, `n·words`.
+    fbits: Vec<u64>,
+    /// Next frontier bits, `n·words`.
+    tbits: Vec<u64>,
+    /// Discovered bits (the per-lane `σ != 0` mask), `n·words`.
+    seen: Vec<u64>,
+    /// Current frontier counts, `n·width`.
+    f: Vec<i64>,
+    /// Next frontier counts, `n·width`.
+    f_t: Vec<i64>,
+    /// Shortest-path count panel, `n·width`.
+    sigma: Vec<i64>,
+    /// Discovery-depth panel, `n·width`.
+    depths: Vec<u32>,
+    /// Dependency panel, `n·width`.
+    delta: Vec<f64>,
+    /// Backward auxiliary panel `δ_u`, `n·width`.
+    delta_u: Vec<f64>,
+    /// Backward product panel `δ_ut`, `n·width`.
+    delta_ut: Vec<f64>,
+    /// Union frontier as a sparse vertex list (push direction).
+    frontier_list: Vec<u32>,
+    /// Per-word OR of the level's fresh bits (lane-activity tracking).
+    level_any: Vec<u64>,
+}
+
+impl BatchScratch {
+    pub(crate) fn new(n: usize, width: usize) -> Self {
+        let width = width.max(1);
+        let w = lane_words(width);
+        BatchScratch {
+            width,
+            words: w,
+            fbits: vec![0; n * w],
+            tbits: vec![0; n * w],
+            seen: vec![0; n * w],
+            f: vec![0; n * width],
+            f_t: vec![0; n * width],
+            sigma: vec![0; n * width],
+            depths: vec![ops::UNDISCOVERED; n * width],
+            delta: vec![0.0; n * width],
+            delta_u: vec![0.0; n * width],
+            delta_ut: vec![0.0; n * width],
+            frontier_list: Vec::new(),
+            level_any: vec![0; w],
+        }
+    }
+
+    pub(crate) fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Copies lane `k`'s `σ` and depth columns out of the panels — the
+    /// deterministic per-source surface for the last source of a run.
+    pub(crate) fn extract_lane(&self, lane: usize, sigma: &mut [i64], depths: &mut [u32]) {
+        debug_assert!(lane < self.width);
+        debug_assert_eq!(sigma.len() * self.width, self.sigma.len());
+        for v in 0..sigma.len() {
+            sigma[v] = self.sigma[v * self.width + lane];
+            depths[v] = self.depths[v * self.width + lane];
+        }
+    }
+}
+
+/// Outcome of one block: per-lane BFS heights and reach counts, plus
+/// the number of matrix sweeps the block cost (the amortized quantity —
+/// one sweep serves every lane).
+pub(crate) struct BlockRun {
+    pub heights: Vec<u32>,
+    pub reached: Vec<usize>,
+    pub sweeps: u32,
+}
+
+/// Masks freshly-computed bits with the discovered set (`tbits &=
+/// !seen`) — the post-pass for the unmasked COOC / push kernels.
+fn mask_seen(tbits: &mut [u64], seen: &[u64]) {
+    for (t, s) in tbits.iter_mut().zip(seen) {
+        *t &= !s;
+    }
+}
+
+/// One block of sources through both stages of Algorithm 1, batched:
+/// forward masked SpMM per level, backward panel sweep per depth, `δ`
+/// panel folded into the shared `bc`. `sources.len()` must be at most
+/// `scratch.width()`; duplicate sources are fine (lanes are
+/// independent). `on_level` fires once per *sweep* with the union
+/// frontier's size and the direction the Beamer switch picked for it.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn bc_block_traced(
+    storage: &Storage,
+    kernel: Kernel,
+    dir: &DirectionEngine,
+    sources: &[u32],
+    scale: f64,
+    bc: &mut [f64],
+    scratch: &mut BatchScratch,
+    on_level: &mut dyn FnMut(LevelReport),
+) -> BlockRun {
+    let n = storage.n();
+    let b = scratch.width;
+    let w = scratch.words;
+    debug_assert!(sources.len() <= b);
+    debug_assert_eq!(bc.len(), n);
+
+    // Reset block state. Tail blocks reuse the previous block's panels,
+    // so every lane-indexed array must come back to its seed state.
+    scratch.fbits.fill(0);
+    scratch.seen.fill(0);
+    scratch.f.fill(0);
+    scratch.sigma.fill(0);
+    scratch.depths.fill(ops::UNDISCOVERED);
+
+    let mut heights = vec![1u32; sources.len()];
+    let mut reached = vec![1usize; sources.len()];
+    if n == 0 || sources.is_empty() {
+        return BlockRun {
+            heights,
+            reached,
+            sweeps: 0,
+        };
+    }
+
+    // Seed one lane per source: depth 1, σ = 1, frontier bit set.
+    for (k, &s) in sources.iter().enumerate() {
+        let v = s as usize;
+        scratch.fbits[v * w + k / 64] |= 1u64 << (k % 64);
+        scratch.seen[v * w + k / 64] |= 1u64 << (k % 64);
+        scratch.f[v * b + k] = 1;
+        scratch.sigma[v * b + k] = 1;
+        scratch.depths[v * b + k] = 1;
+    }
+
+    // The union frontier drives the Beamer switch: its vertex count and
+    // out-edge total play the role of the per-source |frontier| /
+    // frontier_edges (DESIGN.md §12, lifted to the block).
+    let mut have_list = dir.needs_sparse();
+    if have_list {
+        scratch.frontier_list.clear();
+        scratch.frontier_list.extend_from_slice(sources);
+        scratch.frontier_list.sort_unstable();
+        scratch.frontier_list.dedup();
+    }
+    let mut union_len = scratch.frontier_list.len().max(1);
+
+    let mut d = 1u32;
+    let mut sweeps = 0u32;
+    loop {
+        let frontier_edges = if have_list {
+            dir.frontier_edges(&scratch.frontier_list)
+        } else {
+            0
+        };
+        let direction = dir.choose(union_len, frontier_edges, have_list);
+        match direction {
+            LevelDirection::Push => {
+                // Push scatters over the union list's out-edges; like
+                // the per-source push it is unmasked, so zero the
+                // accumulators and mask afterwards.
+                scratch.tbits.fill(0);
+                scratch.f_t.fill(0);
+                dir.csr()
+                    .expect("push direction requires a CSR")
+                    .spmm_t_frontier_push(
+                        b,
+                        &scratch.frontier_list,
+                        &scratch.fbits,
+                        &scratch.f,
+                        &mut scratch.tbits,
+                        &mut scratch.f_t,
+                    );
+                mask_seen(&mut scratch.tbits, &scratch.seen);
+            }
+            LevelDirection::Pull => match storage {
+                Storage::Csc(csc) => {
+                    // Masked internally; tbits is fully overwritten and
+                    // f_t written at fresh lanes only — no pre-clear.
+                    if kernel == Kernel::VeCsc {
+                        csc.spmm_t_frontier_vector(
+                            b,
+                            &scratch.fbits,
+                            &scratch.f,
+                            &scratch.seen,
+                            &mut scratch.tbits,
+                            &mut scratch.f_t,
+                        );
+                    } else {
+                        csc.spmm_t_frontier(
+                            b,
+                            &scratch.fbits,
+                            &scratch.f,
+                            &scratch.seen,
+                            &mut scratch.tbits,
+                            &mut scratch.f_t,
+                        );
+                    }
+                }
+                Storage::Cooc(cooc) => {
+                    scratch.tbits.fill(0);
+                    scratch.f_t.fill(0);
+                    cooc.spmm_t_frontier(
+                        b,
+                        &scratch.fbits,
+                        &scratch.f,
+                        &mut scratch.tbits,
+                        &mut scratch.f_t,
+                    );
+                    mask_seen(&mut scratch.tbits, &scratch.seen);
+                }
+            },
+        }
+        sweeps += 1;
+        d += 1;
+
+        // Panel analogue of lines 23–27: record depth d and fold the
+        // new path counts into σ for every fresh (vertex, lane).
+        let discovered = ops::update_sigma_depth_panel(
+            b,
+            &scratch.tbits,
+            &scratch.f_t,
+            d,
+            &mut scratch.depths,
+            &mut scratch.sigma,
+        );
+        if discovered == 0 {
+            break;
+        }
+
+        // Fold the fresh bits into `seen` and account the level: which
+        // lanes advanced (their height becomes d), how many vertices
+        // each lane discovered, and the union frontier's vertex count.
+        scratch.level_any.fill(0);
+        let mut union_vertices = 0usize;
+        for v in 0..n {
+            let base = v * w;
+            let mut vert = 0u64;
+            for t in 0..w {
+                let fresh = scratch.tbits[base + t];
+                if fresh != 0 {
+                    scratch.seen[base + t] |= fresh;
+                    scratch.level_any[t] |= fresh;
+                    vert |= fresh;
+                    let mut bits = fresh;
+                    while bits != 0 {
+                        let k = t * 64 + bits.trailing_zeros() as usize;
+                        reached[k] += 1;
+                        bits &= bits - 1;
+                    }
+                }
+            }
+            if vert != 0 {
+                union_vertices += 1;
+            }
+        }
+        for (t, &word) in scratch.level_any.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let k = t * 64 + bits.trailing_zeros() as usize;
+                heights[k] = d;
+                bits &= bits - 1;
+            }
+        }
+
+        // Re-collect the union list only while the push direction can
+        // still want it (same policy as the per-source engines).
+        have_list = dir.needs_sparse()
+            && (dir.mode() == DirectionMode::PushOnly || union_vertices <= dir.threshold());
+        if have_list {
+            scratch.frontier_list.clear();
+            for v in 0..n {
+                if scratch.tbits[v * w..(v + 1) * w].iter().any(|&x| x != 0) {
+                    scratch.frontier_list.push(v as u32);
+                }
+            }
+        }
+        union_len = union_vertices;
+
+        std::mem::swap(&mut scratch.f, &mut scratch.f_t);
+        std::mem::swap(&mut scratch.fbits, &mut scratch.tbits);
+        on_level(LevelReport {
+            depth: d,
+            frontier: union_vertices,
+            direction,
+            frontier_edges,
+        });
+    }
+
+    // Backward stage, batched: sweep each depth once for all lanes.
+    // Lanes whose BFS tree is shallower than the block's maximum simply
+    // carry zero panels at those depths (`+= 0.0` over non-negative
+    // dependencies is exact), so each lane's float summation order is
+    // identical to its per-source run.
+    let max_height = heights.iter().copied().max().unwrap_or(1);
+    scratch.delta.fill(0.0);
+    let mut depth = max_height;
+    while depth > 1 {
+        ops::seed_delta_u_panel(
+            b,
+            &scratch.depths,
+            &scratch.sigma,
+            &scratch.delta,
+            depth,
+            &mut scratch.delta_u,
+        );
+        scratch.delta_ut.fill(0.0);
+        match storage {
+            Storage::Csc(csc) => csc.spmm_panel(b, &scratch.delta_u, &mut scratch.delta_ut),
+            Storage::Cooc(cooc) => cooc.spmm_panel(b, &scratch.delta_u, &mut scratch.delta_ut),
+        }
+        ops::accumulate_delta_panel(
+            b,
+            &scratch.depths,
+            &scratch.sigma,
+            &scratch.delta_ut,
+            depth,
+            &mut scratch.delta,
+        );
+        depth -= 1;
+    }
+    ops::fold_bc_panel(b, &scratch.delta, sources, scale, bc);
+
+    BlockRun {
+        heights,
+        reached,
+        sweeps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frontier::DirectionMode;
+    use crate::seq::bc_source_seq_traced;
+    use crate::seq::SeqScratch;
+    use turbobc_graph::{gen, Graph};
+
+    fn storage_for(g: &Graph, kernel: Kernel) -> Storage {
+        match kernel {
+            Kernel::ScCooc => Storage::Cooc(g.to_cooc()),
+            _ => Storage::Csc(g.to_csc()),
+        }
+    }
+
+    /// Per-source reference over the same storage/direction engine.
+    fn reference(
+        g: &Graph,
+        kernel: Kernel,
+        mode: DirectionMode,
+        sources: &[u32],
+    ) -> (Vec<f64>, Vec<i64>, Vec<u32>) {
+        let storage = storage_for(g, kernel);
+        let dir = DirectionEngine::new(g, mode);
+        let n = g.n();
+        let mut bc = vec![0.0; n];
+        let mut sigma = vec![0i64; n];
+        let mut depths = vec![0u32; n];
+        let mut scratch = SeqScratch::new(n);
+        for &s in sources {
+            bc_source_seq_traced(
+                &storage,
+                &dir,
+                s as usize,
+                g.bc_scale(),
+                &mut bc,
+                &mut sigma,
+                &mut depths,
+                &mut scratch,
+                &mut |_| {},
+            );
+        }
+        (bc, sigma, depths)
+    }
+
+    fn batched(
+        g: &Graph,
+        kernel: Kernel,
+        mode: DirectionMode,
+        sources: &[u32],
+        width: usize,
+    ) -> (Vec<f64>, Vec<i64>, Vec<u32>) {
+        let storage = storage_for(g, kernel);
+        let dir = DirectionEngine::new(g, mode);
+        let n = g.n();
+        let mut bc = vec![0.0; n];
+        let mut sigma = vec![0i64; n];
+        let mut depths = vec![0u32; n];
+        let mut scratch = BatchScratch::new(n, width);
+        for block in sources.chunks(width.max(1)) {
+            let run = bc_block_traced(
+                &storage,
+                kernel,
+                &dir,
+                block,
+                g.bc_scale(),
+                &mut bc,
+                &mut scratch,
+                &mut |_| {},
+            );
+            assert_eq!(run.heights.len(), block.len());
+            let lane = block.len() - 1;
+            scratch.extract_lane(lane, &mut sigma, &mut depths);
+        }
+        (bc, sigma, depths)
+    }
+
+    fn graphs() -> Vec<Graph> {
+        vec![
+            gen::gnm(40, 120, true, 7),
+            gen::gnm(40, 120, false, 8),
+            gen::grid2d(6, 6),
+            // Disconnected: an isolated tail the BFS never reaches.
+            Graph::from_edges(6, true, &[(0, 1), (1, 2), (0, 2)]),
+            // Diamond with two shortest paths.
+            Graph::from_edges(4, true, &[(0, 1), (0, 2), (1, 3), (2, 3)]),
+        ]
+    }
+
+    #[test]
+    fn batched_matches_per_source_every_kernel_and_width() {
+        for g in &graphs() {
+            let sources: Vec<u32> = (0..g.n() as u32).collect();
+            for kernel in [Kernel::ScCooc, Kernel::ScCsc, Kernel::VeCsc] {
+                let (want_bc, want_sigma, want_depths) =
+                    reference(g, kernel, DirectionMode::Auto, &sources);
+                for width in [1usize, 3, 64, 65] {
+                    let (bc, sigma, depths) =
+                        batched(g, kernel, DirectionMode::Auto, &sources, width);
+                    assert_eq!(sigma, want_sigma, "{kernel:?} width {width} sigma");
+                    assert_eq!(depths, want_depths, "{kernel:?} width {width} depths");
+                    for (v, (got, want)) in bc.iter().zip(&want_bc).enumerate() {
+                        assert!(
+                            (got - want).abs() <= 1e-9 * want.abs().max(1.0),
+                            "{kernel:?} width {width} bc[{v}] = {got}, want {want}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn csc_batched_is_bit_identical_to_per_source() {
+        // Same storage, same direction policy, integer forward stage and
+        // order-preserving backward stage: f64 BC must match exactly.
+        let g = gen::gnm(50, 160, false, 3);
+        let sources: Vec<u32> = (0..g.n() as u32).collect();
+        let (want_bc, ..) = reference(&g, Kernel::ScCsc, DirectionMode::PullOnly, &sources);
+        for width in [1usize, 17, 64] {
+            let (bc, ..) = batched(&g, Kernel::ScCsc, DirectionMode::PullOnly, &sources, width);
+            assert_eq!(bc, want_bc, "width {width}");
+        }
+    }
+
+    #[test]
+    fn push_and_pull_agree_batched() {
+        let g = gen::gnm(40, 130, true, 11);
+        let sources: Vec<u32> = (0..g.n() as u32).collect();
+        let (pull_bc, pull_sigma, _) =
+            batched(&g, Kernel::ScCsc, DirectionMode::PullOnly, &sources, 64);
+        let (push_bc, push_sigma, _) =
+            batched(&g, Kernel::ScCsc, DirectionMode::PushOnly, &sources, 64);
+        assert_eq!(pull_sigma, push_sigma);
+        for (got, want) in push_bc.iter().zip(&pull_bc) {
+            assert!((got - want).abs() <= 1e-9 * want.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn duplicate_sources_accumulate_independent_lanes() {
+        let g = gen::grid2d(4, 4);
+        let (want_bc, ..) = reference(&g, Kernel::ScCsc, DirectionMode::Auto, &[5, 5, 2]);
+        let (bc, ..) = batched(&g, Kernel::ScCsc, DirectionMode::Auto, &[5, 5, 2], 64);
+        for (got, want) in bc.iter().zip(&want_bc) {
+            assert!((got - want).abs() <= 1e-12);
+        }
+    }
+
+    #[test]
+    fn block_run_reports_heights_and_reach() {
+        // Path 0-1-2-3-4: from source 0 the BFS has height 5 and
+        // reaches all 5 vertices; from source 4 likewise.
+        let g = Graph::from_edges(5, false, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let storage = storage_for(&g, Kernel::ScCsc);
+        let dir = DirectionEngine::new(&g, DirectionMode::Auto);
+        let mut bc = vec![0.0; 5];
+        let mut scratch = BatchScratch::new(5, 64);
+        let run = bc_block_traced(
+            &storage,
+            Kernel::ScCsc,
+            &dir,
+            &[0, 2, 4],
+            g.bc_scale(),
+            &mut bc,
+            &mut scratch,
+            &mut |_| {},
+        );
+        assert_eq!(run.heights, vec![5, 3, 5]);
+        assert_eq!(run.reached, vec![5, 5, 5]);
+        // The whole block costs max_height sweeps (5 levels from the
+        // ends, final empty check included), not the sum over lanes.
+        assert_eq!(run.sweeps, 5);
+    }
+
+    #[test]
+    fn scratch_reuse_across_blocks_is_clean() {
+        // Run a wide block, then a narrow tail block through the same
+        // scratch: stale lanes from the first block must not leak.
+        let g = gen::gnm(30, 90, false, 21);
+        let sources: Vec<u32> = (0..g.n() as u32).collect();
+        let (want_bc, ..) = reference(&g, Kernel::ScCsc, DirectionMode::Auto, &sources);
+        // 30 sources at width 8: three full blocks + tail of 6.
+        let (bc, ..) = batched(&g, Kernel::ScCsc, DirectionMode::Auto, &sources, 8);
+        assert_eq!(bc, want_bc);
+    }
+}

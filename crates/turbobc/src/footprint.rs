@@ -85,6 +85,46 @@ pub fn turbobc_bytes(n: usize, m: usize, kernel: Kernel) -> u64 {
     (structure + 8 * n + 4 * n + 8 * n + 8 + 24 * n) as u64
 }
 
+/// The `7n + m` byte model extended to the batched engine: structure
+/// arrays plus the `n×b` bit matrices and panels of
+/// [`crate::BcSolver::bc_batched`], for block width `b`.
+///
+/// With `w = ceil(b/64)` words per vertex, the batched run holds three
+/// bit matrices (`frontier`/`next`/`seen`, `8·n·w` bytes each), the
+/// `σ` (`i64`) and depth (`u32`) panels, the shared `bc` vector, and —
+/// at the backward peak — three `f64` panels (`δ`, `δ_u`, `δ_ut`; the
+/// forward stage's two `i64` count panels are smaller). `b = 1`
+/// degenerates to roughly [`turbobc_bytes`] plus the three bitmask
+/// words per vertex.
+pub fn batched_bytes(n: usize, m: usize, b: usize, kernel: Kernel) -> u64 {
+    let b = b.max(1);
+    let w = b.div_ceil(64);
+    let structure = match kernel {
+        Kernel::ScCooc => 4 * 2 * m,
+        _ => 4 * (n + 1 + m),
+    } as u64;
+    let bits = 3 * 8 * (n as u64) * (w as u64);
+    let sigma = 8 * (n as u64) * (b as u64);
+    let depths = 4 * (n as u64) * (b as u64);
+    let bc = 8 * n as u64;
+    // Phase max: 2 i64 count panels forward vs 3 f64 panels backward.
+    let phase = 24 * (n as u64) * (b as u64);
+    structure + bits + sigma + depths + bc + phase
+}
+
+/// Picks the batched block width for [`crate::options::BatchWidth::Auto`]:
+/// the largest power-of-two `b ≤ 64` whose [`batched_bytes`] footprint
+/// fits `budget_bytes`, defaulting to 1 when even `b = 2` does not fit
+/// (the batched engine then degenerates to per-source sweeps).
+pub fn auto_batch_width(n: usize, m: usize, kernel: Kernel, budget_bytes: u64) -> usize {
+    for b in [64usize, 32, 16, 8, 4, 2] {
+        if batched_bytes(n, m, b, kernel) <= budget_bytes {
+            return b;
+        }
+    }
+    1
+}
+
 /// Device words for the gunrock-like baseline (re-exported convenience;
 /// the authoritative allocation lives in
 /// `turbobc_baselines::gunrock_like`).
@@ -155,6 +195,40 @@ mod tests {
                 "{kernel:?}: rounding slack exceeded"
             );
         }
+    }
+
+    #[test]
+    fn batched_bytes_grows_with_width_and_rounds_words() {
+        let (n, m) = (1000, 8000);
+        // Monotone in b, and width 65 needs a second bitmask word.
+        assert!(batched_bytes(n, m, 4, Kernel::ScCsc) < batched_bytes(n, m, 64, Kernel::ScCsc));
+        let one_word = batched_bytes(n, m, 64, Kernel::ScCsc);
+        let two_words = batched_bytes(n, m, 65, Kernel::ScCsc);
+        assert_eq!(
+            two_words - one_word,
+            3 * 8 * n as u64 + (8 + 4 + 24) * n as u64,
+            "one extra lane adds a bitmask word and one panel column"
+        );
+        // b = 1: the per-source model minus its counter, plus the three
+        // bitmask words per vertex the bit-sliced layout adds.
+        assert_eq!(
+            batched_bytes(n, m, 1, Kernel::ScCsc),
+            turbobc_bytes(n, m, Kernel::ScCsc) - 8 + 3 * 8 * n as u64
+        );
+    }
+
+    #[test]
+    fn auto_batch_width_fits_the_budget() {
+        let (n, m) = (10_000, 80_000);
+        // A Titan Xp-sized budget takes the full 64 lanes.
+        let budget = DeviceProps::titan_xp().global_mem_bytes;
+        assert_eq!(auto_batch_width(n, m, Kernel::ScCsc, budget), 64);
+        // A budget that only fits ~8 lanes steps down.
+        let tight = batched_bytes(n, m, 8, Kernel::ScCsc);
+        assert_eq!(auto_batch_width(n, m, Kernel::ScCsc, tight), 8);
+        assert_eq!(auto_batch_width(n, m, Kernel::ScCsc, tight - 1), 4);
+        // Nothing fits: degenerate to per-source width 1.
+        assert_eq!(auto_batch_width(n, m, Kernel::ScCsc, 0), 1);
     }
 
     #[test]

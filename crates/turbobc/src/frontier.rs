@@ -134,7 +134,10 @@ impl Frontier {
         )
     }
 
-    /// Number of frontier vertices.
+    /// Number of frontier vertices. O(1) in both representations: the
+    /// dense bitmask carries a population count that every mutation
+    /// ([`Frontier::insert`], [`Frontier::union`]) maintains in place —
+    /// the mask is never rescanned after construction.
     pub fn len(&self) -> usize {
         match self {
             Frontier::Sparse(ix) => ix.len(),
@@ -142,9 +145,39 @@ impl Frontier {
         }
     }
 
-    /// True when no vertex is in the frontier.
+    /// True when no vertex is in the frontier. O(1), like
+    /// [`Frontier::len`].
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Inserts vertex `v`, returning whether it was newly added. Keeps
+    /// the sparse list sorted/deduplicated and the dense population
+    /// count current, so [`Frontier::len`] stays O(1). A dense mask
+    /// grows as needed to cover `v`.
+    pub fn insert(&mut self, v: u32) -> bool {
+        match self {
+            Frontier::Sparse(ix) => match ix.binary_search(&v) {
+                Ok(_) => false,
+                Err(pos) => {
+                    ix.insert(pos, v);
+                    true
+                }
+            },
+            Frontier::Dense { bits, count } => {
+                let i = v as usize;
+                if i >= bits.len() {
+                    bits.resize(i + 1, false);
+                }
+                if bits[i] {
+                    false
+                } else {
+                    bits[i] = true;
+                    *count += 1;
+                    true
+                }
+            }
+        }
     }
 
     /// Membership test.
@@ -200,16 +233,17 @@ impl Frontier {
                 merged.extend(other.indices());
                 Frontier::sparse(merged)
             }
-            Frontier::Dense { bits, .. } => {
-                let mut bits = bits.clone();
+            Frontier::Dense { bits, count } => {
+                // Inserting through the counting path keeps the
+                // population count exact without rescanning the mask.
+                let mut merged = Frontier::Dense {
+                    bits: bits.clone(),
+                    count: *count,
+                };
                 for v in other.indices() {
-                    let i = v as usize;
-                    if i >= bits.len() {
-                        bits.resize(i + 1, false);
-                    }
-                    bits[i] = true;
+                    merged.insert(v);
                 }
-                Frontier::dense(bits)
+                merged
             }
         }
     }
@@ -398,6 +432,20 @@ mod tests {
         assert_eq!(d.len(), 3);
         assert!(d.contains(5) && !d.contains(6));
         assert_eq!(d.to_sparse(), f);
+    }
+
+    #[test]
+    fn insert_maintains_the_count_in_place() {
+        let mut d = Frontier::dense(vec![false; 8]);
+        assert!(d.is_empty());
+        assert!(d.insert(3));
+        assert!(!d.insert(3), "duplicate insert is a no-op");
+        assert!(d.insert(9), "insert grows the mask as needed");
+        assert_eq!(d.len(), 2, "count tracked without a rescan");
+        assert!(d.contains(9) && !d.contains(8));
+        let mut s = Frontier::sparse(vec![4]);
+        assert!(s.insert(2) && !s.insert(4));
+        assert_eq!(s, Frontier::Sparse(vec![2, 4]));
     }
 
     #[test]

@@ -79,6 +79,7 @@
 #![warn(missing_docs)]
 
 pub mod approx;
+mod batched;
 pub mod checkpoint;
 pub mod closeness;
 pub mod edge;
@@ -98,7 +99,7 @@ mod solver;
 pub mod turbobfs;
 pub mod weighted;
 
-pub use simt_engine::vecsc_reduction_ablation;
+pub use simt_engine::{ms_bfs_simt, vecsc_reduction_ablation, MsBfsSimtOutcome};
 
 #[allow(deprecated)] // the shims stay importable from the crate root
 pub use approx::bc_approx;
@@ -110,7 +111,7 @@ pub use edge::{edge_bc, edge_bc_sources};
 pub use error::{CheckpointError, TurboBcError};
 pub use frontier::{DirectionMode, Frontier, LevelDirection};
 pub use options::{
-    degrade, BcOptions, BcOptionsBuilder, Engine, Kernel, KernelChoice, RecoveryPolicy,
+    degrade, BatchWidth, BcOptions, BcOptionsBuilder, Engine, Kernel, KernelChoice, RecoveryPolicy,
 };
 pub use result::{BcResult, RecoveryLog, RunStats, SimtReport};
 pub use solver::BcSolver;
@@ -128,7 +129,7 @@ pub mod prelude {
         NullObserver, Observer, ProfileObserver, RunProfile, TraceEvent, PROFILE_SCHEMA,
     };
     pub use crate::options::{
-        BcOptions, BcOptionsBuilder, Engine, Kernel, KernelChoice, RecoveryPolicy,
+        BatchWidth, BcOptions, BcOptionsBuilder, Engine, Kernel, KernelChoice, RecoveryPolicy,
     };
     pub use crate::result::{BcResult, RecoveryLog, RunStats, SimtReport};
     pub use crate::solver::BcSolver;

@@ -35,27 +35,14 @@ pub struct MsBfsResult {
 }
 
 /// One bit-parallel frontier advance: `next = (structure ⊗ frontier)
-/// & !seen` over the `(|, &)` word semiring.
+/// & !seen` over the `(|, &)` word semiring — the σ-free special case
+/// of the batched BC engine's masked SpMM (`spmm_t_bits` with one word
+/// per vertex; `crate::batched` runs the same product alongside its
+/// count panels).
 fn advance(storage: &Storage, frontier: &[u64], seen: &[u64], next: &mut [u64]) {
-    next.fill(0);
     match storage {
-        Storage::Csc(csc) => {
-            for j in 0..csc.n_cols() {
-                let mut acc = 0u64;
-                for &r in csc.column(j) {
-                    acc |= frontier[r as usize];
-                }
-                next[j] = acc & !seen[j];
-            }
-        }
-        Storage::Cooc(cooc) => {
-            for (r, c) in cooc.iter() {
-                next[c as usize] |= frontier[r as usize];
-            }
-            for (n, s) in next.iter_mut().zip(seen) {
-                *n &= !s;
-            }
-        }
+        Storage::Csc(csc) => csc.spmm_t_bits(1, frontier, seen, next),
+        Storage::Cooc(cooc) => cooc.spmm_t_bits(1, frontier, seen, next),
     }
 }
 

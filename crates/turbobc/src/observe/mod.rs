@@ -100,6 +100,24 @@ pub enum TraceEvent {
         /// The configured [`crate::DirectionMode`] name.
         direction: &'static str,
     },
+    /// One batched block finished: `width` sources were advanced
+    /// together by `sweeps` masked-SpMM matrix sweeps (the amortization
+    /// the batched engine exists for — per-source cost is
+    /// `sweeps / width` of a sweep, against `height` sweeps per source
+    /// for the per-source engines). Emitted by
+    /// [`crate::BcSolver::bc_batched`] before the block's per-source
+    /// [`TraceEvent::SourceDone`] events.
+    Block {
+        /// First source of the block (the block is a contiguous chunk
+        /// of the request's source list).
+        first_source: u32,
+        /// Lanes in this block (the trailing block may be narrower than
+        /// the configured batch width).
+        width: usize,
+        /// Matrix sweeps the block's forward stage performed — the max
+        /// BFS height over the block's lanes.
+        sweeps: u32,
+    },
     /// One source's forward+backward sweep finished.
     SourceDone {
         /// The source vertex.
@@ -208,6 +226,19 @@ pub struct KernelChoiceTrace {
     pub direction: String,
 }
 
+/// One [`TraceEvent::Block`] with its timeline stamp.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockTrace {
+    /// First source of the block.
+    pub first_source: u32,
+    /// Lanes in the block.
+    pub width: usize,
+    /// Matrix sweeps the block's forward stage performed.
+    pub sweeps: u32,
+    /// Seconds since the profile started.
+    pub t_s: f64,
+}
+
 /// One [`TraceEvent::SourceDone`] with its timeline stamp.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SourceTrace {
@@ -277,6 +308,9 @@ pub struct RunProfile {
     /// How the kernel (and direction mode) resolved for this run; kept
     /// across attempt restarts like the recovery timeline.
     pub kernel_choice: Option<KernelChoiceTrace>,
+    /// Per-block completions of the successful attempt (batched engine
+    /// only; empty for per-source engines).
+    pub blocks: Vec<BlockTrace>,
     /// Per-source completions of the successful attempt.
     pub source_runs: Vec<SourceTrace>,
     /// Recovery timeline (kept across attempts).
@@ -502,6 +536,22 @@ impl RunProfile {
                 },
             ),
             (
+                "blocks".into(),
+                Json::Arr(
+                    self.blocks
+                        .iter()
+                        .map(|b| {
+                            Json::Obj(vec![
+                                ("first_source".into(), b.first_source.into()),
+                                ("width".into(), b.width.into()),
+                                ("sweeps".into(), b.sweeps.into()),
+                                ("t_s".into(), b.t_s.into()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
                 "source_runs".into(),
                 Json::Arr(
                     self.source_runs
@@ -600,6 +650,11 @@ impl RunProfile {
             &["source", "depth", "frontier", "sigma_updates", "t_s"],
         )?;
         check_entries("source_runs", &["source", "height", "reached", "t_s"])?;
+        // "blocks" arrived with the batched engine; older profiles
+        // (and hand-built fixtures) may omit the key entirely.
+        if doc.get("blocks").is_some() {
+            check_entries("blocks", &["first_source", "width", "sweeps", "t_s"])?;
+        }
         let directions = doc
             .get("directions")
             .and_then(Json::as_arr)
@@ -731,6 +786,22 @@ impl RunProfile {
                 out,
                 "  direction: {push} push / {pull} pull level(s), threshold {}",
                 self.directions.first().map(|d| d.threshold).unwrap_or(0)
+            );
+        }
+        if !self.blocks.is_empty() {
+            let sweeps: u64 = self.blocks.iter().map(|b| u64::from(b.sweeps)).sum();
+            let heights: u64 = self.source_runs.iter().map(|s| u64::from(s.height)).sum();
+            let _ = writeln!(
+                out,
+                "  batched: {} block(s), {} matrix sweep(s) for {} per-source sweep-equivalents ({:.2}x amortized)",
+                self.blocks.len(),
+                sweeps,
+                heights,
+                if sweeps > 0 {
+                    heights as f64 / sweeps as f64
+                } else {
+                    0.0
+                }
             );
         }
         if !self.source_runs.is_empty() {
@@ -878,6 +949,7 @@ impl Observer for ProfileObserver {
                 p.attempts += 1;
                 p.levels.clear();
                 p.directions.clear();
+                p.blocks.clear();
                 p.source_runs.clear();
                 p.metrics = MetricsRegistry::default();
                 p.memory = None;
@@ -923,6 +995,18 @@ impl Observer for ProfileObserver {
                     scf,
                     mean_degree,
                     direction: direction.to_string(),
+                });
+            }
+            TraceEvent::Block {
+                first_source,
+                width,
+                sweeps,
+            } => {
+                p.blocks.push(BlockTrace {
+                    first_source,
+                    width,
+                    sweeps,
+                    t_s,
                 });
             }
             TraceEvent::SourceDone {
@@ -1231,6 +1315,50 @@ mod tests {
             RunProfile::validate(&text.replace("\"threshold\"", "\"treshold\""))
                 .unwrap_err()
                 .contains("threshold")
+        );
+    }
+
+    #[test]
+    fn block_events_flow_into_profile_and_json() {
+        let mut obs = ProfileObserver::new();
+        obs.event(TraceEvent::RunStart {
+            engine: "batched",
+            kernel: Kernel::ScCsc,
+            n: 100,
+            m: 400,
+            sources: 128,
+        });
+        obs.event(TraceEvent::Block {
+            first_source: 0,
+            width: 64,
+            sweeps: 6,
+        });
+        obs.event(TraceEvent::SourceDone {
+            source: 0,
+            height: 6,
+            reached: 100,
+        });
+        obs.event(TraceEvent::Block {
+            first_source: 64,
+            width: 64,
+            sweeps: 5,
+        });
+        obs.event(TraceEvent::RunEnd { elapsed_s: 0.2 });
+        let p = obs.into_profile();
+        assert_eq!(p.blocks.len(), 2);
+        assert_eq!(p.blocks[1].first_source, 64);
+        assert!(p.summary().contains("2 block(s)"));
+
+        let text = p.to_json_string();
+        let doc = RunProfile::validate(&text).expect("profile with blocks must validate");
+        assert_eq!(doc.get("blocks").and_then(Json::as_arr).unwrap().len(), 2);
+        // Back-compat: a pre-batched profile without the key validates.
+        assert!(RunProfile::validate(&text.replace("\"blocks\"", "\"blocks_v0\"")).is_ok());
+        // But a present-and-broken entry is rejected.
+        assert!(
+            RunProfile::validate(&text.replace("\"sweeps\"", "\"sweps\""))
+                .unwrap_err()
+                .contains("sweeps")
         );
     }
 

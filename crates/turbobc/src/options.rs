@@ -55,6 +55,22 @@ pub enum Engine {
     Parallel,
 }
 
+/// How many sources [`crate::BcSolver::bc_batched`] processes per
+/// matrix sweep (the bit-sliced SpMM block width `b`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BatchWidth {
+    /// Pick the largest power-of-two width `≤ 64` whose batched
+    /// footprint ([`crate::footprint::batched_bytes`]) fits the
+    /// configured device's global memory — the `7n + m` model extended
+    /// with the `n×b` panels.
+    #[default]
+    Auto,
+    /// A fixed width (clamped to at least 1). Widths need not be
+    /// multiples of 64; partial last words are handled by the bit-sliced
+    /// layout.
+    Fixed(usize),
+}
+
 /// Options for [`crate::BcSolver`], built with [`BcOptions::builder`].
 ///
 /// The struct is `#[non_exhaustive]`: downstream crates construct it
@@ -78,6 +94,9 @@ pub struct BcOptions {
     pub checkpoint: Option<CheckpointConfig>,
     /// The simulated GPU that [`crate::BcSolver::run_simt`] targets.
     pub device: DeviceProps,
+    /// Block width for [`crate::BcSolver::bc_batched`] (sources per
+    /// matrix sweep).
+    pub batch_width: BatchWidth,
 }
 
 impl Default for BcOptions {
@@ -89,6 +108,7 @@ impl Default for BcOptions {
             recovery: RecoveryPolicy::default(),
             checkpoint: None,
             device: DeviceProps::titan_xp(),
+            batch_width: BatchWidth::Auto,
         }
     }
 }
@@ -172,6 +192,19 @@ impl BcOptionsBuilder {
     /// Sets the simulated GPU for `run_simt`.
     pub fn device(mut self, device: DeviceProps) -> Self {
         self.options.device = device;
+        self
+    }
+
+    /// Fixes the batched engine's block width (sources per sweep).
+    pub fn batch_width(mut self, width: usize) -> Self {
+        self.options.batch_width = BatchWidth::Fixed(width);
+        self
+    }
+
+    /// Lets the batched engine pick its block width from the footprint
+    /// model and the configured device (the default).
+    pub fn batch_width_auto(mut self) -> Self {
+        self.options.batch_width = BatchWidth::Auto;
         self
     }
 
@@ -393,6 +426,7 @@ mod tests {
         assert!(o.recovery.allow_degradation && o.recovery.allow_cpu_fallback);
         assert!(o.checkpoint.is_none());
         assert_eq!(o.device, DeviceProps::titan_xp());
+        assert_eq!(o.batch_width, BatchWidth::Auto);
     }
 
     #[test]
@@ -413,6 +447,18 @@ mod tests {
         );
         assert_eq!(built.recovery, RecoveryPolicy::strict());
         assert_eq!(built.checkpoint.as_ref().unwrap().every, 8);
+        assert_eq!(
+            BcOptions::builder().batch_width(17).build().batch_width,
+            BatchWidth::Fixed(17)
+        );
+        assert_eq!(
+            BcOptions::builder()
+                .batch_width(17)
+                .batch_width_auto()
+                .build()
+                .batch_width,
+            BatchWidth::Auto
+        );
         assert_eq!(
             BcOptions::builder().parallel().build(),
             BcOptions::default()

@@ -161,8 +161,37 @@ fn push_forward_par(dir: &DirectionEngine, frontier: &[u32], f: &[i64], f_t: &[A
     });
 }
 
+/// Reusable per-source scratch for the rayon engine: the (atomic)
+/// frontier vectors of the forward stage and the `δ` vectors of the
+/// backward stage. Allocated once per run (or once per rayon chunk in
+/// the across-sources path) and cleared per source — the atomics make
+/// per-source reallocation especially wasteful since `Vec<AtomicI64>`
+/// can't even use a memset-style fresh allocation.
+pub(crate) struct ParScratch {
+    f: Vec<i64>,
+    f_t: Vec<AtomicI64>,
+    frontier_list: Vec<u32>,
+    delta: Vec<f64>,
+    delta_u: Vec<f64>,
+    delta_ut: Vec<AtomicU64>,
+}
+
+impl ParScratch {
+    pub(crate) fn new(n: usize) -> Self {
+        ParScratch {
+            f: vec![0; n],
+            f_t: (0..n).map(|_| AtomicI64::new(0)).collect(),
+            frontier_list: Vec::new(),
+            delta: vec![0.0; n],
+            delta_u: vec![0.0; n],
+            delta_ut: (0..n).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+}
+
 /// Runs Algorithm 1 for one source on the rayon engine, accumulating
 /// into `bc`.
+#[allow(clippy::too_many_arguments)] // one arg per Algorithm-1 vector
 pub(crate) fn bc_source_par(
     storage: &ParStorage,
     dir: &DirectionEngine,
@@ -171,8 +200,19 @@ pub(crate) fn bc_source_par(
     bc: &mut [f64],
     sigma: &mut [i64],
     depths: &mut [u32],
+    scratch: &mut ParScratch,
 ) -> SourceRun {
-    bc_source_par_traced(storage, dir, source, scale, bc, sigma, depths, &mut |_| {})
+    bc_source_par_traced(
+        storage,
+        dir,
+        source,
+        scale,
+        bc,
+        sigma,
+        depths,
+        scratch,
+        &mut |_| {},
+    )
 }
 
 /// [`bc_source_par`] with a per-level hook: `on_level` fires after each
@@ -192,6 +232,7 @@ pub(crate) fn bc_source_par_traced(
     bc: &mut [f64],
     sigma: &mut [i64],
     depths: &mut [u32],
+    scratch: &mut ParScratch,
     on_level: &mut dyn FnMut(LevelReport),
 ) -> SourceRun {
     let n = storage.n();
@@ -205,14 +246,24 @@ pub(crate) fn bc_source_par_traced(
         };
     }
 
-    let mut f = vec![0i64; n];
-    let f_t: Vec<AtomicI64> = (0..n).map(|_| AtomicI64::new(0)).collect();
+    let ParScratch {
+        f,
+        f_t,
+        frontier_list,
+        delta,
+        delta_u,
+        delta_ut,
+    } = scratch;
+    f.fill(0);
+    for cell in f_t.iter() {
+        cell.store(0, Ordering::Relaxed);
+    }
     f[source] = 1;
     sigma[source] = 1;
     depths[source] = 1;
     let mut d = 1u32;
     let mut reached = 1usize;
-    let mut frontier_list: Vec<u32> = Vec::new();
+    frontier_list.clear();
     let mut have_list = dir.needs_sparse();
     if have_list {
         frontier_list.push(source as u32);
@@ -220,14 +271,14 @@ pub(crate) fn bc_source_par_traced(
     let mut frontier_len = 1usize;
     loop {
         let frontier_edges = if have_list {
-            dir.frontier_edges(&frontier_list)
+            dir.frontier_edges(frontier_list)
         } else {
             0
         };
         let direction = dir.choose(frontier_len, frontier_edges, have_list);
         match direction {
-            LevelDirection::Push => push_forward_par(dir, &frontier_list, &f, &f_t),
-            LevelDirection::Pull => storage.forward(&f, sigma, &f_t),
+            LevelDirection::Push => push_forward_par(dir, frontier_list, f, f_t),
+            LevelDirection::Pull => storage.forward(f, sigma, f_t),
         }
         d += 1;
         // Fused mask + σ/S update + f_t reset (lines 14 and 20–27 in one
@@ -263,12 +314,13 @@ pub(crate) fn bc_source_par_traced(
         have_list = dir.needs_sparse()
             && (dir.mode() == DirectionMode::PushOnly || count <= dir.threshold());
         if have_list {
-            frontier_list = f
-                .par_iter()
-                .enumerate()
-                .filter(|(_, &v)| v != 0)
-                .map(|(i, _)| i as u32)
-                .collect();
+            frontier_list.clear();
+            frontier_list.extend(
+                f.iter()
+                    .enumerate()
+                    .filter(|(_, &v)| v != 0)
+                    .map(|(i, _)| i as u32),
+            );
         }
         frontier_len = count;
         on_level(LevelReport {
@@ -280,13 +332,13 @@ pub(crate) fn bc_source_par_traced(
     }
     let height = d;
 
-    drop(f);
-    drop(f_t);
-    drop(frontier_list);
-
-    let mut delta = vec![0.0f64; n];
-    let mut delta_u = vec![0.0f64; n];
-    let delta_ut: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+    // Backward stage: the float vectors come from the same reusable
+    // scratch (the §3.4 int-before-float device rule lives in the SIMT
+    // engine; host scratch stays resident across sources).
+    delta.fill(0.0);
+    for cell in delta_ut.iter() {
+        cell.store(0, Ordering::Relaxed);
+    }
     let mut depth = height;
     while depth > 1 {
         {
@@ -299,7 +351,7 @@ pub(crate) fn bc_source_par_traced(
                 };
             });
         }
-        storage.backward(&delta_u, &delta_ut);
+        storage.backward(delta_u, delta_ut);
         {
             // Fused δ accumulate + δ_ut reset.
             let (dep, sig, dut) = (&*depths, &*sigma, &delta_ut);
@@ -345,6 +397,7 @@ mod tests {
             &mut bc,
             &mut sigma,
             &mut depths,
+            &mut ParScratch::new(n),
         );
         bc
     }

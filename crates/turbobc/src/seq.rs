@@ -60,6 +60,35 @@ pub(crate) struct SourceRun {
     pub reached: usize,
 }
 
+/// Reusable per-source scratch for the sequential engine: the frontier
+/// vectors of the forward stage and the `δ` vectors of the backward
+/// stage. Allocated once per run and cleared per source — reallocating
+/// six `n`-vectors inside the source loop dominated small-graph exact
+/// BC. (The paper's §3.4 "free the integer arrays before allocating the
+/// float arrays" rule is about *device* memory; the SIMT engine still
+/// honours it. Host scratch is cheap to keep resident.)
+pub(crate) struct SeqScratch {
+    f: Vec<i64>,
+    f_t: Vec<i64>,
+    frontier_list: Vec<u32>,
+    delta: Vec<f64>,
+    delta_u: Vec<f64>,
+    delta_ut: Vec<f64>,
+}
+
+impl SeqScratch {
+    pub(crate) fn new(n: usize) -> Self {
+        SeqScratch {
+            f: vec![0; n],
+            f_t: vec![0; n],
+            frontier_list: Vec::new(),
+            delta: vec![0.0; n],
+            delta_u: vec![0.0; n],
+            delta_ut: vec![0.0; n],
+        }
+    }
+}
+
 /// Runs Algorithm 1 for one source, accumulating into `bc`.
 /// `sigma`/`depths` are caller-provided scratch, returned filled for the
 /// source (the solver surfaces the last source's vectors). The
@@ -83,6 +112,7 @@ pub(crate) fn bc_source_seq_traced(
     bc: &mut [f64],
     sigma: &mut [i64],
     depths: &mut [u32],
+    scratch: &mut SeqScratch,
     on_level: &mut dyn FnMut(LevelReport),
 ) -> SourceRun {
     let n = storage.n();
@@ -99,14 +129,21 @@ pub(crate) fn bc_source_seq_traced(
     // Forward stage: the paper's integer frontier vectors, plus the
     // sparse index list the push direction iterates (maintained only
     // while the frontier is small enough for push to be on the table).
-    let mut f = vec![0i64; n];
-    let mut f_t = vec![0i64; n];
+    let SeqScratch {
+        f,
+        f_t,
+        frontier_list,
+        delta,
+        delta_u,
+        delta_ut,
+    } = scratch;
+    f.fill(0);
     f[source] = 1;
     sigma[source] = 1;
     depths[source] = 1;
     let mut d = 1u32;
     let mut reached = 1usize;
-    let mut frontier_list: Vec<u32> = Vec::new();
+    frontier_list.clear();
     let mut have_list = dir.needs_sparse();
     if have_list {
         frontier_list.push(source as u32);
@@ -114,22 +151,22 @@ pub(crate) fn bc_source_seq_traced(
     let mut frontier_len = 1usize;
     loop {
         let frontier_edges = if have_list {
-            dir.frontier_edges(&frontier_list)
+            dir.frontier_edges(frontier_list)
         } else {
             0
         };
         let direction = dir.choose(frontier_len, frontier_edges, have_list);
         f_t.fill(0);
         match direction {
-            LevelDirection::Push => dir.push_seq(&frontier_list, &f, &mut f_t),
-            LevelDirection::Pull => storage.forward(&f, sigma, &mut f_t),
+            LevelDirection::Push => dir.push_seq(frontier_list, f, f_t),
+            LevelDirection::Pull => storage.forward(f, sigma, f_t),
         }
-        let count = ops::mask_new_frontier(&f_t, sigma, &mut f);
+        let count = ops::mask_new_frontier(f_t, sigma, f);
         if count == 0 {
             break;
         }
         d += 1;
-        ops::update_sigma_depth(&f, d, depths, sigma);
+        ops::update_sigma_depth(f, d, depths, sigma);
         reached += count;
         // Re-collect the sparse list only when the next level could go
         // push: a frontier already past the threshold pulls regardless.
@@ -154,26 +191,20 @@ pub(crate) fn bc_source_seq_traced(
         });
     }
     let height = d;
-    drop(frontier_list);
 
-    // §3.4: free the integer frontier vectors before allocating the
-    // float backward vectors.
-    drop(f);
-    drop(f_t);
-
-    // Backward stage.
-    let mut delta = vec![0.0f64; n];
-    let mut delta_u = vec![0.0f64; n];
-    let mut delta_ut = vec![0.0f64; n];
+    // Backward stage. (On the device this is where §3.4 frees the
+    // integer frontier arrays before allocating the float ones; the
+    // host engines keep both resident in the reusable scratch instead.)
+    delta.fill(0.0);
     let mut depth = height;
     while depth > 1 {
-        ops::seed_delta_u(depths, sigma, &delta, depth, &mut delta_u);
+        ops::seed_delta_u(depths, sigma, delta, depth, delta_u);
         delta_ut.fill(0.0);
-        storage.backward(&delta_u, &mut delta_ut);
-        ops::accumulate_delta(depths, sigma, &delta_ut, depth, &mut delta);
+        storage.backward(delta_u, delta_ut);
+        ops::accumulate_delta(depths, sigma, delta_ut, depth, delta);
         depth -= 1;
     }
-    ops::accumulate_bc(&delta, source, scale, bc);
+    ops::accumulate_bc(delta, source, scale, bc);
     SourceRun { height, reached }
 }
 
@@ -196,6 +227,7 @@ mod tests {
         let mut sigma = vec![0i64; n];
         let mut depths = vec![0u32; n];
         let dir = DirectionEngine::new(graph, mode);
+        let mut scratch = SeqScratch::new(n);
         let r = bc_source_seq_traced(
             &storage,
             &dir,
@@ -204,6 +236,7 @@ mod tests {
             &mut bc,
             &mut sigma,
             &mut depths,
+            &mut scratch,
             &mut |_| {},
         );
         (bc, r)
@@ -250,6 +283,7 @@ mod tests {
             &mut bc,
             &mut sigma,
             &mut depths,
+            &mut SeqScratch::new(n),
             &mut |_| {},
         );
         assert_eq!(sigma, vec![1, 1, 1, 2], "two shortest paths reach vertex 3");
@@ -270,6 +304,7 @@ mod tests {
             &mut bc,
             &mut sigma,
             &mut depths,
+            &mut SeqScratch::new(n),
             &mut |lr: LevelReport| levels.push((lr.depth, lr.frontier, lr.direction)),
         );
         assert_eq!(

@@ -371,6 +371,97 @@ pub fn forward_vecsc_shared(
     })
 }
 
+/// Batched bit-sliced frontier advance (the forward sweep of the
+/// batched multi-source engine, `crate::batched`) over CSC in the
+/// `(∨, ∧)` word semiring: one thread per column, one `u64` frontier
+/// word per vertex — up to 64 source lanes. The column ORs its
+/// neighbours' frontier words, masks with `!seen`, writes the fresh
+/// word to `next`, folds it into `seen`, and atomically bumps the
+/// lane-discovery counter — all **fused**, so each level is a single
+/// structure sweep serving every lane in the batch. Columns whose
+/// lanes are all already seen skip the structure probe entirely, the
+/// word-level analogue of the scalar kernels' `σ == 0` mask.
+pub fn forward_bits(
+    dev: &Device,
+    cp: &DSlice<'_, u32>,
+    rows: &DSlice<'_, u32>,
+    fbits: &DSlice<'_, u64>,
+    seen: &mut DSliceMut<'_, u64>,
+    next: &mut DSliceMut<'_, u64>,
+    count: &mut DSliceMut<'_, i64>,
+) -> Result<KernelStats, DeviceError> {
+    let n = fbits.len();
+    dev.try_launch("fwd_bits", LaunchConfig::per_element(n), |w| {
+        let cols = lane_ids(w, n);
+        let seen_w = w.gather(&seen.as_dslice(), &cols);
+        let mut live = [None; WARP_SIZE];
+        for l in 0..WARP_SIZE {
+            if cols[l].is_some() && seen_w[l] != u64::MAX {
+                live[l] = cols[l];
+            }
+        }
+        w.alu(count_some(&cols)); // the saturated-word mask test
+        if count_some(&live) == 0 {
+            return;
+        }
+        let starts = w.gather(cp, &live);
+        let mut live1 = [None; WARP_SIZE];
+        for l in 0..WARP_SIZE {
+            live1[l] = live[l].map(|j| j + 1);
+        }
+        let ends = w.gather(cp, &live1);
+        let mut acc = [0u64; WARP_SIZE];
+        let mut t = 0u32;
+        loop {
+            let mut idx = [None; WARP_SIZE];
+            for l in 0..WARP_SIZE {
+                if live[l].is_some() {
+                    let p = starts[l] + t;
+                    if p < ends[l] {
+                        idx[l] = Some(p as usize);
+                    }
+                }
+            }
+            let active = count_some(&idx);
+            if active == 0 {
+                break;
+            }
+            let rs = w.gather(rows, &idx);
+            let mut fidx = [None; WARP_SIZE];
+            for l in 0..WARP_SIZE {
+                fidx[l] = idx[l].map(|_| rs[l] as usize);
+            }
+            let fw = w.gather(fbits, &fidx);
+            for l in 0..WARP_SIZE {
+                if idx[l].is_some() {
+                    acc[l] |= fw[l];
+                }
+            }
+            w.alu(active);
+            t += 1;
+        }
+        let mut wn = [None; WARP_SIZE];
+        let mut ws = [None; WARP_SIZE];
+        let mut wc = [None; WARP_SIZE];
+        for l in 0..WARP_SIZE {
+            if let Some(j) = live[l] {
+                let fresh = acc[l] & !seen_w[l];
+                if fresh != 0 {
+                    wn[l] = Some((j, fresh));
+                    ws[l] = Some((j, seen_w[l] | fresh));
+                    wc[l] = Some((0usize, i64::from(fresh.count_ones())));
+                }
+            }
+        }
+        w.alu(count_some(&live)); // the `& !seen` mask fold
+        if count_some(&wn) > 0 {
+            w.scatter(next, &wn);
+            w.scatter(seen, &ws);
+            w.atomic_add(count, &wc);
+        }
+    })
+}
+
 /// BFS mask + update kernel (Algorithm 1 lines 14 and 20–27 **fused**,
 /// per the paper's §3.4 two-kernels-per-level pipeline): one thread per
 /// vertex. Newly discovered vertices get `f = f_t`, `σ += f`, `S = d`,

@@ -393,6 +393,117 @@ pub(crate) fn bc_simt(
     })
 }
 
+/// Outcome of the batched bit-sliced forward sweep on the device.
+#[derive(Debug)]
+pub struct MsBfsSimtOutcome {
+    /// Vertices reached per source (including the source itself).
+    pub reached: Vec<usize>,
+    /// Structure sweeps performed (levels summed over blocks) — the
+    /// work the batching amortises.
+    pub sweeps: u64,
+    /// Device metrics, memory, and modelled timing for the run.
+    pub report: SimtReport,
+}
+
+/// Runs the σ-free batched forward stage (bit-sliced MS-BFS, the
+/// `fwd_bits` kernel) on a simulated Titan Xp: sources are chunked
+/// into blocks of `batch_width` (clamped to 1..=64) lanes of a single
+/// `u64` frontier word per vertex, so each level is **one** structure
+/// sweep serving the whole block. The per-source amortisation shows
+/// directly in the device metrics: `report.total().load_transactions`
+/// divided by the source count drops roughly linearly in the batch
+/// width, because the `cp`/`rows` gathers — the dominant traffic — are
+/// shared across every lane in the word.
+pub fn ms_bfs_simt(
+    graph: &turbobc_graph::Graph,
+    sources: &[u32],
+    batch_width: usize,
+) -> Result<MsBfsSimtOutcome, TurboBcError> {
+    let csc = graph.to_csc();
+    let n = graph.n();
+    let b = batch_width.clamp(1, 64);
+    let device = Device::titan_xp();
+    let policy = RecoveryPolicy::default();
+    let mut kernel_retries = 0u64;
+
+    let cp: Vec<u32> = csc.col_ptr().iter().map(|&p| p as u32).collect();
+    let cp_d = device.alloc_from(&cp)?;
+    let rows_d = device.alloc_from(csc.row_idx())?;
+
+    let mut reached = Vec::with_capacity(sources.len());
+    let mut sweeps = 0u64;
+    for block in sources.chunks(b) {
+        if n == 0 {
+            reached.extend(block.iter().map(|_| 0usize));
+            continue;
+        }
+        let mut fbits = vec![0u64; n];
+        for (k, &s) in block.iter().enumerate() {
+            fbits[s as usize] |= 1 << k;
+        }
+        let mut f_d = device.alloc_from(&fbits)?;
+        let mut seen_d = device.alloc_from(&fbits)?;
+        let mut next_d = device.alloc::<u64>(n)?;
+        let mut count_d = device.alloc::<i64>(1)?;
+        loop {
+            // `next` holds the previous level's (now stale) frontier
+            // after the swap below; `fwd_bits` only writes fresh words,
+            // so it needs an explicit clear each level.
+            retry_kernel(&policy, &mut kernel_retries, || {
+                kernels::clear(&device, "clear_next", &mut next_d.dslice_mut())
+            })?;
+            count_d.fill(0);
+            retry_kernel(&policy, &mut kernel_retries, || {
+                kernels::forward_bits(
+                    &device,
+                    &cp_d.dslice(),
+                    &rows_d.dslice(),
+                    &f_d.dslice(),
+                    &mut seen_d.dslice_mut(),
+                    &mut next_d.dslice_mut(),
+                    &mut count_d.dslice_mut(),
+                )
+            })?;
+            sweeps += 1;
+            if count_d.host()[0] == 0 {
+                break;
+            }
+            std::mem::swap(&mut f_d, &mut next_d);
+        }
+        // Per-lane popcount of the final visited sets.
+        let seen = seen_d.host();
+        for k in 0..block.len() {
+            let lane = 1u64 << k;
+            reached.push(seen.iter().filter(|&&word| word & lane != 0).count());
+        }
+    }
+
+    let metrics = device.metrics();
+    let timing = device.timing();
+    let mut modelled_time_s = 0.0;
+    let mut busy_time_s = 0.0;
+    for (_, s) in metrics.iter() {
+        modelled_time_s += timing.kernel_time_s(s);
+        busy_time_s += timing.kernel_busy_time_s(s);
+    }
+    let total = metrics.total();
+    let glt_gbs = if busy_time_s > 0.0 {
+        total.bytes_loaded as f64 / busy_time_s / 1e9
+    } else {
+        0.0
+    };
+    Ok(MsBfsSimtOutcome {
+        reached,
+        sweeps,
+        report: SimtReport {
+            metrics,
+            memory: device.memory(),
+            modelled_time_s,
+            glt_gbs,
+        },
+    })
+}
+
 /// The §3.3 reduction ablation: runs one full forward sweep per variant
 /// (shuffle vs shared-memory veCSC) over a mid-BFS state of `graph` and
 /// returns the two kernels' stats plus their modelled busy times in
@@ -773,6 +884,53 @@ mod tests {
         assert_eq!(bc1, bc2);
         assert_eq!(t1, t2);
         assert_eq!(m1, m2, "metrics (incl. L2 misses) must be bit-identical");
+    }
+
+    #[test]
+    fn batched_bits_forward_matches_bfs_reached() {
+        // Directed + undirected, block chunking past 64 sources, and a
+        // non-multiple-of-64 width all agree with the per-source oracle.
+        for (g, width) in [
+            (gen::gnm(100, 320, true, 5), 64),
+            (gen::small_world(90, 3, 0.2, 7), 64),
+            (gen::gnm(80, 200, false, 9), 5),
+        ] {
+            let sources: Vec<u32> = (0..g.n().min(70) as u32).collect();
+            let out = ms_bfs_simt(&g, &sources, width).unwrap();
+            assert_eq!(out.reached.len(), sources.len());
+            for (k, &s) in sources.iter().enumerate() {
+                let want = turbobc_graph::bfs(&g, s);
+                assert_eq!(out.reached[k], want.reached, "source {s} at width {width}");
+            }
+            assert!(out.report.metrics.kernel("fwd_bits").is_some());
+        }
+    }
+
+    #[test]
+    fn batched_bits_amortises_load_transactions_per_source() {
+        // The whole point of the batch: one structure sweep serves 64
+        // lanes, so per-source load transactions collapse versus
+        // one-source-per-word runs of the *same* kernel.
+        let g = gen::delaunay(600, 3);
+        let sources: Vec<u32> = (0..64).collect();
+        let wide = ms_bfs_simt(&g, &sources, 64).unwrap();
+        let narrow = ms_bfs_simt(&g, &sources, 1).unwrap();
+        for k in 0..sources.len() {
+            assert_eq!(wide.reached[k], narrow.reached[k], "lane {k}");
+        }
+        assert!(
+            wide.sweeps * 8 < narrow.sweeps,
+            "batched {} sweeps vs {} one-lane sweeps",
+            wide.sweeps,
+            narrow.sweeps
+        );
+        let per_source =
+            |o: &MsBfsSimtOutcome| o.report.total().load_transactions as f64 / sources.len() as f64;
+        let (w, n) = (per_source(&wide), per_source(&narrow));
+        assert!(
+            w * 4.0 < n,
+            "batched {w:.0} load transactions/source should be ≪ {n:.0}"
+        );
     }
 
     #[test]

@@ -2,17 +2,21 @@
 //! fault-recovery policy together.
 
 use crate::approx::{bc_approx_with_solver, ApproxBcResult};
+use crate::batched::{bc_block_traced, BatchScratch};
 use crate::checkpoint;
 use crate::closeness::{closeness_with_solver, ClosenessResult};
 use crate::edge::{edge_bc_with_solver, EdgeBcResult};
 use crate::error::{CheckpointError, TurboBcError};
+use crate::footprint;
 use crate::frontier::{DirectionEngine, DirectionMode, LevelReport};
 use crate::msbfs::{ms_bfs_on_storage, MsBfsResult};
 use crate::observe::{NullObserver, Observer, TraceEvent};
-use crate::options::{degrade, select_kernel, BcOptions, Engine, Kernel, RecoveryPolicy};
-use crate::par::{bc_source_par, bc_source_par_traced, ParStorage};
+use crate::options::{
+    degrade, select_kernel, BatchWidth, BcOptions, Engine, Kernel, RecoveryPolicy,
+};
+use crate::par::{bc_source_par, bc_source_par_traced, ParScratch, ParStorage};
 use crate::result::{BcResult, RecoveryLog, RunStats, SimtReport};
-use crate::seq::{bc_source_seq_traced, SourceRun, Storage};
+use crate::seq::{bc_source_seq_traced, SeqScratch, SourceRun, Storage};
 use crate::simt_engine::bc_simt;
 use std::time::Instant;
 use turbobc_graph::{Graph, GraphStats, VertexId};
@@ -23,6 +27,23 @@ use turbobc_sparse::{Cooc, Index};
 /// *across* sources (each task owns its scratch vectors, contributions
 /// are summed) — the scalable path for exact BC.
 const SOURCE_PAR_THRESHOLD: usize = 16;
+
+/// Engine-matched reusable scratch for the per-source CPU loops:
+/// allocated once per run, cleared per source (not dropped), so the
+/// source loop does no per-source allocation.
+enum CpuScratch {
+    Seq(SeqScratch),
+    Par(ParScratch),
+}
+
+impl CpuScratch {
+    fn for_engine(engine: Engine, n: usize) -> Self {
+        match engine {
+            Engine::Sequential => CpuScratch::Seq(SeqScratch::new(n)),
+            Engine::Parallel => CpuScratch::Par(ParScratch::new(n)),
+        }
+    }
+}
 
 /// A prepared BC computation over one graph.
 ///
@@ -177,7 +198,10 @@ impl BcSolver {
     }
 
     /// One source on the CPU (engine-selected kernel structure),
-    /// accumulating into the caller's buffers.
+    /// accumulating into the caller's buffers. `scratch` must have been
+    /// built by [`CpuScratch::for_engine`] with the same engine — the
+    /// source loops allocate it once and reuse it across sources.
+    #[allow(clippy::too_many_arguments)]
     fn one_source(
         &self,
         source: usize,
@@ -185,10 +209,11 @@ impl BcSolver {
         bc: &mut [f64],
         sigma: &mut [i64],
         depths: &mut [u32],
+        scratch: &mut CpuScratch,
         on_level: &mut dyn FnMut(LevelReport),
     ) -> SourceRun {
-        match engine {
-            Engine::Sequential => bc_source_seq_traced(
+        match (engine, scratch) {
+            (Engine::Sequential, CpuScratch::Seq(scratch)) => bc_source_seq_traced(
                 &self.storage,
                 &self.dir,
                 source,
@@ -196,9 +221,10 @@ impl BcSolver {
                 bc,
                 sigma,
                 depths,
+                scratch,
                 on_level,
             ),
-            Engine::Parallel => {
+            (Engine::Parallel, CpuScratch::Par(scratch)) => {
                 let storage = match &self.storage {
                     Storage::Csc(csc) => ParStorage::Csc {
                         csc,
@@ -207,9 +233,10 @@ impl BcSolver {
                     Storage::Cooc(cooc) => ParStorage::Cooc(cooc),
                 };
                 bc_source_par_traced(
-                    &storage, &self.dir, source, self.scale, bc, sigma, depths, on_level,
+                    &storage, &self.dir, source, self.scale, bc, sigma, depths, scratch, on_level,
                 )
             }
+            _ => unreachable!("scratch built for a different engine"),
         }
     }
 
@@ -265,6 +292,9 @@ impl BcSolver {
                         let mut local_bc = vec![0.0f64; n];
                         let mut local_sigma = vec![0i64; n];
                         let mut local_depths = vec![0u32; n];
+                        // One scratch per chunk, reused across the
+                        // chunk's sources.
+                        let mut scratch = ParScratch::new(n);
                         let mut max_d = 0u32;
                         let mut levels = 0u64;
                         for &s in batch {
@@ -276,6 +306,7 @@ impl BcSolver {
                                 &mut local_bc,
                                 &mut local_sigma,
                                 &mut local_depths,
+                                &mut scratch,
                             );
                             max_d = max_d.max(run.height);
                             levels += run.height as u64;
@@ -306,6 +337,7 @@ impl BcSolver {
                         &mut scratch_bc,
                         &mut sigma,
                         &mut depths,
+                        &mut ParScratch::new(n),
                     );
                     stats.last_reached = run.reached;
                 }
@@ -317,6 +349,7 @@ impl BcSolver {
                 // kernel), so the trace is a clean timeline.
                 let wants = obs.wants_levels();
                 let threshold = self.dir.threshold();
+                let mut scratch = CpuScratch::for_engine(engine, self.n);
                 for &s in sources {
                     let run = {
                         let mut on_level = |lr: LevelReport| {
@@ -342,6 +375,7 @@ impl BcSolver {
                             &mut bc,
                             &mut sigma,
                             &mut depths,
+                            &mut scratch,
                             &mut on_level,
                         )
                     };
@@ -366,6 +400,148 @@ impl BcSolver {
             depths,
             stats,
         }
+    }
+
+    /// The block width [`BcSolver::bc_batched`] will use for a run over
+    /// `n_sources` sources: [`BatchWidth::Fixed`] verbatim (floored at
+    /// 1), [`BatchWidth::Auto`] from the `7n + m`-style footprint model
+    /// against the configured device's memory
+    /// ([`footprint::auto_batch_width`]), both clamped to the source
+    /// count — a block never holds dead lanes.
+    pub fn resolve_batch_width(&self, n_sources: usize) -> usize {
+        let width = match self.options.batch_width {
+            BatchWidth::Fixed(b) => b.max(1),
+            BatchWidth::Auto => footprint::auto_batch_width(
+                self.n,
+                self.m,
+                self.kernel,
+                self.options.device.global_mem_bytes,
+            ),
+        };
+        width.min(n_sources.max(1))
+    }
+
+    /// Batched multi-source BC: sources are processed in blocks of
+    /// [`BcOptions::batch_width`] lanes over a bit-sliced `n×b` frontier,
+    /// so each BFS level costs **one** masked SpMM for the whole block
+    /// instead of one sweep per source — the per-source matrix traffic
+    /// drops by the block's height spread. `σ` and the depth vector
+    /// become `n×b` panels; the backward stage batches the dependency
+    /// accumulation the same way and folds the `δ` panels into the
+    /// shared `bc` vector.
+    ///
+    /// The result is numerically equivalent to [`BcSolver::bc_sources`]
+    /// (and bit-identical to the Sequential engine for the CSC kernels —
+    /// the panels preserve per-lane operation order); `stats.total_levels`
+    /// counts *matrix sweeps*, so comparing it against a per-source
+    /// run's count shows the amortization directly.
+    pub fn bc_batched(&self, sources: &[VertexId]) -> Result<BcResult, TurboBcError> {
+        self.bc_batched_observed(sources, &mut NullObserver)
+    }
+
+    /// [`BcSolver::bc_batched`] with the run traced into `obs`: one
+    /// [`TraceEvent::Block`] per block (its width and matrix-sweep
+    /// count), per-level events under the block's first source, and the
+    /// usual per-source completions.
+    pub fn bc_batched_observed(
+        &self,
+        sources: &[VertexId],
+        obs: &mut dyn Observer,
+    ) -> Result<BcResult, TurboBcError> {
+        self.validate_sources(sources)?;
+        let start = Instant::now();
+        let width = self.resolve_batch_width(sources.len());
+        obs.event(TraceEvent::KernelChoice {
+            kernel: self.kernel,
+            scf: self.stats.scf,
+            mean_degree: self.stats.degree.mean,
+            direction: self.options.direction.name(),
+        });
+        obs.event(TraceEvent::RunStart {
+            engine: "batched",
+            kernel: self.kernel,
+            n: self.n,
+            m: self.m,
+            sources: sources.len(),
+        });
+        let mut bc = vec![0.0f64; self.n];
+        let mut sigma = vec![0i64; self.n];
+        let mut depths = vec![0u32; self.n];
+        let mut stats = RunStats {
+            sources: sources.len(),
+            ..Default::default()
+        };
+        let mut scratch = BatchScratch::new(self.n, width);
+        let wants = obs.wants_levels();
+        let threshold = self.dir.threshold();
+        for block in sources.chunks(width) {
+            let first = block[0];
+            let run = {
+                let mut on_level = |lr: LevelReport| {
+                    if wants {
+                        obs.event(TraceEvent::Level {
+                            source: first,
+                            depth: lr.depth,
+                            frontier: lr.frontier,
+                            sigma_updates: lr.frontier as u64,
+                        });
+                        obs.event(TraceEvent::Direction {
+                            source: first,
+                            depth: lr.depth,
+                            direction: lr.direction.name(),
+                            frontier_edges: lr.frontier_edges,
+                            threshold,
+                        });
+                    }
+                };
+                bc_block_traced(
+                    &self.storage,
+                    self.kernel,
+                    &self.dir,
+                    block,
+                    self.scale,
+                    &mut bc,
+                    &mut scratch,
+                    &mut on_level,
+                )
+            };
+            // One matrix sweep advanced every lane of the block — this
+            // is the amortization the engine exists for.
+            stats.total_levels += run.sweeps as u64;
+            obs.event(TraceEvent::Block {
+                first_source: first,
+                width: block.len(),
+                sweeps: run.sweeps,
+            });
+            for (k, &s) in block.iter().enumerate() {
+                stats.max_depth = stats.max_depth.max(run.heights[k]);
+                stats.last_reached = run.reached[k];
+                obs.event(TraceEvent::SourceDone {
+                    source: s,
+                    height: run.heights[k],
+                    reached: run.reached[k],
+                });
+            }
+        }
+        // Deterministic σ/S surface: the last source's lane is still in
+        // the scratch panels of the final block.
+        if !sources.is_empty() {
+            scratch.extract_lane(
+                (sources.len() - 1) % scratch.width(),
+                &mut sigma,
+                &mut depths,
+            );
+        }
+        stats.elapsed = start.elapsed();
+        obs.event(TraceEvent::RunEnd {
+            elapsed_s: stats.elapsed.as_secs_f64(),
+        });
+        Ok(BcResult {
+            bc,
+            sigma,
+            depths,
+            stats,
+        })
     }
 
     /// Multi-source BC with periodic checkpoints and resume.
@@ -416,6 +592,7 @@ impl BcSolver {
         };
         let mut sigma = vec![0i64; self.n];
         let mut depths = vec![0u32; self.n];
+        let mut scratch = CpuScratch::for_engine(self.options.engine, self.n);
         let mut batches_done = 0u32;
         while done < sources.len() {
             let hi = (done + every).min(sources.len());
@@ -427,6 +604,7 @@ impl BcSolver {
                     &mut batch_bc,
                     &mut sigma,
                     &mut depths,
+                    &mut scratch,
                     &mut |_| {},
                 );
                 stats.max_depth = stats.max_depth.max(run.height);
@@ -447,13 +625,14 @@ impl BcSolver {
         // σ/S surface the last source deterministically — also when the
         // checkpoint already covered every source.
         if let Some(&last) = sources.last() {
-            let mut scratch = vec![0.0f64; self.n];
+            let mut scratch_bc = vec![0.0f64; self.n];
             let run = self.one_source(
                 last as usize,
                 self.options.engine,
-                &mut scratch,
+                &mut scratch_bc,
                 &mut sigma,
                 &mut depths,
+                &mut scratch,
                 &mut |_| {},
             );
             stats.last_reached = run.reached;
@@ -918,6 +1097,63 @@ mod tests {
         assert_close(&ck.bc, &plain.bc, 1e-9);
         assert_eq!(ck.depths, plain.depths);
         assert_eq!(ck.sigma, plain.sigma);
+    }
+
+    #[test]
+    fn batched_matches_per_source_and_reports_blocks() {
+        let g = gen::gnm(90, 320, false, 21);
+        let sources: Vec<u32> = (0..g.n() as u32).collect();
+        let solver = BcSolver::new(&g, BcOptions::builder().batch_width(64).build()).unwrap();
+        let want = solver.bc_sources(&sources).unwrap();
+        let mut obs = crate::observe::ProfileObserver::new();
+        let got = solver.bc_batched_observed(&sources, &mut obs).unwrap();
+        assert_close(&got.bc, &want.bc, 1e-9);
+        assert_eq!(got.sigma, want.sigma, "last-source σ surface matches");
+        assert_eq!(got.depths, want.depths);
+        assert_eq!(got.stats.last_reached, want.stats.last_reached);
+        assert_eq!(got.stats.max_depth, want.stats.max_depth);
+        let p = obs.profile();
+        assert_eq!(p.engine, "batched");
+        assert_eq!(p.blocks.len(), 90usize.div_ceil(64));
+        assert_eq!(p.source_runs.len(), 90);
+        // The point of the engine: 90 sources advanced in far fewer
+        // matrix sweeps than the sum of their BFS heights.
+        let sweeps: u64 = p.blocks.iter().map(|b| u64::from(b.sweeps)).sum();
+        assert_eq!(sweeps, got.stats.total_levels);
+        assert!(
+            sweeps < want.stats.total_levels / 4,
+            "sweeps {sweeps} vs per-source levels {}",
+            want.stats.total_levels
+        );
+    }
+
+    #[test]
+    fn batched_width_resolution() {
+        let g = gen::gnm(200, 800, false, 7);
+        // Auto on the default (Titan Xp-sized) device takes 64 lanes,
+        // clamped to the source count.
+        let solver = BcSolver::new(&g, BcOptions::default()).unwrap();
+        assert_eq!(solver.resolve_batch_width(200), 64);
+        assert_eq!(solver.resolve_batch_width(10), 10);
+        assert_eq!(solver.resolve_batch_width(0), 1);
+        // Fixed is taken verbatim (floored at 1), still clamped.
+        let solver = BcSolver::new(&g, BcOptions::builder().batch_width(17).build()).unwrap();
+        assert_eq!(solver.resolve_batch_width(200), 17);
+        let solver = BcSolver::new(&g, BcOptions::builder().batch_width(0).build()).unwrap();
+        assert_eq!(solver.resolve_batch_width(200), 1);
+    }
+
+    #[test]
+    fn batched_rejects_bad_sources_and_handles_empty() {
+        let g = gen::gnm(30, 90, true, 3);
+        let solver = BcSolver::new(&g, BcOptions::default()).unwrap();
+        assert!(matches!(
+            solver.bc_batched(&[0, 30]),
+            Err(TurboBcError::InvalidSource { source: 30, .. })
+        ));
+        let r = solver.bc_batched(&[]).unwrap();
+        assert!(r.bc.iter().all(|&x| x == 0.0));
+        assert_eq!(r.stats.sources, 0);
     }
 
     #[test]

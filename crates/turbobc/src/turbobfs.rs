@@ -151,6 +151,7 @@ impl TurboBfs {
                     &mut bc,
                     &mut sigma,
                     &mut depths,
+                    &mut crate::par::ParScratch::new(n),
                 );
                 (run.height, run.reached)
             }

@@ -127,6 +127,156 @@ fn families_battery(names: &[&str], scale: Scale) {
     }
 }
 
+/// The batched-engine differential battery: `BcSolver::bc_batched` over
+/// all three kernels × push/pull × `b ∈ {1, 3, 64, 65}` (one width that
+/// is not a multiple of 64, one that spills into a second lane word)
+/// against the per-source engines and the summed Brandes oracle, to the
+/// same graded 1e-6 bar as the per-source battery.
+fn batched_battery_on(name: &str, g: &Graph, check_oracle: bool) {
+    const WIDTHS: [usize; 4] = [1, 3, 64, 65];
+    let n = g.n();
+    if n == 0 {
+        return;
+    }
+    let count = n.min(9);
+    let sources: Vec<u32> = (0..count).map(|i| (i * n / count) as u32).collect();
+    // Per-source references: the paper's baseline combo (scCSC,
+    // sequential, pull) plus the parallel engine.
+    let ref_solver = BcSolver::new(
+        g,
+        BcOptions::builder()
+            .kernel(Kernel::ScCsc)
+            .sequential()
+            .direction(DirectionMode::PullOnly)
+            .build(),
+    )
+    .unwrap();
+    let reference = ref_solver.bc_sources(&sources).unwrap();
+    let parallel = BcSolver::new(g, BcOptions::builder().parallel().build())
+        .unwrap()
+        .bc_sources(&sources)
+        .unwrap();
+    // Any source whose path counts saturate σ puts the fixture beyond
+    // the exact-arithmetic Brandes (all TurboBC combos clamp
+    // identically, so the reference combo stays the oracle).
+    let saturated = !check_oracle
+        || sources.iter().any(|&s| {
+            ref_solver
+                .bc_single_source(s)
+                .unwrap()
+                .sigma
+                .contains(&i64::MAX)
+        });
+    let want: Vec<f64> = if !saturated {
+        let mut acc = vec![0.0f64; n];
+        for &s in &sources {
+            for (a, b) in acc.iter_mut().zip(brandes_single_source(g, s)) {
+                *a += b;
+            }
+        }
+        acc
+    } else {
+        reference.bc.clone()
+    };
+    let tol = |w: f64| 1e-6 * w.abs().max(1.0);
+    let check = |tag: &str, got: &[f64], other: &[f64], label: &str| {
+        assert_eq!(got.len(), n, "{tag}: length mismatch");
+        for (v, (g, w)) in got.iter().zip(other).enumerate() {
+            let diff = (g - w).abs();
+            assert!(
+                diff < tol(*w),
+                "{tag}: bc[{v}] = {g}, {label} says {w} (|diff| = {diff:.3e})"
+            );
+        }
+    };
+    check(
+        &format!("{name}/parallel-reference"),
+        &parallel.bc,
+        &want,
+        "oracle",
+    );
+    for kernel in KERNELS {
+        for direction in [DirectionMode::PushOnly, DirectionMode::PullOnly] {
+            for b in WIDTHS {
+                let solver = BcSolver::new(
+                    g,
+                    BcOptions::builder()
+                        .kernel(kernel)
+                        .direction(direction)
+                        .batch_width(b)
+                        .build(),
+                )
+                .unwrap();
+                let r = solver.bc_batched(&sources).unwrap();
+                let tag = format!("{name}/{kernel:?}/{direction:?}/b={b}");
+                check(&tag, &r.bc, &want, "oracle");
+                check(&tag, &r.bc, &reference.bc, "per-source reference");
+                // The last source's lane must extract the same σ/depths
+                // the per-source run produced.
+                assert_eq!(r.sigma, reference.sigma, "{tag}: σ mismatch");
+                assert_eq!(r.depths, reference.depths, "{tag}: depth mismatch");
+            }
+        }
+    }
+}
+
+fn batched_families_battery(names: &[&str], scale: Scale) {
+    for name in names {
+        let g = families::generate(name, scale).expect("known family fixture");
+        batched_battery_on(name, &g, true);
+    }
+}
+
+/// Always-on slice of the batched battery, mirroring the per-source
+/// subset below.
+#[test]
+fn batched_families_subset_matches_per_source_engines() {
+    batched_families_battery(
+        &["mark3jac060sc", "luxembourg_osm", "kron_g500-logn18"],
+        Scale::Tiny,
+    );
+}
+
+/// The batched battery over every paper fixture. Run by the release CI
+/// job (`--include-ignored`) under its wall-clock guard.
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "full batched differential battery; run under --release"
+)]
+fn full_batched_families_battery_matches_per_source_engines() {
+    let rows = families::all_rows();
+    let names: Vec<&str> = rows.iter().map(|r| r.name).collect();
+    batched_families_battery(&names, Scale::Tiny);
+}
+
+/// A σ-saturating fixture: a chain of 70 doubling diamonds drives the
+/// path counts past `i64::MAX`, so every combo must clamp identically
+/// (the Brandes oracle, with exact arithmetic, is out of scope here).
+#[test]
+fn batched_engine_saturates_sigma_like_the_per_source_engines() {
+    let stages = 70usize;
+    let mut edges = Vec::new();
+    // Vertex 0 is the source; stage i occupies vertices 2i+1 and 2i+2.
+    edges.push((0u32, 1u32));
+    edges.push((0, 2));
+    for i in 0..stages - 1 {
+        let (a, b) = (2 * i as u32 + 1, 2 * i as u32 + 2);
+        let (c, d) = (a + 2, b + 2);
+        edges.extend([(a, c), (a, d), (b, c), (b, d)]);
+    }
+    let g = Graph::from_edges(2 * stages + 1, true, &edges);
+    let sat = BcSolver::new(&g, BcOptions::default())
+        .unwrap()
+        .bc_single_source(0)
+        .unwrap();
+    assert!(
+        sat.sigma.contains(&i64::MAX),
+        "fixture must actually saturate σ"
+    );
+    batched_battery_on("sigma-doubler", &g, false);
+}
+
 /// Always-on slice of the battery: one fixture per structural class
 /// (mesh, road, power-law), small enough for debug builds.
 #[test]
