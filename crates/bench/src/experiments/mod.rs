@@ -6,6 +6,7 @@ pub mod ablation;
 pub mod batched;
 pub mod direction;
 pub mod figures;
+pub mod prep;
 pub mod tables;
 
 use turbobc_graph::families::Scale;
@@ -48,6 +49,7 @@ pub const ALL: &[&str] = &[
     "multigpu",
     "direction",
     "batched",
+    "prep",
 ];
 
 /// Runs one experiment by id.
@@ -67,6 +69,7 @@ pub fn run(id: &str, cfg: Config) -> Option<String> {
         "multigpu" => figures::multigpu(cfg),
         "direction" => direction::run(cfg),
         "batched" => batched::run(cfg),
+        "prep" => prep::run(cfg),
         _ => return None,
     })
 }

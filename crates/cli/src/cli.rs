@@ -19,10 +19,13 @@ usage:
   turbobc stats   <file> [--format mtx|edges] [--directed]
   turbobc bc      <file> [--format mtx|edges] [--directed]
                   [--kernel auto|sccooc|sccsc|vecsc] [--sequential]
+                  [--prep auto|off|components|full]
                   [--exact | --samples K | --approx EPSILON] [--top N]
                   [--batch B|auto] [--simt] [--faults SPEC] [--checkpoint FILE]
                   [--checkpoint-every K] [--resume]
                   [--profile FILE] [--profile-summary]
+  turbobc prep-stats <file> [--format mtx|edges] [--directed]
+                  [--prep auto|off|components|full]
   turbobc validate-profile <file.json>
   turbobc edge-bc <file> [--format mtx|edges] [--directed] [--top N]
   turbobc closeness <file> [--format mtx|edges] [--directed] [--top N]
@@ -103,6 +106,16 @@ fn kernel_of(p: &Parsed) -> Result<Kernel, String> {
         "sccsc" => Ok(Kernel::ScCsc),
         "vecsc" => Ok(Kernel::VeCsc),
         other => Err(format!("unknown kernel `{other}`")),
+    }
+}
+
+fn prep_of(p: &Parsed) -> Result<PrepMode, String> {
+    match p.flags.get("prep").map(String::as_str).unwrap_or("auto") {
+        "auto" => Ok(PrepMode::Auto),
+        "off" => Ok(PrepMode::Off),
+        "components" => Ok(PrepMode::ComponentsOnly),
+        "full" => Ok(PrepMode::Full),
+        other => Err(format!("unknown prep mode `{other}`")),
     }
 }
 
@@ -214,7 +227,9 @@ pub fn run(args: &[String]) -> Result<String, String> {
         }
         "bc" => {
             let g = load(&p)?;
-            let mut builder = BcOptions::builder().kernel(kernel_of(&p)?);
+            let mut builder = BcOptions::builder()
+                .kernel(kernel_of(&p)?)
+                .prep(prep_of(&p)?);
             if p.flags.contains_key("sequential") {
                 builder = builder.sequential();
             }
@@ -372,6 +387,28 @@ pub fn run(args: &[String]) -> Result<String, String> {
                     out.push_str(&profile.summary());
                 }
             }
+            Ok(out)
+        }
+        "prep-stats" => {
+            let g = load(&p)?;
+            let r = turbobc::prep::analyze(&g, prep_of(&p)?);
+            let mut out = String::new();
+            let _ = writeln!(
+                out,
+                "prep mode {}: {} component(s), n {} -> {}, m {} -> {} stored arcs",
+                r.mode, r.components, r.n, r.n_reduced, r.m, r.m_reduced
+            );
+            let _ = writeln!(
+                out,
+                "degree-1 fold: {} vertex(es) removed in {} wave(s) {:?}",
+                r.folded_vertices, r.fold_passes, r.fold_pass_removed
+            );
+            let _ = writeln!(
+                out,
+                "twin compression: {} class(es), {} member(s) removed",
+                r.twin_classes, r.twin_members_removed
+            );
+            let _ = writeln!(out, "reduction ratio: {:.3}", r.reduction_ratio());
             Ok(out)
         }
         "validate-profile" => {
@@ -724,6 +761,52 @@ mod tests {
         .unwrap();
         assert!(auto.contains("batched:"), "{auto}");
         assert!(run(&args(&["bc", mtx.to_str().unwrap(), "--batch", "nope"])).is_err());
+    }
+
+    #[test]
+    fn prep_flag_and_stats_command() {
+        let mtx = temp("prep.mtx");
+        // A small broom: path 0-1-2-3 with leaves 4, 5, 6 on the tip —
+        // the degree-1 fold collapses the whole graph.
+        let g = Graph::from_edges(7, false, &[(0, 1), (1, 2), (2, 3), (3, 4), (3, 5), (3, 6)]);
+        let mut f = std::fs::File::create(&mtx).unwrap();
+        io::write_matrix_market(&g, &mut f).unwrap();
+        let ranks = |s: &str| s[s.find("top ").unwrap()..].to_string();
+        let off = run(&args(&[
+            "bc",
+            mtx.to_str().unwrap(),
+            "--exact",
+            "--prep",
+            "off",
+        ]))
+        .unwrap();
+        let full = run(&args(&[
+            "bc",
+            mtx.to_str().unwrap(),
+            "--exact",
+            "--prep",
+            "full",
+        ]))
+        .unwrap();
+        assert_eq!(
+            ranks(&off),
+            ranks(&full),
+            "reduction must not perturb the ranking"
+        );
+        let stats = run(&args(&[
+            "prep-stats",
+            mtx.to_str().unwrap(),
+            "--prep",
+            "full",
+        ]))
+        .unwrap();
+        assert!(stats.contains("prep mode full"), "{stats}");
+        assert!(stats.contains("degree-1 fold"), "{stats}");
+        assert!(stats.contains("reduction ratio"), "{stats}");
+        let auto = run(&args(&["prep-stats", mtx.to_str().unwrap()])).unwrap();
+        assert!(auto.contains("component(s)"), "{auto}");
+        assert!(run(&args(&["bc", mtx.to_str().unwrap(), "--prep", "bogus"])).is_err());
+        assert!(run(&args(&["prep-stats"])).is_err());
     }
 
     #[test]

@@ -678,6 +678,16 @@ pub const TABLE5: &[(&str, u32, f64, f64, f64, f64)] = &[
     ("mycielskian17", 3, 9854152.0, 715.2, 13778.0, 38.0),
 ];
 
+/// Reduction-stress fixtures for the prep pipeline: tree-heavy and
+/// disconnected graphs outside the paper's tables (deliberately **not**
+/// part of [`all_rows`] — the catalog pin stays at 33). [`generate`]
+/// accepts these names like any paper graph.
+pub const STRESS_FIXTURES: &[&str] = &[
+    "stress-caterpillar",
+    "stress-broom",
+    "stress-powerlaw-union",
+];
+
 /// Every table-row in one list.
 pub fn all_rows() -> Vec<PaperRow> {
     TABLE1
@@ -772,6 +782,10 @@ pub fn generate(name: &str, scale: Scale) -> Option<Graph> {
         "it-2004" => gen::webgraph(scaled(100_000, s), 28, 0.5, seed),
         "GAP-twitter" => gen::chung_lu(scaled(150_000, s), 24.0, 1.75, seed),
         "sk-2005" => gen::webgraph(scaled(120_000, s), 39, 0.55, seed),
+        // Reduction-stress fixtures (see [`STRESS_FIXTURES`]).
+        "stress-caterpillar" => gen::caterpillar(scaled(2_500, s), 3, seed),
+        "stress-broom" => gen::broom(scaled(400, s), scaled(2_100, s)),
+        "stress-powerlaw-union" => gen::powerlaw_union(4, scaled(1_200, s), seed),
         _ => return None,
     };
     Some(g)
@@ -821,6 +835,40 @@ mod tests {
                 tiny.n(),
                 small.n()
             );
+        }
+    }
+
+    #[test]
+    fn stress_fixtures_have_pinned_stats() {
+        // (name, n, m, degree-1 vertices, components) at Tiny scale —
+        // pinned so reduction benchmarks stay comparable across runs.
+        let pins = [
+            ("stress-caterpillar", 782, 1562, 470, 1),
+            ("stress-broom", 326, 650, 263, 1),
+            ("stress-powerlaw-union", 600, 2296, 14, 4),
+        ];
+        for (name, n, m, deg1, comps) in pins {
+            assert!(STRESS_FIXTURES.contains(&name));
+            let g = generate(name, Scale::Tiny).unwrap();
+            assert_eq!(g.n(), n, "{name} n");
+            assert_eq!(g.m(), m, "{name} m");
+            assert_eq!(
+                g.out_degrees().iter().filter(|&&d| d == 1).count(),
+                deg1,
+                "{name} degree-1 count"
+            );
+            assert_eq!(
+                crate::connected_components(&g).1,
+                comps,
+                "{name} components"
+            );
+        }
+    }
+
+    #[test]
+    fn stress_fixtures_stay_out_of_the_catalog() {
+        for &name in STRESS_FIXTURES {
+            assert!(find(name).is_none(), "{name} must not join the 33 rows");
         }
     }
 

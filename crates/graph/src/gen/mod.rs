@@ -23,7 +23,8 @@
 //! | web crawl | it-2004, sk-2005, GAP-twitter | [`webgraph`], [`chung_lu`] |
 //!
 //! Utility generators for tests: [`gnm`], [`grid2d`], [`path`], [`star`],
-//! [`complete`].
+//! [`complete`]. Reduction-stress generators for the prep pipeline:
+//! [`caterpillar`], [`broom`], [`powerlaw_union`].
 
 mod circuit;
 mod delaunay;
@@ -35,6 +36,7 @@ mod rmat;
 mod road;
 mod smallworld;
 mod trace;
+mod trees;
 
 pub use circuit::circuit;
 pub use delaunay::delaunay;
@@ -46,6 +48,7 @@ pub use rmat::rmat;
 pub use road::road_network;
 pub use smallworld::small_world;
 pub use trace::{kmer_paths, mawi_star};
+pub use trees::{broom, caterpillar, powerlaw_union};
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;

@@ -1,0 +1,94 @@
+//! Tree-heavy and disconnected stress generators for the graph-reduction
+//! pipeline: pendant-rich trees the degree-1 fold collapses, and
+//! multi-component unions the component split must scatter back.
+
+use super::{preferential_attachment, rng};
+use crate::{Graph, VertexId};
+use rand::Rng;
+
+/// A caterpillar tree: a spine path of `spine` vertices with `0..=legs`
+/// pendant legs hung off each spine vertex (leg counts drawn per vertex,
+/// seeded). Spine vertices come first (`0..spine`), legs after.
+pub fn caterpillar(spine: usize, legs: usize, seed: u64) -> Graph {
+    let mut r = rng(seed);
+    let mut edges: Vec<(VertexId, VertexId)> = (1..spine)
+        .map(|v| ((v - 1) as VertexId, v as VertexId))
+        .collect();
+    let mut next = spine as VertexId;
+    for v in 0..spine {
+        for _ in 0..r.gen_range(0..=legs) {
+            edges.push((v as VertexId, next));
+            next += 1;
+        }
+    }
+    Graph::from_edges(next as usize, false, &edges)
+}
+
+/// A broom: a handle path of `handle` vertices with `bristles` leaves
+/// attached to its far end. Deterministic. The fold collapses the whole
+/// graph to a point in `handle` waves (bristles and handle peel together).
+pub fn broom(handle: usize, bristles: usize) -> Graph {
+    let handle = handle.max(1);
+    let mut edges: Vec<(VertexId, VertexId)> = (1..handle)
+        .map(|v| ((v - 1) as VertexId, v as VertexId))
+        .collect();
+    let tip = (handle - 1) as VertexId;
+    for b in 0..bristles {
+        edges.push((tip, (handle + b) as VertexId));
+    }
+    Graph::from_edges(handle + bristles, false, &edges)
+}
+
+/// A disjoint union of `parts` preferential-attachment graphs of
+/// `n_each` vertices (no edges across parts): `parts` power-law
+/// components the prep split runs independently.
+pub fn powerlaw_union(parts: usize, n_each: usize, seed: u64) -> Graph {
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+    for k in 0..parts {
+        let part = preferential_attachment(n_each, 2, seed.wrapping_add(k as u64));
+        let off = (k * n_each) as VertexId;
+        edges.extend(part.edges().map(|(u, v)| (u + off, v + off)));
+    }
+    Graph::from_edges(parts * n_each, false, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{bfs, connected_components};
+
+    #[test]
+    fn caterpillar_is_a_tree_with_pendant_legs() {
+        let g = caterpillar(20, 3, 11);
+        assert!(!g.directed());
+        // A connected tree: m = 2(n − 1) stored arcs.
+        assert_eq!(g.m(), 2 * (g.n() - 1));
+        assert_eq!(bfs(&g, 0).reached, g.n());
+        // Legs exist and are degree-1.
+        let deg1 = g.out_degrees().iter().filter(|&&d| d == 1).count();
+        assert!(deg1 > 10, "only {deg1} leaves");
+        // Deterministic.
+        assert_eq!(caterpillar(20, 3, 11).n(), g.n());
+    }
+
+    #[test]
+    fn broom_shape() {
+        let g = broom(5, 7);
+        assert_eq!(g.n(), 12);
+        assert_eq!(g.m(), 2 * 11);
+        let deg = g.out_degrees();
+        assert_eq!(deg[4], 1 + 7, "tip joins handle and all bristles");
+        assert_eq!(deg.iter().filter(|&&d| d == 1).count(), 1 + 7);
+        assert_eq!(bfs(&g, 0).height, 6, "handle then bristles");
+    }
+
+    #[test]
+    fn powerlaw_union_has_exactly_parts_components() {
+        let g = powerlaw_union(4, 100, 3);
+        assert_eq!(g.n(), 400);
+        let (_, ncomp) = connected_components(&g);
+        assert_eq!(ncomp, 4);
+        // No cross-part edges.
+        assert!(g.edges().all(|(u, v)| u / 100 == v / 100));
+    }
+}

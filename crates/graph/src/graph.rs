@@ -1,9 +1,75 @@
 //! The [`Graph`] type: an unweighted graph as an adjacency-matrix pattern.
 
-use turbobc_sparse::{Coo, Cooc, Csc, Csr, Index, SparseError};
+use std::fmt;
+
+use turbobc_sparse::{Coo, Cooc, Csc, Csr, Index};
 
 /// Vertex identifier (alias of the sparse index type).
 pub type VertexId = Index;
+
+/// What [`Graph::try_from_edges`] rejected and where. `line` is the
+/// 1-based position of the offending edge in the input list, matching
+/// the line numbering of one-edge-per-line files.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TryFromEdgesError {
+    /// The vertex count does not fit the `u32` index type.
+    TooManyVertices {
+        /// The requested vertex count.
+        n: usize,
+    },
+    /// An edge endpoint names a vertex `>= n`.
+    EndpointOutOfRange {
+        /// 1-based edge position.
+        line: usize,
+        /// The offending endpoint.
+        vertex: VertexId,
+        /// The declared vertex count.
+        n: usize,
+    },
+    /// A vertex's raw incidence count overflowed the `u32` degree
+    /// counter. Only reachable on multigraph input: duplicates are
+    /// collapsed *after* validation, so a vertex repeated on more than
+    /// `u32::MAX` input edges would otherwise wrap silently.
+    DegreeOverflow {
+        /// 1-based edge position.
+        line: usize,
+        /// The overflowing vertex.
+        vertex: VertexId,
+    },
+}
+
+impl fmt::Display for TryFromEdgesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TryFromEdgesError::TooManyVertices { n } => {
+                write!(f, "vertex count {n} exceeds the u32 index range")
+            }
+            TryFromEdgesError::EndpointOutOfRange { line, vertex, n } => {
+                write!(f, "edge {line}: endpoint {vertex} out of range 0..{n}")
+            }
+            TryFromEdgesError::DegreeOverflow { line, vertex } => {
+                write!(
+                    f,
+                    "edge {line}: vertex {vertex} appears on more than u32::MAX edges"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for TryFromEdgesError {}
+
+/// Guards one raw incidence-counter increment; returns the vertex back
+/// on overflow so the caller can report the offending edge.
+fn bump_incidence(incidence: &mut [u32], x: VertexId) -> Result<(), VertexId> {
+    match incidence[x as usize].checked_add(1) {
+        Some(d) => {
+            incidence[x as usize] = d;
+            Ok(())
+        }
+        None => Err(x),
+    }
+}
 
 /// An unweighted graph stored as the pattern of its `n × n` adjacency
 /// matrix `A` (`A[u][v] = 1 ⇔` edge `u → v`).
@@ -35,21 +101,27 @@ impl Graph {
         Self::try_from_edges(n, directed, edges).expect("invalid edge list")
     }
 
-    /// Fallible [`Graph::from_edges`]: returns an error instead of panicking
-    /// when `n` does not fit the index type or an endpoint is `>= n`.
+    /// Fallible [`Graph::from_edges`]: returns a line-numbered
+    /// [`TryFromEdgesError`] instead of panicking when `n` does not fit
+    /// the index type, an endpoint is `>= n`, or (on multigraph input) a
+    /// vertex's raw incidence count would overflow the `u32` degree
+    /// counters.
     pub fn try_from_edges(
         n: usize,
         directed: bool,
         edges: &[(VertexId, VertexId)],
-    ) -> Result<Self, SparseError> {
-        let mut coo = Coo::new(n, n)?;
+    ) -> Result<Self, TryFromEdgesError> {
+        let mut coo = Coo::new(n, n).map_err(|_| TryFromEdgesError::TooManyVertices { n })?;
         coo.reserve(edges.len());
-        for &(u, v) in edges {
-            if (u as usize) >= n {
-                return Err(SparseError::RowOutOfBounds(u, n));
-            }
-            if (v as usize) >= n {
-                return Err(SparseError::ColOutOfBounds(v, n));
+        let mut incidence = vec![0u32; n];
+        for (idx, &(u, v)) in edges.iter().enumerate() {
+            let line = idx + 1;
+            for x in [u, v] {
+                if (x as usize) >= n {
+                    return Err(TryFromEdgesError::EndpointOutOfRange { line, vertex: x, n });
+                }
+                bump_incidence(&mut incidence, x)
+                    .map_err(|vertex| TryFromEdgesError::DegreeOverflow { line, vertex })?;
             }
             coo.push(u, v);
         }
@@ -122,20 +194,12 @@ impl Graph {
 
     /// Out-degree of every vertex.
     pub fn out_degrees(&self) -> Vec<u32> {
-        let mut deg = vec![0u32; self.n()];
-        for (u, _) in self.coo.iter() {
-            deg[u as usize] += 1;
-        }
-        deg
+        crate::stats::count_degrees(self.n(), self.coo.iter().map(|(u, _)| u))
     }
 
     /// In-degree of every vertex.
     pub fn in_degrees(&self) -> Vec<u32> {
-        let mut deg = vec![0u32; self.n()];
-        for (_, v) in self.coo.iter() {
-            deg[v as usize] += 1;
-        }
-        deg
+        crate::stats::count_degrees(self.n(), self.coo.iter().map(|(_, v)| v))
     }
 
     /// Iterates over stored arcs `(u, v)`.
@@ -294,17 +358,50 @@ mod tests {
     #[test]
     fn try_from_edges_validates_endpoints() {
         assert!(Graph::try_from_edges(3, true, &[(0, 1), (2, 0)]).is_ok());
-        assert!(matches!(
-            Graph::try_from_edges(3, true, &[(3, 0)]),
-            Err(SparseError::RowOutOfBounds(3, 3))
-        ));
-        assert!(matches!(
-            Graph::try_from_edges(3, true, &[(0, 7)]),
-            Err(SparseError::ColOutOfBounds(7, 3))
-        ));
-        assert!(matches!(
-            Graph::try_from_edges(u32::MAX as usize + 1, true, &[]),
-            Err(SparseError::DimensionTooLarge(_))
-        ));
+        // The error carries the 1-based position of the offending edge.
+        assert_eq!(
+            Graph::try_from_edges(3, true, &[(0, 1), (3, 0)]).unwrap_err(),
+            TryFromEdgesError::EndpointOutOfRange {
+                line: 2,
+                vertex: 3,
+                n: 3
+            }
+        );
+        assert_eq!(
+            Graph::try_from_edges(3, true, &[(0, 7)]).unwrap_err(),
+            TryFromEdgesError::EndpointOutOfRange {
+                line: 1,
+                vertex: 7,
+                n: 3
+            }
+        );
+        assert_eq!(
+            Graph::try_from_edges(u32::MAX as usize + 1, true, &[]).unwrap_err(),
+            TryFromEdgesError::TooManyVertices {
+                n: u32::MAX as usize + 1
+            }
+        );
+        let msg = TryFromEdgesError::EndpointOutOfRange {
+            line: 2,
+            vertex: 3,
+            n: 3,
+        }
+        .to_string();
+        assert!(msg.contains("edge 2"), "got: {msg}");
+    }
+
+    #[test]
+    fn incidence_counter_overflow_is_caught() {
+        // A real reproduction needs > u32::MAX duplicate edges; exercise
+        // the guard directly on a pre-saturated counter instead.
+        let mut incidence = vec![u32::MAX - 1, u32::MAX];
+        assert_eq!(bump_incidence(&mut incidence, 0), Ok(()));
+        assert_eq!(incidence[0], u32::MAX);
+        assert_eq!(bump_incidence(&mut incidence, 0), Err(0));
+        assert_eq!(bump_incidence(&mut incidence, 1), Err(1));
+        assert_eq!(
+            TryFromEdgesError::DegreeOverflow { line: 9, vertex: 1 }.to_string(),
+            "edge 9: vertex 1 appears on more than u32::MAX edges"
+        );
     }
 }

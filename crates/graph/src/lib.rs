@@ -30,7 +30,7 @@ mod stats;
 pub mod weighted;
 
 pub use bfs::{bfs, connected_components, largest_component, BfsResult};
-pub use graph::{Graph, VertexId};
+pub use graph::{Graph, TryFromEdgesError, VertexId};
 pub use stats::{
     DegreeStats, GraphClass, GraphStats, DENSE_DIRECTION_FRACTION, IRREGULAR_MEAN_DEGREE,
     SCALE_FREE_SCF,

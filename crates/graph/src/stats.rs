@@ -19,7 +19,22 @@
 //! Mycielski graphs, reproducing the paper's *ordering*. `EXPERIMENTS.md`
 //! reports both columns.
 
-use crate::Graph;
+use crate::{Graph, VertexId};
+
+/// The one shared degree-counting routine: occurrences of each vertex id
+/// among `endpoints`. [`Graph::out_degrees`] feeds it the arc tails,
+/// [`Graph::in_degrees`] the heads, and the [`GraphStats`] degree columns
+/// build on the same counts (via [`Graph::out_degrees`]). Counts come
+/// from the *normalised* adjacency pattern (duplicates already
+/// collapsed), so a `u32` per vertex cannot overflow — raw multigraph
+/// input is guarded earlier, in [`Graph::try_from_edges`].
+pub(crate) fn count_degrees(n: usize, endpoints: impl Iterator<Item = VertexId>) -> Vec<u32> {
+    let mut deg = vec![0u32; n];
+    for x in endpoints {
+        deg[x as usize] += 1;
+    }
+    deg
+}
 
 /// Max / mean / standard deviation of a degree distribution — the paper's
 /// `degree(max/μ/σ)` column.

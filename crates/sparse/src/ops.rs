@@ -199,6 +199,155 @@ pub fn fold_bc_panel(width: usize, delta: &[f64], sources: &[u32], scale: f64, b
     }
 }
 
+// ---------------------------------------------------------------------
+// Multiplicity-weighted variants, used by the graph-reduction pipeline
+// (`turbobc::prep`). A reduced vertex stands for `κ(v)` identical
+// original vertices (twin classes) carrying a combined source/target
+// weight `Ω(v)` (folded subtree members). The invariant maintained by
+// these ops is `delta[v] = Ω(v) − 1 + κ(v)·D(v)` where `D(v)` is the
+// per-member Brandes dependency, so the unweighted `seed_delta_u`
+// (which reads `1 + delta`) propagates exactly `Ω(v) + κ(v)·D(v)`.
+// ---------------------------------------------------------------------
+
+/// Multiplies the frontier entry of every vertex in `kappa_gt1` by its
+/// class size `κ > 1` (saturating): arrivals *into* a twin class are
+/// per-member path counts, arrivals *out of* it carry one copy per
+/// member. Applied after [`update_sigma_depth`], so `σ` stores true
+/// per-member counts. The source's initial frontier is never scaled —
+/// the run counts paths from a single class member.
+pub fn scale_frontier(f: &mut [i64], kappa_gt1: &[(u32, i64)]) {
+    for &(v, k) in kappa_gt1 {
+        let fv = &mut f[v as usize];
+        if *fv != 0 {
+            *fv = fv.saturating_mul(k);
+        }
+    }
+}
+
+/// Panel analogue of [`scale_frontier`]: scales the lanes of each
+/// `κ > 1` vertex that were freshly discovered this level (bit set in
+/// `fresh`). Stale lanes keep their masked-out garbage untouched.
+pub fn scale_frontier_panel(
+    width: usize,
+    fresh: &[u64],
+    f_t: &mut [i64],
+    kappa_gt1: &[(u32, i64)],
+) {
+    let w = width.div_ceil(64);
+    for &(v, kap) in kappa_gt1 {
+        let v = v as usize;
+        for t in 0..w {
+            let mut bits = fresh[v * w + t];
+            while bits != 0 {
+                let k = t * 64 + bits.trailing_zeros() as usize;
+                let i = v * width + k;
+                f_t[i] = f_t[i].saturating_mul(kap);
+                bits &= bits - 1;
+            }
+        }
+    }
+}
+
+/// Seeds the backward `δ` panel with each vertex's target weight
+/// `seed[v] = Ω(v) − 1` in every lane (the per-source engines just
+/// `copy_from_slice`).
+pub fn preseed_delta_panel(width: usize, seed: &[f64], delta: &mut [f64]) {
+    debug_assert_eq!(seed.len() * width, delta.len());
+    for (v, &s) in seed.iter().enumerate() {
+        delta[v * width..(v + 1) * width].fill(s);
+    }
+}
+
+/// Weighted [`accumulate_delta`]: the class's upstream contribution
+/// counts once per member, so the parent-side fold multiplies by
+/// `κ(v)`.
+pub fn accumulate_delta_weighted(
+    depths: &[u32],
+    sigma: &[i64],
+    kappa: &[f64],
+    delta_ut: &[f64],
+    d: u32,
+    delta: &mut [f64],
+) {
+    debug_assert_eq!(depths.len(), kappa.len());
+    debug_assert_eq!(depths.len(), delta.len());
+    for i in 0..depths.len() {
+        if depths[i] == d - 1 {
+            delta[i] += kappa[i] * delta_ut[i] * sigma[i] as f64;
+        }
+    }
+}
+
+/// Weighted [`accumulate_delta_panel`]: `kappa` is per *vertex* (shared
+/// by all lanes).
+pub fn accumulate_delta_panel_weighted(
+    width: usize,
+    depths: &[u32],
+    sigma: &[i64],
+    kappa: &[f64],
+    delta_ut: &[f64],
+    d: u32,
+    delta: &mut [f64],
+) {
+    debug_assert_eq!(depths.len(), delta_ut.len());
+    debug_assert_eq!(depths.len(), delta.len());
+    debug_assert_eq!(kappa.len() * width, delta.len());
+    for i in 0..depths.len() {
+        if depths[i] == d - 1 {
+            delta[i] += kappa[i / width.max(1)] * delta_ut[i] * sigma[i] as f64;
+        }
+    }
+}
+
+/// Weighted [`accumulate_bc`]: recovers the per-member dependency
+/// `D(v) = (delta[v] − seed[v]) / κ(v)` and adds it once per original
+/// source member (`source_weight = Ω(source)`). Unreached vertices
+/// still hold their preseed, so they contribute an exact `0.0`.
+pub fn accumulate_bc_weighted(
+    delta: &[f64],
+    seed: &[f64],
+    kappa: &[f64],
+    source: usize,
+    source_weight: f64,
+    scale: f64,
+    bc: &mut [f64],
+) {
+    debug_assert_eq!(delta.len(), bc.len());
+    for (v, &dv) in delta.iter().enumerate() {
+        if v != source {
+            bc[v] += (dv - seed[v]) / kappa[v] * source_weight * scale;
+        }
+    }
+}
+
+/// Weighted [`fold_bc_panel`]: lane `k`'s source carries weight
+/// `source_weights[k]`; target-side weights are per vertex.
+#[allow(clippy::too_many_arguments)]
+pub fn fold_bc_panel_weighted(
+    width: usize,
+    delta: &[f64],
+    seed: &[f64],
+    kappa: &[f64],
+    sources: &[u32],
+    source_weights: &[f64],
+    scale: f64,
+    bc: &mut [f64],
+) {
+    debug_assert_eq!(delta.len(), bc.len() * width);
+    debug_assert_eq!(sources.len(), source_weights.len());
+    debug_assert!(sources.len() <= width);
+    for (k, (&s, &sw)) in sources.iter().zip(source_weights).enumerate() {
+        for (v, bcv) in bc.iter_mut().enumerate() {
+            if v != s as usize {
+                let dv = delta[v * width + k] - seed[v];
+                if dv != 0.0 {
+                    *bcv += dv / kappa[v] * sw * scale;
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -268,5 +417,73 @@ mod tests {
         let mut bc = vec![0.0; 3];
         accumulate_bc(&delta, 1, 0.5, &mut bc);
         assert_eq!(bc, vec![0.5, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn scale_frontier_multiplies_only_active_entries() {
+        let mut f = vec![2i64, 0, 5, 1];
+        scale_frontier(&mut f, &[(0, 3), (1, 4), (3, i64::MAX)]);
+        assert_eq!(f, vec![6, 0, 5, i64::MAX]);
+    }
+
+    #[test]
+    fn scale_frontier_panel_touches_only_fresh_lanes() {
+        // 2 vertices, width 2: vertex 1 has lane 0 fresh, lane 1 stale.
+        let fresh = vec![0u64, 0b01];
+        let mut f_t = vec![7, 7, 3, 3];
+        scale_frontier_panel(2, &fresh, &mut f_t, &[(1, 5)]);
+        assert_eq!(f_t, vec![7, 7, 15, 3]);
+    }
+
+    #[test]
+    fn preseed_delta_panel_broadcasts_per_vertex_seed() {
+        let mut delta = vec![0.0; 6];
+        preseed_delta_panel(2, &[1.0, 0.0, 3.0], &mut delta);
+        assert_eq!(delta, vec![1.0, 1.0, 0.0, 0.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn weighted_delta_accumulation_multiplies_kappa() {
+        let depths = vec![1, 2];
+        let sigma = vec![1i64, 2];
+        let kappa = vec![3.0, 1.0];
+        let delta_ut = vec![0.5, 9.0];
+        let mut delta = vec![1.0, 0.0];
+        accumulate_delta_weighted(&depths, &sigma, &kappa, &delta_ut, 2, &mut delta);
+        assert_eq!(delta, vec![1.0 + 3.0 * 0.5, 0.0]);
+        let mut panel = vec![1.0, 1.0, 0.0, 0.0];
+        let depths_p = vec![1, 1, 2, 2];
+        let sigma_p = vec![1i64, 1, 2, 2];
+        let ut_p = vec![0.5, 0.25, 9.0, 9.0];
+        accumulate_delta_panel_weighted(2, &depths_p, &sigma_p, &kappa, &ut_p, 2, &mut panel);
+        assert_eq!(panel, vec![2.5, 1.75, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn weighted_bc_fold_recovers_per_member_dependency() {
+        // delta = Ω−1 + κ·D with Ω−1 = seed; unreached vertex 2 holds
+        // its preseed and must contribute exactly zero.
+        let delta = vec![1.0 + 2.0 * 3.0, 0.0 + 4.0, 5.0];
+        let seed = vec![1.0, 0.0, 5.0];
+        let kappa = vec![2.0, 1.0, 2.0];
+        let mut bc = vec![0.0; 3];
+        accumulate_bc_weighted(&delta, &seed, &kappa, 1, 2.0, 0.5, &mut bc);
+        assert_eq!(bc, vec![3.0, 0.0, 0.0]);
+        // Panel version, lane weights differ.
+        let panel = vec![7.0, 1.0, 4.0, 4.0, 5.0, 5.0];
+        let mut bc2 = vec![0.0; 3];
+        fold_bc_panel_weighted(
+            2,
+            &panel,
+            &seed,
+            &kappa,
+            &[1, 0],
+            &[2.0, 1.0],
+            0.5,
+            &mut bc2,
+        );
+        // Lane 0 (source 1, Ω=2): v0 → (7−1)/2·2·0.5 = 3; v2 → 0.
+        // Lane 1 (source 0, Ω=1): v1 → (4−0)/1·1·0.5 = 2; v2 → 0.
+        assert_eq!(bc2, vec![3.0, 2.0, 0.0]);
     }
 }

@@ -133,6 +133,7 @@ pub(crate) fn bc_block_traced(
     scale: f64,
     bc: &mut [f64],
     scratch: &mut BatchScratch,
+    weights: Option<&crate::prep::RunWeights>,
     on_level: &mut dyn FnMut(LevelReport),
 ) -> BlockRun {
     let n = storage.n();
@@ -263,6 +264,10 @@ pub(crate) fn bc_block_traced(
         if discovered == 0 {
             break;
         }
+        if let Some(wt) = weights {
+            // Twin classes forward κ copies along each fresh lane.
+            ops::scale_frontier_panel(b, &scratch.tbits, &mut scratch.f_t, &wt.kappa_gt1);
+        }
 
         // Fold the fresh bits into `seen` and account the level: which
         // lanes advanced (their height becomes d), how many vertices
@@ -329,7 +334,10 @@ pub(crate) fn bc_block_traced(
     // dependencies is exact), so each lane's float summation order is
     // identical to its per-source run.
     let max_height = heights.iter().copied().max().unwrap_or(1);
-    scratch.delta.fill(0.0);
+    match weights {
+        Some(wt) => ops::preseed_delta_panel(b, &wt.seed, &mut scratch.delta),
+        None => scratch.delta.fill(0.0),
+    }
     let mut depth = max_height;
     while depth > 1 {
         ops::seed_delta_u_panel(
@@ -345,17 +353,43 @@ pub(crate) fn bc_block_traced(
             Storage::Csc(csc) => csc.spmm_panel(b, &scratch.delta_u, &mut scratch.delta_ut),
             Storage::Cooc(cooc) => cooc.spmm_panel(b, &scratch.delta_u, &mut scratch.delta_ut),
         }
-        ops::accumulate_delta_panel(
-            b,
-            &scratch.depths,
-            &scratch.sigma,
-            &scratch.delta_ut,
-            depth,
-            &mut scratch.delta,
-        );
+        match weights {
+            Some(wt) => ops::accumulate_delta_panel_weighted(
+                b,
+                &scratch.depths,
+                &scratch.sigma,
+                &wt.kappa,
+                &scratch.delta_ut,
+                depth,
+                &mut scratch.delta,
+            ),
+            None => ops::accumulate_delta_panel(
+                b,
+                &scratch.depths,
+                &scratch.sigma,
+                &scratch.delta_ut,
+                depth,
+                &mut scratch.delta,
+            ),
+        }
         depth -= 1;
     }
-    ops::fold_bc_panel(b, &scratch.delta, sources, scale, bc);
+    match weights {
+        Some(wt) => {
+            let source_weights: Vec<f64> = sources.iter().map(|&s| wt.omega[s as usize]).collect();
+            ops::fold_bc_panel_weighted(
+                b,
+                &scratch.delta,
+                &wt.seed,
+                &wt.kappa,
+                sources,
+                &source_weights,
+                scale,
+                bc,
+            );
+        }
+        None => ops::fold_bc_panel(b, &scratch.delta, sources, scale, bc),
+    }
 
     BlockRun {
         heights,
@@ -403,6 +437,7 @@ mod tests {
                 &mut sigma,
                 &mut depths,
                 &mut scratch,
+                None,
                 &mut |_| {},
             );
         }
@@ -432,6 +467,7 @@ mod tests {
                 g.bc_scale(),
                 &mut bc,
                 &mut scratch,
+                None,
                 &mut |_| {},
             );
             assert_eq!(run.heights.len(), block.len());
@@ -530,6 +566,7 @@ mod tests {
             g.bc_scale(),
             &mut bc,
             &mut scratch,
+            None,
             &mut |_| {},
         );
         assert_eq!(run.heights, vec![5, 3, 5]);

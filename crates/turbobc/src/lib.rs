@@ -92,6 +92,7 @@ pub mod multi_gpu2d;
 pub mod observe;
 mod options;
 mod par;
+pub mod prep;
 mod result;
 mod seq;
 mod simt_engine;
@@ -111,8 +112,10 @@ pub use edge::{edge_bc, edge_bc_sources};
 pub use error::{CheckpointError, TurboBcError};
 pub use frontier::{DirectionMode, Frontier, LevelDirection};
 pub use options::{
-    degrade, BatchWidth, BcOptions, BcOptionsBuilder, Engine, Kernel, KernelChoice, RecoveryPolicy,
+    degrade, BatchWidth, BcOptions, BcOptionsBuilder, Engine, Kernel, KernelChoice, PrepMode,
+    RecoveryPolicy,
 };
+pub use prep::PrepReport;
 pub use result::{BcResult, RecoveryLog, RunStats, SimtReport};
 pub use solver::BcSolver;
 pub use turbobfs::{BfsRun, TurboBfs};
@@ -129,8 +132,10 @@ pub mod prelude {
         NullObserver, Observer, ProfileObserver, RunProfile, TraceEvent, PROFILE_SCHEMA,
     };
     pub use crate::options::{
-        BatchWidth, BcOptions, BcOptionsBuilder, Engine, Kernel, KernelChoice, RecoveryPolicy,
+        BatchWidth, BcOptions, BcOptionsBuilder, Engine, Kernel, KernelChoice, PrepMode,
+        RecoveryPolicy,
     };
+    pub use crate::prep::PrepReport;
     pub use crate::result::{BcResult, RecoveryLog, RunStats, SimtReport};
     pub use crate::solver::BcSolver;
     pub use crate::turbobfs::{BfsRun, TurboBfs};

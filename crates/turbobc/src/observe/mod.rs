@@ -100,6 +100,31 @@ pub enum TraceEvent {
         /// The configured [`crate::DirectionMode`] name.
         direction: &'static str,
     },
+    /// What the [`crate::prep`] reduction pipeline did to this run's
+    /// graph. Emitted once per routed run by the solver entry points,
+    /// before `KernelChoice`/`RunStart`; survives attempt restarts like
+    /// the kernel-choice record. Legacy (passthrough) runs never emit it.
+    Prep {
+        /// Resolved stage: `"components"` or `"full"`.
+        mode: &'static str,
+        /// Connected components the run was split into.
+        components: usize,
+        /// Vertices the engines run on after reduction.
+        n_reduced: usize,
+        /// Stored arcs the engines run on after reduction.
+        m_reduced: usize,
+        /// Vertices removed by degree-1 folding.
+        folded: usize,
+        /// Twin classes with at least two members.
+        twin_classes: usize,
+        /// Vertices removed by twin compression.
+        twin_members: usize,
+        /// Degree-1 peel waves to fixpoint (max over components).
+        fold_passes: usize,
+        /// Kernel display name each component's sub-run resolves to, in
+        /// component order.
+        component_kernels: Vec<&'static str>,
+    },
     /// One batched block finished: `width` sources were advanced
     /// together by `sweeps` masked-SpMM matrix sweeps (the amortization
     /// the batched engine exists for — per-source cost is
@@ -226,6 +251,30 @@ pub struct KernelChoiceTrace {
     pub direction: String,
 }
 
+/// The [`TraceEvent::Prep`] record of a run: what the graph-reduction
+/// pipeline removed before the engines ran.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrepTrace {
+    /// Resolved stage: `"components"` or `"full"`.
+    pub mode: String,
+    /// Connected components the run was split into.
+    pub components: usize,
+    /// Vertices the engines run on after reduction.
+    pub n_reduced: usize,
+    /// Stored arcs the engines run on after reduction.
+    pub m_reduced: usize,
+    /// Vertices removed by degree-1 folding.
+    pub folded: usize,
+    /// Twin classes with at least two members.
+    pub twin_classes: usize,
+    /// Vertices removed by twin compression.
+    pub twin_members: usize,
+    /// Degree-1 peel waves to fixpoint (max over components).
+    pub fold_passes: usize,
+    /// Per-component kernel display names, in component order.
+    pub component_kernels: Vec<String>,
+}
+
 /// One [`TraceEvent::Block`] with its timeline stamp.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BlockTrace {
@@ -308,6 +357,10 @@ pub struct RunProfile {
     /// How the kernel (and direction mode) resolved for this run; kept
     /// across attempt restarts like the recovery timeline.
     pub kernel_choice: Option<KernelChoiceTrace>,
+    /// What the graph-reduction pipeline did before the engines ran;
+    /// `None` on legacy (passthrough) runs. Kept across attempt
+    /// restarts like the kernel-choice record.
+    pub prep: Option<PrepTrace>,
     /// Per-block completions of the successful attempt (batched engine
     /// only; empty for per-source engines).
     pub blocks: Vec<BlockTrace>,
@@ -536,6 +589,31 @@ impl RunProfile {
                 },
             ),
             (
+                "prep".into(),
+                match &self.prep {
+                    None => Json::Null,
+                    Some(pr) => Json::Obj(vec![
+                        ("mode".into(), pr.mode.as_str().into()),
+                        ("components".into(), pr.components.into()),
+                        ("n_reduced".into(), pr.n_reduced.into()),
+                        ("m_reduced".into(), pr.m_reduced.into()),
+                        ("folded".into(), pr.folded.into()),
+                        ("twin_classes".into(), pr.twin_classes.into()),
+                        ("twin_members".into(), pr.twin_members.into()),
+                        ("fold_passes".into(), pr.fold_passes.into()),
+                        (
+                            "component_kernels".into(),
+                            Json::Arr(
+                                pr.component_kernels
+                                    .iter()
+                                    .map(|k| k.as_str().into())
+                                    .collect(),
+                            ),
+                        ),
+                    ]),
+                },
+            ),
+            (
                 "blocks".into(),
                 Json::Arr(
                     self.blocks
@@ -654,6 +732,37 @@ impl RunProfile {
         // (and hand-built fixtures) may omit the key entirely.
         if doc.get("blocks").is_some() {
             check_entries("blocks", &["first_source", "width", "sweeps", "t_s"])?;
+        }
+        // "prep" arrived with the graph-reduction pipeline; same
+        // back-compat rule — absent or null means a passthrough run.
+        match doc.get("prep") {
+            None | Some(Json::Null) => {}
+            Some(pr) => {
+                pr.get("mode")
+                    .and_then(Json::as_str)
+                    .ok_or("prep missing 'mode' string")?;
+                for f in [
+                    "components",
+                    "n_reduced",
+                    "m_reduced",
+                    "folded",
+                    "twin_classes",
+                    "twin_members",
+                    "fold_passes",
+                ] {
+                    pr.get(f)
+                        .and_then(Json::as_f64)
+                        .ok_or(format!("prep missing number '{f}'"))?;
+                }
+                let kernels = pr
+                    .get("component_kernels")
+                    .and_then(Json::as_arr)
+                    .ok_or("prep missing 'component_kernels' array")?;
+                for (i, k) in kernels.iter().enumerate() {
+                    k.as_str()
+                        .ok_or(format!("prep.component_kernels[{i}] not a string"))?;
+                }
+            }
         }
         let directions = doc
             .get("directions")
@@ -778,6 +887,20 @@ impl RunProfile {
                 out,
                 "  auto-selection: kernel {} (scf {:.2}, mean degree {:.2}), direction mode {}",
                 c.kernel, c.scf, c.mean_degree, c.direction
+            );
+        }
+        if let Some(pr) = &self.prep {
+            let _ = writeln!(
+                out,
+                "  prep: {} — {} component(s), reduced to n {} / m {} ({} folded in {} pass(es), {} twin member(s) in {} class(es))",
+                pr.mode,
+                pr.components,
+                pr.n_reduced,
+                pr.m_reduced,
+                pr.folded,
+                pr.fold_passes,
+                pr.twin_members,
+                pr.twin_classes
             );
         }
         if !self.directions.is_empty() {
@@ -995,6 +1118,29 @@ impl Observer for ProfileObserver {
                     scf,
                     mean_degree,
                     direction: direction.to_string(),
+                });
+            }
+            TraceEvent::Prep {
+                mode,
+                components,
+                n_reduced,
+                m_reduced,
+                folded,
+                twin_classes,
+                twin_members,
+                fold_passes,
+                component_kernels,
+            } => {
+                p.prep = Some(PrepTrace {
+                    mode: mode.to_string(),
+                    components,
+                    n_reduced,
+                    m_reduced,
+                    folded,
+                    twin_classes,
+                    twin_members,
+                    fold_passes,
+                    component_kernels: component_kernels.into_iter().map(str::to_string).collect(),
                 });
             }
             TraceEvent::Block {
@@ -1359,6 +1505,47 @@ mod tests {
             RunProfile::validate(&text.replace("\"sweeps\"", "\"sweps\""))
                 .unwrap_err()
                 .contains("sweeps")
+        );
+    }
+
+    #[test]
+    fn prep_event_flows_into_profile_and_json() {
+        let mut obs = ProfileObserver::new();
+        obs.event(TraceEvent::Prep {
+            mode: "full",
+            components: 2,
+            n_reduced: 7,
+            m_reduced: 12,
+            folded: 30,
+            twin_classes: 3,
+            twin_members: 4,
+            fold_passes: 5,
+            component_kernels: vec!["scCSC", "scCOOC"],
+        });
+        feed(&mut obs);
+        let p = obs.into_profile();
+        let pr = p.prep.as_ref().expect("prep record survives RunStart");
+        assert_eq!(pr.mode, "full");
+        assert_eq!(pr.folded, 30);
+        assert_eq!(pr.component_kernels, vec!["scCSC", "scCOOC"]);
+        assert!(p.summary().contains("prep: full — 2 component(s)"));
+
+        let text = p.to_json_string();
+        let doc = RunProfile::validate(&text).expect("profile with prep must validate");
+        assert_eq!(
+            doc.get("prep")
+                .and_then(|pr| pr.get("mode"))
+                .and_then(Json::as_str),
+            Some("full")
+        );
+        // Back-compat: a pre-prep profile without the key validates
+        // (and a legacy run serialises the key as null).
+        assert!(RunProfile::validate(&text.replace("\"prep\"", "\"prep_v0\"")).is_ok());
+        // But a present-and-broken record is rejected.
+        assert!(
+            RunProfile::validate(&text.replace("\"twin_classes\"", "\"twin_clases\""))
+                .unwrap_err()
+                .contains("twin_classes")
         );
     }
 

@@ -71,6 +71,40 @@ pub enum BatchWidth {
     Fixed(usize),
 }
 
+/// Which stages of the exact graph-reduction pipeline
+/// ([`crate::prep`]) run before the BC engines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PrepMode {
+    /// Decide per graph: full reduction when the graph is undirected and
+    /// tree-heavy (≥ 1/8 of vertices have degree 1), components-only
+    /// when disconnected, and no preprocessing otherwise — connected
+    /// graphs without appendages run bit-identically to [`PrepMode::Off`].
+    #[default]
+    Auto,
+    /// No preprocessing: the legacy single-run path.
+    Off,
+    /// Only split into connected components (exact, bitwise-identical
+    /// reconstruction).
+    ComponentsOnly,
+    /// Components, then iterated degree-1 folding and identical-vertex
+    /// compression with closed-form BC reconstruction. Undirected
+    /// graphs only; degrades to [`PrepMode::ComponentsOnly`] on
+    /// directed input.
+    Full,
+}
+
+impl PrepMode {
+    /// Display name matching the CLI `--prep` values.
+    pub fn name(self) -> &'static str {
+        match self {
+            PrepMode::Auto => "auto",
+            PrepMode::Off => "off",
+            PrepMode::ComponentsOnly => "components",
+            PrepMode::Full => "full",
+        }
+    }
+}
+
 /// Options for [`crate::BcSolver`], built with [`BcOptions::builder`].
 ///
 /// The struct is `#[non_exhaustive]`: downstream crates construct it
@@ -97,6 +131,9 @@ pub struct BcOptions {
     /// Block width for [`crate::BcSolver::bc_batched`] (sources per
     /// matrix sweep).
     pub batch_width: BatchWidth,
+    /// Graph-reduction pipeline run before the engines (see
+    /// [`crate::prep`]).
+    pub prep: PrepMode,
 }
 
 impl Default for BcOptions {
@@ -109,6 +146,7 @@ impl Default for BcOptions {
             checkpoint: None,
             device: DeviceProps::titan_xp(),
             batch_width: BatchWidth::Auto,
+            prep: PrepMode::Auto,
         }
     }
 }
@@ -205,6 +243,12 @@ impl BcOptionsBuilder {
     /// model and the configured device (the default).
     pub fn batch_width_auto(mut self) -> Self {
         self.options.batch_width = BatchWidth::Auto;
+        self
+    }
+
+    /// Selects the graph-reduction pipeline stages (see [`crate::prep`]).
+    pub fn prep(mut self, prep: PrepMode) -> Self {
+        self.options.prep = prep;
         self
     }
 
@@ -427,6 +471,7 @@ mod tests {
         assert!(o.checkpoint.is_none());
         assert_eq!(o.device, DeviceProps::titan_xp());
         assert_eq!(o.batch_width, BatchWidth::Auto);
+        assert_eq!(o.prep, PrepMode::Auto);
     }
 
     #[test]
@@ -463,6 +508,11 @@ mod tests {
             BcOptions::builder().parallel().build(),
             BcOptions::default()
         );
+        assert_eq!(
+            BcOptions::builder().prep(PrepMode::Full).build().prep,
+            PrepMode::Full
+        );
+        assert_eq!(PrepMode::ComponentsOnly.name(), "components");
     }
 
     #[test]

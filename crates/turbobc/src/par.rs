@@ -18,6 +18,7 @@
 //! adds, preserving the one-format-per-run memory rule.
 
 use crate::frontier::{DirectionEngine, DirectionMode, LevelDirection, LevelReport};
+use crate::prep::RunWeights;
 use crate::seq::SourceRun;
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
@@ -201,6 +202,7 @@ pub(crate) fn bc_source_par(
     sigma: &mut [i64],
     depths: &mut [u32],
     scratch: &mut ParScratch,
+    weights: Option<&RunWeights>,
 ) -> SourceRun {
     bc_source_par_traced(
         storage,
@@ -211,6 +213,7 @@ pub(crate) fn bc_source_par(
         sigma,
         depths,
         scratch,
+        weights,
         &mut |_| {},
     )
 }
@@ -233,6 +236,7 @@ pub(crate) fn bc_source_par_traced(
     sigma: &mut [i64],
     depths: &mut [u32],
     scratch: &mut ParScratch,
+    weights: Option<&RunWeights>,
     on_level: &mut dyn FnMut(LevelReport),
 ) -> SourceRun {
     let n = storage.n();
@@ -308,6 +312,11 @@ pub(crate) fn bc_source_par_traced(
             d -= 1;
             break;
         }
+        if let Some(w) = weights {
+            // Twin classes forward κ copies of every arriving path
+            // (sparse list, applied from the driving thread).
+            turbobc_sparse::ops::scale_frontier(f, &w.kappa_gt1);
+        }
         reached += count;
         // Re-collect the sparse list only when the next level could go
         // push: a frontier already past the threshold pulls regardless.
@@ -335,7 +344,10 @@ pub(crate) fn bc_source_par_traced(
     // Backward stage: the float vectors come from the same reusable
     // scratch (the §3.4 int-before-float device rule lives in the SIMT
     // engine; host scratch stays resident across sources).
-    delta.fill(0.0);
+    match weights {
+        Some(w) => delta.copy_from_slice(&w.seed),
+        None => delta.fill(0.0),
+    }
     for cell in delta_ut.iter() {
         cell.store(0, Ordering::Relaxed);
     }
@@ -355,20 +367,46 @@ pub(crate) fn bc_source_par_traced(
         {
             // Fused δ accumulate + δ_ut reset.
             let (dep, sig, dut) = (&*depths, &*sigma, &delta_ut);
-            delta.par_iter_mut().enumerate().for_each(|(i, dl)| {
-                let v = f64::from_bits(dut[i].swap(0, Ordering::Relaxed));
-                if dep[i] == depth - 1 {
-                    *dl += v * sig[i] as f64;
+            match weights {
+                Some(w) => {
+                    let kap = &w.kappa;
+                    delta.par_iter_mut().enumerate().for_each(|(i, dl)| {
+                        let v = f64::from_bits(dut[i].swap(0, Ordering::Relaxed));
+                        if dep[i] == depth - 1 {
+                            *dl += kap[i] * v * sig[i] as f64;
+                        }
+                    });
                 }
-            });
+                None => {
+                    delta.par_iter_mut().enumerate().for_each(|(i, dl)| {
+                        let v = f64::from_bits(dut[i].swap(0, Ordering::Relaxed));
+                        if dep[i] == depth - 1 {
+                            *dl += v * sig[i] as f64;
+                        }
+                    });
+                }
+            }
         }
         depth -= 1;
     }
-    bc.par_iter_mut().enumerate().for_each(|(v, b)| {
-        if v != source {
-            *b += delta[v] * scale;
+    match weights {
+        Some(w) => {
+            let source_weight = w.omega[source];
+            let (seed, kap) = (&w.seed, &w.kappa);
+            bc.par_iter_mut().enumerate().for_each(|(v, b)| {
+                if v != source {
+                    *b += (delta[v] - seed[v]) / kap[v] * source_weight * scale;
+                }
+            });
         }
-    });
+        None => {
+            bc.par_iter_mut().enumerate().for_each(|(v, b)| {
+                if v != source {
+                    *b += delta[v] * scale;
+                }
+            });
+        }
+    }
     SourceRun { height, reached }
 }
 
@@ -398,6 +436,7 @@ mod tests {
             &mut sigma,
             &mut depths,
             &mut ParScratch::new(n),
+            None,
         );
         bc
     }

@@ -1,0 +1,100 @@
+//! Component decomposition: split a graph into its weakly-connected
+//! components with monotone (order-preserving) vertex compaction.
+//!
+//! Cross-component dependencies are identically zero in Brandes'
+//! accumulation, so BC distributes over components exactly. Because the
+//! compaction map is monotone, every compacted CSC/CSR column keeps its
+//! neighbour order and the per-component float summation order is
+//! *bitwise* the order of the full-graph run.
+
+use turbobc_graph::{connected_components, Graph, VertexId};
+
+/// One component's original vertex ids (ascending) and its edge list in
+/// compacted local ids.
+pub(super) struct CompVerts {
+    pub verts: Vec<VertexId>,
+    pub edges: Vec<(VertexId, VertexId)>,
+}
+
+/// The full decomposition: per-vertex component index plus each
+/// component's compacted vertex/edge lists.
+pub(super) struct Split {
+    pub comp_of: Vec<u32>,
+    pub comps: Vec<CompVerts>,
+}
+
+/// Splits `graph` into components. Component order is by smallest
+/// member vertex id, and within a component local ids follow ascending
+/// original ids (the monotone compaction the bitwise argument needs).
+pub(super) fn split(graph: &Graph) -> Split {
+    let n = graph.n();
+    let (label, count) = connected_components(graph);
+    // `connected_components` labels each vertex with the smallest id in
+    // its component, so ascending labels give a deterministic order.
+    let mut comp_of = vec![0u32; n];
+    let mut local_of = vec![0u32; n];
+    let mut comps: Vec<CompVerts> = Vec::with_capacity(count);
+    let mut index_of_label = vec![u32::MAX; n];
+    for v in 0..n {
+        let l = label[v] as usize;
+        if index_of_label[l] == u32::MAX {
+            index_of_label[l] = comps.len() as u32;
+            comps.push(CompVerts {
+                verts: Vec::new(),
+                edges: Vec::new(),
+            });
+        }
+        let c = index_of_label[l];
+        comp_of[v] = c;
+        let comp = &mut comps[c as usize];
+        local_of[v] = comp.verts.len() as u32;
+        comp.verts.push(v as VertexId);
+    }
+    for (u, v) in graph.edges() {
+        let c = comp_of[u as usize] as usize;
+        comps[c]
+            .edges
+            .push((local_of[u as usize], local_of[v as usize]));
+    }
+    Split { comp_of, comps }
+}
+
+impl CompVerts {
+    /// Builds the compacted component graph (same directedness as the
+    /// parent; arcs arrive in both orientations for undirected parents
+    /// and collapse in normalisation).
+    pub(super) fn graph(&self, directed: bool) -> Graph {
+        Graph::from_edges(self.verts.len(), directed, &self.edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_orders_components_by_smallest_member() {
+        // Components {0,2,4}, {1,3}, {5}.
+        let g = Graph::from_edges(6, false, &[(0, 2), (2, 4), (1, 3)]);
+        let s = split(&g);
+        assert_eq!(s.comps.len(), 3);
+        assert_eq!(s.comps[0].verts, vec![0, 2, 4]);
+        assert_eq!(s.comps[1].verts, vec![1, 3]);
+        assert_eq!(s.comps[2].verts, vec![5]);
+        assert_eq!(s.comp_of, vec![0, 1, 0, 1, 0, 2]);
+        let g0 = s.comps[0].graph(false);
+        assert_eq!((g0.n(), g0.m()), (3, 4));
+        let g2 = s.comps[2].graph(false);
+        assert_eq!((g2.n(), g2.m()), (1, 0));
+    }
+
+    #[test]
+    fn local_ids_are_monotone_in_original_ids() {
+        let g = Graph::from_edges(5, true, &[(4, 0), (0, 2)]);
+        let s = split(&g);
+        assert_eq!(s.comps[0].verts, vec![0, 2, 4]);
+        // Arc (4, 0) maps to local (2, 0); arc (0, 2) to local (0, 1).
+        assert!(s.comps[0].edges.contains(&(2, 0)));
+        assert!(s.comps[0].edges.contains(&(0, 1)));
+    }
+}

@@ -1,0 +1,190 @@
+//! Iterated degree-1 folding: peels tree appendages off an undirected
+//! component and records closed-form BC corrections.
+//!
+//! Folding a degree-1 vertex `c` into its unique live neighbour `p`
+//! transfers `c`'s whole already-folded subtree (weight `ω(c) = 1 +
+//! folded(c)`) onto `p`. Two correction families cover every shortest
+//! path that never leaves the survivors' view:
+//!
+//! * **Inter-branch** — pairs with one endpoint in `c`'s subtree and the
+//!   other in a subtree folded into `p` *earlier*: all their paths pass
+//!   through `p`, so `corr(p) += ω(c) · folded(p)` *before* `folded(p)
+//!   += ω(c)`.
+//! * **Subtree-vs-outside** — at fixpoint, every pair with exactly one
+//!   endpoint in the `folded(x)` vertices hanging off survivor `x`
+//!   routes through `x`: `corr(x) += folded(x) · (N_c − 1 − folded(x))`
+//!   where `N_c` is the component's original vertex count.
+//!
+//! Paths *inside* one folded subtree route through its interior folded
+//! vertices; those are credited by the same two rules applied at the
+//! moment each interior vertex was itself folded (its subtree-vs-outside
+//! term is exact because a tree vertex separates its subtree from
+//! everything else).
+
+/// Outcome of folding one component to fixpoint (all ids component-local).
+pub(super) struct FoldOutcome {
+    /// Still present after folding.
+    pub alive: Vec<bool>,
+    /// Number of folded-away vertices whose subtree hangs off each
+    /// survivor; for a folded vertex, its subtree size at the moment it
+    /// was itself folded.
+    pub folded: Vec<u64>,
+    /// Closed-form BC correction per vertex, in the engines' undirected
+    /// unordered-pair units (already halved — add without extra scale).
+    pub corr: Vec<f64>,
+    /// Peel waves until fixpoint.
+    pub passes: usize,
+    /// Total vertices removed.
+    pub removed: usize,
+    /// Vertices removed in each wave (each removal also deletes exactly
+    /// one undirected edge, so this doubles as edges-per-pass).
+    pub pass_removed: Vec<usize>,
+}
+
+impl FoldOutcome {
+    /// Multiplicity `ω(v) = 1 + folded(v)` of a survivor: how many
+    /// original vertices it stands for.
+    pub fn omega(&self, v: usize) -> u64 {
+        1 + self.folded[v]
+    }
+}
+
+/// Peels degree-1 vertices (ascending id within each wave, waves to
+/// fixpoint) off an undirected component given as sorted adjacency
+/// lists. A 2-vertex component folds to a single vertex; a lone edge's
+/// second endpoint survives.
+pub(super) fn fold_degree_one(adj: &[Vec<u32>]) -> FoldOutcome {
+    let n = adj.len();
+    let mut alive = vec![true; n];
+    let mut degree: Vec<usize> = adj.iter().map(Vec::len).collect();
+    let mut folded = vec![0u64; n];
+    let mut corr = vec![0.0f64; n];
+    let mut queue: Vec<u32> = (0..n as u32).filter(|&v| degree[v as usize] == 1).collect();
+    let mut passes = 0usize;
+    let mut removed = 0usize;
+    let mut pass_removed: Vec<usize> = Vec::new();
+    while !queue.is_empty() {
+        passes += 1;
+        let before = removed;
+        let mut next: Vec<u32> = Vec::new();
+        for &c in &queue {
+            let c = c as usize;
+            // A wave can drain both endpoints of a final edge; the
+            // second one finds its degree already at 0 and survives.
+            if !alive[c] || degree[c] != 1 {
+                continue;
+            }
+            let p = adj[c]
+                .iter()
+                .map(|&u| u as usize)
+                .find(|&u| alive[u])
+                .expect("degree-1 vertex has a live neighbour");
+            let omega_c = 1 + folded[c];
+            corr[p] += (omega_c * folded[p]) as f64;
+            folded[p] += omega_c;
+            alive[c] = false;
+            removed += 1;
+            degree[p] -= 1;
+            degree[c] = 0;
+            if degree[p] == 1 {
+                next.push(p as u32);
+            }
+        }
+        next.sort_unstable();
+        next.dedup();
+        // Entries whose degree dropped past 1 within this wave (final
+        // edges) would make a spurious empty wave.
+        next.retain(|&v| alive[v as usize] && degree[v as usize] == 1);
+        pass_removed.push(removed - before);
+        queue = next;
+    }
+    // Subtree-vs-outside closure at fixpoint — for survivors *and* for
+    // folded vertices themselves: a tree vertex separates its subtree
+    // from the rest of the component, so this term is its entire BC.
+    let total = n as u64;
+    for v in 0..n {
+        if folded[v] > 0 {
+            corr[v] += (folded[v] * (total - 1 - folded[v])) as f64;
+        }
+    }
+    FoldOutcome {
+        alive,
+        folded,
+        corr,
+        passes,
+        removed,
+        pass_removed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn adj_of(n: usize, edges: &[(u32, u32)]) -> Vec<Vec<u32>> {
+        let mut adj = vec![Vec::new(); n];
+        for &(u, v) in edges {
+            adj[u as usize].push(v);
+            adj[v as usize].push(u);
+        }
+        for l in &mut adj {
+            l.sort_unstable();
+        }
+        adj
+    }
+
+    #[test]
+    fn path_five_folds_to_one_vertex_with_exact_bc() {
+        // Path 0-1-2-3-4: BC (unordered pairs) = [0, 3, 4, 3, 0].
+        let adj = adj_of(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let out = fold_degree_one(&adj);
+        assert_eq!(out.removed, 4);
+        assert_eq!(out.alive.iter().filter(|&&a| a).count(), 1);
+        // Wave order: {0,4} fold into {1,3}; {1,3} fold into 2.
+        assert_eq!(out.passes, 2);
+        assert_eq!(out.pass_removed, vec![2, 2]);
+        assert_eq!(out.corr, vec![0.0, 3.0, 4.0, 3.0, 0.0]);
+    }
+
+    #[test]
+    fn star_center_gets_all_pairs() {
+        // K_{1,4} with centre 0: BC(0) = C(4,2) = 6.
+        let adj = adj_of(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let out = fold_degree_one(&adj);
+        assert_eq!(out.passes, 1);
+        assert!(out.alive[0]);
+        assert_eq!(out.folded[0], 4);
+        assert_eq!(out.corr[0], 6.0);
+    }
+
+    #[test]
+    fn single_edge_leaves_one_survivor() {
+        let adj = adj_of(2, &[(0, 1)]);
+        let out = fold_degree_one(&adj);
+        assert_eq!(out.removed, 1);
+        assert!(out.alive[1] && !out.alive[0]);
+        assert_eq!(out.corr, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn cycle_is_a_fixpoint() {
+        let adj = adj_of(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let out = fold_degree_one(&adj);
+        assert_eq!(out.removed, 0);
+        assert_eq!(out.passes, 0);
+    }
+
+    #[test]
+    fn broom_appendage_credits_handle_vertices() {
+        // Triangle 0-1-2 with a 2-path handle 2-3-4.
+        let adj = adj_of(5, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4)]);
+        let out = fold_degree_one(&adj);
+        assert_eq!(out.removed, 2);
+        assert_eq!(out.folded[2], 2);
+        // Vertex 3 separates {4} from {0,1,2,3}: corr = 1·3 = 3 (credited
+        // at its own fold via the rules, landing in corr[3]).
+        assert_eq!(out.corr[3], 3.0);
+        // Vertex 2 separates {3,4} from {0,1}: corr = 2·2 = 4.
+        assert_eq!(out.corr[2], 4.0);
+    }
+}

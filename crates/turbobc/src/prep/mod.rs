@@ -1,0 +1,352 @@
+//! `turbobc::prep` — exact graph-reduction pipeline run before the BC
+//! engines: component decomposition, iterated degree-1 folding, and
+//! identical-vertex (type-I twin) compression, with closed-form BC
+//! reconstruction. Every reduction is *exact*: reconstructed BC matches
+//! the unreduced run to floating-point tolerance (and bitwise for the
+//! components-only split).
+//!
+//! The pipeline order is fixed: components → fold to fixpoint → one twin
+//! pass. Folding after twin compression would be unsound (a folded
+//! pendant changes ω, which the twin correction terms already consumed),
+//! so the pipeline stops after the twin pass.
+//!
+//! See `DESIGN.md` §14 for the full derivation of the multiplicity
+//! weights (κ, Ω) threaded into the engines and the correction terms.
+
+mod components;
+mod fold;
+mod twins;
+
+use crate::options::PrepMode;
+use turbobc_graph::{Graph, VertexId};
+
+/// Multiplicity weights for one reduced component, consumed by the
+/// weighted engine runs (see the invariant note in `turbobc_sparse::ops`).
+/// Indexed by reduced-local vertex id.
+pub(crate) struct RunWeights {
+    /// `Ω(v)`: original vertices the reduced vertex stands for (its twin
+    /// members plus all their folded subtrees) — the source-side weight.
+    pub omega: Vec<f64>,
+    /// Backward-sweep preseed `Ω(v) − 1`.
+    pub seed: Vec<f64>,
+    /// `κ(v)`: path-count multiplicity (twin class size).
+    pub kappa: Vec<f64>,
+    /// Sparse `(vertex, κ)` list for entries with `κ > 1`, for the
+    /// forward frontier scaling.
+    pub kappa_gt1: Vec<(u32, i64)>,
+}
+
+/// One reduced component under [`PrepMode::Full`].
+pub(crate) struct ReducedComponent {
+    /// The reduced graph the engine actually runs on.
+    pub graph: Graph,
+    /// Multiplicity weights for the weighted engine run.
+    pub weights: RunWeights,
+    /// Original vertex ids per reduced vertex (representative first).
+    pub members: Vec<Vec<VertexId>>,
+}
+
+/// One component of the decomposition.
+pub(crate) struct PrepComponent {
+    /// Original vertex ids, ascending (the monotone compaction map).
+    pub verts: Vec<VertexId>,
+    /// The induced component graph in compacted ids.
+    pub graph: Graph,
+    /// Fold + twin reduction, present under [`PrepMode::Full`].
+    pub reduced: Option<ReducedComponent>,
+}
+
+/// A resolved preprocessing plan. `None` from [`build_plan`] means the
+/// solver runs the legacy path untouched (bit-identical to prep-less
+/// builds).
+pub(crate) struct PrepPlan {
+    /// Summary statistics for observability and the CLI report.
+    pub report: PrepReport,
+    /// Component index per original vertex.
+    pub comp_of: Vec<u32>,
+    /// The components, ordered by smallest member vertex id.
+    pub comps: Vec<PrepComponent>,
+    /// Closed-form BC corrections per original vertex (all zero unless
+    /// the plan is full). Already in the engines' undirected
+    /// unordered-pair units — added without extra scale.
+    pub corrections: Vec<f64>,
+    /// Whether the fold/twin stages ran (vs components-only).
+    pub full: bool,
+}
+
+/// Reduction statistics: what the pipeline removed and what the engines
+/// actually run on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrepReport {
+    /// Resolved stage: `"off"`, `"components"`, or `"full"`.
+    pub mode: &'static str,
+    /// Original vertex count.
+    pub n: usize,
+    /// Original stored-arc count.
+    pub m: usize,
+    /// Weakly-connected components.
+    pub components: usize,
+    /// Vertices the engines run on after reduction.
+    pub n_reduced: usize,
+    /// Stored arcs the engines run on after reduction.
+    pub m_reduced: usize,
+    /// Degree-1 peel waves (max over components).
+    pub fold_passes: usize,
+    /// Vertices removed by folding (equals undirected edges removed).
+    pub folded_vertices: usize,
+    /// Vertices removed by folding in each wave, summed over components.
+    pub fold_pass_removed: Vec<usize>,
+    /// Twin classes with at least two members.
+    pub twin_classes: usize,
+    /// Vertices removed by twin compression.
+    pub twin_members_removed: usize,
+}
+
+impl PrepReport {
+    /// Fraction of the original `n + m` footprint the reduction removed
+    /// (0.0 when nothing shrank, e.g. components-only splits).
+    pub fn reduction_ratio(&self) -> f64 {
+        let orig = (self.n + self.m) as f64;
+        if orig == 0.0 {
+            return 0.0;
+        }
+        1.0 - (self.n_reduced + self.m_reduced) as f64 / orig
+    }
+
+    fn identity(graph: &Graph) -> PrepReport {
+        PrepReport {
+            mode: "off",
+            n: graph.n(),
+            m: graph.m(),
+            components: if graph.n() == 0 { 0 } else { 1 },
+            n_reduced: graph.n(),
+            m_reduced: graph.m(),
+            fold_passes: 0,
+            folded_vertices: 0,
+            fold_pass_removed: Vec::new(),
+            twin_classes: 0,
+            twin_members_removed: 0,
+        }
+    }
+}
+
+/// Analyses `graph` under `mode` and returns the reduction report, even
+/// when the resolved plan is a passthrough (the CLI `prep-stats` entry
+/// point).
+pub fn analyze(graph: &Graph, mode: PrepMode) -> PrepReport {
+    match build_plan(graph, mode) {
+        Some(plan) => plan.report,
+        None => PrepReport::identity(graph),
+    }
+}
+
+/// Resolves `mode` against the graph and builds the plan, or `None`
+/// when the legacy (prep-less) path should run:
+///
+/// * [`PrepMode::Off`] — always `None`.
+/// * [`PrepMode::Auto`] — full when the graph is undirected and at
+///   least 1/8 of vertices (and ≥ 4) have degree 1; components-only
+///   when disconnected; otherwise `None` (bit-identical legacy run).
+/// * [`PrepMode::ComponentsOnly`] — `None` on connected graphs.
+/// * [`PrepMode::Full`] — always plans on undirected graphs; degrades
+///   to components-only on directed graphs (the fold/twin correction
+///   terms are derived for the undirected pair convention).
+pub(crate) fn build_plan(graph: &Graph, mode: PrepMode) -> Option<PrepPlan> {
+    let n = graph.n();
+    if n == 0 || matches!(mode, PrepMode::Off) {
+        return None;
+    }
+    let full = match mode {
+        PrepMode::Full => !graph.directed(),
+        PrepMode::Auto => {
+            if graph.directed() {
+                false
+            } else {
+                let deg1 = graph.out_degrees().iter().filter(|&&d| d == 1).count();
+                deg1 >= 4 && deg1 * 8 >= n
+            }
+        }
+        _ => false,
+    };
+    let split = components::split(graph);
+    let ncomp = split.comps.len();
+    if !full && ncomp == 1 {
+        return None;
+    }
+
+    let mut report = PrepReport::identity(graph);
+    report.mode = if full { "full" } else { "components" };
+    report.components = ncomp;
+    let mut corrections = vec![0.0f64; n];
+    let mut comps: Vec<PrepComponent> = Vec::with_capacity(ncomp);
+    if full {
+        report.n_reduced = 0;
+        report.m_reduced = 0;
+    }
+    for cv in &split.comps {
+        let induced = cv.graph(graph.directed());
+        let reduced = if full {
+            let csr = induced.to_csr();
+            let adj: Vec<Vec<u32>> = (0..induced.n()).map(|v| csr.row(v).to_vec()).collect();
+            let fold = fold::fold_degree_one(&adj);
+            let twin = twins::collapse_twins(&adj, &fold);
+            for (local, &orig) in cv.verts.iter().enumerate() {
+                corrections[orig as usize] += fold.corr[local] + twin.corr[local];
+            }
+            report.folded_vertices += fold.removed;
+            report.fold_passes = report.fold_passes.max(fold.passes);
+            if report.fold_pass_removed.len() < fold.pass_removed.len() {
+                report.fold_pass_removed.resize(fold.pass_removed.len(), 0);
+            }
+            for (i, &r) in fold.pass_removed.iter().enumerate() {
+                report.fold_pass_removed[i] += r;
+            }
+            report.twin_classes += twin.classes;
+            report.twin_members_removed += twin.removed;
+            // Members of each reduced vertex, by subtree: the twin
+            // member itself plus every vertex folded into its subtree.
+            // Folded vertices are attributed by walking the fold's
+            // parent relation implicitly: a folded vertex's mass is
+            // carried by ω, and only the *member* ids are needed for
+            // scatter (folded vertices receive engine-independent
+            // closed-form BC via `corrections`).
+            let members: Vec<Vec<VertexId>> = twin
+                .members
+                .iter()
+                .map(|ms| ms.iter().map(|&l| cv.verts[l as usize]).collect())
+                .collect();
+            let r_n = members.len();
+            let omega: Vec<f64> = twin.omega.iter().map(|&w| w as f64).collect();
+            let seed: Vec<f64> = omega.iter().map(|&w| w - 1.0).collect();
+            let kappa: Vec<f64> = twin.kappa.iter().map(|&k| k as f64).collect();
+            let kappa_gt1: Vec<(u32, i64)> = twin
+                .kappa
+                .iter()
+                .enumerate()
+                .filter(|&(_, &k)| k > 1)
+                .map(|(v, &k)| (v as u32, k as i64))
+                .collect();
+            let rgraph = Graph::from_edges(r_n, false, &twin.edges);
+            report.n_reduced += r_n;
+            report.m_reduced += rgraph.m();
+            Some(ReducedComponent {
+                graph: rgraph,
+                weights: RunWeights {
+                    omega,
+                    seed,
+                    kappa,
+                    kappa_gt1,
+                },
+                members,
+            })
+        } else {
+            None
+        };
+        comps.push(PrepComponent {
+            verts: cv.verts.clone(),
+            graph: induced,
+            reduced,
+        });
+    }
+    Some(PrepPlan {
+        report,
+        comp_of: split.comp_of,
+        comps,
+        corrections,
+        full,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_and_connected_auto_are_passthrough() {
+        let g = Graph::from_edges(4, false, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert!(build_plan(&g, PrepMode::Off).is_none());
+        assert!(build_plan(&g, PrepMode::Auto).is_none());
+        assert!(build_plan(&g, PrepMode::ComponentsOnly).is_none());
+        assert_eq!(analyze(&g, PrepMode::Auto).mode, "off");
+    }
+
+    #[test]
+    fn auto_splits_disconnected_graphs() {
+        let g = Graph::from_edges(5, false, &[(0, 1), (2, 3), (3, 4), (2, 4)]);
+        let plan = build_plan(&g, PrepMode::Auto).expect("components plan");
+        assert!(!plan.full);
+        assert_eq!(plan.report.mode, "components");
+        assert_eq!(plan.report.components, 2);
+        assert_eq!(plan.comps[0].verts, vec![0, 1]);
+        assert_eq!(plan.comps[1].verts, vec![2, 3, 4]);
+        assert!(plan.corrections.iter().all(|&c| c == 0.0));
+    }
+
+    #[test]
+    fn auto_goes_full_on_tree_heavy_graphs() {
+        // Star K_{1,7}: 7 of 8 vertices have degree 1.
+        let edges: Vec<(u32, u32)> = (1..8).map(|v| (0, v)).collect();
+        let g = Graph::from_edges(8, false, &edges);
+        let plan = build_plan(&g, PrepMode::Auto).expect("full plan");
+        assert!(plan.full);
+        assert_eq!(plan.report.mode, "full");
+        assert_eq!(plan.report.folded_vertices, 7);
+        assert_eq!(plan.report.n_reduced, 1);
+        assert_eq!(plan.report.m_reduced, 0);
+        assert!(plan.report.reduction_ratio() > 0.9);
+        // BC of the centre: C(7,2) = 21 unordered pairs.
+        assert_eq!(plan.corrections[0], 21.0);
+    }
+
+    #[test]
+    fn full_degrades_to_components_on_directed_graphs() {
+        let g = Graph::from_edges(4, true, &[(0, 1), (2, 3)]);
+        let plan = build_plan(&g, PrepMode::Full).expect("components plan");
+        assert!(!plan.full);
+        assert_eq!(plan.report.mode, "components");
+        // Connected directed graph: Full resolves to a passthrough.
+        let g2 = Graph::from_edges(3, true, &[(0, 1), (1, 2), (2, 0)]);
+        assert!(build_plan(&g2, PrepMode::Full).is_none());
+    }
+
+    #[test]
+    fn full_plan_reduces_path_to_one_vertex_with_exact_corrections() {
+        let g = Graph::from_edges(5, false, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let plan = build_plan(&g, PrepMode::Full).expect("full plan");
+        assert_eq!(plan.report.n_reduced, 1);
+        assert_eq!(plan.corrections, vec![0.0, 3.0, 4.0, 3.0, 0.0]);
+        let rc = plan.comps[0].reduced.as_ref().unwrap();
+        assert_eq!(rc.weights.omega, vec![5.0]);
+        assert_eq!(rc.members, vec![vec![2]]);
+    }
+
+    #[test]
+    fn full_plan_compresses_twins_with_multiplicities() {
+        // C4: two twin classes of two.
+        let g = Graph::from_edges(4, false, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let plan = build_plan(&g, PrepMode::Full).expect("full plan");
+        assert_eq!(plan.report.twin_classes, 2);
+        assert_eq!(plan.report.twin_members_removed, 2);
+        assert_eq!(plan.report.n_reduced, 2);
+        let rc = plan.comps[0].reduced.as_ref().unwrap();
+        assert_eq!(rc.weights.kappa, vec![2.0, 2.0]);
+        assert_eq!(rc.weights.kappa_gt1, vec![(0, 2), (1, 2)]);
+        assert_eq!(rc.members, vec![vec![0, 2], vec![1, 3]]);
+        assert_eq!(plan.corrections, vec![0.5, 0.5, 0.5, 0.5]);
+    }
+
+    #[test]
+    fn report_aggregates_fold_passes_across_components() {
+        // Two components: path-5 (2 waves) and a star (1 wave).
+        let g = Graph::from_edges(
+            9,
+            false,
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (5, 6), (5, 7), (5, 8)],
+        );
+        let plan = build_plan(&g, PrepMode::Full).expect("full plan");
+        assert_eq!(plan.report.components, 2);
+        assert_eq!(plan.report.fold_passes, 2);
+        assert_eq!(plan.report.fold_pass_removed, vec![5, 2]);
+        assert_eq!(plan.report.folded_vertices, 7);
+    }
+}

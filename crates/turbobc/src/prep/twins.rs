@@ -1,0 +1,218 @@
+//! Identical-vertex compression: type-I twins (equal *open*
+//! neighbourhoods, no edge between them — non-adjacency is automatic for
+//! loop-free equal open neighbourhoods) collapse into one representative
+//! carrying a path-count multiplicity `κ` and a vertex-mass `Ω`.
+//!
+//! Twin members are interchangeable endpoints. A member can still be an
+//! intermediate for *outside* pairs — the weighted engine run (see the
+//! invariant note in `sparse::ops`) recovers all of that mass exactly.
+//! What a member can never be is an intermediate between two members of
+//! its own class: member-to-member distance is exactly 2, through any
+//! common neighbour. Those **cross-member** pairs within one class are
+//! therefore the only mass the reduced run cannot see; their shortest
+//! paths split evenly over the `D(w)` individual common-neighbour
+//! vertices, and that mass is credited here in closed form.
+
+use std::collections::HashMap;
+
+use super::fold::FoldOutcome;
+
+/// Outcome of compressing one folded component (ids component-local on
+/// input, reduced-local on output).
+pub(super) struct TwinOutcome {
+    /// Component-local member ids per reduced vertex (representative
+    /// first, ascending).
+    pub members: Vec<Vec<u32>>,
+    /// Path-count multiplicity per reduced vertex (class size).
+    pub kappa: Vec<u64>,
+    /// Vertex mass per reduced vertex: `Ω = Σ ω(member)`.
+    pub omega: Vec<u64>,
+    /// Reduced edge list (each undirected edge in both orientations or
+    /// once — normalisation dedups).
+    pub edges: Vec<(u32, u32)>,
+    /// Classes with ≥ 2 members.
+    pub classes: usize,
+    /// Members removed by the compression (Σ (size − 1) over classes).
+    pub removed: usize,
+    /// Component-local closed-form corrections for the class-internal
+    /// cross-member pairs, credited to every member of every reduced
+    /// neighbour (undirected unordered-pair units).
+    pub corr: Vec<f64>,
+}
+
+/// Groups live vertices of the folded component by open neighbourhood
+/// and builds the reduced graph plus multiplicities. `adj` is the
+/// component's sorted adjacency; `fold` the fixpoint fold outcome.
+pub(super) fn collapse_twins(adj: &[Vec<u32>], fold: &FoldOutcome) -> TwinOutcome {
+    let n = adj.len();
+    // Live open neighbourhoods, sorted (adjacency is sorted; filtering
+    // preserves order).
+    let mut live_adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for v in 0..n {
+        if fold.alive[v] {
+            live_adj[v] = adj[v]
+                .iter()
+                .copied()
+                .filter(|&u| fold.alive[u as usize])
+                .collect();
+        }
+    }
+    // Class key = the neighbourhood itself; first (smallest) member is
+    // the representative. Iteration over v ascending keeps everything
+    // deterministic.
+    let mut class_of_key: HashMap<&[u32], u32> = HashMap::new();
+    let mut members: Vec<Vec<u32>> = Vec::new();
+    let mut reduced_of = vec![u32::MAX; n];
+    for v in 0..n {
+        if !fold.alive[v] {
+            continue;
+        }
+        let key: &[u32] = &live_adj[v];
+        let r = *class_of_key.entry(key).or_insert_with(|| {
+            members.push(Vec::new());
+            (members.len() - 1) as u32
+        });
+        reduced_of[v] = r;
+        members[r as usize].push(v as u32);
+    }
+    drop(class_of_key);
+    let r_n = members.len();
+    let mut kappa = vec![0u64; r_n];
+    let mut omega = vec![0u64; r_n];
+    for (r, ms) in members.iter().enumerate() {
+        kappa[r] = ms.len() as u64;
+        omega[r] = ms.iter().map(|&v| fold.omega(v as usize)).sum();
+    }
+    // Reduced edges via the representatives' neighbourhoods (identical
+    // across members by construction).
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    for (r, ms) in members.iter().enumerate() {
+        let rep = ms[0] as usize;
+        for &u in &live_adj[rep] {
+            edges.push((r as u32, reduced_of[u as usize]));
+        }
+    }
+    // Class-internal cross-member pair mass. For class w with members
+    // m_1..m_k (k ≥ 2): unordered vertex pairs spanning two different
+    // members' subtrees number (Ω(w)² − Σ ω(m_i)²) / 2; their shortest
+    // paths (length 2) split evenly over the D(w) individual common
+    // neighbours — the entries of the representative's live adjacency,
+    // each a distinct original vertex.
+    let mut corr = vec![0.0f64; n];
+    let mut classes = 0usize;
+    let mut removed = 0usize;
+    for (r, ms) in members.iter().enumerate() {
+        if ms.len() < 2 {
+            continue;
+        }
+        classes += 1;
+        removed += ms.len() - 1;
+        let sum_sq: u64 = ms
+            .iter()
+            .map(|&v| {
+                let w = fold.omega(v as usize);
+                w * w
+            })
+            .sum();
+        let pairs_across = ((omega[r] * omega[r] - sum_sq) / 2) as f64;
+        let rep = ms[0] as usize;
+        // `live_adj[rep]` already lists the individual common-neighbour
+        // vertices (it is the union of the complete neighbour classes),
+        // so the per-vertex split divides by its length.
+        let d_w = live_adj[rep].len() as u64;
+        debug_assert!(d_w > 0, "twin class with an empty neighbourhood");
+        let share = pairs_across / d_w as f64;
+        for &x in &live_adj[rep] {
+            corr[x as usize] += share;
+        }
+    }
+    TwinOutcome {
+        members,
+        kappa,
+        omega,
+        edges,
+        classes,
+        removed,
+        corr,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::fold::fold_degree_one;
+    use super::*;
+
+    fn adj_of(n: usize, edges: &[(u32, u32)]) -> Vec<Vec<u32>> {
+        let mut adj = vec![Vec::new(); n];
+        for &(u, v) in edges {
+            adj[u as usize].push(v);
+            adj[v as usize].push(u);
+        }
+        for l in &mut adj {
+            l.sort_unstable();
+        }
+        adj
+    }
+
+    #[test]
+    fn c4_collapses_opposite_corners() {
+        // C4 0-1-2-3-0: classes {0,2} and {1,3}; BC = 0.5 each, all of
+        // it class-internal (pairs (0,2) and (1,3), two paths each).
+        let adj = adj_of(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let fold = fold_degree_one(&adj);
+        let out = collapse_twins(&adj, &fold);
+        assert_eq!(out.members, vec![vec![0, 2], vec![1, 3]]);
+        assert_eq!(out.kappa, vec![2, 2]);
+        assert_eq!(out.omega, vec![2, 2]);
+        assert_eq!(out.classes, 2);
+        assert_eq!(out.removed, 2);
+        // Each class contributes 1 pair split over D = 2 members of the
+        // neighbour class: 0.5 to each of that class's members.
+        assert_eq!(out.corr, vec![0.5, 0.5, 0.5, 0.5]);
+    }
+
+    #[test]
+    fn k23_sides_collapse_with_exact_internal_mass() {
+        // K_{2,3}: side A = {0,1}, side B = {2,3,4}.
+        // BC(A member) = 3/2, BC(B member) = 1/3 — all class-internal.
+        let adj = adj_of(5, &[(0, 2), (0, 3), (0, 4), (1, 2), (1, 3), (1, 4)]);
+        let fold = fold_degree_one(&adj);
+        let out = collapse_twins(&adj, &fold);
+        assert_eq!(out.members, vec![vec![0, 1], vec![2, 3, 4]]);
+        // Class A: 1 cross pair over D = 3 → 1/3 to each of 2,3,4.
+        // Class B: 3 cross pairs over D = 2 → 3/2 to each of 0,1.
+        assert!((out.corr[0] - 1.5).abs() < 1e-12);
+        assert!((out.corr[2] - 1.0 / 3.0).abs() < 1e-12);
+        // One reduced edge, pushed once per live neighbour of each
+        // representative: 3 from side A's rep + 2 from side B's rep
+        // (normalisation dedups on graph construction).
+        assert_eq!(out.edges.len(), 5);
+    }
+
+    #[test]
+    fn twins_respect_fold_multiplicities() {
+        // C4 with a pendant on vertex 0: 0 and 2 no longer twins after
+        // folding? Pendant folds away, leaving C4 — but ω(0) = 2.
+        let adj = adj_of(5, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 4)]);
+        let fold = fold_degree_one(&adj);
+        let out = collapse_twins(&adj, &fold);
+        assert_eq!(out.members, vec![vec![0, 2], vec![1, 3]]);
+        assert_eq!(out.omega, vec![3, 2]);
+        // Class {0,2}: pairs across = (3² − (2²+1²))/2 = 2, D = 2 → 1.0
+        // to each of 1 and 3. Class {1,3}: 1 pair over D = 2 → 0.5 each.
+        assert!((out.corr[1] - 1.0).abs() < 1e-12);
+        assert!((out.corr[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distinct_neighbourhoods_stay_singleton() {
+        // Path-shaped core (no fold: make it a cycle of 5, all distinct).
+        let adj = adj_of(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        let fold = fold_degree_one(&adj);
+        let out = collapse_twins(&adj, &fold);
+        assert_eq!(out.classes, 0);
+        assert_eq!(out.removed, 0);
+        assert_eq!(out.members.len(), 5);
+        assert!(out.corr.iter().all(|&c| c == 0.0));
+    }
+}

@@ -2,6 +2,7 @@
 //! baseline and the reference semantics for the parallel engines.
 
 use crate::frontier::{DirectionEngine, LevelDirection, LevelReport};
+use crate::prep::RunWeights;
 use turbobc_sparse::ops;
 use turbobc_sparse::{Cooc, Csc};
 
@@ -113,6 +114,7 @@ pub(crate) fn bc_source_seq_traced(
     sigma: &mut [i64],
     depths: &mut [u32],
     scratch: &mut SeqScratch,
+    weights: Option<&RunWeights>,
     on_level: &mut dyn FnMut(LevelReport),
 ) -> SourceRun {
     let n = storage.n();
@@ -167,6 +169,10 @@ pub(crate) fn bc_source_seq_traced(
         }
         d += 1;
         ops::update_sigma_depth(f, d, depths, sigma);
+        if let Some(w) = weights {
+            // Twin classes forward κ copies of every arriving path.
+            ops::scale_frontier(f, &w.kappa_gt1);
+        }
         reached += count;
         // Re-collect the sparse list only when the next level could go
         // push: a frontier already past the threshold pulls regardless.
@@ -195,16 +201,35 @@ pub(crate) fn bc_source_seq_traced(
     // Backward stage. (On the device this is where §3.4 frees the
     // integer frontier arrays before allocating the float ones; the
     // host engines keep both resident in the reusable scratch instead.)
-    delta.fill(0.0);
+    match weights {
+        Some(w) => delta.copy_from_slice(&w.seed),
+        None => delta.fill(0.0),
+    }
     let mut depth = height;
     while depth > 1 {
         ops::seed_delta_u(depths, sigma, delta, depth, delta_u);
         delta_ut.fill(0.0);
         storage.backward(delta_u, delta_ut);
-        ops::accumulate_delta(depths, sigma, delta_ut, depth, delta);
+        match weights {
+            Some(w) => {
+                ops::accumulate_delta_weighted(depths, sigma, &w.kappa, delta_ut, depth, delta)
+            }
+            None => ops::accumulate_delta(depths, sigma, delta_ut, depth, delta),
+        }
         depth -= 1;
     }
-    ops::accumulate_bc(delta, source, scale, bc);
+    match weights {
+        Some(w) => ops::accumulate_bc_weighted(
+            delta,
+            &w.seed,
+            &w.kappa,
+            source,
+            w.omega[source],
+            scale,
+            bc,
+        ),
+        None => ops::accumulate_bc(delta, source, scale, bc),
+    }
     SourceRun { height, reached }
 }
 
@@ -237,6 +262,7 @@ mod tests {
             &mut sigma,
             &mut depths,
             &mut scratch,
+            None,
             &mut |_| {},
         );
         (bc, r)
@@ -284,6 +310,7 @@ mod tests {
             &mut sigma,
             &mut depths,
             &mut SeqScratch::new(n),
+            None,
             &mut |_| {},
         );
         assert_eq!(sigma, vec![1, 1, 1, 2], "two shortest paths reach vertex 3");
@@ -305,6 +332,7 @@ mod tests {
             &mut sigma,
             &mut depths,
             &mut SeqScratch::new(n),
+            None,
             &mut |lr: LevelReport| levels.push((lr.depth, lr.frontier, lr.direction)),
         );
         assert_eq!(

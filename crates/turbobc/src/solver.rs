@@ -12,9 +12,10 @@ use crate::frontier::{DirectionEngine, DirectionMode, LevelReport};
 use crate::msbfs::{ms_bfs_on_storage, MsBfsResult};
 use crate::observe::{NullObserver, Observer, TraceEvent};
 use crate::options::{
-    degrade, select_kernel, BatchWidth, BcOptions, Engine, Kernel, RecoveryPolicy,
+    degrade, select_kernel, BatchWidth, BcOptions, Engine, Kernel, PrepMode, RecoveryPolicy,
 };
 use crate::par::{bc_source_par, bc_source_par_traced, ParScratch, ParStorage};
+use crate::prep::{self, PrepPlan, PrepReport, ReducedComponent};
 use crate::result::{BcResult, RecoveryLog, RunStats, SimtReport};
 use crate::seq::{bc_source_seq_traced, SeqScratch, SourceRun, Storage};
 use crate::simt_engine::bc_simt;
@@ -27,6 +28,125 @@ use turbobc_sparse::{Cooc, Index};
 /// *across* sources (each task owns its scratch vectors, contributions
 /// are summed) — the scalable path for exact BC.
 const SOURCE_PAR_THRESHOLD: usize = 16;
+
+/// Component size below which the prep-routed CPU paths force the
+/// Sequential engine for the per-component sub-run — rayon setup costs
+/// more than a tiny component's whole BFS.
+const SEQ_COMPONENT_THRESHOLD: usize = 256;
+
+/// Forwards a component sub-run's trace events with vertex ids remapped
+/// back to the original graph, suppressing the sub-run's framing events
+/// (`RunStart`/`RunEnd`/`KernelChoice`) — the routed run emits one outer
+/// frame covering every component.
+struct PrepForward<'a> {
+    inner: &'a mut dyn Observer,
+    /// Original vertex id per sub-run-local id.
+    verts: &'a [VertexId],
+}
+
+impl Observer for PrepForward<'_> {
+    fn event(&mut self, event: TraceEvent) {
+        use TraceEvent::*;
+        match event {
+            RunStart { .. } | RunEnd { .. } | KernelChoice { .. } => {}
+            Level {
+                source,
+                depth,
+                frontier,
+                sigma_updates,
+            } => self.inner.event(Level {
+                source: self.verts[source as usize],
+                depth,
+                frontier,
+                sigma_updates,
+            }),
+            Direction {
+                source,
+                depth,
+                direction,
+                frontier_edges,
+                threshold,
+            } => self.inner.event(Direction {
+                source: self.verts[source as usize],
+                depth,
+                direction,
+                frontier_edges,
+                threshold,
+            }),
+            SourceDone {
+                source,
+                height,
+                reached,
+            } => self.inner.event(SourceDone {
+                source: self.verts[source as usize],
+                height,
+                reached,
+            }),
+            Block {
+                first_source,
+                width,
+                sweeps,
+            } => self.inner.event(Block {
+                first_source: self.verts[first_source as usize],
+                width,
+                sweeps,
+            }),
+            other => self.inner.event(other),
+        }
+    }
+
+    fn wants_levels(&self) -> bool {
+        self.inner.wants_levels()
+    }
+}
+
+/// Sources grouped per component in first-appearance order, with the
+/// sources translated to component-local ids.
+struct PrepGroups {
+    /// `(component index, component-local sources)` in the order the
+    /// components first appear in the caller's source list.
+    groups: Vec<(usize, Vec<VertexId>)>,
+    /// Component of the caller's *last* source — the sub-run that
+    /// surfaces `σ`/depths.
+    last_comp: usize,
+}
+
+/// Folds one component sub-run's recovery log into the routed run's.
+fn merge_recovery(acc: &mut RecoveryLog, r: &RecoveryLog) {
+    acc.oom_degradations += r.oom_degradations;
+    acc.kernel_retries += r.kernel_retries;
+    acc.link_retries += r.link_retries;
+    acc.device_requeues += r.device_requeues;
+    acc.resumed_sources += r.resumed_sources;
+    acc.cpu_fallback |= r.cpu_fallback;
+    if r.degraded_to.is_some() {
+        acc.degraded_to = r.degraded_to;
+    }
+}
+
+fn group_sources(plan: &PrepPlan, sources: &[VertexId]) -> PrepGroups {
+    let mut order: Vec<usize> = Vec::new();
+    let mut locals: Vec<Vec<VertexId>> = vec![Vec::new(); plan.comps.len()];
+    for &s in sources {
+        let c = plan.comp_of[s as usize] as usize;
+        if locals[c].is_empty() {
+            order.push(c);
+        }
+        let local = plan.comps[c]
+            .verts
+            .binary_search(&s)
+            .expect("source is a member of its component");
+        locals[c].push(local as VertexId);
+    }
+    let last_comp = plan.comp_of[*sources.last().expect("sources non-empty") as usize] as usize;
+    PrepGroups {
+        groups: order
+            .into_iter()
+            .map(|c| (c, std::mem::take(&mut locals[c])))
+            .collect(),
+        last_comp,
+    }
+}
 
 /// Engine-matched reusable scratch for the per-source CPU loops:
 /// allocated once per run, cleared per source (not dropped), so the
@@ -62,6 +182,9 @@ pub struct BcSolver {
     m: usize,
     stats: GraphStats,
     dir: DirectionEngine,
+    /// Resolved graph-reduction plan; `None` runs the legacy path
+    /// untouched (bit-identical to prep-less builds).
+    prep: Option<PrepPlan>,
 }
 
 impl BcSolver {
@@ -83,8 +206,10 @@ impl BcSolver {
             _ => Storage::Csc(graph.to_csc()),
         };
         let dir = DirectionEngine::new(graph, options.direction);
+        let prep = prep::build_plan(graph, options.prep);
         Ok(BcSolver {
             dir,
+            prep,
             graph: graph.clone(),
             storage,
             kernel,
@@ -137,6 +262,13 @@ impl BcSolver {
     /// Graph statistics computed at construction (degree profile, scf).
     pub fn graph_stats(&self) -> &GraphStats {
         &self.stats
+    }
+
+    /// The reduction report of the resolved prep plan, or `None` when
+    /// the plan is a passthrough (use [`crate::prep::analyze`] for a
+    /// report that always exists).
+    pub fn prep_report(&self) -> Option<&PrepReport> {
+        self.prep.as_ref().map(|p| &p.report)
     }
 
     fn validate_sources(&self, sources: &[VertexId]) -> Result<(), TurboBcError> {
@@ -194,7 +326,393 @@ impl BcSolver {
         obs: &mut dyn Observer,
     ) -> Result<BcResult, TurboBcError> {
         self.validate_sources(sources)?;
+        if let Some(plan) = &self.prep {
+            if !sources.is_empty() {
+                return Ok(self.run_prep_cpu(plan, sources, self.options.engine, obs));
+            }
+        }
         Ok(self.run_cpu_observed(sources, self.options.engine, obs))
+    }
+
+    /// Emits the [`TraceEvent::Prep`] summary for a routed run,
+    /// including the kernel each component's sub-run resolves to.
+    fn emit_prep_event(&self, plan: &PrepPlan, obs: &mut dyn Observer) {
+        let component_kernels: Vec<&'static str> = plan
+            .comps
+            .iter()
+            .map(|c| {
+                let g = c.reduced.as_ref().map(|r| &r.graph).unwrap_or(&c.graph);
+                match self.options.kernel {
+                    Kernel::Auto => select_kernel(&GraphStats::compute(g)),
+                    k => k,
+                }
+                .name()
+            })
+            .collect();
+        obs.event(TraceEvent::Prep {
+            mode: plan.report.mode,
+            components: plan.report.components,
+            n_reduced: plan.report.n_reduced,
+            m_reduced: plan.report.m_reduced,
+            folded: plan.report.folded_vertices,
+            twin_classes: plan.report.twin_classes,
+            twin_members: plan.report.twin_members_removed,
+            fold_passes: plan.report.fold_passes,
+            component_kernels,
+        });
+    }
+
+    /// CPU run through the reduction plan. The fold/twin (weighted) path
+    /// only covers exact BC — all `n` sources in identity order; any
+    /// other source set runs through the component split alone, which is
+    /// exact for arbitrary sources.
+    fn run_prep_cpu(
+        &self,
+        plan: &PrepPlan,
+        sources: &[VertexId],
+        engine: Engine,
+        obs: &mut dyn Observer,
+    ) -> BcResult {
+        let all_sources = plan.full
+            && sources.len() == self.n
+            && sources.iter().all(|&s| (s as usize) < self.n)
+            && sources.iter().enumerate().all(|(i, &s)| s as usize == i);
+        if all_sources {
+            self.run_prep_full_cpu(plan, engine, obs)
+        } else {
+            self.run_prep_components_cpu(plan, sources, engine, obs)
+        }
+    }
+
+    /// Component-split run: each component's sources run on its compacted
+    /// sub-graph (bitwise-identical per-source arithmetic — compaction is
+    /// monotone, so neighbour order and float op order are preserved),
+    /// contributions scatter back, and cross-component pairs contribute
+    /// their exact `0.0`.
+    fn run_prep_components_cpu(
+        &self,
+        plan: &PrepPlan,
+        sources: &[VertexId],
+        engine: Engine,
+        obs: &mut dyn Observer,
+    ) -> BcResult {
+        let start = Instant::now();
+        self.emit_prep_event(plan, obs);
+        obs.event(TraceEvent::KernelChoice {
+            kernel: self.kernel,
+            scf: self.stats.scf,
+            mean_degree: self.stats.degree.mean,
+            direction: self.options.direction.name(),
+        });
+        obs.event(TraceEvent::RunStart {
+            engine: match engine {
+                Engine::Sequential => "seq",
+                Engine::Parallel => "par",
+            },
+            kernel: self.kernel,
+            n: self.n,
+            m: self.m,
+            sources: sources.len(),
+        });
+        let mut bc = vec![0.0f64; self.n];
+        let mut sigma = vec![0i64; self.n];
+        let mut depths = vec![0u32; self.n];
+        let mut stats = RunStats {
+            sources: sources.len(),
+            ..Default::default()
+        };
+        let grouped = group_sources(plan, sources);
+        for (c, locals) in &grouped.groups {
+            let comp = &plan.comps[*c];
+            let r = {
+                let mut fwd = PrepForward {
+                    inner: &mut *obs,
+                    verts: &comp.verts,
+                };
+                let sub = self.component_solver(comp.verts.len(), &comp.graph, engine);
+                sub.run_cpu_observed(locals, sub.options.engine, &mut fwd)
+            };
+            for (local, &orig) in comp.verts.iter().enumerate() {
+                bc[orig as usize] += r.bc[local];
+            }
+            stats.max_depth = stats.max_depth.max(r.stats.max_depth);
+            stats.total_levels += r.stats.total_levels;
+            if *c == grouped.last_comp {
+                // The caller's last source is this group's last local
+                // source (order is preserved within a group), so this
+                // sub-run holds the deterministic σ/S surface.
+                for (local, &orig) in comp.verts.iter().enumerate() {
+                    sigma[orig as usize] = r.sigma[local];
+                    depths[orig as usize] = r.depths[local];
+                }
+                stats.last_reached = r.stats.last_reached;
+            }
+        }
+        stats.elapsed = start.elapsed();
+        obs.event(TraceEvent::RunEnd {
+            elapsed_s: stats.elapsed.as_secs_f64(),
+        });
+        BcResult {
+            bc,
+            sigma,
+            depths,
+            stats,
+        }
+    }
+
+    /// A prep-less sub-solver for one component, forcing the Sequential
+    /// engine below [`SEQ_COMPONENT_THRESHOLD`] vertices.
+    fn component_solver(&self, n_c: usize, graph: &Graph, engine: Engine) -> BcSolver {
+        let engine = if n_c < SEQ_COMPONENT_THRESHOLD {
+            Engine::Sequential
+        } else {
+            engine
+        };
+        let mut options = self.options.clone();
+        options.prep = PrepMode::Off;
+        options.engine = engine;
+        options.checkpoint = None;
+        BcSolver::new(graph, options).expect("component graphs are non-empty")
+    }
+
+    /// Exact BC through the full reduction: weighted engine runs over
+    /// every component's reduced graph, closed-form corrections, and the
+    /// σ/S surface rerun on the *original* graph for the last source.
+    fn run_prep_full_cpu(
+        &self,
+        plan: &PrepPlan,
+        engine: Engine,
+        obs: &mut dyn Observer,
+    ) -> BcResult {
+        let start = Instant::now();
+        self.emit_prep_event(plan, obs);
+        obs.event(TraceEvent::KernelChoice {
+            kernel: self.kernel,
+            scf: self.stats.scf,
+            mean_degree: self.stats.degree.mean,
+            direction: self.options.direction.name(),
+        });
+        obs.event(TraceEvent::RunStart {
+            engine: match engine {
+                Engine::Sequential => "seq",
+                Engine::Parallel => "par",
+            },
+            kernel: self.kernel,
+            n: self.n,
+            m: self.m,
+            sources: self.n,
+        });
+        let mut bc = vec![0.0f64; self.n];
+        let mut stats = RunStats {
+            sources: self.n,
+            ..Default::default()
+        };
+        for comp in &plan.comps {
+            let rc = comp
+                .reduced
+                .as_ref()
+                .expect("full plan reduces every component");
+            let (max_d, levels) = self.run_weighted_component(rc, engine, obs, &mut bc);
+            stats.max_depth = stats.max_depth.max(max_d);
+            stats.total_levels += levels;
+        }
+        for (v, &c) in plan.corrections.iter().enumerate() {
+            if c != 0.0 {
+                bc[v] += c;
+            }
+        }
+        // Deterministic σ/S surface: the last source, rerun on the
+        // original graph (not counted in total_levels, like the
+        // across-sources parallel path's rerun).
+        let mut sigma = vec![0i64; self.n];
+        let mut depths = vec![0u32; self.n];
+        let mut scratch_bc = vec![0.0f64; self.n];
+        let mut scratch = CpuScratch::for_engine(engine, self.n);
+        let run = self.one_source(
+            self.n - 1,
+            engine,
+            &mut scratch_bc,
+            &mut sigma,
+            &mut depths,
+            &mut scratch,
+            &mut |_| {},
+        );
+        stats.last_reached = run.reached;
+        stats.max_depth = stats.max_depth.max(run.height);
+        stats.elapsed = start.elapsed();
+        obs.event(TraceEvent::RunEnd {
+            elapsed_s: stats.elapsed.as_secs_f64(),
+        });
+        BcResult {
+            bc,
+            sigma,
+            depths,
+            stats,
+        }
+    }
+
+    /// All-sources weighted BC over one reduced component, scattered to
+    /// every represented original vertex. Returns `(max height, levels)`.
+    fn run_weighted_component(
+        &self,
+        rc: &ReducedComponent,
+        engine: Engine,
+        obs: &mut dyn Observer,
+        bc_out: &mut [f64],
+    ) -> (u32, u64) {
+        let rn = rc.graph.n();
+        let kernel = match self.options.kernel {
+            Kernel::Auto => select_kernel(&GraphStats::compute(&rc.graph)),
+            k => k,
+        };
+        let storage = match kernel {
+            Kernel::ScCooc => Storage::Cooc(rc.graph.to_cooc()),
+            _ => Storage::Csc(rc.graph.to_csc()),
+        };
+        let dir = DirectionEngine::new(&rc.graph, self.options.direction);
+        let scale = rc.graph.bc_scale();
+        let weights = &rc.weights;
+        let engine = if rn < SEQ_COMPONENT_THRESHOLD {
+            Engine::Sequential
+        } else {
+            engine
+        };
+        let mut bc_c = vec![0.0f64; rn];
+        let mut sigma_c = vec![0i64; rn];
+        let mut depths_c = vec![0u32; rn];
+        let mut max_d = 0u32;
+        let mut levels = 0u64;
+        let wants = obs.wants_levels();
+        match engine {
+            Engine::Parallel if rn >= SOURCE_PAR_THRESHOLD && !wants => {
+                use rayon::prelude::*;
+                let storage = match &storage {
+                    Storage::Csc(csc) => ParStorage::Csc {
+                        csc,
+                        symmetric: true,
+                    },
+                    Storage::Cooc(cooc) => ParStorage::Cooc(cooc),
+                };
+                let chunk = rn.div_ceil(rayon::current_num_threads().max(1));
+                let (sum_bc, depth, lvls) = (0..rn as VertexId)
+                    .collect::<Vec<_>>()
+                    .par_chunks(chunk.max(1))
+                    .map(|batch| {
+                        let mut local_bc = vec![0.0f64; rn];
+                        let mut local_sigma = vec![0i64; rn];
+                        let mut local_depths = vec![0u32; rn];
+                        let mut scratch = ParScratch::new(rn);
+                        let mut max_d = 0u32;
+                        let mut levels = 0u64;
+                        for &s in batch {
+                            let run = bc_source_par(
+                                &storage,
+                                &dir,
+                                s as usize,
+                                scale,
+                                &mut local_bc,
+                                &mut local_sigma,
+                                &mut local_depths,
+                                &mut scratch,
+                                Some(weights),
+                            );
+                            max_d = max_d.max(run.height);
+                            levels += run.height as u64;
+                        }
+                        (local_bc, max_d, levels)
+                    })
+                    .reduce(
+                        || (vec![0.0f64; rn], 0u32, 0u64),
+                        |(mut a, da, la), (b, db, lb)| {
+                            for (x, y) in a.iter_mut().zip(b) {
+                                *x += y;
+                            }
+                            (a, da.max(db), la + lb)
+                        },
+                    );
+                bc_c = sum_bc;
+                max_d = depth;
+                levels = lvls;
+            }
+            _ => {
+                let reps: Vec<VertexId> = rc.members.iter().map(|ms| ms[0]).collect();
+                let threshold = dir.threshold();
+                let mut scratch = CpuScratch::for_engine(engine, rn);
+                for s in 0..rn {
+                    let run = {
+                        let rep = reps[s];
+                        let mut on_level = |lr: LevelReport| {
+                            if wants {
+                                obs.event(TraceEvent::Level {
+                                    source: rep,
+                                    depth: lr.depth,
+                                    frontier: lr.frontier,
+                                    sigma_updates: lr.frontier as u64,
+                                });
+                                obs.event(TraceEvent::Direction {
+                                    source: rep,
+                                    depth: lr.depth,
+                                    direction: lr.direction.name(),
+                                    frontier_edges: lr.frontier_edges,
+                                    threshold,
+                                });
+                            }
+                        };
+                        match (engine, &mut scratch) {
+                            (Engine::Sequential, CpuScratch::Seq(scratch)) => bc_source_seq_traced(
+                                &storage,
+                                &dir,
+                                s,
+                                scale,
+                                &mut bc_c,
+                                &mut sigma_c,
+                                &mut depths_c,
+                                scratch,
+                                Some(weights),
+                                &mut on_level,
+                            ),
+                            (Engine::Parallel, CpuScratch::Par(scratch)) => {
+                                let pstorage = match &storage {
+                                    Storage::Csc(csc) => ParStorage::Csc {
+                                        csc,
+                                        symmetric: true,
+                                    },
+                                    Storage::Cooc(cooc) => ParStorage::Cooc(cooc),
+                                };
+                                bc_source_par_traced(
+                                    &pstorage,
+                                    &dir,
+                                    s,
+                                    scale,
+                                    &mut bc_c,
+                                    &mut sigma_c,
+                                    &mut depths_c,
+                                    scratch,
+                                    Some(weights),
+                                    &mut on_level,
+                                )
+                            }
+                            _ => unreachable!("scratch built for a different engine"),
+                        }
+                    };
+                    max_d = max_d.max(run.height);
+                    levels += run.height as u64;
+                    obs.event(TraceEvent::SourceDone {
+                        source: reps[s],
+                        height: run.height,
+                        reached: run.reached,
+                    });
+                }
+            }
+        }
+        // Every member of a twin class shares the representative's
+        // engine-derived BC.
+        for (r, members) in rc.members.iter().enumerate() {
+            for &orig in members {
+                bc_out[orig as usize] += bc_c[r];
+            }
+        }
+        (max_d, levels)
     }
 
     /// One source on the CPU (engine-selected kernel structure),
@@ -222,6 +740,7 @@ impl BcSolver {
                 sigma,
                 depths,
                 scratch,
+                None,
                 on_level,
             ),
             (Engine::Parallel, CpuScratch::Par(scratch)) => {
@@ -233,7 +752,8 @@ impl BcSolver {
                     Storage::Cooc(cooc) => ParStorage::Cooc(cooc),
                 };
                 bc_source_par_traced(
-                    &storage, &self.dir, source, self.scale, bc, sigma, depths, scratch, on_level,
+                    &storage, &self.dir, source, self.scale, bc, sigma, depths, scratch, None,
+                    on_level,
                 )
             }
             _ => unreachable!("scratch built for a different engine"),
@@ -307,6 +827,7 @@ impl BcSolver {
                                 &mut local_sigma,
                                 &mut local_depths,
                                 &mut scratch,
+                                None,
                             );
                             max_d = max_d.max(run.height);
                             levels += run.height as u64;
@@ -338,6 +859,7 @@ impl BcSolver {
                         &mut sigma,
                         &mut depths,
                         &mut ParScratch::new(n),
+                        None,
                     );
                     stats.last_reached = run.reached;
                 }
@@ -449,6 +971,11 @@ impl BcSolver {
         obs: &mut dyn Observer,
     ) -> Result<BcResult, TurboBcError> {
         self.validate_sources(sources)?;
+        if let Some(plan) = &self.prep {
+            if !sources.is_empty() {
+                return Ok(self.run_prep_batched(plan, sources, obs));
+            }
+        }
         let start = Instant::now();
         let width = self.resolve_batch_width(sources.len());
         obs.event(TraceEvent::KernelChoice {
@@ -502,6 +1029,7 @@ impl BcSolver {
                     self.scale,
                     &mut bc,
                     &mut scratch,
+                    None,
                     &mut on_level,
                 )
             };
@@ -542,6 +1070,205 @@ impl BcSolver {
             depths,
             stats,
         })
+    }
+
+    /// Batched run through the reduction plan: the weighted fold/twin
+    /// path for exact BC (block width auto-sized from the *reduced*
+    /// `n`, `m`), the component split otherwise.
+    fn run_prep_batched(
+        &self,
+        plan: &PrepPlan,
+        sources: &[VertexId],
+        obs: &mut dyn Observer,
+    ) -> BcResult {
+        let start = Instant::now();
+        self.emit_prep_event(plan, obs);
+        obs.event(TraceEvent::KernelChoice {
+            kernel: self.kernel,
+            scf: self.stats.scf,
+            mean_degree: self.stats.degree.mean,
+            direction: self.options.direction.name(),
+        });
+        obs.event(TraceEvent::RunStart {
+            engine: "batched",
+            kernel: self.kernel,
+            n: self.n,
+            m: self.m,
+            sources: sources.len(),
+        });
+        let mut bc = vec![0.0f64; self.n];
+        let mut sigma = vec![0i64; self.n];
+        let mut depths = vec![0u32; self.n];
+        let mut stats = RunStats {
+            sources: sources.len(),
+            ..Default::default()
+        };
+        let all_sources = plan.full
+            && sources.len() == self.n
+            && sources.iter().enumerate().all(|(i, &s)| s as usize == i);
+        if all_sources {
+            for comp in &plan.comps {
+                let rc = comp
+                    .reduced
+                    .as_ref()
+                    .expect("full plan reduces every component");
+                let (max_d, sweeps) = self.run_weighted_component_batched(rc, obs, &mut bc);
+                stats.max_depth = stats.max_depth.max(max_d);
+                stats.total_levels += sweeps;
+            }
+            for (v, &c) in plan.corrections.iter().enumerate() {
+                if c != 0.0 {
+                    bc[v] += c;
+                }
+            }
+            // σ/S surface: a single-lane block of the last source on the
+            // original storage (not counted in total_levels).
+            let mut scratch_bc = vec![0.0f64; self.n];
+            let mut scratch = BatchScratch::new(self.n, 1);
+            let run = bc_block_traced(
+                &self.storage,
+                self.kernel,
+                &self.dir,
+                &[(self.n - 1) as VertexId],
+                self.scale,
+                &mut scratch_bc,
+                &mut scratch,
+                None,
+                &mut |_| {},
+            );
+            scratch.extract_lane(0, &mut sigma, &mut depths);
+            stats.last_reached = run.reached[0];
+            stats.max_depth = stats.max_depth.max(run.heights[0]);
+        } else {
+            let grouped = group_sources(plan, sources);
+            for (c, locals) in &grouped.groups {
+                let comp = &plan.comps[*c];
+                let r = {
+                    let mut fwd = PrepForward {
+                        inner: &mut *obs,
+                        verts: &comp.verts,
+                    };
+                    let sub =
+                        self.component_solver(comp.verts.len(), &comp.graph, self.options.engine);
+                    sub.bc_batched_observed(locals, &mut fwd)
+                        .expect("component-local sources are valid")
+                };
+                for (local, &orig) in comp.verts.iter().enumerate() {
+                    bc[orig as usize] += r.bc[local];
+                }
+                stats.max_depth = stats.max_depth.max(r.stats.max_depth);
+                stats.total_levels += r.stats.total_levels;
+                if *c == grouped.last_comp {
+                    for (local, &orig) in comp.verts.iter().enumerate() {
+                        sigma[orig as usize] = r.sigma[local];
+                        depths[orig as usize] = r.depths[local];
+                    }
+                    stats.last_reached = r.stats.last_reached;
+                }
+            }
+        }
+        stats.elapsed = start.elapsed();
+        obs.event(TraceEvent::RunEnd {
+            elapsed_s: stats.elapsed.as_secs_f64(),
+        });
+        BcResult {
+            bc,
+            sigma,
+            depths,
+            stats,
+        }
+    }
+
+    /// All-sources weighted batched BC over one reduced component.
+    /// Returns `(max height, matrix sweeps)`.
+    fn run_weighted_component_batched(
+        &self,
+        rc: &ReducedComponent,
+        obs: &mut dyn Observer,
+        bc_out: &mut [f64],
+    ) -> (u32, u64) {
+        let rn = rc.graph.n();
+        let kernel = match self.options.kernel {
+            Kernel::Auto => select_kernel(&GraphStats::compute(&rc.graph)),
+            k => k,
+        };
+        let storage = match kernel {
+            Kernel::ScCooc => Storage::Cooc(rc.graph.to_cooc()),
+            _ => Storage::Csc(rc.graph.to_csc()),
+        };
+        let dir = DirectionEngine::new(&rc.graph, self.options.direction);
+        let scale = rc.graph.bc_scale();
+        let width = match self.options.batch_width {
+            BatchWidth::Fixed(b) => b.max(1),
+            BatchWidth::Auto => footprint::auto_batch_width(
+                rn,
+                rc.graph.m(),
+                kernel,
+                self.options.device.global_mem_bytes,
+            ),
+        }
+        .min(rn.max(1));
+        let reps: Vec<VertexId> = rc.members.iter().map(|ms| ms[0]).collect();
+        let srcs: Vec<VertexId> = (0..rn as VertexId).collect();
+        let mut bc_c = vec![0.0f64; rn];
+        let mut scratch = BatchScratch::new(rn, width);
+        let wants = obs.wants_levels();
+        let threshold = dir.threshold();
+        let mut max_d = 0u32;
+        let mut sweeps = 0u64;
+        for block in srcs.chunks(width) {
+            let first = reps[block[0] as usize];
+            let run = {
+                let mut on_level = |lr: LevelReport| {
+                    if wants {
+                        obs.event(TraceEvent::Level {
+                            source: first,
+                            depth: lr.depth,
+                            frontier: lr.frontier,
+                            sigma_updates: lr.frontier as u64,
+                        });
+                        obs.event(TraceEvent::Direction {
+                            source: first,
+                            depth: lr.depth,
+                            direction: lr.direction.name(),
+                            frontier_edges: lr.frontier_edges,
+                            threshold,
+                        });
+                    }
+                };
+                bc_block_traced(
+                    &storage,
+                    kernel,
+                    &dir,
+                    block,
+                    scale,
+                    &mut bc_c,
+                    &mut scratch,
+                    Some(&rc.weights),
+                    &mut on_level,
+                )
+            };
+            sweeps += run.sweeps as u64;
+            obs.event(TraceEvent::Block {
+                first_source: first,
+                width: block.len(),
+                sweeps: run.sweeps,
+            });
+            for (k, &s) in block.iter().enumerate() {
+                max_d = max_d.max(run.heights[k]);
+                obs.event(TraceEvent::SourceDone {
+                    source: reps[s as usize],
+                    height: run.heights[k],
+                    reached: run.reached[k],
+                });
+            }
+        }
+        for (r, members) in rc.members.iter().enumerate() {
+            for &orig in members {
+                bc_out[orig as usize] += bc_c[r];
+            }
+        }
+        (max_d, sweeps)
     }
 
     /// Multi-source BC with periodic checkpoints and resume.
@@ -725,6 +1452,18 @@ impl BcSolver {
         obs: &mut dyn Observer,
     ) -> Result<(BcResult, SimtReport), TurboBcError> {
         self.validate_sources(sources)?;
+        // SIMT routes through the component split only on an *explicit*
+        // prep request: under `PrepMode::Auto` the device run stays
+        // whole-graph so footprint planning matches the real run. The
+        // fold/twin weighted stages are CPU/batched-only — a full plan
+        // runs its component split here.
+        if !matches!(self.options.prep, PrepMode::Auto) {
+            if let Some(plan) = &self.prep {
+                if !sources.is_empty() {
+                    return self.run_prep_simt(plan, device, sources, obs);
+                }
+            }
+        }
         let start = Instant::now();
         let policy = self.options.recovery;
         obs.event(TraceEvent::KernelChoice {
@@ -842,6 +1581,94 @@ impl BcSolver {
                 Err(e) => return Err(e),
             }
         }
+    }
+
+    /// SIMT run through the component split: each component's sources
+    /// run on its compacted sub-graph on the same device, recovery logs
+    /// are merged, and the device's cumulative metric ledger is reported
+    /// once at the end.
+    fn run_prep_simt(
+        &self,
+        plan: &PrepPlan,
+        device: &Device,
+        sources: &[VertexId],
+        obs: &mut dyn Observer,
+    ) -> Result<(BcResult, SimtReport), TurboBcError> {
+        let start = Instant::now();
+        self.emit_prep_event(plan, obs);
+        obs.event(TraceEvent::KernelChoice {
+            kernel: self.kernel,
+            scf: self.stats.scf,
+            mean_degree: self.stats.degree.mean,
+            direction: self.options.direction.name(),
+        });
+        obs.event(TraceEvent::RunStart {
+            engine: "simt",
+            kernel: self.kernel,
+            n: self.n,
+            m: self.m,
+            sources: sources.len(),
+        });
+        let mut bc = vec![0.0f64; self.n];
+        let mut sigma = vec![0i64; self.n];
+        let mut depths = vec![0u32; self.n];
+        let mut stats = RunStats {
+            sources: sources.len(),
+            ..Default::default()
+        };
+        let mut report = SimtReport {
+            metrics: device.metrics(),
+            memory: device.memory(),
+            modelled_time_s: 0.0,
+            glt_gbs: 0.0,
+        };
+        let mut glt_time_weighted = 0.0f64;
+        let grouped = group_sources(plan, sources);
+        for (c, locals) in &grouped.groups {
+            let comp = &plan.comps[*c];
+            let (r, sub_report) = {
+                let mut fwd = PrepForward {
+                    inner: &mut *obs,
+                    verts: &comp.verts,
+                };
+                let sub = self.component_solver(comp.verts.len(), &comp.graph, self.options.engine);
+                sub.run_simt_on_observed(device, locals, &mut fwd)?
+            };
+            for (local, &orig) in comp.verts.iter().enumerate() {
+                bc[orig as usize] += r.bc[local];
+            }
+            stats.max_depth = stats.max_depth.max(r.stats.max_depth);
+            stats.total_levels += r.stats.total_levels;
+            merge_recovery(&mut stats.recovery, &r.stats.recovery);
+            glt_time_weighted += sub_report.glt_gbs * sub_report.modelled_time_s;
+            report.modelled_time_s += sub_report.modelled_time_s;
+            report.memory = sub_report.memory;
+            if *c == grouped.last_comp {
+                for (local, &orig) in comp.verts.iter().enumerate() {
+                    sigma[orig as usize] = r.sigma[local];
+                    depths[orig as usize] = r.depths[local];
+                }
+                stats.last_reached = r.stats.last_reached;
+            }
+        }
+        // Cumulative device ledger across every component run.
+        report.metrics = device.metrics();
+        if report.modelled_time_s > 0.0 {
+            report.glt_gbs = glt_time_weighted / report.modelled_time_s;
+        }
+        stats.elapsed = start.elapsed();
+        obs.event(TraceEvent::RunEnd {
+            elapsed_s: stats.elapsed.as_secs_f64(),
+        });
+        Ok((
+            BcResult {
+                bc,
+                sigma,
+                depths,
+                stats,
+            },
+            report,
+        ))
     }
 
     /// Approximate BC by uniform source sampling (Brandes–Pich style):
@@ -1164,5 +1991,185 @@ mod tests {
             solver.bc_sources_checkpointed(&[0]),
             Err(TurboBcError::Checkpoint(CheckpointError::NotConfigured))
         ));
+    }
+
+    /// A G(n, m) core with a pendant 3-chain hung off every third core
+    /// vertex and a twin pair glued to `{0, 1, 2}` — exercises folding,
+    /// twin compression, and the weighted reconstruction together.
+    fn tree_heavy_fixture() -> Graph {
+        let core = gen::gnm(30, 90, false, 17);
+        let mut edges: Vec<(u32, u32)> = core.edges().collect();
+        let mut next = 30u32;
+        for v in (0u32..30).step_by(3) {
+            edges.push((v, next));
+            edges.push((next, next + 1));
+            edges.push((next + 1, next + 2));
+            next += 3;
+        }
+        for t in [next, next + 1] {
+            for u in [0u32, 1, 2] {
+                edges.push((t, u));
+            }
+        }
+        Graph::from_edges((next + 2) as usize, false, &edges)
+    }
+
+    /// Union of two G(n, m) graphs with no edges between them.
+    fn two_component_fixture() -> Graph {
+        let a = gen::gnm(40, 120, false, 3);
+        let mut edges: Vec<(u32, u32)> = a.edges().collect();
+        let b = gen::gnm(30, 80, false, 4);
+        edges.extend(b.edges().map(|(u, v)| (u + 40, v + 40)));
+        Graph::from_edges(70, false, &edges)
+    }
+
+    #[test]
+    fn prep_full_matches_off_on_tree_heavy_graph() {
+        let g = tree_heavy_fixture();
+        let want = brandes_all_sources(&g);
+        for prep in [
+            PrepMode::Off,
+            PrepMode::Auto,
+            PrepMode::ComponentsOnly,
+            PrepMode::Full,
+        ] {
+            for engine in [Engine::Sequential, Engine::Parallel] {
+                let solver =
+                    BcSolver::new(&g, BcOptions::builder().prep(prep).engine(engine).build())
+                        .unwrap();
+                let r = solver.bc_exact().unwrap();
+                assert_close(&r.bc, &want, 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn prep_components_split_matches_plain_run() {
+        // The split must be exact and surface the last source's σ/S
+        // exactly like the legacy path does.
+        let g = two_component_fixture();
+        let off = BcSolver::new(&g, BcOptions::builder().prep(PrepMode::Off).build()).unwrap();
+        let want = off.bc_exact().unwrap();
+        for engine in [Engine::Sequential, Engine::Parallel] {
+            let solver = BcSolver::new(
+                &g,
+                BcOptions::builder()
+                    .prep(PrepMode::ComponentsOnly)
+                    .engine(engine)
+                    .build(),
+            )
+            .unwrap();
+            let r = solver.bc_exact().unwrap();
+            assert_close(&r.bc, &want.bc, 1e-9);
+            assert_eq!(r.sigma, want.sigma);
+            assert_eq!(r.depths, want.depths);
+            assert_eq!(r.stats.last_reached, want.stats.last_reached);
+        }
+    }
+
+    #[test]
+    fn prep_full_subset_sources_fall_back_exactly() {
+        // Non-identity source sets route through the components grouping
+        // even under a full plan: σ/S conventions stay bit-identical.
+        let g = tree_heavy_fixture();
+        let srcs: Vec<u32> = vec![0, 5, 17, 33, 40];
+        let off = BcSolver::new(&g, BcOptions::builder().prep(PrepMode::Off).build()).unwrap();
+        let want = off.bc_sources(&srcs).unwrap();
+        let solver = BcSolver::new(&g, BcOptions::builder().prep(PrepMode::Full).build()).unwrap();
+        let r = solver.bc_sources(&srcs).unwrap();
+        assert_close(&r.bc, &want.bc, 1e-9);
+        assert_eq!(r.sigma, want.sigma);
+        assert_eq!(r.depths, want.depths);
+    }
+
+    #[test]
+    fn prep_report_and_profile_event() {
+        let g = tree_heavy_fixture();
+        let solver = BcSolver::new(&g, BcOptions::builder().prep(PrepMode::Full).build()).unwrap();
+        let report = solver.prep_report().expect("full plan");
+        assert_eq!(report.mode, "full");
+        // Ten pendant 3-chains fold, plus whatever degree-1 vertices the
+        // gnm core happens to carry.
+        assert!(report.folded_vertices >= 30);
+        assert!(report.twin_members_removed >= 1, "the glued twin pair");
+        assert!(report.reduction_ratio() > 0.0);
+        let mut obs = crate::observe::ProfileObserver::new();
+        let sources: Vec<u32> = (0..g.n() as u32).collect();
+        solver.bc_sources_observed(&sources, &mut obs).unwrap();
+        let p = obs.profile();
+        let prep = p.prep.as_ref().expect("prep trace in the profile");
+        assert_eq!(prep.mode, "full");
+        assert_eq!(prep.components, report.components);
+        assert_eq!(prep.component_kernels.len(), report.components);
+        assert_eq!(prep.folded, report.folded_vertices);
+        p.to_json_string(); // serialises without panicking
+    }
+
+    #[test]
+    fn prep_batched_full_matches_plain_batched() {
+        let g = tree_heavy_fixture();
+        let sources: Vec<u32> = (0..g.n() as u32).collect();
+        let off = BcSolver::new(
+            &g,
+            BcOptions::builder()
+                .prep(PrepMode::Off)
+                .batch_width(16)
+                .build(),
+        )
+        .unwrap();
+        let want = off.bc_batched(&sources).unwrap();
+        let solver = BcSolver::new(
+            &g,
+            BcOptions::builder()
+                .prep(PrepMode::Full)
+                .batch_width(16)
+                .build(),
+        )
+        .unwrap();
+        let r = solver.bc_batched(&sources).unwrap();
+        assert_close(&r.bc, &want.bc, 1e-6);
+        assert_eq!(r.depths, want.depths);
+        assert_eq!(r.stats.last_reached, want.stats.last_reached);
+    }
+
+    #[test]
+    fn prep_batched_components_split_matches_plain_batched() {
+        let g = two_component_fixture();
+        let sources: Vec<u32> = (0..g.n() as u32).collect();
+        let off = BcSolver::new(
+            &g,
+            BcOptions::builder()
+                .prep(PrepMode::Off)
+                .batch_width(32)
+                .build(),
+        )
+        .unwrap();
+        let want = off.bc_batched(&sources).unwrap();
+        let solver = BcSolver::new(
+            &g,
+            BcOptions::builder()
+                .prep(PrepMode::ComponentsOnly)
+                .batch_width(32)
+                .build(),
+        )
+        .unwrap();
+        let r = solver.bc_batched(&sources).unwrap();
+        assert_close(&r.bc, &want.bc, 1e-9);
+        assert_eq!(r.sigma, want.sigma);
+        assert_eq!(r.depths, want.depths);
+    }
+
+    #[test]
+    fn prep_simt_explicit_components_matches_cpu() {
+        let g = two_component_fixture();
+        let opts = BcOptions::builder().prep(PrepMode::ComponentsOnly).build();
+        let solver = BcSolver::new(&g, opts).unwrap();
+        let cpu = solver.bc_exact().unwrap();
+        let sources: Vec<u32> = (0..g.n() as u32).collect();
+        let (gpu, report) = solver.run_simt(&sources).unwrap();
+        assert_close(&gpu.bc, &cpu.bc, 1e-9);
+        assert_eq!(gpu.depths, cpu.depths);
+        assert!(report.memory.peak > 0);
+        assert!(gpu.stats.recovery.is_clean());
     }
 }

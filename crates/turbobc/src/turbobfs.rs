@@ -152,6 +152,7 @@ impl TurboBfs {
                     &mut sigma,
                     &mut depths,
                     &mut crate::par::ParScratch::new(n),
+                    None,
                 );
                 (run.height, run.reached)
             }

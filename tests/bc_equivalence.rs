@@ -6,12 +6,12 @@
 #![allow(clippy::needless_range_loop)]
 
 use proptest::prelude::*;
-use turbobc_suite::baselines::brandes_single_source;
 use turbobc_suite::baselines::gunrock_like::GunrockBc;
+use turbobc_suite::baselines::{brandes_all_sources, brandes_single_source};
 use turbobc_suite::graph::families::{self, Scale};
 use turbobc_suite::graph::Graph;
 use turbobc_suite::simt::Device;
-use turbobc_suite::turbobc::{BcOptions, BcSolver, DirectionMode, Engine, Kernel};
+use turbobc_suite::turbobc::{BcOptions, BcSolver, DirectionMode, Engine, Kernel, PrepMode};
 
 const KERNELS: [Kernel; 3] = [Kernel::ScCooc, Kernel::ScCsc, Kernel::VeCsc];
 const DIRECTIONS: [DirectionMode; 3] = [
@@ -277,6 +277,108 @@ fn batched_engine_saturates_sigma_like_the_per_source_engines() {
     batched_battery_on("sigma-doubler", &g, false);
 }
 
+const PREPS: [PrepMode; 3] = [PrepMode::Auto, PrepMode::ComponentsOnly, PrepMode::Full];
+
+/// The prep differential battery: every resolved prep mode × engine
+/// (sequential, parallel, batched, SIMT) against the same engine with
+/// prep off — and, where `check_oracle` holds, against the summed
+/// Brandes oracle — to the issue's 1e-6 per-vertex bar.
+///
+/// All-sources runs exercise the weighted fold/twin reconstruction;
+/// fixtures too large for that fall back to a spread 64-source slice
+/// (which routes the full plan through the components grouping instead —
+/// a different code path, equally required to be exact).
+fn prep_battery_on(name: &str, g: &Graph, check_oracle: bool) {
+    let n = g.n();
+    if n == 0 {
+        return;
+    }
+    let sources: Vec<u32> = if n <= 2_000 {
+        (0..n as u32).collect()
+    } else {
+        (0..64).map(|i| (i * n / 64) as u32).collect()
+    };
+    let tol = |w: f64| 1e-6 * w.abs().max(1.0);
+    let check = |tag: String, got: &[f64], want: &[f64]| {
+        assert_eq!(got.len(), want.len(), "{tag}: length mismatch");
+        for (v, (gv, wv)) in got.iter().zip(want).enumerate() {
+            let diff = (gv - wv).abs();
+            assert!(
+                diff < tol(*wv),
+                "{tag}: bc[{v}] = {gv}, prep-off says {wv} (|diff| = {diff:.3e})"
+            );
+        }
+    };
+    let build = |prep: PrepMode, engine: Engine| {
+        BcSolver::new(g, BcOptions::builder().prep(prep).engine(engine).build()).unwrap()
+    };
+    let off = build(PrepMode::Off, Engine::Sequential)
+        .bc_sources(&sources)
+        .unwrap();
+    if check_oracle && sources.len() == n {
+        check(
+            format!("{name}/off-vs-brandes"),
+            &off.bc,
+            &brandes_all_sources(g),
+        );
+    }
+    for prep in PREPS {
+        for engine in [Engine::Sequential, Engine::Parallel] {
+            let r = build(prep, engine).bc_sources(&sources).unwrap();
+            check(format!("{name}/{prep:?}/{engine:?}"), &r.bc, &off.bc);
+        }
+        let r = BcSolver::new(g, BcOptions::builder().prep(prep).batch_width(64).build())
+            .unwrap()
+            .bc_batched(&sources)
+            .unwrap();
+        check(format!("{name}/{prep:?}/batched"), &r.bc, &off.bc);
+    }
+    // SIMT on a thin source slice: the simulator is orders slower than
+    // the CPU engines, and its prep routing (explicit modes, component
+    // grouping) does not depend on the source count.
+    let simt_sources: Vec<u32> = sources.iter().copied().take(4).collect();
+    let want_simt = build(PrepMode::Off, Engine::Sequential)
+        .bc_sources(&simt_sources)
+        .unwrap();
+    for prep in PREPS {
+        let solver = BcSolver::new(g, BcOptions::builder().prep(prep).build()).unwrap();
+        let dev = Device::titan_xp();
+        let (r, _) = solver
+            .run_simt_on(&dev, &simt_sources)
+            .expect("fixture fits on device");
+        check(format!("{name}/{prep:?}/simt"), &r.bc, &want_simt.bc);
+    }
+}
+
+/// Always-on slice of the prep battery: the tree-heavy / disconnected
+/// stress fixtures, where every reduction stage actually fires.
+#[test]
+fn prep_battery_on_stress_fixtures() {
+    for &name in families::STRESS_FIXTURES {
+        let g = families::generate(name, Scale::Tiny).expect("stress fixture");
+        prep_battery_on(name, &g, true);
+    }
+}
+
+/// The prep battery over every paper fixture plus the stress set. Run by
+/// the release CI job (`--include-ignored`) under its wall-clock guard.
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "full prep differential battery; run under --release"
+)]
+fn full_prep_battery_over_all_fixtures() {
+    let rows = families::all_rows();
+    for row in &rows {
+        let g = families::generate(row.name, Scale::Tiny).expect("known fixture");
+        prep_battery_on(row.name, &g, false);
+    }
+    for &name in families::STRESS_FIXTURES {
+        let g = families::generate(name, Scale::Tiny).expect("stress fixture");
+        prep_battery_on(name, &g, false);
+    }
+}
+
 /// Always-on slice of the battery: one fixture per structural class
 /// (mesh, road, power-law), small enough for debug builds.
 #[test]
@@ -301,8 +403,93 @@ fn full_families_battery_matches_brandes() {
     families_battery(&names, Scale::Tiny);
 }
 
+/// A random core with a random forest glued on: `core_n` vertices wired
+/// arbitrarily (possibly disconnected), plus `tree_n` extra vertices
+/// each attached to one uniformly random earlier vertex — so the added
+/// part is always a forest of pendant subtrees, exactly what the
+/// degree-1 fold consumes.
+fn arb_glued_forest() -> impl Strategy<Value = Graph> {
+    (3usize..14, 0usize..36, 1usize..22).prop_flat_map(|(core_n, core_m, tree_n)| {
+        let core_edge = (0..core_n as u32, 0..core_n as u32);
+        (
+            proptest::collection::vec(core_edge, core_m),
+            proptest::collection::vec(any::<prop::sample::Index>(), tree_n),
+        )
+            .prop_map(move |(mut edges, parents)| {
+                for (i, p) in parents.into_iter().enumerate() {
+                    let v = (core_n + i) as u32;
+                    edges.push((p.index(core_n + i) as u32, v));
+                }
+                Graph::from_edges(core_n + tree_n, false, &edges)
+            })
+    })
+}
+
+fn assert_prep_exact(tag: &str, g: &Graph) {
+    let off = BcSolver::new(g, BcOptions::builder().prep(PrepMode::Off).build())
+        .unwrap()
+        .bc_exact()
+        .unwrap();
+    let tol = |w: f64| 1e-6 * w.abs().max(1.0);
+    let mut runs: Vec<(String, Vec<f64>)> = Vec::new();
+    for prep in PREPS {
+        for engine in [Engine::Sequential, Engine::Parallel] {
+            let r = BcSolver::new(g, BcOptions::builder().prep(prep).engine(engine).build())
+                .unwrap()
+                .bc_exact()
+                .unwrap();
+            runs.push((format!("{tag}/{prep:?}/{engine:?}"), r.bc));
+        }
+        let sources: Vec<u32> = (0..g.n() as u32).collect();
+        let r = BcSolver::new(g, BcOptions::builder().prep(prep).batch_width(8).build())
+            .unwrap()
+            .bc_batched(&sources)
+            .unwrap();
+        runs.push((format!("{tag}/{prep:?}/batched"), r.bc));
+    }
+    for (run_tag, bc) in runs {
+        for (v, (gv, wv)) in bc.iter().zip(&off.bc).enumerate() {
+            let diff = (gv - wv).abs();
+            assert!(
+                diff < tol(*wv),
+                "{run_tag}: bc[{v}] = {gv}, prep-off says {wv} (|diff| = {diff:.3e})"
+            );
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Folding + reconstruction is exact on random forests glued to
+    /// random cores, across every prep mode and engine.
+    #[test]
+    fn prep_reconstruction_is_exact_on_glued_forests(g in arb_glued_forest()) {
+        assert_prep_exact("glued-forest", &g);
+    }
+
+    /// The twin-attachment variant: `k` new vertices sharing one random
+    /// open neighbourhood join the glued forest, so the twin compression
+    /// stage fires alongside the fold.
+    #[test]
+    fn prep_reconstruction_is_exact_with_twin_attachments(
+        g in arb_glued_forest(),
+        k in 2usize..6,
+        picks in proptest::collection::vec(any::<prop::sample::Index>(), 1..4),
+    ) {
+        let n0 = g.n();
+        let mut edges: Vec<(u32, u32)> = g.edges().filter(|&(u, v)| u <= v).collect();
+        let mut nbrs: Vec<u32> = picks.iter().map(|p| p.index(n0) as u32).collect();
+        nbrs.sort_unstable();
+        nbrs.dedup();
+        for t in 0..k {
+            for &u in &nbrs {
+                edges.push((u, (n0 + t) as u32));
+            }
+        }
+        let g2 = Graph::from_edges(n0 + k, false, &edges);
+        assert_prep_exact("twin-attach", &g2);
+    }
 
     #[test]
     fn ligra_bfs_matches_reference(g in arb_graph(), src_sel in any::<prop::sample::Index>()) {
