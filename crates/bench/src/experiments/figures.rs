@@ -147,7 +147,7 @@ pub fn fig5(cfg: Config) -> String {
         )
         .unwrap();
         let dev = Device::titan_xp();
-        let (_, report) = solver.run_simt_on(&dev, &[g.default_source()]).unwrap();
+        let report = crate::simt_report_on(&solver, &dev, &[g.default_source()]);
         let ceiling = dev.props().mem_bandwidth_gbs;
         for name in ["fwd_veCSC", "bwd_veCSC", "bfs_update"] {
             if let Some(s) = report.metrics.kernel(name) {
@@ -315,7 +315,7 @@ pub fn scaling(cfg: Config) -> String {
         .unwrap();
         let dev = Device::titan_xp();
         let src = g.default_source();
-        let (_, report) = solver.run_simt_on(&dev, &[src]).unwrap();
+        let report = crate::simt_report_on(&solver, &dev, &[src]);
         let seq = BcSolver::new(
             &g,
             BcOptions::builder()

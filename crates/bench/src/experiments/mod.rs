@@ -5,6 +5,7 @@
 pub mod ablation;
 pub mod batched;
 pub mod direction;
+pub mod dispatch;
 pub mod figures;
 pub mod prep;
 pub mod tables;
@@ -50,6 +51,7 @@ pub const ALL: &[&str] = &[
     "direction",
     "batched",
     "prep",
+    "dispatch",
 ];
 
 /// Runs one experiment by id.
@@ -70,6 +72,7 @@ pub fn run(id: &str, cfg: Config) -> Option<String> {
         "direction" => direction::run(cfg),
         "batched" => batched::run(cfg),
         "prep" => prep::run(cfg),
+        "dispatch" => dispatch::run(cfg),
         _ => return None,
     })
 }

@@ -87,7 +87,7 @@ fn time_ms(g: &Graph, sources: &[u32], mode: PrepMode, b: usize, trials: usize) 
         let start = Instant::now();
         let solver = BcSolver::new(g, BcOptions::builder().prep(mode).batch_width(b).build())
             .expect("fixture graphs are non-empty");
-        let out = solver.bc_batched(sources).expect("cpu engines are total");
+        let out = crate::bc_pinned(&solver, turbobc::ExecutorKind::Batched, sources);
         let elapsed = start.elapsed().as_secs_f64() * 1e3;
         assert!(out.bc.len() == g.n());
         best = best.min(elapsed);

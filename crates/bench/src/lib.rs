@@ -23,4 +23,4 @@ pub mod profiles;
 pub mod runner;
 pub mod table;
 
-pub use runner::{measure_row, time_best, Measured};
+pub use runner::{bc_pinned, bc_via_plan, measure_row, simt_report_on, time_best, Measured};

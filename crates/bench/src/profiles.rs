@@ -28,22 +28,23 @@ pub fn emit_profiles(dir: &Path, graph: &Graph) -> std::io::Result<Vec<PathBuf>>
     let batch: Vec<VertexId> = (0..graph.n().min(8) as VertexId).collect();
     let mut written = Vec::new();
 
+    let io_err = |e: turbobc::TurboBcError| std::io::Error::other(e.to_string());
+
     let mut obs = ProfileObserver::new();
-    solver
-        .bc_sources_observed(&[source], &mut obs)
-        .map_err(|e| std::io::Error::other(e.to_string()))?;
+    let plan = solver.plan(&[source]).map_err(io_err)?;
+    solver.execute_observed(&plan, &mut obs).map_err(io_err)?;
     written.push(write_profile(dir, "cpu_par", obs.into_profile())?);
 
     let mut obs = ProfileObserver::new();
-    solver
-        .run_simt_observed(&[source], &mut obs)
-        .map_err(|e| std::io::Error::other(e.to_string()))?;
+    let plan = solver
+        .plan_pinned(turbobc::ExecutorKind::Simt, &[source])
+        .map_err(io_err)?;
+    solver.execute_observed(&plan, &mut obs).map_err(io_err)?;
     written.push(write_profile(dir, "simt", obs.into_profile())?);
 
     let mut obs = ProfileObserver::new();
-    solver
-        .ms_bfs_observed(&batch, &mut obs)
-        .map_err(|e| std::io::Error::other(e.to_string()))?;
+    let plan = solver.plan_ms_bfs(&batch).map_err(io_err)?;
+    solver.execute_observed(&plan, &mut obs).map_err(io_err)?;
     written.push(write_profile(dir, "msbfs", obs.into_profile())?);
 
     let (_, report) = bc_multi_gpu(

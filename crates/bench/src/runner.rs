@@ -3,10 +3,52 @@
 //! produce one comparable row.
 
 use std::time::{Duration, Instant};
-use turbobc::{BcOptions, BcSolver, Kernel};
+use turbobc::{BcOptions, BcResult, BcSolver, ExecutorKind, Kernel, SimtReport};
 use turbobc_baselines::gunrock_like::GunrockBc;
 use turbobc_graph::families::{PaperRow, Scale};
 use turbobc_graph::{bfs, families, Graph, GraphStats, VertexId};
+
+/// Plan/execute BC run under the solver's own dispatch mode — the
+/// harness-wide replacement for the 0.2 `bc_sources`.
+pub fn bc_via_plan(solver: &BcSolver, sources: &[VertexId]) -> BcResult {
+    let plan = solver.plan(sources).expect("sources are in range");
+    solver
+        .execute(&plan)
+        .expect("cpu engines are total")
+        .into_bc()
+        .expect("BC plans produce a BC result")
+}
+
+/// Plan/execute BC run pinned to one executor (replacement for the 0.2
+/// `bc_batched` and friends).
+pub fn bc_pinned(solver: &BcSolver, kind: ExecutorKind, sources: &[VertexId]) -> BcResult {
+    let plan = solver
+        .plan_pinned(kind, sources)
+        .expect("sources are in range");
+    solver
+        .execute(&plan)
+        .expect("pinned engines are total on fixture graphs")
+        .into_bc()
+        .expect("BC plans produce a BC result")
+}
+
+/// Pinned-SIMT plan/execute run on `dev`, returning the device report
+/// (replacement for the 0.2 `run_simt_on`).
+pub fn simt_report_on(
+    solver: &BcSolver,
+    dev: &turbobc_simt::Device,
+    sources: &[VertexId],
+) -> SimtReport {
+    let plan = solver
+        .plan_pinned(ExecutorKind::Simt, sources)
+        .expect("sources are in range");
+    solver
+        .execute_on(dev, &plan)
+        .expect("Titan Xp capacity suffices")
+        .simt_report()
+        .cloned()
+        .expect("SIMT plans carry a device report")
+}
 
 /// Runs `f` `trials` times and returns the best (minimum) duration —
 /// matching benchmarking practice for noisy shared machines (the paper
@@ -163,9 +205,7 @@ pub fn measure_row_opts(row: &PaperRow, scale: Scale, trials: usize, with_simt: 
 
     let (modelled_ms, modelled_glt, gunrock_modelled_ms) = if with_simt {
         let dev = turbobc_simt::Device::titan_xp();
-        let (_, report) = solver
-            .run_simt_on(&dev, &[source])
-            .expect("Titan Xp capacity suffices");
+        let report = simt_report_on(&solver, &dev, &[source]);
         let gr = turbobc_baselines::gunrock_simt::bc_single_source_simt(&graph, source);
         (
             Some(report.modelled_time_s * 1e3),
@@ -256,7 +296,7 @@ pub fn measure_exact(name: &'static str, scale: Scale, max_sources: usize) -> Ex
     )
     .unwrap();
     let t0 = Instant::now();
-    let _ = par.bc_sources(&sources).unwrap();
+    let _ = bc_via_plan(&par, &sources);
     let turbobc_s = t0.elapsed().as_secs_f64();
 
     let seq = BcSolver::new(
@@ -265,16 +305,14 @@ pub fn measure_exact(name: &'static str, scale: Scale, max_sources: usize) -> Ex
     )
     .unwrap();
     let t0 = Instant::now();
-    let _ = seq.bc_sources(&sources).unwrap();
+    let _ = bc_via_plan(&seq, &sources);
     let seq_s = t0.elapsed().as_secs_f64();
 
     // Modelled GPU time: simulate a deterministic subset of the sources
     // and scale linearly (every source costs the same kernel pipeline).
     let probe: Vec<VertexId> = sources.iter().copied().take(4).collect();
     let dev = turbobc_simt::Device::titan_xp();
-    let (_, report) = par
-        .run_simt_on(&dev, &probe)
-        .expect("Titan Xp capacity suffices");
+    let report = simt_report_on(&par, &dev, &probe);
     let modelled_s = report.modelled_time_s / probe.len() as f64 * sources.len() as f64;
 
     ExactMeasured {

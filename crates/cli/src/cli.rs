@@ -21,6 +21,8 @@ usage:
                   [--kernel auto|sccooc|sccsc|vecsc] [--sequential]
                   [--prep auto|off|components|full]
                   [--exact | --samples K | --approx EPSILON] [--top N]
+                  [--dispatch auto|pinned:ENGINE|cost]  (ENGINE: seq, par,
+                   batched, simt, turbobfs, hybrid)
                   [--batch B|auto] [--simt] [--faults SPEC] [--checkpoint FILE]
                   [--checkpoint-every K] [--resume]
                   [--profile FILE] [--profile-summary]
@@ -233,6 +235,15 @@ pub fn run(args: &[String]) -> Result<String, String> {
             if p.flags.contains_key("sequential") {
                 builder = builder.sequential();
             }
+            // `--dispatch` subsumes the older `--simt` / `--batch`
+            // spellings (kept below as pinned shims).
+            let dispatch = match p.flags.get("dispatch") {
+                Some(s) => Some(s.parse::<DispatchMode>()?),
+                None => None,
+            };
+            if let Some(mode) = dispatch {
+                builder = builder.dispatch(mode);
+            }
             if let Some(b) = p.flags.get("batch") {
                 if b != "auto" {
                     let w: usize = b.parse().map_err(|_| format!("bad batch width `{b}`"))?;
@@ -290,9 +301,17 @@ pub fn run(args: &[String]) -> Result<String, String> {
                 let solver = BcSolver::new(&g, options).map_err(|e| e.to_string())?;
                 let device = Device::with_faults(DeviceProps::titan_xp(), plan);
                 let sources = sources_of(&p, &g)?;
-                let (r, report) = solver
-                    .run_simt_on_observed(&device, &sources, obs)
+                let exec_plan = solver
+                    .plan_pinned(ExecutorKind::Simt, &sources)
                     .map_err(|e| e.to_string())?;
+                let ex = solver
+                    .execute_on_observed(&device, &exec_plan, obs)
+                    .map_err(|e| e.to_string())?;
+                let report = ex
+                    .simt_report()
+                    .cloned()
+                    .expect("SIMT plans carry a device report");
+                let r = ex.into_bc().expect("BC plans produce a BC result");
                 let _ = writeln!(
                     out,
                     "SIMT run under injected faults: kernel {} over {} source(s), \
@@ -306,9 +325,17 @@ pub fn run(args: &[String]) -> Result<String, String> {
             } else if p.flags.contains_key("simt") {
                 let solver = BcSolver::new(&g, options).map_err(|e| e.to_string())?;
                 let sources = sources_of(&p, &g)?;
-                let (r, report) = solver
-                    .run_simt_observed(&sources, obs)
+                let exec_plan = solver
+                    .plan_pinned(ExecutorKind::Simt, &sources)
                     .map_err(|e| e.to_string())?;
+                let ex = solver
+                    .execute_observed(&exec_plan, obs)
+                    .map_err(|e| e.to_string())?;
+                let report = ex
+                    .simt_report()
+                    .cloned()
+                    .expect("SIMT plans carry a device report");
+                let r = ex.into_bc().expect("BC plans produce a BC result");
                 let _ = writeln!(
                     out,
                     "SIMT run: kernel {} over {} source(s), modelled {:.3} ms, \
@@ -327,8 +354,9 @@ pub fn run(args: &[String]) -> Result<String, String> {
                 let ckpt = p.flags.get("checkpoint").expect("guarded by contains_key");
                 let solver = BcSolver::new(&g, options).map_err(|e| e.to_string())?;
                 let sources = sources_of(&p, &g)?;
+                let exec_plan = solver.plan(&sources).map_err(|e| e.to_string())?;
                 let r = solver
-                    .bc_sources_checkpointed(&sources)
+                    .execute_checkpointed(&exec_plan)
                     .map_err(|e| e.to_string())?;
                 let _ = writeln!(
                     out,
@@ -348,9 +376,14 @@ pub fn run(args: &[String]) -> Result<String, String> {
                 let solver = BcSolver::new(&g, options).map_err(|e| e.to_string())?;
                 let sources = sources_of(&p, &g)?;
                 let width = solver.resolve_batch_width(sources.len());
-                let r = solver
-                    .bc_batched_observed(&sources, obs)
+                let exec_plan = solver
+                    .plan_pinned(ExecutorKind::Batched, &sources)
                     .map_err(|e| e.to_string())?;
+                let r = solver
+                    .execute_observed(&exec_plan, obs)
+                    .map_err(|e| e.to_string())?
+                    .into_bc()
+                    .expect("BC plans produce a BC result");
                 let _ = writeln!(
                     out,
                     "batched run: kernel {} over {} source(s) in {} block(s) of width {}, {:.1} ms",
@@ -364,9 +397,20 @@ pub fn run(args: &[String]) -> Result<String, String> {
             } else {
                 let solver = BcSolver::new(&g, options).map_err(|e| e.to_string())?;
                 let sources = sources_of(&p, &g)?;
+                let exec_plan = solver.plan(&sources).map_err(|e| e.to_string())?;
+                if dispatch.is_some() {
+                    let _ = writeln!(
+                        out,
+                        "dispatch {}: {}",
+                        exec_plan.mode().describe(),
+                        exec_plan.summary()
+                    );
+                }
                 let r = solver
-                    .bc_sources_observed(&sources, obs)
-                    .map_err(|e| e.to_string())?;
+                    .execute_observed(&exec_plan, obs)
+                    .map_err(|e| e.to_string())?
+                    .into_bc()
+                    .expect("BC plans produce a BC result");
                 let _ = writeln!(
                     out,
                     "kernel {} over {} source(s), BFS depth <= {}, {:.1} ms",
@@ -761,6 +805,48 @@ mod tests {
         .unwrap();
         assert!(auto.contains("batched:"), "{auto}");
         assert!(run(&args(&["bc", mtx.to_str().unwrap(), "--batch", "nope"])).is_err());
+    }
+
+    #[test]
+    fn dispatch_flag_plans_and_matches_pinned() {
+        let mtx = temp("dispatch.mtx");
+        run(&args(&["gen", "com-Youtube", "-o", mtx.to_str().unwrap()])).unwrap();
+        let ranks = |s: &str| s[s.find("top ").unwrap()..].to_string();
+        let plain = run(&args(&["bc", mtx.to_str().unwrap(), "--samples", "9"])).unwrap();
+        let cost = run(&args(&[
+            "bc",
+            mtx.to_str().unwrap(),
+            "--samples",
+            "9",
+            "--dispatch",
+            "cost",
+        ]))
+        .unwrap();
+        assert!(cost.contains("dispatch cost:"), "{cost}");
+        assert_eq!(
+            ranks(&plain),
+            ranks(&cost),
+            "cost-model dispatch must not perturb the ranking"
+        );
+        let pinned = run(&args(&[
+            "bc",
+            mtx.to_str().unwrap(),
+            "--samples",
+            "9",
+            "--dispatch",
+            "pinned:seq",
+        ]))
+        .unwrap();
+        assert!(pinned.contains("dispatch pinned:seq"), "{pinned}");
+        assert_eq!(ranks(&plain), ranks(&pinned));
+        assert!(run(&args(&["bc", mtx.to_str().unwrap(), "--dispatch", "bogus"])).is_err());
+        assert!(run(&args(&[
+            "bc",
+            mtx.to_str().unwrap(),
+            "--dispatch",
+            "pinned:warp"
+        ]))
+        .is_err());
     }
 
     #[test]

@@ -71,6 +71,40 @@ impl<T: Copy> DeviceBuffer<T> {
     pub fn fill(&mut self, value: T) {
         self.data.fill(value);
     }
+
+    /// Host → device bulk transfer (a `cudaMemcpyHostToDevice`): copies
+    /// `src` over the whole buffer. The explicit transfer point for
+    /// mid-run hand-offs, where a traversal's frontier/σ/depth state
+    /// migrates from a CPU executor onto the device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src.len() != self.len()` — a partial upload would
+    /// leave the device state torn.
+    pub fn import(&mut self, src: &[T]) {
+        assert_eq!(
+            src.len(),
+            self.data.len(),
+            "import length must match the device allocation"
+        );
+        self.data.copy_from_slice(src);
+    }
+
+    /// Device → host bulk transfer (a `cudaMemcpyDeviceToHost`): copies
+    /// the whole buffer into `dst`. The explicit transfer point for
+    /// handing device-resident traversal state back to a CPU executor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst.len() != self.len()`.
+    pub fn export(&self, dst: &mut [T]) {
+        assert_eq!(
+            dst.len(),
+            self.data.len(),
+            "export length must match the device allocation"
+        );
+        dst.copy_from_slice(&self.data);
+    }
 }
 
 impl<T> std::fmt::Debug for DeviceBuffer<T> {
@@ -173,6 +207,25 @@ mod tests {
         let b = dev.alloc::<u64>(100).unwrap();
         let a_end = a.base_addr() + 800;
         assert!(b.base_addr() >= a_end, "buffers must not alias");
+    }
+
+    #[test]
+    fn import_export_round_trip_state() {
+        let dev = Device::with_capacity(DeviceProps::titan_xp(), 1 << 16);
+        let mut buf = dev.alloc::<i64>(5).unwrap();
+        buf.import(&[3, 1, 4, 1, 5]);
+        assert_eq!(buf.host(), &[3, 1, 4, 1, 5]);
+        let mut back = vec![0i64; 5];
+        buf.export(&mut back);
+        assert_eq!(back, vec![3, 1, 4, 1, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "import length")]
+    fn import_rejects_length_mismatch() {
+        let dev = Device::with_capacity(DeviceProps::titan_xp(), 1 << 16);
+        let mut buf = dev.alloc::<u32>(4).unwrap();
+        buf.import(&[1, 2, 3]);
     }
 
     #[test]

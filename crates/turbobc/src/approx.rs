@@ -107,7 +107,11 @@ pub(crate) fn bc_approx_with_solver(
     let sources: Vec<VertexId> = (0..k)
         .map(|_| rng.gen_range(0..n.max(1)) as VertexId)
         .collect();
-    let mut run = solver.bc_sources(&sources)?;
+    let plan = solver.plan(&sources)?;
+    let mut run = solver
+        .execute(&plan)?
+        .into_bc()
+        .expect("BC plans produce a BC result");
     let scale = if k > 0 { n as f64 / k as f64 } else { 0.0 };
     for b in &mut run.bc {
         *b *= scale;

@@ -110,6 +110,20 @@ pub(crate) struct BlockRun {
     pub sweeps: u32,
 }
 
+/// Splits `n_sources` into the contiguous `(first, len)` block ranges a
+/// width-`width` batched run sweeps — the unit the dispatcher's
+/// block-parallel strategy schedules across host threads. The trailing
+/// block may be narrower.
+pub(crate) fn block_ranges(n_sources: usize, width: usize) -> Vec<(usize, usize)> {
+    let width = width.max(1);
+    (0..n_sources.div_ceil(width))
+        .map(|i| {
+            let first = i * width;
+            (first, width.min(n_sources - first))
+        })
+        .collect()
+}
+
 /// Masks freshly-computed bits with the discovered set (`tbits &=
 /// !seen`) — the post-pass for the unmasked COOC / push kernels.
 fn mask_seen(tbits: &mut [u64], seen: &[u64]) {
@@ -574,6 +588,19 @@ mod tests {
         // The whole block costs max_height sweeps (5 levels from the
         // ends, final empty check included), not the sum over lanes.
         assert_eq!(run.sweeps, 5);
+    }
+
+    #[test]
+    fn block_ranges_cover_every_source_once() {
+        assert_eq!(block_ranges(10, 4), vec![(0, 4), (4, 4), (8, 2)]);
+        assert_eq!(block_ranges(8, 4), vec![(0, 4), (4, 4)]);
+        assert_eq!(block_ranges(3, 64), vec![(0, 3)]);
+        assert_eq!(block_ranges(0, 4), Vec::<(usize, usize)>::new());
+        assert_eq!(
+            block_ranges(5, 0),
+            vec![(0, 1), (1, 1), (2, 1), (3, 1), (4, 1)],
+            "width clamps to 1"
+        );
     }
 
     #[test]

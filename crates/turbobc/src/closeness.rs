@@ -80,7 +80,11 @@ pub(crate) fn closeness_with_solver(
             &all
         }
     };
-    let bfs = solver.ms_bfs(sources)?;
+    let plan = solver.plan_ms_bfs(sources)?;
+    let bfs = solver
+        .execute(&plan)?
+        .into_ms_bfs()
+        .expect("BFS plans produce an MS-BFS result");
     Ok(scores_from_sweeps(n, sources, &bfs))
 }
 

@@ -1,0 +1,346 @@
+//! The hybrid per-level executor: one traversal scheduled CPU↔device.
+//!
+//! Mishra et al. (PAPERS.md) observe that a BC traversal splits
+//! profitably *within* a source: the first and last levels touch a
+//! handful of vertices — host-cache territory — while the middle levels
+//! of small-world graphs hold most of the graph and are exactly what the
+//! SIMT pull kernels are built for. The driver here mirrors the
+//! sequential engine ([`crate::seq::bc_source_seq_traced`]) level for
+//! level, but at the top of every level consults the [`CostModel`]: when
+//! the frontier has entered its dense band (and the footprint admits the
+//! device), the `f`/σ/depth state is imported onto the device,
+//! [`crate::simt_engine`] pull levels run until the frontier thins past
+//! the exit threshold, and the state is exported back for the CPU tail.
+//!
+//! The backward (dependency) stage always runs on the host: its float
+//! arithmetic is order-sensitive, and keeping it on one executor makes a
+//! hybrid run bit-identical to the sequential engine — the property the
+//! handoff proptests pin down.
+
+use crate::dispatch::CostModel;
+use crate::error::TurboBcError;
+use crate::frontier::{DirectionEngine, DirectionMode, LevelDirection, LevelReport};
+use crate::observe::{Observer, TraceEvent};
+use crate::options::{Kernel, RecoveryPolicy};
+use crate::seq::{SeqScratch, SourceRun, Storage};
+use crate::simt_engine::forward_levels_simt;
+use turbobc_simt::Device;
+use turbobc_sparse::ops;
+
+/// Everything the per-level driver needs that is fixed across sources.
+pub(crate) struct HybridCtx<'a> {
+    pub storage: &'a Storage,
+    pub dir: &'a DirectionEngine,
+    pub kernel: Kernel,
+    pub policy: &'a RecoveryPolicy,
+    /// `None` when the footprint model rejected the device — the driver
+    /// then degenerates to the pure sequential engine.
+    pub device: Option<&'a Device>,
+    pub cost: &'a CostModel,
+}
+
+/// Runs Algorithm 1 for one source with per-level executor dispatch,
+/// accumulating into `bc`. Emits [`TraceEvent::Dispatch`] at every
+/// executor *transition* (depth granularity `"level"`) and forwards
+/// per-level reports through `on_level` exactly like the sequential
+/// engine. Returns the absorbed kernel-retry count alongside the run.
+#[allow(clippy::too_many_arguments)] // one arg per Algorithm-1 vector
+pub(crate) fn bc_source_hybrid(
+    ctx: &HybridCtx<'_>,
+    source: usize,
+    scale: f64,
+    bc: &mut [f64],
+    sigma: &mut [i64],
+    depths: &mut [u32],
+    scratch: &mut SeqScratch,
+    retries: &mut u64,
+    obs: &mut dyn Observer,
+    on_level: &mut dyn FnMut(LevelReport),
+) -> Result<SourceRun, TurboBcError> {
+    let storage = ctx.storage;
+    let dir = ctx.dir;
+    let n = storage.n();
+    let m = storage.m();
+    debug_assert_eq!(bc.len(), n);
+    sigma.fill(0);
+    depths.fill(ops::UNDISCOVERED);
+    if n == 0 {
+        return Ok(SourceRun {
+            height: 0,
+            reached: 0,
+        });
+    }
+
+    let SeqScratch {
+        f,
+        f_t,
+        frontier_list,
+        delta,
+        delta_u,
+        delta_ut,
+    } = scratch;
+    f.fill(0);
+    f[source] = 1;
+    sigma[source] = 1;
+    depths[source] = 1;
+    let mut d = 1u32;
+    let mut reached = 1usize;
+    frontier_list.clear();
+    let mut have_list = dir.needs_sparse();
+    if have_list {
+        frontier_list.push(source as u32);
+    }
+    let mut frontier_len = 1usize;
+    loop {
+        // ---- Dispatch decision: does the next level run on the device?
+        // (No sticky flag needed: a segment always hands back with the
+        // frontier under dense-exit, below the dense-enter threshold.)
+        if let Some(device) = ctx.device {
+            if ctx.cost.enter_device(frontier_len, n, m) {
+                obs.event(TraceEvent::Dispatch {
+                    granularity: "level",
+                    executor: "simt",
+                    source: source as u32,
+                    depth: d + 1,
+                    frontier: frontier_len,
+                    reason: format!(
+                        "frontier {frontier_len}/{n} past dense-enter {:.3}",
+                        ctx.cost.dense_enter
+                    ),
+                });
+                let seg = forward_levels_simt(
+                    device,
+                    storage,
+                    ctx.kernel,
+                    ctx.policy,
+                    f,
+                    sigma,
+                    depths,
+                    d,
+                    &mut |_, count| ctx.cost.keep_device(count, n),
+                )?;
+                *retries += seg.kernel_retries;
+                for &count in &seg.levels {
+                    d += 1;
+                    reached += count;
+                    frontier_len = count;
+                    on_level(LevelReport {
+                        depth: d,
+                        frontier: count,
+                        // Device levels are always the paper's pull.
+                        direction: LevelDirection::Pull,
+                        frontier_edges: 0,
+                    });
+                }
+                if seg.done {
+                    break;
+                }
+                // Hand back to the CPU for the sparse tail.
+                obs.event(TraceEvent::Dispatch {
+                    granularity: "level",
+                    executor: "cpu",
+                    source: source as u32,
+                    depth: d + 1,
+                    frontier: frontier_len,
+                    reason: format!(
+                        "frontier {frontier_len}/{n} under dense-exit {:.3}",
+                        ctx.cost.dense_exit
+                    ),
+                });
+                have_list = dir.needs_sparse()
+                    && (matches!(dir.mode(), DirectionMode::PushOnly)
+                        || frontier_len <= dir.threshold());
+                if have_list {
+                    frontier_list.clear();
+                    frontier_list.extend(
+                        f.iter()
+                            .enumerate()
+                            .filter(|(_, &v)| v != 0)
+                            .map(|(i, _)| i as u32),
+                    );
+                }
+                continue;
+            }
+        }
+
+        // ---- CPU level: identical to the sequential engine. ----
+        let frontier_edges = if have_list {
+            dir.frontier_edges(frontier_list)
+        } else {
+            0
+        };
+        let direction = dir.choose(frontier_len, frontier_edges, have_list);
+        f_t.fill(0);
+        match direction {
+            LevelDirection::Push => dir.push_seq(frontier_list, f, f_t),
+            LevelDirection::Pull => storage.forward(f, sigma, f_t),
+        }
+        let count = ops::mask_new_frontier(f_t, sigma, f);
+        if count == 0 {
+            break;
+        }
+        d += 1;
+        ops::update_sigma_depth(f, d, depths, sigma);
+        reached += count;
+        have_list = dir.needs_sparse()
+            && (matches!(dir.mode(), DirectionMode::PushOnly) || count <= dir.threshold());
+        if have_list {
+            frontier_list.clear();
+            frontier_list.extend(
+                f.iter()
+                    .enumerate()
+                    .filter(|(_, &v)| v != 0)
+                    .map(|(i, _)| i as u32),
+            );
+        }
+        frontier_len = count;
+        on_level(LevelReport {
+            depth: d,
+            frontier: count,
+            direction,
+            frontier_edges,
+        });
+    }
+    let height = d;
+
+    // ---- Backward stage: always the host (see module docs). ----
+    delta.fill(0.0);
+    let mut depth = height;
+    while depth > 1 {
+        ops::seed_delta_u(depths, sigma, delta, depth, delta_u);
+        delta_ut.fill(0.0);
+        storage.backward(delta_u, delta_ut);
+        ops::accumulate_delta(depths, sigma, delta_ut, depth, delta);
+        depth -= 1;
+    }
+    ops::accumulate_bc(delta, source, scale, bc);
+    Ok(SourceRun { height, reached })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observe::NullObserver;
+    use crate::seq::bc_source_seq_traced;
+    use turbobc_graph::{gen, Graph};
+    use turbobc_simt::Device;
+
+    fn hybrid_vs_seq(graph: &Graph, cost: &CostModel, with_device: bool) -> (Vec<f64>, Vec<f64>) {
+        let n = graph.n();
+        let storage = Storage::Csc(graph.to_csc());
+        let dir = DirectionEngine::new(graph, DirectionMode::PullOnly);
+        let policy = RecoveryPolicy::default();
+        let device = Device::titan_xp();
+        let ctx = HybridCtx {
+            storage: &storage,
+            dir: &dir,
+            kernel: Kernel::ScCsc,
+            policy: &policy,
+            device: with_device.then_some(&device),
+            cost,
+        };
+        let mut bc_h = vec![0.0; n];
+        let mut bc_s = vec![0.0; n];
+        let (mut sigma, mut depths) = (vec![0i64; n], vec![0u32; n]);
+        let (mut sigma_s, mut depths_s) = (vec![0i64; n], vec![0u32; n]);
+        let mut scratch = SeqScratch::new(n);
+        let mut retries = 0u64;
+        for s in 0..n.min(8) {
+            let hr = bc_source_hybrid(
+                &ctx,
+                s,
+                graph.bc_scale(),
+                &mut bc_h,
+                &mut sigma,
+                &mut depths,
+                &mut scratch,
+                &mut retries,
+                &mut NullObserver,
+                &mut |_| {},
+            )
+            .unwrap();
+            let sr = bc_source_seq_traced(
+                &storage,
+                &dir,
+                s,
+                graph.bc_scale(),
+                &mut bc_s,
+                &mut sigma_s,
+                &mut depths_s,
+                &mut SeqScratch::new(n),
+                None,
+                &mut |_| {},
+            );
+            assert_eq!(hr.height, sr.height, "source {s}");
+            assert_eq!(hr.reached, sr.reached, "source {s}");
+            assert_eq!(sigma, sigma_s, "σ must survive the handoff, source {s}");
+            assert_eq!(depths, depths_s, "depths must survive the handoff");
+        }
+        (bc_h, bc_s)
+    }
+
+    #[test]
+    fn hybrid_without_device_is_the_sequential_engine() {
+        let g = gen::rmat(7, 6, 11);
+        let (h, s) = hybrid_vs_seq(&g, &CostModel::default(), false);
+        assert_eq!(h, s);
+    }
+
+    #[test]
+    fn device_segments_preserve_bc_exactly() {
+        // The biased model actually enters device segments on these
+        // graphs; the result must still be bit-identical to sequential.
+        let cost = CostModel::device_biased();
+        for g in [
+            gen::rmat(7, 6, 3),
+            gen::preferential_attachment(150, 3, 5),
+            gen::delaunay(120, 9),
+        ] {
+            let (h, s) = hybrid_vs_seq(&g, &cost, true);
+            assert_eq!(h, s, "hybrid BC diverged from sequential");
+        }
+    }
+
+    #[test]
+    fn biased_model_emits_simt_level_dispatch_events() {
+        use crate::observe::ProfileObserver;
+        let g = gen::preferential_attachment(200, 4, 7);
+        let n = g.n();
+        let storage = Storage::Csc(g.to_csc());
+        let dir = DirectionEngine::new(&g, DirectionMode::PullOnly);
+        let policy = RecoveryPolicy::default();
+        let device = Device::titan_xp();
+        let cost = CostModel::device_biased();
+        let ctx = HybridCtx {
+            storage: &storage,
+            dir: &dir,
+            kernel: Kernel::ScCsc,
+            policy: &policy,
+            device: Some(&device),
+            cost: &cost,
+        };
+        let mut obs = ProfileObserver::new();
+        let mut bc = vec![0.0; n];
+        let (mut sigma, mut depths) = (vec![0i64; n], vec![0u32; n]);
+        let mut retries = 0u64;
+        bc_source_hybrid(
+            &ctx,
+            0,
+            g.bc_scale(),
+            &mut bc,
+            &mut sigma,
+            &mut depths,
+            &mut SeqScratch::new(n),
+            &mut retries,
+            &mut obs,
+            &mut |_| {},
+        )
+        .unwrap();
+        let profile = obs.profile();
+        assert!(
+            profile.dispatch.iter().any(|t| t.executor == "simt"),
+            "expected a device segment under the biased model: {:?}",
+            profile.dispatch
+        );
+    }
+}

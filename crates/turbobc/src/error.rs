@@ -45,6 +45,13 @@ pub enum TurboBcError {
     AllDevicesLost,
     /// A checkpoint file could not be written, read, or trusted.
     Checkpoint(CheckpointError),
+    /// An [`crate::dispatch::ExecutionPlan`] asks for something the
+    /// target executor cannot do (e.g. BC on the dependency-free
+    /// TurboBFS executor).
+    InvalidPlan {
+        /// What the plan asked for and why it was rejected.
+        detail: String,
+    },
 }
 
 /// Why a checkpoint save or resume failed.
@@ -128,6 +135,9 @@ impl fmt::Display for TurboBcError {
                 )
             }
             TurboBcError::Checkpoint(e) => write!(f, "{e}"),
+            TurboBcError::InvalidPlan { detail } => {
+                write!(f, "invalid execution plan: {detail}")
+            }
         }
     }
 }
@@ -180,6 +190,10 @@ mod tests {
             expected: 2,
         });
         assert!(e.to_string().contains("different run"));
+        let e = TurboBcError::InvalidPlan {
+            detail: "BC on turbobfs".to_string(),
+        };
+        assert!(e.to_string().starts_with("invalid execution plan:"));
     }
 
     #[test]

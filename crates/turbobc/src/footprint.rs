@@ -112,6 +112,22 @@ pub fn batched_bytes(n: usize, m: usize, b: usize, kernel: Kernel) -> u64 {
     structure + bits + sigma + depths + bc + phase
 }
 
+/// Device bytes a hybrid forward segment holds
+/// ([`crate::dispatch::PlanStrategy::Hybrid`]): the structure arrays plus
+/// the imported traversal state — `f`, `f_t`, σ (`i64`), depths (`u32`)
+/// and the frontier counter. Smaller than [`turbobc_bytes`] because the
+/// backward floats never visit the device (the hybrid backward stage is
+/// always the host's), so this is the admission criterion the dispatcher
+/// checks before scheduling device segments.
+pub fn hybrid_segment_bytes(n: usize, m: usize, kernel: Kernel) -> u64 {
+    let structure = match kernel {
+        Kernel::ScCooc => 4 * 2 * m,
+        _ => 4 * (n + 1 + m),
+    };
+    // f(8n) + f_t(8n) + σ(8n) + S(4n) + count(8).
+    (structure + 8 * n + 8 * n + 8 * n + 4 * n + 8) as u64
+}
+
 /// Picks the batched block width for [`crate::options::BatchWidth::Auto`]:
 /// the largest power-of-two `b ≤ 64` whose [`batched_bytes`] footprint
 /// fits `budget_bytes`, defaulting to 1 when even `b = 2` does not fit
@@ -149,7 +165,10 @@ mod tests {
         let g = turbobc_graph::gen::gnm(500, 2000, false, 9);
         let solver = BcSolver::new(&g, BcOptions::default()).unwrap();
         let dev = Device::titan_xp();
-        solver.run_simt_on(&dev, &[0]).unwrap();
+        let plan = solver
+            .plan_pinned(crate::dispatch::ExecutorKind::Simt, &[0])
+            .unwrap();
+        solver.execute_on(&dev, &plan).unwrap();
         let real_peak = dev.memory().peak;
         let dev2 = Device::titan_xp();
         let plan_peak = plan_peak_on_device(&dev2, g.n(), g.m(), solver.kernel()).unwrap();
@@ -229,6 +248,22 @@ mod tests {
         assert_eq!(auto_batch_width(n, m, Kernel::ScCsc, tight - 1), 4);
         // Nothing fits: degenerate to per-source width 1.
         assert_eq!(auto_batch_width(n, m, Kernel::ScCsc, 0), 1);
+    }
+
+    #[test]
+    fn hybrid_segment_stays_under_the_full_run_model() {
+        for &kernel in &[Kernel::ScCsc, Kernel::ScCooc, Kernel::VeCsc] {
+            let (n, m) = (1000, 8000);
+            assert!(
+                hybrid_segment_bytes(n, m, kernel) < turbobc_bytes(n, m, kernel),
+                "a forward-only segment must need less than a whole run"
+            );
+        }
+        // CSC: structure + 28n state + counter.
+        assert_eq!(
+            hybrid_segment_bytes(100, 1000, Kernel::ScCsc),
+            (4 * (100 + 1 + 1000) + 28 * 100 + 8) as u64
+        );
     }
 
     #[test]

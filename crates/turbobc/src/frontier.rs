@@ -258,6 +258,17 @@ impl Frontier {
             self.to_sparse()
         }
     }
+
+    /// Fraction of a graph's `n` vertices in the frontier — the density
+    /// signal the [`crate::dispatch::CostModel`] compares against its
+    /// enter/exit thresholds when scheduling device segments. Returns
+    /// 0.0 for an empty graph.
+    pub fn occupancy(&self, n: usize) -> f64 {
+        if n == 0 {
+            return 0.0;
+        }
+        self.len() as f64 / n as f64
+    }
 }
 
 /// What one forward level did — handed to the engines' level hooks and
@@ -452,6 +463,14 @@ mod tests {
     fn from_mask_collects_nonzero_entries() {
         let f = Frontier::from_mask(&[0, 4, 0, 1, -2]);
         assert_eq!(f, Frontier::Sparse(vec![1, 3, 4]));
+    }
+
+    #[test]
+    fn occupancy_is_the_density_fraction() {
+        let f = Frontier::sparse(vec![0, 1, 2, 3]);
+        assert!((f.occupancy(16) - 0.25).abs() < 1e-12);
+        assert_eq!(Frontier::sparse(vec![]).occupancy(0), 0.0);
+        assert!((f.to_dense(16).occupancy(16) - 0.25).abs() < 1e-12);
     }
 
     proptest! {

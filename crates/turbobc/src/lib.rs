@@ -82,6 +82,7 @@ pub mod approx;
 mod batched;
 pub mod checkpoint;
 pub mod closeness;
+pub mod dispatch;
 pub mod edge;
 mod error;
 pub mod footprint;
@@ -106,14 +107,18 @@ pub use simt_engine::{ms_bfs_simt, vecsc_reduction_ablation, MsBfsSimtOutcome};
 pub use approx::bc_approx;
 pub use approx::{ApproxBcResult, ApproxOptions};
 pub use checkpoint::CheckpointConfig;
+pub use dispatch::{
+    executor_for, CostModel, DispatchMode, Execution, ExecutionPlan, Executor, ExecutorKind,
+    PlanSegment, PlanStrategy,
+};
 pub use edge::EdgeBcResult;
 #[allow(deprecated)] // the shims stay importable from the crate root
 pub use edge::{edge_bc, edge_bc_sources};
 pub use error::{CheckpointError, TurboBcError};
 pub use frontier::{DirectionMode, Frontier, LevelDirection};
 pub use options::{
-    degrade, BatchWidth, BcOptions, BcOptionsBuilder, Engine, Kernel, KernelChoice, PrepMode,
-    RecoveryPolicy,
+    degrade, BatchWidth, BcOptions, BcOptionsBuilder, Engine, ExecutionPolicy, Kernel,
+    KernelChoice, PrepMode, RecoveryPolicy,
 };
 pub use prep::PrepReport;
 pub use result::{BcResult, RecoveryLog, RunStats, SimtReport};
@@ -126,14 +131,17 @@ pub use turbobfs::{BfsRun, TurboBfs};
 /// types, and the observability layer's entry points.
 pub mod prelude {
     pub use crate::checkpoint::CheckpointConfig;
+    pub use crate::dispatch::{
+        CostModel, DispatchMode, Execution, ExecutionPlan, ExecutorKind, PlanStrategy,
+    };
     pub use crate::error::{CheckpointError, TurboBcError};
     pub use crate::frontier::{DirectionMode, Frontier, LevelDirection};
     pub use crate::observe::{
         NullObserver, Observer, ProfileObserver, RunProfile, TraceEvent, PROFILE_SCHEMA,
     };
     pub use crate::options::{
-        BatchWidth, BcOptions, BcOptionsBuilder, Engine, Kernel, KernelChoice, PrepMode,
-        RecoveryPolicy,
+        BatchWidth, BcOptions, BcOptionsBuilder, Engine, ExecutionPolicy, Kernel, KernelChoice,
+        PrepMode, RecoveryPolicy,
     };
     pub use crate::prep::PrepReport;
     pub use crate::result::{BcResult, RecoveryLog, RunStats, SimtReport};

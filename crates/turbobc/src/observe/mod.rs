@@ -125,6 +125,30 @@ pub enum TraceEvent {
         /// component order.
         component_kernels: Vec<&'static str>,
     },
+    /// One executor dispatch decision (the [`crate::dispatch`] cost
+    /// model's counterpart to [`TraceEvent::KernelChoice`]): which
+    /// executor a run, source block, or individual BFS level was
+    /// scheduled onto and why. Emitted by [`crate::BcSolver::execute`]
+    /// at plan granularity and by the hybrid per-level driver at every
+    /// CPU↔device transition; survives attempt restarts like the
+    /// kernel-choice record.
+    Dispatch {
+        /// Decision granularity: `"run"`, `"block"`, or `"level"`.
+        granularity: &'static str,
+        /// Executor display name (`"seq"`, `"par"`, `"batched"`,
+        /// `"simt"`, `"cpu"`, `"hybrid"`, …).
+        executor: &'static str,
+        /// Source the decision applies to (the first source of a run or
+        /// block decision).
+        source: u32,
+        /// Depth the decision applies from (0 for run/block decisions).
+        depth: u32,
+        /// Frontier size (level decisions) or source count (run/block
+        /// decisions) the decision was based on.
+        frontier: usize,
+        /// The cost-model rationale.
+        reason: String,
+    },
     /// One batched block finished: `width` sources were advanced
     /// together by `sweeps` masked-SpMM matrix sweeps (the amortization
     /// the batched engine exists for — per-source cost is
@@ -275,6 +299,25 @@ pub struct PrepTrace {
     pub component_kernels: Vec<String>,
 }
 
+/// One [`TraceEvent::Dispatch`] with its timeline stamp.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DispatchTrace {
+    /// Decision granularity: `"run"`, `"block"`, or `"level"`.
+    pub granularity: String,
+    /// Executor display name.
+    pub executor: String,
+    /// Source the decision applies to.
+    pub source: u32,
+    /// Depth the decision applies from (0 for run/block decisions).
+    pub depth: u32,
+    /// Frontier size or source count behind the decision.
+    pub frontier: usize,
+    /// The cost-model rationale.
+    pub reason: String,
+    /// Seconds since the profile started.
+    pub t_s: f64,
+}
+
 /// One [`TraceEvent::Block`] with its timeline stamp.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BlockTrace {
@@ -361,6 +404,11 @@ pub struct RunProfile {
     /// `None` on legacy (passthrough) runs. Kept across attempt
     /// restarts like the kernel-choice record.
     pub prep: Option<PrepTrace>,
+    /// Executor dispatch decisions ([`crate::dispatch`]): the plan's
+    /// run/block assignments plus every per-level CPU↔device handoff.
+    /// Kept across attempt restarts like the kernel-choice record;
+    /// empty on statically dispatched runs.
+    pub dispatch: Vec<DispatchTrace>,
     /// Per-block completions of the successful attempt (batched engine
     /// only; empty for per-source engines).
     pub blocks: Vec<BlockTrace>,
@@ -614,6 +662,25 @@ impl RunProfile {
                 },
             ),
             (
+                "dispatch".into(),
+                Json::Arr(
+                    self.dispatch
+                        .iter()
+                        .map(|d| {
+                            Json::Obj(vec![
+                                ("granularity".into(), d.granularity.as_str().into()),
+                                ("executor".into(), d.executor.as_str().into()),
+                                ("source".into(), d.source.into()),
+                                ("depth".into(), d.depth.into()),
+                                ("frontier".into(), d.frontier.into()),
+                                ("reason".into(), d.reason.as_str().into()),
+                                ("t_s".into(), d.t_s.into()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
                 "blocks".into(),
                 Json::Arr(
                     self.blocks
@@ -732,6 +799,25 @@ impl RunProfile {
         // (and hand-built fixtures) may omit the key entirely.
         if doc.get("blocks").is_some() {
             check_entries("blocks", &["first_source", "width", "sweeps", "t_s"])?;
+        }
+        // "dispatch" arrived with the cost-model dispatcher; older
+        // profiles may omit the key entirely.
+        if let Some(arr) = doc.get("dispatch") {
+            let arr = arr.as_arr().ok_or("'dispatch' is not an array")?;
+            for (i, entry) in arr.iter().enumerate() {
+                for f in ["granularity", "executor", "reason"] {
+                    entry
+                        .get(f)
+                        .and_then(Json::as_str)
+                        .ok_or(format!("dispatch[{i}] missing string '{f}'"))?;
+                }
+                for f in ["source", "depth", "frontier", "t_s"] {
+                    entry
+                        .get(f)
+                        .and_then(Json::as_f64)
+                        .ok_or(format!("dispatch[{i}] missing number '{f}'"))?;
+                }
+            }
         }
         // "prep" arrived with the graph-reduction pipeline; same
         // back-compat rule — absent or null means a passthrough run.
@@ -910,6 +996,27 @@ impl RunProfile {
                 "  direction: {push} push / {pull} pull level(s), threshold {}",
                 self.directions.first().map(|d| d.threshold).unwrap_or(0)
             );
+        }
+        if !self.dispatch.is_empty() {
+            let device_levels = self
+                .dispatch
+                .iter()
+                .filter(|d| d.granularity == "level" && d.executor == "simt")
+                .count();
+            let _ = writeln!(
+                out,
+                "  dispatch: {} decision(s), {} device-segment entr{}",
+                self.dispatch.len(),
+                device_levels,
+                if device_levels == 1 { "y" } else { "ies" }
+            );
+            for d in &self.dispatch {
+                let _ = writeln!(
+                    out,
+                    "    [{:>5}] {} @ source {}, depth {}, frontier {} — {}",
+                    d.granularity, d.executor, d.source, d.depth, d.frontier, d.reason
+                );
+            }
         }
         if !self.blocks.is_empty() {
             let sweeps: u64 = self.blocks.iter().map(|b| u64::from(b.sweeps)).sum();
@@ -1143,6 +1250,24 @@ impl Observer for ProfileObserver {
                     component_kernels: component_kernels.into_iter().map(str::to_string).collect(),
                 });
             }
+            TraceEvent::Dispatch {
+                granularity,
+                executor,
+                source,
+                depth,
+                frontier,
+                reason,
+            } => {
+                p.dispatch.push(DispatchTrace {
+                    granularity: granularity.to_string(),
+                    executor: executor.to_string(),
+                    source,
+                    depth,
+                    frontier,
+                    reason,
+                    t_s,
+                });
+            }
             TraceEvent::Block {
                 first_source,
                 width,
@@ -1285,6 +1410,44 @@ mod tests {
             1,
             "recovery timeline survives the restart"
         );
+    }
+
+    #[test]
+    fn dispatch_decisions_survive_restarts_and_round_trip() {
+        let mut obs = ProfileObserver::new();
+        obs.event(TraceEvent::Dispatch {
+            granularity: "run",
+            executor: "hybrid",
+            source: 0,
+            depth: 0,
+            frontier: 2,
+            reason: "cost model picked per-level scheduling".to_string(),
+        });
+        feed(&mut obs);
+        obs.event(TraceEvent::Dispatch {
+            granularity: "level",
+            executor: "simt",
+            source: 0,
+            depth: 3,
+            frontier: 40,
+            reason: "frontier 40/100 past dense-enter".to_string(),
+        });
+        let p = obs.into_profile();
+        assert_eq!(
+            p.dispatch.len(),
+            2,
+            "run-granularity decision must survive RunStart"
+        );
+        assert_eq!(p.dispatch[0].granularity, "run");
+        assert_eq!(p.dispatch[1].executor, "simt");
+        let text = p.to_json_string();
+        let doc = RunProfile::validate(&text).expect("dispatch entries must validate");
+        assert_eq!(doc.get("dispatch").and_then(Json::as_arr).unwrap().len(), 2);
+        let s = p.summary();
+        assert!(s.contains("dispatch: 2 decision(s), 1 device-segment entry"));
+        // A malformed dispatch entry is rejected.
+        let bad = text.replace("\"granularity\": \"run\"", "\"granularity\": 7");
+        assert!(RunProfile::validate(&bad).unwrap_err().contains("dispatch"));
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! selection heuristic of the paper's §3.1.
 
 use crate::checkpoint::CheckpointConfig;
+use crate::dispatch::{CostModel, DispatchMode};
 use crate::frontier::DirectionMode;
 use turbobc_graph::GraphStats;
 use turbobc_simt::DeviceProps;
@@ -105,6 +106,41 @@ impl PrepMode {
     }
 }
 
+/// The runtime-scheduling section of [`BcOptions`]: how work is placed
+/// onto executors, how the frontier advances, and how wide the batched
+/// panels sweep. One coherent knob group — the direction switch, the
+/// batch width and the dispatch mode all answer the same question
+/// ("where does the next unit of work run?") at level, block, and run
+/// granularity respectively.
+///
+/// `#[non_exhaustive]`: construct through [`BcOptions::builder`] (or
+/// `Default`) and mutate public fields.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub struct ExecutionPolicy {
+    /// How the forward stage advances the frontier (push, pull, or the
+    /// per-level Beamer heuristic; see [`crate::frontier`]).
+    pub direction: DirectionMode,
+    /// Block width for the batched executor (sources per matrix sweep).
+    pub batch_width: BatchWidth,
+    /// How [`crate::BcSolver::plan`] chooses executors (see
+    /// [`crate::dispatch`]).
+    pub dispatch: DispatchMode,
+    /// Calibration constants for [`DispatchMode::CostModel`].
+    pub cost: CostModel,
+}
+
+impl Default for ExecutionPolicy {
+    fn default() -> Self {
+        ExecutionPolicy {
+            direction: DirectionMode::Auto,
+            batch_width: BatchWidth::Auto,
+            dispatch: DispatchMode::Auto,
+            cost: CostModel::default(),
+        }
+    }
+}
+
 /// Options for [`crate::BcSolver`], built with [`BcOptions::builder`].
 ///
 /// The struct is `#[non_exhaustive]`: downstream crates construct it
@@ -117,20 +153,17 @@ pub struct BcOptions {
     pub kernel: Kernel,
     /// Execution engine.
     pub engine: Engine,
-    /// How the forward stage advances the frontier (push, pull, or the
-    /// per-level Beamer heuristic; see [`crate::frontier`]).
-    pub direction: DirectionMode,
+    /// Runtime scheduling: direction, batch width, dispatch mode and
+    /// cost-model calibration.
+    pub execution: ExecutionPolicy,
     /// What the solver does when a device misbehaves.
     pub recovery: RecoveryPolicy,
     /// Checkpoint/resume configuration for
-    /// [`crate::BcSolver::bc_sources_checkpointed`]; `None` means the
+    /// [`crate::BcSolver::execute_checkpointed`]; `None` means the
     /// checkpointed entry points refuse to run.
     pub checkpoint: Option<CheckpointConfig>,
-    /// The simulated GPU that [`crate::BcSolver::run_simt`] targets.
+    /// The simulated GPU that device plans target.
     pub device: DeviceProps,
-    /// Block width for [`crate::BcSolver::bc_batched`] (sources per
-    /// matrix sweep).
-    pub batch_width: BatchWidth,
     /// Graph-reduction pipeline run before the engines (see
     /// [`crate::prep`]).
     pub prep: PrepMode,
@@ -141,11 +174,10 @@ impl Default for BcOptions {
         BcOptions {
             kernel: Kernel::Auto,
             engine: Engine::Parallel,
-            direction: DirectionMode::Auto,
+            execution: ExecutionPolicy::default(),
             recovery: RecoveryPolicy::default(),
             checkpoint: None,
             device: DeviceProps::titan_xp(),
-            batch_width: BatchWidth::Auto,
             prep: PrepMode::Auto,
         }
     }
@@ -200,7 +232,7 @@ impl BcOptionsBuilder {
 
     /// Selects the frontier direction mode (see [`crate::frontier`]).
     pub fn direction(mut self, direction: DirectionMode) -> Self {
-        self.options.direction = direction;
+        self.options.execution.direction = direction;
         self
     }
 
@@ -235,14 +267,28 @@ impl BcOptionsBuilder {
 
     /// Fixes the batched engine's block width (sources per sweep).
     pub fn batch_width(mut self, width: usize) -> Self {
-        self.options.batch_width = BatchWidth::Fixed(width);
+        self.options.execution.batch_width = BatchWidth::Fixed(width);
         self
     }
 
     /// Lets the batched engine pick its block width from the footprint
     /// model and the configured device (the default).
     pub fn batch_width_auto(mut self) -> Self {
-        self.options.batch_width = BatchWidth::Auto;
+        self.options.execution.batch_width = BatchWidth::Auto;
+        self
+    }
+
+    /// Selects how [`crate::BcSolver::plan`] places work onto executors
+    /// (see [`crate::dispatch`]).
+    pub fn dispatch(mut self, dispatch: DispatchMode) -> Self {
+        self.options.execution.dispatch = dispatch;
+        self
+    }
+
+    /// Replaces the cost-model calibration constants used by
+    /// [`DispatchMode::CostModel`].
+    pub fn cost_model(mut self, cost: CostModel) -> Self {
+        self.options.execution.cost = cost;
         self
     }
 
@@ -465,12 +511,14 @@ mod tests {
         let o = BcOptions::default();
         assert_eq!(o.kernel, Kernel::Auto);
         assert_eq!(o.engine, Engine::Parallel);
-        assert_eq!(o.direction, DirectionMode::Auto);
+        assert_eq!(o.execution.direction, DirectionMode::Auto);
+        assert_eq!(o.execution.dispatch, DispatchMode::Auto);
+        assert_eq!(o.execution.cost, CostModel::default());
         assert_eq!(o.recovery, RecoveryPolicy::default());
         assert!(o.recovery.allow_degradation && o.recovery.allow_cpu_fallback);
         assert!(o.checkpoint.is_none());
         assert_eq!(o.device, DeviceProps::titan_xp());
-        assert_eq!(o.batch_width, BatchWidth::Auto);
+        assert_eq!(o.execution.batch_width, BatchWidth::Auto);
         assert_eq!(o.prep, PrepMode::Auto);
     }
 
@@ -485,15 +533,19 @@ mod tests {
             .build();
         assert_eq!(built.kernel, Kernel::VeCsc);
         assert_eq!(built.engine, Engine::Sequential);
-        assert_eq!(built.direction, DirectionMode::PushOnly);
+        assert_eq!(built.execution.direction, DirectionMode::PushOnly);
         assert_eq!(
-            BcOptions::builder().pull_only().build().direction,
+            BcOptions::builder().pull_only().build().execution.direction,
             DirectionMode::PullOnly
         );
         assert_eq!(built.recovery, RecoveryPolicy::strict());
         assert_eq!(built.checkpoint.as_ref().unwrap().every, 8);
         assert_eq!(
-            BcOptions::builder().batch_width(17).build().batch_width,
+            BcOptions::builder()
+                .batch_width(17)
+                .build()
+                .execution
+                .batch_width,
             BatchWidth::Fixed(17)
         );
         assert_eq!(
@@ -501,8 +553,25 @@ mod tests {
                 .batch_width(17)
                 .batch_width_auto()
                 .build()
+                .execution
                 .batch_width,
             BatchWidth::Auto
+        );
+        assert_eq!(
+            BcOptions::builder()
+                .dispatch(DispatchMode::CostModel)
+                .build()
+                .execution
+                .dispatch,
+            DispatchMode::CostModel
+        );
+        assert_eq!(
+            BcOptions::builder()
+                .cost_model(CostModel::device_biased())
+                .build()
+                .execution
+                .cost,
+            CostModel::device_biased()
         );
         assert_eq!(
             BcOptions::builder().parallel().build(),

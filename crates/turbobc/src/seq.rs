@@ -32,7 +32,7 @@ impl Storage {
     /// Forward masked SpMV (`f_t ← Aᵀ f`, only into undiscovered
     /// vertices). `f_t` must be zeroed by the caller (Algorithm 1 line
     /// 14).
-    fn forward(&self, f: &[i64], sigma: &[i64], f_t: &mut [i64]) {
+    pub(crate) fn forward(&self, f: &[i64], sigma: &[i64], f_t: &mut [i64]) {
         match self {
             // Algorithm 3: the σ-mask is fused into the column gather.
             Storage::Csc(c) => c.masked_spmv_t(f, |j| sigma[j] == 0, f_t),
@@ -45,7 +45,7 @@ impl Storage {
     /// Backward SpMV (`δ_ut ← A δ_u`): dependencies flow from children
     /// back to parents along forward edges. `δ_ut` must be zeroed by the
     /// caller.
-    fn backward(&self, delta_u: &[f64], delta_ut: &mut [f64]) {
+    pub(crate) fn backward(&self, delta_u: &[f64], delta_ut: &mut [f64]) {
         match self {
             Storage::Csc(c) => c.spmv(delta_u, delta_ut),
             Storage::Cooc(c) => c.spmv(delta_u, delta_ut),
@@ -69,12 +69,12 @@ pub(crate) struct SourceRun {
 /// float arrays" rule is about *device* memory; the SIMT engine still
 /// honours it. Host scratch is cheap to keep resident.)
 pub(crate) struct SeqScratch {
-    f: Vec<i64>,
-    f_t: Vec<i64>,
-    frontier_list: Vec<u32>,
-    delta: Vec<f64>,
-    delta_u: Vec<f64>,
-    delta_ut: Vec<f64>,
+    pub(crate) f: Vec<i64>,
+    pub(crate) f_t: Vec<i64>,
+    pub(crate) frontier_list: Vec<u32>,
+    pub(crate) delta: Vec<f64>,
+    pub(crate) delta_u: Vec<f64>,
+    pub(crate) delta_ut: Vec<f64>,
 }
 
 impl SeqScratch {

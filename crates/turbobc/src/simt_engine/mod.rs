@@ -64,6 +64,173 @@ enum DeviceStructure {
     },
 }
 
+/// Host → device transfer of the single sparse structure a run uses
+/// (the paper's one-format memory rule). Fails with
+/// [`TurboBcError::StorageMismatch`] when the storage format does not
+/// match the kernel.
+fn upload_structure(
+    device: &Device,
+    storage: &Storage,
+    kernel: Kernel,
+) -> Result<DeviceStructure, TurboBcError> {
+    match (storage, kernel) {
+        (Storage::Csc(csc), Kernel::ScCsc | Kernel::VeCsc) => {
+            let cp: Vec<u32> = csc.col_ptr().iter().map(|&p| p as u32).collect();
+            Ok(DeviceStructure::Csc {
+                cp: device.alloc_from(&cp)?,
+                rows: device.alloc_from(csc.row_idx())?,
+            })
+        }
+        (Storage::Cooc(cooc), Kernel::ScCooc) => Ok(DeviceStructure::Cooc {
+            row_a: device.alloc_from(cooc.row_a())?,
+            col_a: device.alloc_from(cooc.col_a())?,
+        }),
+        _ => Err(TurboBcError::StorageMismatch {
+            kernel: kernel.name(),
+        }),
+    }
+}
+
+/// Pull-forward one BFS level on an already-uploaded structure. Shared
+/// between the whole-run driver ([`bc_simt`]) and the mid-run segment
+/// driver ([`forward_levels_simt`]).
+#[allow(clippy::too_many_arguments)] // one slot per device vector
+fn forward_level_kernel(
+    device: &Device,
+    structure: &DeviceStructure,
+    kernel: Kernel,
+    sigma_d: &DeviceBuffer<i64>,
+    f: &DeviceBuffer<i64>,
+    f_t: &mut DeviceBuffer<i64>,
+) -> Result<turbobc_simt::KernelStats, DeviceError> {
+    match (structure, kernel) {
+        (DeviceStructure::Cooc { row_a, col_a }, Kernel::ScCooc) => kernels::forward_sccooc(
+            device,
+            &row_a.dslice(),
+            &col_a.dslice(),
+            &f.dslice(),
+            &mut f_t.dslice_mut(),
+        ),
+        (DeviceStructure::Csc { cp, rows }, Kernel::ScCsc) => kernels::forward_sccsc(
+            device,
+            &cp.dslice(),
+            &rows.dslice(),
+            &sigma_d.dslice(),
+            &f.dslice(),
+            &mut f_t.dslice_mut(),
+        ),
+        (DeviceStructure::Csc { cp, rows }, Kernel::VeCsc) => kernels::forward_vecsc(
+            device,
+            &cp.dslice(),
+            &rows.dslice(),
+            &sigma_d.dslice(),
+            &f.dslice(),
+            &mut f_t.dslice_mut(),
+        ),
+        _ => unreachable!("structure/kernel matched at upload"),
+    }
+}
+
+/// What one device segment of a hybrid traversal did.
+#[derive(Debug)]
+pub(crate) struct DeviceSegment {
+    /// Frontier size of each level the segment advanced, in order.
+    pub levels: Vec<usize>,
+    /// True when the traversal finished on the device (empty frontier):
+    /// the CPU driver skips straight to the backward stage.
+    pub done: bool,
+    /// Transient kernel faults absorbed inside the segment.
+    pub kernel_retries: u64,
+}
+
+/// Advances the dense middle levels of one traversal on the device: the
+/// CPU driver's `f`/σ/depth state is imported, pull levels run until
+/// `keep_on_device` declines the next one (or the frontier empties), and
+/// the state is exported back — the dispatch layer's CPU↔device handoff.
+///
+/// `start_depth` is the depth already reached by the CPU levels (source
+/// at 1); on return `depths`/σ cover every level the segment advanced,
+/// and `f` holds the segment's final frontier, so the CPU loop resumes
+/// exactly where a pure-CPU run would be — with one caveat: the device's
+/// `bfs_update` accumulates σ with plain adds where the host uses
+/// saturating adds, so the two diverge only on graphs whose path counts
+/// overflow `i64` (such σ-saturating fixtures are filtered from the
+/// equivalence batteries).
+///
+/// The structure is re-uploaded per segment: a hybrid traversal only
+/// enters the device for its dense middle, so the upload is paid at most
+/// once per source, and between segments the device holds nothing —
+/// preserving the §3.4 rule that forward integer state never coexists
+/// with backward floats (the backward stage of a hybrid run is always
+/// the host's).
+#[allow(clippy::too_many_arguments)] // one slot per Algorithm-1 vector
+pub(crate) fn forward_levels_simt(
+    device: &Device,
+    storage: &Storage,
+    kernel: Kernel,
+    policy: &RecoveryPolicy,
+    f: &mut [i64],
+    sigma: &mut [i64],
+    depths: &mut [u32],
+    start_depth: u32,
+    keep_on_device: &mut dyn FnMut(u32, usize) -> bool,
+) -> Result<DeviceSegment, TurboBcError> {
+    let n = storage.n();
+    let mut kernel_retries = 0u64;
+    let structure = upload_structure(device, storage, kernel)?;
+
+    // Import the CPU traversal state (host → device).
+    let mut f_d = device.alloc::<i64>(n)?;
+    let mut f_t_d = device.alloc::<i64>(n)?; // zero-filled by alloc
+    let mut sigma_d = device.alloc::<i64>(n)?;
+    let mut depths_d = device.alloc::<u32>(n)?;
+    let mut count_d = device.alloc::<i64>(1)?;
+    f_d.import(f);
+    sigma_d.import(sigma);
+    depths_d.import(depths);
+
+    let mut d = start_depth;
+    let mut levels = Vec::new();
+    let mut done = false;
+    loop {
+        retry_kernel(policy, &mut kernel_retries, || {
+            forward_level_kernel(device, &structure, kernel, &sigma_d, &f_d, &mut f_t_d)
+        })?;
+        count_d.fill(0);
+        retry_kernel(policy, &mut kernel_retries, || {
+            kernels::bfs_update(
+                device,
+                &mut f_t_d.dslice_mut(),
+                &mut sigma_d.dslice_mut(),
+                &mut depths_d.dslice_mut(),
+                &mut f_d.dslice_mut(),
+                d + 1,
+                &mut count_d.dslice_mut(),
+            )
+        })?;
+        let count = count_d.host()[0] as usize;
+        if count == 0 {
+            done = true;
+            break;
+        }
+        d += 1;
+        levels.push(count);
+        if !keep_on_device(d, count) {
+            break;
+        }
+    }
+
+    // Export the advanced state back to the CPU driver (device → host).
+    f_d.export(f);
+    sigma_d.export(sigma);
+    depths_d.export(depths);
+    Ok(DeviceSegment {
+        levels,
+        done,
+        kernel_retries,
+    })
+}
+
 /// Runs BC for `sources` on the simulated device. Kernel must be
 /// resolved (not `Auto`); the storage format must match the kernel.
 ///
@@ -107,24 +274,7 @@ pub(crate) fn bc_simt(
     });
 
     // Host → device transfer of the single structure this run uses.
-    let structure = match (storage, kernel) {
-        (Storage::Csc(csc), Kernel::ScCsc | Kernel::VeCsc) => {
-            let cp: Vec<u32> = csc.col_ptr().iter().map(|&p| p as u32).collect();
-            DeviceStructure::Csc {
-                cp: device.alloc_from(&cp)?,
-                rows: device.alloc_from(csc.row_idx())?,
-            }
-        }
-        (Storage::Cooc(cooc), Kernel::ScCooc) => DeviceStructure::Cooc {
-            row_a: device.alloc_from(cooc.row_a())?,
-            col_a: device.alloc_from(cooc.col_a())?,
-        },
-        _ => {
-            return Err(TurboBcError::StorageMismatch {
-                kernel: kernel.name(),
-            })
-        }
-    };
+    let structure = upload_structure(device, storage, kernel)?;
 
     // Explicit push: the CSR rides *alongside* the pull structure (the
     // backward sweep still needs the latter), deliberately trading the
@@ -188,38 +338,7 @@ pub(crate) fn bc_simt(
                             &mut f_t.dslice_mut(),
                         );
                     }
-                    match (&structure, kernel) {
-                        (DeviceStructure::Cooc { row_a, col_a }, Kernel::ScCooc) => {
-                            kernels::forward_sccooc(
-                                device,
-                                &row_a.dslice(),
-                                &col_a.dslice(),
-                                &f.dslice(),
-                                &mut f_t.dslice_mut(),
-                            )
-                        }
-                        (DeviceStructure::Csc { cp, rows }, Kernel::ScCsc) => {
-                            kernels::forward_sccsc(
-                                device,
-                                &cp.dslice(),
-                                &rows.dslice(),
-                                &sigma_d.dslice(),
-                                &f.dslice(),
-                                &mut f_t.dslice_mut(),
-                            )
-                        }
-                        (DeviceStructure::Csc { cp, rows }, Kernel::VeCsc) => {
-                            kernels::forward_vecsc(
-                                device,
-                                &cp.dslice(),
-                                &rows.dslice(),
-                                &sigma_d.dslice(),
-                                &f.dslice(),
-                                &mut f_t.dslice_mut(),
-                            )
-                        }
-                        _ => unreachable!("structure/kernel matched at build"),
-                    }
+                    forward_level_kernel(device, &structure, kernel, &sigma_d, &f, &mut f_t)
                 })?;
                 count_d.fill(0);
                 retry_kernel(policy, &mut kernel_retries, || {

@@ -2,9 +2,13 @@
 //! fault-recovery policy together.
 
 use crate::approx::{bc_approx_with_solver, ApproxBcResult};
-use crate::batched::{bc_block_traced, BatchScratch};
-use crate::checkpoint;
+use crate::batched::{bc_block_traced, block_ranges, BatchScratch};
+use crate::checkpoint::{self, CheckpointConfig};
 use crate::closeness::{closeness_with_solver, ClosenessResult};
+use crate::dispatch::{
+    executor_for, hybrid, DispatchMode, Execution, ExecutionPlan, ExecutorKind, PlanSegment,
+    PlanStrategy, PlanWork,
+};
 use crate::edge::{edge_bc_with_solver, EdgeBcResult};
 use crate::error::{CheckpointError, TurboBcError};
 use crate::footprint;
@@ -19,6 +23,7 @@ use crate::prep::{self, PrepPlan, PrepReport, ReducedComponent};
 use crate::result::{BcResult, RecoveryLog, RunStats, SimtReport};
 use crate::seq::{bc_source_seq_traced, SeqScratch, SourceRun, Storage};
 use crate::simt_engine::bc_simt;
+use crate::turbobfs::TurboBfs;
 use std::time::Instant;
 use turbobc_graph::{Graph, GraphStats, VertexId};
 use turbobc_simt::{Device, DeviceError};
@@ -205,7 +210,7 @@ impl BcSolver {
             Kernel::ScCooc => Storage::Cooc(graph.to_cooc()),
             _ => Storage::Csc(graph.to_csc()),
         };
-        let dir = DirectionEngine::new(graph, options.direction);
+        let dir = DirectionEngine::new(graph, options.execution.direction);
         let prep = prep::build_plan(graph, options.prep);
         Ok(BcSolver {
             dir,
@@ -286,13 +291,13 @@ impl BcSolver {
     /// BC contribution of a single source (the paper's "BC/vertex"
     /// experiments, Tables 1–4).
     pub fn bc_single_source(&self, source: VertexId) -> Result<BcResult, TurboBcError> {
-        self.bc_sources(&[source])
+        self.bc_via_plan(&[source])
     }
 
     /// Exact BC: all `n` sources (Table 5).
     pub fn bc_exact(&self) -> Result<BcResult, TurboBcError> {
         let sources: Vec<VertexId> = (0..self.n as VertexId).collect();
-        self.bc_sources(&sources)
+        self.bc_via_plan(&sources)
     }
 
     /// Approximate BC from `k` evenly-spaced pivot sources (Brandes &
@@ -306,12 +311,370 @@ impl BcSolver {
             .take(k)
             .map(|s| s as VertexId)
             .collect();
-        self.bc_sources(&sources)
+        self.bc_via_plan(&sources)
     }
+
+    /// Plans and executes in one step — the shared path of the
+    /// convenience entry points above.
+    fn bc_via_plan(&self, sources: &[VertexId]) -> Result<BcResult, TurboBcError> {
+        let plan = self.plan(sources)?;
+        Ok(self
+            .execute(&plan)?
+            .into_bc()
+            .expect("BC plans produce a BC result"))
+    }
+
+    // ------------------------------------------------------------------
+    // The plan/execute API (see [`crate::dispatch`]).
+    // ------------------------------------------------------------------
+
+    /// Builds an [`ExecutionPlan`] for BC over `sources` under the
+    /// configured [`DispatchMode`]
+    /// (`BcOptions::builder().dispatch(..)`):
+    ///
+    /// * [`DispatchMode::Auto`] — one executor for the whole run, taken
+    ///   from [`BcOptions::engine`] (the pre-plan static behaviour);
+    /// * [`DispatchMode::Pinned`] — the named executor, unconditionally;
+    /// * [`DispatchMode::CostModel`] — the calibrated
+    ///   [`crate::dispatch::CostModel`] picks between the CPU engines,
+    ///   block-parallel batched panels, and per-level hybrid CPU↔device
+    ///   scheduling, with the `7n + m` footprint model as the device
+    ///   admission criterion.
+    ///
+    /// Plans are plain data — inspect [`ExecutionPlan::summary`] before
+    /// running [`BcSolver::execute`].
+    pub fn plan(&self, sources: &[VertexId]) -> Result<ExecutionPlan, TurboBcError> {
+        self.validate_sources(sources)?;
+        Ok(match self.options.execution.dispatch {
+            DispatchMode::Auto => {
+                let kind = ExecutorKind::from_engine(self.options.engine);
+                self.single_plan(
+                    DispatchMode::Auto,
+                    kind,
+                    sources,
+                    format!("static `{}` engine from BcOptions", kind.name()),
+                )
+            }
+            DispatchMode::Pinned(kind) => self.pinned_plan(kind, sources),
+            DispatchMode::CostModel => self.cost_plan(sources),
+        })
+    }
+
+    /// A plan that runs every source on one named executor, regardless
+    /// of the configured dispatch mode — what the deprecated
+    /// engine-specific entry points build internally.
+    pub fn plan_pinned(
+        &self,
+        kind: ExecutorKind,
+        sources: &[VertexId],
+    ) -> Result<ExecutionPlan, TurboBcError> {
+        self.validate_sources(sources)?;
+        Ok(self.pinned_plan(kind, sources))
+    }
+
+    /// Plans multi-source BFS work: the bit-parallel MS-BFS sweeps by
+    /// default, per-source [`TurboBfs`] traversals when pinned to it.
+    /// Any other pin is rejected — only those two executors produce
+    /// depth vectors without the dependency stage.
+    pub fn plan_ms_bfs(&self, sources: &[VertexId]) -> Result<ExecutionPlan, TurboBcError> {
+        self.validate_sources(sources)?;
+        let kind = match self.options.execution.dispatch {
+            DispatchMode::Pinned(k) => k,
+            _ => ExecutorKind::Batched,
+        };
+        match kind {
+            ExecutorKind::Batched | ExecutorKind::TurboBfs => Ok(ExecutionPlan {
+                work: PlanWork::MsBfs,
+                mode: self.options.execution.dispatch,
+                sources: sources.to_vec(),
+                strategy: PlanStrategy::Single(kind),
+                segments: vec![PlanSegment {
+                    executor: kind,
+                    first: 0,
+                    len: sources.len(),
+                    rationale: "BFS depths only; no dependency stage".to_string(),
+                }],
+            }),
+            other => Err(TurboBcError::InvalidPlan {
+                detail: format!(
+                    "multi-source BFS runs on the batched sweeps or TurboBFS, not `{}`",
+                    other.name()
+                ),
+            }),
+        }
+    }
+
+    fn pinned_plan(&self, kind: ExecutorKind, sources: &[VertexId]) -> ExecutionPlan {
+        let strategy = match kind {
+            ExecutorKind::Hybrid => PlanStrategy::Hybrid,
+            k => PlanStrategy::Single(k),
+        };
+        ExecutionPlan {
+            work: PlanWork::Bc,
+            mode: DispatchMode::Pinned(kind),
+            sources: sources.to_vec(),
+            strategy,
+            segments: vec![PlanSegment {
+                executor: kind,
+                first: 0,
+                len: sources.len(),
+                rationale: "pinned by caller".to_string(),
+            }],
+        }
+    }
+
+    fn single_plan(
+        &self,
+        mode: DispatchMode,
+        kind: ExecutorKind,
+        sources: &[VertexId],
+        rationale: String,
+    ) -> ExecutionPlan {
+        ExecutionPlan {
+            work: PlanWork::Bc,
+            mode,
+            sources: sources.to_vec(),
+            strategy: PlanStrategy::Single(kind),
+            segments: vec![PlanSegment {
+                executor: kind,
+                first: 0,
+                len: sources.len(),
+                rationale,
+            }],
+        }
+    }
+
+    /// The cost-model planner. Request-size granularity first: few
+    /// sources plan per BFS level (hybrid), many sources plan per source
+    /// block. The batched panels win blocks on sparse scale-free graphs
+    /// (short traversals amortise across wide panels, the paper's
+    /// Table 5 regime) when the block's σ/δ panels stay cache-resident
+    /// and the footprint model admits the width; everything else runs
+    /// the per-source engines — rayon across sources when it models a
+    /// speed-up over the sequential sweeps, sequential otherwise.
+    fn cost_plan(&self, sources: &[VertexId]) -> ExecutionPlan {
+        let cost = &self.options.execution.cost;
+        let mk =
+            |strategy: PlanStrategy, executor: ExecutorKind, rationale: String| ExecutionPlan {
+                work: PlanWork::Bc,
+                mode: DispatchMode::CostModel,
+                sources: sources.to_vec(),
+                strategy,
+                segments: vec![PlanSegment {
+                    executor,
+                    first: 0,
+                    len: sources.len(),
+                    rationale,
+                }],
+            };
+        if sources.len() < cost.block_sources {
+            return mk(
+                PlanStrategy::Hybrid,
+                ExecutorKind::Hybrid,
+                format!(
+                    "{} source(s) under block granularity {}: schedule each level CPU↔device",
+                    sources.len(),
+                    cost.block_sources
+                ),
+            );
+        }
+        // Size batched blocks so every rayon worker gets one: a single
+        // width-64 block on a 4-thread host leaves three workers idle,
+        // while 4 × width-16 blocks keep them all sweeping.
+        let threads = rayon::current_num_threads().max(1);
+        let width = self
+            .resolve_batch_width(sources.len())
+            .min(sources.len().div_ceil(threads))
+            .max(1);
+        let seq_ns = executor_for(ExecutorKind::CpuSequential).estimate_ns(
+            cost,
+            &self.stats,
+            sources.len(),
+            width,
+        );
+        let par_ns = executor_for(ExecutorKind::CpuParallel).estimate_ns(
+            cost,
+            &self.stats,
+            sources.len(),
+            width,
+        );
+        let batched_ns = executor_for(ExecutorKind::Batched).estimate_ns(
+            cost,
+            &self.stats,
+            sources.len(),
+            width,
+        );
+        let batched_wins = width > 1
+            && self.stats.is_scale_free()
+            && self.stats.degree.mean <= cost.panel_degree_max
+            && cost.panels_resident(self.n, width)
+            && batched_ns < par_ns
+            && executor_for(ExecutorKind::Batched).admits(
+                self.n,
+                self.m,
+                self.kernel,
+                width,
+                self.options.device.global_mem_bytes,
+            );
+        if batched_wins {
+            let rationale = format!(
+                "scale-free (scf {:.1}, mean degree {:.1}) and {} KiB panels stay resident: \
+                 width-{width} panels model {:.0}µs vs {:.0}µs parallel",
+                self.stats.scf,
+                self.stats.degree.mean,
+                cost.panel_bytes(self.n, width) >> 10,
+                batched_ns / 1e3,
+                par_ns / 1e3
+            );
+            if self.prep.is_some() {
+                // Reduction-routed runs keep the batched engine's own
+                // per-component splitting.
+                mk(
+                    PlanStrategy::Single(ExecutorKind::Batched),
+                    ExecutorKind::Batched,
+                    rationale,
+                )
+            } else {
+                mk(
+                    PlanStrategy::BlockParallel { width },
+                    ExecutorKind::Batched,
+                    rationale,
+                )
+            }
+        } else if par_ns < seq_ns {
+            mk(
+                PlanStrategy::Single(ExecutorKind::CpuParallel),
+                ExecutorKind::CpuParallel,
+                format!(
+                    "panels decline the block (scf {:.1}, mean degree {:.1}, width {width}): \
+                     rayon across sources models {:.0}µs",
+                    self.stats.scf,
+                    self.stats.degree.mean,
+                    par_ns / 1e3
+                ),
+            )
+        } else {
+            // One worker thread: rayon models no speed-up, so the tie
+            // breaks to the overhead-free sequential engine.
+            mk(
+                PlanStrategy::Single(ExecutorKind::CpuSequential),
+                ExecutorKind::CpuSequential,
+                format!(
+                    "single host thread (scf {:.1}): sequential sweeps model {:.0}µs",
+                    self.stats.scf,
+                    seq_ns / 1e3
+                ),
+            )
+        }
+    }
+
+    /// Runs a plan. A device is built from the options only when the
+    /// plan needs one ([`ExecutionPlan::needs_device`]); use
+    /// [`BcSolver::execute_on`] to target a caller-built device.
+    pub fn execute(&self, plan: &ExecutionPlan) -> Result<Execution, TurboBcError> {
+        self.execute_observed(plan, &mut NullObserver)
+    }
+
+    /// [`BcSolver::execute`] with the run traced into `obs`, including
+    /// one [`TraceEvent::Dispatch`] event per scheduling decision (run,
+    /// block and level granularity).
+    pub fn execute_observed(
+        &self,
+        plan: &ExecutionPlan,
+        obs: &mut dyn Observer,
+    ) -> Result<Execution, TurboBcError> {
+        if plan.needs_device() {
+            let device = Device::new(self.options.device);
+            self.execute_impl(Some(&device), plan, obs)
+        } else {
+            self.execute_impl(None, plan, obs)
+        }
+    }
+
+    /// Runs a plan against a caller-built device (fault plans, capacity
+    /// caps, shared metric ledgers).
+    pub fn execute_on(
+        &self,
+        device: &Device,
+        plan: &ExecutionPlan,
+    ) -> Result<Execution, TurboBcError> {
+        self.execute_impl(Some(device), plan, &mut NullObserver)
+    }
+
+    /// [`BcSolver::execute_on`] with the run traced into `obs`.
+    pub fn execute_on_observed(
+        &self,
+        device: &Device,
+        plan: &ExecutionPlan,
+        obs: &mut dyn Observer,
+    ) -> Result<Execution, TurboBcError> {
+        self.execute_impl(Some(device), plan, obs)
+    }
+
+    fn execute_impl(
+        &self,
+        device: Option<&Device>,
+        plan: &ExecutionPlan,
+        obs: &mut dyn Observer,
+    ) -> Result<Execution, TurboBcError> {
+        let executor: &'static str = match &plan.strategy {
+            PlanStrategy::Single(k) => k.name(),
+            PlanStrategy::Hybrid => "hybrid",
+            PlanStrategy::BlockParallel { .. } => "batched",
+        };
+        obs.event(TraceEvent::Dispatch {
+            granularity: "run",
+            executor,
+            source: plan.sources().first().copied().unwrap_or(0),
+            depth: 0,
+            frontier: plan.sources().len(),
+            reason: plan
+                .segments()
+                .first()
+                .map(|s| s.rationale.clone())
+                .unwrap_or_else(|| plan.mode().describe()),
+        });
+        match plan.work {
+            PlanWork::MsBfs => match &plan.strategy {
+                PlanStrategy::Single(ExecutorKind::TurboBfs) => Ok(Execution::from_ms_bfs(
+                    self.exec_ms_bfs_turbobfs(plan.sources(), obs)?,
+                )),
+                PlanStrategy::Single(ExecutorKind::Batched) => Ok(Execution::from_ms_bfs(
+                    ms_bfs_on_storage(&self.storage, self.kernel, plan.sources(), obs),
+                )),
+                _ => Err(TurboBcError::InvalidPlan {
+                    detail: "BFS plans run on the batched sweeps or TurboBFS".to_string(),
+                }),
+            },
+            PlanWork::Bc => match &plan.strategy {
+                PlanStrategy::Single(k) => executor_for(*k).run(self, plan, device, obs),
+                PlanStrategy::Hybrid => {
+                    let (bc, report) = self.exec_bc_hybrid(device, plan.sources(), obs)?;
+                    Ok(Execution {
+                        bc: Some(bc),
+                        simt: report,
+                        ms_bfs: None,
+                    })
+                }
+                PlanStrategy::BlockParallel { width } => Ok(Execution::from_bc(
+                    self.exec_block_parallel(plan.sources(), *width, obs)?,
+                )),
+            },
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Deprecated 0.2 entry points — thin shims over plan/execute.
+    // ------------------------------------------------------------------
 
     /// BC accumulated over an explicit source set. Every source must be
     /// a vertex of the graph ([`TurboBcError::InvalidSource`]).
+    #[deprecated(
+        since = "0.3.0",
+        note = "build a plan with `plan`/`plan_pinned` and run `execute`"
+    )]
     pub fn bc_sources(&self, sources: &[VertexId]) -> Result<BcResult, TurboBcError> {
+        #[allow(deprecated)]
         self.bc_sources_observed(sources, &mut NullObserver)
     }
 
@@ -320,18 +683,21 @@ impl BcSolver {
     /// wants per-level events forces the across-sources parallel path
     /// off (per-kernel parallelism stays on), so the trace is an ordered
     /// per-source timeline.
+    #[deprecated(
+        since = "0.3.0",
+        note = "build a plan with `plan`/`plan_pinned` and run `execute_observed`"
+    )]
     pub fn bc_sources_observed(
         &self,
         sources: &[VertexId],
         obs: &mut dyn Observer,
     ) -> Result<BcResult, TurboBcError> {
-        self.validate_sources(sources)?;
-        if let Some(plan) = &self.prep {
-            if !sources.is_empty() {
-                return Ok(self.run_prep_cpu(plan, sources, self.options.engine, obs));
-            }
-        }
-        Ok(self.run_cpu_observed(sources, self.options.engine, obs))
+        let kind = ExecutorKind::from_engine(self.options.engine);
+        let plan = self.plan_pinned(kind, sources)?;
+        Ok(self
+            .execute_observed(&plan, obs)?
+            .into_bc()
+            .expect("BC plans produce a BC result"))
     }
 
     /// Emits the [`TraceEvent::Prep`] summary for a routed run,
@@ -402,7 +768,7 @@ impl BcSolver {
             kernel: self.kernel,
             scf: self.stats.scf,
             mean_degree: self.stats.degree.mean,
-            direction: self.options.direction.name(),
+            direction: self.options.execution.direction.name(),
         });
         obs.event(TraceEvent::RunStart {
             engine: match engine {
@@ -490,7 +856,7 @@ impl BcSolver {
             kernel: self.kernel,
             scf: self.stats.scf,
             mean_degree: self.stats.degree.mean,
-            direction: self.options.direction.name(),
+            direction: self.options.execution.direction.name(),
         });
         obs.event(TraceEvent::RunStart {
             engine: match engine {
@@ -569,7 +935,7 @@ impl BcSolver {
             Kernel::ScCooc => Storage::Cooc(rc.graph.to_cooc()),
             _ => Storage::Csc(rc.graph.to_csc()),
         };
-        let dir = DirectionEngine::new(&rc.graph, self.options.direction);
+        let dir = DirectionEngine::new(&rc.graph, self.options.execution.direction);
         let scale = rc.graph.bc_scale();
         let weights = &rc.weights;
         let engine = if rn < SEQ_COMPONENT_THRESHOLD {
@@ -773,7 +1139,7 @@ impl BcSolver {
             kernel: self.kernel,
             scf: self.stats.scf,
             mean_degree: self.stats.degree.mean,
-            direction: self.options.direction.name(),
+            direction: self.options.execution.direction.name(),
         });
         obs.event(TraceEvent::RunStart {
             engine: match engine {
@@ -931,7 +1297,7 @@ impl BcSolver {
     /// ([`footprint::auto_batch_width`]), both clamped to the source
     /// count — a block never holds dead lanes.
     pub fn resolve_batch_width(&self, n_sources: usize) -> usize {
-        let width = match self.options.batch_width {
+        let width = match self.options.execution.batch_width {
             BatchWidth::Fixed(b) => b.max(1),
             BatchWidth::Auto => footprint::auto_batch_width(
                 self.n,
@@ -957,20 +1323,46 @@ impl BcSolver {
     /// the panels preserve per-lane operation order); `stats.total_levels`
     /// counts *matrix sweeps*, so comparing it against a per-source
     /// run's count shows the amortization directly.
+    #[deprecated(
+        since = "0.3.0",
+        note = "build a plan with `plan`/`plan_pinned` and run `execute`"
+    )]
     pub fn bc_batched(&self, sources: &[VertexId]) -> Result<BcResult, TurboBcError> {
-        self.bc_batched_observed(sources, &mut NullObserver)
+        let plan = self.plan_pinned(ExecutorKind::Batched, sources)?;
+        Ok(self
+            .execute(&plan)?
+            .into_bc()
+            .expect("BC plans produce a BC result"))
     }
 
     /// [`BcSolver::bc_batched`] with the run traced into `obs`: one
     /// [`TraceEvent::Block`] per block (its width and matrix-sweep
     /// count), per-level events under the block's first source, and the
     /// usual per-source completions.
+    #[deprecated(
+        since = "0.3.0",
+        note = "build a plan with `plan`/`plan_pinned` and run `execute_observed`"
+    )]
     pub fn bc_batched_observed(
         &self,
         sources: &[VertexId],
         obs: &mut dyn Observer,
     ) -> Result<BcResult, TurboBcError> {
-        self.validate_sources(sources)?;
+        let plan = self.plan_pinned(ExecutorKind::Batched, sources)?;
+        Ok(self
+            .execute_observed(&plan, obs)?
+            .into_bc()
+            .expect("BC plans produce a BC result"))
+    }
+
+    /// The batched executor body: bit-sliced `n×b` panels, one masked
+    /// SpMM per BFS level for the whole block. Sources are pre-validated
+    /// at plan time.
+    pub(crate) fn exec_bc_batched(
+        &self,
+        sources: &[VertexId],
+        obs: &mut dyn Observer,
+    ) -> Result<BcResult, TurboBcError> {
         if let Some(plan) = &self.prep {
             if !sources.is_empty() {
                 return Ok(self.run_prep_batched(plan, sources, obs));
@@ -982,7 +1374,7 @@ impl BcSolver {
             kernel: self.kernel,
             scf: self.stats.scf,
             mean_degree: self.stats.degree.mean,
-            direction: self.options.direction.name(),
+            direction: self.options.execution.direction.name(),
         });
         obs.event(TraceEvent::RunStart {
             engine: "batched",
@@ -1087,7 +1479,7 @@ impl BcSolver {
             kernel: self.kernel,
             scf: self.stats.scf,
             mean_degree: self.stats.degree.mean,
-            direction: self.options.direction.name(),
+            direction: self.options.execution.direction.name(),
         });
         obs.event(TraceEvent::RunStart {
             engine: "batched",
@@ -1150,7 +1542,7 @@ impl BcSolver {
                     };
                     let sub =
                         self.component_solver(comp.verts.len(), &comp.graph, self.options.engine);
-                    sub.bc_batched_observed(locals, &mut fwd)
+                    sub.exec_bc_batched(locals, &mut fwd)
                         .expect("component-local sources are valid")
                 };
                 for (local, &orig) in comp.verts.iter().enumerate() {
@@ -1196,9 +1588,9 @@ impl BcSolver {
             Kernel::ScCooc => Storage::Cooc(rc.graph.to_cooc()),
             _ => Storage::Csc(rc.graph.to_csc()),
         };
-        let dir = DirectionEngine::new(&rc.graph, self.options.direction);
+        let dir = DirectionEngine::new(&rc.graph, self.options.execution.direction);
         let scale = rc.graph.bc_scale();
-        let width = match self.options.batch_width {
+        let width = match self.options.execution.batch_width {
             BatchWidth::Fixed(b) => b.max(1),
             BatchWidth::Auto => footprint::auto_batch_width(
                 rn,
@@ -1290,13 +1682,55 @@ impl BcSolver {
     /// The checkpoint configuration comes from the solver's options
     /// (`BcOptions::builder().checkpoint(..)`); calling this on a solver
     /// without one fails with [`CheckpointError::NotConfigured`].
+    #[deprecated(
+        since = "0.3.0",
+        note = "build a plan with `plan`/`plan_pinned` and run `execute_checkpointed`"
+    )]
     pub fn bc_sources_checkpointed(&self, sources: &[VertexId]) -> Result<BcResult, TurboBcError> {
+        let kind = ExecutorKind::from_engine(self.options.engine);
+        let plan = self.plan_pinned(kind, sources)?;
+        self.execute_checkpointed(&plan)
+    }
+
+    /// Runs a BC plan with periodic checkpoints and resume — any
+    /// executor plan is checkpointable through this entry point (see the
+    /// batch semantics on the struct-level checkpoint docs above).
+    ///
+    /// The checkpoint configuration comes from the solver's options;
+    /// calling this on a solver without one fails with
+    /// [`CheckpointError::NotConfigured`]. BFS plans are rejected with
+    /// [`TurboBcError::InvalidPlan`] — only BC work accumulates a
+    /// checkpointable `bc` vector.
+    pub fn execute_checkpointed(&self, plan: &ExecutionPlan) -> Result<BcResult, TurboBcError> {
         let ckpt = self
             .options
             .checkpoint
             .as_ref()
             .ok_or(CheckpointError::NotConfigured)?;
-        self.validate_sources(sources)?;
+        if plan.work != PlanWork::Bc {
+            return Err(TurboBcError::InvalidPlan {
+                detail: "only BC plans are checkpointable".to_string(),
+            });
+        }
+        match &plan.strategy {
+            PlanStrategy::Single(ExecutorKind::CpuSequential) => {
+                self.checkpointed_cpu(ckpt, plan.sources(), Engine::Sequential)
+            }
+            PlanStrategy::Single(ExecutorKind::CpuParallel) => {
+                self.checkpointed_cpu(ckpt, plan.sources(), Engine::Parallel)
+            }
+            _ => self.checkpointed_plan(ckpt, plan),
+        }
+    }
+
+    /// The original per-source CPU checkpoint loop — byte-identical to
+    /// the 0.2 `bc_sources_checkpointed` behaviour.
+    fn checkpointed_cpu(
+        &self,
+        ckpt: &CheckpointConfig,
+        sources: &[VertexId],
+        engine: Engine,
+    ) -> Result<BcResult, TurboBcError> {
         let start = Instant::now();
         let every = ckpt.every.max(1);
         let fp = checkpoint::fingerprint(self.n, self.m, self.symmetric, self.scale, sources);
@@ -1319,7 +1753,7 @@ impl BcSolver {
         };
         let mut sigma = vec![0i64; self.n];
         let mut depths = vec![0u32; self.n];
-        let mut scratch = CpuScratch::for_engine(self.options.engine, self.n);
+        let mut scratch = CpuScratch::for_engine(engine, self.n);
         let mut batches_done = 0u32;
         while done < sources.len() {
             let hi = (done + every).min(sources.len());
@@ -1327,7 +1761,7 @@ impl BcSolver {
             for &s in &sources[done..hi] {
                 let run = self.one_source(
                     s as usize,
-                    self.options.engine,
+                    engine,
                     &mut batch_bc,
                     &mut sigma,
                     &mut depths,
@@ -1355,7 +1789,7 @@ impl BcSolver {
             let mut scratch_bc = vec![0.0f64; self.n];
             let run = self.one_source(
                 last as usize,
-                self.options.engine,
+                engine,
                 &mut scratch_bc,
                 &mut sigma,
                 &mut depths,
@@ -1372,6 +1806,120 @@ impl BcSolver {
             depths,
             stats,
         })
+    }
+
+    /// The generic checkpoint loop: slices the plan's sources into
+    /// batches of `ckpt.every` and runs each batch as a sub-plan of the
+    /// same strategy, snapshotting the accumulated `bc` after each. The
+    /// fold stays batch-ordered, so resume is bit-identical regardless
+    /// of where a kill happened — the same guarantee as the CPU loop.
+    fn checkpointed_plan(
+        &self,
+        ckpt: &CheckpointConfig,
+        plan: &ExecutionPlan,
+    ) -> Result<BcResult, TurboBcError> {
+        let sources = plan.sources();
+        let start = Instant::now();
+        let every = ckpt.every.max(1);
+        let fp = checkpoint::fingerprint(self.n, self.m, self.symmetric, self.scale, sources);
+        let mut bc = vec![0.0f64; self.n];
+        let mut done = 0usize;
+        if ckpt.resume {
+            if let Some(snap) = checkpoint::load(&ckpt.path, fp, self.n)? {
+                done = snap.done.min(sources.len());
+                bc = snap.bc;
+            }
+        }
+        let mut stats = RunStats {
+            sources: sources.len(),
+            recovery: RecoveryLog {
+                resumed_sources: done,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let mut sigma = vec![0i64; self.n];
+        let mut depths = vec![0u32; self.n];
+        let owned_device = plan
+            .needs_device()
+            .then(|| Device::new(self.options.device));
+        let mut batches_done = 0u32;
+        let mut ran_batches = false;
+        while done < sources.len() {
+            let hi = (done + every).min(sources.len());
+            let sub = self.subplan(plan, &sources[done..hi]);
+            let r = self
+                .execute_impl(owned_device.as_ref(), &sub, &mut NullObserver)?
+                .into_bc()
+                .expect("BC plans produce a BC result");
+            for (acc, x) in bc.iter_mut().zip(&r.bc) {
+                *acc += x;
+            }
+            // The sub-run surfaces its own last source's σ/S — on the
+            // final batch that is the overall last source.
+            sigma.copy_from_slice(&r.sigma);
+            depths.copy_from_slice(&r.depths);
+            stats.max_depth = stats.max_depth.max(r.stats.max_depth);
+            stats.total_levels += r.stats.total_levels;
+            stats.last_reached = r.stats.last_reached;
+            stats.recovery.oom_degradations += r.stats.recovery.oom_degradations;
+            stats.recovery.kernel_retries += r.stats.recovery.kernel_retries;
+            stats.recovery.link_retries += r.stats.recovery.link_retries;
+            stats.recovery.device_requeues += r.stats.recovery.device_requeues;
+            stats.recovery.cpu_fallback |= r.stats.recovery.cpu_fallback;
+            if r.stats.recovery.degraded_to.is_some() {
+                stats.recovery.degraded_to = r.stats.recovery.degraded_to;
+            }
+            ran_batches = true;
+            done = hi;
+            checkpoint::save(&ckpt.path, fp, done, &bc)?;
+            batches_done += 1;
+            if let Some(kill) = ckpt.fail_after_batches {
+                if batches_done >= kill {
+                    return Err(CheckpointError::InjectedKill { batches_done }.into());
+                }
+            }
+        }
+        // When the checkpoint already covered every source, still
+        // surface the last source's σ/S deterministically.
+        if !ran_batches {
+            if let Some(&last) = sources.last() {
+                let sub = self.subplan(plan, &[last]);
+                let r = self
+                    .execute_impl(owned_device.as_ref(), &sub, &mut NullObserver)?
+                    .into_bc()
+                    .expect("BC plans produce a BC result");
+                sigma.copy_from_slice(&r.sigma);
+                depths.copy_from_slice(&r.depths);
+                stats.last_reached = r.stats.last_reached;
+                stats.max_depth = stats.max_depth.max(r.stats.max_depth);
+            }
+        }
+        stats.elapsed = start.elapsed();
+        Ok(BcResult {
+            bc,
+            sigma,
+            depths,
+            stats,
+        })
+    }
+
+    /// A batch-sized slice of `plan`: same work and strategy over a
+    /// source subrange (block-parallel widths clamp to the slice).
+    fn subplan(&self, plan: &ExecutionPlan, sources: &[VertexId]) -> ExecutionPlan {
+        let strategy = match &plan.strategy {
+            PlanStrategy::BlockParallel { width } => PlanStrategy::BlockParallel {
+                width: (*width).min(sources.len().max(1)),
+            },
+            s => s.clone(),
+        };
+        ExecutionPlan {
+            work: plan.work,
+            mode: plan.mode(),
+            sources: sources.to_vec(),
+            strategy,
+            segments: vec![],
+        }
     }
 
     /// Rebuilds the storage a degraded kernel needs. Degradation only
@@ -1416,42 +1964,74 @@ impl BcSolver {
     ///   (`stats.recovery.cpu_fallback`);
     /// * with [`RecoveryPolicy::strict`] every fault surfaces
     ///   immediately — the paper's *OOM* table entries.
+    #[deprecated(
+        since = "0.3.0",
+        note = "build a plan with `plan`/`plan_pinned` and run `execute`"
+    )]
     pub fn run_simt(&self, sources: &[VertexId]) -> Result<(BcResult, SimtReport), TurboBcError> {
-        let device = Device::new(self.options.device);
-        self.run_simt_on_observed(&device, sources, &mut NullObserver)
+        let plan = self.plan_pinned(ExecutorKind::Simt, sources)?;
+        let ex = self.execute(&plan)?;
+        Ok(unpack_simt(ex))
     }
 
     /// [`BcSolver::run_simt`] with the run traced into `obs`.
+    #[deprecated(
+        since = "0.3.0",
+        note = "build a plan with `plan`/`plan_pinned` and run `execute_observed`"
+    )]
     pub fn run_simt_observed(
         &self,
         sources: &[VertexId],
         obs: &mut dyn Observer,
     ) -> Result<(BcResult, SimtReport), TurboBcError> {
-        let device = Device::new(self.options.device);
-        self.run_simt_on_observed(&device, sources, obs)
+        let plan = self.plan_pinned(ExecutorKind::Simt, sources)?;
+        let ex = self.execute_observed(&plan, obs)?;
+        Ok(unpack_simt(ex))
     }
 
     /// [`BcSolver::run_simt`] on a caller-built device (fault plans,
     /// capacity caps, shared metric ledgers).
+    #[deprecated(
+        since = "0.3.0",
+        note = "build a plan with `plan`/`plan_pinned` and run `execute_on`"
+    )]
     pub fn run_simt_on(
         &self,
         device: &Device,
         sources: &[VertexId],
     ) -> Result<(BcResult, SimtReport), TurboBcError> {
-        self.run_simt_on_observed(device, sources, &mut NullObserver)
+        let plan = self.plan_pinned(ExecutorKind::Simt, sources)?;
+        let ex = self.execute_on(device, &plan)?;
+        Ok(unpack_simt(ex))
     }
 
     /// [`BcSolver::run_simt_on`] with the run traced into `obs`: each
     /// attempt emits `RunStart`/`Level`/`SourceDone`/`Metrics`/`Memory`
     /// events, degradations and CPU fallback land as `Recovery` events,
     /// and the final `RunEnd` carries the wall-clock time.
+    #[deprecated(
+        since = "0.3.0",
+        note = "build a plan with `plan`/`plan_pinned` and run `execute_on_observed`"
+    )]
     pub fn run_simt_on_observed(
         &self,
         device: &Device,
         sources: &[VertexId],
         obs: &mut dyn Observer,
     ) -> Result<(BcResult, SimtReport), TurboBcError> {
-        self.validate_sources(sources)?;
+        let plan = self.plan_pinned(ExecutorKind::Simt, sources)?;
+        let ex = self.execute_on_observed(device, &plan, obs)?;
+        Ok(unpack_simt(ex))
+    }
+
+    /// The SIMT executor body: the device run with retry/degrade/fallback
+    /// recovery. Sources are pre-validated at plan time.
+    pub(crate) fn exec_bc_simt(
+        &self,
+        device: &Device,
+        sources: &[VertexId],
+        obs: &mut dyn Observer,
+    ) -> Result<(BcResult, SimtReport), TurboBcError> {
         // SIMT routes through the component split only on an *explicit*
         // prep request: under `PrepMode::Auto` the device run stays
         // whole-graph so footprint planning matches the real run. The
@@ -1470,14 +2050,14 @@ impl BcSolver {
             kernel: self.kernel,
             scf: self.stats.scf,
             mean_degree: self.stats.degree.mean,
-            direction: self.options.direction.name(),
+            direction: self.options.execution.direction.name(),
         });
         let mut recovery = RecoveryLog::default();
         let mut kernel = self.kernel;
         let mut degraded_storage: Option<Storage> = None;
         // Explicit push ships the CSR to the device; Auto resolves to
         // pull there so the §3.4 footprint model keeps holding.
-        let push_csr = match self.options.direction {
+        let push_csr = match self.options.execution.direction {
             DirectionMode::PushOnly => self.dir.csr(),
             _ => None,
         };
@@ -1491,7 +2071,7 @@ impl BcSolver {
                 sources,
                 self.scale,
                 &policy,
-                self.options.direction,
+                self.options.execution.direction,
                 push_csr,
                 obs,
             ) {
@@ -1600,7 +2180,7 @@ impl BcSolver {
             kernel: self.kernel,
             scf: self.stats.scf,
             mean_degree: self.stats.degree.mean,
-            direction: self.options.direction.name(),
+            direction: self.options.execution.direction.name(),
         });
         obs.event(TraceEvent::RunStart {
             engine: "simt",
@@ -1632,7 +2212,7 @@ impl BcSolver {
                     verts: &comp.verts,
                 };
                 let sub = self.component_solver(comp.verts.len(), &comp.graph, self.options.engine);
-                sub.run_simt_on_observed(device, locals, &mut fwd)?
+                sub.exec_bc_simt(device, locals, &mut fwd)?
             };
             for (local, &orig) in comp.verts.iter().enumerate() {
                 bc[orig as usize] += r.bc[local];
@@ -1716,29 +2296,348 @@ impl BcSolver {
     /// Multi-source BFS: all `sources` swept concurrently in 64-source
     /// batches over one bit-parallel frontier (the MS-BFS extension).
     /// Returns per-source depth vectors and sweep statistics.
+    #[deprecated(
+        since = "0.3.0",
+        note = "build a plan with `plan_ms_bfs` and run `execute`"
+    )]
     pub fn ms_bfs(&self, sources: &[VertexId]) -> Result<MsBfsResult, TurboBcError> {
-        self.validate_sources(sources)?;
-        Ok(ms_bfs_on_storage(
-            &self.storage,
-            self.kernel,
-            sources,
-            &mut NullObserver,
-        ))
+        let plan = self.plan_ms_bfs(sources)?;
+        Ok(self
+            .execute(&plan)?
+            .into_ms_bfs()
+            .expect("BFS plans produce a BFS result"))
     }
 
     /// [`BcSolver::ms_bfs`] with per-sweep trace events into `obs`.
+    #[deprecated(
+        since = "0.3.0",
+        note = "build a plan with `plan_ms_bfs` and run `execute_observed`"
+    )]
     pub fn ms_bfs_observed(
         &self,
         sources: &[VertexId],
         obs: &mut dyn Observer,
     ) -> Result<MsBfsResult, TurboBcError> {
-        self.validate_sources(sources)?;
-        Ok(ms_bfs_on_storage(&self.storage, self.kernel, sources, obs))
+        let plan = self.plan_ms_bfs(sources)?;
+        Ok(self
+            .execute_observed(&plan, obs)?
+            .into_ms_bfs()
+            .expect("BFS plans produce a BFS result"))
     }
+
+    /// The TurboBFS executor body: one [`TurboBfs`] traversal per
+    /// source, assembled into the MS-BFS result shape.
+    pub(crate) fn exec_ms_bfs_turbobfs(
+        &self,
+        sources: &[VertexId],
+        obs: &mut dyn Observer,
+    ) -> Result<MsBfsResult, TurboBcError> {
+        let start = Instant::now();
+        obs.event(TraceEvent::RunStart {
+            engine: "turbobfs",
+            kernel: self.kernel,
+            n: self.n,
+            m: self.m,
+            sources: sources.len(),
+        });
+        let bfs = TurboBfs::new(self.graph(), self.options.clone());
+        let mut depths = Vec::with_capacity(sources.len());
+        let mut heights = Vec::with_capacity(sources.len());
+        let mut sweeps = 0usize;
+        for &s in sources {
+            let run = bfs.run(s);
+            sweeps += run.height as usize;
+            obs.event(TraceEvent::SourceDone {
+                source: s,
+                height: run.height,
+                reached: run.reached,
+            });
+            depths.push(run.depths);
+            heights.push(run.height);
+        }
+        let elapsed = start.elapsed();
+        obs.event(TraceEvent::RunEnd {
+            elapsed_s: elapsed.as_secs_f64(),
+        });
+        Ok(MsBfsResult {
+            depths,
+            heights,
+            sweeps,
+            elapsed,
+        })
+    }
+
+    /// The CPU executor body (Sequential or Parallel engine), with
+    /// reduction routing. Sources are pre-validated at plan time.
+    pub(crate) fn exec_bc_cpu(
+        &self,
+        sources: &[VertexId],
+        engine: Engine,
+        obs: &mut dyn Observer,
+    ) -> Result<BcResult, TurboBcError> {
+        if let Some(plan) = &self.prep {
+            if !sources.is_empty() {
+                return Ok(self.run_prep_cpu(plan, sources, engine, obs));
+            }
+        }
+        Ok(self.run_cpu_observed(sources, engine, obs))
+    }
+
+    /// The hybrid executor body: each source's traversal is scheduled
+    /// level-by-level between the host and the device by the cost model
+    /// — shallow ramp-up and sparse tail levels on the CPU, the dense
+    /// middle on the device, with frontier/σ state handed off across the
+    /// boundary ([`crate::dispatch::hybrid`]). The device takes part
+    /// only when one is supplied *and* the `7n + m` hybrid segment
+    /// footprint fits its global memory; otherwise every level runs on
+    /// the host and the decision trail says why not.
+    pub(crate) fn exec_bc_hybrid(
+        &self,
+        device: Option<&Device>,
+        sources: &[VertexId],
+        obs: &mut dyn Observer,
+    ) -> Result<(BcResult, Option<SimtReport>), TurboBcError> {
+        let start = Instant::now();
+        let admitted = device.filter(|_| {
+            footprint::hybrid_segment_bytes(self.n, self.m, self.kernel)
+                <= self.options.device.global_mem_bytes
+        });
+        obs.event(TraceEvent::KernelChoice {
+            kernel: self.kernel,
+            scf: self.stats.scf,
+            mean_degree: self.stats.degree.mean,
+            direction: self.options.execution.direction.name(),
+        });
+        obs.event(TraceEvent::RunStart {
+            engine: "hybrid",
+            kernel: self.kernel,
+            n: self.n,
+            m: self.m,
+            sources: sources.len(),
+        });
+        let ctx = hybrid::HybridCtx {
+            storage: &self.storage,
+            dir: &self.dir,
+            kernel: self.kernel,
+            policy: &self.options.recovery,
+            device: admitted,
+            cost: &self.options.execution.cost,
+        };
+        let mut bc = vec![0.0f64; self.n];
+        let mut sigma = vec![0i64; self.n];
+        let mut depths = vec![0u32; self.n];
+        let mut stats = RunStats {
+            sources: sources.len(),
+            ..Default::default()
+        };
+        let mut scratch = SeqScratch::new(self.n);
+        let mut retries = 0u64;
+        let wants = obs.wants_levels();
+        let threshold = self.dir.threshold();
+        let mut reports: Vec<LevelReport> = Vec::new();
+        for &s in sources {
+            reports.clear();
+            let run = hybrid::bc_source_hybrid(
+                &ctx,
+                s as usize,
+                self.scale,
+                &mut bc,
+                &mut sigma,
+                &mut depths,
+                &mut scratch,
+                &mut retries,
+                obs,
+                // `obs` is already borrowed by the call: buffer the level
+                // reports and emit them right after the source returns.
+                &mut |lr| {
+                    if wants {
+                        reports.push(lr);
+                    }
+                },
+            )?;
+            for lr in reports.drain(..) {
+                obs.event(TraceEvent::Level {
+                    source: s,
+                    depth: lr.depth,
+                    frontier: lr.frontier,
+                    sigma_updates: lr.frontier as u64,
+                });
+                obs.event(TraceEvent::Direction {
+                    source: s,
+                    depth: lr.depth,
+                    direction: lr.direction.name(),
+                    frontier_edges: lr.frontier_edges,
+                    threshold,
+                });
+            }
+            stats.max_depth = stats.max_depth.max(run.height);
+            stats.total_levels += run.height as u64;
+            stats.last_reached = run.reached;
+            obs.event(TraceEvent::SourceDone {
+                source: s,
+                height: run.height,
+                reached: run.reached,
+            });
+        }
+        stats.recovery.kernel_retries = retries;
+        stats.elapsed = start.elapsed();
+        obs.event(TraceEvent::RunEnd {
+            elapsed_s: stats.elapsed.as_secs_f64(),
+        });
+        let report = admitted.map(|d| SimtReport {
+            metrics: d.metrics(),
+            memory: d.memory(),
+            modelled_time_s: 0.0,
+            glt_gbs: 0.0,
+        });
+        Ok((
+            BcResult {
+                bc,
+                sigma,
+                depths,
+                stats,
+            },
+            report,
+        ))
+    }
+
+    /// The block-parallel executor body: sources are split into
+    /// width-`width` blocks, each block runs the bit-sliced batched
+    /// panels, and the blocks run in parallel across host threads. All
+    /// trace events are emitted after the parallel section in block
+    /// order, so the trace is deterministic; per-level events are folded
+    /// into the per-block [`TraceEvent::Block`] sweep counts.
+    pub(crate) fn exec_block_parallel(
+        &self,
+        sources: &[VertexId],
+        width: usize,
+        obs: &mut dyn Observer,
+    ) -> Result<BcResult, TurboBcError> {
+        let start = Instant::now();
+        let width = width.max(1);
+        obs.event(TraceEvent::KernelChoice {
+            kernel: self.kernel,
+            scf: self.stats.scf,
+            mean_degree: self.stats.degree.mean,
+            direction: self.options.execution.direction.name(),
+        });
+        obs.event(TraceEvent::RunStart {
+            engine: "block-par",
+            kernel: self.kernel,
+            n: self.n,
+            m: self.m,
+            sources: sources.len(),
+        });
+        let ranges = block_ranges(sources.len(), width);
+        for &(first, len) in &ranges {
+            obs.event(TraceEvent::Dispatch {
+                granularity: "block",
+                executor: "batched",
+                source: sources[first],
+                depth: 0,
+                frontier: len,
+                reason: format!("block {}..{} on width-{width} panels", first, first + len),
+            });
+        }
+        struct BlockOut {
+            bc: Vec<f64>,
+            sigma: Vec<i64>,
+            depths: Vec<u32>,
+            sweeps: u32,
+            heights: Vec<u32>,
+            reached: Vec<usize>,
+        }
+        let run_block = |&(first, len): &(usize, usize)| -> BlockOut {
+            let block = &sources[first..first + len];
+            let mut bc = vec![0.0f64; self.n];
+            let mut sigma = vec![0i64; self.n];
+            let mut depths = vec![0u32; self.n];
+            let mut scratch = BatchScratch::new(self.n, block.len());
+            let run = bc_block_traced(
+                &self.storage,
+                self.kernel,
+                &self.dir,
+                block,
+                self.scale,
+                &mut bc,
+                &mut scratch,
+                None,
+                &mut |_| {},
+            );
+            scratch.extract_lane(block.len() - 1, &mut sigma, &mut depths);
+            BlockOut {
+                bc,
+                sigma,
+                depths,
+                sweeps: run.sweeps,
+                heights: run.heights,
+                reached: run.reached,
+            }
+        };
+        let outs: Vec<BlockOut> = {
+            use rayon::prelude::*;
+            ranges.par_iter().map(run_block).collect()
+        };
+        let mut bc = vec![0.0f64; self.n];
+        let mut sigma = vec![0i64; self.n];
+        let mut depths = vec![0u32; self.n];
+        let mut stats = RunStats {
+            sources: sources.len(),
+            ..Default::default()
+        };
+        for (&(first, len), out) in ranges.iter().zip(&outs) {
+            for (acc, x) in bc.iter_mut().zip(&out.bc) {
+                *acc += x;
+            }
+            stats.total_levels += out.sweeps as u64;
+            obs.event(TraceEvent::Block {
+                first_source: sources[first],
+                width: len,
+                sweeps: out.sweeps,
+            });
+            for k in 0..len {
+                stats.max_depth = stats.max_depth.max(out.heights[k]);
+                stats.last_reached = out.reached[k];
+                obs.event(TraceEvent::SourceDone {
+                    source: sources[first + k],
+                    height: out.heights[k],
+                    reached: out.reached[k],
+                });
+            }
+        }
+        if let Some(last) = outs.last() {
+            sigma.copy_from_slice(&last.sigma);
+            depths.copy_from_slice(&last.depths);
+        }
+        stats.elapsed = start.elapsed();
+        obs.event(TraceEvent::RunEnd {
+            elapsed_s: stats.elapsed.as_secs_f64(),
+        });
+        Ok(BcResult {
+            bc,
+            sigma,
+            depths,
+            stats,
+        })
+    }
+}
+
+/// Splits a SIMT execution into the legacy `(BcResult, SimtReport)`
+/// pair the deprecated entry points return.
+fn unpack_simt(ex: Execution) -> (BcResult, SimtReport) {
+    let report = ex
+        .simt
+        .clone()
+        .expect("SIMT plans always carry a device report");
+    let bc = ex.into_bc().expect("BC plans produce a BC result");
+    (bc, report)
 }
 
 #[cfg(test)]
 mod tests {
+    // The 0.2 entry points stay covered by these tests until removal.
+    #![allow(deprecated)]
+
     use super::*;
     use turbobc_baselines::{brandes_all_sources, brandes_single_source};
     use turbobc_graph::gen;

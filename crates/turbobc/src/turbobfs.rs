@@ -89,7 +89,7 @@ impl TurboBfs {
             kernel,
             engine: options.engine,
             recovery: options.recovery,
-            dir: DirectionEngine::new(graph, options.direction),
+            dir: DirectionEngine::new(graph, options.execution.direction),
             symmetric: !graph.directed(),
             n: graph.n(),
         }
@@ -285,12 +285,11 @@ mod tests {
                     ] {
                         let bfs = TurboBfs::new(
                             &g,
-                            BcOptions {
-                                kernel,
-                                engine,
-                                direction,
-                                ..Default::default()
-                            },
+                            BcOptions::builder()
+                                .kernel(kernel)
+                                .engine(engine)
+                                .direction(direction)
+                                .build(),
                         );
                         let r = bfs.run(s);
                         assert_eq!(r.depths, want.depths, "{kernel:?}/{engine:?}/{direction:?}");

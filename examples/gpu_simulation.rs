@@ -10,7 +10,7 @@
 use turbobc_suite::baselines::gunrock_like;
 use turbobc_suite::graph::gen;
 use turbobc_suite::simt::{Device, DeviceProps};
-use turbobc_suite::turbobc::{footprint, BcOptions, BcSolver, Kernel};
+use turbobc_suite::turbobc::{footprint, BcOptions, BcSolver, ExecutorKind, Kernel};
 
 fn main() {
     // An irregular graph (Mycielskian): the veCSC kernel's home turf.
@@ -21,9 +21,17 @@ fn main() {
     println!("auto-selected kernel: {}\n", solver.kernel().name());
 
     let device = Device::titan_xp();
-    let (result, report) = solver
-        .run_simt_on(&device, &[graph.default_source()])
+    let plan = solver
+        .plan_pinned(ExecutorKind::Simt, &[graph.default_source()])
+        .unwrap();
+    let ex = solver
+        .execute_on(&device, &plan)
         .expect("12 GB Titan Xp fits this easily");
+    let report = ex
+        .simt_report()
+        .cloned()
+        .expect("SIMT plans carry a device report");
+    let result = ex.into_bc().expect("BC plans produce a BC result");
 
     println!(
         "BC of top vertex: {:.2}",
@@ -85,7 +93,7 @@ fn main() {
         "shrinking the device to {:.2} MB:",
         small.memory().capacity as f64 / 1e6
     );
-    match solver.run_simt_on(&small, &[graph.default_source()]) {
+    match solver.execute_on(&small, &plan) {
         Ok(_) => println!("  TurboBC-veCSC: completed"),
         Err(e) => println!("  TurboBC-veCSC: {e}"),
     }

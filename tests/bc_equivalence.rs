@@ -4,14 +4,22 @@
 //! oracle on arbitrary graphs.
 
 #![allow(clippy::needless_range_loop)]
+// The 0.2 entry points (`bc_sources`, `bc_batched`, `run_simt_on`, …)
+// stay exercised here until removal: the deprecated shims must keep
+// producing byte-identical results to their plan/execute replacements.
+#![allow(deprecated)]
 
 use proptest::prelude::*;
 use turbobc_suite::baselines::gunrock_like::GunrockBc;
 use turbobc_suite::baselines::{brandes_all_sources, brandes_single_source};
 use turbobc_suite::graph::families::{self, Scale};
 use turbobc_suite::graph::Graph;
-use turbobc_suite::simt::Device;
-use turbobc_suite::turbobc::{BcOptions, BcSolver, DirectionMode, Engine, Kernel, PrepMode};
+use turbobc_suite::simt::{Device, DeviceProps};
+use turbobc_suite::turbobc::observe::ProfileObserver;
+use turbobc_suite::turbobc::{
+    BcOptions, BcSolver, CostModel, DirectionMode, DispatchMode, Engine, ExecutorKind, Kernel,
+    PrepMode,
+};
 
 const KERNELS: [Kernel; 3] = [Kernel::ScCooc, Kernel::ScCsc, Kernel::VeCsc];
 const DIRECTIONS: [DirectionMode; 3] = [
@@ -403,6 +411,149 @@ fn full_families_battery_matches_brandes() {
     families_battery(&names, Scale::Tiny);
 }
 
+/// Every executor a BC plan can pin. TurboBFS is BFS-only and is
+/// covered by [`deprecated_shims_match_plan_execute`] instead.
+const BC_EXECUTORS: [ExecutorKind; 5] = [
+    ExecutorKind::CpuSequential,
+    ExecutorKind::CpuParallel,
+    ExecutorKind::Batched,
+    ExecutorKind::Simt,
+    ExecutorKind::Hybrid,
+];
+
+/// The dispatch differential battery: `DispatchMode::CostModel` against
+/// every pinned executor on the named fixtures, to the same graded 1e-6
+/// bar as the per-source battery, with σ/depth surfaces compared
+/// exactly. Also asserts the cost-model run actually traced its
+/// scheduling decisions as RunProfile dispatch events.
+fn dispatch_battery(names: &[&str], scale: Scale) {
+    for name in names {
+        let g = families::generate(name, scale).expect("known family fixture");
+        let n = g.n();
+        if n == 0 {
+            continue;
+        }
+        let count = n.min(4);
+        let sources: Vec<u32> = (0..count).map(|i| (i * n / count) as u32).collect();
+        let solver = BcSolver::new(
+            &g,
+            BcOptions::builder()
+                .dispatch(DispatchMode::CostModel)
+                .build(),
+        )
+        .unwrap();
+        let mut obs = ProfileObserver::new();
+        let cost_plan = solver.plan(&sources).unwrap();
+        let cost = solver
+            .execute_observed(&cost_plan, &mut obs)
+            .unwrap()
+            .into_bc()
+            .expect("BC plans produce a BC result");
+        let profile = obs.into_profile();
+        assert!(
+            !profile.dispatch.is_empty(),
+            "{name}: cost-model run must trace its dispatch decisions"
+        );
+        let tol = |w: f64| 1e-6 * w.abs().max(1.0);
+        for kind in BC_EXECUTORS {
+            let plan = solver.plan_pinned(kind, &sources).unwrap();
+            let r = solver
+                .execute(&plan)
+                .unwrap()
+                .into_bc()
+                .expect("BC plans produce a BC result");
+            let tag = format!("{name}/cost-vs-{}", kind.name());
+            assert_eq!(r.bc.len(), cost.bc.len(), "{tag}: length mismatch");
+            for (v, (gv, wv)) in r.bc.iter().zip(&cost.bc).enumerate() {
+                let diff = (gv - wv).abs();
+                assert!(
+                    diff < tol(*wv),
+                    "{tag}: bc[{v}] = {gv}, cost plan says {wv} (|diff| = {diff:.3e})"
+                );
+            }
+            // Forward state is integer-exact across every executor.
+            assert_eq!(r.sigma, cost.sigma, "{tag}: σ mismatch");
+            assert_eq!(r.depths, cost.depths, "{tag}: depth mismatch");
+        }
+    }
+}
+
+/// Always-on slice of the dispatch battery, mirroring the per-source
+/// subset: one fixture per structural class.
+#[test]
+fn dispatch_battery_cost_model_matches_every_pinned_executor() {
+    dispatch_battery(
+        &["mark3jac060sc", "luxembourg_osm", "kron_g500-logn18"],
+        Scale::Tiny,
+    );
+}
+
+/// The dispatch battery over every paper fixture plus the stress set.
+/// Run by the release CI job (`--include-ignored`) under its wall-clock
+/// guard.
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "full dispatch differential battery; run under --release"
+)]
+fn full_dispatch_battery_over_all_fixtures() {
+    let rows = families::all_rows();
+    let names: Vec<&str> = rows.iter().map(|r| r.name).collect();
+    dispatch_battery(&names, Scale::Tiny);
+    dispatch_battery(families::STRESS_FIXTURES, Scale::Tiny);
+}
+
+/// Every deprecated 0.2 entry point must produce the same result
+/// payload (bc, σ, depths — and for MS-BFS: depths, heights, sweeps) as
+/// the plan/execute pipeline it now wraps.
+#[test]
+fn deprecated_shims_match_plan_execute() {
+    let g = families::generate("kron_g500-logn18", Scale::Tiny).expect("known family fixture");
+    let n = g.n();
+    let sources: Vec<u32> = (0..6).map(|i| (i * n / 6) as u32).collect();
+    let solver = BcSolver::new(&g, BcOptions::builder().parallel().build()).unwrap();
+
+    let old = solver.bc_sources(&sources).unwrap();
+    let plan = solver
+        .plan_pinned(ExecutorKind::CpuParallel, &sources)
+        .unwrap();
+    let new = solver.execute(&plan).unwrap().into_bc().unwrap();
+    assert_eq!(old.bc, new.bc, "bc_sources shim diverged");
+    assert_eq!(old.sigma, new.sigma);
+    assert_eq!(old.depths, new.depths);
+
+    let old = solver.bc_batched(&sources).unwrap();
+    let plan = solver.plan_pinned(ExecutorKind::Batched, &sources).unwrap();
+    let new = solver.execute(&plan).unwrap().into_bc().unwrap();
+    assert_eq!(old.bc, new.bc, "bc_batched shim diverged");
+    assert_eq!(old.sigma, new.sigma);
+    assert_eq!(old.depths, new.depths);
+
+    let dev = Device::titan_xp();
+    let (old, old_report) = solver.run_simt_on(&dev, &sources[..2]).unwrap();
+    let plan = solver
+        .plan_pinned(ExecutorKind::Simt, &sources[..2])
+        .unwrap();
+    let dev2 = Device::titan_xp();
+    let ex = solver.execute_on(&dev2, &plan).unwrap();
+    let new_report = ex
+        .simt_report()
+        .cloned()
+        .expect("SIMT plans carry a report");
+    let new = ex.into_bc().unwrap();
+    assert_eq!(old.bc, new.bc, "run_simt_on shim diverged");
+    assert_eq!(old.sigma, new.sigma);
+    assert_eq!(old.depths, new.depths);
+    assert_eq!(old_report.memory.peak, new_report.memory.peak);
+
+    let old = solver.ms_bfs(&sources).unwrap();
+    let plan = solver.plan_ms_bfs(&sources).unwrap();
+    let new = solver.execute(&plan).unwrap().into_ms_bfs().unwrap();
+    assert_eq!(old.depths, new.depths, "ms_bfs shim diverged");
+    assert_eq!(old.heights, new.heights);
+    assert_eq!(old.sweeps, new.sweeps);
+}
+
 /// A random core with a random forest glued on: `core_n` vertices wired
 /// arbitrarily (possibly disconnected), plus `tree_n` extra vertices
 /// each attached to one uniformly random earlier vertex — so the added
@@ -553,6 +704,42 @@ proptest! {
         );
         let gr = turbobc_suite::baselines::gunrock_simt::bc_single_source_simt(&g, source);
         assert_close("gunrock_simt", &gr.bc, &want);
+    }
+
+    /// Mid-run CPU↔SIMT handoff is invisible in the result: a hybrid
+    /// traversal that hands its dense middle to the device (the
+    /// device-biased cost model makes every dense band eligible) must
+    /// produce bit-identical σ, depths and δ-accumulated bc to the same
+    /// hybrid path with the device inadmissible (zero-byte budget), and
+    /// match the Brandes oracle.
+    #[test]
+    fn hybrid_handoff_preserves_sigma_depth_delta(g in arb_graph(), src_sel in any::<prop::sample::Index>()) {
+        let source = src_sel.index(g.n()) as u32;
+        let run = |mem: u64| {
+            let mut props = DeviceProps::titan_xp();
+            props.global_mem_bytes = mem;
+            let solver = BcSolver::new(
+                &g,
+                BcOptions::builder()
+                    .cost_model(CostModel::device_biased())
+                    .device(props)
+                    .build(),
+            )
+            .unwrap();
+            let plan = solver.plan_pinned(ExecutorKind::Hybrid, &[source]).unwrap();
+            solver
+                .execute(&plan)
+                .unwrap()
+                .into_bc()
+                .expect("BC plans produce a BC result")
+        };
+        let with_device = run(DeviceProps::titan_xp().global_mem_bytes);
+        let cpu_only = run(0);
+        prop_assert_eq!(&with_device.sigma, &cpu_only.sigma, "σ perturbed by handoff");
+        prop_assert_eq!(&with_device.depths, &cpu_only.depths, "depths perturbed by handoff");
+        prop_assert_eq!(&with_device.bc, &cpu_only.bc, "δ accumulation perturbed by handoff");
+        let want = brandes_single_source(&g, source);
+        assert_close("hybrid-handoff", &with_device.bc, &want);
     }
 
     #[test]

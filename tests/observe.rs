@@ -4,6 +4,9 @@
 //! the paper's `7n + m` footprint model, and a lossless JSON round trip
 //! through the same validator the CLI's `validate-profile` command uses.
 
+// The 0.2 entry points stay exercised here until removal.
+#![allow(deprecated)]
+
 use turbobc_suite::graph::gen;
 use turbobc_suite::turbobc::observe::{ProfileObserver, RunProfile};
 use turbobc_suite::turbobc::{BcOptions, BcSolver, Kernel, TurboBfs};
