@@ -1,0 +1,129 @@
+//! Minimal criterion stand-in for offline typechecking and local runs:
+//! each benchmark closure runs once, no statistics.
+
+use std::fmt::Display;
+use std::hint;
+
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+#[derive(Debug, Clone)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new<F: Display, P: Display>(function: F, parameter: P) -> Self {
+        BenchmarkId(format!("{function}/{parameter}"))
+    }
+
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+pub struct Bencher;
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f());
+    }
+}
+
+// Real criterion's `Criterion` is not a unit struct; keep a field so
+// `Criterion::default()` in benches doesn't trip
+// `clippy::default_constructed_unit_structs` only under the stub.
+#[derive(Default)]
+pub struct Criterion {
+    _config: (),
+}
+
+impl Criterion {
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    pub fn measurement_time(self, _d: std::time::Duration) -> Self {
+        self
+    }
+
+    pub fn benchmark_group<N: Into<String>>(&mut self, name: N) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.into() }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        eprintln!("bench {id} (stub: single run)");
+        f(&mut Bencher);
+        self
+    }
+}
+
+pub struct BenchmarkGroup {
+    name: String,
+}
+
+impl BenchmarkGroup {
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: std::time::Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<N: Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: N,
+        mut f: F,
+    ) -> &mut Self {
+        eprintln!("bench {}/{id} (stub: single run)", self.name);
+        f(&mut Bencher);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        eprintln!("bench {}/{} (stub: single run)", self.name, id.0);
+        f(&mut Bencher, input);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $group:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = <$crate::Criterion as ::core::default::Default>::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,26 @@
+//! Minimal rand_chacha stand-in for offline typechecking and local test
+//! runs. The "ChaCha" types are SplitMix64 underneath — deterministic per
+//! seed, but NOT the real ChaCha streams.
+
+use rand::{RngCore, SeedableRng};
+
+macro_rules! chacha {
+    ($($name:ident),*) => {$(
+        #[derive(Debug, Clone)]
+        pub struct $name(rand::rngs::StdRng);
+
+        impl RngCore for $name {
+            fn next_u64(&mut self) -> u64 {
+                self.0.next_u64()
+            }
+        }
+
+        impl SeedableRng for $name {
+            fn seed_from_u64(seed: u64) -> Self {
+                $name(rand::rngs::StdRng::seed_from_u64(seed))
+            }
+        }
+    )*};
+}
+
+chacha!(ChaCha8Rng, ChaCha12Rng, ChaCha20Rng);

@@ -1,0 +1,174 @@
+//! Sequential stand-in for rayon, used only for offline typechecking and
+//! local test runs in environments without a crates.io mirror. Mirrors
+//! the subset of the rayon API this workspace uses; every "parallel"
+//! iterator runs sequentially on the calling thread.
+
+pub fn current_num_threads() -> usize {
+    // Real rayon reports its pool size (the core count by default);
+    // mirror that so thread-count-sensitive cost models behave the
+    // same here as against the real crate, even though this stub
+    // executes sequentially.
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Sequential stand-in for a rayon parallel iterator: wraps a plain
+/// iterator and mirrors rayon's method signatures (two-argument
+/// `fold`/`reduce`, parallel `zip`, …).
+pub struct Par<I>(pub I);
+
+impl<I: Iterator> Par<I> {
+    pub fn map<O, F: FnMut(I::Item) -> O>(self, f: F) -> Par<std::iter::Map<I, F>> {
+        Par(self.0.map(f))
+    }
+
+    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> Par<std::iter::Filter<I, F>> {
+        Par(self.0.filter(f))
+    }
+
+    pub fn filter_map<O, F: FnMut(I::Item) -> Option<O>>(
+        self,
+        f: F,
+    ) -> Par<std::iter::FilterMap<I, F>> {
+        Par(self.0.filter_map(f))
+    }
+
+    pub fn enumerate(self) -> Par<std::iter::Enumerate<I>> {
+        Par(self.0.enumerate())
+    }
+
+    pub fn zip<J: Iterator>(self, other: Par<J>) -> Par<std::iter::Zip<I, J>> {
+        Par(self.0.zip(other.0))
+    }
+
+    pub fn chain<J: Iterator<Item = I::Item>>(self, other: Par<J>) -> Par<std::iter::Chain<I, J>> {
+        Par(self.0.chain(other.0))
+    }
+
+    pub fn flat_map<O: IntoIterator, F: FnMut(I::Item) -> O>(
+        self,
+        f: F,
+    ) -> Par<std::iter::FlatMap<I, O, F>> {
+        Par(self.0.flat_map(f))
+    }
+
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.0.for_each(f)
+    }
+
+    pub fn with_min_len(self, _len: usize) -> Self {
+        self
+    }
+
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.0.sum()
+    }
+
+    pub fn count(self) -> usize {
+        self.0.count()
+    }
+
+    pub fn max(self) -> Option<I::Item>
+    where
+        I::Item: Ord,
+    {
+        self.0.max()
+    }
+
+    pub fn min(self) -> Option<I::Item>
+    where
+        I::Item: Ord,
+    {
+        self.0.min()
+    }
+
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+
+    /// rayon-style fold: identity function + fold op, yielding the
+    /// per-"thread" partial accumulations (a single one here).
+    pub fn fold<T, ID: Fn() -> T, F: FnMut(T, I::Item) -> T>(
+        self,
+        identity: ID,
+        fold_op: F,
+    ) -> Par<std::iter::Once<T>> {
+        Par(std::iter::once(self.0.fold(identity(), fold_op)))
+    }
+
+    /// rayon-style reduce: identity function + reduce op.
+    pub fn reduce<ID: Fn() -> I::Item, F: FnMut(I::Item, I::Item) -> I::Item>(
+        self,
+        identity: ID,
+        reduce_op: F,
+    ) -> I::Item {
+        self.0.fold(identity(), reduce_op)
+    }
+
+    pub fn any<F: FnMut(I::Item) -> bool>(self, f: F) -> bool {
+        let mut it = self.0;
+        let mut f = f;
+        it.any(move |x| f(x))
+    }
+
+    pub fn all<F: FnMut(I::Item) -> bool>(self, f: F) -> bool {
+        let mut it = self.0;
+        let mut f = f;
+        it.all(move |x| f(x))
+    }
+}
+
+pub trait ParallelSlice<T> {
+    fn par_iter(&self) -> Par<std::slice::Iter<'_, T>>;
+    fn par_chunks(&self, size: usize) -> Par<std::slice::Chunks<'_, T>>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> Par<std::slice::Iter<'_, T>> {
+        Par(self.iter())
+    }
+
+    fn par_chunks(&self, size: usize) -> Par<std::slice::Chunks<'_, T>> {
+        Par(self.chunks(size))
+    }
+}
+
+pub trait ParallelSliceMut<T> {
+    fn par_iter_mut(&mut self) -> Par<std::slice::IterMut<'_, T>>;
+    fn par_chunks_mut(&mut self, size: usize) -> Par<std::slice::ChunksMut<'_, T>>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> Par<std::slice::IterMut<'_, T>> {
+        Par(self.iter_mut())
+    }
+
+    fn par_chunks_mut(&mut self, size: usize) -> Par<std::slice::ChunksMut<'_, T>> {
+        Par(self.chunks_mut(size))
+    }
+}
+
+pub trait IntoParallelIterator {
+    type Iter: Iterator<Item = Self::Item>;
+    type Item;
+    fn into_par_iter(self) -> Par<Self::Iter>;
+}
+
+impl<C: IntoIterator> IntoParallelIterator for C {
+    type Iter = C::IntoIter;
+    type Item = C::Item;
+    fn into_par_iter(self) -> Par<Self::Iter> {
+        Par(self.into_iter())
+    }
+}
+
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, Par, ParallelSlice, ParallelSliceMut};
+}

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bc_end_to_end-0b847043b56f2dd5.d: crates/bench/benches/bc_end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbc_end_to_end-0b847043b56f2dd5.rmeta: crates/bench/benches/bc_end_to_end.rs Cargo.toml
+
+crates/bench/benches/bc_end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bc_end_to_end-9b5ddefad6fc3ba5.d: crates/bench/benches/bc_end_to_end.rs
+
+/root/repo/target/debug/deps/libbc_end_to_end-9b5ddefad6fc3ba5.rmeta: crates/bench/benches/bc_end_to_end.rs
+
+crates/bench/benches/bc_end_to_end.rs:

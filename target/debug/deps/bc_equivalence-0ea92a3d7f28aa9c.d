@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bc_equivalence-0ea92a3d7f28aa9c.d: tests/bc_equivalence.rs
+
+/root/repo/target/debug/deps/bc_equivalence-0ea92a3d7f28aa9c: tests/bc_equivalence.rs
+
+tests/bc_equivalence.rs:

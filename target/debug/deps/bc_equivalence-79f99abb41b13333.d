@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bc_equivalence-79f99abb41b13333.d: tests/bc_equivalence.rs
+
+/root/repo/target/debug/deps/libbc_equivalence-79f99abb41b13333.rmeta: tests/bc_equivalence.rs
+
+tests/bc_equivalence.rs:

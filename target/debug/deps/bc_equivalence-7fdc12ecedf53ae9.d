@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bc_equivalence-7fdc12ecedf53ae9.d: tests/bc_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbc_equivalence-7fdc12ecedf53ae9.rmeta: tests/bc_equivalence.rs Cargo.toml
+
+tests/bc_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

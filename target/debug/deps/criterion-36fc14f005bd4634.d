@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-36fc14f005bd4634.d: .typecheck/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-36fc14f005bd4634.rlib: .typecheck/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-36fc14f005bd4634.rmeta: .typecheck/criterion/src/lib.rs
+
+.typecheck/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-f7034ac57ff0b8bc.d: .typecheck/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-f7034ac57ff0b8bc.rmeta: .typecheck/criterion/src/lib.rs
+
+.typecheck/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-075b14ab74ff0e1d.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/libexperiments-075b14ab74ff0e1d.rmeta: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-242545f22a1e836f.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-242545f22a1e836f: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-8c8f9ae114ee19f9.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/libexperiments-8c8f9ae114ee19f9.rmeta: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-c848d433900db5dc.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-c848d433900db5dc: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

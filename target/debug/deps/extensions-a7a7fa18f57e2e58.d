@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-a7a7fa18f57e2e58.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-a7a7fa18f57e2e58: tests/extensions.rs
+
+tests/extensions.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/extensions-a85b0eb747d2ff2c.d: tests/extensions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextensions-a85b0eb747d2ff2c.rmeta: tests/extensions.rs Cargo.toml
+
+tests/extensions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-b6e404de3bfe0a14.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/libextensions-b6e404de3bfe0a14.rmeta: tests/extensions.rs
+
+tests/extensions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-dc4350e7f1f5b354.d: crates/bench/benches/extensions.rs
+
+/root/repo/target/debug/deps/libextensions-dc4350e7f1f5b354.rmeta: crates/bench/benches/extensions.rs
+
+crates/bench/benches/extensions.rs:

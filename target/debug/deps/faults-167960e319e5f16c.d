@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/faults-167960e319e5f16c.d: tests/faults.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfaults-167960e319e5f16c.rmeta: tests/faults.rs Cargo.toml
+
+tests/faults.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/faults-26e17730a26f9817.d: tests/faults.rs
+
+/root/repo/target/debug/deps/faults-26e17730a26f9817: tests/faults.rs
+
+tests/faults.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/faults-71cfeac9fc61b17a.d: tests/faults.rs
+
+/root/repo/target/debug/deps/libfaults-71cfeac9fc61b17a.rmeta: tests/faults.rs
+
+tests/faults.rs:

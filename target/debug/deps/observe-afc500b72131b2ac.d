@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/observe-afc500b72131b2ac.d: tests/observe.rs
+
+/root/repo/target/debug/deps/observe-afc500b72131b2ac: tests/observe.rs
+
+tests/observe.rs:

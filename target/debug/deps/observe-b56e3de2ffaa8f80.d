@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/observe-b56e3de2ffaa8f80.d: tests/observe.rs Cargo.toml
+
+/root/repo/target/debug/deps/libobserve-b56e3de2ffaa8f80.rmeta: tests/observe.rs Cargo.toml
+
+tests/observe.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/observe-db5008fbdbdc7ff1.d: tests/observe.rs
+
+/root/repo/target/debug/deps/libobserve-db5008fbdbdc7ff1.rmeta: tests/observe.rs
+
+tests/observe.rs:

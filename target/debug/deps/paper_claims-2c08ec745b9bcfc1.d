@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-2c08ec745b9bcfc1.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/libpaper_claims-2c08ec745b9bcfc1.rmeta: tests/paper_claims.rs
+
+tests/paper_claims.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-c69040a5e6841869.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-c69040a5e6841869: tests/paper_claims.rs
+
+tests/paper_claims.rs:

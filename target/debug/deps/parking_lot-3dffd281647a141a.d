@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-3dffd281647a141a.d: .typecheck/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-3dffd281647a141a.rmeta: .typecheck/parking_lot/src/lib.rs
+
+.typecheck/parking_lot/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parking_lot-f862c2c111796f90.d: .typecheck/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-f862c2c111796f90.rlib: .typecheck/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-f862c2c111796f90.rmeta: .typecheck/parking_lot/src/lib.rs
+
+.typecheck/parking_lot/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-42d09b11a4251406.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/libpipeline-42d09b11a4251406.rmeta: tests/pipeline.rs
+
+tests/pipeline.rs:

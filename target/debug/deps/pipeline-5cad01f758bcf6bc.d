@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-5cad01f758bcf6bc.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-5cad01f758bcf6bc: tests/pipeline.rs
+
+tests/pipeline.rs:

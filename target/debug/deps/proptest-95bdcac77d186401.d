@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-95bdcac77d186401.d: .typecheck/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-95bdcac77d186401.rlib: .typecheck/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-95bdcac77d186401.rmeta: .typecheck/proptest/src/lib.rs
+
+.typecheck/proptest/src/lib.rs:

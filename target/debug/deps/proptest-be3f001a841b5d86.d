@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-be3f001a841b5d86.d: .typecheck/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-be3f001a841b5d86.rmeta: .typecheck/proptest/src/lib.rs
+
+.typecheck/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-0e03672ad315dfa6.d: .typecheck/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-0e03672ad315dfa6.rlib: .typecheck/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-0e03672ad315dfa6.rmeta: .typecheck/rand/src/lib.rs
+
+.typecheck/rand/src/lib.rs:

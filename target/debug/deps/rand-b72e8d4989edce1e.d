@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-b72e8d4989edce1e.d: .typecheck/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-b72e8d4989edce1e.rmeta: .typecheck/rand/src/lib.rs
+
+.typecheck/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand_chacha-ad44cf45d0671f70.d: .typecheck/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/librand_chacha-ad44cf45d0671f70.rmeta: .typecheck/rand_chacha/src/lib.rs
+
+.typecheck/rand_chacha/src/lib.rs:

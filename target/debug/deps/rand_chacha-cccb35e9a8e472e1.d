@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand_chacha-cccb35e9a8e472e1.d: .typecheck/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/librand_chacha-cccb35e9a8e472e1.rlib: .typecheck/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/librand_chacha-cccb35e9a8e472e1.rmeta: .typecheck/rand_chacha/src/lib.rs
+
+.typecheck/rand_chacha/src/lib.rs:

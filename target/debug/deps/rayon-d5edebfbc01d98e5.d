@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rayon-d5edebfbc01d98e5.d: .typecheck/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-d5edebfbc01d98e5.rlib: .typecheck/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-d5edebfbc01d98e5.rmeta: .typecheck/rayon/src/lib.rs
+
+.typecheck/rayon/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rayon-ed5b910dd8b776da.d: .typecheck/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-ed5b910dd8b776da.rmeta: .typecheck/rayon/src/lib.rs
+
+.typecheck/rayon/src/lib.rs:

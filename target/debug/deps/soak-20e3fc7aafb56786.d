@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/soak-20e3fc7aafb56786.d: crates/bench/src/bin/soak.rs
+
+/root/repo/target/debug/deps/libsoak-20e3fc7aafb56786.rmeta: crates/bench/src/bin/soak.rs
+
+crates/bench/src/bin/soak.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/soak-a9079a01d685a1dd.d: crates/bench/src/bin/soak.rs
+
+/root/repo/target/debug/deps/soak-a9079a01d685a1dd: crates/bench/src/bin/soak.rs
+
+crates/bench/src/bin/soak.rs:

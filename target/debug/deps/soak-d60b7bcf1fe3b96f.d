@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/soak-d60b7bcf1fe3b96f.d: crates/bench/src/bin/soak.rs
+
+/root/repo/target/debug/deps/soak-d60b7bcf1fe3b96f: crates/bench/src/bin/soak.rs
+
+crates/bench/src/bin/soak.rs:

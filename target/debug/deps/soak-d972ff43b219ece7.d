@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/soak-d972ff43b219ece7.d: crates/bench/src/bin/soak.rs
+
+/root/repo/target/debug/deps/libsoak-d972ff43b219ece7.rmeta: crates/bench/src/bin/soak.rs
+
+crates/bench/src/bin/soak.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/spmv_kernels-facd5d964d006c34.d: crates/bench/benches/spmv_kernels.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspmv_kernels-facd5d964d006c34.rmeta: crates/bench/benches/spmv_kernels.rs Cargo.toml
+
+crates/bench/benches/spmv_kernels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

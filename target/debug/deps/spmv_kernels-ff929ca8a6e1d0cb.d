@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/spmv_kernels-ff929ca8a6e1d0cb.d: crates/bench/benches/spmv_kernels.rs
+
+/root/repo/target/debug/deps/libspmv_kernels-ff929ca8a6e1d0cb.rmeta: crates/bench/benches/spmv_kernels.rs
+
+crates/bench/benches/spmv_kernels.rs:

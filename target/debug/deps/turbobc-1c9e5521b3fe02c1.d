@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/turbobc-1c9e5521b3fe02c1.d: crates/cli/src/main.rs crates/cli/src/cli.rs
+
+/root/repo/target/debug/deps/turbobc-1c9e5521b3fe02c1: crates/cli/src/main.rs crates/cli/src/cli.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/cli.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/turbobc-9fa55a445a28c664.d: crates/cli/src/main.rs crates/cli/src/cli.rs
+
+/root/repo/target/debug/deps/libturbobc-9fa55a445a28c664.rmeta: crates/cli/src/main.rs crates/cli/src/cli.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/cli.rs:

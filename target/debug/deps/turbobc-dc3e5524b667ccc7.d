@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/turbobc-dc3e5524b667ccc7.d: crates/cli/src/main.rs crates/cli/src/cli.rs
+
+/root/repo/target/debug/deps/turbobc-dc3e5524b667ccc7: crates/cli/src/main.rs crates/cli/src/cli.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/cli.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/turbobc-fdf7925217106144.d: crates/cli/src/main.rs crates/cli/src/cli.rs
+
+/root/repo/target/debug/deps/libturbobc-fdf7925217106144.rmeta: crates/cli/src/main.rs crates/cli/src/cli.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/cli.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/turbobc_baselines-08416ecce77279b1.d: crates/baselines/src/lib.rs crates/baselines/src/brandes.rs crates/baselines/src/gunrock_like.rs crates/baselines/src/gunrock_simt.rs crates/baselines/src/weighted_brandes.rs
+
+/root/repo/target/debug/deps/libturbobc_baselines-08416ecce77279b1.rlib: crates/baselines/src/lib.rs crates/baselines/src/brandes.rs crates/baselines/src/gunrock_like.rs crates/baselines/src/gunrock_simt.rs crates/baselines/src/weighted_brandes.rs
+
+/root/repo/target/debug/deps/libturbobc_baselines-08416ecce77279b1.rmeta: crates/baselines/src/lib.rs crates/baselines/src/brandes.rs crates/baselines/src/gunrock_like.rs crates/baselines/src/gunrock_simt.rs crates/baselines/src/weighted_brandes.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/brandes.rs:
+crates/baselines/src/gunrock_like.rs:
+crates/baselines/src/gunrock_simt.rs:
+crates/baselines/src/weighted_brandes.rs:

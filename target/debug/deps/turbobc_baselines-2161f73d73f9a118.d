@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/turbobc_baselines-2161f73d73f9a118.d: crates/baselines/src/lib.rs crates/baselines/src/brandes.rs crates/baselines/src/gunrock_like.rs crates/baselines/src/gunrock_simt.rs crates/baselines/src/weighted_brandes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libturbobc_baselines-2161f73d73f9a118.rmeta: crates/baselines/src/lib.rs crates/baselines/src/brandes.rs crates/baselines/src/gunrock_like.rs crates/baselines/src/gunrock_simt.rs crates/baselines/src/weighted_brandes.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/brandes.rs:
+crates/baselines/src/gunrock_like.rs:
+crates/baselines/src/gunrock_simt.rs:
+crates/baselines/src/weighted_brandes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

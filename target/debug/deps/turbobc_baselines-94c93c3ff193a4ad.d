@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/turbobc_baselines-94c93c3ff193a4ad.d: crates/baselines/src/lib.rs crates/baselines/src/brandes.rs crates/baselines/src/gunrock_like.rs crates/baselines/src/gunrock_simt.rs crates/baselines/src/weighted_brandes.rs
+
+/root/repo/target/debug/deps/libturbobc_baselines-94c93c3ff193a4ad.rmeta: crates/baselines/src/lib.rs crates/baselines/src/brandes.rs crates/baselines/src/gunrock_like.rs crates/baselines/src/gunrock_simt.rs crates/baselines/src/weighted_brandes.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/brandes.rs:
+crates/baselines/src/gunrock_like.rs:
+crates/baselines/src/gunrock_simt.rs:
+crates/baselines/src/weighted_brandes.rs:

@@ -1,0 +1,24 @@
+/root/repo/target/debug/deps/turbobc_graph-1039c394bad35f0c.d: crates/graph/src/lib.rs crates/graph/src/bfs.rs crates/graph/src/families.rs crates/graph/src/gen/mod.rs crates/graph/src/gen/circuit.rs crates/graph/src/gen/delaunay.rs crates/graph/src/gen/mesh.rs crates/graph/src/gen/mycielski.rs crates/graph/src/gen/powerlaw.rs crates/graph/src/gen/random.rs crates/graph/src/gen/rmat.rs crates/graph/src/gen/road.rs crates/graph/src/gen/smallworld.rs crates/graph/src/gen/trace.rs crates/graph/src/gen/trees.rs crates/graph/src/graph.rs crates/graph/src/io.rs crates/graph/src/proptests.rs crates/graph/src/stats.rs crates/graph/src/weighted.rs
+
+/root/repo/target/debug/deps/turbobc_graph-1039c394bad35f0c: crates/graph/src/lib.rs crates/graph/src/bfs.rs crates/graph/src/families.rs crates/graph/src/gen/mod.rs crates/graph/src/gen/circuit.rs crates/graph/src/gen/delaunay.rs crates/graph/src/gen/mesh.rs crates/graph/src/gen/mycielski.rs crates/graph/src/gen/powerlaw.rs crates/graph/src/gen/random.rs crates/graph/src/gen/rmat.rs crates/graph/src/gen/road.rs crates/graph/src/gen/smallworld.rs crates/graph/src/gen/trace.rs crates/graph/src/gen/trees.rs crates/graph/src/graph.rs crates/graph/src/io.rs crates/graph/src/proptests.rs crates/graph/src/stats.rs crates/graph/src/weighted.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/bfs.rs:
+crates/graph/src/families.rs:
+crates/graph/src/gen/mod.rs:
+crates/graph/src/gen/circuit.rs:
+crates/graph/src/gen/delaunay.rs:
+crates/graph/src/gen/mesh.rs:
+crates/graph/src/gen/mycielski.rs:
+crates/graph/src/gen/powerlaw.rs:
+crates/graph/src/gen/random.rs:
+crates/graph/src/gen/rmat.rs:
+crates/graph/src/gen/road.rs:
+crates/graph/src/gen/smallworld.rs:
+crates/graph/src/gen/trace.rs:
+crates/graph/src/gen/trees.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/io.rs:
+crates/graph/src/proptests.rs:
+crates/graph/src/stats.rs:
+crates/graph/src/weighted.rs:

@@ -1,0 +1,28 @@
+/root/repo/target/debug/deps/turbobc_graph-47ba4ad2a016885b.d: crates/graph/src/lib.rs crates/graph/src/bfs.rs crates/graph/src/families.rs crates/graph/src/gen/mod.rs crates/graph/src/gen/circuit.rs crates/graph/src/gen/delaunay.rs crates/graph/src/gen/mesh.rs crates/graph/src/gen/mycielski.rs crates/graph/src/gen/powerlaw.rs crates/graph/src/gen/random.rs crates/graph/src/gen/rmat.rs crates/graph/src/gen/road.rs crates/graph/src/gen/smallworld.rs crates/graph/src/gen/trace.rs crates/graph/src/gen/trees.rs crates/graph/src/graph.rs crates/graph/src/io.rs crates/graph/src/proptests.rs crates/graph/src/stats.rs crates/graph/src/weighted.rs Cargo.toml
+
+/root/repo/target/debug/deps/libturbobc_graph-47ba4ad2a016885b.rmeta: crates/graph/src/lib.rs crates/graph/src/bfs.rs crates/graph/src/families.rs crates/graph/src/gen/mod.rs crates/graph/src/gen/circuit.rs crates/graph/src/gen/delaunay.rs crates/graph/src/gen/mesh.rs crates/graph/src/gen/mycielski.rs crates/graph/src/gen/powerlaw.rs crates/graph/src/gen/random.rs crates/graph/src/gen/rmat.rs crates/graph/src/gen/road.rs crates/graph/src/gen/smallworld.rs crates/graph/src/gen/trace.rs crates/graph/src/gen/trees.rs crates/graph/src/graph.rs crates/graph/src/io.rs crates/graph/src/proptests.rs crates/graph/src/stats.rs crates/graph/src/weighted.rs Cargo.toml
+
+crates/graph/src/lib.rs:
+crates/graph/src/bfs.rs:
+crates/graph/src/families.rs:
+crates/graph/src/gen/mod.rs:
+crates/graph/src/gen/circuit.rs:
+crates/graph/src/gen/delaunay.rs:
+crates/graph/src/gen/mesh.rs:
+crates/graph/src/gen/mycielski.rs:
+crates/graph/src/gen/powerlaw.rs:
+crates/graph/src/gen/random.rs:
+crates/graph/src/gen/rmat.rs:
+crates/graph/src/gen/road.rs:
+crates/graph/src/gen/smallworld.rs:
+crates/graph/src/gen/trace.rs:
+crates/graph/src/gen/trees.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/io.rs:
+crates/graph/src/proptests.rs:
+crates/graph/src/stats.rs:
+crates/graph/src/weighted.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

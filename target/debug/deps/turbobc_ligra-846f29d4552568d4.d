@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/turbobc_ligra-846f29d4552568d4.d: crates/ligra/src/lib.rs crates/ligra/src/bc.rs crates/ligra/src/bfs.rs crates/ligra/src/edge_map.rs crates/ligra/src/frontier.rs Cargo.toml
+
+/root/repo/target/debug/deps/libturbobc_ligra-846f29d4552568d4.rmeta: crates/ligra/src/lib.rs crates/ligra/src/bc.rs crates/ligra/src/bfs.rs crates/ligra/src/edge_map.rs crates/ligra/src/frontier.rs Cargo.toml
+
+crates/ligra/src/lib.rs:
+crates/ligra/src/bc.rs:
+crates/ligra/src/bfs.rs:
+crates/ligra/src/edge_map.rs:
+crates/ligra/src/frontier.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/turbobc_ligra-86376706b72135fe.d: crates/ligra/src/lib.rs crates/ligra/src/bc.rs crates/ligra/src/bfs.rs crates/ligra/src/edge_map.rs crates/ligra/src/frontier.rs
+
+/root/repo/target/debug/deps/turbobc_ligra-86376706b72135fe: crates/ligra/src/lib.rs crates/ligra/src/bc.rs crates/ligra/src/bfs.rs crates/ligra/src/edge_map.rs crates/ligra/src/frontier.rs
+
+crates/ligra/src/lib.rs:
+crates/ligra/src/bc.rs:
+crates/ligra/src/bfs.rs:
+crates/ligra/src/edge_map.rs:
+crates/ligra/src/frontier.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/turbobc_ligra-b8e111e0846af3e5.d: crates/ligra/src/lib.rs crates/ligra/src/bc.rs crates/ligra/src/bfs.rs crates/ligra/src/edge_map.rs crates/ligra/src/frontier.rs
+
+/root/repo/target/debug/deps/libturbobc_ligra-b8e111e0846af3e5.rmeta: crates/ligra/src/lib.rs crates/ligra/src/bc.rs crates/ligra/src/bfs.rs crates/ligra/src/edge_map.rs crates/ligra/src/frontier.rs
+
+crates/ligra/src/lib.rs:
+crates/ligra/src/bc.rs:
+crates/ligra/src/bfs.rs:
+crates/ligra/src/edge_map.rs:
+crates/ligra/src/frontier.rs:

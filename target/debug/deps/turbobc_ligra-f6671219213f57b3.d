@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/turbobc_ligra-f6671219213f57b3.d: crates/ligra/src/lib.rs crates/ligra/src/bc.rs crates/ligra/src/bfs.rs crates/ligra/src/edge_map.rs crates/ligra/src/frontier.rs
+
+/root/repo/target/debug/deps/libturbobc_ligra-f6671219213f57b3.rmeta: crates/ligra/src/lib.rs crates/ligra/src/bc.rs crates/ligra/src/bfs.rs crates/ligra/src/edge_map.rs crates/ligra/src/frontier.rs
+
+crates/ligra/src/lib.rs:
+crates/ligra/src/bc.rs:
+crates/ligra/src/bfs.rs:
+crates/ligra/src/edge_map.rs:
+crates/ligra/src/frontier.rs:

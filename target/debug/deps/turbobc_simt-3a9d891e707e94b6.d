@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/turbobc_simt-3a9d891e707e94b6.d: crates/simt/src/lib.rs crates/simt/src/buffer.rs crates/simt/src/cache.rs crates/simt/src/device.rs crates/simt/src/faults.rs crates/simt/src/interconnect.rs crates/simt/src/metrics.rs crates/simt/src/timing.rs crates/simt/src/warp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libturbobc_simt-3a9d891e707e94b6.rmeta: crates/simt/src/lib.rs crates/simt/src/buffer.rs crates/simt/src/cache.rs crates/simt/src/device.rs crates/simt/src/faults.rs crates/simt/src/interconnect.rs crates/simt/src/metrics.rs crates/simt/src/timing.rs crates/simt/src/warp.rs Cargo.toml
+
+crates/simt/src/lib.rs:
+crates/simt/src/buffer.rs:
+crates/simt/src/cache.rs:
+crates/simt/src/device.rs:
+crates/simt/src/faults.rs:
+crates/simt/src/interconnect.rs:
+crates/simt/src/metrics.rs:
+crates/simt/src/timing.rs:
+crates/simt/src/warp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/turbobc_simt-4d92adaa55cd691a.d: crates/simt/src/lib.rs crates/simt/src/buffer.rs crates/simt/src/cache.rs crates/simt/src/device.rs crates/simt/src/faults.rs crates/simt/src/interconnect.rs crates/simt/src/metrics.rs crates/simt/src/timing.rs crates/simt/src/warp.rs
+
+/root/repo/target/debug/deps/libturbobc_simt-4d92adaa55cd691a.rlib: crates/simt/src/lib.rs crates/simt/src/buffer.rs crates/simt/src/cache.rs crates/simt/src/device.rs crates/simt/src/faults.rs crates/simt/src/interconnect.rs crates/simt/src/metrics.rs crates/simt/src/timing.rs crates/simt/src/warp.rs
+
+/root/repo/target/debug/deps/libturbobc_simt-4d92adaa55cd691a.rmeta: crates/simt/src/lib.rs crates/simt/src/buffer.rs crates/simt/src/cache.rs crates/simt/src/device.rs crates/simt/src/faults.rs crates/simt/src/interconnect.rs crates/simt/src/metrics.rs crates/simt/src/timing.rs crates/simt/src/warp.rs
+
+crates/simt/src/lib.rs:
+crates/simt/src/buffer.rs:
+crates/simt/src/cache.rs:
+crates/simt/src/device.rs:
+crates/simt/src/faults.rs:
+crates/simt/src/interconnect.rs:
+crates/simt/src/metrics.rs:
+crates/simt/src/timing.rs:
+crates/simt/src/warp.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/turbobc_simt-8a9dc3f75108519a.d: crates/simt/src/lib.rs crates/simt/src/buffer.rs crates/simt/src/cache.rs crates/simt/src/device.rs crates/simt/src/faults.rs crates/simt/src/interconnect.rs crates/simt/src/metrics.rs crates/simt/src/proptests.rs crates/simt/src/timing.rs crates/simt/src/warp.rs
+
+/root/repo/target/debug/deps/libturbobc_simt-8a9dc3f75108519a.rmeta: crates/simt/src/lib.rs crates/simt/src/buffer.rs crates/simt/src/cache.rs crates/simt/src/device.rs crates/simt/src/faults.rs crates/simt/src/interconnect.rs crates/simt/src/metrics.rs crates/simt/src/proptests.rs crates/simt/src/timing.rs crates/simt/src/warp.rs
+
+crates/simt/src/lib.rs:
+crates/simt/src/buffer.rs:
+crates/simt/src/cache.rs:
+crates/simt/src/device.rs:
+crates/simt/src/faults.rs:
+crates/simt/src/interconnect.rs:
+crates/simt/src/metrics.rs:
+crates/simt/src/proptests.rs:
+crates/simt/src/timing.rs:
+crates/simt/src/warp.rs:

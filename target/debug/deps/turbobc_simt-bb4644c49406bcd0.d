@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/turbobc_simt-bb4644c49406bcd0.d: crates/simt/src/lib.rs crates/simt/src/buffer.rs crates/simt/src/cache.rs crates/simt/src/device.rs crates/simt/src/faults.rs crates/simt/src/interconnect.rs crates/simt/src/metrics.rs crates/simt/src/proptests.rs crates/simt/src/timing.rs crates/simt/src/warp.rs
+
+/root/repo/target/debug/deps/turbobc_simt-bb4644c49406bcd0: crates/simt/src/lib.rs crates/simt/src/buffer.rs crates/simt/src/cache.rs crates/simt/src/device.rs crates/simt/src/faults.rs crates/simt/src/interconnect.rs crates/simt/src/metrics.rs crates/simt/src/proptests.rs crates/simt/src/timing.rs crates/simt/src/warp.rs
+
+crates/simt/src/lib.rs:
+crates/simt/src/buffer.rs:
+crates/simt/src/cache.rs:
+crates/simt/src/device.rs:
+crates/simt/src/faults.rs:
+crates/simt/src/interconnect.rs:
+crates/simt/src/metrics.rs:
+crates/simt/src/proptests.rs:
+crates/simt/src/timing.rs:
+crates/simt/src/warp.rs:

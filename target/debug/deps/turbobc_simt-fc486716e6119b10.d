@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/turbobc_simt-fc486716e6119b10.d: crates/simt/src/lib.rs crates/simt/src/buffer.rs crates/simt/src/cache.rs crates/simt/src/device.rs crates/simt/src/faults.rs crates/simt/src/interconnect.rs crates/simt/src/metrics.rs crates/simt/src/timing.rs crates/simt/src/warp.rs
+
+/root/repo/target/debug/deps/libturbobc_simt-fc486716e6119b10.rmeta: crates/simt/src/lib.rs crates/simt/src/buffer.rs crates/simt/src/cache.rs crates/simt/src/device.rs crates/simt/src/faults.rs crates/simt/src/interconnect.rs crates/simt/src/metrics.rs crates/simt/src/timing.rs crates/simt/src/warp.rs
+
+crates/simt/src/lib.rs:
+crates/simt/src/buffer.rs:
+crates/simt/src/cache.rs:
+crates/simt/src/device.rs:
+crates/simt/src/faults.rs:
+crates/simt/src/interconnect.rs:
+crates/simt/src/metrics.rs:
+crates/simt/src/timing.rs:
+crates/simt/src/warp.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/turbobc_sparse-c1310316100ea34d.d: crates/sparse/src/lib.rs crates/sparse/src/coo.rs crates/sparse/src/cooc.rs crates/sparse/src/csc.rs crates/sparse/src/csr.rs crates/sparse/src/dense.rs crates/sparse/src/error.rs crates/sparse/src/ops.rs crates/sparse/src/scalar.rs crates/sparse/src/semiring.rs crates/sparse/src/spmm.rs
+
+/root/repo/target/debug/deps/libturbobc_sparse-c1310316100ea34d.rmeta: crates/sparse/src/lib.rs crates/sparse/src/coo.rs crates/sparse/src/cooc.rs crates/sparse/src/csc.rs crates/sparse/src/csr.rs crates/sparse/src/dense.rs crates/sparse/src/error.rs crates/sparse/src/ops.rs crates/sparse/src/scalar.rs crates/sparse/src/semiring.rs crates/sparse/src/spmm.rs
+
+crates/sparse/src/lib.rs:
+crates/sparse/src/coo.rs:
+crates/sparse/src/cooc.rs:
+crates/sparse/src/csc.rs:
+crates/sparse/src/csr.rs:
+crates/sparse/src/dense.rs:
+crates/sparse/src/error.rs:
+crates/sparse/src/ops.rs:
+crates/sparse/src/scalar.rs:
+crates/sparse/src/semiring.rs:
+crates/sparse/src/spmm.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/turbobc_suite-16754ed95404cd09.d: src/lib.rs
+
+/root/repo/target/debug/deps/turbobc_suite-16754ed95404cd09: src/lib.rs
+
+src/lib.rs:

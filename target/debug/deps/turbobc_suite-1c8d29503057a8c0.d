@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/turbobc_suite-1c8d29503057a8c0.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libturbobc_suite-1c8d29503057a8c0.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

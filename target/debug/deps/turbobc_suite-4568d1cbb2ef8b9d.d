@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/turbobc_suite-4568d1cbb2ef8b9d.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libturbobc_suite-4568d1cbb2ef8b9d.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/turbobc_suite-6d215d8979aa75dc.d: src/lib.rs
+
+/root/repo/target/debug/deps/libturbobc_suite-6d215d8979aa75dc.rmeta: src/lib.rs
+
+src/lib.rs:

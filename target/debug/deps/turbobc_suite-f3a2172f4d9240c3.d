@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/turbobc_suite-f3a2172f4d9240c3.d: src/lib.rs
+
+/root/repo/target/debug/deps/libturbobc_suite-f3a2172f4d9240c3.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libturbobc_suite-f3a2172f4d9240c3.rmeta: src/lib.rs
+
+src/lib.rs:

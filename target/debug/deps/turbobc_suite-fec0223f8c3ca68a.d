@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/turbobc_suite-fec0223f8c3ca68a.d: src/lib.rs
+
+/root/repo/target/debug/deps/libturbobc_suite-fec0223f8c3ca68a.rmeta: src/lib.rs
+
+src/lib.rs:

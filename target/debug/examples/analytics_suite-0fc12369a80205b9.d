@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/analytics_suite-0fc12369a80205b9.d: examples/analytics_suite.rs
+
+/root/repo/target/debug/examples/libanalytics_suite-0fc12369a80205b9.rmeta: examples/analytics_suite.rs
+
+examples/analytics_suite.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/analytics_suite-1aeb8d7a85a08dba.d: examples/analytics_suite.rs
+
+/root/repo/target/debug/examples/analytics_suite-1aeb8d7a85a08dba: examples/analytics_suite.rs
+
+examples/analytics_suite.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/analytics_suite-f23ab76c81a59aa5.d: examples/analytics_suite.rs Cargo.toml
+
+/root/repo/target/debug/examples/libanalytics_suite-f23ab76c81a59aa5.rmeta: examples/analytics_suite.rs Cargo.toml
+
+examples/analytics_suite.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

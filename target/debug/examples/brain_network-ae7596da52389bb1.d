@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/brain_network-ae7596da52389bb1.d: examples/brain_network.rs
+
+/root/repo/target/debug/examples/brain_network-ae7596da52389bb1: examples/brain_network.rs
+
+examples/brain_network.rs:

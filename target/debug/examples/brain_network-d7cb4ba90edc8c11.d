@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/brain_network-d7cb4ba90edc8c11.d: examples/brain_network.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbrain_network-d7cb4ba90edc8c11.rmeta: examples/brain_network.rs Cargo.toml
+
+examples/brain_network.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/brain_network-e3a6230d05de39cf.d: examples/brain_network.rs
+
+/root/repo/target/debug/examples/libbrain_network-e3a6230d05de39cf.rmeta: examples/brain_network.rs
+
+examples/brain_network.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/community_detection-35f82a4d76581e5a.d: examples/community_detection.rs
+
+/root/repo/target/debug/examples/community_detection-35f82a4d76581e5a: examples/community_detection.rs
+
+examples/community_detection.rs:

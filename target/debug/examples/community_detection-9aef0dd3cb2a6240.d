@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/community_detection-9aef0dd3cb2a6240.d: examples/community_detection.rs
+
+/root/repo/target/debug/examples/libcommunity_detection-9aef0dd3cb2a6240.rmeta: examples/community_detection.rs
+
+examples/community_detection.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/community_detection-bbb66b2ac1db3930.d: examples/community_detection.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcommunity_detection-bbb66b2ac1db3930.rmeta: examples/community_detection.rs Cargo.toml
+
+examples/community_detection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/gpu_simulation-11fa093dde17d18d.d: examples/gpu_simulation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libgpu_simulation-11fa093dde17d18d.rmeta: examples/gpu_simulation.rs Cargo.toml
+
+examples/gpu_simulation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/gpu_simulation-4136ab8ebf03ad56.d: examples/gpu_simulation.rs
+
+/root/repo/target/debug/examples/gpu_simulation-4136ab8ebf03ad56: examples/gpu_simulation.rs
+
+examples/gpu_simulation.rs:

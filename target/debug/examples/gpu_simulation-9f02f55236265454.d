@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/gpu_simulation-9f02f55236265454.d: examples/gpu_simulation.rs
+
+/root/repo/target/debug/examples/libgpu_simulation-9f02f55236265454.rmeta: examples/gpu_simulation.rs
+
+examples/gpu_simulation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multi_gpu_scaling-3253b567b828597c.d: examples/multi_gpu_scaling.rs
+
+/root/repo/target/debug/examples/multi_gpu_scaling-3253b567b828597c: examples/multi_gpu_scaling.rs
+
+examples/multi_gpu_scaling.rs:

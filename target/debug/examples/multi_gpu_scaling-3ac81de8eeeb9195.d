@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multi_gpu_scaling-3ac81de8eeeb9195.d: examples/multi_gpu_scaling.rs
+
+/root/repo/target/debug/examples/libmulti_gpu_scaling-3ac81de8eeeb9195.rmeta: examples/multi_gpu_scaling.rs
+
+examples/multi_gpu_scaling.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/multi_gpu_scaling-5bc96629dd745b69.d: examples/multi_gpu_scaling.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmulti_gpu_scaling-5bc96629dd745b69.rmeta: examples/multi_gpu_scaling.rs Cargo.toml
+
+examples/multi_gpu_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

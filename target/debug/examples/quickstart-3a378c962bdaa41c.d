@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-3a378c962bdaa41c.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-3a378c962bdaa41c: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-50ac85d36d6db1c0.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-50ac85d36d6db1c0.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

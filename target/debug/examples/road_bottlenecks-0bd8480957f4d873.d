@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/road_bottlenecks-0bd8480957f4d873.d: examples/road_bottlenecks.rs
+
+/root/repo/target/debug/examples/libroad_bottlenecks-0bd8480957f4d873.rmeta: examples/road_bottlenecks.rs
+
+examples/road_bottlenecks.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/road_bottlenecks-0f22b95c940f2528.d: examples/road_bottlenecks.rs
+
+/root/repo/target/debug/examples/road_bottlenecks-0f22b95c940f2528: examples/road_bottlenecks.rs
+
+examples/road_bottlenecks.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/road_bottlenecks-6b4098b3697acabf.d: examples/road_bottlenecks.rs Cargo.toml
+
+/root/repo/target/debug/examples/libroad_bottlenecks-6b4098b3697acabf.rmeta: examples/road_bottlenecks.rs Cargo.toml
+
+examples/road_bottlenecks.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

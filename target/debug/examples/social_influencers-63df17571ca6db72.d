@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/social_influencers-63df17571ca6db72.d: examples/social_influencers.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsocial_influencers-63df17571ca6db72.rmeta: examples/social_influencers.rs Cargo.toml
+
+examples/social_influencers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/social_influencers-bb2df4d7d0029832.d: examples/social_influencers.rs
+
+/root/repo/target/debug/examples/libsocial_influencers-bb2df4d7d0029832.rmeta: examples/social_influencers.rs
+
+examples/social_influencers.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/social_influencers-cf68bed84515ef20.d: examples/social_influencers.rs
+
+/root/repo/target/debug/examples/social_influencers-cf68bed84515ef20: examples/social_influencers.rs
+
+examples/social_influencers.rs:

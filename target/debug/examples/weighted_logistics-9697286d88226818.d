@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/weighted_logistics-9697286d88226818.d: examples/weighted_logistics.rs Cargo.toml
+
+/root/repo/target/debug/examples/libweighted_logistics-9697286d88226818.rmeta: examples/weighted_logistics.rs Cargo.toml
+
+examples/weighted_logistics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/weighted_logistics-edf6453e7600618f.d: examples/weighted_logistics.rs
+
+/root/repo/target/debug/examples/libweighted_logistics-edf6453e7600618f.rmeta: examples/weighted_logistics.rs
+
+examples/weighted_logistics.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/weighted_logistics-ef9fa2f92f27fb10.d: examples/weighted_logistics.rs
+
+/root/repo/target/debug/examples/weighted_logistics-ef9fa2f92f27fb10: examples/weighted_logistics.rs
+
+examples/weighted_logistics.rs:

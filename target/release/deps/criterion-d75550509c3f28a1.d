@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-d75550509c3f28a1.d: .typecheck/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-d75550509c3f28a1.rlib: .typecheck/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-d75550509c3f28a1.rmeta: .typecheck/criterion/src/lib.rs
+
+.typecheck/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-f0e5c5ac3ea2d052.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-f0e5c5ac3ea2d052: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-190d3a01daa7a70b.d: .typecheck/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-190d3a01daa7a70b.rlib: .typecheck/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-190d3a01daa7a70b.rmeta: .typecheck/parking_lot/src/lib.rs
+
+.typecheck/parking_lot/src/lib.rs:

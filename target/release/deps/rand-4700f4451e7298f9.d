@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-4700f4451e7298f9.d: .typecheck/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-4700f4451e7298f9.rlib: .typecheck/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-4700f4451e7298f9.rmeta: .typecheck/rand/src/lib.rs
+
+.typecheck/rand/src/lib.rs:

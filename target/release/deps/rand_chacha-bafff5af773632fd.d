@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand_chacha-bafff5af773632fd.d: .typecheck/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/librand_chacha-bafff5af773632fd.rlib: .typecheck/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/librand_chacha-bafff5af773632fd.rmeta: .typecheck/rand_chacha/src/lib.rs
+
+.typecheck/rand_chacha/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rayon-dbdf49374fb2db4a.d: .typecheck/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-dbdf49374fb2db4a.rlib: .typecheck/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-dbdf49374fb2db4a.rmeta: .typecheck/rayon/src/lib.rs
+
+.typecheck/rayon/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/turbobc_baselines-60d8b534a921a892.d: crates/baselines/src/lib.rs crates/baselines/src/brandes.rs crates/baselines/src/gunrock_like.rs crates/baselines/src/gunrock_simt.rs crates/baselines/src/weighted_brandes.rs
+
+/root/repo/target/release/deps/libturbobc_baselines-60d8b534a921a892.rlib: crates/baselines/src/lib.rs crates/baselines/src/brandes.rs crates/baselines/src/gunrock_like.rs crates/baselines/src/gunrock_simt.rs crates/baselines/src/weighted_brandes.rs
+
+/root/repo/target/release/deps/libturbobc_baselines-60d8b534a921a892.rmeta: crates/baselines/src/lib.rs crates/baselines/src/brandes.rs crates/baselines/src/gunrock_like.rs crates/baselines/src/gunrock_simt.rs crates/baselines/src/weighted_brandes.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/brandes.rs:
+crates/baselines/src/gunrock_like.rs:
+crates/baselines/src/gunrock_simt.rs:
+crates/baselines/src/weighted_brandes.rs:

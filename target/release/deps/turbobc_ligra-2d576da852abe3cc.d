@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/turbobc_ligra-2d576da852abe3cc.d: crates/ligra/src/lib.rs crates/ligra/src/bc.rs crates/ligra/src/bfs.rs crates/ligra/src/edge_map.rs crates/ligra/src/frontier.rs
+
+/root/repo/target/release/deps/libturbobc_ligra-2d576da852abe3cc.rlib: crates/ligra/src/lib.rs crates/ligra/src/bc.rs crates/ligra/src/bfs.rs crates/ligra/src/edge_map.rs crates/ligra/src/frontier.rs
+
+/root/repo/target/release/deps/libturbobc_ligra-2d576da852abe3cc.rmeta: crates/ligra/src/lib.rs crates/ligra/src/bc.rs crates/ligra/src/bfs.rs crates/ligra/src/edge_map.rs crates/ligra/src/frontier.rs
+
+crates/ligra/src/lib.rs:
+crates/ligra/src/bc.rs:
+crates/ligra/src/bfs.rs:
+crates/ligra/src/edge_map.rs:
+crates/ligra/src/frontier.rs:

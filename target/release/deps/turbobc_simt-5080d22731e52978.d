@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/turbobc_simt-5080d22731e52978.d: crates/simt/src/lib.rs crates/simt/src/buffer.rs crates/simt/src/cache.rs crates/simt/src/device.rs crates/simt/src/faults.rs crates/simt/src/interconnect.rs crates/simt/src/metrics.rs crates/simt/src/timing.rs crates/simt/src/warp.rs
+
+/root/repo/target/release/deps/libturbobc_simt-5080d22731e52978.rlib: crates/simt/src/lib.rs crates/simt/src/buffer.rs crates/simt/src/cache.rs crates/simt/src/device.rs crates/simt/src/faults.rs crates/simt/src/interconnect.rs crates/simt/src/metrics.rs crates/simt/src/timing.rs crates/simt/src/warp.rs
+
+/root/repo/target/release/deps/libturbobc_simt-5080d22731e52978.rmeta: crates/simt/src/lib.rs crates/simt/src/buffer.rs crates/simt/src/cache.rs crates/simt/src/device.rs crates/simt/src/faults.rs crates/simt/src/interconnect.rs crates/simt/src/metrics.rs crates/simt/src/timing.rs crates/simt/src/warp.rs
+
+crates/simt/src/lib.rs:
+crates/simt/src/buffer.rs:
+crates/simt/src/cache.rs:
+crates/simt/src/device.rs:
+crates/simt/src/faults.rs:
+crates/simt/src/interconnect.rs:
+crates/simt/src/metrics.rs:
+crates/simt/src/timing.rs:
+crates/simt/src/warp.rs:
