@@ -1,0 +1,412 @@
+//! The `dynamic` experiment: incremental BC over streamed edge updates
+//! ([`turbobc::DynamicBc`]) against the full-recompute pipeline (solver
+//! rebuild + batched run over the same sources) on power-law fixtures.
+//!
+//! Two update regimes bracket what the dirty-block detector can and
+//! cannot skip:
+//!
+//! * **localized** — all updates land in the last component of the
+//!   `stress-powerlaw-union` fixture. Source blocks whose sources live
+//!   in the other components never discover the touched endpoints, so
+//!   their cached panels stay bitwise valid and the incremental path
+//!   re-sweeps a fraction of the blocks;
+//! * **scattered** — updates spread uniformly over a connected
+//!   power-law graph (`com-Youtube`). Almost every update changes some
+//!   source's BFS, the detector conservatively dirties most blocks,
+//!   and the strategy escalates to a full (but still rebuild-free)
+//!   recompute — the honest worst case.
+//!
+//! The release acceptance bar from the issue: on a power-law fixture
+//! with a small batch (≤ 1% of the edges), the incremental path beats
+//! the full recompute. Emits `BENCH_dynamic.json` (schema
+//! `turbobc-dynamic-v1`) so CI can upload it as an artifact.
+
+use super::Config;
+use crate::table::{fcount, fnum, TextTable};
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+use turbobc::observe::json::Json;
+use turbobc::{BcOptions, BcSolver, DynamicBc, DynamicGraph, EdgeUpdate, PrepMode};
+use turbobc_graph::families;
+use turbobc_graph::Graph;
+
+/// Update-batch sizes as a fraction of the fixture's edge count. Both
+/// sit at or under the issue's "small batch" bar of 1%.
+pub const BATCH_FRACTIONS: [f64; 2] = [0.001, 0.01];
+
+/// One (fixture, regime, batch size) measurement.
+#[derive(Debug, Clone)]
+pub struct DynamicRow {
+    /// Fixture name (a `turbobc_graph::families` stand-in).
+    pub graph: String,
+    /// `"localized"` or `"scattered"` (see the module docs).
+    pub scenario: &'static str,
+    /// Vertex count.
+    pub n: usize,
+    /// Stored arc count.
+    pub m: usize,
+    /// BC sources the cache covers.
+    pub sources: usize,
+    /// Requested batch size as a fraction of the edge count.
+    pub batch_fraction: f64,
+    /// Updates in the batch (inserts + deletes, all effective).
+    pub batch_edges: usize,
+    /// Inserts that took effect in the first applied batch.
+    pub inserts: usize,
+    /// Deletes that took effect in the first applied batch.
+    pub deletes: usize,
+    /// Blocks the batch invalidated.
+    pub dirty_blocks: usize,
+    /// Cached source blocks in total.
+    pub total_blocks: usize,
+    /// Blocks the incremental engine actually re-swept.
+    pub recomputed_blocks: usize,
+    /// `"incremental"`, `"full"` or `"noop"`.
+    pub strategy: String,
+    /// Best-of-trials wall clock of one incremental batch apply, ms.
+    pub incremental_ms: f64,
+    /// Best-of-trials wall clock of the full pipeline on the updated
+    /// graph (solver rebuild + batched run over the same sources), ms.
+    pub full_ms: f64,
+    /// Max graded deviation of the incremental BC vector from the
+    /// full recompute: `|inc - full| / max(1, |full|)`.
+    pub max_rel_err: f64,
+}
+
+impl DynamicRow {
+    /// Full-recompute time over incremental time (> 1 means the
+    /// incremental path wins).
+    pub fn speedup(&self) -> f64 {
+        self.full_ms / self.incremental_ms.max(1e-9)
+    }
+}
+
+/// Evenly spread sources in ascending id order, so the 64-wide cache
+/// blocks inherit the fixture's component layout (the union fixture
+/// keeps each component in a contiguous id range).
+fn pick_sources(n: usize, count: usize) -> Vec<u32> {
+    let count = count.clamp(1, n);
+    (0..count).map(|i| (i * n / count) as u32).collect()
+}
+
+/// Flips a batch: applying `batch` then `inverse(batch)` restores the
+/// graph (all batch edges are distinct, so order is irrelevant).
+fn inverse(batch: &[EdgeUpdate]) -> Vec<EdgeUpdate> {
+    batch
+        .iter()
+        .map(|up| match *up {
+            EdgeUpdate::Insert(u, v) => EdgeUpdate::Delete(u, v),
+            EdgeUpdate::Delete(u, v) => EdgeUpdate::Insert(u, v),
+        })
+        .collect()
+}
+
+/// Builds a batch of `k` effective updates confined to the vertex
+/// range `[lo, hi)`: half deletes of evenly strided existing edges,
+/// half inserts of fresh (absent) pairs from a deterministic xorshift
+/// stream.
+fn make_batch(g: &Graph, lo: usize, hi: usize, k: usize, seed: u64) -> Vec<EdgeUpdate> {
+    let existing: Vec<(u32, u32)> = g
+        .edges()
+        .filter(|&(u, v)| u < v && (u as usize) >= lo && (v as usize) < hi)
+        .collect();
+    let mut occupied: BTreeSet<(u32, u32)> = existing.iter().copied().collect();
+    let mut batch = Vec::with_capacity(k);
+    let deletes = (k / 2).min(existing.len());
+    let stride = (existing.len() / deletes.max(1)).max(1);
+    let mut picked = BTreeSet::new();
+    for i in 0..deletes {
+        let e = existing[(i * stride) % existing.len()];
+        if picked.insert(e) {
+            batch.push(EdgeUpdate::Delete(e.0, e.1));
+        }
+    }
+    let mut s = seed | 1;
+    let mut step = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    };
+    let span = (hi - lo) as u64;
+    let mut added = 0;
+    let mut attempts = 0;
+    while added < k - deletes && attempts < 100_000 {
+        attempts += 1;
+        let u = lo as u64 + step() % span;
+        let v = lo as u64 + step() % span;
+        let (a, b) = (u.min(v) as u32, u.max(v) as u32);
+        if a != b && occupied.insert((a, b)) {
+            batch.push(EdgeUpdate::Insert(a, b));
+            added += 1;
+        }
+    }
+    batch
+}
+
+/// The fixtures and their update regimes: `(family, scenario, update
+/// range as a fraction of the id space)`.
+fn scenarios() -> [(&'static str, &'static str, (f64, f64)); 2] {
+    [
+        // Updates confined to the last of the union's 4 components.
+        ("stress-powerlaw-union", "localized", (0.75, 1.0)),
+        ("com-Youtube", "scattered", (0.0, 1.0)),
+    ]
+}
+
+/// Measures every (fixture, batch fraction) pair; the module tests and
+/// [`run`] share this.
+pub fn measure(cfg: Config) -> Vec<DynamicRow> {
+    let mut rows = Vec::new();
+    for (name, scenario, (frac_lo, frac_hi)) in scenarios() {
+        let g = families::generate(name, cfg.scale).expect("catalogued family");
+        let n = g.n();
+        let edges = if g.directed() { g.m() } else { g.m() / 2 };
+        let sources = pick_sources(n, cfg.max_sources.clamp(1, 256));
+        let lo = (n as f64 * frac_lo) as usize;
+        let hi = ((n as f64 * frac_hi) as usize).min(n);
+        for frac in BATCH_FRACTIONS {
+            let k = ((edges as f64 * frac) as usize).max(2);
+            let batch = make_batch(&g, lo, hi, k, 0x70b0bc ^ k as u64);
+            let undo = inverse(&batch);
+
+            // Incremental: apply the batch (timed), roll it back
+            // (untimed) so every trial starts from the same state.
+            let mut dbc = DynamicBc::new(&g, &sources, BcOptions::builder().build())
+                .expect("warm cache fits the admission budget");
+            let mut incremental_ms = f64::INFINITY;
+            let mut first_report = None;
+            let mut incremental_bc = Vec::new();
+            for trial in 0..cfg.trials.max(1) {
+                let start = Instant::now();
+                let report = dbc.apply_updates(&batch).expect("generated batch is valid");
+                incremental_ms = incremental_ms.min(start.elapsed().as_secs_f64() * 1e3);
+                if trial == 0 {
+                    incremental_bc = dbc.bc().to_vec();
+                    first_report = Some(report);
+                }
+                dbc.apply_updates(&undo).expect("inverse batch is valid");
+            }
+            let report = first_report.expect("at least one trial ran");
+
+            // Full recompute: the updated graph is prebuilt (free for
+            // the baseline); the timed region is the solver rebuild
+            // plus one cached batched run over the same sources.
+            let mut dg = DynamicGraph::from_graph(&g);
+            dg.apply(&batch).expect("generated batch is valid");
+            let updated = dg.snapshot();
+            let full_options = BcOptions::builder().prep(PrepMode::Off).build();
+            let mut full_ms = f64::INFINITY;
+            let mut full_bc = Vec::new();
+            for _ in 0..cfg.trials.max(1) {
+                let start = Instant::now();
+                let solver = BcSolver::new(&updated, full_options.clone())
+                    .expect("updated fixture is non-empty");
+                let cache = solver.warm_cache(&sources).expect("cache fits the budget");
+                full_ms = full_ms.min(start.elapsed().as_secs_f64() * 1e3);
+                full_bc = cache.bc().to_vec();
+            }
+
+            let max_rel_err = incremental_bc
+                .iter()
+                .zip(&full_bc)
+                .map(|(a, b)| (a - b).abs() / b.abs().max(1.0))
+                .fold(0.0f64, f64::max);
+
+            rows.push(DynamicRow {
+                graph: name.to_string(),
+                scenario,
+                n,
+                m: g.m(),
+                sources: sources.len(),
+                batch_fraction: frac,
+                batch_edges: batch.len(),
+                inserts: report.inserts,
+                deletes: report.deletes,
+                dirty_blocks: report.dirty_blocks,
+                total_blocks: report.total_blocks,
+                recomputed_blocks: report.recomputed_blocks,
+                strategy: report.strategy.to_string(),
+                incremental_ms,
+                full_ms,
+                max_rel_err,
+            });
+        }
+    }
+    rows
+}
+
+/// Serialises the rows under the `turbobc-dynamic-v1` schema.
+pub fn rows_to_json(rows: &[DynamicRow], cfg: Config) -> Json {
+    Json::Obj(vec![
+        ("schema".into(), "turbobc-dynamic-v1".into()),
+        ("trials".into(), cfg.trials.into()),
+        (
+            "rows".into(),
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::Obj(vec![
+                            ("graph".into(), r.graph.as_str().into()),
+                            ("scenario".into(), r.scenario.into()),
+                            ("n".into(), r.n.into()),
+                            ("m".into(), r.m.into()),
+                            ("sources".into(), r.sources.into()),
+                            ("batch_fraction".into(), r.batch_fraction.into()),
+                            ("batch_edges".into(), r.batch_edges.into()),
+                            ("inserts".into(), r.inserts.into()),
+                            ("deletes".into(), r.deletes.into()),
+                            ("dirty_blocks".into(), r.dirty_blocks.into()),
+                            ("total_blocks".into(), r.total_blocks.into()),
+                            ("recomputed_blocks".into(), r.recomputed_blocks.into()),
+                            ("strategy".into(), r.strategy.as_str().into()),
+                            ("incremental_ms".into(), r.incremental_ms.into()),
+                            ("full_ms".into(), r.full_ms.into()),
+                            ("speedup".into(), r.speedup().into()),
+                            ("max_rel_err".into(), r.max_rel_err.into()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Where the BENCH JSON lands; overridable so CI can point it at the
+/// artifact directory.
+pub fn out_path() -> PathBuf {
+    std::env::var_os("TURBOBC_DYNAMIC_OUT")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| Path::new("target").join("dynamic"))
+        .join("BENCH_dynamic.json")
+}
+
+/// Runs the experiment: a text table plus the BENCH JSON on disk.
+pub fn run(cfg: Config) -> String {
+    let rows = measure(cfg);
+    let mut out = String::from(
+        "== Dynamic: incremental BC vs full recompute per update batch (best-of trials) ==\n\n",
+    );
+    let mut t = TextTable::new(vec![
+        "graph",
+        "scenario",
+        "n",
+        "m",
+        "batch",
+        "dirty/total",
+        "strategy",
+        "incr ms",
+        "full ms",
+        "speedup",
+        "max err",
+    ]);
+    for r in &rows {
+        t.row(vec![
+            r.graph.clone(),
+            r.scenario.to_string(),
+            fcount(r.n),
+            fcount(r.m),
+            format!("{} ({:.1}%)", r.batch_edges, r.batch_fraction * 100.0),
+            format!("{}/{}", r.dirty_blocks, r.total_blocks),
+            r.strategy.clone(),
+            fnum(r.incremental_ms),
+            fnum(r.full_ms),
+            format!("{:.2}x", r.speedup()),
+            format!("{:.1e}", r.max_rel_err),
+        ]);
+    }
+    out.push_str(&t.render());
+
+    let path = out_path();
+    let doc = rows_to_json(&rows, cfg);
+    let written = path
+        .parent()
+        .map(std::fs::create_dir_all)
+        .transpose()
+        .and_then(|_| std::fs::write(&path, doc.pretty()).map(Some));
+    match written {
+        Ok(_) => out.push_str(&format!("\nBENCH JSON: {}\n", path.display())),
+        Err(e) => out.push_str(&format!("\nBENCH JSON not written ({e})\n")),
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use turbobc_graph::families::Scale;
+
+    fn tiny_cfg() -> Config {
+        Config {
+            scale: Scale::Tiny,
+            trials: 1,
+            max_sources: 256,
+        }
+    }
+
+    #[test]
+    fn rows_match_the_full_recompute_and_serialise() {
+        let rows = measure(tiny_cfg());
+        assert_eq!(rows.len(), scenarios().len() * BATCH_FRACTIONS.len());
+        for r in &rows {
+            assert!(r.batch_edges >= 2, "{}: batch too small", r.graph);
+            assert!(r.inserts + r.deletes > 0, "{}: all updates no-ops", r.graph);
+            assert!(
+                r.max_rel_err < 1e-6,
+                "{} {} ({:.2}%): incremental deviates by {:.3e}",
+                r.graph,
+                r.scenario,
+                r.batch_fraction * 100.0,
+                r.max_rel_err
+            );
+            assert!(r.incremental_ms.is_finite() && r.full_ms.is_finite());
+        }
+        // The localized regime must actually skip blocks — that is the
+        // scenario's whole point.
+        assert!(
+            rows.iter()
+                .any(|r| r.scenario == "localized" && r.dirty_blocks < r.total_blocks),
+            "no localized row skipped a block: {:?}",
+            rows.iter()
+                .map(|r| (r.graph.clone(), r.dirty_blocks, r.total_blocks))
+                .collect::<Vec<_>>()
+        );
+
+        let doc = rows_to_json(&rows, tiny_cfg());
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some("turbobc-dynamic-v1")
+        );
+        let parsed = turbobc::observe::json::parse(&doc.pretty()).expect("own output parses");
+        let parsed_rows = parsed.get("rows").and_then(Json::as_arr).unwrap();
+        assert_eq!(parsed_rows.len(), rows.len());
+        for row in parsed_rows {
+            assert!(row.get("strategy").and_then(Json::as_str).is_some());
+            assert!(row.get("speedup").is_some());
+        }
+    }
+
+    /// The release acceptance bar from the issue: on a power-law
+    /// fixture, a small batch (≤ 1% of the edges) is cheaper to absorb
+    /// incrementally than to recompute from scratch. Timing-sensitive,
+    /// so release only.
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "timing assertion; run under --release")]
+    fn incremental_beats_full_for_small_batches_on_a_power_law_fixture() {
+        let rows = measure(Config {
+            scale: Scale::Tiny,
+            trials: 3,
+            max_sources: 256,
+        });
+        assert!(
+            rows.iter().any(|r| r.batch_fraction <= 0.01
+                && r.speedup() > 1.0
+                && r.scenario == "localized"),
+            "no small-batch row beat the full recompute: {:?}",
+            rows.iter()
+                .map(|r| (r.graph.clone(), r.batch_fraction, r.speedup()))
+                .collect::<Vec<_>>()
+        );
+    }
+}

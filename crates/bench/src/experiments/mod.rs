@@ -6,6 +6,7 @@ pub mod ablation;
 pub mod batched;
 pub mod direction;
 pub mod dispatch;
+pub mod dynamic;
 pub mod figures;
 pub mod prep;
 pub mod tables;
@@ -52,6 +53,7 @@ pub const ALL: &[&str] = &[
     "batched",
     "prep",
     "dispatch",
+    "dynamic",
 ];
 
 /// Runs one experiment by id.
@@ -73,6 +75,7 @@ pub fn run(id: &str, cfg: Config) -> Option<String> {
         "batched" => batched::run(cfg),
         "prep" => prep::run(cfg),
         "dispatch" => dispatch::run(cfg),
+        "dynamic" => dynamic::run(cfg),
         _ => return None,
     })
 }

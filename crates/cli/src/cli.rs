@@ -26,6 +26,8 @@ usage:
                   [--batch B|auto] [--simt] [--faults SPEC] [--checkpoint FILE]
                   [--checkpoint-every K] [--resume]
                   [--profile FILE] [--profile-summary]
+                  [--updates FILE]  (streamed edge changes: `+ u v`,
+                   `- u v`, `commit` batch delimiters, `#` comments)
   turbobc prep-stats <file> [--format mtx|edges] [--directed]
                   [--prep auto|off|components|full]
   turbobc validate-profile <file.json>
@@ -276,7 +278,55 @@ pub fn run(args: &[String]) -> Result<String, String> {
                 &mut null_obs
             };
             let mut out = String::new();
-            if let Some(eps) = p.flags.get("approx") {
+            if let Some(upath) = p.flags.get("updates") {
+                // Dynamic mode: warm a cached batched run, then replay
+                // the update stream batch by batch through the
+                // incremental engine.
+                for bad in ["approx", "faults", "simt", "checkpoint"] {
+                    if p.flags.contains_key(bad) {
+                        return Err(format!("--updates is not supported with --{bad}"));
+                    }
+                }
+                let text = std::fs::read_to_string(upath).map_err(|e| format!("{upath}: {e}"))?;
+                let batches = crate::updates::parse_update_stream(&text, g.n())?;
+                let sources = sources_of(&p, &g)?;
+                let mut dbc = DynamicBc::new(&g, &sources, options).map_err(|e| e.to_string())?;
+                let _ = writeln!(
+                    out,
+                    "dynamic BC: {} source(s) in {} cached block(s), {} update batch(es) from {}",
+                    sources.len(),
+                    dbc.cache().block_count(),
+                    batches.len(),
+                    upath
+                );
+                for (i, batch) in batches.iter().enumerate() {
+                    let r = dbc
+                        .apply_updates_observed(batch, obs)
+                        .map_err(|e| e.to_string())?;
+                    let _ = writeln!(
+                        out,
+                        "  batch {:>3}: +{} -{} ({} ignored) -> {} \
+                         ({}/{} block(s) dirty, {} recomputed){}",
+                        i + 1,
+                        r.inserts,
+                        r.deletes,
+                        r.ignored,
+                        r.strategy,
+                        r.dirty_blocks,
+                        r.total_blocks,
+                        r.recomputed_blocks,
+                        if r.compacted { ", compacted" } else { "" }
+                    );
+                }
+                let _ = writeln!(
+                    out,
+                    "final graph: n = {}, m = {} stored arcs, {} pending delta edge(s)",
+                    dbc.graph().n(),
+                    dbc.graph().m(),
+                    dbc.graph().pending()
+                );
+                out.push_str(&rank_report("BC", dbc.bc(), top));
+            } else if let Some(eps) = p.flags.get("approx") {
                 if want_profile {
                     return Err("--profile is not supported with --approx".to_string());
                 }
@@ -950,5 +1000,90 @@ mod tests {
         assert!(run(&args(&["gen", "not-a-family"])).is_err());
         assert!(run(&args(&["bc", "/nonexistent.mtx"])).is_err());
         assert!(run(&args(&["stats", "/nonexistent.mtx", "--format", "nope"])).is_err());
+    }
+
+    /// `--updates`: the insert-then-delete stream lands back on the
+    /// original path graph, so the final ranks must match a plain
+    /// exact run.
+    #[test]
+    fn updates_stream_replays_and_lands_on_the_static_answer() {
+        let mtx = temp("dyn.mtx");
+        let g = Graph::from_edges(5, false, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let mut f = std::fs::File::create(&mtx).unwrap();
+        io::write_matrix_market(&g, &mut f).unwrap();
+        let ups = temp("dyn.updates");
+        std::fs::write(&ups, "# shortcut in, shortcut out\n+ 0 4\ncommit\n- 0 4\n").unwrap();
+        let out = run(&args(&[
+            "bc",
+            mtx.to_str().unwrap(),
+            "--exact",
+            "--updates",
+            ups.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("2 update batch(es)"), "{out}");
+        assert!(out.contains("batch   1: +1 -0"), "{out}");
+        assert!(out.contains("batch   2: +0 -1"), "{out}");
+        let ranks = |s: &str| s[s.find("top ").unwrap()..].to_string();
+        let full = run(&args(&["bc", mtx.to_str().unwrap(), "--exact"])).unwrap();
+        assert_eq!(ranks(&out), ranks(&full), "{out}\nvs\n{full}");
+    }
+
+    #[test]
+    fn updates_profile_summary_reports_batches() {
+        let mtx = temp("dyn_prof.mtx");
+        run(&args(&["gen", "smallworld", "-o", mtx.to_str().unwrap()])).unwrap();
+        let ups = temp("dyn_prof.updates");
+        std::fs::write(&ups, "+ 0 40\ncommit\n- 0 40\n").unwrap();
+        let out = run(&args(&[
+            "bc",
+            mtx.to_str().unwrap(),
+            "--samples",
+            "16",
+            "--updates",
+            ups.to_str().unwrap(),
+            "--profile-summary",
+        ]))
+        .unwrap();
+        assert!(out.contains("updates: 2 batch(es)"), "{out}");
+    }
+
+    #[test]
+    fn updates_rejects_bad_streams_and_mode_mixes() {
+        let mtx = temp("dyn_bad.mtx");
+        run(&args(&["gen", "smallworld", "-o", mtx.to_str().unwrap()])).unwrap();
+        let ups = temp("dyn_bad.updates");
+        std::fs::write(&ups, "+ 0 1\n+ 1 bogus\n").unwrap();
+        let err = run(&args(&[
+            "bc",
+            mtx.to_str().unwrap(),
+            "--updates",
+            ups.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert!(err.contains("line 2:"), "{err}");
+        std::fs::write(&ups, "+ 0 1\n").unwrap();
+        for bad in ["--simt", "--approx"] {
+            let mut a = args(&[
+                "bc",
+                mtx.to_str().unwrap(),
+                "--updates",
+                ups.to_str().unwrap(),
+            ]);
+            a.push(bad.to_string());
+            if bad == "--approx" {
+                a.push("0.2".to_string());
+            }
+            let err = run(&a).unwrap_err();
+            assert!(err.contains("--updates is not supported"), "{err}");
+        }
+        let err = run(&args(&[
+            "bc",
+            mtx.to_str().unwrap(),
+            "--updates",
+            "/nonexistent.updates",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("/nonexistent.updates"), "{err}");
     }
 }

@@ -13,6 +13,7 @@
 use std::process::ExitCode;
 
 mod cli;
+mod updates;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();

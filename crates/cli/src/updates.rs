@@ -1,0 +1,220 @@
+//! Update-stream files for `turbobc bc --updates FILE`.
+//!
+//! The stream is a line-oriented text format mirroring the repo's other
+//! hardened readers (see `turbobc_graph::io`): every diagnostic carries
+//! the 1-based line number, and endpoints are validated against both the
+//! `u32` index domain and the loaded graph's vertex count before any
+//! update reaches the solver.
+//!
+//! ```text
+//! # comments and blank lines are skipped
+//! + 0 7        insert edge 0 – 7
+//! - 3 4        delete edge 3 – 4
+//! commit       apply everything staged since the last commit as one batch
+//! ```
+//!
+//! A trailing group of updates without a final `commit` is applied as a
+//! last implicit batch, so streams produced by `echo`-style tooling do
+//! not silently drop their tail.
+
+use turbobc::EdgeUpdate;
+
+/// Parses a whole update stream into `commit`-delimited batches.
+///
+/// `n` is the vertex count of the already-loaded graph; endpoints are
+/// range-checked here so errors point at the offending line rather than
+/// at an opaque batch index inside the solver.
+pub fn parse_update_stream(text: &str, n: usize) -> Result<Vec<Vec<EdgeUpdate>>, String> {
+    let mut batches = Vec::new();
+    let mut staged: Vec<EdgeUpdate> = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.split_whitespace();
+        let op = fields.next().expect("non-empty trimmed line has a field");
+        match op {
+            "commit" => {
+                if fields.next().is_some() {
+                    return Err(format!("line {line_no}: `commit` takes no arguments"));
+                }
+                if staged.is_empty() {
+                    return Err(format!("line {line_no}: `commit` with no staged updates"));
+                }
+                batches.push(std::mem::take(&mut staged));
+            }
+            "+" | "-" => {
+                let (u, v) = endpoints_of(&mut fields, line_no, n)?;
+                if fields.next().is_some() {
+                    return Err(format!(
+                        "line {line_no}: trailing tokens after `{op} {u} {v}`"
+                    ));
+                }
+                staged.push(if op == "+" {
+                    EdgeUpdate::Insert(u, v)
+                } else {
+                    EdgeUpdate::Delete(u, v)
+                });
+            }
+            other => {
+                return Err(format!(
+                    "line {line_no}: unknown op `{other}` (expected `+`, `-`, `commit` or `#`)"
+                ));
+            }
+        }
+    }
+    if !staged.is_empty() {
+        batches.push(staged);
+    }
+    Ok(batches)
+}
+
+/// Reads two endpoints from the rest of a `+`/`-` line, enforcing the
+/// `u32` domain, the graph dimension, and the no-self-loop rule.
+fn endpoints_of<'a>(
+    fields: &mut impl Iterator<Item = &'a str>,
+    line_no: usize,
+    n: usize,
+) -> Result<(u32, u32), String> {
+    let mut one = |what: &str| -> Result<u32, String> {
+        let tok = fields
+            .next()
+            .ok_or_else(|| format!("line {line_no}: missing {what} endpoint"))?;
+        tok.parse::<u32>()
+            .map_err(|_| format!("line {line_no}: bad {what} endpoint `{tok}` (want a u32)"))
+    };
+    let u = one("source")?;
+    let v = one("target")?;
+    for e in [u, v] {
+        if e as usize >= n {
+            return Err(format!(
+                "line {line_no}: endpoint {e} out of range for {n} vertices"
+            ));
+        }
+    }
+    if u == v {
+        return Err(format!("line {line_no}: self-loop {u} -> {v} rejected"));
+    }
+    Ok((u, v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn parses_batches_split_on_commit() {
+        let text = "# header\n+ 0 1\n- 2 3\ncommit\n\n+ 4 5\n";
+        let batches = parse_update_stream(text, 6).unwrap();
+        assert_eq!(batches.len(), 2);
+        assert_eq!(
+            batches[0],
+            vec![EdgeUpdate::Insert(0, 1), EdgeUpdate::Delete(2, 3)]
+        );
+        assert_eq!(batches[1], vec![EdgeUpdate::Insert(4, 5)]);
+    }
+
+    #[test]
+    fn empty_and_comment_only_streams_yield_no_batches() {
+        assert!(parse_update_stream("", 4).unwrap().is_empty());
+        assert!(parse_update_stream("# a\n\n  \n# b\n", 4)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn errors_carry_the_line_number() {
+        let cases: &[(&str, &str)] = &[
+            ("+ 0 1\nfrob 1 2\n", "line 2: unknown op `frob`"),
+            ("+ 0\n", "line 1: missing target endpoint"),
+            ("- 0 x\n", "line 1: bad target endpoint `x`"),
+            (
+                "+ 0 99\n",
+                "line 1: endpoint 99 out of range for 4 vertices",
+            ),
+            ("+ 4294967296 0\n", "line 1: bad source endpoint"),
+            ("+ 2 2\n", "line 1: self-loop 2 -> 2 rejected"),
+            ("+ 0 1 9\n", "line 1: trailing tokens"),
+            ("+ 0 1\ncommit now\n", "line 2: `commit` takes no arguments"),
+            ("commit\n", "line 1: `commit` with no staged updates"),
+        ];
+        for (text, want) in cases {
+            let err = parse_update_stream(text, 4).unwrap_err();
+            assert!(err.contains(want), "{text:?}: got {err:?}, want {want:?}");
+        }
+    }
+
+    #[test]
+    fn negative_endpoints_fail_the_u32_guard() {
+        let err = parse_update_stream("+ -1 2\n", 4).unwrap_err();
+        assert!(err.contains("bad source endpoint `-1`"), "{err}");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// Fuzz-style battery: the parser must never panic on
+        /// arbitrary bytes, and whatever it accepts must satisfy the
+        /// documented invariants (every endpoint in range, no
+        /// self-loops, no empty batch).
+        #[test]
+        fn arbitrary_bytes_never_panic(
+            bytes in proptest::collection::vec(any::<u8>(), 0..200),
+            n in 0usize..50,
+        ) {
+            let text = String::from_utf8_lossy(&bytes);
+            if let Ok(batches) = parse_update_stream(&text, n) {
+                for batch in &batches {
+                    prop_assert!(!batch.is_empty());
+                    for up in batch {
+                        let (u, v) = up.endpoints();
+                        prop_assert!((u as usize) < n && (v as usize) < n);
+                        prop_assert_ne!(u, v);
+                    }
+                }
+            }
+        }
+
+        /// Structured round-trip: render a random stream of
+        /// well-formed ops and commits, parse it back, and check the
+        /// batch structure matches what was rendered. (`v = (u + d)
+        /// mod 8` with `d != 0` keeps the generator self-loop-free.)
+        #[test]
+        fn well_formed_streams_round_trip(
+            raw in proptest::collection::vec(
+                proptest::collection::vec((0u32..8, 1u32..8, any::<bool>()), 1..6),
+                0..5,
+            ),
+        ) {
+            let batches: Vec<Vec<EdgeUpdate>> = raw
+                .iter()
+                .map(|batch| {
+                    batch
+                        .iter()
+                        .map(|&(u, d, ins)| {
+                            let v = (u + d) % 8;
+                            if ins {
+                                EdgeUpdate::Insert(u, v)
+                            } else {
+                                EdgeUpdate::Delete(u, v)
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            let mut text = String::from("# generated\n");
+            for batch in &batches {
+                for up in batch {
+                    let (u, v) = up.endpoints();
+                    let op = if matches!(up, EdgeUpdate::Insert(..)) { '+' } else { '-' };
+                    text.push_str(&format!("{op} {u} {v}\n"));
+                }
+                text.push_str("commit\n");
+            }
+            prop_assert_eq!(parse_update_stream(&text, 8).unwrap(), batches);
+        }
+    }
+}

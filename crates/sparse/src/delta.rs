@@ -1,0 +1,558 @@
+//! Delta-aware CSC view for dynamic graphs.
+//!
+//! A [`DeltaCsc`] layers two CSC-shaped overlays — an *insert* log and a
+//! *delete* log (tombstones) — over a borrowed base [`Csc`], presenting
+//! the updated pattern `(base ∖ deletes) ∪ inserts` without rebuilding
+//! the base arrays. Every product the batched BC engine needs is
+//! mirrored here (`spmv_t` / `masked_spmv_t` / `spmv`, the bit-sliced
+//! [`DeltaCsc::spmm_t_frontier`] and the backward
+//! [`DeltaCsc::spmm_panel`]), iterating each logical column as a sorted
+//! three-way merge. Because base columns are row-sorted and the overlays
+//! are sorted at construction, the merged entry order is **identical**
+//! to the column order of a freshly materialised CSC — so saturating
+//! `σ` sums and `f64` dependency sums are bit-identical to a full
+//! rebuild ([`DeltaCsc::materialize`] is the test oracle for this).
+//!
+//! The view is square-matrix oriented (adjacency patterns): rows and
+//! columns share the base's dimensions, and overlays are validated
+//! against them.
+
+use crate::{lane_words, Csc, Index, SparseError};
+
+/// A CSC pattern plus insert/delete overlays: the updated matrix
+/// `(base ∖ deletes) ∪ inserts` as a borrowing view.
+///
+/// Semantics per entry `(r, c)`:
+/// * in `inserts` → present (even if also tombstoned — an insert after
+///   a delete of a base entry re-adds it);
+/// * in `base` and not in `deletes` → present;
+/// * otherwise absent.
+///
+/// Duplicate inserts of a live base entry and deletes of an absent
+/// entry are tolerated: the merge emits each logical entry exactly once.
+#[derive(Debug, Clone)]
+pub struct DeltaCsc<'a> {
+    base: &'a Csc,
+    ins_ptr: Vec<usize>,
+    ins_row: Vec<Index>,
+    del_ptr: Vec<usize>,
+    del_row: Vec<Index>,
+    nnz: usize,
+}
+
+/// Builds a CSC-shaped overlay (`ptr`, sorted/deduped per-column rows)
+/// from `(row, col)` arcs, validating bounds.
+fn overlay(
+    n_rows: usize,
+    n_cols: usize,
+    arcs: &[(Index, Index)],
+) -> Result<(Vec<usize>, Vec<Index>), SparseError> {
+    let mut sorted: Vec<(Index, Index)> = Vec::with_capacity(arcs.len());
+    for &(r, c) in arcs {
+        if r as usize >= n_rows {
+            return Err(SparseError::RowOutOfBounds(r, n_rows));
+        }
+        if c as usize >= n_cols {
+            return Err(SparseError::ColOutOfBounds(c, n_cols));
+        }
+        sorted.push((c, r));
+    }
+    sorted.sort_unstable();
+    sorted.dedup();
+    let mut ptr = vec![0usize; n_cols + 1];
+    for &(c, _) in &sorted {
+        ptr[c as usize + 1] += 1;
+    }
+    for j in 0..n_cols {
+        ptr[j + 1] += ptr[j];
+    }
+    let rows = sorted.into_iter().map(|(_, r)| r).collect();
+    Ok((ptr, rows))
+}
+
+/// Sorted merge over one logical column: base rows (minus tombstones)
+/// interleaved with insert rows, ascending, each emitted once.
+struct MergedCol<'b> {
+    base: &'b [Index],
+    dels: &'b [Index],
+    ins: &'b [Index],
+    bi: usize,
+    di: usize,
+    ii: usize,
+}
+
+impl Iterator for MergedCol<'_> {
+    type Item = Index;
+
+    fn next(&mut self) -> Option<Index> {
+        loop {
+            let b = self.base.get(self.bi).copied();
+            let i = self.ins.get(self.ii).copied();
+            match (b, i) {
+                (None, None) => return None,
+                (None, Some(iv)) => {
+                    self.ii += 1;
+                    return Some(iv);
+                }
+                (Some(bv), iopt) => {
+                    if let Some(iv) = iopt {
+                        if iv < bv {
+                            self.ii += 1;
+                            return Some(iv);
+                        }
+                        if iv == bv {
+                            // Inserted entry shadows the base one (and any
+                            // tombstone): emit once, consume both.
+                            self.ii += 1;
+                            self.bi += 1;
+                            return Some(bv);
+                        }
+                    }
+                    self.bi += 1;
+                    while self.di < self.dels.len() && self.dels[self.di] < bv {
+                        self.di += 1;
+                    }
+                    if self.di < self.dels.len() && self.dels[self.di] == bv {
+                        self.di += 1;
+                        continue; // tombstoned base entry
+                    }
+                    return Some(bv);
+                }
+            }
+        }
+    }
+}
+
+impl<'a> DeltaCsc<'a> {
+    /// Builds the view from `(row, col)` arc lists. Overlays are sorted
+    /// and deduplicated here; arcs out of the base's bounds are
+    /// rejected. Duplicate inserts of live base entries and deletes of
+    /// absent entries are accepted (the merge neutralises them), so the
+    /// caller may pass its raw logs.
+    pub fn new(
+        base: &'a Csc,
+        inserts: &[(Index, Index)],
+        deletes: &[(Index, Index)],
+    ) -> Result<Self, SparseError> {
+        let (ins_ptr, ins_row) = overlay(base.n_rows(), base.n_cols(), inserts)?;
+        let (del_ptr, del_row) = overlay(base.n_rows(), base.n_cols(), deletes)?;
+        let mut view = DeltaCsc {
+            base,
+            ins_ptr,
+            ins_row,
+            del_ptr,
+            del_row,
+            nnz: 0,
+        };
+        let mut nnz = 0usize;
+        for j in 0..view.n_cols() {
+            nnz += view.col_iter(j).count();
+        }
+        view.nnz = nnz;
+        Ok(view)
+    }
+
+    /// Number of rows (the base's).
+    pub fn n_rows(&self) -> usize {
+        self.base.n_rows()
+    }
+
+    /// Number of columns (the base's).
+    pub fn n_cols(&self) -> usize {
+        self.base.n_cols()
+    }
+
+    /// Number of logical entries after applying both overlays.
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// The borrowed base pattern.
+    pub fn base(&self) -> &Csc {
+        self.base
+    }
+
+    /// Iterates the logical entries of column `j` in ascending row
+    /// order — the same order a materialised CSC would store them.
+    fn col_iter(&self, j: usize) -> MergedCol<'_> {
+        MergedCol {
+            base: self.base.column(j),
+            dels: &self.del_row[self.del_ptr[j]..self.del_ptr[j + 1]],
+            ins: &self.ins_row[self.ins_ptr[j]..self.ins_ptr[j + 1]],
+            bi: 0,
+            di: 0,
+            ii: 0,
+        }
+    }
+
+    /// Visits the logical entries of column `j` in ascending row order.
+    pub fn for_col(&self, j: usize, mut f: impl FnMut(Index)) {
+        for r in self.col_iter(j) {
+            f(r);
+        }
+    }
+
+    /// Membership test for the logical entry `(row, col)`.
+    pub fn contains(&self, row: Index, col: Index) -> bool {
+        let j = col as usize;
+        if j >= self.n_cols() || row as usize >= self.n_rows() {
+            return false;
+        }
+        let ins = &self.ins_row[self.ins_ptr[j]..self.ins_ptr[j + 1]];
+        if ins.binary_search(&row).is_ok() {
+            return true;
+        }
+        if self.base.column(j).binary_search(&row).is_err() {
+            return false;
+        }
+        let dels = &self.del_row[self.del_ptr[j]..self.del_ptr[j + 1]];
+        dels.binary_search(&row).is_err()
+    }
+
+    /// `y ← y + Aᵀ x` over the updated pattern — mirror of
+    /// [`Csc::spmv_t`].
+    pub fn spmv_t<T>(&self, x: &[T], y: &mut [T])
+    where
+        T: crate::Scalar,
+    {
+        assert_eq!(x.len(), self.n_rows(), "x must have one entry per row");
+        assert_eq!(y.len(), self.n_cols(), "y must have one entry per column");
+        for j in 0..self.n_cols() {
+            let mut sum = T::default();
+            for r in self.col_iter(j) {
+                sum = sum.acc(x[r as usize]);
+            }
+            y[j] = y[j].acc(sum);
+        }
+    }
+
+    /// Masked gather over the updated pattern — mirror of
+    /// [`Csc::masked_spmv_t`] (Algorithm 3's fused `σ == 0` mask).
+    pub fn masked_spmv_t<T>(&self, x: &[T], mask: impl Fn(usize) -> bool, y: &mut [T])
+    where
+        T: crate::Scalar,
+    {
+        assert_eq!(x.len(), self.n_rows(), "x must have one entry per row");
+        assert_eq!(y.len(), self.n_cols(), "y must have one entry per column");
+        let zero = T::default();
+        for j in 0..self.n_cols() {
+            if mask(j) {
+                let mut sum = T::default();
+                for r in self.col_iter(j) {
+                    sum = sum.acc(x[r as usize]);
+                }
+                if sum > zero {
+                    y[j] = sum;
+                }
+            }
+        }
+    }
+
+    /// `y ← y + A x` over the updated pattern — mirror of [`Csc::spmv`]
+    /// (the backward-stage scatter).
+    pub fn spmv<T>(&self, x: &[T], y: &mut [T])
+    where
+        T: crate::Scalar,
+    {
+        assert_eq!(x.len(), self.n_cols(), "x must have one entry per column");
+        assert_eq!(y.len(), self.n_rows(), "y must have one entry per row");
+        let zero = T::default();
+        for j in 0..self.n_cols() {
+            let xv = x[j];
+            if xv > zero {
+                for r in self.col_iter(j) {
+                    let ri = r as usize;
+                    y[ri] = y[ri].acc(xv);
+                }
+            }
+        }
+    }
+
+    /// Batched masked forward product over the updated pattern — the
+    /// delta arm of the batched engine's pull step, mirroring
+    /// [`Csc::spmm_t_frontier`] loop-for-loop (same masking contract:
+    /// `tbits` fully overwritten, `f_t` written at fresh lanes only; no
+    /// pre-clear needed). Because merged columns visit rows in the same
+    /// ascending order as a rebuilt CSC, the saturating count sums are
+    /// bit-identical to running the static kernel on the updated graph.
+    pub fn spmm_t_frontier(
+        &self,
+        width: usize,
+        fbits: &[u64],
+        f: &[i64],
+        seen: &[u64],
+        tbits: &mut [u64],
+        f_t: &mut [i64],
+    ) {
+        let w = lane_words(width);
+        debug_assert_eq!(fbits.len(), self.n_rows() * w);
+        debug_assert_eq!(f.len(), self.n_rows() * width);
+        debug_assert_eq!(seen.len(), self.n_cols() * w);
+        debug_assert_eq!(tbits.len(), self.n_cols() * w);
+        debug_assert_eq!(f_t.len(), self.n_cols() * width);
+        let mut acc = vec![0u64; w];
+        for j in 0..self.n_cols() {
+            acc.fill(0);
+            for r in self.col_iter(j) {
+                let rb = r as usize * w;
+                for t in 0..w {
+                    acc[t] |= fbits[rb + t];
+                }
+            }
+            let mut any = 0u64;
+            for t in 0..w {
+                acc[t] &= !seen[j * w + t];
+                any |= acc[t];
+            }
+            tbits[j * w..(j + 1) * w].copy_from_slice(&acc);
+            if any == 0 {
+                continue;
+            }
+            let out = &mut f_t[j * width..(j + 1) * width];
+            for t in 0..w {
+                let mut bits = acc[t];
+                while bits != 0 {
+                    out[t * 64 + bits.trailing_zeros() as usize] = 0;
+                    bits &= bits - 1;
+                }
+            }
+            for r in self.col_iter(j) {
+                let rb = r as usize * w;
+                let fb = r as usize * width;
+                for t in 0..w {
+                    let common = fbits[rb + t] & acc[t];
+                    let mut bits = common;
+                    while bits != 0 {
+                        let k = t * 64 + bits.trailing_zeros() as usize;
+                        out[k] = out[k].saturating_add(f[fb + k]);
+                        bits &= bits - 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Batched backward product `Y ← Y + A X` over the updated pattern —
+    /// mirror of [`Csc::spmm_panel`], same column/entry order.
+    pub fn spmm_panel(&self, width: usize, x: &[f64], y: &mut [f64]) {
+        debug_assert_eq!(x.len(), self.n_cols() * width);
+        debug_assert_eq!(y.len(), self.n_rows() * width);
+        for j in 0..self.n_cols() {
+            let xj = &x[j * width..(j + 1) * width];
+            if xj.iter().all(|&v| v <= 0.0) {
+                continue;
+            }
+            for r in self.col_iter(j) {
+                let rb = r as usize * width;
+                for (k, &v) in xj.iter().enumerate() {
+                    if v > 0.0 {
+                        y[rb + k] += v;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Rebuilds the updated pattern as an owned [`Csc`] — compaction,
+    /// and the differential oracle the view's tests compare against.
+    pub fn materialize(&self) -> Csc {
+        let n_cols = self.n_cols();
+        let mut col_ptr = vec![0usize; n_cols + 1];
+        let mut row_idx = Vec::with_capacity(self.nnz);
+        for j in 0..n_cols {
+            for r in self.col_iter(j) {
+                row_idx.push(r);
+            }
+            col_ptr[j + 1] = row_idx.len();
+        }
+        Csc::from_parts(self.n_rows(), n_cols, col_ptr, row_idx)
+            .expect("merged columns preserve CSC invariants")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Coo;
+    use proptest::prelude::*;
+    use std::collections::BTreeSet;
+
+    /// Directed 5-vertex pattern with multi-entry columns.
+    fn base() -> Csc {
+        Coo::from_entries(
+            5,
+            5,
+            vec![0, 0, 1, 2, 2, 3, 4, 4],
+            vec![1, 2, 2, 0, 3, 1, 2, 3],
+        )
+        .unwrap()
+        .to_csc()
+    }
+
+    /// Reference: rebuild the updated pattern from an edge set.
+    fn rebuilt(base: &Csc, ins: &[(Index, Index)], del: &[(Index, Index)]) -> Csc {
+        let mut set: BTreeSet<(Index, Index)> = BTreeSet::new();
+        for j in 0..base.n_cols() {
+            for &r in base.column(j) {
+                set.insert((r, j as Index));
+            }
+        }
+        for e in del {
+            set.remove(e);
+        }
+        for &e in ins {
+            set.insert(e);
+        }
+        let (rows, cols): (Vec<Index>, Vec<Index>) = set.into_iter().unzip();
+        Coo::from_entries(base.n_rows(), base.n_cols(), rows, cols)
+            .unwrap()
+            .to_csc()
+    }
+
+    #[test]
+    fn merge_applies_inserts_and_tombstones() {
+        let b = base();
+        let ins = [(3, 2), (0, 0)];
+        let del = [(1, 2), (4, 3)];
+        let view = DeltaCsc::new(&b, &ins, &del).unwrap();
+        let want = rebuilt(&b, &ins, &del);
+        assert_eq!(view.materialize(), want);
+        assert_eq!(view.nnz(), want.nnz());
+        assert!(view.contains(3, 2) && view.contains(0, 0));
+        assert!(!view.contains(1, 2) && !view.contains(4, 3));
+        assert!(view.contains(0, 2), "untouched base entry survives");
+    }
+
+    #[test]
+    fn duplicate_insert_and_missing_delete_are_tolerated() {
+        let b = base();
+        // (0, 1) already in base; (4, 4) never existed.
+        let view = DeltaCsc::new(&b, &[(0, 1), (0, 1)], &[(4, 4)]).unwrap();
+        assert_eq!(view.materialize(), b.clone());
+        assert_eq!(view.nnz(), b.nnz());
+    }
+
+    #[test]
+    fn insert_after_delete_restores_the_entry() {
+        let b = base();
+        let view = DeltaCsc::new(&b, &[(0, 1)], &[(0, 1)]).unwrap();
+        assert!(view.contains(0, 1), "insert shadows the tombstone");
+        assert_eq!(view.materialize(), b);
+    }
+
+    #[test]
+    fn out_of_bounds_arcs_are_rejected() {
+        let b = base();
+        assert_eq!(
+            DeltaCsc::new(&b, &[(5, 0)], &[]).unwrap_err(),
+            SparseError::RowOutOfBounds(5, 5)
+        );
+        assert_eq!(
+            DeltaCsc::new(&b, &[], &[(0, 9)]).unwrap_err(),
+            SparseError::ColOutOfBounds(9, 5)
+        );
+    }
+
+    #[test]
+    fn spmv_family_matches_materialized() {
+        let b = base();
+        let ins = [(3, 2), (1, 4), (0, 0)];
+        let del = [(0, 2), (3, 4)];
+        let view = DeltaCsc::new(&b, &ins, &del).unwrap();
+        let mat = view.materialize();
+        let x: Vec<i64> = (0..5).map(|i| (i as i64 % 3) + 1).collect();
+
+        let mut y1 = vec![0i64; 5];
+        let mut y2 = vec![0i64; 5];
+        view.spmv_t(&x, &mut y1);
+        mat.spmv_t(&x, &mut y2);
+        assert_eq!(y1, y2);
+
+        let mask = [true, false, true, true, false];
+        let mut m1 = vec![0i64; 5];
+        let mut m2 = vec![0i64; 5];
+        view.masked_spmv_t(&x, |j| mask[j], &mut m1);
+        mat.masked_spmv_t(&x, |j| mask[j], &mut m2);
+        assert_eq!(m1, m2);
+
+        let xf: Vec<f64> = x.iter().map(|&v| v as f64 * 0.5).collect();
+        let mut s1 = vec![0.0f64; 5];
+        let mut s2 = vec![0.0f64; 5];
+        view.spmv(&xf, &mut s1);
+        mat.spmv(&xf, &mut s2);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn spmm_kernels_are_bit_identical_to_materialized() {
+        let b = base();
+        let ins = [(3, 2), (1, 4)];
+        let del = [(0, 2)];
+        let view = DeltaCsc::new(&b, &ins, &del).unwrap();
+        let mat = view.materialize();
+        for width in [1usize, 3, 64, 65] {
+            let n = 5;
+            let w = lane_words(width);
+            let mut fbits = vec![0u64; n * w];
+            let mut f = vec![0i64; n * width];
+            let mut seen = vec![0u64; n * w];
+            for k in 0..width {
+                let (t, bit) = (k / 64, 1u64 << (k % 64));
+                for v in [k % n, (k * 3) % n] {
+                    fbits[v * w + t] |= bit;
+                    f[v * width + k] = (k + v + 1) as i64;
+                }
+                seen[((k + 1) % n) * w + t] |= bit;
+            }
+            let (mut tb1, mut ft1) = (vec![0u64; n * w], vec![0i64; n * width]);
+            let (mut tb2, mut ft2) = (vec![0u64; n * w], vec![0i64; n * width]);
+            view.spmm_t_frontier(width, &fbits, &f, &seen, &mut tb1, &mut ft1);
+            mat.spmm_t_frontier(width, &fbits, &f, &seen, &mut tb2, &mut ft2);
+            assert_eq!(tb1, tb2, "width {width} fresh bits");
+            for j in 0..n {
+                for t in 0..w {
+                    let mut bits = tb1[j * w + t];
+                    while bits != 0 {
+                        let k = t * 64 + bits.trailing_zeros() as usize;
+                        assert_eq!(ft1[j * width + k], ft2[j * width + k], "col {j} lane {k}");
+                        bits &= bits - 1;
+                    }
+                }
+            }
+
+            let xp: Vec<f64> = (0..n * width)
+                .map(|i| if i % 4 == 0 { 0.0 } else { (i % 5) as f64 })
+                .collect();
+            let mut p1 = vec![0.0f64; n * width];
+            let mut p2 = vec![0.0f64; n * width];
+            view.spmm_panel(width, &xp, &mut p1);
+            mat.spmm_panel(width, &xp, &mut p2);
+            assert_eq!(p1, p2, "width {width} backward panel");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn view_equals_rebuild_for_arbitrary_overlays(
+            base_arcs in proptest::collection::vec((0u32..12, 0u32..12), 0..60),
+            ins in proptest::collection::vec((0u32..12, 0u32..12), 0..20),
+            del in proptest::collection::vec((0u32..12, 0u32..12), 0..20),
+        ) {
+            let (rows, cols): (Vec<Index>, Vec<Index>) = base_arcs.into_iter().unzip();
+            let b = Coo::from_entries(12, 12, rows, cols).unwrap().to_csc();
+            let view = DeltaCsc::new(&b, &ins, &del).unwrap();
+            let want = rebuilt(&b, &ins, &del);
+            prop_assert_eq!(view.materialize(), want.clone());
+            prop_assert_eq!(view.nnz(), want.nnz());
+            for r in 0..12u32 {
+                for c in 0..12u32 {
+                    prop_assert_eq!(
+                        view.contains(r, c),
+                        want.column(c as usize).binary_search(&r).is_ok(),
+                        "entry ({}, {})", r, c
+                    );
+                }
+            }
+        }
+    }
+}

@@ -43,6 +43,7 @@ mod coo;
 mod cooc;
 mod csc;
 mod csr;
+mod delta;
 mod dense;
 mod error;
 pub mod ops;
@@ -57,6 +58,7 @@ pub use coo::Coo;
 pub use cooc::Cooc;
 pub use csc::Csc;
 pub use csr::Csr;
+pub use delta::DeltaCsc;
 pub use dense::DenseMatrix;
 pub use error::SparseError;
 

@@ -26,7 +26,35 @@
 use crate::frontier::{DirectionEngine, DirectionMode, LevelDirection, LevelReport};
 use crate::options::Kernel;
 use crate::seq::Storage;
-use turbobc_sparse::{lane_words, ops};
+use turbobc_sparse::{lane_words, ops, DeltaCsc};
+
+/// The sparse operand a batched block sweeps: either one of the static
+/// per-run storages (kernel-selected, as built by the solver) or a
+/// [`DeltaCsc`] view of an updated graph — the delta-aware SpMM path
+/// the dynamic layer's dirty-block recompute runs on without
+/// materialising the post-update CSC. Delta runs are pull-only (the
+/// view carries no CSR), which the caller enforces by pairing them
+/// with a [`DirectionMode::PullOnly`] engine.
+pub(crate) enum PanelMat<'a> {
+    /// Kernel-selected static storage (the pre-dynamic behaviour).
+    Static {
+        /// The run's CSC or COOC structure.
+        storage: &'a Storage,
+        /// Which paper kernel variant sweeps it.
+        kernel: Kernel,
+    },
+    /// Insert/delete overlays over a borrowed base CSC.
+    Delta(&'a DeltaCsc<'a>),
+}
+
+impl PanelMat<'_> {
+    pub(crate) fn n(&self) -> usize {
+        match self {
+            PanelMat::Static { storage, .. } => storage.n(),
+            PanelMat::Delta(d) => d.n_cols(),
+        }
+    }
+}
 
 /// Reusable scratch for the batched engine: one bit-sliced frontier
 /// triple plus the `σ`/depth/`δ` panels, sized for a fixed batch width.
@@ -87,6 +115,28 @@ impl BatchScratch {
 
     pub(crate) fn width(&self) -> usize {
         self.width
+    }
+
+    /// Copies the first `len` lanes of the `σ`/depth panels into dense
+    /// `n × len` panels (stride `len`) — the cached form the dynamic
+    /// layer's dirty-block detection scans.
+    pub(crate) fn extract_block(
+        &self,
+        n: usize,
+        len: usize,
+        sigma: &mut Vec<i64>,
+        depths: &mut Vec<u32>,
+    ) {
+        debug_assert!(len <= self.width);
+        sigma.clear();
+        depths.clear();
+        sigma.reserve(n * len);
+        depths.reserve(n * len);
+        for v in 0..n {
+            let base = v * self.width;
+            sigma.extend_from_slice(&self.sigma[base..base + len]);
+            depths.extend_from_slice(&self.depths[base..base + len]);
+        }
     }
 
     /// Copies lane `k`'s `σ` and depth columns out of the panels — the
@@ -150,7 +200,34 @@ pub(crate) fn bc_block_traced(
     weights: Option<&crate::prep::RunWeights>,
     on_level: &mut dyn FnMut(LevelReport),
 ) -> BlockRun {
-    let n = storage.n();
+    bc_block_mat_traced(
+        &PanelMat::Static { storage, kernel },
+        dir,
+        sources,
+        scale,
+        bc,
+        scratch,
+        weights,
+        on_level,
+    )
+}
+
+/// [`bc_block_traced`] generalised over the sparse operand: the static
+/// storages and the dynamic layer's [`DeltaCsc`] view share this body,
+/// so an incremental dirty-block recompute runs the *same* float
+/// operation sequence as a static run on the updated graph.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn bc_block_mat_traced(
+    mat: &PanelMat<'_>,
+    dir: &DirectionEngine,
+    sources: &[u32],
+    scale: f64,
+    bc: &mut [f64],
+    scratch: &mut BatchScratch,
+    weights: Option<&crate::prep::RunWeights>,
+    on_level: &mut dyn FnMut(LevelReport),
+) -> BlockRun {
+    let n = mat.n();
     let b = scratch.width;
     let w = scratch.words;
     debug_assert!(sources.len() <= b);
@@ -224,11 +301,14 @@ pub(crate) fn bc_block_traced(
                     );
                 mask_seen(&mut scratch.tbits, &scratch.seen);
             }
-            LevelDirection::Pull => match storage {
-                Storage::Csc(csc) => {
+            LevelDirection::Pull => match mat {
+                PanelMat::Static {
+                    storage: Storage::Csc(csc),
+                    kernel,
+                } => {
                     // Masked internally; tbits is fully overwritten and
                     // f_t written at fresh lanes only — no pre-clear.
-                    if kernel == Kernel::VeCsc {
+                    if *kernel == Kernel::VeCsc {
                         csc.spmm_t_frontier_vector(
                             b,
                             &scratch.fbits,
@@ -248,7 +328,10 @@ pub(crate) fn bc_block_traced(
                         );
                     }
                 }
-                Storage::Cooc(cooc) => {
+                PanelMat::Static {
+                    storage: Storage::Cooc(cooc),
+                    ..
+                } => {
                     scratch.tbits.fill(0);
                     scratch.f_t.fill(0);
                     cooc.spmm_t_frontier(
@@ -259,6 +342,19 @@ pub(crate) fn bc_block_traced(
                         &mut scratch.f_t,
                     );
                     mask_seen(&mut scratch.tbits, &scratch.seen);
+                }
+                PanelMat::Delta(d) => {
+                    // Same masking contract as the CSC arm; the merged
+                    // column order makes the sums bit-identical to a
+                    // rebuilt CSC.
+                    d.spmm_t_frontier(
+                        b,
+                        &scratch.fbits,
+                        &scratch.f,
+                        &scratch.seen,
+                        &mut scratch.tbits,
+                        &mut scratch.f_t,
+                    );
                 }
             },
         }
@@ -363,9 +459,16 @@ pub(crate) fn bc_block_traced(
             &mut scratch.delta_u,
         );
         scratch.delta_ut.fill(0.0);
-        match storage {
-            Storage::Csc(csc) => csc.spmm_panel(b, &scratch.delta_u, &mut scratch.delta_ut),
-            Storage::Cooc(cooc) => cooc.spmm_panel(b, &scratch.delta_u, &mut scratch.delta_ut),
+        match mat {
+            PanelMat::Static {
+                storage: Storage::Csc(csc),
+                ..
+            } => csc.spmm_panel(b, &scratch.delta_u, &mut scratch.delta_ut),
+            PanelMat::Static {
+                storage: Storage::Cooc(cooc),
+                ..
+            } => cooc.spmm_panel(b, &scratch.delta_u, &mut scratch.delta_ut),
+            PanelMat::Delta(d) => d.spmm_panel(b, &scratch.delta_u, &mut scratch.delta_ut),
         }
         match weights {
             Some(wt) => ops::accumulate_delta_panel_weighted(

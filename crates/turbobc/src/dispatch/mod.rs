@@ -202,6 +202,16 @@ pub struct CostModel {
     /// (Kronecker-style, mean degree ≫ 16) the level-by-level panel
     /// sweeps lose to one direction-optimised pass per source.
     pub panel_degree_max: f64,
+    /// Dirty-block fraction at which an incremental update gives up and
+    /// recomputes every block ([`crate::dynamic`]): past this point the
+    /// per-block bookkeeping buys nothing over a clean full run, and a
+    /// full run also refreshes the whole cache in one pass.
+    pub update_full_fraction: f64,
+    /// Host memory budget for one [`crate::dynamic::BcCache`]: the
+    /// per-block σ/depth panels plus per-block BC contribution vectors
+    /// the incremental mode replays. [`crate::BcSolver::warm_cache`]
+    /// refuses to build a cache whose modelled footprint exceeds this.
+    pub update_cache_bytes: u64,
 }
 
 /// A device segment must be expected to cover at least this many levels
@@ -225,6 +235,8 @@ impl Default for CostModel {
             block_sources: 8,
             panel_resident_bytes: 8 << 20,
             panel_degree_max: 16.0,
+            update_full_fraction: 0.5,
+            update_cache_bytes: 256 << 20,
         }
     }
 }

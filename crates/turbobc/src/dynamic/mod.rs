@@ -1,0 +1,1283 @@
+//! Streaming/incremental BC on dynamic graphs.
+//!
+//! A [`DynamicGraph`] layers delta edge buffers — an insert log and a
+//! delete log of canonical edges (tombstones) — over the static
+//! CSR/CSC pair the solver already materialises, compacting the logs
+//! back into static form once they grow past a threshold. Between
+//! compactions the sparse operand presented to the batched engine is a
+//! [`DeltaCsc`] view (base CSC + sorted overlays merged per column),
+//! whose SpMM kernels are bit-identical to a CSC rebuilt from the
+//! updated edge list — so an incremental run is *exactly* a batched
+//! run on the updated graph, restricted to the blocks that need it.
+//!
+//! The incremental mode keys a [`BcCache`] — per 64-wide source block,
+//! the batched engine's depth/`σ` panels plus that block's BC
+//! contribution vector — by a content fingerprint of the graph. When
+//! an update batch arrives, the cached depth panels decide which
+//! blocks the batch *invalidates*:
+//!
+//! * **insert** `x → y` dirties lane `k` iff `d(x) ≠ 0` and (`d(y) = 0`
+//!   or `d(y) > d(x)`) — the new arc could discover `y` earlier (or at
+//!   all) or add a shortest path into `y`;
+//! * **delete** `x → y` dirties lane `k` iff `d(x) ≠ 0` and
+//!   `d(y) = d(x) + 1` — the arc was part of the shortest-path DAG.
+//!
+//! Undirected edges test both orientations. A lane whose depths pass
+//! every arc of the batch has a bitwise-stable BFS, `σ` and `δ` on the
+//! updated graph: inserts that fail both conditions are non-DAG arcs
+//! the masked forward stage never uses and the backward stage never
+//! sums over, and deletes that fail them remove arcs the traversal
+//! never took. Clean blocks therefore keep their cached panels and BC
+//! contribution verbatim; only dirty blocks are re-swept (over the
+//! delta view), and the total BC is re-summed from the per-block
+//! contributions in block order.
+//!
+//! The re-summed total can differ from a monolithic full recompute in
+//! the last float bits (the per-block partial sums associate the same
+//! additions differently); the differential oracle in the test suite
+//! bounds it at the usual `1e-6` graded tolerance.
+//!
+//! The dirty fraction at which incremental recompute stops paying for
+//! itself is a [`CostModel`](crate::dispatch::CostModel) knob
+//! (`update_full_fraction`), and the recompute itself is
+//! [`DispatchMode`](crate::dispatch::DispatchMode)-aware: pinned
+//! executors force the sequential or block-parallel path, `Auto` /
+//! `CostModel` pick per batch.
+
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+use crate::batched::{bc_block_mat_traced, BatchScratch, PanelMat};
+use crate::dispatch::{DispatchMode, ExecutorKind};
+use crate::error::TurboBcError;
+use crate::frontier::DirectionEngine;
+use crate::observe::{NullObserver, Observer, TraceEvent};
+use crate::options::{BcOptions, Kernel, PrepMode};
+use crate::result::{BcResult, RunStats};
+use crate::solver::BcSolver;
+use turbobc_graph::Graph;
+use turbobc_sparse::{ops, Csc, DeltaCsc, Index};
+
+/// One streamed edge change. Endpoints are vertex ids of the graph the
+/// update applies to; for undirected graphs `(u, v)` and `(v, u)` name
+/// the same edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeUpdate {
+    /// Add the edge `u – v` (arc `u → v` for directed graphs).
+    Insert(u32, u32),
+    /// Remove the edge `u – v` (arc `u → v` for directed graphs).
+    Delete(u32, u32),
+}
+
+impl EdgeUpdate {
+    /// The `(u, v)` endpoint pair, whichever direction the change goes.
+    pub fn endpoints(self) -> (u32, u32) {
+        match self {
+            EdgeUpdate::Insert(u, v) | EdgeUpdate::Delete(u, v) => (u, v),
+        }
+    }
+}
+
+/// What one update batch did: how many changes took effect, how many
+/// were no-ops, and what the incremental engine recomputed for them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UpdateReport {
+    /// Edge insertions that took effect (the edge was absent).
+    pub inserts: usize,
+    /// Edge deletions that took effect (the edge was present).
+    pub deletes: usize,
+    /// No-op updates: duplicate inserts of live edges and deletes of
+    /// absent edges. Tolerated, not errors — streams are messy.
+    pub ignored: usize,
+    /// Cached source blocks the batch invalidated.
+    pub dirty_blocks: usize,
+    /// Cached source blocks in total.
+    pub total_blocks: usize,
+    /// Blocks actually re-swept (`dirty_blocks`, or `total_blocks`
+    /// when the cost model escalated to a full recompute).
+    pub recomputed_blocks: usize,
+    /// `"incremental"`, `"full"`, `"noop"` — or `"graph-only"` for
+    /// [`DynamicGraph::apply`], which maintains no BC state.
+    pub strategy: &'static str,
+    /// Whether this batch tripped the delta-log threshold and folded
+    /// the logs back into static CSR/CSC form.
+    pub compacted: bool,
+}
+
+/// Default number of pending log entries (canonical edges across both
+/// logs) at which [`DynamicGraph`] folds its deltas back into a static
+/// base. Each pending edge costs two binary-searched overlay probes
+/// per touched column in the merged sweep, so the view stays within a
+/// small constant of the static kernels until well past this.
+pub const DEFAULT_COMPACT_THRESHOLD: usize = 4096;
+
+/// `(row, col)` arc overlays expanded from a pending edge log.
+type ArcList = Vec<(Index, Index)>;
+
+/// One re-swept block's result, carried back from a rayon worker:
+/// block index, depth words, σ panel, BC contribution, level count and
+/// direction-switch count.
+type SweptBlock = (usize, Vec<u32>, Vec<i64>, Vec<f64>, u32, u32);
+
+/// SplitMix64-style avalanche of one arc; XORed into the running edge
+/// hash so membership changes compose incrementally and order-free.
+fn mix_arc(u: u32, v: u32) -> u64 {
+    let mut z = ((u as u64) << 32) | v as u64;
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn fnv(words: &[u64]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &x in words {
+        for b in x.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Content fingerprint of a static graph: what [`DynamicGraph`]
+/// maintains incrementally, recomputed here by one pass over the
+/// stored arcs.
+pub(crate) fn graph_fingerprint(g: &Graph) -> u64 {
+    let mut edge_hash = 0u64;
+    for (u, v) in g.edges() {
+        edge_hash ^= mix_arc(u, v);
+    }
+    content_fingerprint(g.n(), g.directed(), g.m(), edge_hash)
+}
+
+fn content_fingerprint(n: usize, directed: bool, m_arcs: usize, edge_hash: u64) -> u64 {
+    fnv(&[n as u64, directed as u64, m_arcs as u64, edge_hash])
+}
+
+/// The key a [`BcCache`] is valid for: graph content plus the run
+/// parameters that shape the cached panels.
+pub(crate) fn cache_fingerprint(graph_fp: u64, scale: f64, width: usize, sources: &[u32]) -> u64 {
+    let mut words = vec![
+        graph_fp,
+        scale.to_bits(),
+        width as u64,
+        sources.len() as u64,
+    ];
+    words.extend(sources.iter().map(|&s| s as u64));
+    fnv(&words)
+}
+
+// ---------------------------------------------------------------------
+// DynamicGraph: delta logs over a static base
+// ---------------------------------------------------------------------
+
+/// A staged (validated, not yet committed) update batch: the
+/// post-batch logs plus the effective arc lists detection runs on.
+pub(crate) struct StagedBatch {
+    inserts_log: BTreeSet<(u32, u32)>,
+    deletes_log: BTreeSet<(u32, u32)>,
+    edge_hash: u64,
+    m_arcs: usize,
+    /// Directed arcs of the effective insertions (both orientations
+    /// for undirected edges).
+    pub(crate) ins_arcs: Vec<(u32, u32)>,
+    /// Directed arcs of the effective deletions.
+    pub(crate) del_arcs: Vec<(u32, u32)>,
+    /// Effective edge insertions.
+    pub(crate) inserts: usize,
+    /// Effective edge deletions.
+    pub(crate) deletes: usize,
+    /// No-op updates.
+    pub(crate) ignored: usize,
+}
+
+/// An evolving graph: a static base (the last compaction's CSR/CSC
+/// snapshot) plus insert/delete logs of canonical edges. Queries and
+/// the incremental engine see base ⊕ logs through a [`DeltaCsc`] view;
+/// [`DynamicGraph::compact`] folds the logs back into the base.
+///
+/// Self-loops are rejected (the static builders drop them silently,
+/// but a streamed self-loop is almost certainly a bug in the stream);
+/// duplicate inserts and deletes of absent edges are tolerated no-ops.
+pub struct DynamicGraph {
+    directed: bool,
+    n: usize,
+    base: Graph,
+    base_csc: Csc,
+    inserts: BTreeSet<(u32, u32)>,
+    deletes: BTreeSet<(u32, u32)>,
+    edge_hash: u64,
+    m_arcs: usize,
+    compact_threshold: usize,
+}
+
+impl DynamicGraph {
+    /// Wraps a static graph as the initial base with empty logs.
+    pub fn from_graph(g: &Graph) -> Self {
+        let mut edge_hash = 0u64;
+        for (u, v) in g.edges() {
+            edge_hash ^= mix_arc(u, v);
+        }
+        DynamicGraph {
+            directed: g.directed(),
+            n: g.n(),
+            base: g.clone(),
+            base_csc: g.to_csc(),
+            inserts: BTreeSet::new(),
+            deletes: BTreeSet::new(),
+            edge_hash,
+            m_arcs: g.m(),
+            compact_threshold: DEFAULT_COMPACT_THRESHOLD,
+        }
+    }
+
+    /// Replaces the auto-compaction threshold (pending canonical edges
+    /// across both logs). `0` compacts after every effective batch.
+    pub fn with_compact_threshold(mut self, edges: usize) -> Self {
+        self.compact_threshold = edges;
+        self
+    }
+
+    /// Vertex count `n` (fixed for the lifetime of the graph).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Stored arcs in the *current* (base ⊕ logs) graph — both
+    /// orientations for undirected graphs, matching [`Graph::m`].
+    pub fn m(&self) -> usize {
+        self.m_arcs
+    }
+
+    /// Whether the graph is directed.
+    pub fn directed(&self) -> bool {
+        self.directed
+    }
+
+    /// The static base snapshot (as of the last compaction).
+    pub fn base(&self) -> &Graph {
+        &self.base
+    }
+
+    /// Pending log entries (canonical edges across both logs).
+    pub fn pending(&self) -> usize {
+        self.inserts.len() + self.deletes.len()
+    }
+
+    /// Content fingerprint of the current graph. Stable across
+    /// [`DynamicGraph::compact`] (the content does not change) and
+    /// equal to what a static rebuild of the same edge set hashes to.
+    pub fn fingerprint(&self) -> u64 {
+        content_fingerprint(self.n, self.directed, self.m_arcs, self.edge_hash)
+    }
+
+    fn key(&self, u: u32, v: u32) -> (u32, u32) {
+        if self.directed || u <= v {
+            (u, v)
+        } else {
+            (v, u)
+        }
+    }
+
+    fn arcs_per_edge(&self) -> usize {
+        if self.directed {
+            1
+        } else {
+            2
+        }
+    }
+
+    fn push_arcs(&self, (u, v): (u32, u32), out: &mut Vec<(u32, u32)>) {
+        out.push((u, v));
+        if !self.directed {
+            out.push((v, u));
+        }
+    }
+
+    fn base_has(&self, (u, v): (u32, u32)) -> bool {
+        self.base_csc.column(v as usize).binary_search(&u).is_ok()
+    }
+
+    /// Whether the edge `u – v` (arc `u → v` if directed) is present
+    /// in the current graph.
+    pub fn contains(&self, u: u32, v: u32) -> bool {
+        if u as usize >= self.n || v as usize >= self.n {
+            return false;
+        }
+        let k = self.key(u, v);
+        self.inserts.contains(&k) || (self.base_has(k) && !self.deletes.contains(&k))
+    }
+
+    /// Validates a batch and computes its effect without mutating the
+    /// graph — [`DynamicGraph::commit`] applies the result atomically,
+    /// so a rejected update leaves no partial state behind.
+    pub(crate) fn stage(&self, updates: &[EdgeUpdate]) -> Result<StagedBatch, TurboBcError> {
+        let mut staged = StagedBatch {
+            inserts_log: self.inserts.clone(),
+            deletes_log: self.deletes.clone(),
+            edge_hash: self.edge_hash,
+            m_arcs: self.m_arcs,
+            ins_arcs: Vec::new(),
+            del_arcs: Vec::new(),
+            inserts: 0,
+            deletes: 0,
+            ignored: 0,
+        };
+        for (idx, &up) in updates.iter().enumerate() {
+            let (u, v) = up.endpoints();
+            for x in [u, v] {
+                if x as usize >= self.n {
+                    return Err(TurboBcError::InvalidPlan {
+                        detail: format!(
+                            "update {}: endpoint {} out of range for {} vertices",
+                            idx + 1,
+                            x,
+                            self.n
+                        ),
+                    });
+                }
+            }
+            if u == v {
+                return Err(TurboBcError::InvalidPlan {
+                    detail: format!("update {}: self-loop {} → {} rejected", idx + 1, u, v),
+                });
+            }
+            let k = self.key(u, v);
+            let present = staged.inserts_log.contains(&k)
+                || (self.base_has(k) && !staged.deletes_log.contains(&k));
+            match up {
+                EdgeUpdate::Insert(..) => {
+                    if present {
+                        staged.ignored += 1;
+                        continue;
+                    }
+                    // Insert shadows a tombstone: delete-then-insert
+                    // restores the base entry.
+                    if !staged.deletes_log.remove(&k) {
+                        staged.inserts_log.insert(k);
+                    }
+                    staged.edge_hash ^= mix_arc(k.0, k.1);
+                    if !self.directed {
+                        staged.edge_hash ^= mix_arc(k.1, k.0);
+                    }
+                    staged.m_arcs += self.arcs_per_edge();
+                    staged.inserts += 1;
+                    self.push_arcs(k, &mut staged.ins_arcs);
+                }
+                EdgeUpdate::Delete(..) => {
+                    if !present {
+                        staged.ignored += 1;
+                        continue;
+                    }
+                    if !staged.inserts_log.remove(&k) {
+                        staged.deletes_log.insert(k);
+                    }
+                    staged.edge_hash ^= mix_arc(k.0, k.1);
+                    if !self.directed {
+                        staged.edge_hash ^= mix_arc(k.1, k.0);
+                    }
+                    staged.m_arcs -= self.arcs_per_edge();
+                    staged.deletes += 1;
+                    self.push_arcs(k, &mut staged.del_arcs);
+                }
+            }
+        }
+        Ok(staged)
+    }
+
+    /// Adopts a staged batch's logs, hash and arc count.
+    pub(crate) fn commit(&mut self, staged: &StagedBatch) {
+        self.inserts = staged.inserts_log.clone();
+        self.deletes = staged.deletes_log.clone();
+        self.edge_hash = staged.edge_hash;
+        self.m_arcs = staged.m_arcs;
+    }
+
+    /// Applies a batch of updates to the graph alone (no BC state),
+    /// compacting when the logs grow past the threshold. The returned
+    /// report's BC fields are zero with strategy `"graph-only"`.
+    pub fn apply(&mut self, updates: &[EdgeUpdate]) -> Result<UpdateReport, TurboBcError> {
+        let staged = self.stage(updates)?;
+        let (inserts, deletes, ignored) = (staged.inserts, staged.deletes, staged.ignored);
+        self.commit(&staged);
+        let compacted = self.should_compact();
+        if compacted {
+            self.compact();
+        }
+        Ok(UpdateReport {
+            inserts,
+            deletes,
+            ignored,
+            dirty_blocks: 0,
+            total_blocks: 0,
+            recomputed_blocks: 0,
+            strategy: "graph-only",
+            compacted,
+        })
+    }
+
+    /// Whether the pending logs have outgrown the threshold.
+    pub fn should_compact(&self) -> bool {
+        self.pending() > self.compact_threshold
+    }
+
+    /// Materialises the current (base ⊕ logs) graph as a static
+    /// [`Graph`] without touching the logs.
+    pub fn snapshot(&self) -> Graph {
+        let mut edges: Vec<(u32, u32)> =
+            Vec::with_capacity(self.m_arcs / self.arcs_per_edge().max(1) + self.inserts.len());
+        for (u, v) in self.base.edges() {
+            // Undirected bases store both orientations; keep each edge
+            // once, in canonical order.
+            if self.directed || u <= v {
+                let k = (u, v);
+                if !self.deletes.contains(&k) {
+                    edges.push(k);
+                }
+            }
+        }
+        edges.extend(self.inserts.iter().copied());
+        Graph::from_edges(self.n, self.directed, &edges)
+    }
+
+    /// Folds the pending logs into a fresh static base (new CSR/CSC),
+    /// leaving the logs empty. A no-op when nothing is pending.
+    pub fn compact(&mut self) {
+        if self.pending() == 0 {
+            return;
+        }
+        self.base = self.snapshot();
+        self.base_csc = self.base.to_csc();
+        self.inserts.clear();
+        self.deletes.clear();
+        debug_assert_eq!(self.base.m(), self.m_arcs);
+    }
+
+    /// Expands the pending logs into `(row, col)` arc overlays.
+    fn log_arcs(&self) -> (ArcList, ArcList) {
+        let mut ins = Vec::with_capacity(self.inserts.len() * self.arcs_per_edge());
+        let mut del = Vec::with_capacity(self.deletes.len() * self.arcs_per_edge());
+        for &k in &self.inserts {
+            self.push_arcs(k, &mut ins);
+        }
+        for &k in &self.deletes {
+            self.push_arcs(k, &mut del);
+        }
+        (ins, del)
+    }
+
+    /// The delta-aware CSC view of the current graph — the sparse
+    /// operand the incremental engine sweeps between compactions.
+    pub(crate) fn delta_view(&self) -> DeltaCsc<'_> {
+        let (ins, del) = self.log_arcs();
+        DeltaCsc::new(&self.base_csc, &ins, &del).expect("staged arcs are bounds-checked")
+    }
+}
+
+// ---------------------------------------------------------------------
+// BcCache: the incremental engine's state
+// ---------------------------------------------------------------------
+
+/// One cached source block: the batched engine's per-lane panels plus
+/// the block's BC contribution, exactly as a fresh batched run of the
+/// block would produce them.
+pub(crate) struct CachedBlock {
+    /// Index of the block's first source in the cache's source list.
+    pub(crate) first: usize,
+    /// Lanes in the block.
+    pub(crate) len: usize,
+    /// Discovery-depth panel, `n × len` (stride `len`).
+    pub(crate) depths: Vec<u32>,
+    /// Shortest-path-count panel, `n × len` (stride `len`).
+    pub(crate) sigma: Vec<i64>,
+    /// This block's BC contribution vector (length `n`).
+    pub(crate) bc: Vec<f64>,
+    /// Matrix sweeps the block's last recompute cost.
+    pub(crate) sweeps: u32,
+    /// Max BFS height over the block's lanes.
+    pub(crate) height: u32,
+}
+
+/// Cached per-block BC state keyed by a graph-content fingerprint:
+/// what [`BcSolver::warm_cache`] builds and the incremental engine
+/// patches batch by batch.
+pub struct BcCache {
+    pub(crate) fingerprint: u64,
+    pub(crate) sources: Vec<u32>,
+    pub(crate) width: usize,
+    pub(crate) n: usize,
+    pub(crate) scale: f64,
+    pub(crate) blocks: Vec<CachedBlock>,
+    pub(crate) bc: Vec<f64>,
+}
+
+impl BcCache {
+    /// The cached BC vector (sum of the per-block contributions in
+    /// block order).
+    pub fn bc(&self) -> &[f64] {
+        &self.bc
+    }
+
+    /// The source list the cache covers, in run order.
+    pub fn sources(&self) -> &[u32] {
+        &self.sources
+    }
+
+    /// Batch width the cached panels were swept at.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of cached source blocks.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// The graph + run-parameter fingerprint the cache is valid for.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Actual bytes the cached panels and contribution vectors hold.
+    pub fn resident_bytes(&self) -> u64 {
+        self.blocks
+            .iter()
+            .map(|b| (b.depths.len() * 4 + b.sigma.len() * 8 + b.bc.len() * 8) as u64)
+            .sum::<u64>()
+            + self.bc.len() as u64 * 8
+    }
+
+    /// Modelled bytes a cache for `n_sources` sources over an
+    /// `n`-vertex graph at batch width `width` will hold — what
+    /// [`BcSolver::warm_cache`] admits against the cost model's
+    /// `update_cache_bytes` budget before sweeping anything.
+    pub fn modelled_bytes(n: usize, n_sources: usize, width: usize) -> u64 {
+        let blocks = n_sources.div_ceil(width.max(1)) as u64;
+        // depth (u32) + σ (i64) panels per source, one f64 contribution
+        // vector per block, one f64 total.
+        n as u64 * n_sources as u64 * 12 + (blocks + 1) * n as u64 * 8
+    }
+
+    /// Rebuilds the total from the per-block contributions, in block
+    /// order (deterministic float summation).
+    pub(crate) fn resum(&mut self) {
+        self.bc.fill(0.0);
+        for blk in &self.blocks {
+            for (acc, &c) in self.bc.iter_mut().zip(&blk.bc) {
+                *acc += c;
+            }
+        }
+    }
+
+    /// Assembles a [`BcResult`] surface from the cache: the total BC,
+    /// and `σ`/depths of the run's last source from its cached panel.
+    pub(crate) fn result(&self, mut stats: RunStats) -> BcResult {
+        let n = self.n;
+        let mut sigma = vec![0i64; n];
+        let mut depths = vec![0u32; n];
+        if let Some(blk) = self.blocks.last() {
+            let (w, lane) = (blk.len, blk.len - 1);
+            for v in 0..n {
+                sigma[v] = blk.sigma[v * w + lane];
+                depths[v] = blk.depths[v * w + lane];
+            }
+        }
+        stats.last_reached = depths.iter().filter(|&&d| d != ops::UNDISCOVERED).count();
+        stats.max_depth = self.blocks.iter().map(|b| b.height).max().unwrap_or(0);
+        BcResult {
+            bc: self.bc.clone(),
+            sigma,
+            depths,
+            stats,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Dirty-block detection and the update plan
+// ---------------------------------------------------------------------
+
+fn insert_dirties(dx: u32, dy: u32) -> bool {
+    dx != ops::UNDISCOVERED && (dy == ops::UNDISCOVERED || dy > dx)
+}
+
+fn delete_dirties(dx: u32, dy: u32) -> bool {
+    dx != ops::UNDISCOVERED && dy == dx + 1
+}
+
+/// Scans the cached depth panels against a batch's effective arcs and
+/// returns the indices of invalidated blocks, in block order.
+pub(crate) fn detect_dirty(
+    cache: &BcCache,
+    ins_arcs: &[(u32, u32)],
+    del_arcs: &[(u32, u32)],
+) -> Vec<usize> {
+    let mut dirty = Vec::new();
+    'blocks: for (bi, blk) in cache.blocks.iter().enumerate() {
+        let w = blk.len;
+        for &(x, y) in ins_arcs {
+            let (xb, yb) = (x as usize * w, y as usize * w);
+            for k in 0..w {
+                if insert_dirties(blk.depths[xb + k], blk.depths[yb + k]) {
+                    dirty.push(bi);
+                    continue 'blocks;
+                }
+            }
+        }
+        for &(x, y) in del_arcs {
+            let (xb, yb) = (x as usize * w, y as usize * w);
+            for k in 0..w {
+                if delete_dirties(blk.depths[xb + k], blk.depths[yb + k]) {
+                    dirty.push(bi);
+                    continue 'blocks;
+                }
+            }
+        }
+    }
+    dirty
+}
+
+/// How one update batch maps onto the cached blocks: which blocks to
+/// re-sweep and whether the cost model escalated to a full recompute.
+/// Built by [`BcSolver::apply_updates`], consumed by
+/// [`BcSolver::recompute_dirty`].
+pub struct UpdatePlan {
+    pub(crate) dirty: Vec<usize>,
+    pub(crate) total_blocks: usize,
+    pub(crate) full: bool,
+    pub(crate) rationale: String,
+    pub(crate) new_fingerprint: u64,
+    pub(crate) inserts: usize,
+    pub(crate) deletes: usize,
+}
+
+impl UpdatePlan {
+    /// Cached blocks the batch invalidated.
+    pub fn dirty_blocks(&self) -> usize {
+        self.dirty.len()
+    }
+
+    /// Cached blocks in total.
+    pub fn total_blocks(&self) -> usize {
+        self.total_blocks
+    }
+
+    /// Whether the cost model escalated to recomputing every block.
+    pub fn is_full(&self) -> bool {
+        self.full
+    }
+
+    /// Whether the batch touches no cached block at all.
+    pub fn is_noop(&self) -> bool {
+        !self.full && self.dirty.is_empty()
+    }
+
+    /// The cost-model rationale behind the strategy choice.
+    pub fn rationale(&self) -> &str {
+        &self.rationale
+    }
+
+    /// `"incremental"`, `"full"` or `"noop"`.
+    pub fn strategy(&self) -> &'static str {
+        if self.full {
+            "full"
+        } else if self.dirty.is_empty() {
+            "noop"
+        } else {
+            "incremental"
+        }
+    }
+
+    /// Blocks the plan will re-sweep.
+    pub(crate) fn recompute_count(&self) -> usize {
+        if self.full {
+            self.total_blocks
+        } else {
+            self.dirty.len()
+        }
+    }
+}
+
+/// Builds an [`UpdatePlan`] from detection plus the cost model's
+/// incremental-vs-full rule.
+pub(crate) fn plan_updates(
+    cache: &BcCache,
+    ins_arcs: &[(u32, u32)],
+    del_arcs: &[(u32, u32)],
+    inserts: usize,
+    deletes: usize,
+    full_fraction: f64,
+    new_fingerprint: u64,
+) -> UpdatePlan {
+    let dirty = detect_dirty(cache, ins_arcs, del_arcs);
+    let total = cache.blocks.len();
+    let frac = if total == 0 {
+        0.0
+    } else {
+        dirty.len() as f64 / total as f64
+    };
+    let full = !dirty.is_empty() && frac >= full_fraction;
+    let rationale = if dirty.is_empty() {
+        format!(
+            "no cached block sees the {} changed arc(s); cache kept as-is",
+            ins_arcs.len() + del_arcs.len()
+        )
+    } else if full {
+        format!(
+            "{}/{} blocks dirty ({:.0}%) ≥ update_full_fraction ({:.0}%): recomputing every block",
+            dirty.len(),
+            total,
+            frac * 100.0,
+            full_fraction * 100.0
+        )
+    } else {
+        format!(
+            "{}/{} blocks dirty ({:.0}%) < update_full_fraction ({:.0}%): incremental recompute",
+            dirty.len(),
+            total,
+            frac * 100.0,
+            full_fraction * 100.0
+        )
+    };
+    UpdatePlan {
+        dirty,
+        total_blocks: total,
+        full,
+        rationale,
+        new_fingerprint,
+        inserts,
+        deletes,
+    }
+}
+
+/// Deduplicated, validated arc expansion of a raw update list — the
+/// staging step for [`BcSolver::apply_updates`], where the caller (not
+/// a [`DynamicGraph`]) asserts the updates are the diff between the
+/// cached graph and the solver's.
+pub(crate) struct ArcSets {
+    pub(crate) ins_arcs: Vec<(u32, u32)>,
+    pub(crate) del_arcs: Vec<(u32, u32)>,
+    pub(crate) inserts: usize,
+    pub(crate) deletes: usize,
+}
+
+pub(crate) fn expand_updates(
+    n: usize,
+    directed: bool,
+    updates: &[EdgeUpdate],
+) -> Result<ArcSets, TurboBcError> {
+    let canon = |u: u32, v: u32| if directed || u <= v { (u, v) } else { (v, u) };
+    let mut ins: BTreeSet<(u32, u32)> = BTreeSet::new();
+    let mut del: BTreeSet<(u32, u32)> = BTreeSet::new();
+    for (idx, &up) in updates.iter().enumerate() {
+        let (u, v) = up.endpoints();
+        for x in [u, v] {
+            if x as usize >= n {
+                return Err(TurboBcError::InvalidPlan {
+                    detail: format!(
+                        "update {}: endpoint {} out of range for {} vertices",
+                        idx + 1,
+                        x,
+                        n
+                    ),
+                });
+            }
+        }
+        if u == v {
+            return Err(TurboBcError::InvalidPlan {
+                detail: format!("update {}: self-loop {} → {} rejected", idx + 1, u, v),
+            });
+        }
+        match up {
+            EdgeUpdate::Insert(..) => ins.insert(canon(u, v)),
+            EdgeUpdate::Delete(..) => del.insert(canon(u, v)),
+        };
+    }
+    let expand = |set: &BTreeSet<(u32, u32)>| {
+        let mut arcs = Vec::with_capacity(set.len() * if directed { 1 } else { 2 });
+        for &(u, v) in set {
+            arcs.push((u, v));
+            if !directed {
+                arcs.push((v, u));
+            }
+        }
+        arcs
+    };
+    Ok(ArcSets {
+        ins_arcs: expand(&ins),
+        del_arcs: expand(&del),
+        inserts: ins.len(),
+        deletes: del.len(),
+    })
+}
+
+// ---------------------------------------------------------------------
+// Recompute: the DispatchMode-aware dirty-block re-sweep
+// ---------------------------------------------------------------------
+
+/// Picks the host executor for a dirty-block recompute under the run's
+/// dispatch mode: `(parallel?, reason)`.
+pub(crate) fn choose_update_executor(
+    mode: &DispatchMode,
+    blocks: usize,
+) -> Result<(bool, String), TurboBcError> {
+    match mode {
+        DispatchMode::Pinned(ExecutorKind::CpuSequential)
+        | DispatchMode::Pinned(ExecutorKind::Batched) => {
+            Ok((false, "pinned sequential block sweep".to_string()))
+        }
+        DispatchMode::Pinned(ExecutorKind::CpuParallel) => {
+            Ok((true, "pinned block-parallel recompute".to_string()))
+        }
+        DispatchMode::Pinned(other) => Err(TurboBcError::InvalidPlan {
+            detail: format!(
+                "dirty-block recompute cannot run on the {} executor; \
+                 pin seq, par or batched — or use Auto / CostModel",
+                other.name()
+            ),
+        }),
+        DispatchMode::Auto | DispatchMode::CostModel => {
+            let threads = rayon::current_num_threads().max(1);
+            if blocks > 1 && threads > 1 {
+                Ok((
+                    true,
+                    format!("{blocks} block(s) across {threads} rayon threads"),
+                ))
+            } else {
+                Ok((
+                    false,
+                    format!("{blocks} block(s), {threads} thread(s): sequential sweep"),
+                ))
+            }
+        }
+    }
+}
+
+/// Re-sweeps `targets` (cache block indices) over `mat`, replacing
+/// each block's cached panels and contribution vector. Returns the
+/// total matrix sweeps spent. Parallel runs give every block its own
+/// scratch and fold results back in block order, so the cache contents
+/// are identical to the sequential path's.
+fn recompute_blocks(
+    mat: &PanelMat<'_>,
+    dir: &DirectionEngine,
+    cache: &mut BcCache,
+    targets: &[usize],
+    parallel: bool,
+    obs: &mut dyn Observer,
+) -> u64 {
+    let n = cache.n;
+    let width = cache.width;
+    let scale = cache.scale;
+    let sources = &cache.sources;
+    let blocks = &mut cache.blocks;
+    let mut total = 0u64;
+    if parallel {
+        use rayon::prelude::*;
+        let spans: Vec<(usize, usize, usize)> = targets
+            .iter()
+            .map(|&bi| (bi, blocks[bi].first, blocks[bi].len))
+            .collect();
+        let swept: Vec<SweptBlock> = spans
+            .par_iter()
+            .map(|&(bi, first, len)| {
+                let block = &sources[first..first + len];
+                let mut scratch = BatchScratch::new(n, width);
+                let mut bc_tmp = vec![0.0f64; n];
+                let run = bc_block_mat_traced(
+                    mat,
+                    dir,
+                    block,
+                    scale,
+                    &mut bc_tmp,
+                    &mut scratch,
+                    None,
+                    &mut |_| {},
+                );
+                let mut depths = Vec::new();
+                let mut sigma = Vec::new();
+                scratch.extract_block(n, len, &mut sigma, &mut depths);
+                let height = run.heights.iter().copied().max().unwrap_or(1);
+                (bi, depths, sigma, bc_tmp, run.sweeps, height)
+            })
+            .collect();
+        for (bi, depths, sigma, bc_tmp, sweeps, height) in swept {
+            let blk = &mut blocks[bi];
+            blk.depths = depths;
+            blk.sigma = sigma;
+            blk.bc = bc_tmp;
+            blk.sweeps = sweeps;
+            blk.height = height;
+            total += sweeps as u64;
+            obs.event(TraceEvent::Block {
+                first_source: sources[blk.first],
+                width: blk.len,
+                sweeps,
+            });
+        }
+    } else {
+        let mut scratch = BatchScratch::new(n, width);
+        let mut bc_tmp = vec![0.0f64; n];
+        for &bi in targets {
+            let (first, len) = (blocks[bi].first, blocks[bi].len);
+            let block = &sources[first..first + len];
+            bc_tmp.fill(0.0);
+            let run = bc_block_mat_traced(
+                mat,
+                dir,
+                block,
+                scale,
+                &mut bc_tmp,
+                &mut scratch,
+                None,
+                &mut |_| {},
+            );
+            let blk = &mut blocks[bi];
+            scratch.extract_block(n, len, &mut blk.sigma, &mut blk.depths);
+            blk.bc.copy_from_slice(&bc_tmp);
+            blk.sweeps = run.sweeps;
+            blk.height = run.heights.iter().copied().max().unwrap_or(1);
+            total += run.sweeps as u64;
+            obs.event(TraceEvent::Block {
+                first_source: block[0],
+                width: len,
+                sweeps: run.sweeps,
+            });
+        }
+    }
+    total
+}
+
+/// One framed update run: emits the `Update` / `Dispatch` /
+/// `RunStart`…`RunEnd` trace, re-sweeps the plan's blocks, re-keys the
+/// cache and re-sums the total. Shared by [`BcSolver::recompute_dirty`]
+/// (static storage) and [`DynamicBc`] (delta view).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_update(
+    mat: &PanelMat<'_>,
+    dir: &DirectionEngine,
+    kernel: Kernel,
+    m: usize,
+    parallel: bool,
+    reason: &str,
+    cache: &mut BcCache,
+    plan: &UpdatePlan,
+    obs: &mut dyn Observer,
+) -> RunStats {
+    let start = Instant::now();
+    obs.event(TraceEvent::Update {
+        inserts: plan.inserts,
+        deletes: plan.deletes,
+        dirty_blocks: plan.dirty.len(),
+        total_blocks: plan.total_blocks,
+        strategy: plan.strategy(),
+    });
+    let targets: Vec<usize> = if plan.full {
+        (0..cache.blocks.len()).collect()
+    } else {
+        plan.dirty.clone()
+    };
+    let recompute_sources: usize = targets.iter().map(|&bi| cache.blocks[bi].len).sum();
+    obs.event(TraceEvent::Dispatch {
+        granularity: "run",
+        executor: if parallel { "block-par" } else { "batched" },
+        source: targets
+            .first()
+            .map(|&bi| cache.sources[cache.blocks[bi].first])
+            .unwrap_or(0),
+        depth: 0,
+        frontier: recompute_sources,
+        reason: reason.to_string(),
+    });
+    obs.event(TraceEvent::RunStart {
+        engine: "dynamic",
+        kernel,
+        n: cache.n,
+        m,
+        sources: recompute_sources,
+    });
+    let sweeps = recompute_blocks(mat, dir, cache, &targets, parallel, obs);
+    cache.fingerprint = plan.new_fingerprint;
+    cache.resum();
+    let elapsed = start.elapsed();
+    obs.event(TraceEvent::RunEnd {
+        elapsed_s: elapsed.as_secs_f64(),
+    });
+    RunStats {
+        sources: recompute_sources,
+        total_levels: sweeps,
+        elapsed,
+        ..Default::default()
+    }
+}
+
+// ---------------------------------------------------------------------
+// DynamicBc: the streaming session
+// ---------------------------------------------------------------------
+
+/// A streaming BC session: a [`DynamicGraph`], a warm [`BcCache`], and
+/// an epoch [`BcSolver`] rebuilt at every compaction. Feed update
+/// batches with [`DynamicBc::apply_updates`]; between compactions the
+/// dirty blocks are re-swept over the [`DeltaCsc`] view (pull-only —
+/// the view carries no CSR), so no static rebuild happens until the
+/// delta logs outgrow their threshold.
+///
+/// Preprocessing is forced to [`PrepMode::Off`]: the reduction
+/// pipeline rewrites the vertex space, which the cached panels are
+/// keyed on.
+pub struct DynamicBc {
+    graph: DynamicGraph,
+    options: BcOptions,
+    solver: BcSolver,
+    cache: BcCache,
+}
+
+impl DynamicBc {
+    /// Builds the session and warms the cache with one full batched
+    /// run over `sources`.
+    pub fn new(graph: &Graph, sources: &[u32], options: BcOptions) -> Result<Self, TurboBcError> {
+        let mut options = options;
+        options.prep = PrepMode::Off;
+        let solver = BcSolver::new(graph, options.clone())?;
+        let cache = solver.warm_cache(sources)?;
+        Ok(DynamicBc {
+            graph: DynamicGraph::from_graph(graph),
+            options,
+            solver,
+            cache,
+        })
+    }
+
+    /// Replaces the graph's auto-compaction threshold.
+    pub fn with_compact_threshold(mut self, edges: usize) -> Self {
+        self.graph = self.graph.with_compact_threshold(edges);
+        self
+    }
+
+    /// The evolving graph.
+    pub fn graph(&self) -> &DynamicGraph {
+        &self.graph
+    }
+
+    /// The cached BC state.
+    pub fn cache(&self) -> &BcCache {
+        &self.cache
+    }
+
+    /// The current BC vector (over the cache's source list).
+    pub fn bc(&self) -> &[f64] {
+        &self.cache.bc
+    }
+
+    /// The epoch solver (over the base snapshot of the last
+    /// compaction).
+    pub fn solver(&self) -> &BcSolver {
+        &self.solver
+    }
+
+    /// [`DynamicBc::apply_updates_observed`] without a trace sink.
+    pub fn apply_updates(&mut self, updates: &[EdgeUpdate]) -> Result<UpdateReport, TurboBcError> {
+        self.apply_updates_observed(updates, &mut NullObserver)
+    }
+
+    /// Applies one update batch: stages and validates it, detects
+    /// which cached blocks it invalidates, re-sweeps those blocks over
+    /// the delta view, folds the corrections into the cached BC
+    /// vector, and compacts the graph if the logs outgrew their
+    /// threshold. Emits one [`TraceEvent::Update`] (plus the usual
+    /// dispatch/run framing) into `obs`.
+    pub fn apply_updates_observed(
+        &mut self,
+        updates: &[EdgeUpdate],
+        obs: &mut dyn Observer,
+    ) -> Result<UpdateReport, TurboBcError> {
+        let staged = self.graph.stage(updates)?;
+        let new_fp = cache_fingerprint(
+            content_fingerprint(
+                self.graph.n,
+                self.graph.directed,
+                staged.m_arcs,
+                staged.edge_hash,
+            ),
+            self.cache.scale,
+            self.cache.width,
+            &self.cache.sources,
+        );
+        let plan = plan_updates(
+            &self.cache,
+            &staged.ins_arcs,
+            &staged.del_arcs,
+            staged.inserts,
+            staged.deletes,
+            self.options.execution.cost.update_full_fraction,
+            new_fp,
+        );
+        let (inserts, deletes, ignored) = (staged.inserts, staged.deletes, staged.ignored);
+        self.graph.commit(&staged);
+        let (parallel, exec_reason) =
+            choose_update_executor(&self.options.execution.dispatch, plan.recompute_count())?;
+        let reason = format!("{}; {}", plan.rationale, exec_reason);
+        {
+            let view = self.graph.delta_view();
+            let dir = DirectionEngine::pull_only(self.graph.m());
+            let mat = PanelMat::Delta(&view);
+            run_update(
+                &mat,
+                &dir,
+                Kernel::ScCsc,
+                self.graph.m(),
+                parallel,
+                &reason,
+                &mut self.cache,
+                &plan,
+                obs,
+            );
+        }
+        let compacted = self.graph.should_compact();
+        if compacted {
+            self.graph.compact();
+            self.solver = BcSolver::new(self.graph.base(), self.options.clone())?;
+        }
+        Ok(UpdateReport {
+            inserts,
+            deletes,
+            ignored,
+            dirty_blocks: plan.dirty.len(),
+            total_blocks: plan.total_blocks,
+            recomputed_blocks: plan.recompute_count(),
+            strategy: plan.strategy(),
+            compacted,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use turbobc_graph::gen;
+
+    fn path5() -> Graph {
+        Graph::from_edges(5, false, &[(0, 1), (1, 2), (2, 3), (3, 4)])
+    }
+
+    #[test]
+    fn dynamic_graph_tracks_membership_and_m() {
+        let mut dg = DynamicGraph::from_graph(&path5());
+        assert_eq!(dg.m(), 8);
+        assert!(dg.contains(1, 0), "undirected membership is symmetric");
+        let r = dg
+            .apply(&[EdgeUpdate::Insert(0, 4), EdgeUpdate::Delete(1, 2)])
+            .unwrap();
+        assert_eq!((r.inserts, r.deletes, r.ignored), (1, 1, 0));
+        assert!(dg.contains(4, 0));
+        assert!(!dg.contains(1, 2));
+        assert_eq!(dg.m(), 8);
+    }
+
+    #[test]
+    fn noop_updates_are_ignored_not_errors() {
+        let mut dg = DynamicGraph::from_graph(&path5());
+        let r = dg
+            .apply(&[
+                EdgeUpdate::Insert(0, 1), // duplicate of a base edge
+                EdgeUpdate::Delete(0, 4), // absent
+            ])
+            .unwrap();
+        assert_eq!(r.ignored, 2);
+        assert_eq!(r.inserts + r.deletes, 0);
+        assert_eq!(dg.pending(), 0);
+    }
+
+    #[test]
+    fn self_loops_and_out_of_range_endpoints_are_rejected_atomically() {
+        let mut dg = DynamicGraph::from_graph(&path5());
+        let err = dg
+            .apply(&[EdgeUpdate::Insert(0, 3), EdgeUpdate::Insert(2, 2)])
+            .unwrap_err();
+        assert!(
+            matches!(err, TurboBcError::InvalidPlan { ref detail } if detail.contains("self-loop"))
+        );
+        // The valid first update must not have leaked in.
+        assert!(!dg.contains(0, 3));
+        let err = dg.apply(&[EdgeUpdate::Delete(0, 99)]).unwrap_err();
+        assert!(
+            matches!(err, TurboBcError::InvalidPlan { ref detail } if detail.contains("out of range"))
+        );
+    }
+
+    #[test]
+    fn fingerprint_is_content_based_and_compaction_stable() {
+        let mut dg = DynamicGraph::from_graph(&path5());
+        let fp0 = dg.fingerprint();
+        dg.apply(&[EdgeUpdate::Insert(0, 2)]).unwrap();
+        let fp1 = dg.fingerprint();
+        assert_ne!(fp0, fp1);
+        dg.compact();
+        assert_eq!(dg.fingerprint(), fp1, "compaction must not re-key");
+        assert_eq!(
+            dg.fingerprint(),
+            graph_fingerprint(&Graph::from_edges(
+                5,
+                false,
+                &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 2)]
+            )),
+            "incremental hash must match a static rebuild's"
+        );
+        dg.apply(&[EdgeUpdate::Delete(0, 2)]).unwrap();
+        assert_eq!(dg.fingerprint(), fp0, "inverse update restores the key");
+    }
+
+    #[test]
+    fn insert_after_delete_restores_the_base_edge() {
+        let mut dg = DynamicGraph::from_graph(&path5());
+        dg.apply(&[EdgeUpdate::Delete(1, 2), EdgeUpdate::Insert(2, 1)])
+            .unwrap();
+        assert!(dg.contains(1, 2));
+        assert_eq!(dg.pending(), 0, "the pair cancels in the logs");
+    }
+
+    #[test]
+    fn snapshot_matches_rebuilt_edge_list() {
+        let g = gen::gnm(30, 60, false, 5);
+        let mut dg = DynamicGraph::from_graph(&g);
+        dg.apply(&[EdgeUpdate::Insert(0, 29), EdgeUpdate::Insert(1, 28)])
+            .unwrap();
+        let snap = dg.snapshot();
+        assert_eq!(snap.m(), dg.m());
+        let view = dg.delta_view();
+        assert_eq!(view.nnz(), dg.m());
+        let rebuilt = snap.to_csc();
+        for j in 0..30 {
+            let mut cols: Vec<u32> = Vec::new();
+            view.for_col(j, |r| cols.push(r));
+            assert_eq!(cols.as_slice(), rebuilt.column(j), "column {j}");
+        }
+    }
+
+    #[test]
+    fn update_plan_escalates_past_the_full_fraction() {
+        let g = gen::gnm(40, 120, false, 9);
+        let opts = BcOptions::builder().build();
+        let sources: Vec<u32> = (0..8).collect();
+        let mut dbc = DynamicBc::new(&g, &sources, opts).unwrap();
+        // A hub insert touching low-numbered vertices dirties blocks;
+        // with update_full_fraction = 0 every dirty batch escalates.
+        dbc.options.execution.cost.update_full_fraction = 0.0;
+        let r = dbc.apply_updates(&[EdgeUpdate::Insert(0, 39)]).unwrap();
+        if r.dirty_blocks > 0 {
+            assert_eq!(r.strategy, "full");
+            assert_eq!(r.recomputed_blocks, r.total_blocks);
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop_run() {
+        let g = path5();
+        let mut dbc = DynamicBc::new(&g, &[0, 4], BcOptions::builder().build()).unwrap();
+        let before = dbc.bc().to_vec();
+        let r = dbc.apply_updates(&[]).unwrap();
+        assert_eq!(r.strategy, "noop");
+        assert_eq!(dbc.bc(), before.as_slice());
+    }
+}

@@ -314,6 +314,18 @@ impl DirectionEngine {
         }
     }
 
+    /// A pull-only policy with no backing graph — for sweeps over
+    /// matrix *views* (the dynamic layer's [`turbobc_sparse::DeltaCsc`])
+    /// where no CSR exists to push over. `m` is only used by the
+    /// threshold, which pull-only mode never consults.
+    pub(crate) fn pull_only(m: usize) -> Self {
+        DirectionEngine {
+            csr: None,
+            mode: DirectionMode::PullOnly,
+            m,
+        }
+    }
+
     /// The configured mode.
     pub(crate) fn mode(&self) -> DirectionMode {
         self.mode

@@ -83,6 +83,7 @@ mod batched;
 pub mod checkpoint;
 pub mod closeness;
 pub mod dispatch;
+pub mod dynamic;
 pub mod edge;
 mod error;
 pub mod footprint;
@@ -111,6 +112,7 @@ pub use dispatch::{
     executor_for, CostModel, DispatchMode, Execution, ExecutionPlan, Executor, ExecutorKind,
     PlanSegment, PlanStrategy,
 };
+pub use dynamic::{BcCache, DynamicBc, DynamicGraph, EdgeUpdate, UpdatePlan, UpdateReport};
 pub use edge::EdgeBcResult;
 #[allow(deprecated)] // the shims stay importable from the crate root
 pub use edge::{edge_bc, edge_bc_sources};
@@ -134,6 +136,7 @@ pub mod prelude {
     pub use crate::dispatch::{
         CostModel, DispatchMode, Execution, ExecutionPlan, ExecutorKind, PlanStrategy,
     };
+    pub use crate::dynamic::{BcCache, DynamicBc, DynamicGraph, EdgeUpdate, UpdateReport};
     pub use crate::error::{CheckpointError, TurboBcError};
     pub use crate::frontier::{DirectionMode, Frontier, LevelDirection};
     pub use crate::observe::{

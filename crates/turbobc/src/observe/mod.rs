@@ -167,6 +167,25 @@ pub enum TraceEvent {
         /// BFS height over the block's lanes.
         sweeps: u32,
     },
+    /// One dynamic update batch hit the cached BC state
+    /// ([`crate::dynamic`]): how many arcs changed and how many of the
+    /// cached source blocks the batch invalidated. Emitted by the
+    /// incremental driver before the dirty blocks are recomputed;
+    /// survives attempt restarts like the dispatch record.
+    Update {
+        /// Effective edge insertions in the batch (after dedup).
+        inserts: usize,
+        /// Effective edge deletions in the batch (after dedup).
+        deletes: usize,
+        /// Cached source blocks the batch invalidated.
+        dirty_blocks: usize,
+        /// Cached source blocks in total.
+        total_blocks: usize,
+        /// How the recompute was scheduled: `"incremental"` (dirty
+        /// blocks only), `"full"` (dirty fraction past the cost model's
+        /// threshold), or `"noop"` (no block touched).
+        strategy: &'static str,
+    },
     /// One source's forward+backward sweep finished.
     SourceDone {
         /// The source vertex.
@@ -331,6 +350,23 @@ pub struct BlockTrace {
     pub t_s: f64,
 }
 
+/// One [`TraceEvent::Update`] with its timeline stamp.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpdateTrace {
+    /// Effective edge insertions in the batch.
+    pub inserts: usize,
+    /// Effective edge deletions in the batch.
+    pub deletes: usize,
+    /// Cached source blocks the batch invalidated.
+    pub dirty_blocks: usize,
+    /// Cached source blocks in total.
+    pub total_blocks: usize,
+    /// `"incremental"`, `"full"`, or `"noop"`.
+    pub strategy: String,
+    /// Seconds since the profile started.
+    pub t_s: f64,
+}
+
 /// One [`TraceEvent::SourceDone`] with its timeline stamp.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SourceTrace {
@@ -412,6 +448,10 @@ pub struct RunProfile {
     /// Per-block completions of the successful attempt (batched engine
     /// only; empty for per-source engines).
     pub blocks: Vec<BlockTrace>,
+    /// Dynamic update batches applied against cached BC state
+    /// ([`crate::dynamic`]); empty on static runs. Kept across attempt
+    /// restarts like the dispatch record.
+    pub updates: Vec<UpdateTrace>,
     /// Per-source completions of the successful attempt.
     pub source_runs: Vec<SourceTrace>,
     /// Recovery timeline (kept across attempts).
@@ -697,6 +737,24 @@ impl RunProfile {
                 ),
             ),
             (
+                "updates".into(),
+                Json::Arr(
+                    self.updates
+                        .iter()
+                        .map(|u| {
+                            Json::Obj(vec![
+                                ("inserts".into(), u.inserts.into()),
+                                ("deletes".into(), u.deletes.into()),
+                                ("dirty_blocks".into(), u.dirty_blocks.into()),
+                                ("total_blocks".into(), u.total_blocks.into()),
+                                ("strategy".into(), u.strategy.as_str().into()),
+                                ("t_s".into(), u.t_s.into()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
                 "source_runs".into(),
                 Json::Arr(
                     self.source_runs
@@ -799,6 +857,23 @@ impl RunProfile {
         // (and hand-built fixtures) may omit the key entirely.
         if doc.get("blocks").is_some() {
             check_entries("blocks", &["first_source", "width", "sweeps", "t_s"])?;
+        }
+        // "updates" arrived with the dynamic-graph layer; older
+        // profiles may omit the key entirely.
+        if let Some(arr) = doc.get("updates") {
+            let arr = arr.as_arr().ok_or("'updates' is not an array")?;
+            for (i, entry) in arr.iter().enumerate() {
+                entry
+                    .get("strategy")
+                    .and_then(Json::as_str)
+                    .ok_or(format!("updates[{i}] missing string 'strategy'"))?;
+                for f in ["inserts", "deletes", "dirty_blocks", "total_blocks", "t_s"] {
+                    entry
+                        .get(f)
+                        .and_then(Json::as_f64)
+                        .ok_or(format!("updates[{i}] missing number '{f}'"))?;
+                }
+            }
         }
         // "dispatch" arrived with the cost-model dispatcher; older
         // profiles may omit the key entirely.
@@ -1015,6 +1090,26 @@ impl RunProfile {
                     out,
                     "    [{:>5}] {} @ source {}, depth {}, frontier {} — {}",
                     d.granularity, d.executor, d.source, d.depth, d.frontier, d.reason
+                );
+            }
+        }
+        if !self.updates.is_empty() {
+            let dirty: usize = self.updates.iter().map(|u| u.dirty_blocks).sum();
+            let total: usize = self.updates.iter().map(|u| u.total_blocks).sum();
+            let full = self.updates.iter().filter(|u| u.strategy == "full").count();
+            let _ = writeln!(
+                out,
+                "  updates: {} batch(es), {} / {} block(s) dirty, {} full recompute(s)",
+                self.updates.len(),
+                dirty,
+                total,
+                full
+            );
+            for u in &self.updates {
+                let _ = writeln!(
+                    out,
+                    "    [{:>11}] +{} -{} arcs, {} / {} block(s) dirty",
+                    u.strategy, u.inserts, u.deletes, u.dirty_blocks, u.total_blocks
                 );
             }
         }
@@ -1277,6 +1372,22 @@ impl Observer for ProfileObserver {
                     first_source,
                     width,
                     sweeps,
+                    t_s,
+                });
+            }
+            TraceEvent::Update {
+                inserts,
+                deletes,
+                dirty_blocks,
+                total_blocks,
+                strategy,
+            } => {
+                p.updates.push(UpdateTrace {
+                    inserts,
+                    deletes,
+                    dirty_blocks,
+                    total_blocks,
+                    strategy: strategy.to_string(),
                     t_s,
                 });
             }
@@ -1668,6 +1779,62 @@ mod tests {
             RunProfile::validate(&text.replace("\"sweeps\"", "\"sweps\""))
                 .unwrap_err()
                 .contains("sweeps")
+        );
+    }
+
+    #[test]
+    fn update_events_flow_into_profile_and_json() {
+        let mut obs = ProfileObserver::new();
+        obs.event(TraceEvent::Update {
+            inserts: 3,
+            deletes: 1,
+            dirty_blocks: 2,
+            total_blocks: 8,
+            strategy: "incremental",
+        });
+        obs.event(TraceEvent::RunStart {
+            engine: "dynamic",
+            kernel: Kernel::ScCsc,
+            n: 100,
+            m: 400,
+            sources: 128,
+        });
+        obs.event(TraceEvent::RunEnd { elapsed_s: 0.1 });
+        // A later batch escalates; like dispatch decisions, the update
+        // timeline survives the new attempt's RunStart.
+        obs.event(TraceEvent::Update {
+            inserts: 0,
+            deletes: 9,
+            dirty_blocks: 7,
+            total_blocks: 8,
+            strategy: "full",
+        });
+        obs.event(TraceEvent::RunStart {
+            engine: "dynamic",
+            kernel: Kernel::ScCsc,
+            n: 100,
+            m: 382,
+            sources: 512,
+        });
+        obs.event(TraceEvent::RunEnd { elapsed_s: 0.3 });
+        let p = obs.into_profile();
+        assert_eq!(p.updates.len(), 2, "updates survive attempt restarts");
+        assert_eq!(p.updates[0].dirty_blocks, 2);
+        assert_eq!(p.updates[1].strategy, "full");
+        let s = p.summary();
+        assert!(s.contains("2 batch(es)"), "summary: {s}");
+        assert!(s.contains("1 full recompute(s)"), "summary: {s}");
+
+        let text = p.to_json_string();
+        let doc = RunProfile::validate(&text).expect("profile with updates must validate");
+        assert_eq!(doc.get("updates").and_then(Json::as_arr).unwrap().len(), 2);
+        // Back-compat: a pre-dynamic profile without the key validates.
+        assert!(RunProfile::validate(&text.replace("\"updates\"", "\"updates_v0\"")).is_ok());
+        // But a present-and-broken entry is rejected.
+        assert!(
+            RunProfile::validate(&text.replace("\"dirty_blocks\"", "\"dirty\""))
+                .unwrap_err()
+                .contains("dirty_blocks")
         );
     }
 

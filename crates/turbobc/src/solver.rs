@@ -2,13 +2,14 @@
 //! fault-recovery policy together.
 
 use crate::approx::{bc_approx_with_solver, ApproxBcResult};
-use crate::batched::{bc_block_traced, block_ranges, BatchScratch};
+use crate::batched::{bc_block_traced, block_ranges, BatchScratch, PanelMat};
 use crate::checkpoint::{self, CheckpointConfig};
 use crate::closeness::{closeness_with_solver, ClosenessResult};
 use crate::dispatch::{
     executor_for, hybrid, DispatchMode, Execution, ExecutionPlan, ExecutorKind, PlanSegment,
     PlanStrategy, PlanWork,
 };
+use crate::dynamic::{self, BcCache, CachedBlock, EdgeUpdate, UpdatePlan};
 use crate::edge::{edge_bc_with_solver, EdgeBcResult};
 use crate::error::{CheckpointError, TurboBcError};
 use crate::footprint;
@@ -1353,6 +1354,179 @@ impl BcSolver {
             .execute_observed(&plan, obs)?
             .into_bc()
             .expect("BC plans produce a BC result"))
+    }
+
+    /// Warms the incremental-update cache ([`crate::dynamic`]): one
+    /// batched run over `sources`, keeping every block's depth/`σ`
+    /// panels and BC contribution vector so later update batches can
+    /// be mapped onto the blocks they invalidate
+    /// ([`BcSolver::apply_updates`]) and only those re-swept
+    /// ([`BcSolver::recompute_dirty`]).
+    ///
+    /// The cache's modelled size is admitted against the cost model's
+    /// `update_cache_bytes` budget up front, and prep-routed solvers
+    /// are rejected — the reduction pipeline rewrites the vertex space
+    /// the cached panels are keyed on; build the solver with
+    /// [`PrepMode::Off`] to stream updates.
+    pub fn warm_cache(&self, sources: &[VertexId]) -> Result<BcCache, TurboBcError> {
+        self.validate_sources(sources)?;
+        if sources.is_empty() {
+            return Err(TurboBcError::InvalidPlan {
+                detail: "warm_cache needs at least one source".to_string(),
+            });
+        }
+        if self.prep.is_some() {
+            return Err(TurboBcError::InvalidPlan {
+                detail: "the incremental cache indexes the original vertex space, which the \
+                         prep pipeline rewrites; build the solver with PrepMode::Off"
+                    .to_string(),
+            });
+        }
+        let width = self.resolve_batch_width(sources.len());
+        let budget = self.options.execution.cost.update_cache_bytes;
+        let need = BcCache::modelled_bytes(self.n, sources.len(), width);
+        if need > budget {
+            return Err(TurboBcError::InvalidPlan {
+                detail: format!(
+                    "incremental cache would hold {need} modelled bytes for {} sources at \
+                     width {width}, over the cost model's update_cache_bytes budget ({budget})",
+                    sources.len()
+                ),
+            });
+        }
+        let graph_fp = dynamic::graph_fingerprint(&self.graph);
+        let mut cache = BcCache {
+            fingerprint: dynamic::cache_fingerprint(graph_fp, self.scale, width, sources),
+            sources: sources.to_vec(),
+            width,
+            n: self.n,
+            scale: self.scale,
+            blocks: Vec::with_capacity(sources.len().div_ceil(width)),
+            bc: vec![0.0; self.n],
+        };
+        let mut scratch = BatchScratch::new(self.n, width);
+        for (first, len) in block_ranges(sources.len(), width) {
+            let block = &sources[first..first + len];
+            let mut bc_tmp = vec![0.0f64; self.n];
+            let run = bc_block_traced(
+                &self.storage,
+                self.kernel,
+                &self.dir,
+                block,
+                self.scale,
+                &mut bc_tmp,
+                &mut scratch,
+                None,
+                &mut |_| {},
+            );
+            let mut sigma = Vec::new();
+            let mut depths = Vec::new();
+            scratch.extract_block(self.n, len, &mut sigma, &mut depths);
+            cache.blocks.push(CachedBlock {
+                first,
+                len,
+                depths,
+                sigma,
+                bc: bc_tmp,
+                sweeps: run.sweeps,
+                height: run.heights.iter().copied().max().unwrap_or(1),
+            });
+        }
+        cache.resum();
+        Ok(cache)
+    }
+
+    /// Maps one update batch onto a warm cache: which cached source
+    /// blocks the batch invalidates (scanning the cached depth panels
+    /// against the changed arcs) and whether the cost model's
+    /// `update_full_fraction` escalates to a full recompute.
+    ///
+    /// `self` must be the solver over the *updated* graph; `updates`
+    /// is the edge diff that turned the cache's graph into this one
+    /// (as produced effective-change by [`crate::dynamic::DynamicGraph`]).
+    /// The plan re-keys the cache to this graph's content fingerprint
+    /// when executed by [`BcSolver::recompute_dirty`].
+    pub fn apply_updates(
+        &self,
+        cache: &BcCache,
+        updates: &[EdgeUpdate],
+    ) -> Result<UpdatePlan, TurboBcError> {
+        if cache.n != self.n {
+            return Err(TurboBcError::InvalidPlan {
+                detail: format!(
+                    "cache covers {} vertices, this solver's graph has {}",
+                    cache.n, self.n
+                ),
+            });
+        }
+        let arcs = dynamic::expand_updates(self.n, self.graph.directed(), updates)?;
+        let new_fp = dynamic::cache_fingerprint(
+            dynamic::graph_fingerprint(&self.graph),
+            cache.scale,
+            cache.width,
+            &cache.sources,
+        );
+        Ok(dynamic::plan_updates(
+            cache,
+            &arcs.ins_arcs,
+            &arcs.del_arcs,
+            arcs.inserts,
+            arcs.deletes,
+            self.options.execution.cost.update_full_fraction,
+            new_fp,
+        ))
+    }
+
+    /// Executes an [`UpdatePlan`]: re-sweeps the invalidated blocks
+    /// over this solver's (updated) storage, folds the fresh
+    /// contributions into the cached BC vector and re-keys the cache.
+    /// Dispatch-mode aware — `Pinned(CpuSequential)` / `Pinned(Batched)`
+    /// force the sequential sweep, `Pinned(CpuParallel)` the
+    /// block-parallel one, `Auto` / `CostModel` pick per batch; other
+    /// pins are rejected. Emits a [`TraceEvent::Update`] plus the
+    /// usual dispatch/run framing into `obs`.
+    pub fn recompute_dirty(
+        &self,
+        cache: &mut BcCache,
+        plan: &UpdatePlan,
+        obs: &mut dyn Observer,
+    ) -> Result<BcResult, TurboBcError> {
+        if cache.n != self.n {
+            return Err(TurboBcError::InvalidPlan {
+                detail: format!(
+                    "cache covers {} vertices, this solver's graph has {}",
+                    cache.n, self.n
+                ),
+            });
+        }
+        if self.prep.is_some() {
+            return Err(TurboBcError::InvalidPlan {
+                detail: "dirty-block recompute needs the original vertex space; build the \
+                         solver with PrepMode::Off"
+                    .to_string(),
+            });
+        }
+        let (parallel, exec_reason) = dynamic::choose_update_executor(
+            &self.options.execution.dispatch,
+            plan.recompute_count(),
+        )?;
+        let mat = PanelMat::Static {
+            storage: &self.storage,
+            kernel: self.kernel,
+        };
+        let reason = format!("{}; {}", plan.rationale(), exec_reason);
+        let stats = dynamic::run_update(
+            &mat,
+            &self.dir,
+            self.kernel,
+            self.m,
+            parallel,
+            &reason,
+            cache,
+            plan,
+            obs,
+        );
+        Ok(cache.result(stats))
     }
 
     /// The batched executor body: bit-sliced `n×b` panels, one masked

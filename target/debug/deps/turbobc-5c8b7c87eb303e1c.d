@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/turbobc-5c8b7c87eb303e1c.d: crates/cli/src/main.rs crates/cli/src/cli.rs crates/cli/src/updates.rs
+
+/root/repo/target/debug/deps/turbobc-5c8b7c87eb303e1c: crates/cli/src/main.rs crates/cli/src/cli.rs crates/cli/src/updates.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/cli.rs:
+crates/cli/src/updates.rs:

@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/turbobc-75a1cd1935446913.d: crates/cli/src/main.rs crates/cli/src/cli.rs Cargo.toml
+/root/repo/target/debug/deps/turbobc-75a1cd1935446913.d: crates/cli/src/main.rs crates/cli/src/cli.rs crates/cli/src/updates.rs Cargo.toml
 
-/root/repo/target/debug/deps/libturbobc-75a1cd1935446913.rmeta: crates/cli/src/main.rs crates/cli/src/cli.rs Cargo.toml
+/root/repo/target/debug/deps/libturbobc-75a1cd1935446913.rmeta: crates/cli/src/main.rs crates/cli/src/cli.rs crates/cli/src/updates.rs Cargo.toml
 
 crates/cli/src/main.rs:
 crates/cli/src/cli.rs:
+crates/cli/src/updates.rs:
 Cargo.toml:
 
 # env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/turbobc-9a65859d260e950a.d: crates/cli/src/main.rs crates/cli/src/cli.rs crates/cli/src/updates.rs Cargo.toml
+
+/root/repo/target/debug/deps/libturbobc-9a65859d260e950a.rmeta: crates/cli/src/main.rs crates/cli/src/cli.rs crates/cli/src/updates.rs Cargo.toml
+
+crates/cli/src/main.rs:
+crates/cli/src/cli.rs:
+crates/cli/src/updates.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,8 +1,8 @@
-/root/repo/target/debug/deps/turbobc-cce9b85c6713f5b2.d: crates/turbobc/src/lib.rs crates/turbobc/src/approx.rs crates/turbobc/src/batched.rs crates/turbobc/src/checkpoint.rs crates/turbobc/src/closeness.rs crates/turbobc/src/dispatch/mod.rs crates/turbobc/src/dispatch/hybrid.rs crates/turbobc/src/edge.rs crates/turbobc/src/error.rs crates/turbobc/src/footprint.rs crates/turbobc/src/frontier.rs crates/turbobc/src/msbfs.rs crates/turbobc/src/multi_gpu.rs crates/turbobc/src/multi_gpu2d.rs crates/turbobc/src/observe/mod.rs crates/turbobc/src/observe/json.rs crates/turbobc/src/options.rs crates/turbobc/src/par.rs crates/turbobc/src/prep/mod.rs crates/turbobc/src/prep/components.rs crates/turbobc/src/prep/fold.rs crates/turbobc/src/prep/twins.rs crates/turbobc/src/result.rs crates/turbobc/src/seq.rs crates/turbobc/src/simt_engine/mod.rs crates/turbobc/src/simt_engine/kernels.rs crates/turbobc/src/solver.rs crates/turbobc/src/turbobfs.rs crates/turbobc/src/weighted.rs
+/root/repo/target/debug/deps/turbobc-cce9b85c6713f5b2.d: crates/turbobc/src/lib.rs crates/turbobc/src/approx.rs crates/turbobc/src/batched.rs crates/turbobc/src/checkpoint.rs crates/turbobc/src/closeness.rs crates/turbobc/src/dispatch/mod.rs crates/turbobc/src/dispatch/hybrid.rs crates/turbobc/src/dynamic/mod.rs crates/turbobc/src/edge.rs crates/turbobc/src/error.rs crates/turbobc/src/footprint.rs crates/turbobc/src/frontier.rs crates/turbobc/src/msbfs.rs crates/turbobc/src/multi_gpu.rs crates/turbobc/src/multi_gpu2d.rs crates/turbobc/src/observe/mod.rs crates/turbobc/src/observe/json.rs crates/turbobc/src/options.rs crates/turbobc/src/par.rs crates/turbobc/src/prep/mod.rs crates/turbobc/src/prep/components.rs crates/turbobc/src/prep/fold.rs crates/turbobc/src/prep/twins.rs crates/turbobc/src/result.rs crates/turbobc/src/seq.rs crates/turbobc/src/simt_engine/mod.rs crates/turbobc/src/simt_engine/kernels.rs crates/turbobc/src/solver.rs crates/turbobc/src/turbobfs.rs crates/turbobc/src/weighted.rs
 
-/root/repo/target/debug/deps/libturbobc-cce9b85c6713f5b2.rlib: crates/turbobc/src/lib.rs crates/turbobc/src/approx.rs crates/turbobc/src/batched.rs crates/turbobc/src/checkpoint.rs crates/turbobc/src/closeness.rs crates/turbobc/src/dispatch/mod.rs crates/turbobc/src/dispatch/hybrid.rs crates/turbobc/src/edge.rs crates/turbobc/src/error.rs crates/turbobc/src/footprint.rs crates/turbobc/src/frontier.rs crates/turbobc/src/msbfs.rs crates/turbobc/src/multi_gpu.rs crates/turbobc/src/multi_gpu2d.rs crates/turbobc/src/observe/mod.rs crates/turbobc/src/observe/json.rs crates/turbobc/src/options.rs crates/turbobc/src/par.rs crates/turbobc/src/prep/mod.rs crates/turbobc/src/prep/components.rs crates/turbobc/src/prep/fold.rs crates/turbobc/src/prep/twins.rs crates/turbobc/src/result.rs crates/turbobc/src/seq.rs crates/turbobc/src/simt_engine/mod.rs crates/turbobc/src/simt_engine/kernels.rs crates/turbobc/src/solver.rs crates/turbobc/src/turbobfs.rs crates/turbobc/src/weighted.rs
+/root/repo/target/debug/deps/libturbobc-cce9b85c6713f5b2.rlib: crates/turbobc/src/lib.rs crates/turbobc/src/approx.rs crates/turbobc/src/batched.rs crates/turbobc/src/checkpoint.rs crates/turbobc/src/closeness.rs crates/turbobc/src/dispatch/mod.rs crates/turbobc/src/dispatch/hybrid.rs crates/turbobc/src/dynamic/mod.rs crates/turbobc/src/edge.rs crates/turbobc/src/error.rs crates/turbobc/src/footprint.rs crates/turbobc/src/frontier.rs crates/turbobc/src/msbfs.rs crates/turbobc/src/multi_gpu.rs crates/turbobc/src/multi_gpu2d.rs crates/turbobc/src/observe/mod.rs crates/turbobc/src/observe/json.rs crates/turbobc/src/options.rs crates/turbobc/src/par.rs crates/turbobc/src/prep/mod.rs crates/turbobc/src/prep/components.rs crates/turbobc/src/prep/fold.rs crates/turbobc/src/prep/twins.rs crates/turbobc/src/result.rs crates/turbobc/src/seq.rs crates/turbobc/src/simt_engine/mod.rs crates/turbobc/src/simt_engine/kernels.rs crates/turbobc/src/solver.rs crates/turbobc/src/turbobfs.rs crates/turbobc/src/weighted.rs
 
-/root/repo/target/debug/deps/libturbobc-cce9b85c6713f5b2.rmeta: crates/turbobc/src/lib.rs crates/turbobc/src/approx.rs crates/turbobc/src/batched.rs crates/turbobc/src/checkpoint.rs crates/turbobc/src/closeness.rs crates/turbobc/src/dispatch/mod.rs crates/turbobc/src/dispatch/hybrid.rs crates/turbobc/src/edge.rs crates/turbobc/src/error.rs crates/turbobc/src/footprint.rs crates/turbobc/src/frontier.rs crates/turbobc/src/msbfs.rs crates/turbobc/src/multi_gpu.rs crates/turbobc/src/multi_gpu2d.rs crates/turbobc/src/observe/mod.rs crates/turbobc/src/observe/json.rs crates/turbobc/src/options.rs crates/turbobc/src/par.rs crates/turbobc/src/prep/mod.rs crates/turbobc/src/prep/components.rs crates/turbobc/src/prep/fold.rs crates/turbobc/src/prep/twins.rs crates/turbobc/src/result.rs crates/turbobc/src/seq.rs crates/turbobc/src/simt_engine/mod.rs crates/turbobc/src/simt_engine/kernels.rs crates/turbobc/src/solver.rs crates/turbobc/src/turbobfs.rs crates/turbobc/src/weighted.rs
+/root/repo/target/debug/deps/libturbobc-cce9b85c6713f5b2.rmeta: crates/turbobc/src/lib.rs crates/turbobc/src/approx.rs crates/turbobc/src/batched.rs crates/turbobc/src/checkpoint.rs crates/turbobc/src/closeness.rs crates/turbobc/src/dispatch/mod.rs crates/turbobc/src/dispatch/hybrid.rs crates/turbobc/src/dynamic/mod.rs crates/turbobc/src/edge.rs crates/turbobc/src/error.rs crates/turbobc/src/footprint.rs crates/turbobc/src/frontier.rs crates/turbobc/src/msbfs.rs crates/turbobc/src/multi_gpu.rs crates/turbobc/src/multi_gpu2d.rs crates/turbobc/src/observe/mod.rs crates/turbobc/src/observe/json.rs crates/turbobc/src/options.rs crates/turbobc/src/par.rs crates/turbobc/src/prep/mod.rs crates/turbobc/src/prep/components.rs crates/turbobc/src/prep/fold.rs crates/turbobc/src/prep/twins.rs crates/turbobc/src/result.rs crates/turbobc/src/seq.rs crates/turbobc/src/simt_engine/mod.rs crates/turbobc/src/simt_engine/kernels.rs crates/turbobc/src/solver.rs crates/turbobc/src/turbobfs.rs crates/turbobc/src/weighted.rs
 
 crates/turbobc/src/lib.rs:
 crates/turbobc/src/approx.rs:
@@ -11,6 +11,7 @@ crates/turbobc/src/checkpoint.rs:
 crates/turbobc/src/closeness.rs:
 crates/turbobc/src/dispatch/mod.rs:
 crates/turbobc/src/dispatch/hybrid.rs:
+crates/turbobc/src/dynamic/mod.rs:
 crates/turbobc/src/edge.rs:
 crates/turbobc/src/error.rs:
 crates/turbobc/src/footprint.rs:

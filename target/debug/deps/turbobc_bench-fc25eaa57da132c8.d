@@ -1,8 +1,8 @@
-/root/repo/target/debug/deps/turbobc_bench-fc25eaa57da132c8.d: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablation.rs crates/bench/src/experiments/batched.rs crates/bench/src/experiments/direction.rs crates/bench/src/experiments/dispatch.rs crates/bench/src/experiments/figures.rs crates/bench/src/experiments/prep.rs crates/bench/src/experiments/tables.rs crates/bench/src/profiles.rs crates/bench/src/runner.rs crates/bench/src/table.rs
+/root/repo/target/debug/deps/turbobc_bench-fc25eaa57da132c8.d: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablation.rs crates/bench/src/experiments/batched.rs crates/bench/src/experiments/direction.rs crates/bench/src/experiments/dispatch.rs crates/bench/src/experiments/dynamic.rs crates/bench/src/experiments/figures.rs crates/bench/src/experiments/prep.rs crates/bench/src/experiments/tables.rs crates/bench/src/profiles.rs crates/bench/src/runner.rs crates/bench/src/table.rs
 
-/root/repo/target/debug/deps/libturbobc_bench-fc25eaa57da132c8.rlib: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablation.rs crates/bench/src/experiments/batched.rs crates/bench/src/experiments/direction.rs crates/bench/src/experiments/dispatch.rs crates/bench/src/experiments/figures.rs crates/bench/src/experiments/prep.rs crates/bench/src/experiments/tables.rs crates/bench/src/profiles.rs crates/bench/src/runner.rs crates/bench/src/table.rs
+/root/repo/target/debug/deps/libturbobc_bench-fc25eaa57da132c8.rlib: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablation.rs crates/bench/src/experiments/batched.rs crates/bench/src/experiments/direction.rs crates/bench/src/experiments/dispatch.rs crates/bench/src/experiments/dynamic.rs crates/bench/src/experiments/figures.rs crates/bench/src/experiments/prep.rs crates/bench/src/experiments/tables.rs crates/bench/src/profiles.rs crates/bench/src/runner.rs crates/bench/src/table.rs
 
-/root/repo/target/debug/deps/libturbobc_bench-fc25eaa57da132c8.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablation.rs crates/bench/src/experiments/batched.rs crates/bench/src/experiments/direction.rs crates/bench/src/experiments/dispatch.rs crates/bench/src/experiments/figures.rs crates/bench/src/experiments/prep.rs crates/bench/src/experiments/tables.rs crates/bench/src/profiles.rs crates/bench/src/runner.rs crates/bench/src/table.rs
+/root/repo/target/debug/deps/libturbobc_bench-fc25eaa57da132c8.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablation.rs crates/bench/src/experiments/batched.rs crates/bench/src/experiments/direction.rs crates/bench/src/experiments/dispatch.rs crates/bench/src/experiments/dynamic.rs crates/bench/src/experiments/figures.rs crates/bench/src/experiments/prep.rs crates/bench/src/experiments/tables.rs crates/bench/src/profiles.rs crates/bench/src/runner.rs crates/bench/src/table.rs
 
 crates/bench/src/lib.rs:
 crates/bench/src/experiments/mod.rs:
@@ -10,6 +10,7 @@ crates/bench/src/experiments/ablation.rs:
 crates/bench/src/experiments/batched.rs:
 crates/bench/src/experiments/direction.rs:
 crates/bench/src/experiments/dispatch.rs:
+crates/bench/src/experiments/dynamic.rs:
 crates/bench/src/experiments/figures.rs:
 crates/bench/src/experiments/prep.rs:
 crates/bench/src/experiments/tables.rs:

@@ -1,12 +1,13 @@
-/root/repo/target/debug/deps/turbobc_sparse-0633602c4a42ebcd.d: crates/sparse/src/lib.rs crates/sparse/src/coo.rs crates/sparse/src/cooc.rs crates/sparse/src/csc.rs crates/sparse/src/csr.rs crates/sparse/src/dense.rs crates/sparse/src/error.rs crates/sparse/src/ops.rs crates/sparse/src/scalar.rs crates/sparse/src/semiring.rs crates/sparse/src/spmm.rs crates/sparse/src/proptests.rs Cargo.toml
+/root/repo/target/debug/deps/turbobc_sparse-0633602c4a42ebcd.d: crates/sparse/src/lib.rs crates/sparse/src/coo.rs crates/sparse/src/cooc.rs crates/sparse/src/csc.rs crates/sparse/src/csr.rs crates/sparse/src/delta.rs crates/sparse/src/dense.rs crates/sparse/src/error.rs crates/sparse/src/ops.rs crates/sparse/src/scalar.rs crates/sparse/src/semiring.rs crates/sparse/src/spmm.rs crates/sparse/src/proptests.rs Cargo.toml
 
-/root/repo/target/debug/deps/libturbobc_sparse-0633602c4a42ebcd.rmeta: crates/sparse/src/lib.rs crates/sparse/src/coo.rs crates/sparse/src/cooc.rs crates/sparse/src/csc.rs crates/sparse/src/csr.rs crates/sparse/src/dense.rs crates/sparse/src/error.rs crates/sparse/src/ops.rs crates/sparse/src/scalar.rs crates/sparse/src/semiring.rs crates/sparse/src/spmm.rs crates/sparse/src/proptests.rs Cargo.toml
+/root/repo/target/debug/deps/libturbobc_sparse-0633602c4a42ebcd.rmeta: crates/sparse/src/lib.rs crates/sparse/src/coo.rs crates/sparse/src/cooc.rs crates/sparse/src/csc.rs crates/sparse/src/csr.rs crates/sparse/src/delta.rs crates/sparse/src/dense.rs crates/sparse/src/error.rs crates/sparse/src/ops.rs crates/sparse/src/scalar.rs crates/sparse/src/semiring.rs crates/sparse/src/spmm.rs crates/sparse/src/proptests.rs Cargo.toml
 
 crates/sparse/src/lib.rs:
 crates/sparse/src/coo.rs:
 crates/sparse/src/cooc.rs:
 crates/sparse/src/csc.rs:
 crates/sparse/src/csr.rs:
+crates/sparse/src/delta.rs:
 crates/sparse/src/dense.rs:
 crates/sparse/src/error.rs:
 crates/sparse/src/ops.rs:

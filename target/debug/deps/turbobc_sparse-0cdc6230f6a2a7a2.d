@@ -1,14 +1,15 @@
-/root/repo/target/debug/deps/turbobc_sparse-0cdc6230f6a2a7a2.d: crates/sparse/src/lib.rs crates/sparse/src/coo.rs crates/sparse/src/cooc.rs crates/sparse/src/csc.rs crates/sparse/src/csr.rs crates/sparse/src/dense.rs crates/sparse/src/error.rs crates/sparse/src/ops.rs crates/sparse/src/scalar.rs crates/sparse/src/semiring.rs crates/sparse/src/spmm.rs
+/root/repo/target/debug/deps/turbobc_sparse-0cdc6230f6a2a7a2.d: crates/sparse/src/lib.rs crates/sparse/src/coo.rs crates/sparse/src/cooc.rs crates/sparse/src/csc.rs crates/sparse/src/csr.rs crates/sparse/src/delta.rs crates/sparse/src/dense.rs crates/sparse/src/error.rs crates/sparse/src/ops.rs crates/sparse/src/scalar.rs crates/sparse/src/semiring.rs crates/sparse/src/spmm.rs
 
-/root/repo/target/debug/deps/libturbobc_sparse-0cdc6230f6a2a7a2.rlib: crates/sparse/src/lib.rs crates/sparse/src/coo.rs crates/sparse/src/cooc.rs crates/sparse/src/csc.rs crates/sparse/src/csr.rs crates/sparse/src/dense.rs crates/sparse/src/error.rs crates/sparse/src/ops.rs crates/sparse/src/scalar.rs crates/sparse/src/semiring.rs crates/sparse/src/spmm.rs
+/root/repo/target/debug/deps/libturbobc_sparse-0cdc6230f6a2a7a2.rlib: crates/sparse/src/lib.rs crates/sparse/src/coo.rs crates/sparse/src/cooc.rs crates/sparse/src/csc.rs crates/sparse/src/csr.rs crates/sparse/src/delta.rs crates/sparse/src/dense.rs crates/sparse/src/error.rs crates/sparse/src/ops.rs crates/sparse/src/scalar.rs crates/sparse/src/semiring.rs crates/sparse/src/spmm.rs
 
-/root/repo/target/debug/deps/libturbobc_sparse-0cdc6230f6a2a7a2.rmeta: crates/sparse/src/lib.rs crates/sparse/src/coo.rs crates/sparse/src/cooc.rs crates/sparse/src/csc.rs crates/sparse/src/csr.rs crates/sparse/src/dense.rs crates/sparse/src/error.rs crates/sparse/src/ops.rs crates/sparse/src/scalar.rs crates/sparse/src/semiring.rs crates/sparse/src/spmm.rs
+/root/repo/target/debug/deps/libturbobc_sparse-0cdc6230f6a2a7a2.rmeta: crates/sparse/src/lib.rs crates/sparse/src/coo.rs crates/sparse/src/cooc.rs crates/sparse/src/csc.rs crates/sparse/src/csr.rs crates/sparse/src/delta.rs crates/sparse/src/dense.rs crates/sparse/src/error.rs crates/sparse/src/ops.rs crates/sparse/src/scalar.rs crates/sparse/src/semiring.rs crates/sparse/src/spmm.rs
 
 crates/sparse/src/lib.rs:
 crates/sparse/src/coo.rs:
 crates/sparse/src/cooc.rs:
 crates/sparse/src/csc.rs:
 crates/sparse/src/csr.rs:
+crates/sparse/src/delta.rs:
 crates/sparse/src/dense.rs:
 crates/sparse/src/error.rs:
 crates/sparse/src/ops.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bc_equivalence-4f28273aee76ef9c.d: tests/bc_equivalence.rs
+
+/root/repo/target/release/deps/bc_equivalence-4f28273aee76ef9c: tests/bc_equivalence.rs
+
+tests/bc_equivalence.rs:

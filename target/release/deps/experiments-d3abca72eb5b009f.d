@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-d3abca72eb5b009f.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-d3abca72eb5b009f: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

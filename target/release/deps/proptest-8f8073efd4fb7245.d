@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-8f8073efd4fb7245.d: .typecheck/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-8f8073efd4fb7245.rlib: .typecheck/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-8f8073efd4fb7245.rmeta: .typecheck/proptest/src/lib.rs
+
+.typecheck/proptest/src/lib.rs:

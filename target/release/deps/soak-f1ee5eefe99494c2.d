@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/soak-f1ee5eefe99494c2.d: crates/bench/src/bin/soak.rs
+
+/root/repo/target/release/deps/soak-f1ee5eefe99494c2: crates/bench/src/bin/soak.rs
+
+crates/bench/src/bin/soak.rs:

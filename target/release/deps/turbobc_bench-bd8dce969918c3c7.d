@@ -1,6 +1,6 @@
-/root/repo/target/release/deps/turbobc_bench-bd8dce969918c3c7.d: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablation.rs crates/bench/src/experiments/batched.rs crates/bench/src/experiments/direction.rs crates/bench/src/experiments/dispatch.rs crates/bench/src/experiments/figures.rs crates/bench/src/experiments/prep.rs crates/bench/src/experiments/tables.rs crates/bench/src/profiles.rs crates/bench/src/runner.rs crates/bench/src/table.rs
+/root/repo/target/release/deps/turbobc_bench-bd8dce969918c3c7.d: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablation.rs crates/bench/src/experiments/batched.rs crates/bench/src/experiments/direction.rs crates/bench/src/experiments/dispatch.rs crates/bench/src/experiments/dynamic.rs crates/bench/src/experiments/figures.rs crates/bench/src/experiments/prep.rs crates/bench/src/experiments/tables.rs crates/bench/src/profiles.rs crates/bench/src/runner.rs crates/bench/src/table.rs
 
-/root/repo/target/release/deps/turbobc_bench-bd8dce969918c3c7: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablation.rs crates/bench/src/experiments/batched.rs crates/bench/src/experiments/direction.rs crates/bench/src/experiments/dispatch.rs crates/bench/src/experiments/figures.rs crates/bench/src/experiments/prep.rs crates/bench/src/experiments/tables.rs crates/bench/src/profiles.rs crates/bench/src/runner.rs crates/bench/src/table.rs
+/root/repo/target/release/deps/turbobc_bench-bd8dce969918c3c7: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablation.rs crates/bench/src/experiments/batched.rs crates/bench/src/experiments/direction.rs crates/bench/src/experiments/dispatch.rs crates/bench/src/experiments/dynamic.rs crates/bench/src/experiments/figures.rs crates/bench/src/experiments/prep.rs crates/bench/src/experiments/tables.rs crates/bench/src/profiles.rs crates/bench/src/runner.rs crates/bench/src/table.rs
 
 crates/bench/src/lib.rs:
 crates/bench/src/experiments/mod.rs:
@@ -8,6 +8,7 @@ crates/bench/src/experiments/ablation.rs:
 crates/bench/src/experiments/batched.rs:
 crates/bench/src/experiments/direction.rs:
 crates/bench/src/experiments/dispatch.rs:
+crates/bench/src/experiments/dynamic.rs:
 crates/bench/src/experiments/figures.rs:
 crates/bench/src/experiments/prep.rs:
 crates/bench/src/experiments/tables.rs:

@@ -1,14 +1,15 @@
-/root/repo/target/release/deps/turbobc_sparse-0c51182d8d5f97fa.d: crates/sparse/src/lib.rs crates/sparse/src/coo.rs crates/sparse/src/cooc.rs crates/sparse/src/csc.rs crates/sparse/src/csr.rs crates/sparse/src/dense.rs crates/sparse/src/error.rs crates/sparse/src/ops.rs crates/sparse/src/scalar.rs crates/sparse/src/semiring.rs crates/sparse/src/spmm.rs
+/root/repo/target/release/deps/turbobc_sparse-0c51182d8d5f97fa.d: crates/sparse/src/lib.rs crates/sparse/src/coo.rs crates/sparse/src/cooc.rs crates/sparse/src/csc.rs crates/sparse/src/csr.rs crates/sparse/src/delta.rs crates/sparse/src/dense.rs crates/sparse/src/error.rs crates/sparse/src/ops.rs crates/sparse/src/scalar.rs crates/sparse/src/semiring.rs crates/sparse/src/spmm.rs
 
-/root/repo/target/release/deps/libturbobc_sparse-0c51182d8d5f97fa.rlib: crates/sparse/src/lib.rs crates/sparse/src/coo.rs crates/sparse/src/cooc.rs crates/sparse/src/csc.rs crates/sparse/src/csr.rs crates/sparse/src/dense.rs crates/sparse/src/error.rs crates/sparse/src/ops.rs crates/sparse/src/scalar.rs crates/sparse/src/semiring.rs crates/sparse/src/spmm.rs
+/root/repo/target/release/deps/libturbobc_sparse-0c51182d8d5f97fa.rlib: crates/sparse/src/lib.rs crates/sparse/src/coo.rs crates/sparse/src/cooc.rs crates/sparse/src/csc.rs crates/sparse/src/csr.rs crates/sparse/src/delta.rs crates/sparse/src/dense.rs crates/sparse/src/error.rs crates/sparse/src/ops.rs crates/sparse/src/scalar.rs crates/sparse/src/semiring.rs crates/sparse/src/spmm.rs
 
-/root/repo/target/release/deps/libturbobc_sparse-0c51182d8d5f97fa.rmeta: crates/sparse/src/lib.rs crates/sparse/src/coo.rs crates/sparse/src/cooc.rs crates/sparse/src/csc.rs crates/sparse/src/csr.rs crates/sparse/src/dense.rs crates/sparse/src/error.rs crates/sparse/src/ops.rs crates/sparse/src/scalar.rs crates/sparse/src/semiring.rs crates/sparse/src/spmm.rs
+/root/repo/target/release/deps/libturbobc_sparse-0c51182d8d5f97fa.rmeta: crates/sparse/src/lib.rs crates/sparse/src/coo.rs crates/sparse/src/cooc.rs crates/sparse/src/csc.rs crates/sparse/src/csr.rs crates/sparse/src/delta.rs crates/sparse/src/dense.rs crates/sparse/src/error.rs crates/sparse/src/ops.rs crates/sparse/src/scalar.rs crates/sparse/src/semiring.rs crates/sparse/src/spmm.rs
 
 crates/sparse/src/lib.rs:
 crates/sparse/src/coo.rs:
 crates/sparse/src/cooc.rs:
 crates/sparse/src/csc.rs:
 crates/sparse/src/csr.rs:
+crates/sparse/src/delta.rs:
 crates/sparse/src/dense.rs:
 crates/sparse/src/error.rs:
 crates/sparse/src/ops.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/turbobc_suite-1d82fa9d11917de2.d: src/lib.rs
+
+/root/repo/target/release/deps/libturbobc_suite-1d82fa9d11917de2.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libturbobc_suite-1d82fa9d11917de2.rmeta: src/lib.rs
+
+src/lib.rs:

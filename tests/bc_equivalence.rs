@@ -17,8 +17,8 @@ use turbobc_suite::graph::Graph;
 use turbobc_suite::simt::{Device, DeviceProps};
 use turbobc_suite::turbobc::observe::ProfileObserver;
 use turbobc_suite::turbobc::{
-    BcOptions, BcSolver, CostModel, DirectionMode, DispatchMode, Engine, ExecutorKind, Kernel,
-    PrepMode,
+    BcOptions, BcSolver, CostModel, DirectionMode, DispatchMode, DynamicBc, DynamicGraph,
+    EdgeUpdate, Engine, ExecutorKind, Kernel, PrepMode,
 };
 
 const KERNELS: [Kernel; 3] = [Kernel::ScCooc, Kernel::ScCsc, Kernel::VeCsc];
@@ -503,6 +503,327 @@ fn full_dispatch_battery_over_all_fixtures() {
     dispatch_battery(families::STRESS_FIXTURES, Scale::Tiny);
 }
 
+/// A deterministic update stream over `g`: `batches` batches of up to
+/// `ops` changes each, mixing effective inserts of absent edges,
+/// effective deletes of live edges, duplicate inserts (no-ops),
+/// deletes of missing edges (no-ops), and re-inserts of previously
+/// deleted edges. A mirror membership set keeps the stream
+/// self-consistent without constraining what the solver sees.
+fn update_stream(g: &Graph, batches: usize, ops: usize, seed: u64) -> Vec<Vec<EdgeUpdate>> {
+    let n = g.n() as u64;
+    let directed = g.directed();
+    let key = |u: u32, v: u32| if directed || u <= v { (u, v) } else { (v, u) };
+    let mut live: std::collections::BTreeSet<(u32, u32)> =
+        g.edges().map(|(u, v)| key(u, v)).collect();
+    let mut s = seed | 1;
+    let mut step = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    };
+    let mut out = Vec::new();
+    for _ in 0..batches {
+        let mut batch = Vec::new();
+        for op in 0..ops {
+            if op % 2 == 0 && !live.is_empty() {
+                // Touch a live edge: delete it, or duplicate-insert it.
+                let coin = step();
+                let idx = (step() as usize) % live.len();
+                let &(u, v) = live.iter().nth(idx).expect("index is in range");
+                if coin & 1 == 0 {
+                    batch.push(EdgeUpdate::Delete(u, v));
+                    live.remove(&(u, v));
+                } else {
+                    batch.push(EdgeUpdate::Insert(u, v)); // duplicate: no-op
+                }
+            } else {
+                // A random pair: insert if absent, else delete-missing
+                // style churn on whatever membership it happens to hit.
+                let u = (step() % n) as u32;
+                let v = (step() % n) as u32;
+                if u == v {
+                    continue;
+                }
+                let k = key(u, v);
+                if live.insert(k) {
+                    batch.push(EdgeUpdate::Insert(k.0, k.1));
+                } else {
+                    live.remove(&k);
+                    batch.push(EdgeUpdate::Delete(k.0, k.1));
+                }
+            }
+        }
+        out.push(batch);
+    }
+    out
+}
+
+/// The incremental-BC differential battery: a [`DynamicBc`] session
+/// absorbs a deterministic update stream, and after **every** batch its
+/// cached BC vector must match a full recompute on the updated graph
+/// across the sequential, parallel and batched engines, to the same
+/// graded 1e-6 bar as the static batteries.
+fn dynamic_battery(names: &[&str], scale: Scale) {
+    for name in names {
+        let g = families::generate(name, scale).expect("known family fixture");
+        let n = g.n();
+        if n < 4 {
+            continue;
+        }
+        let count = n.min(32);
+        let sources: Vec<u32> = (0..count).map(|i| (i * n / count) as u32).collect();
+        // Width 8 keeps several cached blocks in play even on the
+        // smallest fixtures, so the dirty-block path is exercised.
+        let mut dbc = DynamicBc::new(&g, &sources, BcOptions::builder().batch_width(8).build())
+            .expect("warm cache fits the admission budget");
+        let mut mirror = DynamicGraph::from_graph(&g);
+        let tol = |w: f64| 1e-6 * w.abs().max(1.0);
+        for (bi, batch) in update_stream(&g, 3, 8, 0xd15ea5e).iter().enumerate() {
+            let report = dbc.apply_updates(batch).expect("generated batch is valid");
+            mirror.apply(batch).expect("generated batch is valid");
+            assert_eq!(
+                dbc.graph().fingerprint(),
+                mirror.fingerprint(),
+                "{name}/batch{bi}: graph fingerprints diverged"
+            );
+            let snap = mirror.snapshot();
+            let full: Vec<(&str, Vec<f64>)> = vec![
+                (
+                    "seq",
+                    BcSolver::new(
+                        &snap,
+                        BcOptions::builder()
+                            .sequential()
+                            .prep(PrepMode::Off)
+                            .build(),
+                    )
+                    .unwrap()
+                    .bc_sources(&sources)
+                    .unwrap()
+                    .bc,
+                ),
+                (
+                    "par",
+                    BcSolver::new(
+                        &snap,
+                        BcOptions::builder().parallel().prep(PrepMode::Off).build(),
+                    )
+                    .unwrap()
+                    .bc_sources(&sources)
+                    .unwrap()
+                    .bc,
+                ),
+                (
+                    "batched",
+                    BcSolver::new(
+                        &snap,
+                        BcOptions::builder()
+                            .batch_width(8)
+                            .prep(PrepMode::Off)
+                            .build(),
+                    )
+                    .unwrap()
+                    .bc_batched(&sources)
+                    .unwrap()
+                    .bc,
+                ),
+            ];
+            for (engine, want) in &full {
+                assert_eq!(dbc.bc().len(), want.len());
+                for (v, (gv, wv)) in dbc.bc().iter().zip(want).enumerate() {
+                    let diff = (gv - wv).abs();
+                    assert!(
+                        diff < tol(*wv),
+                        "{name}/batch{bi} ({} strategy, {}/{} dirty) vs {engine}: \
+                         bc[{v}] = {gv}, full recompute says {wv} (|diff| = {diff:.3e})",
+                        report.strategy,
+                        report.dirty_blocks,
+                        report.total_blocks,
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Always-on slice of the incremental battery, mirroring the other
+/// batteries' one-fixture-per-structural-class subset.
+#[test]
+fn dynamic_battery_subset_matches_full_recompute_after_every_batch() {
+    dynamic_battery(
+        &["mark3jac060sc", "luxembourg_osm", "kron_g500-logn18"],
+        Scale::Tiny,
+    );
+}
+
+/// The incremental battery over every paper fixture plus the stress
+/// set. Run by the release CI job (`--include-ignored`) under its
+/// wall-clock guard.
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "full incremental differential battery; run under --release"
+)]
+fn full_dynamic_battery_over_all_fixtures() {
+    let rows = families::all_rows();
+    let names: Vec<&str> = rows.iter().map(|r| r.name).collect();
+    dynamic_battery(&names, Scale::Tiny);
+    dynamic_battery(families::STRESS_FIXTURES, Scale::Tiny);
+}
+
+/// Pinned dirty-block detection, cross-component case: updates confined
+/// to a component none of the cached sources can reach leave every
+/// cached panel bitwise valid. The skip is verified through the
+/// RunProfile updates trace, and the skipped answer must still be the
+/// true answer on the updated graph.
+#[test]
+fn dynamic_skips_every_block_for_updates_in_another_component() {
+    // Two disjoint 5-paths: 0–1–2–3–4 and 5–6–7–8–9.
+    let g = Graph::from_edges(
+        10,
+        false,
+        &[
+            (0, 1),
+            (1, 2),
+            (2, 3),
+            (3, 4),
+            (5, 6),
+            (6, 7),
+            (7, 8),
+            (8, 9),
+        ],
+    );
+    // All sources in the first component, one source per block.
+    let sources = vec![0u32, 2, 4];
+    let mut dbc = DynamicBc::new(&g, &sources, BcOptions::builder().batch_width(1).build())
+        .expect("warm cache fits the admission budget");
+    let before = dbc.bc().to_vec();
+    let mut obs = ProfileObserver::new();
+    let report = dbc
+        .apply_updates_observed(
+            &[EdgeUpdate::Insert(5, 9), EdgeUpdate::Delete(6, 7)],
+            &mut obs,
+        )
+        .unwrap();
+    assert_eq!(report.inserts, 1);
+    assert_eq!(report.deletes, 1);
+    assert_eq!(report.dirty_blocks, 0, "no cached source reaches 5..10");
+    assert_eq!(report.recomputed_blocks, 0);
+    assert_eq!(report.strategy, "noop");
+    let profile = obs.into_profile();
+    assert_eq!(profile.updates.len(), 1, "one update trace event");
+    assert_eq!(profile.updates[0].dirty_blocks, 0);
+    assert_eq!(profile.updates[0].total_blocks, 3);
+    assert_eq!(profile.updates[0].strategy, "noop");
+    // The cached vector is untouched — and still exact for the updated
+    // graph, because the far component contributes nothing to these
+    // sources' dependencies.
+    assert_eq!(dbc.bc(), &before[..]);
+    let full = BcSolver::new(
+        &dbc.graph().snapshot(),
+        BcOptions::builder().prep(PrepMode::Off).build(),
+    )
+    .unwrap()
+    .warm_cache(&sources)
+    .unwrap();
+    assert_eq!(dbc.bc(), full.bc(), "skipped answer must stay exact");
+
+    // Control: a source in the touched component makes exactly its
+    // block dirty, and the incremental result matches a full run.
+    let sources = vec![0u32, 2, 6];
+    let mut dbc = DynamicBc::new(&g, &sources, BcOptions::builder().batch_width(1).build())
+        .expect("warm cache fits the admission budget");
+    let report = dbc.apply_updates(&[EdgeUpdate::Insert(5, 9)]).unwrap();
+    assert_eq!(
+        report.dirty_blocks, 1,
+        "only source 6's block sees the edge"
+    );
+    assert_eq!(report.strategy, "incremental");
+    assert_eq!(report.recomputed_blocks, 1);
+    let full = BcSolver::new(
+        &dbc.graph().snapshot(),
+        BcOptions::builder().prep(PrepMode::Off).build(),
+    )
+    .unwrap()
+    .warm_cache(&sources)
+    .unwrap();
+    for (v, (gv, wv)) in dbc.bc().iter().zip(full.bc()).enumerate() {
+        let diff = (gv - wv).abs();
+        assert!(
+            diff < 1e-6 * wv.abs().max(1.0),
+            "bc[{v}] = {gv}, full recompute says {wv} (|diff| = {diff:.3e})"
+        );
+    }
+}
+
+/// Pinned dirty-block detection, beyond-the-frontier cases: updates
+/// whose endpoints every cached BFS left undiscovered (upstream of a
+/// directed source) or at equal depth (never on a shortest path)
+/// invalidate nothing.
+#[test]
+fn dynamic_skips_updates_beyond_every_cached_frontier() {
+    // Directed chain 0→1→…→9 with the only cached source at 5:
+    // vertices 0..5 are upstream, hence undiscovered.
+    let edges: Vec<(u32, u32)> = (0..9).map(|i| (i, i + 1)).collect();
+    let g = Graph::from_edges(10, true, &edges);
+    let sources = vec![5u32];
+    let mut dbc = DynamicBc::new(&g, &sources, BcOptions::default())
+        .expect("warm cache fits the admission budget");
+    let before = dbc.bc().to_vec();
+    let mut obs = ProfileObserver::new();
+    let report = dbc
+        .apply_updates_observed(
+            &[EdgeUpdate::Insert(0, 2), EdgeUpdate::Delete(1, 2)],
+            &mut obs,
+        )
+        .unwrap();
+    assert_eq!(report.strategy, "noop", "upstream churn is invisible");
+    assert_eq!(report.dirty_blocks, 0);
+    let profile = obs.into_profile();
+    assert_eq!(profile.updates.len(), 1);
+    assert_eq!(profile.updates[0].strategy, "noop");
+    assert_eq!(dbc.bc(), &before[..]);
+
+    // Equal-depth insert: both branch tips sit at the same depth from
+    // the cached source, so the new edge is never on a shortest path.
+    let g = Graph::from_edges(7, false, &[(0, 1), (1, 2), (2, 3), (0, 4), (4, 5), (5, 6)]);
+    let sources = vec![0u32];
+    let mut dbc = DynamicBc::new(&g, &sources, BcOptions::default())
+        .expect("warm cache fits the admission budget");
+    let before = dbc.bc().to_vec();
+    let report = dbc.apply_updates(&[EdgeUpdate::Insert(3, 6)]).unwrap();
+    assert_eq!(report.strategy, "noop", "equal-depth edges change no path");
+    assert_eq!(dbc.bc(), &before[..]);
+    let full = BcSolver::new(
+        &dbc.graph().snapshot(),
+        BcOptions::builder().prep(PrepMode::Off).build(),
+    )
+    .unwrap()
+    .warm_cache(&sources)
+    .unwrap();
+    assert_eq!(dbc.bc(), full.bc(), "skipped answer must stay exact");
+
+    // Control: a shortcut from the source's own level is detected.
+    let report = dbc.apply_updates(&[EdgeUpdate::Insert(0, 3)]).unwrap();
+    assert_ne!(report.strategy, "noop", "a real shortcut must dirty");
+    assert!(report.dirty_blocks > 0);
+    let full = BcSolver::new(
+        &dbc.graph().snapshot(),
+        BcOptions::builder().prep(PrepMode::Off).build(),
+    )
+    .unwrap()
+    .warm_cache(&sources)
+    .unwrap();
+    for (v, (gv, wv)) in dbc.bc().iter().zip(full.bc()).enumerate() {
+        let diff = (gv - wv).abs();
+        assert!(
+            diff < 1e-6 * wv.abs().max(1.0),
+            "bc[{v}] = {gv}, full recompute says {wv} (|diff| = {diff:.3e})"
+        );
+    }
+}
+
 /// Every deprecated 0.2 entry point must produce the same result
 /// payload (bc, σ, depths — and for MS-BFS: depths, heights, sweeps) as
 /// the plan/execute pipeline it now wraps.
@@ -740,6 +1061,91 @@ proptest! {
         prop_assert_eq!(&with_device.bc, &cpu_only.bc, "δ accumulation perturbed by handoff");
         let want = brandes_single_source(&g, source);
         assert_close("hybrid-handoff", &with_device.bc, &want);
+    }
+
+    /// Arbitrary update streams — duplicate inserts, deletes of
+    /// missing edges, inserts shadowing earlier deletes — applied in
+    /// arbitrary batch splits with a compaction threshold small enough
+    /// to fire mid-stream, must compact to exactly the CSR/CSC (and
+    /// content fingerprint) of a graph rebuilt from the final edge
+    /// list.
+    #[test]
+    fn dynamic_compaction_matches_rebuild_from_final_edges(
+        g in arb_graph(),
+        raw in proptest::collection::vec(
+            (any::<prop::sample::Index>(), any::<prop::sample::Index>(), any::<bool>()),
+            0..60,
+        ),
+        cuts in proptest::collection::vec(any::<prop::sample::Index>(), 0..5),
+    ) {
+        let n = g.n();
+        let key = |u: u32, v: u32| if g.directed() || u <= v { (u, v) } else { (v, u) };
+        let mut mirror: std::collections::BTreeSet<(u32, u32)> =
+            g.edges().map(|(u, v)| key(u, v)).collect();
+        let updates: Vec<EdgeUpdate> = raw
+            .iter()
+            .map(|(ui, vi, ins)| {
+                let u = ui.index(n) as u32;
+                let mut v = vi.index(n) as u32;
+                if v == u {
+                    v = (v + 1) % n as u32;
+                }
+                if *ins { EdgeUpdate::Insert(u, v) } else { EdgeUpdate::Delete(u, v) }
+            })
+            .collect();
+        let mut dg = DynamicGraph::from_graph(&g).with_compact_threshold(6);
+        let mut splits: Vec<usize> = cuts.iter().map(|c| c.index(updates.len() + 1)).collect();
+        splits.push(updates.len());
+        splits.sort_unstable();
+        let mut start = 0;
+        for end in splits {
+            dg.apply(&updates[start..end]).expect("stream has no self-loops");
+            for up in &updates[start..end] {
+                match *up {
+                    EdgeUpdate::Insert(u, v) => {
+                        mirror.insert(key(u, v));
+                    }
+                    EdgeUpdate::Delete(u, v) => {
+                        mirror.remove(&key(u, v));
+                    }
+                }
+            }
+            start = end;
+        }
+        dg.compact();
+        prop_assert_eq!(dg.pending(), 0);
+        let final_edges: Vec<(u32, u32)> = mirror.iter().copied().collect();
+        let rebuilt = Graph::from_edges(n, g.directed(), &final_edges);
+        prop_assert_eq!(dg.base().to_csr(), rebuilt.to_csr(), "CSR diverged from rebuild");
+        prop_assert_eq!(dg.base().to_csc(), rebuilt.to_csc(), "CSC diverged from rebuild");
+        prop_assert_eq!(
+            dg.fingerprint(),
+            DynamicGraph::from_graph(&rebuilt).fingerprint(),
+            "content fingerprint diverged from rebuild"
+        );
+    }
+
+    /// A batch containing a self-loop is rejected atomically: no log
+    /// entry, no membership change, no fingerprint drift — even when
+    /// valid updates precede the bad one.
+    #[test]
+    fn dynamic_self_loop_batches_reject_atomically(
+        g in arb_graph(),
+        ui in any::<prop::sample::Index>(),
+        vi in any::<prop::sample::Index>(),
+    ) {
+        let n = g.n();
+        let u = ui.index(n) as u32;
+        let mut v = vi.index(n) as u32;
+        if v == u {
+            v = (v + 1) % n as u32;
+        }
+        let mut dg = DynamicGraph::from_graph(&g);
+        let fp = dg.fingerprint();
+        let batch = [EdgeUpdate::Insert(u, v), EdgeUpdate::Insert(v, v)];
+        prop_assert!(dg.apply(&batch).is_err(), "self-loop must be rejected");
+        prop_assert_eq!(dg.pending(), 0, "rejected batch must leave no log entries");
+        prop_assert_eq!(dg.fingerprint(), fp, "rejected batch must not move the fingerprint");
     }
 
     #[test]
