@@ -9,6 +9,7 @@ pub mod dispatch;
 pub mod dynamic;
 pub mod figures;
 pub mod prep;
+pub mod serve;
 pub mod tables;
 
 use turbobc_graph::families::Scale;
@@ -54,6 +55,7 @@ pub const ALL: &[&str] = &[
     "prep",
     "dispatch",
     "dynamic",
+    "serve",
 ];
 
 /// Runs one experiment by id.
@@ -76,6 +78,7 @@ pub fn run(id: &str, cfg: Config) -> Option<String> {
         "prep" => prep::run(cfg),
         "dispatch" => dispatch::run(cfg),
         "dynamic" => dynamic::run(cfg),
+        "serve" => serve::run(cfg),
         _ => return None,
     })
 }

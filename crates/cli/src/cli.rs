@@ -2,9 +2,11 @@
 //! drive it without spawning a process).
 
 use std::fmt::Write as _;
+use turbobc::observe::json::Json;
 use turbobc::prelude::*;
 use turbobc_graph::families::{self, Scale};
 use turbobc_graph::{bfs, io, Graph, GraphStats};
+use turbobc_serve::{Client, GraphSource, Request, ServeConfig, Server};
 use turbobc_simt::{Device, FaultPlan};
 
 /// Thin oracle wrapper (kept here so the CLI crate's only oracle
@@ -36,6 +38,14 @@ usage:
   turbobc gen     <family> [--scale tiny|small|medium|large] [-o FILE]
   turbobc convert <file> [--format mtx|edges] [--directed] -o FILE
   turbobc pagerank <file> [--format mtx|edges] [--directed] [--top N]
+  turbobc serve   [--addr HOST:PORT] [--workers N] [--cache-mb MB]
+                  [--checkpoint-dir DIR] [--smoke]
+  turbobc query   <kind> [args] [--addr HOST:PORT]
+                  kinds: load NAME FILE|FAMILY [--family] [--scale S]
+                         [--directed] [--warm]
+                  | unload NAME | full NAME | topk NAME K
+                  | vertex NAME V | subset NAME S1 S2 ...
+                  | update NAME +U:V|-U:V ... | status | metrics
   turbobc selftest  (quick oracle-equivalence acceptance run)
   turbobc list    (catalogued graph families)
 
@@ -57,9 +67,8 @@ fn parse(args: &[String]) -> Result<Parsed, String> {
         if let Some(name) = a.strip_prefix("--") {
             let value = match name {
                 // boolean flags
-                "directed" | "exact" | "sequential" | "resume" | "simt" | "profile-summary" => {
-                    "true".to_string()
-                }
+                "directed" | "exact" | "sequential" | "resume" | "simt" | "profile-summary"
+                | "warm" | "family" | "smoke" => "true".to_string(),
                 _ => it
                     .next()
                     .ok_or_else(|| format!("--{name} needs a value"))?
@@ -631,6 +640,8 @@ pub fn run(args: &[String]) -> Result<String, String> {
                 Err(format!("{failures} selftest checks FAILED\n{out}"))
             }
         }
+        "serve" => run_serve(&p),
+        "query" => run_query(&p),
         "list" => {
             let mut out = String::from("catalogued families (paper table in parens):\n");
             for row in families::all_rows() {
@@ -644,6 +655,189 @@ pub fn run(args: &[String]) -> Result<String, String> {
         }
         other => Err(format!("unknown command `{other}`")),
     }
+}
+
+/// `turbobc serve`: bind the BC query server and run the accept loop
+/// (`--smoke` instead runs a self-contained client/server round trip
+/// and exits — the CI smoke test).
+fn run_serve(p: &Parsed) -> Result<String, String> {
+    let mut config = ServeConfig::default();
+    if let Some(addr) = p.flags.get("addr") {
+        config.addr = addr.clone();
+    }
+    if let Some(w) = p.flags.get("workers") {
+        config.workers = w
+            .parse::<usize>()
+            .ok()
+            .filter(|&w| w >= 1)
+            .ok_or_else(|| format!("bad worker count `{w}`"))?;
+    }
+    if let Some(mb) = p.flags.get("cache-mb") {
+        let mb: u64 = mb.parse().map_err(|_| format!("bad cache budget `{mb}`"))?;
+        config.cache_bytes = mb << 20;
+    }
+    if let Some(dir) = p.flags.get("checkpoint-dir") {
+        config.checkpoint_dir = Some(dir.into());
+    }
+    let workers = config.workers;
+    let server = Server::bind(config).map_err(|e| e.to_string())?;
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    if p.flags.contains_key("smoke") {
+        return smoke_test(server, workers);
+    }
+    eprintln!("turbobc serve: listening on {addr} with {workers} worker(s)");
+    server.run().map_err(|e| e.to_string())?;
+    Ok(format!("serve: {addr} shut down cleanly\n"))
+}
+
+/// One end-to-end round trip against an in-process server: load a
+/// 5-path, rank it, and read the counters back.
+fn smoke_test(server: Server, workers: usize) -> Result<String, String> {
+    let handle = server.spawn().map_err(|e| e.to_string())?;
+    let mut out = format!(
+        "smoke: serving on {} with {workers} worker(s)\n",
+        handle.addr()
+    );
+    let verdict = (|| -> Result<(), String> {
+        let mut client = Client::connect(handle.addr()).map_err(|e| e.to_string())?;
+        client.request(Request::Load {
+            graph: "smoke".into(),
+            source: GraphSource::Inline {
+                n: 5,
+                directed: false,
+                edges: vec![(0, 1), (1, 2), (2, 3), (3, 4)],
+            },
+            warm: false,
+        })?;
+        let top = client.request(Request::BcTopK {
+            graph: "smoke".into(),
+            k: 1,
+        })?;
+        let best = top
+            .get("top")
+            .and_then(Json::as_arr)
+            .and_then(|t| t.first())
+            .and_then(Json::as_arr)
+            .and_then(|pair| pair.first())
+            .and_then(Json::as_f64);
+        if best != Some(2.0) {
+            return Err(format!("expected path midpoint 2 on top, got {top:?}"));
+        }
+        let status = client.request(Request::Status)?;
+        let graphs = status
+            .get("graphs")
+            .and_then(Json::as_arr)
+            .map_or(0, <[_]>::len);
+        let _ = writeln!(out, "smoke: bc_topk ranks the path midpoint first");
+        let _ = writeln!(out, "smoke: status reports {graphs} graph(s) loaded");
+        Ok(())
+    })();
+    handle.shutdown();
+    verdict?;
+    out.push_str("smoke: ok\n");
+    Ok(out)
+}
+
+/// `turbobc query`: one request against a running server, response
+/// printed as JSON.
+fn run_query(p: &Parsed) -> Result<String, String> {
+    let addr = p
+        .flags
+        .get("addr")
+        .map(String::as_str)
+        .unwrap_or("127.0.0.1:7700");
+    let kind = p.positional.first().ok_or("query needs a kind")?.as_str();
+    let arg = |i: usize, what: &str| -> Result<String, String> {
+        p.positional
+            .get(i)
+            .cloned()
+            .ok_or_else(|| format!("query {kind} needs {what}"))
+    };
+    let request = match kind {
+        "load" => {
+            let graph = arg(1, "a graph name")?;
+            let target = arg(2, "a file path or family name")?;
+            let source = if p.flags.contains_key("family") {
+                GraphSource::Family {
+                    family: target,
+                    scale: p
+                        .flags
+                        .get("scale")
+                        .cloned()
+                        .unwrap_or_else(|| "tiny".to_string()),
+                }
+            } else {
+                GraphSource::Path {
+                    path: target,
+                    directed: p.flags.contains_key("directed"),
+                }
+            };
+            Request::Load {
+                graph,
+                source,
+                warm: p.flags.contains_key("warm"),
+            }
+        }
+        "unload" => Request::Unload {
+            graph: arg(1, "a graph name")?,
+        },
+        "full" => Request::BcFull {
+            graph: arg(1, "a graph name")?,
+        },
+        "topk" => Request::BcTopK {
+            graph: arg(1, "a graph name")?,
+            k: arg(2, "K")?.parse().map_err(|_| "bad K".to_string())?,
+        },
+        "vertex" => Request::BcVertex {
+            graph: arg(1, "a graph name")?,
+            vertex: arg(2, "a vertex id")?
+                .parse()
+                .map_err(|_| "bad vertex id".to_string())?,
+        },
+        "subset" => {
+            let graph = arg(1, "a graph name")?;
+            let sources = p.positional[2..]
+                .iter()
+                .map(|s| s.parse::<u32>().map_err(|_| format!("bad source `{s}`")))
+                .collect::<Result<Vec<u32>, String>>()?;
+            Request::BcSubset { graph, sources }
+        }
+        "update" => {
+            let graph = arg(1, "a graph name")?;
+            let updates = p.positional[2..]
+                .iter()
+                .map(|tok| parse_update_token(tok))
+                .collect::<Result<Vec<EdgeUpdate>, String>>()?;
+            if updates.is_empty() {
+                return Err("query update needs edge ops like +0:4 or -0:4".to_string());
+            }
+            Request::Update { graph, updates }
+        }
+        "status" => Request::Status,
+        "metrics" => Request::Metrics,
+        other => return Err(format!("unknown query kind `{other}`")),
+    };
+    let mut client = Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let doc = client.request(request)?;
+    Ok(format!("{}\n", doc.pretty()))
+}
+
+/// `+U:V` inserts the edge, `-U:V` deletes it.
+fn parse_update_token(tok: &str) -> Result<EdgeUpdate, String> {
+    let bad = || format!("bad edge op `{tok}` (want +U:V or -U:V)");
+    let (insert, rest) = match (tok.strip_prefix('+'), tok.strip_prefix('-')) {
+        (Some(rest), _) => (true, rest),
+        (_, Some(rest)) => (false, rest),
+        _ => return Err(bad()),
+    };
+    let (u, v) = rest.split_once(':').ok_or_else(bad)?;
+    let u: u32 = u.parse().map_err(|_| bad())?;
+    let v: u32 = v.parse().map_err(|_| bad())?;
+    Ok(if insert {
+        EdgeUpdate::Insert(u, v)
+    } else {
+        EdgeUpdate::Delete(u, v)
+    })
 }
 
 #[cfg(test)]
@@ -1046,6 +1240,53 @@ mod tests {
         ]))
         .unwrap();
         assert!(out.contains("updates: 2 batch(es)"), "{out}");
+    }
+
+    #[test]
+    fn serve_smoke_round_trips_in_process() {
+        let out = run(&args(&["serve", "--addr", "127.0.0.1:0", "--smoke"])).unwrap();
+        assert!(out.contains("smoke: ok"), "{out}");
+        assert!(out.contains("1 graph(s) loaded"), "{out}");
+        assert!(run(&args(&["serve", "--workers", "0"])).is_err());
+        assert!(run(&args(&["serve", "--cache-mb", "lots"])).is_err());
+    }
+
+    #[test]
+    fn query_drives_a_live_server() {
+        let mtx = temp("served.mtx");
+        run(&args(&["gen", "smallworld", "-o", mtx.to_str().unwrap()])).unwrap();
+        let handle = Server::bind(ServeConfig::default())
+            .unwrap()
+            .spawn()
+            .unwrap();
+        let addr = handle.addr().to_string();
+        let q = |rest: &[&str]| {
+            let mut a = args(&["query"]);
+            a.extend(rest.iter().map(|s| s.to_string()));
+            a.extend(args(&["--addr", &addr]));
+            run(&a)
+        };
+        let loaded = q(&["load", "g", mtx.to_str().unwrap()]).unwrap();
+        assert!(loaded.contains("\"fingerprint\""), "{loaded}");
+        let top = q(&["topk", "g", "3"]).unwrap();
+        assert!(top.contains("\"top\""), "{top}");
+        let fam = q(&["load", "f", "smallworld", "--family", "--scale", "tiny"]).unwrap();
+        assert!(fam.contains("\"n\""), "{fam}");
+        let sub = q(&["subset", "g", "0", "7", "19"]).unwrap();
+        assert!(sub.contains("\"bc\""), "{sub}");
+        let upd = q(&["update", "g", "+0:40", "-0:40"]).unwrap();
+        assert!(upd.contains("\"inserts\""), "{upd}");
+        let status = q(&["status", "--addr", &addr]).unwrap();
+        assert!(status.contains("\"graphs\""), "{status}");
+        let metrics = q(&["metrics"]).unwrap();
+        assert!(metrics.contains("turbobc-profile-v1"), "{metrics}");
+        let err = q(&["full", "ghost"]).unwrap_err();
+        assert!(err.contains("no such graph"), "{err}");
+        assert!(q(&["update", "g", "0:4"]).is_err());
+        assert!(q(&["update", "g"]).is_err());
+        assert!(q(&["bogus-kind"]).is_err());
+        handle.shutdown();
+        assert!(run(&args(&["query", "status", "--addr", &addr])).is_err());
     }
 
     #[test]

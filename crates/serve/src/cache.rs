@@ -1,0 +1,307 @@
+//! The fingerprint-keyed result cache.
+//!
+//! Entries are finished response payloads keyed by
+//! `(graph fingerprint, options fingerprint)`: the graph half is
+//! [`turbobc::graph_fingerprint`] (content-based, so two loads of the
+//! same topology share entries and an update batch re-keys exactly the
+//! touched graph), the options half is an FNV-1a digest of the query
+//! kind and its parameters. Eviction is LRU under a byte budget;
+//! invalidation removes every entry of one graph fingerprint.
+
+use std::collections::HashMap;
+
+use turbobc::observe::json::Json;
+
+/// FNV-1a over a word list — the same digest
+/// `turbobc::dynamic` keys its caches with.
+pub fn fnv(words: &[u64]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &x in words {
+        for b in x.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Digest of a query's kind + parameters: the options half of a cache
+/// key. Kind tags keep distinct query shapes from colliding even when
+/// their parameter words agree.
+pub fn options_fingerprint(kind: &str, params: &[u64]) -> u64 {
+    let mut words: Vec<u64> = kind.bytes().map(u64::from).collect();
+    words.push(0xff); // kind/params separator
+    words.extend_from_slice(params);
+    fnv(&words)
+}
+
+/// A cached response payload: the `ok_line` fields minus the
+/// transport envelope, shared so replays are allocation-free.
+pub type CachedFields = std::sync::Arc<Vec<(String, Json)>>;
+
+struct Entry {
+    graph_fp: u64,
+    fields: CachedFields,
+    bytes: u64,
+    last_used: u64,
+}
+
+/// Aggregate cache counters, snapshot for `status`/`metrics`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that returned an entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries dropped by LRU pressure.
+    pub evictions: u64,
+    /// Entries dropped by update/unload invalidation.
+    pub invalidations: u64,
+    /// Live entries.
+    pub entries: usize,
+    /// Live payload bytes (estimated serialized size).
+    pub bytes: u64,
+    /// The byte budget.
+    pub budget: u64,
+}
+
+impl CacheStats {
+    /// `hits / (hits + misses)`, or 0 when nothing was looked up.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// LRU result cache keyed by `(graph_fp, options_fp)` under a byte
+/// budget.
+pub struct ResultCache {
+    map: HashMap<(u64, u64), Entry>,
+    budget: u64,
+    bytes: u64,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    invalidations: u64,
+}
+
+impl ResultCache {
+    /// An empty cache with the given payload byte budget.
+    pub fn new(budget_bytes: u64) -> Self {
+        ResultCache {
+            map: HashMap::new(),
+            budget: budget_bytes,
+            bytes: 0,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+            invalidations: 0,
+        }
+    }
+
+    /// Looks up a key, bumping its recency on hit. Counts the lookup
+    /// either way.
+    pub fn get(&mut self, graph_fp: u64, options_fp: u64) -> Option<CachedFields> {
+        self.tick += 1;
+        match self.map.get_mut(&(graph_fp, options_fp)) {
+            Some(entry) => {
+                entry.last_used = self.tick;
+                self.hits += 1;
+                Some(entry.fields.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts (or replaces) an entry, then evicts least-recently-used
+    /// entries until the budget holds again. A payload bigger than the
+    /// whole budget is not admitted at all — caching it would just
+    /// evict everything else and then itself on the next insert.
+    pub fn insert(&mut self, graph_fp: u64, options_fp: u64, fields: CachedFields) {
+        let bytes = fields
+            .iter()
+            .map(|(k, v)| k.len() as u64 + approx_bytes(v))
+            .sum::<u64>();
+        if bytes > self.budget {
+            return;
+        }
+        self.tick += 1;
+        if let Some(old) = self.map.insert(
+            (graph_fp, options_fp),
+            Entry {
+                graph_fp,
+                fields,
+                bytes,
+                last_used: self.tick,
+            },
+        ) {
+            self.bytes -= old.bytes;
+        }
+        self.bytes += bytes;
+        while self.bytes > self.budget {
+            let victim = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(&k, _)| k);
+            match victim {
+                Some(key) => {
+                    let evicted = self.map.remove(&key).expect("victim came from the map");
+                    self.bytes -= evicted.bytes;
+                    self.evictions += 1;
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Drops every entry of one graph fingerprint (an update batch or
+    /// unload re-keyed/retired that content). Returns how many went.
+    pub fn invalidate_graph(&mut self, graph_fp: u64) -> usize {
+        let before = self.map.len();
+        let mut freed = 0;
+        self.map.retain(|_, e| {
+            if e.graph_fp == graph_fp {
+                freed += e.bytes;
+                false
+            } else {
+                true
+            }
+        });
+        self.bytes -= freed;
+        let dropped = before - self.map.len();
+        self.invalidations += dropped as u64;
+        dropped
+    }
+
+    /// The live counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            invalidations: self.invalidations,
+            entries: self.map.len(),
+            bytes: self.bytes,
+            budget: self.budget,
+        }
+    }
+}
+
+/// Serialized-size estimate of one JSON payload value, without
+/// serializing: numbers count as their decimal width (bounded by 24),
+/// strings as their escaped length, containers as their punctuation
+/// plus contents.
+fn approx_bytes(v: &Json) -> u64 {
+    match v {
+        Json::Null => 4,
+        Json::Bool(_) => 5,
+        Json::Num(_) => 24,
+        Json::Str(s) => s.len() as u64 + 2,
+        Json::Arr(items) => 2 + items.iter().map(approx_bytes).sum::<u64>() + items.len() as u64,
+        Json::Obj(fields) => {
+            2 + fields
+                .iter()
+                .map(|(k, v)| k.len() as u64 + 4 + approx_bytes(v))
+                .sum::<u64>()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn payload(tag: u32, floats: usize) -> CachedFields {
+        Arc::new(vec![
+            ("tag".into(), tag.into()),
+            (
+                "bc".into(),
+                Json::Arr((0..floats).map(|i| (i as f64 * 0.5).into()).collect()),
+            ),
+        ])
+    }
+
+    #[test]
+    fn hit_returns_the_stored_payload_and_counts() {
+        let mut cache = ResultCache::new(1 << 20);
+        assert!(cache.get(1, 2).is_none());
+        cache.insert(1, 2, payload(7, 4));
+        let hit = cache.get(1, 2).expect("second lookup hits");
+        assert_eq!(hit[0].1.as_f64(), Some(7.0));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert!(stats.hit_rate() > 0.49 && stats.hit_rate() < 0.51);
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_entry_under_a_byte_budget() {
+        // Each payload estimates to 131 bytes; the budget fits two.
+        let mut cache = ResultCache::new(280);
+        cache.insert(1, 1, payload(1, 4));
+        cache.insert(1, 2, payload(2, 4));
+        assert_eq!(cache.stats().entries, 2);
+        cache.get(1, 1); // warm the older entry: (1, 2) is now coldest
+        cache.insert(1, 3, payload(3, 4));
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.evictions, 1);
+        assert!(cache.get(1, 1).is_some(), "recently-used entry survives");
+        assert!(cache.get(1, 2).is_none(), "coldest entry was evicted");
+        assert!(cache.get(1, 3).is_some());
+        assert!(stats.bytes <= stats.budget);
+    }
+
+    #[test]
+    fn oversized_payloads_are_not_admitted() {
+        let mut cache = ResultCache::new(64);
+        cache.insert(1, 1, payload(1, 100));
+        assert_eq!(cache.stats().entries, 0);
+        assert_eq!(cache.stats().evictions, 0);
+    }
+
+    #[test]
+    fn invalidation_removes_exactly_one_graphs_entries() {
+        let mut cache = ResultCache::new(1 << 20);
+        cache.insert(10, 1, payload(1, 2));
+        cache.insert(10, 2, payload(2, 2));
+        cache.insert(20, 1, payload(3, 2));
+        assert_eq!(cache.invalidate_graph(10), 2);
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.invalidations, 2);
+        assert!(cache.get(20, 1).is_some(), "other graph is untouched");
+        assert!(cache.get(10, 1).is_none());
+    }
+
+    #[test]
+    fn options_fingerprint_separates_kinds_and_params() {
+        let full = options_fingerprint("bc_full", &[]);
+        let topk_5 = options_fingerprint("bc_topk", &[5]);
+        let topk_6 = options_fingerprint("bc_topk", &[6]);
+        let vertex_5 = options_fingerprint("bc_vertex", &[5]);
+        assert_ne!(full, topk_5);
+        assert_ne!(topk_5, topk_6);
+        assert_ne!(topk_5, vertex_5, "kind tag must separate same params");
+    }
+
+    #[test]
+    fn replacing_an_entry_keeps_byte_accounting_consistent() {
+        let mut cache = ResultCache::new(1 << 20);
+        cache.insert(1, 1, payload(1, 100));
+        let first = cache.stats().bytes;
+        cache.insert(1, 1, payload(1, 2));
+        assert!(cache.stats().bytes < first);
+        assert_eq!(cache.stats().entries, 1);
+    }
+}

@@ -1,0 +1,66 @@
+//! A minimal blocking client for the line-delimited protocol: one
+//! request line out, one response line back, in order. Used by the
+//! `turbobc query` CLI, the benches and the smoke tests.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use turbobc::observe::json::{parse, Json};
+
+use crate::protocol::{Envelope, Request};
+
+/// One connection to a serve instance.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: stream,
+        })
+    }
+
+    /// Sends one raw request line and returns the raw response line.
+    pub fn round_trip_line(&mut self, line: &str) -> Result<String, String> {
+        self.writer
+            .write_all(line.as_bytes())
+            .and_then(|()| self.writer.write_all(b"\n"))
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| format!("send failed: {e}"))?;
+        let mut response = String::new();
+        let read = self
+            .reader
+            .read_line(&mut response)
+            .map_err(|e| format!("receive failed: {e}"))?;
+        if read == 0 {
+            return Err("server closed the connection".into());
+        }
+        Ok(response.trim_end().to_string())
+    }
+
+    /// Sends an envelope and parses the response document.
+    pub fn send(&mut self, envelope: &Envelope) -> Result<Json, String> {
+        let response = self.round_trip_line(&envelope.to_line())?;
+        parse(&response)
+    }
+
+    /// Sends a request (no id) and returns the response payload if the
+    /// server answered `ok: true`, the error message otherwise.
+    pub fn request(&mut self, request: Request) -> Result<Json, String> {
+        let doc = self.send(&Envelope::new(request))?;
+        match doc.get("ok").and_then(Json::as_bool) {
+            Some(true) => Ok(doc),
+            _ => Err(doc
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap_or("malformed response")
+                .to_string()),
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! **BC-as-a-service**: a long-running TCP query server over the
+//! TurboBC solver stack.
+//!
+//! The paper's engines answer one run at a time; this crate puts a
+//! service in front of them for the "many queries, evolving graphs"
+//! regime:
+//!
+//! * [`protocol`] — a line-delimited JSON wire protocol (request kinds
+//!   `load`/`unload`/`bc_full`/`bc_topk`/`bc_vertex`/`bc_subset`/
+//!   `update`/`status`/`metrics`) over the workspace's hand-rolled
+//!   JSON dialect; no serialization dependency.
+//! * [`scheduler`] — queries decompose into the batched engine's
+//!   source blocks and shard across a hand-rolled worker pool; each
+//!   shard runs through [`turbobc::BcSolver::plan`]/`execute`, so
+//!   cost-model dispatch picks every shard's executor. Long jobs are
+//!   cancellable and preemptible via the checkpoint layer.
+//! * [`cache`] — finished responses are cached under
+//!   `(graph fingerprint, options fingerprint)` with LRU eviction
+//!   under a byte budget; `update` batches invalidate exactly the
+//!   touched graph's entries (and a warm [`turbobc::DynamicBc`]
+//!   session re-primes `bc_full` incrementally).
+//! * [`metrics`] — everything the server does folds into a live
+//!   [`turbobc::observe::RunProfile`], streamed by the `metrics`
+//!   request as `turbobc-profile-v1` JSON.
+//!
+//! # Quick start
+//!
+//! ```
+//! use turbobc_serve::{Client, GraphSource, Request, ServeConfig, Server};
+//!
+//! let handle = Server::bind(ServeConfig::default())?.spawn()?;
+//! let mut client = Client::connect(handle.addr()).unwrap();
+//! client
+//!     .request(Request::Load {
+//!         graph: "path".into(),
+//!         source: GraphSource::Inline {
+//!             n: 5,
+//!             directed: false,
+//!             edges: vec![(0, 1), (1, 2), (2, 3), (3, 4)],
+//!         },
+//!         warm: false,
+//!     })
+//!     .unwrap();
+//! let reply = client.request(Request::BcTopK { graph: "path".into(), k: 1 }).unwrap();
+//! let top = reply.get("top").and_then(|t| t.as_arr()).unwrap();
+//! assert_eq!(top[0].as_arr().unwrap()[0].as_f64(), Some(2.0));
+//! handle.shutdown();
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod metrics;
+pub mod protocol;
+pub mod scheduler;
+pub mod server;
+
+pub use cache::{options_fingerprint, CacheStats, ResultCache};
+pub use client::Client;
+pub use metrics::MetricsHub;
+pub use protocol::{Envelope, GraphSource, Request};
+pub use scheduler::{CheckpointSpec, Job, JobOutput, Scheduler};
+pub use server::{ServeConfig, Server, ServerHandle};

@@ -1,0 +1,249 @@
+//! Live server metrics, exported in the `turbobc-profile-v1` schema.
+//!
+//! The hub folds every handled request, executed job and applied
+//! update batch into one evolving [`RunProfile`] (engine `"serve"`):
+//! shard executions land as block-granularity [`DispatchTrace`]s,
+//! update batches as [`UpdateTrace`]s, and the trace arrays are capped
+//! so a long-lived server's metrics response stays bounded. The
+//! `metrics` endpoint serialises the profile with
+//! [`RunProfile::to_json`], so it validates against the same schema
+//! as every other profile producer in the workspace.
+
+use std::time::Instant;
+
+use turbobc::observe::json::Json;
+use turbobc::observe::{DispatchTrace, RunProfile, UpdateTrace};
+
+use crate::protocol::Request;
+use crate::scheduler::JobOutput;
+
+/// Cap on each stored trace array; the newest entries win.
+const TRACE_CAP: usize = 256;
+/// Cap on the per-request latency reservoir.
+const LATENCY_CAP: usize = 65_536;
+
+#[derive(Default)]
+struct HubState {
+    requests: Vec<u64>,
+    errors: u64,
+    jobs: u64,
+    blocks: u64,
+    resumed_blocks: u64,
+    sources: u64,
+    cached_responses: u64,
+    latencies_s: Vec<f64>,
+    dispatch: Vec<DispatchTrace>,
+    updates: Vec<UpdateTrace>,
+    last_kernel: String,
+    last_n: usize,
+    last_m: usize,
+}
+
+/// The server's metrics aggregator. One per server, shared by every
+/// connection thread.
+pub struct MetricsHub {
+    started: Instant,
+    state: std::sync::Mutex<HubState>,
+}
+
+impl Default for MetricsHub {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetricsHub {
+    /// An empty hub; the uptime clock starts now.
+    pub fn new() -> Self {
+        MetricsHub {
+            started: Instant::now(),
+            state: std::sync::Mutex::new(HubState {
+                requests: vec![0; Request::KINDS.len()],
+                ..Default::default()
+            }),
+        }
+    }
+
+    /// Server uptime in seconds.
+    pub fn uptime_s(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    /// Counts one handled request of `kind` with its wall-clock
+    /// latency; `ok` distinguishes error responses.
+    pub fn record_request(&self, kind: &str, ok: bool, latency_s: f64) {
+        let mut state = self.state.lock().expect("metrics hub");
+        if let Some(i) = Request::KINDS.iter().position(|&k| k == kind) {
+            state.requests[i] += 1;
+        }
+        if !ok {
+            state.errors += 1;
+        }
+        if state.latencies_s.len() < LATENCY_CAP {
+            state.latencies_s.push(latency_s);
+        }
+    }
+
+    /// Counts one response served straight from the result cache.
+    pub fn record_cache_hit(&self) {
+        self.state.lock().expect("metrics hub").cached_responses += 1;
+    }
+
+    /// Folds one executed job into the profile: shard traces become
+    /// block-granularity dispatch entries.
+    pub fn record_job(&self, out: &JobOutput, n: usize, m: usize, kernel: &str, sources: usize) {
+        let mut state = self.state.lock().expect("metrics hub");
+        state.jobs += 1;
+        state.blocks += out.blocks_executed as u64;
+        state.resumed_blocks += out.blocks_resumed as u64;
+        state.sources += sources as u64;
+        state.last_kernel = kernel.to_string();
+        state.last_n = n;
+        state.last_m = m;
+        for shard in &out.shards {
+            if state.dispatch.len() >= TRACE_CAP {
+                state.dispatch.remove(0);
+            }
+            state.dispatch.push(DispatchTrace {
+                granularity: "block".into(),
+                executor: shard
+                    .executors
+                    .first()
+                    .cloned()
+                    .unwrap_or_else(|| "unknown".into()),
+                source: shard.first_source,
+                depth: 0,
+                frontier: shard.len,
+                reason: shard.reason.clone(),
+                t_s: shard.t_s,
+            });
+        }
+    }
+
+    /// Folds one applied update batch into the profile.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_update(
+        &self,
+        inserts: usize,
+        deletes: usize,
+        dirty_blocks: usize,
+        total_blocks: usize,
+        strategy: &str,
+        t_s: f64,
+    ) {
+        let mut state = self.state.lock().expect("metrics hub");
+        if state.updates.len() >= TRACE_CAP {
+            state.updates.remove(0);
+        }
+        state.updates.push(UpdateTrace {
+            inserts,
+            deletes,
+            dirty_blocks,
+            total_blocks,
+            strategy: strategy.to_string(),
+            t_s,
+        });
+    }
+
+    /// The live profile: a valid `turbobc-profile-v1` document when
+    /// serialised with [`RunProfile::to_json`].
+    pub fn profile(&self) -> RunProfile {
+        let state = self.state.lock().expect("metrics hub");
+        let mut profile = RunProfile {
+            engine: "serve".into(),
+            kernel: if state.last_kernel.is_empty() {
+                "auto".into()
+            } else {
+                state.last_kernel.clone()
+            },
+            n: state.last_n,
+            m: state.last_m,
+            sources: state.sources as usize,
+            attempts: 1,
+            elapsed_s: self.uptime_s(),
+            ..RunProfile::default()
+        };
+        profile.dispatch = state.dispatch.clone();
+        profile.updates = state.updates.clone();
+        profile
+    }
+
+    /// Request counters and latency percentiles as a JSON object for
+    /// the `metrics` response, alongside the profile.
+    pub fn counters(&self) -> Json {
+        let state = self.state.lock().expect("metrics hub");
+        let kinds = Request::KINDS
+            .iter()
+            .zip(&state.requests)
+            .map(|(&k, &c)| (k.to_string(), c.into()))
+            .collect();
+        let mut sorted = state.latencies_s.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        Json::Obj(vec![
+            ("requests".into(), Json::Obj(kinds)),
+            ("errors".into(), state.errors.into()),
+            ("jobs".into(), state.jobs.into()),
+            ("blocks_executed".into(), state.blocks.into()),
+            ("blocks_resumed".into(), state.resumed_blocks.into()),
+            ("sources_executed".into(), state.sources.into()),
+            ("cached_responses".into(), state.cached_responses.into()),
+            ("latency_p50_s".into(), percentile(&sorted, 0.50).into()),
+            ("latency_p90_s".into(), percentile(&sorted, 0.90).into()),
+            ("latency_p99_s".into(), percentile(&sorted, 0.99).into()),
+        ])
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample; 0 when
+/// empty.
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted.len() as f64) * q).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use turbobc::observe::RunProfile;
+
+    #[test]
+    fn profile_validates_against_the_schema() {
+        let hub = MetricsHub::new();
+        hub.record_request("bc_full", true, 0.01);
+        hub.record_update(1, 0, 2, 4, "incremental", 0.002);
+        let text = hub.profile().to_json_string();
+        let doc = RunProfile::validate(&text).expect("serve profile must validate");
+        assert_eq!(
+            doc.get("engine").and_then(Json::as_str),
+            Some("serve"),
+            "engine tag"
+        );
+    }
+
+    #[test]
+    fn counters_track_kinds_and_percentiles() {
+        let hub = MetricsHub::new();
+        for i in 0..100 {
+            hub.record_request("status", true, (i + 1) as f64 / 1000.0);
+        }
+        hub.record_request("bogus_kind", false, 0.5);
+        let c = hub.counters();
+        let reqs = c.get("requests").expect("requests object");
+        assert_eq!(reqs.get("status").and_then(Json::as_f64), Some(100.0));
+        assert_eq!(c.get("errors").and_then(Json::as_f64), Some(1.0));
+        let p50 = c.get("latency_p50_s").and_then(Json::as_f64).unwrap();
+        // 101 samples: the 0.5 outlier shifts nearest-rank p50 to 51ms.
+        assert!((0.045..=0.06).contains(&p50), "p50 = {p50}");
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&xs, 0.5), 2.0);
+        assert_eq!(percentile(&xs, 0.99), 4.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+}

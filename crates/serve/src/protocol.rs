@@ -1,0 +1,587 @@
+//! The wire protocol: line-delimited JSON over TCP.
+//!
+//! One request per line, one response line per request, in order.
+//! Both sides speak the hand-rolled [`Json`] dialect of
+//! `turbobc::observe::json` — the service adds a *compact* writer
+//! (one line, no indentation) because the transport is line-framed.
+//!
+//! # Grammar
+//!
+//! ```text
+//! request  = "{" '"id"': string? , '"kind"': kind , fields "}" "\n"
+//! kind     = "load" | "unload" | "bc_full" | "bc_topk" | "bc_vertex"
+//!          | "bc_subset" | "update" | "status" | "metrics"
+//! response = "{" '"id"': string? , '"ok"': bool , payload "}" "\n"
+//! ```
+//!
+//! `id` is an opaque client token echoed verbatim in the response.
+//! Numbers are IEEE doubles (the JSON substrate), so 64-bit graph
+//! fingerprints travel as fixed-width hex *strings* — see
+//! [`fingerprint_hex`].
+
+use turbobc::observe::json::{parse, Json};
+use turbobc::EdgeUpdate;
+
+/// Where a `load` request gets its graph from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphSource {
+    /// Read from a file on the *server's* filesystem; `.mtx` is parsed
+    /// as Matrix Market, anything else as a whitespace edge list.
+    Path {
+        /// Server-side path.
+        path: String,
+        /// Whether arcs are one-way.
+        directed: bool,
+    },
+    /// Edges shipped inline in the request.
+    Inline {
+        /// Vertex count.
+        n: usize,
+        /// Whether arcs are one-way.
+        directed: bool,
+        /// The `(u, v)` edge list.
+        edges: Vec<(u32, u32)>,
+    },
+    /// A generated graph family from `turbobc_graph::families`
+    /// (e.g. `smallworld` at scale `tiny`).
+    Family {
+        /// Family name.
+        family: String,
+        /// Scale name: `tiny`/`small`/`medium`/`large`.
+        scale: String,
+    },
+}
+
+/// One parsed request, minus the envelope `id`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Load (or replace) a named graph.
+    Load {
+        /// Server-side graph name.
+        graph: String,
+        /// Where the edges come from.
+        source: GraphSource,
+        /// Warm a full incremental-BC session at load time
+        /// (`DynamicBc`): `bc_full` then answers from the session and
+        /// `update` batches refresh it incrementally.
+        warm: bool,
+    },
+    /// Drop a named graph, cancelling its in-flight jobs and evicting
+    /// its cache entries.
+    Unload {
+        /// Graph name.
+        graph: String,
+    },
+    /// Exact BC over all sources.
+    BcFull {
+        /// Graph name.
+        graph: String,
+    },
+    /// The `k` highest-BC vertices.
+    BcTopK {
+        /// Graph name.
+        graph: String,
+        /// How many vertices to return.
+        k: usize,
+    },
+    /// The exact BC score of one vertex.
+    BcVertex {
+        /// Graph name.
+        graph: String,
+        /// The vertex.
+        vertex: u32,
+    },
+    /// Partial BC restricted to a source subset.
+    BcSubset {
+        /// Graph name.
+        graph: String,
+        /// The sources to traverse from.
+        sources: Vec<u32>,
+    },
+    /// Apply a batch of edge updates.
+    Update {
+        /// Graph name.
+        graph: String,
+        /// The batch, in order.
+        updates: Vec<EdgeUpdate>,
+    },
+    /// Server, graph and cache status.
+    Status,
+    /// The live `turbobc-profile-v1` profile plus request counters.
+    Metrics,
+}
+
+impl Request {
+    /// The wire name of the request kind.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Request::Load { .. } => "load",
+            Request::Unload { .. } => "unload",
+            Request::BcFull { .. } => "bc_full",
+            Request::BcTopK { .. } => "bc_topk",
+            Request::BcVertex { .. } => "bc_vertex",
+            Request::BcSubset { .. } => "bc_subset",
+            Request::Update { .. } => "update",
+            Request::Status => "status",
+            Request::Metrics => "metrics",
+        }
+    }
+
+    /// Every request kind, in wire order (indexes the metrics hub's
+    /// per-kind counters).
+    pub const KINDS: &'static [&'static str] = &[
+        "load",
+        "unload",
+        "bc_full",
+        "bc_topk",
+        "bc_vertex",
+        "bc_subset",
+        "update",
+        "status",
+        "metrics",
+    ];
+}
+
+/// A request plus its client-chosen echo token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope {
+    /// Opaque token echoed in the response, if the client sent one.
+    pub id: Option<String>,
+    /// The request.
+    pub request: Request,
+}
+
+impl Envelope {
+    /// Wraps a request with no id.
+    pub fn new(request: Request) -> Self {
+        Envelope { id: None, request }
+    }
+
+    /// Wraps a request with an echo token.
+    pub fn with_id(id: impl Into<String>, request: Request) -> Self {
+        Envelope {
+            id: Some(id.into()),
+            request,
+        }
+    }
+
+    /// Serialises to one wire line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        let mut fields: Vec<(String, Json)> = Vec::new();
+        if let Some(id) = &self.id {
+            fields.push(("id".into(), Json::Str(id.clone())));
+        }
+        fields.push(("kind".into(), self.request.kind().into()));
+        match &self.request {
+            Request::Load {
+                graph,
+                source,
+                warm,
+            } => {
+                fields.push(("graph".into(), graph.clone().into()));
+                match source {
+                    GraphSource::Path { path, directed } => {
+                        fields.push(("path".into(), path.clone().into()));
+                        fields.push(("directed".into(), (*directed).into()));
+                    }
+                    GraphSource::Inline { n, directed, edges } => {
+                        fields.push(("n".into(), (*n).into()));
+                        fields.push(("directed".into(), (*directed).into()));
+                        let arr = edges
+                            .iter()
+                            .map(|&(u, v)| Json::Arr(vec![u.into(), v.into()]))
+                            .collect();
+                        fields.push(("edges".into(), Json::Arr(arr)));
+                    }
+                    GraphSource::Family { family, scale } => {
+                        fields.push(("family".into(), family.clone().into()));
+                        fields.push(("scale".into(), scale.clone().into()));
+                    }
+                }
+                if *warm {
+                    fields.push(("warm".into(), true.into()));
+                }
+            }
+            Request::Unload { graph } | Request::BcFull { graph } => {
+                fields.push(("graph".into(), graph.clone().into()));
+            }
+            Request::BcTopK { graph, k } => {
+                fields.push(("graph".into(), graph.clone().into()));
+                fields.push(("k".into(), (*k).into()));
+            }
+            Request::BcVertex { graph, vertex } => {
+                fields.push(("graph".into(), graph.clone().into()));
+                fields.push(("vertex".into(), (*vertex).into()));
+            }
+            Request::BcSubset { graph, sources } => {
+                fields.push(("graph".into(), graph.clone().into()));
+                let arr = sources.iter().map(|&s| s.into()).collect();
+                fields.push(("sources".into(), Json::Arr(arr)));
+            }
+            Request::Update { graph, updates } => {
+                fields.push(("graph".into(), graph.clone().into()));
+                let arr = updates
+                    .iter()
+                    .map(|u| {
+                        let (op, (a, b)) = match u {
+                            EdgeUpdate::Insert(a, b) => ("+", (*a, *b)),
+                            EdgeUpdate::Delete(a, b) => ("-", (*a, *b)),
+                        };
+                        Json::Arr(vec![op.into(), a.into(), b.into()])
+                    })
+                    .collect();
+                fields.push(("updates".into(), Json::Arr(arr)));
+            }
+            Request::Status | Request::Metrics => {}
+        }
+        compact(&Json::Obj(fields))
+    }
+
+    /// Parses one wire line.
+    pub fn parse_line(line: &str) -> Result<Envelope, String> {
+        let doc = parse(line)?;
+        let id = match doc.get("id") {
+            None | Some(Json::Null) => None,
+            Some(Json::Str(s)) => Some(s.clone()),
+            Some(Json::Num(x)) => Some(format!("{x}")),
+            Some(_) => return Err("id must be a string or number".into()),
+        };
+        let kind = doc
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or("missing request kind")?;
+        let graph = |key: &str| -> Result<String, String> {
+            doc.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("{kind}: missing \"{key}\""))
+        };
+        let request = match kind {
+            "load" => {
+                let name = graph("graph")?;
+                let directed = doc.get("directed").and_then(Json::as_bool).unwrap_or(false);
+                let warm = doc.get("warm").and_then(Json::as_bool).unwrap_or(false);
+                let source = if let Some(path) = doc.get("path").and_then(Json::as_str) {
+                    GraphSource::Path {
+                        path: path.to_string(),
+                        directed,
+                    }
+                } else if let Some(family) = doc.get("family").and_then(Json::as_str) {
+                    GraphSource::Family {
+                        family: family.to_string(),
+                        scale: doc
+                            .get("scale")
+                            .and_then(Json::as_str)
+                            .unwrap_or("tiny")
+                            .to_string(),
+                    }
+                } else {
+                    let n = get_usize(&doc, "load", "n")?;
+                    let mut edges = Vec::new();
+                    for e in doc
+                        .get("edges")
+                        .and_then(Json::as_arr)
+                        .ok_or("load: inline source needs \"edges\"")?
+                    {
+                        let pair = e.as_arr().ok_or("load: edge must be [u, v]")?;
+                        if pair.len() != 2 {
+                            return Err("load: edge must be [u, v]".into());
+                        }
+                        edges.push((json_u32(&pair[0], "u")?, json_u32(&pair[1], "v")?));
+                    }
+                    GraphSource::Inline { n, directed, edges }
+                };
+                Request::Load {
+                    graph: name,
+                    source,
+                    warm,
+                }
+            }
+            "unload" => Request::Unload {
+                graph: graph("graph")?,
+            },
+            "bc_full" => Request::BcFull {
+                graph: graph("graph")?,
+            },
+            "bc_topk" => Request::BcTopK {
+                graph: graph("graph")?,
+                k: get_usize(&doc, "bc_topk", "k")?,
+            },
+            "bc_vertex" => Request::BcVertex {
+                graph: graph("graph")?,
+                vertex: doc
+                    .get("vertex")
+                    .map(|v| json_u32(v, "vertex"))
+                    .transpose()?
+                    .ok_or("bc_vertex: missing \"vertex\"")?,
+            },
+            "bc_subset" => {
+                let mut sources = Vec::new();
+                for s in doc
+                    .get("sources")
+                    .and_then(Json::as_arr)
+                    .ok_or("bc_subset: missing \"sources\"")?
+                {
+                    sources.push(json_u32(s, "source")?);
+                }
+                Request::BcSubset {
+                    graph: graph("graph")?,
+                    sources,
+                }
+            }
+            "update" => {
+                let mut updates = Vec::new();
+                for u in doc
+                    .get("updates")
+                    .and_then(Json::as_arr)
+                    .ok_or("update: missing \"updates\"")?
+                {
+                    let triple = u.as_arr().ok_or("update: entry must be [op, u, v]")?;
+                    if triple.len() != 3 {
+                        return Err("update: entry must be [op, u, v]".into());
+                    }
+                    let a = json_u32(&triple[1], "u")?;
+                    let b = json_u32(&triple[2], "v")?;
+                    updates.push(match triple[0].as_str() {
+                        Some("+") | Some("insert") => EdgeUpdate::Insert(a, b),
+                        Some("-") | Some("delete") => EdgeUpdate::Delete(a, b),
+                        _ => return Err("update: op must be \"+\"/\"-\"".into()),
+                    });
+                }
+                Request::Update {
+                    graph: graph("graph")?,
+                    updates,
+                }
+            }
+            "status" => Request::Status,
+            "metrics" => Request::Metrics,
+            other => return Err(format!("unknown request kind {other:?}")),
+        };
+        Ok(Envelope { id, request })
+    }
+}
+
+fn get_usize(doc: &Json, kind: &str, key: &str) -> Result<usize, String> {
+    let x = doc
+        .get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("{kind}: missing \"{key}\""))?;
+    if x < 0.0 || x != x.trunc() {
+        return Err(format!("{kind}: \"{key}\" must be a non-negative integer"));
+    }
+    Ok(x as usize)
+}
+
+fn json_u32(v: &Json, what: &str) -> Result<u32, String> {
+    match v.as_f64() {
+        Some(x) if x >= 0.0 && x == x.trunc() && x <= u32::MAX as f64 => Ok(x as u32),
+        _ => Err(format!("{what} must be a u32")),
+    }
+}
+
+/// Builds an `ok: true` response line from payload fields.
+pub fn ok_line(id: Option<&str>, payload: Vec<(String, Json)>) -> String {
+    let mut fields: Vec<(String, Json)> = Vec::new();
+    if let Some(id) = id {
+        fields.push(("id".into(), id.into()));
+    }
+    fields.push(("ok".into(), true.into()));
+    fields.extend(payload);
+    compact(&Json::Obj(fields))
+}
+
+/// Builds an `ok: false` response line carrying an error message.
+pub fn err_line(id: Option<&str>, error: &str) -> String {
+    let mut fields: Vec<(String, Json)> = Vec::new();
+    if let Some(id) = id {
+        fields.push(("id".into(), id.into()));
+    }
+    fields.push(("ok".into(), false.into()));
+    fields.push(("error".into(), error.into()));
+    compact(&Json::Obj(fields))
+}
+
+/// A 64-bit fingerprint as the wire's fixed-width hex string (JSON
+/// numbers are doubles and cannot carry 64 bits losslessly).
+pub fn fingerprint_hex(fp: u64) -> String {
+    format!("{fp:016x}")
+}
+
+/// One-line JSON writer: the same dialect `Json::pretty` writes (same
+/// escaping, same number formatting), minus the layout — the transport
+/// frames messages by newline, so a message must not contain one.
+pub fn compact(json: &Json) -> String {
+    let mut out = String::new();
+    write_compact(json, &mut out);
+    out
+}
+
+fn write_compact(json: &Json, out: &mut String) {
+    use std::fmt::Write as _;
+    match json {
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Json::Num(x) => {
+            if !x.is_finite() {
+                out.push_str("null");
+            } else if *x == x.trunc() && x.abs() < 9e15 {
+                let _ = write!(out, "{}", *x as i64);
+            } else {
+                let _ = write!(out, "{x}");
+            }
+        }
+        Json::Str(s) => write_compact_str(s, out),
+        Json::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(item, out);
+            }
+            out.push(']');
+        }
+        Json::Obj(fields) => {
+            out.push('{');
+            for (i, (k, v)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact_str(k, out);
+                out.push(':');
+                write_compact(v, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_compact_str(s: &str, out: &mut String) {
+    use std::fmt::Write as _;
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_every_kind() {
+        let envelopes = vec![
+            Envelope::with_id(
+                "q1",
+                Request::Load {
+                    graph: "g".into(),
+                    source: GraphSource::Inline {
+                        n: 5,
+                        directed: false,
+                        edges: vec![(0, 1), (1, 2)],
+                    },
+                    warm: true,
+                },
+            ),
+            Envelope::new(Request::Load {
+                graph: "g2".into(),
+                source: GraphSource::Path {
+                    path: "/tmp/a.mtx".into(),
+                    directed: true,
+                },
+                warm: false,
+            }),
+            Envelope::new(Request::Load {
+                graph: "g3".into(),
+                source: GraphSource::Family {
+                    family: "smallworld".into(),
+                    scale: "tiny".into(),
+                },
+                warm: false,
+            }),
+            Envelope::new(Request::Unload { graph: "g".into() }),
+            Envelope::with_id("7", Request::BcFull { graph: "g".into() }),
+            Envelope::new(Request::BcTopK {
+                graph: "g".into(),
+                k: 10,
+            }),
+            Envelope::new(Request::BcVertex {
+                graph: "g".into(),
+                vertex: 3,
+            }),
+            Envelope::new(Request::BcSubset {
+                graph: "g".into(),
+                sources: vec![0, 2, 4],
+            }),
+            Envelope::new(Request::Update {
+                graph: "g".into(),
+                updates: vec![EdgeUpdate::Insert(0, 3), EdgeUpdate::Delete(1, 2)],
+            }),
+            Envelope::new(Request::Status),
+            Envelope::new(Request::Metrics),
+        ];
+        for env in envelopes {
+            let line = env.to_line();
+            assert!(!line.contains('\n'), "wire lines must be newline-free");
+            let back = Envelope::parse_line(&line).unwrap();
+            assert_eq!(back, env, "round trip through {line}");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        for bad in [
+            "",
+            "not json",
+            "{}",
+            r#"{"kind":"warp"}"#,
+            r#"{"kind":"bc_topk","graph":"g"}"#,
+            r#"{"kind":"bc_topk","graph":"g","k":-1}"#,
+            r#"{"kind":"bc_vertex","graph":"g","vertex":1.5}"#,
+            r#"{"kind":"update","graph":"g","updates":[["*",0,1]]}"#,
+            r#"{"kind":"load","graph":"g","n":3}"#,
+        ] {
+            assert!(Envelope::parse_line(bad).is_err(), "must reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn response_lines_carry_id_and_ok() {
+        let ok = ok_line(Some("a"), vec![("x".into(), 3u32.into())]);
+        assert_eq!(ok, r#"{"id":"a","ok":true,"x":3}"#);
+        let err = err_line(None, "no such graph");
+        assert_eq!(err, r#"{"ok":false,"error":"no such graph"}"#);
+        let doc = parse(&ok).unwrap();
+        assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(true));
+    }
+
+    #[test]
+    fn fingerprints_travel_as_fixed_width_hex() {
+        assert_eq!(fingerprint_hex(0xe35b_f4a5_db16_90ab), "e35bf4a5db1690ab");
+        assert_eq!(fingerprint_hex(7), "0000000000000007");
+    }
+
+    #[test]
+    fn compact_matches_pretty_semantics() {
+        let doc = Json::Obj(vec![
+            ("s".into(), "a\"b\\c\nd".into()),
+            ("xs".into(), Json::Arr(vec![1u32.into(), Json::Null])),
+            ("f".into(), 0.5f64.into()),
+        ]);
+        let line = compact(&doc);
+        let reparsed = parse(&line).unwrap();
+        let repretty = parse(&doc.pretty()).unwrap();
+        assert_eq!(compact(&reparsed), compact(&repretty));
+    }
+}

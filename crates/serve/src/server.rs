@@ -1,0 +1,850 @@
+//! The TCP server: connection handling, graph registry, and the
+//! request handlers gluing scheduler, cache and metrics together.
+//!
+//! # Invariants
+//!
+//! * **Cache coherence** — every cache entry is keyed by the *content*
+//!   fingerprint of the graph it was computed on. Updates re-key the
+//!   graph, so the handler invalidates the old fingerprint's entries
+//!   inside the same graphs-lock critical section that applied the
+//!   batch: no window exists where a query could cache a result under
+//!   a fingerprint the graph no longer has.
+//! * **Sharding determinism** — a job folds its per-block partials in
+//!   block order, so two runs of the same query produce the same
+//!   float-for-float vector for a given batch width (and match a
+//!   single-threaded solver run to the usual `1e-6` graded tolerance).
+//! * **Derived queries share work** — `bc_topk` and `bc_vertex` are
+//!   projections of the full vector: they first probe their own cache
+//!   key, then the `bc_full` key, and only then schedule a job (which
+//!   primes the `bc_full` entry for everyone else).
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use turbobc::observe::json::Json;
+use turbobc::{BcOptions, BcSolver, DispatchMode, DynamicBc, DynamicGraph, EdgeUpdate};
+use turbobc_graph::families::{self, Scale};
+use turbobc_graph::{io as graph_io, Graph};
+
+use crate::cache::{fnv, options_fingerprint, CachedFields, ResultCache};
+use crate::metrics::MetricsHub;
+use crate::protocol::{err_line, fingerprint_hex, ok_line, Envelope, GraphSource, Request};
+use crate::scheduler::{CheckpointSpec, Job, JobOutput, Scheduler};
+
+/// Server configuration. `Default` binds an ephemeral loopback port
+/// with 4 workers, a 64 MiB result cache, no checkpoint directory and
+/// cost-model dispatch (each shard's executor is chosen per block).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:7700` (`:0` for ephemeral).
+    pub addr: String,
+    /// Worker pool width.
+    pub workers: usize,
+    /// Result-cache payload budget in bytes.
+    pub cache_bytes: u64,
+    /// Where preemptible jobs snapshot their completed prefix; `None`
+    /// disables job checkpointing.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Snapshot cadence in completed blocks.
+    pub checkpoint_every_blocks: usize,
+    /// Solver options every loaded graph's solver is built with.
+    pub options: BcOptions,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            cache_bytes: 64 << 20,
+            checkpoint_dir: None,
+            checkpoint_every_blocks: 4,
+            options: BcOptions::builder()
+                .dispatch(DispatchMode::CostModel)
+                .build(),
+        }
+    }
+}
+
+/// A loaded graph's evolving state: plain delta logs, or a warm
+/// incremental-BC session that keeps a live full-BC vector.
+enum GraphState {
+    /// Updates maintain the graph only; BC is computed on demand.
+    Cold(Box<DynamicGraph>),
+    /// Updates also refresh the full-BC vector incrementally.
+    Warm(Box<DynamicBc>),
+}
+
+struct GraphEntry {
+    state: GraphState,
+    /// The epoch solver jobs run on; rebuilt from a snapshot after
+    /// every update batch.
+    solver: Arc<BcSolver>,
+    /// In-flight jobs, for cancellation on unload.
+    jobs: Vec<Arc<Job>>,
+}
+
+impl GraphEntry {
+    fn fingerprint(&self) -> u64 {
+        match &self.state {
+            GraphState::Cold(g) => g.fingerprint(),
+            GraphState::Warm(s) => s.graph().fingerprint(),
+        }
+    }
+
+    fn n(&self) -> usize {
+        match &self.state {
+            GraphState::Cold(g) => g.n(),
+            GraphState::Warm(s) => s.graph().n(),
+        }
+    }
+
+    fn m(&self) -> usize {
+        match &self.state {
+            GraphState::Cold(g) => g.m(),
+            GraphState::Warm(s) => s.graph().m(),
+        }
+    }
+
+    fn pending(&self) -> usize {
+        match &self.state {
+            GraphState::Cold(g) => g.pending(),
+            GraphState::Warm(s) => s.graph().pending(),
+        }
+    }
+
+    fn snapshot(&self) -> Graph {
+        match &self.state {
+            GraphState::Cold(g) => g.snapshot(),
+            GraphState::Warm(s) => s.graph().snapshot(),
+        }
+    }
+}
+
+struct ServerState {
+    graphs: Mutex<HashMap<String, GraphEntry>>,
+    cache: Mutex<ResultCache>,
+    scheduler: Scheduler,
+    hub: MetricsHub,
+    config: ServeConfig,
+    shutdown: AtomicBool,
+}
+
+/// The bound-but-not-yet-serving server. [`Server::run`] blocks on the
+/// accept loop; [`Server::spawn`] runs it on a thread and returns a
+/// [`ServerHandle`].
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServerState>,
+}
+
+impl Server {
+    /// Binds the configured address and spins up the worker pool.
+    pub fn bind(config: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let scheduler = Scheduler::new(config.workers);
+        Ok(Server {
+            listener,
+            state: Arc::new(ServerState {
+                graphs: Mutex::new(HashMap::new()),
+                cache: Mutex::new(ResultCache::new(config.cache_bytes)),
+                scheduler,
+                hub: MetricsHub::new(),
+                config,
+                shutdown: AtomicBool::new(false),
+            }),
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves until [`ServerHandle::shutdown`] flips the flag: accepts
+    /// connections and hands each to its own line-loop thread.
+    pub fn run(self) -> std::io::Result<()> {
+        for conn in self.listener.incoming() {
+            if self.state.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = conn else { continue };
+            let state = self.state.clone();
+            std::thread::Builder::new()
+                .name("turbobc-serve-conn".into())
+                .spawn(move || handle_connection(&state, stream))
+                .expect("spawn connection thread");
+        }
+        Ok(())
+    }
+
+    /// Runs the accept loop on a background thread.
+    pub fn spawn(self) -> std::io::Result<ServerHandle> {
+        let addr = self.local_addr()?;
+        let state = self.state.clone();
+        let thread = std::thread::Builder::new()
+            .name("turbobc-serve-accept".into())
+            .spawn(move || {
+                let _ = self.run();
+            })
+            .expect("spawn accept thread");
+        Ok(ServerHandle {
+            addr,
+            state,
+            thread,
+        })
+    }
+}
+
+/// A running server: its address and the means to stop it.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    thread: std::thread::JoinHandle<()>,
+}
+
+impl ServerHandle {
+    /// The serving address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, wakes the accept loop, and joins it. Live
+    /// connections finish their current request and drop at the next
+    /// read.
+    pub fn shutdown(self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+        let _ = self.thread.join();
+    }
+}
+
+fn handle_connection(state: &Arc<ServerState>, stream: TcpStream) {
+    let Ok(peer) = stream.try_clone() else { return };
+    let reader = BufReader::new(peer);
+    let mut writer = stream;
+    for line in reader.lines() {
+        if state.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let t0 = Instant::now();
+        let response = match Envelope::parse_line(&line) {
+            Ok(env) => {
+                let kind = env.request.kind();
+                let outcome = handle_request(state, &env.request);
+                let ok = outcome.is_ok();
+                state
+                    .hub
+                    .record_request(kind, ok, t0.elapsed().as_secs_f64());
+                match outcome {
+                    Ok(payload) => ok_line(env.id.as_deref(), payload),
+                    Err(err) => err_line(env.id.as_deref(), &err),
+                }
+            }
+            Err(err) => {
+                state
+                    .hub
+                    .record_request("invalid", false, t0.elapsed().as_secs_f64());
+                err_line(None, &err)
+            }
+        };
+        if writer
+            .write_all(response.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            break;
+        }
+    }
+}
+
+type Payload = Vec<(String, Json)>;
+
+fn handle_request(state: &Arc<ServerState>, request: &Request) -> Result<Payload, String> {
+    match request {
+        Request::Load {
+            graph,
+            source,
+            warm,
+        } => handle_load(state, graph, source, *warm),
+        Request::Unload { graph } => handle_unload(state, graph),
+        Request::BcFull { graph } => handle_bc_full(state, graph),
+        Request::BcTopK { graph, k } => handle_bc_topk(state, graph, *k),
+        Request::BcVertex { graph, vertex } => handle_bc_vertex(state, graph, *vertex),
+        Request::BcSubset { graph, sources } => handle_bc_subset(state, graph, sources),
+        Request::Update { graph, updates } => handle_update(state, graph, updates),
+        Request::Status => Ok(handle_status(state)),
+        Request::Metrics => Ok(handle_metrics(state)),
+    }
+}
+
+fn build_graph(source: &GraphSource) -> Result<Graph, String> {
+    match source {
+        GraphSource::Path { path, directed } => {
+            if path.ends_with(".mtx") {
+                graph_io::read_matrix_market_file(path).map_err(|e| e.to_string())
+            } else {
+                graph_io::read_edge_list_file(path, *directed, None).map_err(|e| e.to_string())
+            }
+        }
+        GraphSource::Inline { n, directed, edges } => {
+            for &(u, v) in edges {
+                if u as usize >= *n || v as usize >= *n {
+                    return Err(format!("edge ({u}, {v}) out of range for n = {n}"));
+                }
+            }
+            Ok(Graph::from_edges(*n, *directed, edges))
+        }
+        GraphSource::Family { family, scale } => {
+            let scale = match scale.as_str() {
+                "tiny" => Scale::Tiny,
+                "small" => Scale::Small,
+                "medium" => Scale::Medium,
+                "large" => Scale::Large,
+                other => return Err(format!("unknown scale {other:?}")),
+            };
+            families::generate(family, scale)
+                .ok_or_else(|| format!("unknown graph family {family:?}"))
+        }
+    }
+}
+
+fn handle_load(
+    state: &Arc<ServerState>,
+    name: &str,
+    source: &GraphSource,
+    warm: bool,
+) -> Result<Payload, String> {
+    let graph = build_graph(source)?;
+    let solver =
+        Arc::new(BcSolver::new(&graph, state.config.options.clone()).map_err(|e| e.to_string())?);
+    let (graph_state, warmed) = if warm {
+        let sources: Vec<u32> = (0..graph.n() as u32).collect();
+        match DynamicBc::new(&graph, &sources, state.config.options.clone()) {
+            Ok(session) => (GraphState::Warm(Box::new(session)), true),
+            Err(_) => (
+                GraphState::Cold(Box::new(DynamicGraph::from_graph(&graph))),
+                false,
+            ),
+        }
+    } else {
+        (
+            GraphState::Cold(Box::new(DynamicGraph::from_graph(&graph))),
+            false,
+        )
+    };
+    let entry = GraphEntry {
+        state: graph_state,
+        solver,
+        jobs: Vec::new(),
+    };
+    let fp = entry.fingerprint();
+    let (n, m, directed) = (entry.n(), entry.m(), graph.directed());
+    let mut graphs = state.graphs.lock().expect("graph registry");
+    if let Some(old) = graphs.insert(name.to_string(), entry) {
+        for job in &old.jobs {
+            job.cancel();
+        }
+        let old_fp = old.fingerprint();
+        if old_fp != fp {
+            state
+                .cache
+                .lock()
+                .expect("result cache")
+                .invalidate_graph(old_fp);
+        }
+    }
+    Ok(vec![
+        ("graph".into(), name.into()),
+        ("n".into(), n.into()),
+        ("m".into(), m.into()),
+        ("directed".into(), directed.into()),
+        ("fingerprint".into(), fingerprint_hex(fp).into()),
+        ("warm".into(), warmed.into()),
+    ])
+}
+
+fn handle_unload(state: &Arc<ServerState>, name: &str) -> Result<Payload, String> {
+    let mut graphs = state.graphs.lock().expect("graph registry");
+    let entry = graphs
+        .remove(name)
+        .ok_or_else(|| format!("no such graph {name:?}"))?;
+    let cancelled = entry.jobs.len();
+    for job in &entry.jobs {
+        job.cancel();
+    }
+    let fp = entry.fingerprint();
+    drop(graphs);
+    let invalidated = state
+        .cache
+        .lock()
+        .expect("result cache")
+        .invalidate_graph(fp);
+    Ok(vec![
+        ("graph".into(), name.into()),
+        ("cancelled_jobs".into(), cancelled.into()),
+        ("invalidated".into(), invalidated.into()),
+    ])
+}
+
+/// Snapshot of the per-query graph facts every handler needs, taken
+/// under one short registry lock.
+struct GraphView {
+    solver: Arc<BcSolver>,
+    fp: u64,
+    n: usize,
+    m: usize,
+    warm_bc: Option<Vec<f64>>,
+}
+
+fn view(state: &Arc<ServerState>, name: &str) -> Result<GraphView, String> {
+    let graphs = state.graphs.lock().expect("graph registry");
+    let entry = graphs
+        .get(name)
+        .ok_or_else(|| format!("no such graph {name:?}"))?;
+    Ok(GraphView {
+        solver: entry.solver.clone(),
+        fp: entry.fingerprint(),
+        n: entry.n(),
+        m: entry.m(),
+        warm_bc: match &entry.state {
+            GraphState::Warm(s) => Some(s.bc().to_vec()),
+            GraphState::Cold(_) => None,
+        },
+    })
+}
+
+fn checkpoint_spec(
+    state: &Arc<ServerState>,
+    graph_fp: u64,
+    options_fp: u64,
+) -> Option<CheckpointSpec> {
+    let dir = state.config.checkpoint_dir.as_ref()?;
+    let fp = fnv(&[graph_fp, options_fp]);
+    Some(CheckpointSpec {
+        path: dir.join(format!("job-{}.ckpt", fingerprint_hex(fp))),
+        fp,
+        every_blocks: state.config.checkpoint_every_blocks,
+    })
+}
+
+/// Runs `sources` through the sharded scheduler for graph `name`,
+/// tracking the job in the registry so unload can cancel it.
+fn run_job(
+    state: &Arc<ServerState>,
+    name: &str,
+    view: &GraphView,
+    sources: Vec<u32>,
+    options_fp: u64,
+) -> Result<JobOutput, String> {
+    let n_sources = sources.len();
+    let job = Job::new(
+        view.solver.clone(),
+        sources,
+        checkpoint_spec(state, view.fp, options_fp),
+    );
+    {
+        let mut graphs = state.graphs.lock().expect("graph registry");
+        if let Some(entry) = graphs.get_mut(name) {
+            entry.jobs.push(job.clone());
+        }
+    }
+    let outcome = state.scheduler.run(&job);
+    {
+        let mut graphs = state.graphs.lock().expect("graph registry");
+        if let Some(entry) = graphs.get_mut(name) {
+            entry.jobs.retain(|j| !Arc::ptr_eq(j, &job));
+        }
+    }
+    let out = outcome?;
+    state
+        .hub
+        .record_job(&out, view.n, view.m, view.solver.kernel().name(), n_sources);
+    Ok(out)
+}
+
+fn bc_json(bc: &[f64]) -> Json {
+    Json::Arr(bc.iter().map(|&x| x.into()).collect())
+}
+
+fn json_bc(fields: &[(String, Json)]) -> Option<Vec<f64>> {
+    let arr = fields.iter().find(|(k, _)| k == "bc")?.1.as_arr()?;
+    arr.iter().map(Json::as_f64).collect()
+}
+
+fn full_fields(name: &str, fp: u64, n: usize, m: usize, bc: &[f64]) -> CachedFields {
+    Arc::new(vec![
+        ("graph".into(), name.into()),
+        ("fingerprint".into(), fingerprint_hex(fp).into()),
+        ("n".into(), n.into()),
+        ("m".into(), m.into()),
+        ("bc".into(), bc_json(bc)),
+    ])
+}
+
+/// The full-BC vector for a graph, via (in order): the `bc_full`
+/// cache entry, the warm session, or a sharded job (which then primes
+/// the cache). Returns `(bc, served_from_cache)`.
+fn full_bc(
+    state: &Arc<ServerState>,
+    name: &str,
+    view: &GraphView,
+) -> Result<(Vec<f64>, bool), String> {
+    let full_fp = options_fingerprint("bc_full", &[]);
+    if let Some(fields) = state
+        .cache
+        .lock()
+        .expect("result cache")
+        .get(view.fp, full_fp)
+    {
+        if let Some(bc) = json_bc(&fields) {
+            state.hub.record_cache_hit();
+            return Ok((bc, true));
+        }
+    }
+    if let Some(bc) = &view.warm_bc {
+        state.cache.lock().expect("result cache").insert(
+            view.fp,
+            full_fp,
+            full_fields(name, view.fp, view.n, view.m, bc),
+        );
+        return Ok((bc.clone(), true));
+    }
+    let sources: Vec<u32> = (0..view.n as u32).collect();
+    let out = run_job(state, name, view, sources, full_fp)?;
+    state.cache.lock().expect("result cache").insert(
+        view.fp,
+        full_fp,
+        full_fields(name, view.fp, view.n, view.m, &out.bc),
+    );
+    Ok((out.bc, false))
+}
+
+fn executors_field(out: &JobOutput) -> Json {
+    let mut names: Vec<String> = Vec::new();
+    for shard in &out.shards {
+        for e in &shard.executors {
+            if !names.contains(e) {
+                names.push(e.clone());
+            }
+        }
+    }
+    Json::Arr(names.into_iter().map(Json::Str).collect())
+}
+
+fn handle_bc_full(state: &Arc<ServerState>, name: &str) -> Result<Payload, String> {
+    let view = view(state, name)?;
+    let full_fp = options_fingerprint("bc_full", &[]);
+    if let Some(fields) = state
+        .cache
+        .lock()
+        .expect("result cache")
+        .get(view.fp, full_fp)
+    {
+        state.hub.record_cache_hit();
+        let mut payload = fields.as_ref().clone();
+        payload.push(("cached".into(), true.into()));
+        return Ok(payload);
+    }
+    if let Some(bc) = &view.warm_bc {
+        let fields = full_fields(name, view.fp, view.n, view.m, bc);
+        state
+            .cache
+            .lock()
+            .expect("result cache")
+            .insert(view.fp, full_fp, fields.clone());
+        let mut payload = fields.as_ref().clone();
+        payload.push(("cached".into(), true.into()));
+        payload.push(("warm".into(), true.into()));
+        return Ok(payload);
+    }
+    let sources: Vec<u32> = (0..view.n as u32).collect();
+    let out = run_job(state, name, &view, sources, full_fp)?;
+    let fields = full_fields(name, view.fp, view.n, view.m, &out.bc);
+    state
+        .cache
+        .lock()
+        .expect("result cache")
+        .insert(view.fp, full_fp, fields.clone());
+    let mut payload = fields.as_ref().clone();
+    payload.push(("cached".into(), false.into()));
+    payload.push(("blocks".into(), out.blocks_total.into()));
+    payload.push(("blocks_resumed".into(), out.blocks_resumed.into()));
+    payload.push(("elapsed_s".into(), out.elapsed_s.into()));
+    payload.push(("executors".into(), executors_field(&out)));
+    Ok(payload)
+}
+
+fn handle_bc_topk(state: &Arc<ServerState>, name: &str, k: usize) -> Result<Payload, String> {
+    let view = view(state, name)?;
+    let topk_fp = options_fingerprint("bc_topk", &[k as u64]);
+    if let Some(fields) = state
+        .cache
+        .lock()
+        .expect("result cache")
+        .get(view.fp, topk_fp)
+    {
+        state.hub.record_cache_hit();
+        let mut payload = fields.as_ref().clone();
+        payload.push(("cached".into(), true.into()));
+        return Ok(payload);
+    }
+    let (bc, cached) = full_bc(state, name, &view)?;
+    let mut order: Vec<u32> = (0..view.n as u32).collect();
+    order.sort_by(|&a, &b| {
+        bc[b as usize]
+            .partial_cmp(&bc[a as usize])
+            .expect("finite BC")
+            .then(a.cmp(&b))
+    });
+    order.truncate(k);
+    let top = Json::Arr(
+        order
+            .iter()
+            .map(|&v| Json::Arr(vec![v.into(), bc[v as usize].into()]))
+            .collect(),
+    );
+    let fields: CachedFields = Arc::new(vec![
+        ("graph".into(), name.into()),
+        ("fingerprint".into(), fingerprint_hex(view.fp).into()),
+        ("k".into(), k.into()),
+        ("top".into(), top),
+    ]);
+    state
+        .cache
+        .lock()
+        .expect("result cache")
+        .insert(view.fp, topk_fp, fields.clone());
+    let mut payload = fields.as_ref().clone();
+    payload.push(("cached".into(), cached.into()));
+    Ok(payload)
+}
+
+fn handle_bc_vertex(state: &Arc<ServerState>, name: &str, vertex: u32) -> Result<Payload, String> {
+    let view = view(state, name)?;
+    if vertex as usize >= view.n {
+        return Err(format!("vertex {vertex} out of range (n = {})", view.n));
+    }
+    let vertex_fp = options_fingerprint("bc_vertex", &[vertex as u64]);
+    if let Some(fields) = state
+        .cache
+        .lock()
+        .expect("result cache")
+        .get(view.fp, vertex_fp)
+    {
+        state.hub.record_cache_hit();
+        let mut payload = fields.as_ref().clone();
+        payload.push(("cached".into(), true.into()));
+        return Ok(payload);
+    }
+    let (bc, cached) = full_bc(state, name, &view)?;
+    let fields: CachedFields = Arc::new(vec![
+        ("graph".into(), name.into()),
+        ("fingerprint".into(), fingerprint_hex(view.fp).into()),
+        ("vertex".into(), vertex.into()),
+        ("bc".into(), bc[vertex as usize].into()),
+    ]);
+    state
+        .cache
+        .lock()
+        .expect("result cache")
+        .insert(view.fp, vertex_fp, fields.clone());
+    let mut payload = fields.as_ref().clone();
+    payload.push(("cached".into(), cached.into()));
+    Ok(payload)
+}
+
+fn handle_bc_subset(
+    state: &Arc<ServerState>,
+    name: &str,
+    sources: &[u32],
+) -> Result<Payload, String> {
+    let view = view(state, name)?;
+    if sources.is_empty() {
+        return Err("bc_subset needs at least one source".into());
+    }
+    for &s in sources {
+        if s as usize >= view.n {
+            return Err(format!("source {s} out of range (n = {})", view.n));
+        }
+    }
+    let words: Vec<u64> = sources.iter().map(|&s| s as u64).collect();
+    let subset_fp = options_fingerprint("bc_subset", &words);
+    if let Some(fields) = state
+        .cache
+        .lock()
+        .expect("result cache")
+        .get(view.fp, subset_fp)
+    {
+        state.hub.record_cache_hit();
+        let mut payload = fields.as_ref().clone();
+        payload.push(("cached".into(), true.into()));
+        return Ok(payload);
+    }
+    let out = run_job(state, name, &view, sources.to_vec(), subset_fp)?;
+    let fields: CachedFields = Arc::new(vec![
+        ("graph".into(), name.into()),
+        ("fingerprint".into(), fingerprint_hex(view.fp).into()),
+        ("sources".into(), sources.len().into()),
+        ("bc".into(), bc_json(&out.bc)),
+    ]);
+    state
+        .cache
+        .lock()
+        .expect("result cache")
+        .insert(view.fp, subset_fp, fields.clone());
+    let mut payload = fields.as_ref().clone();
+    payload.push(("cached".into(), false.into()));
+    payload.push(("blocks".into(), out.blocks_total.into()));
+    payload.push(("elapsed_s".into(), out.elapsed_s.into()));
+    payload.push(("executors".into(), executors_field(&out)));
+    Ok(payload)
+}
+
+fn handle_update(
+    state: &Arc<ServerState>,
+    name: &str,
+    updates: &[EdgeUpdate],
+) -> Result<Payload, String> {
+    let t0 = Instant::now();
+    let mut graphs = state.graphs.lock().expect("graph registry");
+    let entry = graphs
+        .get_mut(name)
+        .ok_or_else(|| format!("no such graph {name:?}"))?;
+    let old_fp = entry.fingerprint();
+    let report = match &mut entry.state {
+        GraphState::Cold(g) => g.apply(updates).map_err(|e| e.to_string())?,
+        GraphState::Warm(s) => s.apply_updates(updates).map_err(|e| e.to_string())?,
+    };
+    let snapshot = entry.snapshot();
+    entry.solver = Arc::new(
+        BcSolver::new(&snapshot, state.config.options.clone()).map_err(|e| e.to_string())?,
+    );
+    let new_fp = entry.fingerprint();
+    let refreshed_bc = match &entry.state {
+        GraphState::Warm(s) => Some(s.bc().to_vec()),
+        GraphState::Cold(_) => None,
+    };
+    let (n, m) = (entry.n(), entry.m());
+    drop(graphs);
+
+    let mut cache = state.cache.lock().expect("result cache");
+    let invalidated = if new_fp == old_fp {
+        0 // a no-op batch keeps the key and the entries
+    } else {
+        cache.invalidate_graph(old_fp)
+    };
+    let refreshed = if let Some(bc) = &refreshed_bc {
+        cache.insert(
+            new_fp,
+            options_fingerprint("bc_full", &[]),
+            full_fields(name, new_fp, n, m, bc),
+        );
+        true
+    } else {
+        false
+    };
+    drop(cache);
+
+    state.hub.record_update(
+        report.inserts,
+        report.deletes,
+        report.dirty_blocks,
+        report.total_blocks,
+        report.strategy,
+        t0.elapsed().as_secs_f64(),
+    );
+    Ok(vec![
+        ("graph".into(), name.into()),
+        ("inserts".into(), report.inserts.into()),
+        ("deletes".into(), report.deletes.into()),
+        ("ignored".into(), report.ignored.into()),
+        ("dirty_blocks".into(), report.dirty_blocks.into()),
+        ("total_blocks".into(), report.total_blocks.into()),
+        ("strategy".into(), report.strategy.into()),
+        ("compacted".into(), report.compacted.into()),
+        ("invalidated".into(), invalidated.into()),
+        ("refreshed".into(), refreshed.into()),
+        ("fingerprint".into(), fingerprint_hex(new_fp).into()),
+    ])
+}
+
+fn handle_status(state: &Arc<ServerState>) -> Payload {
+    let graphs = state.graphs.lock().expect("graph registry");
+    let mut listed: Vec<(&String, &GraphEntry)> = graphs.iter().collect();
+    listed.sort_by_key(|(name, _)| name.as_str());
+    let graph_list = Json::Arr(
+        listed
+            .iter()
+            .map(|(name, entry)| {
+                Json::Obj(vec![
+                    ("name".into(), name.as_str().into()),
+                    ("n".into(), entry.n().into()),
+                    ("m".into(), entry.m().into()),
+                    (
+                        "fingerprint".into(),
+                        fingerprint_hex(entry.fingerprint()).into(),
+                    ),
+                    ("pending_updates".into(), entry.pending().into()),
+                    (
+                        "warm".into(),
+                        matches!(entry.state, GraphState::Warm(_)).into(),
+                    ),
+                    ("jobs_inflight".into(), entry.jobs.len().into()),
+                ])
+            })
+            .collect(),
+    );
+    drop(graphs);
+    let stats = state.cache.lock().expect("result cache").stats();
+    vec![
+        ("graphs".into(), graph_list),
+        ("workers".into(), state.scheduler.workers().into()),
+        ("queued_shards".into(), state.scheduler.queued().into()),
+        (
+            "cache".into(),
+            Json::Obj(vec![
+                ("entries".into(), stats.entries.into()),
+                ("bytes".into(), stats.bytes.into()),
+                ("budget".into(), stats.budget.into()),
+                ("hits".into(), stats.hits.into()),
+                ("misses".into(), stats.misses.into()),
+                ("evictions".into(), stats.evictions.into()),
+                ("invalidations".into(), stats.invalidations.into()),
+                ("hit_rate".into(), stats.hit_rate().into()),
+            ]),
+        ),
+        ("uptime_s".into(), state.hub.uptime_s().into()),
+    ]
+}
+
+fn handle_metrics(state: &Arc<ServerState>) -> Payload {
+    let profile = state.hub.profile();
+    vec![
+        ("profile".into(), profile.to_json()),
+        ("counters".into(), state.hub.counters()),
+        (
+            "cache".into(),
+            Json::Obj(vec![(
+                "hit_rate".into(),
+                state
+                    .cache
+                    .lock()
+                    .expect("result cache")
+                    .stats()
+                    .hit_rate()
+                    .into(),
+            )]),
+        ),
+    ]
+}

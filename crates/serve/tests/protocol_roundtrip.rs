@@ -1,0 +1,127 @@
+//! Property tests: every wire envelope survives encode → parse, and
+//! the parser never panics on hostile input.
+
+use proptest::prelude::*;
+use turbobc::EdgeUpdate;
+use turbobc_serve::protocol::{compact, Envelope, GraphSource, Request};
+
+/// Graph names mixing identifiers with everything the escaper has to
+/// handle: quotes, backslashes, control bytes, non-ASCII.
+fn arb_name() -> impl Strategy<Value = String> {
+    (any::<prop::sample::Index>(), 0u32..1000).prop_map(|(pick, salt)| {
+        const AWKWARD: &[&str] = &[
+            "g",
+            "road-usa",
+            "with space",
+            "quo\"te",
+            "back\\slash",
+            "tab\there",
+            "line\nbreak",
+            "unicode-héllo-✓",
+            "",
+        ];
+        format!("{}{salt}", AWKWARD[pick.index(AWKWARD.len())])
+    })
+}
+
+fn arb_edges() -> impl Strategy<Value = Vec<(u32, u32)>> {
+    proptest::collection::vec((0u32..64, 0u32..64), 0..12)
+}
+
+fn arb_source() -> impl Strategy<Value = GraphSource> {
+    (0u8..3, arb_name(), any::<bool>(), 1usize..100, arb_edges()).prop_map(
+        |(kind, text, directed, n, edges)| match kind {
+            0 => GraphSource::Path {
+                path: format!("/tmp/{text}.mtx"),
+                directed,
+            },
+            1 => GraphSource::Inline { n, directed, edges },
+            _ => GraphSource::Family {
+                family: text,
+                scale: if directed { "tiny" } else { "small" }.to_string(),
+            },
+        },
+    )
+}
+
+fn arb_updates() -> impl Strategy<Value = Vec<EdgeUpdate>> {
+    proptest::collection::vec(
+        (any::<bool>(), 0u32..1000, 0u32..1000).prop_map(|(ins, u, v)| {
+            if ins {
+                EdgeUpdate::Insert(u, v)
+            } else {
+                EdgeUpdate::Delete(u, v)
+            }
+        }),
+        0..16,
+    )
+}
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    (
+        (0u8..9, arb_name(), arb_source(), any::<bool>()),
+        (
+            0usize..10_000,
+            0u32..100_000,
+            proptest::collection::vec(0u32..100_000, 0..32),
+            arb_updates(),
+        ),
+    )
+        .prop_map(
+            |((kind, graph, source, warm), (k, vertex, sources, updates))| match kind {
+                0 => Request::Load {
+                    graph,
+                    source,
+                    warm,
+                },
+                1 => Request::Unload { graph },
+                2 => Request::BcFull { graph },
+                3 => Request::BcTopK { graph, k },
+                4 => Request::BcVertex { graph, vertex },
+                5 => Request::BcSubset { graph, sources },
+                6 => Request::Update { graph, updates },
+                7 => Request::Status,
+                _ => Request::Metrics,
+            },
+        )
+}
+
+fn arb_envelope() -> impl Strategy<Value = Envelope> {
+    (arb_request(), any::<bool>(), arb_name()).prop_map(|(request, with_id, id)| {
+        if with_id {
+            Envelope::with_id(id, request)
+        } else {
+            Envelope::new(request)
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// encode → parse is the identity on every request kind, id shape,
+    /// and string content the escaper supports.
+    #[test]
+    fn envelope_round_trips(env in arb_envelope()) {
+        let line = env.to_line();
+        prop_assert!(!line.contains('\n'), "line framing: {line:?}");
+        let back = Envelope::parse_line(&line).unwrap_or_else(|e| panic!("{e}: {line}"));
+        prop_assert_eq!(back, env);
+    }
+
+    /// The parser returns Err (never panics) on arbitrary noise.
+    #[test]
+    fn parser_survives_noise(bytes in proptest::collection::vec(0u8..128, 0..64)) {
+        let noise: String = bytes.into_iter().map(|b| b as char).collect();
+        let _ = Envelope::parse_line(&noise);
+    }
+
+    /// Compact output re-parses to a document whose compact form is a
+    /// fixed point (serialisation is canonical for parsed values).
+    #[test]
+    fn compact_is_a_fixed_point(env in arb_envelope()) {
+        let line = env.to_line();
+        let doc = turbobc::observe::json::parse(&line).unwrap();
+        prop_assert_eq!(compact(&doc), line);
+    }
+}

@@ -140,10 +140,32 @@ fn fnv(words: &[u64]) -> u64 {
     h
 }
 
-/// Content fingerprint of a static graph: what [`DynamicGraph`]
-/// maintains incrementally, recomputed here by one pass over the
-/// stored arcs.
-pub(crate) fn graph_fingerprint(g: &Graph) -> u64 {
+/// Content fingerprint of a static graph: a 64-bit digest of
+/// `(n, directedness, arc count, edge membership)` that two graphs
+/// share **iff** they describe the same topology, regardless of how
+/// they were built.
+///
+/// The edge-membership term XORs a SplitMix64 avalanche of every arc,
+/// so it is order-free and composes incrementally — inserting then
+/// deleting an edge restores the original digest. [`DynamicGraph`]
+/// maintains the same value across `apply`/`compact` without rescans
+/// ([`DynamicGraph::fingerprint`] agrees with this function applied to
+/// [`DynamicGraph::snapshot`]), which makes the fingerprint a stable
+/// cache key for derived results: the serve layer keys its result
+/// cache on `(graph_fingerprint, options fingerprint)` and invalidates
+/// by fingerprint when an update batch lands.
+///
+/// The value is pinned — it is part of the on-disk/wire contract for
+/// caches keyed on it and changes only with a schema bump.
+///
+/// ```
+/// use turbobc::graph_fingerprint;
+/// use turbobc_graph::Graph;
+/// let a = Graph::from_edges(4, false, &[(0, 1), (1, 2), (2, 3)]);
+/// let b = Graph::from_edges(4, false, &[(2, 3), (0, 1), (1, 2)]);
+/// assert_eq!(graph_fingerprint(&a), graph_fingerprint(&b));
+/// ```
+pub fn graph_fingerprint(g: &Graph) -> u64 {
     let mut edge_hash = 0u64;
     for (u, v) in g.edges() {
         edge_hash ^= mix_arc(u, v);
@@ -1226,6 +1248,23 @@ mod tests {
         );
         dg.apply(&[EdgeUpdate::Delete(0, 2)]).unwrap();
         assert_eq!(dg.fingerprint(), fp0, "inverse update restores the key");
+    }
+
+    /// `graph_fingerprint` is a public cache key (the serve layer keys
+    /// result caches on it), so its value for a fixed input is part of
+    /// the contract: this literal may only change with a schema bump.
+    #[test]
+    fn graph_fingerprint_value_is_pinned() {
+        let g = path5();
+        assert_eq!(graph_fingerprint(&g), 0xe35b_f4a5_db16_90ab);
+        // Edge order and duplicate arcs must not move the key.
+        let shuffled = Graph::from_edges(5, false, &[(3, 4), (1, 0), (2, 1), (2, 3)]);
+        assert_eq!(graph_fingerprint(&shuffled), 0xe35b_f4a5_db16_90ab);
+        // Every content axis re-keys: n, directedness, membership.
+        let widened = Graph::from_edges(6, false, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        assert_ne!(graph_fingerprint(&widened), graph_fingerprint(&g));
+        let directed = Graph::from_edges(5, true, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        assert_ne!(graph_fingerprint(&directed), graph_fingerprint(&g));
     }
 
     #[test]

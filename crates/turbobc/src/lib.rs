@@ -112,7 +112,9 @@ pub use dispatch::{
     executor_for, CostModel, DispatchMode, Execution, ExecutionPlan, Executor, ExecutorKind,
     PlanSegment, PlanStrategy,
 };
-pub use dynamic::{BcCache, DynamicBc, DynamicGraph, EdgeUpdate, UpdatePlan, UpdateReport};
+pub use dynamic::{
+    graph_fingerprint, BcCache, DynamicBc, DynamicGraph, EdgeUpdate, UpdatePlan, UpdateReport,
+};
 pub use edge::EdgeBcResult;
 #[allow(deprecated)] // the shims stay importable from the crate root
 pub use edge::{edge_bc, edge_bc_sources};
@@ -136,7 +138,9 @@ pub mod prelude {
     pub use crate::dispatch::{
         CostModel, DispatchMode, Execution, ExecutionPlan, ExecutorKind, PlanStrategy,
     };
-    pub use crate::dynamic::{BcCache, DynamicBc, DynamicGraph, EdgeUpdate, UpdateReport};
+    pub use crate::dynamic::{
+        graph_fingerprint, BcCache, DynamicBc, DynamicGraph, EdgeUpdate, UpdateReport,
+    };
     pub use crate::error::{CheckpointError, TurboBcError};
     pub use crate::frontier::{DirectionMode, Frontier, LevelDirection};
     pub use crate::observe::{

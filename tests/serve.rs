@@ -1,0 +1,394 @@
+//! End-to-end tests for the BC service: a real TCP server, concurrent
+//! clients, and single-threaded `BcSolver` runs as the oracle.
+
+use std::sync::Arc;
+
+use turbobc::observe::json::Json;
+use turbobc::{BcOptions, BcSolver, EdgeUpdate, Engine};
+use turbobc_graph::Graph;
+use turbobc_serve::{Client, GraphSource, Request, ServeConfig, Server, ServerHandle};
+
+/// Graded tolerance: shard-order summation vs the single-threaded
+/// engine's order.
+const TOL: f64 = 1e-6;
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= TOL * (1.0 + b.abs())
+}
+
+/// A ring with deterministic chords: enough structure for distinct BC
+/// scores, small enough for debug-mode test runs.
+fn chordal_ring(n: u32, stride: u32) -> Graph {
+    let mut edges: Vec<(u32, u32)> = (0..n).map(|u| (u, (u + 1) % n)).collect();
+    for u in (0..n).step_by(7) {
+        edges.push((u, (u + stride) % n));
+    }
+    Graph::from_edges(n as usize, false, &edges)
+}
+
+/// Single-threaded oracle: the sequential engine, whole-source runs.
+fn reference_bc(g: &Graph) -> Vec<f64> {
+    let solver = BcSolver::new(g, BcOptions::builder().engine(Engine::Sequential).build()).unwrap();
+    solver.bc_exact().unwrap().bc
+}
+
+fn reference_subset_bc(g: &Graph, sources: &[u32]) -> Vec<f64> {
+    let solver = BcSolver::new(g, BcOptions::builder().engine(Engine::Sequential).build()).unwrap();
+    let plan = solver.plan(sources).unwrap();
+    solver.execute(&plan).unwrap().into_bc().unwrap().bc
+}
+
+fn spawn_server(config: ServeConfig) -> ServerHandle {
+    Server::bind(config).unwrap().spawn().unwrap()
+}
+
+fn inline(g: &Graph) -> GraphSource {
+    GraphSource::Inline {
+        n: g.n(),
+        directed: g.directed(),
+        edges: g.edges().filter(|&(u, v)| u <= v).collect(),
+    }
+}
+
+fn load(client: &mut Client, name: &str, g: &Graph) {
+    let reply = client
+        .request(Request::Load {
+            graph: name.into(),
+            source: inline(g),
+            warm: false,
+        })
+        .unwrap();
+    assert_eq!(reply.get("n").and_then(Json::as_f64), Some(g.n() as f64));
+}
+
+fn json_vec(doc: &Json, key: &str) -> Vec<f64> {
+    doc.get(key)
+        .and_then(Json::as_arr)
+        .expect("bc array")
+        .iter()
+        .map(|x| x.as_f64().expect("finite"))
+        .collect()
+}
+
+/// The acceptance scenario: ≥4 workers, ≥8 concurrent mixed queries
+/// (full / top-k / vertex / subset) across 2 loaded graphs, every
+/// result matching a single-threaded solver at 1e-6.
+#[test]
+fn concurrent_mixed_queries_match_single_threaded_reference() {
+    let g1 = chordal_ring(96, 31);
+    let g2 = chordal_ring(128, 17);
+    let ref1 = Arc::new(reference_bc(&g1));
+    let ref2 = Arc::new(reference_bc(&g2));
+    let subset: Vec<u32> = vec![0, 5, 9, 33, 64];
+    let sub_ref1 = Arc::new(reference_subset_bc(&g1, &subset));
+    let sub_ref2 = Arc::new(reference_subset_bc(&g2, &subset));
+
+    let handle = spawn_server(ServeConfig {
+        workers: 4,
+        ..ServeConfig::default()
+    });
+    let addr = handle.addr();
+    {
+        let mut client = Client::connect(addr).unwrap();
+        load(&mut client, "g1", &g1);
+        load(&mut client, "g2", &g2);
+    }
+
+    let threads: Vec<_> = (0..8)
+        .map(|i| {
+            let (graph, full, sub) = if i % 2 == 0 {
+                ("g1", ref1.clone(), sub_ref1.clone())
+            } else {
+                ("g2", ref2.clone(), sub_ref2.clone())
+            };
+            let subset = subset.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                match i % 4 {
+                    0 => {
+                        let doc = client
+                            .request(Request::BcFull {
+                                graph: graph.into(),
+                            })
+                            .unwrap();
+                        let bc = json_vec(&doc, "bc");
+                        assert_eq!(bc.len(), full.len());
+                        for (v, (&a, &b)) in bc.iter().zip(full.iter()).enumerate() {
+                            assert!(close(a, b), "{graph} bc[{v}]: {a} vs {b}");
+                        }
+                    }
+                    1 => {
+                        let doc = client
+                            .request(Request::BcTopK {
+                                graph: graph.into(),
+                                k: 5,
+                            })
+                            .unwrap();
+                        let top = doc.get("top").and_then(Json::as_arr).unwrap().to_vec();
+                        assert_eq!(top.len(), 5);
+                        let mut ref_sorted = full.to_vec();
+                        ref_sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+                        for (rank, entry) in top.iter().enumerate() {
+                            let pair = entry.as_arr().unwrap();
+                            let v = pair[0].as_f64().unwrap() as usize;
+                            let score = pair[1].as_f64().unwrap();
+                            assert!(
+                                close(score, full[v]),
+                                "{graph} top[{rank}] score {score} vs bc[{v}] = {}",
+                                full[v]
+                            );
+                            assert!(
+                                close(score, ref_sorted[rank]),
+                                "{graph} rank {rank}: {score} vs {}",
+                                ref_sorted[rank]
+                            );
+                        }
+                    }
+                    2 => {
+                        let vertex = 40 + i as u32;
+                        let doc = client
+                            .request(Request::BcVertex {
+                                graph: graph.into(),
+                                vertex,
+                            })
+                            .unwrap();
+                        let score = doc.get("bc").and_then(Json::as_f64).unwrap();
+                        let want = full[vertex as usize];
+                        assert!(
+                            close(score, want),
+                            "{graph} bc[{vertex}]: {score} vs {want}"
+                        );
+                    }
+                    _ => {
+                        let doc = client
+                            .request(Request::BcSubset {
+                                graph: graph.into(),
+                                sources: subset.clone(),
+                            })
+                            .unwrap();
+                        let bc = json_vec(&doc, "bc");
+                        for (v, (&a, &b)) in bc.iter().zip(sub.iter()).enumerate() {
+                            assert!(close(a, b), "{graph} subset bc[{v}]: {a} vs {b}");
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+
+    let mut client = Client::connect(addr).unwrap();
+    let status = client.request(Request::Status).unwrap();
+    let graphs = status.get("graphs").and_then(Json::as_arr).unwrap();
+    assert_eq!(graphs.len(), 2);
+    assert_eq!(status.get("workers").and_then(Json::as_f64), Some(4.0));
+    handle.shutdown();
+}
+
+#[test]
+fn repeat_queries_hit_the_cache() {
+    let g = chordal_ring(96, 13);
+    let handle = spawn_server(ServeConfig::default());
+    let mut client = Client::connect(handle.addr()).unwrap();
+    load(&mut client, "g", &g);
+
+    let cold = client
+        .request(Request::BcFull { graph: "g".into() })
+        .unwrap();
+    assert_eq!(cold.get("cached").and_then(Json::as_bool), Some(false));
+    let warm = client
+        .request(Request::BcFull { graph: "g".into() })
+        .unwrap();
+    assert_eq!(warm.get("cached").and_then(Json::as_bool), Some(true));
+    assert_eq!(json_vec(&cold, "bc"), json_vec(&warm, "bc"));
+
+    // Derived queries ride the same full vector without a new job.
+    let topk = client
+        .request(Request::BcTopK {
+            graph: "g".into(),
+            k: 3,
+        })
+        .unwrap();
+    assert_eq!(topk.get("cached").and_then(Json::as_bool), Some(true));
+
+    let status = client.request(Request::Status).unwrap();
+    let hits = status
+        .get("cache")
+        .and_then(|c| c.get("hits"))
+        .and_then(Json::as_f64)
+        .unwrap();
+    assert!(hits >= 2.0, "expected ≥2 cache hits, saw {hits}");
+    handle.shutdown();
+}
+
+/// Parallel clients on distinct graphs stay isolated, and an update
+/// batch invalidates exactly the touched graph's entries.
+#[test]
+fn updates_invalidate_exactly_the_touched_graph() {
+    let g1 = chordal_ring(96, 11);
+    let g2 = chordal_ring(96, 23);
+    let handle = spawn_server(ServeConfig::default());
+    let mut client = Client::connect(handle.addr()).unwrap();
+    load(&mut client, "a", &g1);
+    load(&mut client, "b", &g2);
+
+    // Prime both caches from parallel clients.
+    let addr = handle.addr();
+    let threads: Vec<_> = ["a", "b"]
+        .into_iter()
+        .map(|name| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                let doc = c.request(Request::BcFull { graph: name.into() }).unwrap();
+                json_vec(&doc, "bc")
+            })
+        })
+        .collect();
+    let primed: Vec<Vec<f64>> = threads.into_iter().map(|t| t.join().unwrap()).collect();
+    assert_ne!(primed[0], primed[1], "distinct graphs, distinct BC");
+
+    // Update graph "a" only.
+    let update = client
+        .request(Request::Update {
+            graph: "a".into(),
+            updates: vec![EdgeUpdate::Insert(0, 48)],
+        })
+        .unwrap();
+    assert_eq!(update.get("inserts").and_then(Json::as_f64), Some(1.0));
+    assert!(
+        update.get("invalidated").and_then(Json::as_f64).unwrap() >= 1.0,
+        "the touched graph loses its entries"
+    );
+
+    // "a" is cold again and reflects the new edge; "b" still hits.
+    let a2 = client
+        .request(Request::BcFull { graph: "a".into() })
+        .unwrap();
+    assert_eq!(a2.get("cached").and_then(Json::as_bool), Some(false));
+    let mut g1_updated: Vec<(u32, u32)> = g1.edges().filter(|&(u, v)| u <= v).collect();
+    g1_updated.push((0, 48));
+    let updated_ref = reference_bc(&Graph::from_edges(96, false, &g1_updated));
+    for (v, (&a, &b)) in json_vec(&a2, "bc").iter().zip(&updated_ref).enumerate() {
+        assert!(close(a, b), "updated bc[{v}]: {a} vs {b}");
+    }
+    let b2 = client
+        .request(Request::BcFull { graph: "b".into() })
+        .unwrap();
+    assert_eq!(
+        b2.get("cached").and_then(Json::as_bool),
+        Some(true),
+        "the untouched graph keeps its cache entry"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn warm_sessions_serve_and_refresh_bc_full() {
+    let g = chordal_ring(64, 9);
+    let handle = spawn_server(ServeConfig::default());
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let loaded = client
+        .request(Request::Load {
+            graph: "w".into(),
+            source: inline(&g),
+            warm: true,
+        })
+        .unwrap();
+    assert_eq!(loaded.get("warm").and_then(Json::as_bool), Some(true));
+
+    // bc_full answers from the session without scheduling a job.
+    let full = client
+        .request(Request::BcFull { graph: "w".into() })
+        .unwrap();
+    assert_eq!(full.get("cached").and_then(Json::as_bool), Some(true));
+    for (v, (&a, &b)) in json_vec(&full, "bc")
+        .iter()
+        .zip(&reference_bc(&g))
+        .enumerate()
+    {
+        assert!(close(a, b), "warm bc[{v}]: {a} vs {b}");
+    }
+
+    // An update refreshes the entry incrementally: still served as a
+    // cache hit, now with post-update values.
+    let update = client
+        .request(Request::Update {
+            graph: "w".into(),
+            updates: vec![EdgeUpdate::Insert(3, 33)],
+        })
+        .unwrap();
+    assert_eq!(update.get("refreshed").and_then(Json::as_bool), Some(true));
+    let full2 = client
+        .request(Request::BcFull { graph: "w".into() })
+        .unwrap();
+    assert_eq!(full2.get("cached").and_then(Json::as_bool), Some(true));
+    let mut edges: Vec<(u32, u32)> = g.edges().filter(|&(u, v)| u <= v).collect();
+    edges.push((3, 33));
+    let updated_ref = reference_bc(&Graph::from_edges(64, false, &edges));
+    for (v, (&a, &b)) in json_vec(&full2, "bc").iter().zip(&updated_ref).enumerate() {
+        assert!(close(a, b), "refreshed bc[{v}]: {a} vs {b}");
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn lru_evicts_under_a_small_byte_budget() {
+    let g = chordal_ring(96, 19);
+    let handle = spawn_server(ServeConfig {
+        cache_bytes: 6 << 10, // a couple of 96-float payloads
+        ..ServeConfig::default()
+    });
+    let mut client = Client::connect(handle.addr()).unwrap();
+    load(&mut client, "g", &g);
+    for start in 0..6u32 {
+        client
+            .request(Request::BcSubset {
+                graph: "g".into(),
+                sources: vec![start, start + 8, start + 16],
+            })
+            .unwrap();
+    }
+    let status = client.request(Request::Status).unwrap();
+    let cache = status.get("cache").unwrap();
+    let evictions = cache.get("evictions").and_then(Json::as_f64).unwrap();
+    let bytes = cache.get("bytes").and_then(Json::as_f64).unwrap();
+    let budget = cache.get("budget").and_then(Json::as_f64).unwrap();
+    assert!(evictions >= 1.0, "expected evictions, saw {evictions}");
+    assert!(bytes <= budget, "cache stays within budget");
+    handle.shutdown();
+}
+
+#[test]
+fn protocol_errors_are_reported_not_fatal() {
+    let handle = spawn_server(ServeConfig::default());
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    let err = client
+        .request(Request::BcFull {
+            graph: "ghost".into(),
+        })
+        .unwrap_err();
+    assert!(err.contains("no such graph"), "{err}");
+
+    let raw = client.round_trip_line("this is not json").unwrap();
+    assert!(raw.contains("\"ok\":false"), "{raw}");
+
+    // The connection survives both errors.
+    let g = chordal_ring(32, 5);
+    load(&mut client, "g", &g);
+    let err = client
+        .request(Request::BcVertex {
+            graph: "g".into(),
+            vertex: 99,
+        })
+        .unwrap_err();
+    assert!(err.contains("out of range"), "{err}");
+
+    let metrics = client.request(Request::Metrics).unwrap();
+    let profile = metrics.get("profile").expect("profile document");
+    let text = turbobc_serve::protocol::compact(profile);
+    turbobc::observe::RunProfile::validate(&text).expect("live profile validates");
+    handle.shutdown();
+}
